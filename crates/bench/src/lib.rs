@@ -1,0 +1,1 @@
+//! Host crate for the Criterion benches in `benches/`; see those files.

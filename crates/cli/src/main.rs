@@ -1,0 +1,421 @@
+//! The BETZE command-line interface.
+//!
+//! The paper ships a CLI (Listing 4) that analyzes datasets, generates
+//! sessions, and benchmarks them against all supported systems; this
+//! binary is its native equivalent:
+//!
+//! ```text
+//! betze synth twitter 10000 --seed 1 --out data.json
+//! betze analyze data.json --out analysis.json
+//! betze generate data.json --preset expert --seed 123 --out-dir queries/
+//! betze benchmark data.json --preset intermediate --seed 123
+//! betze experiment table2 --quick
+//! ```
+
+use betze::datagen::{Dataset, DocGenerator, NoBench, RedditLike, TwitterLike};
+use betze::explorer::Preset;
+use betze::generator::{AggregateMode, ExportMode, GeneratorConfig};
+use betze::harness::experiments::{self, Scale};
+use betze::generator::GenerationOutcome;
+use betze::harness::workload::prepare_dataset;
+use betze::harness::{run_session, RunOptions};
+use betze::json::Value;
+use betze::langs::{all_languages, translate_session};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+BETZE: a benchmark generator for JSON data exploration tools.
+
+USAGE:
+    betze <COMMAND> [OPTIONS]
+
+COMMANDS:
+    synth <twitter|nobench|reddit> <count>   generate a synthetic corpus (JSON lines)
+        --seed <u64>        corpus seed (default 1)
+        --out <file>        write to a file instead of stdout
+    analyze <dataset.json>                   analyze a JSON-lines dataset (paper §IV-A)
+        --name <name>       dataset name (default: file stem)
+        --out <file>        write the analysis file instead of stdout
+    generate <dataset.json> [more.json …]    generate one benchmark session
+                        (multiple files explore several base datasets at once)
+        --seed <u64>        session seed (default 1)
+        --preset <name>     novice | intermediate | expert (default intermediate)
+        --alpha <f64>       override backtrack probability
+        --beta <f64>        override jump probability
+        --queries <n>       override queries per session
+        --selectivity <lo,hi>  target selectivity range (default 0.2,0.9)
+        --aggregate         generate aggregation queries (Agg)
+        --group-by          generate grouped aggregations (GAgg)
+        --weighted-paths    prefer attributes close to the root (§IV-C)
+        --materialize       export stored intermediate datasets
+        --transforms <f>    fraction of queries with a rename/remove/add
+                            transformation (§VII; needs --materialize)
+        --lang <short>      only one language (default: all four)
+        --out-dir <dir>     write one script file per language instead of stdout
+        --dot               also print the session graph in Graphviz DOT
+    benchmark <dataset.json>                 generate + run on all engines
+        --seed/--preset/... as for generate
+        --threads <n>       JODA thread count (default 16)
+        --output            charge full result output (Table III mode)
+    experiment <name>                        regenerate a paper artifact
+        names: table1 fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 table4
+               skew gen-cost all
+        --quick             small corpora (fast smoke run)
+        --sessions <n>      session count override
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing command")?;
+    let rest: Vec<String> = it.cloned().collect();
+    match command.as_str() {
+        "synth" => synth(&rest),
+        "analyze" => analyze(&rest),
+        "generate" => generate(&rest),
+        "benchmark" => benchmark(&rest),
+        "experiment" => experiment(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Extracts `--flag value` from an argument list; returns the remainder.
+fn take_option(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Extracts a boolean `--flag`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("invalid {what}: '{text}'"))
+}
+
+fn write_or_print(out: Option<String>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(&path, content)
+            .map_err(|e| format!("cannot write {path}: {e}"))
+            .map(|()| eprintln!("wrote {path}")),
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn synth(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let seed: u64 = match take_option(&mut args, "--seed")? {
+        Some(s) => parse(&s, "seed")?,
+        None => 1,
+    };
+    let out = take_option(&mut args, "--out")?;
+    let [corpus, count]: [String; 2] = args
+        .try_into()
+        .map_err(|_| "synth needs <corpus> <count>".to_owned())?;
+    let count: usize = parse(&count, "count")?;
+    let docs = match corpus.as_str() {
+        "twitter" => TwitterLike::default().generate(seed, count),
+        "nobench" => NoBench::default().generate(seed, count),
+        "reddit" => RedditLike.generate(seed, count),
+        other => return Err(format!("unknown corpus '{other}'")),
+    };
+    write_or_print(out, betze::json::to_json_lines(&docs).trim_end())
+}
+
+fn load_dataset(path: &str, name: Option<String>) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let docs: Vec<Value> =
+        betze::json::parse_many(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let name = name.unwrap_or_else(|| {
+        std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "dataset".to_owned())
+    });
+    Ok(Dataset::new(name, docs))
+}
+
+fn analyze(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let name = take_option(&mut args, "--name")?;
+    let out = take_option(&mut args, "--out")?;
+    let [path]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "analyze needs exactly one <dataset.json>".to_owned())?;
+    let dataset = load_dataset(&path, name)?;
+    let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
+    write_or_print(out, &analysis.to_json())
+}
+
+fn generator_config(args: &mut Vec<String>) -> Result<GeneratorConfig, String> {
+    let preset = match take_option(args, "--preset")? {
+        Some(name) => Preset::parse(&name).ok_or(format!("unknown preset '{name}'"))?,
+        None => Preset::Intermediate,
+    };
+    let mut explorer = preset.config();
+    if let Some(alpha) = take_option(args, "--alpha")? {
+        explorer.backtrack_probability = parse(&alpha, "alpha")?;
+    }
+    if let Some(beta) = take_option(args, "--beta")? {
+        explorer.jump_probability = parse(&beta, "beta")?;
+    }
+    if let Some(n) = take_option(args, "--queries")? {
+        explorer.queries_per_session = parse(&n, "queries")?;
+    }
+    let mut config = GeneratorConfig::with_explorer(explorer);
+    if let Some(range) = take_option(args, "--selectivity")? {
+        let (lo, hi) = range
+            .split_once(',')
+            .ok_or("selectivity must be 'lo,hi'")?;
+        config = config.selectivity_range(parse(lo, "selectivity")?, parse(hi, "selectivity")?);
+    }
+    if take_flag(args, "--group-by") {
+        config = config.aggregate(AggregateMode::Grouped);
+    } else if take_flag(args, "--aggregate") {
+        config = config.aggregate(AggregateMode::All);
+    }
+    if take_flag(args, "--weighted-paths") {
+        config = config.weighted_paths(true);
+    }
+    if take_flag(args, "--materialize") {
+        config = config.export(ExportMode::MaterializedIntermediates);
+    }
+    if let Some(fraction) = take_option(args, "--transforms")? {
+        config = config.transform_fraction(parse(&fraction, "transform fraction")?);
+    }
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// A generated session plus its analysis timing (the `generate`
+/// subcommand's working set).
+struct GeneratedSession {
+    generation: GenerationOutcome,
+    analysis_time: std::time::Duration,
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let seed: u64 = match take_option(&mut args, "--seed")? {
+        Some(s) => parse(&s, "seed")?,
+        None => 1,
+    };
+    let lang = take_option(&mut args, "--lang")?;
+    let out_dir = take_option(&mut args, "--out-dir")?;
+    let dot = take_flag(&mut args, "--dot");
+    let config = generator_config(&mut args)?;
+    if args.is_empty() {
+        return Err("generate needs at least one <dataset.json>".to_owned());
+    }
+    // Multiple dataset files explore several base datasets at once
+    // (paper §VI: "BETZE can use multiple datasets at once").
+    let mut analyses = Vec::new();
+    let mut backend = betze::generator::InMemoryBackend::new();
+    let analysis_started = std::time::Instant::now();
+    for (i, path) in args.iter().enumerate() {
+        let dataset = load_dataset(path, None)?;
+        analyses.push(betze::stats::analyze(dataset.name.clone(), &dataset.docs));
+        backend.register_base(betze::model::DatasetId(i), dataset.docs);
+    }
+    let analysis_time = analysis_started.elapsed();
+    let generation = betze::generator::generate_session_multi(
+        &analyses,
+        &config,
+        seed,
+        Some(&mut backend),
+    )
+    .map_err(|e| e.to_string())?;
+    let w = GeneratedSession {
+        generation,
+        analysis_time,
+    };
+    eprintln!(
+        "# generated {} queries (analysis {:?}, generation {:?}, {} discarded candidates)",
+        w.generation.session.queries.len(),
+        w.analysis_time,
+        w.generation.generation_time,
+        w.generation.discarded_total,
+    );
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    }
+    for language in all_languages() {
+        if let Some(short) = &lang {
+            if language.short_name() != short {
+                continue;
+            }
+        }
+        let script = translate_session(language.as_ref(), &w.generation.session);
+        match &out_dir {
+            Some(dir) => {
+                let path = format!("{dir}/session_{}.{}", seed, language.short_name());
+                std::fs::write(&path, &script)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            None => {
+                println!("==== {} ====", language.name());
+                println!("{script}");
+            }
+        }
+    }
+    if dot {
+        let dot_text = w.generation.session.to_dot();
+        match &out_dir {
+            Some(dir) => {
+                let path = format!("{dir}/session_{seed}.dot");
+                std::fs::write(&path, &dot_text)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            None => {
+                println!("==== session graph (DOT) ====");
+                println!("{dot_text}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn benchmark(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let seed: u64 = match take_option(&mut args, "--seed")? {
+        Some(s) => parse(&s, "seed")?,
+        None => 1,
+    };
+    let threads: usize = match take_option(&mut args, "--threads")? {
+        Some(s) => parse(&s, "threads")?,
+        None => 16,
+    };
+    let full_output = take_flag(&mut args, "--output");
+    let config = generator_config(&mut args)?;
+    let [path]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "benchmark needs exactly one <dataset.json>".to_owned())?;
+    let dataset = load_dataset(&path, None)?;
+    let w = prepare_dataset(dataset, &config, seed).map_err(|e| e.to_string())?;
+    let mut table = betze::harness::fmt::TextTable::new([
+        "system",
+        "import (modeled)",
+        "session w/o import (modeled)",
+        "total (modeled)",
+        "session wall",
+    ]);
+    for mut engine in betze::engines::all_engines(threads) {
+        let options = if full_output {
+            RunOptions::with_output()
+        } else {
+            RunOptions::reference()
+        };
+        let outcome = betze::harness::run_session_with_options(
+            engine.as_mut(),
+            &w.dataset,
+            &w.generation.session,
+            &options,
+        )
+        .map_err(|e| e.to_string())?;
+        let run = outcome
+            .completed()
+            .expect("no timeout configured")
+            .clone();
+        table.row([
+            engine.name().to_owned(),
+            betze::harness::fmt::human_duration(run.import.modeled),
+            betze::harness::fmt::human_duration(run.session_modeled()),
+            betze::harness::fmt::human_duration(run.total_modeled()),
+            betze::harness::fmt::human_duration(run.session_wall()),
+        ]);
+    }
+    // Also a JODA eviction-mode row (Table II's extra configuration).
+    let mut evicted = betze::engines::JodaSim::with_eviction(threads);
+    let run = run_session(&mut evicted, &w.dataset, &w.generation.session)
+        .map_err(|e| e.to_string())?;
+    table.row([
+        "JODA memory evicted".to_owned(),
+        betze::harness::fmt::human_duration(run.import.modeled),
+        betze::harness::fmt::human_duration(run.session_modeled()),
+        betze::harness::fmt::human_duration(run.total_modeled()),
+        betze::harness::fmt::human_duration(run.session_wall()),
+    ]);
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn experiment(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let quick = take_flag(&mut args, "--quick");
+    let mut scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::default_scale()
+    };
+    if let Some(sessions) = take_option(&mut args, "--sessions")? {
+        scale.sessions = parse(&sessions, "sessions")?;
+    }
+    let [name]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "experiment needs exactly one <name>".to_owned())?;
+    let run_one = |name: &str, scale: &Scale| -> Result<String, String> {
+        Ok(match name {
+            "table1" => experiments::table1().render(),
+            "fig5" => experiments::fig5(scale).render(),
+            "fig6" => experiments::fig6(scale).render(),
+            "fig7" => experiments::fig7(scale).render(),
+            "fig8" => experiments::fig8(scale).render(),
+            "fig9" => experiments::fig9(scale).render(),
+            "fig10" => experiments::fig10(scale).render(),
+            "table2" => experiments::table2(scale).render(),
+            "table3" => experiments::table3(scale).render(),
+            "table4" => experiments::table4(scale).render(),
+            "skew" => experiments::skew(scale).render(),
+            "gen-cost" => experiments::gen_cost(scale).render(),
+            other => return Err(format!("unknown experiment '{other}'")),
+        })
+    };
+    if name == "all" {
+        for exp in [
+            "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3",
+            "table4", "skew", "gen-cost",
+        ] {
+            eprintln!("# running {exp} …");
+            println!("{}\n", run_one(exp, &scale)?);
+        }
+        Ok(())
+    } else {
+        println!("{}", run_one(&name, &scale)?);
+        Ok(())
+    }
+}

@@ -1,0 +1,194 @@
+//! CLI integration tests: drive the `betze` binary end to end through
+//! the Listing 4 workflow (synth → analyze → generate → benchmark).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn betze(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_betze"))
+        .args(args)
+        .output()
+        .expect("spawn betze")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("betze-cli-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = betze(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    let out = betze(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn synth_analyze_generate_benchmark_workflow() {
+    let data = tmpfile("reddit.json");
+    let analysis = tmpfile("reddit-analysis.json");
+    let data_s = data.to_str().expect("utf8 path");
+    let analysis_s = analysis.to_str().expect("utf8 path");
+
+    // synth
+    let out = betze(&["synth", "reddit", "200", "--seed", "5", "--out", data_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&data).expect("dataset written");
+    assert_eq!(text.lines().count(), 200);
+
+    // analyze
+    let out = betze(&["analyze", data_s, "--out", analysis_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&analysis).expect("analysis written");
+    assert!(text.contains("\"doc_count\": 200"));
+    assert!(text.contains("/subreddit"));
+
+    // generate, single language
+    let out = betze(&["generate", data_s, "--seed", "3", "--preset", "expert", "--lang", "joda"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("==== JODA ===="));
+    assert!(!stdout.contains("==== MongoDB ===="));
+    assert_eq!(stdout.matches("LOAD ").count(), 5, "expert preset = 5 queries");
+
+    // generate with aggregation + DOT
+    let out = betze(&["generate", data_s, "--seed", "3", "--group-by", "--dot", "--lang", "psql"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("GROUP BY") || stdout.contains("COUNT("));
+    assert!(stdout.contains("digraph session"));
+
+    // benchmark
+    let out = betze(&["benchmark", data_s, "--seed", "123", "--threads", "4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for system in ["JODA", "MongoDB", "PostgreSQL", "jq", "JODA memory evicted"] {
+        assert!(stdout.contains(system), "missing {system} in:\n{stdout}");
+    }
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&analysis);
+}
+
+#[test]
+fn experiment_table1_runs() {
+    let out = betze(&["experiment", "table1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("intermediate"));
+    assert!(stdout.contains("0.05"));
+}
+
+#[test]
+fn generate_rejects_bad_options() {
+    let out = betze(&["generate", "/nonexistent/x.json"]);
+    assert!(!out.status.success());
+    let data = tmpfile("bad.json");
+    std::fs::write(&data, "{\"a\":1}\n").expect("write");
+    let out = betze(&[
+        "generate",
+        data.to_str().expect("utf8"),
+        "--preset",
+        "wizard",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+    let out = betze(&[
+        "generate",
+        data.to_str().expect("utf8"),
+        "--selectivity",
+        "0.9,0.2",
+    ]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn synth_validates_corpus() {
+    let out = betze(&["synth", "wikipedia", "10"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown corpus"));
+}
+
+#[test]
+fn generate_writes_script_files_per_language() {
+    let data = tmpfile("nb.json");
+    let dir = tmpfile("queries-dir");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out = betze(&["synth", "nobench", "150", "--out", data.to_str().unwrap()]);
+    assert!(out.status.success());
+    let out = betze(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--seed",
+        "7",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for ext in ["joda", "mongodb", "jq", "psql"] {
+        let path = dir.join(format!("session_7.{ext}"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(text.contains("query 0"), "{ext}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn generate_supports_transforms_with_materialize() {
+    let data = tmpfile("tf.json");
+    let out = betze(&["synth", "reddit", "120", "--out", data.to_str().unwrap()]);
+    assert!(out.status.success());
+    // Transforms without --materialize are rejected with the §IV-C/§VII
+    // constraint error.
+    let out = betze(&["generate", data.to_str().unwrap(), "--transforms", "1.0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("materialized"));
+    // With --materialize they generate.
+    let out = betze(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--transforms",
+        "1.0",
+        "--materialize",
+        "--lang",
+        "mongodb",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("$set") || stdout.contains("$unset"),
+        "no transform stages in:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn generate_accepts_multiple_datasets() {
+    let a = tmpfile("multi-a.json");
+    let b = tmpfile("multi-b.json");
+    assert!(betze(&["synth", "nobench", "120", "--out", a.to_str().unwrap()]).status.success());
+    assert!(betze(&["synth", "reddit", "120", "--out", b.to_str().unwrap()]).status.success());
+    let out = betze(&[
+        "generate",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--seed",
+        "4",
+        "--preset",
+        "novice",
+        "--lang",
+        "joda",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // A novice session = 20 queries, each LOADing one of the two bases
+    // (dataset names derive from the file stems).
+    assert_eq!(stdout.matches("LOAD betze-cli-test").count(), 20, "{stdout}");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}

@@ -1,0 +1,62 @@
+//! # BETZE — Benchmarking Data Exploration Tools with (Almost) Zero Effort
+//!
+//! A from-scratch Rust implementation of the BETZE benchmark generator
+//! (Schäfer & Michel, ICDE 2022) and of every substrate its evaluation
+//! depends on. BETZE generates **exploratory query workloads** over
+//! arbitrary JSON datasets: a *random explorer* (a PageRank-style random
+//! surfer over a growing graph of derived datasets) issues
+//! selectivity-controlled filter and aggregation queries, which are
+//! translated into the syntaxes of JODA, MongoDB, jq and PostgreSQL and
+//! benchmarked against simulations of those four systems.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use betze::datagen::{DocGenerator, TwitterLike};
+//! use betze::explorer::Preset;
+//! use betze::generator::{generate_session, GeneratorConfig, InMemoryBackend};
+//! use betze::langs::{translate_session, Joda};
+//! use betze::model::DatasetId;
+//!
+//! // 1. A dataset (here: synthetic raw-Twitter-stream lookalike).
+//! let docs = TwitterLike::default().generate(7, 500);
+//!
+//! // 2. Analyze it (paper §IV-A).
+//! let analysis = betze::stats::analyze("twitter", &docs);
+//!
+//! // 3. Generate one exploration session (novice user, seed 42),
+//! //    verifying selectivities against an in-memory backend.
+//! let config = GeneratorConfig::with_explorer(Preset::Novice.config());
+//! let mut backend = InMemoryBackend::new();
+//! backend.register_base(DatasetId(0), docs);
+//! let outcome = generate_session(&analysis, &config, 42, Some(&mut backend)).unwrap();
+//! assert_eq!(outcome.session.queries.len(), 20);
+//!
+//! // 4. Translate to a system-specific script.
+//! let script = translate_session(&Joda, &outcome.session);
+//! assert!(script.contains("LOAD twitter"));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`json`] | `betze-json` | JSON value model, parser, serializer, pointers |
+//! | [`datagen`] | `betze-datagen` | NoBench / Twitter-like / Reddit-like corpus generators |
+//! | [`stats`] | `betze-stats` | the dataset analyzer (paper §IV-A) |
+//! | [`model`] | `betze-model` | query IR, dataset dependency graph, sessions |
+//! | [`explorer`] | `betze-explorer` | the random explorer model (paper §III) |
+//! | [`generator`] | `betze-generator` | predicate factories + session generator (paper §IV) |
+//! | [`langs`] | `betze-langs` | the `Language` trait and the four translators (Listing 1/3) |
+//! | [`engines`] | `betze-engines` | simulated systems under test + cost model |
+//! | [`harness`] | `betze-harness` | benchmark runner + per-figure/table experiment drivers |
+
+pub use betze_datagen as datagen;
+pub use betze_engines as engines;
+pub use betze_explorer as explorer;
+pub use betze_generator as generator;
+pub use betze_harness as harness;
+pub use betze_json as json;
+pub use betze_langs as langs;
+pub use betze_model as model;
+pub use betze_stats as stats;

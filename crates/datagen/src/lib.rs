@@ -1,0 +1,157 @@
+//! # betze-datagen
+//!
+//! Deterministic dataset generators for the BETZE evaluation.
+//!
+//! The paper evaluates on three datasets (§VI):
+//!
+//! * a 109 GB sample of the **raw Twitter stream** — heterogeneous,
+//!   deeply-nested documents with 7–348 attributes;
+//! * **NoBench** \[16\] — synthetic documents with exactly 21 attributes of
+//!   all JSON types except null and only minor nesting, generated at
+//!   variable scale for the scalability study;
+//! * a 30 GB dump of **Reddit comments** — flat documents with a fixed
+//!   20-attribute schema and no nesting.
+//!
+//! The Twitter and Reddit corpora are proprietary; per the reproduction's
+//! substitution rule (DESIGN.md §4) this crate synthesizes corpora with the
+//! *documented characteristics* of each source, so that the analyzer,
+//! generator and engines exercise the same code paths: Twitter-like data is
+//! heterogeneous and deep (existence/string-type predicates dominate,
+//! Fig. 8; path depths peak at 2–3, Table IV), Reddit-like data has a fixed
+//! flat schema (no existence predicates can reach the target selectivity
+//! range), and NoBench is string/prefix-heavy and scales linearly.
+//!
+//! All generators are deterministic functions of `(seed, count)`.
+
+mod nobench;
+mod reddit;
+mod twitter;
+mod vocab;
+
+pub use nobench::NoBench;
+pub use reddit::{RedditLike, REDDIT_FIELDS};
+pub use twitter::TwitterLike;
+
+use betze_json::Value;
+
+/// A named, in-memory document collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name (used as the base dataset name in generated queries).
+    pub name: String,
+    /// The documents.
+    pub docs: Vec<Value>,
+}
+
+impl Dataset {
+    /// Creates a dataset from parts.
+    pub fn new(name: impl Into<String>, docs: Vec<Value>) -> Self {
+        Dataset {
+            name: name.into(),
+            docs,
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if the dataset holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Serializes to JSON-Lines (the raw-file format consumed by the
+    /// jq-like engine).
+    pub fn to_json_lines(&self) -> String {
+        betze_json::to_json_lines(&self.docs)
+    }
+
+    /// Approximate total size in bytes of the JSON-Lines form.
+    pub fn approx_bytes(&self) -> usize {
+        self.docs.iter().map(|d| d.approx_size() + 1).sum()
+    }
+}
+
+/// A deterministic document generator.
+pub trait DocGenerator {
+    /// A short name identifying the corpus flavour (`"twitter"`, …).
+    fn corpus_name(&self) -> &'static str;
+
+    /// Generates `count` documents from `seed`. The same `(seed, count)`
+    /// always yields the same documents, and a prefix of a longer run
+    /// equals a shorter run (documents are generated independently by
+    /// index).
+    fn generate(&self, seed: u64, count: usize) -> Vec<Value>;
+
+    /// Convenience: generates a named [`Dataset`].
+    fn dataset(&self, seed: u64, count: usize) -> Dataset {
+        Dataset::new(self.corpus_name(), self.generate(seed, count))
+    }
+}
+
+pub(crate) mod rng {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Derives a per-document RNG so that document `i` is identical no
+    /// matter how many documents surround it (prefix stability).
+    pub fn doc_rng(seed: u64, index: usize) -> StdRng {
+        // SplitMix64-style mixing of (seed, index) into a 32-byte key.
+        let mut state = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        StdRng::from_seed(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_helpers() {
+        let ds = NoBench::default().dataset(1, 10);
+        assert_eq!(ds.name, "nobench");
+        assert_eq!(ds.len(), 10);
+        assert!(!ds.is_empty());
+        assert!(ds.approx_bytes() > 0);
+        assert_eq!(ds.to_json_lines().lines().count(), 10);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for gen in [
+            &NoBench::default() as &dyn DocGenerator,
+            &TwitterLike::default(),
+            &RedditLike::default(),
+        ] {
+            let a = gen.generate(42, 20);
+            let b = gen.generate(42, 20);
+            assert_eq!(a, b, "{} not deterministic", gen.corpus_name());
+            let c = gen.generate(43, 20);
+            assert_ne!(a, c, "{} ignores seed", gen.corpus_name());
+        }
+    }
+
+    #[test]
+    fn generators_are_prefix_stable() {
+        for gen in [
+            &NoBench::default() as &dyn DocGenerator,
+            &TwitterLike::default(),
+            &RedditLike::default(),
+        ] {
+            let long = gen.generate(7, 30);
+            let short = gen.generate(7, 10);
+            assert_eq!(&long[..10], &short[..], "{}", gen.corpus_name());
+        }
+    }
+}

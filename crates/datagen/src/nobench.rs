@@ -1,0 +1,191 @@
+//! The NoBench dataset generator.
+//!
+//! Reimplements the generator of Chasseur et al., *"Enabling JSON Document
+//! Stores in Relational Systems"* (WebDB 2013) — reference \[16\] of the
+//! BETZE paper — from its published description: every document has exactly
+//! 21 attributes (counting the two members of the nested object) covering
+//! all JSON types except null, with only minor nesting:
+//!
+//! * `str1_str`, `str2_str` — base-32-style strings sharing long prefixes;
+//! * `num_int`, `thousandth` — integers;
+//! * `bool_bool` — a boolean;
+//! * `dyn1`, `dyn2` — dynamically-typed attributes (type varies per doc);
+//! * `nested_obj` — an object holding copies of a string and a number;
+//! * `nested_arr` — an array of strings of varying length;
+//! * `sparse_XXX` ×10 — ten of 1000 possible sparse string attributes,
+//!   appearing in clusters of ten (document group `g` carries
+//!   `sparse_{10g}` … `sparse_{10g+9}`).
+
+use crate::rng::doc_rng;
+use crate::vocab::base32ish;
+use crate::DocGenerator;
+use betze_json::{Object, Value};
+use rand::Rng;
+
+/// Configurable NoBench generator.
+#[derive(Debug, Clone)]
+pub struct NoBench {
+    /// Number of sparse-attribute clusters (the original generator uses
+    /// 100 clusters of 10 attributes = 1000 sparse attributes).
+    pub sparse_clusters: usize,
+    /// Maximum length of `nested_arr` (exclusive upper bound is
+    /// `max_array_len + 1`).
+    pub max_array_len: usize,
+}
+
+impl Default for NoBench {
+    fn default() -> Self {
+        NoBench {
+            sparse_clusters: 100,
+            max_array_len: 7,
+        }
+    }
+}
+
+impl NoBench {
+    fn doc(&self, seed: u64, i: usize) -> Value {
+        let mut rng = doc_rng(seed, i);
+        let i64i = i as i64;
+        let mut obj = Object::with_capacity(20);
+        obj.insert("str1_str", base32ish(rng.gen_range(0..1u64 << 30)));
+        obj.insert("str2_str", base32ish(i as u64));
+        obj.insert("num_int", i64i);
+        obj.insert("thousandth", i64i % 1000);
+        obj.insert("bool_bool", i % 2 == 0);
+        // Dynamic attributes: type depends on the document index.
+        if i % 2 == 0 {
+            obj.insert("dyn1", i64i);
+        } else {
+            obj.insert("dyn1", base32ish(i as u64 / 2));
+        }
+        if i % 10 < 3 {
+            obj.insert("dyn2", rng.gen_range(0.0..1000.0f64));
+        } else if i % 10 < 6 {
+            obj.insert("dyn2", rng.gen_range(0..1000i64));
+        } else {
+            obj.insert("dyn2", i % 3 == 0);
+        }
+        let mut nested = Object::with_capacity(2);
+        nested.insert("str", base32ish(rng.gen_range(0..1u64 << 20)));
+        nested.insert("num", rng.gen_range(0..1_000_000i64));
+        obj.insert("nested_obj", nested);
+        let arr_len = i % (self.max_array_len + 1);
+        let arr: Vec<Value> = (0..arr_len)
+            .map(|k| Value::String(base32ish((i + k) as u64)))
+            .collect();
+        obj.insert("nested_arr", Value::Array(arr));
+        // Ten clustered sparse attributes.
+        let cluster = i % self.sparse_clusters;
+        for k in 0..10 {
+            let attr = format!("sparse_{:03}", cluster * 10 + k);
+            obj.insert(attr, base32ish(rng.gen_range(0..1u64 << 25)));
+        }
+        Value::Object(obj)
+    }
+}
+
+impl DocGenerator for NoBench {
+    fn corpus_name(&self) -> &'static str {
+        "nobench"
+    }
+
+    fn generate(&self, seed: u64, count: usize) -> Vec<Value> {
+        (0..count).map(|i| self.doc(seed, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::JsonType;
+
+    #[test]
+    fn documents_have_19_top_level_and_21_total_attributes() {
+        let docs = NoBench::default().generate(1, 50);
+        for doc in &docs {
+            let obj = doc.as_object().unwrap();
+            assert_eq!(obj.len(), 19, "top-level attribute count");
+            let nested = doc.get("nested_obj").unwrap().as_object().unwrap();
+            assert_eq!(obj.len() + nested.len(), 21, "total attribute count");
+        }
+    }
+
+    #[test]
+    fn covers_all_types_except_null() {
+        let docs = NoBench::default().generate(2, 200);
+        let mut seen = std::collections::HashSet::new();
+        for doc in &docs {
+            for (_, v) in doc.as_object().unwrap().iter() {
+                seen.insert(v.json_type());
+            }
+        }
+        for t in [
+            JsonType::Bool,
+            JsonType::Int,
+            JsonType::Float,
+            JsonType::String,
+            JsonType::Array,
+            JsonType::Object,
+        ] {
+            assert!(seen.contains(&t), "missing type {t}");
+        }
+        assert!(!seen.contains(&JsonType::Null));
+    }
+
+    #[test]
+    fn nesting_is_minor() {
+        let docs = NoBench::default().generate(3, 20);
+        for doc in &docs {
+            assert!(doc.depth() <= 2, "NoBench nesting must be shallow");
+        }
+    }
+
+    #[test]
+    fn sparse_attributes_cluster() {
+        let gen = NoBench::default();
+        let docs = gen.generate(4, 100);
+        // Document 0 and document 100 share cluster 0.
+        let keys = |d: &Value| -> Vec<String> {
+            d.as_object()
+                .unwrap()
+                .keys()
+                .filter(|k| k.starts_with("sparse_"))
+                .map(str::to_owned)
+                .collect()
+        };
+        let k0 = keys(&docs[0]);
+        assert_eq!(k0.len(), 10);
+        assert!(k0.contains(&"sparse_000".to_string()));
+        assert!(k0.contains(&"sparse_009".to_string()));
+        let k1 = keys(&docs[1]);
+        assert!(k1.contains(&"sparse_010".to_string()));
+        assert!(!k1.contains(&"sparse_000".to_string()));
+    }
+
+    #[test]
+    fn dyn_attributes_vary_in_type() {
+        let docs = NoBench::default().generate(5, 40);
+        let dyn1_types: std::collections::HashSet<JsonType> = docs
+            .iter()
+            .map(|d| d.get("dyn1").unwrap().json_type())
+            .collect();
+        assert!(dyn1_types.len() >= 2, "dyn1 must vary in type");
+        let dyn2_types: std::collections::HashSet<JsonType> = docs
+            .iter()
+            .map(|d| d.get("dyn2").unwrap().json_type())
+            .collect();
+        assert!(dyn2_types.len() >= 3, "dyn2 must vary in type");
+    }
+
+    #[test]
+    fn strings_share_prefixes() {
+        let docs = NoBench::default().generate(6, 30);
+        let strs: Vec<&str> = docs
+            .iter()
+            .map(|d| d.get("str2_str").unwrap().as_str().unwrap())
+            .collect();
+        // Sequential counters share all but the final base-32 digits.
+        let prefix = &strs[0][..10];
+        assert!(strs.iter().all(|s| s.starts_with(prefix)));
+    }
+}

@@ -1,0 +1,140 @@
+//! A Reddit-comments-like corpus generator.
+//!
+//! Substitutes for the paper's 30 GB pushshift.io comment dump (DESIGN.md
+//! §4): *"Each document has a fixed schema with 20 attributes and no
+//! nesting"* (§VI). Because every attribute exists in every document, an
+//! `EXISTS` predicate always has selectivity 1.0 — outside the default
+//! target range — so the generator never emits one on this corpus, which is
+//! exactly the Fig. 8 observation the substitution must preserve. The paper
+//! also notes (§VII) this dataset "can be considered as relational, but
+//! represented in JSON format".
+
+use crate::rng::doc_rng;
+use crate::vocab::{pick, sentence, FIRST_NAMES, SUBREDDITS};
+use crate::DocGenerator;
+use betze_json::{Object, Value};
+use rand::Rng;
+
+/// The Reddit-like generator (fixed schema; no configuration knobs beyond
+/// the trait's seed/count).
+#[derive(Debug, Clone, Default)]
+pub struct RedditLike;
+
+/// The 20 fixed attribute names, in schema order.
+pub const REDDIT_FIELDS: [&str; 20] = [
+    "author",
+    "author_flair_css_class",
+    "author_flair_text",
+    "body",
+    "controversiality",
+    "created_utc",
+    "distinguished",
+    "downs",
+    "edited",
+    "gilded",
+    "id",
+    "link_id",
+    "name",
+    "parent_id",
+    "retrieved_on",
+    "score",
+    "score_hidden",
+    "subreddit",
+    "subreddit_id",
+    "ups",
+];
+
+impl RedditLike {
+    fn doc(&self, seed: u64, i: usize) -> Value {
+        let mut rng = doc_rng(seed, i ^ 0x5EED_0001);
+        let mut obj = Object::with_capacity(20);
+        let id = format!("c{:07x}", rng.gen::<u32>() & 0x0FFF_FFFF);
+        let ups = rng.gen_range(0i64..5000);
+        let downs = rng.gen_range(0i64..500);
+        obj.insert(
+            "author",
+            format!("{}_{}", pick(&mut rng, FIRST_NAMES), rng.gen_range(0..100)),
+        );
+        obj.insert("author_flair_css_class", pick(&mut rng, &["flair-blue", "flair-red", "flair-none"]));
+        obj.insert("author_flair_text", pick(&mut rng, &["Fan", "Mod", "OC", "Member"]));
+        let body_len = rng.gen_range(3..40);
+        obj.insert("body", sentence(&mut rng, body_len));
+        obj.insert("controversiality", i64::from(rng.gen_bool(0.05)));
+        obj.insert("created_utc", rng.gen_range(1_500_000_000i64..1_640_000_000));
+        obj.insert("distinguished", pick(&mut rng, &["none", "moderator", "admin"]));
+        obj.insert("downs", downs);
+        obj.insert("edited", rng.gen_bool(0.07));
+        obj.insert("gilded", rng.gen_range(0i64..3));
+        obj.insert("id", id.clone());
+        obj.insert("link_id", format!("t3_{:06x}", rng.gen::<u32>() & 0xFF_FFFF));
+        obj.insert("name", format!("t1_{id}"));
+        obj.insert("parent_id", format!("t1_c{:07x}", rng.gen::<u32>() & 0x0FFF_FFFF));
+        obj.insert("retrieved_on", rng.gen_range(1_600_000_000i64..1_660_000_000));
+        obj.insert("score", ups - downs);
+        obj.insert("score_hidden", rng.gen_bool(0.1));
+        obj.insert("subreddit", pick(&mut rng, SUBREDDITS));
+        obj.insert("subreddit_id", format!("t5_{:05x}", rng.gen::<u32>() & 0xF_FFFF));
+        obj.insert("ups", ups);
+        Value::Object(obj)
+    }
+}
+
+impl DocGenerator for RedditLike {
+    fn corpus_name(&self) -> &'static str {
+        "reddit"
+    }
+
+    fn generate(&self, seed: u64, count: usize) -> Vec<Value> {
+        (0..count).map(|i| self.doc(seed, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schema_with_20_attributes_no_nesting() {
+        let docs = RedditLike.generate(1, 100);
+        for doc in &docs {
+            let obj = doc.as_object().unwrap();
+            assert_eq!(obj.len(), 20);
+            let keys: Vec<&str> = obj.keys().collect();
+            assert_eq!(keys, REDDIT_FIELDS.to_vec());
+            assert_eq!(doc.depth(), 1, "no nesting below the document root");
+        }
+    }
+
+    #[test]
+    fn every_attribute_exists_in_every_document() {
+        let docs = RedditLike.generate(2, 200);
+        for field in REDDIT_FIELDS {
+            assert!(
+                docs.iter().all(|d| d.get(field).is_some()),
+                "field {field} missing somewhere"
+            );
+        }
+    }
+
+    #[test]
+    fn score_is_ups_minus_downs() {
+        let docs = RedditLike.generate(3, 50);
+        for doc in &docs {
+            let ups = doc.get("ups").unwrap().as_i64().unwrap();
+            let downs = doc.get("downs").unwrap().as_i64().unwrap();
+            let score = doc.get("score").unwrap().as_i64().unwrap();
+            assert_eq!(score, ups - downs);
+        }
+    }
+
+    #[test]
+    fn ids_share_prefixes() {
+        let docs = RedditLike.generate(4, 50);
+        assert!(docs
+            .iter()
+            .all(|d| d.get("name").unwrap().as_str().unwrap().starts_with("t1_")));
+        assert!(docs
+            .iter()
+            .all(|d| d.get("link_id").unwrap().as_str().unwrap().starts_with("t3_")));
+    }
+}

@@ -1,0 +1,439 @@
+//! A Twitter-stream-like corpus generator.
+//!
+//! Substitutes for the paper's 109 GB raw Twitter sample (see DESIGN.md §4).
+//! The raw stream is "utter chaos" (paper §I): a mix of tweets, delete
+//! messages and user-profile events, with optional members everywhere,
+//! nested `user` and `retweeted_status` objects, arrays of entities, and
+//! every JSON type. Documents here span a wide attribute-count range and
+//! nest to depth 5, reproducing:
+//!
+//! * the dominance of `EXISTS`/`ISSTRING` predicates on heterogeneous data
+//!   (Fig. 8),
+//! * the path-depth distribution peaking at depths 2–3 (Table IV),
+//! * partitioning attributes (user names, cities, URLs) that the
+//!   skew analysis of §VI-C surfaces.
+
+use crate::rng::doc_rng;
+use crate::vocab::{
+    pick, sentence, CITIES, FIRST_NAMES, HASHTAGS, HOSTS, LANGS, SOURCES, TIME_ZONES,
+};
+use crate::DocGenerator;
+use betze_json::{Object, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configurable Twitter-like generator.
+#[derive(Debug, Clone)]
+pub struct TwitterLike {
+    /// Fraction of documents that are delete messages.
+    pub delete_fraction: f64,
+    /// Fraction of documents that are user-profile events.
+    pub profile_fraction: f64,
+    /// Probability that a tweet embeds a full `retweeted_status`.
+    pub retweet_probability: f64,
+}
+
+impl Default for TwitterLike {
+    fn default() -> Self {
+        TwitterLike {
+            delete_fraction: 0.12,
+            profile_fraction: 0.08,
+            retweet_probability: 0.55,
+        }
+    }
+}
+
+impl TwitterLike {
+    fn doc(&self, seed: u64, i: usize) -> Value {
+        let mut rng = doc_rng(seed, i);
+        let roll: f64 = rng.gen();
+        if roll < self.delete_fraction {
+            self.delete_message(&mut rng)
+        } else if roll < self.delete_fraction + self.profile_fraction {
+            self.profile_event(&mut rng)
+        } else {
+            let retweet = rng.gen_bool(self.retweet_probability);
+            self.tweet(&mut rng, retweet)
+        }
+    }
+
+    /// A delete message: `{"delete": {"status": {...}, "timestamp_ms": ...}}`.
+    fn delete_message(&self, rng: &mut StdRng) -> Value {
+        let mut status = Object::with_capacity(4);
+        status.insert("id", rng.gen_range(1_000_000_000i64..9_999_999_999));
+        status.insert("id_str", rng.gen_range(1_000_000_000i64..9_999_999_999).to_string());
+        status.insert("user_id", rng.gen_range(1_000i64..10_000_000));
+        status.insert("user_id_str", rng.gen_range(1_000i64..10_000_000).to_string());
+        let mut delete = Object::with_capacity(2);
+        delete.insert("status", status);
+        delete.insert(
+            "timestamp_ms",
+            rng.gen_range(1_600_000_000_000i64..1_700_000_000_000).to_string(),
+        );
+        let mut doc = Object::with_capacity(1);
+        doc.insert("delete", delete);
+        Value::Object(doc)
+    }
+
+    /// A user-profile event (carries a `user` object but no tweet text —
+    /// this is what trips up Alice in the paper's intro: demanding `user`
+    /// existence returns profiles, not tweets).
+    fn profile_event(&self, rng: &mut StdRng) -> Value {
+        let mut doc = Object::with_capacity(4);
+        doc.insert("event", "user_update");
+        doc.insert("created_at", timestamp(rng));
+        doc.insert("user", self.user(rng, 2));
+        if rng.gen_bool(0.4) {
+            doc.insert("target_object", Value::Null);
+        }
+        Value::Object(doc)
+    }
+
+    /// A tweet; `retweet` embeds a full nested tweet one level down.
+    fn tweet(&self, rng: &mut StdRng, retweet: bool) -> Value {
+        let mut doc = self.tweet_core(rng, 3);
+        if retweet {
+            let inner = self.tweet_core(rng, 2);
+            doc.as_object_mut()
+                .expect("tweet_core returns an object")
+                .insert("retweeted_status", inner);
+        }
+        Value::Object(doc.as_object().cloned().unwrap_or_default())
+    }
+
+    /// The shared body of a tweet. `extra_depth` controls how deep the
+    /// optional nested extras go.
+    fn tweet_core(&self, rng: &mut StdRng, extra_depth: usize) -> Value {
+        let mut doc = Object::with_capacity(24);
+        doc.insert("created_at", timestamp(rng));
+        let id = rng.gen_range(1_000_000_000i64..9_999_999_999);
+        doc.insert("id", id);
+        doc.insert("id_str", id.to_string());
+        doc.insert("text", tweet_text(rng));
+        doc.insert("source", pick(rng, SOURCES));
+        doc.insert("truncated", rng.gen_bool(0.1));
+        if rng.gen_bool(0.3) {
+            doc.insert(
+                "in_reply_to_status_id",
+                rng.gen_range(1_000_000_000i64..9_999_999_999),
+            );
+            doc.insert("in_reply_to_screen_name", pick(rng, FIRST_NAMES));
+        }
+        doc.insert("user", self.user(rng, extra_depth));
+        if rng.gen_bool(0.25) {
+            doc.insert("geo", Value::Null);
+            let mut coords = Object::with_capacity(2);
+            coords.insert("type", "Point");
+            coords.insert(
+                "coordinates",
+                vec![
+                    Value::from(rng.gen_range(-180.0..180.0f64)),
+                    Value::from(rng.gen_range(-90.0..90.0f64)),
+                ],
+            );
+            doc.insert("coordinates", coords);
+        }
+        if rng.gen_bool(0.35) {
+            let mut place = Object::with_capacity(4);
+            place.insert("country", if rng.gen_bool(0.6) { "Germany" } else { "France" });
+            place.insert("country_code", if rng.gen_bool(0.6) { "DE" } else { "FR" });
+            place.insert("full_name", pick(rng, CITIES));
+            place.insert("place_type", "city");
+            doc.insert("place", place);
+        }
+        doc.insert("entities", self.entities(rng));
+        doc.insert("retweet_count", rng.gen_range(0i64..50_000));
+        doc.insert("favorite_count", rng.gen_range(0i64..100_000));
+        doc.insert("favorited", rng.gen_bool(0.2));
+        doc.insert("retweeted", rng.gen_bool(0.15));
+        if rng.gen_bool(0.5) {
+            doc.insert("possibly_sensitive", rng.gen_bool(0.05));
+        }
+        doc.insert("lang", pick(rng, LANGS));
+        doc.insert("filter_level", "low");
+        doc.insert("timestamp_ms", rng.gen_range(1_600_000_000_000i64..1_700_000_000_000).to_string());
+        doc.insert("quote_count", rng.gen_range(0i64..1_000));
+        doc.insert("reply_count", rng.gen_range(0i64..5_000));
+        doc.insert("contributors", Value::Null);
+        doc.insert("is_quote_status", rng.gen_bool(0.12));
+        let text_start = rng.gen_range(0i64..20);
+        doc.insert(
+            "display_text_range",
+            vec![Value::from(text_start), Value::from(text_start + rng.gen_range(10i64..120))],
+        );
+        if rng.gen_bool(0.4) {
+            // Extended tweet body present on longer tweets.
+            let mut ext = Object::with_capacity(2);
+            let full_len = rng.gen_range(20..50);
+            ext.insert("full_text", sentence(rng, full_len));
+            ext.insert("display_text_range", vec![Value::from(0i64), Value::from(140i64)]);
+            doc.insert("extended_tweet", ext);
+        }
+        if extra_depth >= 3 && rng.gen_bool(0.3) {
+            // Deeply nested extension block reaching path depth 5.
+            let mut geo = Object::with_capacity(2);
+            geo.insert("latitude", rng.gen_range(-90.0..90.0f64));
+            geo.insert("longitude", rng.gen_range(-180.0..180.0f64));
+            let mut location = Object::with_capacity(3);
+            location.insert("geo", geo);
+            location.insert("country_code", "DE");
+            location.insert("locality", pick(rng, CITIES));
+            let mut derived = Object::with_capacity(1);
+            derived.insert("locations", location);
+            let mut context = Object::with_capacity(2);
+            context.insert("derived", derived);
+            context.insert("matching_rules_count", rng.gen_range(0i64..4));
+            doc.insert("matching_context", context);
+        }
+        Value::Object(doc)
+    }
+
+    /// A user object; sparse members create sub-100% existence counts.
+    fn user(&self, rng: &mut StdRng, extra_depth: usize) -> Value {
+        let mut user = Object::with_capacity(16);
+        let id = rng.gen_range(1_000i64..10_000_000);
+        user.insert("id", id);
+        user.insert("id_str", id.to_string());
+        if rng.gen_bool(0.5) {
+            // Half the user objects carry a /user/name (Listing 2 reports
+            // exactly this: name exists in half of the objects).
+            user.insert(
+                "name",
+                format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, FIRST_NAMES)),
+            );
+        }
+        user.insert(
+            "screen_name",
+            format!("{}{}", pick(rng, FIRST_NAMES), rng.gen_range(0..1000)),
+        );
+        if rng.gen_bool(0.6) {
+            user.insert("location", pick(rng, CITIES));
+        }
+        if rng.gen_bool(0.4) {
+            user.insert("url", format!("{}{:x}", pick(rng, HOSTS), rng.gen::<u32>()));
+        }
+        if rng.gen_bool(0.55) {
+            let desc_len = rng.gen_range(6..24);
+            user.insert("description", sentence(rng, desc_len));
+        }
+        user.insert("protected", rng.gen_bool(0.05));
+        user.insert("verified", rng.gen_bool(0.08));
+        user.insert("followers_count", rng.gen_range(0i64..5_000_000));
+        user.insert("friends_count", rng.gen_range(0i64..10_000));
+        user.insert("listed_count", rng.gen_range(0i64..5_000));
+        user.insert("favourites_count", rng.gen_range(0i64..100_000));
+        user.insert("statuses_count", rng.gen_range(0i64..200_000));
+        user.insert("created_at", timestamp(rng));
+        user.insert("geo_enabled", rng.gen_bool(0.3));
+        user.insert("contributors_enabled", false);
+        user.insert("is_translator", rng.gen_bool(0.02));
+        user.insert("translator_type", "none");
+        user.insert("profile_background_color", format!("{:06X}", rng.gen_range(0..0xFFFFFFu32)));
+        user.insert("profile_link_color", format!("{:06X}", rng.gen_range(0..0xFFFFFFu32)));
+        user.insert("profile_text_color", "333333");
+        user.insert("profile_use_background_image", rng.gen_bool(0.8));
+        user.insert(
+            "profile_image_url_https",
+            format!("{}profile_images/{}/photo.jpg", pick(rng, HOSTS), id),
+        );
+        user.insert("default_profile", rng.gen_bool(0.6));
+        user.insert("default_profile_image", rng.gen_bool(0.1));
+        user.insert("following", Value::Null);
+        user.insert("follow_request_sent", Value::Null);
+        user.insert("notifications", Value::Null);
+        if rng.gen_bool(0.45) {
+            user.insert("time_zone", pick(rng, TIME_ZONES));
+            user.insert("utc_offset", rng.gen_range(-12i64..=14) * 3600);
+        }
+        user.insert("lang", pick(rng, LANGS));
+        if extra_depth >= 2 && rng.gen_bool(0.5) {
+            let mut colors = Object::with_capacity(3);
+            colors.insert("background", "C0DEED");
+            colors.insert("text", "333333");
+            colors.insert("link", format!("{:06X}", rng.gen_range(0..0xFFFFFFu32)));
+            let mut profile = Object::with_capacity(3);
+            profile.insert("colors", colors);
+            profile.insert("default_profile", rng.gen_bool(0.7));
+            profile.insert("banner_url", format!("{}banner/{}", pick(rng, HOSTS), id));
+            user.insert("profile", profile);
+        }
+        Value::Object(user)
+    }
+
+    /// Tweet entities: arrays of hashtags, URLs and mentions (the `ARRSIZE`
+    /// predicate targets).
+    fn entities(&self, rng: &mut StdRng) -> Value {
+        let mut entities = Object::with_capacity(3);
+        let n_tags = rng.gen_range(1..7usize);
+        let tags: Vec<Value> = (0..n_tags)
+            .map(|_| {
+                let mut tag = Object::with_capacity(2);
+                tag.insert("text", pick(rng, HASHTAGS));
+                let start = rng.gen_range(0..100i64);
+                tag.insert("indices", vec![Value::from(start), Value::from(start + 8)]);
+                Value::Object(tag)
+            })
+            .collect();
+        entities.insert("hashtags", Value::Array(tags));
+        let n_urls = rng.gen_range(1..4usize);
+        let urls: Vec<Value> = (0..n_urls)
+            .map(|_| {
+                let mut url = Object::with_capacity(2);
+                url.insert("url", format!("{}{:x}", pick(rng, HOSTS), rng.gen::<u32>()));
+                url.insert("expanded_url", format!("{}{:x}", pick(rng, HOSTS), rng.gen::<u32>()));
+                Value::Object(url)
+            })
+            .collect();
+        entities.insert("urls", Value::Array(urls));
+        let n_mentions = rng.gen_range(1..6usize);
+        let mentions: Vec<Value> = (0..n_mentions)
+            .map(|_| {
+                let mut m = Object::with_capacity(2);
+                m.insert("screen_name", pick(rng, FIRST_NAMES));
+                m.insert("id", rng.gen_range(1_000i64..10_000_000));
+                Value::Object(m)
+            })
+            .collect();
+        entities.insert("user_mentions", Value::Array(mentions));
+        entities.insert("symbols", Value::Array(Vec::new()));
+        if rng.gen_bool(0.3) {
+            let media: Vec<Value> = (0..rng.gen_range(1..3usize))
+                .map(|_| {
+                    let mut m = Object::with_capacity(5);
+                    let id = rng.gen_range(1_000_000_000i64..9_999_999_999);
+                    m.insert("id", id);
+                    m.insert("media_url_https", format!("{}media/{}.jpg", pick(rng, HOSTS), id));
+                    m.insert("type", "photo");
+                    let mut sizes = Object::with_capacity(2);
+                    let mut large = Object::with_capacity(3);
+                    large.insert("w", rng.gen_range(600i64..2048));
+                    large.insert("h", rng.gen_range(400i64..1536));
+                    large.insert("resize", "fit");
+                    let mut thumb = Object::with_capacity(3);
+                    thumb.insert("w", 150i64);
+                    thumb.insert("h", 150i64);
+                    thumb.insert("resize", "crop");
+                    sizes.insert("large", large);
+                    sizes.insert("thumb", thumb);
+                    m.insert("sizes", sizes);
+                    Value::Object(m)
+                })
+                .collect();
+            entities.insert("media", Value::Array(media));
+        }
+        Value::Object(entities)
+    }
+}
+
+fn timestamp(rng: &mut StdRng) -> String {
+    const MONTHS: &[&str] = &[
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    const DAYS: &[&str] = &["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+    format!(
+        "{} {} {:02} {:02}:{:02}:{:02} +0000 2021",
+        pick(rng, DAYS),
+        pick(rng, MONTHS),
+        rng.gen_range(1..=28),
+        rng.gen_range(0..24),
+        rng.gen_range(0..60),
+        rng.gen_range(0..60),
+    )
+}
+
+fn tweet_text(rng: &mut StdRng) -> String {
+    let text_len = rng.gen_range(8..34);
+    let mut text = sentence(rng, text_len);
+    if rng.gen_bool(0.4) {
+        text.push_str(" #");
+        text.push_str(pick(rng, HASHTAGS));
+    }
+    if rng.gen_bool(0.25) {
+        text = format!("RT @{}: {}", pick(rng, FIRST_NAMES), text);
+    }
+    text
+}
+
+impl DocGenerator for TwitterLike {
+    fn corpus_name(&self) -> &'static str {
+        "twitter"
+    }
+
+    fn generate(&self, seed: u64, count: usize) -> Vec<Value> {
+        (0..count).map(|i| self.doc(seed, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths_in(v: &Value) -> usize {
+        match v {
+            Value::Object(o) => o.len() + o.values().map(paths_in).sum::<usize>(),
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn corpus_is_heterogeneous() {
+        let docs = TwitterLike::default().generate(11, 500);
+        let deletes = docs.iter().filter(|d| d.get("delete").is_some()).count();
+        let profiles = docs.iter().filter(|d| d.get("event").is_some()).count();
+        let tweets = docs.iter().filter(|d| d.get("text").is_some()).count();
+        assert!(deletes > 20, "deletes: {deletes}");
+        assert!(profiles > 10, "profiles: {profiles}");
+        assert!(tweets > 300, "tweets: {tweets}");
+        assert_eq!(deletes + profiles + tweets, docs.len());
+    }
+
+    #[test]
+    fn attribute_counts_span_a_wide_range() {
+        let docs = TwitterLike::default().generate(12, 500);
+        let counts: Vec<usize> = docs.iter().map(paths_in).collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min <= 10, "min attribute count {min}");
+        assert!(max >= 50, "max attribute count {max}");
+    }
+
+    #[test]
+    fn retweets_nest_deeply() {
+        let docs = TwitterLike::default().generate(13, 500);
+        let max_depth = docs.iter().map(Value::depth).max().unwrap();
+        assert!(max_depth >= 5, "max depth {max_depth}");
+        let retweets = docs
+            .iter()
+            .filter(|d| d.get("retweeted_status").is_some())
+            .count();
+        assert!(retweets > 50, "retweets: {retweets}");
+    }
+
+    #[test]
+    fn user_name_exists_in_roughly_half_of_users() {
+        let docs = TwitterLike::default().generate(14, 2000);
+        let users: Vec<&Value> = docs.iter().filter_map(|d| d.get("user")).collect();
+        let with_name = users.iter().filter(|u| u.get("name").is_some()).count();
+        let frac = with_name as f64 / users.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "name fraction {frac}");
+    }
+
+    #[test]
+    fn contains_every_json_type() {
+        use betze_json::JsonType;
+        let docs = TwitterLike::default().generate(15, 300);
+        fn collect(v: &Value, seen: &mut std::collections::HashSet<JsonType>) {
+            seen.insert(v.json_type());
+            match v {
+                Value::Object(o) => o.values().for_each(|c| collect(c, seen)),
+                Value::Array(a) => a.iter().for_each(|c| collect(c, seen)),
+                _ => {}
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        docs.iter().for_each(|d| collect(d, &mut seen));
+        for t in JsonType::ALL {
+            assert!(seen.contains(&t), "missing type {t}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Static vocabularies shared by the synthetic corpora.
+//!
+//! Real-world string attributes fall into prefix groups (user names share
+//! first names, URLs share hosts, …) — the analyzer's prefix statistics and
+//! the `HASPREFIX` predicate depend on that structure, so the pools here are
+//! built to produce strings with heavily shared prefixes.
+
+/// City names used for `location`-style attributes.
+pub const CITIES: &[&str] = &[
+    "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt", "Stuttgart",
+    "Kaiserslautern", "Dresden", "Leipzig", "Dortmund", "London", "Paris",
+    "Madrid", "Rome", "Vienna", "Amsterdam", "Lisbon", "Prague", "Warsaw",
+    "New York", "San Francisco", "Tokyo", "Seoul", "Sydney",
+];
+
+/// Time-zone labels as used by the Twitter API (`/user/time_zone` is a
+/// grouping attribute in Listing 1).
+pub const TIME_ZONES: &[&str] = &[
+    "Berlin", "Amsterdam", "London", "Pacific Time (US & Canada)",
+    "Eastern Time (US & Canada)", "Central Time (US & Canada)", "Tokyo",
+    "Brasilia", "Athens", "New Delhi",
+];
+
+/// BCP-47-ish language codes.
+pub const LANGS: &[&str] = &["de", "en", "es", "fr", "pt", "ja", "tr", "it", "nl", "und"];
+
+/// Common first names used to build user and author names.
+pub const FIRST_NAMES: &[&str] = &[
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "mallory", "nina", "oscar", "peggy", "quentin", "ruth",
+    "sybil", "trent", "ursula", "victor",
+];
+
+/// Words for synthetic message bodies.
+pub const WORDS: &[&str] = &[
+    "soccer", "match", "goal", "team", "fans", "stadium", "boots", "jersey",
+    "ad", "campaign", "brand", "launch", "summer", "event", "ticket",
+    "coach", "league", "final", "score", "win", "lose", "draw", "training",
+    "transfer", "derby", "keeper", "striker", "press", "media", "stream",
+];
+
+/// Hashtag stems.
+pub const HASHTAGS: &[&str] = &[
+    "soccer", "football", "bundesliga", "worldcup", "ad", "sale", "derby",
+    "matchday", "goal", "fans",
+];
+
+/// URL hosts — a strong shared-prefix group.
+pub const HOSTS: &[&str] = &[
+    "https://t.co/", "https://example.com/", "https://shop.example.de/",
+    "https://news.example.org/",
+];
+
+/// Subreddit names for the Reddit-like corpus.
+pub const SUBREDDITS: &[&str] = &[
+    "soccer", "Bundesliga", "footballhighlights", "sports", "advertising",
+    "AskReddit", "dataisbeautiful", "germany", "de", "programming",
+];
+
+/// Client source labels (`source` attribute of tweets).
+pub const SOURCES: &[&str] = &[
+    "<a href=\"http://twitter.com\">Twitter Web Client</a>",
+    "<a href=\"http://twitter.com/download/android\">Twitter for Android</a>",
+    "<a href=\"http://twitter.com/download/iphone\">Twitter for iPhone</a>",
+    "<a href=\"https://ifttt.com\">IFTTT</a>",
+];
+
+/// Picks an element of `pool` with the RNG.
+pub fn pick<'a, R: rand::Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Builds a sentence of `n` words from [`WORDS`].
+pub fn sentence<R: rand::Rng>(rng: &mut R, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, WORDS));
+    }
+    out
+}
+
+/// Base-32-style encoding of a counter, as NoBench uses for its string
+/// attributes: successive values share long prefixes, producing the "large
+/// prefix groups" the paper observes on NoBench (Fig. 8 discussion).
+pub fn base32ish(mut n: u64) -> String {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+    let mut digits = [0u8; 13];
+    for d in digits.iter_mut().rev() {
+        *d = ALPHABET[(n % 32) as usize];
+        n /= 32;
+    }
+    // Keep a fixed width so small counters share the long "AAAA…" prefix.
+    String::from_utf8_lossy(&digits).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn base32ish_is_fixed_width_and_prefix_heavy() {
+        let a = base32ish(0);
+        let b = base32ish(1);
+        let c = base32ish(31);
+        assert_eq!(a.len(), 13);
+        assert_eq!(b.len(), 13);
+        // Values below 32 differ only in the last digit.
+        assert_eq!(&a[..12], &b[..12]);
+        assert_eq!(&a[..12], &c[..12]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sentence_has_requested_word_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 5);
+        assert_eq!(s.split(' ').count(), 5);
+    }
+
+    #[test]
+    fn pick_stays_in_pool() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = pick(&mut rng, CITIES);
+            assert!(CITIES.contains(&c));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The deterministic cost model (DESIGN.md §3).
+//!
+//! The paper's evaluation ran the real systems on a 96-core, 1 TB host
+//! against 30–109 GB datasets. This reproduction executes the same logical
+//! work at laptop scale and converts the measured [`WorkCounters`] into a
+//! **modeled time** using per-engine constants.
+//!
+//! ## Calibration
+//!
+//! The constants below were derived from the paper's own Table II numbers
+//! (session execution time without import, intermediate preset, seed 123):
+//!
+//! * **MongoDB** needed ≈ 4 µs per scanned document on *both* Twitter
+//!   (3.7 KB/doc) and NoBench (0.55 KB/doc) — a size-independent per-document
+//!   overhead (19.32 m / 29.6 M docs / 10 queries ≈ 6.94 m / 10 M / 10).
+//! * **PostgreSQL** needed ≈ 0.7 µs/doc on NoBench but ≈ 10.7 µs/doc on
+//!   Twitter — strongly size-dependent, ≈ 2.9 ns per stored byte (JSONB
+//!   re-inspection of large documents). The per-doc/per-byte split is what
+//!   produces the paper's MongoDB↔PostgreSQL flip between the two datasets
+//!   (Figs. 9/10, Table II).
+//! * **jq** fits ≈ 40 µs/doc plus ≈ 7 ns per raw byte re-parsed, per query.
+//! * **JODA** is dominated by in-memory predicate evaluation over the
+//!   (cached, shrinking) target datasets, parallelized over its thread pool
+//!   with an Amdahl serial fraction of ≈ 0.1 (fitted to Fig. 9's
+//!   4.55 m → 1.51 m over 4 → 60 threads).
+//! * **PostgreSQL import** is ≈ 20 ns/byte (JSONB conversion), the paper's
+//!   "import takes multiple times longer than the evaluation of the whole
+//!   session" on NoBench.
+//! * **Result output** dominates non-aggregated queries in Table III
+//!   ("outputting and writing the result documents is the most expensive
+//!   step", §VI-B), where the paper forces every system to fully emit its
+//!   results. Table II and Figs. 9/10, by contrast, fit the *scan-only*
+//!   model above almost exactly (PostgreSQL 2.9 ns/B × 109 GB × 10 ≈
+//!   52.6 m vs. the measured 52.95 m; MongoDB 4 µs × 29.6 M × 10 ≈
+//!   19.7 m vs. 19.32 m; jq ≈ 5.4 h vs. 5.5 h) — those runs leave results
+//!   as references/cursors (§IV-C). The engines therefore expose an
+//!   output-enabled switch; the per-output-byte constants are fitted to
+//!   Table III's Default↔Agg gaps (JODA ≈ 5 ns/B written to file; the
+//!   MongoDB shell printing path ≈ 180 ns/B, giving its >20× Default/Agg
+//!   gap; PostgreSQL client retrieval ≈ 80 ns/B; jq stdout ≈ 100 ns/B).
+
+use crate::WorkCounters;
+use std::time::Duration;
+
+/// Per-unit costs, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Cost per scanned document.
+    pub per_doc_scanned: f64,
+    /// Cost per storage byte touched by scans.
+    pub per_byte_scanned: f64,
+    /// Cost per raw JSON byte parsed at query time.
+    pub per_byte_parsed: f64,
+    /// Cost per leaf predicate evaluation.
+    pub per_predicate_eval: f64,
+    /// Cost per navigation key comparison.
+    pub per_key_comparison: f64,
+    /// Cost per scalar value decoded from binary storage.
+    pub per_value_decoded: f64,
+    /// Cost per document materialized.
+    pub per_doc_materialized: f64,
+    /// Cost per output byte (result writing).
+    pub per_byte_output: f64,
+    /// Cost per transformation application (rename/remove/add on one
+    /// document).
+    pub per_transform_op: f64,
+    /// Cost per byte imported.
+    pub per_import_byte: f64,
+    /// Fixed cost per query (client round trip, planning, process spawn).
+    pub per_query: f64,
+    /// Amdahl serial fraction of the scan work (1.0 = fully serial).
+    pub serial_fraction: f64,
+}
+
+impl CostProfile {
+    /// JODA: in-memory, parallel scans, negligible per-byte costs once
+    /// parsed; eviction mode surfaces `bytes_parsed` instead.
+    pub fn joda() -> Self {
+        CostProfile {
+            per_doc_scanned: 0.25e-6,
+            per_byte_scanned: 0.05e-9,
+            per_byte_parsed: 6.0e-9,
+            per_predicate_eval: 0.10e-6,
+            per_key_comparison: 10.0e-9,
+            per_value_decoded: 15.0e-9,
+            per_doc_materialized: 0.2e-6,
+            per_byte_output: 5.0e-9,
+            per_transform_op: 0.15e-6,
+            per_import_byte: 6.0e-9,
+            per_query: 5.0e-5,
+            serial_fraction: 0.10,
+        }
+    }
+
+    /// MongoDB: size-independent per-document overhead dominates.
+    pub fn mongodb() -> Self {
+        CostProfile {
+            per_doc_scanned: 4.0e-6,
+            per_byte_scanned: 0.2e-9,
+            per_byte_parsed: 0.0,
+            per_predicate_eval: 0.15e-6,
+            per_key_comparison: 25.0e-9,
+            per_value_decoded: 40.0e-9,
+            per_doc_materialized: 1.0e-6,
+            per_byte_output: 180.0e-9,
+            per_transform_op: 0.5e-6,
+            per_import_byte: 8.0e-9,
+            per_query: 1.0e-3,
+            serial_fraction: 1.0,
+        }
+    }
+
+    /// PostgreSQL: cheap per-document, expensive per stored byte
+    /// (JSONB detoasting/inspection), very expensive import.
+    pub fn postgres() -> Self {
+        CostProfile {
+            per_doc_scanned: 0.3e-6,
+            per_byte_scanned: 2.9e-9,
+            per_byte_parsed: 0.0,
+            per_predicate_eval: 0.2e-6,
+            per_key_comparison: 15.0e-9,
+            per_value_decoded: 25.0e-9,
+            per_doc_materialized: 0.8e-6,
+            per_byte_output: 80.0e-9,
+            per_transform_op: 0.5e-6,
+            per_import_byte: 20.0e-9,
+            per_query: 1.0e-3,
+            serial_fraction: 1.0,
+        }
+    }
+
+    /// jq: re-parses the raw file on every query; large per-document and
+    /// per-byte parse costs, plus process-spawn overhead per query.
+    pub fn jq() -> Self {
+        CostProfile {
+            per_doc_scanned: 40.0e-6,
+            per_byte_scanned: 0.0,
+            per_byte_parsed: 7.0e-9,
+            per_predicate_eval: 0.5e-6,
+            per_key_comparison: 50.0e-9,
+            per_value_decoded: 0.0,
+            per_doc_materialized: 0.0,
+            per_byte_output: 100.0e-9,
+            per_transform_op: 1.0e-6,
+            per_import_byte: 0.5e-9,
+            per_query: 10.0e-3,
+            serial_fraction: 1.0,
+        }
+    }
+}
+
+/// Converts counters to modeled durations for one engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// The engine's cost profile.
+    pub profile: CostProfile,
+    /// Worker threads available for the parallelizable portion.
+    pub threads: usize,
+}
+
+impl CostModel {
+    /// A model for `profile` with `threads` workers (clamped to ≥ 1).
+    pub fn new(profile: CostProfile, threads: usize) -> Self {
+        CostModel {
+            profile,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Modeled time for query-side work (everything but import).
+    pub fn query_time(&self, c: &WorkCounters) -> Duration {
+        let p = &self.profile;
+        let scan_work = p.per_doc_scanned * c.docs_scanned as f64
+            + p.per_byte_scanned * c.bytes_scanned as f64
+            + p.per_byte_parsed * c.bytes_parsed as f64
+            + p.per_predicate_eval * c.predicate_evals as f64
+            + p.per_key_comparison * c.key_comparisons as f64
+            + p.per_value_decoded * c.values_decoded as f64
+            + p.per_doc_materialized * c.docs_materialized as f64
+            + p.per_byte_output * c.bytes_output as f64
+            + p.per_transform_op * c.transform_ops as f64;
+        let amdahl = p.serial_fraction + (1.0 - p.serial_fraction) / self.threads as f64;
+        let seconds = scan_work * amdahl + p.per_query * c.queries as f64;
+        Duration::from_secs_f64(seconds.max(0.0))
+    }
+
+    /// Modeled time for import work.
+    pub fn import_time(&self, c: &WorkCounters) -> Duration {
+        Duration::from_secs_f64(self.profile.per_import_byte * c.import_bytes as f64)
+    }
+
+    /// Query plus import time.
+    pub fn total_time(&self, c: &WorkCounters) -> Duration {
+        self.query_time(c) + self.import_time(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_counters(docs: u64, bytes: u64) -> WorkCounters {
+        WorkCounters {
+            docs_scanned: docs,
+            bytes_scanned: bytes,
+            queries: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mongodb_is_size_insensitive_postgres_is_not() {
+        let small = scan_counters(1_000_000, 550_000_000);
+        let large = scan_counters(1_000_000, 3_700_000_000);
+        let mongo = CostModel::new(CostProfile::mongodb(), 1);
+        let pg = CostModel::new(CostProfile::postgres(), 1);
+        // The paper's flip: PostgreSQL wins on small docs, MongoDB on
+        // large ones.
+        assert!(pg.query_time(&small) < mongo.query_time(&small));
+        assert!(pg.query_time(&large) > mongo.query_time(&large));
+    }
+
+    #[test]
+    fn jq_dominated_by_reparse() {
+        // jq re-parses the raw file per query; JODA scans parsed values.
+        let jq_counters = WorkCounters {
+            docs_scanned: 1000,
+            bytes_parsed: 10_000_000,
+            queries: 1,
+            ..Default::default()
+        };
+        let joda_counters = WorkCounters {
+            docs_scanned: 1000,
+            predicate_evals: 1000,
+            queries: 1,
+            ..Default::default()
+        };
+        let jq = CostModel::new(CostProfile::jq(), 1);
+        let joda = CostModel::new(CostProfile::joda(), 1);
+        assert!(jq.query_time(&jq_counters) > joda.query_time(&joda_counters) * 10);
+    }
+
+    #[test]
+    fn joda_scales_with_threads_others_do_not() {
+        let c = scan_counters(10_000_000, 1_000_000_000);
+        let t4 = CostModel::new(CostProfile::joda(), 4).query_time(&c);
+        let t60 = CostModel::new(CostProfile::joda(), 60).query_time(&c);
+        let ratio = t4.as_secs_f64() / t60.as_secs_f64();
+        // Fig. 9 measures ≈ 3× from 4 → 60 threads.
+        assert!((2.0..4.5).contains(&ratio), "joda ratio {ratio}");
+        let m4 = CostModel::new(CostProfile::mongodb(), 4).query_time(&c);
+        let m60 = CostModel::new(CostProfile::mongodb(), 60).query_time(&c);
+        assert_eq!(m4, m60, "single-threaded engines are flat");
+    }
+
+    #[test]
+    fn import_time_uses_only_import_bytes() {
+        let c = WorkCounters {
+            import_bytes: 1_000_000_000,
+            import_docs: 1,
+            ..Default::default()
+        };
+        let pg = CostModel::new(CostProfile::postgres(), 1);
+        assert!(pg.import_time(&c) > Duration::from_secs(10));
+        assert_eq!(pg.query_time(&c), Duration::ZERO);
+        assert_eq!(pg.total_time(&c), pg.import_time(&c));
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        let model = CostModel::new(CostProfile::joda(), 0);
+        assert_eq!(model.threads, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! The engine abstraction: import datasets, execute IR queries, report
+//! work.
+
+use crate::{CostModel, WorkCounters};
+use betze_json::Value;
+use betze_model::Query;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// An error raised by an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query referenced a dataset the engine has not imported.
+    UnknownDataset { name: String },
+    /// The engine's storage layer failed (e.g. the jq engine could not
+    /// read its input file).
+    Storage { message: String },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownDataset { name } => {
+                write!(f, "unknown dataset '{name}' (not imported)")
+            }
+            EngineError::Storage { message } => write!(f, "storage error: {message}"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// What one engine operation cost: measured wall time, the work counters,
+/// and the deterministic modeled time derived from them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionReport {
+    /// Measured wall-clock time on this host.
+    pub wall: Duration,
+    /// The work performed.
+    pub counters: WorkCounters,
+    /// Modeled time under the engine's cost profile (query work plus any
+    /// import work in `counters`).
+    pub modeled: Duration,
+}
+
+impl ExecutionReport {
+    /// Builds a report from counters via the engine's cost model.
+    pub fn from_counters(wall: Duration, counters: WorkCounters, model: &CostModel) -> Self {
+        ExecutionReport {
+            wall,
+            counters,
+            modeled: model.query_time(&counters) + model.import_time(&counters),
+        }
+    }
+
+    /// Report with everything zero.
+    pub fn empty() -> Self {
+        ExecutionReport {
+            wall: Duration::ZERO,
+            counters: WorkCounters::default(),
+            modeled: Duration::ZERO,
+        }
+    }
+
+    /// Merges another report into this one (summing counters and times).
+    pub fn merge(&mut self, other: &ExecutionReport) {
+        self.wall += other.wall;
+        self.counters += other.counters;
+        self.modeled += other.modeled;
+    }
+}
+
+/// The result of executing one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The result documents (filtered documents, or aggregation results).
+    pub docs: Vec<Value>,
+    /// What it cost.
+    pub report: ExecutionReport,
+}
+
+/// A system under test.
+pub trait Engine {
+    /// Display name ("PostgreSQL").
+    fn name(&self) -> &'static str;
+
+    /// Unique short name ("psql"), matching the language translators.
+    fn short_name(&self) -> &'static str;
+
+    /// Imports a dataset under a name, replacing any previous dataset with
+    /// that name. Returns the import cost (Table II's wall-clock-vs-
+    /// without-import distinction needs it separately).
+    fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError>;
+
+    /// Executes one IR query. `query.base` must name an imported dataset
+    /// or a stored intermediate; `query.store_as` stores the (pre-
+    /// aggregation) filtered result as a new dataset.
+    fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError>;
+
+    /// Drops one dataset; returns whether it existed.
+    fn forget(&mut self, name: &str) -> bool;
+
+    /// Clears all datasets and caches.
+    fn reset(&mut self);
+
+    /// Worker threads used for scans (1 for the single-threaded systems —
+    /// the paper notes "all systems — except for JODA — use only one main
+    /// thread to evaluate queries").
+    fn threads(&self) -> usize {
+        1
+    }
+
+    /// Reconfigures the thread count, where supported (JODA only).
+    fn set_threads(&mut self, _threads: usize) {}
+
+    /// Enables or disables result-output accounting. When disabled, a
+    /// query's result stays a reference/cursor (paper §IV-C: JODA and
+    /// MongoDB "may only return a reference or iterator to the evaluated
+    /// result set") and no output work is charged — the mode of the
+    /// Table II / Fig. 9 / Fig. 10 measurements. Enabled (the default),
+    /// results are fully emitted, as Table III forces.
+    fn set_output_enabled(&mut self, _on: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostProfile;
+
+    #[test]
+    fn report_merge_sums() {
+        let model = CostModel::new(CostProfile::joda(), 1);
+        let c1 = WorkCounters {
+            docs_scanned: 10,
+            queries: 1,
+            ..Default::default()
+        };
+        let mut a = ExecutionReport::from_counters(Duration::from_millis(5), c1, &model);
+        let b = ExecutionReport::from_counters(Duration::from_millis(7), c1, &model);
+        let modeled_one = a.modeled;
+        a.merge(&b);
+        assert_eq!(a.wall, Duration::from_millis(12));
+        assert_eq!(a.counters.docs_scanned, 20);
+        assert_eq!(a.modeled, modeled_one * 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EngineError::UnknownDataset { name: "tw".into() };
+        assert!(e.to_string().contains("tw"));
+    }
+}

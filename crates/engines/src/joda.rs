@@ -1,0 +1,432 @@
+//! The JODA-like engine: in-memory, multi-threaded, with Delta-Tree-style
+//! reuse of intermediate results.
+
+use crate::{CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome, WorkCounters};
+use betze_json::Value;
+use betze_model::{Predicate, Query};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A simulation of JODA (Schäfer & Michel, ICDE 2020): a vertically
+/// scalable, in-memory JSON processor.
+///
+/// Architecture-relevant behaviours reproduced here:
+///
+/// * **Parse once, keep in memory** — import parses documents into the
+///   value model; queries never touch raw text again.
+/// * **Multi-threaded scans** — filters run on a configurable number of
+///   worker threads (the only engine in the paper that uses more than one
+///   core, Fig. 9).
+/// * **Intermediate-result reuse** — JODA's Delta Trees make iterative
+///   exploratory queries cheap. Here every filtered result is cached by
+///   `(base, predicate)`; a query whose predicate *extends* a cached one
+///   (the composed-predicate export of §IV-C always has this shape) only
+///   evaluates the extension on the cached subset. This is what produces
+///   the declining per-query runtimes of Fig. 5.
+/// * **Eviction mode** (`JodaSim::with_eviction`) — drops parsed data
+///   after every query and re-parses from the stored raw text, modeling a
+///   memory-constrained deployment (Table II's "JODA memory evicted").
+#[derive(Debug)]
+pub struct JodaSim {
+    threads: usize,
+    eviction: bool,
+    output_enabled: bool,
+    datasets: HashMap<String, Arc<Vec<Value>>>,
+    /// Raw JSON-lines text kept for eviction-mode re-imports.
+    raw: HashMap<String, String>,
+    /// Delta-Tree-style cache: canonical `(base | predicate)` key → result.
+    cache: HashMap<String, Arc<Vec<Value>>>,
+}
+
+impl JodaSim {
+    /// An in-memory JODA with the given scan thread count.
+    pub fn new(threads: usize) -> Self {
+        JodaSim {
+            threads: threads.max(1),
+            eviction: false,
+            output_enabled: true,
+            datasets: HashMap::new(),
+            raw: HashMap::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// JODA in memory-eviction mode: parsed data is dropped after each
+    /// query and re-read from the raw text, "just as the other systems
+    /// have to" (paper §VI-B).
+    pub fn with_eviction(threads: usize) -> Self {
+        JodaSim {
+            eviction: true,
+            ..JodaSim::new(threads)
+        }
+    }
+
+    /// Whether eviction mode is enabled.
+    pub fn eviction(&self) -> bool {
+        self.eviction
+    }
+
+    fn model(&self) -> CostModel {
+        CostModel::new(CostProfile::joda(), self.threads)
+    }
+
+    fn cache_key(base: &str, predicate: &Predicate) -> String {
+        format!("{base}|{predicate}")
+    }
+
+    /// Multi-threaded filter scan over a document slice.
+    fn scan(
+        &self,
+        docs: &[Value],
+        predicate: &Predicate,
+        counters: &mut WorkCounters,
+    ) -> Vec<Value> {
+        counters.docs_scanned += docs.len() as u64;
+        let leaves = predicate.leaf_count() as u64;
+        // Leaf count per doc is an upper bound (short-circuiting evaluates
+        // fewer); the cost model treats it as the scan's predicate work.
+        counters.predicate_evals += leaves * docs.len() as u64;
+        if self.threads <= 1 || docs.len() < 1024 {
+            let out: Vec<Value> =
+                docs.iter().filter(|d| predicate.matches(d)).cloned().collect();
+            // The filtered set becomes an in-memory intermediate dataset
+            // (JODA materializes result sets for reuse).
+            counters.docs_materialized += out.len() as u64;
+            return out;
+        }
+        let chunk = docs.len().div_ceil(self.threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = docs
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || {
+                    part.iter()
+                        .filter(|d| predicate.matches(d))
+                        .cloned()
+                        .collect::<Vec<Value>>()
+                }))
+                .collect();
+            let mut out = Vec::new();
+            for handle in handles {
+                out.extend(handle.join().expect("scan worker panicked"));
+            }
+            counters.docs_materialized += out.len() as u64;
+            out
+        })
+    }
+
+    /// Resolves the filtered document set for `(base, predicate)`, reusing
+    /// cached intermediate results where possible.
+    fn filtered(
+        &mut self,
+        base: &str,
+        base_docs: &Arc<Vec<Value>>,
+        predicate: &Predicate,
+        counters: &mut WorkCounters,
+    ) -> Arc<Vec<Value>> {
+        if !self.eviction {
+            let key = Self::cache_key(base, predicate);
+            if let Some(hit) = self.cache.get(&key) {
+                counters.cache_hits += 1;
+                return Arc::clone(hit);
+            }
+            // Composed predicates have the shape And(parent_chain, local):
+            // resolve the left side (recursively cacheable), then evaluate
+            // only the extension on that subset.
+            let result: Arc<Vec<Value>> = if let Predicate::And(left, right) = predicate {
+                let parent = self.filtered(base, base_docs, left, counters);
+                Arc::new(self.scan(&parent, right, counters))
+            } else {
+                Arc::new(self.scan(base_docs, predicate, counters))
+            };
+            self.cache.insert(key, Arc::clone(&result));
+            result
+        } else {
+            Arc::new(self.scan(base_docs, predicate, counters))
+        }
+    }
+}
+
+impl Engine for JodaSim {
+    fn name(&self) -> &'static str {
+        "JODA"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "joda"
+    }
+
+    fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError> {
+        let started = Instant::now();
+        let mut counters = WorkCounters::default();
+        let text = betze_json::to_json_lines(docs);
+        counters.import_docs = docs.len() as u64;
+        counters.import_bytes = text.len() as u64;
+        // Import parses the raw text into memory — that is the work the
+        // import phase consists of for an in-memory system.
+        let parsed = betze_json::parse_many(&text).map_err(|e| EngineError::Storage {
+            message: format!("import parse failed: {e}"),
+        })?;
+        self.datasets.insert(name.to_owned(), Arc::new(parsed));
+        if self.eviction {
+            self.raw.insert(name.to_owned(), text);
+        }
+        Ok(ExecutionReport::from_counters(
+            started.elapsed(),
+            counters,
+            &self.model(),
+        ))
+    }
+
+    fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        let started = Instant::now();
+        let mut counters = WorkCounters {
+            queries: 1,
+            ..Default::default()
+        };
+        // Eviction mode re-reads the raw data before every query.
+        if self.eviction {
+            if let Some(text) = self.raw.get(&query.base) {
+                counters.bytes_parsed += text.len() as u64;
+                let parsed = betze_json::parse_many(text).map_err(|e| EngineError::Storage {
+                    message: format!("re-import parse failed: {e}"),
+                })?;
+                self.datasets.insert(query.base.clone(), Arc::new(parsed));
+            }
+        }
+        let base_docs = self
+            .datasets
+            .get(&query.base)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownDataset {
+                name: query.base.clone(),
+            })?;
+
+        let filtered = match &query.filter {
+            Some(predicate) => {
+                self.filtered(&query.base, &base_docs, predicate, &mut counters)
+            }
+            None => {
+                counters.docs_scanned += base_docs.len() as u64;
+                Arc::clone(&base_docs)
+            }
+        };
+
+        // Transformations (§VII) change the result documents — and hence
+        // the stored intermediate dataset.
+        let result: Arc<Vec<Value>> = if query.transforms.is_empty() {
+            filtered
+        } else {
+            let mut transformed = filtered.as_ref().clone();
+            counters.transform_ops +=
+                (transformed.len() * query.transforms.len()) as u64;
+            betze_model::apply_all(&query.transforms, &mut transformed);
+            Arc::new(transformed)
+        };
+
+        if let Some(store) = &query.store_as {
+            self.datasets.insert(store.clone(), Arc::clone(&result));
+        }
+
+        let docs: Vec<Value> = match &query.aggregation {
+            Some(agg) => agg.eval(&result),
+            None => result.as_ref().clone(),
+        };
+        if self.output_enabled {
+            counters.docs_output += docs.len() as u64;
+            counters.bytes_output += docs.iter().map(|d| d.approx_size() as u64).sum::<u64>();
+        }
+
+        // Eviction: drop the parsed base again.
+        if self.eviction {
+            if self.raw.contains_key(&query.base) {
+                self.datasets.remove(&query.base);
+            }
+            self.cache.clear();
+        }
+
+        Ok(QueryOutcome {
+            docs,
+            report: ExecutionReport::from_counters(started.elapsed(), counters, &self.model()),
+        })
+    }
+
+    fn forget(&mut self, name: &str) -> bool {
+        self.raw.remove(name);
+        self.cache.retain(|key, _| !key.starts_with(&format!("{name}|")));
+        self.datasets.remove(name).is_some()
+    }
+
+    fn reset(&mut self) {
+        self.datasets.clear();
+        self.raw.clear();
+        self.cache.clear();
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    fn set_output_enabled(&mut self, on: bool) {
+        self.output_enabled = on;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::{json, JsonPointer};
+    use betze_model::FilterFn;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn docs() -> Vec<Value> {
+        (0..100)
+            .map(|i| json!({ "n": (i as i64), "even": (i % 2 == 0) }))
+            .collect()
+    }
+
+    fn even() -> Predicate {
+        Predicate::leaf(FilterFn::BoolEq { path: ptr("/even"), value: true })
+    }
+
+    fn small() -> Predicate {
+        Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr("/n"),
+            op: betze_model::Comparison::Lt,
+            value: 10.0,
+        })
+    }
+
+    #[test]
+    fn executes_filters_correctly() {
+        let mut joda = JodaSim::new(1);
+        joda.import("t", &docs()).unwrap();
+        let q = Query::scan("t").with_filter(even());
+        let out = joda.execute(&q).unwrap();
+        assert_eq!(out.docs.len(), 50);
+        assert_eq!(out.docs, q.eval(&docs()));
+        assert_eq!(out.report.counters.docs_scanned, 100);
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let mut joda = JodaSim::new(1);
+        assert!(matches!(
+            joda.execute(&Query::scan("missing")),
+            Err(EngineError::UnknownDataset { .. })
+        ));
+    }
+
+    #[test]
+    fn composed_predicates_reuse_cached_prefixes() {
+        let mut joda = JodaSim::new(1);
+        joda.import("t", &docs()).unwrap();
+        let q1 = Query::scan("t").with_filter(even());
+        let r1 = joda.execute(&q1).unwrap();
+        assert_eq!(r1.report.counters.docs_scanned, 100);
+        // Extension: even AND n < 10 — must scan only the 50 cached docs.
+        let q2 = Query::scan("t").with_filter(even().and(small()));
+        let r2 = joda.execute(&q2).unwrap();
+        assert_eq!(r2.docs.len(), 5);
+        assert_eq!(
+            r2.report.counters.docs_scanned, 50,
+            "extension must scan the cached subset only"
+        );
+        assert_eq!(r2.report.counters.cache_hits, 1);
+        // Re-running q2 is a pure cache hit.
+        let r3 = joda.execute(&q2).unwrap();
+        assert_eq!(r3.report.counters.docs_scanned, 0);
+        assert!(r3.report.counters.cache_hits >= 1);
+        assert_eq!(r3.docs, r2.docs);
+    }
+
+    #[test]
+    fn multithreaded_scan_matches_single_threaded() {
+        let many: Vec<Value> = (0..5000)
+            .map(|i| json!({ "n": (i as i64), "even": (i % 2 == 0) }))
+            .collect();
+        let mut joda1 = JodaSim::new(1);
+        let mut joda4 = JodaSim::new(4);
+        joda1.import("t", &many).unwrap();
+        joda4.import("t", &many).unwrap();
+        assert_eq!(joda4.threads(), 4);
+        let q = Query::scan("t").with_filter(even());
+        let a = joda1.execute(&q).unwrap();
+        let b = joda4.execute(&q).unwrap();
+        assert_eq!(a.docs, b.docs);
+        assert_eq!(a.report.counters.docs_scanned, b.report.counters.docs_scanned);
+        // Modeled time shrinks with threads.
+        assert!(b.report.modeled < a.report.modeled);
+    }
+
+    #[test]
+    fn eviction_mode_reparses_every_query() {
+        let mut joda = JodaSim::with_eviction(1);
+        assert!(joda.eviction());
+        joda.import("t", &docs()).unwrap();
+        let q = Query::scan("t").with_filter(even());
+        let r1 = joda.execute(&q).unwrap();
+        assert!(r1.report.counters.bytes_parsed > 0, "must re-parse raw data");
+        let r2 = joda.execute(&q).unwrap();
+        assert_eq!(r2.report.counters.cache_hits, 0, "eviction disables the cache");
+        assert!(r2.report.counters.bytes_parsed > 0);
+        assert_eq!(r1.docs, r2.docs);
+    }
+
+    #[test]
+    fn store_as_creates_named_dataset() {
+        let mut joda = JodaSim::new(1);
+        joda.import("t", &docs()).unwrap();
+        let q = Query::scan("t").with_filter(even()).store_as("evens");
+        joda.execute(&q).unwrap();
+        let q2 = Query::scan("evens").with_filter(small());
+        let out = joda.execute(&q2).unwrap();
+        assert_eq!(out.docs.len(), 5);
+        assert!(joda.forget("evens"));
+        assert!(!joda.forget("evens"));
+    }
+
+    #[test]
+    fn aggregation_outputs_single_document() {
+        use betze_model::{AggFunc, Aggregation};
+        let mut joda = JodaSim::new(1);
+        joda.import("t", &docs()).unwrap();
+        let q = Query::scan("t")
+            .with_filter(even())
+            .with_aggregation(Aggregation::new(
+                AggFunc::Count { path: JsonPointer::root() },
+                "count",
+            ));
+        let out = joda.execute(&q).unwrap();
+        assert_eq!(out.docs, vec![json!({ "count": 50usize })]);
+        assert_eq!(out.report.counters.docs_output, 1);
+    }
+
+    #[test]
+    fn import_counts_bytes_and_docs() {
+        let mut joda = JodaSim::new(1);
+        let report = joda.import("t", &docs()).unwrap();
+        assert_eq!(report.counters.import_docs, 100);
+        assert!(report.counters.import_bytes > 1000);
+        assert!(report.modeled > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut joda = JodaSim::new(1);
+        joda.import("t", &docs()).unwrap();
+        joda.execute(&Query::scan("t").with_filter(even())).unwrap();
+        joda.reset();
+        assert!(matches!(
+            joda.execute(&Query::scan("t")),
+            Err(EngineError::UnknownDataset { .. })
+        ));
+    }
+}

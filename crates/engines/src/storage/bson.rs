@@ -1,0 +1,265 @@
+//! A BSON-like binary document format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! value   := tag(u8) payload
+//! null    := 0x00
+//! false   := 0x01          true := 0x02
+//! int     := 0x03 i64      float := 0x04 f64
+//! string  := 0x05 u32 len, bytes
+//! array   := 0x06 u32 body_len, u32 count, elements (values)
+//! object  := 0x07 u32 body_len, u32 count, members
+//! member  := u16 key_len, key bytes, value
+//! ```
+//!
+//! Like real BSON, member order is preserved and key lookup is a **linear
+//! probe** per nesting level, skipping values via their length prefixes.
+
+use super::{encode_scalar, read_u16, read_u32, tag, BinaryFormat, NavStats, Raw};
+use betze_json::{Number, Object, Value};
+
+/// The BSON-like format (see module docs).
+#[derive(Debug)]
+pub struct BsonLike;
+
+impl BinaryFormat for BsonLike {
+    fn encode(value: &Value) -> Vec<u8> {
+        let mut out = Vec::with_capacity(value.approx_size() + 16);
+        encode_value(value, &mut out);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Value> {
+        let (value, used) = decode_value(bytes)?;
+        (used == bytes.len()).then_some(value)
+    }
+
+    fn navigate<'a>(doc: &'a [u8], tokens: &[String], nav: &mut NavStats) -> Option<Raw<'a>> {
+        let mut cur = doc;
+        for token in tokens {
+            match cur.first()? {
+                &tag::OBJECT => {
+                    let count = read_u32(cur, 5) as usize;
+                    let mut at = 9usize;
+                    let mut found = None;
+                    for _ in 0..count {
+                        let key_len = read_u16(cur, at) as usize;
+                        let key = &cur[at + 2..at + 2 + key_len];
+                        nav.key_comparisons += 1;
+                        let val_at = at + 2 + key_len;
+                        let val_len = value_size(&cur[val_at..])?;
+                        if key == token.as_bytes() {
+                            found = Some(&cur[val_at..val_at + val_len]);
+                            break;
+                        }
+                        at = val_at + val_len;
+                    }
+                    cur = found?;
+                }
+                &tag::ARRAY => {
+                    let idx: usize = token.parse().ok()?;
+                    let count = read_u32(cur, 5) as usize;
+                    if idx >= count {
+                        return None;
+                    }
+                    let mut at = 9usize;
+                    for _ in 0..idx {
+                        at += value_size(&cur[at..])?;
+                    }
+                    cur = &cur[at..at + value_size(&cur[at..])?];
+                }
+                _ => return None,
+            }
+        }
+        Some(Raw { bytes: cur })
+    }
+}
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Array(elems) => {
+            out.push(tag::ARRAY);
+            let len_at = out.len();
+            out.extend_from_slice(&[0u8; 4]);
+            out.extend_from_slice(&(elems.len() as u32).to_le_bytes());
+            let body_at = out.len();
+            for elem in elems {
+                encode_value(elem, out);
+            }
+            let body_len = (out.len() - body_at) as u32;
+            out[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
+        }
+        Value::Object(obj) => {
+            out.push(tag::OBJECT);
+            let len_at = out.len();
+            out.extend_from_slice(&[0u8; 4]);
+            out.extend_from_slice(&(obj.len() as u32).to_le_bytes());
+            let body_at = out.len();
+            for (key, val) in obj.iter() {
+                out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+                encode_value(val, out);
+            }
+            let body_len = (out.len() - body_at) as u32;
+            out[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
+        }
+        scalar => encode_scalar(scalar, out),
+    }
+}
+
+/// Total encoded size of the value starting at `bytes[0]`.
+fn value_size(bytes: &[u8]) -> Option<usize> {
+    Some(match bytes.first()? {
+        &tag::NULL | &tag::FALSE | &tag::TRUE => 1,
+        &tag::INT | &tag::FLOAT => 9,
+        &tag::STRING => 5 + read_u32(bytes, 1) as usize,
+        &tag::ARRAY | &tag::OBJECT => 9 + read_u32(bytes, 1) as usize,
+        _ => return None,
+    })
+}
+
+fn decode_value(bytes: &[u8]) -> Option<(Value, usize)> {
+    Some(match bytes.first()? {
+        &tag::NULL => (Value::Null, 1),
+        &tag::FALSE => (Value::Bool(false), 1),
+        &tag::TRUE => (Value::Bool(true), 1),
+        &tag::INT => (
+            Value::Number(Number::Int(i64::from_le_bytes(bytes[1..9].try_into().ok()?))),
+            9,
+        ),
+        &tag::FLOAT => (
+            Value::Number(Number::Float(f64::from_le_bytes(bytes[1..9].try_into().ok()?))),
+            9,
+        ),
+        &tag::STRING => {
+            let len = read_u32(bytes, 1) as usize;
+            (
+                Value::String(std::str::from_utf8(&bytes[5..5 + len]).ok()?.to_owned()),
+                5 + len,
+            )
+        }
+        &tag::ARRAY => {
+            let count = read_u32(bytes, 5) as usize;
+            let mut at = 9usize;
+            let mut elems = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (v, used) = decode_value(&bytes[at..])?;
+                elems.push(v);
+                at += used;
+            }
+            (Value::Array(elems), at)
+        }
+        &tag::OBJECT => {
+            let count = read_u32(bytes, 5) as usize;
+            let mut at = 9usize;
+            let mut obj = Object::with_capacity(count);
+            for _ in 0..count {
+                let key_len = read_u16(bytes, at) as usize;
+                let key = std::str::from_utf8(&bytes[at + 2..at + 2 + key_len]).ok()?;
+                at += 2 + key_len;
+                let (v, used) = decode_value(&bytes[at..])?;
+                obj.insert(key, v);
+                at += used;
+            }
+            (Value::Object(obj), at)
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::json;
+
+    fn doc() -> Value {
+        json!({
+            "user": { "name": "alice", "verified": true, "stats": { "n": 3 } },
+            "score": 0.5,
+            "tags": ["a", "b", "c"],
+            "count": 42,
+            "note": null,
+        })
+    }
+
+    #[test]
+    fn round_trip() {
+        let v = doc();
+        let bytes = BsonLike::encode(&v);
+        assert_eq!(BsonLike::decode(&bytes), Some(v));
+    }
+
+    #[test]
+    fn round_trip_preserves_member_order() {
+        let v = json!({ "z": 1, "a": 2 });
+        let decoded = BsonLike::decode(&BsonLike::encode(&v)).unwrap();
+        let keys: Vec<&str> = decoded.as_object().unwrap().keys().collect();
+        assert_eq!(keys, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn navigation_resolves_nested_paths() {
+        let bytes = BsonLike::encode(&doc());
+        let mut nav = NavStats::default();
+        let tokens = vec!["user".to_string(), "name".to_string()];
+        let raw = BsonLike::navigate(&bytes, &tokens, &mut nav).unwrap();
+        assert_eq!(raw.scalar(&mut nav), Some(json!("alice")));
+        assert!(nav.key_comparisons >= 2);
+        assert!(BsonLike::navigate(&bytes, &["missing".to_string()], &mut nav).is_none());
+        let deep = vec!["user".into(), "stats".into(), "n".into()];
+        let raw = BsonLike::navigate(&bytes, &deep, &mut nav).unwrap();
+        assert_eq!(raw.scalar(&mut nav), Some(json!(3i64)));
+    }
+
+    #[test]
+    fn navigation_indexes_arrays() {
+        let bytes = BsonLike::encode(&doc());
+        let mut nav = NavStats::default();
+        let raw = BsonLike::navigate(&bytes, &["tags".into(), "1".into()], &mut nav).unwrap();
+        assert_eq!(raw.str_bytes(), Some(&b"b"[..]));
+        assert!(BsonLike::navigate(&bytes, &["tags".into(), "9".into()], &mut nav).is_none());
+        assert!(BsonLike::navigate(&bytes, &["tags".into(), "x".into()], &mut nav).is_none());
+    }
+
+    #[test]
+    fn linear_probe_counts_scale_with_position() {
+        let mut obj = betze_json::Object::new();
+        for i in 0..20 {
+            obj.insert(format!("k{i:02}"), i as i64);
+        }
+        let bytes = BsonLike::encode(&Value::Object(obj));
+        let mut early = NavStats::default();
+        BsonLike::navigate(&bytes, &["k00".into()], &mut early).unwrap();
+        let mut late = NavStats::default();
+        BsonLike::navigate(&bytes, &["k19".into()], &mut late).unwrap();
+        assert_eq!(early.key_comparisons, 1);
+        assert_eq!(late.key_comparisons, 20);
+    }
+
+    #[test]
+    fn child_count_matches() {
+        let bytes = BsonLike::encode(&doc());
+        let mut nav = NavStats::default();
+        let raw = BsonLike::navigate(&bytes, &["tags".into()], &mut nav).unwrap();
+        assert_eq!(raw.child_count(), 3);
+        let raw = BsonLike::navigate(&bytes, &["user".into()], &mut nav).unwrap();
+        assert_eq!(raw.child_count(), 3);
+    }
+
+    #[test]
+    fn null_values_are_navigable() {
+        let bytes = BsonLike::encode(&doc());
+        let mut nav = NavStats::default();
+        let raw = BsonLike::navigate(&bytes, &["note".into()], &mut nav).unwrap();
+        assert_eq!(raw.json_type(), betze_json::JsonType::Null);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = BsonLike::encode(&json!(1i64));
+        bytes.push(0xFF);
+        assert_eq!(BsonLike::decode(&bytes), None);
+        assert_eq!(BsonLike::decode(&[0xEE]), None);
+    }
+}

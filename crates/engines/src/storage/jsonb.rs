@@ -1,0 +1,309 @@
+//! A JSONB-like binary document format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! value   := tag(u8) payload                  (scalars as in bson.rs)
+//! array   := 0x06 u32 body_len, u32 count, index, body
+//!            index := count × (u32 val_off, u32 val_len)   // into body
+//! object  := 0x07 u32 body_len, u32 count, index, body
+//!            index := count × (u32 key_off, u32 key_len, u32 val_off, u32 val_len)
+//!            keys sorted ascending (byte order)
+//! ```
+//!
+//! Like real PostgreSQL JSONB: the conversion on import is the expensive
+//! step (sorting keys, building offset tables — member order is *not*
+//! preserved), and lookups are **binary searches** over the sorted key
+//! index, plus O(1) array indexing.
+
+use super::{encode_scalar, read_u32, tag, BinaryFormat, NavStats, Raw};
+use betze_json::{Number, Object, Value};
+
+/// The JSONB-like format (see module docs).
+#[derive(Debug)]
+pub struct JsonbLike;
+
+impl BinaryFormat for JsonbLike {
+    fn encode(value: &Value) -> Vec<u8> {
+        let mut out = Vec::with_capacity(value.approx_size() + 32);
+        encode_value(value, &mut out);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Value> {
+        let (value, used) = decode_value(bytes)?;
+        (used == bytes.len()).then_some(value)
+    }
+
+    fn navigate<'a>(doc: &'a [u8], tokens: &[String], nav: &mut NavStats) -> Option<Raw<'a>> {
+        let mut cur = doc;
+        for token in tokens {
+            match cur.first()? {
+                &tag::OBJECT => {
+                    let count = read_u32(cur, 5) as usize;
+                    let index_at = 9usize;
+                    let body_at = index_at + count * 16;
+                    // Binary search over the sorted key index.
+                    let (mut lo, mut hi) = (0usize, count);
+                    let mut found = None;
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        let entry = index_at + mid * 16;
+                        let key_off = read_u32(cur, entry) as usize;
+                        let key_len = read_u32(cur, entry + 4) as usize;
+                        let key = &cur[body_at + key_off..body_at + key_off + key_len];
+                        nav.key_comparisons += 1;
+                        match key.cmp(token.as_bytes()) {
+                            std::cmp::Ordering::Less => lo = mid + 1,
+                            std::cmp::Ordering::Greater => hi = mid,
+                            std::cmp::Ordering::Equal => {
+                                let val_off = read_u32(cur, entry + 8) as usize;
+                                let val_len = read_u32(cur, entry + 12) as usize;
+                                found = Some(&cur[body_at + val_off..body_at + val_off + val_len]);
+                                break;
+                            }
+                        }
+                    }
+                    cur = found?;
+                }
+                &tag::ARRAY => {
+                    let idx: usize = token.parse().ok()?;
+                    let count = read_u32(cur, 5) as usize;
+                    if idx >= count {
+                        return None;
+                    }
+                    let index_at = 9usize;
+                    let body_at = index_at + count * 8;
+                    let entry = index_at + idx * 8;
+                    let val_off = read_u32(cur, entry) as usize;
+                    let val_len = read_u32(cur, entry + 4) as usize;
+                    cur = &cur[body_at + val_off..body_at + val_off + val_len];
+                }
+                _ => return None,
+            }
+        }
+        Some(Raw { bytes: cur })
+    }
+}
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Array(elems) => {
+            // Encode elements first to learn their sizes.
+            let encoded: Vec<Vec<u8>> = elems
+                .iter()
+                .map(|e| {
+                    let mut buf = Vec::with_capacity(e.approx_size() + 16);
+                    encode_value(e, &mut buf);
+                    buf
+                })
+                .collect();
+            out.push(tag::ARRAY);
+            let body_len: usize =
+                encoded.len() * 8 + encoded.iter().map(Vec::len).sum::<usize>();
+            out.extend_from_slice(&(body_len as u32).to_le_bytes());
+            out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+            let mut off = 0u32;
+            for buf in &encoded {
+                out.extend_from_slice(&off.to_le_bytes());
+                out.extend_from_slice(&(buf.len() as u32).to_le_bytes());
+                off += buf.len() as u32;
+            }
+            for buf in &encoded {
+                out.extend_from_slice(buf);
+            }
+        }
+        Value::Object(obj) => {
+            // Sort members by key — the JSONB canonicalization.
+            let mut members: Vec<(&str, &Value)> = obj.iter().collect();
+            members.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+            let encoded: Vec<(&str, Vec<u8>)> = members
+                .into_iter()
+                .map(|(k, v)| {
+                    let mut buf = Vec::with_capacity(v.approx_size() + 16);
+                    encode_value(v, &mut buf);
+                    (k, buf)
+                })
+                .collect();
+            out.push(tag::OBJECT);
+            let keys_len: usize = encoded.iter().map(|(k, _)| k.len()).sum();
+            let vals_len: usize = encoded.iter().map(|(_, v)| v.len()).sum();
+            let body_len = encoded.len() * 16 + keys_len + vals_len;
+            out.extend_from_slice(&(body_len as u32).to_le_bytes());
+            out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+            // Body: all keys first, then all values.
+            let mut key_off = 0u32;
+            let mut val_off = keys_len as u32;
+            for (k, v) in &encoded {
+                out.extend_from_slice(&key_off.to_le_bytes());
+                out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                out.extend_from_slice(&val_off.to_le_bytes());
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                key_off += k.len() as u32;
+                val_off += v.len() as u32;
+            }
+            for (k, _) in &encoded {
+                out.extend_from_slice(k.as_bytes());
+            }
+            for (_, v) in &encoded {
+                out.extend_from_slice(v);
+            }
+        }
+        scalar => encode_scalar(scalar, out),
+    }
+}
+
+fn decode_value(bytes: &[u8]) -> Option<(Value, usize)> {
+    Some(match bytes.first()? {
+        &tag::NULL => (Value::Null, 1),
+        &tag::FALSE => (Value::Bool(false), 1),
+        &tag::TRUE => (Value::Bool(true), 1),
+        &tag::INT => (
+            Value::Number(Number::Int(i64::from_le_bytes(bytes[1..9].try_into().ok()?))),
+            9,
+        ),
+        &tag::FLOAT => (
+            Value::Number(Number::Float(f64::from_le_bytes(bytes[1..9].try_into().ok()?))),
+            9,
+        ),
+        &tag::STRING => {
+            let len = read_u32(bytes, 1) as usize;
+            (
+                Value::String(std::str::from_utf8(&bytes[5..5 + len]).ok()?.to_owned()),
+                5 + len,
+            )
+        }
+        &tag::ARRAY => {
+            let body_len = read_u32(bytes, 1) as usize;
+            let count = read_u32(bytes, 5) as usize;
+            let index_at = 9usize;
+            let body_at = index_at + count * 8;
+            let mut elems = Vec::with_capacity(count);
+            for i in 0..count {
+                let entry = index_at + i * 8;
+                let val_off = read_u32(bytes, entry) as usize;
+                let val_len = read_u32(bytes, entry + 4) as usize;
+                let (v, used) = decode_value(&bytes[body_at + val_off..body_at + val_off + val_len])?;
+                if used != val_len {
+                    return None;
+                }
+                elems.push(v);
+            }
+            (Value::Array(elems), 9 + body_len)
+        }
+        &tag::OBJECT => {
+            let body_len = read_u32(bytes, 1) as usize;
+            let count = read_u32(bytes, 5) as usize;
+            let index_at = 9usize;
+            let body_at = index_at + count * 16;
+            let mut obj = Object::with_capacity(count);
+            for i in 0..count {
+                let entry = index_at + i * 16;
+                let key_off = read_u32(bytes, entry) as usize;
+                let key_len = read_u32(bytes, entry + 4) as usize;
+                let val_off = read_u32(bytes, entry + 8) as usize;
+                let val_len = read_u32(bytes, entry + 12) as usize;
+                let key =
+                    std::str::from_utf8(&bytes[body_at + key_off..body_at + key_off + key_len])
+                        .ok()?;
+                let (v, used) =
+                    decode_value(&bytes[body_at + val_off..body_at + val_off + val_len])?;
+                if used != val_len {
+                    return None;
+                }
+                obj.insert(key, v);
+            }
+            (Value::Object(obj), 9 + body_len)
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::json;
+
+    fn doc() -> Value {
+        json!({
+            "zeta": 1,
+            "user": { "name": "alice", "verified": true },
+            "alpha": [1, "two", { "three": 3.0 }],
+            "note": null,
+        })
+    }
+
+    #[test]
+    fn round_trip_is_equivalent_with_sorted_keys() {
+        let v = doc();
+        let decoded = JsonbLike::decode(&JsonbLike::encode(&v)).unwrap();
+        // Key order is canonicalized (sorted), so use equivalence.
+        assert!(decoded.equivalent(&v));
+        assert_ne!(decoded, v, "JSONB does not preserve member order");
+        let keys: Vec<&str> = decoded.as_object().unwrap().keys().collect();
+        assert_eq!(keys, vec!["alpha", "note", "user", "zeta"]);
+    }
+
+    #[test]
+    fn navigation_binary_searches_keys() {
+        let mut obj = betze_json::Object::new();
+        for i in 0..64 {
+            obj.insert(format!("k{i:02}"), i as i64);
+        }
+        let bytes = JsonbLike::encode(&Value::Object(obj));
+        let mut nav = NavStats::default();
+        let raw = JsonbLike::navigate(&bytes, &["k63".into()], &mut nav).unwrap();
+        assert_eq!(raw.scalar(&mut nav), Some(json!(63i64)));
+        // 64 sorted keys: at most ⌈log2⌉ + 1 probes.
+        assert!(nav.key_comparisons <= 7, "{} probes", nav.key_comparisons);
+    }
+
+    #[test]
+    fn navigation_resolves_nested_and_arrays() {
+        let bytes = JsonbLike::encode(&doc());
+        let mut nav = NavStats::default();
+        let raw =
+            JsonbLike::navigate(&bytes, &["user".into(), "name".into()], &mut nav).unwrap();
+        assert_eq!(raw.str_bytes(), Some(&b"alice"[..]));
+        let raw = JsonbLike::navigate(
+            &bytes,
+            &["alpha".into(), "2".into(), "three".into()],
+            &mut nav,
+        )
+        .unwrap();
+        assert_eq!(raw.scalar(&mut nav), Some(json!(3.0)));
+        assert!(JsonbLike::navigate(&bytes, &["nope".into()], &mut nav).is_none());
+        assert!(
+            JsonbLike::navigate(&bytes, &["alpha".into(), "7".into()], &mut nav).is_none()
+        );
+    }
+
+    #[test]
+    fn child_counts() {
+        let bytes = JsonbLike::encode(&doc());
+        let mut nav = NavStats::default();
+        let raw = JsonbLike::navigate(&bytes, &["alpha".into()], &mut nav).unwrap();
+        assert_eq!(raw.child_count(), 3);
+        let raw = JsonbLike::navigate(&bytes, &["user".into()], &mut nav).unwrap();
+        assert_eq!(raw.child_count(), 2);
+    }
+
+    #[test]
+    fn empty_containers() {
+        for v in [json!({}), json!([])] {
+            let decoded = JsonbLike::decode(&JsonbLike::encode(&v)).unwrap();
+            assert!(decoded.equivalent(&v));
+        }
+    }
+
+    #[test]
+    fn unicode_keys_and_values() {
+        let v = json!({ "ümlaut": "véllo", "a": "😀" });
+        let decoded = JsonbLike::decode(&JsonbLike::encode(&v)).unwrap();
+        assert!(decoded.equivalent(&v));
+        let bytes = JsonbLike::encode(&v);
+        let mut nav = NavStats::default();
+        let raw = JsonbLike::navigate(&bytes, &["ümlaut".into()], &mut nav).unwrap();
+        assert_eq!(raw.str_bytes(), Some("véllo".as_bytes()));
+    }
+}

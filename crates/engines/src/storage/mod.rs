@@ -1,0 +1,241 @@
+//! Binary storage formats for the simulated engines.
+//!
+//! Two from-scratch formats mirror the storage architectures the paper
+//! contrasts (§VI-B): [`bson`] is a BSON-like, insertion-ordered,
+//! length-prefixed format navigated by *linear* key probing (MongoDB's
+//! WiredTiger stores BSON), and [`jsonb`] is a JSONB-like format with
+//! sorted keys and fixed-width offset tables navigated by *binary search*
+//! (PostgreSQL converts documents to JSONB on import — the expensive import
+//! the paper measures).
+//!
+//! Both formats share the same tag set and container headers, so the
+//! untyped [`Raw`] view and the generic predicate evaluator
+//! [`matches()`](fn@matches) work over either.
+
+pub mod bson;
+pub mod jsonb;
+
+use betze_json::{Number, Value};
+use betze_model::{FilterFn, Predicate};
+
+/// Value tags shared by both formats.
+pub(crate) mod tag {
+    pub const NULL: u8 = 0x00;
+    pub const FALSE: u8 = 0x01;
+    pub const TRUE: u8 = 0x02;
+    pub const INT: u8 = 0x03;
+    pub const FLOAT: u8 = 0x04;
+    pub const STRING: u8 = 0x05;
+    pub const ARRAY: u8 = 0x06;
+    pub const OBJECT: u8 = 0x07;
+}
+
+/// Navigation statistics accumulated while probing binary documents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NavStats {
+    /// Key comparisons performed (linear probes or binary-search steps).
+    pub key_comparisons: u64,
+    /// Scalar values decoded.
+    pub values_decoded: u64,
+    /// Leaf predicate evaluations.
+    pub predicate_evals: u64,
+}
+
+/// An untyped view of one encoded value inside a binary document.
+#[derive(Debug, Clone, Copy)]
+pub struct Raw<'a> {
+    /// The encoded bytes of this value (starting at its tag).
+    pub bytes: &'a [u8],
+}
+
+impl<'a> Raw<'a> {
+    /// The value's tag byte.
+    pub fn tag(&self) -> u8 {
+        self.bytes[0]
+    }
+
+    /// The [`betze_json::JsonType`] of the value.
+    pub fn json_type(&self) -> betze_json::JsonType {
+        match self.tag() {
+            tag::NULL => betze_json::JsonType::Null,
+            tag::FALSE | tag::TRUE => betze_json::JsonType::Bool,
+            tag::INT => betze_json::JsonType::Int,
+            tag::FLOAT => betze_json::JsonType::Float,
+            tag::STRING => betze_json::JsonType::String,
+            tag::ARRAY => betze_json::JsonType::Array,
+            _ => betze_json::JsonType::Object,
+        }
+    }
+
+    /// Child count for containers (both formats store `u32 body_len,
+    /// u32 count` after the tag); 0 for scalars.
+    pub fn child_count(&self) -> u64 {
+        match self.tag() {
+            tag::ARRAY | tag::OBJECT => u64::from(read_u32(self.bytes, 5)),
+            _ => 0,
+        }
+    }
+
+    /// Decodes a scalar value (containers return `None`); counts one
+    /// decoded value in `nav`.
+    pub fn scalar(&self, nav: &mut NavStats) -> Option<Value> {
+        nav.values_decoded += 1;
+        Some(match self.tag() {
+            tag::NULL => Value::Null,
+            tag::FALSE => Value::Bool(false),
+            tag::TRUE => Value::Bool(true),
+            tag::INT => Value::Number(Number::Int(i64::from_le_bytes(
+                self.bytes[1..9].try_into().ok()?,
+            ))),
+            tag::FLOAT => Value::Number(Number::Float(f64::from_le_bytes(
+                self.bytes[1..9].try_into().ok()?,
+            ))),
+            tag::STRING => {
+                let len = read_u32(self.bytes, 1) as usize;
+                Value::String(String::from_utf8_lossy(&self.bytes[5..5 + len]).into_owned())
+            }
+            _ => return None,
+        })
+    }
+
+    /// The string payload, without allocating, if this is a string.
+    pub fn str_bytes(&self) -> Option<&'a [u8]> {
+        if self.tag() == tag::STRING {
+            let len = read_u32(self.bytes, 1) as usize;
+            Some(&self.bytes[5..5 + len])
+        } else {
+            None
+        }
+    }
+}
+
+pub(crate) fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(
+        bytes[at..at + 4]
+            .try_into()
+            .expect("binary document truncated"),
+    )
+}
+
+pub(crate) fn read_u16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(
+        bytes[at..at + 2]
+            .try_into()
+            .expect("binary document truncated"),
+    )
+}
+
+/// A binary document format: encode, decode, and navigate by path.
+pub trait BinaryFormat {
+    /// Encodes a value tree.
+    fn encode(value: &Value) -> Vec<u8>;
+
+    /// Decodes a full value tree (`None` on corrupt input).
+    fn decode(bytes: &[u8]) -> Option<Value>;
+
+    /// Resolves a path (object keys; numeric tokens index arrays), counting
+    /// probe work in `nav`.
+    fn navigate<'a>(doc: &'a [u8], tokens: &[String], nav: &mut NavStats) -> Option<Raw<'a>>;
+}
+
+/// Evaluates a leaf filter against a binary document, decoding only what
+/// the filter needs (this is what lets the engines avoid materializing
+/// documents during matching).
+pub fn filter_matches<F: BinaryFormat>(
+    doc: &[u8],
+    filter: &FilterFn,
+    nav: &mut NavStats,
+) -> bool {
+    nav.predicate_evals += 1;
+    let resolve = |path: &betze_json::JsonPointer, nav: &mut NavStats| {
+        F::navigate(doc, path.tokens(), nav)
+    };
+    match filter {
+        FilterFn::Exists { path } => resolve(path, nav).is_some(),
+        FilterFn::IsString { path } => {
+            resolve(path, nav).is_some_and(|r| r.tag() == tag::STRING)
+        }
+        FilterFn::IntEq { path, value } => resolve(path, nav)
+            .and_then(|r| r.scalar(nav))
+            .and_then(|v| v.as_f64())
+            .is_some_and(|n| n == *value as f64),
+        FilterFn::FloatCmp { path, op, value } => resolve(path, nav)
+            .and_then(|r| r.scalar(nav))
+            .and_then(|v| v.as_f64())
+            .is_some_and(|n| op.eval(n, *value)),
+        FilterFn::StrEq { path, value } => resolve(path, nav)
+            .and_then(|r| r.str_bytes())
+            .is_some_and(|s| s == value.as_bytes()),
+        FilterFn::HasPrefix { path, prefix } => resolve(path, nav)
+            .and_then(|r| r.str_bytes())
+            .is_some_and(|s| s.starts_with(prefix.as_bytes())),
+        FilterFn::BoolEq { path, value } => resolve(path, nav).is_some_and(|r| {
+            (r.tag() == tag::TRUE && *value) || (r.tag() == tag::FALSE && !*value)
+        }),
+        FilterFn::ArrSize { path, op, value } => resolve(path, nav)
+            .is_some_and(|r| r.tag() == tag::ARRAY && op.eval(r.child_count() as i64, *value)),
+        FilterFn::ObjSize { path, op, value } => resolve(path, nav)
+            .is_some_and(|r| r.tag() == tag::OBJECT && op.eval(r.child_count() as i64, *value)),
+    }
+}
+
+/// Evaluates a predicate tree against a binary document.
+pub fn matches<F: BinaryFormat>(doc: &[u8], predicate: &Predicate, nav: &mut NavStats) -> bool {
+    match predicate {
+        Predicate::And(l, r) => matches::<F>(doc, l, nav) && matches::<F>(doc, r, nav),
+        Predicate::Or(l, r) => matches::<F>(doc, l, nav) || matches::<F>(doc, r, nav),
+        Predicate::Leaf(f) => filter_matches::<F>(doc, f, nav),
+    }
+}
+
+/// Encodes scalar values (shared by both formats).
+pub(crate) fn encode_scalar(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(tag::NULL),
+        Value::Bool(false) => out.push(tag::FALSE),
+        Value::Bool(true) => out.push(tag::TRUE),
+        Value::Number(Number::Int(i)) => {
+            out.push(tag::INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Number(Number::Float(f)) => {
+            out.push(tag::FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(tag::STRING);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(_) | Value::Object(_) => {
+            unreachable!("encode_scalar called with a container")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::json;
+
+    #[test]
+    fn raw_views_over_scalars() {
+        let mut out = Vec::new();
+        encode_scalar(&json!(5i64), &mut out);
+        let raw = Raw { bytes: &out };
+        assert_eq!(raw.json_type(), betze_json::JsonType::Int);
+        let mut nav = NavStats::default();
+        assert_eq!(raw.scalar(&mut nav), Some(json!(5i64)));
+        assert_eq!(nav.values_decoded, 1);
+        assert_eq!(raw.child_count(), 0);
+        assert!(raw.str_bytes().is_none());
+    }
+
+    #[test]
+    fn string_bytes_without_alloc() {
+        let mut out = Vec::new();
+        encode_scalar(&json!("hello"), &mut out);
+        let raw = Raw { bytes: &out };
+        assert_eq!(raw.str_bytes(), Some(&b"hello"[..]));
+    }
+}

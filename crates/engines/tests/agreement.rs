@@ -1,0 +1,231 @@
+//! Cross-engine agreement: every simulated engine must produce results
+//! equivalent to the IR's reference semantics (`Query::eval`) on realistic
+//! corpora and predicates — filters, compositions, and aggregations.
+
+use betze_datagen::{DocGenerator, NoBench, RedditLike, TwitterLike};
+use betze_engines::{all_engines, Engine, JodaSim};
+use betze_json::{JsonPointer, Value};
+use betze_model::{AggFunc, Aggregation, Comparison, FilterFn, Predicate, Query};
+use proptest::prelude::*;
+
+fn ptr(s: &str) -> JsonPointer {
+    JsonPointer::parse(s).unwrap()
+}
+
+fn corpora() -> Vec<(&'static str, Vec<Value>)> {
+    vec![
+        ("twitter", TwitterLike::default().generate(5, 200)),
+        ("nobench", NoBench::default().generate(5, 200)),
+        ("reddit", RedditLike.generate(5, 200)),
+    ]
+}
+
+/// A set of predicates exercising every filter kind over realistic paths.
+fn predicates_for(corpus: &str) -> Vec<Predicate> {
+    match corpus {
+        "twitter" => vec![
+            Predicate::leaf(FilterFn::Exists { path: ptr("/user") }),
+            Predicate::leaf(FilterFn::IsString { path: ptr("/text") }),
+            Predicate::leaf(FilterFn::BoolEq { path: ptr("/user/verified"), value: false }),
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/retweet_count"),
+                op: Comparison::Ge,
+                value: 10_000.0,
+            }),
+            Predicate::leaf(FilterFn::HasPrefix { path: ptr("/text"), prefix: "RT ".into() }),
+            Predicate::leaf(FilterFn::ObjSize {
+                path: ptr("/entities"),
+                op: Comparison::Eq,
+                value: 3,
+            }),
+            Predicate::leaf(FilterFn::Exists { path: ptr("/user") })
+                .and(Predicate::leaf(FilterFn::StrEq { path: ptr("/lang"), value: "de".into() })),
+            Predicate::leaf(FilterFn::Exists { path: ptr("/delete") })
+                .or(Predicate::leaf(FilterFn::Exists { path: ptr("/retweeted_status") })),
+        ],
+        "nobench" => vec![
+            Predicate::leaf(FilterFn::BoolEq { path: ptr("/bool_bool"), value: true }),
+            Predicate::leaf(FilterFn::IsString { path: ptr("/dyn1") }),
+            Predicate::leaf(FilterFn::IntEq { path: ptr("/thousandth"), value: 7 }),
+            Predicate::leaf(FilterFn::ArrSize {
+                path: ptr("/nested_arr"),
+                op: Comparison::Ge,
+                value: 3,
+            }),
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/nested_obj/num"),
+                op: Comparison::Lt,
+                value: 500_000.0,
+            }),
+            Predicate::leaf(FilterFn::Exists { path: ptr("/sparse_000") }),
+        ],
+        _ => vec![
+            Predicate::leaf(FilterFn::StrEq { path: ptr("/subreddit"), value: "soccer".into() }),
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Gt,
+                value: 1000.0,
+            }),
+            Predicate::leaf(FilterFn::BoolEq { path: ptr("/edited"), value: true })
+                .or(Predicate::leaf(FilterFn::IntEq { path: ptr("/gilded"), value: 2 })),
+            Predicate::leaf(FilterFn::HasPrefix { path: ptr("/name"), prefix: "t1_".into() }),
+        ],
+    }
+}
+
+#[test]
+fn all_engines_agree_with_reference_on_filters() {
+    for (corpus, docs) in corpora() {
+        for mut engine in all_engines(2) {
+            engine.import(corpus, &docs).unwrap();
+            for predicate in predicates_for(corpus) {
+                let query = Query::scan(corpus).with_filter(predicate.clone());
+                let expected = query.eval(&docs);
+                let got = engine.execute(&query).unwrap().docs;
+                assert_eq!(
+                    got.len(),
+                    expected.len(),
+                    "{} on {corpus}: {predicate}",
+                    engine.name()
+                );
+                for (g, e) in got.iter().zip(&expected) {
+                    assert!(
+                        g.equivalent(e),
+                        "{} on {corpus}: {predicate}\n got {g}\nwant {e}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_engines_agree_on_aggregations() {
+    let aggs = [
+        Aggregation::new(AggFunc::Count { path: JsonPointer::root() }, "count"),
+        Aggregation::new(AggFunc::Sum { path: ptr("/retweet_count") }, "total"),
+        Aggregation::grouped(
+            AggFunc::Count { path: JsonPointer::root() },
+            ptr("/lang"),
+            "count",
+        ),
+        Aggregation::grouped(
+            AggFunc::Sum { path: ptr("/favorite_count") },
+            ptr("/user/verified"),
+            "total",
+        ),
+    ];
+    let docs = TwitterLike::default().generate(9, 300);
+    for mut engine in all_engines(2) {
+        engine.import("twitter", &docs).unwrap();
+        for agg in &aggs {
+            let query = Query::scan("twitter")
+                .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/user") }))
+                .with_aggregation(agg.clone());
+            let expected = query.eval(&docs);
+            let got = engine.execute(&query).unwrap().docs;
+            assert_eq!(got.len(), expected.len(), "{} {agg}", engine.name());
+            for (g, e) in got.iter().zip(&expected) {
+                assert!(g.equivalent(e), "{} {agg}: {g} != {e}", engine.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn eviction_mode_agrees_with_default_joda() {
+    let docs = NoBench::default().generate(3, 150);
+    let mut joda = JodaSim::new(1);
+    let mut evicted = JodaSim::with_eviction(1);
+    joda.import("nb", &docs).unwrap();
+    evicted.import("nb", &docs).unwrap();
+    for predicate in predicates_for("nobench") {
+        let query = Query::scan("nb").with_filter(predicate);
+        let a = joda.execute(&query).unwrap();
+        let b = evicted.execute(&query).unwrap();
+        assert_eq!(a.docs, b.docs);
+        // Eviction mode pays re-parse work the default mode avoids.
+        assert!(b.report.counters.bytes_parsed > 0);
+        assert_eq!(a.report.counters.bytes_parsed, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Engines agree with the reference semantics on arbitrary numeric
+    /// threshold predicates over the NoBench corpus.
+    #[test]
+    fn engines_agree_on_random_thresholds(
+        threshold in 0i64..1000,
+        op_idx in 0usize..5,
+        polarity in any::<bool>(),
+    ) {
+        let docs = NoBench::default().generate(11, 80);
+        let op = Comparison::ALL[op_idx];
+        let predicate = Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr("/thousandth"),
+            op,
+            value: threshold as f64,
+        })
+        .and(Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/bool_bool"),
+            value: polarity,
+        }));
+        let query = Query::scan("nb").with_filter(predicate);
+        let expected = query.eval(&docs);
+        for mut engine in all_engines(1) {
+            engine.import("nb", &docs).unwrap();
+            let got = engine.execute(&query).unwrap().docs;
+            prop_assert_eq!(got.len(), expected.len(), "{}", engine.name());
+            for (g, e) in got.iter().zip(&expected) {
+                prop_assert!(g.equivalent(e), "{}", engine.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_transformed_sessions() {
+    use betze_model::Transform;
+    let docs = RedditLike.generate(21, 150);
+    let query = Query::scan("reddit")
+        .with_filter(Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/edited"),
+            value: false,
+        }))
+        .with_transform(Transform::Rename {
+            from: ptr("/subreddit"),
+            to: "community".into(),
+        })
+        .with_transform(Transform::Remove { path: ptr("/downs") })
+        .with_transform(Transform::Add {
+            path: ptr("/processed"),
+            value: betze_json::Value::Bool(true),
+        })
+        .store_as("step1");
+    let followup = Query::scan("step1").with_filter(Predicate::leaf(FilterFn::StrEq {
+        path: ptr("/community"),
+        value: "soccer".into(),
+    }));
+    let expected = query.eval(&docs);
+    let expected_followup = followup.eval(&expected);
+    assert!(!expected.is_empty());
+    for mut engine in all_engines(2) {
+        engine.import("reddit", &docs).unwrap();
+        let out = engine.execute(&query).unwrap();
+        assert_eq!(out.docs.len(), expected.len(), "{}", engine.name());
+        for (g, e) in out.docs.iter().zip(&expected) {
+            assert!(g.equivalent(e), "{}: {g} != {e}", engine.name());
+            assert!(g.get("community").is_some());
+            assert!(g.get("subreddit").is_none());
+            assert!(g.get("downs").is_none());
+            assert_eq!(g.get("processed"), Some(&betze_json::Value::Bool(true)));
+        }
+        assert!(out.report.counters.transform_ops > 0, "{}", engine.name());
+        // The stored intermediate is the *transformed* dataset.
+        let follow = engine.execute(&followup).unwrap();
+        assert_eq!(follow.docs.len(), expected_followup.len(), "{}", engine.name());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the two binary storage substrates: encode/
+//! decode round-trips and navigation agreement with the reference
+//! `JsonPointer::resolve` semantics, over arbitrary document trees.
+
+use betze_engines::storage::bson::BsonLike;
+use betze_engines::storage::jsonb::JsonbLike;
+use betze_engines::storage::{BinaryFormat, NavStats};
+use betze_json::{JsonPointer, Number, Value};
+use proptest::prelude::*;
+
+/// Arbitrary JSON values (finite numbers; modest size).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(|i| Value::Number(Number::Int(i))),
+        prop::num::f64::NORMAL.prop_map(|f| Value::Number(Number::Float(f))),
+        "[a-z0-9 ]{0,10}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(3, 48, 5, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,5}", inner), 0..5).prop_map(|members| {
+                Value::Object(members.into_iter().collect())
+            }),
+        ]
+    })
+}
+
+/// All object paths of a value, as token vectors (matching the analyzer's
+/// object-only descent plus array index steps).
+fn all_paths(value: &Value, prefix: &mut Vec<String>, out: &mut Vec<Vec<String>>) {
+    match value {
+        Value::Object(obj) => {
+            for (k, v) in obj.iter() {
+                prefix.push(k.to_owned());
+                out.push(prefix.clone());
+                all_paths(v, prefix, out);
+                prefix.pop();
+            }
+        }
+        Value::Array(arr) => {
+            for (i, v) in arr.iter().enumerate() {
+                prefix.push(i.to_string());
+                out.push(prefix.clone());
+                all_paths(v, prefix, out);
+                prefix.pop();
+            }
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bson_round_trip_is_exact(v in arb_value()) {
+        let bytes = BsonLike::encode(&v);
+        // BSON-like preserves member order exactly.
+        prop_assert_eq!(BsonLike::decode(&bytes), Some(v));
+    }
+
+    #[test]
+    fn jsonb_round_trip_is_equivalent(v in arb_value()) {
+        let bytes = JsonbLike::encode(&v);
+        let decoded = JsonbLike::decode(&bytes).expect("decodes");
+        // JSONB-like canonicalizes member order (sorted keys).
+        prop_assert!(decoded.equivalent(&v), "{decoded} vs {v}");
+    }
+
+    #[test]
+    fn navigation_agrees_with_pointer_resolution(v in arb_value()) {
+        let bson = BsonLike::encode(&v);
+        let jsonb = JsonbLike::encode(&v);
+        let mut paths = Vec::new();
+        all_paths(&v, &mut Vec::new(), &mut paths);
+        // Also probe paths that do not exist.
+        paths.push(vec!["definitely_missing".to_owned()]);
+        paths.push(vec!["a".to_owned(), "99".to_owned()]);
+        for tokens in paths {
+            let pointer = JsonPointer::from_tokens(tokens.clone());
+            let reference = pointer.resolve(&v);
+            let mut nav = NavStats::default();
+            let via_bson = BsonLike::navigate(&bson, &tokens, &mut nav)
+                .map(|raw| (raw.json_type(), raw.child_count()));
+            let via_jsonb = JsonbLike::navigate(&jsonb, &tokens, &mut nav)
+                .map(|raw| (raw.json_type(), raw.child_count()));
+            let expected = reference.map(|r| (r.json_type(), r.child_count() as u64));
+            prop_assert_eq!(via_bson, expected, "bson {}", pointer);
+            prop_assert_eq!(via_jsonb, expected, "jsonb {}", pointer);
+        }
+    }
+
+    #[test]
+    fn scalar_decoding_matches_reference(v in arb_value()) {
+        let bson = BsonLike::encode(&v);
+        let mut paths = Vec::new();
+        all_paths(&v, &mut Vec::new(), &mut paths);
+        for tokens in paths {
+            let pointer = JsonPointer::from_tokens(tokens.clone());
+            let reference = pointer.resolve(&v).expect("path exists");
+            if matches!(reference, Value::Array(_) | Value::Object(_)) {
+                continue;
+            }
+            let mut nav = NavStats::default();
+            let raw = BsonLike::navigate(&bson, &tokens, &mut nav).expect("navigates");
+            let scalar = raw.scalar(&mut nav).expect("scalar decodes");
+            prop_assert_eq!(&scalar, reference);
+            prop_assert!(nav.values_decoded >= 1);
+        }
+    }
+}

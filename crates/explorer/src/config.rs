@@ -1,0 +1,253 @@
+//! Explorer configuration and the Table I user presets.
+
+use std::error::Error;
+use std::fmt;
+
+/// The three default user configurations of Table I.
+///
+/// | preset       | α (go back) | β (random jump) | queries per session |
+/// |--------------|-------------|-----------------|---------------------|
+/// | Novice       | 0.5         | 0.3             | 20                  |
+/// | Intermediate | 0.3         | 0.2             | 10                  |
+/// | Expert       | 0.2         | 0.05            | 5                   |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// No tool knowledge, no dataset intuition: much backtracking and
+    /// random jumping over a long session.
+    Novice,
+    /// Knows the tools, some intuition: the chosen path is often correct,
+    /// with minor backtracking. This is BETZE's default.
+    Intermediate,
+    /// Knows tools and data: nearly no backtracking, very little random
+    /// exploration, short sessions.
+    Expert,
+}
+
+impl Preset {
+    /// All presets in paper order.
+    pub const ALL: [Preset; 3] = [Preset::Novice, Preset::Intermediate, Preset::Expert];
+
+    /// The preset's [`ExplorerConfig`] (Table I).
+    pub fn config(&self) -> ExplorerConfig {
+        match self {
+            Preset::Novice => ExplorerConfig::new(0.5, 0.3, 20)
+                .expect("novice preset constants are valid")
+                .with_label("novice"),
+            Preset::Intermediate => ExplorerConfig::new(0.3, 0.2, 10)
+                .expect("intermediate preset constants are valid")
+                .with_label("intermediate"),
+            Preset::Expert => ExplorerConfig::new(0.2, 0.05, 5)
+                .expect("expert preset constants are valid")
+                .with_label("expert"),
+        }
+    }
+
+    /// Parses a preset name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Preset> {
+        match name.to_ascii_lowercase().as_str() {
+            "novice" => Some(Preset::Novice),
+            "intermediate" | "default" => Some(Preset::Intermediate),
+            "expert" => Some(Preset::Expert),
+            _ => None,
+        }
+    }
+
+    /// The preset's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::Novice => "novice",
+            Preset::Intermediate => "intermediate",
+            Preset::Expert => "expert",
+        }
+    }
+}
+
+impl fmt::Display for Preset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An invalid explorer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplorerConfigError {
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidProbability { name: &'static str, value: f64 },
+    /// `α + β` exceeded 1, leaving no probability mass for exploring.
+    ProbabilitiesExceedOne { alpha: f64, beta: f64 },
+    /// The session must generate at least one query.
+    ZeroQueries,
+}
+
+impl fmt::Display for ExplorerConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorerConfigError::InvalidProbability { name, value } => {
+                write!(f, "{name} must be a probability in [0, 1], got {value}")
+            }
+            ExplorerConfigError::ProbabilitiesExceedOne { alpha, beta } => {
+                write!(f, "alpha + beta must not exceed 1, got {alpha} + {beta}")
+            }
+            ExplorerConfigError::ZeroQueries => {
+                write!(f, "queries per session must be at least 1")
+            }
+        }
+    }
+}
+
+impl Error for ExplorerConfigError {}
+
+/// Configuration of the random explorer model.
+///
+/// Construct via [`ExplorerConfig::new`] (validated) or from a
+/// [`Preset`]. Individual fields can then be overridden, mirroring §IV-C:
+/// *"each of these values can also be set explicitly to either overwrite a
+/// part of a preset or create a unique configuration"*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerConfig {
+    /// α — probability of going back to the parent dataset.
+    pub backtrack_probability: f64,
+    /// β — probability of a random jump to any created dataset.
+    pub jump_probability: f64,
+    /// n — number of queries generated per session.
+    pub queries_per_session: usize,
+    /// A label for reports (preset name or "custom").
+    pub label: String,
+}
+
+impl ExplorerConfig {
+    /// Validated constructor.
+    pub fn new(
+        alpha: f64,
+        beta: f64,
+        queries_per_session: usize,
+    ) -> Result<Self, ExplorerConfigError> {
+        for (name, value) in [("alpha", alpha), ("beta", beta)] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(ExplorerConfigError::InvalidProbability { name, value });
+            }
+        }
+        if alpha + beta > 1.0 + 1e-12 {
+            return Err(ExplorerConfigError::ProbabilitiesExceedOne { alpha, beta });
+        }
+        if queries_per_session == 0 {
+            return Err(ExplorerConfigError::ZeroQueries);
+        }
+        Ok(ExplorerConfig {
+            backtrack_probability: alpha,
+            jump_probability: beta,
+            queries_per_session,
+            label: "custom".to_owned(),
+        })
+    }
+
+    /// Sets the label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Overrides the session length (§IV-C); e.g. Fig. 5 fixes `n = 20`
+    /// for every preset.
+    pub fn with_queries_per_session(mut self, n: usize) -> Self {
+        self.queries_per_session = n.max(1);
+        self
+    }
+
+    /// Probability of continuing with the most recent dataset
+    /// (`1 − α − β`).
+    pub fn explore_probability(&self) -> f64 {
+        (1.0 - self.backtrack_probability - self.jump_probability).max(0.0)
+    }
+}
+
+impl Default for ExplorerConfig {
+    /// The paper's default user is the intermediate preset (§IV-C).
+    fn default() -> Self {
+        Preset::Intermediate.config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let novice = Preset::Novice.config();
+        assert_eq!(novice.backtrack_probability, 0.5);
+        assert_eq!(novice.jump_probability, 0.3);
+        assert_eq!(novice.queries_per_session, 20);
+        let intermediate = Preset::Intermediate.config();
+        assert_eq!(intermediate.backtrack_probability, 0.3);
+        assert_eq!(intermediate.jump_probability, 0.2);
+        assert_eq!(intermediate.queries_per_session, 10);
+        let expert = Preset::Expert.config();
+        assert_eq!(expert.backtrack_probability, 0.2);
+        assert_eq!(expert.jump_probability, 0.05);
+        assert_eq!(expert.queries_per_session, 5);
+    }
+
+    #[test]
+    fn session_lengths_halve_by_proficiency() {
+        // Paper §VI-B: each user uses half the queries of the next
+        // less-proficient one.
+        assert_eq!(Preset::Novice.config().queries_per_session, 20);
+        assert_eq!(Preset::Intermediate.config().queries_per_session, 10);
+        assert_eq!(Preset::Expert.config().queries_per_session, 5);
+    }
+
+    #[test]
+    fn default_is_intermediate() {
+        assert_eq!(ExplorerConfig::default(), Preset::Intermediate.config());
+    }
+
+    #[test]
+    fn explore_probability_complements() {
+        let c = Preset::Novice.config();
+        assert!((c.explore_probability() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(matches!(
+            ExplorerConfig::new(-0.1, 0.2, 5),
+            Err(ExplorerConfigError::InvalidProbability { name: "alpha", .. })
+        ));
+        assert!(matches!(
+            ExplorerConfig::new(0.1, 1.2, 5),
+            Err(ExplorerConfigError::InvalidProbability { name: "beta", .. })
+        ));
+        assert!(matches!(
+            ExplorerConfig::new(0.7, 0.6, 5),
+            Err(ExplorerConfigError::ProbabilitiesExceedOne { .. })
+        ));
+        assert!(matches!(
+            ExplorerConfig::new(0.1, 0.1, 0),
+            Err(ExplorerConfigError::ZeroQueries)
+        ));
+        assert!(ExplorerConfig::new(0.5, 0.5, 1).is_ok());
+    }
+
+    #[test]
+    fn preset_parsing() {
+        assert_eq!(Preset::parse("Novice"), Some(Preset::Novice));
+        assert_eq!(Preset::parse("EXPERT"), Some(Preset::Expert));
+        assert_eq!(Preset::parse("default"), Some(Preset::Intermediate));
+        assert_eq!(Preset::parse("wizard"), None);
+        for p in Preset::ALL {
+            assert_eq!(Preset::parse(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn overrides_compose() {
+        let c = Preset::Expert
+            .config()
+            .with_queries_per_session(20)
+            .with_label("fig5-expert");
+        assert_eq!(c.queries_per_session, 20);
+        assert_eq!(c.backtrack_probability, 0.2);
+        assert_eq!(c.label, "fig5-expert");
+    }
+}

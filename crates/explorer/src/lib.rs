@@ -1,0 +1,24 @@
+//! # betze-explorer
+//!
+//! The **random explorer model** (paper §III): a single simulated user
+//! walks over the dataset dependency graph, issuing queries. After each
+//! querying step the user either
+//!
+//! 1. **explores** — issues a new query on the current dataset (probability
+//!    `1 − α − β`),
+//! 2. **returns** — goes back to the parent dataset and queries from there
+//!    (probability `α`),
+//! 3. **jumps** — relocates to any previously created dataset (probability
+//!    `β`), or
+//! 4. **stops** — the session ends once `n` queries have been generated.
+//!
+//! The model is the benchmark's load dial: high `α` produces expensive
+//! re-queries of large parent datasets, high `β` re-visits arbitrary (often
+//! large) datasets, and large `n` lengthens the session. [`Preset`] carries
+//! the paper's Table I defaults for novice, intermediate and expert users.
+
+mod config;
+mod walk;
+
+pub use config::{ExplorerConfig, ExplorerConfigError, Preset};
+pub use walk::{DecisionKind, Explorer, StepDecision};

@@ -1,0 +1,276 @@
+//! The explorer walk: seeded decisions over a dataset graph.
+
+use crate::ExplorerConfig;
+use betze_model::{DatasetGraph, DatasetId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the explorer arrived at the dataset it will query next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Continue on the current dataset.
+    Explore,
+    /// Went back to the parent dataset first.
+    Return,
+    /// Jumped to a random previously-created dataset first.
+    Jump,
+}
+
+/// One step of the walk: query `target`, reached via `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepDecision {
+    /// How the target was reached.
+    pub kind: DecisionKind,
+    /// The dataset the next query must run against.
+    pub target: DatasetId,
+}
+
+/// The seeded random explorer.
+///
+/// Drives query generation: each call to [`Explorer::next_target`] consumes
+/// one of the session's `n` query slots and names the dataset the next
+/// query runs on. After generating the query, the caller reports the newly
+/// created dataset via [`Explorer::advance`].
+///
+/// Decision semantics (matching the Fig. 2 narration): *return* relocates
+/// to the parent and immediately queries it; *jump* relocates to a random
+/// previously-created dataset and queries it; *explore* queries the current
+/// dataset. Degenerate cases fall back to exploring: returning from a base
+/// dataset (no parent) and jumping when no other dataset exists yet.
+#[derive(Debug)]
+pub struct Explorer {
+    config: ExplorerConfig,
+    rng: StdRng,
+    current: DatasetId,
+    issued: usize,
+}
+
+impl Explorer {
+    /// Creates an explorer starting on `start` (usually a base dataset).
+    pub fn new(config: ExplorerConfig, seed: u64, start: DatasetId) -> Self {
+        Explorer {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            current: start,
+            issued: 0,
+        }
+    }
+
+    /// The configuration driving this walk.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.config
+    }
+
+    /// The dataset the explorer is currently on.
+    pub fn current(&self) -> DatasetId {
+        self.current
+    }
+
+    /// Query slots left in the session.
+    pub fn remaining(&self) -> usize {
+        self.config.queries_per_session - self.issued
+    }
+
+    /// Decides where the next query runs, consuming one query slot.
+    /// Returns `None` once `n` queries have been issued (the *stop* move).
+    ///
+    /// The very first query of a session always explores the start dataset
+    /// (there is nothing to return or jump to yet).
+    pub fn next_target(&mut self, graph: &DatasetGraph) -> Option<StepDecision> {
+        if self.issued >= self.config.queries_per_session {
+            return None;
+        }
+        self.issued += 1;
+        if self.issued == 1 {
+            return Some(StepDecision {
+                kind: DecisionKind::Explore,
+                target: self.current,
+            });
+        }
+        let roll: f64 = self.rng.gen();
+        let alpha = self.config.backtrack_probability;
+        let beta = self.config.jump_probability;
+        let decision = if roll < alpha {
+            match graph.node(self.current).and_then(|n| n.parent) {
+                Some(parent) => {
+                    self.current = parent;
+                    StepDecision {
+                        kind: DecisionKind::Return,
+                        target: parent,
+                    }
+                }
+                // Base dataset: backtracking degenerates to exploring.
+                None => StepDecision {
+                    kind: DecisionKind::Explore,
+                    target: self.current,
+                },
+            }
+        } else if roll < alpha + beta {
+            let candidates: Vec<DatasetId> = graph
+                .nodes()
+                .iter()
+                .map(|n| n.id)
+                .filter(|id| *id != self.current)
+                .collect();
+            if candidates.is_empty() {
+                StepDecision {
+                    kind: DecisionKind::Explore,
+                    target: self.current,
+                }
+            } else {
+                let target = candidates[self.rng.gen_range(0..candidates.len())];
+                self.current = target;
+                StepDecision {
+                    kind: DecisionKind::Jump,
+                    target,
+                }
+            }
+        } else {
+            StepDecision {
+                kind: DecisionKind::Explore,
+                target: self.current,
+            }
+        };
+        Some(decision)
+    }
+
+    /// Reports the dataset created by the query just generated; the walk
+    /// continues from there.
+    pub fn advance(&mut self, created: DatasetId) {
+        self.current = created;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Preset;
+    use betze_model::DatasetGraph;
+
+    /// Runs a full walk over a synthetic graph where every query halves the
+    /// estimated count; returns the decision kinds.
+    fn run_walk(config: ExplorerConfig, seed: u64) -> (Vec<DecisionKind>, DatasetGraph) {
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("base", 1024.0);
+        let mut explorer = Explorer::new(config, seed, base);
+        let mut kinds = Vec::new();
+        let mut qidx = 0;
+        while let Some(step) = explorer.next_target(&graph) {
+            kinds.push(step.kind);
+            let est = graph.node(step.target).unwrap().estimated_count / 2.0;
+            let created = graph.add_derived(step.target, format!("d{qidx}"), qidx, est);
+            explorer.advance(created);
+            qidx += 1;
+        }
+        (kinds, graph)
+    }
+
+    #[test]
+    fn generates_exactly_n_queries() {
+        for preset in Preset::ALL {
+            let config = preset.config();
+            let n = config.queries_per_session;
+            let (kinds, graph) = run_walk(config, 123);
+            assert_eq!(kinds.len(), n, "{preset}");
+            // One derived dataset per query, plus the base.
+            assert_eq!(graph.len(), n + 1, "{preset}");
+        }
+    }
+
+    #[test]
+    fn first_move_is_always_explore() {
+        for seed in 0..20 {
+            let (kinds, _) = run_walk(Preset::Novice.config(), seed);
+            assert_eq!(kinds[0], DecisionKind::Explore);
+        }
+    }
+
+    #[test]
+    fn walk_is_deterministic_per_seed() {
+        let (a, ga) = run_walk(Preset::Intermediate.config(), 7);
+        let (b, gb) = run_walk(Preset::Intermediate.config(), 7);
+        assert_eq!(a, b);
+        assert_eq!(ga, gb);
+        let (c, _) = run_walk(Preset::Intermediate.config(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn novice_backtracks_and_jumps_more_than_expert() {
+        let non_explore = |preset: Preset| -> usize {
+            let mut total = 0;
+            for seed in 0..40 {
+                let config = preset.config().with_queries_per_session(20);
+                let (kinds, _) = run_walk(config, seed);
+                total += kinds
+                    .iter()
+                    .filter(|k| !matches!(k, DecisionKind::Explore))
+                    .count();
+            }
+            total
+        };
+        let novice = non_explore(Preset::Novice);
+        let expert = non_explore(Preset::Expert);
+        // Novice: 80% of decisions relocate; expert: 25%.
+        assert!(
+            novice > expert * 2,
+            "novice {novice} should far exceed expert {expert}"
+        );
+    }
+
+    #[test]
+    fn zero_probabilities_always_explore() {
+        let config = ExplorerConfig::new(0.0, 0.0, 15).unwrap();
+        let (kinds, graph) = run_walk(config, 99);
+        assert!(kinds.iter().all(|k| *k == DecisionKind::Explore));
+        // Pure exploring produces a single chain: every node has exactly
+        // one child except the leaf.
+        let leaf_count = graph
+            .nodes()
+            .iter()
+            .filter(|n| graph.children(n.id).is_empty())
+            .count();
+        assert_eq!(leaf_count, 1);
+    }
+
+    #[test]
+    fn alpha_one_oscillates_between_root_and_children() {
+        // α = 1: after the first query the user always returns to the
+        // parent. From depth-1 datasets this lands on the base every time.
+        let config = ExplorerConfig::new(1.0, 0.0, 10).unwrap();
+        let (kinds, graph) = run_walk(config, 5);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == DecisionKind::Return).count(),
+            9
+        );
+        // All derived datasets hang directly off the base.
+        let base = graph.bases()[0];
+        assert_eq!(graph.children(base).len(), 10);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("b", 10.0);
+        let mut explorer = Explorer::new(Preset::Expert.config(), 1, base);
+        assert_eq!(explorer.remaining(), 5);
+        let step = explorer.next_target(&graph).unwrap();
+        assert_eq!(step.target, base);
+        assert_eq!(explorer.remaining(), 4);
+    }
+
+    #[test]
+    fn stops_after_n_and_stays_stopped() {
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("b", 10.0);
+        let mut explorer = Explorer::new(Preset::Expert.config(), 1, base);
+        for i in 0..5 {
+            let step = explorer.next_target(&graph).unwrap();
+            let created = graph.add_derived(step.target, format!("d{i}"), i, 5.0);
+            explorer.advance(created);
+        }
+        assert!(explorer.next_target(&graph).is_none());
+        assert!(explorer.next_target(&graph).is_none());
+        assert_eq!(explorer.remaining(), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Generator configuration (paper §IV-C, "Generating Specialized
+//! Benchmarks").
+
+use betze_explorer::ExplorerConfig;
+use betze_model::PredicateKind;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Whether and how queries aggregate their results (§IV-C "Output of query
+/// results"; the three configurations of Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregateMode {
+    /// No aggregation: queries output the selected documents ("Default").
+    #[default]
+    None,
+    /// Every query aggregates the complete result set with one aggregation
+    /// function ("Agg").
+    All,
+    /// Every query uses a GROUP BY aggregation ("GAgg"); falls back to an
+    /// ungrouped aggregation when no suitable grouping path is found after
+    /// a bounded number of attempts.
+    Grouped,
+}
+
+impl AggregateMode {
+    /// The label used in Table III.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggregateMode::None => "Default",
+            AggregateMode::All => "Agg",
+            AggregateMode::Grouped => "GAgg",
+        }
+    }
+}
+
+impl fmt::Display for AggregateMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How sessions reference intermediate datasets (§IV-C "Materializing query
+/// results").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExportMode {
+    /// Default: every query references the base dataset and extends the
+    /// predicate — dataset `D` derived from `B` (predicate `x`) by
+    /// predicate `y` is exported as a query on the base with `x ∧ y`.
+    #[default]
+    ComposedPredicates,
+    /// Each query stores its result as a named intermediate dataset and
+    /// subsequent queries load that dataset. Incompatible with
+    /// aggregation (an aggregated result is a single document that cannot
+    /// be filtered further).
+    MaterializedIntermediates,
+}
+
+/// An invalid generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeneratorConfigError {
+    /// Selectivity bounds must satisfy `0 < min < max <= 1`.
+    InvalidSelectivityRange { min: f64, max: f64 },
+    /// Materialized intermediates cannot be combined with aggregation
+    /// (paper §IV-C).
+    MaterializeWithAggregation,
+    /// The aggregate fraction must be a probability.
+    InvalidAggregateFraction(f64),
+    /// The transform fraction must be a probability.
+    InvalidTransformFraction(f64),
+    /// Transformations require materialized intermediate datasets.
+    TransformsNeedMaterialization,
+    /// Every predicate kind was excluded.
+    NoPredicateKinds,
+}
+
+impl fmt::Display for GeneratorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorConfigError::InvalidSelectivityRange { min, max } => {
+                write!(f, "selectivity range must satisfy 0 < min < max <= 1, got [{min}, {max}]")
+            }
+            GeneratorConfigError::MaterializeWithAggregation => write!(
+                f,
+                "materialized intermediate datasets cannot be combined with aggregation: \
+                 an aggregated result is a single document that cannot be filtered further"
+            ),
+            GeneratorConfigError::InvalidAggregateFraction(v) => {
+                write!(f, "aggregate fraction must be in [0, 1], got {v}")
+            }
+            GeneratorConfigError::InvalidTransformFraction(v) => {
+                write!(f, "transform fraction must be in [0, 1], got {v}")
+            }
+            GeneratorConfigError::TransformsNeedMaterialization => write!(
+                f,
+                "transformations require the materialized-intermediates export mode: \
+                 a transformed dataset cannot be re-derived by composing predicates \
+                 over the unchanged base dataset"
+            ),
+            GeneratorConfigError::NoPredicateKinds => {
+                write!(f, "predicate include/exclude lists leave no usable predicate kind")
+            }
+        }
+    }
+}
+
+impl Error for GeneratorConfigError {}
+
+/// Full configuration of a generator run. Build with the fluent setters and
+/// freeze with [`GeneratorConfig::validate`] (called by the generator
+/// itself as well).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// The random explorer configuration (preset or custom).
+    pub explorer: ExplorerConfig,
+    /// Minimum selectivity every query must reach (default 0.2).
+    pub selectivity_min: f64,
+    /// Maximum selectivity every query may reach (default 0.9).
+    pub selectivity_max: f64,
+    /// Aggregation mode (default: none).
+    pub aggregate: AggregateMode,
+    /// Fraction of queries that aggregate, when aggregation is enabled
+    /// (paper default: all = 1.0).
+    pub aggregate_fraction: f64,
+    /// Export mode (composed predicates by default).
+    pub export: ExportMode,
+    /// Permissible predicate kinds (inclusion list). `None` allows all.
+    pub included_kinds: Option<BTreeSet<PredicateKind>>,
+    /// Excluded predicate kinds (applied after inclusion).
+    pub excluded_kinds: BTreeSet<PredicateKind>,
+    /// Weighted path choice: prefer attributes close to the document root
+    /// (§IV-C "Weighted paths"; default off).
+    pub weighted_paths: bool,
+    /// Maximum number of paths tried per query before giving up on the
+    /// dataset.
+    pub max_path_attempts: usize,
+    /// Maximum number of AND/OR augmentation conditions per predicate.
+    pub max_augmentations: usize,
+    /// Maximum verification discards per query slot before the generator
+    /// accepts the best candidate so far.
+    pub max_discards: usize,
+    /// Attempts at finding a grouping path for grouped aggregations
+    /// (paper: "the generator will try a limited number of times").
+    pub group_by_attempts: usize,
+    /// Fraction of queries that additionally apply a transformation
+    /// (rename/remove/add, the §VII future-work extension). Default 0.
+    /// Requires the materialized-intermediates export mode, because a
+    /// transformed dataset cannot be re-derived by predicate composition
+    /// alone.
+    pub transform_fraction: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            explorer: ExplorerConfig::default(),
+            selectivity_min: 0.2,
+            selectivity_max: 0.9,
+            aggregate: AggregateMode::None,
+            aggregate_fraction: 1.0,
+            export: ExportMode::ComposedPredicates,
+            included_kinds: None,
+            excluded_kinds: BTreeSet::new(),
+            weighted_paths: false,
+            max_path_attempts: 32,
+            max_augmentations: 3,
+            max_discards: 16,
+            group_by_attempts: 5,
+            transform_fraction: 0.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Starts from defaults with the given explorer configuration.
+    pub fn with_explorer(explorer: ExplorerConfig) -> Self {
+        GeneratorConfig {
+            explorer,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    /// Sets the target selectivity range.
+    pub fn selectivity_range(mut self, min: f64, max: f64) -> Self {
+        self.selectivity_min = min;
+        self.selectivity_max = max;
+        self
+    }
+
+    /// Sets the aggregation mode.
+    pub fn aggregate(mut self, mode: AggregateMode) -> Self {
+        self.aggregate = mode;
+        self
+    }
+
+    /// Sets the fraction of queries that aggregate.
+    pub fn aggregate_fraction(mut self, fraction: f64) -> Self {
+        self.aggregate_fraction = fraction;
+        self
+    }
+
+    /// Sets the export mode.
+    pub fn export(mut self, mode: ExportMode) -> Self {
+        self.export = mode;
+        self
+    }
+
+    /// Restricts generation to the given predicate kinds (inclusion list,
+    /// §IV-C — e.g. only string predicates to benchmark a string index).
+    pub fn include_kinds(mut self, kinds: impl IntoIterator<Item = PredicateKind>) -> Self {
+        self.included_kinds = Some(kinds.into_iter().collect());
+        self
+    }
+
+    /// Excludes predicate kinds.
+    pub fn exclude_kinds(mut self, kinds: impl IntoIterator<Item = PredicateKind>) -> Self {
+        self.excluded_kinds.extend(kinds);
+        self
+    }
+
+    /// Enables weighted path choice.
+    pub fn weighted_paths(mut self, on: bool) -> Self {
+        self.weighted_paths = on;
+        self
+    }
+
+    /// Sets the fraction of queries carrying a transformation (§VII).
+    pub fn transform_fraction(mut self, fraction: f64) -> Self {
+        self.transform_fraction = fraction;
+        self
+    }
+
+    /// The effective set of permissible predicate kinds.
+    pub fn allowed_kinds(&self) -> BTreeSet<PredicateKind> {
+        let base: BTreeSet<PredicateKind> = match &self.included_kinds {
+            Some(set) => set.clone(),
+            None => PredicateKind::ALL.into_iter().collect(),
+        };
+        base.difference(&self.excluded_kinds).copied().collect()
+    }
+
+    /// Validates cross-field constraints.
+    pub fn validate(&self) -> Result<(), GeneratorConfigError> {
+        if !(self.selectivity_min > 0.0
+            && self.selectivity_min < self.selectivity_max
+            && self.selectivity_max <= 1.0)
+        {
+            return Err(GeneratorConfigError::InvalidSelectivityRange {
+                min: self.selectivity_min,
+                max: self.selectivity_max,
+            });
+        }
+        if self.export == ExportMode::MaterializedIntermediates
+            && self.aggregate != AggregateMode::None
+        {
+            return Err(GeneratorConfigError::MaterializeWithAggregation);
+        }
+        if !(0.0..=1.0).contains(&self.aggregate_fraction) {
+            return Err(GeneratorConfigError::InvalidAggregateFraction(
+                self.aggregate_fraction,
+            ));
+        }
+        if self.allowed_kinds().is_empty() {
+            return Err(GeneratorConfigError::NoPredicateKinds);
+        }
+        if !(0.0..=1.0).contains(&self.transform_fraction) {
+            return Err(GeneratorConfigError::InvalidTransformFraction(
+                self.transform_fraction,
+            ));
+        }
+        if self.transform_fraction > 0.0 && self.export != ExportMode::MaterializedIntermediates {
+            return Err(GeneratorConfigError::TransformsNeedMaterialization);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GeneratorConfig::default();
+        assert_eq!(c.selectivity_min, 0.2);
+        assert_eq!(c.selectivity_max, 0.9);
+        assert_eq!(c.aggregate, AggregateMode::None);
+        assert_eq!(c.aggregate_fraction, 1.0);
+        assert_eq!(c.export, ExportMode::ComposedPredicates);
+        assert!(!c.weighted_paths);
+        assert_eq!(c.explorer.label, "intermediate");
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn include_exclude_compose() {
+        let c = GeneratorConfig::default()
+            .include_kinds([PredicateKind::StringEquality, PredicateKind::StringPrefix])
+            .exclude_kinds([PredicateKind::StringPrefix]);
+        let kinds = c.allowed_kinds();
+        assert_eq!(kinds.len(), 1);
+        assert!(kinds.contains(&PredicateKind::StringEquality));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_kind_set() {
+        let c = GeneratorConfig::default().include_kinds([PredicateKind::Exists]).exclude_kinds([PredicateKind::Exists]);
+        assert_eq!(c.validate(), Err(GeneratorConfigError::NoPredicateKinds));
+    }
+
+    #[test]
+    fn rejects_bad_selectivity_ranges() {
+        for (min, max) in [(0.0, 0.9), (0.5, 0.4), (0.2, 1.5), (0.5, 0.5)] {
+            let c = GeneratorConfig::default().selectivity_range(min, max);
+            assert!(
+                matches!(c.validate(), Err(GeneratorConfigError::InvalidSelectivityRange { .. })),
+                "({min}, {max})"
+            );
+        }
+    }
+
+    #[test]
+    fn materialize_plus_aggregation_rejected() {
+        let c = GeneratorConfig::default()
+            .export(ExportMode::MaterializedIntermediates)
+            .aggregate(AggregateMode::All);
+        assert_eq!(
+            c.validate(),
+            Err(GeneratorConfigError::MaterializeWithAggregation)
+        );
+        let ok = GeneratorConfig::default().export(ExportMode::MaterializedIntermediates);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn aggregate_mode_labels_match_table3() {
+        assert_eq!(AggregateMode::None.label(), "Default");
+        assert_eq!(AggregateMode::All.label(), "Agg");
+        assert_eq!(AggregateMode::Grouped.label(), "GAgg");
+    }
+}

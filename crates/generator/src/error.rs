@@ -1,0 +1,47 @@
+//! Generator errors.
+
+use crate::GeneratorConfigError;
+use std::error::Error;
+use std::fmt;
+
+/// An error aborting session generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenerateError {
+    /// The configuration failed validation.
+    Config(GeneratorConfigError),
+    /// The input analysis has no documents or no usable attribute paths.
+    EmptyAnalysis { dataset: String },
+    /// No applicable predicate could be generated on any available dataset
+    /// (all paths exhausted on every candidate dataset).
+    NoApplicablePredicate { query_index: usize },
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::Config(e) => write!(f, "invalid generator configuration: {e}"),
+            GenerateError::EmptyAnalysis { dataset } => {
+                write!(f, "dataset '{dataset}' has no documents or no attribute paths to query")
+            }
+            GenerateError::NoApplicablePredicate { query_index } => write!(
+                f,
+                "could not generate an applicable predicate for query {query_index} on any dataset"
+            ),
+        }
+    }
+}
+
+impl Error for GenerateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GenerateError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeneratorConfigError> for GenerateError {
+    fn from(e: GeneratorConfigError) -> Self {
+        GenerateError::Config(e)
+    }
+}

@@ -1,0 +1,912 @@
+//! Predicate factories (paper §IV-D).
+//!
+//! *"For each function, one Factory class has to be implemented with two
+//! functions. First, given a specific path of the analyzed dataset, the
+//! factory has to decide whether the function can be generated for the
+//! given path. […] After the system chooses one possible predicate factory,
+//! it will call its Generate function. Given a dataset path with
+//! statistics, a random generator, and an exclusion list of already
+//! generated predicates to prevent duplicates, it generates a query
+//! predicate with a desired selectivity."*
+//!
+//! Each factory produces a [`Candidate`] carrying the instantiated filter
+//! plus its **estimated** selectivity (fraction of the dataset's documents
+//! expected to match). The estimate rescales the target range by the
+//! path's type selectivity, as in the paper's worked example: a path with
+//! 90 % numeric values and target `[0.2, 0.9]` aims for a fraction
+//! `[0.2/0.9, 0.9/0.9] = [0.22, 1]` *of the numeric values*.
+
+use betze_json::JsonPointer;
+use betze_model::{Comparison, FilterFn, PredicateKind};
+use betze_stats::PathStats;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Context shared by all factories during one generation step.
+#[derive(Debug, Clone)]
+pub struct FactoryContext<'a> {
+    /// Number of documents in the target dataset.
+    pub doc_count: u64,
+    /// Target selectivity lower bound.
+    pub lo: f64,
+    /// Target selectivity upper bound.
+    pub hi: f64,
+    /// Already-generated filters in the current predicate, to avoid
+    /// duplicates.
+    pub exclusions: &'a [FilterFn],
+}
+
+impl<'a> FactoryContext<'a> {
+    fn n(&self) -> f64 {
+        self.doc_count.max(1) as f64
+    }
+
+    fn excluded(&self, candidate: &FilterFn) -> bool {
+        self.exclusions.iter().any(|f| f == candidate)
+    }
+}
+
+/// An instantiated filter plus its estimated selectivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The filter function.
+    pub filter: FilterFn,
+    /// Estimated fraction of documents matching it.
+    pub estimated_selectivity: f64,
+}
+
+/// A predicate factory: decides applicability and instantiates filters.
+pub trait PredicateFactory {
+    /// The predicate kind this factory produces.
+    fn kind(&self) -> PredicateKind;
+
+    /// Whether this predicate can be generated for a path with these
+    /// statistics. (Paper: *"if the dataset does not have any statistics
+    /// about the minimum and maximum numerical values of an attribute or
+    /// no numerical data exists at all, we cannot create a numerical
+    /// comparison predicate"*.)
+    fn applicable(&self, stats: &PathStats, ctx: &FactoryContext<'_>) -> bool;
+
+    /// Instantiates a filter targeting the context's selectivity range.
+    /// Returns `None` when no non-duplicate instantiation exists.
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        rng: &mut StdRng,
+    ) -> Option<Candidate>;
+}
+
+/// All built-in factories, in the order the paper lists the predicates.
+pub fn all_factories() -> Vec<Box<dyn PredicateFactory>> {
+    vec![
+        Box::new(ExistsFactory),
+        Box::new(IsStringFactory),
+        Box::new(IntEqFactory),
+        Box::new(FloatCmpFactory),
+        Box::new(StrEqFactory),
+        Box::new(HasPrefixFactory),
+        Box::new(BoolEqFactory),
+        Box::new(ArrSizeFactory),
+        Box::new(ObjSizeFactory),
+    ]
+}
+
+/// `EXISTS(<ptr>)`. Applicable when the attribute is present in some but
+/// not all documents — an always-true (or never-true) existence test cannot
+/// filter anything.
+pub struct ExistsFactory;
+
+impl PredicateFactory for ExistsFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::Exists
+    }
+
+    fn applicable(&self, stats: &PathStats, ctx: &FactoryContext<'_>) -> bool {
+        stats.doc_count > 0 && stats.doc_count < ctx.doc_count
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        _rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        let filter = FilterFn::Exists { path: path.clone() };
+        if ctx.excluded(&filter) {
+            return None;
+        }
+        Some(Candidate {
+            estimated_selectivity: stats.doc_count as f64 / ctx.n(),
+            filter,
+        })
+    }
+}
+
+/// `ISSTRING(<ptr>)`. Applicable when the attribute is a string in some but
+/// not all documents.
+pub struct IsStringFactory;
+
+impl PredicateFactory for IsStringFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::IsString
+    }
+
+    fn applicable(&self, stats: &PathStats, ctx: &FactoryContext<'_>) -> bool {
+        stats.string_count > 0 && stats.string_count < ctx.doc_count
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        _rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        let filter = FilterFn::IsString { path: path.clone() };
+        if ctx.excluded(&filter) {
+            return None;
+        }
+        Some(Candidate {
+            estimated_selectivity: stats.string_count as f64 / ctx.n(),
+            filter,
+        })
+    }
+}
+
+/// `<ptr> == <int>`. Uniform-distribution estimate over the observed
+/// integer range; applicable only when a single equality can plausibly
+/// reach the target range even after OR-augmentation (estimated as a
+/// factor-8 headroom, i.e. three doublings).
+pub struct IntEqFactory;
+
+impl PredicateFactory for IntEqFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::IntEquality
+    }
+
+    fn applicable(&self, stats: &PathStats, ctx: &FactoryContext<'_>) -> bool {
+        let (Some(min), Some(max)) = (stats.int_min, stats.int_max) else {
+            return false;
+        };
+        if stats.int_count == 0 {
+            return false;
+        }
+        let distinct = (max - min + 1).max(1) as f64;
+        let single = stats.int_count as f64 / ctx.n() / distinct;
+        single * 8.0 >= ctx.lo
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        let (min, max) = (stats.int_min?, stats.int_max?);
+        let distinct = (max - min + 1).max(1) as f64;
+        let est = stats.int_count as f64 / ctx.n() / distinct;
+        // Two draws to dodge the exclusion list.
+        for _ in 0..2 {
+            let value = rng.gen_range(min..=max);
+            let filter = FilterFn::IntEq {
+                path: path.clone(),
+                value,
+            };
+            if !ctx.excluded(&filter) {
+                return Some(Candidate {
+                    filter,
+                    estimated_selectivity: est,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// `<ptr> <comparison> <float>`: a range comparison over all numeric
+/// values, instantiated to hit a target fraction of them under a uniform
+/// assumption (the paper's `[path] >= 5` example).
+pub struct FloatCmpFactory;
+
+impl PredicateFactory for FloatCmpFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::FloatComparison
+    }
+
+    fn applicable(&self, stats: &PathStats, _ctx: &FactoryContext<'_>) -> bool {
+        stats.numeric_count() > 0 && stats.numeric_range().is_some()
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        let (min, max) = stats.numeric_range()?;
+        let type_sel = stats.numeric_count() as f64 / ctx.n();
+        if max <= min {
+            // Degenerate range: only equality with the single value works.
+            let filter = FilterFn::FloatCmp {
+                path: path.clone(),
+                op: Comparison::Ge,
+                value: min,
+            };
+            if ctx.excluded(&filter) {
+                return None;
+            }
+            return Some(Candidate {
+                filter,
+                estimated_selectivity: type_sel,
+            });
+        }
+        // Rescale the target range by the type selectivity (paper §IV-B
+        // example) and draw the targeted fraction of numeric values.
+        let frac_lo = (ctx.lo / type_sel).clamp(0.0, 1.0);
+        let frac_hi = (ctx.hi / type_sel).clamp(frac_lo, 1.0);
+        let frac = if frac_hi > frac_lo {
+            rng.gen_range(frac_lo..=frac_hi)
+        } else {
+            frac_hi
+        };
+        for _ in 0..2 {
+            // With a histogram (the §VII extension), place the threshold
+            // by quantile and estimate the matched fraction from the real
+            // distribution; otherwise fall back to the uniform assumption.
+            let (op, value, est_frac) = match (&stats.numeric_histogram, rng.gen_range(0..4)) {
+                (Some(hist), dir) if hist.total() > 0 => {
+                    let (op, value) = match dir {
+                        0 => (Comparison::Gt, hist.threshold_for_top_fraction(frac)),
+                        1 => (Comparison::Ge, hist.threshold_for_top_fraction(frac)),
+                        2 => (Comparison::Lt, hist.threshold_for_bottom_fraction(frac)),
+                        _ => (Comparison::Le, hist.threshold_for_bottom_fraction(frac)),
+                    };
+                    let est = match op {
+                        Comparison::Lt | Comparison::Le => hist.fraction_le(value),
+                        _ => 1.0 - hist.fraction_le(value),
+                    };
+                    (op, value, est)
+                }
+                (_, 0) => (Comparison::Gt, max - frac * (max - min), frac),
+                (_, 1) => (Comparison::Ge, max - frac * (max - min), frac),
+                (_, 2) => (Comparison::Lt, min + frac * (max - min), frac),
+                (_, _) => (Comparison::Le, min + frac * (max - min), frac),
+            };
+            let filter = FilterFn::FloatCmp {
+                path: path.clone(),
+                op,
+                value,
+            };
+            if !ctx.excluded(&filter) {
+                return Some(Candidate {
+                    filter,
+                    estimated_selectivity: est_frac * type_sel,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// `<ptr> == <string>`: equality against a sampled exact value with known
+/// occurrence count. Prefers values whose selectivity already falls in the
+/// target range.
+pub struct StrEqFactory;
+
+impl PredicateFactory for StrEqFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::StringEquality
+    }
+
+    fn applicable(&self, stats: &PathStats, _ctx: &FactoryContext<'_>) -> bool {
+        !stats.string_values.is_empty()
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        pick_weighted_string(
+            &stats.string_values,
+            ctx,
+            rng,
+            |value| FilterFn::StrEq {
+                path: path.clone(),
+                value,
+            },
+        )
+    }
+}
+
+/// `HASPREFIX(<ptr>, <string>)`: prefix test against an observed prefix
+/// group. Prefers prefixes whose group size already falls in the target
+/// range.
+pub struct HasPrefixFactory;
+
+impl PredicateFactory for HasPrefixFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::StringPrefix
+    }
+
+    fn applicable(&self, stats: &PathStats, _ctx: &FactoryContext<'_>) -> bool {
+        !stats.prefixes.is_empty()
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        pick_weighted_string(
+            &stats.prefixes,
+            ctx,
+            rng,
+            |prefix| FilterFn::HasPrefix {
+                path: path.clone(),
+                prefix,
+            },
+        )
+    }
+}
+
+/// Shared chooser for string-valued candidates `(text, count)`: prefer
+/// entries with in-range selectivity, otherwise fall back to the entry
+/// closest to the range.
+fn pick_weighted_string(
+    entries: &[(String, u64)],
+    ctx: &FactoryContext<'_>,
+    rng: &mut StdRng,
+    mut make: impl FnMut(String) -> FilterFn,
+) -> Option<Candidate> {
+    if entries.is_empty() {
+        return None;
+    }
+    let n = ctx.n();
+    let in_range: Vec<&(String, u64)> = entries
+        .iter()
+        .filter(|(_, c)| {
+            let sel = *c as f64 / n;
+            sel >= ctx.lo && sel <= ctx.hi
+        })
+        .collect();
+    let pool: Vec<&(String, u64)> = if in_range.is_empty() {
+        entries.iter().collect()
+    } else {
+        in_range
+    };
+    // Up to three draws to dodge the exclusion list.
+    for _ in 0..3 {
+        let (text, count) = pool[rng.gen_range(0..pool.len())];
+        let filter = make(text.clone());
+        if !ctx.excluded(&filter) {
+            return Some(Candidate {
+                filter,
+                estimated_selectivity: *count as f64 / n,
+            });
+        }
+    }
+    None
+}
+
+/// `<ptr> == <bool>`: picks the polarity whose selectivity is closest to
+/// the target range (both polarities are tried against the exclusion list).
+pub struct BoolEqFactory;
+
+impl PredicateFactory for BoolEqFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::BoolEquality
+    }
+
+    fn applicable(&self, stats: &PathStats, _ctx: &FactoryContext<'_>) -> bool {
+        stats.bool_count > 0
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        let n = ctx.n();
+        let true_sel = stats.true_count as f64 / n;
+        let false_sel = (stats.bool_count - stats.true_count) as f64 / n;
+        let mut options = [(true, true_sel), (false, false_sel)];
+        if rng.gen_bool(0.5) {
+            options.swap(0, 1);
+        }
+        // Prefer the in-range polarity; otherwise the larger one.
+        options.sort_by(|a, b| {
+            let score = |sel: f64| {
+                if sel >= ctx.lo && sel <= ctx.hi {
+                    2
+                } else if sel > 0.0 {
+                    1
+                } else {
+                    0
+                }
+            };
+            score(b.1).cmp(&score(a.1)).then(
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        for (value, sel) in options {
+            if sel <= 0.0 {
+                continue;
+            }
+            let filter = FilterFn::BoolEq {
+                path: path.clone(),
+                value,
+            };
+            if !ctx.excluded(&filter) {
+                return Some(Candidate {
+                    filter,
+                    estimated_selectivity: sel,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Shared implementation for the two size-comparison factories.
+fn size_candidate(
+    _path: &JsonPointer,
+    type_count: u64,
+    min: u64,
+    max: u64,
+    ctx: &FactoryContext<'_>,
+    rng: &mut StdRng,
+    mut make: impl FnMut(Comparison, i64) -> FilterFn,
+) -> Option<Candidate> {
+    let type_sel = type_count as f64 / ctx.n();
+    if max <= min {
+        let filter = make(Comparison::Eq, min as i64);
+        if ctx.excluded(&filter) {
+            return None;
+        }
+        return Some(Candidate {
+            filter,
+            estimated_selectivity: type_sel,
+        });
+    }
+    let distinct = (max - min + 1) as f64;
+    let frac_lo = (ctx.lo / type_sel).clamp(0.0, 1.0);
+    let frac_hi = (ctx.hi / type_sel).clamp(frac_lo, 1.0);
+    let frac = if frac_hi > frac_lo {
+        rng.gen_range(frac_lo..=frac_hi)
+    } else {
+        frac_hi
+    };
+    let span = (max - min) as f64;
+    for _ in 0..3 {
+        let (op, value, est_frac) = match rng.gen_range(0..5) {
+            0 => (Comparison::Gt, (max as f64 - frac * span).round(), frac),
+            1 => (Comparison::Ge, (max as f64 - frac * span).round(), frac),
+            2 => (Comparison::Lt, (min as f64 + frac * span).round(), frac),
+            3 => (Comparison::Le, (min as f64 + frac * span).round(), frac),
+            _ => (
+                Comparison::Eq,
+                rng.gen_range(min..=max) as f64,
+                1.0 / distinct,
+            ),
+        };
+        let filter = make(op, value as i64);
+        if !ctx.excluded(&filter) {
+            return Some(Candidate {
+                filter,
+                estimated_selectivity: est_frac * type_sel,
+            });
+        }
+    }
+    None
+}
+
+/// `ARRSIZE(<ptr>) <comparison> <int>`.
+pub struct ArrSizeFactory;
+
+impl PredicateFactory for ArrSizeFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::ArraySize
+    }
+
+    fn applicable(&self, stats: &PathStats, _ctx: &FactoryContext<'_>) -> bool {
+        stats.array_count > 0
+            && stats.array_min_size.is_some()
+            && stats.array_max_size.is_some()
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        size_candidate(
+            path,
+            stats.array_count,
+            stats.array_min_size?,
+            stats.array_max_size?,
+            ctx,
+            rng,
+            |op, value| FilterFn::ArrSize {
+                path: path.clone(),
+                op,
+                value,
+            },
+        )
+    }
+}
+
+/// `OBJSIZE(<ptr>) <comparison> <int>`.
+pub struct ObjSizeFactory;
+
+impl PredicateFactory for ObjSizeFactory {
+    fn kind(&self) -> PredicateKind {
+        PredicateKind::ObjectSize
+    }
+
+    fn applicable(&self, stats: &PathStats, _ctx: &FactoryContext<'_>) -> bool {
+        stats.object_count > 0
+            && stats.object_min_children.is_some()
+            && stats.object_max_children.is_some()
+    }
+
+    fn generate(
+        &self,
+        path: &JsonPointer,
+        stats: &PathStats,
+        ctx: &FactoryContext<'_>,
+        rng: &mut StdRng,
+    ) -> Option<Candidate> {
+        size_candidate(
+            path,
+            stats.object_count,
+            stats.object_min_children?,
+            stats.object_max_children?,
+            ctx,
+            rng,
+            |op, value| FilterFn::ObjSize {
+                path: path.clone(),
+                op,
+                value,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn ctx(doc_count: u64) -> FactoryContext<'static> {
+        FactoryContext {
+            doc_count,
+            lo: 0.2,
+            hi: 0.9,
+            exclusions: &[],
+        }
+    }
+
+    fn path() -> JsonPointer {
+        JsonPointer::parse("/a").unwrap()
+    }
+
+    #[test]
+    fn exists_requires_partial_presence() {
+        let f = ExistsFactory;
+        let partial = PathStats { doc_count: 40, ..Default::default() };
+        let total = PathStats { doc_count: 100, ..Default::default() };
+        let absent = PathStats::default();
+        assert!(f.applicable(&partial, &ctx(100)));
+        assert!(!f.applicable(&total, &ctx(100)), "always-true EXISTS is useless");
+        assert!(!f.applicable(&absent, &ctx(100)));
+        let cand = f.generate(&path(), &partial, &ctx(100), &mut rng()).unwrap();
+        assert_eq!(cand.estimated_selectivity, 0.4);
+        assert_eq!(cand.filter.kind(), PredicateKind::Exists);
+    }
+
+    #[test]
+    fn isstring_estimates_type_fraction() {
+        let f = IsStringFactory;
+        let stats = PathStats { doc_count: 80, string_count: 60, ..Default::default() };
+        assert!(f.applicable(&stats, &ctx(100)));
+        let cand = f.generate(&path(), &stats, &ctx(100), &mut rng()).unwrap();
+        assert!((cand.estimated_selectivity - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_eq_needs_reachable_selectivity() {
+        let f = IntEqFactory;
+        let narrow = PathStats {
+            doc_count: 100,
+            int_count: 100,
+            int_min: Some(0),
+            int_max: Some(3),
+            ..Default::default()
+        };
+        let wide = PathStats {
+            doc_count: 100,
+            int_count: 100,
+            int_min: Some(0),
+            int_max: Some(1_000_000),
+            ..Default::default()
+        };
+        assert!(f.applicable(&narrow, &ctx(100)));
+        assert!(!f.applicable(&wide, &ctx(100)), "1e-6 selectivity unreachable");
+        let cand = f.generate(&path(), &narrow, &ctx(100), &mut rng()).unwrap();
+        match cand.filter {
+            FilterFn::IntEq { value, .. } => assert!((0..=3).contains(&value)),
+            other => panic!("wrong filter {other:?}"),
+        }
+        assert!((cand.estimated_selectivity - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_cmp_targets_fraction_of_numeric_values() {
+        let f = FloatCmpFactory;
+        let stats = PathStats {
+            doc_count: 100,
+            int_count: 50,
+            int_min: Some(0),
+            int_max: Some(10),
+            float_count: 40,
+            float_min: Some(-5.0),
+            float_max: Some(20.0),
+            ..Default::default()
+        };
+        assert!(f.applicable(&stats, &ctx(100)));
+        for _ in 0..20 {
+            let cand = f.generate(&path(), &stats, &ctx(100), &mut rng()).unwrap();
+            let sel = cand.estimated_selectivity;
+            assert!(sel >= 0.2 - 1e-9 && sel <= 0.9 + 1e-9, "sel {sel}");
+            match cand.filter {
+                FilterFn::FloatCmp { value, .. } => {
+                    assert!((-5.0..=20.0).contains(&value));
+                }
+                other => panic!("wrong filter {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn float_cmp_degenerate_range() {
+        let f = FloatCmpFactory;
+        let stats = PathStats {
+            doc_count: 10,
+            float_count: 5,
+            float_min: Some(2.5),
+            float_max: Some(2.5),
+            ..Default::default()
+        };
+        let cand = f.generate(&path(), &stats, &ctx(10), &mut rng()).unwrap();
+        assert_eq!(cand.estimated_selectivity, 0.5);
+    }
+
+    #[test]
+    fn str_eq_prefers_in_range_values() {
+        let f = StrEqFactory;
+        let stats = PathStats {
+            doc_count: 100,
+            string_count: 100,
+            string_values: vec![
+                ("rare".into(), 1),
+                ("half".into(), 50),
+                ("tiny".into(), 2),
+            ],
+            ..Default::default()
+        };
+        assert!(f.applicable(&stats, &ctx(100)));
+        let mut r = rng();
+        for _ in 0..10 {
+            let cand = f.generate(&path(), &stats, &ctx(100), &mut r).unwrap();
+            match &cand.filter {
+                FilterFn::StrEq { value, .. } => assert_eq!(value, "half"),
+                other => panic!("wrong filter {other:?}"),
+            }
+            assert_eq!(cand.estimated_selectivity, 0.5);
+        }
+    }
+
+    #[test]
+    fn has_prefix_falls_back_when_nothing_in_range() {
+        let f = HasPrefixFactory;
+        let stats = PathStats {
+            doc_count: 100,
+            string_count: 100,
+            prefixes: vec![("a".into(), 5), ("b".into(), 3)],
+            ..Default::default()
+        };
+        let cand = f.generate(&path(), &stats, &ctx(100), &mut rng()).unwrap();
+        assert!(cand.estimated_selectivity <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn bool_eq_picks_in_range_polarity() {
+        let f = BoolEqFactory;
+        let stats = PathStats {
+            doc_count: 100,
+            bool_count: 100,
+            true_count: 30,
+            ..Default::default()
+        };
+        let mut r = rng();
+        let cand = f.generate(&path(), &stats, &ctx(100), &mut r).unwrap();
+        // Both polarities (0.3, 0.7) are in range; either is fine, but the
+        // selectivity must match the chosen value.
+        match cand.filter {
+            FilterFn::BoolEq { value: true, .. } => {
+                assert!((cand.estimated_selectivity - 0.3).abs() < 1e-12)
+            }
+            FilterFn::BoolEq { value: false, .. } => {
+                assert!((cand.estimated_selectivity - 0.7).abs() < 1e-12)
+            }
+            other => panic!("wrong filter {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bool_eq_skips_zero_count_polarity() {
+        let f = BoolEqFactory;
+        let all_true = PathStats {
+            doc_count: 10,
+            bool_count: 10,
+            true_count: 10,
+            ..Default::default()
+        };
+        let cand = f.generate(&path(), &all_true, &ctx(10), &mut rng()).unwrap();
+        assert!(matches!(cand.filter, FilterFn::BoolEq { value: true, .. }));
+    }
+
+    #[test]
+    fn size_factories_need_ranges() {
+        let arr = ArrSizeFactory;
+        let stats = PathStats {
+            doc_count: 100,
+            array_count: 50,
+            array_min_size: Some(0),
+            array_max_size: Some(8),
+            ..Default::default()
+        };
+        assert!(arr.applicable(&stats, &ctx(100)));
+        assert!(!arr.applicable(&PathStats::default(), &ctx(100)));
+        let cand = arr.generate(&path(), &stats, &ctx(100), &mut rng()).unwrap();
+        assert!(matches!(cand.filter, FilterFn::ArrSize { .. }));
+        assert!(cand.estimated_selectivity > 0.0);
+        assert!(cand.estimated_selectivity <= 0.5 + 1e-9);
+
+        let obj = ObjSizeFactory;
+        let ostats = PathStats {
+            doc_count: 100,
+            object_count: 100,
+            object_min_children: Some(2),
+            object_max_children: Some(2),
+            ..Default::default()
+        };
+        let cand = obj.generate(&path(), &ostats, &ctx(100), &mut rng()).unwrap();
+        assert!(matches!(
+            cand.filter,
+            FilterFn::ObjSize { op: Comparison::Eq, value: 2, .. }
+        ));
+        assert_eq!(cand.estimated_selectivity, 1.0);
+    }
+
+    #[test]
+    fn exclusion_list_prevents_duplicates() {
+        let f = ExistsFactory;
+        let stats = PathStats { doc_count: 40, ..Default::default() };
+        let existing = [FilterFn::Exists { path: path() }];
+        let ctx = FactoryContext {
+            doc_count: 100,
+            lo: 0.2,
+            hi: 0.9,
+            exclusions: &existing,
+        };
+        assert!(f.generate(&path(), &stats, &ctx, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn all_factories_cover_all_kinds() {
+        let kinds: Vec<PredicateKind> = all_factories().iter().map(|f| f.kind()).collect();
+        assert_eq!(kinds, PredicateKind::ALL.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod histogram_factory_tests {
+    use super::*;
+    use betze_stats::{Histogram, PathStats};
+    use rand::SeedableRng;
+
+    /// A skewed distribution: 90 % of values in the lowest tenth of the
+    /// range. The uniform assumption would badly misplace thresholds.
+    fn skewed_stats() -> PathStats {
+        let mut hist = Histogram::new(0.0, 100.0, 20).unwrap();
+        for i in 0..900 {
+            hist.add((i % 100) as f64 / 10.0);
+        }
+        for i in 0..100 {
+            hist.add(10.0 + 90.0 * (i as f64 / 100.0));
+        }
+        PathStats {
+            doc_count: 1000,
+            float_count: 1000,
+            float_min: Some(0.0),
+            float_max: Some(100.0),
+            numeric_histogram: Some(hist),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn histogram_estimates_land_in_range_on_skewed_data() {
+        let f = FloatCmpFactory;
+        let stats = skewed_stats();
+        let ctx = FactoryContext {
+            doc_count: 1000,
+            lo: 0.2,
+            hi: 0.9,
+            exclusions: &[],
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let cand = f.generate(&JsonPointer::parse("/v").unwrap(), &stats, &ctx, &mut rng)
+                .unwrap();
+            let sel = cand.estimated_selectivity;
+            assert!(
+                (0.15..=0.95).contains(&sel),
+                "histogram-guided estimate {sel} should stay near the target range"
+            );
+            // Thresholds land where the data actually is: for Gt/Ge on
+            // this skew, well inside the dense low region far from the
+            // uniform midpoint when large fractions are requested.
+            if let FilterFn::FloatCmp { op: Comparison::Gt | Comparison::Ge, value, .. } =
+                cand.filter
+            {
+                if sel > 0.5 {
+                    assert!(value < 20.0, "threshold {value} for sel {sel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_fallback_without_histogram() {
+        let f = FloatCmpFactory;
+        let stats = PathStats {
+            doc_count: 100,
+            float_count: 100,
+            float_min: Some(0.0),
+            float_max: Some(100.0),
+            numeric_histogram: None,
+            ..Default::default()
+        };
+        let ctx = FactoryContext {
+            doc_count: 100,
+            lo: 0.2,
+            hi: 0.9,
+            exclusions: &[],
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let cand = f
+            .generate(&JsonPointer::parse("/v").unwrap(), &stats, &ctx, &mut rng)
+            .unwrap();
+        assert!((0.2..=0.9).contains(&cand.estimated_selectivity));
+    }
+}

@@ -1,0 +1,916 @@
+//! The session generation loop (paper §IV-B).
+
+use crate::factory::{all_factories, Candidate, FactoryContext, PredicateFactory};
+use crate::{
+    AggregateMode, ExportMode, GenerateError, GeneratorConfig, PathPicker, SelectivityBackend,
+};
+use betze_explorer::{DecisionKind, Explorer};
+use betze_json::JsonPointer;
+use betze_model::{
+    AggFunc, Aggregation, DatasetGraph, DatasetId, FilterFn, Move, Predicate, Query, Session,
+    Transform,
+};
+use betze_stats::DatasetAnalysis;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Per-query provenance collected during generation.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// The exported query (shape depends on the export mode).
+    pub query: Query,
+    /// The predicate added by this step alone.
+    pub local_predicate: Predicate,
+    /// The full predicate chain from the base dataset.
+    pub full_predicate: Predicate,
+    /// The dataset the step queried.
+    pub target: DatasetId,
+    /// The dataset the step created.
+    pub created: DatasetId,
+    /// The generator's estimated selectivity (vs. the *target* dataset).
+    pub estimated_selectivity: f64,
+    /// The backend-verified selectivity, when a backend was configured.
+    pub verified_selectivity: Option<f64>,
+    /// Candidates discarded for missing the target range before this query
+    /// was accepted.
+    pub discarded_candidates: usize,
+}
+
+/// The result of one generator run.
+#[derive(Debug, Clone)]
+pub struct GenerationOutcome {
+    /// The generated session (queries + graph + moves).
+    pub session: Session,
+    /// Per-query provenance, parallel to `session.queries`.
+    pub records: Vec<QueryRecord>,
+    /// Total candidates discarded by selectivity verification.
+    pub discarded_total: usize,
+    /// Wall-clock time spent generating (the paper reports this separately
+    /// from analysis time; §VI-A measures 14 s generation vs. 17 m
+    /// analysis per session at full scale).
+    pub generation_time: Duration,
+}
+
+/// Internal per-dataset state.
+struct DatasetState {
+    name: String,
+    analysis: DatasetAnalysis,
+    full_predicate: Option<Predicate>,
+    doc_count: f64,
+    /// Leaf filters already used by queries issued on this dataset,
+    /// fed into the factories' exclusion lists so re-visiting a dataset
+    /// does not regenerate the same predicate (paper §IV-D: the Generate
+    /// function receives "an exclusion list of already generated
+    /// predicates to prevent duplicates").
+    used_filters: Vec<FilterFn>,
+}
+
+/// Generates one benchmark session from a dataset analysis.
+///
+/// `backend` is the optional selectivity-verification data processor
+/// (§IV-B). When present it must already hold the base dataset's documents
+/// registered under `DatasetId(0)` (the id the base dataset receives in the
+/// session graph); [`crate::InMemoryBackend::register_base`] does this.
+/// Without a backend, estimated selectivities are trusted and derived
+/// statistics are obtained by scaling — possible but "currently not
+/// recommended" (§IV-D).
+pub fn generate_session(
+    analysis: &DatasetAnalysis,
+    config: &GeneratorConfig,
+    seed: u64,
+    backend: Option<&mut dyn SelectivityBackend>,
+) -> Result<GenerationOutcome, GenerateError> {
+    generate_session_multi(std::slice::from_ref(analysis), config, seed, backend)
+}
+
+/// [`generate_session`] over **multiple base datasets** at once (paper
+/// §VI: "Although BETZE can use multiple datasets at once, we use the
+/// datasets separately"). The explorer starts on a seeded-random base and
+/// its random jumps may cross between the dataset trees. With a backend,
+/// each base's documents must be registered under `DatasetId(i)` for the
+/// i-th analysis.
+pub fn generate_session_multi(
+    analyses: &[DatasetAnalysis],
+    config: &GeneratorConfig,
+    seed: u64,
+    mut backend: Option<&mut dyn SelectivityBackend>,
+) -> Result<GenerationOutcome, GenerateError> {
+    config.validate()?;
+    if analyses.is_empty() {
+        return Err(GenerateError::EmptyAnalysis {
+            dataset: "<none>".to_owned(),
+        });
+    }
+    for analysis in analyses {
+        if analysis.doc_count == 0 || analysis.paths.is_empty() {
+            return Err(GenerateError::EmptyAnalysis {
+                dataset: analysis.dataset.clone(),
+            });
+        }
+    }
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBE72E);
+    let picker = PathPicker::new(config.weighted_paths);
+    let factories = all_factories();
+    let allowed = config.allowed_kinds();
+    let factories: Vec<&Box<dyn PredicateFactory>> = factories
+        .iter()
+        .filter(|f| allowed.contains(&f.kind()))
+        .collect();
+
+    let mut graph = DatasetGraph::new();
+    let mut states: Vec<DatasetState> = Vec::with_capacity(analyses.len());
+    for analysis in analyses {
+        graph.add_base(analysis.dataset.clone(), analysis.doc_count as f64);
+        states.push(DatasetState {
+            name: analysis.dataset.clone(),
+            analysis: analysis.clone(),
+            full_predicate: None,
+            doc_count: analysis.doc_count as f64,
+            used_filters: Vec::new(),
+        });
+    }
+    let base_id = if analyses.len() == 1 {
+        DatasetId(0)
+    } else {
+        DatasetId(rng.gen_range(0..analyses.len()))
+    };
+
+    let mut explorer = Explorer::new(config.explorer.clone(), seed, base_id);
+    let mut moves = Vec::new();
+    let mut queries = Vec::new();
+    let mut records: Vec<QueryRecord> = Vec::new();
+    let mut discarded_total = 0usize;
+    let mut cursor = base_id;
+    let mut query_index = 0usize;
+
+    while let Some(step) = explorer.next_target(&graph) {
+        let mut target = step.target;
+        match step.kind {
+            DecisionKind::Return => moves.push(Move::Return {
+                from: cursor,
+                to: target,
+            }),
+            DecisionKind::Jump => moves.push(Move::Jump {
+                from: cursor,
+                to: target,
+            }),
+            DecisionKind::Explore => {}
+        }
+
+        // Build the step's predicate on the target dataset; if no path of
+        // the target admits any predicate, jump to another random dataset
+        // (paper §IV-B: "If no paths remain, another dataset is chosen
+        // through a random jump").
+        let built = match build_predicate(
+            &states[target.0],
+            target,
+            config,
+            &picker,
+            &factories,
+            &mut rng,
+            &mut backend,
+        ) {
+            Some(built) => built,
+            None => {
+                let mut others: Vec<DatasetId> = graph
+                    .nodes()
+                    .iter()
+                    .map(|n| n.id)
+                    .filter(|id| *id != target)
+                    .collect();
+                others.shuffle(&mut rng);
+                let mut fallback = None;
+                for other in others {
+                    if let Some(b) = build_predicate(
+                        &states[other.0],
+                        other,
+                        config,
+                        &picker,
+                        &factories,
+                        &mut rng,
+                        &mut backend,
+                    ) {
+                        moves.push(Move::Jump {
+                            from: target,
+                            to: other,
+                        });
+                        target = other;
+                        fallback = Some(b);
+                        break;
+                    }
+                }
+                fallback.ok_or(GenerateError::NoApplicablePredicate { query_index })?
+            }
+        };
+        discarded_total += built.discarded;
+
+        // Optional aggregation.
+        let aggregation = maybe_aggregation(&states[target.0], config, &picker, &mut rng);
+
+        // Optional transformation (§VII extension; materialize mode only).
+        let transforms =
+            maybe_transform(&states[target.0], config, &picker, &mut rng, query_index);
+
+        // Name and register the new dataset (named after its chain's
+        // base dataset).
+        let chain_base = graph.base_of(target).expect("target exists in graph");
+        let new_name = format!("{}_{}", states[chain_base.0].name, query_index + 1);
+        let parent_state = &states[target.0];
+        let full_predicate = match &parent_state.full_predicate {
+            Some(parent_pred) => parent_pred.clone().and(built.predicate.clone()),
+            None => built.predicate.clone(),
+        };
+        let created_count = match built.verified {
+            Some(sel) => sel * parent_state.doc_count,
+            None => built.estimated * parent_state.doc_count,
+        };
+        let created = graph.add_derived(target, new_name.clone(), query_index, created_count);
+        moves.push(Move::Explore {
+            on: target,
+            created,
+        });
+
+        // Derived statistics: accurate re-analysis via the backend, or the
+        // scaled approximation.
+        let achieved = built.verified.unwrap_or(built.estimated);
+        let derived_analysis = match backend.as_mut() {
+            Some(b) => {
+                b.register_derived(target, created, &built.predicate, &transforms);
+                b.analyze(created, &new_name)
+                    .unwrap_or_else(|| parent_state.analysis.scaled(new_name.clone(), achieved))
+            }
+            None => parent_state.analysis.scaled(new_name.clone(), achieved),
+        };
+
+        // Export the query.
+        let query = match config.export {
+            ExportMode::ComposedPredicates => {
+                let base_name = states[graph
+                    .base_of(target)
+                    .expect("target exists in graph")
+                    .0]
+                    .name
+                    .clone();
+                let mut q = Query::scan(base_name).with_filter(full_predicate.clone());
+                if let Some(agg) = aggregation.clone() {
+                    q = q.with_aggregation(agg);
+                }
+                q
+            }
+            ExportMode::MaterializedIntermediates => {
+                let mut q = Query::scan(parent_state.name.clone())
+                    .with_filter(built.predicate.clone())
+                    .store_as(new_name.clone());
+                q.transforms = transforms.clone();
+                q
+            }
+        };
+
+        built
+            .predicate
+            .for_each_leaf(&mut |leaf| states[target.0].used_filters.push(leaf.clone()));
+        states.push(DatasetState {
+            name: new_name,
+            analysis: derived_analysis,
+            full_predicate: Some(full_predicate.clone()),
+            doc_count: created_count,
+            used_filters: Vec::new(),
+        });
+        records.push(QueryRecord {
+            query: query.clone(),
+            local_predicate: built.predicate,
+            full_predicate,
+            target,
+            created,
+            estimated_selectivity: built.estimated,
+            verified_selectivity: built.verified,
+            discarded_candidates: built.discarded,
+        });
+        queries.push(query);
+        explorer.advance(created);
+        cursor = created;
+        query_index += 1;
+    }
+    moves.push(Move::Stop);
+
+    Ok(GenerationOutcome {
+        session: Session {
+            queries,
+            graph,
+            moves,
+            seed,
+            config_label: config.explorer.label.clone(),
+        },
+        records,
+        discarded_total,
+        generation_time: started.elapsed(),
+    })
+}
+
+struct BuiltPredicate {
+    predicate: Predicate,
+    estimated: f64,
+    verified: Option<f64>,
+    discarded: usize,
+}
+
+/// Builds one predicate on a dataset, honouring the target selectivity
+/// range, with AND/OR augmentation and optional backend verification.
+fn build_predicate(
+    state: &DatasetState,
+    target: DatasetId,
+    config: &GeneratorConfig,
+    picker: &PathPicker,
+    factories: &[&Box<dyn PredicateFactory>],
+    rng: &mut StdRng,
+    backend: &mut Option<&mut dyn SelectivityBackend>,
+) -> Option<BuiltPredicate> {
+    let analysis = &state.analysis;
+    if analysis.doc_count == 0 || analysis.paths.is_empty() {
+        return None;
+    }
+    let lo = config.selectivity_min;
+    let hi = config.selectivity_max;
+    let used = &state.used_filters;
+    let mut discarded = 0usize;
+    // Best out-of-range candidate, kept as a fallback once the discard
+    // budget is exhausted: (distance to range, candidate).
+    let mut best: Option<(f64, Predicate, f64, Option<f64>)> = None;
+
+    for _attempt in 0..config.max_path_attempts {
+        let Some((predicate, estimated)) =
+            instantiate(analysis, config, picker, factories, rng, lo, hi, used)
+        else {
+            continue;
+        };
+
+        // Verification against the backend (paper: execute and compute the
+        // actual selectivity; discard if outside the desired range).
+        let verified = backend.as_mut().and_then(|b| {
+            let size = b.dataset_size(target);
+            (size > 0).then(|| b.count_matching(target, &predicate) as f64 / size as f64)
+        });
+        let achieved = verified.unwrap_or(estimated);
+        if achieved >= lo && achieved <= hi {
+            return Some(BuiltPredicate {
+                predicate,
+                estimated,
+                verified,
+                discarded,
+            });
+        }
+        discarded += 1;
+        let distance = if achieved < lo { lo - achieved } else { achieved - hi };
+        if best.as_ref().is_none_or(|(d, ..)| distance < *d) {
+            best = Some((distance, predicate, estimated, verified));
+        }
+        if discarded >= config.max_discards {
+            break;
+        }
+    }
+    // Accept the closest miss rather than failing the session; callers
+    // treat `None` as "this dataset admits no predicate at all".
+    best.map(|(_, predicate, estimated, verified)| BuiltPredicate {
+        predicate,
+        estimated,
+        verified,
+        discarded,
+    })
+}
+
+/// Instantiates one candidate predicate: random path, random applicable
+/// factory, then AND/OR augmentation toward the target range.
+#[allow(clippy::too_many_arguments)]
+fn instantiate(
+    analysis: &DatasetAnalysis,
+    config: &GeneratorConfig,
+    picker: &PathPicker,
+    factories: &[&Box<dyn PredicateFactory>],
+    rng: &mut StdRng,
+    lo: f64,
+    hi: f64,
+    used: &[FilterFn],
+) -> Option<(Predicate, f64)> {
+    // Exclusions start with every filter previously used on this dataset.
+    let mut leaves: Vec<FilterFn> = used.to_vec();
+    let first = generate_leaf(analysis, config, picker, factories, rng, lo, hi, &leaves)?;
+    leaves.push(first.filter.clone());
+    let mut predicate = Predicate::leaf(first.filter);
+    let mut estimated = first.estimated_selectivity;
+
+    // Augmentation (§IV-B): too selective → OR in another condition; not
+    // selective enough → AND in another condition.
+    for _ in 0..config.max_augmentations {
+        if estimated >= lo && estimated <= hi {
+            break;
+        }
+        if estimated > hi {
+            // Need a conjunct with selectivity ≈ target/estimated.
+            let c_lo = (lo / estimated).clamp(0.0, 1.0);
+            let c_hi = (hi / estimated).clamp(c_lo, 1.0);
+            let Some(extra) =
+                generate_leaf(analysis, config, picker, factories, rng, c_lo, c_hi, &leaves)
+            else {
+                break;
+            };
+            leaves.push(extra.filter.clone());
+            estimated *= extra.estimated_selectivity;
+            predicate = predicate.and(Predicate::leaf(extra.filter));
+        } else {
+            // Need a disjunct lifting the estimate into range.
+            let gap_lo = ((lo - estimated) / (1.0 - estimated)).clamp(0.0, 1.0);
+            let gap_hi = ((hi - estimated) / (1.0 - estimated)).clamp(gap_lo, 1.0);
+            let Some(extra) = generate_leaf(
+                analysis, config, picker, factories, rng, gap_lo, gap_hi, &leaves,
+            ) else {
+                break;
+            };
+            leaves.push(extra.filter.clone());
+            estimated = estimated + extra.estimated_selectivity
+                - estimated * extra.estimated_selectivity;
+            predicate = predicate.or(Predicate::leaf(extra.filter));
+        }
+    }
+    Some((predicate, estimated))
+}
+
+/// One leaf generation round: pick a path, list applicable factories,
+/// pick one at random, instantiate (paper: "If no predicate is applicable
+/// to the given path, another path is chosen").
+#[allow(clippy::too_many_arguments)]
+fn generate_leaf(
+    analysis: &DatasetAnalysis,
+    config: &GeneratorConfig,
+    picker: &PathPicker,
+    factories: &[&Box<dyn PredicateFactory>],
+    rng: &mut StdRng,
+    lo: f64,
+    hi: f64,
+    exclusions: &[FilterFn],
+) -> Option<Candidate> {
+    let ctx = FactoryContext {
+        doc_count: analysis.doc_count,
+        lo,
+        hi,
+        exclusions,
+    };
+    for _ in 0..config.max_path_attempts {
+        let path = picker.pick(analysis, rng)?;
+        let stats = analysis.get(path)?;
+        let applicable: Vec<&&Box<dyn PredicateFactory>> = factories
+            .iter()
+            .filter(|f| f.applicable(stats, &ctx))
+            .collect();
+        if applicable.is_empty() {
+            continue;
+        }
+        let factory = applicable[rng.gen_range(0..applicable.len())];
+        if let Some(candidate) = factory.generate(path, stats, &ctx, rng) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Generates the optional transformation for one query (§VII extension):
+/// a rename, removal or addition of an attribute, each touching a randomly
+/// chosen path of the target dataset.
+fn maybe_transform(
+    state: &DatasetState,
+    config: &GeneratorConfig,
+    picker: &PathPicker,
+    rng: &mut StdRng,
+    query_index: usize,
+) -> Vec<Transform> {
+    if config.transform_fraction <= 0.0 || !rng.gen_bool(config.transform_fraction) {
+        return Vec::new();
+    }
+    let analysis = &state.analysis;
+    let transform = match rng.gen_range(0..3) {
+        0 => picker.pick(analysis, rng).map(|path| Transform::Rename {
+            from: path.clone(),
+            to: format!("{}_renamed", path.leaf().unwrap_or("attr")),
+        }),
+        1 => picker.pick(analysis, rng).map(|path| Transform::Remove {
+            path: path.clone(),
+        }),
+        _ => Some(Transform::Add {
+            path: betze_json::JsonPointer::root()
+                .child(format!("betze_attr_{query_index}")),
+            value: if rng.gen_bool(0.5) {
+                betze_json::Value::from(rng.gen_range(0..1000i64))
+            } else {
+                betze_json::Value::from(format!("generated_{query_index}"))
+            },
+        }),
+    };
+    transform.into_iter().collect()
+}
+
+/// Generates the optional aggregation for one query (paper §IV-B:
+/// aggregations are generated like predicates — a random path, a random
+/// suitable function, and a bounded search for a grouping path).
+fn maybe_aggregation(
+    state: &DatasetState,
+    config: &GeneratorConfig,
+    picker: &PathPicker,
+    rng: &mut StdRng,
+) -> Option<Aggregation> {
+    if config.aggregate == AggregateMode::None || !rng.gen_bool(config.aggregate_fraction) {
+        return None;
+    }
+    let analysis = &state.analysis;
+    // Choose the aggregation function: half the time a COUNT over all
+    // documents (the Listing 1 `COUNT('')`), otherwise a path-bound
+    // function chosen among the suitable ones.
+    let func = if rng.gen_bool(0.5) {
+        AggFunc::Count {
+            path: JsonPointer::root(),
+        }
+    } else {
+        match picker.pick(analysis, rng) {
+            Some(path) => {
+                let stats = analysis.get(path).expect("picked path has stats");
+                if stats.numeric_count() > 0 && rng.gen_bool(0.5) {
+                    AggFunc::Sum { path: path.clone() }
+                } else {
+                    AggFunc::Count { path: path.clone() }
+                }
+            }
+            None => AggFunc::Count {
+                path: JsonPointer::root(),
+            },
+        }
+    };
+    let alias = match func {
+        AggFunc::Count { .. } => "count",
+        AggFunc::Sum { .. } => "total",
+    };
+    if config.aggregate == AggregateMode::Grouped {
+        for _ in 0..config.group_by_attempts {
+            if let Some(path) = picker.pick(analysis, rng) {
+                let stats = analysis.get(path).expect("picked path has stats");
+                // Grouping attributes must be numerical, string or boolean.
+                if stats.string_count > 0 || stats.bool_count > 0 || stats.numeric_count() > 0 {
+                    return Some(Aggregation::grouped(func, path.clone(), alias));
+                }
+            }
+        }
+        // Fall back to an ungrouped aggregation (paper: "Otherwise, the
+        // aggregation is performed over all documents").
+    }
+    Some(Aggregation::new(func, alias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryBackend;
+    use betze_datagen::{DocGenerator, TwitterLike};
+    use betze_explorer::Preset;
+    use betze_stats::analyze;
+
+    fn twitter_docs() -> Vec<betze_json::Value> {
+        TwitterLike::default().generate(1, 400)
+    }
+
+    fn run(config: GeneratorConfig, seed: u64) -> GenerationOutcome {
+        let docs = twitter_docs();
+        let analysis = analyze("twitter", &docs);
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), docs);
+        generate_session(&analysis, &config, seed, Some(&mut backend)).expect("generation")
+    }
+
+    #[test]
+    fn generates_n_queries_for_each_preset() {
+        for preset in Preset::ALL {
+            let config = GeneratorConfig::with_explorer(preset.config());
+            let outcome = run(config, 123);
+            assert_eq!(
+                outcome.session.queries.len(),
+                preset.config().queries_per_session,
+                "{preset}"
+            );
+            assert_eq!(outcome.records.len(), outcome.session.queries.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = run(GeneratorConfig::default(), 7);
+        let b = run(GeneratorConfig::default(), 7);
+        assert_eq!(a.session, b.session);
+        let c = run(GeneratorConfig::default(), 8);
+        assert_ne!(a.session.queries, c.session.queries);
+    }
+
+    #[test]
+    fn verified_selectivities_land_in_range() {
+        let outcome = run(GeneratorConfig::default(), 123);
+        let mut in_range = 0;
+        for record in &outcome.records {
+            let sel = record.verified_selectivity.expect("backend was configured");
+            if (0.2..=0.9).contains(&sel) {
+                in_range += 1;
+            }
+        }
+        // The discard loop accepts a best-effort candidate only when the
+        // budget is exhausted; the overwhelming majority must be in range.
+        assert!(
+            in_range * 10 >= outcome.records.len() * 8,
+            "{in_range}/{} queries in range",
+            outcome.records.len()
+        );
+    }
+
+    #[test]
+    fn composed_mode_references_base_dataset() {
+        let outcome = run(GeneratorConfig::default(), 5);
+        for q in &outcome.session.queries {
+            assert_eq!(q.base, "twitter");
+            assert!(q.store_as.is_none());
+            assert!(q.filter.is_some());
+        }
+    }
+
+    #[test]
+    fn full_predicates_extend_parent_chains() {
+        let outcome = run(GeneratorConfig::default(), 11);
+        for record in &outcome.records {
+            // The full predicate of the created dataset must contain at
+            // least as many leaves as the local one.
+            assert!(
+                record.full_predicate.leaf_count() >= record.local_predicate.leaf_count()
+            );
+            let parent = outcome.session.graph.node(record.target).unwrap();
+            if parent.is_base() {
+                assert_eq!(record.full_predicate, record.local_predicate);
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_mode_stores_and_loads_intermediates() {
+        let config = GeneratorConfig::default().export(ExportMode::MaterializedIntermediates);
+        let outcome = run(config, 9);
+        for (i, q) in outcome.session.queries.iter().enumerate() {
+            assert_eq!(q.store_as.as_deref(), Some(format!("twitter_{}", i + 1).as_str()));
+            assert!(q.aggregation.is_none());
+        }
+        // At least one query must read from a stored intermediate (the
+        // explorer explores with probability 0.5 per step).
+        assert!(
+            outcome.session.queries.iter().any(|q| q.base != "twitter"),
+            "no query used an intermediate dataset"
+        );
+    }
+
+    #[test]
+    fn aggregate_all_attaches_aggregations() {
+        let config = GeneratorConfig::default().aggregate(AggregateMode::All);
+        let outcome = run(config, 21);
+        assert!(outcome.session.queries.iter().all(|q| q.aggregation.is_some()));
+    }
+
+    #[test]
+    fn grouped_mode_mostly_groups() {
+        let config = GeneratorConfig::default().aggregate(AggregateMode::Grouped);
+        let outcome = run(config, 22);
+        let grouped = outcome
+            .session
+            .queries
+            .iter()
+            .filter(|q| q.aggregation.as_ref().is_some_and(|a| a.group_by.is_some()))
+            .count();
+        assert!(grouped > 0, "no grouped aggregation generated");
+    }
+
+    #[test]
+    fn include_list_restricts_predicate_kinds() {
+        use betze_model::PredicateKind;
+        let config = GeneratorConfig::default()
+            .include_kinds([PredicateKind::Exists, PredicateKind::IsString]);
+        let outcome = run(config, 31);
+        let stats = outcome.session.stats();
+        for kind in stats.predicate_counts.keys() {
+            assert!(
+                matches!(kind, PredicateKind::Exists | PredicateKind::IsString),
+                "unexpected kind {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_analysis_is_rejected() {
+        let analysis = analyze("empty", &[]);
+        let err = generate_session(&analysis, &GeneratorConfig::default(), 1, None).unwrap_err();
+        assert!(matches!(err, GenerateError::EmptyAnalysis { .. }));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let docs = twitter_docs();
+        let analysis = analyze("twitter", &docs);
+        let config = GeneratorConfig::default().selectivity_range(0.9, 0.2);
+        let err = generate_session(&analysis, &config, 1, None).unwrap_err();
+        assert!(matches!(err, GenerateError::Config(_)));
+    }
+
+    #[test]
+    fn backendless_generation_works() {
+        let docs = twitter_docs();
+        let analysis = analyze("twitter", &docs);
+        let outcome =
+            generate_session(&analysis, &GeneratorConfig::default(), 123, None).unwrap();
+        assert_eq!(outcome.session.queries.len(), 10);
+        assert!(outcome.records.iter().all(|r| r.verified_selectivity.is_none()));
+        // Estimates should at least be probabilities.
+        assert!(outcome
+            .records
+            .iter()
+            .all(|r| (0.0..=1.0).contains(&r.estimated_selectivity)));
+    }
+
+    #[test]
+    fn graph_and_moves_are_consistent() {
+        let outcome = run(GeneratorConfig::default(), 77);
+        let session = &outcome.session;
+        // n queries → n derived datasets + 1 base.
+        assert_eq!(session.graph.len(), session.queries.len() + 1);
+        assert_eq!(session.moves.last(), Some(&Move::Stop));
+        let stats = session.stats();
+        assert_eq!(stats.explores, session.queries.len());
+    }
+}
+
+#[cfg(test)]
+mod multi_tests {
+    use super::*;
+    use crate::InMemoryBackend;
+    use betze_datagen::{DocGenerator, NoBench, RedditLike};
+    use betze_explorer::Preset;
+    use betze_stats::analyze;
+
+    fn workloads() -> (Vec<DatasetAnalysis>, InMemoryBackend) {
+        let nb = NoBench::default().generate(1, 150);
+        let rd = RedditLike.generate(1, 150);
+        let analyses = vec![analyze("nobench", &nb), analyze("reddit", &rd)];
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), nb);
+        backend.register_base(DatasetId(1), rd);
+        (analyses, backend)
+    }
+
+    #[test]
+    fn multi_dataset_sessions_have_two_bases() {
+        let (analyses, mut backend) = workloads();
+        let config = GeneratorConfig::with_explorer(Preset::Novice.config());
+        let outcome =
+            generate_session_multi(&analyses, &config, 5, Some(&mut backend)).unwrap();
+        let bases = outcome.session.graph.bases();
+        assert_eq!(bases.len(), 2);
+        assert_eq!(outcome.session.queries.len(), 20);
+        // Derived dataset names follow their chain's base dataset.
+        for record in &outcome.records {
+            let base = outcome.session.graph.base_of(record.created).unwrap();
+            let base_name = &outcome.session.graph.node(base).unwrap().name;
+            let node_name = &outcome.session.graph.node(record.created).unwrap().name;
+            assert!(
+                node_name.starts_with(base_name.as_str()),
+                "{node_name} should derive from {base_name}"
+            );
+            // Composed queries reference their chain's base dataset.
+            assert_eq!(&record.query.base, base_name);
+        }
+    }
+
+    #[test]
+    fn jumps_can_cross_between_dataset_trees() {
+        // Any single seed can miss the second base (a random jump picks
+        // uniformly among all nodes); across several seeds crossing is
+        // statistically certain.
+        let mut crossed = 0usize;
+        for seed in 0..8 {
+            let (analyses, mut backend) = workloads();
+            let explorer = betze_explorer::ExplorerConfig::new(0.0, 0.8, 25).unwrap();
+            let config = GeneratorConfig::with_explorer(explorer);
+            let outcome =
+                generate_session_multi(&analyses, &config, seed, Some(&mut backend)).unwrap();
+            let graph = &outcome.session.graph;
+            let roots: std::collections::HashSet<usize> = outcome
+                .records
+                .iter()
+                .map(|r| graph.base_of(r.created).unwrap().0)
+                .collect();
+            if roots.len() == 2 {
+                crossed += 1;
+            }
+        }
+        assert!(crossed >= 4, "only {crossed}/8 sessions grew both trees");
+    }
+
+    #[test]
+    fn multi_rejects_empty_input() {
+        let err =
+            generate_session_multi(&[], &GeneratorConfig::default(), 1, None).unwrap_err();
+        assert!(matches!(err, GenerateError::EmptyAnalysis { .. }));
+    }
+
+    #[test]
+    fn single_dataset_multi_equals_generate_session() {
+        let nb = NoBench::default().generate(2, 120);
+        let analysis = analyze("nobench", &nb);
+        let a = generate_session(&analysis, &GeneratorConfig::default(), 3, None).unwrap();
+        let b = generate_session_multi(
+            std::slice::from_ref(&analysis),
+            &GeneratorConfig::default(),
+            3,
+            None,
+        )
+        .unwrap();
+        assert_eq!(a.session, b.session);
+    }
+}
+
+#[cfg(test)]
+mod transform_tests {
+    use super::*;
+    use crate::{ExportMode, InMemoryBackend};
+    use betze_datagen::{DocGenerator, RedditLike};
+    use betze_stats::analyze;
+
+    fn run_with_transforms(seed: u64) -> (GenerationOutcome, Vec<betze_json::Value>) {
+        let docs = RedditLike.generate(4, 250);
+        let analysis = analyze("reddit", &docs);
+        let config = GeneratorConfig::default()
+            .export(ExportMode::MaterializedIntermediates)
+            .transform_fraction(1.0);
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), docs.clone());
+        let outcome =
+            generate_session(&analysis, &config, seed, Some(&mut backend)).expect("generation");
+        (outcome, docs)
+    }
+
+    #[test]
+    fn every_query_carries_a_transform_when_fraction_is_one() {
+        let (outcome, _) = run_with_transforms(3);
+        assert!(outcome
+            .session
+            .queries
+            .iter()
+            .all(|q| !q.transforms.is_empty()));
+        // Transform variety across a session.
+        let kinds: std::collections::HashSet<&str> = outcome
+            .session
+            .queries
+            .iter()
+            .flat_map(|q| &q.transforms)
+            .map(|t| match t {
+                Transform::Rename { .. } => "rename",
+                Transform::Remove { .. } => "remove",
+                Transform::Add { .. } => "add",
+            })
+            .collect();
+        assert!(kinds.len() >= 2, "kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn transforms_require_materialize_mode() {
+        let docs = RedditLike.generate(4, 50);
+        let analysis = analyze("reddit", &docs);
+        let config = GeneratorConfig::default().transform_fraction(0.5);
+        let err = generate_session(&analysis, &config, 1, None).unwrap_err();
+        assert!(matches!(
+            err,
+            GenerateError::Config(crate::GeneratorConfigError::TransformsNeedMaterialization)
+        ));
+    }
+
+    #[test]
+    fn transformed_sessions_replay_consistently_on_engines_reference() {
+        // Replay the materialized session against the reference semantics:
+        // execute each query against the store chain and confirm the
+        // stored dataset sizes match the graph estimates.
+        let (outcome, base_docs) = run_with_transforms(9);
+        let mut store: std::collections::HashMap<String, Vec<betze_json::Value>> =
+            std::collections::HashMap::new();
+        store.insert("reddit".to_owned(), base_docs);
+        for (record, query) in outcome.records.iter().zip(&outcome.session.queries) {
+            let input = store.get(&query.base).expect("base dataset known").clone();
+            let result = query.eval(&input);
+            let node = outcome.session.graph.node(record.created).unwrap();
+            assert!(
+                (node.estimated_count - result.len() as f64).abs() < 1.0,
+                "stored {} vs estimate {}",
+                result.len(),
+                node.estimated_count
+            );
+            store.insert(query.store_as.clone().expect("materialized"), result);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # betze-generator
+//!
+//! BETZE's **query generator** (paper §IV): drives the random explorer over
+//! the dataset dependency graph and, for every step, synthesizes a filter
+//! predicate (optionally plus an aggregation) whose selectivity falls in a
+//! configurable target range (default `[0.2, 0.9]`).
+//!
+//! The pipeline per query (paper §IV-B):
+//!
+//! 1. pick an attribute path from the target dataset's statistics
+//!    (uniformly, or weighted inversely by path length when the
+//!    weighted-paths mode of §IV-C is on);
+//! 2. collect the predicate factories applicable to that path and pick one
+//!    at random — each [`factory::PredicateFactory`] knows whether it can
+//!    instantiate its predicate from the available statistics;
+//! 3. instantiate the predicate aiming at the target selectivity range,
+//!    rescaled by the path's type selectivity (the paper's
+//!    `[0.2/0.9, 0.9/0.9]` example);
+//! 4. if the estimate misses the range, augment with `AND` (too high) or
+//!    `OR` (too low) conditions;
+//! 5. verify the achieved selectivity against a
+//!    [`backend::SelectivityBackend`] if one is configured — queries
+//!    outside the range are discarded and regenerated; without a backend
+//!    the (documented-as-inaccurate) scaled estimate is trusted;
+//! 6. append the query and the new dataset to the dependency graph and let
+//!    the explorer decide the next step.
+
+mod backend;
+mod config;
+mod error;
+pub mod factory;
+mod generate;
+mod pathpick;
+
+pub use backend::{InMemoryBackend, SelectivityBackend};
+pub use config::{AggregateMode, ExportMode, GeneratorConfig, GeneratorConfigError};
+pub use error::GenerateError;
+pub use generate::{generate_session, generate_session_multi, GenerationOutcome, QueryRecord};
+pub use pathpick::PathPicker;

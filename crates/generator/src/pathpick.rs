@@ -1,0 +1,137 @@
+//! Attribute-path choice, uniform or weighted (paper §IV-C "Weighted
+//! paths").
+
+use betze_json::JsonPointer;
+use betze_stats::DatasetAnalysis;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Chooses attribute paths from an analysis.
+///
+/// In the default (unweighted) mode every present path is equally likely.
+/// In weighted mode a path's weight is inversely correlated with its
+/// length, so attributes close to the document root are much more likely
+/// to be chosen — simulating real users' affinity for top-level attributes
+/// and producing the depth shift of Table IV.
+#[derive(Debug, Clone, Copy)]
+pub struct PathPicker {
+    weighted: bool,
+}
+
+impl PathPicker {
+    /// A picker in the given mode.
+    pub fn new(weighted: bool) -> Self {
+        PathPicker { weighted }
+    }
+
+    /// Whether weighted mode is on.
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Picks a path present in `analysis` (doc_count > 0), or `None` if the
+    /// analysis has no usable paths.
+    pub fn pick<'a>(
+        &self,
+        analysis: &'a DatasetAnalysis,
+        rng: &mut StdRng,
+    ) -> Option<&'a JsonPointer> {
+        let candidates: Vec<(&JsonPointer, f64)> = analysis
+            .iter()
+            .filter(|(_, stats)| stats.doc_count > 0)
+            .map(|(path, _)| (path, self.weight(path)))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
+        let mut roll = rng.gen_range(0.0..total);
+        for (path, weight) in &candidates {
+            roll -= weight;
+            if roll <= 0.0 {
+                return Some(path);
+            }
+        }
+        candidates.last().map(|(p, _)| *p)
+    }
+
+    /// The un-normalized weight of a path: `1` in uniform mode, `1/depth²`
+    /// in weighted mode (inverse correlation with path length).
+    pub fn weight(&self, path: &JsonPointer) -> f64 {
+        if self.weighted {
+            let d = path.depth().max(1) as f64;
+            1.0 / (d * d)
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::json;
+    use betze_stats::analyze;
+    use rand::SeedableRng;
+
+    fn analysis() -> DatasetAnalysis {
+        let docs: Vec<betze_json::Value> = (0..10)
+            .map(|i| json!({ "top": i, "mid": { "inner": { "leaf": i } } }))
+            .collect();
+        analyze("t", &docs)
+    }
+
+    #[test]
+    fn uniform_mode_reaches_every_path() {
+        let a = analysis();
+        let picker = PathPicker::new(false);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(picker.pick(&a, &mut rng).unwrap().to_string());
+        }
+        assert_eq!(seen.len(), 4); // /top, /mid, /mid/inner, /mid/inner/leaf
+    }
+
+    #[test]
+    fn weighted_mode_prefers_shallow_paths() {
+        let a = analysis();
+        let picker = PathPicker::new(true);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut shallow = 0;
+        let mut deep = 0;
+        for _ in 0..2000 {
+            let p = picker.pick(&a, &mut rng).unwrap();
+            if p.depth() == 1 {
+                shallow += 1;
+            } else if p.depth() == 3 {
+                deep += 1;
+            }
+        }
+        // Depth-1 paths carry weight 1 each (two of them); the depth-3 path
+        // carries 1/9.
+        assert!(
+            shallow > deep * 5,
+            "shallow {shallow} should dominate deep {deep}"
+        );
+    }
+
+    #[test]
+    fn empty_analysis_yields_none() {
+        let a = analyze("t", &[]);
+        let picker = PathPicker::new(false);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(picker.pick(&a, &mut rng).is_none());
+    }
+
+    #[test]
+    fn weights() {
+        let w = PathPicker::new(true);
+        let p1 = JsonPointer::parse("/a").unwrap();
+        let p3 = JsonPointer::parse("/a/b/c").unwrap();
+        assert_eq!(w.weight(&p1), 1.0);
+        assert!((w.weight(&p3) - 1.0 / 9.0).abs() < 1e-12);
+        let u = PathPicker::new(false);
+        assert_eq!(u.weight(&p3), 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Fig. 10 — session runtime vs. NoBench document count, per system
+//! (default preset, seed 123, with the paper's timeout-and-omit handling).
+
+use crate::experiments::Scale;
+use crate::fmt::TextTable;
+use crate::runner::{run_session_with_timeout, SessionOutcome};
+use crate::workload::{prepare_dataset, Corpus};
+use betze_engines::all_engines;
+use betze_generator::GeneratorConfig;
+use std::time::Duration;
+
+/// Session times per engine per dataset size; `None` marks a timeout
+/// (the paper omits jq at the largest size for this reason).
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// The swept document counts.
+    pub doc_counts: Vec<usize>,
+    /// `(engine name, seconds per size; None = timed out)`.
+    pub series: Vec<(String, Vec<Option<f64>>)>,
+    /// The modeled-time timeout used.
+    pub timeout: Duration,
+}
+
+/// Runs the Fig. 10 sweep with a default size axis spanning three orders
+/// of magnitude (the paper sweeps 10⁴–5.4·10⁷ documents; we scale down,
+/// DESIGN.md §4) and a modeled timeout standing in for the paper's
+/// ≈ 2-hour cut-off.
+pub fn fig10(scale: &Scale) -> Fig10Result {
+    let base = scale.nobench_docs.max(100);
+    fig10_with_sizes(scale, vec![base / 10, base, base * 10, base * 40], Duration::from_secs(30))
+}
+
+/// [`fig10`] with explicit sizes and timeout.
+pub fn fig10_with_sizes(
+    scale: &Scale,
+    doc_counts: Vec<usize>,
+    timeout: Duration,
+) -> Fig10Result {
+    let mut series: Vec<(String, Vec<Option<f64>>)> = Vec::new();
+    for count in &doc_counts {
+        let dataset = Corpus::NoBench.generate(scale.data_seed, *count);
+        let w = prepare_dataset(dataset, &GeneratorConfig::default(), 123)
+            .expect("fig10 generation");
+        for (i, mut engine) in all_engines(scale.joda_threads).into_iter().enumerate() {
+            let outcome = run_session_with_timeout(
+                engine.as_mut(),
+                &w.dataset,
+                &w.generation.session,
+                Some(timeout),
+            )
+            .expect("fig10 run");
+            let value = match outcome {
+                SessionOutcome::Completed(run) => Some(run.session_modeled().as_secs_f64()),
+                SessionOutcome::TimedOut { .. } => None,
+            };
+            if series.len() <= i {
+                series.push((engine.name().to_owned(), Vec::new()));
+            }
+            series[i].1.push(value);
+        }
+    }
+    Fig10Result {
+        doc_counts,
+        series,
+        timeout,
+    }
+}
+
+impl Fig10Result {
+    /// Series values by engine name.
+    pub fn series_of(&self, engine: &str) -> Option<&[Option<f64>]> {
+        self.series
+            .iter()
+            .find(|(name, _)| name == engine)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Renders document counts as rows, engines as columns.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            std::iter::once("documents".to_owned())
+                .chain(self.series.iter().map(|(n, _)| format!("{n} (s)"))),
+        );
+        for (i, count) in self.doc_counts.iter().enumerate() {
+            let mut row = vec![count.to_string()];
+            for (_, values) in &self.series {
+                row.push(match values[i] {
+                    Some(v) => format!("{v:.4}"),
+                    None => "timeout".to_owned(),
+                });
+            }
+            t.row(row);
+        }
+        format!(
+            "Fig. 10: session runtime vs. NoBench document count (seed 123, timeout {:?})\n{}",
+            self.timeout,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_shape_matches_paper() {
+        let scale = Scale::quick();
+        let r = fig10_with_sizes(&scale, vec![100, 400, 1600], Duration::from_secs(3600));
+        let joda = r.series_of("JODA").unwrap();
+        let pg = r.series_of("PostgreSQL").unwrap();
+        let mongo = r.series_of("MongoDB").unwrap();
+        let jq = r.series_of("jq").unwrap();
+        let at = |s: &[Option<f64>], i: usize| s[i].expect("no timeout expected");
+        // Times grow with dataset size for every engine.
+        for s in [joda, pg, mongo, jq] {
+            assert!(at(s, 2) > at(s, 0), "{s:?}");
+        }
+        // The paper's NoBench ordering at scale: JODA fastest, then
+        // PostgreSQL, then MongoDB, then jq ("reversed performance of the
+        // MongoDB and PostgreSQL systems … compared to CPU scalability").
+        let last = 2;
+        assert!(at(joda, last) < at(pg, last));
+        assert!(at(pg, last) < at(mongo, last), "pg {pg:?} vs mongo {mongo:?}");
+        assert!(at(mongo, last) < at(jq, last));
+    }
+
+    #[test]
+    fn tight_timeout_produces_omissions() {
+        let scale = Scale::quick();
+        let r = fig10_with_sizes(&scale, vec![400], Duration::from_micros(1));
+        // With a micro timeout everything but possibly the first query
+        // times out — rendered as omissions, like jq at 30 GB in the paper.
+        let jq = r.series_of("jq").unwrap();
+        assert!(jq[0].is_none());
+        assert!(r.render().contains("timeout"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 5 — trends in execution time per query index, for each user
+//! preset (20 queries for all users, 30 seeded sessions, JODA only).
+
+use crate::experiments::Scale;
+use crate::fmt::TextTable;
+use crate::runner::run_session;
+use crate::workload::{prepare_many, Corpus};
+use betze_engines::JodaSim;
+use betze_explorer::Preset;
+use betze_generator::GeneratorConfig;
+
+/// Mean per-query-index modeled time per preset.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Presets in paper order.
+    pub presets: Vec<String>,
+    /// `mean_ms[p][q]` = mean modeled execution time (ms) of query `q`
+    /// across sessions of preset `p`.
+    pub mean_ms: Vec<Vec<f64>>,
+    /// Queries per session (fixed to 20 as in the paper).
+    pub queries: usize,
+}
+
+/// Runs the Fig. 5 experiment: every preset with `n = 20` forced
+/// ("to highlight the trends of each user better, regardless of session
+/// length"), averaged over `scale.sessions` seeds, executed on JODA only
+/// ("we are not interested in a comparison of the individual systems").
+pub fn fig5(scale: &Scale) -> Fig5Result {
+    const QUERIES: usize = 20;
+    let mut presets = Vec::new();
+    let mut mean_ms = Vec::new();
+    for preset in Preset::ALL {
+        let config = GeneratorConfig::with_explorer(
+            preset.config().with_queries_per_session(QUERIES),
+        );
+        let (dataset, _, outcomes) = prepare_many(
+            Corpus::Twitter,
+            scale.twitter_docs,
+            scale.data_seed,
+            &config,
+            0..scale.sessions as u64,
+        )
+        .expect("fig5 generation");
+        let mut sums = vec![0.0f64; QUERIES];
+        let mut joda = JodaSim::new(scale.joda_threads);
+        for outcome in &outcomes {
+            let run = run_session(&mut joda, &dataset, &outcome.session)
+                .expect("fig5 session run");
+            for (i, report) in run.queries.iter().enumerate() {
+                sums[i] += report.modeled.as_secs_f64() * 1e3;
+            }
+        }
+        let n = outcomes.len().max(1) as f64;
+        presets.push(preset.name().to_owned());
+        mean_ms.push(sums.into_iter().map(|s| s / n).collect());
+    }
+    Fig5Result {
+        presets,
+        mean_ms,
+        queries: QUERIES,
+    }
+}
+
+impl Fig5Result {
+    /// Mean time of the first `k` queries for a preset (helper for trend
+    /// assertions).
+    pub fn mean_of_range(&self, preset_idx: usize, range: std::ops::Range<usize>) -> f64 {
+        let slice = &self.mean_ms[preset_idx][range];
+        slice.iter().sum::<f64>() / slice.len().max(1) as f64
+    }
+
+    /// Renders the per-query-index series.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            std::iter::once("query".to_owned())
+                .chain(self.presets.iter().map(|p| format!("{p} (ms)"))),
+        );
+        for q in 0..self.queries {
+            let mut row = vec![(q + 1).to_string()];
+            for series in &self.mean_ms {
+                row.push(format!("{:.3}", series[q]));
+            }
+            t.row(row);
+        }
+        format!(
+            "Fig. 5: mean execution time per query index (JODA, n = {} forced)\n{}",
+            self.queries,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtimes_decline_and_novice_is_heaviest() {
+        let scale = Scale::quick();
+        let r = fig5(&scale);
+        assert_eq!(r.presets, vec!["novice", "intermediate", "expert"]);
+        for series in &r.mean_ms {
+            assert_eq!(series.len(), 20);
+            assert!(series.iter().all(|v| *v > 0.0));
+        }
+        // The paper's headline trend: later queries are cheaper than the
+        // first ones (datasets shrink and intermediate results are reused).
+        for (p, _) in r.presets.iter().enumerate() {
+            let early = r.mean_of_range(p, 0..3);
+            let late = r.mean_of_range(p, 15..20);
+            assert!(
+                late < early,
+                "preset {p}: late {late} should be below early {early}"
+            );
+        }
+        // Expert declines faster: its tail is the cheapest relative to its
+        // head.
+        let expert_drop = r.mean_of_range(2, 15..20) / r.mean_of_range(2, 0..3);
+        let novice_drop = r.mean_of_range(0, 15..20) / r.mean_of_range(0, 0..3);
+        assert!(
+            expert_drop <= novice_drop * 1.5,
+            "expert {expert_drop} vs novice {novice_drop}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 7 — aggregated session execution times for every (α, β)
+//! combination in steps of 0.1 (n = 10, 20 sessions per cell).
+
+use crate::experiments::Scale;
+use crate::fmt::heatmap;
+use crate::runner::run_session;
+use crate::workload::{prepare_with_analysis, Corpus};
+use betze_engines::JodaSim;
+use betze_explorer::ExplorerConfig;
+use betze_generator::GeneratorConfig;
+
+/// Mean session time (seconds) per (α, β) cell; `None` for invalid
+/// combinations (α + β > 1).
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// The probability steps (0.0, 0.1, …).
+    pub steps: Vec<f64>,
+    /// `mean_secs[a][b]` for α = steps\[a\], β = steps\[b\].
+    pub mean_secs: Vec<Vec<Option<f64>>>,
+    /// Sessions per cell.
+    pub sessions_per_cell: usize,
+}
+
+/// Runs the Fig. 7 sweep. Probabilities run 0.0–0.9 in 0.1 steps (as in
+/// the paper's figure); cells with α + β > 1 are impossible and left
+/// empty.
+pub fn fig7(scale: &Scale) -> Fig7Result {
+    let steps: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+    // Fewer sessions per cell than Figs. 5/6 (paper: 20 vs 30).
+    let sessions_per_cell = (scale.sessions * 2 / 3).max(1);
+    let dataset = Corpus::Twitter.generate(scale.data_seed, scale.twitter_docs);
+    // Analyze once; the 66 (α, β) cells share the corpus.
+    let analysis_started = std::time::Instant::now();
+    let analysis = betze_stats::analyze(dataset.name.clone(), &dataset.docs);
+    let analysis_time = analysis_started.elapsed();
+    let mut mean_secs = Vec::with_capacity(steps.len());
+    for &alpha in &steps {
+        let mut row = Vec::with_capacity(steps.len());
+        for &beta in &steps {
+            if alpha + beta > 1.0 + 1e-9 {
+                row.push(None);
+                continue;
+            }
+            let explorer = ExplorerConfig::new(alpha, beta, 10)
+                .expect("validated combination")
+                .with_label(format!("a{alpha}b{beta}"));
+            let config = GeneratorConfig::with_explorer(explorer);
+            let mut joda = JodaSim::new(scale.joda_threads);
+            let mut total = 0.0f64;
+            for seed in 0..sessions_per_cell as u64 {
+                let w = prepare_with_analysis(
+                    dataset.clone(),
+                    analysis.clone(),
+                    analysis_time,
+                    &config,
+                    seed,
+                )
+                .expect("fig7 gen");
+                let run =
+                    run_session(&mut joda, &w.dataset, &w.generation.session).expect("fig7 run");
+                total += run.session_modeled().as_secs_f64();
+            }
+            row.push(Some(total / sessions_per_cell as f64));
+        }
+        mean_secs.push(row);
+    }
+    Fig7Result {
+        steps,
+        mean_secs,
+        sessions_per_cell,
+    }
+}
+
+impl Fig7Result {
+    /// The cell for (α, β), if valid.
+    pub fn cell(&self, alpha_idx: usize, beta_idx: usize) -> Option<f64> {
+        self.mean_secs.get(alpha_idx)?.get(beta_idx).copied()?
+    }
+
+    /// Renders the heatmap.
+    pub fn render(&self) -> String {
+        let labels: Vec<String> = self.steps.iter().map(|s| format!("{s:.1}")).collect();
+        format!(
+            "Fig. 7: mean session time (s) by backtrack α (rows) and jump β (columns), \
+             n = 10, {} sessions/cell\n{}",
+            self.sessions_per_cell,
+            heatmap(&labels, &labels, &self.mean_secs, |v| format!("{v:.3}"))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_probabilities_are_cheapest_and_alpha_dominates() {
+        let mut scale = Scale::quick();
+        scale.sessions = 3;
+        let r = fig7(&scale);
+        // Invalid cells stay empty.
+        assert!(r.cell(9, 9).is_none());
+        assert!(r.cell(0, 0).is_some());
+        let base = r.cell(0, 0).unwrap();
+        let high_alpha = r.cell(8, 0).unwrap();
+        let high_beta = r.cell(0, 8).unwrap();
+        // Paper: "having a low α and β value yields the lowest execution
+        // times" and "increasing α has a more significant impact".
+        assert!(high_alpha > base, "α=0.8 {high_alpha} vs base {base}");
+        assert!(high_beta > base, "β=0.8 {high_beta} vs base {base}");
+        assert!(
+            high_alpha > high_beta,
+            "α should dominate: {high_alpha} vs {high_beta}"
+        );
+        assert!(r.render().contains("α"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 8 — number of generated predicates by kind, per dataset.
+
+use crate::experiments::Scale;
+use crate::fmt::TextTable;
+use crate::workload::{prepare_dataset, prepare_many, Corpus};
+use betze_explorer::Preset;
+use betze_generator::GeneratorConfig;
+use betze_model::PredicateKind;
+use std::collections::HashMap;
+
+/// Predicate-kind histograms per corpus.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// `(corpus name, kind → count)`.
+    pub histograms: Vec<(String, HashMap<PredicateKind, usize>)>,
+}
+
+/// Runs the Fig. 8 experiment. As in the paper, the Twitter histogram
+/// aggregates the preset-evaluation sessions (all three presets ×
+/// `scale.sessions` seeds), NoBench aggregates default sessions, and
+/// Reddit uses one default session with seed 123.
+pub fn fig8(scale: &Scale) -> Fig8Result {
+    let mut histograms = Vec::new();
+
+    // Twitter: 3 presets × sessions.
+    let mut twitter: HashMap<PredicateKind, usize> = HashMap::new();
+    for preset in Preset::ALL {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        let (_, _, outcomes) = prepare_many(
+            Corpus::Twitter,
+            scale.twitter_docs,
+            scale.data_seed,
+            &config,
+            0..scale.sessions as u64,
+        )
+        .expect("fig8 twitter generation");
+        for outcome in &outcomes {
+            for (kind, count) in outcome.session.stats().predicate_counts {
+                *twitter.entry(kind).or_insert(0) += count;
+            }
+        }
+    }
+    histograms.push(("twitter".to_owned(), twitter));
+
+    // NoBench: default sessions.
+    let mut nobench: HashMap<PredicateKind, usize> = HashMap::new();
+    let (_, _, outcomes) = prepare_many(
+        Corpus::NoBench,
+        scale.nobench_docs,
+        scale.data_seed,
+        &GeneratorConfig::default(),
+        0..scale.sessions as u64,
+    )
+    .expect("fig8 nobench generation");
+    for outcome in &outcomes {
+        for (kind, count) in outcome.session.stats().predicate_counts {
+            *nobench.entry(kind).or_insert(0) += count;
+        }
+    }
+    histograms.push(("nobench".to_owned(), nobench));
+
+    // Reddit: one default session, seed 123 (as in the paper).
+    let dataset = Corpus::Reddit.generate(scale.data_seed, scale.reddit_docs);
+    let w = prepare_dataset(dataset, &GeneratorConfig::default(), 123)
+        .expect("fig8 reddit generation");
+    histograms.push(("reddit".to_owned(), w.generation.session.stats().predicate_counts));
+
+    Fig8Result { histograms }
+}
+
+impl Fig8Result {
+    /// Count for `(corpus, kind)` (0 when never generated).
+    pub fn count(&self, corpus: &str, kind: PredicateKind) -> usize {
+        self.histograms
+            .iter()
+            .find(|(name, _)| name == corpus)
+            .and_then(|(_, h)| h.get(&kind).copied())
+            .unwrap_or(0)
+    }
+
+    /// Renders the histogram table (kinds as rows, corpora as columns).
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            std::iter::once("predicate".to_owned())
+                .chain(self.histograms.iter().map(|(n, _)| n.clone())),
+        );
+        for kind in PredicateKind::ALL {
+            let mut row = vec![kind.label().to_owned()];
+            for (_, hist) in &self.histograms {
+                row.push(hist.get(&kind).copied().unwrap_or(0).to_string());
+            }
+            t.row(row);
+        }
+        format!("Fig. 8: number of predicates in the generated sessions\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shapes_drive_predicate_mixes() {
+        let r = fig8(&Scale::quick());
+        assert_eq!(r.histograms.len(), 3);
+        // Heterogeneous Twitter data: existence and string-type checks are
+        // generated (the paper's dominant kinds there).
+        assert!(r.count("twitter", PredicateKind::Exists) > 0);
+        assert!(r.count("twitter", PredicateKind::IsString) > 0);
+        // Fixed-schema Reddit data: *no* existence predicate can hit the
+        // selectivity range — the paper's key observation.
+        assert_eq!(r.count("reddit", PredicateKind::Exists), 0);
+        // NoBench's strings have large prefix groups, so string predicates
+        // occur.
+        let nb_strings = r.count("nobench", PredicateKind::StringPrefix)
+            + r.count("nobench", PredicateKind::StringEquality)
+            + r.count("nobench", PredicateKind::IsString);
+        assert!(nb_strings > 0);
+        let text = r.render();
+        assert!(text.contains("EXISTS"));
+        assert!(text.contains("reddit"));
+    }
+}

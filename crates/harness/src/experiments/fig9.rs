@@ -1,0 +1,123 @@
+//! Fig. 9 — session runtime vs. available CPU threads, per system
+//! (Twitter-like corpus, default/intermediate preset, seed 123).
+
+use crate::experiments::Scale;
+use crate::fmt::TextTable;
+use crate::runner::run_session;
+use crate::workload::{prepare, Corpus};
+use betze_engines::{Engine, JodaSim, JqSim, MongoSim, PgSim};
+use betze_generator::GeneratorConfig;
+
+/// Session times (seconds, w/o import) per engine per thread count.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// The swept thread counts (paper: 4–60 in steps of 4).
+    pub thread_counts: Vec<usize>,
+    /// `(engine name, seconds per thread count)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Runs the Fig. 9 sweep with the paper's 4..=60-step-4 thread axis.
+///
+/// JODA is re-run at every thread count (its scan parallelism and cost
+/// model react); the single-threaded systems are run once and their value
+/// replicated — the paper observes exactly this flatness ("all systems —
+/// except for JODA — use only one main thread").
+pub fn fig9(scale: &Scale) -> Fig9Result {
+    fig9_with_threads(scale, (1..=15).map(|i| i * 4).collect())
+}
+
+/// [`fig9`] with an explicit thread axis.
+pub fn fig9_with_threads(scale: &Scale, thread_counts: Vec<usize>) -> Fig9Result {
+    let w = prepare(
+        Corpus::Twitter,
+        scale.twitter_docs,
+        scale.data_seed,
+        &GeneratorConfig::default(),
+        123,
+    )
+    .expect("fig9 generation");
+
+    let mut series = Vec::new();
+    // JODA: swept.
+    let mut joda_secs = Vec::with_capacity(thread_counts.len());
+    for &threads in &thread_counts {
+        let mut joda = JodaSim::new(threads);
+        let run = run_session(&mut joda, &w.dataset, &w.generation.session).expect("fig9 joda");
+        joda_secs.push(run.session_modeled().as_secs_f64());
+    }
+    series.push(("JODA".to_owned(), joda_secs));
+
+    // Single-threaded systems: one run, flat series.
+    let singles: Vec<Box<dyn Engine>> =
+        vec![Box::new(MongoSim::new()), Box::new(PgSim::new()), Box::new(JqSim::new())];
+    for mut engine in singles {
+        let run = run_session(engine.as_mut(), &w.dataset, &w.generation.session)
+            .expect("fig9 single-threaded run");
+        let secs = run.session_modeled().as_secs_f64();
+        series.push((engine.name().to_owned(), vec![secs; thread_counts.len()]));
+    }
+
+    Fig9Result {
+        thread_counts,
+        series,
+    }
+}
+
+impl Fig9Result {
+    /// Series values by engine name.
+    pub fn series_of(&self, engine: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(name, _)| name == engine)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Renders thread counts as rows, engines as columns.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            std::iter::once("threads".to_owned())
+                .chain(self.series.iter().map(|(n, _)| format!("{n} (s)"))),
+        );
+        for (i, threads) in self.thread_counts.iter().enumerate() {
+            let mut row = vec![threads.to_string()];
+            for (_, values) in &self.series {
+                row.push(format!("{:.4}", values[i]));
+            }
+            t.row(row);
+        }
+        format!(
+            "Fig. 9: session runtime vs. usable CPU threads (Twitter-like, seed 123)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joda_scales_with_threads_while_others_stay_flat() {
+        // A larger corpus than Scale::quick() so scan work (the
+        // parallelizable part) dominates JODA's fixed per-query cost.
+        let mut scale = Scale::quick();
+        scale.twitter_docs = 8_000;
+        let r = fig9_with_threads(&scale, vec![4, 16, 60]);
+        let joda = r.series_of("JODA").unwrap();
+        assert!(
+            joda[0] > joda[2] * 1.5,
+            "JODA 4→60 threads should shrink markedly: {joda:?}"
+        );
+        for engine in ["MongoDB", "PostgreSQL", "jq"] {
+            let series = r.series_of(engine).unwrap();
+            assert_eq!(series[0], series[2], "{engine} must be flat");
+        }
+        // JODA is the fastest at every point; jq the slowest.
+        let jq = r.series_of("jq").unwrap();
+        for i in 0..3 {
+            assert!(joda[i] < jq[i]);
+        }
+        assert!(r.render().contains("threads"));
+    }
+}

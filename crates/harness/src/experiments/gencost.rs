@@ -1,0 +1,106 @@
+//! §VI-A's generation-cost measurement: the paper reports 8 h 42 m to
+//! generate 30 × 3 sessions at full scale, of which 8 h 35 m was dataset
+//! analysis and only 9 m actual query generation. This driver performs the
+//! same measurement at the configured scale.
+
+use crate::experiments::Scale;
+use crate::fmt::{human_duration, TextTable};
+use crate::workload::{prepare_dataset, Corpus};
+use betze_explorer::Preset;
+use betze_generator::GeneratorConfig;
+use std::time::Duration;
+
+/// Generation-time split.
+#[derive(Debug, Clone)]
+pub struct GenCostResult {
+    /// Sessions generated.
+    pub sessions: usize,
+    /// Queries generated in total.
+    pub total_queries: usize,
+    /// Time spent analyzing datasets.
+    pub analysis_time: Duration,
+    /// Time spent generating queries (incl. selectivity verification).
+    pub generation_time: Duration,
+}
+
+/// Measures analysis vs. generation time over the preset-evaluation
+/// workload (3 presets × `scale.sessions` seeds).
+pub fn gen_cost(scale: &Scale) -> GenCostResult {
+    let dataset = Corpus::Twitter.generate(scale.data_seed, scale.twitter_docs);
+    let mut analysis_time = Duration::ZERO;
+    let mut generation_time = Duration::ZERO;
+    let mut sessions = 0usize;
+    let mut total_queries = 0usize;
+    for preset in Preset::ALL {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        for seed in 0..scale.sessions as u64 {
+            // Like the paper's pipeline, each generator run re-analyzes
+            // its input (the analysis could be cached, which is exactly
+            // why the paper discusses this cost).
+            let w = prepare_dataset(dataset.clone(), &config, seed).expect("gen-cost");
+            analysis_time += w.analysis_time;
+            generation_time += w.generation.generation_time;
+            sessions += 1;
+            total_queries += w.generation.session.queries.len();
+        }
+    }
+    GenCostResult {
+        sessions,
+        total_queries,
+        analysis_time,
+        generation_time,
+    }
+}
+
+impl GenCostResult {
+    /// Fraction of the total spent in analysis.
+    pub fn analysis_fraction(&self) -> f64 {
+        let total = self.analysis_time + self.generation_time;
+        if total.is_zero() {
+            return 0.0;
+        }
+        self.analysis_time.as_secs_f64() / total.as_secs_f64()
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["phase", "time", "share"]);
+        let total = self.analysis_time + self.generation_time;
+        t.row([
+            "dataset analysis".to_owned(),
+            human_duration(self.analysis_time),
+            format!("{:.1}%", self.analysis_fraction() * 100.0),
+        ]);
+        t.row([
+            "query generation".to_owned(),
+            human_duration(self.generation_time),
+            format!("{:.1}%", (1.0 - self.analysis_fraction()) * 100.0),
+        ]);
+        t.row(["total".to_owned(), human_duration(total), "100%".to_owned()]);
+        format!(
+            "§VI-A generation cost: {} sessions, {} queries\n{}",
+            self.sessions,
+            self.total_queries,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_both_phases() {
+        let mut scale = Scale::quick();
+        scale.sessions = 2;
+        let r = gen_cost(&scale);
+        assert_eq!(r.sessions, 6);
+        assert_eq!(r.total_queries, 2 * (20 + 10 + 5));
+        assert!(r.analysis_time > Duration::ZERO);
+        assert!(r.generation_time > Duration::ZERO);
+        let f = r.analysis_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        assert!(r.render().contains("dataset analysis"));
+    }
+}

@@ -1,0 +1,99 @@
+//! One driver per table/figure of the paper's evaluation (§VI).
+//!
+//! Every driver takes a [`Scale`] — the laptop-scale substitute for the
+//! paper's 5.5–109 GB corpora — runs the workload, and returns structured
+//! results plus a rendered text report. The per-experiment index in
+//! DESIGN.md §5 maps each driver to its paper artifact.
+//!
+//! Corpus sizes default to the *relative* sizes of the paper's datasets
+//! (Twitter 109 GB : Reddit 30 GB : NoBench 5.5 GB ≈ 20 : 5.5 : 1), so
+//! absolute-timeout behaviour (the dashes of Table III) reproduces the
+//! same pattern.
+
+mod fig10;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod gencost;
+mod skew;
+mod table1;
+mod table2;
+mod table3;
+mod table4;
+
+pub use fig10::{fig10, fig10_with_sizes, Fig10Result};
+pub use fig5::{fig5, Fig5Result};
+pub use fig6::{fig6, DistributionSummary, Fig6Result};
+pub use fig7::{fig7, Fig7Result};
+pub use fig8::{fig8, Fig8Result};
+pub use fig9::{fig9, fig9_with_threads, Fig9Result};
+pub use gencost::{gen_cost, GenCostResult};
+pub use skew::{skew, SkewResult};
+pub use table1::{table1, Table1Result};
+pub use table2::{table2, Table2Result};
+pub use table3::{table3, table3_with_timeout, Table3Cell, Table3Result};
+pub use table4::{table4, Table4Result};
+
+/// Experiment scale: corpus sizes and session counts.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Documents in the Twitter-like corpus (paper: 29.6 M / 109 GB).
+    pub twitter_docs: usize,
+    /// Documents in the NoBench corpus baseline (paper: 10 M / 5.5 GB for
+    /// the non-scalability experiments).
+    pub nobench_docs: usize,
+    /// Documents in the Reddit-like corpus (paper: 53.9 M / 30 GB).
+    pub reddit_docs: usize,
+    /// Sessions per configuration for the multi-session experiments
+    /// (paper: 30 for Figs. 5/6/8, 20 per cell for Fig. 7).
+    pub sessions: usize,
+    /// Seed for corpus generation.
+    pub data_seed: u64,
+    /// JODA's thread count where not swept (paper reports Table II's
+    /// Twitter numbers from the 16-thread run).
+    pub joda_threads: usize,
+}
+
+impl Scale {
+    /// The default laptop scale: ≈ 20 MB Twitter-like, mirroring the
+    /// paper's 20 : 5.5 : 1 byte ratios across corpora.
+    pub fn default_scale() -> Self {
+        Scale {
+            twitter_docs: 20_000,
+            nobench_docs: 3_000,
+            reddit_docs: 14_000,
+            sessions: 30,
+            data_seed: 2022,
+            joda_threads: 16,
+        }
+    }
+
+    /// A much smaller scale for tests and smoke runs.
+    pub fn quick() -> Self {
+        Scale {
+            twitter_docs: 800,
+            nobench_docs: 400,
+            reddit_docs: 700,
+            sessions: 4,
+            data_seed: 2022,
+            joda_threads: 16,
+        }
+    }
+
+    /// Document count for one corpus.
+    pub fn docs_for(&self, corpus: crate::workload::Corpus) -> usize {
+        match corpus {
+            crate::workload::Corpus::Twitter => self.twitter_docs,
+            crate::workload::Corpus::NoBench => self.nobench_docs,
+            crate::workload::Corpus::Reddit => self.reddit_docs,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::default_scale()
+    }
+}

@@ -1,0 +1,121 @@
+//! §VI-C — query skew: how attribute references concentrate on a few
+//! "interesting" attributes. The paper counts 5 267 references to 405
+//! distinct attributes across the 1 800 preset-evaluation queries, with
+//! the top-10 attributes drawing ≈ 10 % and the top-20 ≈ 19 % of all
+//! references.
+
+use crate::experiments::Scale;
+use crate::fmt::TextTable;
+use crate::workload::{prepare_many, Corpus};
+use betze_explorer::Preset;
+use betze_generator::GeneratorConfig;
+use std::collections::HashMap;
+
+/// Attribute-reference skew statistics.
+#[derive(Debug, Clone)]
+pub struct SkewResult {
+    /// Total queries analyzed.
+    pub total_queries: usize,
+    /// Total attribute references.
+    pub total_references: usize,
+    /// Number of distinct attributes referenced.
+    pub distinct_attributes: usize,
+    /// Fraction of references hitting the top-10 attributes.
+    pub top10_share: f64,
+    /// Fraction of references hitting the top-20 attributes.
+    pub top20_share: f64,
+    /// The top-20 attributes with their reference counts.
+    pub top_attributes: Vec<(String, usize)>,
+}
+
+/// Runs the skew analysis over the preset-evaluation sessions (all three
+/// presets × `scale.sessions` seeds on the Twitter-like corpus).
+pub fn skew(scale: &Scale) -> SkewResult {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut total_queries = 0usize;
+    let mut total_references = 0usize;
+    for preset in Preset::ALL {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        let (_, _, outcomes) = prepare_many(
+            Corpus::Twitter,
+            scale.twitter_docs,
+            scale.data_seed,
+            &config,
+            0..scale.sessions as u64,
+        )
+        .expect("skew generation");
+        for outcome in &outcomes {
+            total_queries += outcome.session.queries.len();
+            for query in &outcome.session.queries {
+                for path in query.referenced_paths() {
+                    total_references += 1;
+                    *counts.entry(path.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut sorted: Vec<(String, usize)> = counts.into_iter().collect();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let share = |k: usize| -> f64 {
+        let top: usize = sorted.iter().take(k).map(|(_, c)| c).sum();
+        if total_references == 0 {
+            0.0
+        } else {
+            top as f64 / total_references as f64
+        }
+    };
+    SkewResult {
+        total_queries,
+        total_references,
+        distinct_attributes: sorted.len(),
+        top10_share: share(10),
+        top20_share: share(20),
+        top_attributes: sorted.into_iter().take(20).collect(),
+    }
+}
+
+impl SkewResult {
+    /// Renders the summary plus the top-20 list.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["attribute", "references"]);
+        for (attr, count) in &self.top_attributes {
+            t.row([attr.clone(), count.to_string()]);
+        }
+        format!(
+            "§VI-C query skew: {} queries, {} references to {} distinct attributes\n\
+             top-10 share: {:.1}%  top-20 share: {:.1}%\n{}",
+            self.total_queries,
+            self.total_references,
+            self.distinct_attributes,
+            self.top10_share * 100.0,
+            self.top20_share * 100.0,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_concentrate_on_interesting_attributes() {
+        let r = skew(&Scale::quick());
+        assert!(r.total_queries > 0);
+        assert!(r.total_references >= r.total_queries);
+        assert!(r.distinct_attributes > 10);
+        // Skew exists: the top-10 attributes draw disproportionately many
+        // references (10 attributes out of hundreds drawing ≈ 10 %+ in
+        // the paper).
+        let uniform_share = 10.0 / r.distinct_attributes as f64;
+        assert!(
+            r.top10_share > uniform_share,
+            "top-10 share {} should exceed uniform {}",
+            r.top10_share,
+            uniform_share
+        );
+        assert!(r.top20_share >= r.top10_share);
+        assert!(r.top20_share <= 1.0);
+        assert!(r.render().contains("top-10 share"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Table I — the default user configurations.
+
+use crate::fmt::TextTable;
+use betze_explorer::Preset;
+
+/// The rendered Table I (constants, no measurement).
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// `(preset, α, β, queries per session)` rows.
+    pub rows: Vec<(String, f64, f64, usize)>,
+}
+
+/// Regenerates Table I from the preset definitions.
+pub fn table1() -> Table1Result {
+    Table1Result {
+        rows: Preset::ALL
+            .iter()
+            .map(|p| {
+                let c = p.config();
+                (
+                    p.name().to_owned(),
+                    c.backtrack_probability,
+                    c.jump_probability,
+                    c.queries_per_session,
+                )
+            })
+            .collect(),
+    }
+}
+
+impl Table1Result {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "user",
+            "go back probability (α)",
+            "random jump (β)",
+            "queries per session",
+        ]);
+        for (name, alpha, beta, n) in &self.rows {
+            t.row([name.clone(), alpha.to_string(), beta.to_string(), n.to_string()]);
+        }
+        format!("Table I: default user configurations\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_constants() {
+        let r = table1();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0], ("novice".to_owned(), 0.5, 0.3, 20));
+        assert_eq!(r.rows[1], ("intermediate".to_owned(), 0.3, 0.2, 10));
+        assert_eq!(r.rows[2], ("expert".to_owned(), 0.2, 0.05, 5));
+        let text = r.render();
+        assert!(text.contains("novice"));
+        assert!(text.contains("0.05"));
+    }
+}

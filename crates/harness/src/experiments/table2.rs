@@ -1,0 +1,99 @@
+//! Table II — session execution time with import excluded, intermediate
+//! preset, seed 123, on the Twitter-like and NoBench corpora, including
+//! the "JODA memory evicted" configuration.
+
+use crate::experiments::Scale;
+use crate::fmt::{human_duration, TextTable};
+use crate::runner::run_session;
+use crate::workload::{prepare, Corpus};
+use betze_engines::{Engine, JodaSim, JqSim, MongoSim, PgSim};
+use betze_generator::GeneratorConfig;
+use std::time::Duration;
+
+/// Session times (w/o import) per system per corpus.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// System labels, in the paper's row order.
+    pub systems: Vec<String>,
+    /// `secs[system][corpus]` with corpora = [twitter, nobench].
+    pub secs: Vec<Vec<f64>>,
+}
+
+/// Runs the Table II experiment.
+pub fn table2(scale: &Scale) -> Table2Result {
+    let corpora = [
+        (Corpus::Twitter, scale.twitter_docs),
+        (Corpus::NoBench, scale.nobench_docs),
+    ];
+    let mut systems: Vec<String> = Vec::new();
+    let mut secs: Vec<Vec<f64>> = Vec::new();
+    let mut engines: Vec<(String, Box<dyn Engine>)> = vec![
+        ("JODA".into(), Box::new(JodaSim::new(scale.joda_threads))),
+        (
+            "JODA memory evicted".into(),
+            Box::new(JodaSim::with_eviction(scale.joda_threads)),
+        ),
+        ("MongoDB".into(), Box::new(MongoSim::new())),
+        ("PostgreSQL".into(), Box::new(PgSim::new())),
+        ("jq".into(), Box::new(JqSim::new())),
+    ];
+    for (label, _) in &engines {
+        systems.push(label.clone());
+        secs.push(Vec::new());
+    }
+    for (corpus, docs) in corpora {
+        let w = prepare(corpus, docs, scale.data_seed, &GeneratorConfig::default(), 123)
+            .expect("table2 generation");
+        for (i, (_, engine)) in engines.iter_mut().enumerate() {
+            let run = run_session(engine.as_mut(), &w.dataset, &w.generation.session)
+                .expect("table2 run");
+            secs[i].push(run.session_modeled().as_secs_f64());
+        }
+    }
+    Table2Result { systems, secs }
+}
+
+impl Table2Result {
+    /// Seconds for `(system, corpus-index)` where 0 = Twitter, 1 = NoBench.
+    pub fn secs_of(&self, system: &str, corpus_idx: usize) -> Option<f64> {
+        let idx = self.systems.iter().position(|s| s == system)?;
+        self.secs[idx].get(corpus_idx).copied()
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["system", "Twitter", "NoBench"]);
+        for (system, row) in self.systems.iter().zip(&self.secs) {
+            t.row([
+                system.clone(),
+                human_duration(Duration::from_secs_f64(row[0])),
+                human_duration(Duration::from_secs_f64(row[1])),
+            ]);
+        }
+        format!(
+            "Table II: session execution time, import excluded (intermediate preset, seed 123)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_match_paper() {
+        let r = table2(&Scale::quick());
+        let v = |s: &str, c: usize| r.secs_of(s, c).unwrap();
+        // Twitter ordering: JODA < evicted JODA < MongoDB < PostgreSQL < jq.
+        assert!(v("JODA", 0) < v("JODA memory evicted", 0));
+        assert!(v("JODA memory evicted", 0) < v("MongoDB", 0));
+        assert!(v("MongoDB", 0) < v("PostgreSQL", 0));
+        assert!(v("PostgreSQL", 0) < v("jq", 0));
+        // NoBench flip: PostgreSQL beats MongoDB.
+        assert!(v("JODA", 1) < v("PostgreSQL", 1));
+        assert!(v("PostgreSQL", 1) < v("MongoDB", 1));
+        assert!(v("MongoDB", 1) < v("jq", 1));
+        assert!(r.render().contains("JODA memory evicted"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Table III — session execution time (import excluded) for every preset ×
+//! output configuration × dataset × system, seed 1, with timeouts rendered
+//! as dashes.
+
+use crate::experiments::Scale;
+use crate::fmt::TextTable;
+use crate::runner::{run_session_with_options, RunOptions, SessionOutcome};
+use crate::workload::{prepare_with_analysis, Corpus};
+use betze_engines::all_engines;
+use betze_explorer::Preset;
+use betze_generator::{AggregateMode, GeneratorConfig};
+use std::time::Duration;
+
+/// One Table III cell.
+#[derive(Debug, Clone)]
+pub struct Table3Cell {
+    /// Corpus name.
+    pub corpus: String,
+    /// System name.
+    pub system: String,
+    /// Preset name.
+    pub preset: String,
+    /// Output configuration label (Default / Agg / GAgg).
+    pub config: String,
+    /// Session seconds (w/o import); `None` = timed out (a dash).
+    pub secs: Option<f64>,
+}
+
+/// The full Table III matrix.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// All cells.
+    pub cells: Vec<Table3Cell>,
+    /// The modeled timeout standing in for the paper's 8 hours.
+    pub timeout: Duration,
+}
+
+/// Runs Table III with a default timeout chosen so the dash pattern of the
+/// paper reproduces at [`Scale::default_scale`]'s corpus-size ratios.
+pub fn table3(scale: &Scale) -> Table3Result {
+    table3_with_timeout(scale, Duration::from_secs(8))
+}
+
+/// [`table3`] with an explicit modeled timeout.
+pub fn table3_with_timeout(scale: &Scale, timeout: Duration) -> Table3Result {
+    let configs = [
+        AggregateMode::None,
+        AggregateMode::All,
+        AggregateMode::Grouped,
+    ];
+    let mut cells = Vec::new();
+    for corpus in Corpus::ALL {
+        let dataset = corpus.generate(scale.data_seed, scale.docs_for(corpus));
+        let analysis_started = std::time::Instant::now();
+        let analysis = betze_stats::analyze(dataset.name.clone(), &dataset.docs);
+        let analysis_time = analysis_started.elapsed();
+        for preset in Preset::ALL {
+            for mode in configs {
+                let config = GeneratorConfig::with_explorer(preset.config()).aggregate(mode);
+                let w = prepare_with_analysis(
+                    dataset.clone(),
+                    analysis.clone(),
+                    analysis_time,
+                    &config,
+                    1,
+                )
+                .expect("table3 generation");
+                for mut engine in all_engines(scale.joda_threads) {
+                    // Table III is the full-output configuration: the
+                    // paper redirects every system's complete result
+                    // stream to /dev/null.
+                    let outcome = run_session_with_options(
+                        engine.as_mut(),
+                        &w.dataset,
+                        &w.generation.session,
+                        &RunOptions::with_output().timeout(timeout),
+                    )
+                    .expect("table3 run");
+                    cells.push(Table3Cell {
+                        corpus: corpus.name().to_owned(),
+                        system: engine.name().to_owned(),
+                        preset: preset.name().to_owned(),
+                        config: mode.label().to_owned(),
+                        secs: match outcome {
+                            SessionOutcome::Completed(run) => {
+                                Some(run.session_modeled().as_secs_f64())
+                            }
+                            SessionOutcome::TimedOut { .. } => None,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    Table3Result { cells, timeout }
+}
+
+impl Table3Result {
+    /// Looks one cell up.
+    pub fn cell(&self, corpus: &str, system: &str, preset: &str, config: &str) -> Option<&Table3Cell> {
+        self.cells.iter().find(|c| {
+            c.corpus == corpus && c.system == system && c.preset == preset && c.config == config
+        })
+    }
+
+    /// Renders in the paper's layout: one block per corpus, one row per
+    /// system, preset × config columns.
+    pub fn render(&self) -> String {
+        let presets = ["novice", "intermediate", "expert"];
+        let configs = ["Default", "Agg", "GAgg"];
+        let mut headers = vec!["system".to_owned()];
+        for p in presets {
+            for c in configs {
+                headers.push(format!("{p}/{c}"));
+            }
+        }
+        let mut out = format!(
+            "Table III: session time (import excluded), seed 1, timeout {:?} (dash = timeout)\n",
+            self.timeout
+        );
+        for corpus in ["twitter", "nobench", "reddit"] {
+            let mut t = TextTable::new(headers.clone());
+            for system in ["JODA", "MongoDB", "PostgreSQL", "jq"] {
+                let mut row = vec![system.to_owned()];
+                for p in presets {
+                    for c in configs {
+                        row.push(match self.cell(corpus, system, p, c) {
+                            Some(Table3Cell { secs: Some(v), .. }) => format!("{v:.3}s"),
+                            Some(Table3Cell { secs: None, .. }) => "-".to_owned(),
+                            None => "?".to_owned(),
+                        });
+                    }
+                }
+                t.row(row);
+            }
+            out.push_str(&format!("\n[{corpus}]\n{}", t.render()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_complete_and_aggregation_helps() {
+        let scale = Scale::quick();
+        // Generous timeout so the completeness assertions see values.
+        let r = table3_with_timeout(&scale, Duration::from_secs(3600));
+        // 3 corpora × 3 presets × 3 configs × 4 systems.
+        assert_eq!(r.cells.len(), 108);
+        // "All systems benefit from aggregating the datasets."
+        for system in ["JODA", "MongoDB", "PostgreSQL", "jq"] {
+            let default = r
+                .cell("twitter", system, "intermediate", "Default")
+                .and_then(|c| c.secs)
+                .unwrap();
+            let agg = r
+                .cell("twitter", system, "intermediate", "Agg")
+                .and_then(|c| c.secs)
+                .unwrap();
+            assert!(
+                agg < default,
+                "{system}: Agg {agg} should beat Default {default}"
+            );
+        }
+        // JODA leads everywhere on Twitter.
+        for config in ["Default", "Agg", "GAgg"] {
+            let joda = r
+                .cell("twitter", "JODA", "novice", config)
+                .and_then(|c| c.secs)
+                .unwrap();
+            for other in ["MongoDB", "PostgreSQL", "jq"] {
+                let v = r
+                    .cell("twitter", other, "novice", config)
+                    .and_then(|c| c.secs)
+                    .unwrap();
+                assert!(joda < v, "{config}: JODA {joda} vs {other} {v}");
+            }
+        }
+        let text = r.render();
+        assert!(text.contains("[reddit]"));
+    }
+
+    #[test]
+    fn tight_timeouts_render_dashes() {
+        let scale = Scale::quick();
+        let r = table3_with_timeout(&scale, Duration::from_micros(10));
+        assert!(r.cells.iter().any(|c| c.secs.is_none()));
+        assert!(r.render().contains('-'));
+    }
+}

@@ -1,0 +1,142 @@
+//! Table IV — distribution of path depths: in the original documents, in
+//! queries generated with default settings, and with weighted paths.
+
+use crate::experiments::Scale;
+use crate::fmt::TextTable;
+use crate::workload::{prepare_many, Corpus};
+use betze_generator::GeneratorConfig;
+use std::collections::BTreeMap;
+
+/// Percentage distributions over path depth.
+#[derive(Debug, Clone)]
+pub struct Table4Result {
+    /// Depths present in any distribution, ascending.
+    pub depths: Vec<usize>,
+    /// Depth → percentage of attribute occurrences in the documents.
+    pub documents_pct: BTreeMap<usize, f64>,
+    /// Depth → percentage of attribute references in default-mode queries.
+    pub default_pct: BTreeMap<usize, f64>,
+    /// Depth → percentage in weighted-paths-mode queries.
+    pub weighted_pct: BTreeMap<usize, f64>,
+}
+
+/// Runs the Table IV experiment on the Twitter-like corpus: the document
+/// column weights every path by its document count (the analyzer's view),
+/// the query columns aggregate attribute references over
+/// `scale.sessions` default sessions with and without weighted paths.
+pub fn table4(scale: &Scale) -> Table4Result {
+    let seeds = 0..scale.sessions as u64;
+    let default_config = GeneratorConfig::default();
+    let weighted_config = GeneratorConfig::default().weighted_paths(true);
+    let (_, analysis, default_outcomes) = prepare_many(
+        Corpus::Twitter,
+        scale.twitter_docs,
+        scale.data_seed,
+        &default_config,
+        seeds.clone(),
+    )
+    .expect("table4 default generation");
+    let (_, _, weighted_outcomes) = prepare_many(
+        Corpus::Twitter,
+        scale.twitter_docs,
+        scale.data_seed,
+        &weighted_config,
+        seeds,
+    )
+    .expect("table4 weighted generation");
+
+    let documents_pct = to_percentages(analysis.depth_histogram());
+    let default_pct = to_percentages(query_depths(&default_outcomes));
+    let weighted_pct = to_percentages(query_depths(&weighted_outcomes));
+    let mut depths: Vec<usize> = documents_pct
+        .keys()
+        .chain(default_pct.keys())
+        .chain(weighted_pct.keys())
+        .copied()
+        .collect();
+    depths.sort_unstable();
+    depths.dedup();
+    Table4Result {
+        depths,
+        documents_pct,
+        default_pct,
+        weighted_pct,
+    }
+}
+
+fn query_depths(
+    outcomes: &[betze_generator::GenerationOutcome],
+) -> BTreeMap<usize, u64> {
+    let mut hist = BTreeMap::new();
+    for outcome in outcomes {
+        for (depth, count) in outcome.session.stats().path_depths {
+            *hist.entry(depth).or_insert(0) += count as u64;
+        }
+    }
+    hist
+}
+
+fn to_percentages(hist: BTreeMap<usize, u64>) -> BTreeMap<usize, f64> {
+    let total: u64 = hist.values().sum();
+    hist.into_iter()
+        .map(|(depth, count)| {
+            (depth, if total == 0 { 0.0 } else { 100.0 * count as f64 / total as f64 })
+        })
+        .collect()
+}
+
+impl Table4Result {
+    /// Mean depth of a distribution.
+    pub fn mean_depth(dist: &BTreeMap<usize, f64>) -> f64 {
+        dist.iter().map(|(d, pct)| *d as f64 * pct / 100.0).sum()
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "path depth",
+            "documents",
+            "queries default",
+            "queries weighted paths",
+        ]);
+        for depth in &self.depths {
+            let cell = |m: &BTreeMap<usize, f64>| {
+                format!("{:.1}%", m.get(depth).copied().unwrap_or(0.0))
+            };
+            t.row([
+                depth.to_string(),
+                cell(&self.documents_pct),
+                cell(&self.default_pct),
+                cell(&self.weighted_pct),
+            ]);
+        }
+        format!("Table IV: distribution of path depths\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_paths_shift_distribution_toward_the_root() {
+        let r = table4(&Scale::quick());
+        let doc_mean = Table4Result::mean_depth(&r.documents_pct);
+        let default_mean = Table4Result::mean_depth(&r.default_pct);
+        let weighted_mean = Table4Result::mean_depth(&r.weighted_pct);
+        // Paper: default queries mirror the documents closely; weighted
+        // paths shift toward the top.
+        assert!(
+            weighted_mean < default_mean,
+            "weighted {weighted_mean} should be shallower than default {default_mean}"
+        );
+        assert!(
+            (default_mean - doc_mean).abs() < 1.0,
+            "default {default_mean} should track documents {doc_mean}"
+        );
+        // Percentages sum to ~100.
+        let sum: f64 = r.default_pct.values().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+        assert!(r.render().contains("path depth"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Plain-text report formatting: aligned tables, human durations, and the
+//! text heatmap used for Fig. 7.
+
+use std::time::Duration;
+
+/// Formats a duration the way the paper's tables do: `23s`, `1.3m`, `1.6h`.
+pub fn human_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 1e-3 {
+        format!("{:.0}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.1}ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.1}s")
+    } else if secs < 4200.0 {
+        format!("{:.1}m", secs / 60.0)
+    } else {
+        format!("{:.1}h", secs / 3600.0)
+    }
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', widths[i].saturating_sub(cell.len())));
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Renders a 2-D grid of values as a text heatmap (Fig. 7): rows = α,
+/// columns = β, cells shaded by magnitude.
+pub fn heatmap(
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<Option<f64>>],
+    cell: impl Fn(f64) -> String,
+) -> String {
+    let mut table = TextTable::new(
+        std::iter::once("α\\β".to_owned()).chain(col_labels.iter().cloned()),
+    );
+    for (label, row) in row_labels.iter().zip(values) {
+        let mut cells = vec![label.clone()];
+        for v in row {
+            cells.push(match v {
+                Some(x) => cell(*x),
+                None => "·".to_owned(),
+            });
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_like_the_paper() {
+        assert_eq!(human_duration(Duration::from_secs_f64(23.0)), "23.0s");
+        assert_eq!(human_duration(Duration::from_secs_f64(78.0)), "78.0s");
+        assert_eq!(human_duration(Duration::from_secs_f64(6.0 * 60.0)), "6.0m");
+        assert_eq!(human_duration(Duration::from_secs_f64(1.6 * 3600.0)), "1.6h");
+        assert_eq!(human_duration(Duration::from_micros(5)), "5µs");
+        assert_eq!(human_duration(Duration::from_millis(12)), "12.0ms");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["joda", "1.04m"]);
+        t.row(["a-longer-name", "2"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("joda"));
+        // Value column aligned at the same offset.
+        let offset = lines[2].find("1.04m").unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), offset);
+    }
+
+    #[test]
+    fn rows_padded_to_header_width() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn heatmap_renders_missing_cells() {
+        let rows = vec!["0.0".to_owned(), "0.1".to_owned()];
+        let cols = vec!["0.0".to_owned(), "0.1".to_owned()];
+        let values = vec![
+            vec![Some(1.0), Some(2.0)],
+            vec![Some(3.0), None],
+        ];
+        let text = heatmap(&rows, &cols, &values, |v| format!("{v:.1}"));
+        assert!(text.contains("1.0"));
+        assert!(text.contains("·"));
+    }
+}

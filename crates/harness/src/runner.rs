@@ -1,0 +1,241 @@
+//! Session execution against an engine, with import accounting and the
+//! timeout handling of the paper's evaluation (Table III's dashes, the
+//! 2-hour cut-off of Fig. 10).
+
+use betze_datagen::Dataset;
+use betze_engines::{Engine, EngineError, ExecutionReport};
+use betze_model::Session;
+use std::time::Duration;
+
+/// Options controlling one session run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Optional modeled-time timeout (Table III's 8-hour dash semantics).
+    pub timeout: Option<Duration>,
+    /// When false, results stay as references/cursors and no output work
+    /// is charged — the measurement mode of Table II and Figs. 9/10
+    /// (see `Engine::set_output_enabled`). Note `Default` derives `false`;
+    /// use [`RunOptions::with_output`] for Table III-style full output.
+    pub count_output: bool,
+}
+
+impl RunOptions {
+    /// Reference-output mode (no output charged), no timeout.
+    pub fn reference() -> Self {
+        RunOptions::default()
+    }
+
+    /// Full-output mode (Table III's configuration).
+    pub fn with_output() -> Self {
+        RunOptions {
+            count_output: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Sets the timeout.
+    pub fn timeout(mut self, t: Duration) -> Self {
+        self.timeout = Some(t);
+        self
+    }
+}
+
+/// The measured run of one session on one engine.
+#[derive(Debug, Clone)]
+pub struct SessionRun {
+    /// Engine display name.
+    pub engine: String,
+    /// Import cost (the paper reports wall-clock with and without import).
+    pub import: ExecutionReport,
+    /// Per-query reports, in session order (Fig. 5 plots these).
+    pub queries: Vec<ExecutionReport>,
+}
+
+impl SessionRun {
+    /// Sum of the queries' modeled times — the paper's "w/o import"
+    /// session time.
+    pub fn session_modeled(&self) -> Duration {
+        self.queries.iter().map(|r| r.modeled).sum()
+    }
+
+    /// Sum of the queries' wall times.
+    pub fn session_wall(&self) -> Duration {
+        self.queries.iter().map(|r| r.wall).sum()
+    }
+
+    /// Modeled time including import — the paper's "wall clock time".
+    pub fn total_modeled(&self) -> Duration {
+        self.session_modeled() + self.import.modeled
+    }
+}
+
+/// Completion or timeout of a session run.
+#[derive(Debug, Clone)]
+pub enum SessionOutcome {
+    /// All queries executed.
+    Completed(SessionRun),
+    /// The modeled session time exceeded the timeout; execution stopped
+    /// after `completed_queries` queries (rendered as a dash in the
+    /// tables, like the paper's 8-hour timeouts).
+    TimedOut {
+        /// The partial run up to the timeout.
+        partial: SessionRun,
+        /// How many queries completed before the cut-off.
+        completed_queries: usize,
+    },
+}
+
+impl SessionOutcome {
+    /// The completed run, if any.
+    pub fn completed(&self) -> Option<&SessionRun> {
+        match self {
+            SessionOutcome::Completed(run) => Some(run),
+            SessionOutcome::TimedOut { .. } => None,
+        }
+    }
+
+    /// Renders the session (w/o import) time, or the dash used in the
+    /// paper's tables for timeouts.
+    pub fn cell(&self) -> String {
+        match self {
+            SessionOutcome::Completed(run) => crate::fmt::human_duration(run.session_modeled()),
+            SessionOutcome::TimedOut { .. } => "-".to_owned(),
+        }
+    }
+}
+
+/// Imports the dataset and executes every session query on the engine.
+/// The engine is reset first, so runs are independent.
+pub fn run_session(
+    engine: &mut dyn Engine,
+    dataset: &Dataset,
+    session: &Session,
+) -> Result<SessionRun, EngineError> {
+    match run_session_with_options(engine, dataset, session, &RunOptions::reference())? {
+        SessionOutcome::Completed(run) => Ok(run),
+        SessionOutcome::TimedOut { .. } => {
+            unreachable!("no timeout configured")
+        }
+    }
+}
+
+/// [`run_session`] with an optional **modeled-time** timeout: execution
+/// stops once the accumulated modeled session time exceeds it. Using the
+/// modeled clock keeps timeout behaviour deterministic and host-
+/// independent (and saves wall time, since hopeless runs stop early).
+pub fn run_session_with_timeout(
+    engine: &mut dyn Engine,
+    dataset: &Dataset,
+    session: &Session,
+    timeout: Option<Duration>,
+) -> Result<SessionOutcome, EngineError> {
+    let options = RunOptions {
+        timeout,
+        ..RunOptions::reference()
+    };
+    run_session_with_options(engine, dataset, session, &options)
+}
+
+/// The general form: explicit [`RunOptions`].
+pub fn run_session_with_options(
+    engine: &mut dyn Engine,
+    dataset: &Dataset,
+    session: &Session,
+    options: &RunOptions,
+) -> Result<SessionOutcome, EngineError> {
+    let timeout = options.timeout;
+    engine.reset();
+    engine.set_output_enabled(options.count_output);
+    let import = engine.import(&dataset.name, &dataset.docs)?;
+    let mut run = SessionRun {
+        engine: engine.name().to_owned(),
+        import,
+        queries: Vec::with_capacity(session.queries.len()),
+    };
+    let mut modeled = Duration::ZERO;
+    for (i, query) in session.queries.iter().enumerate() {
+        let outcome = engine.execute(query)?;
+        modeled += outcome.report.modeled;
+        run.queries.push(outcome.report);
+        if let Some(limit) = timeout {
+            if modeled > limit && i + 1 < session.queries.len() {
+                return Ok(SessionOutcome::TimedOut {
+                    completed_queries: i + 1,
+                    partial: run,
+                });
+            }
+        }
+    }
+    Ok(SessionOutcome::Completed(run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{prepare, Corpus};
+    use betze_engines::{JodaSim, JqSim};
+    use betze_generator::GeneratorConfig;
+
+    fn workload() -> crate::workload::PreparedWorkload {
+        prepare(Corpus::NoBench, 200, 1, &GeneratorConfig::default(), 7).unwrap()
+    }
+
+    #[test]
+    fn run_session_reports_per_query() {
+        let w = workload();
+        let mut joda = JodaSim::new(1);
+        let run = run_session(&mut joda, &w.dataset, &w.generation.session).unwrap();
+        assert_eq!(run.queries.len(), 10);
+        assert!(run.session_modeled() > Duration::ZERO);
+        assert!(run.total_modeled() > run.session_modeled());
+        assert!(run.import.counters.import_docs == 200);
+    }
+
+    #[test]
+    fn timeout_cuts_off_slow_engines() {
+        let w = workload();
+        let mut jq = JqSim::new();
+        let outcome = run_session_with_timeout(
+            &mut jq,
+            &w.dataset,
+            &w.generation.session,
+            Some(Duration::from_nanos(1)),
+        )
+        .unwrap();
+        match outcome {
+            SessionOutcome::TimedOut { completed_queries, .. } => {
+                assert_eq!(completed_queries, 1);
+            }
+            SessionOutcome::Completed(_) => panic!("expected timeout"),
+        }
+        assert_eq!(outcome.cell(), "-");
+    }
+
+    #[test]
+    fn generous_timeout_completes() {
+        let w = workload();
+        let mut joda = JodaSim::new(1);
+        let outcome = run_session_with_timeout(
+            &mut joda,
+            &w.dataset,
+            &w.generation.session,
+            Some(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert!(outcome.completed().is_some());
+        assert_ne!(outcome.cell(), "-");
+    }
+
+    #[test]
+    fn runs_are_engine_independent() {
+        let w = workload();
+        let mut joda = JodaSim::new(1);
+        let a = run_session(&mut joda, &w.dataset, &w.generation.session).unwrap();
+        // Re-running after reset reproduces the same counters.
+        let b = run_session(&mut joda, &w.dataset, &w.generation.session).unwrap();
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.counters, y.counters);
+            assert_eq!(x.modeled, y.modeled);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Workload preparation: corpus generation, analysis, and session
+//! generation with an in-memory verification backend.
+
+use betze_datagen::{Dataset, DocGenerator, NoBench, RedditLike, TwitterLike};
+use betze_generator::{
+    generate_session, GenerateError, GenerationOutcome, GeneratorConfig, InMemoryBackend,
+};
+use betze_model::DatasetId;
+use betze_stats::DatasetAnalysis;
+use std::time::{Duration, Instant};
+
+/// The three evaluation corpora (paper §VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corpus {
+    /// Twitter-stream-like: heterogeneous, deeply nested.
+    Twitter,
+    /// NoBench: 21 attributes, shallow, string/prefix-heavy.
+    NoBench,
+    /// Reddit-comments-like: fixed flat 20-attribute schema.
+    Reddit,
+}
+
+impl Corpus {
+    /// All corpora, in paper order.
+    pub const ALL: [Corpus; 3] = [Corpus::Twitter, Corpus::NoBench, Corpus::Reddit];
+
+    /// The corpus name (doubles as the base dataset name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Corpus::Twitter => "twitter",
+            Corpus::NoBench => "nobench",
+            Corpus::Reddit => "reddit",
+        }
+    }
+
+    /// Generates `count` documents with the given seed.
+    pub fn generate(&self, seed: u64, count: usize) -> Dataset {
+        match self {
+            Corpus::Twitter => TwitterLike::default().dataset(seed, count),
+            Corpus::NoBench => NoBench::default().dataset(seed, count),
+            Corpus::Reddit => RedditLike.dataset(seed, count),
+        }
+    }
+}
+
+impl std::fmt::Display for Corpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A ready-to-run workload: the corpus documents, their analysis, and one
+/// generated session (with provenance).
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// The base dataset.
+    pub dataset: Dataset,
+    /// The analyzer output it was generated from.
+    pub analysis: DatasetAnalysis,
+    /// The generator outcome (session + per-query records).
+    pub generation: GenerationOutcome,
+    /// Time spent in the data analyzer (the dominant phase of generation
+    /// in the paper's §VI-A measurement).
+    pub analysis_time: Duration,
+}
+
+/// Prepares a workload: generate corpus → analyze → generate one session
+/// (verified against an in-memory backend holding the corpus).
+pub fn prepare(
+    corpus: Corpus,
+    doc_count: usize,
+    data_seed: u64,
+    config: &GeneratorConfig,
+    session_seed: u64,
+) -> Result<PreparedWorkload, GenerateError> {
+    let dataset = corpus.generate(data_seed, doc_count);
+    prepare_dataset(dataset, config, session_seed)
+}
+
+/// [`prepare`] over an already-generated dataset (reused across seeds so a
+/// corpus is only generated and analyzed once per experiment).
+pub fn prepare_dataset(
+    dataset: Dataset,
+    config: &GeneratorConfig,
+    session_seed: u64,
+) -> Result<PreparedWorkload, GenerateError> {
+    let analysis_started = Instant::now();
+    let analysis = betze_stats::analyze(dataset.name.clone(), &dataset.docs);
+    let analysis_time = analysis_started.elapsed();
+    prepare_with_analysis(dataset, analysis, analysis_time, config, session_seed)
+}
+
+/// [`prepare_dataset`] with a pre-computed analysis — lets experiments
+/// that generate many sessions over one corpus (Fig. 7's 66-cell sweep,
+/// Table III's 27 workloads) analyze each corpus once.
+pub fn prepare_with_analysis(
+    dataset: Dataset,
+    analysis: DatasetAnalysis,
+    analysis_time: Duration,
+    config: &GeneratorConfig,
+    session_seed: u64,
+) -> Result<PreparedWorkload, GenerateError> {
+    let mut backend = InMemoryBackend::new();
+    backend.register_base(DatasetId(0), dataset.docs.clone());
+    let generation = generate_session(&analysis, config, session_seed, Some(&mut backend))?;
+    Ok(PreparedWorkload {
+        dataset,
+        analysis,
+        generation,
+        analysis_time,
+    })
+}
+
+/// Prepares several sessions over one shared dataset/analysis (different
+/// session seeds), as the multi-session experiments (Figs. 5–7) need.
+pub fn prepare_many(
+    corpus: Corpus,
+    doc_count: usize,
+    data_seed: u64,
+    config: &GeneratorConfig,
+    session_seeds: impl IntoIterator<Item = u64>,
+) -> Result<(Dataset, DatasetAnalysis, Vec<GenerationOutcome>), GenerateError> {
+    let dataset = corpus.generate(data_seed, doc_count);
+    let analysis = betze_stats::analyze(dataset.name.clone(), &dataset.docs);
+    let mut outcomes = Vec::new();
+    for seed in session_seeds {
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), dataset.docs.clone());
+        outcomes.push(generate_session(&analysis, config, seed, Some(&mut backend))?);
+    }
+    Ok((dataset, analysis, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_produces_runnable_sessions() {
+        let w = prepare(
+            Corpus::Twitter,
+            300,
+            1,
+            &GeneratorConfig::default(),
+            123,
+        )
+        .unwrap();
+        assert_eq!(w.dataset.len(), 300);
+        assert_eq!(w.generation.session.queries.len(), 10);
+        assert_eq!(w.analysis.doc_count, 300);
+    }
+
+    #[test]
+    fn corpora_have_distinct_shapes() {
+        for corpus in Corpus::ALL {
+            let ds = corpus.generate(2, 50);
+            assert_eq!(ds.name, corpus.name());
+            assert_eq!(ds.len(), 50);
+        }
+    }
+
+    #[test]
+    fn prepare_many_shares_the_dataset() {
+        let (dataset, analysis, outcomes) = prepare_many(
+            Corpus::NoBench,
+            200,
+            3,
+            &GeneratorConfig::default(),
+            [1, 2, 3],
+        )
+        .unwrap();
+        assert_eq!(dataset.len(), 200);
+        assert_eq!(analysis.doc_count, 200);
+        assert_eq!(outcomes.len(), 3);
+        assert_ne!(outcomes[0].session.queries, outcomes[1].session.queries);
+    }
+}

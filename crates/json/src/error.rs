@@ -1,0 +1,114 @@
+//! Error types for parsing JSON text and JSON pointers.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing JSON text.
+///
+/// Carries the byte offset plus a 1-based line/column pair pointing at the
+/// offending input position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes, not characters).
+    pub column: usize,
+}
+
+/// The category of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended while a value was still incomplete.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the expected construct.
+    UnexpectedByte(u8),
+    /// A literal (`true`, `false`, `null`) was misspelled.
+    InvalidLiteral,
+    /// A number token could not be parsed.
+    InvalidNumber,
+    /// A string contained an invalid escape sequence.
+    InvalidEscape,
+    /// A `\uXXXX` escape did not form a valid scalar value.
+    InvalidUnicodeEscape,
+    /// The input contained invalid UTF-8 inside a string.
+    InvalidUtf8,
+    /// A control character appeared unescaped inside a string.
+    UnescapedControl(u8),
+    /// Nesting exceeded the configured depth limit.
+    DepthLimitExceeded(usize),
+    /// Trailing non-whitespace bytes after the top-level value.
+    TrailingData,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, offset: usize, line: usize, column: usize) -> Self {
+        ParseError {
+            kind,
+            offset,
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at line {}, column {} (offset {}): ",
+            self.line, self.column, self.offset
+        )?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::UnexpectedByte(b) => {
+                if b.is_ascii_graphic() {
+                    write!(f, "unexpected character '{}'", *b as char)
+                } else {
+                    write!(f, "unexpected byte 0x{b:02x}")
+                }
+            }
+            ParseErrorKind::InvalidLiteral => write!(f, "invalid literal"),
+            ParseErrorKind::InvalidNumber => write!(f, "invalid number"),
+            ParseErrorKind::InvalidEscape => write!(f, "invalid escape sequence"),
+            ParseErrorKind::InvalidUnicodeEscape => write!(f, "invalid \\u escape"),
+            ParseErrorKind::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            ParseErrorKind::UnescapedControl(b) => {
+                write!(f, "unescaped control character 0x{b:02x} in string")
+            }
+            ParseErrorKind::DepthLimitExceeded(limit) => {
+                write!(f, "nesting depth exceeds limit of {limit}")
+            }
+            ParseErrorKind::TrailingData => write!(f, "trailing data after value"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// An error produced while parsing the textual form of a [`crate::JsonPointer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointerParseError {
+    /// A non-empty pointer must begin with `/`.
+    MissingLeadingSlash,
+    /// A `~` was followed by something other than `0` or `1`.
+    InvalidEscape { offset: usize },
+}
+
+impl fmt::Display for PointerParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointerParseError::MissingLeadingSlash => {
+                write!(f, "JSON pointer must be empty or start with '/'")
+            }
+            PointerParseError::InvalidEscape { offset } => {
+                write!(f, "invalid '~' escape at offset {offset} (expected ~0 or ~1)")
+            }
+        }
+    }
+}
+
+impl Error for PointerParseError {}

@@ -1,0 +1,189 @@
+//! JSON number representation.
+//!
+//! BETZE distinguishes integer from floating-point attributes: the analyzer
+//! keeps separate min/max statistics for each (paper §IV-A), and the
+//! generator has distinct `== <int>` and `<comparison> <float>` predicate
+//! factories (paper §III-A). [`Number`] therefore preserves the distinction
+//! instead of collapsing everything to `f64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A JSON number, preserving the integer/floating-point distinction.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A number written without fraction or exponent, within `i64` range.
+    Int(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// Returns the value as `f64`, the common comparison domain.
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// True if the number was written as an integer.
+    #[inline]
+    pub fn is_int(&self) -> bool {
+        matches!(self, Number::Int(_))
+    }
+
+    /// Total ordering over the numeric value (NaN never occurs: the parser
+    /// rejects non-finite numbers and constructors are expected to pass
+    /// finite values).
+    pub fn total_cmp(&self, other: &Number) -> Ordering {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a.cmp(b),
+            _ => self
+                .as_f64()
+                .partial_cmp(&other.as_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl Eq for Number {}
+
+impl Hash for Number {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Numbers that compare equal must hash equal: hash the f64 bits of
+        // the canonical value, mapping -0.0 to +0.0.
+        let f = self.as_f64();
+        let f = if f == 0.0 { 0.0 } else { f };
+        f.to_bits().hash(state);
+    }
+}
+
+impl PartialOrd for Number {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(x) => {
+                if x == x.trunc() && x.abs() < 1e15 {
+                    // Keep a fractional marker so round-tripping preserves
+                    // the float-ness of the value.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Self {
+        Number::Int(i)
+    }
+}
+
+impl From<i32> for Number {
+    fn from(i: i32) -> Self {
+        Number::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Number {
+    fn from(i: u32) -> Self {
+        Number::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Number {
+    fn from(i: usize) -> Self {
+        match i64::try_from(i) {
+            Ok(v) => Number::Int(v),
+            Err(_) => Number::Float(i as f64),
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(f: f64) -> Self {
+        Number::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(n: Number) -> u64 {
+        let mut h = DefaultHasher::new();
+        n.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_equality_crosses_variants() {
+        assert_eq!(Number::Int(3), Number::Float(3.0));
+        assert_ne!(Number::Int(3), Number::Float(3.5));
+    }
+
+    #[test]
+    fn equal_numbers_hash_equal() {
+        assert_eq!(hash_of(Number::Int(7)), hash_of(Number::Float(7.0)));
+        assert_eq!(hash_of(Number::Float(0.0)), hash_of(Number::Float(-0.0)));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert_eq!(Number::Int(2).total_cmp(&Number::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Number::Float(10.0).total_cmp(&Number::Int(3)),
+            Ordering::Greater
+        );
+        assert_eq!(Number::Int(4).total_cmp(&Number::Float(4.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_preserves_kind() {
+        assert_eq!(Number::Int(5).to_string(), "5");
+        assert_eq!(Number::Float(5.0).to_string(), "5.0");
+        assert_eq!(Number::Float(2.25).to_string(), "2.25");
+        assert_eq!(Number::Int(-12).to_string(), "-12");
+    }
+
+    #[test]
+    fn as_i64_only_for_ints() {
+        assert_eq!(Number::Int(9).as_i64(), Some(9));
+        assert_eq!(Number::Float(9.0).as_i64(), None);
+    }
+
+    #[test]
+    fn usize_conversion_handles_large_values() {
+        assert_eq!(Number::from(42usize), Number::Int(42));
+    }
+}

@@ -1,0 +1,474 @@
+//! A byte-level recursive-descent JSON parser.
+//!
+//! The parser is the instrumentation point of the whole benchmark stack:
+//! the simulated engines charge "bytes parsed" to their cost model, and the
+//! jq-like engine re-parses its input for every query, so parse throughput
+//! matters. The implementation works on `&[u8]`, allocates only for the
+//! resulting values, and borrows string content directly when no escapes
+//! are present.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::{Number, Object, Value};
+
+/// Limits applied while parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum nesting depth (arrays + objects). Exceeding it produces
+    /// [`ParseErrorKind::DepthLimitExceeded`] instead of a stack overflow.
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits { max_depth: 128 }
+    }
+}
+
+/// Parses a single JSON value from `input`, requiring that nothing but
+/// whitespace follows it.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// [`parse`] with explicit [`ParseLimits`].
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Value, ParseError> {
+    let mut p = Parser::new(input.as_bytes(), limits);
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err(ParseErrorKind::TrailingData));
+    }
+    Ok(v)
+}
+
+/// Parses a stream of whitespace/newline-separated JSON values (the
+/// JSON-Lines layout of raw Twitter/Reddit dumps used in the paper).
+///
+/// Returns all values, or the first error encountered.
+pub fn parse_many(input: &str) -> Result<Vec<Value>, ParseError> {
+    let mut p = Parser::new(input.as_bytes(), ParseLimits::default());
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.pos >= p.bytes.len() {
+            return Ok(out);
+        }
+        out.push(p.value(0)?);
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    limits: ParseLimits,
+}
+
+impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8], limits: ParseLimits) -> Self {
+        Parser {
+            bytes,
+            pos: 0,
+            limits,
+        }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        let mut line = 1usize;
+        let mut col = 1usize;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError::new(kind, self.pos, line, col)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > self.limits.max_depth {
+            return Err(self.err(ParseErrorKind::DepthLimitExceeded(self.limits.max_depth)));
+        }
+        match self.peek() {
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b't') => self.literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", Value::Bool(false)),
+            Some(b'n') => self.literal(b"null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(ParseErrorKind::UnexpectedByte(b))),
+        }
+    }
+
+    fn literal(&mut self, text: &[u8], value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(ParseErrorKind::InvalidLiteral))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '{'
+        let mut obj = Object::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(obj));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(match self.peek() {
+                    Some(b) => self.err(ParseErrorKind::UnexpectedByte(b)),
+                    None => self.err(ParseErrorKind::UnexpectedEof),
+                });
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b':') => self.pos += 1,
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            obj.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(obj));
+                }
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '['
+        let mut arr = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(arr));
+        }
+        loop {
+            self.skip_ws();
+            arr.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(arr));
+                }
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedByte(b))),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // consume '"'
+        let start = self.pos;
+        // Fast path: scan for the closing quote; if no escape or control
+        // byte occurs, the content can be copied verbatim.
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    let bytes = &self.bytes[start..self.pos];
+                    self.pos += 1;
+                    return std::str::from_utf8(bytes)
+                        .map(str::to_owned)
+                        .map_err(|_| self.err(ParseErrorKind::InvalidUtf8));
+                }
+                Some(b'\\') => break,
+                Some(b) if b < 0x20 => {
+                    return Err(self.err(ParseErrorKind::UnescapedControl(b)))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Slow path with escape decoding.
+        let mut out = Vec::with_capacity(self.pos - start + 16);
+        out.extend_from_slice(&self.bytes[start..self.pos]);
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out)
+                        .map_err(|_| self.err(ParseErrorKind::InvalidUtf8));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let c = self.unicode_escape()?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(self.err(ParseErrorKind::InvalidEscape)),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err(ParseErrorKind::UnescapedControl(b)))
+                }
+                Some(b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Decodes the 4 hex digits after `\u`, handling surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a low surrogate must follow.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(c)
+                        .ok_or_else(|| self.err(ParseErrorKind::InvalidUnicodeEscape));
+                }
+            }
+            Err(self.err(ParseErrorKind::InvalidUnicodeEscape))
+        } else if (0xDC00..0xE000).contains(&hi) {
+            Err(self.err(ParseErrorKind::InvalidUnicodeEscape))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err(ParseErrorKind::InvalidUnicodeEscape))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err(ParseErrorKind::UnexpectedEof))?;
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err(ParseErrorKind::InvalidUnicodeEscape)),
+            };
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(ParseErrorKind::InvalidNumber)),
+        }
+        // Fraction.
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseErrorKind::InvalidNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ParseErrorKind::InvalidNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The matched range is pure ASCII by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err(ParseErrorKind::InvalidNumber))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            // Integer overflowing i64: fall through to float.
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Number(Number::Float(f))),
+            _ => Err(self.err(ParseErrorKind::InvalidNumber)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), json!(42i64));
+        assert_eq!(parse("-7").unwrap(), json!(-7i64));
+        assert_eq!(parse("2.5").unwrap(), json!(2.5));
+        assert_eq!(parse("1e3").unwrap(), json!(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), json!("hi"));
+    }
+
+    #[test]
+    fn float_and_int_are_distinct_types() {
+        assert_eq!(parse("3").unwrap().json_type(), crate::JsonType::Int);
+        assert_eq!(parse("3.0").unwrap().json_type(), crate::JsonType::Float);
+        assert_eq!(parse("3e0").unwrap().json_type(), crate::JsonType::Float);
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v, json!({ "a": [1, { "b": null }], "c": "x" }));
+    }
+
+    #[test]
+    fn preserves_member_order() {
+        let v = parse(r#"{"z":1,"a":2}"#).unwrap();
+        let keys: Vec<&str> = v.as_object().unwrap().keys().collect();
+        assert_eq!(keys, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn handles_whitespace() {
+        let v = parse(" \n\t{ \"a\" :\r 1 } ").unwrap();
+        assert_eq!(v, json!({ "a": 1 }));
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let v = parse(r#""a\"b\\c\/d\n\tA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c/d\n\tA"));
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_lone_surrogate() {
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "", "{", "[", "{\"a\"}", "{\"a\":}", "[1,]", "{,}", "tru", "01", "1.", "1e",
+            "\"unterminated", "{\"a\":1,}", "nul", "+1", "--1", "[1 2]", "1 2",
+        ] {
+            assert!(parse(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reports_error_position() {
+        let err = parse("{\n  \"a\": tru\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column >= 8);
+    }
+
+    #[test]
+    fn trailing_data_rejected_but_parse_many_accepts_streams() {
+        assert!(parse("{} {}").is_err());
+        let vals = parse_many("{\"a\":1}\n{\"a\":2}\n").unwrap();
+        assert_eq!(vals.len(), 2);
+        assert!(parse_many("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            crate::error::ParseErrorKind::DepthLimitExceeded(_)
+        ));
+        let ok = parse_with_limits(
+            &("[".repeat(200) + &"]".repeat(200)),
+            ParseLimits { max_depth: 300 },
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn big_integers_fall_back_to_float() {
+        let v = parse("99999999999999999999999").unwrap();
+        assert_eq!(v.json_type(), crate::JsonType::Float);
+    }
+
+    #[test]
+    fn rejects_non_finite_exponents() {
+        assert!(parse("1e999999").is_err());
+    }
+
+    #[test]
+    fn rejects_unescaped_control_chars() {
+        assert!(parse("\"a\u{01}b\"").is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! JSON pointers (`/user/name`-style paths).
+//!
+//! BETZE addresses attributes with slash-separated paths throughout: the
+//! analyzer records statistics per path (Listing 2 uses `/user`,
+//! `/user/name`), and queries reference paths like
+//! `/retweeted_status/user/verified` (Listing 1). [`JsonPointer`] is that
+//! path type, following RFC 6901 syntax (`~0`/`~1` escapes) with one
+//! BETZE-specific relaxation: when traversing an *array*, a pointer segment
+//! applies to **every element** semantics is handled by the evaluation
+//! layer; here a numeric segment indexes the array.
+
+use crate::error::PointerParseError;
+use crate::Value;
+use std::fmt;
+
+/// A parsed JSON pointer: a sequence of reference tokens.
+///
+/// The empty pointer (`""`) refers to the whole document (used by the
+/// paper's `COUNT('')` aggregation in Listing 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct JsonPointer {
+    tokens: Vec<String>,
+}
+
+impl JsonPointer {
+    /// The empty pointer, referring to the whole document.
+    pub fn root() -> Self {
+        JsonPointer { tokens: Vec::new() }
+    }
+
+    /// Builds a pointer from already-unescaped tokens.
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        JsonPointer {
+            tokens: tokens.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Parses the textual form (`""` or `/a/b~1c`).
+    pub fn parse(text: &str) -> Result<Self, PointerParseError> {
+        if text.is_empty() {
+            return Ok(JsonPointer::root());
+        }
+        if !text.starts_with('/') {
+            return Err(PointerParseError::MissingLeadingSlash);
+        }
+        let mut tokens = Vec::new();
+        for raw in text[1..].split('/') {
+            tokens.push(unescape_token(raw, text)?);
+        }
+        Ok(JsonPointer { tokens })
+    }
+
+    /// The unescaped reference tokens.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Number of tokens; the paper's "path depth" (Table IV). The root
+    /// pointer has depth 0.
+    pub fn depth(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True for the root pointer.
+    pub fn is_root(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The final token (attribute name), if any.
+    pub fn leaf(&self) -> Option<&str> {
+        self.tokens.last().map(String::as_str)
+    }
+
+    /// The parent pointer (`/a/b` → `/a`); `None` for the root.
+    pub fn parent(&self) -> Option<JsonPointer> {
+        if self.tokens.is_empty() {
+            None
+        } else {
+            Some(JsonPointer {
+                tokens: self.tokens[..self.tokens.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Returns a new pointer with `token` appended.
+    pub fn child(&self, token: impl Into<String>) -> JsonPointer {
+        let mut tokens = Vec::with_capacity(self.tokens.len() + 1);
+        tokens.extend_from_slice(&self.tokens);
+        tokens.push(token.into());
+        JsonPointer { tokens }
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &JsonPointer) -> bool {
+        other.tokens.len() >= self.tokens.len()
+            && self.tokens.iter().zip(&other.tokens).all(|(a, b)| a == b)
+    }
+
+    /// Resolves the pointer against a value.
+    ///
+    /// Object members are looked up by key; arrays accept numeric tokens as
+    /// indices. Returns `None` if any step fails.
+    pub fn resolve<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        let mut cur = value;
+        for token in &self.tokens {
+            cur = match cur {
+                Value::Object(o) => o.get(token)?,
+                Value::Array(a) => {
+                    let idx: usize = token.parse().ok()?;
+                    a.get(idx)?
+                }
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// True if the pointer resolves to any value (including `null`).
+    pub fn exists_in(&self, value: &Value) -> bool {
+        self.resolve(value).is_some()
+    }
+}
+
+fn unescape_token(raw: &str, whole: &str) -> Result<String, PointerParseError> {
+    if !raw.contains('~') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    let mut offset = 0usize;
+    while let Some(c) = chars.next() {
+        if c == '~' {
+            match chars.next() {
+                Some('0') => out.push('~'),
+                Some('1') => out.push('/'),
+                _ => {
+                    // Report the offset within the whole pointer text.
+                    let base = whole.find(raw).unwrap_or(0);
+                    return Err(PointerParseError::InvalidEscape {
+                        offset: base + offset,
+                    });
+                }
+            }
+            offset += 2;
+        } else {
+            out.push(c);
+            offset += c.len_utf8();
+        }
+    }
+    Ok(out)
+}
+
+impl fmt::Display for JsonPointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for token in &self.tokens {
+            f.write_str("/")?;
+            for c in token.chars() {
+                match c {
+                    '~' => f.write_str("~0")?,
+                    '/' => f.write_str("~1")?,
+                    c => fmt::Write::write_char(f, c)?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for JsonPointer {
+    type Err = PointerParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        JsonPointer::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in ["", "/a", "/a/b/c", "/with~0tilde/with~1slash", "/0/1"] {
+            let p = JsonPointer::parse(text).unwrap();
+            assert_eq!(p.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn rejects_missing_slash_and_bad_escape() {
+        assert!(JsonPointer::parse("a/b").is_err());
+        assert!(JsonPointer::parse("/a~2b").is_err());
+        assert!(JsonPointer::parse("/a~").is_err());
+    }
+
+    #[test]
+    fn root_semantics() {
+        let root = JsonPointer::root();
+        assert!(root.is_root());
+        assert_eq!(root.depth(), 0);
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.leaf(), None);
+        let doc = json!({ "a": 1 });
+        assert_eq!(root.resolve(&doc), Some(&doc));
+    }
+
+    #[test]
+    fn resolves_nested_members() {
+        let doc = json!({ "user": { "name": "alice", "tags": [10, 20] } });
+        let p = JsonPointer::parse("/user/name").unwrap();
+        assert_eq!(p.resolve(&doc).and_then(Value::as_str), Some("alice"));
+        let idx = JsonPointer::parse("/user/tags/1").unwrap();
+        assert_eq!(idx.resolve(&doc), Some(&json!(20i64)));
+        assert_eq!(JsonPointer::parse("/user/missing").unwrap().resolve(&doc), None);
+        assert_eq!(JsonPointer::parse("/user/tags/9").unwrap().resolve(&doc), None);
+        assert_eq!(JsonPointer::parse("/user/name/deeper").unwrap().resolve(&doc), None);
+    }
+
+    #[test]
+    fn exists_includes_null_values() {
+        let doc = json!({ "a": null });
+        assert!(JsonPointer::parse("/a").unwrap().exists_in(&doc));
+        assert!(!JsonPointer::parse("/b").unwrap().exists_in(&doc));
+    }
+
+    #[test]
+    fn parent_child_and_prefix() {
+        let p = JsonPointer::parse("/a/b").unwrap();
+        assert_eq!(p.parent(), Some(JsonPointer::parse("/a").unwrap()));
+        assert_eq!(p.child("c"), JsonPointer::parse("/a/b/c").unwrap());
+        assert_eq!(p.leaf(), Some("b"));
+        assert!(JsonPointer::parse("/a").unwrap().is_prefix_of(&p));
+        assert!(p.is_prefix_of(&p));
+        assert!(!JsonPointer::parse("/b").unwrap().is_prefix_of(&p));
+        assert!(JsonPointer::root().is_prefix_of(&p));
+    }
+
+    #[test]
+    fn escaped_tokens_resolve() {
+        let doc = json!({ "a/b": 1, "c~d": 2 });
+        assert_eq!(
+            JsonPointer::parse("/a~1b").unwrap().resolve(&doc),
+            Some(&json!(1i64))
+        );
+        assert_eq!(
+            JsonPointer::parse("/c~0d").unwrap().resolve(&doc),
+            Some(&json!(2i64))
+        );
+    }
+
+    #[test]
+    fn empty_token_is_valid() {
+        // "/" is a pointer with one empty token, per RFC 6901.
+        let p = JsonPointer::parse("/").unwrap();
+        assert_eq!(p.depth(), 1);
+        let doc = json!({ "": 7 });
+        assert_eq!(p.resolve(&doc), Some(&json!(7i64)));
+    }
+}

@@ -1,0 +1,200 @@
+//! JSON serialization (compact and pretty).
+
+use crate::{Object, Value};
+
+impl Value {
+    /// Serializes to compact JSON (no insignificant whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.approx_size());
+        write_value(self, &mut out);
+        out
+    }
+
+    /// Serializes to human-readable JSON with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::with_capacity(self.approx_size() * 2);
+        write_value_pretty(self, &mut out, 0);
+        out
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, elem) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(elem, out);
+            }
+            out.push(']');
+        }
+        Value::Object(o) => {
+            out.push('{');
+            for (i, (k, val)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, elem) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_value_pretty(elem, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(o) if !o.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_value_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `s` as a JSON string literal, escaping per RFC 8259.
+pub(crate) fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes a string as a standalone JSON string literal.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_escaped(s, &mut out);
+    out
+}
+
+/// Serializes a sequence of documents in JSON-Lines layout (one compact
+/// document per line), the on-disk format consumed by the jq-like engine
+/// and produced by the dataset generators.
+pub fn to_json_lines<'a>(docs: impl IntoIterator<Item = &'a Value>) -> String {
+    let mut out = String::new();
+    for doc in docs {
+        write_value(doc, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+impl Object {
+    /// Serializes this object to compact JSON.
+    pub fn to_json(&self) -> String {
+        Value::Object(self.clone()).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, parse, parse_many};
+
+    #[test]
+    fn compact_round_trip() {
+        let v = json!({ "a": [1, 2.5, null, true], "s": "hi\nthere", "o": { "k": "v" } });
+        let text = v.to_json();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_has_no_spaces() {
+        let v = json!({ "a": [1, 2] });
+        assert_eq!(v.to_json(), r#"{"a":[1,2]}"#);
+    }
+
+    #[test]
+    fn pretty_round_trip() {
+        let v = json!({ "a": { "b": [1, { "c": false }] }, "empty": {}, "earr": [] });
+        assert_eq!(parse(&v.to_json_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_formats_empty_containers_inline() {
+        assert_eq!(json!({}).to_json_pretty(), "{}");
+        assert_eq!(json!([]).to_json_pretty(), "[]");
+    }
+
+    #[test]
+    fn escapes_control_and_quotes() {
+        let v = json!("q\"b\\s\u{01}e");
+        let text = v.to_json();
+        assert!(text.contains("\\\""));
+        assert!(text.contains("\\\\"));
+        assert!(text.contains("\\u0001"));
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn float_round_trip_preserves_type() {
+        let v = json!(5.0);
+        let parsed = parse(&v.to_json()).unwrap();
+        assert_eq!(parsed.json_type(), crate::JsonType::Float);
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let docs = vec![json!({ "a": 1 }), json!({ "a": 2 })];
+        let text = to_json_lines(&docs);
+        assert_eq!(parse_many(&text).unwrap(), docs);
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = json!("héllo 😀");
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+}

@@ -1,0 +1,568 @@
+//! The JSON document model.
+
+use crate::Number;
+use std::fmt;
+
+/// The seven JSON types distinguished by the BETZE analyzer (paper §IV-A
+/// keeps per-type occurrence counts for every path; integers and reals are
+/// tracked separately, matching the analyzer output of Listing 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JsonType {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool,
+    /// A number written without fraction or exponent.
+    Int,
+    /// Any other number.
+    Float,
+    /// A string.
+    String,
+    /// An array.
+    Array,
+    /// An object.
+    Object,
+}
+
+impl JsonType {
+    /// All types, in a stable order used for reports and statistics files.
+    pub const ALL: [JsonType; 7] = [
+        JsonType::Null,
+        JsonType::Bool,
+        JsonType::Int,
+        JsonType::Float,
+        JsonType::String,
+        JsonType::Array,
+        JsonType::Object,
+    ];
+
+    /// A lowercase label, matching the keys of the analysis file
+    /// (`"Object"`, `"String"`, … in Listing 2 — we normalize to lowercase).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JsonType::Null => "null",
+            JsonType::Bool => "bool",
+            JsonType::Int => "int",
+            JsonType::Float => "float",
+            JsonType::String => "string",
+            JsonType::Array => "array",
+            JsonType::Object => "object",
+        }
+    }
+
+    /// Parses a label produced by [`JsonType::label`].
+    pub fn from_label(s: &str) -> Option<JsonType> {
+        Some(match s {
+            "null" => JsonType::Null,
+            "bool" => JsonType::Bool,
+            "int" => JsonType::Int,
+            "float" => JsonType::Float,
+            "string" => JsonType::String,
+            "array" => JsonType::Array,
+            "object" => JsonType::Object,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for JsonType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An order-preserving JSON object.
+///
+/// Document stores preserve member order, and deterministic iteration is
+/// load-bearing here: the analyzer walks members in order, so a fixed seed
+/// reproduces the exact same statistics file and hence the same generated
+/// benchmark (paper §IV-C).
+///
+/// Backed by a `Vec<(String, Value)>`; exploration documents are small
+/// (tens to a few hundred members), where linear probing beats hashing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Object {
+    members: Vec<(String, Value)>,
+}
+
+impl Object {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Object {
+            members: Vec::new(),
+        }
+    }
+
+    /// Creates an empty object with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Object {
+            members: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the object has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Looks up a member by key (linear scan).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.members
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Mutable lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.members
+            .iter_mut()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// True if a member with the given key exists.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts or replaces a member, returning the previous value if the key
+    /// already existed. Insertion order of new keys is preserved.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        let key = key.into();
+        let value = value.into();
+        for (k, v) in &mut self.members {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.members.push((key, value));
+        None
+    }
+
+    /// Removes a member by key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.members.iter().position(|(k, _)| k == key)?;
+        Some(self.members.remove(idx).1)
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.members.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates over keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.members.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterates over values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.members.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Object {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut obj = Object::new();
+        for (k, v) in iter {
+            obj.insert(k, v);
+        }
+        obj
+    }
+}
+
+impl<'a> IntoIterator for &'a Object {
+    type Item = &'a (String, Value);
+    type IntoIter = std::slice::Iter<'a, (String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter()
+    }
+}
+
+impl IntoIterator for Object {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.into_iter()
+    }
+}
+
+/// A JSON document or fragment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (integer or float, see [`Number`]).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Object),
+}
+
+impl Value {
+    /// The [`JsonType`] of this value.
+    pub fn json_type(&self) -> JsonType {
+        match self {
+            Value::Null => JsonType::Null,
+            Value::Bool(_) => JsonType::Bool,
+            Value::Number(Number::Int(_)) => JsonType::Int,
+            Value::Number(Number::Float(_)) => JsonType::Float,
+            Value::String(_) => JsonType::String,
+            Value::Array(_) => JsonType::Array,
+            Value::Object(_) => JsonType::Object,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric payload, if this is a `Number`.
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an integer `Number`.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_number().and_then(|n| n.as_i64())
+    }
+
+    /// Returns the numeric payload as `f64`, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(|n| n.as_f64())
+    }
+
+    /// Returns the string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the array payload, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object payload, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Object> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutable object payload.
+    pub fn as_object_mut(&mut self) -> Option<&mut Object> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True if this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup on objects; `None` for every other type.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Element lookup on arrays; `None` for every other type.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+
+    /// The number of children: members for objects, elements for arrays,
+    /// `0` otherwise. This is the quantity the paper's `OBJSIZE`/`ARRSIZE`
+    /// predicates compare against.
+    pub fn child_count(&self) -> usize {
+        match self {
+            Value::Array(a) => a.len(),
+            Value::Object(o) => o.len(),
+            _ => 0,
+        }
+    }
+
+    /// Total number of nodes in the value tree (the value itself plus all
+    /// transitive children). Used by the engines' cost accounting.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::Array(a) => 1 + a.iter().map(Value::node_count).sum::<usize>(),
+            Value::Object(o) => 1 + o.values().map(Value::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Maximum nesting depth; scalars have depth 0.
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::Array(a) => 1 + a.iter().map(Value::depth).max().unwrap_or(0),
+            Value::Object(o) => {
+                1 + o.values().map(Value::depth).max().unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Deep equality that ignores object member *order* (arrays stay
+    /// ordered). `PartialEq` on [`Value`] is order-sensitive because
+    /// document stores preserve member order; `equivalent` is the right
+    /// comparison against systems that canonicalize key order (PostgreSQL's
+    /// JSONB sorts object keys, for instance).
+    pub fn equivalent(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Array(a), Value::Array(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.equivalent(y))
+            }
+            (Value::Object(a), Value::Object(b)) => {
+                a.len() == b.len()
+                    && a.iter().all(|(k, v)| {
+                        b.get(k).is_some_and(|w| v.equivalent(w))
+                    })
+            }
+            (x, y) => x == y,
+        }
+    }
+
+    /// An approximation of the in-memory footprint in bytes, used by the
+    /// simulated engines to charge storage costs.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) => 1,
+            Value::Number(_) => 8,
+            Value::String(s) => 8 + s.len(),
+            Value::Array(a) => 8 + a.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Object(o) => {
+                8 + o
+                    .iter()
+                    .map(|(k, v)| 8 + k.len() + v.approx_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Number(Number::Int(i))
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Number(Number::Int(i64::from(i)))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Number(Number::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::Float(f))
+    }
+}
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<V: Into<Value>> From<Vec<V>> for Value {
+    fn from(v: Vec<V>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Object> for Value {
+    fn from(o: Object) -> Self {
+        Value::Object(o)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Displays the compact JSON serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Negative numbers and other compound expressions must be parenthesized
+/// (`json!({ "n": (-3) })`) because macro `tt` matching captures single
+/// tokens.
+///
+/// ```
+/// use betze_json::json;
+/// let doc = json!({
+///     "user": { "name": "alice", "verified": true },
+///     "retweet_count": 12,
+///     "tags": ["ads", "soccer"],
+///     "score": 0.5,
+///     "deleted": null,
+/// });
+/// assert_eq!(doc.get("user").unwrap().get("name").unwrap().as_str(), Some("alice"));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $( $key:literal : $val:tt ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut obj = $crate::Object::new();
+        $( obj.insert($key, $crate::json!($val)); )*
+        $crate::Value::Object(obj)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut o = Object::new();
+        o.insert("z", 1i64);
+        o.insert("a", 2i64);
+        o.insert("m", 3i64);
+        let keys: Vec<&str> = o.keys().collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn object_insert_replaces_in_place() {
+        let mut o = Object::new();
+        o.insert("k", 1i64);
+        let old = o.insert("k", 2i64);
+        assert_eq!(old, Some(Value::from(1i64)));
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.get("k"), Some(&Value::from(2i64)));
+    }
+
+    #[test]
+    fn object_remove() {
+        let mut o = Object::new();
+        o.insert("a", 1i64);
+        o.insert("b", 2i64);
+        assert_eq!(o.remove("a"), Some(Value::from(1i64)));
+        assert_eq!(o.remove("a"), None);
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn json_type_labels_round_trip() {
+        for t in JsonType::ALL {
+            assert_eq!(JsonType::from_label(t.label()), Some(t));
+        }
+        assert_eq!(JsonType::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn value_type_classification() {
+        assert_eq!(json!(null).json_type(), JsonType::Null);
+        assert_eq!(json!(true).json_type(), JsonType::Bool);
+        assert_eq!(json!(1i64).json_type(), JsonType::Int);
+        assert_eq!(json!(1.5).json_type(), JsonType::Float);
+        assert_eq!(json!("x").json_type(), JsonType::String);
+        assert_eq!(json!([1, 2]).json_type(), JsonType::Array);
+        assert_eq!(json!({}).json_type(), JsonType::Object);
+    }
+
+    #[test]
+    fn depth_and_node_count() {
+        let v = json!({ "a": { "b": [1, 2, { "c": true }] } });
+        assert_eq!(v.depth(), 4); // obj -> obj -> arr -> obj
+        assert_eq!(v.node_count(), 7);
+        assert_eq!(json!(42i64).depth(), 0);
+        assert_eq!(json!(42i64).node_count(), 1);
+    }
+
+    #[test]
+    fn child_count_semantics() {
+        assert_eq!(json!({ "a": 1, "b": 2 }).child_count(), 2);
+        assert_eq!(json!([1, 2, 3]).child_count(), 3);
+        assert_eq!(json!("str").child_count(), 0);
+    }
+
+    #[test]
+    fn nested_macro_access() {
+        let v = json!({ "user": { "followers": 10, "tags": ["a"] } });
+        assert_eq!(v.get("user").and_then(|u| u.get("followers")), Some(&Value::from(10i64)));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(json!([5]).get_index(0), Some(&Value::from(5i64)));
+        assert_eq!(json!([5]).get_index(1), None);
+    }
+
+    #[test]
+    fn equivalent_ignores_member_order() {
+        let a = json!({ "x": 1, "y": { "p": true, "q": [1, 2] } });
+        let b = json!({ "y": { "q": [1, 2], "p": true }, "x": 1 });
+        assert_ne!(a, b, "PartialEq is order-sensitive");
+        assert!(a.equivalent(&b));
+        let c = json!({ "x": 1, "y": { "p": true, "q": [2, 1] } });
+        assert!(!a.equivalent(&c), "array order matters");
+        let d = json!({ "x": 1 });
+        assert!(!a.equivalent(&d), "member sets must match");
+        assert!(json!(1i64).equivalent(&json!(1.0)), "numeric equality crosses variants");
+    }
+
+    #[test]
+    fn approx_size_is_monotone_in_content() {
+        let small = json!({ "a": 1 });
+        let big = json!({ "a": 1, "b": "a longer string value" });
+        assert!(big.approx_size() > small.approx_size());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the JSON substrate: serialization/parsing
+//! round-trips, pointer laws, and structural invariants.
+
+use betze_json::{parse, parse_many, to_json_lines, JsonPointer, Number, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON values with bounded size/depth.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(|i| Value::Number(Number::Int(i))),
+        // Finite floats only; JSON cannot represent NaN/inf.
+        prop::num::f64::NORMAL.prop_map(|f| Value::Number(Number::Float(f))),
+        "[a-zA-Z0-9 /~\"\\\\\u{00e9}\u{1F600}]{0,12}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|members| {
+                Value::Object(members.into_iter().collect())
+            }),
+        ]
+    })
+}
+
+/// Strategy producing arbitrary pointer token vectors.
+fn arb_tokens() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z~/0-9]{0,8}", 0..5)
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(v in arb_value()) {
+        let text = v.to_json();
+        let parsed = parse(&text).expect("serializer output must parse");
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn pretty_round_trip(v in arb_value()) {
+        let parsed = parse(&v.to_json_pretty()).expect("pretty output must parse");
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn round_trip_preserves_json_type(v in arb_value()) {
+        let parsed = parse(&v.to_json()).unwrap();
+        prop_assert_eq!(parsed.json_type(), v.json_type());
+    }
+
+    #[test]
+    fn json_lines_round_trip(docs in prop::collection::vec(arb_value(), 0..8)) {
+        // JSON-Lines requires one value per line; multi-line pretty forms
+        // are not used here, and compact forms never contain raw newlines
+        // (they are escaped inside strings).
+        let text = to_json_lines(&docs);
+        let parsed = parse_many(&text).unwrap();
+        prop_assert_eq!(parsed, docs);
+    }
+
+    #[test]
+    fn pointer_display_parse_round_trip(tokens in arb_tokens()) {
+        let p = JsonPointer::from_tokens(tokens.clone());
+        let reparsed = JsonPointer::parse(&p.to_string()).expect("display form must parse");
+        prop_assert_eq!(reparsed.tokens(), &tokens[..]);
+    }
+
+    #[test]
+    fn pointer_parent_child_inverse(tokens in arb_tokens(), leaf in "[a-z]{1,5}") {
+        let p = JsonPointer::from_tokens(tokens);
+        let child = p.child(leaf);
+        prop_assert_eq!(child.parent(), Some(p.clone()));
+        prop_assert!(p.is_prefix_of(&child));
+        prop_assert_eq!(child.depth(), p.depth() + 1);
+    }
+
+    #[test]
+    fn node_count_at_least_depth(v in arb_value()) {
+        // Every level of nesting requires at least one node.
+        prop_assert!(v.node_count() > v.depth().saturating_sub(1));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(b in prop::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(s) = std::str::from_utf8(&b) {
+            let _ = parse(s);
+        }
+    }
+}

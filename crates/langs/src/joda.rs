@@ -1,0 +1,196 @@
+//! The JODA translator (paper Listing 1, first block).
+
+use crate::Language;
+use betze_json::escape_string;
+use betze_model::{AggFunc, Aggregation, FilterFn, Predicate, Query, Transform};
+
+/// JODA query syntax:
+///
+/// ```text
+/// LOAD Twitter
+///   CHOOSE '/retweeted_status/user/verified' == false
+///   AGG GROUP COUNT('') AS count BY '/user/time_zone'
+///   STORE result
+/// ```
+pub struct Joda;
+
+impl Language for Joda {
+    fn name(&self) -> &'static str {
+        "JODA"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "joda"
+    }
+
+    fn translate(&self, query: &Query) -> String {
+        let mut out = format!("LOAD {}", query.base);
+        if let Some(filter) = &query.filter {
+            out.push_str(" CHOOSE ");
+            out.push_str(&predicate(filter));
+        }
+        // Transformations map onto JODA's AS projection clause; we emit
+        // one explicit operation per transform.
+        for t in &query.transforms {
+            out.push_str(" AS ");
+            out.push_str(&transform(t));
+        }
+        if let Some(agg) = &query.aggregation {
+            out.push_str(" AGG ");
+            out.push_str(&aggregation(agg));
+        }
+        if let Some(store) = &query.store_as {
+            out.push_str(" STORE ");
+            out.push_str(store);
+        }
+        out
+    }
+
+    fn comment(&self, comment: &str) -> String {
+        format!("# {comment}")
+    }
+
+    fn query_delimiter(&self) -> &'static str {
+        "\n"
+    }
+}
+
+fn predicate(p: &Predicate) -> String {
+    match p {
+        Predicate::And(l, r) => format!("({} && {})", predicate(l), predicate(r)),
+        Predicate::Or(l, r) => format!("({} || {})", predicate(l), predicate(r)),
+        Predicate::Leaf(f) => filter(f),
+    }
+}
+
+fn filter(f: &FilterFn) -> String {
+    match f {
+        FilterFn::Exists { path } => format!("EXISTS('{path}')"),
+        FilterFn::IsString { path } => format!("ISSTRING('{path}')"),
+        FilterFn::IntEq { path, value } => format!("'{path}' == {value}"),
+        FilterFn::FloatCmp { path, op, value } => format!("'{path}' {op} {value}"),
+        FilterFn::StrEq { path, value } => format!("'{path}' == {}", escape_string(value)),
+        FilterFn::HasPrefix { path, prefix } => {
+            format!("HASPREFIX('{path}', {})", escape_string(prefix))
+        }
+        FilterFn::BoolEq { path, value } => format!("'{path}' == {value}"),
+        FilterFn::ArrSize { path, op, value } => format!("ARRSIZE('{path}') {op} {value}"),
+        FilterFn::ObjSize { path, op, value } => format!("OBJSIZE('{path}') {op} {value}"),
+    }
+}
+
+fn transform(t: &Transform) -> String {
+    match t {
+        Transform::Rename { from, to } => {
+            let parent = from.parent().unwrap_or_default();
+            format!("('{}/{to}': '{from}'), ('{from}': REMOVE)", parent)
+        }
+        Transform::Remove { path } => format!("('{path}': REMOVE)"),
+        Transform::Add { path, value } => format!("('{path}': {})", value.to_json()),
+    }
+}
+
+fn aggregation(agg: &Aggregation) -> String {
+    let func = match &agg.func {
+        AggFunc::Count { path } => format!("COUNT('{path}')"),
+        AggFunc::Sum { path } => format!("SUM('{path}')"),
+    };
+    match &agg.group_by {
+        Some(group) => format!("GROUP {func} AS {} BY '{group}'", agg.alias),
+        None => format!("{func} AS {}", agg.alias),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::JsonPointer;
+    use betze_model::Comparison;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    /// The Listing 1 query: boolean filter plus grouped count.
+    fn listing1() -> Query {
+        Query::scan("Twitter")
+            .with_filter(Predicate::leaf(FilterFn::BoolEq {
+                path: ptr("/retweeted_status/user/verified"),
+                value: false,
+            }))
+            .with_aggregation(Aggregation::grouped(
+                AggFunc::Count { path: JsonPointer::root() },
+                ptr("/user/time_zone"),
+                "count",
+            ))
+    }
+
+    #[test]
+    fn listing1_translation() {
+        let text = Joda.translate(&listing1());
+        assert_eq!(
+            text,
+            "LOAD Twitter CHOOSE '/retweeted_status/user/verified' == false \
+             AGG GROUP COUNT('') AS count BY '/user/time_zone'"
+        );
+    }
+
+    #[test]
+    fn translates_every_filter_kind() {
+        let filters = vec![
+            (FilterFn::Exists { path: ptr("/a") }, "EXISTS('/a')"),
+            (FilterFn::IsString { path: ptr("/a") }, "ISSTRING('/a')"),
+            (FilterFn::IntEq { path: ptr("/a"), value: 5 }, "'/a' == 5"),
+            (
+                FilterFn::FloatCmp { path: ptr("/a"), op: Comparison::Ge, value: 1.5 },
+                "'/a' >= 1.5",
+            ),
+            (
+                FilterFn::StrEq { path: ptr("/a"), value: "x\"y".into() },
+                "'/a' == \"x\\\"y\"",
+            ),
+            (
+                FilterFn::HasPrefix { path: ptr("/a"), prefix: "pre".into() },
+                "HASPREFIX('/a', \"pre\")",
+            ),
+            (FilterFn::BoolEq { path: ptr("/a"), value: true }, "'/a' == true"),
+            (
+                FilterFn::ArrSize { path: ptr("/a"), op: Comparison::Lt, value: 3 },
+                "ARRSIZE('/a') < 3",
+            ),
+            (
+                FilterFn::ObjSize { path: ptr("/a"), op: Comparison::Eq, value: 2 },
+                "OBJSIZE('/a') == 2",
+            ),
+        ];
+        for (f, expected) in filters {
+            assert_eq!(filter(&f), expected);
+        }
+    }
+
+    #[test]
+    fn and_or_nesting_parenthesized() {
+        let p = Predicate::leaf(FilterFn::Exists { path: ptr("/a") })
+            .and(Predicate::leaf(FilterFn::Exists { path: ptr("/b") }))
+            .or(Predicate::leaf(FilterFn::Exists { path: ptr("/c") }));
+        assert_eq!(
+            predicate(&p),
+            "((EXISTS('/a') && EXISTS('/b')) || EXISTS('/c'))"
+        );
+    }
+
+    #[test]
+    fn store_clause() {
+        let q = Query::scan("Twitter")
+            .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/user") }))
+            .store_as("profiles");
+        assert!(Joda.translate(&q).ends_with("STORE profiles"));
+    }
+
+    #[test]
+    fn comment_and_delimiter() {
+        assert_eq!(Joda.comment("hello"), "# hello");
+        assert_eq!(Joda.query_delimiter(), "\n");
+        assert_eq!(Joda.header(), "");
+    }
+}

@@ -1,0 +1,299 @@
+//! The jq translator (paper Listing 1, second block).
+
+use crate::Language;
+use betze_json::{escape_string, JsonPointer};
+use betze_model::{AggFunc, Aggregation, Comparison, FilterFn, Predicate, Query, Transform};
+
+/// jq command-line syntax. Each query becomes one shell line (or pipe of
+/// two jq invocations when aggregating, as in Listing 1):
+///
+/// ```text
+/// jq -c 'inputs | select(.retweeted_status.user.verified == false)' Twitter.json |
+///   jq -s -c 'group_by(.user.time_zone) | map({group: .[0].user.time_zone, count: length})'
+/// ```
+///
+/// jq reads the raw JSON file for every query — the paper's explanation for
+/// its poor performance (it "re-reads the input dataset from the filesystem
+/// for each query").
+pub struct Jq;
+
+impl Language for Jq {
+    fn name(&self) -> &'static str {
+        "jq"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "jq"
+    }
+
+    fn translate(&self, query: &Query) -> String {
+        let mut select = match &query.filter {
+            Some(p) => format!("inputs | select({})", predicate(p)),
+            None => "inputs".to_owned(),
+        };
+        for t in &query.transforms {
+            select.push_str(" | ");
+            select.push_str(&transform(t));
+        }
+        let mut out = format!("jq -c -n '{select}' {}.json", query.base);
+        if let Some(agg) = &query.aggregation {
+            out.push_str(" | jq -s -c '");
+            out.push_str(&aggregation(agg));
+            out.push('\'');
+        }
+        if let Some(store) = &query.store_as {
+            out.push_str(&format!(" > {store}.json"));
+        }
+        out
+    }
+
+    fn comment(&self, comment: &str) -> String {
+        format!("# {comment}")
+    }
+
+    fn header(&self) -> String {
+        "#!/bin/bash".to_owned()
+    }
+
+    fn query_delimiter(&self) -> &'static str {
+        "\n"
+    }
+}
+
+/// Renders a pointer as a bracketed jq access path (`.["user"]["name"]`),
+/// which is robust for arbitrary keys.
+fn access(path: &JsonPointer) -> String {
+    let mut out = String::from(".");
+    for token in path.tokens() {
+        out.push_str(&format!("[{}]", escape_string(token)));
+    }
+    out
+}
+
+fn cmp(op: Comparison) -> &'static str {
+    match op {
+        Comparison::Lt => "<",
+        Comparison::Le => "<=",
+        Comparison::Gt => ">",
+        Comparison::Ge => ">=",
+        Comparison::Eq => "==",
+    }
+}
+
+/// Wraps an expression so evaluation errors (indexing scalars) count as a
+/// non-match.
+fn guarded(expr: String) -> String {
+    format!("(try ({expr}) catch false)")
+}
+
+fn predicate(p: &Predicate) -> String {
+    match p {
+        Predicate::And(l, r) => format!("({} and {})", predicate(l), predicate(r)),
+        Predicate::Or(l, r) => format!("({} or {})", predicate(l), predicate(r)),
+        Predicate::Leaf(f) => filter(f),
+    }
+}
+
+fn filter(f: &FilterFn) -> String {
+    match f {
+        FilterFn::Exists { path } => {
+            // `has` on the parent distinguishes "present with value null"
+            // from "absent".
+            let parent = path.parent().unwrap_or_default();
+            let leaf = path.leaf().unwrap_or_default();
+            guarded(format!("{} | has({})", access(&parent), escape_string(leaf)))
+        }
+        FilterFn::IsString { path } => {
+            guarded(format!("{} | type == \"string\"", access(path)))
+        }
+        FilterFn::IntEq { path, value } => {
+            guarded(format!("{} == {value}", access(path)))
+        }
+        FilterFn::FloatCmp { path, op, value } => guarded(format!(
+            // jq's ordering is cross-type (null < numbers < strings);
+            // guard on the type to match the IR semantics.
+            "{} | type == \"number\" and . {} {value}",
+            access(path),
+            cmp(*op)
+        )),
+        FilterFn::StrEq { path, value } => {
+            guarded(format!("{} == {}", access(path), escape_string(value)))
+        }
+        FilterFn::HasPrefix { path, prefix } => guarded(format!(
+            "{} | type == \"string\" and startswith({})",
+            access(path),
+            escape_string(prefix)
+        )),
+        FilterFn::BoolEq { path, value } => {
+            guarded(format!("{} == {value}", access(path)))
+        }
+        FilterFn::ArrSize { path, op, value } => guarded(format!(
+            "{} | type == \"array\" and (length {} {value})",
+            access(path),
+            cmp(*op)
+        )),
+        FilterFn::ObjSize { path, op, value } => guarded(format!(
+            "{} | type == \"object\" and (length {} {value})",
+            access(path),
+            cmp(*op)
+        )),
+    }
+}
+
+/// Renders a transform as a jq pipeline step.
+fn transform(t: &Transform) -> String {
+    match t {
+        Transform::Rename { from, to } => {
+            let parent = from.parent().unwrap_or_default();
+            format!(
+                "{}[{}] = {} | del({})",
+                access(&parent),
+                escape_string(to),
+                access(from),
+                access(from)
+            )
+        }
+        Transform::Remove { path } => format!("del({})", access(path)),
+        Transform::Add { path, value } => {
+            format!("{} = {}", access(path), value.to_json())
+        }
+    }
+}
+
+fn aggregation(agg: &Aggregation) -> String {
+    let value_of = |path: &JsonPointer| format!("[.[] | {}? // empty]", access(path));
+    match &agg.group_by {
+        None => match &agg.func {
+            AggFunc::Count { path } if path.is_root() => {
+                format!("{{{}: length}}", agg.alias)
+            }
+            AggFunc::Count { path } => format!(
+                "{{{}: [.[] | select({})] | length}}",
+                agg.alias,
+                filter(&FilterFn::Exists { path: path.clone() })
+            ),
+            AggFunc::Sum { path } => format!(
+                "{{{}: {} | map(numbers) | add // 0}}",
+                agg.alias,
+                value_of(path)
+            ),
+        },
+        Some(group) => {
+            let acc = match &agg.func {
+                AggFunc::Count { path } if path.is_root() => "length".to_owned(),
+                AggFunc::Count { path } => format!(
+                    "[.[] | select({})] | length",
+                    filter(&FilterFn::Exists { path: path.clone() })
+                ),
+                AggFunc::Sum { path } => {
+                    format!("{} | map(numbers) | add // 0", value_of(path))
+                }
+            };
+            format!(
+                "group_by({g}?) | map({{group: (.[0] | {g}?), {a}: ({acc})}})",
+                g = access(group),
+                a = agg.alias,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    #[test]
+    fn listing1_shape() {
+        let q = Query::scan("Twitter")
+            .with_filter(Predicate::leaf(FilterFn::BoolEq {
+                path: ptr("/retweeted_status/user/verified"),
+                value: false,
+            }))
+            .with_aggregation(Aggregation::grouped(
+                AggFunc::Count { path: JsonPointer::root() },
+                ptr("/user/time_zone"),
+                "count",
+            ));
+        let text = Jq.translate(&q);
+        assert!(text.starts_with("jq -c -n 'inputs | select("));
+        assert!(text.contains("Twitter.json"));
+        assert!(text.contains("| jq -s -c '"));
+        assert!(text.contains("group_by"));
+        assert!(text.contains("[\"user\"][\"time_zone\"]"));
+    }
+
+    #[test]
+    fn exists_distinguishes_null_from_absent() {
+        let text = filter(&FilterFn::Exists { path: ptr("/user/name") });
+        assert!(text.contains("has(\"name\")"));
+        assert!(text.contains("[\"user\"]"));
+        let top = filter(&FilterFn::Exists { path: ptr("/user") });
+        assert!(top.contains(". | has(\"user\")"));
+    }
+
+    #[test]
+    fn comparisons_are_type_guarded() {
+        let num = filter(&FilterFn::FloatCmp {
+            path: ptr("/score"),
+            op: Comparison::Gt,
+            value: 0.5,
+        });
+        assert!(num.contains("type == \"number\""));
+        assert!(num.contains("> 0.5"));
+        let prefix = filter(&FilterFn::HasPrefix {
+            path: ptr("/text"),
+            prefix: "RT".into(),
+        });
+        assert!(prefix.contains("startswith(\"RT\")"));
+        let arr = filter(&FilterFn::ArrSize {
+            path: ptr("/tags"),
+            op: Comparison::Le,
+            value: 4,
+        });
+        assert!(arr.contains("type == \"array\""));
+        assert!(arr.contains("length <= 4"));
+    }
+
+    #[test]
+    fn everything_is_try_guarded() {
+        for f in [
+            FilterFn::Exists { path: ptr("/a/b") },
+            FilterFn::IsString { path: ptr("/a") },
+            FilterFn::IntEq { path: ptr("/a"), value: 1 },
+            FilterFn::StrEq { path: ptr("/a"), value: "v".into() },
+            FilterFn::BoolEq { path: ptr("/a"), value: true },
+            FilterFn::ObjSize { path: ptr("/a"), op: Comparison::Eq, value: 1 },
+        ] {
+            assert!(filter(&f).starts_with("(try ("), "{f}");
+        }
+    }
+
+    #[test]
+    fn store_redirects_to_file() {
+        let q = Query::scan("tw")
+            .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/a") }))
+            .store_as("step1");
+        assert!(Jq.translate(&q).ends_with("> step1.json"));
+    }
+
+    #[test]
+    fn ungrouped_aggregations() {
+        let count = aggregation(&Aggregation::new(
+            AggFunc::Count { path: JsonPointer::root() },
+            "count",
+        ));
+        assert_eq!(count, "{count: length}");
+        let sum = aggregation(&Aggregation::new(AggFunc::Sum { path: ptr("/n") }, "total"));
+        assert!(sum.contains("map(numbers) | add // 0"));
+    }
+
+    #[test]
+    fn header_is_shell() {
+        assert_eq!(Jq.header(), "#!/bin/bash");
+        assert_eq!(Jq.comment("x"), "# x");
+    }
+}

@@ -1,0 +1,102 @@
+//! # betze-langs
+//!
+//! Query-language translation (paper §IV-D, Listing 3).
+//!
+//! Queries are generated in the internal representation of `betze-model`
+//! and translated into system-specific syntax through the [`Language`]
+//! interface — a direct port of the paper's Go interface:
+//!
+//! ```text
+//! type Language interface {
+//!     Name() string          // display name
+//!     ShortName() string     // unique identifier
+//!     Translate(query query.Query) string
+//!     Comment(comment string) string
+//!     Header() string        // preface of the system-specific file
+//!     QueryDelimiter() string
+//! }
+//! ```
+//!
+//! Four translators ship with BETZE, matching Listing 1: [`Joda`],
+//! [`MongoDb`], [`Jq`] and [`Postgres`]. Adding a system means implementing
+//! [`Language`] — see `examples/custom_language.rs` for a worked example.
+
+mod joda;
+mod jq;
+mod mongodb;
+mod postgres;
+mod script;
+
+pub use joda::Joda;
+pub use jq::Jq;
+pub use mongodb::MongoDb;
+pub use postgres::Postgres;
+pub use script::translate_session;
+
+use betze_model::Query;
+
+/// A query-language backend: translates internal-representation queries
+/// into system-specific syntax (paper Listing 3).
+pub trait Language {
+    /// Display name of the language ("PostgreSQL").
+    fn name(&self) -> &'static str;
+
+    /// Unique identifier name for the language ("psql").
+    fn short_name(&self) -> &'static str;
+
+    /// Translates a query into the language.
+    fn translate(&self, query: &Query) -> String;
+
+    /// Writes a comment with the system-specific comment syntax.
+    fn comment(&self, comment: &str) -> String;
+
+    /// Necessary header string to be added as preface to the
+    /// system-specific file.
+    fn header(&self) -> String {
+        String::new()
+    }
+
+    /// The delimiting symbol/string that terminates a query.
+    fn query_delimiter(&self) -> &'static str;
+}
+
+/// All built-in language translators.
+pub fn all_languages() -> Vec<Box<dyn Language>> {
+    vec![
+        Box::new(Joda),
+        Box::new(MongoDb),
+        Box::new(Jq),
+        Box::new(Postgres),
+    ]
+}
+
+/// Looks a translator up by its short name.
+pub fn language_by_short_name(short: &str) -> Option<Box<dyn Language>> {
+    all_languages()
+        .into_iter()
+        .find(|l| l.short_name() == short)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let langs = all_languages();
+        assert_eq!(langs.len(), 4);
+        let mut shorts: Vec<&str> = langs.iter().map(|l| l.short_name()).collect();
+        shorts.sort_unstable();
+        shorts.dedup();
+        assert_eq!(shorts.len(), 4);
+    }
+
+    #[test]
+    fn lookup_by_short_name() {
+        for short in ["joda", "mongodb", "jq", "psql"] {
+            let lang = language_by_short_name(short).unwrap_or_else(|| panic!("{short}"));
+            assert_eq!(lang.short_name(), short);
+        }
+        assert!(language_by_short_name("oracle").is_none());
+    }
+}

@@ -1,0 +1,298 @@
+//! The MongoDB translator (paper Listing 1, third block).
+
+use crate::Language;
+use betze_json::{escape_string, JsonPointer};
+use betze_model::{AggFunc, Aggregation, Comparison, FilterFn, Predicate, Query, Transform};
+
+/// MongoDB shell syntax:
+///
+/// ```text
+/// db.Twitter.aggregate([
+///   { $match: { "retweeted_status.user.verified": false } },
+///   { $group: { _id: "$user.time_zone", count: { $sum: 1 } } }
+/// ]);
+/// ```
+///
+/// Filter-only queries use `find`; queries with an aggregation or a store
+/// target use an `aggregate` pipeline (with `$out` for the store stage, as
+/// described in §IV-C).
+pub struct MongoDb;
+
+impl Language for MongoDb {
+    fn name(&self) -> &'static str {
+        "MongoDB"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "mongodb"
+    }
+
+    fn translate(&self, query: &Query) -> String {
+        let match_doc = query.filter.as_ref().map(predicate);
+        let needs_pipeline = query.aggregation.is_some()
+            || query.store_as.is_some()
+            || !query.transforms.is_empty();
+        if !needs_pipeline {
+            return match match_doc {
+                Some(m) => format!("db.{}.find({m})", query.base),
+                None => format!("db.{}.find({{}})", query.base),
+            };
+        }
+        let mut stages = Vec::new();
+        if let Some(m) = match_doc {
+            stages.push(format!("{{ $match: {m} }}"));
+        }
+        for t in &query.transforms {
+            stages.extend(transform_stages(t));
+        }
+        if let Some(agg) = &query.aggregation {
+            stages.push(group_stage(agg));
+        }
+        if let Some(store) = &query.store_as {
+            stages.push(format!("{{ $out: {} }}", escape_string(store)));
+        }
+        format!("db.{}.aggregate([{}])", query.base, stages.join(", "))
+    }
+
+    fn comment(&self, comment: &str) -> String {
+        format!("// {comment}")
+    }
+
+    fn query_delimiter(&self) -> &'static str {
+        ";"
+    }
+}
+
+/// Renders a pointer in MongoDB dot notation (`user.time_zone`).
+fn dotted(path: &JsonPointer) -> String {
+    path.tokens().join(".")
+}
+
+/// Renders a pointer as a `$`-prefixed field expression (`$user.time_zone`).
+fn field_expr(path: &JsonPointer) -> String {
+    format!("\"${}\"", dotted(path))
+}
+
+fn cmp_operator(op: Comparison) -> &'static str {
+    match op {
+        Comparison::Lt => "$lt",
+        Comparison::Le => "$lte",
+        Comparison::Gt => "$gt",
+        Comparison::Ge => "$gte",
+        Comparison::Eq => "$eq",
+    }
+}
+
+fn predicate(p: &Predicate) -> String {
+    match p {
+        Predicate::And(l, r) => format!("{{ $and: [{}, {}] }}", predicate(l), predicate(r)),
+        Predicate::Or(l, r) => format!("{{ $or: [{}, {}] }}", predicate(l), predicate(r)),
+        Predicate::Leaf(f) => filter(f),
+    }
+}
+
+fn filter(f: &FilterFn) -> String {
+    match f {
+        FilterFn::Exists { path } => {
+            format!("{{ \"{}\": {{ $exists: true }} }}", dotted(path))
+        }
+        FilterFn::IsString { path } => {
+            format!("{{ \"{}\": {{ $type: \"string\" }} }}", dotted(path))
+        }
+        FilterFn::IntEq { path, value } => format!("{{ \"{}\": {value} }}", dotted(path)),
+        FilterFn::FloatCmp { path, op, value } => format!(
+            "{{ \"{}\": {{ {}: {value} }} }}",
+            dotted(path),
+            cmp_operator(*op)
+        ),
+        FilterFn::StrEq { path, value } => {
+            format!("{{ \"{}\": {} }}", dotted(path), escape_string(value))
+        }
+        FilterFn::HasPrefix { path, prefix } => {
+            // Anchored regex; escape regex metacharacters in the prefix.
+            let escaped: String = prefix
+                .chars()
+                .flat_map(|c| {
+                    if "\\^$.|?*+()[]{}".contains(c) {
+                        vec!['\\', c]
+                    } else {
+                        vec![c]
+                    }
+                })
+                .collect();
+            format!(
+                "{{ \"{}\": {{ $regex: {} }} }}",
+                dotted(path),
+                escape_string(&format!("^{escaped}"))
+            )
+        }
+        FilterFn::BoolEq { path, value } => format!("{{ \"{}\": {value} }}", dotted(path)),
+        FilterFn::ArrSize { path, op, value } => format!(
+            "{{ $and: [{{ \"{p}\": {{ $type: \"array\" }} }}, \
+             {{ $expr: {{ {op}: [{{ $size: {f} }}, {value}] }} }}] }}",
+            p = dotted(path),
+            op = cmp_operator(*op),
+            f = field_expr(path),
+        ),
+        FilterFn::ObjSize { path, op, value } => format!(
+            "{{ $and: [{{ \"{p}\": {{ $type: \"object\" }} }}, \
+             {{ $expr: {{ {op}: [{{ $size: {{ $objectToArray: {f} }} }}, {value}] }} }}] }}",
+            p = dotted(path),
+            op = cmp_operator(*op),
+            f = field_expr(path),
+        ),
+    }
+}
+
+/// Renders a transform as `$set`/`$unset` pipeline stages.
+fn transform_stages(t: &Transform) -> Vec<String> {
+    match t {
+        Transform::Rename { from, to } => {
+            let parent = from.parent().unwrap_or_default();
+            let mut target_tokens: Vec<String> = parent.tokens().to_vec();
+            target_tokens.push(to.clone());
+            vec![
+                format!(
+                    "{{ $set: {{ \"{}\": {} }} }}",
+                    target_tokens.join("."),
+                    field_expr(from)
+                ),
+                format!("{{ $unset: \"{}\" }}", dotted(from)),
+            ]
+        }
+        Transform::Remove { path } => {
+            vec![format!("{{ $unset: \"{}\" }}", dotted(path))]
+        }
+        Transform::Add { path, value } => {
+            vec![format!(
+                "{{ $set: {{ \"{}\": {} }} }}",
+                dotted(path),
+                value.to_json()
+            )]
+        }
+    }
+}
+
+fn group_stage(agg: &Aggregation) -> String {
+    let id = match &agg.group_by {
+        Some(group) => field_expr(group),
+        None => "null".to_owned(),
+    };
+    let accumulator = match &agg.func {
+        AggFunc::Count { path } if path.is_root() => "{ $sum: 1 }".to_owned(),
+        AggFunc::Count { path } => format!(
+            // Count documents where the attribute exists.
+            "{{ $sum: {{ $cond: [{{ $ne: [{{ $type: {} }}, \"missing\"] }}, 1, 0] }} }}",
+            field_expr(path)
+        ),
+        AggFunc::Sum { path } => format!(
+            // Non-numeric values sum as 0, matching the IR semantics.
+            "{{ $sum: {{ $cond: [{{ $isNumber: {f} }}, {f}, 0] }} }}",
+            f = field_expr(path)
+        ),
+    };
+    format!("{{ $group: {{ _id: {id}, {}: {accumulator} }} }}", agg.alias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    #[test]
+    fn listing1_translation() {
+        let q = Query::scan("Twitter")
+            .with_filter(Predicate::leaf(FilterFn::BoolEq {
+                path: ptr("/retweeted_status/user/verified"),
+                value: false,
+            }))
+            .with_aggregation(Aggregation::grouped(
+                AggFunc::Count { path: JsonPointer::root() },
+                ptr("/user/time_zone"),
+                "count",
+            ));
+        let text = MongoDb.translate(&q);
+        assert!(text.starts_with("db.Twitter.aggregate(["));
+        assert!(text.contains("$match: { \"retweeted_status.user.verified\": false }"));
+        assert!(text.contains("$group: { _id: \"$user.time_zone\", count: { $sum: 1 } }"));
+    }
+
+    #[test]
+    fn filter_only_uses_find() {
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
+            path: ptr("/user"),
+        }));
+        assert_eq!(
+            MongoDb.translate(&q),
+            "db.tw.find({ \"user\": { $exists: true } })"
+        );
+        assert_eq!(MongoDb.translate(&Query::scan("tw")), "db.tw.find({})");
+    }
+
+    #[test]
+    fn store_uses_out_stage() {
+        let q = Query::scan("tw")
+            .with_filter(Predicate::leaf(FilterFn::BoolEq { path: ptr("/x"), value: true }))
+            .store_as("result");
+        let text = MongoDb.translate(&q);
+        assert!(text.contains("{ $out: \"result\" }"));
+        assert!(text.starts_with("db.tw.aggregate(["));
+    }
+
+    #[test]
+    fn prefix_regex_is_anchored_and_escaped() {
+        let q = filter(&FilterFn::HasPrefix {
+            path: ptr("/url"),
+            prefix: "https://t.co/".into(),
+        });
+        assert!(q.contains("$regex"));
+        assert!(q.contains("^https://t\\\\.co/") || q.contains("^https://t\\.co/"));
+    }
+
+    #[test]
+    fn size_predicates_guard_types() {
+        let arr = filter(&FilterFn::ArrSize {
+            path: ptr("/tags"),
+            op: Comparison::Ge,
+            value: 2,
+        });
+        assert!(arr.contains("$type: \"array\""));
+        assert!(arr.contains("$size: \"$tags\""));
+        assert!(arr.contains("$gte"));
+        let obj = filter(&FilterFn::ObjSize {
+            path: ptr("/user"),
+            op: Comparison::Eq,
+            value: 3,
+        });
+        assert!(obj.contains("$objectToArray"));
+    }
+
+    #[test]
+    fn and_or_compose() {
+        let p = Predicate::leaf(FilterFn::IntEq { path: ptr("/a"), value: 1 })
+            .or(Predicate::leaf(FilterFn::IntEq { path: ptr("/b"), value: 2 }));
+        let text = predicate(&p);
+        assert!(text.starts_with("{ $or: ["));
+    }
+
+    #[test]
+    fn sum_and_path_count_accumulators() {
+        let sum = group_stage(&Aggregation::new(AggFunc::Sum { path: ptr("/n") }, "total"));
+        assert!(sum.contains("$isNumber"));
+        assert!(sum.contains("_id: null"));
+        let count = group_stage(&Aggregation::new(
+            AggFunc::Count { path: ptr("/n") },
+            "count",
+        ));
+        assert!(count.contains("\"missing\""));
+    }
+
+    #[test]
+    fn comment_and_delimiter() {
+        assert_eq!(MongoDb.comment("x"), "// x");
+        assert_eq!(MongoDb.query_delimiter(), ";");
+    }
+}

@@ -1,0 +1,311 @@
+//! The PostgreSQL translator (paper Listing 1, fourth block).
+
+use crate::Language;
+use betze_json::JsonPointer;
+use betze_model::{AggFunc, Comparison, FilterFn, Predicate, Query, Transform};
+
+/// PostgreSQL syntax over a `<table>(doc jsonb)` relation:
+///
+/// ```text
+/// SELECT doc #> '{user,time_zone}' AS group, COUNT(*) AS count
+/// FROM Twitter
+/// WHERE jsonb_path_exists(doc, '$.retweeted_status.user.verified ? (@ == false)')
+/// GROUP BY doc #> '{user,time_zone}'
+/// ```
+///
+/// Scalar predicates use SQL/JSON path expressions (`jsonb_path_exists`) as
+/// in Listing 1; structural predicates use `jsonb_typeof` guards.
+pub struct Postgres;
+
+impl Language for Postgres {
+    fn name(&self) -> &'static str {
+        "PostgreSQL"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "psql"
+    }
+
+    fn translate(&self, query: &Query) -> String {
+        let where_clause = query
+            .filter
+            .as_ref()
+            .map(|p| format!(" WHERE {}", predicate(p)))
+            .unwrap_or_default();
+        let doc_expr = transformed_doc_expr(&query.transforms);
+        let projection = if query.transforms.is_empty() {
+            "doc".to_owned()
+        } else {
+            format!("{doc_expr} AS doc")
+        };
+        let body = match &query.aggregation {
+            None => format!("SELECT {projection} FROM {}{}", query.base, where_clause),
+            Some(agg) => {
+                let func = agg_expr(&agg.func, &agg.alias);
+                match &agg.group_by {
+                    None => format!("SELECT {func} FROM {}{}", query.base, where_clause),
+                    Some(group) => {
+                        let g = hash_path(group);
+                        format!(
+                            "SELECT {g} AS group, {func} FROM {}{} GROUP BY {g}",
+                            query.base, where_clause
+                        )
+                    }
+                }
+            }
+        };
+        match &query.store_as {
+            Some(store) => format!("CREATE TABLE {store} AS {body}"),
+            None => body,
+        }
+    }
+
+    fn comment(&self, comment: &str) -> String {
+        format!("-- {comment}")
+    }
+
+    fn query_delimiter(&self) -> &'static str {
+        ";"
+    }
+}
+
+/// Folds the transform list into a JSONB expression over `doc`
+/// (`jsonb_set`, `#-`).
+fn transformed_doc_expr(transforms: &[Transform]) -> String {
+    let mut expr = "doc".to_owned();
+    for t in transforms {
+        expr = match t {
+            Transform::Rename { from, to } => {
+                let parent = from.parent().unwrap_or_default();
+                let mut target: Vec<String> = parent.tokens().to_vec();
+                target.push(to.clone());
+                format!(
+                    "jsonb_set(({expr}) #- '{{{src}}}', '{{{dst}}}', ({expr}) #> '{{{src}}}')",
+                    src = from.tokens().join(","),
+                    dst = target.join(","),
+                )
+            }
+            Transform::Remove { path } => {
+                format!("({expr}) #- '{{{}}}'", path.tokens().join(","))
+            }
+            Transform::Add { path, value } => format!(
+                "jsonb_set(({expr}), '{{{}}}', '{}'::jsonb)",
+                path.tokens().join(","),
+                value.to_json().replace('\'', "''"),
+            ),
+        };
+    }
+    expr
+}
+
+/// Renders a pointer as a `#>` path array literal: `doc #> '{user,name}'`.
+fn hash_path(path: &JsonPointer) -> String {
+    format!("doc #> '{{{}}}'", path.tokens().join(","))
+}
+
+/// Renders a pointer as an SQL/JSON path: `$."user"."name"`.
+fn jsonpath(path: &JsonPointer) -> String {
+    let mut out = String::from("$");
+    for token in path.tokens() {
+        out.push_str(&format!(".\"{}\"", token.replace('"', "\\\"")));
+    }
+    out
+}
+
+/// A `jsonb_path_exists` test with a filter condition on `@`.
+fn path_exists_with(path: &JsonPointer, condition: &str) -> String {
+    format!(
+        "jsonb_path_exists(doc, '{} ? ({condition})')",
+        jsonpath(path)
+    )
+}
+
+fn cmp(op: Comparison) -> &'static str {
+    match op {
+        Comparison::Lt => "<",
+        Comparison::Le => "<=",
+        Comparison::Gt => ">",
+        Comparison::Ge => ">=",
+        Comparison::Eq => "=",
+    }
+}
+
+/// SQL/JSON path comparison operator (`==` instead of `=`).
+fn jsonpath_cmp(op: Comparison) -> &'static str {
+    match op {
+        Comparison::Eq => "==",
+        other => cmp(other),
+    }
+}
+
+fn predicate(p: &Predicate) -> String {
+    match p {
+        Predicate::And(l, r) => format!("({} AND {})", predicate(l), predicate(r)),
+        Predicate::Or(l, r) => format!("({} OR {})", predicate(l), predicate(r)),
+        Predicate::Leaf(f) => filter(f),
+    }
+}
+
+fn sql_string(s: &str) -> String {
+    // SQL/JSON path string literal inside a single-quoted SQL literal:
+    // double the single quotes for SQL, escape double quotes for jsonpath.
+    format!("\"{}\"", s.replace('\'', "''").replace('"', "\\\""))
+}
+
+fn filter(f: &FilterFn) -> String {
+    match f {
+        FilterFn::Exists { path } => {
+            format!("{} IS NOT NULL", hash_path(path))
+        }
+        FilterFn::IsString { path } => {
+            format!("jsonb_typeof({}) = 'string'", hash_path(path))
+        }
+        FilterFn::IntEq { path, value } => path_exists_with(path, &format!("@ == {value}")),
+        FilterFn::FloatCmp { path, op, value } => {
+            path_exists_with(path, &format!("@ {} {value}", jsonpath_cmp(*op)))
+        }
+        FilterFn::StrEq { path, value } => {
+            path_exists_with(path, &format!("@ == {}", sql_string(value)))
+        }
+        FilterFn::HasPrefix { path, prefix } => {
+            path_exists_with(path, &format!("@ starts with {}", sql_string(prefix)))
+        }
+        FilterFn::BoolEq { path, value } => path_exists_with(path, &format!("@ == {value}")),
+        FilterFn::ArrSize { path, op, value } => format!(
+            "(jsonb_typeof({p}) = 'array' AND jsonb_array_length({p}) {} {value})",
+            cmp(*op),
+            p = hash_path(path),
+        ),
+        FilterFn::ObjSize { path, op, value } => format!(
+            "(jsonb_typeof({p}) = 'object' AND \
+             (SELECT count(*) FROM jsonb_object_keys({p})) {} {value})",
+            cmp(*op),
+            p = hash_path(path),
+        ),
+    }
+}
+
+fn agg_expr(func: &AggFunc, alias: &str) -> String {
+    match func {
+        AggFunc::Count { path } if path.is_root() => format!("COUNT(*) AS {alias}"),
+        AggFunc::Count { path } => {
+            format!("COUNT({}) AS {alias}", hash_path(path))
+        }
+        AggFunc::Sum { path } => format!(
+            "SUM(CASE WHEN jsonb_typeof({p}) = 'number' THEN ({p})::text::numeric ELSE 0 END) \
+             AS {alias}",
+            p = hash_path(path),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_model::Aggregation;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    #[test]
+    fn listing1_translation() {
+        let q = Query::scan("Twitter")
+            .with_filter(Predicate::leaf(FilterFn::BoolEq {
+                path: ptr("/retweeted_status/user/verified"),
+                value: false,
+            }))
+            .with_aggregation(Aggregation::grouped(
+                AggFunc::Count { path: JsonPointer::root() },
+                ptr("/user/time_zone"),
+                "count",
+            ));
+        let text = Postgres.translate(&q);
+        assert!(text.starts_with("SELECT doc #> '{user,time_zone}' AS group, COUNT(*) AS count"));
+        assert!(text.contains("FROM Twitter"));
+        assert!(text.contains(
+            "jsonb_path_exists(doc, '$.\"retweeted_status\".\"user\".\"verified\" ? (@ == false)')"
+        ));
+        assert!(text.ends_with("GROUP BY doc #> '{user,time_zone}'"));
+    }
+
+    #[test]
+    fn filter_only_selects_documents() {
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
+            path: ptr("/user"),
+        }));
+        assert_eq!(
+            Postgres.translate(&q),
+            "SELECT doc FROM tw WHERE doc #> '{user}' IS NOT NULL"
+        );
+    }
+
+    #[test]
+    fn scalar_predicates_use_jsonpath() {
+        assert!(filter(&FilterFn::IntEq { path: ptr("/n"), value: 5 })
+            .contains("'$.\"n\" ? (@ == 5)'"));
+        assert!(filter(&FilterFn::FloatCmp {
+            path: ptr("/score"),
+            op: Comparison::Ge,
+            value: 0.5
+        })
+        .contains("(@ >= 0.5)"));
+        assert!(filter(&FilterFn::StrEq { path: ptr("/lang"), value: "de".into() })
+            .contains("(@ == \"de\")"));
+        assert!(filter(&FilterFn::HasPrefix { path: ptr("/u"), prefix: "ht".into() })
+            .contains("starts with \"ht\""));
+    }
+
+    #[test]
+    fn structural_predicates_use_typeof() {
+        let arr = filter(&FilterFn::ArrSize { path: ptr("/tags"), op: Comparison::Gt, value: 1 });
+        assert!(arr.contains("jsonb_typeof(doc #> '{tags}') = 'array'"));
+        assert!(arr.contains("jsonb_array_length"));
+        let obj = filter(&FilterFn::ObjSize { path: ptr("/user"), op: Comparison::Eq, value: 2 });
+        assert!(obj.contains("jsonb_object_keys"));
+        assert!(obj.contains("= 2"));
+        let s = filter(&FilterFn::IsString { path: ptr("/text") });
+        assert_eq!(s, "jsonb_typeof(doc #> '{text}') = 'string'");
+    }
+
+    #[test]
+    fn and_or_parenthesized_sql() {
+        let p = Predicate::leaf(FilterFn::Exists { path: ptr("/a") })
+            .and(Predicate::leaf(FilterFn::Exists { path: ptr("/b") }));
+        assert_eq!(
+            predicate(&p),
+            "(doc #> '{a}' IS NOT NULL AND doc #> '{b}' IS NOT NULL)"
+        );
+    }
+
+    #[test]
+    fn store_creates_table() {
+        let q = Query::scan("tw")
+            .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/a") }))
+            .store_as("step1");
+        assert!(Postgres.translate(&q).starts_with("CREATE TABLE step1 AS SELECT doc"));
+    }
+
+    #[test]
+    fn sum_guards_non_numbers() {
+        let text = agg_expr(&AggFunc::Sum { path: ptr("/n") }, "total");
+        assert!(text.contains("jsonb_typeof(doc #> '{n}') = 'number'"));
+        assert!(text.contains("::text::numeric"));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let text = filter(&FilterFn::StrEq {
+            path: ptr("/t"),
+            value: "it's \"fine\"".into(),
+        });
+        assert!(text.contains("it''s"));
+        assert!(text.contains("\\\"fine\\\""));
+    }
+
+    #[test]
+    fn comment_and_delimiter() {
+        assert_eq!(Postgres.comment("x"), "-- x");
+        assert_eq!(Postgres.query_delimiter(), ";");
+    }
+}

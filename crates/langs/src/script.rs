@@ -1,0 +1,98 @@
+//! Whole-session translation: one system-specific script per language
+//! (paper §IV-B: "For each supported system, a query language module is
+//! called in order to translate the internal representation into a
+//! system-specific query which is then written to a file").
+
+use crate::Language;
+use betze_model::Session;
+
+/// Renders a complete session as a script for one language: header,
+/// per-query comments, translated queries and delimiters.
+pub fn translate_session(lang: &dyn Language, session: &Session) -> String {
+    let mut out = String::new();
+    let header = lang.header();
+    if !header.is_empty() {
+        out.push_str(&header);
+        out.push('\n');
+    }
+    out.push_str(&lang.comment(&format!(
+        "BETZE session: {} queries, seed {}, config {}",
+        session.queries.len(),
+        session.seed,
+        session.config_label
+    )));
+    out.push('\n');
+    for (i, query) in session.queries.iter().enumerate() {
+        out.push_str(&lang.comment(&format!("query {i}")));
+        out.push('\n');
+        out.push_str(&lang.translate(query));
+        let delim = lang.query_delimiter();
+        out.push_str(delim);
+        if delim != "\n" {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{all_languages, Joda, Postgres};
+    use betze_json::JsonPointer;
+    use betze_model::{DatasetGraph, FilterFn, Move, Predicate, Query};
+
+    fn session() -> Session {
+        let mut graph = DatasetGraph::new();
+        let a = graph.add_base("tw", 100.0);
+        let q0 = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
+            path: JsonPointer::parse("/user").unwrap(),
+        }));
+        let b = graph.add_derived(a, "tw_1", 0, 50.0);
+        let q1 = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::BoolEq {
+            path: JsonPointer::parse("/user/verified").unwrap(),
+            value: true,
+        }));
+        let c = graph.add_derived(a, "tw_2", 1, 10.0);
+        Session {
+            queries: vec![q0, q1],
+            graph,
+            moves: vec![
+                Move::Explore { on: a, created: b },
+                Move::Return { from: b, to: a },
+                Move::Explore { on: a, created: c },
+                Move::Stop,
+            ],
+            seed: 1,
+            config_label: "test".into(),
+        }
+    }
+
+    #[test]
+    fn script_contains_all_queries_and_comments() {
+        let script = translate_session(&Joda, &session());
+        assert!(script.contains("# BETZE session: 2 queries, seed 1"));
+        assert!(script.contains("# query 0"));
+        assert!(script.contains("# query 1"));
+        assert_eq!(script.matches("LOAD tw").count(), 2);
+    }
+
+    #[test]
+    fn sql_script_terminates_queries_with_semicolons() {
+        let script = translate_session(&Postgres, &session());
+        assert_eq!(script.matches(";\n").count(), 2);
+        assert!(script.starts_with("-- BETZE session"));
+    }
+
+    #[test]
+    fn every_language_produces_nonempty_scripts() {
+        for lang in all_languages() {
+            let script = translate_session(lang.as_ref(), &session());
+            assert!(
+                script.lines().count() >= 5,
+                "{} script too short",
+                lang.short_name()
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Golden tests for transform translation in every language (§VII
+//! extension).
+
+use betze_json::{JsonPointer, Value};
+use betze_langs::{Joda, Jq, Language, MongoDb, Postgres};
+use betze_model::{Query, Transform};
+
+fn ptr(s: &str) -> JsonPointer {
+    JsonPointer::parse(s).unwrap()
+}
+
+fn query() -> Query {
+    Query::scan("tw")
+        .with_transform(Transform::Rename {
+            from: ptr("/user/name"),
+            to: "screen_name".into(),
+        })
+        .with_transform(Transform::Remove { path: ptr("/geo") })
+        .with_transform(Transform::Add {
+            path: ptr("/processed"),
+            value: Value::Bool(true),
+        })
+        .store_as("step1")
+}
+
+#[test]
+fn joda_uses_as_projections() {
+    let text = Joda.translate(&query());
+    assert!(text.contains("AS ('/user/screen_name': '/user/name'), ('/user/name': REMOVE)"));
+    assert!(text.contains("AS ('/geo': REMOVE)"));
+    assert!(text.contains("AS ('/processed': true)"));
+    assert!(text.ends_with("STORE step1"));
+}
+
+#[test]
+fn mongodb_uses_set_unset_stages() {
+    let text = MongoDb.translate(&query());
+    assert!(text.starts_with("db.tw.aggregate(["));
+    assert!(text.contains("{ $set: { \"user.screen_name\": \"$user.name\" } }"));
+    assert!(text.contains("{ $unset: \"user.name\" }"));
+    assert!(text.contains("{ $unset: \"geo\" }"));
+    assert!(text.contains("{ $set: { \"processed\": true } }"));
+    assert!(text.contains("$out"));
+}
+
+#[test]
+fn jq_uses_del_and_assignment() {
+    let text = Jq.translate(&query());
+    assert!(text.contains(".[\"user\"][\"screen_name\"] = .[\"user\"][\"name\"] | del(.[\"user\"][\"name\"])"));
+    assert!(text.contains("del(.[\"geo\"])"));
+    assert!(text.contains(".[\"processed\"] = true"));
+    assert!(text.ends_with("> step1.json"));
+}
+
+#[test]
+fn postgres_folds_jsonb_expressions() {
+    let text = Postgres.translate(&query());
+    assert!(text.starts_with("CREATE TABLE step1 AS SELECT "));
+    assert!(text.contains("jsonb_set"));
+    assert!(text.contains("#- '{user,name}'"));
+    assert!(text.contains("#- '{geo}'"));
+    assert!(text.contains("'true'::jsonb"));
+    assert!(text.contains("AS doc"));
+}
+
+#[test]
+fn transform_free_queries_are_unchanged() {
+    let q = Query::scan("tw");
+    assert_eq!(Joda.translate(&q), "LOAD tw");
+    assert_eq!(MongoDb.translate(&q), "db.tw.find({})");
+    assert_eq!(Postgres.translate(&q), "SELECT doc FROM tw");
+}

@@ -1,0 +1,236 @@
+//! The dataset dependency graph (Figures 2 and 3 of the paper).
+//!
+//! Every exploration step creates a new dataset from its parent: the graph
+//! is a forest rooted at the initial base dataset(s). The random explorer
+//! walks over this graph; the generator uses the per-node estimated
+//! cardinalities to target selectivities.
+
+use std::fmt;
+
+/// Identifier of a dataset node within one [`DatasetGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub usize);
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// The kind of an exploration move, used when rendering session graphs
+/// (Fig. 3 colours query edges brown, backtracking red, jumps purple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// A query creating a new dataset.
+    Query,
+    /// A return to the parent dataset.
+    Backtrack,
+    /// A random jump to a previously created dataset.
+    Jump,
+}
+
+/// One dataset in the dependency graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetNode {
+    /// This node's id.
+    pub id: DatasetId,
+    /// The dataset name (store name for derived datasets).
+    pub name: String,
+    /// Parent dataset; `None` for base datasets.
+    pub parent: Option<DatasetId>,
+    /// Index (into the session's query list) of the query that created this
+    /// dataset; `None` for base datasets.
+    pub created_by_query: Option<usize>,
+    /// Estimated number of documents (the generator scales the parent's
+    /// estimate by the achieved selectivity).
+    pub estimated_count: f64,
+}
+
+impl DatasetNode {
+    /// True for initial base datasets.
+    pub fn is_base(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+/// A forest of datasets derived from one or more base datasets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetGraph {
+    nodes: Vec<DatasetNode>,
+}
+
+impl DatasetGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DatasetGraph { nodes: Vec::new() }
+    }
+
+    /// Adds a base (root) dataset.
+    pub fn add_base(&mut self, name: impl Into<String>, estimated_count: f64) -> DatasetId {
+        let id = DatasetId(self.nodes.len());
+        self.nodes.push(DatasetNode {
+            id,
+            name: name.into(),
+            parent: None,
+            created_by_query: None,
+            estimated_count,
+        });
+        id
+    }
+
+    /// Adds a dataset derived from `parent` by query `query_index`.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not a node of this graph — derived datasets can
+    /// only be created from datasets the explorer has already visited, so an
+    /// out-of-graph parent is a programming error.
+    pub fn add_derived(
+        &mut self,
+        parent: DatasetId,
+        name: impl Into<String>,
+        query_index: usize,
+        estimated_count: f64,
+    ) -> DatasetId {
+        assert!(parent.0 < self.nodes.len(), "parent {parent} not in graph");
+        let id = DatasetId(self.nodes.len());
+        self.nodes.push(DatasetNode {
+            id,
+            name: name.into(),
+            parent: Some(parent),
+            created_by_query: Some(query_index),
+            estimated_count,
+        });
+        id
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: DatasetId) -> Option<&DatasetNode> {
+        self.nodes.get(id.0)
+    }
+
+    /// All nodes in creation order.
+    pub fn nodes(&self) -> &[DatasetNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of all base datasets.
+    pub fn bases(&self) -> Vec<DatasetId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_base())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Direct children of a node.
+    pub fn children(&self, id: DatasetId) -> Vec<DatasetId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.parent == Some(id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The chain of query indices that produced `id`, from the base dataset
+    /// down to `id` itself. Empty for base datasets.
+    ///
+    /// This is what the predicate-composition export mode (§IV-C) walks: a
+    /// derived dataset's effective filter is the conjunction of all queries
+    /// along this chain.
+    pub fn query_chain(&self, id: DatasetId) -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut cur = self.node(id);
+        while let Some(node) = cur {
+            if let Some(q) = node.created_by_query {
+                chain.push(q);
+            }
+            cur = node.parent.and_then(|p| self.node(p));
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The base dataset `id` ultimately derives from.
+    pub fn base_of(&self, id: DatasetId) -> Option<DatasetId> {
+        let mut cur = self.node(id)?;
+        while let Some(parent) = cur.parent {
+            cur = self.node(parent)?;
+        }
+        Some(cur.id)
+    }
+
+    /// Depth of a node (base datasets have depth 0).
+    pub fn depth_of(&self, id: DatasetId) -> Option<usize> {
+        Some(self.query_chain(id).len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the example graph of Fig. 2: A →q0 B, A →q1 C, B →q2 D.
+    fn fig2() -> (DatasetGraph, [DatasetId; 4]) {
+        let mut g = DatasetGraph::new();
+        let a = g.add_base("A", 1000.0);
+        let b = g.add_derived(a, "B", 0, 500.0);
+        let c = g.add_derived(a, "C", 1, 300.0);
+        let d = g.add_derived(b, "D", 2, 100.0);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn bases_and_children() {
+        let (g, [a, b, c, d]) = fig2();
+        assert_eq!(g.bases(), vec![a]);
+        assert_eq!(g.children(a), vec![b, c]);
+        assert_eq!(g.children(b), vec![d]);
+        assert!(g.children(d).is_empty());
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn query_chain_walks_to_base() {
+        let (g, [a, b, _c, d]) = fig2();
+        assert_eq!(g.query_chain(a), Vec::<usize>::new());
+        assert_eq!(g.query_chain(b), vec![0]);
+        assert_eq!(g.query_chain(d), vec![0, 2]);
+    }
+
+    #[test]
+    fn base_of_and_depth() {
+        let (g, [a, _b, c, d]) = fig2();
+        assert_eq!(g.base_of(d), Some(a));
+        assert_eq!(g.base_of(a), Some(a));
+        assert_eq!(g.depth_of(a), Some(0));
+        assert_eq!(g.depth_of(c), Some(1));
+        assert_eq!(g.depth_of(d), Some(2));
+    }
+
+    #[test]
+    fn multiple_bases_supported() {
+        let mut g = DatasetGraph::new();
+        let a = g.add_base("twitter", 10.0);
+        let b = g.add_base("reddit", 20.0);
+        assert_eq!(g.bases(), vec![a, b]);
+        let c = g.add_derived(b, "r1", 0, 5.0);
+        assert_eq!(g.base_of(c), Some(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn derived_from_unknown_parent_panics() {
+        let mut g = DatasetGraph::new();
+        g.add_derived(DatasetId(3), "x", 0, 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # betze-model
+//!
+//! The query **intermediate representation** of BETZE and the dataset
+//! dependency graph built during an exploration session.
+//!
+//! Paper §IV-D: *"queries are first generated in an internal representation,
+//! which is easy to translate into different query languages. A query is
+//! represented by a base dataset on which the query is executed, an optional
+//! dataset to store the result in, an optional query predicate tree, and an
+//! optional aggregation function. The filter-predicate tree is composed of
+//! OR and AND predicates as inner nodes, and filtering functions (e.g.,
+//! equality, comparisons, prefix-matching) as leaf nodes."*
+//!
+//! This crate defines exactly that IR ([`Query`], [`Predicate`],
+//! [`FilterFn`], [`Aggregation`]), gives it **executable semantics** over
+//! [`betze_json::Value`] documents (used both by the generator's
+//! selectivity-verification loop and by the simulated engines), and models
+//! the session-level artifacts: the [`DatasetGraph`] of Figures 2/3 and the
+//! [`Session`] a generator run produces.
+
+mod aggregate;
+mod graph;
+mod predicate;
+mod query;
+mod session;
+mod transform;
+
+pub use aggregate::{AggFunc, Aggregation, GroupKey};
+pub use graph::{DatasetGraph, DatasetId, DatasetNode, EdgeKind};
+pub use predicate::{Comparison, FilterFn, Predicate, PredicateKind};
+pub use query::Query;
+pub use session::{Move, Session, SessionStats};
+pub use transform::{apply_all, Transform};

@@ -1,0 +1,486 @@
+//! Filter predicate trees.
+//!
+//! The nine leaf predicate kinds are the ones listed in paper §III-A; the
+//! inner nodes are binary `AND`/`OR` (the only logical connectives all four
+//! benchmarked systems support).
+
+use betze_json::{JsonPointer, Value};
+use std::fmt;
+
+/// A comparison operator used by the numeric, array-size and object-size
+/// predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Comparison {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+}
+
+impl Comparison {
+    /// All operators, in a stable order (used by generators for seeded
+    /// random choice).
+    pub const ALL: [Comparison; 5] = [
+        Comparison::Lt,
+        Comparison::Le,
+        Comparison::Gt,
+        Comparison::Ge,
+        Comparison::Eq,
+    ];
+
+    /// Applies the operator to an ordered pair.
+    #[inline]
+    pub fn eval<T: PartialOrd>(&self, left: T, right: T) -> bool {
+        match self {
+            Comparison::Lt => left < right,
+            Comparison::Le => left <= right,
+            Comparison::Gt => left > right,
+            Comparison::Ge => left >= right,
+            Comparison::Eq => left == right,
+        }
+    }
+
+    /// The operator's conventional symbol.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Comparison::Lt => "<",
+            Comparison::Le => "<=",
+            Comparison::Gt => ">",
+            Comparison::Ge => ">=",
+            Comparison::Eq => "==",
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The kind of a leaf predicate, used for reporting (Fig. 8 counts the
+/// number of generated predicates per kind) and for the generator's
+/// include/exclude lists (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredicateKind {
+    /// `EXISTS(<ptr>)`
+    Exists,
+    /// `ISSTRING(<ptr>)`
+    IsString,
+    /// `<ptr> == <int>`
+    IntEquality,
+    /// `<ptr> <comparison> <float>`
+    FloatComparison,
+    /// `<ptr> == <string>`
+    StringEquality,
+    /// `HASPREFIX(<ptr>, <string>)`
+    StringPrefix,
+    /// `<ptr> == <bool>`
+    BoolEquality,
+    /// `ARRSIZE(<ptr>) <comparison> <int>`
+    ArraySize,
+    /// `OBJSIZE(<ptr>) <comparison> <int>`
+    ObjectSize,
+}
+
+impl PredicateKind {
+    /// All kinds in the order the paper lists them (§III-A).
+    pub const ALL: [PredicateKind; 9] = [
+        PredicateKind::Exists,
+        PredicateKind::IsString,
+        PredicateKind::IntEquality,
+        PredicateKind::FloatComparison,
+        PredicateKind::StringEquality,
+        PredicateKind::StringPrefix,
+        PredicateKind::BoolEquality,
+        PredicateKind::ArraySize,
+        PredicateKind::ObjectSize,
+    ];
+
+    /// A short label used in reports (Fig. 8's x-axis).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PredicateKind::Exists => "EXISTS",
+            PredicateKind::IsString => "ISSTRING",
+            PredicateKind::IntEquality => "==int",
+            PredicateKind::FloatComparison => "cmp float",
+            PredicateKind::StringEquality => "==str",
+            PredicateKind::StringPrefix => "HASPREFIX",
+            PredicateKind::BoolEquality => "==bool",
+            PredicateKind::ArraySize => "ARRSIZE",
+            PredicateKind::ObjectSize => "OBJSIZE",
+        }
+    }
+}
+
+impl fmt::Display for PredicateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A leaf filtering function: one attribute path plus a test.
+///
+/// Each variant corresponds to one predicate of paper §III-A; there is at
+/// least one per JSON data type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterFn {
+    /// `EXISTS(<ptr>)` — the attribute is present (any type, including null).
+    Exists { path: JsonPointer },
+    /// `ISSTRING(<ptr>)` — the attribute is present and a string.
+    IsString { path: JsonPointer },
+    /// `<ptr> == <int>` — numeric equality against an integer constant.
+    IntEq { path: JsonPointer, value: i64 },
+    /// `<ptr> <comparison> <float>` — numeric comparison against a float.
+    FloatCmp {
+        path: JsonPointer,
+        op: Comparison,
+        value: f64,
+    },
+    /// `<ptr> == <string>` — string equality.
+    StrEq { path: JsonPointer, value: String },
+    /// `HASPREFIX(<ptr>, <string>)` — the attribute is a string with prefix.
+    HasPrefix { path: JsonPointer, prefix: String },
+    /// `<ptr> == <bool>` — boolean equality.
+    BoolEq { path: JsonPointer, value: bool },
+    /// `ARRSIZE(<ptr>) <comparison> <int>` — array length comparison.
+    ArrSize {
+        path: JsonPointer,
+        op: Comparison,
+        value: i64,
+    },
+    /// `OBJSIZE(<ptr>) <comparison> <int>` — object member-count comparison.
+    ObjSize {
+        path: JsonPointer,
+        op: Comparison,
+        value: i64,
+    },
+}
+
+impl FilterFn {
+    /// The attribute path this filter tests.
+    pub fn path(&self) -> &JsonPointer {
+        match self {
+            FilterFn::Exists { path }
+            | FilterFn::IsString { path }
+            | FilterFn::IntEq { path, .. }
+            | FilterFn::FloatCmp { path, .. }
+            | FilterFn::StrEq { path, .. }
+            | FilterFn::HasPrefix { path, .. }
+            | FilterFn::BoolEq { path, .. }
+            | FilterFn::ArrSize { path, .. }
+            | FilterFn::ObjSize { path, .. } => path,
+        }
+    }
+
+    /// The [`PredicateKind`] of this filter.
+    pub fn kind(&self) -> PredicateKind {
+        match self {
+            FilterFn::Exists { .. } => PredicateKind::Exists,
+            FilterFn::IsString { .. } => PredicateKind::IsString,
+            FilterFn::IntEq { .. } => PredicateKind::IntEquality,
+            FilterFn::FloatCmp { .. } => PredicateKind::FloatComparison,
+            FilterFn::StrEq { .. } => PredicateKind::StringEquality,
+            FilterFn::HasPrefix { .. } => PredicateKind::StringPrefix,
+            FilterFn::BoolEq { .. } => PredicateKind::BoolEquality,
+            FilterFn::ArrSize { .. } => PredicateKind::ArraySize,
+            FilterFn::ObjSize { .. } => PredicateKind::ObjectSize,
+        }
+    }
+
+    /// Evaluates the filter against a document.
+    ///
+    /// Missing attributes never match (except for nothing — `EXISTS` is the
+    /// only filter that can distinguish presence, and it requires presence).
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            FilterFn::Exists { path } => path.exists_in(doc),
+            FilterFn::IsString { path } => {
+                matches!(path.resolve(doc), Some(Value::String(_)))
+            }
+            FilterFn::IntEq { path, value } => match path.resolve(doc) {
+                Some(Value::Number(n)) => n.as_f64() == *value as f64,
+                _ => false,
+            },
+            FilterFn::FloatCmp { path, op, value } => match path.resolve(doc) {
+                Some(Value::Number(n)) => op.eval(n.as_f64(), *value),
+                _ => false,
+            },
+            FilterFn::StrEq { path, value } => {
+                matches!(path.resolve(doc), Some(Value::String(s)) if s == value)
+            }
+            FilterFn::HasPrefix { path, prefix } => {
+                matches!(path.resolve(doc), Some(Value::String(s)) if s.starts_with(prefix.as_str()))
+            }
+            FilterFn::BoolEq { path, value } => {
+                matches!(path.resolve(doc), Some(Value::Bool(b)) if b == value)
+            }
+            FilterFn::ArrSize { path, op, value } => match path.resolve(doc) {
+                Some(Value::Array(a)) => op.eval(a.len() as i64, *value),
+                _ => false,
+            },
+            FilterFn::ObjSize { path, op, value } => match path.resolve(doc) {
+                Some(Value::Object(o)) => op.eval(o.len() as i64, *value),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for FilterFn {
+    /// A neutral, JODA-flavoured rendering used in logs and reports.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterFn::Exists { path } => write!(f, "EXISTS('{path}')"),
+            FilterFn::IsString { path } => write!(f, "ISSTRING('{path}')"),
+            FilterFn::IntEq { path, value } => write!(f, "'{path}' == {value}"),
+            FilterFn::FloatCmp { path, op, value } => write!(f, "'{path}' {op} {value}"),
+            FilterFn::StrEq { path, value } => write!(f, "'{path}' == \"{value}\""),
+            FilterFn::HasPrefix { path, prefix } => {
+                write!(f, "HASPREFIX('{path}', \"{prefix}\")")
+            }
+            FilterFn::BoolEq { path, value } => write!(f, "'{path}' == {value}"),
+            FilterFn::ArrSize { path, op, value } => {
+                write!(f, "ARRSIZE('{path}') {op} {value}")
+            }
+            FilterFn::ObjSize { path, op, value } => {
+                write!(f, "OBJSIZE('{path}') {op} {value}")
+            }
+        }
+    }
+}
+
+/// A filter predicate tree: `AND`/`OR` inner nodes over [`FilterFn`] leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Both sub-predicates must match.
+    And(Box<Predicate>, Box<Predicate>),
+    /// At least one sub-predicate must match.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// A leaf filtering function.
+    Leaf(FilterFn),
+}
+
+impl Predicate {
+    /// Wraps a filter function as a leaf predicate.
+    pub fn leaf(f: FilterFn) -> Self {
+        Predicate::Leaf(f)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the tree against a document.
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            Predicate::And(l, r) => l.matches(doc) && r.matches(doc),
+            Predicate::Or(l, r) => l.matches(doc) || r.matches(doc),
+            Predicate::Leaf(f) => f.matches(doc),
+        }
+    }
+
+    /// Visits every leaf in left-to-right order.
+    pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a FilterFn)) {
+        match self {
+            Predicate::And(l, r) | Predicate::Or(l, r) => {
+                l.for_each_leaf(f);
+                r.for_each_leaf(f);
+            }
+            Predicate::Leaf(leaf) => f(leaf),
+        }
+    }
+
+    /// All leaf filters, left to right.
+    pub fn leaves(&self) -> Vec<&FilterFn> {
+        let mut out = Vec::new();
+        self.for_each_leaf(&mut |leaf| out.push(leaf));
+        out
+    }
+
+    /// All attribute paths referenced by the tree (with repetitions), used
+    /// for the skew analysis of §VI-C and the depth histogram of Table IV.
+    pub fn referenced_paths(&self) -> Vec<&JsonPointer> {
+        let mut out = Vec::new();
+        self.for_each_leaf(&mut |leaf| out.push(leaf.path()));
+        out
+    }
+
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Predicate::And(l, r) | Predicate::Or(l, r) => l.leaf_count() + r.leaf_count(),
+            Predicate::Leaf(_) => 1,
+        }
+    }
+}
+
+impl From<FilterFn> for Predicate {
+    fn from(f: FilterFn) -> Self {
+        Predicate::Leaf(f)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::And(l, r) => write!(f, "({l} && {r})"),
+            Predicate::Or(l, r) => write!(f, "({l} || {r})"),
+            Predicate::Leaf(leaf) => leaf.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::json;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn tweet() -> Value {
+        json!({
+            "user": { "name": "alice", "verified": true, "followers": 250 },
+            "text": "Fußball rocks",
+            "score": 0.75,
+            "tags": ["ads", "soccer", "germany"],
+            "lang": "de",
+            "deleted": null,
+        })
+    }
+
+    #[test]
+    fn exists_matches_presence_even_null() {
+        assert!(FilterFn::Exists { path: ptr("/deleted") }.matches(&tweet()));
+        assert!(FilterFn::Exists { path: ptr("/user/name") }.matches(&tweet()));
+        assert!(!FilterFn::Exists { path: ptr("/nope") }.matches(&tweet()));
+    }
+
+    #[test]
+    fn isstring_requires_string_type() {
+        assert!(FilterFn::IsString { path: ptr("/text") }.matches(&tweet()));
+        assert!(!FilterFn::IsString { path: ptr("/score") }.matches(&tweet()));
+        assert!(!FilterFn::IsString { path: ptr("/deleted") }.matches(&tweet()));
+        assert!(!FilterFn::IsString { path: ptr("/missing") }.matches(&tweet()));
+    }
+
+    #[test]
+    fn int_equality_is_numeric() {
+        let doc = json!({ "a": 5, "b": 5.0, "c": "5" });
+        assert!(FilterFn::IntEq { path: ptr("/a"), value: 5 }.matches(&doc));
+        // 5.0 equals 5 numerically — both are the number five.
+        assert!(FilterFn::IntEq { path: ptr("/b"), value: 5 }.matches(&doc));
+        assert!(!FilterFn::IntEq { path: ptr("/c"), value: 5 }.matches(&doc));
+        assert!(!FilterFn::IntEq { path: ptr("/a"), value: 6 }.matches(&doc));
+    }
+
+    #[test]
+    fn float_comparison_ops() {
+        let f = |op, v| FilterFn::FloatCmp { path: ptr("/score"), op, value: v };
+        assert!(f(Comparison::Gt, 0.5).matches(&tweet()));
+        assert!(!f(Comparison::Gt, 0.75).matches(&tweet()));
+        assert!(f(Comparison::Ge, 0.75).matches(&tweet()));
+        assert!(f(Comparison::Lt, 1.0).matches(&tweet()));
+        assert!(f(Comparison::Le, 0.75).matches(&tweet()));
+        assert!(f(Comparison::Eq, 0.75).matches(&tweet()));
+        // Comparisons never match non-numbers or missing paths.
+        assert!(!FilterFn::FloatCmp { path: ptr("/text"), op: Comparison::Gt, value: 0.0 }
+            .matches(&tweet()));
+    }
+
+    #[test]
+    fn string_predicates() {
+        assert!(FilterFn::StrEq { path: ptr("/lang"), value: "de".into() }.matches(&tweet()));
+        assert!(!FilterFn::StrEq { path: ptr("/lang"), value: "en".into() }.matches(&tweet()));
+        assert!(FilterFn::HasPrefix { path: ptr("/text"), prefix: "Fuß".into() }.matches(&tweet()));
+        assert!(!FilterFn::HasPrefix { path: ptr("/text"), prefix: "fuß".into() }.matches(&tweet()));
+        // Prefix on non-string never matches.
+        assert!(!FilterFn::HasPrefix { path: ptr("/score"), prefix: "0".into() }.matches(&tweet()));
+    }
+
+    #[test]
+    fn bool_equality() {
+        assert!(FilterFn::BoolEq { path: ptr("/user/verified"), value: true }.matches(&tweet()));
+        assert!(!FilterFn::BoolEq { path: ptr("/user/verified"), value: false }.matches(&tweet()));
+        assert!(!FilterFn::BoolEq { path: ptr("/lang"), value: true }.matches(&tweet()));
+    }
+
+    #[test]
+    fn size_predicates() {
+        assert!(FilterFn::ArrSize { path: ptr("/tags"), op: Comparison::Eq, value: 3 }
+            .matches(&tweet()));
+        assert!(FilterFn::ArrSize { path: ptr("/tags"), op: Comparison::Ge, value: 2 }
+            .matches(&tweet()));
+        assert!(!FilterFn::ArrSize { path: ptr("/user"), op: Comparison::Ge, value: 0 }
+            .matches(&tweet()));
+        assert!(FilterFn::ObjSize { path: ptr("/user"), op: Comparison::Eq, value: 3 }
+            .matches(&tweet()));
+        assert!(!FilterFn::ObjSize { path: ptr("/tags"), op: Comparison::Eq, value: 3 }
+            .matches(&tweet()));
+    }
+
+    #[test]
+    fn and_or_trees() {
+        let p = Predicate::leaf(FilterFn::BoolEq { path: ptr("/user/verified"), value: true })
+            .and(Predicate::leaf(FilterFn::StrEq { path: ptr("/lang"), value: "de".into() }));
+        assert!(p.matches(&tweet()));
+        let q = Predicate::leaf(FilterFn::StrEq { path: ptr("/lang"), value: "en".into() })
+            .or(Predicate::leaf(FilterFn::Exists { path: ptr("/score") }));
+        assert!(q.matches(&tweet()));
+        let both = p.clone().and(q.clone());
+        assert!(both.matches(&tweet()));
+        assert_eq!(both.leaf_count(), 4);
+        let none = Predicate::leaf(FilterFn::Exists { path: ptr("/x") })
+            .or(Predicate::leaf(FilterFn::Exists { path: ptr("/y") }));
+        assert!(!none.matches(&tweet()));
+    }
+
+    #[test]
+    fn referenced_paths_collects_all_leaves() {
+        let p = Predicate::leaf(FilterFn::Exists { path: ptr("/a") })
+            .and(Predicate::leaf(FilterFn::Exists { path: ptr("/b") }))
+            .or(Predicate::leaf(FilterFn::Exists { path: ptr("/a") }));
+        let paths: Vec<String> = p.referenced_paths().iter().map(|p| p.to_string()).collect();
+        assert_eq!(paths, vec!["/a", "/b", "/a"]);
+    }
+
+    #[test]
+    fn kind_mapping_is_total() {
+        let fns: Vec<FilterFn> = vec![
+            FilterFn::Exists { path: ptr("/a") },
+            FilterFn::IsString { path: ptr("/a") },
+            FilterFn::IntEq { path: ptr("/a"), value: 1 },
+            FilterFn::FloatCmp { path: ptr("/a"), op: Comparison::Lt, value: 1.0 },
+            FilterFn::StrEq { path: ptr("/a"), value: "x".into() },
+            FilterFn::HasPrefix { path: ptr("/a"), prefix: "x".into() },
+            FilterFn::BoolEq { path: ptr("/a"), value: true },
+            FilterFn::ArrSize { path: ptr("/a"), op: Comparison::Eq, value: 1 },
+            FilterFn::ObjSize { path: ptr("/a"), op: Comparison::Eq, value: 1 },
+        ];
+        let kinds: Vec<PredicateKind> = fns.iter().map(FilterFn::kind).collect();
+        assert_eq!(kinds, PredicateKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let p = Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/retweeted_status/user/verified"),
+            value: false,
+        });
+        assert_eq!(p.to_string(), "'/retweeted_status/user/verified' == false");
+    }
+}

@@ -1,0 +1,216 @@
+//! The query IR: base dataset, optional store target, optional predicate
+//! tree, optional aggregation (paper §IV-D).
+
+use crate::{Aggregation, Predicate, Transform};
+use betze_json::{JsonPointer, Value};
+use std::fmt;
+
+/// A single exploration query in BETZE's internal representation.
+///
+/// Executable via [`Query::eval`]; translatable to system-specific syntax
+/// by the `betze-langs` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Name of the dataset the query reads.
+    pub base: String,
+    /// Name under which the result is stored, if intermediate-set
+    /// materialization is enabled (§IV-C "Materializing query results").
+    pub store_as: Option<String>,
+    /// Optional filter predicate tree.
+    pub filter: Option<Predicate>,
+    /// Transformations applied to the filtered documents, before
+    /// aggregation and storing (the §VII future-work extension).
+    pub transforms: Vec<Transform>,
+    /// Optional aggregation applied after filtering.
+    pub aggregation: Option<Aggregation>,
+}
+
+impl Query {
+    /// A full-scan query over `base` with no filter or aggregation.
+    pub fn scan(base: impl Into<String>) -> Self {
+        Query {
+            base: base.into(),
+            store_as: None,
+            filter: None,
+            transforms: Vec::new(),
+            aggregation: None,
+        }
+    }
+
+    /// Adds a filter predicate (replacing any existing one).
+    pub fn with_filter(mut self, filter: Predicate) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Adds an aggregation (replacing any existing one).
+    pub fn with_aggregation(mut self, agg: Aggregation) -> Self {
+        self.aggregation = Some(agg);
+        self
+    }
+
+    /// Appends a transformation (applied after filtering, in order).
+    pub fn with_transform(mut self, transform: Transform) -> Self {
+        self.transforms.push(transform);
+        self
+    }
+
+    /// Sets the store target.
+    pub fn store_as(mut self, name: impl Into<String>) -> Self {
+        self.store_as = Some(name.into());
+        self
+    }
+
+    /// True if the query has no filter, transformation or aggregation.
+    pub fn is_plain_scan(&self) -> bool {
+        self.filter.is_none() && self.transforms.is_empty() && self.aggregation.is_none()
+    }
+
+    /// Executes the query over an in-memory document slice.
+    ///
+    /// This is the *reference semantics* every simulated engine must agree
+    /// with (the engine test suites assert equality against this).
+    pub fn eval(&self, docs: &[Value]) -> Vec<Value> {
+        let mut selected: Vec<Value> = match &self.filter {
+            Some(pred) => docs.iter().filter(|d| pred.matches(d)).cloned().collect(),
+            None => docs.to_vec(),
+        };
+        crate::apply_all(&self.transforms, &mut selected);
+        match &self.aggregation {
+            Some(agg) => agg.eval(&selected),
+            None => selected,
+        }
+    }
+
+    /// Counts how many documents the filter selects (ignoring any
+    /// aggregation). Used for selectivity verification (§IV-B).
+    pub fn matching_count(&self, docs: &[Value]) -> usize {
+        match &self.filter {
+            Some(pred) => docs.iter().filter(|d| pred.matches(d)).count(),
+            None => docs.len(),
+        }
+    }
+
+    /// All attribute paths referenced by the filter and aggregation,
+    /// used for Table IV / §VI-C analyses.
+    pub fn referenced_paths(&self) -> Vec<&JsonPointer> {
+        let mut out = Vec::new();
+        if let Some(f) = &self.filter {
+            out.extend(f.referenced_paths());
+        }
+        for t in &self.transforms {
+            out.push(t.path());
+        }
+        if let Some(a) = &self.aggregation {
+            if !a.func.path().is_root() {
+                out.push(a.func.path());
+            }
+            if let Some(g) = &a.group_by {
+                out.push(g);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Query {
+    /// Neutral textual form, close to the JODA syntax of Listing 1.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LOAD {}", self.base)?;
+        if let Some(p) = &self.filter {
+            write!(f, " CHOOSE {p}")?;
+        }
+        for t in &self.transforms {
+            write!(f, " TRANSFORM {t}")?;
+        }
+        if let Some(a) = &self.aggregation {
+            write!(f, " AGG {a}")?;
+        }
+        if let Some(s) = &self.store_as {
+            write!(f, " STORE {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggFunc, FilterFn};
+    use betze_json::{json, JsonPointer};
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn docs() -> Vec<Value> {
+        vec![
+            json!({ "kind": "tweet", "n": 1 }),
+            json!({ "kind": "tweet", "n": 2 }),
+            json!({ "kind": "delete" }),
+        ]
+    }
+
+    #[test]
+    fn plain_scan_returns_everything() {
+        let q = Query::scan("tw");
+        assert!(q.is_plain_scan());
+        assert_eq!(q.eval(&docs()), docs());
+        assert_eq!(q.matching_count(&docs()), 3);
+    }
+
+    #[test]
+    fn filter_selects_matching_documents() {
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/kind"),
+            value: "tweet".into(),
+        }));
+        assert_eq!(q.eval(&docs()).len(), 2);
+        assert_eq!(q.matching_count(&docs()), 2);
+    }
+
+    #[test]
+    fn filter_plus_aggregation() {
+        let q = Query::scan("tw")
+            .with_filter(Predicate::leaf(FilterFn::StrEq {
+                path: ptr("/kind"),
+                value: "tweet".into(),
+            }))
+            .with_aggregation(Aggregation::new(AggFunc::Sum { path: ptr("/n") }, "total"));
+        assert_eq!(q.eval(&docs()), vec![json!({ "total": 3i64 })]);
+        // matching_count ignores the aggregation.
+        assert_eq!(q.matching_count(&docs()), 2);
+    }
+
+    #[test]
+    fn referenced_paths_includes_agg_and_group() {
+        let q = Query::scan("tw")
+            .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/kind") }))
+            .with_aggregation(Aggregation::grouped(
+                AggFunc::Sum { path: ptr("/n") },
+                ptr("/kind"),
+                "s",
+            ));
+        let paths: Vec<String> = q.referenced_paths().iter().map(|p| p.to_string()).collect();
+        assert_eq!(paths, vec!["/kind", "/n", "/kind"]);
+        // Root COUNT pointer is not an attribute reference.
+        let q2 = Query::scan("tw").with_aggregation(Aggregation::new(
+            AggFunc::Count { path: JsonPointer::root() },
+            "c",
+        ));
+        assert!(q2.referenced_paths().is_empty());
+    }
+
+    #[test]
+    fn display_mirrors_joda_shape() {
+        let q = Query::scan("Twitter")
+            .with_filter(Predicate::leaf(FilterFn::BoolEq {
+                path: ptr("/retweeted_status/user/verified"),
+                value: false,
+            }))
+            .store_as("result_1");
+        let s = q.to_string();
+        assert!(s.starts_with("LOAD Twitter CHOOSE"));
+        assert!(s.ends_with("STORE result_1"));
+    }
+}

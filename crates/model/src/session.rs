@@ -1,0 +1,282 @@
+//! Exploration sessions: the ordered query list, the dataset graph, and the
+//! move trail taken by the random explorer.
+
+use crate::{DatasetGraph, DatasetId, EdgeKind, PredicateKind, Query};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One move of the random explorer (paper §III): after each query the user
+/// explores, returns, jumps, or stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Issue a new query on dataset `on`, creating dataset `created`.
+    Explore { on: DatasetId, created: DatasetId },
+    /// Go back to the parent dataset.
+    Return { from: DatasetId, to: DatasetId },
+    /// Random jump to a previously created dataset.
+    Jump { from: DatasetId, to: DatasetId },
+    /// End of the session.
+    Stop,
+}
+
+/// A generated benchmark session: the simulated interaction of a single
+/// data scientist with an exploration tool (paper §IV-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// The queries, in execution order.
+    pub queries: Vec<Query>,
+    /// The dataset dependency graph the session built.
+    pub graph: DatasetGraph,
+    /// The explorer's move trail (explore/return/jump/stop).
+    pub moves: Vec<Move>,
+    /// The seed this session was generated with (for reproducibility,
+    /// §IV-C).
+    pub seed: u64,
+    /// Human-readable description of the configuration used.
+    pub config_label: String,
+}
+
+/// Summary statistics over a session, used by reports and tests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionStats {
+    /// Number of queries.
+    pub query_count: usize,
+    /// Number of explore moves.
+    pub explores: usize,
+    /// Number of return (backtrack) moves.
+    pub returns: usize,
+    /// Number of random jumps.
+    pub jumps: usize,
+    /// Predicate-kind histogram over all queries (Fig. 8).
+    pub predicate_counts: HashMap<PredicateKind, usize>,
+    /// Path-depth histogram over all referenced attribute paths (Table IV).
+    pub path_depths: HashMap<usize, usize>,
+    /// Total number of attribute references (§VI-C).
+    pub attribute_references: usize,
+}
+
+impl Session {
+    /// Computes summary statistics.
+    pub fn stats(&self) -> SessionStats {
+        let mut stats = SessionStats {
+            query_count: self.queries.len(),
+            ..SessionStats::default()
+        };
+        for mv in &self.moves {
+            match mv {
+                Move::Explore { .. } => stats.explores += 1,
+                Move::Return { .. } => stats.returns += 1,
+                Move::Jump { .. } => stats.jumps += 1,
+                Move::Stop => {}
+            }
+        }
+        for query in &self.queries {
+            if let Some(filter) = &query.filter {
+                filter.for_each_leaf(&mut |leaf| {
+                    *stats.predicate_counts.entry(leaf.kind()).or_insert(0) += 1;
+                });
+            }
+            for path in query.referenced_paths() {
+                *stats.path_depths.entry(path.depth()).or_insert(0) += 1;
+                stats.attribute_references += 1;
+            }
+        }
+        stats
+    }
+
+    /// Renders the session graph in Graphviz DOT format, with the colour
+    /// scheme of Fig. 3: base datasets orange, intermediates blue, the
+    /// final dataset red; query edges brown, backtracking red, jumps
+    /// purple.
+    pub fn to_dot(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph session {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        let final_id = self.final_dataset();
+        for node in self.graph.nodes() {
+            let color = if node.is_base() {
+                "orange"
+            } else if Some(node.id) == final_id {
+                "red"
+            } else {
+                "lightblue"
+            };
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\", style=filled, fillcolor={}];",
+                node.id, node.name, color
+            );
+        }
+        // Structural (query) edges.
+        for node in self.graph.nodes() {
+            if let Some(parent) = node.parent {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [color=brown, label=\"q{}\"];",
+                    parent,
+                    node.id,
+                    node.created_by_query.unwrap_or(0)
+                );
+            }
+        }
+        // Move-trail edges for backtracks and jumps.
+        for mv in &self.moves {
+            match mv {
+                Move::Return { from, to } => {
+                    let _ = writeln!(
+                        out,
+                        "  {from} -> {to} [color=red, style=dashed];"
+                    );
+                }
+                Move::Jump { from, to } => {
+                    let _ = writeln!(
+                        out,
+                        "  {from} -> {to} [color=purple, style=dotted];"
+                    );
+                }
+                _ => {}
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// The dataset created by the last explore move (the red node of
+    /// Fig. 3), if any query was generated.
+    pub fn final_dataset(&self) -> Option<DatasetId> {
+        self.moves.iter().rev().find_map(|mv| match mv {
+            Move::Explore { created, .. } => Some(*created),
+            _ => None,
+        })
+    }
+
+    /// The [`EdgeKind`] trail (ignoring the final stop), convenient for
+    /// assertions about explorer behaviour.
+    pub fn edge_kinds(&self) -> Vec<EdgeKind> {
+        self.moves
+            .iter()
+            .filter_map(|mv| match mv {
+                Move::Explore { .. } => Some(EdgeKind::Query),
+                Move::Return { .. } => Some(EdgeKind::Backtrack),
+                Move::Jump { .. } => Some(EdgeKind::Jump),
+                Move::Stop => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# session: {} queries, seed {}, config {}",
+            self.queries.len(),
+            self.seed,
+            self.config_label
+        )?;
+        for (i, q) in self.queries.iter().enumerate() {
+            writeln!(f, "[{i}] {q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FilterFn, Predicate};
+    use betze_json::JsonPointer;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn sample_session() -> Session {
+        let mut graph = DatasetGraph::new();
+        let a = graph.add_base("A", 100.0);
+        let q0 = Query::scan("A").with_filter(Predicate::leaf(FilterFn::Exists {
+            path: ptr("/user"),
+        }));
+        let b = graph.add_derived(a, "B", 0, 50.0);
+        let q1 = Query::scan("A").with_filter(Predicate::leaf(FilterFn::IsString {
+            path: ptr("/post"),
+        }));
+        let c = graph.add_derived(a, "C", 1, 40.0);
+        let q2 = Query::scan("B").with_filter(
+            Predicate::leaf(FilterFn::StrEq { path: ptr("/loc"), value: "DE".into() })
+                .and(Predicate::leaf(FilterFn::Exists { path: ptr("/user/name") })),
+        );
+        let d = graph.add_derived(b, "D", 2, 10.0);
+        Session {
+            queries: vec![q0, q1, q2],
+            graph,
+            moves: vec![
+                Move::Explore { on: a, created: b },
+                Move::Return { from: b, to: a },
+                Move::Explore { on: a, created: c },
+                Move::Jump { from: c, to: b },
+                Move::Explore { on: b, created: d },
+                Move::Stop,
+            ],
+            seed: 123,
+            config_label: "test".into(),
+        }
+    }
+
+    #[test]
+    fn stats_count_moves_and_predicates() {
+        let s = sample_session().stats();
+        assert_eq!(s.query_count, 3);
+        assert_eq!(s.explores, 3);
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.jumps, 1);
+        assert_eq!(s.predicate_counts[&PredicateKind::Exists], 2);
+        assert_eq!(s.predicate_counts[&PredicateKind::IsString], 1);
+        assert_eq!(s.predicate_counts[&PredicateKind::StringEquality], 1);
+        assert_eq!(s.attribute_references, 4);
+        // Depths: /user=1, /post=1, /loc=1, /user/name=2.
+        assert_eq!(s.path_depths[&1], 3);
+        assert_eq!(s.path_depths[&2], 1);
+    }
+
+    #[test]
+    fn final_dataset_is_last_explore_target() {
+        let s = sample_session();
+        assert_eq!(s.final_dataset(), Some(DatasetId(3)));
+    }
+
+    #[test]
+    fn edge_kinds_trail() {
+        let s = sample_session();
+        assert_eq!(
+            s.edge_kinds(),
+            vec![
+                EdgeKind::Query,
+                EdgeKind::Backtrack,
+                EdgeKind::Query,
+                EdgeKind::Jump,
+                EdgeKind::Query,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_colors() {
+        let dot = sample_session().to_dot();
+        assert!(dot.contains("digraph session"));
+        assert!(dot.contains("fillcolor=orange"));
+        assert!(dot.contains("fillcolor=red"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("color=purple"));
+        assert!(dot.contains("color=brown"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn display_lists_queries() {
+        let text = sample_session().to_string();
+        assert!(text.contains("[0] LOAD A"));
+        assert!(text.contains("[2] LOAD B"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Transformation operations (paper §VII, future work).
+//!
+//! *"We would like to include transformation features into the query
+//! generator in the future. These queries would change the structure and
+//! content of the dataset as a user would often do. Example transformations
+//! could be the renaming, removing, or addition of attributes."*
+//!
+//! A [`Transform`] is applied to every document of a query's filtered
+//! result, before aggregation and before the result is stored as an
+//! intermediate dataset. Transformations *change the dataset*, which is
+//! exactly why the paper notes they "further challenge the benchmarked
+//! systems": the base dataset can no longer be reused unchanged.
+
+use betze_json::{JsonPointer, Value};
+use std::fmt;
+
+/// A structural transformation of a document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Renames the attribute at `from` to `to` (within the same parent
+    /// object). Documents where `from` does not resolve are unchanged.
+    Rename {
+        /// The attribute to rename.
+        from: JsonPointer,
+        /// The new attribute name (a single member name, not a path).
+        to: String,
+    },
+    /// Removes the attribute at `path`. Documents where it does not
+    /// resolve are unchanged.
+    Remove {
+        /// The attribute to remove.
+        path: JsonPointer,
+    },
+    /// Sets the attribute at `path` to a constant value, replacing any
+    /// existing value. The parent object must exist (no parents are
+    /// created); otherwise the document is unchanged.
+    Add {
+        /// The attribute to set.
+        path: JsonPointer,
+        /// The value to store.
+        value: Value,
+    },
+}
+
+impl Transform {
+    /// The path this transformation touches.
+    pub fn path(&self) -> &JsonPointer {
+        match self {
+            Transform::Rename { from, .. } => from,
+            Transform::Remove { path } => path,
+            Transform::Add { path, .. } => path,
+        }
+    }
+
+    /// Applies the transformation to a document in place. Returns whether
+    /// the document changed.
+    pub fn apply(&self, doc: &mut Value) -> bool {
+        match self {
+            Transform::Rename { from, to } => {
+                let Some(leaf) = from.leaf().map(str::to_owned) else {
+                    return false;
+                };
+                let Some(parent) = resolve_mut(doc, &from.parent().unwrap_or_default()) else {
+                    return false;
+                };
+                let Some(obj) = parent.as_object_mut() else {
+                    return false;
+                };
+                match obj.remove(&leaf) {
+                    Some(value) => {
+                        obj.insert(to.clone(), value);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Transform::Remove { path } => {
+                let Some(leaf) = path.leaf().map(str::to_owned) else {
+                    return false;
+                };
+                let Some(parent) = resolve_mut(doc, &path.parent().unwrap_or_default()) else {
+                    return false;
+                };
+                parent
+                    .as_object_mut()
+                    .is_some_and(|obj| obj.remove(&leaf).is_some())
+            }
+            Transform::Add { path, value } => {
+                let Some(leaf) = path.leaf().map(str::to_owned) else {
+                    return false;
+                };
+                let Some(parent) = resolve_mut(doc, &path.parent().unwrap_or_default()) else {
+                    return false;
+                };
+                match parent.as_object_mut() {
+                    Some(obj) => {
+                        obj.insert(leaf, value.clone());
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+/// Mutable path resolution (objects only; numeric tokens index arrays).
+fn resolve_mut<'v>(doc: &'v mut Value, path: &JsonPointer) -> Option<&'v mut Value> {
+    let mut cur = doc;
+    for token in path.tokens() {
+        cur = match cur {
+            Value::Object(obj) => obj.get_mut(token)?,
+            Value::Array(arr) => {
+                let idx: usize = token.parse().ok()?;
+                arr.get_mut(idx)?
+            }
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::Rename { from, to } => write!(f, "RENAME '{from}' TO '{to}'"),
+            Transform::Remove { path } => write!(f, "REMOVE '{path}'"),
+            Transform::Add { path, value } => write!(f, "SET '{path}' = {value}"),
+        }
+    }
+}
+
+/// Applies a transformation list to every document of a result set,
+/// returning the number of (transform, document) applications that changed
+/// something.
+pub fn apply_all(transforms: &[Transform], docs: &mut [Value]) -> u64 {
+    let mut changed = 0u64;
+    for doc in docs.iter_mut() {
+        for t in transforms {
+            if t.apply(doc) {
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::json;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    #[test]
+    fn rename_moves_the_value() {
+        let mut doc = json!({ "user": { "name": "alice", "id": 7 } });
+        let t = Transform::Rename {
+            from: ptr("/user/name"),
+            to: "screen_name".into(),
+        };
+        assert!(t.apply(&mut doc));
+        assert_eq!(doc, json!({ "user": { "id": 7, "screen_name": "alice" } }));
+        // Idempotence on missing source.
+        assert!(!t.apply(&mut doc.clone()));
+    }
+
+    #[test]
+    fn remove_deletes_the_member() {
+        let mut doc = json!({ "a": 1, "b": { "c": 2 } });
+        assert!(Transform::Remove { path: ptr("/b/c") }.apply(&mut doc));
+        assert_eq!(doc, json!({ "a": 1, "b": {} }));
+        assert!(!Transform::Remove { path: ptr("/zz") }.apply(&mut doc));
+    }
+
+    #[test]
+    fn add_sets_and_replaces() {
+        let mut doc = json!({ "a": 1 });
+        let t = Transform::Add { path: ptr("/b"), value: json!("new") };
+        assert!(t.apply(&mut doc));
+        assert_eq!(doc, json!({ "a": 1, "b": "new" }));
+        let overwrite = Transform::Add { path: ptr("/a"), value: json!(true) };
+        assert!(overwrite.apply(&mut doc));
+        assert_eq!(doc.get("a"), Some(&json!(true)));
+        // Parent objects are not created.
+        let deep = Transform::Add { path: ptr("/x/y"), value: json!(1) };
+        assert!(!deep.apply(&mut doc));
+    }
+
+    #[test]
+    fn transforms_through_arrays() {
+        let mut doc = json!({ "arr": [ { "k": 1 }, { "k": 2 } ] });
+        let t = Transform::Remove { path: ptr("/arr/1/k") };
+        assert!(t.apply(&mut doc));
+        assert_eq!(doc, json!({ "arr": [ { "k": 1 }, {} ] }));
+    }
+
+    #[test]
+    fn apply_all_counts_changes() {
+        let mut docs = vec![
+            json!({ "a": 1, "b": 2 }),
+            json!({ "b": 3 }),
+        ];
+        let transforms = vec![
+            Transform::Remove { path: ptr("/a") },
+            Transform::Rename { from: ptr("/b"), to: "renamed".into() },
+        ];
+        let changed = apply_all(&transforms, &mut docs);
+        assert_eq!(changed, 3); // remove hit doc 0; rename hit both
+        assert_eq!(docs[0], json!({ "renamed": 2 }));
+        assert_eq!(docs[1], json!({ "renamed": 3 }));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Transform::Rename { from: ptr("/a"), to: "b".into() }.to_string(),
+            "RENAME '/a' TO 'b'"
+        );
+        assert_eq!(Transform::Remove { path: ptr("/a") }.to_string(), "REMOVE '/a'");
+        assert_eq!(
+            Transform::Add { path: ptr("/a"), value: json!(5) }.to_string(),
+            "SET '/a' = 5"
+        );
+    }
+}

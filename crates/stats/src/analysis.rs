@@ -1,0 +1,328 @@
+//! The analysis data model: per-path statistics and the dataset summary.
+
+use crate::Histogram;
+use betze_json::{JsonPointer, JsonType};
+use std::collections::BTreeMap;
+
+/// Statistics for one attribute path (paper §IV-A).
+///
+/// *"For each distinct path in the source documents, we store the number of
+/// documents that contain this path and additional type-specific
+/// statistics. For every JSON type, we keep the total number of its
+/// occurrence separately. We also store the minimum and maximum values for
+/// numerical types — split into integer and real numbers. For the Boolean
+/// type, we store the number of true values. The minimum and the maximum
+/// number of children is kept for object and array types. We also store a
+/// set of prefixes and their number of occurrences for string types."*
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PathStats {
+    /// Number of documents containing this path.
+    pub doc_count: u64,
+    /// Number of documents where the value is `null`.
+    pub null_count: u64,
+    /// Number of documents where the value is a boolean…
+    pub bool_count: u64,
+    /// …and among those, how many are `true`.
+    pub true_count: u64,
+    /// Number of documents where the value is an integer.
+    pub int_count: u64,
+    /// Minimum integer value seen.
+    pub int_min: Option<i64>,
+    /// Maximum integer value seen.
+    pub int_max: Option<i64>,
+    /// Optional equi-width histogram over all numeric values (integers and
+    /// reals together) — the §VII "more detailed statistics" extension,
+    /// used by the `FloatCmp` factory for quantile-accurate thresholds.
+    pub numeric_histogram: Option<Histogram>,
+    /// Number of documents where the value is a real (non-integer) number.
+    pub float_count: u64,
+    /// Minimum real value seen.
+    pub float_min: Option<f64>,
+    /// Maximum real value seen.
+    pub float_max: Option<f64>,
+    /// Number of documents where the value is a string.
+    pub string_count: u64,
+    /// String prefixes and their occurrence counts, sorted by descending
+    /// count then ascending prefix (bounded by the analyzer config).
+    pub prefixes: Vec<(String, u64)>,
+    /// Exact string values and their occurrence counts (same ordering and
+    /// bound as `prefixes`). An extension over the paper's Listing 2,
+    /// enabling the `== <string>` predicate factory to pick values with a
+    /// known selectivity instead of guessing.
+    pub string_values: Vec<(String, u64)>,
+    /// Number of documents where the value is an array…
+    pub array_count: u64,
+    /// …with the smallest element count seen…
+    pub array_min_size: Option<u64>,
+    /// …and the largest.
+    pub array_max_size: Option<u64>,
+    /// Number of documents where the value is an object…
+    pub object_count: u64,
+    /// …with the smallest member count seen…
+    pub object_min_children: Option<u64>,
+    /// …and the largest.
+    pub object_max_children: Option<u64>,
+}
+
+impl PathStats {
+    /// Occurrence count for one JSON type.
+    pub fn count_of(&self, t: JsonType) -> u64 {
+        match t {
+            JsonType::Null => self.null_count,
+            JsonType::Bool => self.bool_count,
+            JsonType::Int => self.int_count,
+            JsonType::Float => self.float_count,
+            JsonType::String => self.string_count,
+            JsonType::Array => self.array_count,
+            JsonType::Object => self.object_count,
+        }
+    }
+
+    /// Number of documents where the value is any number.
+    pub fn numeric_count(&self) -> u64 {
+        self.int_count + self.float_count
+    }
+
+    /// Numeric range across both integer and real values, if any numbers
+    /// were seen.
+    pub fn numeric_range(&self) -> Option<(f64, f64)> {
+        let candidates_min = [
+            self.int_min.map(|i| i as f64),
+            self.float_min,
+        ];
+        let candidates_max = [
+            self.int_max.map(|i| i as f64),
+            self.float_max,
+        ];
+        let min = candidates_min.into_iter().flatten().fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })?;
+        let max = candidates_max.into_iter().flatten().fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })?;
+        Some((min, max))
+    }
+
+    /// Scales all counts by `factor`, clamping to at least zero; ranges are
+    /// kept as-is (a filtered subset can only shrink ranges, which we cannot
+    /// know without re-analyzing — this is the documented inaccuracy of the
+    /// backend-less mode, §IV-D).
+    pub fn scaled(&self, factor: f64) -> PathStats {
+        let scale = |c: u64| -> u64 { ((c as f64) * factor).round().max(0.0) as u64 };
+        PathStats {
+            doc_count: scale(self.doc_count),
+            null_count: scale(self.null_count),
+            bool_count: scale(self.bool_count),
+            true_count: scale(self.true_count),
+            int_count: scale(self.int_count),
+            int_min: self.int_min,
+            int_max: self.int_max,
+            numeric_histogram: self.numeric_histogram.as_ref().map(|h| Histogram {
+                min: h.min,
+                max: h.max,
+                counts: h.counts.iter().map(|c| scale(*c)).collect(),
+            }),
+            float_count: scale(self.float_count),
+            float_min: self.float_min,
+            float_max: self.float_max,
+            string_count: scale(self.string_count),
+            prefixes: self
+                .prefixes
+                .iter()
+                .map(|(p, c)| (p.clone(), scale(*c)))
+                .filter(|(_, c)| *c > 0)
+                .collect(),
+            string_values: self
+                .string_values
+                .iter()
+                .map(|(v, c)| (v.clone(), scale(*c)))
+                .filter(|(_, c)| *c > 0)
+                .collect(),
+            array_count: scale(self.array_count),
+            array_min_size: self.array_min_size,
+            array_max_size: self.array_max_size,
+            object_count: scale(self.object_count),
+            object_min_children: self.object_min_children,
+            object_max_children: self.object_max_children,
+        }
+    }
+}
+
+/// The full statistical summary of one dataset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DatasetAnalysis {
+    /// The analyzed dataset's name.
+    pub dataset: String,
+    /// Total number of documents.
+    pub doc_count: u64,
+    /// Per-path statistics, ordered by path for deterministic iteration
+    /// (seeded generator runs must see paths in a stable order).
+    pub paths: BTreeMap<JsonPointer, PathStats>,
+}
+
+impl DatasetAnalysis {
+    /// Statistics for one path.
+    pub fn get(&self, path: &JsonPointer) -> Option<&PathStats> {
+        self.paths.get(path)
+    }
+
+    /// Iterates over `(path, stats)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&JsonPointer, &PathStats)> {
+        self.paths.iter()
+    }
+
+    /// Number of distinct paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The fraction of documents containing `path` (0 if unknown).
+    pub fn existence_selectivity(&self, path: &JsonPointer) -> f64 {
+        if self.doc_count == 0 {
+            return 0.0;
+        }
+        self.get(path)
+            .map_or(0.0, |s| s.doc_count as f64 / self.doc_count as f64)
+    }
+
+    /// Derives the (approximate) analysis of a filtered sub-dataset by
+    /// scaling every count with the achieved selectivity (paper §IV-D:
+    /// *"The statistics of each generated sub-dataset are then calculated
+    /// by scaling the statistics of the base dataset according to the
+    /// selectivities"*).
+    pub fn scaled(&self, name: impl Into<String>, selectivity: f64) -> DatasetAnalysis {
+        let selectivity = selectivity.clamp(0.0, 1.0);
+        DatasetAnalysis {
+            dataset: name.into(),
+            doc_count: ((self.doc_count as f64) * selectivity).round() as u64,
+            paths: self
+                .paths
+                .iter()
+                .map(|(p, s)| (p.clone(), s.scaled(selectivity)))
+                .filter(|(_, s)| s.doc_count > 0)
+                .collect(),
+        }
+    }
+
+    /// Histogram of path depths weighted by document count — the
+    /// "Documents" column of Table IV.
+    pub fn depth_histogram(&self) -> BTreeMap<usize, u64> {
+        let mut hist = BTreeMap::new();
+        for (path, stats) in &self.paths {
+            *hist.entry(path.depth()).or_insert(0) += stats.doc_count;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> PathStats {
+        PathStats {
+            doc_count: 100,
+            int_count: 60,
+            int_min: Some(1),
+            int_max: Some(10),
+            float_count: 20,
+            float_min: Some(-1.5),
+            float_max: Some(3.5),
+            string_count: 20,
+            prefixes: vec![("ab".into(), 15), ("cd".into(), 5)],
+            ..PathStats::default()
+        }
+    }
+
+    #[test]
+    fn count_of_covers_every_type() {
+        let s = PathStats {
+            null_count: 1,
+            bool_count: 2,
+            int_count: 3,
+            float_count: 4,
+            string_count: 5,
+            array_count: 6,
+            object_count: 7,
+            ..PathStats::default()
+        };
+        let counts: Vec<u64> = JsonType::ALL.iter().map(|t| s.count_of(*t)).collect();
+        assert_eq!(counts, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn numeric_range_spans_int_and_float() {
+        let s = sample_stats();
+        assert_eq!(s.numeric_range(), Some((-1.5, 10.0)));
+        assert_eq!(s.numeric_count(), 80);
+        let none = PathStats::default();
+        assert_eq!(none.numeric_range(), None);
+        let int_only = PathStats {
+            int_min: Some(2),
+            int_max: Some(9),
+            ..PathStats::default()
+        };
+        assert_eq!(int_only.numeric_range(), Some((2.0, 9.0)));
+    }
+
+    #[test]
+    fn scaling_halves_counts_keeps_ranges() {
+        let s = sample_stats().scaled(0.5);
+        assert_eq!(s.doc_count, 50);
+        assert_eq!(s.int_count, 30);
+        assert_eq!(s.int_min, Some(1));
+        assert_eq!(s.prefixes, vec![("ab".to_string(), 8), ("cd".to_string(), 3)]);
+        // Scaling to zero drops prefixes entirely.
+        let zero = sample_stats().scaled(0.0);
+        assert_eq!(zero.doc_count, 0);
+        assert!(zero.prefixes.is_empty());
+    }
+
+    #[test]
+    fn analysis_scaling_drops_empty_paths() {
+        let mut analysis = DatasetAnalysis {
+            dataset: "t".into(),
+            doc_count: 100,
+            paths: BTreeMap::new(),
+        };
+        let p1 = JsonPointer::parse("/a").unwrap();
+        let p2 = JsonPointer::parse("/rare").unwrap();
+        analysis.paths.insert(p1.clone(), sample_stats());
+        analysis.paths.insert(
+            p2.clone(),
+            PathStats {
+                doc_count: 1,
+                ..PathStats::default()
+            },
+        );
+        let scaled = analysis.scaled("t_sub", 0.3);
+        assert_eq!(scaled.doc_count, 30);
+        assert!(scaled.get(&p1).is_some());
+        assert!(scaled.get(&p2).is_none(), "1 * 0.3 rounds to 0 and is dropped");
+        assert_eq!(analysis.existence_selectivity(&p1), 1.0);
+    }
+
+    #[test]
+    fn depth_histogram_weights_by_doc_count() {
+        let mut analysis = DatasetAnalysis {
+            dataset: "t".into(),
+            doc_count: 10,
+            paths: BTreeMap::new(),
+        };
+        analysis.paths.insert(
+            JsonPointer::parse("/a").unwrap(),
+            PathStats { doc_count: 10, ..Default::default() },
+        );
+        analysis.paths.insert(
+            JsonPointer::parse("/a/b").unwrap(),
+            PathStats { doc_count: 4, ..Default::default() },
+        );
+        analysis.paths.insert(
+            JsonPointer::parse("/c").unwrap(),
+            PathStats { doc_count: 6, ..Default::default() },
+        );
+        let hist = analysis.depth_histogram();
+        assert_eq!(hist[&1], 16);
+        assert_eq!(hist[&2], 4);
+    }
+}

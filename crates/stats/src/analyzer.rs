@@ -1,0 +1,440 @@
+//! The analysis pass over a document collection.
+
+use crate::{DatasetAnalysis, Histogram, PathStats};
+use betze_json::{JsonPointer, Number, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Configuration of the analyzer.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Prefix lengths (in characters) collected for string values.
+    /// Short prefixes form large groups, long prefixes small ones — the
+    /// generator picks whichever group hits its selectivity target.
+    pub prefix_lengths: Vec<usize>,
+    /// Maximum number of prefixes retained per path (top-k by count,
+    /// ties broken by prefix order, for determinism).
+    pub max_prefixes_per_path: usize,
+    /// Maximum number of exact string values retained per path (same
+    /// top-k rule). Zero disables value sampling.
+    pub max_values_per_path: usize,
+    /// Maximum object-nesting depth analyzed; paths below are ignored.
+    pub max_depth: usize,
+    /// Buckets for the optional numeric histograms (the §VII future-work
+    /// extension). Zero disables histogram collection, restoring the
+    /// paper's exact statistics set; the default enables 16 buckets.
+    pub histogram_buckets: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            prefix_lengths: vec![1, 2, 4, 8],
+            max_prefixes_per_path: 32,
+            max_values_per_path: 32,
+            max_depth: 16,
+            histogram_buckets: 16,
+        }
+    }
+}
+
+/// Analyzes a dataset with the default configuration.
+pub fn analyze(name: impl Into<String>, docs: &[Value]) -> DatasetAnalysis {
+    analyze_with_config(name, docs, &AnalyzerConfig::default())
+}
+
+/// Analyzes a dataset: one pass over all documents, recursing through
+/// object members (array *elements* are not descended into — arrays are
+/// characterized by their size statistics, matching the predicate
+/// repertoire of §III-A where arrays are only queried via `ARRSIZE`).
+pub fn analyze_with_config(
+    name: impl Into<String>,
+    docs: &[Value],
+    config: &AnalyzerConfig,
+) -> DatasetAnalysis {
+    let mut builders: BTreeMap<JsonPointer, StatsBuilder> = BTreeMap::new();
+    for doc in docs {
+        // The root path itself is not recorded (it exists in every document
+        // by definition); only attribute paths are.
+        if let Value::Object(obj) = doc {
+            for (key, value) in obj.iter() {
+                visit(
+                    &JsonPointer::root().child(key),
+                    value,
+                    &mut builders,
+                    config,
+                    1,
+                );
+            }
+        }
+    }
+    let mut analysis = DatasetAnalysis {
+        dataset: name.into(),
+        doc_count: docs.len() as u64,
+        paths: builders
+            .into_iter()
+            .map(|(p, b)| (p, b.finish(config)))
+            .collect(),
+    };
+    if config.histogram_buckets > 0 {
+        collect_histograms(&mut analysis, docs, config);
+    }
+    analysis
+}
+
+/// Second pass: fills equi-width numeric histograms for every path with
+/// numeric values (the ranges from the first pass define the bucket
+/// boundaries).
+fn collect_histograms(analysis: &mut DatasetAnalysis, docs: &[Value], config: &AnalyzerConfig) {
+    // Initialize histograms from the observed ranges.
+    for stats in analysis.paths.values_mut() {
+        if let Some((min, max)) = stats.numeric_range() {
+            stats.numeric_histogram = Histogram::new(min, max, config.histogram_buckets);
+        }
+    }
+    fn walk(
+        path: &JsonPointer,
+        value: &Value,
+        analysis: &mut DatasetAnalysis,
+        max_depth: usize,
+        depth: usize,
+    ) {
+        if depth > max_depth {
+            return;
+        }
+        if let Value::Number(n) = value {
+            if let Some(stats) = analysis.paths.get_mut(path) {
+                if let Some(hist) = stats.numeric_histogram.as_mut() {
+                    hist.add(n.as_f64());
+                }
+            }
+        }
+        if let Value::Object(obj) = value {
+            for (key, child) in obj.iter() {
+                walk(&path.child(key), child, analysis, max_depth, depth + 1);
+            }
+        }
+    }
+    for doc in docs {
+        if let Value::Object(obj) = doc {
+            for (key, value) in obj.iter() {
+                walk(
+                    &JsonPointer::root().child(key),
+                    value,
+                    analysis,
+                    config.max_depth,
+                    1,
+                );
+            }
+        }
+    }
+}
+
+fn visit(
+    path: &JsonPointer,
+    value: &Value,
+    builders: &mut BTreeMap<JsonPointer, StatsBuilder>,
+    config: &AnalyzerConfig,
+    depth: usize,
+) {
+    if depth > config.max_depth {
+        return;
+    }
+    // Entry API on BTreeMap requires an owned key; avoid the clone when the
+    // builder already exists.
+    if !builders.contains_key(path) {
+        builders.insert(path.clone(), StatsBuilder::default());
+    }
+    let builder = builders.get_mut(path).expect("just inserted");
+    builder.record(value, config);
+    if let Value::Object(obj) = value {
+        for (key, child) in obj.iter() {
+            visit(&path.child(key), child, builders, config, depth + 1);
+        }
+    }
+}
+
+/// Accumulates statistics for one path during the pass.
+#[derive(Default)]
+struct StatsBuilder {
+    stats: PathStats,
+    prefix_counts: HashMap<String, u64>,
+    value_counts: HashMap<String, u64>,
+}
+
+impl StatsBuilder {
+    fn record(&mut self, value: &Value, config: &AnalyzerConfig) {
+        let s = &mut self.stats;
+        s.doc_count += 1;
+        match value {
+            Value::Null => s.null_count += 1,
+            Value::Bool(b) => {
+                s.bool_count += 1;
+                if *b {
+                    s.true_count += 1;
+                }
+            }
+            Value::Number(Number::Int(i)) => {
+                s.int_count += 1;
+                s.int_min = Some(s.int_min.map_or(*i, |m| m.min(*i)));
+                s.int_max = Some(s.int_max.map_or(*i, |m| m.max(*i)));
+            }
+            Value::Number(Number::Float(f)) => {
+                s.float_count += 1;
+                s.float_min = Some(s.float_min.map_or(*f, |m| m.min(*f)));
+                s.float_max = Some(s.float_max.map_or(*f, |m| m.max(*f)));
+            }
+            Value::String(text) => {
+                s.string_count += 1;
+                if config.max_values_per_path > 0 {
+                    *self.value_counts.entry(text.clone()).or_insert(0) += 1;
+                }
+                for &len in &config.prefix_lengths {
+                    if len == 0 {
+                        continue;
+                    }
+                    let prefix: String = text.chars().take(len).collect();
+                    if prefix.chars().count() == len {
+                        *self.prefix_counts.entry(prefix).or_insert(0) += 1;
+                    }
+                }
+            }
+            Value::Array(a) => {
+                let n = a.len() as u64;
+                s.array_count += 1;
+                s.array_min_size = Some(s.array_min_size.map_or(n, |m| m.min(n)));
+                s.array_max_size = Some(s.array_max_size.map_or(n, |m| m.max(n)));
+            }
+            Value::Object(o) => {
+                let n = o.len() as u64;
+                s.object_count += 1;
+                s.object_min_children = Some(s.object_min_children.map_or(n, |m| m.min(n)));
+                s.object_max_children = Some(s.object_max_children.map_or(n, |m| m.max(n)));
+            }
+        }
+    }
+
+    fn finish(mut self, config: &AnalyzerConfig) -> PathStats {
+        let mut prefixes: Vec<(String, u64)> = self.prefix_counts.into_iter().collect();
+        // Top-k by descending count, ascending prefix for determinism.
+        prefixes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        prefixes.truncate(config.max_prefixes_per_path);
+        self.stats.prefixes = prefixes;
+        let mut values: Vec<(String, u64)> = self.value_counts.into_iter().collect();
+        values.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        values.truncate(config.max_values_per_path);
+        self.stats.string_values = values;
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::json;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn docs() -> Vec<Value> {
+        vec![
+            json!({ "user": { "name": "alice", "followers": 10 }, "ok": true }),
+            json!({ "user": { "name": "alfred" }, "ok": false, "score": 1.5 }),
+            json!({ "user": { "followers": (-3) }, "tags": ["a", "b"] }),
+            json!({ "note": null, "tags": [] }),
+        ]
+    }
+
+    #[test]
+    fn doc_count_and_paths() {
+        let a = analyze("t", &docs());
+        assert_eq!(a.doc_count, 4);
+        assert_eq!(a.get(&ptr("/user")).unwrap().doc_count, 3);
+        assert_eq!(a.get(&ptr("/user/name")).unwrap().doc_count, 2);
+        assert_eq!(a.get(&ptr("/user/followers")).unwrap().doc_count, 2);
+        assert_eq!(a.get(&ptr("/ok")).unwrap().doc_count, 2);
+        assert!(a.get(&ptr("/missing")).is_none());
+    }
+
+    #[test]
+    fn type_specific_statistics() {
+        let a = analyze("t", &docs());
+        let followers = a.get(&ptr("/user/followers")).unwrap();
+        assert_eq!(followers.int_count, 2);
+        assert_eq!(followers.int_min, Some(-3));
+        assert_eq!(followers.int_max, Some(10));
+        let ok = a.get(&ptr("/ok")).unwrap();
+        assert_eq!(ok.bool_count, 2);
+        assert_eq!(ok.true_count, 1);
+        let score = a.get(&ptr("/score")).unwrap();
+        assert_eq!(score.float_count, 1);
+        assert_eq!(score.float_min, Some(1.5));
+        let note = a.get(&ptr("/note")).unwrap();
+        assert_eq!(note.null_count, 1);
+        let user = a.get(&ptr("/user")).unwrap();
+        assert_eq!(user.object_count, 3);
+        assert_eq!(user.object_min_children, Some(1));
+        assert_eq!(user.object_max_children, Some(2));
+        let tags = a.get(&ptr("/tags")).unwrap();
+        assert_eq!(tags.array_count, 2);
+        assert_eq!(tags.array_min_size, Some(0));
+        assert_eq!(tags.array_max_size, Some(2));
+    }
+
+    #[test]
+    fn string_prefixes_counted_per_length() {
+        let a = analyze("t", &docs());
+        let name = a.get(&ptr("/user/name")).unwrap();
+        let find = |p: &str| {
+            name.prefixes
+                .iter()
+                .find(|(q, _)| q == p)
+                .map(|(_, c)| *c)
+        };
+        // "alice" and "alfred" share prefixes "a" and "al".
+        assert_eq!(find("a"), Some(2));
+        assert_eq!(find("al"), Some(2));
+        assert_eq!(find("alic"), Some(1));
+        assert_eq!(find("alfr"), Some(1));
+    }
+
+    #[test]
+    fn array_elements_not_descended() {
+        let a = analyze("t", &[json!({ "arr": [ { "inner": 1 } ] })]);
+        assert!(a.get(&ptr("/arr")).is_some());
+        assert!(a.get(&ptr("/arr/0")).is_none());
+        assert!(a.get(&ptr("/arr/0/inner")).is_none());
+    }
+
+    #[test]
+    fn prefix_cap_and_determinism() {
+        let config = AnalyzerConfig {
+            max_prefixes_per_path: 3,
+            ..AnalyzerConfig::default()
+        };
+        let docs: Vec<Value> = (0..50)
+            .map(|i| json!({ "s": (format!("w{i:02}")) }))
+            .collect();
+        let a = analyze_with_config("t", &docs, &config);
+        let s = a.get(&ptr("/s")).unwrap();
+        assert_eq!(s.prefixes.len(), 3);
+        // "w" dominates with count 50.
+        assert_eq!(s.prefixes[0], ("w".to_string(), 50));
+        let b = analyze_with_config("t", &docs, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn depth_limit_prunes_deep_paths() {
+        let config = AnalyzerConfig {
+            max_depth: 2,
+            ..AnalyzerConfig::default()
+        };
+        let a = analyze_with_config(
+            "t",
+            &[json!({ "a": { "b": { "c": 1 } } })],
+            &config,
+        );
+        assert!(a.get(&ptr("/a")).is_some());
+        assert!(a.get(&ptr("/a/b")).is_some());
+        assert!(a.get(&ptr("/a/b/c")).is_none());
+    }
+
+    #[test]
+    fn multibyte_prefixes_respect_char_boundaries() {
+        let a = analyze("t", &[json!({ "s": "😀😀abc" })]);
+        let s = a.get(&ptr("/s")).unwrap();
+        assert!(s.prefixes.iter().any(|(p, _)| p == "😀"));
+        assert!(s.prefixes.iter().any(|(p, _)| p == "😀😀"));
+    }
+
+    #[test]
+    fn non_object_documents_contribute_no_paths() {
+        let a = analyze("t", &[json!([1, 2, 3]), json!("scalar"), json!({ "k": 1 })]);
+        assert_eq!(a.doc_count, 3);
+        assert_eq!(a.path_count(), 1);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let a = analyze("t", &[]);
+        assert_eq!(a.doc_count, 0);
+        assert_eq!(a.path_count(), 0);
+        assert_eq!(a.existence_selectivity(&ptr("/x")), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+    use betze_json::json;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    #[test]
+    fn histograms_capture_skewed_distributions() {
+        // 90 values in [0, 10), 10 values in [90, 100].
+        let mut docs: Vec<Value> = (0..90).map(|i| json!({ "v": (i as f64 / 9.0) })).collect();
+        docs.extend((0..10).map(|i| json!({ "v": (90.0 + i as f64) })));
+        let analysis = analyze("t", &docs);
+        let stats = analysis.get(&ptr("/v")).unwrap();
+        let hist = stats.numeric_histogram.as_ref().expect("histogram collected");
+        assert_eq!(hist.total(), 100);
+        // The median sits in the dense low region, far from the range
+        // midpoint a uniform assumption would suggest.
+        let median = hist.threshold_for_bottom_fraction(0.5);
+        assert!(median < 15.0, "median {median}");
+    }
+
+    #[test]
+    fn histograms_cover_mixed_int_float_values() {
+        let docs = vec![
+            json!({ "v": 0 }),
+            json!({ "v": 5.5 }),
+            json!({ "v": 10 }),
+        ];
+        let analysis = analyze("t", &docs);
+        let hist = analysis
+            .get(&ptr("/v"))
+            .unwrap()
+            .numeric_histogram
+            .as_ref()
+            .unwrap();
+        assert_eq!(hist.min, 0.0);
+        assert_eq!(hist.max, 10.0);
+        assert_eq!(hist.total(), 3);
+    }
+
+    #[test]
+    fn zero_buckets_disable_histograms() {
+        let config = AnalyzerConfig {
+            histogram_buckets: 0,
+            ..AnalyzerConfig::default()
+        };
+        let docs = vec![json!({ "v": 1 }), json!({ "v": 2 })];
+        let analysis = analyze_with_config("t", &docs, &config);
+        assert!(analysis.get(&ptr("/v")).unwrap().numeric_histogram.is_none());
+    }
+
+    #[test]
+    fn non_numeric_paths_have_no_histogram() {
+        let docs = vec![json!({ "s": "x" }), json!({ "s": "y" })];
+        let analysis = analyze("t", &docs);
+        assert!(analysis.get(&ptr("/s")).unwrap().numeric_histogram.is_none());
+    }
+
+    #[test]
+    fn histogram_round_trips_through_analysis_file() {
+        let docs: Vec<Value> = (0..50).map(|i| json!({ "v": (i as i64) })).collect();
+        let analysis = analyze("t", &docs);
+        let back = crate::DatasetAnalysis::parse(&analysis.to_json()).unwrap();
+        assert_eq!(back, analysis);
+        assert!(back
+            .get(&ptr("/v"))
+            .unwrap()
+            .numeric_histogram
+            .is_some());
+    }
+}

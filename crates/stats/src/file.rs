@@ -1,0 +1,390 @@
+//! The analysis-file format (paper Listing 2).
+//!
+//! The analyzer output is itself a JSON document, so that it *"can be
+//! stored and shared for future generator runs without the actual
+//! dataset"* (§IV-A). The schema mirrors Listing 2: one entry per path,
+//! with a per-type statistics object for each type that occurred.
+
+use crate::{DatasetAnalysis, PathStats};
+#[cfg(doc)]
+use crate::Histogram;
+use betze_json::{JsonPointer, Object, Value};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An error while reading an analysis file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisFileError {
+    /// The file is not valid JSON.
+    Json(betze_json::ParseError),
+    /// The JSON does not follow the analysis schema.
+    Schema(String),
+}
+
+impl fmt::Display for AnalysisFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisFileError::Json(e) => write!(f, "analysis file is not valid JSON: {e}"),
+            AnalysisFileError::Schema(msg) => write!(f, "analysis file schema error: {msg}"),
+        }
+    }
+}
+
+impl Error for AnalysisFileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisFileError::Json(e) => Some(e),
+            AnalysisFileError::Schema(_) => None,
+        }
+    }
+}
+
+impl From<betze_json::ParseError> for AnalysisFileError {
+    fn from(e: betze_json::ParseError) -> Self {
+        AnalysisFileError::Json(e)
+    }
+}
+
+impl DatasetAnalysis {
+    /// Serializes the analysis to its JSON document form.
+    pub fn to_value(&self) -> Value {
+        let mut paths = Object::with_capacity(self.paths.len());
+        for (path, stats) in &self.paths {
+            paths.insert(path.to_string(), stats_to_value(stats));
+        }
+        let mut root = Object::with_capacity(3);
+        root.insert("dataset", self.dataset.clone());
+        root.insert("doc_count", self.doc_count as i64);
+        root.insert("paths", paths);
+        Value::Object(root)
+    }
+
+    /// Serializes to pretty-printed JSON text (the analysis-file content).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+
+    /// Reads an analysis back from its JSON document form.
+    pub fn from_value(value: &Value) -> Result<Self, AnalysisFileError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| schema("top level must be an object"))?;
+        let dataset = obj
+            .get("dataset")
+            .and_then(Value::as_str)
+            .ok_or_else(|| schema("missing string field 'dataset'"))?
+            .to_owned();
+        let doc_count = get_u64(obj.get("doc_count"), "doc_count")?;
+        let paths_obj = obj
+            .get("paths")
+            .and_then(Value::as_object)
+            .ok_or_else(|| schema("missing object field 'paths'"))?;
+        let mut paths = BTreeMap::new();
+        for (path_text, stats_value) in paths_obj.iter() {
+            let path = JsonPointer::parse(path_text)
+                .map_err(|e| schema(&format!("invalid path {path_text:?}: {e}")))?;
+            let stats = stats_from_value(stats_value)
+                .map_err(|e| schema(&format!("path {path_text:?}: {e}")))?;
+            paths.insert(path, stats);
+        }
+        Ok(DatasetAnalysis {
+            dataset,
+            doc_count,
+            paths,
+        })
+    }
+
+    /// Parses an analysis file from JSON text.
+    pub fn parse(text: &str) -> Result<Self, AnalysisFileError> {
+        let value = betze_json::parse(text)?;
+        Self::from_value(&value)
+    }
+}
+
+fn schema(msg: &str) -> AnalysisFileError {
+    AnalysisFileError::Schema(msg.to_owned())
+}
+
+fn get_u64(v: Option<&Value>, field: &str) -> Result<u64, AnalysisFileError> {
+    v.and_then(Value::as_i64)
+        .filter(|i| *i >= 0)
+        .map(|i| i as u64)
+        .ok_or_else(|| schema(&format!("missing non-negative integer field '{field}'")))
+}
+
+fn stats_to_value(stats: &PathStats) -> Value {
+    let mut out = Object::with_capacity(8);
+    out.insert("count", stats.doc_count as i64);
+    if stats.null_count > 0 {
+        let mut o = Object::with_capacity(1);
+        o.insert("count", stats.null_count as i64);
+        out.insert("null", o);
+    }
+    if stats.bool_count > 0 {
+        let mut o = Object::with_capacity(2);
+        o.insert("count", stats.bool_count as i64);
+        o.insert("true_count", stats.true_count as i64);
+        out.insert("bool", o);
+    }
+    if stats.int_count > 0 {
+        let mut o = Object::with_capacity(3);
+        o.insert("count", stats.int_count as i64);
+        if let Some(min) = stats.int_min {
+            o.insert("min", min);
+        }
+        if let Some(max) = stats.int_max {
+            o.insert("max", max);
+        }
+        out.insert("int", o);
+    }
+    if stats.float_count > 0 {
+        let mut o = Object::with_capacity(3);
+        o.insert("count", stats.float_count as i64);
+        if let Some(min) = stats.float_min {
+            o.insert("min", min);
+        }
+        if let Some(max) = stats.float_max {
+            o.insert("max", max);
+        }
+        out.insert("float", o);
+    }
+    if let Some(hist) = &stats.numeric_histogram {
+        let mut o = Object::with_capacity(3);
+        o.insert("min", hist.min);
+        o.insert("max", hist.max);
+        o.insert(
+            "counts",
+            Value::Array(hist.counts.iter().map(|c| Value::from(*c as i64)).collect()),
+        );
+        out.insert("histogram", o);
+    }
+    if stats.string_count > 0 {
+        let mut prefixes = Object::with_capacity(stats.prefixes.len());
+        for (p, c) in &stats.prefixes {
+            prefixes.insert(p.clone(), *c as i64);
+        }
+        let mut values = Object::with_capacity(stats.string_values.len());
+        for (v, c) in &stats.string_values {
+            values.insert(v.clone(), *c as i64);
+        }
+        let mut o = Object::with_capacity(3);
+        o.insert("count", stats.string_count as i64);
+        o.insert("prefixes", prefixes);
+        o.insert("values", values);
+        out.insert("string", o);
+    }
+    if stats.array_count > 0 {
+        let mut o = Object::with_capacity(3);
+        o.insert("count", stats.array_count as i64);
+        if let Some(min) = stats.array_min_size {
+            o.insert("min_size", min as i64);
+        }
+        if let Some(max) = stats.array_max_size {
+            o.insert("max_size", max as i64);
+        }
+        out.insert("array", o);
+    }
+    if stats.object_count > 0 {
+        let mut o = Object::with_capacity(3);
+        o.insert("count", stats.object_count as i64);
+        if let Some(min) = stats.object_min_children {
+            o.insert("min_children", min as i64);
+        }
+        if let Some(max) = stats.object_max_children {
+            o.insert("max_children", max as i64);
+        }
+        out.insert("object", o);
+    }
+    Value::Object(out)
+}
+
+fn stats_from_value(value: &Value) -> Result<PathStats, String> {
+    let obj = value.as_object().ok_or("path stats must be an object")?;
+    let mut stats = PathStats {
+        doc_count: req_count(obj.get("count"))?,
+        ..PathStats::default()
+    };
+    if let Some(o) = obj.get("null").and_then(Value::as_object) {
+        stats.null_count = req_count(o.get("count"))?;
+    }
+    if let Some(o) = obj.get("bool").and_then(Value::as_object) {
+        stats.bool_count = req_count(o.get("count"))?;
+        // Paper §IV-D: "if the Boolean type statistics do not provide
+        // true/false counts, a uniform distribution is assumed".
+        stats.true_count =
+            opt_count(o.get("true_count"))?.unwrap_or(stats.bool_count / 2);
+    }
+    if let Some(o) = obj.get("int").and_then(Value::as_object) {
+        stats.int_count = req_count(o.get("count"))?;
+        stats.int_min = o.get("min").and_then(Value::as_i64);
+        stats.int_max = o.get("max").and_then(Value::as_i64);
+    }
+    if let Some(o) = obj.get("float").and_then(Value::as_object) {
+        stats.float_count = req_count(o.get("count"))?;
+        stats.float_min = o.get("min").and_then(Value::as_f64);
+        stats.float_max = o.get("max").and_then(Value::as_f64);
+    }
+    if let Some(o) = obj.get("histogram").and_then(Value::as_object) {
+        let min = o.get("min").and_then(Value::as_f64).ok_or("histogram min")?;
+        let max = o.get("max").and_then(Value::as_f64).ok_or("histogram max")?;
+        let counts = o
+            .get("counts")
+            .and_then(Value::as_array)
+            .ok_or("histogram counts")?;
+        let mut parsed = Vec::with_capacity(counts.len());
+        for c in counts {
+            let v = c
+                .as_i64()
+                .filter(|i| *i >= 0)
+                .ok_or("histogram counts must be non-negative integers")?;
+            parsed.push(v as u64);
+        }
+        if parsed.is_empty() {
+            return Err("histogram needs at least one bucket".to_owned());
+        }
+        stats.numeric_histogram = Some(crate::Histogram {
+            min,
+            max,
+            counts: parsed,
+        });
+    }
+    if let Some(o) = obj.get("string").and_then(Value::as_object) {
+        stats.string_count = req_count(o.get("count"))?;
+        if let Some(prefixes) = o.get("prefixes").and_then(Value::as_object) {
+            for (p, c) in prefixes.iter() {
+                let count = c
+                    .as_i64()
+                    .filter(|i| *i >= 0)
+                    .ok_or("prefix counts must be non-negative integers")?;
+                stats.prefixes.push((p.to_owned(), count as u64));
+            }
+            // Restore the canonical order.
+            stats
+                .prefixes
+                .sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        }
+        if let Some(values) = o.get("values").and_then(Value::as_object) {
+            for (v, c) in values.iter() {
+                let count = c
+                    .as_i64()
+                    .filter(|i| *i >= 0)
+                    .ok_or("value counts must be non-negative integers")?;
+                stats.string_values.push((v.to_owned(), count as u64));
+            }
+            stats
+                .string_values
+                .sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        }
+    }
+    if let Some(o) = obj.get("array").and_then(Value::as_object) {
+        stats.array_count = req_count(o.get("count"))?;
+        stats.array_min_size = opt_count(o.get("min_size"))?;
+        stats.array_max_size = opt_count(o.get("max_size"))?;
+    }
+    if let Some(o) = obj.get("object").and_then(Value::as_object) {
+        stats.object_count = req_count(o.get("count"))?;
+        stats.object_min_children = opt_count(o.get("min_children"))?;
+        stats.object_max_children = opt_count(o.get("max_children"))?;
+    }
+    Ok(stats)
+}
+
+fn req_count(v: Option<&Value>) -> Result<u64, String> {
+    v.and_then(Value::as_i64)
+        .filter(|i| *i >= 0)
+        .map(|i| i as u64)
+        .ok_or_else(|| "missing non-negative 'count'".to_owned())
+}
+
+fn opt_count(v: Option<&Value>) -> Result<Option<u64>, String> {
+    match v {
+        None => Ok(None),
+        Some(value) => value
+            .as_i64()
+            .filter(|i| *i >= 0)
+            .map(|i| Some(i as u64))
+            .ok_or_else(|| "counts must be non-negative integers".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use betze_json::json;
+
+    #[test]
+    fn round_trip_through_json_text() {
+        let docs = vec![
+            json!({ "user": { "name": "alice", "verified": true }, "n": 5 }),
+            json!({ "user": { "name": "bob" }, "n": 2.5, "tags": ["x"] }),
+            json!({ "note": null }),
+        ];
+        let analysis = analyze("twitter", &docs);
+        let text = analysis.to_json();
+        let back = DatasetAnalysis::parse(&text).unwrap();
+        assert_eq!(back, analysis);
+    }
+
+    #[test]
+    fn file_shape_matches_listing2() {
+        let docs = vec![json!({ "user": { "name": "al" } })];
+        let v = analyze("twitter", &docs).to_value();
+        assert_eq!(v.get("dataset").and_then(Value::as_str), Some("twitter"));
+        assert_eq!(v.get("doc_count").and_then(Value::as_i64), Some(1));
+        let paths = v.get("paths").unwrap().as_object().unwrap();
+        let user = paths.get("/user").unwrap();
+        assert_eq!(user.get("count").and_then(Value::as_i64), Some(1));
+        let obj_stats = user.get("object").unwrap();
+        assert_eq!(obj_stats.get("min_children").and_then(Value::as_i64), Some(1));
+        assert!(paths.get("/user/name").is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(matches!(
+            DatasetAnalysis::parse("not json"),
+            Err(AnalysisFileError::Json(_))
+        ));
+        assert!(matches!(
+            DatasetAnalysis::parse("[]"),
+            Err(AnalysisFileError::Schema(_))
+        ));
+        assert!(matches!(
+            DatasetAnalysis::parse(r#"{"dataset":"x"}"#),
+            Err(AnalysisFileError::Schema(_))
+        ));
+        assert!(matches!(
+            DatasetAnalysis::parse(r#"{"dataset":"x","doc_count":-1,"paths":{}}"#),
+            Err(AnalysisFileError::Schema(_))
+        ));
+        assert!(matches!(
+            DatasetAnalysis::parse(
+                r#"{"dataset":"x","doc_count":1,"paths":{"no-slash":{"count":1}}}"#
+            ),
+            Err(AnalysisFileError::Schema(_))
+        ));
+        assert!(matches!(
+            DatasetAnalysis::parse(
+                r#"{"dataset":"x","doc_count":1,"paths":{"/a":{"count":1,"int":{}}}}"#
+            ),
+            Err(AnalysisFileError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn empty_analysis_round_trips() {
+        let analysis = analyze("empty", &[]);
+        let back = DatasetAnalysis::parse(&analysis.to_json()).unwrap();
+        assert_eq!(back, analysis);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = DatasetAnalysis::parse("[]").unwrap_err();
+        assert!(err.to_string().contains("schema"));
+        let err = DatasetAnalysis::parse("{").unwrap_err();
+        assert!(err.to_string().contains("JSON"));
+    }
+}

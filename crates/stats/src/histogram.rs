@@ -1,0 +1,204 @@
+//! Equi-width histograms over numeric attribute values.
+//!
+//! An implementation of the paper's §VII (future work): *"To predict the
+//! selectivity of generated predicates more accurately, more detailed
+//! statistics could be used. For numerical attributes, for example,
+//! histograms can capture the distribution of values and prevent wrong
+//! decisions due to skewed data."* The analyzer can attach one histogram
+//! per numeric path; the `FloatCmp` predicate factory then places its
+//! thresholds by quantile instead of assuming a uniform distribution.
+
+/// An equi-width histogram over `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Lower bound of the value range (inclusive).
+    pub min: f64,
+    /// Upper bound of the value range (inclusive).
+    pub max: f64,
+    /// Per-bucket value counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram with `buckets` equal-width buckets over
+    /// `[min, max]`. Returns `None` for empty ranges or zero buckets
+    /// (callers fall back to the uniform assumption).
+    pub fn new(min: f64, max: f64, buckets: usize) -> Option<Histogram> {
+        if buckets == 0 || !min.is_finite() || !max.is_finite() || max < min {
+            return None;
+        }
+        Some(Histogram {
+            min,
+            max,
+            counts: vec![0; buckets],
+        })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The bucket index a value falls into (values are clamped into range;
+    /// the analyzer only records values within the observed min/max).
+    pub fn bucket_of(&self, value: f64) -> usize {
+        if self.max <= self.min {
+            return 0;
+        }
+        let rel = (value - self.min) / (self.max - self.min);
+        ((rel * self.counts.len() as f64) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Records one value.
+    pub fn add(&mut self, value: f64) {
+        let idx = self.bucket_of(value.clamp(self.min, self.max));
+        self.counts[idx] += 1;
+    }
+
+    /// Width of one bucket.
+    fn bucket_width(&self) -> f64 {
+        (self.max - self.min) / self.counts.len() as f64
+    }
+
+    /// Estimated fraction of values `≤ t`, interpolating linearly within
+    /// the bucket containing `t`.
+    pub fn fraction_le(&self, t: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        if t < self.min {
+            return 0.0;
+        }
+        if t >= self.max {
+            return 1.0;
+        }
+        if self.max <= self.min {
+            return 1.0;
+        }
+        let idx = self.bucket_of(t);
+        let below: u64 = self.counts[..idx].iter().sum();
+        let bucket_lo = self.min + idx as f64 * self.bucket_width();
+        let within = ((t - bucket_lo) / self.bucket_width()).clamp(0.0, 1.0);
+        (below as f64 + within * self.counts[idx] as f64) / total as f64
+    }
+
+    /// A threshold `t` such that approximately `fraction` of the values
+    /// are `≥ t` (interpolated within the boundary bucket).
+    pub fn threshold_for_top_fraction(&self, fraction: f64) -> f64 {
+        self.threshold_for_bottom_fraction(1.0 - fraction.clamp(0.0, 1.0))
+    }
+
+    /// A threshold `t` such that approximately `fraction` of the values
+    /// are `≤ t`.
+    pub fn threshold_for_bottom_fraction(&self, fraction: f64) -> f64 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let total = self.total();
+        if total == 0 || self.max <= self.min {
+            return self.max;
+        }
+        let want = fraction * total as f64;
+        let mut seen = 0.0f64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            let next = seen + count as f64;
+            if next >= want {
+                let bucket_lo = self.min + idx as f64 * self.bucket_width();
+                let within = if count == 0 {
+                    0.0
+                } else {
+                    (want - seen) / count as f64
+                };
+                return bucket_lo + within * self.bucket_width();
+            }
+            seen = next;
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_histogram() -> Histogram {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        for i in 0..1000 {
+            h.add(i as f64 / 10.0);
+        }
+        h
+    }
+
+    /// A heavily skewed distribution: 90 % of mass in the lowest decile.
+    fn skewed_histogram() -> Histogram {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        for i in 0..900 {
+            h.add((i % 100) as f64 / 10.0);
+        }
+        for i in 0..100 {
+            h.add(10.0 + (i as f64 / 100.0) * 90.0);
+        }
+        h
+    }
+
+    #[test]
+    fn construction_guards() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 0.0, 4).is_none());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_none());
+        assert!(Histogram::new(2.0, 2.0, 4).is_some(), "degenerate range allowed");
+    }
+
+    #[test]
+    fn totals_and_buckets() {
+        let h = uniform_histogram();
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.buckets(), 10);
+        for &c in &h.counts {
+            assert_eq!(c, 100, "uniform data fills buckets evenly");
+        }
+        assert_eq!(h.bucket_of(0.0), 0);
+        assert_eq!(h.bucket_of(100.0), 9);
+        assert_eq!(h.bucket_of(55.0), 5);
+    }
+
+    #[test]
+    fn fraction_le_on_uniform_data() {
+        let h = uniform_histogram();
+        assert_eq!(h.fraction_le(-1.0), 0.0);
+        assert_eq!(h.fraction_le(100.0), 1.0);
+        assert!((h.fraction_le(50.0) - 0.5).abs() < 0.02);
+        assert!((h.fraction_le(25.0) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn thresholds_on_skewed_data_capture_the_skew() {
+        let h = skewed_histogram();
+        // 90 % of values are below 10; the median must sit far below the
+        // range midpoint the uniform assumption would pick.
+        let median = h.threshold_for_bottom_fraction(0.5);
+        assert!(median < 10.0, "median {median} must lie in the dense region");
+        let top10 = h.threshold_for_top_fraction(0.1);
+        assert!(top10 > 9.0, "top-10% threshold {top10}");
+        // Round trip: the estimated fraction at the computed threshold
+        // matches the request.
+        let t = h.threshold_for_top_fraction(0.3);
+        let frac_ge = 1.0 - h.fraction_le(t);
+        assert!((frac_ge - 0.3).abs() < 0.05, "got {frac_ge}");
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let h = Histogram::new(0.0, 10.0, 4).unwrap();
+        assert_eq!(h.fraction_le(5.0), 0.0);
+        assert_eq!(h.threshold_for_bottom_fraction(0.5), 10.0);
+        let mut d = Histogram::new(3.0, 3.0, 4).unwrap();
+        d.add(3.0);
+        assert_eq!(d.fraction_le(3.0), 1.0);
+        assert_eq!(d.fraction_le(2.9), 0.0);
+    }
+}

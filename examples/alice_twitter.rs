@@ -1,0 +1,100 @@
+//! Alice's exploration session (the paper's §I motivating example).
+//!
+//! Alice, a data scientist, got her hands on a raw Twitter stream — "utter
+//! chaos": tweets, delete messages, profile updates. She first demands the
+//! existence of a `user` attribute, which also returns user-profile events,
+//! not just tweets; she discards that, asks for documents carrying a
+//! string-typed `text`, then narrows to German tweets — exactly the
+//! iterative explore/backtrack pattern BETZE's random explorer model
+//! formalizes.
+//!
+//! This example replays Alice's session by hand against the JODA-like
+//! engine, showing the dataset dependency graph the session builds.
+//!
+//! Run with: `cargo run --example alice_twitter`
+
+use betze::datagen::{DocGenerator, TwitterLike};
+use betze::engines::{Engine, JodaSim};
+use betze::json::JsonPointer;
+use betze::model::{
+    DatasetGraph, FilterFn, Move, Predicate, Query, Session,
+};
+
+fn ptr(s: &str) -> JsonPointer {
+    JsonPointer::parse(s).expect("valid pointer")
+}
+
+fn main() {
+    let docs = TwitterLike::default().generate(42, 5_000);
+    let mut joda = JodaSim::new(4);
+    joda.import("twitter", &docs).expect("import");
+    println!("Alice loads the raw stream: {} documents\n", docs.len());
+
+    let mut graph = DatasetGraph::new();
+    let base = graph.add_base("twitter", docs.len() as f64);
+
+    // Query 1: "surely every tweet has a user" — EXISTS('/user').
+    let q1 = Query::scan("twitter").with_filter(Predicate::leaf(FilterFn::Exists {
+        path: ptr("/user"),
+    }));
+    let r1 = joda.execute(&q1).expect("q1");
+    println!(
+        "q1 EXISTS(/user)              → {} docs … but this includes profile events, not just tweets!",
+        r1.docs.len()
+    );
+    let d1 = graph.add_derived(base, "with_user", 0, r1.docs.len() as f64);
+
+    // Alice inspects the result, realizes her mistake, and *returns* to
+    // the parent dataset (the random explorer's backtrack move).
+    println!("   ↩ Alice goes back to the full stream (backtrack)\n");
+
+    // Query 2: demand a string-typed text attribute — actual tweets.
+    let q2 = Query::scan("twitter").with_filter(Predicate::leaf(FilterFn::IsString {
+        path: ptr("/text"),
+    }));
+    let r2 = joda.execute(&q2).expect("q2");
+    println!("q2 ISSTRING(/text)            → {} docs (actual tweets)", r2.docs.len());
+    let d2 = graph.add_derived(base, "tweets", 1, r2.docs.len() as f64);
+
+    // Query 3: refine — tweets placed in Germany. The composed-predicate
+    // export (§IV-C): the query extends q2's predicate, and the JODA-like
+    // engine reuses the cached q2 result, scanning only the tweets subset.
+    let q3 = Query::scan("twitter").with_filter(
+        Predicate::leaf(FilterFn::IsString { path: ptr("/text") }).and(Predicate::leaf(
+            FilterFn::StrEq {
+                path: ptr("/place/country"),
+                value: "Germany".into(),
+            },
+        )),
+    );
+    let r3 = joda.execute(&q3).expect("q3");
+    println!(
+        "q3  … AND place.country=Germany → {} docs (scanned only {} cached docs, {} cache hit)",
+        r3.docs.len(),
+        r3.report.counters.docs_scanned,
+        r3.report.counters.cache_hits,
+    );
+    let d3 = graph.add_derived(d2, "german_tweets", 2, r3.docs.len() as f64);
+
+    // The session as BETZE records it.
+    let session = Session {
+        queries: vec![q1, q2, q3],
+        graph,
+        moves: vec![
+            Move::Explore { on: base, created: d1 },
+            Move::Return { from: d1, to: base },
+            Move::Explore { on: base, created: d2 },
+            Move::Explore { on: d2, created: d3 },
+            Move::Stop,
+        ],
+        seed: 0,
+        config_label: "alice".into(),
+    };
+    let stats = session.stats();
+    println!(
+        "\nsession: {} queries, {} explores, {} backtracks, {} jumps",
+        stats.query_count, stats.explores, stats.returns, stats.jumps
+    );
+    println!("\nDataset dependency graph (Graphviz DOT — paper Fig. 2):\n");
+    println!("{}", session.to_dot());
+}

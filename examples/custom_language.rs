@@ -1,0 +1,126 @@
+//! Extending BETZE with a new query language (paper §IV-D, Listing 3).
+//!
+//! "In order to add different languages, the simple interface shown in
+//! Listing 3 needs to be implemented." This example adds a SQL++-flavoured
+//! translator (the language of Couchbase/AsterixDB) and prints a generated
+//! session in it, alongside the built-in JODA translation.
+//!
+//! Run with: `cargo run --example custom_language`
+
+use betze::datagen::{DocGenerator, RedditLike};
+use betze::explorer::Preset;
+use betze::generator::{generate_session, GeneratorConfig, InMemoryBackend};
+use betze::json::JsonPointer;
+use betze::langs::{translate_session, Joda, Language};
+use betze::model::{AggFunc, Comparison, DatasetId, FilterFn, Predicate, Query};
+
+/// A SQL++-style translator: documents are rows of a collection, nested
+/// attributes are dotted paths.
+struct SqlPlusPlus;
+
+fn dotted(path: &JsonPointer) -> String {
+    let tokens: Vec<String> = path
+        .tokens()
+        .iter()
+        .map(|t| format!("`{t}`"))
+        .collect();
+    format!("d.{}", tokens.join("."))
+}
+
+fn cmp(op: Comparison) -> &'static str {
+    match op {
+        Comparison::Eq => "=",
+        Comparison::Lt => "<",
+        Comparison::Le => "<=",
+        Comparison::Gt => ">",
+        Comparison::Ge => ">=",
+    }
+}
+
+fn filter(f: &FilterFn) -> String {
+    match f {
+        FilterFn::Exists { path } => format!("{} IS NOT MISSING", dotted(path)),
+        FilterFn::IsString { path } => format!("IS_STRING({})", dotted(path)),
+        FilterFn::IntEq { path, value } => format!("{} = {value}", dotted(path)),
+        FilterFn::FloatCmp { path, op, value } => {
+            format!("{} {} {value}", dotted(path), cmp(*op))
+        }
+        FilterFn::StrEq { path, value } => format!("{} = '{value}'", dotted(path)),
+        FilterFn::HasPrefix { path, prefix } => {
+            format!("{} LIKE '{prefix}%'", dotted(path))
+        }
+        FilterFn::BoolEq { path, value } => format!("{} = {value}", dotted(path)),
+        FilterFn::ArrSize { path, op, value } => {
+            format!("ARRAY_LENGTH({}) {} {value}", dotted(path), cmp(*op))
+        }
+        FilterFn::ObjSize { path, op, value } => {
+            format!("OBJECT_LENGTH({}) {} {value}", dotted(path), cmp(*op))
+        }
+    }
+}
+
+fn predicate(p: &Predicate) -> String {
+    match p {
+        Predicate::And(l, r) => format!("({} AND {})", predicate(l), predicate(r)),
+        Predicate::Or(l, r) => format!("({} OR {})", predicate(l), predicate(r)),
+        Predicate::Leaf(f) => filter(f),
+    }
+}
+
+impl Language for SqlPlusPlus {
+    fn name(&self) -> &'static str {
+        "SQL++"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "sqlpp"
+    }
+
+    fn translate(&self, query: &Query) -> String {
+        let projection = match &query.aggregation {
+            Some(agg) => {
+                let func = match &agg.func {
+                    AggFunc::Count { path } if path.is_root() => "COUNT(*)".to_owned(),
+                    AggFunc::Count { path } => format!("COUNT({})", dotted(path)),
+                    AggFunc::Sum { path } => format!("SUM({})", dotted(path)),
+                };
+                match &agg.group_by {
+                    Some(g) => format!("{} AS `group`, {func} AS {}", dotted(g), agg.alias),
+                    None => format!("{func} AS {}", agg.alias),
+                }
+            }
+            None => "VALUE d".to_owned(),
+        };
+        let mut out = format!("SELECT {projection} FROM `{}` AS d", query.base);
+        if let Some(p) = &query.filter {
+            out.push_str(&format!(" WHERE {}", predicate(p)));
+        }
+        if let Some(agg) = &query.aggregation {
+            if let Some(g) = &agg.group_by {
+                out.push_str(&format!(" GROUP BY {}", dotted(g)));
+            }
+        }
+        out
+    }
+
+    fn comment(&self, comment: &str) -> String {
+        format!("-- {comment}")
+    }
+
+    fn query_delimiter(&self) -> &'static str {
+        ";"
+    }
+}
+
+fn main() {
+    let docs = RedditLike.generate(5, 2_000);
+    let analysis = betze::stats::analyze("comments", &docs);
+    let config = GeneratorConfig::with_explorer(Preset::Expert.config());
+    let mut backend = InMemoryBackend::new();
+    backend.register_base(DatasetId(0), docs);
+    let outcome = generate_session(&analysis, &config, 9, Some(&mut backend)).expect("gen");
+
+    println!("==== the same session, two languages ====\n");
+    println!("{}", translate_session(&Joda, &outcome.session));
+    println!("{}", translate_session(&SqlPlusPlus, &outcome.session));
+}

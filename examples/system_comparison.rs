@@ -1,0 +1,62 @@
+//! A miniature system comparison (paper Table II / §VI-B).
+//!
+//! Generates one intermediate-preset session with seed 123 over a
+//! Twitter-like and a NoBench corpus and runs it on all four simulated
+//! systems plus JODA's memory-eviction mode, reporting modeled session
+//! times with the import excluded — the paper's headline comparison.
+//!
+//! Run with: `cargo run --release --example system_comparison`
+
+use betze::engines::{all_engines, JodaSim};
+use betze::generator::GeneratorConfig;
+use betze::harness::fmt::{human_duration, TextTable};
+use betze::harness::workload::{prepare, Corpus};
+use betze::harness::run_session;
+
+fn main() {
+    let mut table = TextTable::new(["system", "Twitter-like", "NoBench"]);
+    let mut rows: Vec<(String, Vec<String>)> = vec![
+        ("JODA".into(), Vec::new()),
+        ("JODA memory evicted".into(), Vec::new()),
+        ("MongoDB".into(), Vec::new()),
+        ("PostgreSQL".into(), Vec::new()),
+        ("jq".into(), Vec::new()),
+    ];
+    for (corpus, docs) in [(Corpus::Twitter, 8_000), (Corpus::NoBench, 2_000)] {
+        println!("preparing {corpus} workload ({docs} docs)…");
+        let w = prepare(corpus, docs, 2022, &GeneratorConfig::default(), 123)
+            .expect("workload preparation");
+        // The four standard engines…
+        let mut engines = all_engines(16);
+        // …plus the eviction-mode JODA of Table II.
+        let mut order: Vec<usize> = vec![0, 2, 3, 4];
+        order.rotate_left(0);
+        let mut cell = |label: &str, secs: std::time::Duration| {
+            for (name, cells) in rows.iter_mut() {
+                if name == label {
+                    cells.push(human_duration(secs));
+                }
+            }
+        };
+        for engine in engines.iter_mut() {
+            let run = run_session(engine.as_mut(), &w.dataset, &w.generation.session)
+                .expect("session run");
+            cell(engine.name(), run.session_modeled());
+        }
+        let mut evicted = JodaSim::with_eviction(16);
+        let run = run_session(&mut evicted, &w.dataset, &w.generation.session)
+            .expect("evicted run");
+        cell("JODA memory evicted", run.session_modeled());
+    }
+    for (name, cells) in rows {
+        let mut row = vec![name];
+        row.extend(cells);
+        table.row(row);
+    }
+    println!("\nSession execution time, import excluded (modeled clock):\n");
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper Table II): JODA ≪ evicted JODA ≪ MongoDB < PostgreSQL ≪ jq \
+         on Twitter;\nthe MongoDB/PostgreSQL order flips on NoBench's small documents."
+    );
+}

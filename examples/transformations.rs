@@ -1,0 +1,56 @@
+//! Transformation workloads (paper §VII, future work — implemented here).
+//!
+//! Generates a session in materialized-intermediates mode where every
+//! query also *transforms* its result dataset (renaming, removing or
+//! adding attributes), runs it on two engines, and shows why the paper
+//! says such workloads "further challenge the benchmarked systems": the
+//! stored intermediates must be re-encoded, and later queries run against
+//! the changed schema.
+//!
+//! Run with: `cargo run --example transformations`
+
+use betze::datagen::{DocGenerator, RedditLike};
+use betze::engines::{Engine, JodaSim, PgSim};
+use betze::generator::{
+    generate_session, ExportMode, GeneratorConfig, InMemoryBackend,
+};
+use betze::langs::{translate_session, MongoDb};
+use betze::model::DatasetId;
+
+fn main() {
+    let docs = RedditLike.generate(11, 2_000);
+    let analysis = betze::stats::analyze("reddit", &docs);
+    let config = GeneratorConfig::default()
+        .export(ExportMode::MaterializedIntermediates)
+        .transform_fraction(1.0);
+    let mut backend = InMemoryBackend::new();
+    backend.register_base(DatasetId(0), docs.clone());
+    let outcome =
+        generate_session(&analysis, &config, 31, Some(&mut backend)).expect("generation");
+
+    println!("generated {} transforming queries:\n", outcome.session.queries.len());
+    for query in &outcome.session.queries {
+        println!("  {query}");
+    }
+
+    println!("\nas a MongoDB pipeline script:\n");
+    println!("{}", translate_session(&MongoDb, &outcome.session));
+
+    // Execute on two architecturally different engines and compare work.
+    for engine in [&mut JodaSim::new(4) as &mut dyn Engine, &mut PgSim::new()] {
+        engine.import("reddit", &docs).expect("import");
+        let mut transform_ops = 0u64;
+        let mut total_modeled = std::time::Duration::ZERO;
+        for query in &outcome.session.queries {
+            let out = engine.execute(query).expect("execute");
+            transform_ops += out.report.counters.transform_ops;
+            total_modeled += out.report.modeled;
+        }
+        println!(
+            "{}: {} transform applications, modeled session time {:?}",
+            engine.name(),
+            transform_ops,
+            total_modeled
+        );
+    }
+}

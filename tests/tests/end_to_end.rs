@@ -1,0 +1,147 @@
+//! End-to-end pipeline tests: corpus → analysis → session generation →
+//! translation → execution on all four engines.
+
+use betze::datagen::{DocGenerator, NoBench, RedditLike, TwitterLike};
+use betze::engines::all_engines;
+use betze::explorer::Preset;
+use betze::generator::{generate_session, GeneratorConfig, InMemoryBackend};
+use betze::harness::workload::{prepare, Corpus};
+use betze::harness::run_session;
+use betze::langs::{all_languages, translate_session};
+use betze::model::DatasetId;
+
+#[test]
+fn full_pipeline_on_every_corpus() {
+    for (corpus, docs) in [
+        ("twitter", TwitterLike::default().generate(1, 500)),
+        ("nobench", NoBench::default().generate(1, 400)),
+        ("reddit", RedditLike.generate(1, 400)),
+    ] {
+        let analysis = betze::stats::analyze(corpus, &docs);
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), docs.clone());
+        let outcome = generate_session(
+            &analysis,
+            &GeneratorConfig::default(),
+            123,
+            Some(&mut backend),
+        )
+        .unwrap_or_else(|e| panic!("{corpus}: {e}"));
+        assert_eq!(outcome.session.queries.len(), 10, "{corpus}");
+
+        // Every query's verified selectivity was measured against its
+        // *target dataset*; checking against the reference semantics on
+        // the base composed predicate must reproduce the stored counts
+        // along the chain.
+        for record in &outcome.records {
+            let matched = docs
+                .iter()
+                .filter(|d| record.full_predicate.matches(d))
+                .count();
+            let node = outcome.session.graph.node(record.created).unwrap();
+            assert!(
+                (node.estimated_count - matched as f64).abs() < 1.0,
+                "{corpus}: node estimate {} vs actual {matched}",
+                node.estimated_count
+            );
+        }
+
+        // All four translators accept every query.
+        for lang in all_languages() {
+            let script = translate_session(lang.as_ref(), &outcome.session);
+            assert!(
+                script.lines().count() > outcome.session.queries.len(),
+                "{corpus}/{}",
+                lang.short_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_generated_sessions() {
+    let w = prepare(Corpus::Twitter, 400, 3, &GeneratorConfig::default(), 7).expect("workload");
+    // Reference result cardinalities per query.
+    let expected: Vec<usize> = w
+        .generation
+        .session
+        .queries
+        .iter()
+        .map(|q| q.eval(&w.dataset.docs).len())
+        .collect();
+    for mut engine in all_engines(2) {
+        engine.reset();
+        engine.import(&w.dataset.name, &w.dataset.docs).expect("import");
+        for (query, want) in w.generation.session.queries.iter().zip(&expected) {
+            let got = engine.execute(query).expect("execute").docs.len();
+            assert_eq!(got, *want, "{} on {query}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn all_presets_run_on_all_engines() {
+    for preset in Preset::ALL {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        let w = prepare(Corpus::NoBench, 300, 5, &config, 11).expect("workload");
+        for mut engine in all_engines(2) {
+            let run = run_session(engine.as_mut(), &w.dataset, &w.generation.session)
+                .expect("session run");
+            assert_eq!(
+                run.queries.len(),
+                preset.config().queries_per_session,
+                "{preset}/{}",
+                engine.name()
+            );
+            assert!(run.session_modeled() > std::time::Duration::ZERO);
+        }
+    }
+}
+
+#[test]
+fn materialized_sessions_execute_on_engines() {
+    use betze::generator::ExportMode;
+    let config = GeneratorConfig::default().export(ExportMode::MaterializedIntermediates);
+    let w = prepare(Corpus::Twitter, 300, 9, &config, 21).expect("workload");
+    // Materialized sessions reference stored intermediates; engines must
+    // resolve the store chain.
+    for mut engine in all_engines(2) {
+        let run = run_session(engine.as_mut(), &w.dataset, &w.generation.session)
+            .expect("materialized session run");
+        assert_eq!(run.queries.len(), w.generation.session.queries.len());
+    }
+}
+
+#[test]
+fn transforming_multi_dataset_sessions_run_on_all_engines() {
+    use betze::generator::{generate_session_multi, ExportMode, InMemoryBackend};
+    use betze::datagen::{DocGenerator, NoBench, RedditLike};
+    // The two §VII/§VI extensions combined: several base datasets plus
+    // transformations, exported as materialized intermediates, executed
+    // on every engine.
+    let nb = NoBench::default().generate(7, 200);
+    let rd = RedditLike.generate(7, 200);
+    let analyses = vec![
+        betze::stats::analyze("nobench", &nb),
+        betze::stats::analyze("reddit", &rd),
+    ];
+    let mut backend = InMemoryBackend::new();
+    backend.register_base(DatasetId(0), nb.clone());
+    backend.register_base(DatasetId(1), rd.clone());
+    let config = GeneratorConfig::with_explorer(Preset::Novice.config())
+        .export(ExportMode::MaterializedIntermediates)
+        .transform_fraction(0.6);
+    let outcome =
+        generate_session_multi(&analyses, &config, 13, Some(&mut backend)).expect("generation");
+    assert!(outcome.session.queries.iter().any(|q| !q.transforms.is_empty()));
+    for mut engine in all_engines(2) {
+        engine.reset();
+        engine.import("nobench", &nb).expect("import nb");
+        engine.import("reddit", &rd).expect("import rd");
+        for query in &outcome.session.queries {
+            engine
+                .execute(query)
+                .unwrap_or_else(|e| panic!("{} on {query}: {e}", engine.name()));
+        }
+    }
+}

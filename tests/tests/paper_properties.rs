@@ -1,0 +1,149 @@
+//! Property-based tests of paper-level invariants, driven by random
+//! explorer configurations, seeds and corpora.
+
+use betze::explorer::ExplorerConfig;
+use betze::generator::{generate_session, GeneratorConfig, InMemoryBackend};
+use betze::harness::workload::Corpus;
+use betze::model::{DatasetId, Move};
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Corpus> {
+    prop_oneof![
+        Just(Corpus::Twitter),
+        Just(Corpus::NoBench),
+        Just(Corpus::Reddit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid (α, β, n) configuration yields a structurally consistent
+    /// session: n queries, n derived datasets, every parent created before
+    /// its children, and a final Stop move.
+    #[test]
+    fn sessions_are_structurally_consistent(
+        alpha in 0.0f64..0.7,
+        beta in 0.0f64..0.3,
+        n in 1usize..15,
+        seed in 0u64..1000,
+        corpus in corpus_strategy(),
+    ) {
+        let dataset = corpus.generate(31, 200);
+        let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
+        let explorer = ExplorerConfig::new(alpha, beta, n).expect("valid by construction");
+        let config = GeneratorConfig::with_explorer(explorer);
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), dataset.docs.clone());
+        let outcome = generate_session(&analysis, &config, seed, Some(&mut backend))
+            .expect("generation");
+        let session = &outcome.session;
+        prop_assert_eq!(session.queries.len(), n);
+        prop_assert_eq!(session.graph.len(), n + 1);
+        prop_assert_eq!(session.moves.last(), Some(&Move::Stop));
+        for node in session.graph.nodes() {
+            if let Some(parent) = node.parent {
+                prop_assert!(parent.0 < node.id.0, "parents precede children");
+            }
+            prop_assert!(node.estimated_count >= 0.0);
+        }
+        let stats = session.stats();
+        prop_assert_eq!(stats.explores, n);
+    }
+
+    /// Verified selectivities stay inside [0, 1] and, in the overwhelming
+    /// majority, inside the configured target range.
+    #[test]
+    fn selectivities_respect_the_target_range(
+        seed in 0u64..500,
+        lo in 0.1f64..0.3,
+        span in 0.3f64..0.6,
+    ) {
+        let hi = (lo + span).min(0.95);
+        let dataset = Corpus::Twitter.generate(13, 300);
+        let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
+        let config = GeneratorConfig::default().selectivity_range(lo, hi);
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), dataset.docs.clone());
+        let outcome = generate_session(&analysis, &config, seed, Some(&mut backend))
+            .expect("generation");
+        let mut in_range = 0usize;
+        for record in &outcome.records {
+            let sel = record.verified_selectivity.expect("backend configured");
+            prop_assert!((0.0..=1.0).contains(&sel));
+            if sel >= lo && sel <= hi {
+                in_range += 1;
+            }
+        }
+        // The generator falls back to a closest-miss candidate only when
+        // its discard budget is exhausted.
+        prop_assert!(
+            in_range * 2 >= outcome.records.len(),
+            "{in_range}/{} in [{lo:.2},{hi:.2}]",
+            outcome.records.len()
+        );
+    }
+
+    /// The composed-predicate export (§IV-C) is semantically consistent:
+    /// a derived dataset's document count equals the count of base
+    /// documents matching its full predicate chain.
+    #[test]
+    fn composed_predicates_reproduce_dataset_counts(
+        seed in 0u64..300,
+        corpus in corpus_strategy(),
+    ) {
+        let dataset = corpus.generate(77, 250);
+        let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), dataset.docs.clone());
+        let outcome = generate_session(
+            &analysis,
+            &GeneratorConfig::default(),
+            seed,
+            Some(&mut backend),
+        )
+        .expect("generation");
+        for (record, query) in outcome.records.iter().zip(&outcome.session.queries) {
+            let via_query = query.matching_count(&dataset.docs);
+            let via_chain = dataset
+                .docs
+                .iter()
+                .filter(|d| record.full_predicate.matches(d))
+                .count();
+            prop_assert_eq!(via_query, via_chain);
+        }
+    }
+
+    /// Session statistics are internally consistent with the move trail.
+    #[test]
+    fn move_trail_matches_statistics(seed in 0u64..300) {
+        let dataset = Corpus::NoBench.generate(3, 200);
+        let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
+        let config = GeneratorConfig::with_explorer(
+            betze::explorer::Preset::Novice.config(),
+        );
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), dataset.docs.clone());
+        let outcome = generate_session(&analysis, &config, seed, Some(&mut backend))
+            .expect("generation");
+        let stats = outcome.session.stats();
+        let moves = &outcome.session.moves;
+        let explores = moves.iter().filter(|m| matches!(m, Move::Explore { .. })).count();
+        let returns = moves.iter().filter(|m| matches!(m, Move::Return { .. })).count();
+        let jumps = moves.iter().filter(|m| matches!(m, Move::Jump { .. })).count();
+        prop_assert_eq!(stats.explores, explores);
+        prop_assert_eq!(stats.returns, returns);
+        prop_assert_eq!(stats.jumps, jumps);
+        // Every explore created a distinct dataset.
+        let mut created: Vec<_> = moves
+            .iter()
+            .filter_map(|m| match m {
+                Move::Explore { created, .. } => Some(*created),
+                _ => None,
+            })
+            .collect();
+        created.sort();
+        created.dedup();
+        prop_assert_eq!(created.len(), explores);
+    }
+}
