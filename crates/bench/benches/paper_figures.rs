@@ -6,90 +6,106 @@
 //! comparison); Criterion then times one representative kernel per figure
 //! so regressions in the underlying machinery are caught.
 
-use betze::harness::experiments::{self, Scale};
-use criterion::{criterion_group, Criterion};
-use std::time::Duration;
+// **Feature-gated:** criterion is not available in the offline build.
+// Restore the `criterion` workspace dependency (network required) and run
+// `cargo bench --features criterion-benches` to enable these benches.
+#![cfg_attr(not(feature = "criterion-benches"), allow(unused))]
 
-/// The scale used inside the timed kernels: small enough for Criterion's
-/// repeated sampling.
-fn bench_scale() -> Scale {
-    let mut scale = Scale::quick();
-    scale.sessions = 2;
-    scale
-}
-
-fn print_figures() {
-    let mut scale = Scale::quick();
-    scale.sessions = 6;
-    println!("\n================ regenerated paper figures (quick scale) ================\n");
-    println!("{}\n", experiments::fig5(&scale).render());
-    println!("{}\n", experiments::fig6(&scale).render());
-    let mut fig7_scale = scale.clone();
-    fig7_scale.sessions = 3;
-    println!("{}\n", experiments::fig7(&fig7_scale).render());
-    println!("{}\n", experiments::fig8(&scale).render());
-    println!("{}\n", experiments::fig9(&scale).render());
-    println!("{}\n", experiments::fig10(&scale).render());
-    println!("==========================================================================\n");
-}
-
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_figures");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(8))
-        .warm_up_time(Duration::from_secs(1));
-    let scale = bench_scale();
-
-    group.bench_function("fig5_user_trends", |b| {
-        b.iter(|| experiments::fig5(&scale))
-    });
-    group.bench_function("fig6_session_distribution", |b| {
-        b.iter(|| experiments::fig6(&scale))
-    });
-    group.bench_function("fig8_predicate_mix", |b| {
-        b.iter(|| experiments::fig8(&scale))
-    });
-    group.bench_function("fig9_cpu_scalability", |b| {
-        b.iter(|| experiments::fig9_with_threads(&scale, vec![4, 16, 60]))
-    });
-    group.bench_function("fig10_dataset_scalability", |b| {
-        b.iter(|| {
-            experiments::fig10_with_sizes(
-                &scale,
-                vec![100, 400],
-                Duration::from_secs(3600),
-            )
-        })
-    });
-    group.finish();
-
-    // Fig. 7 sweeps 66 (α, β) cells; benchmark a single representative
-    // cell-equivalent generation instead of the full sweep.
-    let mut fig7 = c.benchmark_group("fig7_kernel");
-    fig7.sample_size(10).measurement_time(Duration::from_secs(5));
-    fig7.bench_function("one_cell_session", |b| {
-        use betze::explorer::ExplorerConfig;
-        use betze::generator::GeneratorConfig;
-        use betze::harness::workload::{prepare_dataset, Corpus};
-        let dataset = Corpus::Twitter.generate(scale.data_seed, scale.twitter_docs);
-        let explorer = ExplorerConfig::new(0.5, 0.3, 10).expect("valid");
-        let config = GeneratorConfig::with_explorer(explorer);
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            prepare_dataset(dataset.clone(), &config, seed).expect("generation")
-        })
-    });
-    fig7.finish();
-}
-
-criterion_group!(benches, bench_figures);
-
+#[cfg(not(feature = "criterion-benches"))]
 fn main() {
-    print_figures();
-    benches();
-    criterion::Criterion::default()
-        .configure_from_args()
-        .final_summary();
+    eprintln!(
+        "bench skipped: enable the `criterion-benches` feature after restoring \
+         the criterion dependency"
+    );
+}
+
+#[cfg(feature = "criterion-benches")]
+mod gated {
+    use betze::harness::experiments::{self, Scale};
+    use criterion::{criterion_group, Criterion};
+    use std::time::Duration;
+
+    /// The scale used inside the timed kernels: small enough for Criterion's
+    /// repeated sampling.
+    fn bench_scale() -> Scale {
+        let mut scale = Scale::quick();
+        scale.sessions = 2;
+        scale
+    }
+
+    fn print_figures() {
+        let mut scale = Scale::quick();
+        scale.sessions = 6;
+        println!("\n================ regenerated paper figures (quick scale) ================\n");
+        println!("{}\n", experiments::fig5(&scale).render());
+        println!("{}\n", experiments::fig6(&scale).render());
+        let mut fig7_scale = scale.clone();
+        fig7_scale.sessions = 3;
+        println!("{}\n", experiments::fig7(&fig7_scale).render());
+        println!("{}\n", experiments::fig8(&scale).render());
+        println!("{}\n", experiments::fig9(&scale).render());
+        println!("{}\n", experiments::fig10(&scale).render());
+        println!("==========================================================================\n");
+    }
+
+    fn bench_figures(c: &mut Criterion) {
+        let mut group = c.benchmark_group("paper_figures");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(8))
+            .warm_up_time(Duration::from_secs(1));
+        let scale = bench_scale();
+
+        group.bench_function("fig5_user_trends", |b| b.iter(|| experiments::fig5(&scale)));
+        group.bench_function("fig6_session_distribution", |b| {
+            b.iter(|| experiments::fig6(&scale))
+        });
+        group.bench_function("fig8_predicate_mix", |b| {
+            b.iter(|| experiments::fig8(&scale))
+        });
+        group.bench_function("fig9_cpu_scalability", |b| {
+            b.iter(|| experiments::fig9_with_threads(&scale, vec![4, 16, 60]))
+        });
+        group.bench_function("fig10_dataset_scalability", |b| {
+            b.iter(|| {
+                experiments::fig10_with_sizes(&scale, vec![100, 400], Duration::from_secs(3600))
+            })
+        });
+        group.finish();
+
+        // Fig. 7 sweeps 66 (α, β) cells; benchmark a single representative
+        // cell-equivalent generation instead of the full sweep.
+        let mut fig7 = c.benchmark_group("fig7_kernel");
+        fig7.sample_size(10)
+            .measurement_time(Duration::from_secs(5));
+        fig7.bench_function("one_cell_session", |b| {
+            use betze::explorer::ExplorerConfig;
+            use betze::generator::GeneratorConfig;
+            use betze::harness::workload::{prepare_dataset, Corpus};
+            let dataset = Corpus::Twitter.generate(scale.data_seed, scale.twitter_docs);
+            let explorer = ExplorerConfig::new(0.5, 0.3, 10).expect("valid");
+            let config = GeneratorConfig::with_explorer(explorer);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                prepare_dataset(dataset.clone(), &config, seed).expect("generation")
+            })
+        });
+        fig7.finish();
+    }
+
+    criterion_group!(benches, bench_figures);
+
+    pub fn main() {
+        print_figures();
+        benches();
+        criterion::Criterion::default()
+            .configure_from_args()
+            .final_summary();
+    }
+}
+
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    gated::main();
 }

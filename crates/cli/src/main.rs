@@ -13,12 +13,13 @@
 //! ```
 
 use betze::datagen::{Dataset, DocGenerator, NoBench, RedditLike, TwitterLike};
+use betze::engines::{ChaosEngine, Engine, FaultPlan};
 use betze::explorer::Preset;
+use betze::generator::GenerationOutcome;
 use betze::generator::{AggregateMode, ExportMode, GeneratorConfig};
 use betze::harness::experiments::{self, Scale};
-use betze::generator::GenerationOutcome;
 use betze::harness::workload::prepare_dataset;
-use betze::harness::{run_session, RunOptions};
+use betze::harness::{RetryPolicy, RunOptions};
 use betze::json::Value;
 use betze::langs::{all_languages, translate_session};
 use std::process::ExitCode;
@@ -54,9 +55,21 @@ COMMANDS:
         --out-dir <dir>     write one script file per language instead of stdout
         --dot               also print the session graph in Graphviz DOT
     benchmark <dataset.json>                 generate + run on all engines
+                        (alias: run)
         --seed/--preset/... as for generate
         --threads <n>       JODA thread count (default 16)
         --output            charge full result output (Table III mode)
+        --chaos-seed <u64>  inject deterministic faults with this seed
+        --fault-rate <f64>  transient storage/import fault probability
+                            (default 0.1 when chaos is on)
+        --latency-rate <f64>   latency-spike probability (default 0)
+        --latency-factor <f64> latency-spike inflation (default 4)
+        --eviction-rate <f64>  stored-intermediate eviction probability
+                            (default 0; lost data is recovered by
+                            lineage replay where possible)
+        --retries <n>       attempts per operation incl. the first
+                            (default 3); backoff is charged to the
+                            modeled clock
     experiment <name>                        regenerate a paper artifact
         names: table1 fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 table4
                skew gen-cost all
@@ -84,7 +97,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "synth" => synth(&rest),
         "analyze" => analyze(&rest),
         "generate" => generate(&rest),
-        "benchmark" => benchmark(&rest),
+        "benchmark" | "run" => benchmark(&rest),
         "experiment" => experiment(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -197,9 +210,7 @@ fn generator_config(args: &mut Vec<String>) -> Result<GeneratorConfig, String> {
     }
     let mut config = GeneratorConfig::with_explorer(explorer);
     if let Some(range) = take_option(args, "--selectivity")? {
-        let (lo, hi) = range
-            .split_once(',')
-            .ok_or("selectivity must be 'lo,hi'")?;
+        let (lo, hi) = range.split_once(',').ok_or("selectivity must be 'lo,hi'")?;
         config = config.selectivity_range(parse(lo, "selectivity")?, parse(hi, "selectivity")?);
     }
     if take_flag(args, "--group-by") {
@@ -251,13 +262,9 @@ fn generate(args: &[String]) -> Result<(), String> {
         backend.register_base(betze::model::DatasetId(i), dataset.docs);
     }
     let analysis_time = analysis_started.elapsed();
-    let generation = betze::generator::generate_session_multi(
-        &analyses,
-        &config,
-        seed,
-        Some(&mut backend),
-    )
-    .map_err(|e| e.to_string())?;
+    let generation =
+        betze::generator::generate_session_multi(&analyses, &config, seed, Some(&mut backend))
+            .map_err(|e| e.to_string())?;
     let w = GeneratedSession {
         generation,
         analysis_time,
@@ -282,8 +289,7 @@ fn generate(args: &[String]) -> Result<(), String> {
         match &out_dir {
             Some(dir) => {
                 let path = format!("{dir}/session_{}.{}", seed, language.short_name());
-                std::fs::write(&path, &script)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                std::fs::write(&path, &script).map_err(|e| format!("cannot write {path}: {e}"))?;
                 eprintln!("wrote {path}");
             }
             None => {
@@ -310,6 +316,44 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `--chaos-*` flags into a fault plan (None when chaos is
+/// off). `--fault-rate` covers both storage and import faults.
+fn chaos_plan(args: &mut Vec<String>) -> Result<Option<FaultPlan>, String> {
+    let chaos_seed = take_option(args, "--chaos-seed")?;
+    let fault_rate = take_option(args, "--fault-rate")?;
+    let latency_rate = take_option(args, "--latency-rate")?;
+    let latency_factor = take_option(args, "--latency-factor")?;
+    let eviction_rate = take_option(args, "--eviction-rate")?;
+    let Some(seed) = chaos_seed else {
+        if fault_rate.is_some()
+            || latency_rate.is_some()
+            || latency_factor.is_some()
+            || eviction_rate.is_some()
+        {
+            return Err("chaos flags need --chaos-seed".to_owned());
+        }
+        return Ok(None);
+    };
+    let mut plan = FaultPlan::none(parse(&seed, "chaos seed")?);
+    let faults: f64 = match fault_rate {
+        Some(r) => parse(&r, "fault rate")?,
+        None => 0.1,
+    };
+    plan = plan.storage_faults(faults).import_faults(faults);
+    if let Some(r) = latency_rate {
+        let factor: f64 = match latency_factor {
+            Some(f) => parse(&f, "latency factor")?,
+            None => 4.0,
+        };
+        plan = plan.latency_spikes(parse(&r, "latency rate")?, factor);
+    }
+    if let Some(r) = eviction_rate {
+        plan = plan.evictions(parse(&r, "eviction rate")?);
+    }
+    plan.validate()?;
+    Ok(Some(plan))
+}
+
 fn benchmark(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let seed: u64 = match take_option(&mut args, "--seed")? {
@@ -321,55 +365,82 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         None => 16,
     };
     let full_output = take_flag(&mut args, "--output");
+    let plan = chaos_plan(&mut args)?;
+    let retry = match take_option(&mut args, "--retries")? {
+        Some(n) => RetryPolicy::attempts(parse(&n, "retries")?),
+        None => RetryPolicy::default(),
+    };
     let config = generator_config(&mut args)?;
     let [path]: [String; 1] = args
         .try_into()
         .map_err(|_| "benchmark needs exactly one <dataset.json>".to_owned())?;
     let dataset = load_dataset(&path, None)?;
     let w = prepare_dataset(dataset, &config, seed).map_err(|e| e.to_string())?;
+    let chaotic = plan.is_some();
     let mut table = betze::harness::fmt::TextTable::new([
         "system",
         "import (modeled)",
         "session w/o import (modeled)",
         "total (modeled)",
         "session wall",
+        "queries ok",
+        "retries",
+        "replays",
     ]);
-    for mut engine in betze::engines::all_engines(threads) {
-        let options = if full_output {
+    let options = {
+        let base = if full_output {
             RunOptions::with_output()
         } else {
             RunOptions::reference()
         };
+        base.retry(retry.clone())
+    };
+    let bench_row = |engine: &mut dyn Engine,
+                     label: String,
+                     table: &mut betze::harness::fmt::TextTable|
+     -> Result<(), String> {
         let outcome = betze::harness::run_session_with_options(
-            engine.as_mut(),
+            engine,
             &w.dataset,
             &w.generation.session,
             &options,
         )
         .map_err(|e| e.to_string())?;
-        let run = outcome
-            .completed()
-            .expect("no timeout configured")
-            .clone();
+        let run = outcome.run();
         table.row([
-            engine.name().to_owned(),
+            label,
             betze::harness::fmt::human_duration(run.import.modeled),
             betze::harness::fmt::human_duration(run.session_modeled()),
             betze::harness::fmt::human_duration(run.total_modeled()),
             betze::harness::fmt::human_duration(run.session_wall()),
+            format!("{}/{}", run.ok_queries(), run.statuses.len()),
+            run.total_retries().to_string(),
+            run.lineage_replays.to_string(),
         ]);
+        Ok(())
+    };
+    for engine in betze::engines::all_engines(threads) {
+        let label = engine.name().to_owned();
+        match &plan {
+            Some(plan) => {
+                let mut chaos = ChaosEngine::new(engine, plan.clone());
+                bench_row(&mut chaos, label, &mut table)?;
+            }
+            None => {
+                let mut engine = engine;
+                bench_row(&mut engine, label, &mut table)?;
+            }
+        }
     }
     // Also a JODA eviction-mode row (Table II's extra configuration).
     let mut evicted = betze::engines::JodaSim::with_eviction(threads);
-    let run = run_session(&mut evicted, &w.dataset, &w.generation.session)
-        .map_err(|e| e.to_string())?;
-    table.row([
-        "JODA memory evicted".to_owned(),
-        betze::harness::fmt::human_duration(run.import.modeled),
-        betze::harness::fmt::human_duration(run.session_modeled()),
-        betze::harness::fmt::human_duration(run.total_modeled()),
-        betze::harness::fmt::human_duration(run.session_wall()),
-    ]);
+    bench_row(&mut evicted, "JODA memory evicted".to_owned(), &mut table)?;
+    if chaotic {
+        eprintln!(
+            "# chaos: {:?} (same --chaos-seed reproduces the identical fault schedule)",
+            plan.as_ref().unwrap()
+        );
+    }
     println!("{}", table.render());
     Ok(())
 }

@@ -34,27 +34,54 @@ fn synth_analyze_generate_benchmark_workflow() {
 
     // synth
     let out = betze(&["synth", "reddit", "200", "--seed", "5", "--out", data_s]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&data).expect("dataset written");
     assert_eq!(text.lines().count(), 200);
 
     // analyze
     let out = betze(&["analyze", data_s, "--out", analysis_s]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&analysis).expect("analysis written");
     assert!(text.contains("\"doc_count\": 200"));
     assert!(text.contains("/subreddit"));
 
     // generate, single language
-    let out = betze(&["generate", data_s, "--seed", "3", "--preset", "expert", "--lang", "joda"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = betze(&[
+        "generate", data_s, "--seed", "3", "--preset", "expert", "--lang", "joda",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("==== JODA ===="));
     assert!(!stdout.contains("==== MongoDB ===="));
-    assert_eq!(stdout.matches("LOAD ").count(), 5, "expert preset = 5 queries");
+    assert_eq!(
+        stdout.matches("LOAD ").count(),
+        5,
+        "expert preset = 5 queries"
+    );
 
     // generate with aggregation + DOT
-    let out = betze(&["generate", data_s, "--seed", "3", "--group-by", "--dot", "--lang", "psql"]);
+    let out = betze(&[
+        "generate",
+        data_s,
+        "--seed",
+        "3",
+        "--group-by",
+        "--dot",
+        "--lang",
+        "psql",
+    ]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("GROUP BY") || stdout.contains("COUNT("));
@@ -62,7 +89,11 @@ fn synth_analyze_generate_benchmark_workflow() {
 
     // benchmark
     let out = betze(&["benchmark", data_s, "--seed", "123", "--threads", "4"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     for system in ["JODA", "MongoDB", "PostgreSQL", "jq", "JODA memory evicted"] {
         assert!(stdout.contains(system), "missing {system} in:\n{stdout}");
@@ -127,11 +158,15 @@ fn generate_writes_script_files_per_language() {
         "--out-dir",
         dir.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for ext in ["joda", "mongodb", "jq", "psql"] {
         let path = dir.join(format!("session_7.{ext}"));
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(text.contains("query 0"), "{ext}");
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -158,7 +193,11 @@ fn generate_supports_transforms_with_materialize() {
         "--lang",
         "mongodb",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         stdout.contains("$set") || stdout.contains("$unset"),
@@ -171,8 +210,16 @@ fn generate_supports_transforms_with_materialize() {
 fn generate_accepts_multiple_datasets() {
     let a = tmpfile("multi-a.json");
     let b = tmpfile("multi-b.json");
-    assert!(betze(&["synth", "nobench", "120", "--out", a.to_str().unwrap()]).status.success());
-    assert!(betze(&["synth", "reddit", "120", "--out", b.to_str().unwrap()]).status.success());
+    assert!(
+        betze(&["synth", "nobench", "120", "--out", a.to_str().unwrap()])
+            .status
+            .success()
+    );
+    assert!(
+        betze(&["synth", "reddit", "120", "--out", b.to_str().unwrap()])
+            .status
+            .success()
+    );
     let out = betze(&[
         "generate",
         a.to_str().unwrap(),
@@ -184,11 +231,19 @@ fn generate_accepts_multiple_datasets() {
         "--lang",
         "joda",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // A novice session = 20 queries, each LOADing one of the two bases
     // (dataset names derive from the file stems).
-    assert_eq!(stdout.matches("LOAD betze-cli-test").count(), 20, "{stdout}");
+    assert_eq!(
+        stdout.matches("LOAD betze-cli-test").count(),
+        20,
+        "{stdout}"
+    );
     let _ = std::fs::remove_file(&a);
     let _ = std::fs::remove_file(&b);
 }

@@ -92,8 +92,8 @@ pub trait DocGenerator {
 }
 
 pub(crate) mod rng {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use betze_rng::rngs::StdRng;
+    use betze_rng::SeedableRng;
 
     /// Derives a per-document RNG so that document `i` is identical no
     /// matter how many documents surround it (prefix stability).
@@ -132,7 +132,7 @@ mod tests {
         for gen in [
             &NoBench::default() as &dyn DocGenerator,
             &TwitterLike::default(),
-            &RedditLike::default(),
+            &RedditLike,
         ] {
             let a = gen.generate(42, 20);
             let b = gen.generate(42, 20);
@@ -147,7 +147,7 @@ mod tests {
         for gen in [
             &NoBench::default() as &dyn DocGenerator,
             &TwitterLike::default(),
-            &RedditLike::default(),
+            &RedditLike,
         ] {
             let long = gen.generate(7, 30);
             let short = gen.generate(7, 10);

@@ -20,7 +20,7 @@ use crate::rng::doc_rng;
 use crate::vocab::base32ish;
 use crate::DocGenerator;
 use betze_json::{Object, Value};
-use rand::Rng;
+use betze_rng::Rng;
 
 /// Configurable NoBench generator.
 #[derive(Debug, Clone)]
@@ -51,9 +51,9 @@ impl NoBench {
         obj.insert("str2_str", base32ish(i as u64));
         obj.insert("num_int", i64i);
         obj.insert("thousandth", i64i % 1000);
-        obj.insert("bool_bool", i % 2 == 0);
+        obj.insert("bool_bool", i.is_multiple_of(2));
         // Dynamic attributes: type depends on the document index.
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             obj.insert("dyn1", i64i);
         } else {
             obj.insert("dyn1", base32ish(i as u64 / 2));
@@ -63,7 +63,7 @@ impl NoBench {
         } else if i % 10 < 6 {
             obj.insert("dyn2", rng.gen_range(0..1000i64));
         } else {
-            obj.insert("dyn2", i % 3 == 0);
+            obj.insert("dyn2", i.is_multiple_of(3));
         }
         let mut nested = Object::with_capacity(2);
         nested.insert("str", base32ish(rng.gen_range(0..1u64 << 20)));

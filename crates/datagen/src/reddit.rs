@@ -13,7 +13,7 @@ use crate::rng::doc_rng;
 use crate::vocab::{pick, sentence, FIRST_NAMES, SUBREDDITS};
 use crate::DocGenerator;
 use betze_json::{Object, Value};
-use rand::Rng;
+use betze_rng::Rng;
 
 /// The Reddit-like generator (fixed schema; no configuration knobs beyond
 /// the trait's seed/count).
@@ -55,25 +55,49 @@ impl RedditLike {
             "author",
             format!("{}_{}", pick(&mut rng, FIRST_NAMES), rng.gen_range(0..100)),
         );
-        obj.insert("author_flair_css_class", pick(&mut rng, &["flair-blue", "flair-red", "flair-none"]));
-        obj.insert("author_flair_text", pick(&mut rng, &["Fan", "Mod", "OC", "Member"]));
+        obj.insert(
+            "author_flair_css_class",
+            pick(&mut rng, &["flair-blue", "flair-red", "flair-none"]),
+        );
+        obj.insert(
+            "author_flair_text",
+            pick(&mut rng, &["Fan", "Mod", "OC", "Member"]),
+        );
         let body_len = rng.gen_range(3..40);
         obj.insert("body", sentence(&mut rng, body_len));
         obj.insert("controversiality", i64::from(rng.gen_bool(0.05)));
-        obj.insert("created_utc", rng.gen_range(1_500_000_000i64..1_640_000_000));
-        obj.insert("distinguished", pick(&mut rng, &["none", "moderator", "admin"]));
+        obj.insert(
+            "created_utc",
+            rng.gen_range(1_500_000_000i64..1_640_000_000),
+        );
+        obj.insert(
+            "distinguished",
+            pick(&mut rng, &["none", "moderator", "admin"]),
+        );
         obj.insert("downs", downs);
         obj.insert("edited", rng.gen_bool(0.07));
         obj.insert("gilded", rng.gen_range(0i64..3));
         obj.insert("id", id.clone());
-        obj.insert("link_id", format!("t3_{:06x}", rng.gen::<u32>() & 0xFF_FFFF));
+        obj.insert(
+            "link_id",
+            format!("t3_{:06x}", rng.gen::<u32>() & 0xFF_FFFF),
+        );
         obj.insert("name", format!("t1_{id}"));
-        obj.insert("parent_id", format!("t1_c{:07x}", rng.gen::<u32>() & 0x0FFF_FFFF));
-        obj.insert("retrieved_on", rng.gen_range(1_600_000_000i64..1_660_000_000));
+        obj.insert(
+            "parent_id",
+            format!("t1_c{:07x}", rng.gen::<u32>() & 0x0FFF_FFFF),
+        );
+        obj.insert(
+            "retrieved_on",
+            rng.gen_range(1_600_000_000i64..1_660_000_000),
+        );
         obj.insert("score", ups - downs);
         obj.insert("score_hidden", rng.gen_bool(0.1));
         obj.insert("subreddit", pick(&mut rng, SUBREDDITS));
-        obj.insert("subreddit_id", format!("t5_{:05x}", rng.gen::<u32>() & 0xF_FFFF));
+        obj.insert(
+            "subreddit_id",
+            format!("t5_{:05x}", rng.gen::<u32>() & 0xF_FFFF),
+        );
         obj.insert("ups", ups);
         Value::Object(obj)
     }
@@ -133,8 +157,11 @@ mod tests {
         assert!(docs
             .iter()
             .all(|d| d.get("name").unwrap().as_str().unwrap().starts_with("t1_")));
-        assert!(docs
-            .iter()
-            .all(|d| d.get("link_id").unwrap().as_str().unwrap().starts_with("t3_")));
+        assert!(docs.iter().all(|d| d
+            .get("link_id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("t3_")));
     }
 }

@@ -19,8 +19,8 @@ use crate::vocab::{
 };
 use crate::DocGenerator;
 use betze_json::{Object, Value};
-use rand::rngs::StdRng;
-use rand::Rng;
+use betze_rng::rngs::StdRng;
+use betze_rng::Rng;
 
 /// Configurable Twitter-like generator.
 #[derive(Debug, Clone)]
@@ -61,14 +61,21 @@ impl TwitterLike {
     fn delete_message(&self, rng: &mut StdRng) -> Value {
         let mut status = Object::with_capacity(4);
         status.insert("id", rng.gen_range(1_000_000_000i64..9_999_999_999));
-        status.insert("id_str", rng.gen_range(1_000_000_000i64..9_999_999_999).to_string());
+        status.insert(
+            "id_str",
+            rng.gen_range(1_000_000_000i64..9_999_999_999).to_string(),
+        );
         status.insert("user_id", rng.gen_range(1_000i64..10_000_000));
-        status.insert("user_id_str", rng.gen_range(1_000i64..10_000_000).to_string());
+        status.insert(
+            "user_id_str",
+            rng.gen_range(1_000i64..10_000_000).to_string(),
+        );
         let mut delete = Object::with_capacity(2);
         delete.insert("status", status);
         delete.insert(
             "timestamp_ms",
-            rng.gen_range(1_600_000_000_000i64..1_700_000_000_000).to_string(),
+            rng.gen_range(1_600_000_000_000i64..1_700_000_000_000)
+                .to_string(),
         );
         let mut doc = Object::with_capacity(1);
         doc.insert("delete", delete);
@@ -135,7 +142,14 @@ impl TwitterLike {
         }
         if rng.gen_bool(0.35) {
             let mut place = Object::with_capacity(4);
-            place.insert("country", if rng.gen_bool(0.6) { "Germany" } else { "France" });
+            place.insert(
+                "country",
+                if rng.gen_bool(0.6) {
+                    "Germany"
+                } else {
+                    "France"
+                },
+            );
             place.insert("country_code", if rng.gen_bool(0.6) { "DE" } else { "FR" });
             place.insert("full_name", pick(rng, CITIES));
             place.insert("place_type", "city");
@@ -151,7 +165,11 @@ impl TwitterLike {
         }
         doc.insert("lang", pick(rng, LANGS));
         doc.insert("filter_level", "low");
-        doc.insert("timestamp_ms", rng.gen_range(1_600_000_000_000i64..1_700_000_000_000).to_string());
+        doc.insert(
+            "timestamp_ms",
+            rng.gen_range(1_600_000_000_000i64..1_700_000_000_000)
+                .to_string(),
+        );
         doc.insert("quote_count", rng.gen_range(0i64..1_000));
         doc.insert("reply_count", rng.gen_range(0i64..5_000));
         doc.insert("contributors", Value::Null);
@@ -159,14 +177,20 @@ impl TwitterLike {
         let text_start = rng.gen_range(0i64..20);
         doc.insert(
             "display_text_range",
-            vec![Value::from(text_start), Value::from(text_start + rng.gen_range(10i64..120))],
+            vec![
+                Value::from(text_start),
+                Value::from(text_start + rng.gen_range(10i64..120)),
+            ],
         );
         if rng.gen_bool(0.4) {
             // Extended tweet body present on longer tweets.
             let mut ext = Object::with_capacity(2);
             let full_len = rng.gen_range(20..50);
             ext.insert("full_text", sentence(rng, full_len));
-            ext.insert("display_text_range", vec![Value::from(0i64), Value::from(140i64)]);
+            ext.insert(
+                "display_text_range",
+                vec![Value::from(0i64), Value::from(140i64)],
+            );
             doc.insert("extended_tweet", ext);
         }
         if extra_depth >= 3 && rng.gen_bool(0.3) {
@@ -228,8 +252,14 @@ impl TwitterLike {
         user.insert("contributors_enabled", false);
         user.insert("is_translator", rng.gen_bool(0.02));
         user.insert("translator_type", "none");
-        user.insert("profile_background_color", format!("{:06X}", rng.gen_range(0..0xFFFFFFu32)));
-        user.insert("profile_link_color", format!("{:06X}", rng.gen_range(0..0xFFFFFFu32)));
+        user.insert(
+            "profile_background_color",
+            format!("{:06X}", rng.gen_range(0..0xFFFFFFu32)),
+        );
+        user.insert(
+            "profile_link_color",
+            format!("{:06X}", rng.gen_range(0..0xFFFFFFu32)),
+        );
         user.insert("profile_text_color", "333333");
         user.insert("profile_use_background_image", rng.gen_bool(0.8));
         user.insert(
@@ -280,7 +310,10 @@ impl TwitterLike {
             .map(|_| {
                 let mut url = Object::with_capacity(2);
                 url.insert("url", format!("{}{:x}", pick(rng, HOSTS), rng.gen::<u32>()));
-                url.insert("expanded_url", format!("{}{:x}", pick(rng, HOSTS), rng.gen::<u32>()));
+                url.insert(
+                    "expanded_url",
+                    format!("{}{:x}", pick(rng, HOSTS), rng.gen::<u32>()),
+                );
                 Value::Object(url)
             })
             .collect();
@@ -302,7 +335,10 @@ impl TwitterLike {
                     let mut m = Object::with_capacity(5);
                     let id = rng.gen_range(1_000_000_000i64..9_999_999_999);
                     m.insert("id", id);
-                    m.insert("media_url_https", format!("{}media/{}.jpg", pick(rng, HOSTS), id));
+                    m.insert(
+                        "media_url_https",
+                        format!("{}media/{}.jpg", pick(rng, HOSTS), id),
+                    );
                     m.insert("type", "photo");
                     let mut sizes = Object::with_capacity(2);
                     let mut large = Object::with_capacity(3);

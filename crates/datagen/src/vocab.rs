@@ -7,18 +7,45 @@
 
 /// City names used for `location`-style attributes.
 pub const CITIES: &[&str] = &[
-    "Berlin", "Hamburg", "Munich", "Cologne", "Frankfurt", "Stuttgart",
-    "Kaiserslautern", "Dresden", "Leipzig", "Dortmund", "London", "Paris",
-    "Madrid", "Rome", "Vienna", "Amsterdam", "Lisbon", "Prague", "Warsaw",
-    "New York", "San Francisco", "Tokyo", "Seoul", "Sydney",
+    "Berlin",
+    "Hamburg",
+    "Munich",
+    "Cologne",
+    "Frankfurt",
+    "Stuttgart",
+    "Kaiserslautern",
+    "Dresden",
+    "Leipzig",
+    "Dortmund",
+    "London",
+    "Paris",
+    "Madrid",
+    "Rome",
+    "Vienna",
+    "Amsterdam",
+    "Lisbon",
+    "Prague",
+    "Warsaw",
+    "New York",
+    "San Francisco",
+    "Tokyo",
+    "Seoul",
+    "Sydney",
 ];
 
 /// Time-zone labels as used by the Twitter API (`/user/time_zone` is a
 /// grouping attribute in Listing 1).
 pub const TIME_ZONES: &[&str] = &[
-    "Berlin", "Amsterdam", "London", "Pacific Time (US & Canada)",
-    "Eastern Time (US & Canada)", "Central Time (US & Canada)", "Tokyo",
-    "Brasilia", "Athens", "New Delhi",
+    "Berlin",
+    "Amsterdam",
+    "London",
+    "Pacific Time (US & Canada)",
+    "Eastern Time (US & Canada)",
+    "Central Time (US & Canada)",
+    "Tokyo",
+    "Brasilia",
+    "Athens",
+    "New Delhi",
 ];
 
 /// BCP-47-ish language codes.
@@ -26,35 +53,52 @@ pub const LANGS: &[&str] = &["de", "en", "es", "fr", "pt", "ja", "tr", "it", "nl
 
 /// Common first names used to build user and author names.
 pub const FIRST_NAMES: &[&str] = &[
-    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
-    "ivan", "judy", "mallory", "nina", "oscar", "peggy", "quentin", "ruth",
-    "sybil", "trent", "ursula", "victor",
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy", "mallory",
+    "nina", "oscar", "peggy", "quentin", "ruth", "sybil", "trent", "ursula", "victor",
 ];
 
 /// Words for synthetic message bodies.
 pub const WORDS: &[&str] = &[
-    "soccer", "match", "goal", "team", "fans", "stadium", "boots", "jersey",
-    "ad", "campaign", "brand", "launch", "summer", "event", "ticket",
-    "coach", "league", "final", "score", "win", "lose", "draw", "training",
-    "transfer", "derby", "keeper", "striker", "press", "media", "stream",
+    "soccer", "match", "goal", "team", "fans", "stadium", "boots", "jersey", "ad", "campaign",
+    "brand", "launch", "summer", "event", "ticket", "coach", "league", "final", "score", "win",
+    "lose", "draw", "training", "transfer", "derby", "keeper", "striker", "press", "media",
+    "stream",
 ];
 
 /// Hashtag stems.
 pub const HASHTAGS: &[&str] = &[
-    "soccer", "football", "bundesliga", "worldcup", "ad", "sale", "derby",
-    "matchday", "goal", "fans",
+    "soccer",
+    "football",
+    "bundesliga",
+    "worldcup",
+    "ad",
+    "sale",
+    "derby",
+    "matchday",
+    "goal",
+    "fans",
 ];
 
 /// URL hosts — a strong shared-prefix group.
 pub const HOSTS: &[&str] = &[
-    "https://t.co/", "https://example.com/", "https://shop.example.de/",
+    "https://t.co/",
+    "https://example.com/",
+    "https://shop.example.de/",
     "https://news.example.org/",
 ];
 
 /// Subreddit names for the Reddit-like corpus.
 pub const SUBREDDITS: &[&str] = &[
-    "soccer", "Bundesliga", "footballhighlights", "sports", "advertising",
-    "AskReddit", "dataisbeautiful", "germany", "de", "programming",
+    "soccer",
+    "Bundesliga",
+    "footballhighlights",
+    "sports",
+    "advertising",
+    "AskReddit",
+    "dataisbeautiful",
+    "germany",
+    "de",
+    "programming",
 ];
 
 /// Client source labels (`source` attribute of tweets).
@@ -66,12 +110,12 @@ pub const SOURCES: &[&str] = &[
 ];
 
 /// Picks an element of `pool` with the RNG.
-pub fn pick<'a, R: rand::Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+pub fn pick<'a, R: betze_rng::Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
     pool[rng.gen_range(0..pool.len())]
 }
 
 /// Builds a sentence of `n` words from [`WORDS`].
-pub fn sentence<R: rand::Rng>(rng: &mut R, n: usize) -> String {
+pub fn sentence<R: betze_rng::Rng>(rng: &mut R, n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
         if i > 0 {
@@ -99,8 +143,8 @@ pub fn base32ish(mut n: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use betze_rng::rngs::StdRng;
+    use betze_rng::SeedableRng;
 
     #[test]
     fn base32ish_is_fixed_width_and_prefix_heavy() {

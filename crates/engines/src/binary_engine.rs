@@ -59,12 +59,12 @@ impl<F: BinaryFormat> BinaryStore<F> {
             queries: 1,
             ..Default::default()
         };
-        let dataset = self
-            .datasets
-            .get(&query.base)
-            .ok_or_else(|| EngineError::UnknownDataset {
-                name: query.base.clone(),
-            })?;
+        let dataset =
+            self.datasets
+                .get(&query.base)
+                .ok_or_else(|| EngineError::UnknownDataset {
+                    name: query.base.clone(),
+                })?;
 
         // Scan: match each encoded document without materializing it.
         let mut nav = NavStats::default();
@@ -84,11 +84,15 @@ impl<F: BinaryFormat> BinaryStore<F> {
         counters.values_decoded += nav.values_decoded;
         counters.predicate_evals += nav.predicate_evals;
 
-        // Materialize only what the output needs.
-        let mut materialized: Vec<Value> = matching_idx
-            .iter()
-            .filter_map(|&i| F::decode(&dataset[i]))
-            .collect();
+        // Materialize only what the output needs. A document that fails
+        // to decode is corrupt storage — a permanent fault, surfaced via
+        // the error taxonomy instead of being silently dropped.
+        let mut materialized: Vec<Value> = Vec::with_capacity(matching_idx.len());
+        for &i in &matching_idx {
+            materialized.push(F::decode(&dataset[i]).ok_or_else(|| EngineError::Storage {
+                message: format!("corrupt {} document #{i} in '{}'", F::NAME, query.base),
+            })?);
+        }
 
         // Transformations (§VII) force full materialization plus a
         // re-encode of any stored intermediate — "the base dataset cannot
@@ -104,8 +108,7 @@ impl<F: BinaryFormat> BinaryStore<F> {
                 matching_idx.iter().map(|&i| dataset[i].clone()).collect()
             } else {
                 let encoded: Vec<Vec<u8>> = materialized.iter().map(|d| F::encode(d)).collect();
-                counters.bytes_scanned +=
-                    encoded.iter().map(|e| e.len() as u64).sum::<u64>();
+                counters.bytes_scanned += encoded.iter().map(|e| e.len() as u64).sum::<u64>();
                 encoded
             };
             self.datasets.insert(store.clone(), copy);

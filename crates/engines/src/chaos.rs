@@ -1,0 +1,477 @@
+//! Deterministic fault injection: a chaos wrapper around any [`Engine`].
+//!
+//! The paper's evaluation already encodes failure semantics (timed-out
+//! runs are dashes in Table III, Fig. 10 stops at the cut-off); real
+//! deployments add storage hiccups, latency spikes and cache evictions
+//! on top. [`ChaosEngine`] injects exactly those faults — **seed-driven
+//! and fully deterministic**, so a chaotic benchmark run is as
+//! reproducible as a clean one:
+//!
+//! * same [`FaultPlan`] (seed + rates) ⇒ the same fault schedule, every
+//!   run, on every host;
+//! * every fault rate 0 ⇒ behaviour byte-identical to the wrapped
+//!   engine (reports, counters, results);
+//! * [`Engine::reset`] rewinds the fault schedule to the beginning, so
+//!   independent session runs see identical chaos.
+//!
+//! Fault kinds:
+//!
+//! * **transient storage faults** — `execute` fails with
+//!   [`EngineError::Transient`] before reaching the inner engine;
+//! * **transient import faults** — ditto for `import`;
+//! * **latency spikes** — a successful operation's wall *and* modeled
+//!   time are inflated by a constant factor (the counters stay
+//!   truthful: the work done did not change, the environment was slow);
+//! * **evictions** — immediately after a query stores a derived
+//!   dataset (`store_as`), the intermediate is dropped from the inner
+//!   engine, so downstream readers hit [`EngineError::UnknownDataset`]
+//!   until the harness re-materializes it by lineage replay. Each
+//!   dataset name is evicted at most once per reset (an evicted-and-
+//!   rebuilt intermediate is hot and stays).
+
+use crate::{Engine, EngineError, ExecutionReport, QueryOutcome};
+use betze_json::Value;
+use betze_model::Query;
+use betze_rng::{Rng, SeedableRng, StdRng};
+use std::collections::HashSet;
+
+/// The recipe for a deterministic fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream. Independent from (and composable with)
+    /// the data/session generation seeds: the same workload can be run
+    /// under many fault schedules and vice versa.
+    pub seed: u64,
+    /// Probability that one `execute` call fails with a transient
+    /// storage fault before reaching the inner engine.
+    pub storage_fault_rate: f64,
+    /// Probability that one `import` call fails transiently.
+    pub import_fault_rate: f64,
+    /// Probability that a successful operation's time is inflated.
+    pub latency_spike_rate: f64,
+    /// Inflation factor for spiked operations (> 1).
+    pub latency_spike_factor: f64,
+    /// Probability that a freshly stored `store_as` intermediate is
+    /// evicted right after the storing query returns.
+    pub eviction_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (rates all zero).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            storage_fault_rate: 0.0,
+            import_fault_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike_factor: 4.0,
+            eviction_rate: 0.0,
+        }
+    }
+
+    /// Sets the transient storage-fault rate.
+    pub fn storage_faults(mut self, rate: f64) -> Self {
+        self.storage_fault_rate = rate;
+        self
+    }
+
+    /// Sets the transient import-fault rate.
+    pub fn import_faults(mut self, rate: f64) -> Self {
+        self.import_fault_rate = rate;
+        self
+    }
+
+    /// Sets the latency-spike rate and factor.
+    pub fn latency_spikes(mut self, rate: f64, factor: f64) -> Self {
+        self.latency_spike_rate = rate;
+        self.latency_spike_factor = factor;
+        self
+    }
+
+    /// Sets the intermediate-eviction rate.
+    pub fn evictions(mut self, rate: f64) -> Self {
+        self.eviction_rate = rate;
+        self
+    }
+
+    /// True if every fault rate is zero (the wrapper is a no-op).
+    pub fn is_noop(&self) -> bool {
+        self.storage_fault_rate == 0.0
+            && self.import_fault_rate == 0.0
+            && self.latency_spike_rate == 0.0
+            && self.eviction_rate == 0.0
+    }
+
+    /// Validates rates (each in `[0, 1]`, factor ≥ 1).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("storage_fault_rate", self.storage_fault_rate),
+            ("import_fault_rate", self.import_fault_rate),
+            ("latency_spike_rate", self.latency_spike_rate),
+            ("eviction_rate", self.eviction_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        if self.latency_spike_factor < 1.0 {
+            return Err(format!(
+                "latency_spike_factor must be ≥ 1, got {}",
+                self.latency_spike_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What kind of fault was injected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `execute` failed with a transient storage fault.
+    StorageFault,
+    /// `import` failed transiently.
+    ImportFault { dataset: String },
+    /// An operation's time was inflated.
+    LatencySpike,
+    /// A stored intermediate was dropped.
+    Eviction { dataset: String },
+}
+
+/// One entry of the fault schedule, for determinism assertions and
+/// reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Sequence number of the engine operation (import/execute call,
+    /// counted from 0 since the last reset) the fault hit.
+    pub op: u64,
+    /// The injected fault.
+    pub kind: FaultKind,
+}
+
+/// A deterministic chaos wrapper around any engine. See the module docs
+/// for the fault model.
+#[derive(Debug)]
+pub struct ChaosEngine<E> {
+    inner: E,
+    plan: FaultPlan,
+    rng: StdRng,
+    op: u64,
+    evicted_once: HashSet<String>,
+    log: Vec<FaultEvent>,
+}
+
+impl<E: Engine> ChaosEngine<E> {
+    /// Wraps `inner` under the given fault plan. Panics on an invalid
+    /// plan (rates outside `[0, 1]`).
+    pub fn new(inner: E, plan: FaultPlan) -> Self {
+        if let Err(msg) = plan.validate() {
+            panic!("invalid fault plan: {msg}");
+        }
+        let rng = StdRng::seed_from_u64(plan.seed);
+        ChaosEngine {
+            inner,
+            plan,
+            rng,
+            op: 0,
+            evicted_once: HashSet::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The fault plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The faults injected since the last reset, in schedule order.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps the inner engine.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// One Bernoulli draw from the fault stream. Always consumes exactly
+    /// one word so the schedule is a pure function of the call sequence.
+    fn draw(&mut self, rate: f64) -> bool {
+        self.rng.gen_bool(rate)
+    }
+
+    /// Applies a (possible) latency spike to a successful report.
+    fn maybe_spike(&mut self, report: &mut ExecutionReport) {
+        if self.draw(self.plan.latency_spike_rate) {
+            self.log.push(FaultEvent {
+                op: self.op,
+                kind: FaultKind::LatencySpike,
+            });
+            report.wall = report.wall.mul_f64(self.plan.latency_spike_factor);
+            report.modeled = report.modeled.mul_f64(self.plan.latency_spike_factor);
+        }
+    }
+}
+
+impl<E: Engine> Engine for ChaosEngine<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn short_name(&self) -> &'static str {
+        self.inner.short_name()
+    }
+
+    fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError> {
+        let op = self.op;
+        self.op += 1;
+        if self.draw(self.plan.import_fault_rate) {
+            self.log.push(FaultEvent {
+                op,
+                kind: FaultKind::ImportFault {
+                    dataset: name.to_owned(),
+                },
+            });
+            return Err(EngineError::Transient {
+                message: format!("injected import fault for '{name}' (op {op})"),
+                attempt_hint: 1,
+            });
+        }
+        let mut report = self.inner.import(name, docs)?;
+        self.maybe_spike(&mut report);
+        Ok(report)
+    }
+
+    fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        let op = self.op;
+        self.op += 1;
+        if self.draw(self.plan.storage_fault_rate) {
+            self.log.push(FaultEvent {
+                op,
+                kind: FaultKind::StorageFault,
+            });
+            return Err(EngineError::Transient {
+                message: format!("injected storage fault on '{}' (op {op})", query.base),
+                attempt_hint: 1,
+            });
+        }
+        let mut outcome = self.inner.execute(query)?;
+        self.maybe_spike(&mut outcome.report);
+        if let Some(stored) = &query.store_as {
+            // Evict each intermediate at most once per reset: a replayed
+            // (re-materialized) dataset is hot and stays, which keeps
+            // lineage-replay recovery convergent even at rate 1.
+            if !self.evicted_once.contains(stored) && self.draw(self.plan.eviction_rate) {
+                self.evicted_once.insert(stored.clone());
+                self.inner.forget(stored);
+                self.log.push(FaultEvent {
+                    op,
+                    kind: FaultKind::Eviction {
+                        dataset: stored.clone(),
+                    },
+                });
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn forget(&mut self, name: &str) -> bool {
+        self.inner.forget(name)
+    }
+
+    /// Resets the inner engine **and rewinds the fault schedule**: the
+    /// next run sees the identical fault stream.
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.rng = StdRng::seed_from_u64(self.plan.seed);
+        self.op = 0;
+        self.evicted_once.clear();
+        self.log.clear();
+    }
+
+    fn threads(&self) -> usize {
+        self.inner.threads()
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.inner.set_threads(threads);
+    }
+
+    fn set_output_enabled(&mut self, on: bool) {
+        self.inner.set_output_enabled(on);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JodaSim;
+    use betze_json::{json, JsonPointer};
+    use betze_model::{FilterFn, Predicate};
+
+    fn docs() -> Vec<Value> {
+        (0..60)
+            .map(|i| json!({ "n": (i as i64), "even": (i % 2 == 0) }))
+            .collect()
+    }
+
+    fn even() -> Predicate {
+        Predicate::leaf(FilterFn::BoolEq {
+            path: JsonPointer::parse("/even").unwrap(),
+            value: true,
+        })
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![
+            Query::scan("t").with_filter(even()).store_as("evens"),
+            Query::scan("evens"),
+            Query::scan("t"),
+        ]
+    }
+
+    /// Runs the query list, collecting per-query results (ignoring
+    /// errors), for equivalence comparisons.
+    fn run_all(engine: &mut impl Engine) -> Vec<Result<QueryOutcome, EngineError>> {
+        engine.reset();
+        engine.import("t", &docs()).unwrap();
+        queries().iter().map(|q| engine.execute(q)).collect()
+    }
+
+    #[test]
+    fn zero_rates_are_byte_identical_to_inner() {
+        let mut plain = JodaSim::new(1);
+        let mut chaotic = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(99));
+        assert!(chaotic.plan().is_noop());
+        let a = run_all(&mut plain);
+        let b = run_all(&mut chaotic);
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.docs, y.docs);
+            assert_eq!(x.report.counters, y.report.counters);
+            assert_eq!(x.report.modeled, y.report.modeled);
+        }
+        assert!(chaotic.fault_log().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let plan = FaultPlan::none(7)
+            .storage_faults(0.3)
+            .latency_spikes(0.3, 5.0)
+            .evictions(0.5);
+        let mut a = ChaosEngine::new(JodaSim::new(1), plan.clone());
+        let mut b = ChaosEngine::new(JodaSim::new(1), plan);
+        let ra: Vec<bool> = run_all(&mut a).iter().map(Result::is_ok).collect();
+        let rb: Vec<bool> = run_all(&mut b).iter().map(Result::is_ok).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(a.fault_log(), b.fault_log());
+        // Reset rewinds the schedule: a third run on the same engine is
+        // identical too.
+        let log1 = a.fault_log().to_vec();
+        let ra2: Vec<bool> = run_all(&mut a).iter().map(Result::is_ok).collect();
+        assert_eq!(ra, ra2);
+        assert_eq!(log1, a.fault_log());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mk = |seed| {
+            FaultPlan::none(seed)
+                .storage_faults(0.4)
+                .latency_spikes(0.4, 3.0)
+        };
+        let mut a = ChaosEngine::new(JodaSim::new(1), mk(1));
+        let mut b = ChaosEngine::new(JodaSim::new(1), mk(2));
+        run_all(&mut a);
+        run_all(&mut b);
+        assert_ne!(a.fault_log(), b.fault_log());
+    }
+
+    #[test]
+    fn storage_faults_are_transient() {
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(1).storage_faults(1.0));
+        chaos.import("t", &docs()).unwrap();
+        let err = chaos.execute(&Query::scan("t")).unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.attempt_hint() >= 1);
+    }
+
+    #[test]
+    fn import_faults_are_transient() {
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(1).import_faults(1.0));
+        let err = chaos.import("t", &docs()).unwrap_err();
+        assert!(err.is_transient());
+        assert!(matches!(
+            chaos.fault_log(),
+            [FaultEvent {
+                kind: FaultKind::ImportFault { .. },
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn latency_spikes_inflate_time_not_counters() {
+        let mut plain = JodaSim::new(1);
+        let mut chaos =
+            ChaosEngine::new(JodaSim::new(1), FaultPlan::none(3).latency_spikes(1.0, 4.0));
+        plain.import("t", &docs()).unwrap();
+        chaos.import("t", &docs()).unwrap();
+        let q = Query::scan("t").with_filter(even());
+        let a = plain.execute(&q).unwrap();
+        let b = chaos.execute(&q).unwrap();
+        assert_eq!(a.report.counters, b.report.counters);
+        assert_eq!(b.report.modeled, a.report.modeled.mul_f64(4.0));
+        assert!(chaos
+            .fault_log()
+            .iter()
+            .any(|e| e.kind == FaultKind::LatencySpike));
+    }
+
+    #[test]
+    fn eviction_drops_stored_intermediate_once() {
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(5).evictions(1.0));
+        chaos.import("t", &docs()).unwrap();
+        chaos
+            .execute(&Query::scan("t").with_filter(even()).store_as("evens"))
+            .unwrap();
+        // The intermediate is gone.
+        let err = chaos.execute(&Query::scan("evens")).unwrap_err();
+        assert_eq!(err.lost_dataset(), Some("evens"));
+        // Re-materializing it sticks: each name is evicted at most once.
+        chaos
+            .execute(&Query::scan("t").with_filter(even()).store_as("evens"))
+            .unwrap();
+        assert!(chaos.execute(&Query::scan("evens")).is_ok());
+        assert_eq!(
+            chaos
+                .fault_log()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::Eviction { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(FaultPlan::none(0).storage_faults(1.5).validate().is_err());
+        assert!(FaultPlan::none(0)
+            .latency_spikes(0.5, 0.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none(0).evictions(-0.1).validate().is_err());
+        assert!(FaultPlan::none(0)
+            .storage_faults(0.2)
+            .import_faults(0.3)
+            .latency_spikes(0.1, 2.0)
+            .evictions(0.4)
+            .validate()
+            .is_ok());
+    }
+}

@@ -114,6 +114,10 @@ mod tests {
     #[test]
     fn zero_detection() {
         assert!(WorkCounters::new().is_zero());
-        assert!(!WorkCounters { queries: 1, ..Default::default() }.is_zero());
+        assert!(!WorkCounters {
+            queries: 1,
+            ..Default::default()
+        }
+        .is_zero());
     }
 }

@@ -9,13 +9,74 @@ use std::fmt;
 use std::time::Duration;
 
 /// An error raised by an engine.
+///
+/// The taxonomy distinguishes **transient** faults (worth retrying; the
+/// resilient runner backs off on the modeled clock and re-executes) from
+/// **permanent** ones (retrying cannot help). `UnknownDataset` is
+/// permanent for the engine but recoverable at the session level: the
+/// runner can re-materialize a lost intermediate by replaying its
+/// producing lineage.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
-    /// The query referenced a dataset the engine has not imported.
+    /// The query referenced a dataset the engine has not imported (or
+    /// that was dropped/evicted since). Permanent for the engine;
+    /// recoverable by lineage replay in the harness.
     UnknownDataset { name: String },
-    /// The engine's storage layer failed (e.g. the jq engine could not
-    /// read its input file).
+    /// The engine's storage layer failed permanently (e.g. corrupt
+    /// input the jq engine cannot parse).
     Storage { message: String },
+    /// A transient fault (I/O hiccup, injected chaos, contention):
+    /// retrying the same operation may succeed. `attempt_hint` is the
+    /// fault source's suggestion for how many retries are worthwhile
+    /// (0 = no opinion); retry policies may take the maximum of their
+    /// own budget and this hint.
+    Transient { message: String, attempt_hint: u32 },
+    /// Importing a dataset failed permanently.
+    ImportFailed { name: String, message: String },
+    /// An internal invariant was violated (harness/engine plumbing bug).
+    Internal { message: String },
+}
+
+impl EngineError {
+    /// True if retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Transient { .. })
+    }
+
+    /// The fault source's retry suggestion (0 for permanent errors or
+    /// when the source has no opinion).
+    pub fn attempt_hint(&self) -> u32 {
+        match self {
+            EngineError::Transient { attempt_hint, .. } => *attempt_hint,
+            _ => 0,
+        }
+    }
+
+    /// The dataset whose absence caused this error, if the error is a
+    /// dependency loss the harness can try to repair by lineage replay.
+    pub fn lost_dataset(&self) -> Option<&str> {
+        match self {
+            EngineError::UnknownDataset { name } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Classifies an I/O error: scheduling/timing hiccups are transient,
+    /// everything else is a permanent storage failure.
+    pub fn from_io(e: &std::io::Error, what: &str) -> EngineError {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                EngineError::Transient {
+                    message: format!("{what}: {e}"),
+                    attempt_hint: 1,
+                }
+            }
+            _ => EngineError::Storage {
+                message: format!("{what}: {e}"),
+            },
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -25,6 +86,19 @@ impl fmt::Display for EngineError {
                 write!(f, "unknown dataset '{name}' (not imported)")
             }
             EngineError::Storage { message } => write!(f, "storage error: {message}"),
+            EngineError::Transient {
+                message,
+                attempt_hint,
+            } => {
+                write!(
+                    f,
+                    "transient fault: {message} (attempt hint {attempt_hint})"
+                )
+            }
+            EngineError::ImportFailed { name, message } => {
+                write!(f, "import of '{name}' failed: {message}")
+            }
+            EngineError::Internal { message } => write!(f, "internal error: {message}"),
         }
     }
 }
@@ -123,6 +197,47 @@ pub trait Engine {
     fn set_output_enabled(&mut self, _on: bool) {}
 }
 
+/// Boxed engines are engines too, so wrappers like
+/// [`ChaosEngine`](crate::ChaosEngine) compose with `Box<dyn Engine>`
+/// collections such as [`all_engines`](crate::all_engines).
+impl<E: Engine + ?Sized> Engine for Box<E> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn short_name(&self) -> &'static str {
+        (**self).short_name()
+    }
+
+    fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError> {
+        (**self).import(name, docs)
+    }
+
+    fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        (**self).execute(query)
+    }
+
+    fn forget(&mut self, name: &str) -> bool {
+        (**self).forget(name)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn threads(&self) -> usize {
+        (**self).threads()
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        (**self).set_threads(threads)
+    }
+
+    fn set_output_enabled(&mut self, on: bool) {
+        (**self).set_output_enabled(on)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +264,56 @@ mod tests {
     fn error_display() {
         let e = EngineError::UnknownDataset { name: "tw".into() };
         assert!(e.to_string().contains("tw"));
+        let t = EngineError::Transient {
+            message: "disk hiccup".into(),
+            attempt_hint: 2,
+        };
+        assert!(t.to_string().contains("disk hiccup"));
+        let i = EngineError::ImportFailed {
+            name: "tw".into(),
+            message: "bad bytes".into(),
+        };
+        assert!(i.to_string().contains("tw") && i.to_string().contains("bad bytes"));
+    }
+
+    #[test]
+    fn taxonomy_classifies_transience() {
+        let t = EngineError::Transient {
+            message: "x".into(),
+            attempt_hint: 3,
+        };
+        assert!(t.is_transient());
+        assert_eq!(t.attempt_hint(), 3);
+        assert_eq!(t.lost_dataset(), None);
+        let u = EngineError::UnknownDataset { name: "mid".into() };
+        assert!(!u.is_transient());
+        assert_eq!(u.lost_dataset(), Some("mid"));
+        assert_eq!(u.attempt_hint(), 0);
+        for e in [
+            EngineError::Storage {
+                message: "x".into(),
+            },
+            EngineError::ImportFailed {
+                name: "a".into(),
+                message: "x".into(),
+            },
+            EngineError::Internal {
+                message: "x".into(),
+            },
+        ] {
+            assert!(!e.is_transient());
+            assert_eq!(e.lost_dataset(), None);
+        }
+    }
+
+    #[test]
+    fn io_errors_classify_by_kind() {
+        use std::io;
+        let transient = io::Error::new(io::ErrorKind::Interrupted, "signal");
+        assert!(EngineError::from_io(&transient, "reading").is_transient());
+        let permanent = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = EngineError::from_io(&permanent, "reading");
+        assert!(!e.is_transient());
+        assert!(matches!(e, EngineError::Storage { .. }));
     }
 }

@@ -1,7 +1,9 @@
 //! The JODA-like engine: in-memory, multi-threaded, with Delta-Tree-style
 //! reuse of intermediate results.
 
-use crate::{CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome, WorkCounters};
+use crate::{
+    CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome, WorkCounters,
+};
 use betze_json::Value;
 use betze_model::{Predicate, Query};
 use std::collections::HashMap;
@@ -88,8 +90,11 @@ impl JodaSim {
         // fewer); the cost model treats it as the scan's predicate work.
         counters.predicate_evals += leaves * docs.len() as u64;
         if self.threads <= 1 || docs.len() < 1024 {
-            let out: Vec<Value> =
-                docs.iter().filter(|d| predicate.matches(d)).cloned().collect();
+            let out: Vec<Value> = docs
+                .iter()
+                .filter(|d| predicate.matches(d))
+                .cloned()
+                .collect();
             // The filtered set becomes an in-memory intermediate dataset
             // (JODA materializes result sets for reuse).
             counters.docs_materialized += out.len() as u64;
@@ -99,12 +104,14 @@ impl JodaSim {
         std::thread::scope(|scope| {
             let handles: Vec<_> = docs
                 .chunks(chunk)
-                .map(|part| scope.spawn(move || {
-                    part.iter()
-                        .filter(|d| predicate.matches(d))
-                        .cloned()
-                        .collect::<Vec<Value>>()
-                }))
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .filter(|d| predicate.matches(d))
+                            .cloned()
+                            .collect::<Vec<Value>>()
+                    })
+                })
                 .collect();
             let mut out = Vec::new();
             for handle in handles {
@@ -164,8 +171,9 @@ impl Engine for JodaSim {
         counters.import_bytes = text.len() as u64;
         // Import parses the raw text into memory — that is the work the
         // import phase consists of for an in-memory system.
-        let parsed = betze_json::parse_many(&text).map_err(|e| EngineError::Storage {
-            message: format!("import parse failed: {e}"),
+        let parsed = betze_json::parse_many(&text).map_err(|e| EngineError::ImportFailed {
+            name: name.to_owned(),
+            message: format!("parse failed: {e}"),
         })?;
         self.datasets.insert(name.to_owned(), Arc::new(parsed));
         if self.eviction {
@@ -194,18 +202,16 @@ impl Engine for JodaSim {
                 self.datasets.insert(query.base.clone(), Arc::new(parsed));
             }
         }
-        let base_docs = self
-            .datasets
-            .get(&query.base)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownDataset {
-                name: query.base.clone(),
-            })?;
+        let base_docs =
+            self.datasets
+                .get(&query.base)
+                .cloned()
+                .ok_or_else(|| EngineError::UnknownDataset {
+                    name: query.base.clone(),
+                })?;
 
         let filtered = match &query.filter {
-            Some(predicate) => {
-                self.filtered(&query.base, &base_docs, predicate, &mut counters)
-            }
+            Some(predicate) => self.filtered(&query.base, &base_docs, predicate, &mut counters),
             None => {
                 counters.docs_scanned += base_docs.len() as u64;
                 Arc::clone(&base_docs)
@@ -218,8 +224,7 @@ impl Engine for JodaSim {
             filtered
         } else {
             let mut transformed = filtered.as_ref().clone();
-            counters.transform_ops +=
-                (transformed.len() * query.transforms.len()) as u64;
+            counters.transform_ops += (transformed.len() * query.transforms.len()) as u64;
             betze_model::apply_all(&query.transforms, &mut transformed);
             Arc::new(transformed)
         };
@@ -253,7 +258,8 @@ impl Engine for JodaSim {
 
     fn forget(&mut self, name: &str) -> bool {
         self.raw.remove(name);
-        self.cache.retain(|key, _| !key.starts_with(&format!("{name}|")));
+        self.cache
+            .retain(|key, _| !key.starts_with(&format!("{name}|")));
         self.datasets.remove(name).is_some()
     }
 
@@ -293,7 +299,10 @@ mod tests {
     }
 
     fn even() -> Predicate {
-        Predicate::leaf(FilterFn::BoolEq { path: ptr("/even"), value: true })
+        Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/even"),
+            value: true,
+        })
     }
 
     fn small() -> Predicate {
@@ -361,7 +370,10 @@ mod tests {
         let a = joda1.execute(&q).unwrap();
         let b = joda4.execute(&q).unwrap();
         assert_eq!(a.docs, b.docs);
-        assert_eq!(a.report.counters.docs_scanned, b.report.counters.docs_scanned);
+        assert_eq!(
+            a.report.counters.docs_scanned,
+            b.report.counters.docs_scanned
+        );
         // Modeled time shrinks with threads.
         assert!(b.report.modeled < a.report.modeled);
     }
@@ -373,9 +385,15 @@ mod tests {
         joda.import("t", &docs()).unwrap();
         let q = Query::scan("t").with_filter(even());
         let r1 = joda.execute(&q).unwrap();
-        assert!(r1.report.counters.bytes_parsed > 0, "must re-parse raw data");
+        assert!(
+            r1.report.counters.bytes_parsed > 0,
+            "must re-parse raw data"
+        );
         let r2 = joda.execute(&q).unwrap();
-        assert_eq!(r2.report.counters.cache_hits, 0, "eviction disables the cache");
+        assert_eq!(
+            r2.report.counters.cache_hits, 0,
+            "eviction disables the cache"
+        );
         assert!(r2.report.counters.bytes_parsed > 0);
         assert_eq!(r1.docs, r2.docs);
     }
@@ -401,7 +419,9 @@ mod tests {
         let q = Query::scan("t")
             .with_filter(even())
             .with_aggregation(Aggregation::new(
-                AggFunc::Count { path: JsonPointer::root() },
+                AggFunc::Count {
+                    path: JsonPointer::root(),
+                },
                 "count",
             ));
         let out = joda.execute(&q).unwrap();

@@ -1,6 +1,8 @@
 //! The jq-like engine.
 
-use crate::{CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome, WorkCounters};
+use crate::{
+    CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome, WorkCounters,
+};
 use betze_json::Value;
 use betze_model::Query;
 use std::collections::HashMap;
@@ -31,11 +33,7 @@ impl JqSim {
     /// A fresh jq-like engine with its own temp directory.
     pub fn new() -> Self {
         let id = INSTANCE_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "betze-jq-{}-{}",
-            std::process::id(),
-            id
-        ));
+        let dir = std::env::temp_dir().join(format!("betze-jq-{}-{}", std::process::id(), id));
         JqSim {
             dir,
             files: HashMap::new(),
@@ -51,10 +49,11 @@ impl JqSim {
         self.dir.join(format!("{name}.json"))
     }
 
+    /// Classifies an I/O failure via the shared taxonomy: interrupted/
+    /// timed-out reads are transient (retry may succeed), the rest are
+    /// permanent storage errors.
     fn storage_err(e: std::io::Error, what: &str) -> EngineError {
-        EngineError::Storage {
-            message: format!("{what}: {e}"),
-        }
+        EngineError::from_io(&e, what)
     }
 }
 
@@ -124,9 +123,11 @@ impl Engine for JqSim {
 
         let mut matching: Vec<Value> = match &query.filter {
             Some(predicate) => {
-                counters.predicate_evals +=
-                    predicate.leaf_count() as u64 * parsed.len() as u64;
-                parsed.into_iter().filter(|d| predicate.matches(d)).collect()
+                counters.predicate_evals += predicate.leaf_count() as u64 * parsed.len() as u64;
+                parsed
+                    .into_iter()
+                    .filter(|d| predicate.matches(d))
+                    .collect()
             }
             None => parsed,
         };
@@ -215,7 +216,10 @@ mod tests {
         let q = Query::scan("t").with_filter(below(5.0));
         let r1 = jq.execute(&q).unwrap();
         let r2 = jq.execute(&q).unwrap();
-        assert_eq!(r1.report.counters.bytes_parsed, r2.report.counters.bytes_parsed);
+        assert_eq!(
+            r1.report.counters.bytes_parsed,
+            r2.report.counters.bytes_parsed
+        );
         assert_eq!(r1.report.counters.docs_scanned, 30);
         assert_eq!(r2.report.counters.docs_scanned, 30);
     }
@@ -235,7 +239,9 @@ mod tests {
         let mut jq = JqSim::new();
         jq.import("t", &docs()).unwrap();
         let all = jq.execute(&Query::scan("t")).unwrap();
-        let few = jq.execute(&Query::scan("t").with_filter(below(2.0))).unwrap();
+        let few = jq
+            .execute(&Query::scan("t").with_filter(below(2.0)))
+            .unwrap();
         assert!(all.report.counters.bytes_output > few.report.counters.bytes_output);
     }
 

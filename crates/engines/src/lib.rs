@@ -22,8 +22,9 @@
 //! any machine.
 
 mod binary_engine;
-mod counters;
+pub mod chaos;
 mod cost;
+mod counters;
 mod engine;
 mod joda;
 mod jqsim;
@@ -31,8 +32,9 @@ mod mongo;
 mod pg;
 pub mod storage;
 
-pub use counters::WorkCounters;
+pub use chaos::{ChaosEngine, FaultEvent, FaultKind, FaultPlan};
 pub use cost::{CostModel, CostProfile};
+pub use counters::WorkCounters;
 pub use engine::{Engine, EngineError, ExecutionReport, QueryOutcome};
 pub use joda::JodaSim;
 pub use jqsim::JqSim;

@@ -111,7 +111,9 @@ mod tests {
         let mut pg = PgSim::new();
         pg.import("t", &docs()).unwrap();
         let q = Query::scan("t").with_aggregation(Aggregation::grouped(
-            AggFunc::Count { path: JsonPointer::root() },
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
             JsonPointer::parse("/akey").unwrap(),
             "count",
         ));
@@ -125,7 +127,9 @@ mod tests {
         let mut pg = PgSim::new();
         let import = pg.import("t", &docs()).unwrap();
         let q = Query::scan("t").with_aggregation(Aggregation::new(
-            AggFunc::Count { path: JsonPointer::root() },
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
             "count",
         ));
         let query = pg.execute(&q).unwrap();
@@ -133,8 +137,7 @@ mod tests {
         // scan cost (2.9 ns/B) for an aggregation query with tiny output.
         assert!(import.counters.import_bytes > 0);
         assert!(
-            import.modeled.as_secs_f64()
-                > query.report.modeled.as_secs_f64() - 4.0e-3, // minus per-query overhead
+            import.modeled.as_secs_f64() > query.report.modeled.as_secs_f64() - 4.0e-3, // minus per-query overhead
         );
     }
 

@@ -24,6 +24,8 @@ use betze_json::{Number, Object, Value};
 pub struct BsonLike;
 
 impl BinaryFormat for BsonLike {
+    const NAME: &'static str = "bson";
+
     fn encode(value: &Value) -> Vec<u8> {
         let mut out = Vec::with_capacity(value.approx_size() + 16);
         encode_value(value, &mut out);
@@ -38,8 +40,8 @@ impl BinaryFormat for BsonLike {
     fn navigate<'a>(doc: &'a [u8], tokens: &[String], nav: &mut NavStats) -> Option<Raw<'a>> {
         let mut cur = doc;
         for token in tokens {
-            match cur.first()? {
-                &tag::OBJECT => {
+            match *cur.first()? {
+                tag::OBJECT => {
                     let count = read_u32(cur, 5) as usize;
                     let mut at = 9usize;
                     let mut found = None;
@@ -57,7 +59,7 @@ impl BinaryFormat for BsonLike {
                     }
                     cur = found?;
                 }
-                &tag::ARRAY => {
+                tag::ARRAY => {
                     let idx: usize = token.parse().ok()?;
                     let count = read_u32(cur, 5) as usize;
                     if idx >= count {
@@ -120,26 +122,30 @@ fn value_size(bytes: &[u8]) -> Option<usize> {
 }
 
 fn decode_value(bytes: &[u8]) -> Option<(Value, usize)> {
-    Some(match bytes.first()? {
-        &tag::NULL => (Value::Null, 1),
-        &tag::FALSE => (Value::Bool(false), 1),
-        &tag::TRUE => (Value::Bool(true), 1),
-        &tag::INT => (
-            Value::Number(Number::Int(i64::from_le_bytes(bytes[1..9].try_into().ok()?))),
+    Some(match *bytes.first()? {
+        tag::NULL => (Value::Null, 1),
+        tag::FALSE => (Value::Bool(false), 1),
+        tag::TRUE => (Value::Bool(true), 1),
+        tag::INT => (
+            Value::Number(Number::Int(i64::from_le_bytes(
+                bytes[1..9].try_into().ok()?,
+            ))),
             9,
         ),
-        &tag::FLOAT => (
-            Value::Number(Number::Float(f64::from_le_bytes(bytes[1..9].try_into().ok()?))),
+        tag::FLOAT => (
+            Value::Number(Number::Float(f64::from_le_bytes(
+                bytes[1..9].try_into().ok()?,
+            ))),
             9,
         ),
-        &tag::STRING => {
+        tag::STRING => {
             let len = read_u32(bytes, 1) as usize;
             (
                 Value::String(std::str::from_utf8(&bytes[5..5 + len]).ok()?.to_owned()),
                 5 + len,
             )
         }
-        &tag::ARRAY => {
+        tag::ARRAY => {
             let count = read_u32(bytes, 5) as usize;
             let mut at = 9usize;
             let mut elems = Vec::with_capacity(count);
@@ -150,7 +156,7 @@ fn decode_value(bytes: &[u8]) -> Option<(Value, usize)> {
             }
             (Value::Array(elems), at)
         }
-        &tag::OBJECT => {
+        tag::OBJECT => {
             let count = read_u32(bytes, 5) as usize;
             let mut at = 9usize;
             let mut obj = Object::with_capacity(count);

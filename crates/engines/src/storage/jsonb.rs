@@ -24,6 +24,8 @@ use betze_json::{Number, Object, Value};
 pub struct JsonbLike;
 
 impl BinaryFormat for JsonbLike {
+    const NAME: &'static str = "jsonb";
+
     fn encode(value: &Value) -> Vec<u8> {
         let mut out = Vec::with_capacity(value.approx_size() + 32);
         encode_value(value, &mut out);
@@ -38,8 +40,8 @@ impl BinaryFormat for JsonbLike {
     fn navigate<'a>(doc: &'a [u8], tokens: &[String], nav: &mut NavStats) -> Option<Raw<'a>> {
         let mut cur = doc;
         for token in tokens {
-            match cur.first()? {
-                &tag::OBJECT => {
+            match *cur.first()? {
+                tag::OBJECT => {
                     let count = read_u32(cur, 5) as usize;
                     let index_at = 9usize;
                     let body_at = index_at + count * 16;
@@ -66,7 +68,7 @@ impl BinaryFormat for JsonbLike {
                     }
                     cur = found?;
                 }
-                &tag::ARRAY => {
+                tag::ARRAY => {
                     let idx: usize = token.parse().ok()?;
                     let count = read_u32(cur, 5) as usize;
                     if idx >= count {
@@ -99,8 +101,7 @@ fn encode_value(value: &Value, out: &mut Vec<u8>) {
                 })
                 .collect();
             out.push(tag::ARRAY);
-            let body_len: usize =
-                encoded.len() * 8 + encoded.iter().map(Vec::len).sum::<usize>();
+            let body_len: usize = encoded.len() * 8 + encoded.iter().map(Vec::len).sum::<usize>();
             out.extend_from_slice(&(body_len as u32).to_le_bytes());
             out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
             let mut off = 0u32;
@@ -154,26 +155,30 @@ fn encode_value(value: &Value, out: &mut Vec<u8>) {
 }
 
 fn decode_value(bytes: &[u8]) -> Option<(Value, usize)> {
-    Some(match bytes.first()? {
-        &tag::NULL => (Value::Null, 1),
-        &tag::FALSE => (Value::Bool(false), 1),
-        &tag::TRUE => (Value::Bool(true), 1),
-        &tag::INT => (
-            Value::Number(Number::Int(i64::from_le_bytes(bytes[1..9].try_into().ok()?))),
+    Some(match *bytes.first()? {
+        tag::NULL => (Value::Null, 1),
+        tag::FALSE => (Value::Bool(false), 1),
+        tag::TRUE => (Value::Bool(true), 1),
+        tag::INT => (
+            Value::Number(Number::Int(i64::from_le_bytes(
+                bytes[1..9].try_into().ok()?,
+            ))),
             9,
         ),
-        &tag::FLOAT => (
-            Value::Number(Number::Float(f64::from_le_bytes(bytes[1..9].try_into().ok()?))),
+        tag::FLOAT => (
+            Value::Number(Number::Float(f64::from_le_bytes(
+                bytes[1..9].try_into().ok()?,
+            ))),
             9,
         ),
-        &tag::STRING => {
+        tag::STRING => {
             let len = read_u32(bytes, 1) as usize;
             (
                 Value::String(std::str::from_utf8(&bytes[5..5 + len]).ok()?.to_owned()),
                 5 + len,
             )
         }
-        &tag::ARRAY => {
+        tag::ARRAY => {
             let body_len = read_u32(bytes, 1) as usize;
             let count = read_u32(bytes, 5) as usize;
             let index_at = 9usize;
@@ -183,7 +188,8 @@ fn decode_value(bytes: &[u8]) -> Option<(Value, usize)> {
                 let entry = index_at + i * 8;
                 let val_off = read_u32(bytes, entry) as usize;
                 let val_len = read_u32(bytes, entry + 4) as usize;
-                let (v, used) = decode_value(&bytes[body_at + val_off..body_at + val_off + val_len])?;
+                let (v, used) =
+                    decode_value(&bytes[body_at + val_off..body_at + val_off + val_len])?;
                 if used != val_len {
                     return None;
                 }
@@ -191,7 +197,7 @@ fn decode_value(bytes: &[u8]) -> Option<(Value, usize)> {
             }
             (Value::Array(elems), 9 + body_len)
         }
-        &tag::OBJECT => {
+        tag::OBJECT => {
             let body_len = read_u32(bytes, 1) as usize;
             let count = read_u32(bytes, 5) as usize;
             let index_at = 9usize;
@@ -262,8 +268,7 @@ mod tests {
     fn navigation_resolves_nested_and_arrays() {
         let bytes = JsonbLike::encode(&doc());
         let mut nav = NavStats::default();
-        let raw =
-            JsonbLike::navigate(&bytes, &["user".into(), "name".into()], &mut nav).unwrap();
+        let raw = JsonbLike::navigate(&bytes, &["user".into(), "name".into()], &mut nav).unwrap();
         assert_eq!(raw.str_bytes(), Some(&b"alice"[..]));
         let raw = JsonbLike::navigate(
             &bytes,
@@ -273,9 +278,7 @@ mod tests {
         .unwrap();
         assert_eq!(raw.scalar(&mut nav), Some(json!(3.0)));
         assert!(JsonbLike::navigate(&bytes, &["nope".into()], &mut nav).is_none());
-        assert!(
-            JsonbLike::navigate(&bytes, &["alpha".into(), "7".into()], &mut nav).is_none()
-        );
+        assert!(JsonbLike::navigate(&bytes, &["alpha".into(), "7".into()], &mut nav).is_none());
     }
 
     #[test]

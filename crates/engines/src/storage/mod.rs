@@ -127,6 +127,9 @@ pub(crate) fn read_u16(bytes: &[u8], at: usize) -> u16 {
 
 /// A binary document format: encode, decode, and navigate by path.
 pub trait BinaryFormat {
+    /// Short format name, used in storage-error messages.
+    const NAME: &'static str;
+
     /// Encodes a value tree.
     fn encode(value: &Value) -> Vec<u8>;
 
@@ -141,20 +144,13 @@ pub trait BinaryFormat {
 /// Evaluates a leaf filter against a binary document, decoding only what
 /// the filter needs (this is what lets the engines avoid materializing
 /// documents during matching).
-pub fn filter_matches<F: BinaryFormat>(
-    doc: &[u8],
-    filter: &FilterFn,
-    nav: &mut NavStats,
-) -> bool {
+pub fn filter_matches<F: BinaryFormat>(doc: &[u8], filter: &FilterFn, nav: &mut NavStats) -> bool {
     nav.predicate_evals += 1;
-    let resolve = |path: &betze_json::JsonPointer, nav: &mut NavStats| {
-        F::navigate(doc, path.tokens(), nav)
-    };
+    let resolve =
+        |path: &betze_json::JsonPointer, nav: &mut NavStats| F::navigate(doc, path.tokens(), nav);
     match filter {
         FilterFn::Exists { path } => resolve(path, nav).is_some(),
-        FilterFn::IsString { path } => {
-            resolve(path, nav).is_some_and(|r| r.tag() == tag::STRING)
-        }
+        FilterFn::IsString { path } => resolve(path, nav).is_some_and(|r| r.tag() == tag::STRING),
         FilterFn::IntEq { path, value } => resolve(path, nav)
             .and_then(|r| r.scalar(nav))
             .and_then(|v| v.as_f64())

@@ -2,8 +2,8 @@
 
 use crate::ExplorerConfig;
 use betze_model::{DatasetGraph, DatasetId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use betze_rng::rngs::StdRng;
+use betze_rng::{Rng, SeedableRng};
 
 /// How the explorer arrived at the dataset it will query next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

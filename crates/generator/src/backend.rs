@@ -101,8 +101,9 @@ impl SelectivityBackend for InMemoryBackend {
     }
 
     fn count_matching(&mut self, id: DatasetId, predicate: &Predicate) -> usize {
-        self.docs(id)
-            .map_or(0, |docs| docs.iter().filter(|d| predicate.matches(d)).count())
+        self.docs(id).map_or(0, |docs| {
+            docs.iter().filter(|d| predicate.matches(d)).count()
+        })
     }
 
     fn register_derived(
@@ -169,7 +170,11 @@ mod tests {
         let child = DatasetId(1);
         backend.register_base(
             base,
-            vec![json!({ "a": 1 }), json!({ "a": 2, "b": 1 }), json!({ "b": 3 })],
+            vec![
+                json!({ "a": 1 }),
+                json!({ "a": 2, "b": 1 }),
+                json!({ "b": 3 }),
+            ],
         );
         backend.register_derived(base, child, &pred("/a"), &[]);
         assert_eq!(backend.dataset_size(child), 2);
@@ -187,9 +192,7 @@ mod tests {
         backend.register_base(base, vec![json!({ "a": 1 }), json!({ "a": "x" })]);
         let analysis = backend.analyze(base, "t").unwrap();
         assert_eq!(analysis.doc_count, 2);
-        let stats = analysis
-            .get(&JsonPointer::parse("/a").unwrap())
-            .unwrap();
+        let stats = analysis.get(&JsonPointer::parse("/a").unwrap()).unwrap();
         assert_eq!(stats.int_count, 1);
         assert_eq!(stats.string_count, 1);
     }

@@ -78,7 +78,10 @@ impl fmt::Display for GeneratorConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeneratorConfigError::InvalidSelectivityRange { min, max } => {
-                write!(f, "selectivity range must satisfy 0 < min < max <= 1, got [{min}, {max}]")
+                write!(
+                    f,
+                    "selectivity range must satisfy 0 < min < max <= 1, got [{min}, {max}]"
+                )
             }
             GeneratorConfigError::MaterializeWithAggregation => write!(
                 f,
@@ -98,7 +101,10 @@ impl fmt::Display for GeneratorConfigError {
                  over the unchanged base dataset"
             ),
             GeneratorConfigError::NoPredicateKinds => {
-                write!(f, "predicate include/exclude lists leave no usable predicate kind")
+                write!(
+                    f,
+                    "predicate include/exclude lists leave no usable predicate kind"
+                )
             }
         }
     }
@@ -305,7 +311,9 @@ mod tests {
 
     #[test]
     fn rejects_empty_kind_set() {
-        let c = GeneratorConfig::default().include_kinds([PredicateKind::Exists]).exclude_kinds([PredicateKind::Exists]);
+        let c = GeneratorConfig::default()
+            .include_kinds([PredicateKind::Exists])
+            .exclude_kinds([PredicateKind::Exists]);
         assert_eq!(c.validate(), Err(GeneratorConfigError::NoPredicateKinds));
     }
 
@@ -314,7 +322,10 @@ mod tests {
         for (min, max) in [(0.0, 0.9), (0.5, 0.4), (0.2, 1.5), (0.5, 0.5)] {
             let c = GeneratorConfig::default().selectivity_range(min, max);
             assert!(
-                matches!(c.validate(), Err(GeneratorConfigError::InvalidSelectivityRange { .. })),
+                matches!(
+                    c.validate(),
+                    Err(GeneratorConfigError::InvalidSelectivityRange { .. })
+                ),
                 "({min}, {max})"
             );
         }

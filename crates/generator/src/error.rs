@@ -21,7 +21,10 @@ impl fmt::Display for GenerateError {
         match self {
             GenerateError::Config(e) => write!(f, "invalid generator configuration: {e}"),
             GenerateError::EmptyAnalysis { dataset } => {
-                write!(f, "dataset '{dataset}' has no documents or no attribute paths to query")
+                write!(
+                    f,
+                    "dataset '{dataset}' has no documents or no attribute paths to query"
+                )
             }
             GenerateError::NoApplicablePredicate { query_index } => write!(
                 f,

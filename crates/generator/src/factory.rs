@@ -18,9 +18,9 @@
 
 use betze_json::JsonPointer;
 use betze_model::{Comparison, FilterFn, PredicateKind};
+use betze_rng::rngs::StdRng;
+use betze_rng::Rng;
 use betze_stats::PathStats;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Context shared by all factories during one generation step.
 #[derive(Debug, Clone)]
@@ -314,15 +314,10 @@ impl PredicateFactory for StrEqFactory {
         ctx: &FactoryContext<'_>,
         rng: &mut StdRng,
     ) -> Option<Candidate> {
-        pick_weighted_string(
-            &stats.string_values,
-            ctx,
-            rng,
-            |value| FilterFn::StrEq {
-                path: path.clone(),
-                value,
-            },
-        )
+        pick_weighted_string(&stats.string_values, ctx, rng, |value| FilterFn::StrEq {
+            path: path.clone(),
+            value,
+        })
     }
 }
 
@@ -347,15 +342,10 @@ impl PredicateFactory for HasPrefixFactory {
         ctx: &FactoryContext<'_>,
         rng: &mut StdRng,
     ) -> Option<Candidate> {
-        pick_weighted_string(
-            &stats.prefixes,
-            ctx,
-            rng,
-            |prefix| FilterFn::HasPrefix {
-                path: path.clone(),
-                prefix,
-            },
-        )
+        pick_weighted_string(&stats.prefixes, ctx, rng, |prefix| FilterFn::HasPrefix {
+            path: path.clone(),
+            prefix,
+        })
     }
 }
 
@@ -436,9 +426,9 @@ impl PredicateFactory for BoolEqFactory {
                     0
                 }
             };
-            score(b.1).cmp(&score(a.1)).then(
-                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal),
-            )
+            score(b.1)
+                .cmp(&score(a.1))
+                .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
         });
         for (value, sel) in options {
             if sel <= 0.0 {
@@ -521,9 +511,7 @@ impl PredicateFactory for ArrSizeFactory {
     }
 
     fn applicable(&self, stats: &PathStats, _ctx: &FactoryContext<'_>) -> bool {
-        stats.array_count > 0
-            && stats.array_min_size.is_some()
-            && stats.array_max_size.is_some()
+        stats.array_count > 0 && stats.array_min_size.is_some() && stats.array_max_size.is_some()
     }
 
     fn generate(
@@ -589,7 +577,7 @@ impl PredicateFactory for ObjSizeFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use betze_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
@@ -611,13 +599,24 @@ mod tests {
     #[test]
     fn exists_requires_partial_presence() {
         let f = ExistsFactory;
-        let partial = PathStats { doc_count: 40, ..Default::default() };
-        let total = PathStats { doc_count: 100, ..Default::default() };
+        let partial = PathStats {
+            doc_count: 40,
+            ..Default::default()
+        };
+        let total = PathStats {
+            doc_count: 100,
+            ..Default::default()
+        };
         let absent = PathStats::default();
         assert!(f.applicable(&partial, &ctx(100)));
-        assert!(!f.applicable(&total, &ctx(100)), "always-true EXISTS is useless");
+        assert!(
+            !f.applicable(&total, &ctx(100)),
+            "always-true EXISTS is useless"
+        );
         assert!(!f.applicable(&absent, &ctx(100)));
-        let cand = f.generate(&path(), &partial, &ctx(100), &mut rng()).unwrap();
+        let cand = f
+            .generate(&path(), &partial, &ctx(100), &mut rng())
+            .unwrap();
         assert_eq!(cand.estimated_selectivity, 0.4);
         assert_eq!(cand.filter.kind(), PredicateKind::Exists);
     }
@@ -625,7 +624,11 @@ mod tests {
     #[test]
     fn isstring_estimates_type_fraction() {
         let f = IsStringFactory;
-        let stats = PathStats { doc_count: 80, string_count: 60, ..Default::default() };
+        let stats = PathStats {
+            doc_count: 80,
+            string_count: 60,
+            ..Default::default()
+        };
         assert!(f.applicable(&stats, &ctx(100)));
         let cand = f.generate(&path(), &stats, &ctx(100), &mut rng()).unwrap();
         assert!((cand.estimated_selectivity - 0.6).abs() < 1e-12);
@@ -649,7 +652,10 @@ mod tests {
             ..Default::default()
         };
         assert!(f.applicable(&narrow, &ctx(100)));
-        assert!(!f.applicable(&wide, &ctx(100)), "1e-6 selectivity unreachable");
+        assert!(
+            !f.applicable(&wide, &ctx(100)),
+            "1e-6 selectivity unreachable"
+        );
         let cand = f.generate(&path(), &narrow, &ctx(100), &mut rng()).unwrap();
         match cand.filter {
             FilterFn::IntEq { value, .. } => assert!((0..=3).contains(&value)),
@@ -675,7 +681,7 @@ mod tests {
         for _ in 0..20 {
             let cand = f.generate(&path(), &stats, &ctx(100), &mut rng()).unwrap();
             let sel = cand.estimated_selectivity;
-            assert!(sel >= 0.2 - 1e-9 && sel <= 0.9 + 1e-9, "sel {sel}");
+            assert!((0.2 - 1e-9..=0.9 + 1e-9).contains(&sel), "sel {sel}");
             match cand.filter {
                 FilterFn::FloatCmp { value, .. } => {
                     assert!((-5.0..=20.0).contains(&value));
@@ -705,11 +711,7 @@ mod tests {
         let stats = PathStats {
             doc_count: 100,
             string_count: 100,
-            string_values: vec![
-                ("rare".into(), 1),
-                ("half".into(), 50),
-                ("tiny".into(), 2),
-            ],
+            string_values: vec![("rare".into(), 1), ("half".into(), 50), ("tiny".into(), 2)],
             ..Default::default()
         };
         assert!(f.applicable(&stats, &ctx(100)));
@@ -770,7 +772,9 @@ mod tests {
             true_count: 10,
             ..Default::default()
         };
-        let cand = f.generate(&path(), &all_true, &ctx(10), &mut rng()).unwrap();
+        let cand = f
+            .generate(&path(), &all_true, &ctx(10), &mut rng())
+            .unwrap();
         assert!(matches!(cand.filter, FilterFn::BoolEq { value: true, .. }));
     }
 
@@ -786,7 +790,9 @@ mod tests {
         };
         assert!(arr.applicable(&stats, &ctx(100)));
         assert!(!arr.applicable(&PathStats::default(), &ctx(100)));
-        let cand = arr.generate(&path(), &stats, &ctx(100), &mut rng()).unwrap();
+        let cand = arr
+            .generate(&path(), &stats, &ctx(100), &mut rng())
+            .unwrap();
         assert!(matches!(cand.filter, FilterFn::ArrSize { .. }));
         assert!(cand.estimated_selectivity > 0.0);
         assert!(cand.estimated_selectivity <= 0.5 + 1e-9);
@@ -799,10 +805,16 @@ mod tests {
             object_max_children: Some(2),
             ..Default::default()
         };
-        let cand = obj.generate(&path(), &ostats, &ctx(100), &mut rng()).unwrap();
+        let cand = obj
+            .generate(&path(), &ostats, &ctx(100), &mut rng())
+            .unwrap();
         assert!(matches!(
             cand.filter,
-            FilterFn::ObjSize { op: Comparison::Eq, value: 2, .. }
+            FilterFn::ObjSize {
+                op: Comparison::Eq,
+                value: 2,
+                ..
+            }
         ));
         assert_eq!(cand.estimated_selectivity, 1.0);
     }
@@ -810,7 +822,10 @@ mod tests {
     #[test]
     fn exclusion_list_prevents_duplicates() {
         let f = ExistsFactory;
-        let stats = PathStats { doc_count: 40, ..Default::default() };
+        let stats = PathStats {
+            doc_count: 40,
+            ..Default::default()
+        };
         let existing = [FilterFn::Exists { path: path() }];
         let ctx = FactoryContext {
             doc_count: 100,
@@ -831,8 +846,8 @@ mod tests {
 #[cfg(test)]
 mod histogram_factory_tests {
     use super::*;
+    use betze_rng::SeedableRng;
     use betze_stats::{Histogram, PathStats};
-    use rand::SeedableRng;
 
     /// A skewed distribution: 90 % of values in the lowest tenth of the
     /// range. The uniform assumption would badly misplace thresholds.
@@ -866,7 +881,8 @@ mod histogram_factory_tests {
         };
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..30 {
-            let cand = f.generate(&JsonPointer::parse("/v").unwrap(), &stats, &ctx, &mut rng)
+            let cand = f
+                .generate(&JsonPointer::parse("/v").unwrap(), &stats, &ctx, &mut rng)
                 .unwrap();
             let sel = cand.estimated_selectivity;
             assert!(
@@ -876,8 +892,11 @@ mod histogram_factory_tests {
             // Thresholds land where the data actually is: for Gt/Ge on
             // this skew, well inside the dense low region far from the
             // uniform midpoint when large fractions are requested.
-            if let FilterFn::FloatCmp { op: Comparison::Gt | Comparison::Ge, value, .. } =
-                cand.filter
+            if let FilterFn::FloatCmp {
+                op: Comparison::Gt | Comparison::Ge,
+                value,
+                ..
+            } = cand.filter
             {
                 if sel > 0.5 {
                     assert!(value < 20.0, "threshold {value} for sel {sel}");

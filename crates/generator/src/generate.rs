@@ -10,10 +10,10 @@ use betze_model::{
     AggFunc, Aggregation, DatasetGraph, DatasetId, FilterFn, Move, Predicate, Query, Session,
     Transform,
 };
+use betze_rng::rngs::StdRng;
+use betze_rng::seq::SliceRandom;
+use betze_rng::{Rng, SeedableRng};
 use betze_stats::DatasetAnalysis;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Per-query provenance collected during generation.
@@ -115,9 +115,10 @@ pub fn generate_session_multi(
     let picker = PathPicker::new(config.weighted_paths);
     let factories = all_factories();
     let allowed = config.allowed_kinds();
-    let factories: Vec<&Box<dyn PredicateFactory>> = factories
+    let factories: Vec<&dyn PredicateFactory> = factories
         .iter()
         .filter(|f| allowed.contains(&f.kind()))
+        .map(|f| f.as_ref())
         .collect();
 
     let mut graph = DatasetGraph::new();
@@ -211,8 +212,7 @@ pub fn generate_session_multi(
         let aggregation = maybe_aggregation(&states[target.0], config, &picker, &mut rng);
 
         // Optional transformation (§VII extension; materialize mode only).
-        let transforms =
-            maybe_transform(&states[target.0], config, &picker, &mut rng, query_index);
+        let transforms = maybe_transform(&states[target.0], config, &picker, &mut rng, query_index);
 
         // Name and register the new dataset (named after its chain's
         // base dataset).
@@ -248,10 +248,7 @@ pub fn generate_session_multi(
         // Export the query.
         let query = match config.export {
             ExportMode::ComposedPredicates => {
-                let base_name = states[graph
-                    .base_of(target)
-                    .expect("target exists in graph")
-                    .0]
+                let base_name = states[graph.base_of(target).expect("target exists in graph").0]
                     .name
                     .clone();
                 let mut q = Query::scan(base_name).with_filter(full_predicate.clone());
@@ -324,7 +321,7 @@ fn build_predicate(
     target: DatasetId,
     config: &GeneratorConfig,
     picker: &PathPicker,
-    factories: &[&Box<dyn PredicateFactory>],
+    factories: &[&dyn PredicateFactory],
     rng: &mut StdRng,
     backend: &mut Option<&mut dyn SelectivityBackend>,
 ) -> Option<BuiltPredicate> {
@@ -363,7 +360,11 @@ fn build_predicate(
             });
         }
         discarded += 1;
-        let distance = if achieved < lo { lo - achieved } else { achieved - hi };
+        let distance = if achieved < lo {
+            lo - achieved
+        } else {
+            achieved - hi
+        };
         if best.as_ref().is_none_or(|(d, ..)| distance < *d) {
             best = Some((distance, predicate, estimated, verified));
         }
@@ -388,7 +389,7 @@ fn instantiate(
     analysis: &DatasetAnalysis,
     config: &GeneratorConfig,
     picker: &PathPicker,
-    factories: &[&Box<dyn PredicateFactory>],
+    factories: &[&dyn PredicateFactory],
     rng: &mut StdRng,
     lo: f64,
     hi: f64,
@@ -411,9 +412,9 @@ fn instantiate(
             // Need a conjunct with selectivity ≈ target/estimated.
             let c_lo = (lo / estimated).clamp(0.0, 1.0);
             let c_hi = (hi / estimated).clamp(c_lo, 1.0);
-            let Some(extra) =
-                generate_leaf(analysis, config, picker, factories, rng, c_lo, c_hi, &leaves)
-            else {
+            let Some(extra) = generate_leaf(
+                analysis, config, picker, factories, rng, c_lo, c_hi, &leaves,
+            ) else {
                 break;
             };
             leaves.push(extra.filter.clone());
@@ -429,8 +430,8 @@ fn instantiate(
                 break;
             };
             leaves.push(extra.filter.clone());
-            estimated = estimated + extra.estimated_selectivity
-                - estimated * extra.estimated_selectivity;
+            estimated =
+                estimated + extra.estimated_selectivity - estimated * extra.estimated_selectivity;
             predicate = predicate.or(Predicate::leaf(extra.filter));
         }
     }
@@ -445,7 +446,7 @@ fn generate_leaf(
     analysis: &DatasetAnalysis,
     config: &GeneratorConfig,
     picker: &PathPicker,
-    factories: &[&Box<dyn PredicateFactory>],
+    factories: &[&dyn PredicateFactory],
     rng: &mut StdRng,
     lo: f64,
     hi: f64,
@@ -460,7 +461,7 @@ fn generate_leaf(
     for _ in 0..config.max_path_attempts {
         let path = picker.pick(analysis, rng)?;
         let stats = analysis.get(path)?;
-        let applicable: Vec<&&Box<dyn PredicateFactory>> = factories
+        let applicable: Vec<&&dyn PredicateFactory> = factories
             .iter()
             .filter(|f| f.applicable(stats, &ctx))
             .collect();
@@ -494,12 +495,11 @@ fn maybe_transform(
             from: path.clone(),
             to: format!("{}_renamed", path.leaf().unwrap_or("attr")),
         }),
-        1 => picker.pick(analysis, rng).map(|path| Transform::Remove {
-            path: path.clone(),
-        }),
+        1 => picker
+            .pick(analysis, rng)
+            .map(|path| Transform::Remove { path: path.clone() }),
         _ => Some(Transform::Add {
-            path: betze_json::JsonPointer::root()
-                .child(format!("betze_attr_{query_index}")),
+            path: betze_json::JsonPointer::root().child(format!("betze_attr_{query_index}")),
             value: if rng.gen_bool(0.5) {
                 betze_json::Value::from(rng.gen_range(0..1000i64))
             } else {
@@ -643,9 +643,7 @@ mod tests {
         for record in &outcome.records {
             // The full predicate of the created dataset must contain at
             // least as many leaves as the local one.
-            assert!(
-                record.full_predicate.leaf_count() >= record.local_predicate.leaf_count()
-            );
+            assert!(record.full_predicate.leaf_count() >= record.local_predicate.leaf_count());
             let parent = outcome.session.graph.node(record.target).unwrap();
             if parent.is_base() {
                 assert_eq!(record.full_predicate, record.local_predicate);
@@ -658,7 +656,10 @@ mod tests {
         let config = GeneratorConfig::default().export(ExportMode::MaterializedIntermediates);
         let outcome = run(config, 9);
         for (i, q) in outcome.session.queries.iter().enumerate() {
-            assert_eq!(q.store_as.as_deref(), Some(format!("twitter_{}", i + 1).as_str()));
+            assert_eq!(
+                q.store_as.as_deref(),
+                Some(format!("twitter_{}", i + 1).as_str())
+            );
             assert!(q.aggregation.is_none());
         }
         // At least one query must read from a stored intermediate (the
@@ -673,7 +674,11 @@ mod tests {
     fn aggregate_all_attaches_aggregations() {
         let config = GeneratorConfig::default().aggregate(AggregateMode::All);
         let outcome = run(config, 21);
-        assert!(outcome.session.queries.iter().all(|q| q.aggregation.is_some()));
+        assert!(outcome
+            .session
+            .queries
+            .iter()
+            .all(|q| q.aggregation.is_some()));
     }
 
     #[test]
@@ -724,10 +729,12 @@ mod tests {
     fn backendless_generation_works() {
         let docs = twitter_docs();
         let analysis = analyze("twitter", &docs);
-        let outcome =
-            generate_session(&analysis, &GeneratorConfig::default(), 123, None).unwrap();
+        let outcome = generate_session(&analysis, &GeneratorConfig::default(), 123, None).unwrap();
         assert_eq!(outcome.session.queries.len(), 10);
-        assert!(outcome.records.iter().all(|r| r.verified_selectivity.is_none()));
+        assert!(outcome
+            .records
+            .iter()
+            .all(|r| r.verified_selectivity.is_none()));
         // Estimates should at least be probabilities.
         assert!(outcome
             .records
@@ -769,8 +776,7 @@ mod multi_tests {
     fn multi_dataset_sessions_have_two_bases() {
         let (analyses, mut backend) = workloads();
         let config = GeneratorConfig::with_explorer(Preset::Novice.config());
-        let outcome =
-            generate_session_multi(&analyses, &config, 5, Some(&mut backend)).unwrap();
+        let outcome = generate_session_multi(&analyses, &config, 5, Some(&mut backend)).unwrap();
         let bases = outcome.session.graph.bases();
         assert_eq!(bases.len(), 2);
         assert_eq!(outcome.session.queries.len(), 20);
@@ -815,8 +821,7 @@ mod multi_tests {
 
     #[test]
     fn multi_rejects_empty_input() {
-        let err =
-            generate_session_multi(&[], &GeneratorConfig::default(), 1, None).unwrap_err();
+        let err = generate_session_multi(&[], &GeneratorConfig::default(), 1, None).unwrap_err();
         assert!(matches!(err, GenerateError::EmptyAnalysis { .. }));
     }
 

@@ -2,9 +2,9 @@
 //! paths").
 
 use betze_json::JsonPointer;
+use betze_rng::rngs::StdRng;
+use betze_rng::Rng;
 use betze_stats::DatasetAnalysis;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Chooses attribute paths from an analysis.
 ///
@@ -71,8 +71,8 @@ impl PathPicker {
 mod tests {
     use super::*;
     use betze_json::json;
+    use betze_rng::SeedableRng;
     use betze_stats::analyze;
-    use rand::SeedableRng;
 
     fn analysis() -> DatasetAnalysis {
         let docs: Vec<betze_json::Value> = (0..10)

@@ -112,7 +112,10 @@ impl SelectivityBackend for EngineBackend<'_> {
     fn analyze(&mut self, id: DatasetId, name: &str) -> Option<DatasetAnalysis> {
         let engine_name = self.names.get(&id)?;
         // Read the stored dataset back out of the engine and analyze it.
-        let outcome = self.engine.execute(&Query::scan(engine_name.clone())).ok()?;
+        let outcome = self
+            .engine
+            .execute(&Query::scan(engine_name.clone()))
+            .ok()?;
         Some(betze_stats::analyze(name, &outcome.docs))
     }
 }
@@ -159,8 +162,13 @@ mod tests {
         let mut mongo = MongoSim::new();
         let mut backend = EngineBackend::new(&mut mongo);
         backend.register_base(DatasetId(0), &docs).expect("import");
-        let outcome = generate_session(&analysis, &GeneratorConfig::default(), 5, Some(&mut backend))
-            .expect("generation");
+        let outcome = generate_session(
+            &analysis,
+            &GeneratorConfig::default(),
+            5,
+            Some(&mut backend),
+        )
+        .expect("generation");
         assert!(outcome
             .records
             .iter()

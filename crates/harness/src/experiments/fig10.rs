@@ -27,20 +27,20 @@ pub struct Fig10Result {
 /// ≈ 2-hour cut-off.
 pub fn fig10(scale: &Scale) -> Fig10Result {
     let base = scale.nobench_docs.max(100);
-    fig10_with_sizes(scale, vec![base / 10, base, base * 10, base * 40], Duration::from_secs(30))
+    fig10_with_sizes(
+        scale,
+        vec![base / 10, base, base * 10, base * 40],
+        Duration::from_secs(30),
+    )
 }
 
 /// [`fig10`] with explicit sizes and timeout.
-pub fn fig10_with_sizes(
-    scale: &Scale,
-    doc_counts: Vec<usize>,
-    timeout: Duration,
-) -> Fig10Result {
+pub fn fig10_with_sizes(scale: &Scale, doc_counts: Vec<usize>, timeout: Duration) -> Fig10Result {
     let mut series: Vec<(String, Vec<Option<f64>>)> = Vec::new();
     for count in &doc_counts {
         let dataset = Corpus::NoBench.generate(scale.data_seed, *count);
-        let w = prepare_dataset(dataset, &GeneratorConfig::default(), 123)
-            .expect("fig10 generation");
+        let w =
+            prepare_dataset(dataset, &GeneratorConfig::default(), 123).expect("fig10 generation");
         for (i, mut engine) in all_engines(scale.joda_threads).into_iter().enumerate() {
             let outcome = run_session_with_timeout(
                 engine.as_mut(),
@@ -50,7 +50,9 @@ pub fn fig10_with_sizes(
             )
             .expect("fig10 run");
             let value = match outcome {
-                SessionOutcome::Completed(run) => Some(run.session_modeled().as_secs_f64()),
+                SessionOutcome::Completed(run) | SessionOutcome::CompletedWithErrors(run) => {
+                    Some(run.session_modeled().as_secs_f64())
+                }
                 SessionOutcome::TimedOut { .. } => None,
             };
             if series.len() <= i {
@@ -121,7 +123,10 @@ mod tests {
         // MongoDB and PostgreSQL systems … compared to CPU scalability").
         let last = 2;
         assert!(at(joda, last) < at(pg, last));
-        assert!(at(pg, last) < at(mongo, last), "pg {pg:?} vs mongo {mongo:?}");
+        assert!(
+            at(pg, last) < at(mongo, last),
+            "pg {pg:?} vs mongo {mongo:?}"
+        );
         assert!(at(mongo, last) < at(jq, last));
     }
 

@@ -30,9 +30,8 @@ pub fn fig5(scale: &Scale) -> Fig5Result {
     let mut presets = Vec::new();
     let mut mean_ms = Vec::new();
     for preset in Preset::ALL {
-        let config = GeneratorConfig::with_explorer(
-            preset.config().with_queries_per_session(QUERIES),
-        );
+        let config =
+            GeneratorConfig::with_explorer(preset.config().with_queries_per_session(QUERIES));
         let (dataset, _, outcomes) = prepare_many(
             Corpus::Twitter,
             scale.twitter_docs,
@@ -44,8 +43,7 @@ pub fn fig5(scale: &Scale) -> Fig5Result {
         let mut sums = vec![0.0f64; QUERIES];
         let mut joda = JodaSim::new(scale.joda_threads);
         for outcome in &outcomes {
-            let run = run_session(&mut joda, &dataset, &outcome.session)
-                .expect("fig5 session run");
+            let run = run_session(&mut joda, &dataset, &outcome.session).expect("fig5 session run");
             for (i, report) in run.queries.iter().enumerate() {
                 sums[i] += report.modeled.as_secs_f64() * 1e3;
             }

@@ -148,8 +148,14 @@ mod tests {
         // hit large datasets (the paper measures expert ≈ 74 % of
         // intermediate; our Delta-Tree-style reuse is more aggressive, so
         // the ratio lands lower — see EXPERIMENTS.md).
-        assert!(novice > intermediate, "novice {novice} vs intermediate {intermediate}");
-        assert!(intermediate > expert, "intermediate {intermediate} vs expert {expert}");
+        assert!(
+            novice > intermediate,
+            "novice {novice} vs intermediate {intermediate}"
+        );
+        assert!(
+            intermediate > expert,
+            "intermediate {intermediate} vs expert {expert}"
+        );
         assert!(
             expert > intermediate * 0.33,
             "expert {expert} must stay well above the naive n-proportional share              of intermediate {intermediate}"

@@ -61,9 +61,12 @@ pub fn fig8(scale: &Scale) -> Fig8Result {
 
     // Reddit: one default session, seed 123 (as in the paper).
     let dataset = Corpus::Reddit.generate(scale.data_seed, scale.reddit_docs);
-    let w = prepare_dataset(dataset, &GeneratorConfig::default(), 123)
-        .expect("fig8 reddit generation");
-    histograms.push(("reddit".to_owned(), w.generation.session.stats().predicate_counts));
+    let w =
+        prepare_dataset(dataset, &GeneratorConfig::default(), 123).expect("fig8 reddit generation");
+    histograms.push((
+        "reddit".to_owned(),
+        w.generation.session.stats().predicate_counts,
+    ));
 
     Fig8Result { histograms }
 }
@@ -91,7 +94,10 @@ impl Fig8Result {
             }
             t.row(row);
         }
-        format!("Fig. 8: number of predicates in the generated sessions\n{}", t.render())
+        format!(
+            "Fig. 8: number of predicates in the generated sessions\n{}",
+            t.render()
+        )
     }
 }
 

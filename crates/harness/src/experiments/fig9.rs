@@ -49,8 +49,11 @@ pub fn fig9_with_threads(scale: &Scale, thread_counts: Vec<usize>) -> Fig9Result
     series.push(("JODA".to_owned(), joda_secs));
 
     // Single-threaded systems: one run, flat series.
-    let singles: Vec<Box<dyn Engine>> =
-        vec![Box::new(MongoSim::new()), Box::new(PgSim::new()), Box::new(JqSim::new())];
+    let singles: Vec<Box<dyn Engine>> = vec![
+        Box::new(MongoSim::new()),
+        Box::new(PgSim::new()),
+        Box::new(JqSim::new()),
+    ];
     for mut engine in singles {
         let run = run_session(engine.as_mut(), &w.dataset, &w.generation.session)
             .expect("fig9 single-threaded run");

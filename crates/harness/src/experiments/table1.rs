@@ -38,7 +38,12 @@ impl Table1Result {
             "queries per session",
         ]);
         for (name, alpha, beta, n) in &self.rows {
-            t.row([name.clone(), alpha.to_string(), beta.to_string(), n.to_string()]);
+            t.row([
+                name.clone(),
+                alpha.to_string(),
+                beta.to_string(),
+                n.to_string(),
+            ]);
         }
         format!("Table I: default user configurations\n{}", t.render())
     }

@@ -42,8 +42,14 @@ pub fn table2(scale: &Scale) -> Table2Result {
         secs.push(Vec::new());
     }
     for (corpus, docs) in corpora {
-        let w = prepare(corpus, docs, scale.data_seed, &GeneratorConfig::default(), 123)
-            .expect("table2 generation");
+        let w = prepare(
+            corpus,
+            docs,
+            scale.data_seed,
+            &GeneratorConfig::default(),
+            123,
+        )
+        .expect("table2 generation");
         for (i, (_, engine)) in engines.iter_mut().enumerate() {
             let run = run_session(engine.as_mut(), &w.dataset, &w.generation.session)
                 .expect("table2 run");

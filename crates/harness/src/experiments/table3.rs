@@ -82,7 +82,8 @@ pub fn table3_with_timeout(scale: &Scale, timeout: Duration) -> Table3Result {
                         preset: preset.name().to_owned(),
                         config: mode.label().to_owned(),
                         secs: match outcome {
-                            SessionOutcome::Completed(run) => {
+                            SessionOutcome::Completed(run)
+                            | SessionOutcome::CompletedWithErrors(run) => {
                                 Some(run.session_modeled().as_secs_f64())
                             }
                             SessionOutcome::TimedOut { .. } => None,
@@ -97,7 +98,13 @@ pub fn table3_with_timeout(scale: &Scale, timeout: Duration) -> Table3Result {
 
 impl Table3Result {
     /// Looks one cell up.
-    pub fn cell(&self, corpus: &str, system: &str, preset: &str, config: &str) -> Option<&Table3Cell> {
+    pub fn cell(
+        &self,
+        corpus: &str,
+        system: &str,
+        preset: &str,
+        config: &str,
+    ) -> Option<&Table3Cell> {
         self.cells.iter().find(|c| {
             c.corpus == corpus && c.system == system && c.preset == preset && c.config == config
         })

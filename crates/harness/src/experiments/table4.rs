@@ -64,9 +64,7 @@ pub fn table4(scale: &Scale) -> Table4Result {
     }
 }
 
-fn query_depths(
-    outcomes: &[betze_generator::GenerationOutcome],
-) -> BTreeMap<usize, u64> {
+fn query_depths(outcomes: &[betze_generator::GenerationOutcome]) -> BTreeMap<usize, u64> {
     let mut hist = BTreeMap::new();
     for outcome in outcomes {
         for (depth, count) in outcome.session.stats().path_depths {
@@ -80,7 +78,14 @@ fn to_percentages(hist: BTreeMap<usize, u64>) -> BTreeMap<usize, f64> {
     let total: u64 = hist.values().sum();
     hist.into_iter()
         .map(|(depth, count)| {
-            (depth, if total == 0 { 0.0 } else { 100.0 * count as f64 / total as f64 })
+            (
+                depth,
+                if total == 0 {
+                    0.0
+                } else {
+                    100.0 * count as f64 / total as f64
+                },
+            )
         })
         .collect()
 }
@@ -100,9 +105,8 @@ impl Table4Result {
             "queries weighted paths",
         ]);
         for depth in &self.depths {
-            let cell = |m: &BTreeMap<usize, f64>| {
-                format!("{:.1}%", m.get(depth).copied().unwrap_or(0.0))
-            };
+            let cell =
+                |m: &BTreeMap<usize, f64>| format!("{:.1}%", m.get(depth).copied().unwrap_or(0.0));
             t.row([
                 depth.to_string(),
                 cell(&self.documents_pct),

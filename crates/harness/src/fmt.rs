@@ -69,7 +69,10 @@ impl TextTable {
                     out.push_str("  ");
                 }
                 out.push_str(cell);
-                out.extend(std::iter::repeat_n(' ', widths[i].saturating_sub(cell.len())));
+                out.extend(std::iter::repeat_n(
+                    ' ',
+                    widths[i].saturating_sub(cell.len()),
+                ));
             }
             // Trim trailing padding.
             while out.ends_with(' ') {
@@ -96,9 +99,8 @@ pub fn heatmap(
     values: &[Vec<Option<f64>>],
     cell: impl Fn(f64) -> String,
 ) -> String {
-    let mut table = TextTable::new(
-        std::iter::once("α\\β".to_owned()).chain(col_labels.iter().cloned()),
-    );
+    let mut table =
+        TextTable::new(std::iter::once("α\\β".to_owned()).chain(col_labels.iter().cloned()));
     for (label, row) in row_labels.iter().zip(values) {
         let mut cells = vec![label.clone()];
         for v in row {
@@ -121,7 +123,10 @@ mod tests {
         assert_eq!(human_duration(Duration::from_secs_f64(23.0)), "23.0s");
         assert_eq!(human_duration(Duration::from_secs_f64(78.0)), "78.0s");
         assert_eq!(human_duration(Duration::from_secs_f64(6.0 * 60.0)), "6.0m");
-        assert_eq!(human_duration(Duration::from_secs_f64(1.6 * 3600.0)), "1.6h");
+        assert_eq!(
+            human_duration(Duration::from_secs_f64(1.6 * 3600.0)),
+            "1.6h"
+        );
         assert_eq!(human_duration(Duration::from_micros(5)), "5µs");
         assert_eq!(human_duration(Duration::from_millis(12)), "12.0ms");
     }
@@ -155,10 +160,7 @@ mod tests {
     fn heatmap_renders_missing_cells() {
         let rows = vec!["0.0".to_owned(), "0.1".to_owned()];
         let cols = vec!["0.0".to_owned(), "0.1".to_owned()];
-        let values = vec![
-            vec![Some(1.0), Some(2.0)],
-            vec![Some(3.0), None],
-        ];
+        let values = vec![vec![Some(1.0), Some(2.0)], vec![Some(3.0), None]];
         let text = heatmap(&rows, &cols, &values, |v| format!("{v:.1}"));
         assert!(text.contains("1.0"));
         assert!(text.contains("·"));

@@ -23,5 +23,8 @@ pub mod runner;
 pub mod workload;
 
 pub use backend_adapter::EngineBackend;
-pub use runner::{run_session, run_session_with_options, run_session_with_timeout, RunOptions, SessionOutcome, SessionRun};
+pub use runner::{
+    run_session, run_session_with_options, run_session_with_timeout, QueryStatus, RetryPolicy,
+    RunOptions, SessionOutcome, SessionRun,
+};
 pub use workload::{prepare, prepare_with_analysis, Corpus, PreparedWorkload};

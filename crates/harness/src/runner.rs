@@ -1,22 +1,100 @@
-//! Session execution against an engine, with import accounting and the
-//! timeout handling of the paper's evaluation (Table III's dashes, the
-//! 2-hour cut-off of Fig. 10).
+//! Session execution against an engine: import accounting, the timeout
+//! handling of the paper's evaluation (Table III's dashes, the 2-hour
+//! cut-off of Fig. 10), and **resilient execution** under injected or
+//! real faults — transient errors are retried with modeled-time
+//! backoff, lost intermediates are re-materialized by lineage replay,
+//! and a failed query degrades the session instead of aborting it.
 
 use betze_datagen::Dataset;
 use betze_engines::{Engine, EngineError, ExecutionReport};
-use betze_model::Session;
+use betze_model::{Query, Session};
 use std::time::Duration;
 
+/// Retry policy for transient engine errors. Backoff is charged to the
+/// **modeled** session clock (not slept on the host), so resilient runs
+/// stay deterministic and host-independent: the same fault schedule
+/// always produces the same retry delays and the same session time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included), ≥ 1.
+    pub max_attempts: u32,
+    /// Modeled backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Exponential multiplier applied per further retry.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every transient error is immediately permanent.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            multiplier: 1,
+        }
+    }
+
+    /// `max_attempts` attempts with the default backoff curve.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The modeled backoff charged before retry number `retry` (1-based):
+    /// `base * multiplier^(retry-1)`, saturating.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(20);
+        let factor = (self.multiplier as u64).saturating_pow(exp);
+        self.base_backoff
+            .saturating_mul(factor.min(u32::MAX as u64) as u32)
+    }
+
+    /// Effective attempt budget for a given error: at least the policy's
+    /// `max_attempts`, and never less than what the error itself hints.
+    fn budget_for(&self, error: &EngineError) -> u32 {
+        self.max_attempts.max(1 + error.attempt_hint())
+    }
+}
+
 /// Options controlling one session run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Optional modeled-time timeout (Table III's 8-hour dash semantics).
     pub timeout: Option<Duration>,
     /// When false, results stay as references/cursors and no output work
     /// is charged — the measurement mode of Table II and Figs. 9/10
-    /// (see `Engine::set_output_enabled`). Note `Default` derives `false`;
+    /// (see `Engine::set_output_enabled`). Note `Default` uses `false`;
     /// use [`RunOptions::with_output`] for Table III-style full output.
     pub count_output: bool,
+    /// Retry policy for transient errors.
+    pub retry: RetryPolicy,
+    /// When true (the default), a permanently failed query is recorded
+    /// and the session continues ([`SessionOutcome::CompletedWithErrors`]);
+    /// when false the first permanent failure aborts the run with `Err`.
+    pub degrade: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            timeout: None,
+            count_output: false,
+            retry: RetryPolicy::default(),
+            degrade: true,
+        }
+    }
 }
 
 impl RunOptions {
@@ -38,6 +116,41 @@ impl RunOptions {
         self.timeout = Some(t);
         self
     }
+
+    /// Sets the retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Sets whether permanent query failures degrade (true) or abort
+    /// (false) the session.
+    pub fn degrade(mut self, on: bool) -> Self {
+        self.degrade = on;
+        self
+    }
+}
+
+/// How one query of a session ended up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryStatus {
+    /// Succeeded on the first attempt.
+    Ok,
+    /// Succeeded after this many retries (transient faults and/or one
+    /// lineage replay).
+    Retried(u32),
+    /// Failed permanently; the session continued without its result.
+    Failed { error: EngineError },
+    /// Skipped: its base dataset was lost and could not be
+    /// re-materialized by lineage replay.
+    SkippedDependencyLost { dataset: String },
+}
+
+impl QueryStatus {
+    /// True for `Ok` and `Retried` — the query produced a result.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, QueryStatus::Ok | QueryStatus::Retried(_))
+    }
 }
 
 /// The measured run of one session on one engine.
@@ -47,8 +160,14 @@ pub struct SessionRun {
     pub engine: String,
     /// Import cost (the paper reports wall-clock with and without import).
     pub import: ExecutionReport,
-    /// Per-query reports, in session order (Fig. 5 plots these).
+    /// Per-query reports, in session order (Fig. 5 plots these). A failed
+    /// or skipped query contributes its charged backoff time and any work
+    /// done by failed attempts' replays.
     pub queries: Vec<ExecutionReport>,
+    /// Per-query status, parallel to `queries`.
+    pub statuses: Vec<QueryStatus>,
+    /// How many lost intermediates were re-materialized by lineage replay.
+    pub lineage_replays: u64,
 }
 
 impl SessionRun {
@@ -67,13 +186,39 @@ impl SessionRun {
     pub fn total_modeled(&self) -> Duration {
         self.session_modeled() + self.import.modeled
     }
+
+    /// Queries that produced a result (`Ok` or `Retried`).
+    pub fn ok_queries(&self) -> usize {
+        self.statuses.iter().filter(|s| s.is_ok()).count()
+    }
+
+    /// Total retries across all queries (including lineage-replay
+    /// retries).
+    pub fn total_retries(&self) -> u32 {
+        self.statuses
+            .iter()
+            .map(|s| match s {
+                QueryStatus::Retried(n) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// True if any query failed or was skipped.
+    pub fn degraded(&self) -> bool {
+        self.statuses.iter().any(|s| !s.is_ok())
+    }
 }
 
-/// Completion or timeout of a session run.
+/// Completion, degradation, or timeout of a session run.
 #[derive(Debug, Clone)]
 pub enum SessionOutcome {
-    /// All queries executed.
+    /// All queries executed (retried queries still count as executed).
     Completed(SessionRun),
+    /// The session ran to the end, but some queries failed permanently
+    /// or were skipped after dependency loss. The run carries per-query
+    /// statuses; tables render it as a partial `N/M` cell.
+    CompletedWithErrors(SessionRun),
     /// The modeled session time exceeded the timeout; execution stopped
     /// after `completed_queries` queries (rendered as a dash in the
     /// tables, like the paper's 8-hour timeouts).
@@ -86,37 +231,78 @@ pub enum SessionOutcome {
 }
 
 impl SessionOutcome {
-    /// The completed run, if any.
+    /// The fully successful run, if every query produced a result.
     pub fn completed(&self) -> Option<&SessionRun> {
         match self {
             SessionOutcome::Completed(run) => Some(run),
-            SessionOutcome::TimedOut { .. } => None,
+            _ => None,
         }
     }
 
-    /// Renders the session (w/o import) time, or the dash used in the
-    /// paper's tables for timeouts.
+    /// The run for any outcome (partial for timeouts).
+    pub fn run(&self) -> &SessionRun {
+        match self {
+            SessionOutcome::Completed(run) => run,
+            SessionOutcome::CompletedWithErrors(run) => run,
+            SessionOutcome::TimedOut { partial, .. } => partial,
+        }
+    }
+
+    /// Renders the session (w/o import) time: plain time for clean
+    /// completions, `time (N/M)` for degraded runs, and the dash used in
+    /// the paper's tables for timeouts.
     pub fn cell(&self) -> String {
         match self {
             SessionOutcome::Completed(run) => crate::fmt::human_duration(run.session_modeled()),
+            SessionOutcome::CompletedWithErrors(run) => format!(
+                "{} ({}/{})",
+                crate::fmt::human_duration(run.session_modeled()),
+                run.ok_queries(),
+                run.statuses.len()
+            ),
             SessionOutcome::TimedOut { .. } => "-".to_owned(),
         }
     }
 }
 
 /// Imports the dataset and executes every session query on the engine.
-/// The engine is reset first, so runs are independent.
+/// The engine is reset first, so runs are independent. Degradation is
+/// disabled: the first permanent failure is returned as `Err` (transient
+/// errors are still retried under the default policy).
 pub fn run_session(
     engine: &mut dyn Engine,
     dataset: &Dataset,
     session: &Session,
 ) -> Result<SessionRun, EngineError> {
-    match run_session_with_options(engine, dataset, session, &RunOptions::reference())? {
+    let options = RunOptions::reference().degrade(false);
+    match run_session_with_options(engine, dataset, session, &options)? {
         SessionOutcome::Completed(run) => Ok(run),
-        SessionOutcome::TimedOut { .. } => {
-            unreachable!("no timeout configured")
+        SessionOutcome::CompletedWithErrors(run) => {
+            // degrade=false surfaces failures as Err inside the loop; a
+            // degraded outcome here would be a runner bug — map it to the
+            // first recorded error instead of panicking.
+            Err(first_error(&run))
         }
+        SessionOutcome::TimedOut { .. } => Err(EngineError::Internal {
+            message: "session timed out but no timeout was configured".to_owned(),
+        }),
     }
+}
+
+/// The first recorded failure of a degraded run, as an [`EngineError`].
+fn first_error(run: &SessionRun) -> EngineError {
+    run.statuses
+        .iter()
+        .find_map(|s| match s {
+            QueryStatus::Failed { error } => Some(error.clone()),
+            QueryStatus::SkippedDependencyLost { dataset } => Some(EngineError::UnknownDataset {
+                name: dataset.clone(),
+            }),
+            _ => None,
+        })
+        .unwrap_or_else(|| EngineError::Internal {
+            message: "session degraded without a recorded error".to_owned(),
+        })
 }
 
 /// [`run_session`] with an optional **modeled-time** timeout: execution
@@ -137,6 +323,23 @@ pub fn run_session_with_timeout(
 }
 
 /// The general form: explicit [`RunOptions`].
+///
+/// Fault handling, in order, for each query:
+/// 1. transient errors are retried up to the policy's attempt budget,
+///    each retry charging exponential backoff to the modeled clock;
+/// 2. an `UnknownDataset` error triggers **lineage replay**: the lost
+///    dataset's producer chain (the queries whose `store_as` created it,
+///    back to the imported root) is re-executed to re-materialize it,
+///    its cost merged into the current query's report, then the query is
+///    retried once;
+/// 3. a still-failing query is recorded as `Failed` (or
+///    `SkippedDependencyLost`) and the session continues when
+///    `options.degrade` is set, else the run aborts with `Err`.
+///
+/// The timeout is checked after **every** query, including the last one:
+/// a session whose final query pushes the modeled clock past the limit is
+/// reported as `TimedOut`, matching the paper's semantics where an
+/// over-budget run is a dash no matter where the budget ran out.
 pub fn run_session_with_options(
     engine: &mut dyn Engine,
     dataset: &Dataset,
@@ -146,19 +349,52 @@ pub fn run_session_with_options(
     let timeout = options.timeout;
     engine.reset();
     engine.set_output_enabled(options.count_output);
-    let import = engine.import(&dataset.name, &dataset.docs)?;
+    let import = import_with_retry(engine, dataset, &options.retry)?;
     let mut run = SessionRun {
         engine: engine.name().to_owned(),
         import,
         queries: Vec::with_capacity(session.queries.len()),
+        statuses: Vec::with_capacity(session.queries.len()),
+        lineage_replays: 0,
     };
     let mut modeled = Duration::ZERO;
-    for (i, query) in session.queries.iter().enumerate() {
-        let outcome = engine.execute(query)?;
-        modeled += outcome.report.modeled;
-        run.queries.push(outcome.report);
+    for i in 0..session.queries.len() {
+        let mut report = ExecutionReport::empty();
+        let mut retries = 0u32;
+        let status = match execute_resilient(
+            engine,
+            dataset,
+            session,
+            i,
+            options,
+            &mut report,
+            &mut retries,
+            &mut run.lineage_replays,
+        ) {
+            Ok(()) => {
+                if retries == 0 {
+                    QueryStatus::Ok
+                } else {
+                    QueryStatus::Retried(retries)
+                }
+            }
+            Err(error) => {
+                if !options.degrade {
+                    return Err(error);
+                }
+                match error.lost_dataset() {
+                    Some(name) => QueryStatus::SkippedDependencyLost {
+                        dataset: name.to_owned(),
+                    },
+                    None => QueryStatus::Failed { error },
+                }
+            }
+        };
+        modeled += report.modeled;
+        run.queries.push(report);
+        run.statuses.push(status);
         if let Some(limit) = timeout {
-            if modeled > limit && i + 1 < session.queries.len() {
+            if modeled > limit {
                 return Ok(SessionOutcome::TimedOut {
                     completed_queries: i + 1,
                     partial: run,
@@ -166,14 +402,156 @@ pub fn run_session_with_options(
             }
         }
     }
-    Ok(SessionOutcome::Completed(run))
+    Ok(if run.degraded() {
+        SessionOutcome::CompletedWithErrors(run)
+    } else {
+        SessionOutcome::Completed(run)
+    })
+}
+
+/// Imports the root dataset, retrying transient faults with modeled
+/// backoff charged into the returned report.
+fn import_with_retry(
+    engine: &mut dyn Engine,
+    dataset: &Dataset,
+    policy: &RetryPolicy,
+) -> Result<ExecutionReport, EngineError> {
+    let mut charged = Duration::ZERO;
+    let mut attempt = 1u32;
+    loop {
+        match engine.import(&dataset.name, &dataset.docs) {
+            Ok(mut report) => {
+                report.modeled += charged;
+                return Ok(report);
+            }
+            Err(e) if e.is_transient() && attempt < policy.budget_for(&e) => {
+                charged += policy.backoff(attempt);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Executes one session query resiliently (see
+/// [`run_session_with_options`] for the fault-handling order). Work and
+/// backoff are merged into `report`; `retries` counts every re-attempt.
+#[allow(clippy::too_many_arguments)]
+fn execute_resilient(
+    engine: &mut dyn Engine,
+    dataset: &Dataset,
+    session: &Session,
+    index: usize,
+    options: &RunOptions,
+    report: &mut ExecutionReport,
+    retries: &mut u32,
+    lineage_replays: &mut u64,
+) -> Result<(), EngineError> {
+    let query = &session.queries[index];
+    let policy = &options.retry;
+    let mut attempt = 1u32;
+    let mut replayed = false;
+    loop {
+        match engine.execute(query) {
+            Ok(outcome) => {
+                report.merge(&outcome.report);
+                return Ok(());
+            }
+            Err(e) if e.is_transient() && attempt < policy.budget_for(&e) => {
+                report.modeled += policy.backoff(attempt);
+                attempt += 1;
+                *retries += 1;
+            }
+            Err(e) => {
+                let lost = match e.lost_dataset() {
+                    Some(name) if !replayed => name.to_owned(),
+                    _ => return Err(e),
+                };
+                // Lineage replay: re-materialize the lost dataset from
+                // its producer chain, then retry this query once.
+                replayed = true;
+                ensure_dataset(engine, dataset, session, index, &lost, policy, report, 0)?;
+                *lineage_replays += 1;
+                *retries += 1;
+            }
+        }
+    }
+}
+
+/// Re-materializes `name` on the engine by replaying its lineage: the
+/// imported root is re-imported directly; a derived dataset is rebuilt by
+/// re-executing the last query before `upto` that stored it (recursively
+/// ensuring that query's own base first). Replay cost is merged into
+/// `report` — recovery is real work and the session clock pays for it.
+#[allow(clippy::too_many_arguments)]
+fn ensure_dataset(
+    engine: &mut dyn Engine,
+    dataset: &Dataset,
+    session: &Session,
+    upto: usize,
+    name: &str,
+    policy: &RetryPolicy,
+    report: &mut ExecutionReport,
+    depth: usize,
+) -> Result<(), EngineError> {
+    // A session has at most `upto` producers; deeper recursion means a
+    // lineage cycle (a query reading the dataset it stores).
+    if depth > session.queries.len() {
+        return Err(EngineError::Internal {
+            message: format!("lineage replay cycle while rebuilding '{name}'"),
+        });
+    }
+    if name == dataset.name {
+        let imported = import_with_retry(engine, dataset, policy)?;
+        report.merge(&imported);
+        return Ok(());
+    }
+    // The last producer wins, matching engine overwrite semantics.
+    let producer = session.queries[..upto]
+        .iter()
+        .rposition(|q| q.store_as.as_deref() == Some(name))
+        .ok_or_else(|| EngineError::UnknownDataset {
+            name: name.to_owned(),
+        })?;
+    let producer_query: &Query = &session.queries[producer];
+    let mut attempt = 1u32;
+    let mut ensured_base = false;
+    loop {
+        match engine.execute(producer_query) {
+            Ok(outcome) => {
+                report.merge(&outcome.report);
+                return Ok(());
+            }
+            Err(e) if e.is_transient() && attempt < policy.budget_for(&e) => {
+                report.modeled += policy.backoff(attempt);
+                attempt += 1;
+            }
+            Err(e) => {
+                let lost = match e.lost_dataset() {
+                    Some(l) if !ensured_base => l.to_owned(),
+                    _ => return Err(e),
+                };
+                ensured_base = true;
+                ensure_dataset(
+                    engine,
+                    dataset,
+                    session,
+                    producer,
+                    &lost,
+                    policy,
+                    report,
+                    depth + 1,
+                )?;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::{prepare, Corpus};
-    use betze_engines::{JodaSim, JqSim};
+    use betze_engines::{ChaosEngine, FaultPlan, JodaSim, JqSim};
     use betze_generator::GeneratorConfig;
 
     fn workload() -> crate::workload::PreparedWorkload {
@@ -186,6 +564,8 @@ mod tests {
         let mut joda = JodaSim::new(1);
         let run = run_session(&mut joda, &w.dataset, &w.generation.session).unwrap();
         assert_eq!(run.queries.len(), 10);
+        assert_eq!(run.statuses.len(), 10);
+        assert!(run.statuses.iter().all(QueryStatus::is_ok));
         assert!(run.session_modeled() > Duration::ZERO);
         assert!(run.total_modeled() > run.session_modeled());
         assert!(run.import.counters.import_docs == 200);
@@ -203,12 +583,41 @@ mod tests {
         )
         .unwrap();
         match outcome {
-            SessionOutcome::TimedOut { completed_queries, .. } => {
+            SessionOutcome::TimedOut {
+                completed_queries, ..
+            } => {
                 assert_eq!(completed_queries, 1);
             }
-            SessionOutcome::Completed(_) => panic!("expected timeout"),
+            _ => panic!("expected timeout"),
         }
         assert_eq!(outcome.cell(), "-");
+    }
+
+    #[test]
+    fn final_query_past_limit_still_times_out() {
+        // Regression: the old check skipped the timeout after the final
+        // query, so a session whose last query blew the budget was
+        // reported Completed. Pick a limit strictly between the clean
+        // run's time minus its final query and its total time, so ONLY
+        // the final query pushes past it.
+        let w = workload();
+        let mut joda = JodaSim::new(1);
+        let clean = run_session(&mut joda, &w.dataset, &w.generation.session).unwrap();
+        let total = clean.session_modeled();
+        let last = clean.queries.last().unwrap().modeled;
+        assert!(last > Duration::ZERO);
+        let limit = total - last / 2;
+        let outcome =
+            run_session_with_timeout(&mut joda, &w.dataset, &w.generation.session, Some(limit))
+                .unwrap();
+        match outcome {
+            SessionOutcome::TimedOut {
+                completed_queries, ..
+            } => {
+                assert_eq!(completed_queries, w.generation.session.queries.len());
+            }
+            other => panic!("expected timeout on the final query, got {other:?}"),
+        }
     }
 
     #[test]
@@ -236,6 +645,156 @@ mod tests {
         for (x, y) in a.queries.iter().zip(&b.queries) {
             assert_eq!(x.counters, y.counters);
             assert_eq!(x.modeled, y.modeled);
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_not_fatal() {
+        let w = workload();
+        // 30% storage faults, generous retry budget: every query should
+        // eventually succeed and the outcome stay Completed, with the
+        // fault schedule visible as Retried statuses.
+        let mut chaos = ChaosEngine::new(
+            JodaSim::new(1),
+            FaultPlan::none(42).storage_faults(0.3).import_faults(0.3),
+        );
+        let options = RunOptions::reference().retry(RetryPolicy::attempts(50));
+        let outcome =
+            run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options)
+                .unwrap();
+        let run = outcome.completed().expect("retries should absorb faults");
+        assert!(run.total_retries() > 0, "30% fault rate must hit something");
+        assert!(run
+            .statuses
+            .iter()
+            .any(|s| matches!(s, QueryStatus::Retried(_))));
+    }
+
+    #[test]
+    fn retry_exhaustion_degrades_instead_of_aborting() {
+        let w = workload();
+        // Every execute fails; with retries exhausted each query is
+        // recorded Failed but the session still completes (with errors).
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(7).storage_faults(1.0));
+        let options = RunOptions::reference().retry(RetryPolicy::attempts(2));
+        let outcome =
+            run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options)
+                .unwrap();
+        match &outcome {
+            SessionOutcome::CompletedWithErrors(run) => {
+                assert_eq!(run.ok_queries(), 0);
+                assert!(run
+                    .statuses
+                    .iter()
+                    .all(|s| matches!(s, QueryStatus::Failed { error } if error.is_transient())));
+                // The charged backoff is visible in the modeled clock.
+                assert!(run.session_modeled() > Duration::ZERO);
+            }
+            other => panic!("expected CompletedWithErrors, got {other:?}"),
+        }
+        let cell = outcome.cell();
+        assert!(cell.contains("(0/10)"), "partial cell, got {cell}");
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let w = workload();
+        let plan = FaultPlan::none(11)
+            .storage_faults(0.4)
+            .latency_spikes(0.2, 3.0)
+            .evictions(0.5);
+        let options = RunOptions::reference().retry(RetryPolicy::attempts(4));
+        let run_once = || {
+            let mut chaos = ChaosEngine::new(JodaSim::new(1), plan.clone());
+            run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options)
+                .unwrap()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.run().statuses, b.run().statuses);
+        assert_eq!(a.run().lineage_replays, b.run().lineage_replays);
+        assert_eq!(a.run().session_modeled(), b.run().session_modeled());
+        assert_eq!(a.cell(), b.cell());
+    }
+
+    #[test]
+    fn zero_rate_chaos_matches_plain_run() {
+        let w = workload();
+        let mut plain = JodaSim::new(1);
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(0));
+        let a = run_session(&mut plain, &w.dataset, &w.generation.session).unwrap();
+        let b = run_session(&mut chaos, &w.dataset, &w.generation.session).unwrap();
+        assert_eq!(a.session_modeled(), b.session_modeled());
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.counters, y.counters);
+        }
+    }
+
+    #[test]
+    fn lineage_replay_recovers_evicted_intermediate() {
+        use betze_json::{json, JsonPointer};
+        use betze_model::{FilterFn, Predicate, Query};
+
+        let dataset = Dataset {
+            name: "base".to_owned(),
+            docs: (0..40)
+                .map(|i| json!({ "n": (i as i64), "even": (i % 2 == 0) }))
+                .collect(),
+        };
+        let even = Predicate::leaf(FilterFn::BoolEq {
+            path: JsonPointer::parse("/even").unwrap(),
+            value: true,
+        });
+        let session = Session {
+            queries: vec![
+                Query::scan("base").with_filter(even).store_as("mid"),
+                Query::scan("mid"),
+            ],
+            graph: Default::default(),
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "handcrafted".to_owned(),
+        };
+        // Eviction rate 1: "mid" is dropped the moment it is stored, so
+        // query 2 must recover it via lineage replay (the chaos engine
+        // evicts each name at most once, so the replayed copy sticks).
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(3).evictions(1.0));
+        let outcome =
+            run_session_with_options(&mut chaos, &dataset, &session, &RunOptions::reference())
+                .unwrap();
+        let run = outcome.completed().expect("replay should recover");
+        assert_eq!(run.lineage_replays, 1);
+        assert_eq!(run.statuses, vec![QueryStatus::Ok, QueryStatus::Retried(1)]);
+        // The replayed producer's execution is charged to query 2 (two
+        // query executions merged into its report; the producer's scan
+        // may be cheaper than cold thanks to JODA's result cache).
+        assert_eq!(run.queries[1].counters.queries, 2);
+        assert!(run.queries[1].counters.docs_scanned >= 20);
+    }
+
+    #[test]
+    fn unrecoverable_dependency_is_skipped() {
+        use betze_model::Query;
+        let w = workload();
+        // A query over a dataset nothing produces: lineage replay finds
+        // no producer, degrade records SkippedDependencyLost.
+        let mut session = w.generation.session.clone();
+        session.queries.push(Query::scan("never_stored"));
+        let mut joda = JodaSim::new(1);
+        let outcome =
+            run_session_with_options(&mut joda, &w.dataset, &session, &RunOptions::reference())
+                .unwrap();
+        match &outcome {
+            SessionOutcome::CompletedWithErrors(run) => {
+                assert_eq!(
+                    run.statuses.last(),
+                    Some(&QueryStatus::SkippedDependencyLost {
+                        dataset: "never_stored".to_owned()
+                    })
+                );
+                assert_eq!(run.ok_queries(), run.statuses.len() - 1);
+            }
+            other => panic!("expected CompletedWithErrors, got {other:?}"),
         }
     }
 }

@@ -126,7 +126,12 @@ pub fn prepare_many(
     for seed in session_seeds {
         let mut backend = InMemoryBackend::new();
         backend.register_base(DatasetId(0), dataset.docs.clone());
-        outcomes.push(generate_session(&analysis, config, seed, Some(&mut backend))?);
+        outcomes.push(generate_session(
+            &analysis,
+            config,
+            seed,
+            Some(&mut backend),
+        )?);
     }
     Ok((dataset, analysis, outcomes))
 }
@@ -137,14 +142,7 @@ mod tests {
 
     #[test]
     fn prepare_produces_runnable_sessions() {
-        let w = prepare(
-            Corpus::Twitter,
-            300,
-            1,
-            &GeneratorConfig::default(),
-            123,
-        )
-        .unwrap();
+        let w = prepare(Corpus::Twitter, 300, 1, &GeneratorConfig::default(), 123).unwrap();
         assert_eq!(w.dataset.len(), 300);
         assert_eq!(w.generation.session.queries.len(), 10);
         assert_eq!(w.analysis.doc_count, 300);

@@ -105,7 +105,10 @@ impl fmt::Display for PointerParseError {
                 write!(f, "JSON pointer must be empty or start with '/'")
             }
             PointerParseError::InvalidEscape { offset } => {
-                write!(f, "invalid '~' escape at offset {offset} (expected ~0 or ~1)")
+                write!(
+                    f,
+                    "invalid '~' escape at offset {offset} (expected ~0 or ~1)"
+                )
             }
         }
     }

@@ -160,12 +160,18 @@ mod tests {
 
     #[test]
     fn ordering_is_numeric() {
-        assert_eq!(Number::Int(2).total_cmp(&Number::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Number::Int(2).total_cmp(&Number::Float(2.5)),
+            Ordering::Less
+        );
         assert_eq!(
             Number::Float(10.0).total_cmp(&Number::Int(3)),
             Ordering::Greater
         );
-        assert_eq!(Number::Int(4).total_cmp(&Number::Float(4.0)), Ordering::Equal);
+        assert_eq!(
+            Number::Int(4).total_cmp(&Number::Float(4.0)),
+            Ordering::Equal
+        );
     }
 
     #[test]

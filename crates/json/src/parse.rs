@@ -207,9 +207,7 @@ impl<'a> Parser<'a> {
                         .map_err(|_| self.err(ParseErrorKind::InvalidUtf8));
                 }
                 Some(b'\\') => break,
-                Some(b) if b < 0x20 => {
-                    return Err(self.err(ParseErrorKind::UnescapedControl(b)))
-                }
+                Some(b) if b < 0x20 => return Err(self.err(ParseErrorKind::UnescapedControl(b))),
                 Some(_) => self.pos += 1,
             }
         }
@@ -247,9 +245,7 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err(ParseErrorKind::InvalidEscape)),
                     }
                 }
-                Some(b) if b < 0x20 => {
-                    return Err(self.err(ParseErrorKind::UnescapedControl(b)))
-                }
+                Some(b) if b < 0x20 => return Err(self.err(ParseErrorKind::UnescapedControl(b))),
                 Some(b) => {
                     out.push(b);
                     self.pos += 1;
@@ -419,8 +415,24 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "{", "[", "{\"a\"}", "{\"a\":}", "[1,]", "{,}", "tru", "01", "1.", "1e",
-            "\"unterminated", "{\"a\":1,}", "nul", "+1", "--1", "[1 2]", "1 2",
+            "",
+            "{",
+            "[",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "{,}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "nul",
+            "+1",
+            "--1",
+            "[1 2]",
+            "1 2",
         ] {
             assert!(parse(bad).is_err(), "expected error for {bad:?}");
         }

@@ -216,9 +216,20 @@ mod tests {
         assert_eq!(p.resolve(&doc).and_then(Value::as_str), Some("alice"));
         let idx = JsonPointer::parse("/user/tags/1").unwrap();
         assert_eq!(idx.resolve(&doc), Some(&json!(20i64)));
-        assert_eq!(JsonPointer::parse("/user/missing").unwrap().resolve(&doc), None);
-        assert_eq!(JsonPointer::parse("/user/tags/9").unwrap().resolve(&doc), None);
-        assert_eq!(JsonPointer::parse("/user/name/deeper").unwrap().resolve(&doc), None);
+        assert_eq!(
+            JsonPointer::parse("/user/missing").unwrap().resolve(&doc),
+            None
+        );
+        assert_eq!(
+            JsonPointer::parse("/user/tags/9").unwrap().resolve(&doc),
+            None
+        );
+        assert_eq!(
+            JsonPointer::parse("/user/name/deeper")
+                .unwrap()
+                .resolve(&doc),
+            None
+        );
     }
 
     #[test]

@@ -323,9 +323,7 @@ impl Value {
     pub fn depth(&self) -> usize {
         match self {
             Value::Array(a) => 1 + a.iter().map(Value::depth).max().unwrap_or(0),
-            Value::Object(o) => {
-                1 + o.values().map(Value::depth).max().unwrap_or(0)
-            }
+            Value::Object(o) => 1 + o.values().map(Value::depth).max().unwrap_or(0),
             _ => 0,
         }
     }
@@ -342,9 +340,8 @@ impl Value {
             }
             (Value::Object(a), Value::Object(b)) => {
                 a.len() == b.len()
-                    && a.iter().all(|(k, v)| {
-                        b.get(k).is_some_and(|w| v.equivalent(w))
-                    })
+                    && a.iter()
+                        .all(|(k, v)| b.get(k).is_some_and(|w| v.equivalent(w)))
             }
             (x, y) => x == y,
         }
@@ -470,7 +467,6 @@ macro_rules! json {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::json;
 
     #[test]
     fn object_preserves_insertion_order() {
@@ -540,7 +536,10 @@ mod tests {
     #[test]
     fn nested_macro_access() {
         let v = json!({ "user": { "followers": 10, "tags": ["a"] } });
-        assert_eq!(v.get("user").and_then(|u| u.get("followers")), Some(&Value::from(10i64)));
+        assert_eq!(
+            v.get("user").and_then(|u| u.get("followers")),
+            Some(&Value::from(10i64))
+        );
         assert_eq!(v.get("missing"), None);
         assert_eq!(json!([5]).get_index(0), Some(&Value::from(5i64)));
         assert_eq!(json!([5]).get_index(1), None);
@@ -556,7 +555,10 @@ mod tests {
         assert!(!a.equivalent(&c), "array order matters");
         let d = json!({ "x": 1 });
         assert!(!a.equivalent(&d), "member sets must match");
-        assert!(json!(1i64).equivalent(&json!(1.0)), "numeric equality crosses variants");
+        assert!(
+            json!(1i64).equivalent(&json!(1.0)),
+            "numeric equality crosses variants"
+        );
     }
 
     #[test]

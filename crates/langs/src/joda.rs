@@ -119,7 +119,9 @@ mod tests {
                 value: false,
             }))
             .with_aggregation(Aggregation::grouped(
-                AggFunc::Count { path: JsonPointer::root() },
+                AggFunc::Count {
+                    path: JsonPointer::root(),
+                },
                 ptr("/user/time_zone"),
                 "count",
             ))
@@ -140,26 +142,56 @@ mod tests {
         let filters = vec![
             (FilterFn::Exists { path: ptr("/a") }, "EXISTS('/a')"),
             (FilterFn::IsString { path: ptr("/a") }, "ISSTRING('/a')"),
-            (FilterFn::IntEq { path: ptr("/a"), value: 5 }, "'/a' == 5"),
             (
-                FilterFn::FloatCmp { path: ptr("/a"), op: Comparison::Ge, value: 1.5 },
+                FilterFn::IntEq {
+                    path: ptr("/a"),
+                    value: 5,
+                },
+                "'/a' == 5",
+            ),
+            (
+                FilterFn::FloatCmp {
+                    path: ptr("/a"),
+                    op: Comparison::Ge,
+                    value: 1.5,
+                },
                 "'/a' >= 1.5",
             ),
             (
-                FilterFn::StrEq { path: ptr("/a"), value: "x\"y".into() },
+                FilterFn::StrEq {
+                    path: ptr("/a"),
+                    value: "x\"y".into(),
+                },
                 "'/a' == \"x\\\"y\"",
             ),
             (
-                FilterFn::HasPrefix { path: ptr("/a"), prefix: "pre".into() },
+                FilterFn::HasPrefix {
+                    path: ptr("/a"),
+                    prefix: "pre".into(),
+                },
                 "HASPREFIX('/a', \"pre\")",
             ),
-            (FilterFn::BoolEq { path: ptr("/a"), value: true }, "'/a' == true"),
             (
-                FilterFn::ArrSize { path: ptr("/a"), op: Comparison::Lt, value: 3 },
+                FilterFn::BoolEq {
+                    path: ptr("/a"),
+                    value: true,
+                },
+                "'/a' == true",
+            ),
+            (
+                FilterFn::ArrSize {
+                    path: ptr("/a"),
+                    op: Comparison::Lt,
+                    value: 3,
+                },
                 "ARRSIZE('/a') < 3",
             ),
             (
-                FilterFn::ObjSize { path: ptr("/a"), op: Comparison::Eq, value: 2 },
+                FilterFn::ObjSize {
+                    path: ptr("/a"),
+                    op: Comparison::Eq,
+                    value: 2,
+                },
                 "OBJSIZE('/a') == 2",
             ),
         ];

@@ -101,14 +101,14 @@ fn filter(f: &FilterFn) -> String {
             // from "absent".
             let parent = path.parent().unwrap_or_default();
             let leaf = path.leaf().unwrap_or_default();
-            guarded(format!("{} | has({})", access(&parent), escape_string(leaf)))
+            guarded(format!(
+                "{} | has({})",
+                access(&parent),
+                escape_string(leaf)
+            ))
         }
-        FilterFn::IsString { path } => {
-            guarded(format!("{} | type == \"string\"", access(path)))
-        }
-        FilterFn::IntEq { path, value } => {
-            guarded(format!("{} == {value}", access(path)))
-        }
+        FilterFn::IsString { path } => guarded(format!("{} | type == \"string\"", access(path))),
+        FilterFn::IntEq { path, value } => guarded(format!("{} == {value}", access(path))),
         FilterFn::FloatCmp { path, op, value } => guarded(format!(
             // jq's ordering is cross-type (null < numbers < strings);
             // guard on the type to match the IR semantics.
@@ -124,9 +124,7 @@ fn filter(f: &FilterFn) -> String {
             access(path),
             escape_string(prefix)
         )),
-        FilterFn::BoolEq { path, value } => {
-            guarded(format!("{} == {value}", access(path)))
-        }
+        FilterFn::BoolEq { path, value } => guarded(format!("{} == {value}", access(path))),
         FilterFn::ArrSize { path, op, value } => guarded(format!(
             "{} | type == \"array\" and (length {} {value})",
             access(path),
@@ -214,7 +212,9 @@ mod tests {
                 value: false,
             }))
             .with_aggregation(Aggregation::grouped(
-                AggFunc::Count { path: JsonPointer::root() },
+                AggFunc::Count {
+                    path: JsonPointer::root(),
+                },
                 ptr("/user/time_zone"),
                 "count",
             ));
@@ -228,7 +228,9 @@ mod tests {
 
     #[test]
     fn exists_distinguishes_null_from_absent() {
-        let text = filter(&FilterFn::Exists { path: ptr("/user/name") });
+        let text = filter(&FilterFn::Exists {
+            path: ptr("/user/name"),
+        });
         assert!(text.contains("has(\"name\")"));
         assert!(text.contains("[\"user\"]"));
         let top = filter(&FilterFn::Exists { path: ptr("/user") });
@@ -263,10 +265,23 @@ mod tests {
         for f in [
             FilterFn::Exists { path: ptr("/a/b") },
             FilterFn::IsString { path: ptr("/a") },
-            FilterFn::IntEq { path: ptr("/a"), value: 1 },
-            FilterFn::StrEq { path: ptr("/a"), value: "v".into() },
-            FilterFn::BoolEq { path: ptr("/a"), value: true },
-            FilterFn::ObjSize { path: ptr("/a"), op: Comparison::Eq, value: 1 },
+            FilterFn::IntEq {
+                path: ptr("/a"),
+                value: 1,
+            },
+            FilterFn::StrEq {
+                path: ptr("/a"),
+                value: "v".into(),
+            },
+            FilterFn::BoolEq {
+                path: ptr("/a"),
+                value: true,
+            },
+            FilterFn::ObjSize {
+                path: ptr("/a"),
+                op: Comparison::Eq,
+                value: 1,
+            },
         ] {
             assert!(filter(&f).starts_with("(try ("), "{f}");
         }
@@ -283,7 +298,9 @@ mod tests {
     #[test]
     fn ungrouped_aggregations() {
         let count = aggregation(&Aggregation::new(
-            AggFunc::Count { path: JsonPointer::root() },
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
             "count",
         ));
         assert_eq!(count, "{count: length}");

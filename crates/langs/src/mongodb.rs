@@ -29,9 +29,8 @@ impl Language for MongoDb {
 
     fn translate(&self, query: &Query) -> String {
         let match_doc = query.filter.as_ref().map(predicate);
-        let needs_pipeline = query.aggregation.is_some()
-            || query.store_as.is_some()
-            || !query.transforms.is_empty();
+        let needs_pipeline =
+            query.aggregation.is_some() || query.store_as.is_some() || !query.transforms.is_empty();
         if !needs_pipeline {
             return match match_doc {
                 Some(m) => format!("db.{}.find({m})", query.base),
@@ -191,7 +190,10 @@ fn group_stage(agg: &Aggregation) -> String {
             f = field_expr(path)
         ),
     };
-    format!("{{ $group: {{ _id: {id}, {}: {accumulator} }} }}", agg.alias)
+    format!(
+        "{{ $group: {{ _id: {id}, {}: {accumulator} }} }}",
+        agg.alias
+    )
 }
 
 #[cfg(test)]
@@ -210,7 +212,9 @@ mod tests {
                 value: false,
             }))
             .with_aggregation(Aggregation::grouped(
-                AggFunc::Count { path: JsonPointer::root() },
+                AggFunc::Count {
+                    path: JsonPointer::root(),
+                },
                 ptr("/user/time_zone"),
                 "count",
             ));
@@ -222,9 +226,8 @@ mod tests {
 
     #[test]
     fn filter_only_uses_find() {
-        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
-            path: ptr("/user"),
-        }));
+        let q =
+            Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/user") }));
         assert_eq!(
             MongoDb.translate(&q),
             "db.tw.find({ \"user\": { $exists: true } })"
@@ -235,7 +238,10 @@ mod tests {
     #[test]
     fn store_uses_out_stage() {
         let q = Query::scan("tw")
-            .with_filter(Predicate::leaf(FilterFn::BoolEq { path: ptr("/x"), value: true }))
+            .with_filter(Predicate::leaf(FilterFn::BoolEq {
+                path: ptr("/x"),
+                value: true,
+            }))
             .store_as("result");
         let text = MongoDb.translate(&q);
         assert!(text.contains("{ $out: \"result\" }"));
@@ -272,8 +278,14 @@ mod tests {
 
     #[test]
     fn and_or_compose() {
-        let p = Predicate::leaf(FilterFn::IntEq { path: ptr("/a"), value: 1 })
-            .or(Predicate::leaf(FilterFn::IntEq { path: ptr("/b"), value: 2 }));
+        let p = Predicate::leaf(FilterFn::IntEq {
+            path: ptr("/a"),
+            value: 1,
+        })
+        .or(Predicate::leaf(FilterFn::IntEq {
+            path: ptr("/b"),
+            value: 2,
+        }));
         let text = predicate(&p);
         assert!(text.starts_with("{ $or: ["));
     }

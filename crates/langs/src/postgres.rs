@@ -216,7 +216,9 @@ mod tests {
                 value: false,
             }))
             .with_aggregation(Aggregation::grouped(
-                AggFunc::Count { path: JsonPointer::root() },
+                AggFunc::Count {
+                    path: JsonPointer::root(),
+                },
                 ptr("/user/time_zone"),
                 "count",
             ));
@@ -231,9 +233,8 @@ mod tests {
 
     #[test]
     fn filter_only_selects_documents() {
-        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
-            path: ptr("/user"),
-        }));
+        let q =
+            Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/user") }));
         assert_eq!(
             Postgres.translate(&q),
             "SELECT doc FROM tw WHERE doc #> '{user}' IS NOT NULL"
@@ -242,26 +243,43 @@ mod tests {
 
     #[test]
     fn scalar_predicates_use_jsonpath() {
-        assert!(filter(&FilterFn::IntEq { path: ptr("/n"), value: 5 })
-            .contains("'$.\"n\" ? (@ == 5)'"));
+        assert!(filter(&FilterFn::IntEq {
+            path: ptr("/n"),
+            value: 5
+        })
+        .contains("'$.\"n\" ? (@ == 5)'"));
         assert!(filter(&FilterFn::FloatCmp {
             path: ptr("/score"),
             op: Comparison::Ge,
             value: 0.5
         })
         .contains("(@ >= 0.5)"));
-        assert!(filter(&FilterFn::StrEq { path: ptr("/lang"), value: "de".into() })
-            .contains("(@ == \"de\")"));
-        assert!(filter(&FilterFn::HasPrefix { path: ptr("/u"), prefix: "ht".into() })
-            .contains("starts with \"ht\""));
+        assert!(filter(&FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "de".into()
+        })
+        .contains("(@ == \"de\")"));
+        assert!(filter(&FilterFn::HasPrefix {
+            path: ptr("/u"),
+            prefix: "ht".into()
+        })
+        .contains("starts with \"ht\""));
     }
 
     #[test]
     fn structural_predicates_use_typeof() {
-        let arr = filter(&FilterFn::ArrSize { path: ptr("/tags"), op: Comparison::Gt, value: 1 });
+        let arr = filter(&FilterFn::ArrSize {
+            path: ptr("/tags"),
+            op: Comparison::Gt,
+            value: 1,
+        });
         assert!(arr.contains("jsonb_typeof(doc #> '{tags}') = 'array'"));
         assert!(arr.contains("jsonb_array_length"));
-        let obj = filter(&FilterFn::ObjSize { path: ptr("/user"), op: Comparison::Eq, value: 2 });
+        let obj = filter(&FilterFn::ObjSize {
+            path: ptr("/user"),
+            op: Comparison::Eq,
+            value: 2,
+        });
         assert!(obj.contains("jsonb_object_keys"));
         assert!(obj.contains("= 2"));
         let s = filter(&FilterFn::IsString { path: ptr("/text") });
@@ -283,7 +301,9 @@ mod tests {
         let q = Query::scan("tw")
             .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/a") }))
             .store_as("step1");
-        assert!(Postgres.translate(&q).starts_with("CREATE TABLE step1 AS SELECT doc"));
+        assert!(Postgres
+            .translate(&q)
+            .starts_with("CREATE TABLE step1 AS SELECT doc"));
     }
 
     #[test]

@@ -46,7 +46,9 @@ fn mongodb_uses_set_unset_stages() {
 #[test]
 fn jq_uses_del_and_assignment() {
     let text = Jq.translate(&query());
-    assert!(text.contains(".[\"user\"][\"screen_name\"] = .[\"user\"][\"name\"] | del(.[\"user\"][\"name\"])"));
+    assert!(text.contains(
+        ".[\"user\"][\"screen_name\"] = .[\"user\"][\"name\"] | del(.[\"user\"][\"name\"])"
+    ));
     assert!(text.contains("del(.[\"geo\"])"));
     assert!(text.contains(".[\"processed\"] = true"));
     assert!(text.ends_with("> step1.json"));

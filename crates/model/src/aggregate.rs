@@ -122,7 +122,9 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -213,10 +215,7 @@ impl Aggregation {
                         let members = &groups[&key];
                         let mut obj = Object::with_capacity(2);
                         obj.insert("group", key.to_value());
-                        obj.insert(
-                            self.alias.clone(),
-                            self.func.eval(members.iter().copied()),
-                        );
+                        obj.insert(self.alias.clone(), self.func.eval(members.iter().copied()));
                         Value::Object(obj)
                     })
                     .collect()
@@ -256,7 +255,9 @@ mod tests {
 
     #[test]
     fn count_root_counts_all_documents() {
-        let agg = AggFunc::Count { path: JsonPointer::root() };
+        let agg = AggFunc::Count {
+            path: JsonPointer::root(),
+        };
         assert_eq!(agg.eval(docs().iter()), json!(5usize));
     }
 
@@ -274,7 +275,7 @@ mod tests {
         assert_eq!(v.as_f64(), Some(10.5));
         assert_eq!(v.json_type(), betze_json::JsonType::Float);
 
-        let ints = vec![json!({ "n": 1 }), json!({ "n": 2 })];
+        let ints = [json!({ "n": 1 }), json!({ "n": 2 })];
         let v = agg.eval(ints.iter());
         assert_eq!(v, json!(3i64));
         assert_eq!(v.json_type(), betze_json::JsonType::Int);
@@ -283,7 +284,7 @@ mod tests {
     #[test]
     fn sum_overflow_falls_back_to_float() {
         let agg = AggFunc::Sum { path: ptr("/n") };
-        let big = vec![json!({ "n": (i64::MAX) }), json!({ "n": (i64::MAX) })];
+        let big = [json!({ "n": (i64::MAX) }), json!({ "n": (i64::MAX) })];
         let v = agg.eval(big.iter());
         assert_eq!(v.json_type(), betze_json::JsonType::Float);
         assert!(v.as_f64().unwrap() > 0.0);
@@ -291,7 +292,12 @@ mod tests {
 
     #[test]
     fn ungrouped_eval_yields_single_doc() {
-        let agg = Aggregation::new(AggFunc::Count { path: JsonPointer::root() }, "count");
+        let agg = Aggregation::new(
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
+            "count",
+        );
         let out = agg.eval(&docs());
         assert_eq!(out, vec![json!({ "count": 5usize })]);
     }
@@ -299,7 +305,9 @@ mod tests {
     #[test]
     fn grouped_eval_partitions_by_key() {
         let agg = Aggregation::grouped(
-            AggFunc::Count { path: JsonPointer::root() },
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
             ptr("/lang"),
             "count",
         );
@@ -317,15 +325,13 @@ mod tests {
 
     #[test]
     fn grouped_by_bool_and_number() {
-        let agg = Aggregation::grouped(
-            AggFunc::Sum { path: ptr("/n") },
-            ptr("/ok"),
-            "total",
-        );
+        let agg = Aggregation::grouped(AggFunc::Sum { path: ptr("/n") }, ptr("/ok"), "total");
         let out = agg.eval(&docs());
         assert_eq!(out.len(), 3); // missing, false, true
         let agg_n = Aggregation::grouped(
-            AggFunc::Count { path: JsonPointer::root() },
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
             ptr("/n"),
             "c",
         );
@@ -338,7 +344,9 @@ mod tests {
         let agg = Aggregation::new(AggFunc::Sum { path: ptr("/n") }, "s");
         assert_eq!(agg.eval(&[]), vec![json!({ "s": 0i64 })]);
         let grouped = Aggregation::grouped(
-            AggFunc::Count { path: JsonPointer::root() },
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
             ptr("/k"),
             "c",
         );
@@ -355,7 +363,9 @@ mod tests {
     #[test]
     fn display_forms() {
         let agg = Aggregation::grouped(
-            AggFunc::Count { path: JsonPointer::root() },
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
             ptr("/user/time_zone"),
             "count",
         );

@@ -365,32 +365,67 @@ mod tests {
 
     #[test]
     fn exists_matches_presence_even_null() {
-        assert!(FilterFn::Exists { path: ptr("/deleted") }.matches(&tweet()));
-        assert!(FilterFn::Exists { path: ptr("/user/name") }.matches(&tweet()));
+        assert!(FilterFn::Exists {
+            path: ptr("/deleted")
+        }
+        .matches(&tweet()));
+        assert!(FilterFn::Exists {
+            path: ptr("/user/name")
+        }
+        .matches(&tweet()));
         assert!(!FilterFn::Exists { path: ptr("/nope") }.matches(&tweet()));
     }
 
     #[test]
     fn isstring_requires_string_type() {
         assert!(FilterFn::IsString { path: ptr("/text") }.matches(&tweet()));
-        assert!(!FilterFn::IsString { path: ptr("/score") }.matches(&tweet()));
-        assert!(!FilterFn::IsString { path: ptr("/deleted") }.matches(&tweet()));
-        assert!(!FilterFn::IsString { path: ptr("/missing") }.matches(&tweet()));
+        assert!(!FilterFn::IsString {
+            path: ptr("/score")
+        }
+        .matches(&tweet()));
+        assert!(!FilterFn::IsString {
+            path: ptr("/deleted")
+        }
+        .matches(&tweet()));
+        assert!(!FilterFn::IsString {
+            path: ptr("/missing")
+        }
+        .matches(&tweet()));
     }
 
     #[test]
     fn int_equality_is_numeric() {
         let doc = json!({ "a": 5, "b": 5.0, "c": "5" });
-        assert!(FilterFn::IntEq { path: ptr("/a"), value: 5 }.matches(&doc));
+        assert!(FilterFn::IntEq {
+            path: ptr("/a"),
+            value: 5
+        }
+        .matches(&doc));
         // 5.0 equals 5 numerically — both are the number five.
-        assert!(FilterFn::IntEq { path: ptr("/b"), value: 5 }.matches(&doc));
-        assert!(!FilterFn::IntEq { path: ptr("/c"), value: 5 }.matches(&doc));
-        assert!(!FilterFn::IntEq { path: ptr("/a"), value: 6 }.matches(&doc));
+        assert!(FilterFn::IntEq {
+            path: ptr("/b"),
+            value: 5
+        }
+        .matches(&doc));
+        assert!(!FilterFn::IntEq {
+            path: ptr("/c"),
+            value: 5
+        }
+        .matches(&doc));
+        assert!(!FilterFn::IntEq {
+            path: ptr("/a"),
+            value: 6
+        }
+        .matches(&doc));
     }
 
     #[test]
     fn float_comparison_ops() {
-        let f = |op, v| FilterFn::FloatCmp { path: ptr("/score"), op, value: v };
+        let f = |op, v| FilterFn::FloatCmp {
+            path: ptr("/score"),
+            op,
+            value: v,
+        };
         assert!(f(Comparison::Gt, 0.5).matches(&tweet()));
         assert!(!f(Comparison::Gt, 0.75).matches(&tweet()));
         assert!(f(Comparison::Ge, 0.75).matches(&tweet()));
@@ -398,48 +433,115 @@ mod tests {
         assert!(f(Comparison::Le, 0.75).matches(&tweet()));
         assert!(f(Comparison::Eq, 0.75).matches(&tweet()));
         // Comparisons never match non-numbers or missing paths.
-        assert!(!FilterFn::FloatCmp { path: ptr("/text"), op: Comparison::Gt, value: 0.0 }
-            .matches(&tweet()));
+        assert!(!FilterFn::FloatCmp {
+            path: ptr("/text"),
+            op: Comparison::Gt,
+            value: 0.0
+        }
+        .matches(&tweet()));
     }
 
     #[test]
     fn string_predicates() {
-        assert!(FilterFn::StrEq { path: ptr("/lang"), value: "de".into() }.matches(&tweet()));
-        assert!(!FilterFn::StrEq { path: ptr("/lang"), value: "en".into() }.matches(&tweet()));
-        assert!(FilterFn::HasPrefix { path: ptr("/text"), prefix: "Fuß".into() }.matches(&tweet()));
-        assert!(!FilterFn::HasPrefix { path: ptr("/text"), prefix: "fuß".into() }.matches(&tweet()));
+        assert!(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "de".into()
+        }
+        .matches(&tweet()));
+        assert!(!FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "en".into()
+        }
+        .matches(&tweet()));
+        assert!(FilterFn::HasPrefix {
+            path: ptr("/text"),
+            prefix: "Fuß".into()
+        }
+        .matches(&tweet()));
+        assert!(!FilterFn::HasPrefix {
+            path: ptr("/text"),
+            prefix: "fuß".into()
+        }
+        .matches(&tweet()));
         // Prefix on non-string never matches.
-        assert!(!FilterFn::HasPrefix { path: ptr("/score"), prefix: "0".into() }.matches(&tweet()));
+        assert!(!FilterFn::HasPrefix {
+            path: ptr("/score"),
+            prefix: "0".into()
+        }
+        .matches(&tweet()));
     }
 
     #[test]
     fn bool_equality() {
-        assert!(FilterFn::BoolEq { path: ptr("/user/verified"), value: true }.matches(&tweet()));
-        assert!(!FilterFn::BoolEq { path: ptr("/user/verified"), value: false }.matches(&tweet()));
-        assert!(!FilterFn::BoolEq { path: ptr("/lang"), value: true }.matches(&tweet()));
+        assert!(FilterFn::BoolEq {
+            path: ptr("/user/verified"),
+            value: true
+        }
+        .matches(&tweet()));
+        assert!(!FilterFn::BoolEq {
+            path: ptr("/user/verified"),
+            value: false
+        }
+        .matches(&tweet()));
+        assert!(!FilterFn::BoolEq {
+            path: ptr("/lang"),
+            value: true
+        }
+        .matches(&tweet()));
     }
 
     #[test]
     fn size_predicates() {
-        assert!(FilterFn::ArrSize { path: ptr("/tags"), op: Comparison::Eq, value: 3 }
-            .matches(&tweet()));
-        assert!(FilterFn::ArrSize { path: ptr("/tags"), op: Comparison::Ge, value: 2 }
-            .matches(&tweet()));
-        assert!(!FilterFn::ArrSize { path: ptr("/user"), op: Comparison::Ge, value: 0 }
-            .matches(&tweet()));
-        assert!(FilterFn::ObjSize { path: ptr("/user"), op: Comparison::Eq, value: 3 }
-            .matches(&tweet()));
-        assert!(!FilterFn::ObjSize { path: ptr("/tags"), op: Comparison::Eq, value: 3 }
-            .matches(&tweet()));
+        assert!(FilterFn::ArrSize {
+            path: ptr("/tags"),
+            op: Comparison::Eq,
+            value: 3
+        }
+        .matches(&tweet()));
+        assert!(FilterFn::ArrSize {
+            path: ptr("/tags"),
+            op: Comparison::Ge,
+            value: 2
+        }
+        .matches(&tweet()));
+        assert!(!FilterFn::ArrSize {
+            path: ptr("/user"),
+            op: Comparison::Ge,
+            value: 0
+        }
+        .matches(&tweet()));
+        assert!(FilterFn::ObjSize {
+            path: ptr("/user"),
+            op: Comparison::Eq,
+            value: 3
+        }
+        .matches(&tweet()));
+        assert!(!FilterFn::ObjSize {
+            path: ptr("/tags"),
+            op: Comparison::Eq,
+            value: 3
+        }
+        .matches(&tweet()));
     }
 
     #[test]
     fn and_or_trees() {
-        let p = Predicate::leaf(FilterFn::BoolEq { path: ptr("/user/verified"), value: true })
-            .and(Predicate::leaf(FilterFn::StrEq { path: ptr("/lang"), value: "de".into() }));
+        let p = Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/user/verified"),
+            value: true,
+        })
+        .and(Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "de".into(),
+        }));
         assert!(p.matches(&tweet()));
-        let q = Predicate::leaf(FilterFn::StrEq { path: ptr("/lang"), value: "en".into() })
-            .or(Predicate::leaf(FilterFn::Exists { path: ptr("/score") }));
+        let q = Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "en".into(),
+        })
+        .or(Predicate::leaf(FilterFn::Exists {
+            path: ptr("/score"),
+        }));
         assert!(q.matches(&tweet()));
         let both = p.clone().and(q.clone());
         assert!(both.matches(&tweet()));
@@ -463,13 +565,37 @@ mod tests {
         let fns: Vec<FilterFn> = vec![
             FilterFn::Exists { path: ptr("/a") },
             FilterFn::IsString { path: ptr("/a") },
-            FilterFn::IntEq { path: ptr("/a"), value: 1 },
-            FilterFn::FloatCmp { path: ptr("/a"), op: Comparison::Lt, value: 1.0 },
-            FilterFn::StrEq { path: ptr("/a"), value: "x".into() },
-            FilterFn::HasPrefix { path: ptr("/a"), prefix: "x".into() },
-            FilterFn::BoolEq { path: ptr("/a"), value: true },
-            FilterFn::ArrSize { path: ptr("/a"), op: Comparison::Eq, value: 1 },
-            FilterFn::ObjSize { path: ptr("/a"), op: Comparison::Eq, value: 1 },
+            FilterFn::IntEq {
+                path: ptr("/a"),
+                value: 1,
+            },
+            FilterFn::FloatCmp {
+                path: ptr("/a"),
+                op: Comparison::Lt,
+                value: 1.0,
+            },
+            FilterFn::StrEq {
+                path: ptr("/a"),
+                value: "x".into(),
+            },
+            FilterFn::HasPrefix {
+                path: ptr("/a"),
+                prefix: "x".into(),
+            },
+            FilterFn::BoolEq {
+                path: ptr("/a"),
+                value: true,
+            },
+            FilterFn::ArrSize {
+                path: ptr("/a"),
+                op: Comparison::Eq,
+                value: 1,
+            },
+            FilterFn::ObjSize {
+                path: ptr("/a"),
+                op: Comparison::Eq,
+                value: 1,
+            },
         ];
         let kinds: Vec<PredicateKind> = fns.iter().map(FilterFn::kind).collect();
         assert_eq!(kinds, PredicateKind::ALL.to_vec());

@@ -195,7 +195,9 @@ mod tests {
         assert_eq!(paths, vec!["/kind", "/n", "/kind"]);
         // Root COUNT pointer is not an attribute reference.
         let q2 = Query::scan("tw").with_aggregation(Aggregation::new(
-            AggFunc::Count { path: JsonPointer::root() },
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
             "c",
         ));
         assert!(q2.referenced_paths().is_empty());

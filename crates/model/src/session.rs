@@ -124,16 +124,10 @@ impl Session {
         for mv in &self.moves {
             match mv {
                 Move::Return { from, to } => {
-                    let _ = writeln!(
-                        out,
-                        "  {from} -> {to} [color=red, style=dashed];"
-                    );
+                    let _ = writeln!(out, "  {from} -> {to} [color=red, style=dashed];");
                 }
                 Move::Jump { from, to } => {
-                    let _ = writeln!(
-                        out,
-                        "  {from} -> {to} [color=purple, style=dotted];"
-                    );
+                    let _ = writeln!(out, "  {from} -> {to} [color=purple, style=dotted];");
                 }
                 _ => {}
             }
@@ -195,17 +189,20 @@ mod tests {
     fn sample_session() -> Session {
         let mut graph = DatasetGraph::new();
         let a = graph.add_base("A", 100.0);
-        let q0 = Query::scan("A").with_filter(Predicate::leaf(FilterFn::Exists {
-            path: ptr("/user"),
-        }));
+        let q0 =
+            Query::scan("A").with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/user") }));
         let b = graph.add_derived(a, "B", 0, 50.0);
-        let q1 = Query::scan("A").with_filter(Predicate::leaf(FilterFn::IsString {
-            path: ptr("/post"),
-        }));
+        let q1 = Query::scan("A")
+            .with_filter(Predicate::leaf(FilterFn::IsString { path: ptr("/post") }));
         let c = graph.add_derived(a, "C", 1, 40.0);
         let q2 = Query::scan("B").with_filter(
-            Predicate::leaf(FilterFn::StrEq { path: ptr("/loc"), value: "DE".into() })
-                .and(Predicate::leaf(FilterFn::Exists { path: ptr("/user/name") })),
+            Predicate::leaf(FilterFn::StrEq {
+                path: ptr("/loc"),
+                value: "DE".into(),
+            })
+            .and(Predicate::leaf(FilterFn::Exists {
+                path: ptr("/user/name"),
+            })),
         );
         let d = graph.add_derived(b, "D", 2, 10.0);
         Session {

@@ -178,34 +178,45 @@ mod tests {
     #[test]
     fn add_sets_and_replaces() {
         let mut doc = json!({ "a": 1 });
-        let t = Transform::Add { path: ptr("/b"), value: json!("new") };
+        let t = Transform::Add {
+            path: ptr("/b"),
+            value: json!("new"),
+        };
         assert!(t.apply(&mut doc));
         assert_eq!(doc, json!({ "a": 1, "b": "new" }));
-        let overwrite = Transform::Add { path: ptr("/a"), value: json!(true) };
+        let overwrite = Transform::Add {
+            path: ptr("/a"),
+            value: json!(true),
+        };
         assert!(overwrite.apply(&mut doc));
         assert_eq!(doc.get("a"), Some(&json!(true)));
         // Parent objects are not created.
-        let deep = Transform::Add { path: ptr("/x/y"), value: json!(1) };
+        let deep = Transform::Add {
+            path: ptr("/x/y"),
+            value: json!(1),
+        };
         assert!(!deep.apply(&mut doc));
     }
 
     #[test]
     fn transforms_through_arrays() {
         let mut doc = json!({ "arr": [ { "k": 1 }, { "k": 2 } ] });
-        let t = Transform::Remove { path: ptr("/arr/1/k") };
+        let t = Transform::Remove {
+            path: ptr("/arr/1/k"),
+        };
         assert!(t.apply(&mut doc));
         assert_eq!(doc, json!({ "arr": [ { "k": 1 }, {} ] }));
     }
 
     #[test]
     fn apply_all_counts_changes() {
-        let mut docs = vec![
-            json!({ "a": 1, "b": 2 }),
-            json!({ "b": 3 }),
-        ];
+        let mut docs = vec![json!({ "a": 1, "b": 2 }), json!({ "b": 3 })];
         let transforms = vec![
             Transform::Remove { path: ptr("/a") },
-            Transform::Rename { from: ptr("/b"), to: "renamed".into() },
+            Transform::Rename {
+                from: ptr("/b"),
+                to: "renamed".into(),
+            },
         ];
         let changed = apply_all(&transforms, &mut docs);
         assert_eq!(changed, 3); // remove hit doc 0; rename hit both
@@ -216,12 +227,23 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(
-            Transform::Rename { from: ptr("/a"), to: "b".into() }.to_string(),
+            Transform::Rename {
+                from: ptr("/a"),
+                to: "b".into()
+            }
+            .to_string(),
             "RENAME '/a' TO 'b'"
         );
-        assert_eq!(Transform::Remove { path: ptr("/a") }.to_string(), "REMOVE '/a'");
         assert_eq!(
-            Transform::Add { path: ptr("/a"), value: json!(5) }.to_string(),
+            Transform::Remove { path: ptr("/a") }.to_string(),
+            "REMOVE '/a'"
+        );
+        assert_eq!(
+            Transform::Add {
+                path: ptr("/a"),
+                value: json!(5)
+            }
+            .to_string(),
             "SET '/a' = 5"
         );
     }

@@ -86,20 +86,20 @@ impl PathStats {
     /// Numeric range across both integer and real values, if any numbers
     /// were seen.
     pub fn numeric_range(&self) -> Option<(f64, f64)> {
-        let candidates_min = [
-            self.int_min.map(|i| i as f64),
-            self.float_min,
-        ];
-        let candidates_max = [
-            self.int_max.map(|i| i as f64),
-            self.float_max,
-        ];
-        let min = candidates_min.into_iter().flatten().fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.min(v)))
-        })?;
-        let max = candidates_max.into_iter().flatten().fold(None, |acc: Option<f64>, v| {
-            Some(acc.map_or(v, |a| a.max(v)))
-        })?;
+        let candidates_min = [self.int_min.map(|i| i as f64), self.float_min];
+        let candidates_max = [self.int_max.map(|i| i as f64), self.float_max];
+        let min = candidates_min
+            .into_iter()
+            .flatten()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })?;
+        let max = candidates_max
+            .into_iter()
+            .flatten()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })?;
         Some((min, max))
     }
 
@@ -271,7 +271,10 @@ mod tests {
         assert_eq!(s.doc_count, 50);
         assert_eq!(s.int_count, 30);
         assert_eq!(s.int_min, Some(1));
-        assert_eq!(s.prefixes, vec![("ab".to_string(), 8), ("cd".to_string(), 3)]);
+        assert_eq!(
+            s.prefixes,
+            vec![("ab".to_string(), 8), ("cd".to_string(), 3)]
+        );
         // Scaling to zero drops prefixes entirely.
         let zero = sample_stats().scaled(0.0);
         assert_eq!(zero.doc_count, 0);
@@ -298,7 +301,10 @@ mod tests {
         let scaled = analysis.scaled("t_sub", 0.3);
         assert_eq!(scaled.doc_count, 30);
         assert!(scaled.get(&p1).is_some());
-        assert!(scaled.get(&p2).is_none(), "1 * 0.3 rounds to 0 and is dropped");
+        assert!(
+            scaled.get(&p2).is_none(),
+            "1 * 0.3 rounds to 0 and is dropped"
+        );
         assert_eq!(analysis.existence_selectivity(&p1), 1.0);
     }
 
@@ -311,15 +317,24 @@ mod tests {
         };
         analysis.paths.insert(
             JsonPointer::parse("/a").unwrap(),
-            PathStats { doc_count: 10, ..Default::default() },
+            PathStats {
+                doc_count: 10,
+                ..Default::default()
+            },
         );
         analysis.paths.insert(
             JsonPointer::parse("/a/b").unwrap(),
-            PathStats { doc_count: 4, ..Default::default() },
+            PathStats {
+                doc_count: 4,
+                ..Default::default()
+            },
         );
         analysis.paths.insert(
             JsonPointer::parse("/c").unwrap(),
-            PathStats { doc_count: 6, ..Default::default() },
+            PathStats {
+                doc_count: 6,
+                ..Default::default()
+            },
         );
         let hist = analysis.depth_histogram();
         assert_eq!(hist[&1], 16);

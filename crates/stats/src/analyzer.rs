@@ -285,12 +285,7 @@ mod tests {
     fn string_prefixes_counted_per_length() {
         let a = analyze("t", &docs());
         let name = a.get(&ptr("/user/name")).unwrap();
-        let find = |p: &str| {
-            name.prefixes
-                .iter()
-                .find(|(q, _)| q == p)
-                .map(|(_, c)| *c)
-        };
+        let find = |p: &str| name.prefixes.iter().find(|(q, _)| q == p).map(|(_, c)| *c);
         // "alice" and "alfred" share prefixes "a" and "al".
         assert_eq!(find("a"), Some(2));
         assert_eq!(find("al"), Some(2));
@@ -330,11 +325,7 @@ mod tests {
             max_depth: 2,
             ..AnalyzerConfig::default()
         };
-        let a = analyze_with_config(
-            "t",
-            &[json!({ "a": { "b": { "c": 1 } } })],
-            &config,
-        );
+        let a = analyze_with_config("t", &[json!({ "a": { "b": { "c": 1 } } })], &config);
         assert!(a.get(&ptr("/a")).is_some());
         assert!(a.get(&ptr("/a/b")).is_some());
         assert!(a.get(&ptr("/a/b/c")).is_none());
@@ -380,7 +371,10 @@ mod histogram_tests {
         docs.extend((0..10).map(|i| json!({ "v": (90.0 + i as f64) })));
         let analysis = analyze("t", &docs);
         let stats = analysis.get(&ptr("/v")).unwrap();
-        let hist = stats.numeric_histogram.as_ref().expect("histogram collected");
+        let hist = stats
+            .numeric_histogram
+            .as_ref()
+            .expect("histogram collected");
         assert_eq!(hist.total(), 100);
         // The median sits in the dense low region, far from the range
         // midpoint a uniform assumption would suggest.
@@ -390,11 +384,7 @@ mod histogram_tests {
 
     #[test]
     fn histograms_cover_mixed_int_float_values() {
-        let docs = vec![
-            json!({ "v": 0 }),
-            json!({ "v": 5.5 }),
-            json!({ "v": 10 }),
-        ];
+        let docs = vec![json!({ "v": 0 }), json!({ "v": 5.5 }), json!({ "v": 10 })];
         let analysis = analyze("t", &docs);
         let hist = analysis
             .get(&ptr("/v"))
@@ -415,14 +405,22 @@ mod histogram_tests {
         };
         let docs = vec![json!({ "v": 1 }), json!({ "v": 2 })];
         let analysis = analyze_with_config("t", &docs, &config);
-        assert!(analysis.get(&ptr("/v")).unwrap().numeric_histogram.is_none());
+        assert!(analysis
+            .get(&ptr("/v"))
+            .unwrap()
+            .numeric_histogram
+            .is_none());
     }
 
     #[test]
     fn non_numeric_paths_have_no_histogram() {
         let docs = vec![json!({ "s": "x" }), json!({ "s": "y" })];
         let analysis = analyze("t", &docs);
-        assert!(analysis.get(&ptr("/s")).unwrap().numeric_histogram.is_none());
+        assert!(analysis
+            .get(&ptr("/s"))
+            .unwrap()
+            .numeric_histogram
+            .is_none());
     }
 
     #[test]
@@ -431,10 +429,6 @@ mod histogram_tests {
         let analysis = analyze("t", &docs);
         let back = crate::DatasetAnalysis::parse(&analysis.to_json()).unwrap();
         assert_eq!(back, analysis);
-        assert!(back
-            .get(&ptr("/v"))
-            .unwrap()
-            .numeric_histogram
-            .is_some());
+        assert!(back.get(&ptr("/v")).unwrap().numeric_histogram.is_some());
     }
 }

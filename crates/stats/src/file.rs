@@ -5,9 +5,9 @@
 //! dataset"* (§IV-A). The schema mirrors Listing 2: one entry per path,
 //! with a per-type statistics object for each type that occurred.
 
-use crate::{DatasetAnalysis, PathStats};
 #[cfg(doc)]
 use crate::Histogram;
+use crate::{DatasetAnalysis, PathStats};
 use betze_json::{JsonPointer, Object, Value};
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -212,8 +212,7 @@ fn stats_from_value(value: &Value) -> Result<PathStats, String> {
         stats.bool_count = req_count(o.get("count"))?;
         // Paper §IV-D: "if the Boolean type statistics do not provide
         // true/false counts, a uniform distribution is assumed".
-        stats.true_count =
-            opt_count(o.get("true_count"))?.unwrap_or(stats.bool_count / 2);
+        stats.true_count = opt_count(o.get("true_count"))?.unwrap_or(stats.bool_count / 2);
     }
     if let Some(o) = obj.get("int").and_then(Value::as_object) {
         stats.int_count = req_count(o.get("count"))?;
@@ -226,8 +225,14 @@ fn stats_from_value(value: &Value) -> Result<PathStats, String> {
         stats.float_max = o.get("max").and_then(Value::as_f64);
     }
     if let Some(o) = obj.get("histogram").and_then(Value::as_object) {
-        let min = o.get("min").and_then(Value::as_f64).ok_or("histogram min")?;
-        let max = o.get("max").and_then(Value::as_f64).ok_or("histogram max")?;
+        let min = o
+            .get("min")
+            .and_then(Value::as_f64)
+            .ok_or("histogram min")?;
+        let max = o
+            .get("max")
+            .and_then(Value::as_f64)
+            .ok_or("histogram max")?;
         let counts = o
             .get("counts")
             .and_then(Value::as_array)
@@ -337,7 +342,10 @@ mod tests {
         let user = paths.get("/user").unwrap();
         assert_eq!(user.get("count").and_then(Value::as_i64), Some(1));
         let obj_stats = user.get("object").unwrap();
-        assert_eq!(obj_stats.get("min_children").and_then(Value::as_i64), Some(1));
+        assert_eq!(
+            obj_stats.get("min_children").and_then(Value::as_i64),
+            Some(1)
+        );
         assert!(paths.get("/user/name").is_some());
     }
 

@@ -150,7 +150,10 @@ mod tests {
         assert!(Histogram::new(0.0, 1.0, 0).is_none());
         assert!(Histogram::new(1.0, 0.0, 4).is_none());
         assert!(Histogram::new(0.0, f64::INFINITY, 4).is_none());
-        assert!(Histogram::new(2.0, 2.0, 4).is_some(), "degenerate range allowed");
+        assert!(
+            Histogram::new(2.0, 2.0, 4).is_some(),
+            "degenerate range allowed"
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
         // 90 % of values are below 10; the median must sit far below the
         // range midpoint the uniform assumption would pick.
         let median = h.threshold_for_bottom_fraction(0.5);
-        assert!(median < 10.0, "median {median} must lie in the dense region");
+        assert!(
+            median < 10.0,
+            "median {median} must lie in the dense region"
+        );
         let top10 = h.threshold_for_top_fraction(0.1);
         assert!(top10 > 9.0, "top-10% threshold {top10}");
         // Round trip: the estimated fraction at the computed threshold

@@ -25,6 +25,6 @@ mod file;
 mod histogram;
 
 pub use analysis::{DatasetAnalysis, PathStats};
-pub use analyzer::{AnalyzerConfig, analyze, analyze_with_config};
+pub use analyzer::{analyze, analyze_with_config, AnalyzerConfig};
 pub use file::AnalysisFileError;
 pub use histogram::Histogram;

@@ -16,9 +16,7 @@
 use betze::datagen::{DocGenerator, TwitterLike};
 use betze::engines::{Engine, JodaSim};
 use betze::json::JsonPointer;
-use betze::model::{
-    DatasetGraph, FilterFn, Move, Predicate, Query, Session,
-};
+use betze::model::{DatasetGraph, FilterFn, Move, Predicate, Query, Session};
 
 fn ptr(s: &str) -> JsonPointer {
     JsonPointer::parse(s).expect("valid pointer")
@@ -34,9 +32,8 @@ fn main() {
     let base = graph.add_base("twitter", docs.len() as f64);
 
     // Query 1: "surely every tweet has a user" — EXISTS('/user').
-    let q1 = Query::scan("twitter").with_filter(Predicate::leaf(FilterFn::Exists {
-        path: ptr("/user"),
-    }));
+    let q1 = Query::scan("twitter")
+        .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/user") }));
     let r1 = joda.execute(&q1).expect("q1");
     println!(
         "q1 EXISTS(/user)              → {} docs … but this includes profile events, not just tweets!",
@@ -49,11 +46,13 @@ fn main() {
     println!("   ↩ Alice goes back to the full stream (backtrack)\n");
 
     // Query 2: demand a string-typed text attribute — actual tweets.
-    let q2 = Query::scan("twitter").with_filter(Predicate::leaf(FilterFn::IsString {
-        path: ptr("/text"),
-    }));
+    let q2 = Query::scan("twitter")
+        .with_filter(Predicate::leaf(FilterFn::IsString { path: ptr("/text") }));
     let r2 = joda.execute(&q2).expect("q2");
-    println!("q2 ISSTRING(/text)            → {} docs (actual tweets)", r2.docs.len());
+    println!(
+        "q2 ISSTRING(/text)            → {} docs (actual tweets)",
+        r2.docs.len()
+    );
     let d2 = graph.add_derived(base, "tweets", 1, r2.docs.len() as f64);
 
     // Query 3: refine — tweets placed in Germany. The composed-predicate
@@ -81,10 +80,19 @@ fn main() {
         queries: vec![q1, q2, q3],
         graph,
         moves: vec![
-            Move::Explore { on: base, created: d1 },
+            Move::Explore {
+                on: base,
+                created: d1,
+            },
             Move::Return { from: d1, to: base },
-            Move::Explore { on: base, created: d2 },
-            Move::Explore { on: d2, created: d3 },
+            Move::Explore {
+                on: base,
+                created: d2,
+            },
+            Move::Explore {
+                on: d2,
+                created: d3,
+            },
             Move::Stop,
         ],
         seed: 0,

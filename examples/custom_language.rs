@@ -19,11 +19,7 @@ use betze::model::{AggFunc, Comparison, DatasetId, FilterFn, Predicate, Query};
 struct SqlPlusPlus;
 
 fn dotted(path: &JsonPointer) -> String {
-    let tokens: Vec<String> = path
-        .tokens()
-        .iter()
-        .map(|t| format!("`{t}`"))
-        .collect();
+    let tokens: Vec<String> = path.tokens().iter().map(|t| format!("`{t}`")).collect();
     format!("d.{}", tokens.join("."))
 }
 

@@ -10,8 +10,8 @@
 use betze::engines::{all_engines, JodaSim};
 use betze::generator::GeneratorConfig;
 use betze::harness::fmt::{human_duration, TextTable};
-use betze::harness::workload::{prepare, Corpus};
 use betze::harness::run_session;
+use betze::harness::workload::{prepare, Corpus};
 
 fn main() {
     let mut table = TextTable::new(["system", "Twitter-like", "NoBench"]);
@@ -44,8 +44,8 @@ fn main() {
             cell(engine.name(), run.session_modeled());
         }
         let mut evicted = JodaSim::with_eviction(16);
-        let run = run_session(&mut evicted, &w.dataset, &w.generation.session)
-            .expect("evicted run");
+        let run =
+            run_session(&mut evicted, &w.dataset, &w.generation.session).expect("evicted run");
         cell("JODA memory evicted", run.session_modeled());
     }
     for (name, cells) in rows {

@@ -11,9 +11,7 @@
 
 use betze::datagen::{DocGenerator, RedditLike};
 use betze::engines::{Engine, JodaSim, PgSim};
-use betze::generator::{
-    generate_session, ExportMode, GeneratorConfig, InMemoryBackend,
-};
+use betze::generator::{generate_session, ExportMode, GeneratorConfig, InMemoryBackend};
 use betze::langs::{translate_session, MongoDb};
 use betze::model::DatasetId;
 
@@ -25,10 +23,12 @@ fn main() {
         .transform_fraction(1.0);
     let mut backend = InMemoryBackend::new();
     backend.register_base(DatasetId(0), docs.clone());
-    let outcome =
-        generate_session(&analysis, &config, 31, Some(&mut backend)).expect("generation");
+    let outcome = generate_session(&analysis, &config, 31, Some(&mut backend)).expect("generation");
 
-    println!("generated {} transforming queries:\n", outcome.session.queries.len());
+    println!(
+        "generated {} transforming queries:\n",
+        outcome.session.queries.len()
+    );
     for query in &outcome.session.queries {
         println!("  {query}");
     }

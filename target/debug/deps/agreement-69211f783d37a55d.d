@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-69211f783d37a55d.d: crates/engines/tests/agreement.rs
+
+/root/repo/target/debug/deps/agreement-69211f783d37a55d: crates/engines/tests/agreement.rs
+
+crates/engines/tests/agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement-e317f687f80ad993.d: crates/engines/tests/agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement-e317f687f80ad993.rmeta: crates/engines/tests/agreement.rs Cargo.toml
+
+crates/engines/tests/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

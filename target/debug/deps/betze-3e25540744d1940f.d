@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/betze-3e25540744d1940f.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/betze-3e25540744d1940f: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

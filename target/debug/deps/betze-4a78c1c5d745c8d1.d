@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze-4a78c1c5d745c8d1.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze-4a78c1c5d745c8d1.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

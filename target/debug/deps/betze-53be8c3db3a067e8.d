@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/betze-53be8c3db3a067e8.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libbetze-53be8c3db3a067e8.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libbetze-53be8c3db3a067e8.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/betze-563b9cb5280b2be6.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/betze-563b9cb5280b2be6: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/betze-84a3f52bbe13bfa5.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/betze-84a3f52bbe13bfa5: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze-84c31848f5579796.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze-84c31848f5579796.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

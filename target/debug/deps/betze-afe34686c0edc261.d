@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze-afe34686c0edc261.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze-afe34686c0edc261.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

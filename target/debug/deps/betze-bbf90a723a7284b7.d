@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze-bbf90a723a7284b7.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze-bbf90a723a7284b7.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

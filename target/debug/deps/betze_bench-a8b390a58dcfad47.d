@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_bench-a8b390a58dcfad47.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_bench-a8b390a58dcfad47.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

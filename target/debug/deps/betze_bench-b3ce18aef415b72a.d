@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/betze_bench-b3ce18aef415b72a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbetze_bench-b3ce18aef415b72a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbetze_bench-b3ce18aef415b72a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

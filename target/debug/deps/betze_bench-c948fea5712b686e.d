@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/betze_bench-c948fea5712b686e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/betze_bench-c948fea5712b686e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_bench-eef4a495ff083bee.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_bench-eef4a495ff083bee.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/betze_datagen-23a6deab348180dc.d: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libbetze_datagen-23a6deab348180dc.rlib: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/libbetze_datagen-23a6deab348180dc.rmeta: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/nobench.rs:
+crates/datagen/src/reddit.rs:
+crates/datagen/src/twitter.rs:
+crates/datagen/src/vocab.rs:

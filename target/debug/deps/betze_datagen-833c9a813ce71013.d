@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/betze_datagen-833c9a813ce71013.d: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_datagen-833c9a813ce71013.rmeta: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/nobench.rs:
+crates/datagen/src/reddit.rs:
+crates/datagen/src/twitter.rs:
+crates/datagen/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_datagen-894cba2446a3347f.d: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/debug/deps/betze_datagen-894cba2446a3347f: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/nobench.rs:
+crates/datagen/src/reddit.rs:
+crates/datagen/src/twitter.rs:
+crates/datagen/src/vocab.rs:

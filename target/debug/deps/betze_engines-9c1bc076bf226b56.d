@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/betze_engines-9c1bc076bf226b56.d: crates/engines/src/lib.rs crates/engines/src/binary_engine.rs crates/engines/src/chaos.rs crates/engines/src/cost.rs crates/engines/src/counters.rs crates/engines/src/engine.rs crates/engines/src/joda.rs crates/engines/src/jqsim.rs crates/engines/src/mongo.rs crates/engines/src/pg.rs crates/engines/src/storage/mod.rs crates/engines/src/storage/bson.rs crates/engines/src/storage/jsonb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_engines-9c1bc076bf226b56.rmeta: crates/engines/src/lib.rs crates/engines/src/binary_engine.rs crates/engines/src/chaos.rs crates/engines/src/cost.rs crates/engines/src/counters.rs crates/engines/src/engine.rs crates/engines/src/joda.rs crates/engines/src/jqsim.rs crates/engines/src/mongo.rs crates/engines/src/pg.rs crates/engines/src/storage/mod.rs crates/engines/src/storage/bson.rs crates/engines/src/storage/jsonb.rs Cargo.toml
+
+crates/engines/src/lib.rs:
+crates/engines/src/binary_engine.rs:
+crates/engines/src/chaos.rs:
+crates/engines/src/cost.rs:
+crates/engines/src/counters.rs:
+crates/engines/src/engine.rs:
+crates/engines/src/joda.rs:
+crates/engines/src/jqsim.rs:
+crates/engines/src/mongo.rs:
+crates/engines/src/pg.rs:
+crates/engines/src/storage/mod.rs:
+crates/engines/src/storage/bson.rs:
+crates/engines/src/storage/jsonb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/betze_engines-b7cd07754ce7a820.d: crates/engines/src/lib.rs crates/engines/src/binary_engine.rs crates/engines/src/chaos.rs crates/engines/src/cost.rs crates/engines/src/counters.rs crates/engines/src/engine.rs crates/engines/src/joda.rs crates/engines/src/jqsim.rs crates/engines/src/mongo.rs crates/engines/src/pg.rs crates/engines/src/storage/mod.rs crates/engines/src/storage/bson.rs crates/engines/src/storage/jsonb.rs
+
+/root/repo/target/debug/deps/libbetze_engines-b7cd07754ce7a820.rlib: crates/engines/src/lib.rs crates/engines/src/binary_engine.rs crates/engines/src/chaos.rs crates/engines/src/cost.rs crates/engines/src/counters.rs crates/engines/src/engine.rs crates/engines/src/joda.rs crates/engines/src/jqsim.rs crates/engines/src/mongo.rs crates/engines/src/pg.rs crates/engines/src/storage/mod.rs crates/engines/src/storage/bson.rs crates/engines/src/storage/jsonb.rs
+
+/root/repo/target/debug/deps/libbetze_engines-b7cd07754ce7a820.rmeta: crates/engines/src/lib.rs crates/engines/src/binary_engine.rs crates/engines/src/chaos.rs crates/engines/src/cost.rs crates/engines/src/counters.rs crates/engines/src/engine.rs crates/engines/src/joda.rs crates/engines/src/jqsim.rs crates/engines/src/mongo.rs crates/engines/src/pg.rs crates/engines/src/storage/mod.rs crates/engines/src/storage/bson.rs crates/engines/src/storage/jsonb.rs
+
+crates/engines/src/lib.rs:
+crates/engines/src/binary_engine.rs:
+crates/engines/src/chaos.rs:
+crates/engines/src/cost.rs:
+crates/engines/src/counters.rs:
+crates/engines/src/engine.rs:
+crates/engines/src/joda.rs:
+crates/engines/src/jqsim.rs:
+crates/engines/src/mongo.rs:
+crates/engines/src/pg.rs:
+crates/engines/src/storage/mod.rs:
+crates/engines/src/storage/bson.rs:
+crates/engines/src/storage/jsonb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_explorer-14fa3de37c3e2b7a.d: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs
+
+/root/repo/target/debug/deps/libbetze_explorer-14fa3de37c3e2b7a.rlib: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs
+
+/root/repo/target/debug/deps/libbetze_explorer-14fa3de37c3e2b7a.rmeta: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/config.rs:
+crates/explorer/src/walk.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/betze_explorer-1a347fcd895bf8f6.d: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_explorer-1a347fcd895bf8f6.rmeta: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs Cargo.toml
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/config.rs:
+crates/explorer/src/walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

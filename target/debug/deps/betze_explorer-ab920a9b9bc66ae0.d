@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/betze_explorer-ab920a9b9bc66ae0.d: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs
+
+/root/repo/target/debug/deps/betze_explorer-ab920a9b9bc66ae0: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/config.rs:
+crates/explorer/src/walk.rs:

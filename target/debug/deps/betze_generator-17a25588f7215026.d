@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/betze_generator-17a25588f7215026.d: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs
+
+/root/repo/target/debug/deps/betze_generator-17a25588f7215026: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs
+
+crates/generator/src/lib.rs:
+crates/generator/src/backend.rs:
+crates/generator/src/config.rs:
+crates/generator/src/error.rs:
+crates/generator/src/factory.rs:
+crates/generator/src/generate.rs:
+crates/generator/src/pathpick.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/betze_generator-7a074dade19fdd8d.d: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs
+
+/root/repo/target/debug/deps/libbetze_generator-7a074dade19fdd8d.rlib: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs
+
+/root/repo/target/debug/deps/libbetze_generator-7a074dade19fdd8d.rmeta: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs
+
+crates/generator/src/lib.rs:
+crates/generator/src/backend.rs:
+crates/generator/src/config.rs:
+crates/generator/src/error.rs:
+crates/generator/src/factory.rs:
+crates/generator/src/generate.rs:
+crates/generator/src/pathpick.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/betze_generator-e8b217eb2d37bd31.d: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_generator-e8b217eb2d37bd31.rmeta: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs Cargo.toml
+
+crates/generator/src/lib.rs:
+crates/generator/src/backend.rs:
+crates/generator/src/config.rs:
+crates/generator/src/error.rs:
+crates/generator/src/factory.rs:
+crates/generator/src/generate.rs:
+crates/generator/src/pathpick.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

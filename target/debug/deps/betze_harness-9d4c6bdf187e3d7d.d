@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/betze_harness-9d4c6bdf187e3d7d.d: crates/harness/src/lib.rs crates/harness/src/backend_adapter.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/fig10.rs crates/harness/src/experiments/fig5.rs crates/harness/src/experiments/fig6.rs crates/harness/src/experiments/fig7.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/fig9.rs crates/harness/src/experiments/gencost.rs crates/harness/src/experiments/skew.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table4.rs crates/harness/src/fmt.rs crates/harness/src/runner.rs crates/harness/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_harness-9d4c6bdf187e3d7d.rmeta: crates/harness/src/lib.rs crates/harness/src/backend_adapter.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/fig10.rs crates/harness/src/experiments/fig5.rs crates/harness/src/experiments/fig6.rs crates/harness/src/experiments/fig7.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/fig9.rs crates/harness/src/experiments/gencost.rs crates/harness/src/experiments/skew.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table4.rs crates/harness/src/fmt.rs crates/harness/src/runner.rs crates/harness/src/workload.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/backend_adapter.rs:
+crates/harness/src/experiments/mod.rs:
+crates/harness/src/experiments/fig10.rs:
+crates/harness/src/experiments/fig5.rs:
+crates/harness/src/experiments/fig6.rs:
+crates/harness/src/experiments/fig7.rs:
+crates/harness/src/experiments/fig8.rs:
+crates/harness/src/experiments/fig9.rs:
+crates/harness/src/experiments/gencost.rs:
+crates/harness/src/experiments/skew.rs:
+crates/harness/src/experiments/table1.rs:
+crates/harness/src/experiments/table2.rs:
+crates/harness/src/experiments/table3.rs:
+crates/harness/src/experiments/table4.rs:
+crates/harness/src/fmt.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

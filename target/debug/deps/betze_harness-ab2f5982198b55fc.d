@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/betze_harness-ab2f5982198b55fc.d: crates/harness/src/lib.rs crates/harness/src/backend_adapter.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/fig10.rs crates/harness/src/experiments/fig5.rs crates/harness/src/experiments/fig6.rs crates/harness/src/experiments/fig7.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/fig9.rs crates/harness/src/experiments/gencost.rs crates/harness/src/experiments/skew.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table4.rs crates/harness/src/fmt.rs crates/harness/src/runner.rs crates/harness/src/workload.rs
+
+/root/repo/target/debug/deps/betze_harness-ab2f5982198b55fc: crates/harness/src/lib.rs crates/harness/src/backend_adapter.rs crates/harness/src/experiments/mod.rs crates/harness/src/experiments/fig10.rs crates/harness/src/experiments/fig5.rs crates/harness/src/experiments/fig6.rs crates/harness/src/experiments/fig7.rs crates/harness/src/experiments/fig8.rs crates/harness/src/experiments/fig9.rs crates/harness/src/experiments/gencost.rs crates/harness/src/experiments/skew.rs crates/harness/src/experiments/table1.rs crates/harness/src/experiments/table2.rs crates/harness/src/experiments/table3.rs crates/harness/src/experiments/table4.rs crates/harness/src/fmt.rs crates/harness/src/runner.rs crates/harness/src/workload.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/backend_adapter.rs:
+crates/harness/src/experiments/mod.rs:
+crates/harness/src/experiments/fig10.rs:
+crates/harness/src/experiments/fig5.rs:
+crates/harness/src/experiments/fig6.rs:
+crates/harness/src/experiments/fig7.rs:
+crates/harness/src/experiments/fig8.rs:
+crates/harness/src/experiments/fig9.rs:
+crates/harness/src/experiments/gencost.rs:
+crates/harness/src/experiments/skew.rs:
+crates/harness/src/experiments/table1.rs:
+crates/harness/src/experiments/table2.rs:
+crates/harness/src/experiments/table3.rs:
+crates/harness/src/experiments/table4.rs:
+crates/harness/src/fmt.rs:
+crates/harness/src/runner.rs:
+crates/harness/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/betze_integration_tests-10193faf26976d4c.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libbetze_integration_tests-10193faf26976d4c.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libbetze_integration_tests-10193faf26976d4c.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_integration_tests-6c9719340bcc25c6.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_integration_tests-6c9719340bcc25c6.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/betze_integration_tests-89e35f8713a588cf.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/betze_integration_tests-89e35f8713a588cf: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_integration_tests-c8c3b7cd19d6d149.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_integration_tests-c8c3b7cd19d6d149.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/betze_json-3e2266d13f07a8cb.d: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_json-3e2266d13f07a8cb.rmeta: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs Cargo.toml
+
+crates/json/src/lib.rs:
+crates/json/src/error.rs:
+crates/json/src/number.rs:
+crates/json/src/parse.rs:
+crates/json/src/pointer.rs:
+crates/json/src/ser.rs:
+crates/json/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

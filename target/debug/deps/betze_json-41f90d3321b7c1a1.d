@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/betze_json-41f90d3321b7c1a1.d: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs
+
+/root/repo/target/debug/deps/betze_json-41f90d3321b7c1a1: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs
+
+crates/json/src/lib.rs:
+crates/json/src/error.rs:
+crates/json/src/number.rs:
+crates/json/src/parse.rs:
+crates/json/src/pointer.rs:
+crates/json/src/ser.rs:
+crates/json/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/betze_json-f06f7e1e0547ff36.d: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs
+
+/root/repo/target/debug/deps/libbetze_json-f06f7e1e0547ff36.rlib: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs
+
+/root/repo/target/debug/deps/libbetze_json-f06f7e1e0547ff36.rmeta: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs
+
+crates/json/src/lib.rs:
+crates/json/src/error.rs:
+crates/json/src/number.rs:
+crates/json/src/parse.rs:
+crates/json/src/pointer.rs:
+crates/json/src/ser.rs:
+crates/json/src/value.rs:

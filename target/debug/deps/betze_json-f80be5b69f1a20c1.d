@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/betze_json-f80be5b69f1a20c1.d: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_json-f80be5b69f1a20c1.rmeta: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs Cargo.toml
+
+crates/json/src/lib.rs:
+crates/json/src/error.rs:
+crates/json/src/number.rs:
+crates/json/src/parse.rs:
+crates/json/src/pointer.rs:
+crates/json/src/ser.rs:
+crates/json/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

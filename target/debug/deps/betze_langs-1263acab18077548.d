@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/betze_langs-1263acab18077548.d: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_langs-1263acab18077548.rmeta: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs Cargo.toml
+
+crates/langs/src/lib.rs:
+crates/langs/src/joda.rs:
+crates/langs/src/jq.rs:
+crates/langs/src/mongodb.rs:
+crates/langs/src/postgres.rs:
+crates/langs/src/script.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/betze_langs-53a60c5eb5514b6d.d: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs
+
+/root/repo/target/debug/deps/betze_langs-53a60c5eb5514b6d: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs
+
+crates/langs/src/lib.rs:
+crates/langs/src/joda.rs:
+crates/langs/src/jq.rs:
+crates/langs/src/mongodb.rs:
+crates/langs/src/postgres.rs:
+crates/langs/src/script.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/betze_langs-aea774b11881297d.d: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs
+
+/root/repo/target/debug/deps/libbetze_langs-aea774b11881297d.rlib: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs
+
+/root/repo/target/debug/deps/libbetze_langs-aea774b11881297d.rmeta: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs
+
+crates/langs/src/lib.rs:
+crates/langs/src/joda.rs:
+crates/langs/src/jq.rs:
+crates/langs/src/mongodb.rs:
+crates/langs/src/postgres.rs:
+crates/langs/src/script.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/betze_model-22a7b953903c0700.d: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_model-22a7b953903c0700.rmeta: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/aggregate.rs:
+crates/model/src/graph.rs:
+crates/model/src/predicate.rs:
+crates/model/src/query.rs:
+crates/model/src/session.rs:
+crates/model/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

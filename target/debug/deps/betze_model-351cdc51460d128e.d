@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/betze_model-351cdc51460d128e.d: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs
+
+/root/repo/target/debug/deps/betze_model-351cdc51460d128e: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs
+
+crates/model/src/lib.rs:
+crates/model/src/aggregate.rs:
+crates/model/src/graph.rs:
+crates/model/src/predicate.rs:
+crates/model/src/query.rs:
+crates/model/src/session.rs:
+crates/model/src/transform.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/betze_model-4afcaf334b3b7a3e.d: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs
+
+/root/repo/target/debug/deps/libbetze_model-4afcaf334b3b7a3e.rlib: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs
+
+/root/repo/target/debug/deps/libbetze_model-4afcaf334b3b7a3e.rmeta: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs
+
+crates/model/src/lib.rs:
+crates/model/src/aggregate.rs:
+crates/model/src/graph.rs:
+crates/model/src/predicate.rs:
+crates/model/src/query.rs:
+crates/model/src/session.rs:
+crates/model/src/transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_rng-6acab5e655989aa2.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_rng-6acab5e655989aa2.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

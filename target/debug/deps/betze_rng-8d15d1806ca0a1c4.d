@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/betze_rng-8d15d1806ca0a1c4.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/betze_rng-8d15d1806ca0a1c4: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_rng-a1117939058ac5d0.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_rng-a1117939058ac5d0.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/betze_rng-cc9e7e92bb7b0735.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libbetze_rng-cc9e7e92bb7b0735.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libbetze_rng-cc9e7e92bb7b0735.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

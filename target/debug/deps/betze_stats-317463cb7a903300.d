@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/betze_stats-317463cb7a903300.d: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs
+
+/root/repo/target/debug/deps/betze_stats-317463cb7a903300: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/analysis.rs:
+crates/stats/src/analyzer.rs:
+crates/stats/src/file.rs:
+crates/stats/src/histogram.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/betze_stats-726d8d27aec6e4dc.d: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbetze_stats-726d8d27aec6e4dc.rmeta: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/analysis.rs:
+crates/stats/src/analyzer.rs:
+crates/stats/src/file.rs:
+crates/stats/src/histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

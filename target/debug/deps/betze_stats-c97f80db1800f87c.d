@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/betze_stats-c97f80db1800f87c.d: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs
+
+/root/repo/target/debug/deps/libbetze_stats-c97f80db1800f87c.rlib: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs
+
+/root/repo/target/debug/deps/libbetze_stats-c97f80db1800f87c.rmeta: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/analysis.rs:
+crates/stats/src/analyzer.rs:
+crates/stats/src/file.rs:
+crates/stats/src/histogram.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-994cd57a49bb25da.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-994cd57a49bb25da: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_betze=/root/repo/target/debug/betze

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-e745c101ddee5daf.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-e745c101ddee5daf.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_betze=placeholder:betze
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2c8a8417c5379527.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2c8a8417c5379527: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

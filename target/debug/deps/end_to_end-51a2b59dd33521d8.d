@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-51a2b59dd33521d8.d: tests/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-51a2b59dd33521d8.rmeta: tests/tests/end_to_end.rs Cargo.toml
+
+tests/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

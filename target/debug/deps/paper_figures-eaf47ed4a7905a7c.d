@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_figures-eaf47ed4a7905a7c.d: crates/bench/benches/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_figures-eaf47ed4a7905a7c.rmeta: crates/bench/benches/paper_figures.rs Cargo.toml
+
+crates/bench/benches/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

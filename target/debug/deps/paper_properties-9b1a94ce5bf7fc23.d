@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_properties-9b1a94ce5bf7fc23.d: tests/tests/paper_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_properties-9b1a94ce5bf7fc23.rmeta: tests/tests/paper_properties.rs Cargo.toml
+
+tests/tests/paper_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-aaffa33c95adb5ae.d: tests/tests/paper_properties.rs
+
+/root/repo/target/debug/deps/paper_properties-aaffa33c95adb5ae: tests/tests/paper_properties.rs
+
+tests/tests/paper_properties.rs:

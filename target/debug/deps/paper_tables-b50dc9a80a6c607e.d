@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_tables-b50dc9a80a6c607e.d: crates/bench/benches/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-b50dc9a80a6c607e.rmeta: crates/bench/benches/paper_tables.rs Cargo.toml
+
+crates/bench/benches/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-290bae0f426ad16a.d: crates/json/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-290bae0f426ad16a: crates/json/tests/proptest_roundtrip.rs
+
+crates/json/tests/proptest_roundtrip.rs:

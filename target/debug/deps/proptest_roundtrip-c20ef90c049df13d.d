@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-c20ef90c049df13d.d: crates/json/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-c20ef90c049df13d.rmeta: crates/json/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/json/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

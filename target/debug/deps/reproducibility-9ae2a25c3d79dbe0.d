@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-9ae2a25c3d79dbe0.d: tests/tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-9ae2a25c3d79dbe0: tests/tests/reproducibility.rs
+
+tests/tests/reproducibility.rs:

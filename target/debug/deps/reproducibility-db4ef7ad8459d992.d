@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproducibility-db4ef7ad8459d992.d: tests/tests/reproducibility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproducibility-db4ef7ad8459d992.rmeta: tests/tests/reproducibility.rs Cargo.toml
+
+tests/tests/reproducibility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

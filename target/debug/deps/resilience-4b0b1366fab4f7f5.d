@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-4b0b1366fab4f7f5.d: tests/tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-4b0b1366fab4f7f5: tests/tests/resilience.rs
+
+tests/tests/resilience.rs:

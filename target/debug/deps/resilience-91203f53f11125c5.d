@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-91203f53f11125c5.d: tests/tests/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-91203f53f11125c5.rmeta: tests/tests/resilience.rs Cargo.toml
+
+tests/tests/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

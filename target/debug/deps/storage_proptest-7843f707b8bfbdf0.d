@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_proptest-7843f707b8bfbdf0.d: crates/engines/tests/storage_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_proptest-7843f707b8bfbdf0.rmeta: crates/engines/tests/storage_proptest.rs Cargo.toml
+
+crates/engines/tests/storage_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

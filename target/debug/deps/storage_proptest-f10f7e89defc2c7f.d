@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_proptest-f10f7e89defc2c7f.d: crates/engines/tests/storage_proptest.rs
+
+/root/repo/target/debug/deps/storage_proptest-f10f7e89defc2c7f: crates/engines/tests/storage_proptest.rs
+
+crates/engines/tests/storage_proptest.rs:

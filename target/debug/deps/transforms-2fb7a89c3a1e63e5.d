@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transforms-2fb7a89c3a1e63e5.d: crates/langs/tests/transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransforms-2fb7a89c3a1e63e5.rmeta: crates/langs/tests/transforms.rs Cargo.toml
+
+crates/langs/tests/transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-9128f9ef6b7f54a7.d: crates/langs/tests/transforms.rs
+
+/root/repo/target/debug/deps/transforms-9128f9ef6b7f54a7: crates/langs/tests/transforms.rs
+
+crates/langs/tests/transforms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/alice_twitter-4f2a22759b2ec8aa.d: crates/core/../../examples/alice_twitter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalice_twitter-4f2a22759b2ec8aa.rmeta: crates/core/../../examples/alice_twitter.rs Cargo.toml
+
+crates/core/../../examples/alice_twitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

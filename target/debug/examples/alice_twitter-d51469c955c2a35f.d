@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alice_twitter-d51469c955c2a35f.d: crates/core/../../examples/alice_twitter.rs
+
+/root/repo/target/debug/examples/alice_twitter-d51469c955c2a35f: crates/core/../../examples/alice_twitter.rs
+
+crates/core/../../examples/alice_twitter.rs:

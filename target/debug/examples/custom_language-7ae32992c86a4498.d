@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_language-7ae32992c86a4498.d: crates/core/../../examples/custom_language.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_language-7ae32992c86a4498.rmeta: crates/core/../../examples/custom_language.rs Cargo.toml
+
+crates/core/../../examples/custom_language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_language-cda68bc6edc35f7e.d: crates/core/../../examples/custom_language.rs
+
+/root/repo/target/debug/examples/custom_language-cda68bc6edc35f7e: crates/core/../../examples/custom_language.rs
+
+crates/core/../../examples/custom_language.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e6d6e0ebc74073f2.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e6d6e0ebc74073f2: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

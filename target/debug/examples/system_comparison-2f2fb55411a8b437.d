@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/system_comparison-2f2fb55411a8b437.d: crates/core/../../examples/system_comparison.rs
+
+/root/repo/target/debug/examples/system_comparison-2f2fb55411a8b437: crates/core/../../examples/system_comparison.rs
+
+crates/core/../../examples/system_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/system_comparison-b83c422a8738dbb0.d: crates/core/../../examples/system_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsystem_comparison-b83c422a8738dbb0.rmeta: crates/core/../../examples/system_comparison.rs Cargo.toml
+
+crates/core/../../examples/system_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

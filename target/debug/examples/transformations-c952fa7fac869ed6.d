@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transformations-c952fa7fac869ed6.d: crates/core/../../examples/transformations.rs
+
+/root/repo/target/debug/examples/transformations-c952fa7fac869ed6: crates/core/../../examples/transformations.rs
+
+crates/core/../../examples/transformations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transformations-de087ff9693e3902.d: crates/core/../../examples/transformations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransformations-de087ff9693e3902.rmeta: crates/core/../../examples/transformations.rs Cargo.toml
+
+crates/core/../../examples/transformations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

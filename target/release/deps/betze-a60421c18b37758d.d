@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/betze-a60421c18b37758d.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/betze-a60421c18b37758d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

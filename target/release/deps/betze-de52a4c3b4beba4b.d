@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/betze-de52a4c3b4beba4b.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libbetze-de52a4c3b4beba4b.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libbetze-de52a4c3b4beba4b.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/betze_bench-92ab71ce3067f023.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbetze_bench-92ab71ce3067f023.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbetze_bench-92ab71ce3067f023.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

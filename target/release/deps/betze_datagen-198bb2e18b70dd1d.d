@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/betze_datagen-198bb2e18b70dd1d.d: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/release/deps/libbetze_datagen-198bb2e18b70dd1d.rlib: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs
+
+/root/repo/target/release/deps/libbetze_datagen-198bb2e18b70dd1d.rmeta: crates/datagen/src/lib.rs crates/datagen/src/nobench.rs crates/datagen/src/reddit.rs crates/datagen/src/twitter.rs crates/datagen/src/vocab.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/nobench.rs:
+crates/datagen/src/reddit.rs:
+crates/datagen/src/twitter.rs:
+crates/datagen/src/vocab.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/betze_engines-ee05ae0ec00c916a.d: crates/engines/src/lib.rs crates/engines/src/binary_engine.rs crates/engines/src/chaos.rs crates/engines/src/cost.rs crates/engines/src/counters.rs crates/engines/src/engine.rs crates/engines/src/joda.rs crates/engines/src/jqsim.rs crates/engines/src/mongo.rs crates/engines/src/pg.rs crates/engines/src/storage/mod.rs crates/engines/src/storage/bson.rs crates/engines/src/storage/jsonb.rs
+
+/root/repo/target/release/deps/libbetze_engines-ee05ae0ec00c916a.rlib: crates/engines/src/lib.rs crates/engines/src/binary_engine.rs crates/engines/src/chaos.rs crates/engines/src/cost.rs crates/engines/src/counters.rs crates/engines/src/engine.rs crates/engines/src/joda.rs crates/engines/src/jqsim.rs crates/engines/src/mongo.rs crates/engines/src/pg.rs crates/engines/src/storage/mod.rs crates/engines/src/storage/bson.rs crates/engines/src/storage/jsonb.rs
+
+/root/repo/target/release/deps/libbetze_engines-ee05ae0ec00c916a.rmeta: crates/engines/src/lib.rs crates/engines/src/binary_engine.rs crates/engines/src/chaos.rs crates/engines/src/cost.rs crates/engines/src/counters.rs crates/engines/src/engine.rs crates/engines/src/joda.rs crates/engines/src/jqsim.rs crates/engines/src/mongo.rs crates/engines/src/pg.rs crates/engines/src/storage/mod.rs crates/engines/src/storage/bson.rs crates/engines/src/storage/jsonb.rs
+
+crates/engines/src/lib.rs:
+crates/engines/src/binary_engine.rs:
+crates/engines/src/chaos.rs:
+crates/engines/src/cost.rs:
+crates/engines/src/counters.rs:
+crates/engines/src/engine.rs:
+crates/engines/src/joda.rs:
+crates/engines/src/jqsim.rs:
+crates/engines/src/mongo.rs:
+crates/engines/src/pg.rs:
+crates/engines/src/storage/mod.rs:
+crates/engines/src/storage/bson.rs:
+crates/engines/src/storage/jsonb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/betze_explorer-94df805dd3243682.d: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs
+
+/root/repo/target/release/deps/libbetze_explorer-94df805dd3243682.rlib: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs
+
+/root/repo/target/release/deps/libbetze_explorer-94df805dd3243682.rmeta: crates/explorer/src/lib.rs crates/explorer/src/config.rs crates/explorer/src/walk.rs
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/config.rs:
+crates/explorer/src/walk.rs:

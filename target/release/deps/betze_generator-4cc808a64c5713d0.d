@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/betze_generator-4cc808a64c5713d0.d: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs
+
+/root/repo/target/release/deps/libbetze_generator-4cc808a64c5713d0.rlib: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs
+
+/root/repo/target/release/deps/libbetze_generator-4cc808a64c5713d0.rmeta: crates/generator/src/lib.rs crates/generator/src/backend.rs crates/generator/src/config.rs crates/generator/src/error.rs crates/generator/src/factory.rs crates/generator/src/generate.rs crates/generator/src/pathpick.rs
+
+crates/generator/src/lib.rs:
+crates/generator/src/backend.rs:
+crates/generator/src/config.rs:
+crates/generator/src/error.rs:
+crates/generator/src/factory.rs:
+crates/generator/src/generate.rs:
+crates/generator/src/pathpick.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/betze_integration_tests-a1ac27519fb1eb12.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libbetze_integration_tests-a1ac27519fb1eb12.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libbetze_integration_tests-a1ac27519fb1eb12.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/betze_json-cdf41b895b7b08dc.d: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs
+
+/root/repo/target/release/deps/libbetze_json-cdf41b895b7b08dc.rlib: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs
+
+/root/repo/target/release/deps/libbetze_json-cdf41b895b7b08dc.rmeta: crates/json/src/lib.rs crates/json/src/error.rs crates/json/src/number.rs crates/json/src/parse.rs crates/json/src/pointer.rs crates/json/src/ser.rs crates/json/src/value.rs
+
+crates/json/src/lib.rs:
+crates/json/src/error.rs:
+crates/json/src/number.rs:
+crates/json/src/parse.rs:
+crates/json/src/pointer.rs:
+crates/json/src/ser.rs:
+crates/json/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/betze_langs-d56b29775f1221d1.d: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs
+
+/root/repo/target/release/deps/libbetze_langs-d56b29775f1221d1.rlib: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs
+
+/root/repo/target/release/deps/libbetze_langs-d56b29775f1221d1.rmeta: crates/langs/src/lib.rs crates/langs/src/joda.rs crates/langs/src/jq.rs crates/langs/src/mongodb.rs crates/langs/src/postgres.rs crates/langs/src/script.rs
+
+crates/langs/src/lib.rs:
+crates/langs/src/joda.rs:
+crates/langs/src/jq.rs:
+crates/langs/src/mongodb.rs:
+crates/langs/src/postgres.rs:
+crates/langs/src/script.rs:

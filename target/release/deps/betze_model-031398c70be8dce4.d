@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/betze_model-031398c70be8dce4.d: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs
+
+/root/repo/target/release/deps/libbetze_model-031398c70be8dce4.rlib: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs
+
+/root/repo/target/release/deps/libbetze_model-031398c70be8dce4.rmeta: crates/model/src/lib.rs crates/model/src/aggregate.rs crates/model/src/graph.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/session.rs crates/model/src/transform.rs
+
+crates/model/src/lib.rs:
+crates/model/src/aggregate.rs:
+crates/model/src/graph.rs:
+crates/model/src/predicate.rs:
+crates/model/src/query.rs:
+crates/model/src/session.rs:
+crates/model/src/transform.rs:

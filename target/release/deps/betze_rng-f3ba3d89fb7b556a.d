@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/betze_rng-f3ba3d89fb7b556a.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libbetze_rng-f3ba3d89fb7b556a.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libbetze_rng-f3ba3d89fb7b556a.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

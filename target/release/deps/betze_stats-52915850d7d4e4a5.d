@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/betze_stats-52915850d7d4e4a5.d: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs
+
+/root/repo/target/release/deps/libbetze_stats-52915850d7d4e4a5.rlib: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs
+
+/root/repo/target/release/deps/libbetze_stats-52915850d7d4e4a5.rmeta: crates/stats/src/lib.rs crates/stats/src/analysis.rs crates/stats/src/analyzer.rs crates/stats/src/file.rs crates/stats/src/histogram.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/analysis.rs:
+crates/stats/src/analyzer.rs:
+crates/stats/src/file.rs:
+crates/stats/src/histogram.rs:

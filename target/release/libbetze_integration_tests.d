@@ -1,0 +1,1 @@
+/root/repo/target/release/libbetze_integration_tests.rlib: /root/repo/tests/src/lib.rs

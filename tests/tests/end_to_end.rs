@@ -5,8 +5,8 @@ use betze::datagen::{DocGenerator, NoBench, RedditLike, TwitterLike};
 use betze::engines::all_engines;
 use betze::explorer::Preset;
 use betze::generator::{generate_session, GeneratorConfig, InMemoryBackend};
-use betze::harness::workload::{prepare, Corpus};
 use betze::harness::run_session;
+use betze::harness::workload::{prepare, Corpus};
 use betze::langs::{all_languages, translate_session};
 use betze::model::DatasetId;
 
@@ -71,7 +71,9 @@ fn engines_agree_on_generated_sessions() {
         .collect();
     for mut engine in all_engines(2) {
         engine.reset();
-        engine.import(&w.dataset.name, &w.dataset.docs).expect("import");
+        engine
+            .import(&w.dataset.name, &w.dataset.docs)
+            .expect("import");
         for (query, want) in w.generation.session.queries.iter().zip(&expected) {
             let got = engine.execute(query).expect("execute").docs.len();
             assert_eq!(got, *want, "{} on {query}", engine.name());
@@ -114,8 +116,8 @@ fn materialized_sessions_execute_on_engines() {
 
 #[test]
 fn transforming_multi_dataset_sessions_run_on_all_engines() {
-    use betze::generator::{generate_session_multi, ExportMode, InMemoryBackend};
     use betze::datagen::{DocGenerator, NoBench, RedditLike};
+    use betze::generator::{generate_session_multi, ExportMode, InMemoryBackend};
     // The two §VII/§VI extensions combined: several base datasets plus
     // transformations, exported as materialized intermediates, executed
     // on every engine.
@@ -133,7 +135,11 @@ fn transforming_multi_dataset_sessions_run_on_all_engines() {
         .transform_fraction(0.6);
     let outcome =
         generate_session_multi(&analyses, &config, 13, Some(&mut backend)).expect("generation");
-    assert!(outcome.session.queries.iter().any(|q| !q.transforms.is_empty()));
+    assert!(outcome
+        .session
+        .queries
+        .iter()
+        .any(|q| !q.transforms.is_empty()));
     for mut engine in all_engines(2) {
         engine.reset();
         engine.import("nobench", &nb).expect("import nb");

@@ -13,8 +13,13 @@ fn scripts_for(seed: u64) -> Vec<String> {
     let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
     let mut backend = InMemoryBackend::new();
     backend.register_base(DatasetId(0), dataset.docs.clone());
-    let outcome = generate_session(&analysis, &GeneratorConfig::default(), seed, Some(&mut backend))
-        .expect("generation");
+    let outcome = generate_session(
+        &analysis,
+        &GeneratorConfig::default(),
+        seed,
+        Some(&mut backend),
+    )
+    .expect("generation");
     all_languages()
         .iter()
         .map(|lang| translate_session(lang.as_ref(), &outcome.session))
@@ -68,6 +73,12 @@ fn backend_and_backendless_runs_share_the_walk() {
     let without = generate_session(&analysis, &config, 17, None).expect("without");
     assert_eq!(with.session.queries.len(), without.session.queries.len());
     // Verified selectivities exist only with a backend.
-    assert!(with.records.iter().all(|r| r.verified_selectivity.is_some()));
-    assert!(without.records.iter().all(|r| r.verified_selectivity.is_none()));
+    assert!(with
+        .records
+        .iter()
+        .all(|r| r.verified_selectivity.is_some()));
+    assert!(without
+        .records
+        .iter()
+        .all(|r| r.verified_selectivity.is_none()));
 }

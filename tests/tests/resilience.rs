@@ -1,0 +1,121 @@
+//! End-to-end resilience tests: generated workloads executed under
+//! deterministic fault injection on every engine, checking the
+//! acceptance properties of the fault model — same chaos seed ⇒ same
+//! schedule/retries/outcome, rate 0 ⇒ identical to a clean run,
+//! transient faults absorbed by retries, evicted intermediates
+//! recovered by lineage replay.
+
+use betze::engines::{all_engines, ChaosEngine, Engine, FaultPlan, JodaSim};
+use betze::generator::{ExportMode, GeneratorConfig};
+use betze::harness::workload::{prepare, Corpus};
+use betze::harness::{
+    run_session, run_session_with_options, QueryStatus, RetryPolicy, RunOptions, SessionOutcome,
+};
+
+fn materializing_workload(session_seed: u64) -> betze::harness::workload::PreparedWorkload {
+    let config = GeneratorConfig::default().export(ExportMode::MaterializedIntermediates);
+    prepare(Corpus::NoBench, 250, 1, &config, session_seed).unwrap()
+}
+
+#[test]
+fn chaos_at_rate_zero_is_invisible_on_every_engine() {
+    let w = materializing_workload(3);
+    for (plain, wrapped) in all_engines(2).into_iter().zip(all_engines(2)) {
+        let mut plain = plain;
+        let mut chaos = ChaosEngine::new(wrapped, FaultPlan::none(777));
+        let a = run_session(&mut plain, &w.dataset, &w.generation.session).unwrap();
+        let b = run_session(&mut chaos, &w.dataset, &w.generation.session).unwrap();
+        assert_eq!(a.session_modeled(), b.session_modeled(), "{}", chaos.name());
+        assert_eq!(a.import.counters, b.import.counters, "{}", chaos.name());
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.counters, y.counters, "{}", chaos.name());
+        }
+        assert!(chaos.fault_log().is_empty());
+    }
+}
+
+#[test]
+fn chaotic_sessions_are_reproducible_on_every_engine() {
+    let w = materializing_workload(4);
+    let plan = FaultPlan::none(2026)
+        .storage_faults(0.25)
+        .import_faults(0.25)
+        .latency_spikes(0.2, 3.0)
+        .evictions(0.4);
+    let options = RunOptions::reference().retry(RetryPolicy::attempts(6));
+    for (a, b) in all_engines(2).into_iter().zip(all_engines(2)) {
+        let mut ea = ChaosEngine::new(a, plan.clone());
+        let mut eb = ChaosEngine::new(b, plan.clone());
+        let ra =
+            run_session_with_options(&mut ea, &w.dataset, &w.generation.session, &options).unwrap();
+        let rb =
+            run_session_with_options(&mut eb, &w.dataset, &w.generation.session, &options).unwrap();
+        assert_eq!(ra.run().statuses, rb.run().statuses, "{}", ea.name());
+        assert_eq!(
+            ra.run().session_modeled(),
+            rb.run().session_modeled(),
+            "{}",
+            ea.name()
+        );
+        assert_eq!(ra.run().lineage_replays, rb.run().lineage_replays);
+        assert_eq!(ea.fault_log(), eb.fault_log(), "{}", ea.name());
+        assert_eq!(ra.cell(), rb.cell());
+    }
+}
+
+#[test]
+fn transient_faults_degrade_gracefully_never_abort() {
+    let w = materializing_workload(5);
+    // Heavy fault pressure with a small retry budget: some queries may
+    // fail, but the session itself must always complete — never Err.
+    let plan = FaultPlan::none(9).storage_faults(0.6).evictions(0.5);
+    let options = RunOptions::reference().retry(RetryPolicy::attempts(2));
+    let mut chaos = ChaosEngine::new(JodaSim::new(2), plan);
+    let outcome = run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options)
+        .expect("degradation must absorb every fault");
+    let run = outcome.run();
+    assert_eq!(run.statuses.len(), w.generation.session.queries.len());
+    match &outcome {
+        SessionOutcome::Completed(run) => assert!(!run.degraded()),
+        SessionOutcome::CompletedWithErrors(run) => {
+            assert!(run.degraded());
+            // The N/M cell renders the partial result.
+            assert!(outcome.cell().contains(&format!(
+                "({}/{})",
+                run.ok_queries(),
+                run.statuses.len()
+            )));
+        }
+        SessionOutcome::TimedOut { .. } => panic!("no timeout configured"),
+    }
+}
+
+#[test]
+fn eviction_heavy_run_recovers_via_lineage_replay() {
+    // Find a session that actually materializes intermediates that are
+    // read again downstream, then evict everything: recovery has to come
+    // from lineage replay.
+    let w = materializing_workload(6);
+    let has_derived_read = w
+        .generation
+        .session
+        .queries
+        .iter()
+        .any(|q| q.base != w.dataset.name);
+    assert!(has_derived_read, "workload must revisit an intermediate");
+    let plan = FaultPlan::none(1).evictions(1.0);
+    let mut chaos = ChaosEngine::new(JodaSim::new(2), plan);
+    let outcome = run_session_with_options(
+        &mut chaos,
+        &w.dataset,
+        &w.generation.session,
+        &RunOptions::reference(),
+    )
+    .unwrap();
+    let run = outcome.completed().expect("every eviction is replayable");
+    assert!(run.lineage_replays > 0, "evictions must trigger replay");
+    assert!(run
+        .statuses
+        .iter()
+        .any(|s| matches!(s, QueryStatus::Retried(_))));
+}
