@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbetze_integration_tests.rlib: /root/repo/tests/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbetze_rng.rlib: /root/repo/crates/rng/src/lib.rs
