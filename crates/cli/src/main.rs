@@ -75,6 +75,10 @@ COMMANDS:
                skew gen-cost all
         --quick             small corpora (fast smoke run)
         --sessions <n>      session count override
+        --jobs <n>          parallel session workers (0 = one per core,
+                            1 = sequential; results are bit-identical
+                            for every value)
+        --bench-out <file>  also write a JSON wall-time record
 ";
 
 fn main() -> ExitCode {
@@ -456,6 +460,10 @@ fn experiment(args: &[String]) -> Result<(), String> {
     if let Some(sessions) = take_option(&mut args, "--sessions")? {
         scale.sessions = parse(&sessions, "sessions")?;
     }
+    if let Some(jobs) = take_option(&mut args, "--jobs")? {
+        scale.jobs = parse(&jobs, "jobs")?;
+    }
+    let bench_out = take_option(&mut args, "--bench-out")?;
     let [name]: [String; 1] = args
         .try_into()
         .map_err(|_| "experiment needs exactly one <name>".to_owned())?;
@@ -476,6 +484,7 @@ fn experiment(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown experiment '{other}'")),
         })
     };
+    let started = std::time::Instant::now();
     if name == "all" {
         for exp in [
             "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3",
@@ -484,9 +493,20 @@ fn experiment(args: &[String]) -> Result<(), String> {
             eprintln!("# running {exp} …");
             println!("{}\n", run_one(exp, &scale)?);
         }
-        Ok(())
     } else {
         println!("{}", run_one(&name, &scale)?);
-        Ok(())
     }
+    if let Some(path) = bench_out {
+        // A machine-readable wall-time record for CI trend tracking.
+        let record = format!(
+            "{{\"experiment\": \"{}\", \"jobs\": {}, \"sessions\": {}, \"wall_secs\": {:.6}}}\n",
+            name,
+            betze::harness::pool::effective_jobs(scale.jobs),
+            scale.sessions,
+            started.elapsed().as_secs_f64(),
+        );
+        std::fs::write(&path, record).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }

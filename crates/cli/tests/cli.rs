@@ -113,6 +113,34 @@ fn experiment_table1_runs() {
 }
 
 #[test]
+fn experiment_jobs_flag_and_bench_record() {
+    let bench = tmpfile("bench.json");
+    let bench_s = bench.to_str().expect("utf8 path");
+    let out = betze(&[
+        "experiment",
+        "fig7",
+        "--quick",
+        "--sessions",
+        "1",
+        "--jobs",
+        "2",
+        "--bench-out",
+        bench_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Fig. 7"));
+    let record = std::fs::read_to_string(&bench).expect("bench record written");
+    assert!(record.contains("\"experiment\": \"fig7\""));
+    assert!(record.contains("\"jobs\": 2"));
+    assert!(record.contains("\"wall_secs\""));
+    let _ = std::fs::remove_file(&bench);
+}
+
+#[test]
 fn generate_rejects_bad_options() {
     let out = betze(&["generate", "/nonexistent/x.json"]);
     assert!(!out.status.success());

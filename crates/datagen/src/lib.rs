@@ -33,22 +33,29 @@ pub use reddit::{RedditLike, REDDIT_FIELDS};
 pub use twitter::TwitterLike;
 
 use betze_json::Value;
+use std::sync::Arc;
 
 /// A named, in-memory document collection.
+///
+/// Documents are held behind an [`Arc`]: cloning a `Dataset` (the
+/// multi-session experiment drivers hand one corpus to every seeded
+/// session, and the harness pool to every worker) shares the documents
+/// instead of copying them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Dataset name (used as the base dataset name in generated queries).
     pub name: String,
-    /// The documents.
-    pub docs: Vec<Value>,
+    /// The documents (shared, immutable).
+    pub docs: Arc<Vec<Value>>,
 }
 
 impl Dataset {
-    /// Creates a dataset from parts.
-    pub fn new(name: impl Into<String>, docs: Vec<Value>) -> Self {
+    /// Creates a dataset from parts. Accepts an owned vector or an
+    /// already-shared `Arc<Vec<Value>>`.
+    pub fn new(name: impl Into<String>, docs: impl Into<Arc<Vec<Value>>>) -> Self {
         Dataset {
             name: name.into(),
-            docs,
+            docs: docs.into(),
         }
     }
 
@@ -65,7 +72,7 @@ impl Dataset {
     /// Serializes to JSON-Lines (the raw-file format consumed by the
     /// jq-like engine).
     pub fn to_json_lines(&self) -> String {
-        betze_json::to_json_lines(&self.docs)
+        betze_json::to_json_lines(self.docs.iter())
     }
 
     /// Approximate total size in bytes of the JSON-Lines form.

@@ -69,6 +69,15 @@ impl FaultPlan {
         }
     }
 
+    /// Rebinds the fault-stream seed, keeping every rate. This is how a
+    /// parallel harness derives per-task fault schedules from one plan
+    /// template: clone the plan, re-seed it with the task's session seed,
+    /// and the task's chaos is independent of scheduling.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Sets the transient storage-fault rate.
     pub fn storage_faults(mut self, rate: f64) -> Self {
         self.storage_fault_rate = rate;

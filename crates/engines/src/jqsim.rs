@@ -22,11 +22,20 @@ static INSTANCE_COUNTER: AtomicU64 = AtomicU64::new(0);
 ///
 /// The engine performs *real* file I/O and parsing against a per-instance
 /// temporary directory, removed on drop.
+///
+/// The read and serialization buffers persist across queries: the
+/// re-read-everything access pattern means every query fills a
+/// same-order-of-magnitude buffer, so reusing one allocation removes the
+/// per-query malloc/free churn without changing any byte of the I/O.
 #[derive(Debug)]
 pub struct JqSim {
     dir: PathBuf,
     files: HashMap<String, PathBuf>,
     output_enabled: bool,
+    /// Reused buffer for re-reading dataset files.
+    read_buf: String,
+    /// Reused buffer for serializing query output / store files.
+    write_buf: String,
 }
 
 impl JqSim {
@@ -38,6 +47,8 @@ impl JqSim {
             dir,
             files: HashMap::new(),
             output_enabled: true,
+            read_buf: String::new(),
+            write_buf: String::new(),
         }
     }
 
@@ -83,13 +94,15 @@ impl Engine for JqSim {
         let started = Instant::now();
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| Self::storage_err(e, "creating temp dir"))?;
-        let text = betze_json::to_json_lines(docs);
+        self.write_buf.clear();
+        betze_json::write_json_lines(&mut self.write_buf, docs);
         let path = self.file_for(name);
-        std::fs::write(&path, &text).map_err(|e| Self::storage_err(e, "writing dataset"))?;
+        std::fs::write(&path, &self.write_buf)
+            .map_err(|e| Self::storage_err(e, "writing dataset"))?;
         self.files.insert(name.to_owned(), path);
         let counters = WorkCounters {
             import_docs: docs.len() as u64,
-            import_bytes: text.len() as u64,
+            import_bytes: self.write_buf.len() as u64,
             ..Default::default()
         };
         Ok(ExecutionReport::from_counters(
@@ -111,12 +124,17 @@ impl Engine for JqSim {
             .ok_or_else(|| EngineError::UnknownDataset {
                 name: query.base.clone(),
             })?;
-        // Real file read + full re-parse on every query.
-        let text =
-            std::fs::read_to_string(path).map_err(|e| Self::storage_err(e, "reading dataset"))?;
-        counters.bytes_scanned += text.len() as u64;
-        counters.bytes_parsed += text.len() as u64;
-        let parsed = betze_json::parse_many(&text).map_err(|e| EngineError::Storage {
+        // Real file read + full re-parse on every query, into the reused
+        // read buffer (same bytes hit the disk and the parser; only the
+        // per-query String allocation is gone).
+        self.read_buf.clear();
+        let mut file =
+            std::fs::File::open(path).map_err(|e| Self::storage_err(e, "reading dataset"))?;
+        std::io::Read::read_to_string(&mut file, &mut self.read_buf)
+            .map_err(|e| Self::storage_err(e, "reading dataset"))?;
+        counters.bytes_scanned += self.read_buf.len() as u64;
+        counters.bytes_parsed += self.read_buf.len() as u64;
+        let parsed = betze_json::parse_many(&self.read_buf).map_err(|e| EngineError::Storage {
             message: format!("parsing dataset: {e}"),
         })?;
         counters.docs_scanned += parsed.len() as u64;
@@ -142,14 +160,16 @@ impl Engine for JqSim {
             None => matching.clone(),
         };
         if self.output_enabled {
-            let output = betze_json::to_json_lines(&docs);
+            self.write_buf.clear();
+            betze_json::write_json_lines(&mut self.write_buf, &docs);
             counters.docs_output += docs.len() as u64;
-            counters.bytes_output += output.len() as u64;
+            counters.bytes_output += self.write_buf.len() as u64;
         }
         if let Some(store) = &query.store_as {
             let store_path = self.file_for(store);
-            let store_text = betze_json::to_json_lines(&matching);
-            std::fs::write(&store_path, store_text)
+            self.write_buf.clear();
+            betze_json::write_json_lines(&mut self.write_buf, &matching);
+            std::fs::write(&store_path, &self.write_buf)
                 .map_err(|e| Self::storage_err(e, "writing store file"))?;
             self.files.insert(store.clone(), store_path);
         }

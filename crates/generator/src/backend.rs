@@ -12,6 +12,7 @@
 use betze_json::Value;
 use betze_model::{DatasetId, Predicate, Transform};
 use betze_stats::DatasetAnalysis;
+use std::sync::Arc;
 
 /// A data processor that can measure real selectivities and re-analyze
 /// derived datasets during generation.
@@ -49,9 +50,13 @@ pub trait SelectivityBackend {
 /// dataset at a potential minor loss of query accuracy"* (§VI-A).
 /// Selectivity **verification** always uses the full dataset, so accepted
 /// queries still meet the target range exactly.
+/// Base datasets are held behind [`Arc`] so many backends (one per
+/// concurrent session under the harness `SessionPool`) can share one
+/// corpus without cloning the documents — see
+/// [`InMemoryBackend::register_base_shared`].
 #[derive(Debug)]
 pub struct InMemoryBackend {
-    datasets: Vec<Option<Vec<Value>>>,
+    datasets: Vec<Option<Arc<Vec<Value>>>>,
     analysis_sample: usize,
 }
 
@@ -77,15 +82,21 @@ impl InMemoryBackend {
         self
     }
 
-    /// Registers a base dataset under the given id.
-    pub fn register_base(&mut self, id: DatasetId, docs: Vec<Value>) {
+    /// Registers a base dataset under the given id. Accepts an owned
+    /// document vector or a shared `Arc<Vec<Value>>` — passing the `Arc`
+    /// makes no document copy, so N concurrent backends over one corpus
+    /// (one per session task under the harness pool) cost one corpus.
+    pub fn register_base(&mut self, id: DatasetId, docs: impl Into<Arc<Vec<Value>>>) {
         self.slot(id.0);
-        self.datasets[id.0] = Some(docs);
+        self.datasets[id.0] = Some(docs.into());
     }
 
     /// The documents of a dataset, if known.
     pub fn docs(&self, id: DatasetId) -> Option<&[Value]> {
-        self.datasets.get(id.0).and_then(|d| d.as_deref())
+        self.datasets
+            .get(id.0)
+            .and_then(|d| d.as_ref())
+            .map(|docs| docs.as_slice())
     }
 
     fn slot(&mut self, idx: usize) {
@@ -113,14 +124,14 @@ impl SelectivityBackend for InMemoryBackend {
         predicate: &Predicate,
         transforms: &[Transform],
     ) {
-        let filtered: Option<Vec<Value>> = self.docs(parent).map(|docs| {
+        let filtered: Option<Arc<Vec<Value>>> = self.docs(parent).map(|docs| {
             let mut out: Vec<Value> = docs
                 .iter()
                 .filter(|d| predicate.matches(d))
                 .cloned()
                 .collect();
             betze_model::apply_all(transforms, &mut out);
-            out
+            Arc::new(out)
         });
         self.slot(id.0);
         self.datasets[id.0] = filtered;

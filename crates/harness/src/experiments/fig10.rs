@@ -3,8 +3,9 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
+use crate::pool::SessionPool;
 use crate::runner::{run_session_with_timeout, SessionOutcome};
-use crate::workload::{prepare_dataset, Corpus};
+use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::all_engines;
 use betze_generator::GeneratorConfig;
 use std::time::Duration;
@@ -35,31 +36,47 @@ pub fn fig10(scale: &Scale) -> Fig10Result {
 }
 
 /// [`fig10`] with explicit sizes and timeout.
+///
+/// Two pooled stages: per-size workload preparation (generate, analyze,
+/// one seeded session each), then one task per (size, engine) run —
+/// each with its own engine instance, merged in (size-major, engine)
+/// order.
 pub fn fig10_with_sizes(scale: &Scale, doc_counts: Vec<usize>, timeout: Duration) -> Fig10Result {
-    let mut series: Vec<(String, Vec<Option<f64>>)> = Vec::new();
-    for count in &doc_counts {
-        let dataset = Corpus::NoBench.generate(scale.data_seed, *count);
-        let w =
-            prepare_dataset(dataset, &GeneratorConfig::default(), 123).expect("fig10 generation");
-        for (i, mut engine) in all_engines(scale.joda_threads).into_iter().enumerate() {
-            let outcome = run_session_with_timeout(
-                engine.as_mut(),
-                &w.dataset,
-                &w.generation.session,
-                Some(timeout),
-            )
-            .expect("fig10 run");
-            let value = match outcome {
-                SessionOutcome::Completed(run) | SessionOutcome::CompletedWithErrors(run) => {
-                    Some(run.session_modeled().as_secs_f64())
-                }
-                SessionOutcome::TimedOut { .. } => None,
-            };
-            if series.len() <= i {
-                series.push((engine.name().to_owned(), Vec::new()));
+    let pool = SessionPool::new(scale.jobs);
+    let engine_count = all_engines(scale.joda_threads).len();
+    let prepared = pool.map(&doc_counts, |_, &count| {
+        let corpus = SharedCorpus::prepare(Corpus::NoBench, count, scale.data_seed, 1);
+        let outcome = corpus
+            .generate_session(&GeneratorConfig::default(), 123)
+            .expect("fig10 generation");
+        (corpus, outcome)
+    });
+    let tasks: Vec<(usize, usize)> = (0..doc_counts.len())
+        .flat_map(|size| (0..engine_count).map(move |engine| (size, engine)))
+        .collect();
+    let values = pool.map(&tasks, |_, &(size, engine_idx)| {
+        let (corpus, outcome) = &prepared[size];
+        let mut engine = all_engines(scale.joda_threads).swap_remove(engine_idx);
+        let run = run_session_with_timeout(
+            engine.as_mut(),
+            &corpus.dataset,
+            &outcome.session,
+            Some(timeout),
+        )
+        .expect("fig10 run");
+        match run {
+            SessionOutcome::Completed(run) | SessionOutcome::CompletedWithErrors(run) => {
+                Some(run.session_modeled().as_secs_f64())
             }
-            series[i].1.push(value);
+            SessionOutcome::TimedOut { .. } => None,
         }
+    });
+    let mut series: Vec<(String, Vec<Option<f64>>)> = all_engines(scale.joda_threads)
+        .iter()
+        .map(|engine| (engine.name().to_owned(), Vec::new()))
+        .collect();
+    for (&(_, engine_idx), value) in tasks.iter().zip(&values) {
+        series[engine_idx].1.push(*value);
     }
     Fig10Result {
         doc_counts,

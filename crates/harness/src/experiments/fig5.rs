@@ -3,8 +3,9 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
+use crate::pool::SessionPool;
 use crate::runner::run_session;
-use crate::workload::{prepare_many, Corpus};
+use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::JodaSim;
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
@@ -27,28 +28,44 @@ pub struct Fig5Result {
 /// ("we are not interested in a comparison of the individual systems").
 pub fn fig5(scale: &Scale) -> Fig5Result {
     const QUERIES: usize = 20;
+    let corpus = SharedCorpus::prepare(
+        Corpus::Twitter,
+        scale.twitter_docs,
+        scale.data_seed,
+        scale.jobs,
+    );
+    // (preset, seed) tasks, preset-major: per-query sums accumulate in
+    // task-index order, bit-identical to the sequential loop.
+    let tasks: Vec<(usize, u64)> = (0..Preset::ALL.len())
+        .flat_map(|p| (0..scale.sessions as u64).map(move |seed| (p, seed)))
+        .collect();
+    let per_session: Vec<Vec<f64>> = SessionPool::new(scale.jobs).map(&tasks, |_, &(p, seed)| {
+        let config = GeneratorConfig::with_explorer(
+            Preset::ALL[p].config().with_queries_per_session(QUERIES),
+        );
+        let outcome = corpus
+            .generate_session(&config, seed)
+            .expect("fig5 generation");
+        let mut joda = JodaSim::new(scale.joda_threads);
+        let run =
+            run_session(&mut joda, &corpus.dataset, &outcome.session).expect("fig5 session run");
+        run.queries
+            .iter()
+            .map(|report| report.modeled.as_secs_f64() * 1e3)
+            .collect()
+    });
     let mut presets = Vec::new();
     let mut mean_ms = Vec::new();
-    for preset in Preset::ALL {
-        let config =
-            GeneratorConfig::with_explorer(preset.config().with_queries_per_session(QUERIES));
-        let (dataset, _, outcomes) = prepare_many(
-            Corpus::Twitter,
-            scale.twitter_docs,
-            scale.data_seed,
-            &config,
-            0..scale.sessions as u64,
-        )
-        .expect("fig5 generation");
+    let n = (scale.sessions as f64).max(1.0);
+    for (p, preset) in Preset::ALL.iter().enumerate() {
         let mut sums = vec![0.0f64; QUERIES];
-        let mut joda = JodaSim::new(scale.joda_threads);
-        for outcome in &outcomes {
-            let run = run_session(&mut joda, &dataset, &outcome.session).expect("fig5 session run");
-            for (i, report) in run.queries.iter().enumerate() {
-                sums[i] += report.modeled.as_secs_f64() * 1e3;
+        for (&(tp, _), series) in tasks.iter().zip(&per_session) {
+            if tp == p {
+                for (i, ms) in series.iter().enumerate() {
+                    sums[i] += ms;
+                }
             }
         }
-        let n = outcomes.len().max(1) as f64;
         presets.push(preset.name().to_owned());
         mean_ms.push(sums.into_iter().map(|s| s / n).collect());
     }

@@ -3,8 +3,9 @@
 
 use crate::experiments::Scale;
 use crate::fmt::{human_duration, TextTable};
+use crate::pool::SessionPool;
 use crate::runner::run_session;
-use crate::workload::{prepare_many, Corpus};
+use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::JodaSim;
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
@@ -60,29 +61,39 @@ pub struct Fig6Result {
 /// on the Twitter-like corpus, executed on JODA; the distribution of the
 /// session execution time (w/o import).
 pub fn fig6(scale: &Scale) -> Fig6Result {
-    let mut summaries = Vec::new();
-    for preset in Preset::ALL {
-        let config = GeneratorConfig::with_explorer(preset.config());
-        let (dataset, _, outcomes) = prepare_many(
-            Corpus::Twitter,
-            scale.twitter_docs,
-            scale.data_seed,
-            &config,
-            0..scale.sessions as u64,
-        )
-        .expect("fig6 generation");
+    let corpus = SharedCorpus::prepare(
+        Corpus::Twitter,
+        scale.twitter_docs,
+        scale.data_seed,
+        scale.jobs,
+    );
+    let tasks: Vec<(usize, u64)> = (0..Preset::ALL.len())
+        .flat_map(|p| (0..scale.sessions as u64).map(move |seed| (p, seed)))
+        .collect();
+    let secs = SessionPool::new(scale.jobs).map(&tasks, |_, &(p, seed)| {
+        let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
+        let outcome = corpus
+            .generate_session(&config, seed)
+            .expect("fig6 generation");
         let mut joda = JodaSim::new(scale.joda_threads);
-        let sample: Vec<f64> = outcomes
-            .iter()
-            .map(|o| {
-                run_session(&mut joda, &dataset, &o.session)
-                    .expect("fig6 run")
-                    .session_modeled()
-                    .as_secs_f64()
-            })
-            .collect();
-        summaries.push((preset.name().to_owned(), DistributionSummary::of(sample)));
-    }
+        run_session(&mut joda, &corpus.dataset, &outcome.session)
+            .expect("fig6 run")
+            .session_modeled()
+            .as_secs_f64()
+    });
+    let summaries = Preset::ALL
+        .iter()
+        .enumerate()
+        .map(|(p, preset)| {
+            let sample: Vec<f64> = tasks
+                .iter()
+                .zip(&secs)
+                .filter(|(&(tp, _), _)| tp == p)
+                .map(|(_, &s)| s)
+                .collect();
+            (preset.name().to_owned(), DistributionSummary::of(sample))
+        })
+        .collect();
     Fig6Result {
         summaries,
         sessions: scale.sessions,

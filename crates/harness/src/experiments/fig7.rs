@@ -3,8 +3,9 @@
 
 use crate::experiments::Scale;
 use crate::fmt::heatmap;
+use crate::pool::SessionPool;
 use crate::runner::run_session;
-use crate::workload::{prepare_with_analysis, Corpus};
+use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::JodaSim;
 use betze_explorer::ExplorerConfig;
 use betze_generator::GeneratorConfig;
@@ -24,45 +25,60 @@ pub struct Fig7Result {
 /// Runs the Fig. 7 sweep. Probabilities run 0.0–0.9 in 0.1 steps (as in
 /// the paper's figure); cells with α + β > 1 are impossible and left
 /// empty.
+///
+/// The 66 valid cells × `sessions_per_cell` seeds form independent
+/// tasks fanned across `scale.jobs` workers. Each task generates its
+/// session from its own seed and runs it on its own engine instance;
+/// per-cell sums accumulate in task-index (cell-major, seed-ascending)
+/// order, so the result is bit-identical for every worker count.
 pub fn fig7(scale: &Scale) -> Fig7Result {
     let steps: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
     // Fewer sessions per cell than Figs. 5/6 (paper: 20 vs 30).
     let sessions_per_cell = (scale.sessions * 2 / 3).max(1);
-    let dataset = Corpus::Twitter.generate(scale.data_seed, scale.twitter_docs);
-    // Analyze once; the 66 (α, β) cells share the corpus.
-    let analysis_started = std::time::Instant::now();
-    let analysis = betze_stats::analyze(dataset.name.clone(), &dataset.docs);
-    let analysis_time = analysis_started.elapsed();
-    let mut mean_secs = Vec::with_capacity(steps.len());
-    for &alpha in &steps {
-        let mut row = Vec::with_capacity(steps.len());
-        for &beta in &steps {
-            if alpha + beta > 1.0 + 1e-9 {
-                row.push(None);
-                continue;
-            }
-            let explorer = ExplorerConfig::new(alpha, beta, 10)
-                .expect("validated combination")
-                .with_label(format!("a{alpha}b{beta}"));
-            let config = GeneratorConfig::with_explorer(explorer);
-            let mut joda = JodaSim::new(scale.joda_threads);
-            let mut total = 0.0f64;
-            for seed in 0..sessions_per_cell as u64 {
-                let w = prepare_with_analysis(
-                    dataset.clone(),
-                    analysis.clone(),
-                    analysis_time,
-                    &config,
-                    seed,
-                )
-                .expect("fig7 gen");
-                let run =
-                    run_session(&mut joda, &w.dataset, &w.generation.session).expect("fig7 run");
-                total += run.session_modeled().as_secs_f64();
-            }
-            row.push(Some(total / sessions_per_cell as f64));
-        }
-        mean_secs.push(row);
+    // Generate and analyze once; the 66 (α, β) cells share the corpus.
+    let corpus = SharedCorpus::prepare(
+        Corpus::Twitter,
+        scale.twitter_docs,
+        scale.data_seed,
+        scale.jobs,
+    );
+    let cells: Vec<(usize, usize)> = steps
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, &alpha)| {
+            steps
+                .iter()
+                .enumerate()
+                .filter(move |(_, &beta)| alpha + beta <= 1.0 + 1e-9)
+                .map(move |(bi, _)| (ai, bi))
+        })
+        .collect();
+    let tasks: Vec<(usize, u64)> = cells
+        .iter()
+        .enumerate()
+        .flat_map(|(cell, _)| (0..sessions_per_cell as u64).map(move |seed| (cell, seed)))
+        .collect();
+    let secs = SessionPool::new(scale.jobs).map(&tasks, |_, &(cell, seed)| {
+        let (ai, bi) = cells[cell];
+        let (alpha, beta) = (steps[ai], steps[bi]);
+        let explorer = ExplorerConfig::new(alpha, beta, 10)
+            .expect("validated combination")
+            .with_label(format!("a{alpha}b{beta}"));
+        let config = GeneratorConfig::with_explorer(explorer);
+        let outcome = corpus.generate_session(&config, seed).expect("fig7 gen");
+        let mut joda = JodaSim::new(scale.joda_threads);
+        run_session(&mut joda, &corpus.dataset, &outcome.session)
+            .expect("fig7 run")
+            .session_modeled()
+            .as_secs_f64()
+    });
+    let mut totals = vec![0.0f64; cells.len()];
+    for (&(cell, _), t) in tasks.iter().zip(&secs) {
+        totals[cell] += t;
+    }
+    let mut mean_secs = vec![vec![None; steps.len()]; steps.len()];
+    for (&(ai, bi), total) in cells.iter().zip(&totals) {
+        mean_secs[ai][bi] = Some(total / sessions_per_cell as f64);
     }
     Fig7Result {
         steps,

@@ -2,7 +2,8 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
-use crate::workload::{prepare_dataset, prepare_many, Corpus};
+use crate::pool::SessionPool;
+use crate::workload::{Corpus, SharedCorpus};
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
 use betze_model::PredicateKind;
@@ -20,52 +21,73 @@ pub struct Fig8Result {
 /// `scale.sessions` seeds), NoBench aggregates default sessions, and
 /// Reddit uses one default session with seed 123.
 pub fn fig8(scale: &Scale) -> Fig8Result {
+    let pool = SessionPool::new(scale.jobs);
     let mut histograms = Vec::new();
 
-    // Twitter: 3 presets × sessions.
-    let mut twitter: HashMap<PredicateKind, usize> = HashMap::new();
-    for preset in Preset::ALL {
-        let config = GeneratorConfig::with_explorer(preset.config());
-        let (_, _, outcomes) = prepare_many(
-            Corpus::Twitter,
-            scale.twitter_docs,
-            scale.data_seed,
-            &config,
-            0..scale.sessions as u64,
-        )
-        .expect("fig8 twitter generation");
-        for outcome in &outcomes {
-            for (kind, count) in outcome.session.stats().predicate_counts {
-                *twitter.entry(kind).or_insert(0) += count;
-            }
+    // Twitter: 3 presets × sessions — independent generation tasks whose
+    // predicate counts merge with commutative integer adds.
+    let twitter = SharedCorpus::prepare(
+        Corpus::Twitter,
+        scale.twitter_docs,
+        scale.data_seed,
+        scale.jobs,
+    );
+    let tasks: Vec<(usize, u64)> = (0..Preset::ALL.len())
+        .flat_map(|p| (0..scale.sessions as u64).map(move |seed| (p, seed)))
+        .collect();
+    let counts = pool.map(&tasks, |_, &(p, seed)| {
+        let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
+        twitter
+            .generate_session(&config, seed)
+            .expect("fig8 twitter generation")
+            .session
+            .stats()
+            .predicate_counts
+    });
+    let mut twitter_hist: HashMap<PredicateKind, usize> = HashMap::new();
+    for per_session in counts {
+        for (kind, count) in per_session {
+            *twitter_hist.entry(kind).or_insert(0) += count;
         }
     }
-    histograms.push(("twitter".to_owned(), twitter));
+    histograms.push(("twitter".to_owned(), twitter_hist));
 
     // NoBench: default sessions.
-    let mut nobench: HashMap<PredicateKind, usize> = HashMap::new();
-    let (_, _, outcomes) = prepare_many(
+    let nobench = SharedCorpus::prepare(
         Corpus::NoBench,
         scale.nobench_docs,
         scale.data_seed,
-        &GeneratorConfig::default(),
-        0..scale.sessions as u64,
-    )
-    .expect("fig8 nobench generation");
-    for outcome in &outcomes {
-        for (kind, count) in outcome.session.stats().predicate_counts {
-            *nobench.entry(kind).or_insert(0) += count;
+        scale.jobs,
+    );
+    let counts = pool.run(scale.sessions, |seed| {
+        nobench
+            .generate_session(&GeneratorConfig::default(), seed as u64)
+            .expect("fig8 nobench generation")
+            .session
+            .stats()
+            .predicate_counts
+    });
+    let mut nobench_hist: HashMap<PredicateKind, usize> = HashMap::new();
+    for per_session in counts {
+        for (kind, count) in per_session {
+            *nobench_hist.entry(kind).or_insert(0) += count;
         }
     }
-    histograms.push(("nobench".to_owned(), nobench));
+    histograms.push(("nobench".to_owned(), nobench_hist));
 
     // Reddit: one default session, seed 123 (as in the paper).
-    let dataset = Corpus::Reddit.generate(scale.data_seed, scale.reddit_docs);
-    let w =
-        prepare_dataset(dataset, &GeneratorConfig::default(), 123).expect("fig8 reddit generation");
+    let reddit = SharedCorpus::prepare(
+        Corpus::Reddit,
+        scale.reddit_docs,
+        scale.data_seed,
+        scale.jobs,
+    );
+    let outcome = reddit
+        .generate_session(&GeneratorConfig::default(), 123)
+        .expect("fig8 reddit generation");
     histograms.push((
         "reddit".to_owned(),
-        w.generation.session.stats().predicate_counts,
+        outcome.session.stats().predicate_counts,
     ));
 
     Fig8Result { histograms }

@@ -54,6 +54,11 @@ pub struct Scale {
     /// JODA's thread count where not swept (paper reports Table II's
     /// Twitter numbers from the 16-thread run).
     pub joda_threads: usize,
+    /// Worker threads for the harness [`crate::pool::SessionPool`] and
+    /// the parallel analyzer (0 = one per available core, 1 =
+    /// sequential). Results are bit-identical for every value — see
+    /// DESIGN.md §9.
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -67,6 +72,7 @@ impl Scale {
             sessions: 30,
             data_seed: 2022,
             joda_threads: 16,
+            jobs: 0,
         }
     }
 
@@ -79,7 +85,14 @@ impl Scale {
             sessions: 4,
             data_seed: 2022,
             joda_threads: 16,
+            jobs: 0,
         }
+    }
+
+    /// This scale with an explicit worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Document count for one corpus.

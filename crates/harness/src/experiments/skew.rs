@@ -6,7 +6,8 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
-use crate::workload::{prepare_many, Corpus};
+use crate::pool::SessionPool;
+use crate::workload::{Corpus, SharedCorpus};
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
 use std::collections::HashMap;
@@ -31,27 +32,40 @@ pub struct SkewResult {
 /// Runs the skew analysis over the preset-evaluation sessions (all three
 /// presets × `scale.sessions` seeds on the Twitter-like corpus).
 pub fn skew(scale: &Scale) -> SkewResult {
+    let corpus = SharedCorpus::prepare(
+        Corpus::Twitter,
+        scale.twitter_docs,
+        scale.data_seed,
+        scale.jobs,
+    );
+    let tasks: Vec<(usize, u64)> = (0..Preset::ALL.len())
+        .flat_map(|p| (0..scale.sessions as u64).map(move |seed| (p, seed)))
+        .collect();
+    // Per-task reference counts merge with commutative adds; the final
+    // (count desc, name asc) sort makes the ranking order-independent.
+    let per_task = SessionPool::new(scale.jobs).map(&tasks, |_, &(p, seed)| {
+        let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
+        let outcome = corpus
+            .generate_session(&config, seed)
+            .expect("skew generation");
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut references = 0usize;
+        for query in &outcome.session.queries {
+            for path in query.referenced_paths() {
+                references += 1;
+                *counts.entry(path.to_string()).or_insert(0) += 1;
+            }
+        }
+        (outcome.session.queries.len(), references, counts)
+    });
     let mut counts: HashMap<String, usize> = HashMap::new();
     let mut total_queries = 0usize;
     let mut total_references = 0usize;
-    for preset in Preset::ALL {
-        let config = GeneratorConfig::with_explorer(preset.config());
-        let (_, _, outcomes) = prepare_many(
-            Corpus::Twitter,
-            scale.twitter_docs,
-            scale.data_seed,
-            &config,
-            0..scale.sessions as u64,
-        )
-        .expect("skew generation");
-        for outcome in &outcomes {
-            total_queries += outcome.session.queries.len();
-            for query in &outcome.session.queries {
-                for path in query.referenced_paths() {
-                    total_references += 1;
-                    *counts.entry(path.to_string()).or_insert(0) += 1;
-                }
-            }
+    for (queries, references, per_session) in per_task {
+        total_queries += queries;
+        total_references += references;
+        for (path, count) in per_session {
+            *counts.entry(path).or_insert(0) += count;
         }
     }
     let mut sorted: Vec<(String, usize)> = counts.into_iter().collect();

@@ -4,8 +4,9 @@
 
 use crate::experiments::Scale;
 use crate::fmt::{human_duration, TextTable};
+use crate::pool::SessionPool;
 use crate::runner::run_session;
-use crate::workload::{prepare, Corpus};
+use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::{Engine, JodaSim, JqSim, MongoSim, PgSim};
 use betze_generator::GeneratorConfig;
 use std::time::Duration;
@@ -19,15 +20,10 @@ pub struct Table2Result {
     pub secs: Vec<Vec<f64>>,
 }
 
-/// Runs the Table II experiment.
-pub fn table2(scale: &Scale) -> Table2Result {
-    let corpora = [
-        (Corpus::Twitter, scale.twitter_docs),
-        (Corpus::NoBench, scale.nobench_docs),
-    ];
-    let mut systems: Vec<String> = Vec::new();
-    let mut secs: Vec<Vec<f64>> = Vec::new();
-    let mut engines: Vec<(String, Box<dyn Engine>)> = vec![
+/// The Table II engine configurations, in the paper's row order. Each
+/// call builds fresh instances, so pool tasks never share engine state.
+fn table2_engines(scale: &Scale) -> Vec<(String, Box<dyn Engine>)> {
+    vec![
         ("JODA".into(), Box::new(JodaSim::new(scale.joda_threads))),
         (
             "JODA memory evicted".into(),
@@ -36,25 +32,42 @@ pub fn table2(scale: &Scale) -> Table2Result {
         ("MongoDB".into(), Box::new(MongoSim::new())),
         ("PostgreSQL".into(), Box::new(PgSim::new())),
         ("jq".into(), Box::new(JqSim::new())),
+    ]
+}
+
+/// Runs the Table II experiment: prepare both corpora, then one pool
+/// task per (corpus, system) cell.
+pub fn table2(scale: &Scale) -> Table2Result {
+    let pool = SessionPool::new(scale.jobs);
+    let corpora = [
+        (Corpus::Twitter, scale.twitter_docs),
+        (Corpus::NoBench, scale.nobench_docs),
     ];
-    for (label, _) in &engines {
-        systems.push(label.clone());
-        secs.push(Vec::new());
-    }
-    for (corpus, docs) in corpora {
-        let w = prepare(
-            corpus,
-            docs,
-            scale.data_seed,
-            &GeneratorConfig::default(),
-            123,
-        )
-        .expect("table2 generation");
-        for (i, (_, engine)) in engines.iter_mut().enumerate() {
-            let run = run_session(engine.as_mut(), &w.dataset, &w.generation.session)
-                .expect("table2 run");
-            secs[i].push(run.session_modeled().as_secs_f64());
-        }
+    let prepared = pool.map(&corpora, |_, &(corpus, docs)| {
+        let shared = SharedCorpus::prepare(corpus, docs, scale.data_seed, 1);
+        let outcome = shared
+            .generate_session(&GeneratorConfig::default(), 123)
+            .expect("table2 generation");
+        (shared, outcome)
+    });
+    let systems: Vec<String> = table2_engines(scale)
+        .into_iter()
+        .map(|(label, _)| label)
+        .collect();
+    let tasks: Vec<(usize, usize)> = (0..corpora.len())
+        .flat_map(|c| (0..systems.len()).map(move |e| (c, e)))
+        .collect();
+    let times = pool.map(&tasks, |_, &(c, e)| {
+        let (shared, outcome) = &prepared[c];
+        let (_, mut engine) = table2_engines(scale).swap_remove(e);
+        run_session(engine.as_mut(), &shared.dataset, &outcome.session)
+            .expect("table2 run")
+            .session_modeled()
+            .as_secs_f64()
+    });
+    let mut secs: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
+    for (&(_, e), time) in tasks.iter().zip(&times) {
+        secs[e].push(*time);
     }
     Table2Result { systems, secs }
 }

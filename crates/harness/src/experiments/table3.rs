@@ -4,8 +4,9 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
+use crate::pool::SessionPool;
 use crate::runner::{run_session_with_options, RunOptions, SessionOutcome};
-use crate::workload::{prepare_with_analysis, Corpus};
+use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::all_engines;
 use betze_explorer::Preset;
 use betze_generator::{AggregateMode, GeneratorConfig};
@@ -42,58 +43,68 @@ pub fn table3(scale: &Scale) -> Table3Result {
 }
 
 /// [`table3`] with an explicit modeled timeout.
+///
+/// Two pooled stages: each corpus is generated and analyzed once, then
+/// the 27 (corpus, preset, mode) workloads become independent tasks that
+/// generate their session and run all four engines; the flattened cells
+/// come back in the sequential (corpus, preset, mode, engine) order.
 pub fn table3_with_timeout(scale: &Scale, timeout: Duration) -> Table3Result {
     let configs = [
         AggregateMode::None,
         AggregateMode::All,
         AggregateMode::Grouped,
     ];
-    let mut cells = Vec::new();
-    for corpus in Corpus::ALL {
-        let dataset = corpus.generate(scale.data_seed, scale.docs_for(corpus));
-        let analysis_started = std::time::Instant::now();
-        let analysis = betze_stats::analyze(dataset.name.clone(), &dataset.docs);
-        let analysis_time = analysis_started.elapsed();
+    let pool = SessionPool::new(scale.jobs);
+    let corpora = pool.map(&Corpus::ALL, |_, &corpus| {
+        SharedCorpus::prepare(corpus, scale.docs_for(corpus), scale.data_seed, 1)
+    });
+    let mut tasks: Vec<(usize, Preset, AggregateMode)> = Vec::new();
+    for c in 0..Corpus::ALL.len() {
         for preset in Preset::ALL {
             for mode in configs {
-                let config = GeneratorConfig::with_explorer(preset.config()).aggregate(mode);
-                let w = prepare_with_analysis(
-                    dataset.clone(),
-                    analysis.clone(),
-                    analysis_time,
-                    &config,
-                    1,
-                )
-                .expect("table3 generation");
-                for mut engine in all_engines(scale.joda_threads) {
-                    // Table III is the full-output configuration: the
-                    // paper redirects every system's complete result
-                    // stream to /dev/null.
-                    let outcome = run_session_with_options(
-                        engine.as_mut(),
-                        &w.dataset,
-                        &w.generation.session,
-                        &RunOptions::with_output().timeout(timeout),
-                    )
-                    .expect("table3 run");
-                    cells.push(Table3Cell {
-                        corpus: corpus.name().to_owned(),
-                        system: engine.name().to_owned(),
-                        preset: preset.name().to_owned(),
-                        config: mode.label().to_owned(),
-                        secs: match outcome {
-                            SessionOutcome::Completed(run)
-                            | SessionOutcome::CompletedWithErrors(run) => {
-                                Some(run.session_modeled().as_secs_f64())
-                            }
-                            SessionOutcome::TimedOut { .. } => None,
-                        },
-                    });
-                }
+                tasks.push((c, preset, mode));
             }
         }
     }
-    Table3Result { cells, timeout }
+    let per_workload: Vec<Vec<Table3Cell>> = pool.map(&tasks, |_, &(c, preset, mode)| {
+        let corpus = &corpora[c];
+        let config = GeneratorConfig::with_explorer(preset.config()).aggregate(mode);
+        let outcome = corpus
+            .generate_session(&config, 1)
+            .expect("table3 generation");
+        all_engines(scale.joda_threads)
+            .into_iter()
+            .map(|mut engine| {
+                // Table III is the full-output configuration: the paper
+                // redirects every system's complete result stream to
+                // /dev/null.
+                let run = run_session_with_options(
+                    engine.as_mut(),
+                    &corpus.dataset,
+                    &outcome.session,
+                    &RunOptions::with_output().timeout(timeout),
+                )
+                .expect("table3 run");
+                Table3Cell {
+                    corpus: Corpus::ALL[c].name().to_owned(),
+                    system: engine.name().to_owned(),
+                    preset: preset.name().to_owned(),
+                    config: mode.label().to_owned(),
+                    secs: match run {
+                        SessionOutcome::Completed(run)
+                        | SessionOutcome::CompletedWithErrors(run) => {
+                            Some(run.session_modeled().as_secs_f64())
+                        }
+                        SessionOutcome::TimedOut { .. } => None,
+                    },
+                }
+            })
+            .collect()
+    });
+    Table3Result {
+        cells: per_workload.into_iter().flatten().collect(),
+        timeout,
+    }
 }
 
 impl Table3Result {

@@ -19,12 +19,14 @@
 pub mod backend_adapter;
 pub mod experiments;
 pub mod fmt;
+pub mod pool;
 pub mod runner;
 pub mod workload;
 
 pub use backend_adapter::EngineBackend;
+pub use pool::SessionPool;
 pub use runner::{
     run_session, run_session_with_options, run_session_with_timeout, QueryStatus, RetryPolicy,
     RunOptions, SessionOutcome, SessionRun,
 };
-pub use workload::{prepare, prepare_with_analysis, Corpus, PreparedWorkload};
+pub use workload::{prepare, prepare_with_analysis, Corpus, PreparedWorkload, SharedCorpus};

@@ -1,0 +1,178 @@
+//! Deterministic parallel execution of independent session tasks.
+//!
+//! The paper's evaluation is embarrassingly parallel: every figure runs
+//! hundreds of independent `(seed, cell, preset, engine)` sessions whose
+//! results depend only on their inputs — engines report **modeled** time
+//! from deterministic work counters, sessions are generated from
+//! per-task seeds, and [`crate::runner::run_session`] resets its engine
+//! first. [`SessionPool`] fans those tasks across worker threads and
+//! returns the results **in task-index order**, so a parallel run is
+//! bit-identical to a sequential one (the §IV-C seed-sharing
+//! reproducibility contract survives parallelism; DESIGN.md §9 gives the
+//! argument).
+//!
+//! Scheduling is work-stealing in the simplest possible form: workers
+//! claim the next unclaimed task index from a shared atomic cursor, so a
+//! slow cell (high-α Fig. 7 corners, jq's quadratic re-reads) never
+//! stalls the queue behind it. Which worker runs a task affects only
+//! wall time, never results: each task builds its own engine instance
+//! and RNG streams from its index, and writes into its own pre-sized
+//! result slot.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a `jobs` knob: 0 = one worker per available core, otherwise
+/// the explicit count.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+}
+
+/// A scoped-thread executor for independent, index-addressed tasks (see
+/// the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionPool {
+    jobs: usize,
+}
+
+impl SessionPool {
+    /// A pool with the given worker count (0 = auto-detect).
+    pub fn new(jobs: usize) -> SessionPool {
+        SessionPool { jobs }
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        effective_jobs(self.jobs)
+    }
+
+    /// Runs `task(0..count)` across the workers and returns the results
+    /// in index order. `jobs = 1` (or a single task) runs on the calling
+    /// thread with no scheduling overhead. A panicking task propagates
+    /// once all workers have drained.
+    pub fn run<R, F>(&self, count: usize, task: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.jobs().min(count).max(1);
+        if workers <= 1 {
+            return (0..count).map(task).collect();
+        }
+        // Per-index slots (uncontended: fetch_add hands every index to
+        // exactly one worker, so each mutex is locked once).
+        let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        let result = task(index);
+                        let previous = slots[index].lock().expect("slot poisoned").replace(result);
+                        debug_assert!(previous.is_none(), "task index claimed twice");
+                    })
+                })
+                .collect();
+            // Join explicitly so a task panic resurfaces with its original
+            // payload (scope exit would mask it as "a scoped thread
+            // panicked"). Remaining workers drain the queue first.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot poisoned")
+                    .expect("every task index claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// [`SessionPool::run`] over a task list: `f(index, &items[index])`,
+    /// results in item order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let pool = SessionPool::new(4);
+        let out = pool.run(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let task = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let sequential = SessionPool::new(1).run(257, task);
+        for jobs in [2, 3, 8] {
+            assert_eq!(SessionPool::new(jobs).run(257, task), sequential);
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = SessionPool::new(8).run(1000, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn empty_and_single_task_lists() {
+        let pool = SessionPool::new(4);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn map_passes_items_by_index() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = SessionPool::new(2).map(&items, |i, s| (i, s.len()));
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn auto_detection_resolves_to_at_least_one() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+        assert!(SessionPool::new(0).jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn task_panics_propagate() {
+        SessionPool::new(2).run(10, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -735,12 +735,12 @@ mod tests {
         use betze_json::{json, JsonPointer};
         use betze_model::{FilterFn, Predicate, Query};
 
-        let dataset = Dataset {
-            name: "base".to_owned(),
-            docs: (0..40)
+        let dataset = Dataset::new(
+            "base",
+            (0..40)
                 .map(|i| json!({ "n": (i as i64), "even": (i % 2 == 0) }))
-                .collect(),
-        };
+                .collect::<Vec<_>>(),
+        );
         let even = Predicate::leaf(FilterFn::BoolEq {
             path: JsonPointer::parse("/even").unwrap(),
             value: true,

@@ -7,6 +7,7 @@ use betze_generator::{
 };
 use betze_model::DatasetId;
 use betze_stats::DatasetAnalysis;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The three evaluation corpora (paper §VI).
@@ -109,6 +110,57 @@ pub fn prepare_with_analysis(
         generation,
         analysis_time,
     })
+}
+
+/// A corpus generated and analyzed **once**, cheaply shareable across
+/// many concurrent session tasks: the dataset's documents sit behind an
+/// `Arc` (cloning a [`Dataset`] shares them) and the analysis behind its
+/// own `Arc`. This is what the experiment drivers hand to the
+/// [`crate::pool::SessionPool`] — N parallel sessions cost one corpus
+/// and one analysis.
+#[derive(Debug, Clone)]
+pub struct SharedCorpus {
+    /// The base dataset (documents shared via `Arc`).
+    pub dataset: Dataset,
+    /// The shared analyzer output.
+    pub analysis: Arc<DatasetAnalysis>,
+    /// Time the (single) analysis pass took.
+    pub analysis_time: Duration,
+}
+
+impl SharedCorpus {
+    /// Generates and analyzes a corpus. `jobs` fans the analyzer across
+    /// worker threads (0 = auto, 1 = sequential) — the analysis is
+    /// bit-identical for every value.
+    pub fn prepare(corpus: Corpus, doc_count: usize, data_seed: u64, jobs: usize) -> SharedCorpus {
+        let dataset = corpus.generate(data_seed, doc_count);
+        SharedCorpus::from_dataset(dataset, jobs)
+    }
+
+    /// [`SharedCorpus::prepare`] over an already-generated dataset.
+    pub fn from_dataset(dataset: Dataset, jobs: usize) -> SharedCorpus {
+        let started = Instant::now();
+        let analysis = betze_stats::analyze_jobs(dataset.name.clone(), &dataset.docs, jobs);
+        SharedCorpus {
+            analysis: Arc::new(analysis),
+            analysis_time: started.elapsed(),
+            dataset,
+        }
+    }
+
+    /// Generates one seeded session over the shared corpus, verified
+    /// against a backend that *shares* the corpus documents (no copy).
+    /// Identical inputs produce identical sessions no matter how many
+    /// tasks run concurrently — each call builds its own backend.
+    pub fn generate_session(
+        &self,
+        config: &GeneratorConfig,
+        session_seed: u64,
+    ) -> Result<GenerationOutcome, GenerateError> {
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), Arc::clone(&self.dataset.docs));
+        generate_session(&self.analysis, config, session_seed, Some(&mut backend))
+    }
 }
 
 /// Prepares several sessions over one shared dataset/analysis (different

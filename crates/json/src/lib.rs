@@ -33,5 +33,5 @@ pub use error::{ParseError, ParseErrorKind, PointerParseError};
 pub use number::Number;
 pub use parse::{parse, parse_many, parse_with_limits, ParseLimits};
 pub use pointer::JsonPointer;
-pub use ser::{escape_string, to_json_lines};
+pub use ser::{escape_string, to_json_lines, write_json_lines};
 pub use value::{JsonType, Object, Value};

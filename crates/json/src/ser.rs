@@ -123,11 +123,19 @@ pub fn escape_string(s: &str) -> String {
 /// and produced by the dataset generators.
 pub fn to_json_lines<'a>(docs: impl IntoIterator<Item = &'a Value>) -> String {
     let mut out = String::new();
+    write_json_lines(&mut out, docs);
+    out
+}
+
+/// [`to_json_lines`] into a caller-owned buffer (appended, not cleared),
+/// so hot loops that serialize per query — the jq-like engine's output
+/// path — can reuse one allocation instead of building a fresh `String`
+/// each time.
+pub fn write_json_lines<'a>(out: &mut String, docs: impl IntoIterator<Item = &'a Value>) {
     for doc in docs {
-        write_value(doc, &mut out);
+        write_value(doc, out);
         out.push('\n');
     }
-    out
 }
 
 impl Object {

@@ -1,11 +1,28 @@
 //! The analysis pass over a document collection.
+//!
+//! The pass is organized around a **path trie** instead of a
+//! `BTreeMap<JsonPointer, _>` keyed by materialized pointers: documents
+//! are walked with `&str` child lookups only, so the hot loop performs no
+//! `JsonPointer` construction (the old code allocated a fresh token
+//! vector per visited node per document) and no per-string prefix
+//! `String` collection (prefixes are byte slices on a `char` boundary,
+//! allocated only the first time a distinct prefix is seen). Pointers are
+//! materialized once per *distinct* path when the trie is folded into the
+//! final [`DatasetAnalysis`].
+//!
+//! The pass also parallelizes: [`analyze_with_config_jobs`] splits the
+//! document slice into per-worker chunks, builds one trie per chunk on a
+//! scoped thread, and merges them. Every per-path statistic is a
+//! commutative monoid (integer sums, min/max, counter maps, histogram
+//! bucket adds), so the merged result is **bit-identical** to the
+//! sequential pass regardless of worker count or chunk boundaries.
 
 use crate::{DatasetAnalysis, Histogram, PathStats};
 use betze_json::{JsonPointer, Number, Value};
 use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of the analyzer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AnalyzerConfig {
     /// Prefix lengths (in characters) collected for string values.
     /// Short prefixes form large groups, long prefixes small ones — the
@@ -37,9 +54,15 @@ impl Default for AnalyzerConfig {
     }
 }
 
-/// Analyzes a dataset with the default configuration.
+/// Analyzes a dataset with the default configuration, single-threaded.
 pub fn analyze(name: impl Into<String>, docs: &[Value]) -> DatasetAnalysis {
     analyze_with_config(name, docs, &AnalyzerConfig::default())
+}
+
+/// [`analyze`] with an explicit worker count (see
+/// [`analyze_with_config_jobs`] for the `jobs` semantics).
+pub fn analyze_jobs(name: impl Into<String>, docs: &[Value], jobs: usize) -> DatasetAnalysis {
+    analyze_with_config_jobs(name, docs, &AnalyzerConfig::default(), jobs)
 }
 
 /// Analyzes a dataset: one pass over all documents, recursing through
@@ -51,106 +74,305 @@ pub fn analyze_with_config(
     docs: &[Value],
     config: &AnalyzerConfig,
 ) -> DatasetAnalysis {
-    let mut builders: BTreeMap<JsonPointer, StatsBuilder> = BTreeMap::new();
+    analyze_with_config_jobs(name, docs, config, 1)
+}
+
+/// [`analyze_with_config`] fanned across `jobs` worker threads.
+///
+/// `jobs = 0` auto-detects the host parallelism, `jobs = 1` runs on the
+/// calling thread, `jobs = n` uses up to `n` workers. The output is
+/// bit-identical for every `jobs` value: chunk statistics are merged with
+/// commutative/associative operations only, and the final top-k
+/// truncation sorts by `(count desc, key asc)` which is independent of
+/// accumulation order.
+pub fn analyze_with_config_jobs(
+    name: impl Into<String>,
+    docs: &[Value],
+    config: &AnalyzerConfig,
+    jobs: usize,
+) -> DatasetAnalysis {
+    let workers = effective_jobs(jobs).min(docs.len()).max(1);
+    let trie = if workers <= 1 {
+        build_trie(docs, config)
+    } else {
+        let chunk = docs.len().div_ceil(workers);
+        let mut tries: Vec<PathTrie> = std::thread::scope(|scope| {
+            let handles: Vec<_> = docs
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || build_trie(part, config)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("analyzer worker panicked"))
+                .collect()
+        });
+        let mut merged = tries.remove(0);
+        for mut other in tries {
+            merged.absorb(&mut other, 0, 0);
+        }
+        merged
+    };
+    let mut nodes = trie.finish(config);
+    if config.histogram_buckets > 0 {
+        collect_histograms(&mut nodes, docs, config, workers);
+    }
+    DatasetAnalysis {
+        dataset: name.into(),
+        doc_count: docs.len() as u64,
+        paths: assemble(nodes),
+    }
+}
+
+/// Resolves the `jobs` knob: 0 = auto-detect host parallelism.
+pub(crate) fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+}
+
+/// One trie node: interned child edges plus the statistics accumulator
+/// for the path ending here. Node 0 is the root (its builder stays
+/// untouched — the root path exists in every document by definition and
+/// is not recorded, as before).
+#[derive(Default)]
+struct TrieNode {
+    children: HashMap<String, usize>,
+    builder: StatsBuilder,
+}
+
+/// The per-chunk accumulation structure (see the module docs).
+struct PathTrie {
+    nodes: Vec<TrieNode>,
+}
+
+impl PathTrie {
+    fn new() -> Self {
+        PathTrie {
+            nodes: vec![TrieNode::default()],
+        }
+    }
+
+    /// The child of `parent` along `key`, interning the edge on first
+    /// sight. Existing edges are found with a borrowed `&str` lookup —
+    /// no allocation on the hot path.
+    fn child_of(&mut self, parent: usize, key: &str) -> usize {
+        if let Some(&existing) = self.nodes[parent].children.get(key) {
+            return existing;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(TrieNode::default());
+        self.nodes[parent].children.insert(key.to_owned(), id);
+        id
+    }
+
+    /// Records `value` under `parent`'s child `key`, recursing through
+    /// object members.
+    fn record(
+        &mut self,
+        parent: usize,
+        key: &str,
+        value: &Value,
+        config: &AnalyzerConfig,
+        depth: usize,
+    ) {
+        if depth > config.max_depth {
+            return;
+        }
+        let node = self.child_of(parent, key);
+        self.nodes[node].builder.record(value, config);
+        if let Value::Object(obj) = value {
+            for (child_key, child) in obj.iter() {
+                self.record(node, child_key, child, config, depth + 1);
+            }
+        }
+    }
+
+    /// Merges `other`'s subtree rooted at `other_node` into `self_node`.
+    /// Builders are moved out of `other`; child iteration order does not
+    /// matter because every merge operation is commutative.
+    fn absorb(&mut self, other: &mut PathTrie, self_node: usize, other_node: usize) {
+        let other_children = std::mem::take(&mut other.nodes[other_node].children);
+        let other_builder = std::mem::take(&mut other.nodes[other_node].builder);
+        self.nodes[self_node].builder.merge(other_builder);
+        for (key, other_child) in other_children {
+            let self_child = match self.nodes[self_node].children.get(key.as_str()) {
+                Some(&existing) => existing,
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[self_node].children.insert(key, id);
+                    id
+                }
+            };
+            self.absorb(other, self_child, other_child);
+        }
+    }
+
+    /// Finalizes every builder into [`PathStats`], keeping the trie
+    /// structure (needed by the histogram pass).
+    fn finish(self, config: &AnalyzerConfig) -> Vec<FinishedNode> {
+        self.nodes
+            .into_iter()
+            .map(|node| FinishedNode {
+                children: node.children,
+                stats: node.builder.finish(config),
+            })
+            .collect()
+    }
+}
+
+/// A trie node after the statistics pass.
+struct FinishedNode {
+    children: HashMap<String, usize>,
+    stats: PathStats,
+}
+
+fn build_trie(docs: &[Value], config: &AnalyzerConfig) -> PathTrie {
+    let mut trie = PathTrie::new();
     for doc in docs {
         // The root path itself is not recorded (it exists in every document
         // by definition); only attribute paths are.
         if let Value::Object(obj) = doc {
             for (key, value) in obj.iter() {
-                visit(
-                    &JsonPointer::root().child(key),
-                    value,
-                    &mut builders,
-                    config,
-                    1,
-                );
+                trie.record(0, key, value, config, 1);
             }
         }
     }
-    let mut analysis = DatasetAnalysis {
-        dataset: name.into(),
-        doc_count: docs.len() as u64,
-        paths: builders
-            .into_iter()
-            .map(|(p, b)| (p, b.finish(config)))
-            .collect(),
-    };
-    if config.histogram_buckets > 0 {
-        collect_histograms(&mut analysis, docs, config);
-    }
-    analysis
+    trie
 }
 
 /// Second pass: fills equi-width numeric histograms for every path with
 /// numeric values (the ranges from the first pass define the bucket
-/// boundaries).
-fn collect_histograms(analysis: &mut DatasetAnalysis, docs: &[Value], config: &AnalyzerConfig) {
-    // Initialize histograms from the observed ranges.
-    for stats in analysis.paths.values_mut() {
-        if let Some((min, max)) = stats.numeric_range() {
-            stats.numeric_histogram = Histogram::new(min, max, config.histogram_buckets);
-        }
+/// boundaries). Parallel chunks each fill a clone of the histogram
+/// skeleton (indexed by trie node); bucket counts are summed, which is
+/// order-independent.
+fn collect_histograms(
+    nodes: &mut [FinishedNode],
+    docs: &[Value],
+    config: &AnalyzerConfig,
+    workers: usize,
+) {
+    let skeleton: Vec<Option<Histogram>> = nodes
+        .iter()
+        .map(|node| {
+            node.stats
+                .numeric_range()
+                .and_then(|(min, max)| Histogram::new(min, max, config.histogram_buckets))
+        })
+        .collect();
+    if !skeleton.iter().any(Option::is_some) {
+        return;
     }
+    let filled = if workers <= 1 || docs.len() <= 1 {
+        let mut sink = skeleton;
+        fill_histograms(nodes, docs, config, &mut sink);
+        sink
+    } else {
+        let chunk = docs.len().div_ceil(workers);
+        let sinks: Vec<Vec<Option<Histogram>>> = std::thread::scope(|scope| {
+            let nodes = &*nodes;
+            let handles: Vec<_> = docs
+                .chunks(chunk)
+                .map(|part| {
+                    let mut sink = skeleton.clone();
+                    scope.spawn(move || {
+                        fill_histograms(nodes, part, config, &mut sink);
+                        sink
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("histogram worker panicked"))
+                .collect()
+        });
+        let mut merged = skeleton;
+        for sink in sinks {
+            for (acc, part) in merged.iter_mut().zip(sink) {
+                match (acc, part) {
+                    (Some(acc), Some(part)) => acc.merge(&part),
+                    (None, None) => {}
+                    _ => unreachable!("histogram skeletons share one shape"),
+                }
+            }
+        }
+        merged
+    };
+    for (node, hist) in nodes.iter_mut().zip(filled) {
+        node.stats.numeric_histogram = hist;
+    }
+}
+
+/// Walks `docs` through the (immutable) trie, adding numeric values into
+/// the node-indexed `sink`.
+fn fill_histograms(
+    nodes: &[FinishedNode],
+    docs: &[Value],
+    config: &AnalyzerConfig,
+    sink: &mut [Option<Histogram>],
+) {
     fn walk(
-        path: &JsonPointer,
+        nodes: &[FinishedNode],
+        parent: usize,
+        key: &str,
         value: &Value,
-        analysis: &mut DatasetAnalysis,
+        sink: &mut [Option<Histogram>],
         max_depth: usize,
         depth: usize,
     ) {
         if depth > max_depth {
             return;
         }
+        let Some(&node) = nodes[parent].children.get(key) else {
+            // Depth-pruned or chunk saw a path this chunk's docs lack —
+            // impossible after a full first pass, but harmless.
+            return;
+        };
         if let Value::Number(n) = value {
-            if let Some(stats) = analysis.paths.get_mut(path) {
-                if let Some(hist) = stats.numeric_histogram.as_mut() {
-                    hist.add(n.as_f64());
-                }
+            if let Some(hist) = sink[node].as_mut() {
+                hist.add(n.as_f64());
             }
         }
         if let Value::Object(obj) = value {
-            for (key, child) in obj.iter() {
-                walk(&path.child(key), child, analysis, max_depth, depth + 1);
+            for (child_key, child) in obj.iter() {
+                walk(nodes, node, child_key, child, sink, max_depth, depth + 1);
             }
         }
     }
     for doc in docs {
         if let Value::Object(obj) = doc {
             for (key, value) in obj.iter() {
-                walk(
-                    &JsonPointer::root().child(key),
-                    value,
-                    analysis,
-                    config.max_depth,
-                    1,
-                );
+                walk(nodes, 0, key, value, sink, config.max_depth, 1);
             }
         }
     }
 }
 
-fn visit(
-    path: &JsonPointer,
-    value: &Value,
-    builders: &mut BTreeMap<JsonPointer, StatsBuilder>,
-    config: &AnalyzerConfig,
-    depth: usize,
-) {
-    if depth > config.max_depth {
-        return;
-    }
-    // Entry API on BTreeMap requires an owned key; avoid the clone when the
-    // builder already exists.
-    if !builders.contains_key(path) {
-        builders.insert(path.clone(), StatsBuilder::default());
-    }
-    let builder = builders.get_mut(path).expect("just inserted");
-    builder.record(value, config);
-    if let Value::Object(obj) = value {
-        for (key, child) in obj.iter() {
-            visit(&path.child(key), child, builders, config, depth + 1);
+/// Folds the finished trie into the pointer-keyed map, materializing one
+/// [`JsonPointer`] per distinct path (the only place pointers are built).
+fn assemble(nodes: Vec<FinishedNode>) -> BTreeMap<JsonPointer, PathStats> {
+    let mut slots: Vec<Option<FinishedNode>> = nodes.into_iter().map(Some).collect();
+    let mut out = BTreeMap::new();
+    fn dfs(
+        slots: &mut [Option<FinishedNode>],
+        id: usize,
+        path: &JsonPointer,
+        is_root: bool,
+        out: &mut BTreeMap<JsonPointer, PathStats>,
+    ) {
+        let node = slots[id].take().expect("trie nodes visited once");
+        if !is_root {
+            out.insert(path.clone(), node.stats);
+        }
+        for (key, child) in node.children {
+            let child_path = path.child(key);
+            dfs(slots, child, &child_path, false, out);
         }
     }
+    dfs(&mut slots, 0, &JsonPointer::root(), true, &mut out);
+    out
 }
 
 /// Accumulates statistics for one path during the pass.
@@ -159,6 +381,27 @@ struct StatsBuilder {
     stats: PathStats,
     prefix_counts: HashMap<String, u64>,
     value_counts: HashMap<String, u64>,
+}
+
+/// Byte offset just past the `chars`-th character of `s`, or `None` if
+/// the string has fewer than `chars` characters (`chars` ≥ 1).
+fn char_prefix_end(s: &str, chars: usize) -> Option<usize> {
+    if s.is_ascii() {
+        // ASCII fast path: char index == byte index.
+        return (s.len() >= chars).then_some(chars);
+    }
+    s.char_indices()
+        .nth(chars - 1)
+        .map(|(i, c)| i + c.len_utf8())
+}
+
+/// Bumps `key`'s counter, allocating the owned key only on first sight.
+fn bump(map: &mut HashMap<String, u64>, key: &str) {
+    if let Some(count) = map.get_mut(key) {
+        *count += 1;
+    } else {
+        map.insert(key.to_owned(), 1);
+    }
 }
 
 impl StatsBuilder {
@@ -186,16 +429,19 @@ impl StatsBuilder {
             Value::String(text) => {
                 s.string_count += 1;
                 if config.max_values_per_path > 0 {
-                    *self.value_counts.entry(text.clone()).or_insert(0) += 1;
+                    bump(&mut self.value_counts, text);
                 }
                 for &len in &config.prefix_lengths {
                     if len == 0 {
                         continue;
                     }
-                    let prefix: String = text.chars().take(len).collect();
-                    if prefix.chars().count() == len {
-                        *self.prefix_counts.entry(prefix).or_insert(0) += 1;
-                    }
+                    // Slice on a char boundary instead of collecting a
+                    // String per (value, length) pair; strings shorter
+                    // than `len` characters record nothing, as before.
+                    let Some(end) = char_prefix_end(text, len) else {
+                        continue;
+                    };
+                    bump(&mut self.prefix_counts, &text[..end]);
                 }
             }
             Value::Array(a) => {
@@ -213,6 +459,37 @@ impl StatsBuilder {
         }
     }
 
+    /// Merges another builder for the same path: counts add, ranges
+    /// widen, counter maps sum — all commutative and associative, so
+    /// chunked accumulation equals sequential accumulation exactly.
+    fn merge(&mut self, other: StatsBuilder) {
+        let a = &mut self.stats;
+        let b = other.stats;
+        a.doc_count += b.doc_count;
+        a.null_count += b.null_count;
+        a.bool_count += b.bool_count;
+        a.true_count += b.true_count;
+        a.int_count += b.int_count;
+        a.int_min = opt_fold(a.int_min, b.int_min, i64::min);
+        a.int_max = opt_fold(a.int_max, b.int_max, i64::max);
+        a.float_count += b.float_count;
+        a.float_min = opt_fold(a.float_min, b.float_min, f64::min);
+        a.float_max = opt_fold(a.float_max, b.float_max, f64::max);
+        a.string_count += b.string_count;
+        a.array_count += b.array_count;
+        a.array_min_size = opt_fold(a.array_min_size, b.array_min_size, u64::min);
+        a.array_max_size = opt_fold(a.array_max_size, b.array_max_size, u64::max);
+        a.object_count += b.object_count;
+        a.object_min_children = opt_fold(a.object_min_children, b.object_min_children, u64::min);
+        a.object_max_children = opt_fold(a.object_max_children, b.object_max_children, u64::max);
+        for (prefix, count) in other.prefix_counts {
+            *self.prefix_counts.entry(prefix).or_insert(0) += count;
+        }
+        for (value, count) in other.value_counts {
+            *self.value_counts.entry(value).or_insert(0) += count;
+        }
+    }
+
     fn finish(mut self, config: &AnalyzerConfig) -> PathStats {
         let mut prefixes: Vec<(String, u64)> = self.prefix_counts.into_iter().collect();
         // Top-k by descending count, ascending prefix for determinism.
@@ -224,6 +501,15 @@ impl StatsBuilder {
         values.truncate(config.max_values_per_path);
         self.stats.string_values = values;
         self.stats
+    }
+}
+
+/// Combines two optional extrema.
+fn opt_fold<T: Copy>(a: Option<T>, b: Option<T>, f: impl Fn(T, T) -> T) -> Option<T> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(f(x, y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -340,6 +626,33 @@ mod tests {
     }
 
     #[test]
+    fn multibyte_prefix_slicing_regression() {
+        // Regression for the byte-slice prefix kernel: boundaries must be
+        // counted in characters, never bytes, for mixed-width strings —
+        // "é" is 2 bytes, "😀" is 4, "a" is 1.
+        let docs = vec![
+            json!({ "s": "éa😀b" }),
+            json!({ "s": "éa😀b" }),
+            json!({ "s": "é" }),
+        ];
+        let a = analyze("t", &docs);
+        let s = a.get(&ptr("/s")).unwrap();
+        let find = |p: &str| s.prefixes.iter().find(|(q, _)| q == p).map(|(_, c)| *c);
+        assert_eq!(find("é"), Some(3));
+        assert_eq!(find("éa"), Some(2));
+        assert_eq!(find("éa😀b"), Some(2), "4-char prefix spans 8 bytes");
+        // "é" alone is 1 char: the 2/4/8-char prefixes skip it.
+        assert_eq!(find("éa😀"), None, "length 3 not in the default config");
+        // Byte-boundary arithmetic must agree with char arithmetic.
+        assert_eq!(char_prefix_end("éa😀b", 1), Some(2));
+        assert_eq!(char_prefix_end("éa😀b", 2), Some(3));
+        assert_eq!(char_prefix_end("éa😀b", 4), Some(8));
+        assert_eq!(char_prefix_end("éa😀b", 5), None);
+        assert_eq!(char_prefix_end("ascii", 3), Some(3));
+        assert_eq!(char_prefix_end("ab", 3), None);
+    }
+
+    #[test]
     fn non_object_documents_contribute_no_paths() {
         let a = analyze("t", &[json!([1, 2, 3]), json!("scalar"), json!({ "k": 1 })]);
         assert_eq!(a.doc_count, 3);
@@ -352,6 +665,32 @@ mod tests {
         assert_eq!(a.doc_count, 0);
         assert_eq!(a.path_count(), 0);
         assert_eq!(a.existence_selectivity(&ptr("/x")), 0.0);
+    }
+
+    #[test]
+    fn parallel_analysis_is_bit_identical() {
+        // A corpus exercising every statistic: nested objects, mixed
+        // types under one path, strings with shared prefixes, numerics
+        // spanning chunk boundaries.
+        let docs: Vec<Value> = (0..257)
+            .map(|i| {
+                json!({
+                    "id": (i as i64),
+                    "name": (format!("user{:03}", i % 40)),
+                    "score": (i as f64 * 0.37 - 20.0),
+                    "nested": { "deep": { "flag": (i % 3 == 0) } },
+                    "tags": ["a", "b"],
+                })
+            })
+            .collect();
+        let sequential = analyze_with_config_jobs("t", &docs, &AnalyzerConfig::default(), 1);
+        for jobs in [2, 3, 4, 7] {
+            let parallel = analyze_with_config_jobs("t", &docs, &AnalyzerConfig::default(), jobs);
+            assert_eq!(parallel, sequential, "jobs={jobs}");
+        }
+        // Auto-detection is also exact.
+        let auto = analyze_jobs("t", &docs, 0);
+        assert_eq!(auto, sequential);
     }
 }
 
@@ -430,5 +769,15 @@ mod histogram_tests {
         let back = crate::DatasetAnalysis::parse(&analysis.to_json()).unwrap();
         assert_eq!(back, analysis);
         assert!(back.get(&ptr("/v")).unwrap().numeric_histogram.is_some());
+    }
+
+    #[test]
+    fn parallel_histograms_match_sequential() {
+        let docs: Vec<Value> = (0..300)
+            .map(|i| json!({ "v": ((i * 7 % 113) as f64), "w": (i as i64) }))
+            .collect();
+        let sequential = analyze_with_config_jobs("t", &docs, &AnalyzerConfig::default(), 1);
+        let parallel = analyze_with_config_jobs("t", &docs, &AnalyzerConfig::default(), 5);
+        assert_eq!(parallel, sequential);
     }
 }

@@ -60,6 +60,22 @@ impl Histogram {
         self.counts[idx] += 1;
     }
 
+    /// Adds another histogram's counts into this one. Both sides must
+    /// share the same shape (range and bucket count) — the parallel
+    /// analyzer clones every chunk sink from one skeleton, so a mismatch
+    /// is a logic error and panics.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.min == other.min
+                && self.max == other.max
+                && self.counts.len() == other.counts.len(),
+            "histogram merge requires identical shapes"
+        );
+        for (acc, &count) in self.counts.iter_mut().zip(&other.counts) {
+            *acc += count;
+        }
+    }
+
     /// Width of one bucket.
     fn bucket_width(&self) -> f64 {
         (self.max - self.min) / self.counts.len() as f64
@@ -195,6 +211,37 @@ mod tests {
         let t = h.threshold_for_top_fraction(0.3);
         let frac_ge = 1.0 - h.fraction_le(t);
         assert!((frac_ge - 0.3).abs() < 0.05, "got {frac_ge}");
+    }
+
+    #[test]
+    fn merge_sums_bucket_counts() {
+        let mut a = Histogram::new(0.0, 100.0, 10).unwrap();
+        let mut b = Histogram::new(0.0, 100.0, 10).unwrap();
+        for i in 0..500 {
+            a.add(i as f64 / 5.0);
+        }
+        for i in 500..1000 {
+            b.add(i as f64 / 10.0);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.total(), a.total() + b.total());
+        let mut sequential = Histogram::new(0.0, 100.0, 10).unwrap();
+        for i in 0..500 {
+            sequential.add(i as f64 / 5.0);
+        }
+        for i in 500..1000 {
+            sequential.add(i as f64 / 10.0);
+        }
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0.0, 100.0, 10).unwrap();
+        let b = Histogram::new(0.0, 50.0, 10).unwrap();
+        a.merge(&b);
     }
 
     #[test]

@@ -21,10 +21,14 @@
 
 mod analysis;
 mod analyzer;
+mod cache;
 mod file;
 mod histogram;
 
 pub use analysis::{DatasetAnalysis, PathStats};
-pub use analyzer::{analyze, analyze_with_config, AnalyzerConfig};
+pub use analyzer::{
+    analyze, analyze_jobs, analyze_with_config, analyze_with_config_jobs, AnalyzerConfig,
+};
+pub use cache::{fingerprint_docs, AnalysisCache};
 pub use file::AnalysisFileError;
 pub use histogram::Histogram;

@@ -1,0 +1,84 @@
+//! Determinism-under-parallelism tests (DESIGN.md §9): the worker count
+//! is a pure wall-clock knob — experiment figures, analyzer output, and
+//! chaotic fault schedules are bit-identical whether the work runs on
+//! one thread or many.
+
+use betze::engines::{ChaosEngine, FaultPlan, JodaSim};
+use betze::generator::GeneratorConfig;
+use betze::harness::experiments::{fig7, Scale};
+use betze::harness::workload::{Corpus, SharedCorpus};
+use betze::harness::{run_session_with_options, RetryPolicy, RunOptions, SessionPool};
+use betze::json::json;
+
+#[test]
+fn fig7_grid_is_bit_identical_across_worker_counts() {
+    let sequential = fig7(&Scale::quick().with_jobs(1));
+    let parallel = fig7(&Scale::quick().with_jobs(4));
+    // Full-structure equality: every (α, β) cell, as exact f64 bits —
+    // the per-cell sums accumulate in the same task order either way.
+    assert_eq!(sequential.steps, parallel.steps);
+    assert_eq!(sequential.sessions_per_cell, parallel.sessions_per_cell);
+    assert_eq!(sequential.mean_secs, parallel.mean_secs);
+}
+
+#[test]
+fn parallel_analyzer_matches_sequential_on_every_corpus() {
+    for (corpus, docs) in [(Corpus::NoBench, 300), (Corpus::Twitter, 300)] {
+        let dataset = corpus.generate(7, docs);
+        let sequential = betze::stats::analyze_jobs(dataset.name.clone(), &dataset.docs, 1);
+        for jobs in [2, 3, 5] {
+            let parallel = betze::stats::analyze_jobs(dataset.name.clone(), &dataset.docs, jobs);
+            assert_eq!(sequential, parallel, "{corpus} with {jobs} jobs");
+        }
+    }
+}
+
+#[test]
+fn multibyte_documents_analyze_identically_in_parallel() {
+    // Prefix statistics slice strings at char boundaries; mixed-width
+    // UTF-8 must survive both the slicing and the chunked merge.
+    let docs: Vec<_> = (0..120)
+        .map(|i| json!({ "s": (format!("é😀-{}", i % 7)), "t": "日本語テキスト" }))
+        .collect();
+    let sequential = betze::stats::analyze_jobs("utf8".to_owned(), &docs, 1);
+    let parallel = betze::stats::analyze_jobs("utf8".to_owned(), &docs, 4);
+    assert_eq!(sequential, parallel);
+}
+
+/// Runs one chaotic session per seed and returns each session's fault
+/// log (the chaos schedule actually realized).
+fn chaotic_fault_logs(
+    corpus: &SharedCorpus,
+    seeds: &[u64],
+    jobs: usize,
+) -> Vec<Vec<betze::engines::FaultEvent>> {
+    let template = FaultPlan::none(0)
+        .storage_faults(0.25)
+        .latency_spikes(0.2, 3.0)
+        .evictions(0.4);
+    let options = RunOptions::reference().retry(RetryPolicy::attempts(6));
+    SessionPool::new(jobs).map(seeds, |_, &seed| {
+        // Per-task plan keyed by the session seed: which worker runs the
+        // task cannot shift its fault stream.
+        let plan = template.clone().with_seed(seed);
+        let outcome = corpus
+            .generate_session(&GeneratorConfig::default(), seed)
+            .expect("generation");
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), plan);
+        run_session_with_options(&mut chaos, &corpus.dataset, &outcome.session, &options)
+            .expect("chaotic run");
+        chaos.fault_log().to_vec()
+    })
+}
+
+#[test]
+fn chaotic_parallel_runs_reproduce_sequential_fault_schedules() {
+    let corpus = SharedCorpus::prepare(Corpus::NoBench, 250, 1, 1);
+    let seeds: Vec<u64> = (0..6).collect();
+    let sequential = chaotic_fault_logs(&corpus, &seeds, 1);
+    let parallel = chaotic_fault_logs(&corpus, &seeds, 4);
+    assert_eq!(sequential, parallel);
+    // The schedules are per-seed distinct (the chaos actually varies).
+    assert!(sequential.iter().any(|log| !log.is_empty()));
+    assert_ne!(sequential[0], sequential[1]);
+}
