@@ -52,11 +52,22 @@ COMMANDS:
         --transforms <f>    fraction of queries with a rename/remove/add
                             transformation (§VII; needs --materialize)
         --lang <short>      only one language (default: all four)
-        --out-dir <dir>     write one script file per language instead of stdout
+        --out-dir <dir>     write one script file per language (plus the
+                            session_<seed>.json session file) instead of stdout
         --dot               also print the session graph in Graphviz DOT
+    lint <session.json>                      static analysis of a session file
+        --dataset <file>    analyze this JSON-lines dataset for the IR pass
+        --analysis <file>   pre-computed analysis file for the IR pass
+        --format <f>        human | json (default human)
+        --deny <level>      error | warn | info | off — exit nonzero when a
+                            diagnostic at or above this level is found
+                            (default error)
     benchmark <dataset.json>                 generate + run on all engines
                         (alias: run)
         --seed/--preset/... as for generate
+        --session <file>    run this session file instead of generating one
+        --lint <level>      pre-flight deny level: error | warn | info | off
+                            (default error; off restores unchecked runs)
         --threads <n>       JODA thread count (default 16)
         --output            charge full result output (Table III mode)
         --chaos-seed <u64>  inject deterministic faults with this seed
@@ -102,6 +113,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => analyze(&rest),
         "generate" => generate(&rest),
         "benchmark" | "run" => benchmark(&rest),
+        "lint" => lint(&rest),
         "experiment" => experiment(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -111,8 +123,14 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Extracts `--flag value` from an argument list; returns the remainder.
+/// Extracts `--flag value` (or `--flag=value`) from an argument list;
+/// returns the remainder.
 fn take_option(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let prefix = format!("{flag}=");
+    if let Some(pos) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let value = args.remove(pos)[prefix.len()..].to_owned();
+        return Ok(Some(value));
+    }
     if let Some(pos) = args.iter().position(|a| a == flag) {
         if pos + 1 >= args.len() {
             return Err(format!("{flag} requires a value"));
@@ -302,6 +320,14 @@ fn generate(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    // The session itself, in the machine-readable file format `betze
+    // lint` and `benchmark --session` consume.
+    if let Some(dir) = &out_dir {
+        let path = format!("{dir}/session_{seed}.json");
+        std::fs::write(&path, w.generation.session.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
     if dot {
         let dot_text = w.generation.session.to_dot();
         match &out_dir {
@@ -315,6 +341,68 @@ fn generate(args: &[String]) -> Result<(), String> {
                 println!("==== session graph (DOT) ====");
                 println!("{dot_text}");
             }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a `--lint`/`--deny` level: a severity name, or `off` for
+/// `None`.
+fn parse_deny_level(text: &str) -> Result<Option<betze::lint::Severity>, String> {
+    if text == "off" {
+        return Ok(None);
+    }
+    text.parse::<betze::lint::Severity>().map(Some)
+}
+
+fn lint(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let format = take_option(&mut args, "--format")?.unwrap_or_else(|| "human".to_owned());
+    let deny = match take_option(&mut args, "--deny")? {
+        Some(level) => parse_deny_level(&level)?,
+        None => Some(betze::lint::Severity::Error),
+    };
+    let analysis_path = take_option(&mut args, "--analysis")?;
+    let dataset_path = take_option(&mut args, "--dataset")?;
+    let [path]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "lint needs exactly one <session.json>".to_owned())?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let session =
+        betze::model::Session::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let analysis = match (analysis_path, dataset_path) {
+        (Some(apath), _) => {
+            let text =
+                std::fs::read_to_string(&apath).map_err(|e| format!("cannot read {apath}: {e}"))?;
+            Some(
+                betze::stats::DatasetAnalysis::parse(&text)
+                    .map_err(|e| format!("parsing {apath}: {e}"))?,
+            )
+        }
+        (None, Some(dpath)) => {
+            let dataset = load_dataset(&dpath, None)?;
+            Some(betze::stats::analyze(dataset.name, &dataset.docs))
+        }
+        (None, None) => None,
+    };
+    let mut linter = betze::lint::Linter::new();
+    if let Some(a) = &analysis {
+        linter = linter.with_analysis(a);
+    }
+    let report = linter.lint(&session);
+    match format.as_str() {
+        "json" => println!("{}", report.to_json()),
+        "human" => println!("{}", report.render_human()),
+        other => return Err(format!("unknown format '{other}'")),
+    }
+    if let Some(deny) = deny {
+        let over = report.count_at_least(deny);
+        if over > 0 {
+            eprintln!(
+                "error: session failed lint: {over} diagnostic(s) at or above {}",
+                deny.label()
+            );
+            std::process::exit(1);
         }
     }
     Ok(())
@@ -374,12 +462,46 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         Some(n) => RetryPolicy::attempts(parse(&n, "retries")?),
         None => RetryPolicy::default(),
     };
+    let session_path = take_option(&mut args, "--session")?;
+    let lint_deny = match take_option(&mut args, "--lint")? {
+        Some(level) => parse_deny_level(&level)?,
+        None => Some(betze::lint::Severity::Error),
+    };
     let config = generator_config(&mut args)?;
     let [path]: [String; 1] = args
         .try_into()
         .map_err(|_| "benchmark needs exactly one <dataset.json>".to_owned())?;
     let dataset = load_dataset(&path, None)?;
-    let w = prepare_dataset(dataset, &config, seed).map_err(|e| e.to_string())?;
+    let (dataset, analysis, session) = match session_path {
+        Some(spath) => {
+            let text =
+                std::fs::read_to_string(&spath).map_err(|e| format!("cannot read {spath}: {e}"))?;
+            let session =
+                betze::model::Session::parse(&text).map_err(|e| format!("parsing {spath}: {e}"))?;
+            let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
+            (dataset, analysis, session)
+        }
+        None => {
+            let w = prepare_dataset(dataset, &config, seed).map_err(|e| e.to_string())?;
+            (w.dataset, w.analysis, w.generation.session)
+        }
+    };
+    // Pre-flight: the full three-pass lint (the harness repeats the
+    // structural passes right before each engine run).
+    if let Some(deny) = lint_deny {
+        let report = betze::lint::Linter::new()
+            .with_analysis(&analysis)
+            .lint(&session);
+        if report.count_at_least(deny) > 0 {
+            eprintln!("{}", report.render_human());
+            return Err(format!(
+                "lint pre-flight rejected the session ({} diagnostic(s) at or above {}); \
+                 pass --lint off to run it anyway",
+                report.count_at_least(deny),
+                deny.label()
+            ));
+        }
+    }
     let chaotic = plan.is_some();
     let mut table = betze::harness::fmt::TextTable::new([
         "system",
@@ -397,19 +519,15 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         } else {
             RunOptions::reference()
         };
-        base.retry(retry.clone())
+        base.retry(retry.clone()).lint(lint_deny)
     };
     let bench_row = |engine: &mut dyn Engine,
                      label: String,
                      table: &mut betze::harness::fmt::TextTable|
      -> Result<(), String> {
-        let outcome = betze::harness::run_session_with_options(
-            engine,
-            &w.dataset,
-            &w.generation.session,
-            &options,
-        )
-        .map_err(|e| e.to_string())?;
+        let outcome =
+            betze::harness::run_session_with_options(engine, &dataset, &session, &options)
+                .map_err(|e| e.to_string())?;
         let run = outcome.run();
         table.row([
             label,

@@ -234,6 +234,190 @@ fn generate_supports_transforms_with_materialize() {
     let _ = std::fs::remove_file(&data);
 }
 
+/// A fixture session violating one structural rule per severity. The
+/// `graph` has one base dataset `tw`; query 0 shadows it, query 1 reads a
+/// dataset that never exists, query 2 stores a dataset nobody reads.
+const FIXTURE_SESSION: &str = r#"{
+  "seed": 1,
+  "config": "fixture",
+  "queries": [
+    {"base": "tw", "store_as": "tw"},
+    {"base": "missing"},
+    {"base": "tw", "store_as": "kept"},
+    {"base": "tw", "store_as": "result"}
+  ],
+  "graph": [
+    {"name": "tw", "estimated_count": 100}
+  ],
+  "moves": []
+}"#;
+
+/// Golden file for `betze lint --format json`: rule IDs, spans, severity
+/// ordering, and summary must stay byte-stable — downstream tooling
+/// parses this.
+#[test]
+fn lint_json_output_is_stable() {
+    let session = tmpfile("lint-fixture.json");
+    std::fs::write(&session, FIXTURE_SESSION).expect("write fixture");
+    let out = betze(&[
+        "lint",
+        session.to_str().unwrap(),
+        "--format",
+        "json",
+        "--deny",
+        "off",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let expected = r#"{
+  "diagnostics": [
+    {
+      "rule": "L030",
+      "name": "dangling-dataset-ref",
+      "severity": "error",
+      "query": 1,
+      "node": "base",
+      "message": "query reads dataset 'missing', which does not exist at this point in the session"
+    },
+    {
+      "rule": "L031",
+      "name": "store-as-shadowing",
+      "severity": "warn",
+      "query": 0,
+      "node": "store_as",
+      "message": "store target 'tw' shadows an existing dataset"
+    },
+    {
+      "rule": "L032",
+      "name": "dataset-never-read",
+      "severity": "info",
+      "query": 2,
+      "node": "store_as",
+      "message": "dataset 'kept' is stored here but never queried afterwards"
+    }
+  ],
+  "summary": {
+    "error": 1,
+    "warn": 1,
+    "info": 1
+  }
+}
+"#;
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+    let _ = std::fs::remove_file(&session);
+}
+
+#[test]
+fn lint_deny_level_controls_the_exit_code() {
+    let session = tmpfile("lint-deny.json");
+    std::fs::write(&session, FIXTURE_SESSION).expect("write fixture");
+    let session_s = session.to_str().unwrap();
+    // Default deny level is error; the fixture has one.
+    let out = betze(&["lint", session_s]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed lint"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[L030]"));
+    // --deny off always succeeds (report still printed); `--deny=off`
+    // (equals form) parses identically.
+    assert!(betze(&["lint", session_s, "--deny", "off"])
+        .status
+        .success());
+    assert!(betze(&["lint", session_s, "--deny=off"]).status.success());
+    let _ = std::fs::remove_file(&session);
+}
+
+#[test]
+fn generate_emits_a_lintable_session_file_and_benchmark_prefights_it() {
+    let data = tmpfile("lint-wf.json");
+    let dir = tmpfile("lint-wf-dir");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let data_s = data.to_str().unwrap();
+    assert!(betze(&["synth", "nobench", "150", "--out", data_s])
+        .status
+        .success());
+    let out = betze(&[
+        "generate",
+        data_s,
+        "--seed",
+        "7",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let session = dir.join("session_7.json");
+    let session_s = session.to_str().unwrap();
+    // The generated session lints clean against its own dataset.
+    let out = betze(&["lint", session_s, "--dataset", data_s]);
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // benchmark --session accepts it (lint pre-flight on by default)…
+    let out = betze(&[
+        "benchmark",
+        data_s,
+        "--session",
+        session_s,
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // …and rejects a tampered copy before any engine runs: renaming the
+    // first query's base dataset leaves a dangling reference (L030).
+    let tampered = dir.join("tampered.json");
+    let text = std::fs::read_to_string(&session).unwrap();
+    std::fs::write(
+        &tampered,
+        text.replacen("\"base\": \"", "\"base\": \"tampered-", 1),
+    )
+    .unwrap();
+    let tampered_s = tampered.to_str().unwrap();
+    let out = betze(&[
+        "benchmark",
+        data_s,
+        "--session",
+        tampered_s,
+        "--threads",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("lint pre-flight rejected"), "{stderr}");
+    assert!(stderr.contains("L030"), "{stderr}");
+    // --lint off restores the old unchecked behavior: the engines run and
+    // the session degrades instead of aborting.
+    let out = betze(&[
+        "benchmark",
+        data_s,
+        "--session",
+        tampered_s,
+        "--threads",
+        "2",
+        "--lint",
+        "off",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&data);
+}
+
 #[test]
 fn generate_accepts_multiple_datasets() {
     let a = tmpfile("multi-a.json");

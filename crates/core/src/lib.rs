@@ -48,6 +48,7 @@
 //! | [`explorer`] | `betze-explorer` | the random explorer model (paper §III) |
 //! | [`generator`] | `betze-generator` | predicate factories + session generator (paper §IV) |
 //! | [`langs`] | `betze-langs` | the `Language` trait and the four translators (Listing 1/3) |
+//! | [`lint`] | `betze-lint` | static analysis of sessions: IR, translation, and graph passes |
 //! | [`engines`] | `betze-engines` | simulated systems under test + cost model |
 //! | [`harness`] | `betze-harness` | benchmark runner + per-figure/table experiment drivers |
 
@@ -58,5 +59,6 @@ pub use betze_generator as generator;
 pub use betze_harness as harness;
 pub use betze_json as json;
 pub use betze_langs as langs;
+pub use betze_lint as lint;
 pub use betze_model as model;
 pub use betze_stats as stats;

@@ -222,7 +222,7 @@ impl<E: Engine + ?Sized> Engine for Box<E> {
     }
 
     fn reset(&mut self) {
-        (**self).reset()
+        (**self).reset();
     }
 
     fn threads(&self) -> usize {
@@ -230,11 +230,11 @@ impl<E: Engine + ?Sized> Engine for Box<E> {
     }
 
     fn set_threads(&mut self, threads: usize) {
-        (**self).set_threads(threads)
+        (**self).set_threads(threads);
     }
 
     fn set_output_enabled(&mut self, on: bool) {
-        (**self).set_output_enabled(on)
+        (**self).set_output_enabled(on);
     }
 }
 

@@ -754,10 +754,10 @@ mod tests {
         // selectivity must match the chosen value.
         match cand.filter {
             FilterFn::BoolEq { value: true, .. } => {
-                assert!((cand.estimated_selectivity - 0.3).abs() < 1e-12)
+                assert!((cand.estimated_selectivity - 0.3).abs() < 1e-12);
             }
             FilterFn::BoolEq { value: false, .. } => {
-                assert!((cand.estimated_selectivity - 0.7).abs() < 1e-12)
+                assert!((cand.estimated_selectivity - 0.7).abs() < 1e-12);
             }
             other => panic!("wrong filter {other:?}"),
         }

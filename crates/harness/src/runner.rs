@@ -84,6 +84,12 @@ pub struct RunOptions {
     /// and the session continues ([`SessionOutcome::CompletedWithErrors`]);
     /// when false the first permanent failure aborts the run with `Err`.
     pub degrade: bool,
+    /// Lint pre-flight deny level. When set, the session is checked with
+    /// the structural lint passes **before** the engine is touched, and
+    /// any diagnostic at or above this severity aborts the run with an
+    /// `Internal` error carrying the rendered report. `None` (the
+    /// default) skips the pre-flight.
+    pub lint: Option<betze_lint::Severity>,
 }
 
 impl Default for RunOptions {
@@ -93,6 +99,7 @@ impl Default for RunOptions {
             count_output: false,
             retry: RetryPolicy::default(),
             degrade: true,
+            lint: None,
         }
     }
 }
@@ -127,6 +134,13 @@ impl RunOptions {
     /// (false) the session.
     pub fn degrade(mut self, on: bool) -> Self {
         self.degrade = on;
+        self
+    }
+
+    /// Enables the lint pre-flight at the given deny level (pass `None`
+    /// to disable it again).
+    pub fn lint(mut self, deny: Option<betze_lint::Severity>) -> Self {
+        self.lint = deny;
         self
     }
 }
@@ -347,6 +361,18 @@ pub fn run_session_with_options(
     options: &RunOptions,
 ) -> Result<SessionOutcome, EngineError> {
     let timeout = options.timeout;
+    if let Some(deny) = options.lint {
+        let report = betze_lint::Linter::new().lint(session);
+        if report.count_at_least(deny) > 0 {
+            return Err(EngineError::Internal {
+                message: format!(
+                    "lint pre-flight rejected session (deny level: {}):\n{}",
+                    deny.label(),
+                    report.render_human()
+                ),
+            });
+        }
+    }
     engine.reset();
     engine.set_output_enabled(options.count_output);
     let import = import_with_retry(engine, dataset, &options.retry)?;
@@ -569,6 +595,39 @@ mod tests {
         assert!(run.session_modeled() > Duration::ZERO);
         assert!(run.total_modeled() > run.session_modeled());
         assert!(run.import.counters.import_docs == 200);
+    }
+
+    #[test]
+    fn lint_preflight_rejects_corrupted_sessions_before_import() {
+        let w = workload();
+        // Corrupt the session: point a query at a dataset that never
+        // exists (the signature of a mangled session file).
+        let mut session = w.generation.session.clone();
+        session.queries[0].base = "no_such_dataset".into();
+        let mut joda = JodaSim::new(1);
+        let options = RunOptions::reference().lint(Some(betze_lint::Severity::Error));
+        let err = run_session_with_options(&mut joda, &w.dataset, &session, &options)
+            .expect_err("pre-flight should reject the corrupted session");
+        match err {
+            EngineError::Internal { message } => {
+                assert!(message.contains("lint pre-flight rejected"), "{message}");
+                assert!(message.contains("L030"), "{message}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The engine was never touched: no import happened.
+        assert_eq!(joda.name(), "JODA");
+        // With the pre-flight off, the same corrupted session reaches the
+        // engine and fails there instead (UnknownDataset → degraded run).
+        let outcome =
+            run_session_with_options(&mut joda, &w.dataset, &session, &RunOptions::reference())
+                .unwrap();
+        assert!(matches!(outcome, SessionOutcome::CompletedWithErrors(_)));
+        // A clean session sails through the pre-flight.
+        let clean =
+            run_session_with_options(&mut joda, &w.dataset, &w.generation.session, &options)
+                .unwrap();
+        assert!(matches!(clean, SessionOutcome::Completed(_)));
     }
 
     #[test]

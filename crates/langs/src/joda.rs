@@ -83,7 +83,7 @@ fn transform(t: &Transform) -> String {
     match t {
         Transform::Rename { from, to } => {
             let parent = from.parent().unwrap_or_default();
-            format!("('{}/{to}': '{from}'), ('{from}': REMOVE)", parent)
+            format!("('{parent}/{to}': '{from}'), ('{from}': REMOVE)")
         }
         Transform::Remove { path } => format!("('{path}': REMOVE)"),
         Transform::Add { path, value } => format!("('{path}': {})", value.to_json()),

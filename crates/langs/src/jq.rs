@@ -35,11 +35,10 @@ impl Language for Jq {
             select.push_str(" | ");
             select.push_str(&transform(t));
         }
-        let mut out = format!("jq -c -n '{select}' {}.json", query.base);
+        let mut out = format!("jq -c -n {} {}.json", shell_quote(&select), query.base);
         if let Some(agg) = &query.aggregation {
-            out.push_str(" | jq -s -c '");
-            out.push_str(&aggregation(agg));
-            out.push('\'');
+            out.push_str(" | jq -s -c ");
+            out.push_str(&shell_quote(&aggregation(agg)));
         }
         if let Some(store) = &query.store_as {
             out.push_str(&format!(" > {store}.json"));
@@ -58,6 +57,13 @@ impl Language for Jq {
     fn query_delimiter(&self) -> &'static str {
         "\n"
     }
+}
+
+/// Wraps a jq program in shell single quotes. A single quote inside the
+/// program would terminate the shell literal, so it is spelled `'\''`
+/// (close, escaped quote, reopen).
+fn shell_quote(program: &str) -> String {
+    format!("'{}'", program.replace('\'', "'\\''"))
 }
 
 /// Renders a pointer as a bracketed jq access path (`.["user"]["name"]`),
@@ -306,6 +312,22 @@ mod tests {
         assert_eq!(count, "{count: length}");
         let sum = aggregation(&Aggregation::new(AggFunc::Sum { path: ptr("/n") }, "total"));
         assert!(sum.contains("map(numbers) | add // 0"));
+    }
+
+    #[test]
+    fn single_quotes_in_values_survive_shell_quoting() {
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/text"),
+            value: "it's".into(),
+        }));
+        let text = Jq.translate(&q);
+        // The program's `'` must be spelled `'\''` so bash reassembles it.
+        assert!(text.contains("\"it'\\''s\""), "{text}");
+        // Programs without quotes keep the plain single-quoted form.
+        assert_eq!(
+            Jq.translate(&Query::scan("tw")),
+            "jq -c -n 'inputs' tw.json"
+        );
     }
 
     #[test]

@@ -62,9 +62,30 @@ impl Language for MongoDb {
     }
 }
 
-/// Renders a pointer in MongoDB dot notation (`user.time_zone`).
+/// JSON-escapes a single path token for use inside a double-quoted key
+/// (the dotted form is always interpolated into `"..."`).
+fn escaped_token(token: &str) -> String {
+    let quoted = escape_string(token);
+    quoted[1..quoted.len() - 1].to_owned()
+}
+
+/// Renders a pointer in MongoDB dot notation (`user.time_zone`), with
+/// per-token JSON escaping.
 fn dotted(path: &JsonPointer) -> String {
-    path.tokens().join(".")
+    path.tokens()
+        .iter()
+        .map(|t| escaped_token(t))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Joins pre-collected tokens the same way (rename targets).
+fn dotted_tokens(tokens: &[String]) -> String {
+    tokens
+        .iter()
+        .map(|t| escaped_token(t))
+        .collect::<Vec<_>>()
+        .join(".")
 }
 
 /// Renders a pointer as a `$`-prefixed field expression (`$user.time_zone`).
@@ -153,7 +174,7 @@ fn transform_stages(t: &Transform) -> Vec<String> {
             vec![
                 format!(
                     "{{ $set: {{ \"{}\": {} }} }}",
-                    target_tokens.join("."),
+                    dotted_tokens(&target_tokens),
                     field_expr(from)
                 ),
                 format!("{{ $unset: \"{}\" }}", dotted(from)),
@@ -300,6 +321,22 @@ mod tests {
             "count",
         ));
         assert!(count.contains("\"missing\""));
+    }
+
+    #[test]
+    fn hostile_path_tokens_are_json_escaped() {
+        // A token with a double quote must not terminate the JSON key.
+        let text = filter(&FilterFn::Exists {
+            path: JsonPointer::from_tokens(["say \"hi\""]),
+        });
+        assert_eq!(text, "{ \"say \\\"hi\\\"\": { $exists: true } }");
+        // Backslashes are escaped too, including in `$`-field expressions.
+        assert_eq!(
+            field_expr(&JsonPointer::from_tokens(["a\\b"])),
+            "\"$a\\\\b\""
+        );
+        // Simple paths keep the byte-stable dotted form.
+        assert_eq!(dotted(&ptr("/user/time_zone")), "user.time_zone");
     }
 
     #[test]

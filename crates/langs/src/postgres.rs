@@ -81,16 +81,16 @@ fn transformed_doc_expr(transforms: &[Transform]) -> String {
                 target.push(to.clone());
                 format!(
                     "jsonb_set(({expr}) #- '{{{src}}}', '{{{dst}}}', ({expr}) #> '{{{src}}}')",
-                    src = from.tokens().join(","),
-                    dst = target.join(","),
+                    src = array_literal(from.tokens()),
+                    dst = array_literal(&target),
                 )
             }
             Transform::Remove { path } => {
-                format!("({expr}) #- '{{{}}}'", path.tokens().join(","))
+                format!("({expr}) #- '{{{}}}'", array_literal(path.tokens()))
             }
             Transform::Add { path, value } => format!(
                 "jsonb_set(({expr}), '{{{}}}', '{}'::jsonb)",
-                path.tokens().join(","),
+                array_literal(path.tokens()),
                 value.to_json().replace('\'', "''"),
             ),
         };
@@ -98,16 +98,42 @@ fn transformed_doc_expr(transforms: &[Transform]) -> String {
     expr
 }
 
-/// Renders a pointer as a `#>` path array literal: `doc #> '{user,name}'`.
-fn hash_path(path: &JsonPointer) -> String {
-    format!("doc #> '{{{}}}'", path.tokens().join(","))
+/// Renders path tokens as the *content* of a `text[]` literal. Simple
+/// tokens stay bare (`user,time_zone`); tokens containing whitespace or
+/// array-literal metacharacters are double-quoted with `\`/`"` escaped.
+/// Single quotes are doubled last, for the surrounding SQL literal.
+fn array_literal(tokens: &[String]) -> String {
+    let content = tokens
+        .iter()
+        .map(|t| {
+            let plain = !t.is_empty()
+                && !t
+                    .chars()
+                    .any(|c| c.is_whitespace() || "{},\"\\'".contains(c));
+            if plain {
+                t.clone()
+            } else {
+                format!("\"{}\"", t.replace('\\', "\\\\").replace('"', "\\\""))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    content.replace('\'', "''")
 }
 
-/// Renders a pointer as an SQL/JSON path: `$."user"."name"`.
+/// Renders a pointer as a `#>` path array literal: `doc #> '{user,name}'`.
+fn hash_path(path: &JsonPointer) -> String {
+    format!("doc #> '{{{}}}'", array_literal(path.tokens()))
+}
+
+/// Renders a pointer as an SQL/JSON path: `$."user"."name"`. Backslashes
+/// and double quotes get jsonpath escapes; single quotes are doubled for
+/// the surrounding SQL literal.
 fn jsonpath(path: &JsonPointer) -> String {
     let mut out = String::from("$");
     for token in path.tokens() {
-        out.push_str(&format!(".\"{}\"", token.replace('"', "\\\"")));
+        let escaped = token.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(".\"{}\"", escaped.replace('\'', "''")));
     }
     out
 }
@@ -148,8 +174,14 @@ fn predicate(p: &Predicate) -> String {
 
 fn sql_string(s: &str) -> String {
     // SQL/JSON path string literal inside a single-quoted SQL literal:
-    // double the single quotes for SQL, escape double quotes for jsonpath.
-    format!("\"{}\"", s.replace('\'', "''").replace('"', "\\\""))
+    // jsonpath-escape backslashes first (before `"` adds new ones), double
+    // the single quotes for SQL, escape double quotes for jsonpath.
+    format!(
+        "\"{}\"",
+        s.replace('\\', "\\\\")
+            .replace('\'', "''")
+            .replace('"', "\\\"")
+    )
 }
 
 fn filter(f: &FilterFn) -> String {
@@ -321,6 +353,48 @@ mod tests {
         });
         assert!(text.contains("it''s"));
         assert!(text.contains("\\\"fine\\\""));
+    }
+
+    #[test]
+    fn hostile_path_tokens_are_quoted_in_array_literals() {
+        // A token with a single quote must not terminate the SQL literal.
+        let text = filter(&FilterFn::Exists {
+            path: JsonPointer::from_tokens(["it's"]),
+        });
+        assert_eq!(text, "doc #> '{\"it''s\"}' IS NOT NULL");
+        // Commas, quotes, and whitespace force the quoted element form.
+        let text = filter(&FilterFn::Exists {
+            path: JsonPointer::from_tokens(["a,b", "c\"d", "e f", "back\\slash"]),
+        });
+        assert_eq!(
+            text,
+            "doc #> '{\"a,b\",\"c\\\"d\",\"e f\",\"back\\\\slash\"}' IS NOT NULL"
+        );
+        // Simple tokens keep the bare, byte-stable form.
+        assert_eq!(
+            hash_path(&ptr("/user/time_zone")),
+            "doc #> '{user,time_zone}'"
+        );
+    }
+
+    #[test]
+    fn hostile_jsonpath_tokens_and_values_are_escaped() {
+        let text = filter(&FilterFn::StrEq {
+            path: JsonPointer::from_tokens(["we\"ird"]),
+            value: "it's a \\ \"test\"".into(),
+        });
+        // Token: `"` becomes `\"`; value: backslash doubled for jsonpath,
+        // `'` doubled for SQL, `"` escaped for jsonpath.
+        assert!(text.contains("$.\"we\\\"ird\""));
+        assert!(text.contains("@ == \"it''s a \\\\ \\\"test\\\"\""));
+    }
+
+    #[test]
+    fn hostile_transform_paths_are_quoted() {
+        let expr = transformed_doc_expr(&[Transform::Remove {
+            path: JsonPointer::from_tokens(["o'clock"]),
+        }]);
+        assert_eq!(expr, "(doc) #- '{\"o''clock\"}'");
     }
 
     #[test]

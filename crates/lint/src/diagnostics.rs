@@ -1,0 +1,485 @@
+//! The diagnostics data model: rules, severities, spans, and the report.
+
+use betze_json::{Object, Value};
+use std::fmt;
+use std::str::FromStr;
+
+/// How serious a diagnostic is. Ordered so that `Error > Warn > Info`,
+/// which lets deny-levels be expressed as simple comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Observation that is worth surfacing but never wrong per se.
+    Info,
+    /// Likely unintended, but the workload still has defined semantics.
+    Warn,
+    /// The workload is provably broken (zero-selectivity predicate,
+    /// dangling dataset, diverging translation, …).
+    Error,
+}
+
+impl Severity {
+    /// All severities, most severe first.
+    pub const ALL: [Severity; 3] = [Severity::Error, Severity::Warn, Severity::Info];
+
+    /// Lower-case label, as rendered in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" | "errors" => Ok(Severity::Error),
+            "warn" | "warning" | "warnings" => Ok(Severity::Warn),
+            "info" => Ok(Severity::Info),
+            other => Err(format!(
+                "unknown severity {other:?} (expected error, warn, or info)"
+            )),
+        }
+    }
+}
+
+/// A lint rule. Each rule has a stable `L0xx` identifier: `L00x` for IR
+/// rules, `L02x` for translation rules, `L03x` for session-graph rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// L001: a predicate references a path the analysis has never seen.
+    UnknownPath,
+    /// L002: a predicate tests a type the path provably never has.
+    TypeMismatch,
+    /// L003: an AND combines constraints no document can satisfy.
+    ContradictoryConjunction,
+    /// L004: a subtree is tautological or has identical operands.
+    TautologicalSubtree,
+    /// L005: a constant lies provably outside the analyzed value range
+    /// (statically-zero selectivity).
+    OutOfRangeConstant,
+    /// L006: a bound every analyzed value satisfies (statically-one
+    /// selectivity — the predicate constrains nothing).
+    VacuousBound,
+    /// L007: an aggregation or group-by references an unknown path.
+    AggregationUnknownPath,
+    /// L008: a SUM over a path that provably holds no numeric values.
+    AggregationTypeMismatch,
+    /// L020: a backend rendering lost part of the query structure.
+    TranslationDivergence,
+    /// L021: a backend rendering has unbalanced string quoting.
+    TranslationEscaping,
+    /// L022: a path cannot be expressed unambiguously in a backend.
+    TranslationAmbiguity,
+    /// L030: a query reads a dataset that does not exist at that point.
+    DanglingDatasetRef,
+    /// L031: a store target shadows an existing dataset name.
+    StoreAsShadowing,
+    /// L032: a stored dataset is never queried afterwards.
+    DatasetNeverRead,
+}
+
+impl Rule {
+    /// The full catalog, in rule-id order.
+    pub const ALL: [Rule; 14] = [
+        Rule::UnknownPath,
+        Rule::TypeMismatch,
+        Rule::ContradictoryConjunction,
+        Rule::TautologicalSubtree,
+        Rule::OutOfRangeConstant,
+        Rule::VacuousBound,
+        Rule::AggregationUnknownPath,
+        Rule::AggregationTypeMismatch,
+        Rule::TranslationDivergence,
+        Rule::TranslationEscaping,
+        Rule::TranslationAmbiguity,
+        Rule::DanglingDatasetRef,
+        Rule::StoreAsShadowing,
+        Rule::DatasetNeverRead,
+    ];
+
+    /// Stable identifier (`L001` …).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnknownPath => "L001",
+            Rule::TypeMismatch => "L002",
+            Rule::ContradictoryConjunction => "L003",
+            Rule::TautologicalSubtree => "L004",
+            Rule::OutOfRangeConstant => "L005",
+            Rule::VacuousBound => "L006",
+            Rule::AggregationUnknownPath => "L007",
+            Rule::AggregationTypeMismatch => "L008",
+            Rule::TranslationDivergence => "L020",
+            Rule::TranslationEscaping => "L021",
+            Rule::TranslationAmbiguity => "L022",
+            Rule::DanglingDatasetRef => "L030",
+            Rule::StoreAsShadowing => "L031",
+            Rule::DatasetNeverRead => "L032",
+        }
+    }
+
+    /// Kebab-case rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnknownPath => "unknown-path",
+            Rule::TypeMismatch => "type-mismatch",
+            Rule::ContradictoryConjunction => "contradictory-conjunction",
+            Rule::TautologicalSubtree => "tautological-subtree",
+            Rule::OutOfRangeConstant => "out-of-range-constant",
+            Rule::VacuousBound => "vacuous-bound",
+            Rule::AggregationUnknownPath => "aggregation-unknown-path",
+            Rule::AggregationTypeMismatch => "aggregation-type-mismatch",
+            Rule::TranslationDivergence => "translation-divergence",
+            Rule::TranslationEscaping => "translation-escaping",
+            Rule::TranslationAmbiguity => "translation-ambiguity",
+            Rule::DanglingDatasetRef => "dangling-dataset-ref",
+            Rule::StoreAsShadowing => "store-as-shadowing",
+            Rule::DatasetNeverRead => "dataset-never-read",
+        }
+    }
+
+    /// The rule's fixed severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::UnknownPath
+            | Rule::TypeMismatch
+            | Rule::ContradictoryConjunction
+            | Rule::OutOfRangeConstant
+            | Rule::AggregationUnknownPath
+            | Rule::TranslationDivergence
+            | Rule::TranslationEscaping
+            | Rule::DanglingDatasetRef => Severity::Error,
+            Rule::TautologicalSubtree
+            | Rule::VacuousBound
+            | Rule::AggregationTypeMismatch
+            | Rule::TranslationAmbiguity
+            | Rule::StoreAsShadowing => Severity::Warn,
+            Rule::DatasetNeverRead => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Where a diagnostic points: a session step (query index) plus an
+/// optional node locator inside that query — a predicate-tree position
+/// like `filter:LR` (left child, then right child), `aggregation`,
+/// `store_as`, or `translation:<short_name>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// The query (session step) the diagnostic is about, if any.
+    pub query: Option<usize>,
+    /// A locator inside the query.
+    pub node: Option<String>,
+}
+
+impl Span {
+    /// A session-level span, not tied to any query.
+    pub fn session() -> Span {
+        Span::default()
+    }
+
+    /// A span for a whole query.
+    pub fn in_query(query: usize) -> Span {
+        Span {
+            query: Some(query),
+            node: None,
+        }
+    }
+
+    /// A span for a node inside a query.
+    pub fn at(query: usize, node: impl Into<String>) -> Span {
+        Span {
+            query: Some(query),
+            node: Some(node.into()),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.query, &self.node) {
+            (None, _) => f.write_str("session"),
+            (Some(q), None) => write!(f, "query {q}"),
+            (Some(q), Some(node)) => write!(f, "query {q} @ {node}"),
+        }
+    }
+}
+
+/// One finding of a lint pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Where the violation is.
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(rule: Rule, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// The rule's severity.
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity(),
+            self.rule,
+            self.span,
+            self.message
+        )
+    }
+}
+
+/// The collected output of a lint run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Sorts diagnostics into report order: most severe first, then by
+    /// span (session-level before queries), then by rule id.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity()
+                .cmp(&a.severity())
+                .then_with(|| a.span.cmp(&b.span))
+                .then_with(|| a.rule.cmp(&b.rule))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+
+    /// The diagnostics, in the order they were recorded (or sorted).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True if no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of diagnostics with exactly the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == severity)
+            .count()
+    }
+
+    /// Number of diagnostics at or above the given severity.
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() >= severity)
+            .count()
+    }
+
+    /// The most severe diagnostic present, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(Diagnostic::severity).max()
+    }
+
+    /// The rule ids present, deduplicated, in report order.
+    pub fn rule_ids(&self) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule.id()).collect();
+        ids.dedup();
+        ids
+    }
+
+    /// Renders the report for humans: one line per diagnostic plus a
+    /// summary tail.
+    pub fn render_human(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = write!(
+            out,
+            "{} diagnostic{}: {} error{}, {} warning{}, {} info",
+            self.len(),
+            plural(self.len()),
+            self.count(Severity::Error),
+            plural(self.count(Severity::Error)),
+            self.count(Severity::Warn),
+            plural(self.count(Severity::Warn)),
+            self.count(Severity::Info),
+        );
+        out
+    }
+
+    /// Serializes the report for `--format json` consumers.
+    pub fn to_value(&self) -> Value {
+        let diagnostics: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut obj = Object::with_capacity(6);
+                obj.insert("rule", d.rule.id());
+                obj.insert("name", d.rule.name());
+                obj.insert("severity", d.severity().label());
+                if let Some(q) = d.span.query {
+                    obj.insert("query", q as i64);
+                }
+                if let Some(node) = &d.span.node {
+                    obj.insert("node", node.clone());
+                }
+                obj.insert("message", d.message.clone());
+                Value::Object(obj)
+            })
+            .collect();
+        let mut summary = Object::with_capacity(3);
+        for severity in Severity::ALL {
+            summary.insert(severity.label(), self.count(severity) as i64);
+        }
+        let mut root = Object::with_capacity(2);
+        root.insert("diagnostics", Value::Array(diagnostics));
+        root.insert("summary", Value::Object(summary));
+        Value::Object(root)
+    }
+
+    /// Pretty-printed JSON form of [`LintReport::to_value`].
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_parses() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        assert_eq!("warning".parse::<Severity>(), Ok(Severity::Warn));
+        assert_eq!("error".parse::<Severity>(), Ok(Severity::Error));
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+
+    #[test]
+    fn catalog_ids_are_unique_and_sorted() {
+        let ids: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "rule ids must be unique and in order");
+    }
+
+    #[test]
+    fn report_sorts_errors_first() {
+        let mut report = LintReport::new();
+        report.push(Diagnostic::new(
+            Rule::DatasetNeverRead,
+            Span::in_query(0),
+            "info first",
+        ));
+        report.push(Diagnostic::new(
+            Rule::StoreAsShadowing,
+            Span::in_query(2),
+            "a warn",
+        ));
+        report.push(Diagnostic::new(
+            Rule::DanglingDatasetRef,
+            Span::in_query(5),
+            "an error",
+        ));
+        report.sort();
+        let severities: Vec<Severity> = report
+            .diagnostics()
+            .iter()
+            .map(Diagnostic::severity)
+            .collect();
+        assert_eq!(
+            severities,
+            vec![Severity::Error, Severity::Warn, Severity::Info]
+        );
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+        assert_eq!(report.count_at_least(Severity::Warn), 2);
+        assert_eq!(report.rule_ids(), vec!["L030", "L031", "L032"]);
+    }
+
+    #[test]
+    fn human_rendering_and_json_shape() {
+        let mut report = LintReport::new();
+        report.push(Diagnostic::new(
+            Rule::ContradictoryConjunction,
+            Span::at(1, "filter:L"),
+            "impossible",
+        ));
+        let human = report.render_human();
+        assert!(human.contains("error[L003] query 1 @ filter:L: impossible"));
+        assert!(human.contains("1 diagnostic: 1 error, 0 warnings, 0 info"));
+        let v = report.to_value();
+        let diags = v.get("diagnostics").unwrap().as_array().unwrap();
+        assert_eq!(diags[0].get("rule").unwrap().as_str(), Some("L003"));
+        assert_eq!(diags[0].get("query").unwrap().as_i64(), Some(1));
+        assert_eq!(
+            v.get("summary").unwrap().get("error").unwrap().as_i64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn span_display_forms() {
+        assert_eq!(Span::session().to_string(), "session");
+        assert_eq!(Span::in_query(3).to_string(), "query 3");
+        assert_eq!(
+            Span::at(3, "aggregation").to_string(),
+            "query 3 @ aggregation"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! The session-graph pass: structural checks over the query sequence and
+//! the dataset dependency graph (rules L030–L032).
+
+use crate::diagnostics::{Diagnostic, LintReport, Rule, Span};
+use betze_model::Session;
+use std::collections::BTreeSet;
+
+pub fn run(session: &Session, report: &mut LintReport) {
+    // Datasets that exist before any query runs: the graph's base nodes.
+    let mut known: BTreeSet<&str> = session
+        .graph
+        .nodes()
+        .iter()
+        .filter(|n| n.is_base())
+        .map(|n| n.name.as_str())
+        .collect();
+
+    for (i, query) in session.queries.iter().enumerate() {
+        if !known.contains(query.base.as_str()) {
+            report.push(Diagnostic::new(
+                Rule::DanglingDatasetRef,
+                Span::at(i, "base"),
+                format!(
+                    "query reads dataset '{}', which does not exist at this \
+                     point in the session",
+                    query.base
+                ),
+            ));
+        }
+        if let Some(store) = &query.store_as {
+            if known.contains(store.as_str()) {
+                report.push(Diagnostic::new(
+                    Rule::StoreAsShadowing,
+                    Span::at(i, "store_as"),
+                    format!("store target '{store}' shadows an existing dataset"),
+                ));
+            }
+            known.insert(store);
+        }
+    }
+
+    // Stored datasets never read by a later query. The session's final
+    // dataset is the explorer's end state — being unread is its job — so
+    // it is exempt.
+    let final_name = session
+        .final_dataset()
+        .and_then(|id| session.graph.node(id))
+        .map(|n| n.name.as_str())
+        .or_else(|| {
+            // Sessions without a move trail: treat the last store target as
+            // the session result.
+            session
+                .queries
+                .iter()
+                .rev()
+                .find_map(|q| q.store_as.as_deref())
+        });
+    for (i, query) in session.queries.iter().enumerate() {
+        let Some(store) = &query.store_as else {
+            continue;
+        };
+        if Some(store.as_str()) == final_name {
+            continue;
+        }
+        let read_later = session.queries[i + 1..].iter().any(|q| q.base == *store);
+        if !read_later {
+            report.push(Diagnostic::new(
+                Rule::DatasetNeverRead,
+                Span::at(i, "store_as"),
+                format!("dataset '{store}' is stored here but never queried afterwards"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_model::{DatasetGraph, Query};
+
+    fn session_with(queries: Vec<Query>, graph: DatasetGraph) -> Session {
+        Session {
+            queries,
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "test".into(),
+        }
+    }
+
+    fn lint(session: &Session) -> LintReport {
+        let mut report = LintReport::new();
+        run(session, &mut report);
+        report.sort();
+        report
+    }
+
+    #[test]
+    fn clean_chain_produces_nothing() {
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("tw", 100.0);
+        graph.add_derived(base, "tw_1", 0, 50.0);
+        let session = session_with(
+            vec![Query::scan("tw").store_as("tw_1"), Query::scan("tw_1")],
+            graph,
+        );
+        assert!(lint(&session).is_empty());
+    }
+
+    #[test]
+    fn dangling_reference_is_an_error() {
+        let mut graph = DatasetGraph::new();
+        graph.add_base("tw", 100.0);
+        // Reads a dataset only stored by a *later* query: dangling too.
+        let session = session_with(
+            vec![Query::scan("tw_1"), Query::scan("tw").store_as("tw_1")],
+            graph,
+        );
+        let report = lint(&session);
+        assert_eq!(report.rule_ids(), vec!["L030"]);
+        assert_eq!(report.diagnostics()[0].span, Span::at(0, "base"));
+    }
+
+    #[test]
+    fn shadowing_and_never_read() {
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("tw", 100.0);
+        graph.add_derived(base, "tw_1", 0, 50.0);
+        let session = session_with(
+            vec![
+                // Query 0 stores tw_1, which nobody ever reads (and is not
+                // the final dataset): L032.
+                Query::scan("tw").store_as("tw_1"),
+                // Query 1 shadows the base name: L031 (also unread, but as
+                // the last store target it counts as the session result).
+                Query::scan("tw").store_as("tw"),
+            ],
+            graph,
+        );
+        let report = lint(&session);
+        assert_eq!(report.rule_ids(), vec!["L031", "L032"]);
+    }
+}

@@ -1,0 +1,941 @@
+//! The IR pass: predicate trees and aggregations checked against the
+//! dataset analysis (rules L001–L008).
+//!
+//! ## Soundness
+//!
+//! Every derived dataset in a BETZE session is a *subset* of its base
+//! dataset (filters only drop documents), so base-analysis facts of the
+//! form "no document has X" or "all values lie in [min, max]" carry over
+//! to every untransformed descendant. Error-severity rules rely only on
+//! such subset-stable facts. Transformations (rename/remove/add) break
+//! the subset property, so datasets downstream of a transforming query
+//! are tainted and skipped by this pass.
+
+use crate::diagnostics::{Diagnostic, LintReport, Rule, Span};
+use betze_json::JsonPointer;
+use betze_model::{Comparison, FilterFn, Predicate, Query, Session, Transform};
+use betze_stats::{DatasetAnalysis, PathStats};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn run(session: &Session, analyses: &[&DatasetAnalysis], report: &mut LintReport) {
+    let by_name: BTreeMap<&str, &DatasetAnalysis> =
+        analyses.iter().map(|a| (a.dataset.as_str(), *a)).collect();
+    // Resolve each graph node to its base dataset's analysis.
+    let mut resolve: BTreeMap<&str, &DatasetAnalysis> = BTreeMap::new();
+    for node in session.graph.nodes() {
+        let base = session
+            .graph
+            .base_of(node.id)
+            .and_then(|id| session.graph.node(id));
+        if let Some(analysis) = base.and_then(|b| by_name.get(b.name.as_str())) {
+            resolve.insert(node.name.as_str(), analysis);
+        }
+    }
+
+    // Taint: datasets downstream of any transforming query have paths the
+    // base analysis knows nothing about.
+    let mut tainted: BTreeSet<&str> = BTreeSet::new();
+    for query in &session.queries {
+        if let Some(store) = &query.store_as {
+            if !query.transforms.is_empty() || tainted.contains(query.base.as_str()) {
+                tainted.insert(store);
+            }
+        }
+    }
+
+    for (i, query) in session.queries.iter().enumerate() {
+        if tainted.contains(query.base.as_str()) {
+            continue;
+        }
+        let Some(analysis) = resolve
+            .get(query.base.as_str())
+            .or_else(|| by_name.get(query.base.as_str()))
+        else {
+            // Unresolvable base: the graph pass reports dangling names.
+            continue;
+        };
+        check_query(i, query, analysis, report);
+    }
+}
+
+fn check_query(index: usize, query: &Query, analysis: &DatasetAnalysis, report: &mut LintReport) {
+    if let Some(filter) = &query.filter {
+        check_predicate(filter, index, "filter", analysis, report);
+    }
+    // Only the first transform reads untransformed documents; later ones
+    // see the output of earlier ones, which the analysis cannot describe.
+    if let Some(t) = query.transforms.first() {
+        let read_path = match t {
+            Transform::Rename { from, .. } => Some(from),
+            Transform::Remove { path } => Some(path),
+            Transform::Add { .. } => None,
+        };
+        if let Some(path) = read_path {
+            if analysis.get(path).is_none() {
+                report.push(Diagnostic::new(
+                    Rule::UnknownPath,
+                    Span::at(index, "transform:0"),
+                    format!(
+                        "transform reads path '{path}', which does not occur in \
+                         dataset '{}'",
+                        analysis.dataset
+                    ),
+                ));
+            }
+        }
+    }
+    // Aggregations run after transforms; with transforms present the
+    // aggregated paths may be transform outputs, so skip.
+    if !query.transforms.is_empty() {
+        return;
+    }
+    if let Some(agg) = &query.aggregation {
+        let path = agg.func.path();
+        if !path.is_root() {
+            match analysis.get(path) {
+                None => report.push(Diagnostic::new(
+                    Rule::AggregationUnknownPath,
+                    Span::at(index, "aggregation"),
+                    format!(
+                        "{} aggregates path '{path}', which does not occur in \
+                         dataset '{}'",
+                        agg.func.name(),
+                        analysis.dataset
+                    ),
+                )),
+                Some(stats) => {
+                    if matches!(agg.func, betze_model::AggFunc::Sum { .. })
+                        && stats.numeric_count() == 0
+                    {
+                        report.push(Diagnostic::new(
+                            Rule::AggregationTypeMismatch,
+                            Span::at(index, "aggregation"),
+                            format!(
+                                "SUM over path '{path}', which holds no numeric \
+                                 values in dataset '{}'",
+                                analysis.dataset
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(group) = &agg.group_by {
+            if analysis.get(group).is_none() {
+                report.push(Diagnostic::new(
+                    Rule::AggregationUnknownPath,
+                    Span::at(index, "aggregation"),
+                    format!(
+                        "GROUP BY path '{group}', which does not occur in \
+                         dataset '{}'",
+                        analysis.dataset
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Walks the predicate tree. Returns the conjunctive constraints this
+/// subtree imposes (used by ancestors for contradiction checks); an OR
+/// node contributes no conjunctive constraints.
+fn check_predicate<'p>(
+    predicate: &'p Predicate,
+    query: usize,
+    locator: &str,
+    analysis: &DatasetAnalysis,
+    report: &mut LintReport,
+) -> Vec<Constraint<'p>> {
+    match predicate {
+        Predicate::Leaf(leaf) => {
+            check_leaf(leaf, query, locator, analysis, report);
+            Constraint::from_leaf(leaf).into_iter().collect()
+        }
+        Predicate::And(l, r) => {
+            if l == r {
+                report.push(Diagnostic::new(
+                    Rule::TautologicalSubtree,
+                    Span::at(query, locator),
+                    "both operands of this AND are identical".to_owned(),
+                ));
+            }
+            let left = check_predicate(l, query, &format!("{locator}:L"), analysis, report);
+            let right = check_predicate(r, query, &format!("{locator}:R"), analysis, report);
+            for a in &left {
+                for b in &right {
+                    if a.path == b.path {
+                        if let Some(why) = a.contradicts(b) {
+                            report.push(Diagnostic::new(
+                                Rule::ContradictoryConjunction,
+                                Span::at(query, locator),
+                                format!("conjunction on path '{}' is unsatisfiable: {why}", a.path),
+                            ));
+                        }
+                    }
+                }
+            }
+            let mut all = left;
+            all.extend(right);
+            all
+        }
+        Predicate::Or(l, r) => {
+            if l == r {
+                report.push(Diagnostic::new(
+                    Rule::TautologicalSubtree,
+                    Span::at(query, locator),
+                    "both operands of this OR are identical".to_owned(),
+                ));
+            }
+            let left = check_predicate(l, query, &format!("{locator}:L"), analysis, report);
+            let right = check_predicate(r, query, &format!("{locator}:R"), analysis, report);
+            for a in &left {
+                for b in &right {
+                    if a.path == b.path && a.union_is_total(b) {
+                        report.push(Diagnostic::new(
+                            Rule::TautologicalSubtree,
+                            Span::at(query, locator),
+                            format!(
+                                "disjunction on path '{}' is tautological: every \
+                                 value satisfies one of the two bounds",
+                                a.path
+                            ),
+                        ));
+                    }
+                }
+            }
+            Vec::new()
+        }
+    }
+}
+
+fn check_leaf(
+    leaf: &FilterFn,
+    query: usize,
+    locator: &str,
+    analysis: &DatasetAnalysis,
+    report: &mut LintReport,
+) {
+    let path = leaf.path();
+    let span = || Span::at(query, locator);
+    let Some(stats) = analysis.get(path).filter(|s| s.doc_count > 0) else {
+        report.push(Diagnostic::new(
+            Rule::UnknownPath,
+            span(),
+            format!(
+                "path '{path}' does not occur in dataset '{}'",
+                analysis.dataset
+            ),
+        ));
+        return;
+    };
+    if let Some(wanted) = type_mismatch(leaf, stats) {
+        report.push(Diagnostic::new(
+            Rule::TypeMismatch,
+            span(),
+            format!(
+                "predicate requires {wanted} values at '{path}', but the \
+                 analysis of dataset '{}' saw none",
+                analysis.dataset
+            ),
+        ));
+        return;
+    }
+    match range_verdict(leaf, stats, analysis.doc_count) {
+        RangeVerdict::Fine => {}
+        RangeVerdict::StaticallyZero(why) => report.push(Diagnostic::new(
+            Rule::OutOfRangeConstant,
+            span(),
+            format!("predicate on '{path}' can never match: {why}"),
+        )),
+        RangeVerdict::StaticallyOne(why) => report.push(Diagnostic::new(
+            Rule::VacuousBound,
+            span(),
+            format!("predicate on '{path}' constrains nothing: {why}"),
+        )),
+    }
+}
+
+/// The type a leaf requires, if the analysis proves the path never holds
+/// a value of that type.
+fn type_mismatch(leaf: &FilterFn, stats: &PathStats) -> Option<&'static str> {
+    let (count, wanted) = match leaf {
+        FilterFn::Exists { .. } => return None,
+        FilterFn::IntEq { .. } => (stats.int_count, "integer"),
+        FilterFn::FloatCmp { .. } => (stats.numeric_count(), "numeric"),
+        FilterFn::IsString { .. } | FilterFn::StrEq { .. } | FilterFn::HasPrefix { .. } => {
+            (stats.string_count, "string")
+        }
+        FilterFn::BoolEq { .. } => (stats.bool_count, "boolean"),
+        FilterFn::ArrSize { .. } => (stats.array_count, "array"),
+        FilterFn::ObjSize { .. } => (stats.object_count, "object"),
+    };
+    (count == 0).then_some(wanted)
+}
+
+enum RangeVerdict {
+    Fine,
+    StaticallyZero(String),
+    StaticallyOne(String),
+}
+
+/// Checks a leaf's constant against the analyzed value ranges. Only
+/// subset-stable facts are used (see module docs), so `StaticallyZero`
+/// is sound for derived datasets too.
+fn range_verdict(leaf: &FilterFn, stats: &PathStats, total_docs: u64) -> RangeVerdict {
+    let int_range =
+        |lo: Option<u64>, hi: Option<u64>| lo.zip(hi).map(|(a, b)| (a as f64, b as f64));
+    match leaf {
+        FilterFn::Exists { .. } => {
+            if stats.doc_count == total_docs {
+                RangeVerdict::StaticallyOne("every analyzed document contains this path".to_owned())
+            } else {
+                RangeVerdict::Fine
+            }
+        }
+        FilterFn::IntEq { value, .. } => match stats.int_min.zip(stats.int_max) {
+            Some((min, max)) if *value < min || *value > max => {
+                RangeVerdict::StaticallyZero(format!(
+                    "constant {value} lies outside the analyzed integer \
+                         range [{min}, {max}]"
+                ))
+            }
+            _ => RangeVerdict::Fine,
+        },
+        FilterFn::FloatCmp { op, value, .. } => match stats.numeric_range() {
+            Some((min, max)) => cmp_verdict(*op, *value, min, max, "numeric"),
+            None => RangeVerdict::Fine,
+        },
+        FilterFn::ArrSize { op, value, .. } => {
+            match int_range(stats.array_min_size, stats.array_max_size) {
+                Some((min, max)) => cmp_verdict(*op, *value as f64, min, max, "array-size"),
+                None => RangeVerdict::Fine,
+            }
+        }
+        FilterFn::ObjSize { op, value, .. } => {
+            match int_range(stats.object_min_children, stats.object_max_children) {
+                Some((min, max)) => cmp_verdict(*op, *value as f64, min, max, "object-size"),
+                None => RangeVerdict::Fine,
+            }
+        }
+        FilterFn::BoolEq { value, .. } => {
+            let never = if *value {
+                stats.true_count == 0
+            } else {
+                stats.true_count == stats.bool_count
+            };
+            let always = if *value {
+                stats.true_count == stats.bool_count
+            } else {
+                stats.true_count == 0
+            };
+            if never {
+                RangeVerdict::StaticallyZero(format!(
+                    "the analysis saw no {value} values at this path"
+                ))
+            } else if always {
+                RangeVerdict::StaticallyOne(format!(
+                    "every analyzed boolean at this path is {value}"
+                ))
+            } else {
+                RangeVerdict::Fine
+            }
+        }
+        // The analyzer's string-value and prefix lists are bounded, so a
+        // missing entry proves nothing — no range verdict for these.
+        FilterFn::IsString { .. } | FilterFn::StrEq { .. } | FilterFn::HasPrefix { .. } => {
+            RangeVerdict::Fine
+        }
+    }
+}
+
+fn cmp_verdict(op: Comparison, value: f64, min: f64, max: f64, what: &str) -> RangeVerdict {
+    let zero = match op {
+        Comparison::Lt => value <= min,
+        Comparison::Le => value < min,
+        Comparison::Gt => value >= max,
+        Comparison::Ge => value > max,
+        Comparison::Eq => value < min || value > max,
+    };
+    if zero {
+        return RangeVerdict::StaticallyZero(format!(
+            "no analyzed value satisfies x {} {value} (analyzed {what} range \
+             is [{min}, {max}])",
+            op.symbol()
+        ));
+    }
+    let one = match op {
+        Comparison::Lt => value > max,
+        Comparison::Le => value >= max,
+        Comparison::Gt => value < min,
+        Comparison::Ge => value <= min,
+        Comparison::Eq => false,
+    };
+    if one {
+        return RangeVerdict::StaticallyOne(format!(
+            "every analyzed value satisfies x {} {value} (analyzed {what} \
+             range is [{min}, {max}])",
+            op.symbol()
+        ));
+    }
+    RangeVerdict::Fine
+}
+
+/// A conjunctive constraint one leaf imposes on one path, used for the
+/// L003/L004 satisfiability checks.
+struct Constraint<'p> {
+    path: &'p JsonPointer,
+    kind: ConstraintKind<'p>,
+}
+
+enum ConstraintKind<'p> {
+    Num(Interval),
+    Arr(Interval),
+    Obj(Interval),
+    Bool(bool),
+    StrEq(&'p str),
+    StrPrefix(&'p str),
+    IsStr,
+}
+
+impl<'p> Constraint<'p> {
+    fn from_leaf(leaf: &'p FilterFn) -> Option<Constraint<'p>> {
+        let kind = match leaf {
+            FilterFn::Exists { .. } => return None,
+            FilterFn::IntEq { value, .. } => ConstraintKind::Num(Interval::point(*value as f64)),
+            FilterFn::FloatCmp { op, value, .. } => {
+                ConstraintKind::Num(Interval::from_cmp(*op, *value))
+            }
+            FilterFn::ArrSize { op, value, .. } => {
+                ConstraintKind::Arr(Interval::from_cmp(*op, *value as f64))
+            }
+            FilterFn::ObjSize { op, value, .. } => {
+                ConstraintKind::Obj(Interval::from_cmp(*op, *value as f64))
+            }
+            FilterFn::BoolEq { value, .. } => ConstraintKind::Bool(*value),
+            FilterFn::StrEq { value, .. } => ConstraintKind::StrEq(value),
+            FilterFn::HasPrefix { prefix, .. } => ConstraintKind::StrPrefix(prefix),
+            FilterFn::IsString { .. } => ConstraintKind::IsStr,
+        };
+        Some(Constraint {
+            path: leaf.path(),
+            kind,
+        })
+    }
+
+    /// The JSON type family this constraint requires the value to have.
+    fn type_family(&self) -> &'static str {
+        match self.kind {
+            ConstraintKind::Num(_) => "number",
+            ConstraintKind::Arr(_) => "array",
+            ConstraintKind::Obj(_) => "object",
+            ConstraintKind::Bool(_) => "boolean",
+            ConstraintKind::StrEq(_) | ConstraintKind::StrPrefix(_) | ConstraintKind::IsStr => {
+                "string"
+            }
+        }
+    }
+
+    /// Explains why the two constraints cannot hold simultaneously, or
+    /// `None` if they can. Both constraints are on the same path; a JSON
+    /// value has exactly one type, so requiring two different families is
+    /// already unsatisfiable.
+    fn contradicts(&self, other: &Constraint<'_>) -> Option<String> {
+        if self.type_family() != other.type_family() {
+            return Some(format!(
+                "one side requires a {} value, the other a {} value",
+                self.type_family(),
+                other.type_family()
+            ));
+        }
+        match (&self.kind, &other.kind) {
+            (ConstraintKind::Num(a), ConstraintKind::Num(b))
+            | (ConstraintKind::Arr(a), ConstraintKind::Arr(b))
+            | (ConstraintKind::Obj(a), ConstraintKind::Obj(b)) => a
+                .disjoint(b)
+                .then(|| "the two value ranges do not overlap".to_owned()),
+            (ConstraintKind::Bool(a), ConstraintKind::Bool(b)) => {
+                (a != b).then(|| format!("requires both {a} and {b}"))
+            }
+            (ConstraintKind::StrEq(a), ConstraintKind::StrEq(b)) => {
+                (a != b).then(|| format!("requires both \"{a}\" and \"{b}\""))
+            }
+            (ConstraintKind::StrEq(s), ConstraintKind::StrPrefix(p))
+            | (ConstraintKind::StrPrefix(p), ConstraintKind::StrEq(s)) => {
+                (!s.starts_with(p)).then(|| format!("\"{s}\" does not start with prefix \"{p}\""))
+            }
+            (ConstraintKind::StrPrefix(a), ConstraintKind::StrPrefix(b)) => (!a.starts_with(b)
+                && !b.starts_with(a))
+            .then(|| format!("prefixes \"{a}\" and \"{b}\" are incompatible")),
+            _ => None,
+        }
+    }
+
+    /// True if `self OR other` covers every possible value of the shared
+    /// type family — a tautology over documents with such a value.
+    fn union_is_total(&self, other: &Constraint<'_>) -> bool {
+        match (&self.kind, &other.kind) {
+            (ConstraintKind::Num(a), ConstraintKind::Num(b)) => a.union_total(b),
+            (ConstraintKind::Bool(a), ConstraintKind::Bool(b)) => a != b,
+            _ => false,
+        }
+    }
+}
+
+/// A numeric interval with open/closed endpoints (±∞ for missing bounds).
+#[derive(Clone, Copy)]
+struct Interval {
+    lo: f64,
+    hi: f64,
+    lo_open: bool,
+    hi_open: bool,
+}
+
+impl Interval {
+    fn point(v: f64) -> Interval {
+        Interval {
+            lo: v,
+            hi: v,
+            lo_open: false,
+            hi_open: false,
+        }
+    }
+
+    fn from_cmp(op: Comparison, v: f64) -> Interval {
+        match op {
+            Comparison::Lt => Interval {
+                lo: f64::NEG_INFINITY,
+                hi: v,
+                lo_open: true,
+                hi_open: true,
+            },
+            Comparison::Le => Interval {
+                lo: f64::NEG_INFINITY,
+                hi: v,
+                lo_open: true,
+                hi_open: false,
+            },
+            Comparison::Gt => Interval {
+                lo: v,
+                hi: f64::INFINITY,
+                lo_open: true,
+                hi_open: true,
+            },
+            Comparison::Ge => Interval {
+                lo: v,
+                hi: f64::INFINITY,
+                lo_open: false,
+                hi_open: true,
+            },
+            Comparison::Eq => Interval::point(v),
+        }
+    }
+
+    fn disjoint(&self, other: &Interval) -> bool {
+        let before =
+            |a: &Interval, b: &Interval| a.hi < b.lo || (a.hi == b.lo && (a.hi_open || b.lo_open));
+        before(self, other) || before(other, self)
+    }
+
+    /// True if the union of the two intervals is all of ℝ.
+    fn union_total(&self, other: &Interval) -> bool {
+        let covers = |low: &Interval, high: &Interval| {
+            low.lo == f64::NEG_INFINITY
+                && high.hi == f64::INFINITY
+                && (low.hi > high.lo || (low.hi == high.lo && !(low.hi_open && high.lo_open)))
+        };
+        covers(self, other) || covers(other, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_model::{AggFunc, Aggregation, DatasetGraph, Predicate};
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    /// 100 documents: `/score` numeric in [0, 10], `/lang` string-only,
+    /// `/flag` always-true boolean, `/tags` arrays of 1–5 elements,
+    /// `/name` present in every document.
+    fn analysis() -> DatasetAnalysis {
+        let mut paths = BTreeMap::new();
+        paths.insert(
+            ptr("/score"),
+            PathStats {
+                doc_count: 80,
+                int_count: 50,
+                int_min: Some(0),
+                int_max: Some(10),
+                float_count: 30,
+                float_min: Some(0.5),
+                float_max: Some(9.5),
+                ..PathStats::default()
+            },
+        );
+        paths.insert(
+            ptr("/lang"),
+            PathStats {
+                doc_count: 60,
+                string_count: 60,
+                string_values: vec![("de".into(), 30), ("en".into(), 30)],
+                ..PathStats::default()
+            },
+        );
+        paths.insert(
+            ptr("/flag"),
+            PathStats {
+                doc_count: 40,
+                bool_count: 40,
+                true_count: 40,
+                ..PathStats::default()
+            },
+        );
+        paths.insert(
+            ptr("/tags"),
+            PathStats {
+                doc_count: 70,
+                array_count: 70,
+                array_min_size: Some(1),
+                array_max_size: Some(5),
+                ..PathStats::default()
+            },
+        );
+        paths.insert(
+            ptr("/name"),
+            PathStats {
+                doc_count: 100,
+                string_count: 100,
+                ..PathStats::default()
+            },
+        );
+        DatasetAnalysis {
+            dataset: "tw".into(),
+            doc_count: 100,
+            paths,
+        }
+    }
+
+    fn lint_query(query: Query) -> LintReport {
+        let mut graph = DatasetGraph::new();
+        graph.add_base("tw", 100.0);
+        let session = Session {
+            queries: vec![query],
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "test".into(),
+        };
+        let analysis = analysis();
+        let mut report = LintReport::new();
+        run(&session, &[&analysis], &mut report);
+        report.sort();
+        report
+    }
+
+    #[test]
+    fn clean_query_is_clean() {
+        let q = Query::scan("tw").with_filter(
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Lt,
+                value: 5.0,
+            })
+            .and(Predicate::leaf(FilterFn::StrEq {
+                path: ptr("/lang"),
+                value: "de".into(),
+            })),
+        );
+        assert!(lint_query(q).is_empty());
+    }
+
+    #[test]
+    fn unknown_path_and_type_mismatch() {
+        let q = Query::scan("tw").with_filter(
+            Predicate::leaf(FilterFn::Exists {
+                path: ptr("/missing"),
+            })
+            .and(Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/lang"),
+                op: Comparison::Gt,
+                value: 1.0,
+            })),
+        );
+        let report = lint_query(q);
+        assert_eq!(report.rule_ids(), vec!["L001", "L002"]);
+        assert_eq!(report.diagnostics()[0].span, Span::at(0, "filter:L"));
+        assert_eq!(report.diagnostics()[1].span, Span::at(0, "filter:R"));
+    }
+
+    #[test]
+    fn contradictory_ranges_and_types() {
+        // x < 3 && x > 9
+        let q = Query::scan("tw").with_filter(
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Lt,
+                value: 3.0,
+            })
+            .and(Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Gt,
+                value: 9.0,
+            })),
+        );
+        let report = lint_query(q);
+        assert_eq!(report.rule_ids(), vec!["L003"]);
+        assert_eq!(report.diagnostics()[0].span, Span::at(0, "filter"));
+
+        // IsString && numeric comparison on the same path.
+        let q = Query::scan("tw").with_filter(
+            Predicate::leaf(FilterFn::IsString { path: ptr("/name") }).and(Predicate::leaf(
+                FilterFn::StrEq {
+                    path: ptr("/name"),
+                    value: "x".into(),
+                },
+            )),
+        );
+        assert!(
+            lint_query(q).is_empty(),
+            "IsString is compatible with StrEq"
+        );
+
+        let q = Query::scan("tw").with_filter(
+            Predicate::leaf(FilterFn::StrEq {
+                path: ptr("/lang"),
+                value: "de".into(),
+            })
+            .and(Predicate::leaf(FilterFn::StrEq {
+                path: ptr("/lang"),
+                value: "en".into(),
+            })),
+        );
+        assert_eq!(lint_query(q).rule_ids(), vec!["L003"]);
+    }
+
+    #[test]
+    fn contradictions_found_across_nested_ands() {
+        // (x >= 5 && lang == "de") && x < 2 — the conflicting pair meets
+        // at the outer AND.
+        let q = Query::scan("tw").with_filter(
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Ge,
+                value: 5.0,
+            })
+            .and(Predicate::leaf(FilterFn::StrEq {
+                path: ptr("/lang"),
+                value: "de".into(),
+            }))
+            .and(Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Lt,
+                value: 2.0,
+            })),
+        );
+        let report = lint_query(q);
+        assert_eq!(report.rule_ids(), vec!["L003"]);
+        assert_eq!(report.diagnostics()[0].span, Span::at(0, "filter"));
+    }
+
+    #[test]
+    fn or_does_not_leak_constraints() {
+        // (x < 3 || x > 9) && lang == "de": fine — the OR side imposes no
+        // single conjunctive range.
+        let q = Query::scan("tw").with_filter(
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Lt,
+                value: 3.0,
+            })
+            .or(Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Gt,
+                value: 9.0,
+            }))
+            .and(Predicate::leaf(FilterFn::StrEq {
+                path: ptr("/lang"),
+                value: "de".into(),
+            })),
+        );
+        assert!(lint_query(q).is_empty());
+    }
+
+    #[test]
+    fn tautologies() {
+        // x < 5 || x >= 3 covers all numbers.
+        let q = Query::scan("tw").with_filter(
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Lt,
+                value: 5.0,
+            })
+            .or(Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/score"),
+                op: Comparison::Ge,
+                value: 3.0,
+            })),
+        );
+        assert_eq!(lint_query(q).rule_ids(), vec!["L004"]);
+
+        // Identical operands.
+        let leaf = Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "de".into(),
+        });
+        let q = Query::scan("tw").with_filter(leaf.clone().or(leaf));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L004"]);
+    }
+
+    #[test]
+    fn out_of_range_and_vacuous_constants() {
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr("/score"),
+            op: Comparison::Gt,
+            value: 99.0,
+        }));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L005"]);
+
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::IntEq {
+            path: ptr("/score"),
+            value: -20,
+        }));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L005"]);
+
+        // Every array has 1–5 elements, so `size <= 5` holds always.
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::ArrSize {
+            path: ptr("/tags"),
+            op: Comparison::Le,
+            value: 5,
+        }));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L006"]);
+
+        // /flag is always true.
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/flag"),
+            value: false,
+        }));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L005"]);
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/flag"),
+            value: true,
+        }));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L006"]);
+
+        // Exists on an every-document path.
+        let q =
+            Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/name") }));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L006"]);
+    }
+
+    #[test]
+    fn aggregation_checks() {
+        let q = Query::scan("tw").with_aggregation(Aggregation::new(
+            AggFunc::Sum {
+                path: ptr("/nosuch"),
+            },
+            "total",
+        ));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L007"]);
+
+        let q = Query::scan("tw").with_aggregation(Aggregation::new(
+            AggFunc::Sum { path: ptr("/lang") },
+            "total",
+        ));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L008"]);
+
+        let q = Query::scan("tw").with_aggregation(Aggregation::grouped(
+            AggFunc::Count {
+                path: JsonPointer::root(),
+            },
+            ptr("/ghost"),
+            "count",
+        ));
+        assert_eq!(lint_query(q).rule_ids(), vec!["L007"]);
+
+        let q = Query::scan("tw").with_aggregation(Aggregation::grouped(
+            AggFunc::Sum {
+                path: ptr("/score"),
+            },
+            ptr("/lang"),
+            "total",
+        ));
+        assert!(lint_query(q).is_empty());
+    }
+
+    #[test]
+    fn transformed_datasets_are_tainted() {
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("tw", 100.0);
+        let d1 = graph.add_derived(base, "tw_1", 0, 50.0);
+        graph.add_derived(d1, "tw_2", 1, 25.0);
+        let session = Session {
+            queries: vec![
+                Query::scan("tw")
+                    .with_transform(Transform::Rename {
+                        from: ptr("/lang"),
+                        to: "language".into(),
+                    })
+                    .store_as("tw_1"),
+                // Reads a renamed path the base analysis does not know —
+                // must NOT be flagged, tw_1 is tainted.
+                Query::scan("tw_1")
+                    .with_filter(Predicate::leaf(FilterFn::Exists {
+                        path: ptr("/language"),
+                    }))
+                    .store_as("tw_2"),
+                // Transitively tainted.
+                Query::scan("tw_2").with_filter(Predicate::leaf(FilterFn::Exists {
+                    path: ptr("/whatever"),
+                })),
+            ],
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "test".into(),
+        };
+        let analysis = analysis();
+        let mut report = LintReport::new();
+        run(&session, &[&analysis], &mut report);
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn derived_datasets_resolve_to_base_analysis() {
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("tw", 100.0);
+        graph.add_derived(base, "tw_1", 0, 50.0);
+        let session = Session {
+            queries: vec![
+                Query::scan("tw")
+                    .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/lang") }))
+                    .store_as("tw_1"),
+                Query::scan("tw_1").with_filter(Predicate::leaf(FilterFn::FloatCmp {
+                    path: ptr("/score"),
+                    op: Comparison::Gt,
+                    value: 50.0,
+                })),
+            ],
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "test".into(),
+        };
+        let analysis = analysis();
+        let mut report = LintReport::new();
+        run(&session, &[&analysis], &mut report);
+        report.sort();
+        // The out-of-range constant is found on the derived dataset too.
+        assert_eq!(report.rule_ids(), vec!["L005"]);
+        assert_eq!(report.diagnostics()[0].span.query, Some(1));
+    }
+
+    #[test]
+    fn transform_reading_unknown_path() {
+        let q = Query::scan("tw").with_transform(Transform::Remove {
+            path: ptr("/nosuch"),
+        });
+        assert_eq!(lint_query(q).rule_ids(), vec!["L001"]);
+    }
+}

@@ -1,0 +1,273 @@
+//! # betze-lint
+//!
+//! Compiler-style static analysis for BETZE workloads.
+//!
+//! BETZE's credibility rests on the semantic validity of its generated
+//! sessions: every query must type-check against the analyzed schema, be
+//! satisfiable, and mean the same thing in all backend languages. Engine
+//! runs only reveal violations dynamically; this crate checks them
+//! statically, before anything executes, in three passes:
+//!
+//! * **IR pass** (`L001`–`L008`, needs a [`DatasetAnalysis`]): unknown
+//!   paths, type mismatches, contradictory conjunctions, tautological
+//!   subtrees, constants with statically-zero or statically-one
+//!   selectivity, and aggregations over nonexistent paths.
+//! * **Translation pass** (`L020`–`L022`): the backend renderings of each
+//!   query are audited for structural agreement with the IR — same
+//!   predicate atoms, same paths, balanced string quoting per backend.
+//! * **Session-graph pass** (`L030`–`L032`): dangling dataset references,
+//!   `store_as` shadowing, and datasets stored but never queried.
+//!
+//! ```
+//! use betze_lint::{Linter, Severity};
+//! use betze_model::{DatasetGraph, Query, Session};
+//!
+//! let mut graph = DatasetGraph::new();
+//! graph.add_base("twitter", 100.0);
+//! let session = Session {
+//!     queries: vec![Query::scan("nope")],
+//!     graph,
+//!     moves: vec![],
+//!     seed: 0,
+//!     config_label: "demo".into(),
+//! };
+//! let report = Linter::new().lint(&session);
+//! assert_eq!(report.count(Severity::Error), 1); // L030 dangling ref
+//! ```
+
+mod diagnostics;
+mod graph_pass;
+mod ir_pass;
+mod translation_pass;
+
+pub use diagnostics::{Diagnostic, LintReport, Rule, Severity, Span};
+pub use translation_pass::audit_rendering;
+
+use betze_langs::{all_languages, Language};
+use betze_model::Session;
+use betze_stats::DatasetAnalysis;
+
+/// The lint driver: configures which passes run and with what inputs,
+/// then produces a sorted [`LintReport`] per session.
+pub struct Linter<'a> {
+    analyses: Vec<&'a DatasetAnalysis>,
+    languages: Vec<Box<dyn Language>>,
+}
+
+impl<'a> Linter<'a> {
+    /// A linter running the structural passes (session graph +
+    /// translation audit over the built-in backends). Add analyses with
+    /// [`Linter::with_analysis`] to enable the IR pass.
+    pub fn new() -> Self {
+        Linter {
+            analyses: Vec::new(),
+            languages: all_languages(),
+        }
+    }
+
+    /// Registers the analysis of a base dataset, keyed by its `dataset`
+    /// name. Enables the IR pass for sessions over that dataset.
+    pub fn with_analysis(mut self, analysis: &'a DatasetAnalysis) -> Self {
+        self.analyses.push(analysis);
+        self
+    }
+
+    /// Adds a (custom) language backend to the translation audit.
+    pub fn with_language(mut self, language: Box<dyn Language>) -> Self {
+        self.languages.push(language);
+        self
+    }
+
+    /// Disables the translation pass entirely.
+    pub fn without_translations(mut self) -> Self {
+        self.languages.clear();
+        self
+    }
+
+    /// Runs all configured passes over a session.
+    pub fn lint(&self, session: &Session) -> LintReport {
+        let mut report = LintReport::new();
+        graph_pass::run(session, &mut report);
+        if !self.analyses.is_empty() {
+            ir_pass::run(session, &self.analyses, &mut report);
+        }
+        if !self.languages.is_empty() {
+            translation_pass::run(session, &self.languages, &mut report);
+        }
+        report.sort();
+        report
+    }
+}
+
+impl Default for Linter<'_> {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::JsonPointer;
+    use betze_model::{Comparison, DatasetGraph, FilterFn, Predicate, Query};
+    use betze_stats::PathStats;
+    use std::collections::BTreeMap;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn analysis() -> DatasetAnalysis {
+        let mut paths = BTreeMap::new();
+        paths.insert(
+            ptr("/score"),
+            PathStats {
+                doc_count: 80,
+                int_count: 80,
+                int_min: Some(0),
+                int_max: Some(10),
+                ..PathStats::default()
+            },
+        );
+        DatasetAnalysis {
+            dataset: "tw".into(),
+            doc_count: 100,
+            paths,
+        }
+    }
+
+    /// The acceptance-criteria corpus: one hand-built session violating
+    /// one rule per query, producing exactly the expected rule ids.
+    #[test]
+    fn corpus_produces_exactly_the_expected_rules() {
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("tw", 100.0);
+        graph.add_derived(base, "tw_1", 1, 50.0);
+        let queries = vec![
+            // q0: type mismatch (string predicate on an int-only path).
+            Query::scan("tw").with_filter(Predicate::leaf(FilterFn::IsString {
+                path: ptr("/score"),
+            })),
+            // q1: contradiction x < 3 && x > 9, stored (and never read —
+            // but exempted as the last store target).
+            Query::scan("tw")
+                .with_filter(
+                    Predicate::leaf(FilterFn::FloatCmp {
+                        path: ptr("/score"),
+                        op: Comparison::Lt,
+                        value: 3.0,
+                    })
+                    .and(Predicate::leaf(FilterFn::FloatCmp {
+                        path: ptr("/score"),
+                        op: Comparison::Gt,
+                        value: 9.0,
+                    })),
+                )
+                .store_as("tw_1"),
+            // q2: tautology x < 9 || x >= 1.
+            Query::scan("tw").with_filter(
+                Predicate::leaf(FilterFn::FloatCmp {
+                    path: ptr("/score"),
+                    op: Comparison::Lt,
+                    value: 9.0,
+                })
+                .or(Predicate::leaf(FilterFn::FloatCmp {
+                    path: ptr("/score"),
+                    op: Comparison::Ge,
+                    value: 1.0,
+                })),
+            ),
+            // q3: out-of-range constant.
+            Query::scan("tw").with_filter(Predicate::leaf(FilterFn::IntEq {
+                path: ptr("/score"),
+                value: 999,
+            })),
+            // q4: dangling dataset reference.
+            Query::scan("never_stored"),
+            // q5: JODA cannot quote a path containing a single quote —
+            // translation escaping.
+            Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
+                path: JsonPointer::from_tokens(["it's"]),
+            })),
+        ];
+        let session = Session {
+            queries,
+            graph,
+            moves: Vec::new(),
+            seed: 7,
+            config_label: "corpus".into(),
+        };
+        let analysis = analysis();
+        let report = Linter::new().with_analysis(&analysis).lint(&session);
+        let mut ids = report.rule_ids();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids,
+            vec!["L001", "L002", "L003", "L004", "L005", "L021", "L030"],
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn structural_only_without_analysis() {
+        let mut graph = DatasetGraph::new();
+        graph.add_base("tw", 100.0);
+        // Unknown path — but no analysis registered, so only structural
+        // rules can fire, and this session is structurally fine.
+        let session = Session {
+            queries: vec![
+                Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
+                    path: ptr("/whatever"),
+                })),
+            ],
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "t".into(),
+        };
+        assert!(Linter::new().lint(&session).is_empty());
+    }
+
+    #[test]
+    fn custom_language_is_audited() {
+        struct Lossy;
+        impl Language for Lossy {
+            fn name(&self) -> &'static str {
+                "Lossy"
+            }
+            fn short_name(&self) -> &'static str {
+                "lossy"
+            }
+            fn translate(&self, query: &Query) -> String {
+                format!("SCAN {}", query.base)
+            }
+            fn comment(&self, c: &str) -> String {
+                format!("# {c}")
+            }
+            fn query_delimiter(&self) -> &'static str {
+                "\n"
+            }
+        }
+        let mut graph = DatasetGraph::new();
+        graph.add_base("tw", 100.0);
+        let session = Session {
+            queries: vec![
+                Query::scan("tw").with_filter(Predicate::leaf(FilterFn::IntEq {
+                    path: ptr("/a"),
+                    value: 1,
+                })),
+            ],
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "t".into(),
+        };
+        let report = Linter::new()
+            .without_translations()
+            .with_language(Box::new(Lossy))
+            .lint(&session);
+        assert_eq!(report.rule_ids(), vec!["L020"]);
+    }
+}

@@ -1,0 +1,513 @@
+//! The translation pass: audits backend renderings of every query for
+//! structural agreement with the IR (rules L020–L022).
+//!
+//! The expected path/constant encodings are re-implemented here,
+//! independently of `betze-langs`, so a translator regression surfaces as
+//! a diagnostic instead of a silent cross-engine result divergence. For
+//! language backends this crate does not know (custom [`Language`]
+//! implementations), a conservative raw-token fallback is used.
+
+use crate::diagnostics::{Diagnostic, LintReport, Rule, Span};
+use betze_json::{escape_string, JsonPointer};
+use betze_langs::Language;
+use betze_model::{FilterFn, Predicate, Query, Session};
+use std::collections::BTreeSet;
+
+pub fn run(session: &Session, languages: &[Box<dyn Language>], report: &mut LintReport) {
+    for (i, query) in session.queries.iter().enumerate() {
+        for language in languages {
+            let text = language.translate(query);
+            audit_rendering(i, query, language.short_name(), &text, report);
+        }
+        if languages.iter().any(|l| l.short_name() == "mongodb") {
+            ambiguity(i, query, report);
+        }
+    }
+}
+
+/// Checks one rendering of one query. Public within the crate so the
+/// report for a single custom-language rendering can be produced too.
+pub fn audit_rendering(
+    index: usize,
+    query: &Query,
+    short: &str,
+    text: &str,
+    report: &mut LintReport,
+) {
+    let node = || format!("translation:{short}");
+    if !balanced(short, text) {
+        report.push(Diagnostic::new(
+            Rule::TranslationEscaping,
+            Span::at(index, node()),
+            format!("the {short} rendering has unbalanced string quoting: {text}"),
+        ));
+    }
+    let mut lost = |what: String| {
+        report.push(Diagnostic::new(
+            Rule::TranslationDivergence,
+            Span::at(index, node()),
+            format!("the {short} rendering lost {what}: {text}"),
+        ));
+    };
+    if !text.contains(query.base.as_str()) {
+        lost(format!("the base dataset '{}'", query.base));
+    }
+    if let Some(store) = &query.store_as {
+        if !text.contains(store.as_str()) {
+            lost(format!("the store target '{store}'"));
+        }
+    }
+    if let Some(filter) = &query.filter {
+        for_each_leaf(filter, "filter", &mut |leaf, locator| {
+            if !path_evidence(short, leaf.path(), text) {
+                lost(format!("the predicate path '{}' ({locator})", leaf.path()));
+            } else if !constant_evidence(short, leaf, text) {
+                lost(format!("the predicate constant at {locator}"));
+            }
+        });
+    }
+    if let Some(agg) = &query.aggregation {
+        if !text.contains(agg.alias.as_str()) {
+            lost(format!("the aggregation alias '{}'", agg.alias));
+        }
+        let path = agg.func.path();
+        if !path.is_root() && !path_evidence(short, path, text) {
+            lost(format!("the aggregated path '{path}'"));
+        }
+        if let Some(group) = &agg.group_by {
+            if !path_evidence(short, group, text) {
+                lost(format!("the group-by path '{group}'"));
+            }
+        }
+    }
+}
+
+/// L022: paths MongoDB dot notation cannot express unambiguously — a `.`
+/// inside a key is indistinguishable from nesting, and a leading `$`
+/// reads as an operator.
+fn ambiguity(index: usize, query: &Query, report: &mut LintReport) {
+    let mut seen = BTreeSet::new();
+    for path in query.referenced_paths() {
+        let ambiguous = path
+            .tokens()
+            .iter()
+            .any(|t| t.contains('.') || t.starts_with('$'));
+        if ambiguous && seen.insert(path.to_string()) {
+            report.push(Diagnostic::new(
+                Rule::TranslationAmbiguity,
+                Span::at(index, "translation:mongodb"),
+                format!(
+                    "path '{path}' contains a '.' or leading '$' and cannot be \
+                     expressed unambiguously in MongoDB dot notation"
+                ),
+            ));
+        }
+    }
+}
+
+fn for_each_leaf<'p>(
+    predicate: &'p Predicate,
+    locator: &str,
+    f: &mut impl FnMut(&'p FilterFn, &str),
+) {
+    match predicate {
+        Predicate::Leaf(leaf) => f(leaf, locator),
+        Predicate::And(l, r) | Predicate::Or(l, r) => {
+            for_each_leaf(l, &format!("{locator}:L"), f);
+            for_each_leaf(r, &format!("{locator}:R"), f);
+        }
+    }
+}
+
+/// `escape_string` without the surrounding quotes.
+fn json_escaped(token: &str) -> String {
+    let quoted = escape_string(token);
+    quoted[1..quoted.len() - 1].to_owned()
+}
+
+/// MongoDB dotted form of a path, with per-token JSON escaping (mirrors
+/// the translator).
+fn mongo_dotted(path: &JsonPointer) -> String {
+    path.tokens()
+        .iter()
+        .map(|t| json_escaped(t))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// PostgreSQL `#>` array-literal content for a path (mirrors the
+/// translator: elements with special characters are double-quoted, the
+/// whole literal is SQL-escaped).
+fn pg_array_literal(path: &JsonPointer) -> String {
+    let content = path
+        .tokens()
+        .iter()
+        .map(|t| {
+            let plain = !t.is_empty()
+                && !t
+                    .chars()
+                    .any(|c| c.is_whitespace() || "{},\"\\'".contains(c));
+            if plain {
+                t.clone()
+            } else {
+                format!("\"{}\"", t.replace('\\', "\\\\").replace('"', "\\\""))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    content.replace('\'', "''")
+}
+
+/// PostgreSQL SQL/JSON path form (mirrors the translator).
+fn pg_jsonpath(path: &JsonPointer) -> String {
+    let mut out = String::from("$");
+    for token in path.tokens() {
+        let escaped = token.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(".\"{}\"", escaped.replace('\'', "''")));
+    }
+    out
+}
+
+/// True if the rendering plausibly references `path` in the encoding the
+/// backend uses.
+fn path_evidence(short: &str, path: &JsonPointer, text: &str) -> bool {
+    if path.is_root() {
+        return true;
+    }
+    match short {
+        "joda" => text.contains(&format!("'{path}'")),
+        "jq" => path.tokens().iter().all(|t| {
+            let quoted = shell_respelled(&escape_string(t));
+            text.contains(&format!("[{quoted}]")) || text.contains(&format!("has({quoted})"))
+        }),
+        "mongodb" => text.contains(&mongo_dotted(path)),
+        "psql" => {
+            text.contains(&format!("'{{{}}}'", pg_array_literal(path)))
+                || text.contains(&pg_jsonpath(path))
+        }
+        // Unknown backend: conservative raw-token fallback.
+        _ => path.tokens().iter().all(|t| text.contains(t.as_str())),
+    }
+}
+
+/// True if the rendering plausibly contains the leaf's constant.
+fn constant_evidence(short: &str, leaf: &FilterFn, text: &str) -> bool {
+    match leaf {
+        FilterFn::Exists { .. } | FilterFn::IsString { .. } => true,
+        FilterFn::IntEq { value, .. } => text.contains(&value.to_string()),
+        FilterFn::ArrSize { value, .. } | FilterFn::ObjSize { value, .. } => {
+            text.contains(&value.to_string())
+        }
+        FilterFn::BoolEq { value, .. } => text.contains(&value.to_string()),
+        FilterFn::FloatCmp { value, .. } => text.contains(&value.to_string()),
+        FilterFn::StrEq { value, .. } => match short {
+            "psql" => text.contains(&sql_string(value)),
+            "jq" => text.contains(&shell_respelled(&escape_string(value))),
+            _ => text.contains(&escape_string(value)),
+        },
+        FilterFn::HasPrefix { prefix, .. } => match short {
+            "psql" => text.contains(&sql_string(prefix)),
+            "mongodb" => text.contains(&escape_string(&format!("^{}", regex_escaped(prefix)))),
+            "jq" => text.contains(&shell_respelled(&escape_string(prefix))),
+            _ => text.contains(&escape_string(prefix)),
+        },
+    }
+}
+
+/// How a jq program fragment appears inside the shell single-quoted
+/// wrapper: every `'` is respelled as `'\''`.
+fn shell_respelled(s: &str) -> String {
+    s.replace('\'', "'\\''")
+}
+
+/// Mirrors the PostgreSQL translator's SQL/JSON string literal.
+fn sql_string(s: &str) -> String {
+    format!(
+        "\"{}\"",
+        s.replace('\\', "\\\\")
+            .replace('\'', "''")
+            .replace('"', "\\\"")
+    )
+}
+
+/// Mirrors the MongoDB translator's regex-metacharacter escaping.
+fn regex_escaped(prefix: &str) -> String {
+    prefix
+        .chars()
+        .flat_map(|c| {
+            if "\\^$.|?*+()[]{}".contains(c) {
+                vec!['\\', c]
+            } else {
+                vec![c]
+            }
+        })
+        .collect()
+}
+
+/// Per-backend string-quoting balance check.
+fn balanced(short: &str, text: &str) -> bool {
+    match short {
+        "joda" => balanced_joda(text),
+        "mongodb" => balanced_double_quotes(text),
+        "jq" => balanced_jq(text),
+        "psql" => balanced_psql(text),
+        _ => true,
+    }
+}
+
+/// JODA: double-quoted strings with backslash escapes; raw single-quoted
+/// path literals (no escapes — the documented JODA limitation).
+fn balanced_joda(text: &str) -> bool {
+    let (mut in_dq, mut in_sq, mut escaped) = (false, false, false);
+    for c in text.chars() {
+        if in_dq {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_dq = false;
+            }
+        } else if in_sq {
+            if c == '\'' {
+                in_sq = false;
+            }
+        } else if c == '"' {
+            in_dq = true;
+        } else if c == '\'' {
+            in_sq = true;
+        }
+    }
+    !in_dq && !in_sq
+}
+
+/// MongoDB shell: double-quoted JSON strings with backslash escapes.
+fn balanced_double_quotes(text: &str) -> bool {
+    let (mut in_dq, mut escaped) = (false, false);
+    for c in text.chars() {
+        if in_dq {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_dq = false;
+            }
+        } else if c == '"' {
+            in_dq = true;
+        }
+    }
+    !in_dq
+}
+
+/// jq: the program is wrapped in shell single quotes; jq string literals
+/// are double-quoted with backslash escapes inside. A raw `'` inside a jq
+/// string breaks out of the shell quoting. The shell-safe escape sequence
+/// `'\''` is folded away first.
+fn balanced_jq(text: &str) -> bool {
+    let text = text.replace("'\\''", "\u{0}");
+    let (mut in_sq, mut in_dq, mut escaped) = (false, false, false);
+    for c in text.chars() {
+        if !in_sq {
+            if c == '\'' {
+                in_sq = true;
+                in_dq = false;
+            }
+            continue;
+        }
+        if c == '\'' {
+            if in_dq {
+                // The shell ends the quoted program mid-string.
+                return false;
+            }
+            in_sq = false;
+        } else if in_dq {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_dq = false;
+            }
+        } else if c == '"' {
+            in_dq = true;
+        }
+    }
+    !in_sq && !in_dq
+}
+
+/// PostgreSQL: single-quoted literals with `''` doubling.
+fn balanced_psql(text: &str) -> bool {
+    let mut chars = text.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if c == '\'' {
+                if chars.peek() == Some(&'\'') {
+                    chars.next();
+                } else {
+                    in_str = false;
+                }
+            }
+        } else if c == '\'' {
+            in_str = true;
+        }
+    }
+    !in_str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_langs::all_languages;
+    use betze_model::{Comparison, DatasetGraph};
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn session_of(query: Query) -> Session {
+        let mut graph = DatasetGraph::new();
+        graph.add_base(query.base.clone(), 100.0);
+        Session {
+            queries: vec![query],
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "test".into(),
+        }
+    }
+
+    fn lint(query: Query) -> LintReport {
+        let mut report = LintReport::new();
+        run(&session_of(query), &all_languages(), &mut report);
+        report.sort();
+        report
+    }
+
+    /// A query exercising every leaf kind and hostile string content; the
+    /// shipped translators must agree on it without diagnostics — except
+    /// JODA's raw single-quoted paths, which cannot carry a quote and are
+    /// exactly what L021 exists to catch.
+    #[test]
+    fn shipped_translators_agree_on_hostile_strings() {
+        let q = Query::scan("tw")
+            .with_filter(
+                Predicate::leaf(FilterFn::StrEq {
+                    path: ptr("/text"),
+                    value: "it's \"quoted\" \\ backslash".into(),
+                })
+                .and(Predicate::leaf(FilterFn::HasPrefix {
+                    path: ptr("/url"),
+                    prefix: "https://t.co/?q='x'".into(),
+                })),
+            )
+            .store_as("out");
+        let report = lint(q);
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .all(|d| d.span.node.as_deref() == Some("translation:joda")
+                    && d.rule == Rule::TranslationEscaping),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn all_leaf_kinds_round_trip_through_all_backends() {
+        let filter = Predicate::leaf(FilterFn::Exists { path: ptr("/a/b") })
+            .and(Predicate::leaf(FilterFn::IsString { path: ptr("/c") }))
+            .and(Predicate::leaf(FilterFn::IntEq {
+                path: ptr("/d"),
+                value: 42,
+            }))
+            .and(Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/e"),
+                op: Comparison::Ge,
+                value: 2.5,
+            }))
+            .and(Predicate::leaf(FilterFn::StrEq {
+                path: ptr("/f"),
+                value: "plain".into(),
+            }))
+            .and(Predicate::leaf(FilterFn::HasPrefix {
+                path: ptr("/g"),
+                prefix: "pre.fix".into(),
+            }))
+            .and(Predicate::leaf(FilterFn::BoolEq {
+                path: ptr("/h"),
+                value: true,
+            }))
+            .and(Predicate::leaf(FilterFn::ArrSize {
+                path: ptr("/i"),
+                op: Comparison::Lt,
+                value: 7,
+            }))
+            .and(Predicate::leaf(FilterFn::ObjSize {
+                path: ptr("/j"),
+                op: Comparison::Eq,
+                value: 3,
+            }));
+        let q = Query::scan("tw").with_filter(filter).with_aggregation(
+            betze_model::Aggregation::grouped(
+                betze_model::AggFunc::Sum { path: ptr("/e") },
+                ptr("/c"),
+                "total",
+            ),
+        );
+        let report = lint(q);
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn a_broken_rendering_is_divergence() {
+        let q = Query::scan("tw")
+            .with_filter(
+                Predicate::leaf(FilterFn::IntEq {
+                    path: ptr("/a"),
+                    value: 5,
+                })
+                .and(Predicate::leaf(FilterFn::StrEq {
+                    path: ptr("/b"),
+                    value: "x".into(),
+                })),
+            )
+            .store_as("out");
+        // A rendering that dropped the second predicate and the store.
+        let mut report = LintReport::new();
+        audit_rendering(0, &q, "mock", "SELECT FROM tw WHERE a == 5", &mut report);
+        report.sort();
+        assert_eq!(report.rule_ids(), vec!["L020"]);
+        assert_eq!(report.len(), 2, "{}", report.render_human());
+    }
+
+    #[test]
+    fn mongodb_dot_paths_are_ambiguous() {
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
+            path: JsonPointer::from_tokens(["a.b"]),
+        }));
+        let report = lint(q);
+        assert_eq!(report.rule_ids(), vec!["L022"]);
+    }
+
+    #[test]
+    fn balance_scanners() {
+        assert!(balanced_joda("LOAD tw CHOOSE '/a' == \"x\\\"y\""));
+        assert!(!balanced_joda("LOAD tw CHOOSE '/it's' == 1"));
+        assert!(balanced_double_quotes(r#"db.tw.find({ "a.b": "x\"y" })"#));
+        assert!(!balanced_double_quotes(r#"db.tw.find({ "a"b": 1 })"#));
+        assert!(balanced_jq(
+            r#"jq -c -n 'inputs | select(.["a"] == "x")' tw.json"#
+        ));
+        assert!(!balanced_jq(
+            r#"jq -c -n 'inputs | select(.["a"] == "it's")' tw.json"#
+        ));
+        assert!(balanced_jq(
+            r#"jq -c -n 'inputs | select(.["a"] == "it'\''s")' tw.json"#
+        ));
+        assert!(balanced_psql("SELECT doc FROM tw WHERE x = 'it''s'"));
+        assert!(!balanced_psql("SELECT doc FROM tw WHERE x = 'it's'"));
+    }
+}

@@ -19,6 +19,7 @@
 //! [`Session`] a generator run produces.
 
 mod aggregate;
+mod file;
 mod graph;
 mod predicate;
 mod query;
@@ -26,6 +27,7 @@ mod session;
 mod transform;
 
 pub use aggregate::{AggFunc, Aggregation, GroupKey};
+pub use file::SessionFileError;
 pub use graph::{DatasetGraph, DatasetId, DatasetNode, EdgeKind};
 pub use predicate::{Comparison, FilterFn, Predicate, PredicateKind};
 pub use query::Query;

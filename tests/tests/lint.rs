@@ -1,0 +1,120 @@
+//! Cross-crate lint integration: generated workloads must be clean, and
+//! the lint verdict must survive the session file round-trip.
+
+use betze::datagen::{DocGenerator, NoBench, RedditLike, TwitterLike};
+use betze::generator::{generate_session, GeneratorConfig, InMemoryBackend};
+use betze::lint::{Linter, Severity};
+use betze::model::{DatasetId, Session};
+
+/// Generated sessions at the default configuration carry no
+/// Error-severity diagnostic — in any pass, on any corpus.
+#[test]
+fn generated_workloads_lint_clean() {
+    for (corpus, docs) in [
+        ("twitter", TwitterLike::default().generate(1, 500)),
+        ("nobench", NoBench::default().generate(1, 400)),
+        ("reddit", RedditLike.generate(1, 400)),
+    ] {
+        let analysis = betze::stats::analyze(corpus, &docs);
+        for seed in [1, 7, 123] {
+            let mut backend = InMemoryBackend::new();
+            backend.register_base(DatasetId(0), docs.clone());
+            let outcome = generate_session(
+                &analysis,
+                &GeneratorConfig::default(),
+                seed,
+                Some(&mut backend),
+            )
+            .unwrap_or_else(|e| panic!("{corpus}/{seed}: {e}"));
+            let report = Linter::new()
+                .with_analysis(&analysis)
+                .lint(&outcome.session);
+            assert_eq!(
+                report.count(Severity::Error),
+                0,
+                "{corpus}/{seed}:\n{}",
+                report.render_human()
+            );
+        }
+    }
+}
+
+/// Serializing a session to its file format and parsing it back must not
+/// change what the linter sees.
+#[test]
+fn lint_verdict_survives_file_round_trip() {
+    let docs = NoBench::default().generate(3, 300);
+    let analysis = betze::stats::analyze("nb", &docs);
+    let mut backend = InMemoryBackend::new();
+    backend.register_base(DatasetId(0), docs);
+    let outcome = generate_session(
+        &analysis,
+        &GeneratorConfig::default(),
+        9,
+        Some(&mut backend),
+    )
+    .expect("generation");
+    let reparsed = Session::parse(&outcome.session.to_json()).expect("round-trip");
+    let linter = Linter::new();
+    let before = linter.with_analysis(&analysis).lint(&outcome.session);
+    let after = Linter::new().with_analysis(&analysis).lint(&reparsed);
+    assert_eq!(before.rule_ids(), after.rule_ids());
+    assert_eq!(before.len(), after.len());
+}
+
+/// A session corrupted after generation (the file-tampering scenario the
+/// harness pre-flight exists for) is rejected before any engine work.
+#[test]
+fn corrupted_session_is_rejected_by_the_preflight() {
+    use betze::engines::JodaSim;
+    use betze::harness::workload::{prepare, Corpus};
+    use betze::harness::{run_session_with_options, RunOptions};
+
+    let w = prepare(Corpus::NoBench, 200, 1, &GeneratorConfig::default(), 7).expect("prepare");
+    let mut corrupted = w.generation.session.clone();
+    corrupted.queries[1].base = "tampered".into();
+    let options = RunOptions::reference().lint(Some(Severity::Error));
+    let mut engine = JodaSim::new(1);
+    let err = run_session_with_options(&mut engine, &w.dataset, &corrupted, &options)
+        .expect_err("pre-flight must reject");
+    assert!(err.to_string().contains("lint pre-flight"), "{err}");
+    // --lint off semantics: no pre-flight, the engine degrades instead.
+    let outcome = run_session_with_options(
+        &mut engine,
+        &w.dataset,
+        &corrupted,
+        &RunOptions::reference(),
+    )
+    .expect("degraded run");
+    assert!(outcome.run().statuses.iter().any(|s| !s.is_ok()));
+}
+
+/// **Feature-gated property suite** (`--features slow-tests`): across
+/// 100 seeds and all three explorer presets, the generator never emits a
+/// session with an Error-severity diagnostic.
+#[cfg(feature = "slow-tests")]
+#[test]
+fn generator_never_produces_error_diagnostics_across_seeds_and_presets() {
+    use betze::explorer::Preset;
+
+    let docs = NoBench::default().generate(11, 300);
+    let analysis = betze::stats::analyze("nb", &docs);
+    for preset in [Preset::Novice, Preset::Intermediate, Preset::Expert] {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        for seed in 0..100u64 {
+            let mut backend = InMemoryBackend::new();
+            backend.register_base(DatasetId(0), docs.clone());
+            let outcome = generate_session(&analysis, &config, seed, Some(&mut backend))
+                .unwrap_or_else(|e| panic!("{preset:?}/{seed}: {e}"));
+            let report = Linter::new()
+                .with_analysis(&analysis)
+                .lint(&outcome.session);
+            assert_eq!(
+                report.count(Severity::Error),
+                0,
+                "{preset:?}/{seed}:\n{}",
+                report.render_human()
+            );
+        }
+    }
+}
