@@ -37,14 +37,17 @@ mod gated {
         let mut scale = Scale::quick();
         scale.sessions = 6;
         println!("\n================ regenerated paper figures (quick scale) ================\n");
-        println!("{}\n", experiments::fig5(&scale).render());
-        println!("{}\n", experiments::fig6(&scale).render());
+        println!("{}\n", experiments::fig5(&scale).expect("fig5").render());
+        println!("{}\n", experiments::fig6(&scale).expect("fig6").render());
         let mut fig7_scale = scale.clone();
         fig7_scale.sessions = 3;
-        println!("{}\n", experiments::fig7(&fig7_scale).render());
-        println!("{}\n", experiments::fig8(&scale).render());
+        println!(
+            "{}\n",
+            experiments::fig7(&fig7_scale).expect("fig7").render()
+        );
+        println!("{}\n", experiments::fig8(&scale).expect("fig8").render());
         println!("{}\n", experiments::fig9(&scale).render());
-        println!("{}\n", experiments::fig10(&scale).render());
+        println!("{}\n", experiments::fig10(&scale).expect("fig10").render());
         println!("==========================================================================\n");
     }
 

@@ -25,11 +25,20 @@ mod gated {
         scale.sessions = 6;
         println!("\n================ regenerated paper tables (quick scale) ================\n");
         println!("{}\n", experiments::table1().render());
-        println!("{}\n", experiments::table2(&scale).render());
-        println!("{}\n", experiments::table3(&scale).render());
+        println!(
+            "{}\n",
+            experiments::table2(&scale).expect("table2").render()
+        );
+        println!(
+            "{}\n",
+            experiments::table3(&scale).expect("table3").render()
+        );
         println!("{}\n", experiments::table4(&scale).render());
-        println!("{}\n", experiments::skew(&scale).render());
-        println!("{}\n", experiments::gen_cost(&scale).render());
+        println!("{}\n", experiments::skew(&scale).expect("skew").render());
+        println!(
+            "{}\n",
+            experiments::gen_cost(&scale).expect("gen_cost").render()
+        );
         println!("=========================================================================\n");
     }
 

@@ -13,16 +13,22 @@
 //! ```
 
 use betze::datagen::{Dataset, DocGenerator, NoBench, RedditLike, TwitterLike};
-use betze::engines::{ChaosEngine, Engine, FaultPlan};
+use betze::engines::{
+    install_sigint_handler, BreakerEngine, BreakerPolicy, CancelToken, ChaosEngine, Engine,
+    FaultPlan,
+};
 use betze::explorer::Preset;
 use betze::generator::GenerationOutcome;
 use betze::generator::{AggregateMode, ExportMode, GeneratorConfig};
 use betze::harness::experiments::{self, Scale};
+use betze::harness::journal::{atomic_write, Journal, Recovered, RunCtx};
 use betze::harness::workload::prepare_dataset;
-use betze::harness::{RetryPolicy, RunOptions};
-use betze::json::Value;
+use betze::harness::{Interrupted, RetryPolicy, RunOptions};
+use betze::json::{json, Value};
 use betze::langs::{all_languages, translate_session};
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 BETZE: a benchmark generator for JSON data exploration tools.
@@ -70,6 +76,16 @@ COMMANDS:
                             (default error; off restores unchecked runs)
         --threads <n>       JODA thread count (default 16)
         --output            charge full result output (Table III mode)
+        --query-timeout <secs>  per-query modeled-time budget: a query
+                            exceeding it ends the session as timed out
+        --breaker           wrap every engine in a circuit breaker
+                            (open after consecutive transient failures,
+                            half-open probe after a cooldown)
+        --breaker-threshold <n>   consecutive transient failures that
+                            open the circuit (default 8; implies --breaker)
+        --breaker-cooldown <ops>  fast-failed operations absorbed while
+                            open before probing (default 16; implies
+                            --breaker)
         --chaos-seed <u64>  inject deterministic faults with this seed
         --fault-rate <f64>  transient storage/import fault probability
                             (default 0.1 when chaos is on)
@@ -90,6 +106,19 @@ COMMANDS:
                             1 = sequential; results are bit-identical
                             for every value)
         --bench-out <file>  also write a JSON wall-time record
+        --out <file>        atomically write the rendered report(s) to a
+                            file as well as stdout
+        --journal <file>    write-ahead journal: every completed task is
+                            checksummed to disk, so an interrupted sweep
+                            can be resumed
+        --resume <file>     resume from a journal written by --journal:
+                            completed tasks are replayed from disk, only
+                            missing ones re-run; the final report is
+                            bit-identical to an uninterrupted run (pass
+                            the same experiment name and scale flags)
+        --deadline <secs>   wall-clock budget: the sweep cancels cleanly
+                            at the deadline with completed work journaled
+                            (Ctrl-C cancels the same way; exit code 130)
 ";
 
 fn main() -> ExitCode {
@@ -158,11 +187,18 @@ fn parse<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String> {
         .map_err(|_| format!("invalid {what}: '{text}'"))
 }
 
+/// Writes a CLI artifact atomically (temp file + fsync + rename): a
+/// crash or Ctrl-C mid-write leaves the old file or the new one, never a
+/// torn mix.
+fn write_file(path: &str, content: &str) -> Result<(), String> {
+    atomic_write(Path::new(path), content)
+        .map_err(|e| format!("cannot write {path}: {e}"))
+        .map(|()| eprintln!("wrote {path}"))
+}
+
 fn write_or_print(out: Option<String>, content: &str) -> Result<(), String> {
     match out {
-        Some(path) => std::fs::write(&path, content)
-            .map_err(|e| format!("cannot write {path}: {e}"))
-            .map(|()| eprintln!("wrote {path}")),
+        Some(path) => write_file(&path, content),
         None => {
             println!("{content}");
             Ok(())
@@ -311,8 +347,7 @@ fn generate(args: &[String]) -> Result<(), String> {
         match &out_dir {
             Some(dir) => {
                 let path = format!("{dir}/session_{}.{}", seed, language.short_name());
-                std::fs::write(&path, &script).map_err(|e| format!("cannot write {path}: {e}"))?;
-                eprintln!("wrote {path}");
+                write_file(&path, &script)?;
             }
             None => {
                 println!("==== {} ====", language.name());
@@ -324,18 +359,14 @@ fn generate(args: &[String]) -> Result<(), String> {
     // lint` and `benchmark --session` consume.
     if let Some(dir) = &out_dir {
         let path = format!("{dir}/session_{seed}.json");
-        std::fs::write(&path, w.generation.session.to_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("wrote {path}");
+        write_file(&path, &w.generation.session.to_json())?;
     }
     if dot {
         let dot_text = w.generation.session.to_dot();
         match &out_dir {
             Some(dir) => {
                 let path = format!("{dir}/session_{seed}.dot");
-                std::fs::write(&path, &dot_text)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
-                eprintln!("wrote {path}");
+                write_file(&path, &dot_text)?;
             }
             None => {
                 println!("==== session graph (DOT) ====");
@@ -446,6 +477,27 @@ fn chaos_plan(args: &mut Vec<String>) -> Result<Option<FaultPlan>, String> {
     Ok(Some(plan))
 }
 
+/// Parses the `--breaker*` flags into a circuit-breaker policy (`None`
+/// when the breaker is off). `--breaker-threshold`/`--breaker-cooldown`
+/// imply `--breaker`.
+fn breaker_policy(args: &mut Vec<String>) -> Result<Option<BreakerPolicy>, String> {
+    let enabled = take_flag(args, "--breaker");
+    let threshold = take_option(args, "--breaker-threshold")?;
+    let cooldown = take_option(args, "--breaker-cooldown")?;
+    if !enabled && threshold.is_none() && cooldown.is_none() {
+        return Ok(None);
+    }
+    let mut policy = BreakerPolicy::default();
+    if let Some(t) = threshold {
+        policy.failure_threshold = parse(&t, "breaker threshold")?;
+    }
+    if let Some(c) = cooldown {
+        policy.cooldown_ops = parse(&c, "breaker cooldown")?;
+    }
+    policy.validate()?;
+    Ok(Some(policy))
+}
+
 fn benchmark(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let seed: u64 = match take_option(&mut args, "--seed")? {
@@ -462,6 +514,11 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         Some(n) => RetryPolicy::attempts(parse(&n, "retries")?),
         None => RetryPolicy::default(),
     };
+    let query_timeout = match take_option(&mut args, "--query-timeout")? {
+        Some(s) => Some(Duration::from_secs_f64(parse(&s, "query timeout")?)),
+        None => None,
+    };
+    let breaker = breaker_policy(&mut args)?;
     let session_path = take_option(&mut args, "--session")?;
     let lint_deny = match take_option(&mut args, "--lint")? {
         Some(level) => parse_deny_level(&level)?,
@@ -519,7 +576,9 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         } else {
             RunOptions::reference()
         };
-        base.retry(retry.clone()).lint(lint_deny)
+        base.retry(retry.clone())
+            .lint(lint_deny)
+            .query_timeout(query_timeout)
     };
     let bench_row = |engine: &mut dyn Engine,
                      label: String,
@@ -528,6 +587,12 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         let outcome =
             betze::harness::run_session_with_options(engine, &dataset, &session, &options)
                 .map_err(|e| e.to_string())?;
+        if let betze::harness::SessionOutcome::TimedOut {
+            completed_queries, ..
+        } = &outcome
+        {
+            eprintln!("# {label}: timed out after {completed_queries} queries (partial row)");
+        }
         let run = outcome.run();
         table.row([
             label,
@@ -541,22 +606,49 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         ]);
         Ok(())
     };
-    for engine in betze::engines::all_engines(threads) {
-        let label = engine.name().to_owned();
-        match &plan {
-            Some(plan) => {
-                let mut chaos = ChaosEngine::new(engine, plan.clone());
-                bench_row(&mut chaos, label, &mut table)?;
+    // Engine composition, inside out: chaos wraps the engine (injects
+    // faults), the breaker wraps chaos (observes those faults).
+    let run_engine = |engine: Box<dyn Engine>,
+                      label: String,
+                      table: &mut betze::harness::fmt::TextTable|
+     -> Result<(), String> {
+        match (&plan, &breaker) {
+            (Some(plan), Some(policy)) => {
+                let mut wrapped =
+                    BreakerEngine::new(ChaosEngine::new(engine, plan.clone()), *policy);
+                let result = bench_row(&mut wrapped, label.clone(), table);
+                if wrapped.trips() > 0 {
+                    eprintln!(
+                        "# {label}: circuit breaker tripped {} time(s)",
+                        wrapped.trips()
+                    );
+                }
+                result
             }
-            None => {
+            (Some(plan), None) => {
+                let mut chaos = ChaosEngine::new(engine, plan.clone());
+                bench_row(&mut chaos, label, table)
+            }
+            (None, Some(policy)) => {
+                let mut wrapped = BreakerEngine::new(engine, *policy);
+                bench_row(&mut wrapped, label, table)
+            }
+            (None, None) => {
                 let mut engine = engine;
-                bench_row(&mut engine, label, &mut table)?;
+                bench_row(&mut engine, label, table)
             }
         }
+    };
+    for engine in betze::engines::all_engines(threads) {
+        let label = engine.name().to_owned();
+        run_engine(engine, label, &mut table)?;
     }
     // Also a JODA eviction-mode row (Table II's extra configuration).
-    let mut evicted = betze::engines::JodaSim::with_eviction(threads);
-    bench_row(&mut evicted, "JODA memory evicted".to_owned(), &mut table)?;
+    run_engine(
+        Box::new(betze::engines::JodaSim::with_eviction(threads)),
+        "JODA memory evicted".to_owned(),
+        &mut table,
+    )?;
     if chaotic {
         eprintln!(
             "# chaos: {:?} (same --chaos-seed reproduces the identical fault schedule)",
@@ -565,6 +657,30 @@ fn benchmark(args: &[String]) -> Result<(), String> {
     }
     println!("{}", table.render());
     Ok(())
+}
+
+/// The scale parameters a journal's `meta` record locks down: a resume
+/// with different corpora, seeds, or session counts would splice
+/// incompatible results together. `jobs` is deliberately excluded —
+/// results are bit-identical for every worker count (DESIGN.md §9), so
+/// resuming with a different `--jobs` is sound.
+fn scale_params(scale: &Scale) -> Value {
+    json!({
+        "twitter_docs": (scale.twitter_docs as i64),
+        "nobench_docs": (scale.nobench_docs as i64),
+        "reddit_docs": (scale.reddit_docs as i64),
+        "sessions": (scale.sessions as i64),
+        "data_seed": (scale.data_seed as i64),
+        "joda_threads": (scale.joda_threads as i64),
+    })
+}
+
+/// Why an experiment run stopped before producing its report.
+enum ExperimentStop {
+    /// Bad experiment name (a usage error).
+    Unknown(String),
+    /// The cancel token tripped (deadline or Ctrl-C) mid-sweep.
+    Interrupted(Interrupted),
 }
 
 fn experiment(args: &[String]) -> Result<(), String> {
@@ -582,37 +698,137 @@ fn experiment(args: &[String]) -> Result<(), String> {
         scale.jobs = parse(&jobs, "jobs")?;
     }
     let bench_out = take_option(&mut args, "--bench-out")?;
+    let out = take_option(&mut args, "--out")?;
+    let journal_path = take_option(&mut args, "--journal")?;
+    let resume_path = take_option(&mut args, "--resume")?;
+    let deadline = match take_option(&mut args, "--deadline")? {
+        Some(s) => Some(Duration::from_secs_f64(parse(&s, "deadline")?)),
+        None => None,
+    };
+    if journal_path.is_some() && resume_path.is_some() {
+        return Err("--journal and --resume are mutually exclusive (resume keeps journaling to the same file)".to_owned());
+    }
     let [name]: [String; 1] = args
         .try_into()
         .map_err(|_| "experiment needs exactly one <name>".to_owned())?;
-    let run_one = |name: &str, scale: &Scale| -> Result<String, String> {
+
+    // Governance: Ctrl-C and the optional deadline trip one shared
+    // token; the pools drain in-flight tasks and flush the journal.
+    install_sigint_handler();
+    let mut ctx = RunCtx::with_cancel(CancelToken::sigint_aware(deadline));
+    let params = scale_params(&scale);
+    if let Some(path) = &resume_path {
+        let (journal, recovered) = Journal::recover(Path::new(path))
+            .map_err(|e| format!("cannot resume from {path}: {e}"))?;
+        let meta = recovered.meta.clone().ok_or_else(|| {
+            format!("{path} has no meta record; cannot verify it belongs to this sweep")
+        })?;
+        let journaled_experiment = meta
+            .get("experiment")
+            .and_then(Value::as_str)
+            .unwrap_or("?");
+        if journaled_experiment != name {
+            return Err(format!(
+                "{path} journals experiment '{journaled_experiment}', not '{name}'"
+            ));
+        }
+        if meta.get("params") != Some(&params) {
+            return Err(format!(
+                "{path} was journaled at a different scale ({}); rerun with the original \
+                 --quick/--sessions flags",
+                meta.get("params").map(Value::to_json).unwrap_or_default()
+            ));
+        }
+        eprintln!(
+            "# resuming from {path}: {} completed task(s) recovered{}",
+            recovered.task_count(),
+            if recovered.truncated_bytes > 0 {
+                format!(
+                    " ({} torn-tail byte(s) truncated)",
+                    recovered.truncated_bytes
+                )
+            } else {
+                String::new()
+            }
+        );
+        ctx.attach_journal(journal, recovered);
+    } else if let Some(path) = &journal_path {
+        let journal = Journal::create(Path::new(path))
+            .map_err(|e| format!("cannot create journal {path}: {e}"))?;
+        ctx.attach_journal(journal, Recovered::default());
+        ctx.record_meta(&name, params)
+            .map_err(|e| format!("cannot write journal meta: {e}"))?;
+    }
+    scale.ctx = ctx;
+
+    let run_one = |name: &str, scale: &Scale| -> Result<String, ExperimentStop> {
+        use ExperimentStop::Interrupted as Stop;
         Ok(match name {
             "table1" => experiments::table1().render(),
-            "fig5" => experiments::fig5(scale).render(),
-            "fig6" => experiments::fig6(scale).render(),
-            "fig7" => experiments::fig7(scale).render(),
-            "fig8" => experiments::fig8(scale).render(),
+            "fig5" => experiments::fig5(scale).map_err(Stop)?.render(),
+            "fig6" => experiments::fig6(scale).map_err(Stop)?.render(),
+            "fig7" => experiments::fig7(scale).map_err(Stop)?.render(),
+            "fig8" => experiments::fig8(scale).map_err(Stop)?.render(),
             "fig9" => experiments::fig9(scale).render(),
-            "fig10" => experiments::fig10(scale).render(),
-            "table2" => experiments::table2(scale).render(),
-            "table3" => experiments::table3(scale).render(),
+            "fig10" => experiments::fig10(scale).map_err(Stop)?.render(),
+            "table2" => experiments::table2(scale).map_err(Stop)?.render(),
+            "table3" => experiments::table3(scale).map_err(Stop)?.render(),
             "table4" => experiments::table4(scale).render(),
-            "skew" => experiments::skew(scale).render(),
-            "gen-cost" => experiments::gen_cost(scale).render(),
-            other => return Err(format!("unknown experiment '{other}'")),
+            "skew" => experiments::skew(scale).map_err(Stop)?.render(),
+            "gen-cost" => experiments::gen_cost(scale).map_err(Stop)?.render(),
+            other => {
+                return Err(ExperimentStop::Unknown(format!(
+                    "unknown experiment '{other}'"
+                )))
+            }
         })
     };
     let started = std::time::Instant::now();
-    if name == "all" {
-        for exp in [
-            "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3",
-            "table4", "skew", "gen-cost",
-        ] {
-            eprintln!("# running {exp} …");
-            println!("{}\n", run_one(exp, &scale)?);
+    let mut report = String::new();
+    let outcome = (|| -> Result<(), ExperimentStop> {
+        if name == "all" {
+            for exp in [
+                "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3",
+                "table4", "skew", "gen-cost",
+            ] {
+                eprintln!("# running {exp} …");
+                let text = run_one(exp, &scale)?;
+                println!("{text}\n");
+                report.push_str(&text);
+                report.push_str("\n\n");
+            }
+        } else {
+            let text = run_one(&name, &scale)?;
+            println!("{text}");
+            report.push_str(&text);
+            report.push('\n');
         }
-    } else {
-        println!("{}", run_one(&name, &scale)?);
+        Ok(())
+    })();
+    match outcome {
+        Ok(()) => {}
+        Err(ExperimentStop::Unknown(msg)) => return Err(msg),
+        Err(ExperimentStop::Interrupted(stop)) => {
+            eprintln!("# {stop}");
+            match scale.ctx.journal_path() {
+                Some(journal) => eprintln!(
+                    "# completed tasks are safe in the journal; resume with:\n\
+                     #   betze experiment {name}{} --resume {}",
+                    experiment_flags(quick, &scale),
+                    journal.display()
+                ),
+                None => eprintln!(
+                    "# no journal was attached; rerun with --journal <file> to make \
+                     sweeps resumable"
+                ),
+            }
+            // 128 + SIGINT, the conventional interrupted-exit code, for
+            // deadline and Ctrl-C alike.
+            std::process::exit(130);
+        }
+    }
+    if let Some(path) = out {
+        write_file(&path, &report)?;
     }
     if let Some(path) = bench_out {
         // A machine-readable wall-time record for CI trend tracking.
@@ -623,8 +839,24 @@ fn experiment(args: &[String]) -> Result<(), String> {
             scale.sessions,
             started.elapsed().as_secs_f64(),
         );
-        std::fs::write(&path, record).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("wrote {path}");
+        write_file(&path, &record)?;
     }
     Ok(())
+}
+
+/// Reconstructs the scale flags for the resume hint.
+fn experiment_flags(quick: bool, scale: &Scale) -> String {
+    let mut flags = String::new();
+    if quick {
+        flags.push_str(" --quick");
+    }
+    let default_sessions = if quick {
+        Scale::quick().sessions
+    } else {
+        Scale::default_scale().sessions
+    };
+    if scale.sessions != default_sessions {
+        flags.push_str(&format!(" --sessions {}", scale.sessions));
+    }
+    flags
 }

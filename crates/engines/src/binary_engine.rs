@@ -5,7 +5,7 @@
 //! needs. Single-threaded, as the paper observes for both systems.
 
 use crate::storage::{matches, BinaryFormat, NavStats};
-use crate::{CostModel, EngineError, ExecutionReport, QueryOutcome, WorkCounters};
+use crate::{CancelToken, CostModel, EngineError, ExecutionReport, QueryOutcome, WorkCounters};
 use betze_json::Value;
 use betze_model::Query;
 use std::collections::HashMap;
@@ -18,14 +18,20 @@ use std::time::Instant;
 pub(crate) struct BinaryStore<F: BinaryFormat> {
     datasets: HashMap<String, Vec<Vec<u8>>>,
     pub(crate) output_enabled: bool,
+    pub(crate) cancel: CancelToken,
     _format: PhantomData<F>,
 }
+
+/// How many documents the scan loop processes between cancel polls: a
+/// compromise between poll overhead and cancellation latency.
+const CANCEL_POLL_DOCS: usize = 4096;
 
 impl<F: BinaryFormat> BinaryStore<F> {
     pub(crate) fn new() -> Self {
         BinaryStore {
             datasets: HashMap::new(),
             output_enabled: true,
+            cancel: CancelToken::new(),
             _format: PhantomData,
         }
     }
@@ -36,6 +42,7 @@ impl<F: BinaryFormat> BinaryStore<F> {
         docs: &[Value],
         model: &CostModel,
     ) -> Result<ExecutionReport, EngineError> {
+        self.cancel.check(&format!("{} import", F::NAME))?;
         let started = Instant::now();
         let mut counters = WorkCounters::default();
         let encoded: Vec<Vec<u8>> = docs.iter().map(|d| F::encode(d)).collect();
@@ -54,6 +61,7 @@ impl<F: BinaryFormat> BinaryStore<F> {
         query: &Query,
         model: &CostModel,
     ) -> Result<QueryOutcome, EngineError> {
+        self.cancel.check(&format!("{} execute", F::NAME))?;
         let started = Instant::now();
         let mut counters = WorkCounters {
             queries: 1,
@@ -70,6 +78,11 @@ impl<F: BinaryFormat> BinaryStore<F> {
         let mut nav = NavStats::default();
         let mut matching_idx: Vec<usize> = Vec::new();
         for (i, doc) in dataset.iter().enumerate() {
+            // Long scans poll the cancel token periodically so a deadline
+            // or Ctrl-C aborts mid-scan instead of after the dataset.
+            if i % CANCEL_POLL_DOCS == CANCEL_POLL_DOCS - 1 {
+                self.cancel.check(&format!("{} scan", F::NAME))?;
+            }
             counters.docs_scanned += 1;
             counters.bytes_scanned += doc.len() as u64;
             let keep = match &query.filter {

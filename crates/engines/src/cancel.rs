@@ -1,0 +1,196 @@
+//! Cooperative cancellation: a cloneable token threaded from the CLI
+//! through the harness into the engines' execute loops.
+//!
+//! Cancellation in BETZE is **cooperative and modeled-time-safe**: nothing
+//! is killed mid-operation. Long loops (scans, imports) poll
+//! [`CancelToken::is_canceled`] at deterministic points and return
+//! [`EngineError::Canceled`](crate::EngineError::Canceled); the harness
+//! then unwinds cleanly, journals what finished, and reports how to
+//! resume. A token that is never canceled is completely inert — runs
+//! without a deadline or SIGINT are bit-identical to runs before this
+//! layer existed, because the poll observes an `AtomicBool` and branches
+//! only when it flips.
+//!
+//! Three cancellation sources share the one token:
+//!
+//! 1. **Explicit**: [`CancelToken::cancel`] (tests, embedders).
+//! 2. **Deadline**: [`CancelToken::with_deadline`] trips the token when a
+//!    wall-clock budget elapses (`--deadline`). Wall clock, not modeled
+//!    time: deadlines govern *real* resource spend, so a deadline-tripped
+//!    run is not reproducible — which is exactly why it journals its
+//!    completed prefix for `--resume`.
+//! 3. **SIGINT**: [`install_sigint_handler`] flips a process-global flag
+//!    that every [`sigint_aware`](CancelToken::sigint_aware) token
+//!    observes; a second Ctrl-C exits immediately.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Process-global flag flipped by the SIGINT handler. Tokens created with
+/// [`CancelToken::sigint_aware`] observe it in addition to their own flag.
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+/// Number of SIGINTs received (second one hard-exits).
+static SIGINT_COUNT: AtomicU32 = AtomicU32::new(0);
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    watch_sigint: bool,
+}
+
+/// A cloneable cancellation token. All clones share one flag; `Default`
+/// yields an inert token that never cancels (unless [`cancel`]ed).
+///
+/// [`cancel`]: CancelToken::cancel
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// An inert token: never cancels unless [`cancel`](Self::cancel)ed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that trips once `budget` of wall-clock time elapses.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+                watch_sigint: false,
+            }),
+        }
+    }
+
+    /// A token that also observes the process-global SIGINT flag set by
+    /// [`install_sigint_handler`]. `budget` optionally adds a deadline.
+    pub fn sigint_aware(budget: Option<Duration>) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: budget.map(|b| Instant::now() + b),
+                watch_sigint: true,
+            }),
+        }
+    }
+
+    /// Trips the token: every clone reports canceled from now on.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the token has tripped — explicitly, by deadline, or (for
+    /// sigint-aware tokens) by Ctrl-C. A tripped deadline latches into the
+    /// flag so later polls don't re-read the clock.
+    pub fn is_canceled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.inner.watch_sigint && SIGINT_FLAG.load(Ordering::Relaxed) {
+            self.inner.flag.store(true, Ordering::SeqCst);
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.inner.flag.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `Err(EngineError::Canceled)` if the token has tripped; engines and
+    /// the runner call this at the top of loops and operations.
+    pub fn check(&self, what: &str) -> Result<(), crate::EngineError> {
+        if self.is_canceled() {
+            Err(crate::EngineError::Canceled {
+                message: what.to_owned(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// True if this run was interrupted by Ctrl-C specifically (drives the
+    /// CLI's resume hint and exit code 130).
+    pub fn sigint_received() -> bool {
+        SIGINT_FLAG.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(unix)]
+mod sigint {
+    use super::{SIGINT_COUNT, SIGINT_FLAG};
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+
+    // Direct libc declarations: the workspace builds fully offline with no
+    // external crates, so we bind the two primitives we need ourselves.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(status: i32) -> !;
+    }
+
+    /// Async-signal-safe: only atomics and (on the second hit) `_exit`.
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_FLAG.store(true, Ordering::SeqCst);
+        if SIGINT_COUNT.fetch_add(1, Ordering::SeqCst) >= 1 {
+            unsafe { _exit(130) };
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+/// Installs a SIGINT handler that flips the process-global cancel flag
+/// observed by [`CancelToken::sigint_aware`] tokens. The first Ctrl-C
+/// requests a graceful drain (in-flight tasks finish, the journal is
+/// flushed, a resume hint prints); the second exits immediately with
+/// status 130. No-op on non-Unix platforms.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    sigint::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_cancels() {
+        let t = CancelToken::new();
+        assert!(!t.is_canceled());
+        assert!(t.check("scan").is_ok());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_canceled());
+        let err = clone.check("scan of 'tw'").unwrap_err();
+        assert!(
+            matches!(err, crate::EngineError::Canceled { ref message } if message.contains("tw"))
+        );
+    }
+
+    #[test]
+    fn deadline_trips_and_latches() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_canceled());
+        // Latched: still canceled on re-poll.
+        assert!(t.is_canceled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_canceled());
+    }
+}

@@ -310,6 +310,10 @@ impl<E: Engine> Engine for ChaosEngine<E> {
         self.inner.set_threads(threads);
     }
 
+    fn set_cancel(&mut self, token: Option<crate::CancelToken>) {
+        self.inner.set_cancel(token);
+    }
+
     fn set_output_enabled(&mut self, on: bool) {
         self.inner.set_output_enabled(on);
     }

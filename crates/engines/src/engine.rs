@@ -35,6 +35,19 @@ pub enum EngineError {
     ImportFailed { name: String, message: String },
     /// An internal invariant was violated (harness/engine plumbing bug).
     Internal { message: String },
+    /// The operation was abandoned because a [`CancelToken`]
+    /// (deadline, SIGINT, or explicit cancel) tripped. Not transient —
+    /// the whole run is unwinding, so retrying is pointless. The runner
+    /// propagates it immediately instead of degrading.
+    ///
+    /// [`CancelToken`]: crate::CancelToken
+    Canceled { message: String },
+    /// The engine's circuit breaker is open: recent consecutive transient
+    /// failures exceeded the threshold, so calls fail fast instead of
+    /// burning full retry budgets. Not transient by design — the runner
+    /// records the query as failed and degrades the session to
+    /// `CompletedWithErrors` rather than retrying into the open breaker.
+    CircuitOpen { engine: String, failures: u32 },
 }
 
 impl EngineError {
@@ -99,6 +112,13 @@ impl fmt::Display for EngineError {
                 write!(f, "import of '{name}' failed: {message}")
             }
             EngineError::Internal { message } => write!(f, "internal error: {message}"),
+            EngineError::Canceled { message } => write!(f, "canceled: {message}"),
+            EngineError::CircuitOpen { engine, failures } => {
+                write!(
+                    f,
+                    "circuit breaker open for {engine} after {failures} consecutive transient failures"
+                )
+            }
         }
     }
 }
@@ -188,6 +208,14 @@ pub trait Engine {
     /// Reconfigures the thread count, where supported (JODA only).
     fn set_threads(&mut self, _threads: usize) {}
 
+    /// Installs (or clears, with `None`) a cooperative cancellation
+    /// token. Engines poll it at the top of `import`/`execute` and at
+    /// deterministic points inside long scans, returning
+    /// [`EngineError::Canceled`] once it trips. The default
+    /// implementation ignores the token (an engine without long loops
+    /// still cancels between queries via the runner's own polls).
+    fn set_cancel(&mut self, _token: Option<crate::CancelToken>) {}
+
     /// Enables or disables result-output accounting. When disabled, a
     /// query's result stays a reference/cursor (paper §IV-C: JODA and
     /// MongoDB "may only return a reference or iterator to the evaluated
@@ -231,6 +259,10 @@ impl<E: Engine + ?Sized> Engine for Box<E> {
 
     fn set_threads(&mut self, threads: usize) {
         (**self).set_threads(threads);
+    }
+
+    fn set_cancel(&mut self, token: Option<crate::CancelToken>) {
+        (**self).set_cancel(token);
     }
 
     fn set_output_enabled(&mut self, on: bool) {
@@ -300,10 +332,33 @@ mod tests {
             EngineError::Internal {
                 message: "x".into(),
             },
+            EngineError::Canceled {
+                message: "x".into(),
+            },
+            EngineError::CircuitOpen {
+                engine: "jq".into(),
+                failures: 5,
+            },
         ] {
             assert!(!e.is_transient());
             assert_eq!(e.lost_dataset(), None);
+            assert_eq!(e.attempt_hint(), 0);
         }
+    }
+
+    #[test]
+    fn governance_errors_display_their_context() {
+        let c = EngineError::Canceled {
+            message: "scan of 'tw'".into(),
+        };
+        assert!(c.to_string().contains("canceled"));
+        assert!(c.to_string().contains("tw"));
+        let b = EngineError::CircuitOpen {
+            engine: "MongoDB".into(),
+            failures: 4,
+        };
+        assert!(b.to_string().contains("MongoDB"));
+        assert!(b.to_string().contains('4'));
     }
 
     #[test]

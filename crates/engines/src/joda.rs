@@ -2,7 +2,8 @@
 //! reuse of intermediate results.
 
 use crate::{
-    CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome, WorkCounters,
+    CancelToken, CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome,
+    WorkCounters,
 };
 use betze_json::Value;
 use betze_model::{Predicate, Query};
@@ -34,6 +35,7 @@ pub struct JodaSim {
     threads: usize,
     eviction: bool,
     output_enabled: bool,
+    cancel: CancelToken,
     datasets: HashMap<String, Arc<Vec<Value>>>,
     /// Raw JSON-lines text kept for eviction-mode re-imports.
     raw: HashMap<String, String>,
@@ -48,6 +50,7 @@ impl JodaSim {
             threads: threads.max(1),
             eviction: false,
             output_enabled: true,
+            cancel: CancelToken::new(),
             datasets: HashMap::new(),
             raw: HashMap::new(),
             cache: HashMap::new(),
@@ -77,13 +80,17 @@ impl JodaSim {
         format!("{base}|{predicate}")
     }
 
-    /// Multi-threaded filter scan over a document slice.
+    /// Multi-threaded filter scan over a document slice. Polls the cancel
+    /// token once per scan — composed predicates recurse through
+    /// [`filtered`](Self::filtered), so a query polls at every level of
+    /// its predicate chain.
     fn scan(
         &self,
         docs: &[Value],
         predicate: &Predicate,
         counters: &mut WorkCounters,
-    ) -> Vec<Value> {
+    ) -> Result<Vec<Value>, EngineError> {
+        self.cancel.check("JODA scan")?;
         counters.docs_scanned += docs.len() as u64;
         let leaves = predicate.leaf_count() as u64;
         // Leaf count per doc is an upper bound (short-circuiting evaluates
@@ -98,10 +105,10 @@ impl JodaSim {
             // The filtered set becomes an in-memory intermediate dataset
             // (JODA materializes result sets for reuse).
             counters.docs_materialized += out.len() as u64;
-            return out;
+            return Ok(out);
         }
         let chunk = docs.len().div_ceil(self.threads);
-        std::thread::scope(|scope| {
+        Ok(std::thread::scope(|scope| {
             let handles: Vec<_> = docs
                 .chunks(chunk)
                 .map(|part| {
@@ -119,7 +126,7 @@ impl JodaSim {
             }
             counters.docs_materialized += out.len() as u64;
             out
-        })
+        }))
     }
 
     /// Resolves the filtered document set for `(base, predicate)`, reusing
@@ -130,26 +137,26 @@ impl JodaSim {
         base_docs: &Arc<Vec<Value>>,
         predicate: &Predicate,
         counters: &mut WorkCounters,
-    ) -> Arc<Vec<Value>> {
+    ) -> Result<Arc<Vec<Value>>, EngineError> {
         if !self.eviction {
             let key = Self::cache_key(base, predicate);
             if let Some(hit) = self.cache.get(&key) {
                 counters.cache_hits += 1;
-                return Arc::clone(hit);
+                return Ok(Arc::clone(hit));
             }
             // Composed predicates have the shape And(parent_chain, local):
             // resolve the left side (recursively cacheable), then evaluate
             // only the extension on that subset.
             let result: Arc<Vec<Value>> = if let Predicate::And(left, right) = predicate {
-                let parent = self.filtered(base, base_docs, left, counters);
-                Arc::new(self.scan(&parent, right, counters))
+                let parent = self.filtered(base, base_docs, left, counters)?;
+                Arc::new(self.scan(&parent, right, counters)?)
             } else {
-                Arc::new(self.scan(base_docs, predicate, counters))
+                Arc::new(self.scan(base_docs, predicate, counters)?)
             };
             self.cache.insert(key, Arc::clone(&result));
-            result
+            Ok(result)
         } else {
-            Arc::new(self.scan(base_docs, predicate, counters))
+            Ok(Arc::new(self.scan(base_docs, predicate, counters)?))
         }
     }
 }
@@ -164,6 +171,7 @@ impl Engine for JodaSim {
     }
 
     fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError> {
+        self.cancel.check("JODA import")?;
         let started = Instant::now();
         let mut counters = WorkCounters::default();
         let text = betze_json::to_json_lines(docs);
@@ -187,6 +195,7 @@ impl Engine for JodaSim {
     }
 
     fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        self.cancel.check("JODA execute")?;
         let started = Instant::now();
         let mut counters = WorkCounters {
             queries: 1,
@@ -211,7 +220,7 @@ impl Engine for JodaSim {
                 })?;
 
         let filtered = match &query.filter {
-            Some(predicate) => self.filtered(&query.base, &base_docs, predicate, &mut counters),
+            Some(predicate) => self.filtered(&query.base, &base_docs, predicate, &mut counters)?,
             None => {
                 counters.docs_scanned += base_docs.len() as u64;
                 Arc::clone(&base_docs)
@@ -275,6 +284,10 @@ impl Engine for JodaSim {
 
     fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token.unwrap_or_default();
     }
 
     fn set_output_enabled(&mut self, on: bool) {

@@ -1,7 +1,8 @@
 //! The jq-like engine.
 
 use crate::{
-    CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome, WorkCounters,
+    CancelToken, CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome,
+    WorkCounters,
 };
 use betze_json::Value;
 use betze_model::Query;
@@ -32,6 +33,7 @@ pub struct JqSim {
     dir: PathBuf,
     files: HashMap<String, PathBuf>,
     output_enabled: bool,
+    cancel: CancelToken,
     /// Reused buffer for re-reading dataset files.
     read_buf: String,
     /// Reused buffer for serializing query output / store files.
@@ -47,6 +49,7 @@ impl JqSim {
             dir,
             files: HashMap::new(),
             output_enabled: true,
+            cancel: CancelToken::new(),
             read_buf: String::new(),
             write_buf: String::new(),
         }
@@ -91,6 +94,7 @@ impl Engine for JqSim {
 
     /// "Import" only writes the raw JSON-lines file — jq has no load phase.
     fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError> {
+        self.cancel.check("jq import")?;
         let started = Instant::now();
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| Self::storage_err(e, "creating temp dir"))?;
@@ -113,6 +117,7 @@ impl Engine for JqSim {
     }
 
     fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        self.cancel.check("jq execute")?;
         let started = Instant::now();
         let mut counters = WorkCounters {
             queries: 1,
@@ -194,6 +199,10 @@ impl Engine for JqSim {
         for (_, path) in self.files.drain() {
             let _ = std::fs::remove_file(path);
         }
+    }
+
+    fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token.unwrap_or_default();
     }
 
     fn set_output_enabled(&mut self, on: bool) {

@@ -22,6 +22,8 @@
 //! any machine.
 
 mod binary_engine;
+pub mod breaker;
+pub mod cancel;
 pub mod chaos;
 mod cost;
 mod counters;
@@ -32,6 +34,8 @@ mod mongo;
 mod pg;
 pub mod storage;
 
+pub use breaker::{BreakerEngine, BreakerPolicy, BreakerState};
+pub use cancel::{install_sigint_handler, CancelToken};
 pub use chaos::{ChaosEngine, FaultEvent, FaultKind, FaultPlan};
 pub use cost::{CostModel, CostProfile};
 pub use counters::WorkCounters;

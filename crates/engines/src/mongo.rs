@@ -65,6 +65,10 @@ impl Engine for MongoSim {
         self.store.reset();
     }
 
+    fn set_cancel(&mut self, token: Option<crate::CancelToken>) {
+        self.store.cancel = token.unwrap_or_default();
+    }
+
     fn set_output_enabled(&mut self, on: bool) {
         self.store.output_enabled = on;
     }

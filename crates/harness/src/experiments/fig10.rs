@@ -3,8 +3,8 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
-use crate::pool::SessionPool;
-use crate::runner::{run_session_with_timeout, SessionOutcome};
+use crate::journal::Interrupted;
+use crate::runner::{run_session_with_options, RunOptions, SessionOutcome};
 use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::all_engines;
 use betze_generator::GeneratorConfig;
@@ -26,7 +26,7 @@ pub struct Fig10Result {
 /// of magnitude (the paper sweeps 10⁴–5.4·10⁷ documents; we scale down,
 /// DESIGN.md §4) and a modeled timeout standing in for the paper's
 /// ≈ 2-hour cut-off.
-pub fn fig10(scale: &Scale) -> Fig10Result {
+pub fn fig10(scale: &Scale) -> Result<Fig10Result, Interrupted> {
     let base = scale.nobench_docs.max(100);
     fig10_with_sizes(
         scale,
@@ -41,9 +41,15 @@ pub fn fig10(scale: &Scale) -> Fig10Result {
 /// one seeded session each), then one task per (size, engine) run —
 /// each with its own engine instance, merged in (size-major, engine)
 /// order.
-pub fn fig10_with_sizes(scale: &Scale, doc_counts: Vec<usize>, timeout: Duration) -> Fig10Result {
-    let pool = SessionPool::new(scale.jobs);
+pub fn fig10_with_sizes(
+    scale: &Scale,
+    doc_counts: Vec<usize>,
+    timeout: Duration,
+) -> Result<Fig10Result, Interrupted> {
+    let pool = scale.pool();
     let engine_count = all_engines(scale.joda_threads).len();
+    // Corpus preparation is recomputed (not journaled): corpora are not
+    // record-shaped and regenerate deterministically from the seed.
     let prepared = pool.map(&doc_counts, |_, &count| {
         let corpus = SharedCorpus::prepare(Corpus::NoBench, count, scale.data_seed, 1);
         let outcome = corpus
@@ -54,23 +60,21 @@ pub fn fig10_with_sizes(scale: &Scale, doc_counts: Vec<usize>, timeout: Duration
     let tasks: Vec<(usize, usize)> = (0..doc_counts.len())
         .flat_map(|size| (0..engine_count).map(move |engine| (size, engine)))
         .collect();
-    let values = pool.map(&tasks, |_, &(size, engine_idx)| {
+    let values = pool.checkpointed_map("fig10/run", &tasks, |_, &(size, engine_idx)| {
         let (corpus, outcome) = &prepared[size];
         let mut engine = all_engines(scale.joda_threads).swap_remove(engine_idx);
-        let run = run_session_with_timeout(
-            engine.as_mut(),
-            &corpus.dataset,
-            &outcome.session,
-            Some(timeout),
-        )
-        .expect("fig10 run");
-        match run {
+        let options = RunOptions::reference()
+            .timeout(timeout)
+            .cancel(scale.ctx.cancel.clone());
+        let run =
+            run_session_with_options(engine.as_mut(), &corpus.dataset, &outcome.session, &options)?;
+        Ok(match run {
             SessionOutcome::Completed(run) | SessionOutcome::CompletedWithErrors(run) => {
                 Some(run.session_modeled().as_secs_f64())
             }
             SessionOutcome::TimedOut { .. } => None,
-        }
-    });
+        })
+    })?;
     let mut series: Vec<(String, Vec<Option<f64>>)> = all_engines(scale.joda_threads)
         .iter()
         .map(|engine| (engine.name().to_owned(), Vec::new()))
@@ -78,11 +82,11 @@ pub fn fig10_with_sizes(scale: &Scale, doc_counts: Vec<usize>, timeout: Duration
     for (&(_, engine_idx), value) in tasks.iter().zip(&values) {
         series[engine_idx].1.push(*value);
     }
-    Fig10Result {
+    Ok(Fig10Result {
         doc_counts,
         series,
         timeout,
-    }
+    })
 }
 
 impl Fig10Result {
@@ -125,7 +129,8 @@ mod tests {
     #[test]
     fn scaling_shape_matches_paper() {
         let scale = Scale::quick();
-        let r = fig10_with_sizes(&scale, vec![100, 400, 1600], Duration::from_secs(3600));
+        let r = fig10_with_sizes(&scale, vec![100, 400, 1600], Duration::from_secs(3600))
+            .expect("ungoverned fig10 cannot be interrupted");
         let joda = r.series_of("JODA").unwrap();
         let pg = r.series_of("PostgreSQL").unwrap();
         let mongo = r.series_of("MongoDB").unwrap();
@@ -150,7 +155,8 @@ mod tests {
     #[test]
     fn tight_timeout_produces_omissions() {
         let scale = Scale::quick();
-        let r = fig10_with_sizes(&scale, vec![400], Duration::from_micros(1));
+        let r = fig10_with_sizes(&scale, vec![400], Duration::from_micros(1))
+            .expect("ungoverned fig10 cannot be interrupted");
         // With a micro timeout everything but possibly the first query
         // times out — rendered as omissions, like jq at 30 GB in the paper.
         let jq = r.series_of("jq").unwrap();

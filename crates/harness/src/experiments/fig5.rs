@@ -3,8 +3,8 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
-use crate::pool::SessionPool;
-use crate::runner::run_session;
+use crate::journal::Interrupted;
+use crate::runner::run_session_governed;
 use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::JodaSim;
 use betze_explorer::Preset;
@@ -26,7 +26,7 @@ pub struct Fig5Result {
 /// ("to highlight the trends of each user better, regardless of session
 /// length"), averaged over `scale.sessions` seeds, executed on JODA only
 /// ("we are not interested in a comparison of the individual systems").
-pub fn fig5(scale: &Scale) -> Fig5Result {
+pub fn fig5(scale: &Scale) -> Result<Fig5Result, Interrupted> {
     const QUERIES: usize = 20;
     let corpus = SharedCorpus::prepare(
         Corpus::Twitter,
@@ -39,21 +39,29 @@ pub fn fig5(scale: &Scale) -> Fig5Result {
     let tasks: Vec<(usize, u64)> = (0..Preset::ALL.len())
         .flat_map(|p| (0..scale.sessions as u64).map(move |seed| (p, seed)))
         .collect();
-    let per_session: Vec<Vec<f64>> = SessionPool::new(scale.jobs).map(&tasks, |_, &(p, seed)| {
-        let config = GeneratorConfig::with_explorer(
-            Preset::ALL[p].config().with_queries_per_session(QUERIES),
-        );
-        let outcome = corpus
-            .generate_session(&config, seed)
-            .expect("fig5 generation");
-        let mut joda = JodaSim::new(scale.joda_threads);
-        let run =
-            run_session(&mut joda, &corpus.dataset, &outcome.session).expect("fig5 session run");
-        run.queries
-            .iter()
-            .map(|report| report.modeled.as_secs_f64() * 1e3)
-            .collect()
-    });
+    let per_session: Vec<Vec<f64>> =
+        scale
+            .pool()
+            .checkpointed_map("fig5/run", &tasks, |_, &(p, seed)| {
+                let config = GeneratorConfig::with_explorer(
+                    Preset::ALL[p].config().with_queries_per_session(QUERIES),
+                );
+                let outcome = corpus
+                    .generate_session(&config, seed)
+                    .expect("fig5 generation");
+                let mut joda = JodaSim::new(scale.joda_threads);
+                let run = run_session_governed(
+                    &mut joda,
+                    &corpus.dataset,
+                    &outcome.session,
+                    scale.ctx.cancel.clone(),
+                )?;
+                Ok(run
+                    .queries
+                    .iter()
+                    .map(|report| report.modeled.as_secs_f64() * 1e3)
+                    .collect())
+            })?;
     let mut presets = Vec::new();
     let mut mean_ms = Vec::new();
     let n = (scale.sessions as f64).max(1.0);
@@ -69,11 +77,11 @@ pub fn fig5(scale: &Scale) -> Fig5Result {
         presets.push(preset.name().to_owned());
         mean_ms.push(sums.into_iter().map(|s| s / n).collect());
     }
-    Fig5Result {
+    Ok(Fig5Result {
         presets,
         mean_ms,
         queries: QUERIES,
-    }
+    })
 }
 
 impl Fig5Result {
@@ -112,7 +120,7 @@ mod tests {
     #[test]
     fn runtimes_decline_and_novice_is_heaviest() {
         let scale = Scale::quick();
-        let r = fig5(&scale);
+        let r = fig5(&scale).expect("ungoverned fig5 cannot be interrupted");
         assert_eq!(r.presets, vec!["novice", "intermediate", "expert"]);
         for series in &r.mean_ms {
             assert_eq!(series.len(), 20);

@@ -3,8 +3,8 @@
 
 use crate::experiments::Scale;
 use crate::fmt::{human_duration, TextTable};
-use crate::pool::SessionPool;
-use crate::runner::run_session;
+use crate::journal::Interrupted;
+use crate::runner::run_session_governed;
 use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::JodaSim;
 use betze_explorer::Preset;
@@ -60,7 +60,7 @@ pub struct Fig6Result {
 /// Runs the Fig. 6 experiment: per preset, `scale.sessions` seeded sessions
 /// on the Twitter-like corpus, executed on JODA; the distribution of the
 /// session execution time (w/o import).
-pub fn fig6(scale: &Scale) -> Fig6Result {
+pub fn fig6(scale: &Scale) -> Result<Fig6Result, Interrupted> {
     let corpus = SharedCorpus::prepare(
         Corpus::Twitter,
         scale.twitter_docs,
@@ -70,17 +70,23 @@ pub fn fig6(scale: &Scale) -> Fig6Result {
     let tasks: Vec<(usize, u64)> = (0..Preset::ALL.len())
         .flat_map(|p| (0..scale.sessions as u64).map(move |seed| (p, seed)))
         .collect();
-    let secs = SessionPool::new(scale.jobs).map(&tasks, |_, &(p, seed)| {
-        let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
-        let outcome = corpus
-            .generate_session(&config, seed)
-            .expect("fig6 generation");
-        let mut joda = JodaSim::new(scale.joda_threads);
-        run_session(&mut joda, &corpus.dataset, &outcome.session)
-            .expect("fig6 run")
+    let secs = scale
+        .pool()
+        .checkpointed_map("fig6/run", &tasks, |_, &(p, seed)| {
+            let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
+            let outcome = corpus
+                .generate_session(&config, seed)
+                .expect("fig6 generation");
+            let mut joda = JodaSim::new(scale.joda_threads);
+            Ok(run_session_governed(
+                &mut joda,
+                &corpus.dataset,
+                &outcome.session,
+                scale.ctx.cancel.clone(),
+            )?
             .session_modeled()
-            .as_secs_f64()
-    });
+            .as_secs_f64())
+        })?;
     let summaries = Preset::ALL
         .iter()
         .enumerate()
@@ -94,10 +100,10 @@ pub fn fig6(scale: &Scale) -> Fig6Result {
             (preset.name().to_owned(), DistributionSummary::of(sample))
         })
         .collect();
-    Fig6Result {
+    Ok(Fig6Result {
         summaries,
         sessions: scale.sessions,
-    }
+    })
 }
 
 impl Fig6Result {
@@ -150,7 +156,7 @@ mod tests {
         // per-query cost — the regime the paper measures in.
         let mut scale = Scale::quick();
         scale.twitter_docs = 6_000;
-        let r = fig6(&scale);
+        let r = fig6(&scale).expect("ungoverned fig6 cannot be interrupted");
         let novice = r.median_of("novice").unwrap();
         let intermediate = r.median_of("intermediate").unwrap();
         let expert = r.median_of("expert").unwrap();

@@ -3,8 +3,8 @@
 
 use crate::experiments::Scale;
 use crate::fmt::heatmap;
-use crate::pool::SessionPool;
-use crate::runner::run_session;
+use crate::journal::Interrupted;
+use crate::runner::run_session_governed;
 use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::JodaSim;
 use betze_explorer::ExplorerConfig;
@@ -31,7 +31,10 @@ pub struct Fig7Result {
 /// session from its own seed and runs it on its own engine instance;
 /// per-cell sums accumulate in task-index (cell-major, seed-ascending)
 /// order, so the result is bit-identical for every worker count.
-pub fn fig7(scale: &Scale) -> Fig7Result {
+///
+/// Per-task results checkpoint to the journal in `scale.ctx` (stage
+/// `"fig7/run"`); an interrupted sweep resumes from completed tasks.
+pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
     let steps: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
     // Fewer sessions per cell than Figs. 5/6 (paper: 20 vs 30).
     let sessions_per_cell = (scale.sessions * 2 / 3).max(1);
@@ -58,20 +61,26 @@ pub fn fig7(scale: &Scale) -> Fig7Result {
         .enumerate()
         .flat_map(|(cell, _)| (0..sessions_per_cell as u64).map(move |seed| (cell, seed)))
         .collect();
-    let secs = SessionPool::new(scale.jobs).map(&tasks, |_, &(cell, seed)| {
-        let (ai, bi) = cells[cell];
-        let (alpha, beta) = (steps[ai], steps[bi]);
-        let explorer = ExplorerConfig::new(alpha, beta, 10)
-            .expect("validated combination")
-            .with_label(format!("a{alpha}b{beta}"));
-        let config = GeneratorConfig::with_explorer(explorer);
-        let outcome = corpus.generate_session(&config, seed).expect("fig7 gen");
-        let mut joda = JodaSim::new(scale.joda_threads);
-        run_session(&mut joda, &corpus.dataset, &outcome.session)
-            .expect("fig7 run")
+    let secs = scale
+        .pool()
+        .checkpointed_map("fig7/run", &tasks, |_, &(cell, seed)| {
+            let (ai, bi) = cells[cell];
+            let (alpha, beta) = (steps[ai], steps[bi]);
+            let explorer = ExplorerConfig::new(alpha, beta, 10)
+                .expect("validated combination")
+                .with_label(format!("a{alpha}b{beta}"));
+            let config = GeneratorConfig::with_explorer(explorer);
+            let outcome = corpus.generate_session(&config, seed).expect("fig7 gen");
+            let mut joda = JodaSim::new(scale.joda_threads);
+            Ok(run_session_governed(
+                &mut joda,
+                &corpus.dataset,
+                &outcome.session,
+                scale.ctx.cancel.clone(),
+            )?
             .session_modeled()
-            .as_secs_f64()
-    });
+            .as_secs_f64())
+        })?;
     let mut totals = vec![0.0f64; cells.len()];
     for (&(cell, _), t) in tasks.iter().zip(&secs) {
         totals[cell] += t;
@@ -80,11 +89,11 @@ pub fn fig7(scale: &Scale) -> Fig7Result {
     for (&(ai, bi), total) in cells.iter().zip(&totals) {
         mean_secs[ai][bi] = Some(total / sessions_per_cell as f64);
     }
-    Fig7Result {
+    Ok(Fig7Result {
         steps,
         mean_secs,
         sessions_per_cell,
-    }
+    })
 }
 
 impl Fig7Result {
@@ -113,7 +122,7 @@ mod tests {
     fn low_probabilities_are_cheapest_and_alpha_dominates() {
         let mut scale = Scale::quick();
         scale.sessions = 3;
-        let r = fig7(&scale);
+        let r = fig7(&scale).expect("ungoverned fig7 cannot be interrupted");
         // Invalid cells stay empty.
         assert!(r.cell(9, 9).is_none());
         assert!(r.cell(0, 0).is_some());

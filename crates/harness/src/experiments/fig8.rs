@@ -2,7 +2,7 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
-use crate::pool::SessionPool;
+use crate::journal::Interrupted;
 use crate::workload::{Corpus, SharedCorpus};
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
@@ -20,8 +20,8 @@ pub struct Fig8Result {
 /// aggregates the preset-evaluation sessions (all three presets ×
 /// `scale.sessions` seeds), NoBench aggregates default sessions, and
 /// Reddit uses one default session with seed 123.
-pub fn fig8(scale: &Scale) -> Fig8Result {
-    let pool = SessionPool::new(scale.jobs);
+pub fn fig8(scale: &Scale) -> Result<Fig8Result, Interrupted> {
+    let pool = scale.pool();
     let mut histograms = Vec::new();
 
     // Twitter: 3 presets × sessions — independent generation tasks whose
@@ -35,22 +35,18 @@ pub fn fig8(scale: &Scale) -> Fig8Result {
     let tasks: Vec<(usize, u64)> = (0..Preset::ALL.len())
         .flat_map(|p| (0..scale.sessions as u64).map(move |seed| (p, seed)))
         .collect();
-    let counts = pool.map(&tasks, |_, &(p, seed)| {
+    let counts = pool.checkpointed_map("fig8/twitter", &tasks, |_, &(p, seed)| {
         let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
-        twitter
-            .generate_session(&config, seed)
-            .expect("fig8 twitter generation")
-            .session
-            .stats()
-            .predicate_counts
-    });
-    let mut twitter_hist: HashMap<PredicateKind, usize> = HashMap::new();
-    for per_session in counts {
-        for (kind, count) in per_session {
-            *twitter_hist.entry(kind).or_insert(0) += count;
-        }
-    }
-    histograms.push(("twitter".to_owned(), twitter_hist));
+        Ok(counts_record(
+            twitter
+                .generate_session(&config, seed)
+                .expect("fig8 twitter generation")
+                .session
+                .stats()
+                .predicate_counts,
+        ))
+    })?;
+    histograms.push(("twitter".to_owned(), merge_counts(counts)));
 
     // NoBench: default sessions.
     let nobench = SharedCorpus::prepare(
@@ -59,21 +55,18 @@ pub fn fig8(scale: &Scale) -> Fig8Result {
         scale.data_seed,
         scale.jobs,
     );
-    let counts = pool.run(scale.sessions, |seed| {
-        nobench
-            .generate_session(&GeneratorConfig::default(), seed as u64)
-            .expect("fig8 nobench generation")
-            .session
-            .stats()
-            .predicate_counts
-    });
-    let mut nobench_hist: HashMap<PredicateKind, usize> = HashMap::new();
-    for per_session in counts {
-        for (kind, count) in per_session {
-            *nobench_hist.entry(kind).or_insert(0) += count;
-        }
-    }
-    histograms.push(("nobench".to_owned(), nobench_hist));
+    let seeds: Vec<u64> = (0..scale.sessions as u64).collect();
+    let counts = pool.checkpointed_map("fig8/nobench", &seeds, |_, &seed| {
+        Ok(counts_record(
+            nobench
+                .generate_session(&GeneratorConfig::default(), seed)
+                .expect("fig8 nobench generation")
+                .session
+                .stats()
+                .predicate_counts,
+        ))
+    })?;
+    histograms.push(("nobench".to_owned(), merge_counts(counts)));
 
     // Reddit: one default session, seed 123 (as in the paper).
     let reddit = SharedCorpus::prepare(
@@ -90,7 +83,36 @@ pub fn fig8(scale: &Scale) -> Fig8Result {
         outcome.session.stats().predicate_counts,
     ));
 
-    Fig8Result { histograms }
+    Ok(Fig8Result { histograms })
+}
+
+/// Flattens a predicate histogram into label-sorted pairs — the stable,
+/// journal-friendly shape ([`betze_model::TaskRecord`]) of one task's
+/// counts.
+fn counts_record(counts: HashMap<PredicateKind, usize>) -> Vec<(String, u64)> {
+    let mut pairs: Vec<(String, u64)> = counts
+        .into_iter()
+        .map(|(kind, count)| (kind.label().to_owned(), count as u64))
+        .collect();
+    pairs.sort();
+    pairs
+}
+
+/// Merges per-task histograms back into kind-keyed counts. Integer adds
+/// commute, so the merged histogram is identical for every worker count
+/// and for resumed runs.
+fn merge_counts(per_task: Vec<Vec<(String, u64)>>) -> HashMap<PredicateKind, usize> {
+    let mut hist: HashMap<PredicateKind, usize> = HashMap::new();
+    for pairs in per_task {
+        for (label, count) in pairs {
+            let kind = PredicateKind::ALL
+                .into_iter()
+                .find(|k| k.label() == label)
+                .unwrap_or_else(|| panic!("unknown predicate kind label {label:?} in journal"));
+            *hist.entry(kind).or_insert(0) += count as usize;
+        }
+    }
+    hist
 }
 
 impl Fig8Result {
@@ -129,7 +151,7 @@ mod tests {
 
     #[test]
     fn corpus_shapes_drive_predicate_mixes() {
-        let r = fig8(&Scale::quick());
+        let r = fig8(&Scale::quick()).expect("ungoverned fig8 cannot be interrupted");
         assert_eq!(r.histograms.len(), 3);
         // Heterogeneous Twitter data: existence and string-type checks are
         // generated (the paper's dominant kinds there).

@@ -6,7 +6,7 @@
 
 use crate::experiments::Scale;
 use crate::fmt::{human_duration, TextTable};
-use crate::pool::SessionPool;
+use crate::journal::Interrupted;
 use crate::workload::{prepare_dataset, Corpus};
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
@@ -38,27 +38,34 @@ pub struct GenCostResult {
 /// workload (3 presets × `scale.sessions` seeds).
 ///
 /// The uncached pass fans the (preset, seed) sessions across the
-/// [`SessionPool`]; each task times its *own* analysis, so the reported
-/// total remains "sum of per-session analysis durations" no matter how
-/// the tasks are scheduled. A sequential cached pass then replays the
-/// same lookups against an [`AnalysisCache`].
-pub fn gen_cost(scale: &Scale) -> GenCostResult {
+/// [`crate::pool::SessionPool`]; each task times its *own* analysis, so
+/// the reported total remains "sum of per-session analysis durations" no
+/// matter how the tasks are scheduled. A sequential cached pass then
+/// replays the same lookups against an [`AnalysisCache`].
+///
+/// Wall-clock measurements cannot be replayed from a journal, so this
+/// driver is cancellable (via `scale.ctx`) but never checkpointed: a
+/// resumed run re-measures from scratch.
+pub fn gen_cost(scale: &Scale) -> Result<GenCostResult, Interrupted> {
     let dataset = Corpus::Twitter.generate(scale.data_seed, scale.twitter_docs);
     let tasks: Vec<(usize, u64)> = (0..Preset::ALL.len())
         .flat_map(|p| (0..scale.sessions as u64).map(move |seed| (p, seed)))
         .collect();
-    let per_task = SessionPool::new(scale.jobs).map(&tasks, |_, &(p, seed)| {
-        let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
-        // Like the paper's pipeline, each generator run re-analyzes its
-        // input (the analysis could be cached, which is exactly why the
-        // paper discusses this cost).
-        let w = prepare_dataset(dataset.clone(), &config, seed).expect("gen-cost");
-        (
-            w.analysis_time,
-            w.generation.generation_time,
-            w.generation.session.queries.len(),
-        )
-    });
+    let per_task = scale
+        .pool()
+        .try_map("gencost/measure", &tasks, |_, &(p, seed)| {
+            scale.ctx.cancel.check("gen-cost measurement")?;
+            let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
+            // Like the paper's pipeline, each generator run re-analyzes its
+            // input (the analysis could be cached, which is exactly why the
+            // paper discusses this cost).
+            let w = prepare_dataset(dataset.clone(), &config, seed).expect("gen-cost");
+            Ok((
+                w.analysis_time,
+                w.generation.generation_time,
+                w.generation.session.queries.len(),
+            ))
+        })?;
     let mut analysis_time = Duration::ZERO;
     let mut generation_time = Duration::ZERO;
     let mut total_queries = 0usize;
@@ -78,14 +85,14 @@ pub fn gen_cost(scale: &Scale) -> GenCostResult {
         cached_analysis_time += started.elapsed();
     }
 
-    GenCostResult {
+    Ok(GenCostResult {
         sessions: tasks.len(),
         total_queries,
         analysis_time,
         generation_time,
         cached_analysis_time,
         cache_hits: cache.hits(),
-    }
+    })
 }
 
 impl GenCostResult {
@@ -133,7 +140,7 @@ mod tests {
     fn measures_both_phases() {
         let mut scale = Scale::quick();
         scale.sessions = 2;
-        let r = gen_cost(&scale);
+        let r = gen_cost(&scale).expect("ungoverned gen_cost cannot be interrupted");
         assert_eq!(r.sessions, 6);
         assert_eq!(r.total_queries, 2 * (20 + 10 + 5));
         assert!(r.analysis_time > Duration::ZERO);
@@ -147,7 +154,7 @@ mod tests {
     fn cached_pass_hits_after_first_lookup() {
         let mut scale = Scale::quick();
         scale.sessions = 2;
-        let r = gen_cost(&scale);
+        let r = gen_cost(&scale).expect("ungoverned gen_cost cannot be interrupted");
         // One corpus, six lookups: one miss, five hits.
         assert_eq!(r.cache_hits, 5);
         assert!(r.cached_analysis_time > Duration::ZERO);

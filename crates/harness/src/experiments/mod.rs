@@ -59,6 +59,11 @@ pub struct Scale {
     /// sequential). Results are bit-identical for every value — see
     /// DESIGN.md §9.
     pub jobs: usize,
+    /// Governance context: cancellation token and optional result
+    /// journal, shared by every pool the drivers build. Defaults to
+    /// inert (no deadline, no journal) so ungoverned runs are
+    /// unchanged. See DESIGN.md §11.
+    pub ctx: crate::journal::RunCtx,
 }
 
 impl Scale {
@@ -73,6 +78,7 @@ impl Scale {
             data_seed: 2022,
             joda_threads: 16,
             jobs: 0,
+            ctx: crate::journal::RunCtx::new(),
         }
     }
 
@@ -86,6 +92,7 @@ impl Scale {
             data_seed: 2022,
             joda_threads: 16,
             jobs: 0,
+            ctx: crate::journal::RunCtx::new(),
         }
     }
 
@@ -93,6 +100,18 @@ impl Scale {
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
         self
+    }
+
+    /// This scale with a governance context (cancellation + journal).
+    pub fn with_ctx(mut self, ctx: crate::journal::RunCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// A session pool honouring this scale's worker count and
+    /// governance context.
+    pub fn pool(&self) -> crate::pool::SessionPool {
+        crate::pool::SessionPool::new(self.jobs).with_ctx(self.ctx.clone())
     }
 
     /// Document count for one corpus.

@@ -6,7 +6,7 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
-use crate::pool::SessionPool;
+use crate::journal::Interrupted;
 use crate::workload::{Corpus, SharedCorpus};
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
@@ -31,7 +31,7 @@ pub struct SkewResult {
 
 /// Runs the skew analysis over the preset-evaluation sessions (all three
 /// presets × `scale.sessions` seeds on the Twitter-like corpus).
-pub fn skew(scale: &Scale) -> SkewResult {
+pub fn skew(scale: &Scale) -> Result<SkewResult, Interrupted> {
     let corpus = SharedCorpus::prepare(
         Corpus::Twitter,
         scale.twitter_docs,
@@ -43,29 +43,35 @@ pub fn skew(scale: &Scale) -> SkewResult {
         .collect();
     // Per-task reference counts merge with commutative adds; the final
     // (count desc, name asc) sort makes the ranking order-independent.
-    let per_task = SessionPool::new(scale.jobs).map(&tasks, |_, &(p, seed)| {
-        let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
-        let outcome = corpus
-            .generate_session(&config, seed)
-            .expect("skew generation");
-        let mut counts: HashMap<String, usize> = HashMap::new();
-        let mut references = 0usize;
-        for query in &outcome.session.queries {
-            for path in query.referenced_paths() {
-                references += 1;
-                *counts.entry(path.to_string()).or_insert(0) += 1;
+    // Tasks record as (queries, references, path-sorted counts) — the
+    // journal-friendly shape of one session's tally.
+    let per_task = scale
+        .pool()
+        .checkpointed_map("skew/count", &tasks, |_, &(p, seed)| {
+            let config = GeneratorConfig::with_explorer(Preset::ALL[p].config());
+            let outcome = corpus
+                .generate_session(&config, seed)
+                .expect("skew generation");
+            let mut counts: HashMap<String, u64> = HashMap::new();
+            let mut references = 0u64;
+            for query in &outcome.session.queries {
+                for path in query.referenced_paths() {
+                    references += 1;
+                    *counts.entry(path.to_string()).or_insert(0) += 1;
+                }
             }
-        }
-        (outcome.session.queries.len(), references, counts)
-    });
+            let mut pairs: Vec<(String, u64)> = counts.into_iter().collect();
+            pairs.sort();
+            Ok((outcome.session.queries.len(), references, pairs))
+        })?;
     let mut counts: HashMap<String, usize> = HashMap::new();
     let mut total_queries = 0usize;
     let mut total_references = 0usize;
     for (queries, references, per_session) in per_task {
         total_queries += queries;
-        total_references += references;
+        total_references += references as usize;
         for (path, count) in per_session {
-            *counts.entry(path).or_insert(0) += count;
+            *counts.entry(path).or_insert(0) += count as usize;
         }
     }
     let mut sorted: Vec<(String, usize)> = counts.into_iter().collect();
@@ -78,14 +84,14 @@ pub fn skew(scale: &Scale) -> SkewResult {
             top as f64 / total_references as f64
         }
     };
-    SkewResult {
+    Ok(SkewResult {
         total_queries,
         total_references,
         distinct_attributes: sorted.len(),
         top10_share: share(10),
         top20_share: share(20),
         top_attributes: sorted.into_iter().take(20).collect(),
-    }
+    })
 }
 
 impl SkewResult {
@@ -114,7 +120,7 @@ mod tests {
 
     #[test]
     fn references_concentrate_on_interesting_attributes() {
-        let r = skew(&Scale::quick());
+        let r = skew(&Scale::quick()).expect("ungoverned skew cannot be interrupted");
         assert!(r.total_queries > 0);
         assert!(r.total_references >= r.total_queries);
         assert!(r.distinct_attributes > 10);

@@ -4,8 +4,8 @@
 
 use crate::experiments::Scale;
 use crate::fmt::{human_duration, TextTable};
-use crate::pool::SessionPool;
-use crate::runner::run_session;
+use crate::journal::Interrupted;
+use crate::runner::run_session_governed;
 use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::{Engine, JodaSim, JqSim, MongoSim, PgSim};
 use betze_generator::GeneratorConfig;
@@ -37,8 +37,8 @@ fn table2_engines(scale: &Scale) -> Vec<(String, Box<dyn Engine>)> {
 
 /// Runs the Table II experiment: prepare both corpora, then one pool
 /// task per (corpus, system) cell.
-pub fn table2(scale: &Scale) -> Table2Result {
-    let pool = SessionPool::new(scale.jobs);
+pub fn table2(scale: &Scale) -> Result<Table2Result, Interrupted> {
+    let pool = scale.pool();
     let corpora = [
         (Corpus::Twitter, scale.twitter_docs),
         (Corpus::NoBench, scale.nobench_docs),
@@ -57,19 +57,23 @@ pub fn table2(scale: &Scale) -> Table2Result {
     let tasks: Vec<(usize, usize)> = (0..corpora.len())
         .flat_map(|c| (0..systems.len()).map(move |e| (c, e)))
         .collect();
-    let times = pool.map(&tasks, |_, &(c, e)| {
+    let times = pool.checkpointed_map("table2/run", &tasks, |_, &(c, e)| {
         let (shared, outcome) = &prepared[c];
         let (_, mut engine) = table2_engines(scale).swap_remove(e);
-        run_session(engine.as_mut(), &shared.dataset, &outcome.session)
-            .expect("table2 run")
-            .session_modeled()
-            .as_secs_f64()
-    });
+        Ok(run_session_governed(
+            engine.as_mut(),
+            &shared.dataset,
+            &outcome.session,
+            scale.ctx.cancel.clone(),
+        )?
+        .session_modeled()
+        .as_secs_f64())
+    })?;
     let mut secs: Vec<Vec<f64>> = vec![Vec::new(); systems.len()];
     for (&(_, e), time) in tasks.iter().zip(&times) {
         secs[e].push(*time);
     }
-    Table2Result { systems, secs }
+    Ok(Table2Result { systems, secs })
 }
 
 impl Table2Result {
@@ -102,7 +106,7 @@ mod tests {
 
     #[test]
     fn orderings_match_paper() {
-        let r = table2(&Scale::quick());
+        let r = table2(&Scale::quick()).expect("ungoverned table2 cannot be interrupted");
         let v = |s: &str, c: usize| r.secs_of(s, c).unwrap();
         // Twitter ordering: JODA < evicted JODA < MongoDB < PostgreSQL < jq.
         assert!(v("JODA", 0) < v("JODA memory evicted", 0));

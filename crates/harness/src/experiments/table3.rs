@@ -4,12 +4,14 @@
 
 use crate::experiments::Scale;
 use crate::fmt::TextTable;
-use crate::pool::SessionPool;
+use crate::journal::Interrupted;
 use crate::runner::{run_session_with_options, RunOptions, SessionOutcome};
 use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::all_engines;
 use betze_explorer::Preset;
 use betze_generator::{AggregateMode, GeneratorConfig};
+use betze_json::{json, Value};
+use betze_model::TaskRecord;
 use std::time::Duration;
 
 /// One Table III cell.
@@ -27,6 +29,28 @@ pub struct Table3Cell {
     pub secs: Option<f64>,
 }
 
+impl TaskRecord for Table3Cell {
+    fn to_record(&self) -> Value {
+        json!({
+            "corpus": (self.corpus.as_str()),
+            "system": (self.system.as_str()),
+            "preset": (self.preset.as_str()),
+            "config": (self.config.as_str()),
+            "secs": (self.secs.to_record()),
+        })
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        Some(Table3Cell {
+            corpus: String::from_record(value.get("corpus")?)?,
+            system: String::from_record(value.get("system")?)?,
+            preset: String::from_record(value.get("preset")?)?,
+            config: String::from_record(value.get("config")?)?,
+            secs: Option::<f64>::from_record(value.get("secs")?)?,
+        })
+    }
+}
+
 /// The full Table III matrix.
 #[derive(Debug, Clone)]
 pub struct Table3Result {
@@ -38,7 +62,7 @@ pub struct Table3Result {
 
 /// Runs Table III with a default timeout chosen so the dash pattern of the
 /// paper reproduces at [`Scale::default_scale`]'s corpus-size ratios.
-pub fn table3(scale: &Scale) -> Table3Result {
+pub fn table3(scale: &Scale) -> Result<Table3Result, Interrupted> {
     table3_with_timeout(scale, Duration::from_secs(8))
 }
 
@@ -48,13 +72,13 @@ pub fn table3(scale: &Scale) -> Table3Result {
 /// the 27 (corpus, preset, mode) workloads become independent tasks that
 /// generate their session and run all four engines; the flattened cells
 /// come back in the sequential (corpus, preset, mode, engine) order.
-pub fn table3_with_timeout(scale: &Scale, timeout: Duration) -> Table3Result {
+pub fn table3_with_timeout(scale: &Scale, timeout: Duration) -> Result<Table3Result, Interrupted> {
     let configs = [
         AggregateMode::None,
         AggregateMode::All,
         AggregateMode::Grouped,
     ];
-    let pool = SessionPool::new(scale.jobs);
+    let pool = scale.pool();
     let corpora = pool.map(&Corpus::ALL, |_, &corpus| {
         SharedCorpus::prepare(corpus, scale.docs_for(corpus), scale.data_seed, 1)
     });
@@ -66,45 +90,47 @@ pub fn table3_with_timeout(scale: &Scale, timeout: Duration) -> Table3Result {
             }
         }
     }
-    let per_workload: Vec<Vec<Table3Cell>> = pool.map(&tasks, |_, &(c, preset, mode)| {
-        let corpus = &corpora[c];
-        let config = GeneratorConfig::with_explorer(preset.config()).aggregate(mode);
-        let outcome = corpus
-            .generate_session(&config, 1)
-            .expect("table3 generation");
-        all_engines(scale.joda_threads)
-            .into_iter()
-            .map(|mut engine| {
-                // Table III is the full-output configuration: the paper
-                // redirects every system's complete result stream to
-                // /dev/null.
-                let run = run_session_with_options(
-                    engine.as_mut(),
-                    &corpus.dataset,
-                    &outcome.session,
-                    &RunOptions::with_output().timeout(timeout),
-                )
-                .expect("table3 run");
-                Table3Cell {
-                    corpus: Corpus::ALL[c].name().to_owned(),
-                    system: engine.name().to_owned(),
-                    preset: preset.name().to_owned(),
-                    config: mode.label().to_owned(),
-                    secs: match run {
-                        SessionOutcome::Completed(run)
-                        | SessionOutcome::CompletedWithErrors(run) => {
-                            Some(run.session_modeled().as_secs_f64())
-                        }
-                        SessionOutcome::TimedOut { .. } => None,
-                    },
-                }
-            })
-            .collect()
-    });
-    Table3Result {
+    let per_workload: Vec<Vec<Table3Cell>> =
+        pool.checkpointed_map("table3/run", &tasks, |_, &(c, preset, mode)| {
+            let corpus = &corpora[c];
+            let config = GeneratorConfig::with_explorer(preset.config()).aggregate(mode);
+            let outcome = corpus
+                .generate_session(&config, 1)
+                .expect("table3 generation");
+            all_engines(scale.joda_threads)
+                .into_iter()
+                .map(|mut engine| {
+                    // Table III is the full-output configuration: the paper
+                    // redirects every system's complete result stream to
+                    // /dev/null.
+                    let run = run_session_with_options(
+                        engine.as_mut(),
+                        &corpus.dataset,
+                        &outcome.session,
+                        &RunOptions::with_output()
+                            .timeout(timeout)
+                            .cancel(scale.ctx.cancel.clone()),
+                    )?;
+                    Ok(Table3Cell {
+                        corpus: Corpus::ALL[c].name().to_owned(),
+                        system: engine.name().to_owned(),
+                        preset: preset.name().to_owned(),
+                        config: mode.label().to_owned(),
+                        secs: match run {
+                            SessionOutcome::Completed(run)
+                            | SessionOutcome::CompletedWithErrors(run) => {
+                                Some(run.session_modeled().as_secs_f64())
+                            }
+                            SessionOutcome::TimedOut { .. } => None,
+                        },
+                    })
+                })
+                .collect()
+        })?;
+    Ok(Table3Result {
         cells: per_workload.into_iter().flatten().collect(),
         timeout,
-    }
+    })
 }
 
 impl Table3Result {
@@ -165,7 +191,8 @@ mod tests {
     fn matrix_is_complete_and_aggregation_helps() {
         let scale = Scale::quick();
         // Generous timeout so the completeness assertions see values.
-        let r = table3_with_timeout(&scale, Duration::from_secs(3600));
+        let r = table3_with_timeout(&scale, Duration::from_secs(3600))
+            .expect("ungoverned table3 cannot be interrupted");
         // 3 corpora × 3 presets × 3 configs × 4 systems.
         assert_eq!(r.cells.len(), 108);
         // "All systems benefit from aggregating the datasets."
@@ -204,7 +231,8 @@ mod tests {
     #[test]
     fn tight_timeouts_render_dashes() {
         let scale = Scale::quick();
-        let r = table3_with_timeout(&scale, Duration::from_micros(10));
+        let r = table3_with_timeout(&scale, Duration::from_micros(10))
+            .expect("ungoverned table3 cannot be interrupted");
         assert!(r.cells.iter().any(|c| c.secs.is_none()));
         assert!(r.render().contains('-'));
     }

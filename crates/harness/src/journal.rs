@@ -1,0 +1,547 @@
+//! Crash-safe result journaling and atomic file output (DESIGN.md §11).
+//!
+//! A multi-hour sweep that dies at 95% should not lose every completed
+//! task. The harness therefore treats a sweep as a **resumable, journaled
+//! state machine**: every completed pool task appends one checksummed
+//! record to a write-ahead [`Journal`], and `--resume` replays the
+//! journal, pre-fills the matching [`SessionPool`](crate::SessionPool)
+//! result slots, and re-runs only the missing indices. Because every task
+//! is a pure function of its index (DESIGN.md §9) and results round-trip
+//! bit-exactly ([`TaskRecord`]), a resumed run is **bit-identical** to an
+//! uninterrupted one.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! magic   "BETZEJRNL1\n"
+//! record  [u32 LE payload length][u64 LE FNV-1a of payload][payload]
+//! ```
+//!
+//! The payload is compact JSON: a `meta` record first (experiment name +
+//! scale parameters, validated on resume so a journal cannot be replayed
+//! into a different sweep), then one `task` record per completed task,
+//! keyed by `(stage, index)`. Appends are fsynced, so a record is either
+//! durable or absent. Recovery walks the frames and **truncates a torn
+//! tail** (short frame, checksum mismatch, or unparseable payload)
+//! instead of failing: everything before the tear is trusted, everything
+//! after is re-run.
+//!
+//! [`atomic_write`] is the complementary output-side guarantee: final
+//! reports and all CLI artifacts are written via temp file + fsync +
+//! rename, so readers see the old file or the new one, never a torn mix.
+
+use betze_json::{json, Object, Value};
+use betze_model::TaskRecord;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use betze_engines::CancelToken;
+
+/// First bytes of every journal file (the trailing version digit bumps on
+/// format changes).
+pub const JOURNAL_MAGIC: &[u8] = b"BETZEJRNL1\n";
+
+/// Bytes of frame overhead per record (length + checksum).
+const FRAME_HEADER: usize = 4 + 8;
+
+/// FNV-1a over a byte slice (the same hash the analysis cache uses for
+/// dataset fingerprints; re-stated here so the journal's on-disk format
+/// does not depend on another crate's internals).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the `meta` payload: experiment name plus the scale parameters
+/// that must match for a resume to be sound.
+pub fn meta_record(experiment: &str, params: Value) -> Value {
+    json!({ "kind": "meta", "experiment": experiment, "params": params })
+}
+
+/// Builds one `task` payload.
+pub fn task_record(stage: &str, index: usize, value: Value) -> Value {
+    json!({ "kind": "task", "stage": stage, "index": (index as i64), "value": value })
+}
+
+/// Everything a recovery scan salvaged from an existing journal.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// The `meta` record's `params`+`experiment`, if one was recovered.
+    pub meta: Option<Value>,
+    /// Completed task results: stage → index → raw value.
+    pub tasks: HashMap<String, HashMap<usize, Value>>,
+    /// Valid records recovered.
+    pub records: usize,
+    /// Torn-tail bytes dropped by truncation (0 for a clean shutdown).
+    pub truncated_bytes: u64,
+}
+
+impl Recovered {
+    /// Total recovered task results across all stages.
+    pub fn task_count(&self) -> usize {
+        self.tasks.values().map(HashMap::len).sum()
+    }
+}
+
+/// An append-only write-ahead journal of completed task results.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal at `path` and writes the magic.
+    pub fn create(path: &Path) -> io::Result<Journal> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(Journal {
+            file,
+            path: path.to_owned(),
+        })
+    }
+
+    /// Opens an existing journal, validates every record, truncates any
+    /// torn tail, and returns the journal (positioned for appending)
+    /// plus what was recovered. Fails only if the file is missing or is
+    /// not a journal at all (wrong magic) — torn or corrupt *tails* are
+    /// recovered from, per the module docs.
+    pub fn recover(path: &Path) -> io::Result<(Journal, Recovered)> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a BETZE journal (bad magic)", path.display()),
+            ));
+        }
+        let mut recovered = Recovered::default();
+        let mut offset = JOURNAL_MAGIC.len();
+        // A frame that is short, fails its checksum, or carries an
+        // unparseable payload is a torn tail: keep everything before it.
+        while let Some(record_end) = frame_end(&bytes, offset) {
+            let payload = &bytes[offset + FRAME_HEADER..record_end];
+            let Ok(value) = betze_json::parse(&String::from_utf8_lossy(payload)) else {
+                break;
+            };
+            absorb(&mut recovered, &value);
+            recovered.records += 1;
+            offset = record_end;
+        }
+        recovered.truncated_bytes = (bytes.len() - offset) as u64;
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(offset as u64)?;
+        let mut journal = Journal {
+            file,
+            path: path.to_owned(),
+        };
+        journal.file.seek_to_end()?;
+        Ok((journal, recovered))
+    }
+
+    /// The journal's path (for resume hints).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and fsyncs: after this returns, the record
+    /// survives a crash.
+    pub fn append(&mut self, payload: &Value) -> io::Result<()> {
+        let text = payload.to_json();
+        let bytes = text.as_bytes();
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "journal record too large"))?;
+        let mut frame = Vec::with_capacity(FRAME_HEADER + bytes.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+        frame.extend_from_slice(bytes);
+        self.file.write_all(&frame)?;
+        self.file.sync_all()
+    }
+}
+
+/// `Seek::seek(SeekFrom::End(0))` without importing the trait at every
+/// call site.
+trait SeekToEnd {
+    fn seek_to_end(&mut self) -> io::Result<u64>;
+}
+
+impl SeekToEnd for File {
+    fn seek_to_end(&mut self) -> io::Result<u64> {
+        use std::io::{Seek, SeekFrom};
+        self.seek(SeekFrom::End(0))
+    }
+}
+
+/// Validates the frame starting at `offset`; returns its end offset, or
+/// `None` if the frame is short or its checksum does not match.
+fn frame_end(bytes: &[u8], offset: usize) -> Option<usize> {
+    let header = bytes.get(offset..offset + FRAME_HEADER)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(header[4..].try_into().unwrap());
+    let payload = bytes.get(offset + FRAME_HEADER..offset + FRAME_HEADER + len)?;
+    (fnv1a(payload) == checksum).then_some(offset + FRAME_HEADER + len)
+}
+
+/// Files a valid record payload into the recovery state.
+fn absorb(recovered: &mut Recovered, value: &Value) {
+    match value.get("kind").and_then(Value::as_str) {
+        Some("meta") => recovered.meta = Some(value.clone()),
+        Some("task") => {
+            let stage = value.get("stage").and_then(Value::as_str);
+            let index = value
+                .get("index")
+                .and_then(Value::as_i64)
+                .and_then(|i| usize::try_from(i).ok());
+            if let (Some(stage), Some(index), Some(task_value)) = (stage, index, value.get("value"))
+            {
+                recovered
+                    .tasks
+                    .entry(stage.to_owned())
+                    .or_default()
+                    .insert(index, task_value.clone());
+            }
+        }
+        // Unknown kinds are skipped (forward compatibility), not a tear.
+        _ => {}
+    }
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, fsync, rename over the target, fsync the directory. A
+/// crash at any point leaves either the old file or the new one — never
+/// a torn mix. Used for the journal's sibling artifacts (final reports,
+/// generated scripts, session files, benchmark records).
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_owned(),
+        _ => PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself (the directory entry). Directories
+        // cannot be fsynced on all platforms; best-effort there.
+        if let Ok(dir_file) = File::open(&dir) {
+            let _ = dir_file.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Shared journal state behind a [`RunCtx`]: the serialized writer plus
+/// the results recovered at startup.
+#[derive(Debug)]
+struct JournalShared {
+    writer: Mutex<Journal>,
+    recovered: HashMap<String, HashMap<usize, Value>>,
+}
+
+/// The governance context threaded through a sweep: a cancellation token
+/// plus an optional attached journal. `Default` is fully inert (never
+/// cancels, journals nothing) — the context exists on every run so the
+/// drivers have one code path.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtx {
+    /// The sweep-wide cancellation token (deadline / SIGINT / explicit).
+    pub cancel: CancelToken,
+    journal: Option<Arc<JournalShared>>,
+}
+
+impl RunCtx {
+    /// An inert context: never cancels, journals nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context governed by `cancel`, without journaling.
+    pub fn with_cancel(cancel: CancelToken) -> Self {
+        RunCtx {
+            cancel,
+            journal: None,
+        }
+    }
+
+    /// Attaches a journal: completed tasks are appended to `journal`,
+    /// and `recovered` results are served back to
+    /// [`SessionPool::checkpointed_map`](crate::SessionPool::checkpointed_map)
+    /// so already-completed indices are not re-run.
+    pub fn attach_journal(&mut self, journal: Journal, recovered: Recovered) {
+        self.journal = Some(Arc::new(JournalShared {
+            writer: Mutex::new(journal),
+            recovered: recovered.tasks,
+        }));
+    }
+
+    /// Whether a journal is attached.
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The journal's path, if one is attached (for resume hints).
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        self.journal.as_ref().map(|shared| {
+            shared
+                .writer
+                .lock()
+                .expect("journal poisoned")
+                .path()
+                .to_owned()
+        })
+    }
+
+    /// A recovered result for `(stage, index)`, decoded; `None` if the
+    /// journal has no (valid) record for it.
+    pub fn recovered_task<R: TaskRecord>(&self, stage: &str, index: usize) -> Option<R> {
+        let shared = self.journal.as_ref()?;
+        let raw = shared.recovered.get(stage)?.get(&index)?;
+        R::from_record(raw)
+    }
+
+    /// Journals one completed task result. An I/O failure here is fatal
+    /// to the sweep's crash-safety contract and is surfaced as an error.
+    pub fn record_task<R: TaskRecord>(
+        &self,
+        stage: &str,
+        index: usize,
+        value: &R,
+    ) -> io::Result<()> {
+        let Some(shared) = self.journal.as_ref() else {
+            return Ok(());
+        };
+        let payload = task_record(stage, index, value.to_record());
+        shared
+            .writer
+            .lock()
+            .expect("journal poisoned")
+            .append(&payload)
+    }
+
+    /// Journals the sweep's `meta` record (call once, before any task).
+    pub fn record_meta(&self, experiment: &str, params: Value) -> io::Result<()> {
+        let Some(shared) = self.journal.as_ref() else {
+            return Ok(());
+        };
+        shared
+            .writer
+            .lock()
+            .expect("journal poisoned")
+            .append(&meta_record(experiment, params))
+    }
+}
+
+/// A sweep stopped early by its [`CancelToken`]: `completed` of `total`
+/// tasks of `stage` finished (and, with a journal attached, are safely
+/// on disk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interrupted {
+    /// The stage that was interrupted.
+    pub stage: String,
+    /// Tasks of that stage completed (including recovered ones).
+    pub completed: usize,
+    /// Tasks the stage has in total.
+    pub total: usize,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "interrupted during '{}' after {}/{} tasks",
+            self.stage, self.completed, self.total
+        )
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Convenience: an empty JSON object for meta params.
+pub fn empty_params() -> Value {
+    Value::Object(Object::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("betze-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn append_and_recover_round_trips() {
+        let path = temp_path("roundtrip");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .append(&meta_record("fig7", json!({ "sessions": 4 })))
+            .unwrap();
+        journal
+            .append(&task_record("fig7/run", 0, 1.5f64.to_record()))
+            .unwrap();
+        journal
+            .append(&task_record("fig7/run", 3, 2.5f64.to_record()))
+            .unwrap();
+        drop(journal);
+
+        let (_journal, recovered) = Journal::recover(&path).unwrap();
+        assert_eq!(recovered.records, 3);
+        assert_eq!(recovered.truncated_bytes, 0);
+        assert_eq!(recovered.task_count(), 2);
+        let meta = recovered.meta.unwrap();
+        assert_eq!(meta.get("experiment").and_then(Value::as_str), Some("fig7"));
+        assert_eq!(
+            f64::from_record(&recovered.tasks["fig7/run"][&0]),
+            Some(1.5)
+        );
+        assert_eq!(
+            f64::from_record(&recovered.tasks["fig7/run"][&3]),
+            Some(2.5)
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = temp_path("torn");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .append(&task_record("s", 0, 7u64.to_record()))
+            .unwrap();
+        journal
+            .append(&task_record("s", 1, 8u64.to_record()))
+            .unwrap();
+        drop(journal);
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+
+        // Simulate a crash mid-append: a frame header promising more
+        // bytes than exist.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&999u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(b"{\"kind\":\"task\"");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_journal, recovered) = Journal::recover(&path).unwrap();
+        assert_eq!(recovered.records, 2);
+        assert!(recovered.truncated_bytes > 0);
+        assert_eq!(recovered.task_count(), 2);
+        // The file was physically truncated back to the valid prefix.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_truncates_from_the_corruption() {
+        let path = temp_path("corrupt");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .append(&task_record("s", 0, 1u64.to_record()))
+            .unwrap();
+        let valid_len = std::fs::metadata(&path).unwrap().len();
+        journal
+            .append(&task_record("s", 1, 2u64.to_record()))
+            .unwrap();
+        drop(journal);
+
+        // Flip one payload byte of the second record: checksum mismatch.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_journal, recovered) = Journal::recover(&path).unwrap();
+        assert_eq!(recovered.records, 1);
+        assert_eq!(recovered.task_count(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), valid_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_appends_after_the_valid_prefix() {
+        let path = temp_path("resume-append");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .append(&task_record("s", 0, 1u64.to_record()))
+            .unwrap();
+        drop(journal);
+        let (mut journal, _) = Journal::recover(&path).unwrap();
+        journal
+            .append(&task_record("s", 1, 2u64.to_record()))
+            .unwrap();
+        drop(journal);
+        let (_, recovered) = Journal::recover(&path).unwrap();
+        assert_eq!(recovered.task_count(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_journal_files_are_rejected() {
+        let path = temp_path("notajournal");
+        std::fs::write(&path, "definitely not a journal").unwrap();
+        assert!(Journal::recover(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn run_ctx_serves_recovered_tasks_and_journals_new_ones() {
+        let path = temp_path("ctx");
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .append(&task_record("stage", 2, 0.25f64.to_record()))
+            .unwrap();
+        drop(journal);
+        let (journal, recovered) = Journal::recover(&path).unwrap();
+        let mut ctx = RunCtx::new();
+        ctx.attach_journal(journal, recovered);
+        assert!(ctx.has_journal());
+        assert_eq!(ctx.recovered_task::<f64>("stage", 2), Some(0.25));
+        assert_eq!(ctx.recovered_task::<f64>("stage", 0), None);
+        assert_eq!(ctx.recovered_task::<f64>("other", 2), None);
+        ctx.record_task("stage", 5, &0.75f64).unwrap();
+        drop(ctx);
+        let (_, recovered) = Journal::recover(&path).unwrap();
+        assert_eq!(recovered.task_count(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let path = temp_path("atomic");
+        atomic_write(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temp droppings left behind.
+        let dir = path.parent().unwrap();
+        let stem = format!(".{}", path.file_name().unwrap().to_string_lossy());
+        assert!(!std::fs::read_dir(dir)
+            .unwrap()
+            .any(|e| { e.unwrap().file_name().to_string_lossy().starts_with(&stem) }));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -19,14 +19,16 @@
 pub mod backend_adapter;
 pub mod experiments;
 pub mod fmt;
+pub mod journal;
 pub mod pool;
 pub mod runner;
 pub mod workload;
 
 pub use backend_adapter::EngineBackend;
+pub use journal::{atomic_write, Interrupted, Journal, Recovered, RunCtx};
 pub use pool::SessionPool;
 pub use runner::{
-    run_session, run_session_with_options, run_session_with_timeout, QueryStatus, RetryPolicy,
-    RunOptions, SessionOutcome, SessionRun,
+    run_session, run_session_governed, run_session_with_options, run_session_with_timeout,
+    QueryStatus, RetryPolicy, RunOptions, SessionOutcome, SessionRun,
 };
 pub use workload::{prepare, prepare_with_analysis, Corpus, PreparedWorkload, SharedCorpus};

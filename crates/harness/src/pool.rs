@@ -19,6 +19,9 @@
 //! and RNG streams from its index, and writes into its own pre-sized
 //! result slot.
 
+use crate::journal::{Interrupted, RunCtx};
+use betze_engines::EngineError;
+use betze_model::TaskRecord;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -34,15 +37,34 @@ pub fn effective_jobs(jobs: usize) -> usize {
 
 /// A scoped-thread executor for independent, index-addressed tasks (see
 /// the module docs).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct SessionPool {
     jobs: usize,
+    ctx: RunCtx,
 }
 
 impl SessionPool {
-    /// A pool with the given worker count (0 = auto-detect).
+    /// A pool with the given worker count (0 = auto-detect) and an inert
+    /// governance context (never cancels, journals nothing).
     pub fn new(jobs: usize) -> SessionPool {
-        SessionPool { jobs }
+        SessionPool {
+            jobs,
+            ctx: RunCtx::new(),
+        }
+    }
+
+    /// This pool with a governance context: its cancel token stops the
+    /// governed entry points ([`try_map`](Self::try_map) /
+    /// [`checkpointed_map`](Self::checkpointed_map)), and its journal —
+    /// if attached — checkpoints their completed tasks.
+    pub fn with_ctx(mut self, ctx: RunCtx) -> SessionPool {
+        self.ctx = ctx;
+        self
+    }
+
+    /// The governance context.
+    pub fn ctx(&self) -> &RunCtx {
+        &self.ctx
     }
 
     /// The resolved worker count.
@@ -110,6 +132,167 @@ impl SessionPool {
     {
         self.run(items.len(), |i| f(i, &items[i]))
     }
+
+    /// Cancel-aware [`map`](Self::map): workers stop claiming new tasks
+    /// once the context's token trips, and the call returns
+    /// [`Interrupted`] if any task is left unfinished. Results are not
+    /// journaled (use [`checkpointed_map`](Self::checkpointed_map) for
+    /// that). A task error that is not part of the cancellation unwind
+    /// panics, matching the pre-governance `.expect` contract for
+    /// deterministic sweeps.
+    pub fn try_map<T, R, F>(&self, stage: &str, items: &[T], f: F) -> Result<Vec<R>, Interrupted>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> Result<R, EngineError> + Sync,
+    {
+        self.governed(stage, items, f, |_| None, |_, _| {})
+    }
+
+    /// Cancel-aware, journal-backed [`map`](Self::map): indices with a
+    /// recovered result in the context's journal are served from it
+    /// (skipping the task), every freshly completed task is appended to
+    /// the journal before its result slot is filled, and an interrupted
+    /// call leaves all completed work on disk for `--resume`.
+    ///
+    /// `stage` keys the journal records: it must be stable across runs
+    /// and unique within a sweep (the drivers use `"<experiment>/<step>"`
+    /// labels). Determinism contract: because each task is a pure
+    /// function of `(stage, index)`, a resumed run returns bit-identical
+    /// results to an uninterrupted one regardless of where the
+    /// interruption fell or how many workers either run used.
+    pub fn checkpointed_map<T, R, F>(
+        &self,
+        stage: &str,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>, Interrupted>
+    where
+        T: Sync,
+        R: Send + TaskRecord,
+        F: Fn(usize, &T) -> Result<R, EngineError> + Sync,
+    {
+        self.governed(
+            stage,
+            items,
+            f,
+            |index| self.ctx.recovered_task::<R>(stage, index),
+            |index, result: &R| {
+                // A journal append failure breaks the crash-safety
+                // contract mid-sweep; surface it loudly.
+                if let Err(e) = self.ctx.record_task(stage, index, result) {
+                    panic!("journal append failed for {stage}#{index}: {e}");
+                }
+            },
+        )
+    }
+
+    /// Shared core of the governed entry points: `recover` pre-fills
+    /// slots, `persist` runs after each fresh completion (before the
+    /// slot is filled), and cancellation stops workers from claiming new
+    /// tasks while letting in-flight ones drain.
+    fn governed<T, R, F, V, P>(
+        &self,
+        stage: &str,
+        items: &[T],
+        f: F,
+        recover: V,
+        persist: P,
+    ) -> Result<Vec<R>, Interrupted>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> Result<R, EngineError> + Sync,
+        V: Fn(usize) -> Option<R>,
+        P: Fn(usize, &R) + Sync,
+    {
+        let count = items.len();
+        let mut slots: Vec<Mutex<Option<R>>> = Vec::with_capacity(count);
+        let mut pending: Vec<usize> = Vec::new();
+        for index in 0..count {
+            let recovered = recover(index);
+            if recovered.is_none() {
+                pending.push(index);
+            }
+            slots.push(Mutex::new(recovered));
+        }
+        let cancel = &self.ctx.cancel;
+        let run_one = |index: usize| -> Option<R> {
+            match f(index, &items[index]) {
+                Ok(result) => {
+                    persist(index, &result);
+                    Some(result)
+                }
+                Err(e) if cancel.is_canceled() => {
+                    // The cancellation unwind: the task aborted because
+                    // the token tripped mid-flight. Its index stays
+                    // unfinished and re-runs on resume.
+                    debug_assert!(
+                        matches!(e, EngineError::Canceled { .. }),
+                        "non-cancel error during unwind: {e}"
+                    );
+                    None
+                }
+                Err(e) => panic!("{stage} task #{index} failed: {e}"),
+            }
+        };
+        let workers = self.jobs().min(pending.len()).max(1);
+        if workers <= 1 {
+            for &index in &pending {
+                if cancel.is_canceled() {
+                    break;
+                }
+                if let Some(result) = run_one(index) {
+                    *slots[index].lock().expect("slot poisoned") = Some(result);
+                }
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| loop {
+                            if cancel.is_canceled() {
+                                break;
+                            }
+                            let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                            if claim >= pending.len() {
+                                break;
+                            }
+                            let index = pending[claim];
+                            if let Some(result) = run_one(index) {
+                                let previous =
+                                    slots[index].lock().expect("slot poisoned").replace(result);
+                                debug_assert!(previous.is_none(), "task index claimed twice");
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    if let Err(payload) = handle.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+        }
+        let mut results = Vec::with_capacity(count);
+        let mut completed = 0usize;
+        for slot in slots {
+            if let Some(result) = slot.into_inner().expect("slot poisoned") {
+                completed += 1;
+                results.push(result);
+            }
+        }
+        if completed == count {
+            Ok(results)
+        } else {
+            Err(Interrupted {
+                stage: stage.to_owned(),
+                completed,
+                total: count,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +356,94 @@ mod tests {
                 panic!("boom");
             }
             i
+        });
+    }
+
+    #[test]
+    fn try_map_without_cancellation_matches_map() {
+        let items: Vec<u64> = (0..50).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for jobs in [1, 4] {
+            let out = SessionPool::new(jobs)
+                .try_map("test/triple", &items, |_, &x| Ok(x * 3))
+                .expect("no cancellation");
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_interrupts_before_any_task() {
+        use betze_engines::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let pool = SessionPool::new(2).with_ctx(crate::journal::RunCtx::with_cancel(token));
+        let items: Vec<u64> = (0..10).collect();
+        let err = pool
+            .try_map("test/stage", &items, |_, &x| Ok(x))
+            .unwrap_err();
+        assert_eq!(err.stage, "test/stage");
+        assert_eq!(err.completed, 0);
+        assert_eq!(err.total, 10);
+        assert!(err.to_string().contains("0/10"));
+    }
+
+    #[test]
+    fn cancellation_mid_sweep_keeps_completed_prefix_journaled() {
+        use crate::journal::{Journal, RunCtx};
+        use betze_engines::CancelToken;
+        let path = std::env::temp_dir().join(format!("betze-pool-cancel-{}", std::process::id()));
+        let journal = Journal::create(&path).unwrap();
+        let token = CancelToken::new();
+        let mut ctx = RunCtx::with_cancel(token.clone());
+        ctx.attach_journal(journal, Default::default());
+        let items: Vec<u64> = (0..20).collect();
+        // Sequential so the cut point is deterministic: cancel after 5.
+        let ran = AtomicUsize::new(0);
+        let err = SessionPool::new(1)
+            .with_ctx(ctx)
+            .checkpointed_map("test/cut", &items, |_, &x| {
+                if ran.fetch_add(1, Ordering::Relaxed) == 4 {
+                    token.cancel();
+                }
+                Ok(x * 2)
+            })
+            .unwrap_err();
+        assert_eq!(err.completed, 5);
+        // The 5 completed tasks are on disk...
+        let (journal, recovered) = Journal::recover(&path).unwrap();
+        assert_eq!(recovered.task_count(), 5);
+        // ...and a resumed run re-runs only the other 15, with
+        // bit-identical results to an uninterrupted run.
+        let mut resumed_ctx = RunCtx::new();
+        resumed_ctx.attach_journal(journal, recovered);
+        let reran = AtomicUsize::new(0);
+        let resumed = SessionPool::new(1)
+            .with_ctx(resumed_ctx)
+            .checkpointed_map("test/cut", &items, |_, &x| {
+                reran.fetch_add(1, Ordering::Relaxed);
+                Ok(x * 2)
+            })
+            .expect("resume completes");
+        assert_eq!(reran.load(Ordering::Relaxed), 15);
+        let uninterrupted = SessionPool::new(1)
+            .try_map("test/cut", &items, |_, &x| Ok(x * 2))
+            .unwrap();
+        assert_eq!(resumed, uninterrupted);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "test/fail task #3 failed")]
+    fn non_cancel_task_errors_panic_with_context() {
+        let items: Vec<u64> = (0..10).collect();
+        let _ = SessionPool::new(1).try_map("test/fail", &items, |i, &x| {
+            if i == 3 {
+                Err(betze_engines::EngineError::Internal {
+                    message: "scripted".into(),
+                })
+            } else {
+                Ok(x)
+            }
         });
     }
 }

@@ -6,7 +6,7 @@
 //! and a failed query degrades the session instead of aborting it.
 
 use betze_datagen::Dataset;
-use betze_engines::{Engine, EngineError, ExecutionReport};
+use betze_engines::{CancelToken, Engine, EngineError, ExecutionReport};
 use betze_model::{Query, Session};
 use std::time::Duration;
 
@@ -90,6 +90,18 @@ pub struct RunOptions {
     /// `Internal` error carrying the rendered report. `None` (the
     /// default) skips the pre-flight.
     pub lint: Option<betze_lint::Severity>,
+    /// Cooperative cancellation token: installed on the engine for the
+    /// duration of the run and polled before every query. Once it trips
+    /// the run aborts with [`EngineError::Canceled`] — cancellation
+    /// bypasses degradation (the whole sweep is unwinding, not one
+    /// query failing). The default token is inert.
+    pub cancel: CancelToken,
+    /// Optional per-query **modeled-time** budget: a query whose modeled
+    /// cost exceeds it stops the session with
+    /// [`SessionOutcome::TimedOut`] at that query, like a session-level
+    /// timeout that a single runaway query can trip on its own.
+    /// Deterministic, because the modeled clock is.
+    pub query_timeout: Option<Duration>,
 }
 
 impl Default for RunOptions {
@@ -100,6 +112,8 @@ impl Default for RunOptions {
             retry: RetryPolicy::default(),
             degrade: true,
             lint: None,
+            cancel: CancelToken::new(),
+            query_timeout: None,
         }
     }
 }
@@ -141,6 +155,18 @@ impl RunOptions {
     /// to disable it again).
     pub fn lint(mut self, deny: Option<betze_lint::Severity>) -> Self {
         self.lint = deny;
+        self
+    }
+
+    /// Sets the cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Sets the per-query modeled-time budget.
+    pub fn query_timeout(mut self, t: Option<Duration>) -> Self {
+        self.query_timeout = t;
         self
     }
 }
@@ -288,7 +314,20 @@ pub fn run_session(
     dataset: &Dataset,
     session: &Session,
 ) -> Result<SessionRun, EngineError> {
-    let options = RunOptions::reference().degrade(false);
+    run_session_governed(engine, dataset, session, CancelToken::new())
+}
+
+/// [`run_session`] under a cancellation token: the pooled experiment
+/// drivers run every task through this, so a sweep deadline or Ctrl-C
+/// stops in-flight sessions at the next query boundary (or mid-scan, for
+/// the engines that poll) with [`EngineError::Canceled`].
+pub fn run_session_governed(
+    engine: &mut dyn Engine,
+    dataset: &Dataset,
+    session: &Session,
+    cancel: CancelToken,
+) -> Result<SessionRun, EngineError> {
+    let options = RunOptions::reference().degrade(false).cancel(cancel);
     match run_session_with_options(engine, dataset, session, &options)? {
         SessionOutcome::Completed(run) => Ok(run),
         SessionOutcome::CompletedWithErrors(run) => {
@@ -373,6 +412,8 @@ pub fn run_session_with_options(
             });
         }
     }
+    options.cancel.check("session start")?;
+    engine.set_cancel(Some(options.cancel.clone()));
     engine.reset();
     engine.set_output_enabled(options.count_output);
     let import = import_with_retry(engine, dataset, &options.retry)?;
@@ -385,6 +426,7 @@ pub fn run_session_with_options(
     };
     let mut modeled = Duration::ZERO;
     for i in 0..session.queries.len() {
+        options.cancel.check("between queries")?;
         let mut report = ExecutionReport::empty();
         let mut retries = 0u32;
         let status = match execute_resilient(
@@ -405,7 +447,9 @@ pub fn run_session_with_options(
                 }
             }
             Err(error) => {
-                if !options.degrade {
+                // Cancellation is a sweep-level unwind, never a per-query
+                // degradation.
+                if matches!(error, EngineError::Canceled { .. }) || !options.degrade {
                     return Err(error);
                 }
                 match error.lost_dataset() {
@@ -417,15 +461,17 @@ pub fn run_session_with_options(
             }
         };
         modeled += report.modeled;
+        let query_over_budget = options
+            .query_timeout
+            .is_some_and(|limit| report.modeled > limit);
         run.queries.push(report);
         run.statuses.push(status);
-        if let Some(limit) = timeout {
-            if modeled > limit {
-                return Ok(SessionOutcome::TimedOut {
-                    completed_queries: i + 1,
-                    partial: run,
-                });
-            }
+        let session_over_budget = timeout.is_some_and(|limit| modeled > limit);
+        if query_over_budget || session_over_budget {
+            return Ok(SessionOutcome::TimedOut {
+                completed_queries: i + 1,
+                partial: run,
+            });
         }
     }
     Ok(if run.degraded() {
@@ -584,6 +630,16 @@ mod tests {
         prepare(Corpus::NoBench, 200, 1, &GeneratorConfig::default(), 7).unwrap()
     }
 
+    /// Unwraps a runner result, reporting the engine error's own message
+    /// on failure: a chaos/timeout test that dies should say *which*
+    /// fault killed it, not just point at an unwrap line.
+    fn expect_ok<T>(result: Result<T, EngineError>, context: &str) -> T {
+        match result {
+            Ok(value) => value,
+            Err(e) => panic!("{context}: {e}"),
+        }
+    }
+
     #[test]
     fn run_session_reports_per_query() {
         let w = workload();
@@ -634,13 +690,15 @@ mod tests {
     fn timeout_cuts_off_slow_engines() {
         let w = workload();
         let mut jq = JqSim::new();
-        let outcome = run_session_with_timeout(
-            &mut jq,
-            &w.dataset,
-            &w.generation.session,
-            Some(Duration::from_nanos(1)),
-        )
-        .unwrap();
+        let outcome = expect_ok(
+            run_session_with_timeout(
+                &mut jq,
+                &w.dataset,
+                &w.generation.session,
+                Some(Duration::from_nanos(1)),
+            ),
+            "timed-out run must not error",
+        );
         match outcome {
             SessionOutcome::TimedOut {
                 completed_queries, ..
@@ -666,9 +724,10 @@ mod tests {
         let last = clean.queries.last().unwrap().modeled;
         assert!(last > Duration::ZERO);
         let limit = total - last / 2;
-        let outcome =
-            run_session_with_timeout(&mut joda, &w.dataset, &w.generation.session, Some(limit))
-                .unwrap();
+        let outcome = expect_ok(
+            run_session_with_timeout(&mut joda, &w.dataset, &w.generation.session, Some(limit)),
+            "final-query timeout run must not error",
+        );
         match outcome {
             SessionOutcome::TimedOut {
                 completed_queries, ..
@@ -718,9 +777,10 @@ mod tests {
             FaultPlan::none(42).storage_faults(0.3).import_faults(0.3),
         );
         let options = RunOptions::reference().retry(RetryPolicy::attempts(50));
-        let outcome =
-            run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options)
-                .unwrap();
+        let outcome = expect_ok(
+            run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options),
+            "chaotic run with generous retries must not error",
+        );
         let run = outcome.completed().expect("retries should absorb faults");
         assert!(run.total_retries() > 0, "30% fault rate must hit something");
         assert!(run
@@ -736,9 +796,10 @@ mod tests {
         // recorded Failed but the session still completes (with errors).
         let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(7).storage_faults(1.0));
         let options = RunOptions::reference().retry(RetryPolicy::attempts(2));
-        let outcome =
-            run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options)
-                .unwrap();
+        let outcome = expect_ok(
+            run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options),
+            "degrading run must absorb permanent failures",
+        );
         match &outcome {
             SessionOutcome::CompletedWithErrors(run) => {
                 assert_eq!(run.ok_queries(), 0);
@@ -765,8 +826,10 @@ mod tests {
         let options = RunOptions::reference().retry(RetryPolicy::attempts(4));
         let run_once = || {
             let mut chaos = ChaosEngine::new(JodaSim::new(1), plan.clone());
-            run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options)
-                .unwrap()
+            expect_ok(
+                run_session_with_options(&mut chaos, &w.dataset, &w.generation.session, &options),
+                "deterministic chaos run must not error",
+            )
         };
         let a = run_once();
         let b = run_once();
@@ -781,8 +844,14 @@ mod tests {
         let w = workload();
         let mut plain = JodaSim::new(1);
         let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(0));
-        let a = run_session(&mut plain, &w.dataset, &w.generation.session).unwrap();
-        let b = run_session(&mut chaos, &w.dataset, &w.generation.session).unwrap();
+        let a = expect_ok(
+            run_session(&mut plain, &w.dataset, &w.generation.session),
+            "plain run",
+        );
+        let b = expect_ok(
+            run_session(&mut chaos, &w.dataset, &w.generation.session),
+            "zero-rate chaos run",
+        );
         assert_eq!(a.session_modeled(), b.session_modeled());
         for (x, y) in a.queries.iter().zip(&b.queries) {
             assert_eq!(x.counters, y.counters);
@@ -818,9 +887,10 @@ mod tests {
         // query 2 must recover it via lineage replay (the chaos engine
         // evicts each name at most once, so the replayed copy sticks).
         let mut chaos = ChaosEngine::new(JodaSim::new(1), FaultPlan::none(3).evictions(1.0));
-        let outcome =
-            run_session_with_options(&mut chaos, &dataset, &session, &RunOptions::reference())
-                .unwrap();
+        let outcome = expect_ok(
+            run_session_with_options(&mut chaos, &dataset, &session, &RunOptions::reference()),
+            "eviction run must recover via lineage replay",
+        );
         let run = outcome.completed().expect("replay should recover");
         assert_eq!(run.lineage_replays, 1);
         assert_eq!(run.statuses, vec![QueryStatus::Ok, QueryStatus::Retried(1)]);
@@ -854,6 +924,95 @@ mod tests {
                 assert_eq!(run.ok_queries(), run.statuses.len() - 1);
             }
             other => panic!("expected CompletedWithErrors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canceled_token_aborts_before_work_starts() {
+        let w = workload();
+        let mut joda = JodaSim::new(1);
+        let token = betze_engines::CancelToken::new();
+        token.cancel();
+        let options = RunOptions::reference().cancel(token);
+        match run_session_with_options(&mut joda, &w.dataset, &w.generation.session, &options) {
+            Err(EngineError::Canceled { message }) => assert_eq!(message, "session start"),
+            other => panic!("expected Err(Canceled) from a pre-tripped token, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_token_cancels_mid_session_even_when_degrading() {
+        // An already-expired deadline trips between queries. Cancellation
+        // must bypass degradation: governed callers need the Err so the
+        // pool can leave the slot empty for resume.
+        let w = workload();
+        let mut joda = JodaSim::new(1);
+        let token = betze_engines::CancelToken::with_deadline(Duration::ZERO);
+        // degrade(true) is the default; Canceled must still surface as Err.
+        let options = RunOptions::reference().cancel(token.clone());
+        match run_session_with_options(&mut joda, &w.dataset, &w.generation.session, &options) {
+            Err(EngineError::Canceled { .. }) => {}
+            other => panic!("expected Err(Canceled) from an expired deadline, got {other:?}"),
+        }
+        assert!(token.is_canceled(), "deadline must latch the token");
+    }
+
+    #[test]
+    fn per_query_budget_times_out_deterministically() {
+        let w = workload();
+        let mut joda = JodaSim::new(1);
+        let clean = expect_ok(
+            run_session(&mut joda, &w.dataset, &w.generation.session),
+            "clean run",
+        );
+        // Budget below the slowest query: the first query that exceeds it
+        // ends the session as TimedOut, on the modeled (deterministic) clock.
+        let slowest = clean.queries.iter().map(|q| q.modeled).max().unwrap();
+        let budget = slowest / 2;
+        let first_over = clean
+            .queries
+            .iter()
+            .position(|q| q.modeled > budget)
+            .expect("some query must exceed half the slowest query's time");
+        let options = RunOptions::reference().query_timeout(Some(budget));
+        let outcome = expect_ok(
+            run_session_with_options(&mut joda, &w.dataset, &w.generation.session, &options),
+            "per-query timeout run must not error",
+        );
+        match outcome {
+            SessionOutcome::TimedOut {
+                completed_queries,
+                partial,
+            } => {
+                assert_eq!(completed_queries, first_over + 1);
+                assert_eq!(partial.queries.len(), first_over + 1);
+            }
+            other => panic!("expected TimedOut from per-query budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn governed_runner_matches_reference_run() {
+        let w = workload();
+        let mut a = JodaSim::new(1);
+        let mut b = JodaSim::new(1);
+        let reference = expect_ok(
+            run_session(&mut a, &w.dataset, &w.generation.session),
+            "reference run",
+        );
+        let governed = expect_ok(
+            run_session_governed(
+                &mut b,
+                &w.dataset,
+                &w.generation.session,
+                betze_engines::CancelToken::new(),
+            ),
+            "governed run with an inert token",
+        );
+        assert_eq!(reference.queries.len(), governed.queries.len());
+        for (x, y) in reference.queries.iter().zip(&governed.queries) {
+            assert_eq!(x.counters, y.counters);
+            assert_eq!(x.modeled, y.modeled);
         }
     }
 }

@@ -23,6 +23,7 @@ mod file;
 mod graph;
 mod predicate;
 mod query;
+mod record;
 mod session;
 mod transform;
 
@@ -31,5 +32,6 @@ pub use file::SessionFileError;
 pub use graph::{DatasetGraph, DatasetId, DatasetNode, EdgeKind};
 pub use predicate::{Comparison, FilterFn, Predicate, PredicateKind};
 pub use query::Query;
+pub use record::TaskRecord;
 pub use session::{Move, Session, SessionStats};
 pub use transform::{apply_all, Transform};

@@ -1,0 +1,213 @@
+//! Serializable task results for the harness's crash-safe result journal.
+//!
+//! Every experiment driver fans its work out as pool tasks; the journal
+//! (DESIGN.md §11) persists each completed task's result so an
+//! interrupted sweep resumes by re-running only the missing indices. For
+//! resumed runs to be **bit-identical** to uninterrupted ones, the
+//! round-trip through the journal must be lossless — which a decimal
+//! rendering of an `f64` is not. [`TaskRecord`] therefore encodes floats
+//! by their IEEE-754 bit pattern ([`f64::to_bits`] carried as a JSON
+//! integer): ugly in a text dump, but the recovered value is the *exact*
+//! f64 the original task computed.
+//!
+//! Implementations cover the shapes the drivers actually return: scalars,
+//! `Option` (figure cells that timed out), `Vec`, and small tuples.
+//! `Option` encodes `None` as JSON `null`; no other implementation
+//! produces `null`, so the encoding is unambiguous.
+
+use betze_json::{Number, Value};
+
+/// A task result that can round-trip through the result journal
+/// losslessly. `from_record(&to_record(x)) == Some(x)` must hold exactly
+/// (bit-exact for floats).
+pub trait TaskRecord: Sized {
+    /// Encodes the result as a JSON value.
+    fn to_record(&self) -> Value;
+
+    /// Decodes a result; `None` if the value does not have the expected
+    /// shape (the harness then re-runs the task instead of trusting a
+    /// corrupt record).
+    fn from_record(value: &Value) -> Option<Self>;
+}
+
+impl TaskRecord for f64 {
+    /// Bit-pattern encoding: the exact IEEE-754 bits as a JSON integer.
+    fn to_record(&self) -> Value {
+        Value::Number(Number::Int(self.to_bits() as i64))
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        value.as_i64().map(|bits| f64::from_bits(bits as u64))
+    }
+}
+
+impl TaskRecord for u64 {
+    fn to_record(&self) -> Value {
+        // Journal payloads are counts; i64 range is checked on decode.
+        Value::Number(Number::Int(*self as i64))
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        value.as_i64().and_then(|n| u64::try_from(n).ok())
+    }
+}
+
+impl TaskRecord for usize {
+    fn to_record(&self) -> Value {
+        (*self as u64).to_record()
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        u64::from_record(value).and_then(|n| usize::try_from(n).ok())
+    }
+}
+
+impl TaskRecord for bool {
+    fn to_record(&self) -> Value {
+        Value::Bool(*self)
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        value.as_bool()
+    }
+}
+
+impl TaskRecord for String {
+    fn to_record(&self) -> Value {
+        Value::String(self.clone())
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl TaskRecord for Value {
+    fn to_record(&self) -> Value {
+        self.clone()
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        Some(value.clone())
+    }
+}
+
+impl<T: TaskRecord> TaskRecord for Option<T> {
+    fn to_record(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_record(),
+            None => Value::Null,
+        }
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        if value.is_null() {
+            Some(None)
+        } else {
+            T::from_record(value).map(Some)
+        }
+    }
+}
+
+impl<T: TaskRecord> TaskRecord for Vec<T> {
+    fn to_record(&self) -> Value {
+        Value::Array(self.iter().map(TaskRecord::to_record).collect())
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        value
+            .as_array()?
+            .iter()
+            .map(T::from_record)
+            .collect::<Option<Vec<T>>>()
+    }
+}
+
+impl<A: TaskRecord, B: TaskRecord> TaskRecord for (A, B) {
+    fn to_record(&self) -> Value {
+        Value::Array(vec![self.0.to_record(), self.1.to_record()])
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        match value.as_array()? {
+            [a, b] => Some((A::from_record(a)?, B::from_record(b)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<A: TaskRecord, B: TaskRecord, C: TaskRecord> TaskRecord for (A, B, C) {
+    fn to_record(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_record(),
+            self.1.to_record(),
+            self.2.to_record(),
+        ])
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        match value.as_array()? {
+            [a, b, c] => Some((A::from_record(a)?, B::from_record(b)?, C::from_record(c)?)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: TaskRecord + PartialEq + std::fmt::Debug>(x: T) {
+        let encoded = x.to_record();
+        // Through text too: the journal stores compact JSON.
+        let reparsed = betze_json::parse(&encoded.to_json()).expect("valid JSON");
+        assert_eq!(T::from_record(&reparsed), Some(x));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            2.2250738585072014e-308,
+            9.869604401089358,
+        ] {
+            roundtrip(x);
+            // Bit-exactness, not just approximate equality.
+            let back = f64::from_record(&x.to_record()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+        // NaN: equality fails but the bits survive.
+        let nan_bits = f64::from_record(&f64::NAN.to_record()).unwrap().to_bits();
+        assert_eq!(nan_bits, f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn scalars_and_containers_round_trip() {
+        roundtrip(42u64);
+        roundtrip(7usize);
+        roundtrip(true);
+        roundtrip("hello".to_owned());
+        roundtrip(Some(2.5f64));
+        roundtrip(None::<f64>);
+        roundtrip(vec![1.0f64, 2.0, 3.5]);
+        roundtrip(("twitter".to_owned(), 3usize));
+        roundtrip(("a".to_owned(), 1u64, vec![0.5f64]));
+        roundtrip(vec![("k".to_owned(), 2u64)]);
+    }
+
+    #[test]
+    fn corrupt_shapes_decode_to_none() {
+        assert_eq!(f64::from_record(&Value::String("x".into())), None);
+        assert_eq!(u64::from_record(&Value::Number(Number::Int(-1))), None);
+        assert_eq!(bool::from_record(&Value::Null), None);
+        assert_eq!(<(String, u64)>::from_record(&Value::Array(vec![])), None);
+        assert_eq!(
+            Vec::<f64>::from_record(&Value::Array(vec![Value::Bool(true)])),
+            None
+        );
+    }
+}

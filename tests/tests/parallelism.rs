@@ -12,8 +12,8 @@ use betze::json::json;
 
 #[test]
 fn fig7_grid_is_bit_identical_across_worker_counts() {
-    let sequential = fig7(&Scale::quick().with_jobs(1));
-    let parallel = fig7(&Scale::quick().with_jobs(4));
+    let sequential = fig7(&Scale::quick().with_jobs(1)).expect("ungoverned fig7");
+    let parallel = fig7(&Scale::quick().with_jobs(4)).expect("ungoverned fig7");
     // Full-structure equality: every (α, β) cell, as exact f64 bits —
     // the per-cell sums accumulate in the same task order either way.
     assert_eq!(sequential.steps, parallel.steps);

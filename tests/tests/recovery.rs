@@ -1,0 +1,173 @@
+//! Crash-recovery and governance tests (DESIGN.md §11): resumed sweeps
+//! are bit-identical to uninterrupted ones, torn journal tails are
+//! truncated rather than fatal, circuit breakers trip deterministically
+//! under chaos, and deadlines cancel sweeps cleanly.
+
+use betze::engines::{
+    BreakerEngine, BreakerPolicy, BreakerState, CancelToken, ChaosEngine, FaultPlan, JodaSim,
+};
+use betze::generator::GeneratorConfig;
+use betze::harness::experiments::{fig6, Scale};
+use betze::harness::workload::{Corpus, SharedCorpus};
+use betze::harness::{
+    run_session_with_options, Journal, Recovered, RetryPolicy, RunCtx, RunOptions, SessionOutcome,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_journal(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "betze-recovery-{}-{name}.journal",
+        std::process::id()
+    ))
+}
+
+/// The tentpole guarantee: a sweep that is interrupted (simulated here by
+/// tearing the journal's tail, exactly what a crash mid-append leaves
+/// behind) and resumed produces a **bit-identical** result — across
+/// worker counts, too.
+#[test]
+fn resumed_sweep_is_bit_identical_to_uninterrupted_run() {
+    let baseline = fig6(&Scale::quick().with_jobs(1)).expect("uninterrupted fig6");
+
+    // Full journaled run (jobs = 1): must match the unjournaled baseline.
+    let path = temp_journal("fig6-resume");
+    let journal = Journal::create(&path).expect("create journal");
+    let mut ctx = RunCtx::new();
+    ctx.attach_journal(journal, Recovered::default());
+    let journaled = fig6(&Scale::quick().with_jobs(1).with_ctx(ctx)).expect("journaled fig6");
+    assert_eq!(journaled.summaries, baseline.summaries);
+
+    // Simulate a crash mid-append: cut into the final frame. Recovery
+    // must keep the valid prefix and re-run only the tail tasks.
+    let mut bytes = std::fs::read(&path).expect("read journal");
+    let intact = bytes.len();
+    bytes.truncate(intact - 7);
+    std::fs::write(&path, &bytes).expect("tear journal");
+
+    let (journal, recovered) = Journal::recover(&path).expect("recover torn journal");
+    let total_tasks = 3 * Scale::quick().sessions;
+    assert!(
+        recovered.task_count() < total_tasks,
+        "the tear must have cost at least one task"
+    );
+    assert!(
+        recovered.task_count() >= total_tasks - 1,
+        "a 7-byte tear destroys exactly the final frame"
+    );
+    // Resume with a different worker count: still bit-identical.
+    let mut ctx = RunCtx::new();
+    ctx.attach_journal(journal, recovered);
+    let resumed = fig6(&Scale::quick().with_jobs(4).with_ctx(ctx)).expect("resumed fig6");
+    assert_eq!(resumed.summaries, baseline.summaries);
+    assert_eq!(resumed.sessions, baseline.sessions);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A journal replayed in full re-runs nothing and still renders the same
+/// report (the `--resume` path after a sweep that actually finished).
+#[test]
+fn complete_journal_replays_without_rerunning() {
+    let path = temp_journal("fig6-replay");
+    let journal = Journal::create(&path).expect("create journal");
+    let mut ctx = RunCtx::new();
+    ctx.attach_journal(journal, Recovered::default());
+    let first = fig6(&Scale::quick().with_jobs(2).with_ctx(ctx)).expect("journaled fig6");
+
+    let (journal, recovered) = Journal::recover(&path).expect("recover complete journal");
+    assert_eq!(recovered.task_count(), 3 * Scale::quick().sessions);
+    assert_eq!(recovered.truncated_bytes, 0);
+    // A pre-tripped token proves no task actually runs: every slot is
+    // served from the journal, so the sweep completes anyway.
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let mut ctx = RunCtx::with_cancel(cancel);
+    ctx.attach_journal(journal, recovered);
+    let replayed = fig6(&Scale::quick().with_jobs(1).with_ctx(ctx))
+        .expect("fully-journaled sweep must not need to run tasks");
+    assert_eq!(replayed.summaries, first.summaries);
+    std::fs::remove_file(&path).ok();
+}
+
+/// An expired deadline cancels the sweep before any task is claimed; the
+/// error names the stage and reports zero completed tasks.
+#[test]
+fn expired_deadline_interrupts_the_sweep_cleanly() {
+    let scale =
+        Scale::quick()
+            .with_jobs(1)
+            .with_ctx(RunCtx::with_cancel(CancelToken::with_deadline(
+                Duration::ZERO,
+            )));
+    match fig6(&scale) {
+        Err(interrupted) => {
+            assert_eq!(interrupted.stage, "fig6/run");
+            assert_eq!(interrupted.completed, 0);
+            assert_eq!(interrupted.total, 3 * Scale::quick().sessions);
+        }
+        Ok(_) => panic!("an already-expired deadline must interrupt the sweep"),
+    }
+}
+
+fn chaotic_breaker_run(
+    corpus: &SharedCorpus,
+    policy: BreakerPolicy,
+) -> (
+    SessionOutcome,
+    u64,
+    BreakerState,
+    Vec<betze::engines::FaultEvent>,
+) {
+    let outcome = corpus
+        .generate_session(&GeneratorConfig::default(), 5)
+        .expect("generation");
+    // A fault rate high enough that consecutive transient failures are
+    // certain, with retries kept minimal so the breaker sees them.
+    let plan = FaultPlan::none(17).storage_faults(0.85).import_faults(0.0);
+    let chaos = ChaosEngine::new(JodaSim::new(1), plan);
+    let mut breaker = BreakerEngine::new(chaos, policy);
+    let options = RunOptions::reference().retry(RetryPolicy::attempts(1));
+    let run = run_session_with_options(&mut breaker, &corpus.dataset, &outcome.session, &options)
+        .expect("a degrading run absorbs opened circuits");
+    let log = breaker.inner().fault_log().to_vec();
+    let (trips, state) = (breaker.trips(), breaker.state());
+    (run, trips, state, log)
+}
+
+/// Under sustained chaos the breaker opens (degrading the backend to
+/// `CompletedWithErrors` instead of aborting), and the whole
+/// trajectory — trips, final state, fault schedule, per-query statuses —
+/// is seed-deterministic.
+#[test]
+fn circuit_breaker_degrades_and_replays_deterministically_under_chaos() {
+    let corpus = SharedCorpus::prepare(Corpus::NoBench, 250, 1, 1);
+    let policy = BreakerPolicy::new(2, 3);
+    let (outcome_a, trips_a, state_a, log_a) = chaotic_breaker_run(&corpus, policy);
+    let (outcome_b, trips_b, state_b, log_b) = chaotic_breaker_run(&corpus, policy);
+
+    assert!(
+        trips_a >= 1,
+        "85% fault rate must open a threshold-2 breaker"
+    );
+    match &outcome_a {
+        SessionOutcome::CompletedWithErrors(run) => {
+            assert!(
+                run.ok_queries() < run.statuses.len(),
+                "some queries must have failed through the open circuit"
+            );
+        }
+        other => panic!("expected CompletedWithErrors, got {other:?}"),
+    }
+    // Bit-for-bit replay: same trips, same final state, same fault
+    // schedule, same statuses.
+    assert_eq!(trips_a, trips_b);
+    assert_eq!(state_a, state_b);
+    assert_eq!(log_a, log_b);
+    match (&outcome_a, &outcome_b) {
+        (SessionOutcome::CompletedWithErrors(a), SessionOutcome::CompletedWithErrors(b)) => {
+            assert_eq!(a.statuses, b.statuses);
+            assert_eq!(a.session_modeled(), b.session_modeled());
+        }
+        _ => panic!("both runs must degrade identically"),
+    }
+}
