@@ -62,12 +62,24 @@ COMMANDS:
                             session_<seed>.json session file) instead of stdout
         --dot               also print the session graph in Graphviz DOT
     lint <session.json>                      static analysis of a session file
-        --dataset <file>    analyze this JSON-lines dataset for the IR pass
+        --dataset <file>    analyze this JSON-lines dataset for the IR and
+                            abstract-interpretation passes
         --analysis <file>   pre-computed analysis file for the IR pass
-        --format <f>        human | json (default human)
+        --format <f>        human | json (default human; json includes the
+                            predicted per-query intervals when an analysis
+                            is given)
         --deny <level>      error | warn | info | off — exit nonzero when a
                             diagnostic at or above this level is found
                             (default error)
+        --window <lo,hi>    selectivity window checked by L035/L036
+                            (default 0.2,0.9)
+        --oracle            execute the session on the dataset and assert
+                            every concrete input size, result size, and
+                            selectivity lies inside the predicted interval
+                            (needs --dataset; exits 1 on any violation)
+    lint --explain <RULE>                    print one rule's documentation
+                            (id, name, severity, rationale, example);
+                            accepts L0xx ids or kebab-case names
     benchmark <dataset.json>                 generate + run on all engines
                         (alias: run)
         --seed/--preset/... as for generate
@@ -388,11 +400,30 @@ fn parse_deny_level(text: &str) -> Result<Option<betze::lint::Severity>, String>
 
 fn lint(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
+    if let Some(key) = take_option(&mut args, "--explain")? {
+        let doc = betze::lint::explain(&key)
+            .ok_or_else(|| format!("unknown rule '{key}' (try an L0xx id or a rule name)"))?;
+        println!("{}", betze::lint::catalog::render(doc));
+        return Ok(());
+    }
     let format = take_option(&mut args, "--format")?.unwrap_or_else(|| "human".to_owned());
     let deny = match take_option(&mut args, "--deny")? {
         Some(level) => parse_deny_level(&level)?,
         None => Some(betze::lint::Severity::Error),
     };
+    let window = match take_option(&mut args, "--window")? {
+        Some(text) => {
+            let (lo, hi) = text
+                .split_once(',')
+                .ok_or_else(|| format!("invalid window '{text}', expected lo,hi"))?;
+            Some((
+                parse::<f64>(lo.trim(), "window low")?,
+                parse::<f64>(hi.trim(), "window high")?,
+            ))
+        }
+        None => None,
+    };
+    let oracle = take_flag(&mut args, "--oracle");
     let analysis_path = take_option(&mut args, "--analysis")?;
     let dataset_path = take_option(&mut args, "--dataset")?;
     let [path]: [String; 1] = args
@@ -401,6 +432,7 @@ fn lint(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let session =
         betze::model::Session::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let mut dataset = None;
     let analysis = match (analysis_path, dataset_path) {
         (Some(apath), _) => {
             let text =
@@ -411,20 +443,44 @@ fn lint(args: &[String]) -> Result<(), String> {
             )
         }
         (None, Some(dpath)) => {
-            let dataset = load_dataset(&dpath, None)?;
-            Some(betze::stats::analyze(dataset.name, &dataset.docs))
+            let loaded = load_dataset(&dpath, None)?;
+            let analysis = betze::stats::analyze(loaded.name.clone(), &loaded.docs);
+            dataset = Some(loaded);
+            Some(analysis)
         }
         (None, None) => None,
     };
+    if oracle && dataset.is_none() {
+        return Err("--oracle needs --dataset (the documents are executed)".to_owned());
+    }
     let mut linter = betze::lint::Linter::new();
     if let Some(a) = &analysis {
         linter = linter.with_analysis(a);
     }
-    let report = linter.lint(&session);
+    if let Some((lo, hi)) = window {
+        linter = linter.with_window(lo, hi);
+    }
+    let (report, predictions) = linter.lint_with_predictions(&session);
     match format.as_str() {
-        "json" => println!("{}", report.to_json()),
+        "json" => {
+            let mut value = report.to_value();
+            if !predictions.is_empty() {
+                if let Value::Object(obj) = &mut value {
+                    obj.insert("predictions", predictions_json(&predictions));
+                }
+            }
+            println!("{}", value.to_json_pretty());
+        }
         "human" => println!("{}", report.render_human()),
         other => return Err(format!("unknown format '{other}'")),
+    }
+    if oracle {
+        let dataset = dataset.expect("checked above");
+        let violations = oracle_check(&session, &dataset, &predictions);
+        if violations > 0 {
+            eprintln!("error: oracle found {violations} interval violation(s)");
+            std::process::exit(1);
+        }
     }
     if let Some(deny) = deny {
         let over = report.count_at_least(deny);
@@ -437,6 +493,80 @@ fn lint(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn predictions_json(predictions: &[betze::lint::QueryPrediction]) -> Value {
+    let interval = |i: &betze::lint::Interval| Value::Array(vec![i.lo.into(), i.hi.into()]);
+    Value::Array(
+        predictions
+            .iter()
+            .map(|p| {
+                json!({
+                    "query": (p.query as f64),
+                    "base": (p.base.clone()),
+                    "input_card": (interval(&p.input_card)),
+                    "result_card": (interval(&p.result_card)),
+                    "selectivity": (interval(&p.selectivity)),
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Executes the session concretely and checks every prediction interval.
+/// Prints one row per checked query; returns the violation count.
+fn oracle_check(
+    session: &betze::model::Session,
+    dataset: &Dataset,
+    predictions: &[betze::lint::QueryPrediction],
+) -> usize {
+    use std::collections::BTreeMap;
+    let by_query: BTreeMap<usize, &betze::lint::QueryPrediction> =
+        predictions.iter().map(|p| (p.query, p)).collect();
+    let mut env: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    env.insert(dataset.name.clone(), dataset.docs.as_ref().clone());
+    let mut violations = 0;
+    println!(
+        "{:>5}  {:>8}  {:>8}  {:>12}  {:<22}  verdict",
+        "query", "in", "out", "selectivity", "predicted sel"
+    );
+    for (i, query) in session.queries.iter().enumerate() {
+        let Some(docs) = env.get(query.base.as_str()) else {
+            continue;
+        };
+        let input_len = docs.len();
+        let matching = query.matching_count(docs);
+        if let Some(p) = by_query.get(&i) {
+            let mut ok =
+                p.input_card.contains(input_len as f64) && p.result_card.contains(matching as f64);
+            let sel_text = if input_len > 0 {
+                let sel = matching as f64 / input_len as f64;
+                ok &= p.selectivity.contains(sel);
+                format!("{sel:.6}")
+            } else {
+                "-".to_owned()
+            };
+            if !ok {
+                violations += 1;
+            }
+            println!(
+                "{i:>5}  {input_len:>8}  {matching:>8}  {sel_text:>12}  {:<22}  {}",
+                p.selectivity.to_string(),
+                if ok { "ok" } else { "VIOLATION" }
+            );
+        }
+        if let Some(store) = &query.store_as {
+            // Stores hold the filtered + transformed (pre-aggregation)
+            // documents, mirroring the engines.
+            let mut selected: Vec<Value> = match &query.filter {
+                Some(f) => docs.iter().filter(|d| f.matches(d)).cloned().collect(),
+                None => docs.clone(),
+            };
+            betze::model::apply_all(&query.transforms, &mut selected);
+            env.insert(store.clone(), selected);
+        }
+    }
+    violations
 }
 
 /// Parses the `--chaos-*` flags into a fault plan (None when chaos is

@@ -254,7 +254,9 @@ const FIXTURE_SESSION: &str = r#"{
 
 /// Golden file for `betze lint --format json`: rule IDs, spans, severity
 /// ordering, and summary must stay byte-stable — downstream tooling
-/// parses this.
+/// parses this. The golden lives in `tests/golden/`; on mismatch the
+/// actual output is dumped next to it as `*.actual` (gitignored) for
+/// `diff`-friendly review.
 #[test]
 fn lint_json_output_is_stable() {
     let session = tmpfile("lint-fixture.json");
@@ -272,41 +274,19 @@ fn lint_json_output_is_stable() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let expected = r#"{
-  "diagnostics": [
-    {
-      "rule": "L030",
-      "name": "dangling-dataset-ref",
-      "severity": "error",
-      "query": 1,
-      "node": "base",
-      "message": "query reads dataset 'missing', which does not exist at this point in the session"
-    },
-    {
-      "rule": "L031",
-      "name": "store-as-shadowing",
-      "severity": "warn",
-      "query": 0,
-      "node": "store_as",
-      "message": "store target 'tw' shadows an existing dataset"
-    },
-    {
-      "rule": "L032",
-      "name": "dataset-never-read",
-      "severity": "info",
-      "query": 2,
-      "node": "store_as",
-      "message": "dataset 'kept' is stored here but never queried afterwards"
+    let golden =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/lint_report.json");
+    let expected = std::fs::read_to_string(&golden).expect("read golden");
+    let actual = String::from_utf8_lossy(&out.stdout);
+    if actual != expected {
+        let scratch = golden.with_extension("json.actual");
+        std::fs::write(&scratch, actual.as_bytes()).expect("write scratch");
+        panic!(
+            "lint JSON drifted from {}; actual output written to {}",
+            golden.display(),
+            scratch.display()
+        );
     }
-  ],
-  "summary": {
-    "error": 1,
-    "warn": 1,
-    "info": 1
-  }
-}
-"#;
-    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
     let _ = std::fs::remove_file(&session);
 }
 

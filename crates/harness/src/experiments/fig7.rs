@@ -4,7 +4,7 @@
 use crate::experiments::Scale;
 use crate::fmt::heatmap;
 use crate::journal::Interrupted;
-use crate::runner::run_session_governed;
+use crate::runner::{provably_empty, run_session_governed};
 use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::JodaSim;
 use betze_explorer::ExplorerConfig;
@@ -20,6 +20,9 @@ pub struct Fig7Result {
     pub mean_secs: Vec<Vec<Option<f64>>>,
     /// Sessions per cell.
     pub sessions_per_cell: usize,
+    /// Sessions skipped by the abstract-interpretation pre-flight
+    /// (provably empty — never executed; excluded from the cell means).
+    pub lint_skipped: usize,
 }
 
 /// Runs the Fig. 7 sweep. Probabilities run 0.0–0.9 in 0.1 steps (as in
@@ -61,7 +64,7 @@ pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
         .enumerate()
         .flat_map(|(cell, _)| (0..sessions_per_cell as u64).map(move |seed| (cell, seed)))
         .collect();
-    let secs = scale
+    let results = scale
         .pool()
         .checkpointed_map("fig7/run", &tasks, |_, &(cell, seed)| {
             let (ai, bi) = cells[cell];
@@ -71,28 +74,46 @@ pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
                 .with_label(format!("a{alpha}b{beta}"));
             let config = GeneratorConfig::with_explorer(explorer);
             let outcome = corpus.generate_session(&config, seed).expect("fig7 gen");
+            // Pre-flight: a session the abstract interpreter proves empty
+            // would measure nothing; skip it without touching an engine.
+            if provably_empty(&outcome.session, &corpus.analysis) {
+                return Ok((0.0, true));
+            }
             let mut joda = JodaSim::new(scale.joda_threads);
-            Ok(run_session_governed(
-                &mut joda,
-                &corpus.dataset,
-                &outcome.session,
-                scale.ctx.cancel.clone(),
-            )?
-            .session_modeled()
-            .as_secs_f64())
+            Ok((
+                run_session_governed(
+                    &mut joda,
+                    &corpus.dataset,
+                    &outcome.session,
+                    scale.ctx.cancel.clone(),
+                )?
+                .session_modeled()
+                .as_secs_f64(),
+                false,
+            ))
         })?;
     let mut totals = vec![0.0f64; cells.len()];
-    for (&(cell, _), t) in tasks.iter().zip(&secs) {
-        totals[cell] += t;
+    let mut ran = vec![0usize; cells.len()];
+    let mut lint_skipped = 0usize;
+    for (&(cell, _), &(t, skipped)) in tasks.iter().zip(&results) {
+        if skipped {
+            lint_skipped += 1;
+        } else {
+            totals[cell] += t;
+            ran[cell] += 1;
+        }
     }
     let mut mean_secs = vec![vec![None; steps.len()]; steps.len()];
-    for (&(ai, bi), total) in cells.iter().zip(&totals) {
-        mean_secs[ai][bi] = Some(total / sessions_per_cell as f64);
+    for ((&(ai, bi), total), &n) in cells.iter().zip(&totals).zip(&ran) {
+        if n > 0 {
+            mean_secs[ai][bi] = Some(total / n as f64);
+        }
     }
     Ok(Fig7Result {
         steps,
         mean_secs,
         sessions_per_cell,
+        lint_skipped,
     })
 }
 
@@ -105,9 +126,17 @@ impl Fig7Result {
     /// Renders the heatmap.
     pub fn render(&self) -> String {
         let labels: Vec<String> = self.steps.iter().map(|s| format!("{s:.1}")).collect();
+        let skipped = if self.lint_skipped > 0 {
+            format!(
+                "\n{} session(s) skipped by the lint pre-flight (provably empty)",
+                self.lint_skipped
+            )
+        } else {
+            String::new()
+        };
         format!(
             "Fig. 7: mean session time (s) by backtrack α (rows) and jump β (columns), \
-             n = 10, {} sessions/cell\n{}",
+             n = 10, {} sessions/cell{skipped}\n{}",
             self.sessions_per_cell,
             heatmap(&labels, &labels, &self.mean_secs, |v| format!("{v:.3}"))
         )

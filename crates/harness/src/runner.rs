@@ -90,6 +90,11 @@ pub struct RunOptions {
     /// `Internal` error carrying the rendered report. `None` (the
     /// default) skips the pre-flight.
     pub lint: Option<betze_lint::Severity>,
+    /// Dataset analysis for the lint pre-flight. When present alongside
+    /// `lint`, the pre-flight also runs the dataflow passes (IR audit +
+    /// abstract interpretation), so provably-empty sessions (L033/L038/
+    /// L048, all Error severity) are rejected before the engine runs.
+    pub analysis: Option<std::sync::Arc<betze_stats::DatasetAnalysis>>,
     /// Cooperative cancellation token: installed on the engine for the
     /// duration of the run and polled before every query. Once it trips
     /// the run aborts with [`EngineError::Canceled`] — cancellation
@@ -112,6 +117,7 @@ impl Default for RunOptions {
             retry: RetryPolicy::default(),
             degrade: true,
             lint: None,
+            analysis: None,
             cancel: CancelToken::new(),
             query_timeout: None,
         }
@@ -155,6 +161,14 @@ impl RunOptions {
     /// to disable it again).
     pub fn lint(mut self, deny: Option<betze_lint::Severity>) -> Self {
         self.lint = deny;
+        self
+    }
+
+    /// Provides the dataset analysis the lint pre-flight uses for its
+    /// dataflow passes (abstract interpretation). Without it the
+    /// pre-flight is structural only.
+    pub fn analysis(mut self, analysis: std::sync::Arc<betze_stats::DatasetAnalysis>) -> Self {
+        self.analysis = Some(analysis);
         self
     }
 
@@ -305,6 +319,27 @@ impl SessionOutcome {
     }
 }
 
+/// Abstract-interpretation pre-flight: true when the linter *proves* the
+/// session returns nothing against this analysis — a provably-empty
+/// result (L033), a query over a proven-empty input (L038), or an empty
+/// base analysis (L048). Such sessions can be skipped without touching
+/// an engine; the proof is sound, so a skipped session would have
+/// produced zero documents everywhere. Translation auditing is disabled
+/// here: only semantic emptiness matters for the skip decision.
+pub fn provably_empty(session: &Session, analysis: &betze_stats::DatasetAnalysis) -> bool {
+    use betze_lint::Rule;
+    let report = betze_lint::Linter::new()
+        .without_translations()
+        .with_analysis(analysis)
+        .lint(session);
+    report.diagnostics().iter().any(|d| {
+        matches!(
+            d.rule,
+            Rule::ProvablyEmptyResult | Rule::BottomInputDataset | Rule::EmptyBaseAnalysis
+        )
+    })
+}
+
 /// Imports the dataset and executes every session query on the engine.
 /// The engine is reset first, so runs are independent. Degradation is
 /// disabled: the first permanent failure is returned as `Err` (transient
@@ -401,7 +436,11 @@ pub fn run_session_with_options(
 ) -> Result<SessionOutcome, EngineError> {
     let timeout = options.timeout;
     if let Some(deny) = options.lint {
-        let report = betze_lint::Linter::new().lint(session);
+        let mut linter = betze_lint::Linter::new();
+        if let Some(analysis) = options.analysis.as_deref() {
+            linter = linter.with_analysis(analysis);
+        }
+        let report = linter.lint(session);
         if report.count_at_least(deny) > 0 {
             return Err(EngineError::Internal {
                 message: format!(

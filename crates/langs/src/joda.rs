@@ -55,6 +55,14 @@ impl Language for Joda {
     }
 }
 
+/// A JODA single-quoted path literal. `\` and `'` inside the path are
+/// backslash-escaped — without this, any path containing a quote produced
+/// an untranslatable rendering (caught by lint rule L021).
+fn quote_path(raw: impl std::fmt::Display) -> String {
+    let raw = raw.to_string();
+    format!("'{}'", raw.replace('\\', "\\\\").replace('\'', "\\'"))
+}
+
 fn predicate(p: &Predicate) -> String {
     match p {
         Predicate::And(l, r) => format!("({} && {})", predicate(l), predicate(r)),
@@ -65,17 +73,23 @@ fn predicate(p: &Predicate) -> String {
 
 fn filter(f: &FilterFn) -> String {
     match f {
-        FilterFn::Exists { path } => format!("EXISTS('{path}')"),
-        FilterFn::IsString { path } => format!("ISSTRING('{path}')"),
-        FilterFn::IntEq { path, value } => format!("'{path}' == {value}"),
-        FilterFn::FloatCmp { path, op, value } => format!("'{path}' {op} {value}"),
-        FilterFn::StrEq { path, value } => format!("'{path}' == {}", escape_string(value)),
-        FilterFn::HasPrefix { path, prefix } => {
-            format!("HASPREFIX('{path}', {})", escape_string(prefix))
+        FilterFn::Exists { path } => format!("EXISTS({})", quote_path(path)),
+        FilterFn::IsString { path } => format!("ISSTRING({})", quote_path(path)),
+        FilterFn::IntEq { path, value } => format!("{} == {value}", quote_path(path)),
+        FilterFn::FloatCmp { path, op, value } => format!("{} {op} {value}", quote_path(path)),
+        FilterFn::StrEq { path, value } => {
+            format!("{} == {}", quote_path(path), escape_string(value))
         }
-        FilterFn::BoolEq { path, value } => format!("'{path}' == {value}"),
-        FilterFn::ArrSize { path, op, value } => format!("ARRSIZE('{path}') {op} {value}"),
-        FilterFn::ObjSize { path, op, value } => format!("OBJSIZE('{path}') {op} {value}"),
+        FilterFn::HasPrefix { path, prefix } => {
+            format!("HASPREFIX({}, {})", quote_path(path), escape_string(prefix))
+        }
+        FilterFn::BoolEq { path, value } => format!("{} == {value}", quote_path(path)),
+        FilterFn::ArrSize { path, op, value } => {
+            format!("ARRSIZE({}) {op} {value}", quote_path(path))
+        }
+        FilterFn::ObjSize { path, op, value } => {
+            format!("OBJSIZE({}) {op} {value}", quote_path(path))
+        }
     }
 }
 
@@ -83,20 +97,25 @@ fn transform(t: &Transform) -> String {
     match t {
         Transform::Rename { from, to } => {
             let parent = from.parent().unwrap_or_default();
-            format!("('{parent}/{to}': '{from}'), ('{from}': REMOVE)")
+            format!(
+                "({}: {}), ({}: REMOVE)",
+                quote_path(format_args!("{parent}/{to}")),
+                quote_path(from),
+                quote_path(from)
+            )
         }
-        Transform::Remove { path } => format!("('{path}': REMOVE)"),
-        Transform::Add { path, value } => format!("('{path}': {})", value.to_json()),
+        Transform::Remove { path } => format!("({}: REMOVE)", quote_path(path)),
+        Transform::Add { path, value } => format!("({}: {})", quote_path(path), value.to_json()),
     }
 }
 
 fn aggregation(agg: &Aggregation) -> String {
     let func = match &agg.func {
-        AggFunc::Count { path } => format!("COUNT('{path}')"),
-        AggFunc::Sum { path } => format!("SUM('{path}')"),
+        AggFunc::Count { path } => format!("COUNT({})", quote_path(path)),
+        AggFunc::Sum { path } => format!("SUM({})", quote_path(path)),
     };
     match &agg.group_by {
-        Some(group) => format!("GROUP {func} AS {} BY '{group}'", agg.alias),
+        Some(group) => format!("GROUP {func} AS {} BY {}", agg.alias, quote_path(group)),
         None => format!("{func} AS {}", agg.alias),
     }
 }
@@ -217,6 +236,19 @@ mod tests {
             .with_filter(Predicate::leaf(FilterFn::Exists { path: ptr("/user") }))
             .store_as("profiles");
         assert!(Joda.translate(&q).ends_with("STORE profiles"));
+    }
+
+    #[test]
+    fn paths_with_quotes_and_backslashes_are_escaped() {
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
+            path: JsonPointer::from_tokens(["it's"]),
+        }));
+        assert_eq!(Joda.translate(&q), "LOAD tw CHOOSE EXISTS('/it\\'s')");
+        let q = Query::scan("tw").with_filter(Predicate::leaf(FilterFn::IntEq {
+            path: JsonPointer::from_tokens(["a\\b'c"]),
+            value: 1,
+        }));
+        assert_eq!(Joda.translate(&q), "LOAD tw CHOOSE '/a\\\\b\\'c' == 1");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! The cardinality domain: sound match-count combination for predicate
+//! trees evaluated against a base population of `n` documents.
+//!
+//! Counts are [`Interval`]s over `[0, n]`. With only marginal counts the
+//! sharpest universally-valid combinators are the Fréchet bounds:
+//!
+//! * `|A ∧ B| ∈ [max(0, lo_A + lo_B − n), min(hi_A, hi_B)]`
+//! * `|A ∨ B| ∈ [max(lo_A, lo_B), min(n, hi_A + hi_B)]`
+//!
+//! which hold for *any* dependence between the two predicates — the
+//! soundness oracle leans on exactly this property.
+
+use crate::absint::interval::Interval;
+
+/// A selectivity window (the generator's target `[min, max]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelWindow {
+    /// Lower edge of the window.
+    pub min: f64,
+    /// Upper edge of the window.
+    pub max: f64,
+}
+
+impl Default for SelWindow {
+    /// The generator's default window (paper §IV-B).
+    fn default() -> Self {
+        SelWindow { min: 0.2, max: 0.9 }
+    }
+}
+
+/// Fréchet bounds for the conjunction of two match-count intervals over
+/// a population of `n` documents.
+pub fn and_counts(a: &Interval, b: &Interval, n: f64) -> Interval {
+    if a.is_empty() || b.is_empty() {
+        return Interval::EMPTY;
+    }
+    Interval::new((a.lo + b.lo - n).max(0.0), a.hi.min(b.hi))
+}
+
+/// Fréchet bounds for the disjunction of two match-count intervals over
+/// a population of `n` documents.
+pub fn or_counts(a: &Interval, b: &Interval, n: f64) -> Interval {
+    if a.is_empty() || b.is_empty() {
+        return Interval::EMPTY;
+    }
+    Interval::new(a.lo.max(b.lo), (a.hi + b.hi).min(n))
+}
+
+/// Clamps a count interval into `[0, n]` (guards against estimated
+/// inputs that drifted out of range).
+pub fn clamp_counts(c: &Interval, n: f64) -> Interval {
+    c.meet(&Interval::new(0.0, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frechet_conjunction() {
+        let n = 100.0;
+        let a = Interval::new(70.0, 80.0);
+        let b = Interval::new(60.0, 60.0);
+        // Overlap forced: 70 + 60 − 100 = 30 at least; at most min(80, 60).
+        assert_eq!(and_counts(&a, &b, n), Interval::new(30.0, 60.0));
+        // Small marginals force nothing.
+        let c = Interval::new(10.0, 20.0);
+        assert_eq!(and_counts(&c, &b, n), Interval::new(0.0, 20.0));
+        assert!(and_counts(&Interval::EMPTY, &b, n).is_empty());
+    }
+
+    #[test]
+    fn frechet_disjunction() {
+        let n = 100.0;
+        let a = Interval::new(70.0, 80.0);
+        let b = Interval::new(60.0, 60.0);
+        // At least the bigger marginal, at most everything.
+        assert_eq!(or_counts(&a, &b, n), Interval::new(70.0, 100.0));
+        let c = Interval::new(10.0, 20.0);
+        assert_eq!(or_counts(&c, &b, n), Interval::new(60.0, 80.0));
+    }
+
+    #[test]
+    fn exhaustive_soundness_on_tiny_populations() {
+        // Brute-force check: for every way two predicates can overlap on
+        // n ≤ 6 documents, the Fréchet bounds contain the true counts.
+        for n in 0..=6u32 {
+            for a in 0..=n {
+                for b in 0..=n {
+                    // Overlap o ranges over every feasible intersection.
+                    let o_min = (a + b).saturating_sub(n);
+                    let o_max = a.min(b);
+                    for o in o_min..=o_max {
+                        let and_true = o as f64;
+                        let or_true = (a + b - o) as f64;
+                        let ia = Interval::point(a as f64);
+                        let ib = Interval::point(b as f64);
+                        assert!(and_counts(&ia, &ib, n as f64).contains(and_true));
+                        assert!(or_counts(&ia, &ib, n as f64).contains(or_true));
+                    }
+                }
+            }
+        }
+    }
+}

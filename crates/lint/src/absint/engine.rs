@@ -1,0 +1,584 @@
+//! The abstract-interpretation engine: a dataflow walk over the session.
+//!
+//! Two cooperating analyses run here:
+//!
+//! 1. **Program-order walk** over the query list with an environment
+//!    mapping dataset names to abstract states (cardinality bounds plus
+//!    mandatory per-path facts). This produces one sound
+//!    [`QueryPrediction`] per resolvable query — the intervals the
+//!    execution oracle checks — and rules L033–L044/L046/L048.
+//! 2. **Trail fixpoint** over the explorer's move edges
+//!    (explore/return/jump). Return and jump edges form real cycles, so
+//!    per-node step-count intervals are joined at edge targets and
+//!    widened after [`AbsintConfig::widen_after`] visits (L045); graph
+//!    nodes the trail never reaches are flagged (L047).
+
+use crate::absint::card::{and_counts, clamp_counts, SelWindow};
+use crate::absint::interval::Interval;
+use crate::absint::transfer::{analyze_predicate, Refinement};
+use crate::absint::AbsintConfig;
+use crate::diagnostics::{Diagnostic, LintReport, Rule, Span};
+use betze_json::JsonPointer;
+use betze_model::{DatasetId, Move, Session};
+use betze_stats::DatasetAnalysis;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Sound intervals predicted for one query, checkable against a concrete
+/// execution: for every dataset and seed, the concrete input size, result
+/// size, and per-query selectivity must lie inside these bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPrediction {
+    /// Index of the query in `session.queries`.
+    pub query: usize,
+    /// The dataset the query reads.
+    pub base: String,
+    /// Bounds on the number of input documents.
+    pub input_card: Interval,
+    /// Bounds on the number of documents passing the filter.
+    pub result_card: Interval,
+    /// Bounds on the filter selectivity (`result / input`).
+    pub selectivity: Interval,
+}
+
+/// The abstract value of one named dataset during the walk.
+#[derive(Debug, Clone)]
+enum AbsState {
+    /// An untransformed subset of an analyzed base dataset: the base
+    /// analysis applies, refined by the accumulated chain facts.
+    Known {
+        facts: BTreeMap<JsonPointer, Refinement>,
+        card: Interval,
+    },
+    /// Downstream of a transform: per-path facts no longer apply, but the
+    /// cardinality bounds survive (transforms are 1:1).
+    Opaque { card: Interval },
+}
+
+impl AbsState {
+    fn card(&self) -> Interval {
+        match self {
+            AbsState::Known { card, .. } | AbsState::Opaque { card } => *card,
+        }
+    }
+}
+
+/// Runs the abstract interpreter; diagnostics go into `report`, the
+/// per-query interval predictions are returned for the oracle and the
+/// CLI's JSON output.
+pub fn run(
+    session: &Session,
+    analyses: &[&DatasetAnalysis],
+    config: &AbsintConfig,
+    report: &mut LintReport,
+) -> Vec<QueryPrediction> {
+    let by_name: BTreeMap<&str, &DatasetAnalysis> =
+        analyses.iter().map(|a| (a.dataset.as_str(), *a)).collect();
+
+    // Seed the environment with the analyzed base datasets.
+    let mut env: BTreeMap<String, AbsState> = BTreeMap::new();
+    // Which base analysis each *chain* rooted at a name derives from.
+    let mut root_analysis: BTreeMap<String, &DatasetAnalysis> = BTreeMap::new();
+    for node in session.graph.nodes() {
+        if !node.is_base() {
+            continue;
+        }
+        let Some(analysis) = by_name.get(node.name.as_str()) else {
+            continue;
+        };
+        if analysis.doc_count == 0 {
+            report.push(Diagnostic::new(
+                Rule::EmptyBaseAnalysis,
+                Span::session(),
+                format!(
+                    "base dataset '{}' is empty per its analysis; every query \
+                     over it returns nothing",
+                    node.name
+                ),
+            ));
+        }
+        env.insert(
+            node.name.clone(),
+            AbsState::Known {
+                facts: BTreeMap::new(),
+                card: Interval::point(analysis.doc_count as f64),
+            },
+        );
+        root_analysis.insert(node.name.clone(), analysis);
+    }
+
+    // Cardinality bounds per graph node, for step-selectivity checks and
+    // the trail fixpoint.
+    let mut node_counts: BTreeMap<usize, Interval> = BTreeMap::new();
+    let mut created_by: BTreeMap<usize, DatasetId> = BTreeMap::new();
+    for node in session.graph.nodes() {
+        if node.is_base() {
+            if let Some(analysis) = by_name.get(node.name.as_str()) {
+                node_counts.insert(node.id.0, Interval::point(analysis.doc_count as f64));
+            }
+        } else if let Some(q) = node.created_by_query {
+            created_by.insert(q, node.id);
+        }
+    }
+
+    let mut predictions = Vec::new();
+    for (i, query) in session.queries.iter().enumerate() {
+        let Some(state) = env.get(query.base.as_str()).cloned() else {
+            // Unanalyzed or dangling base (L030 covers dangling names).
+            continue;
+        };
+        let c_in = state.card();
+
+        if c_in.hi <= 0.0 {
+            report.push(Diagnostic::new(
+                Rule::BottomInputDataset,
+                Span::in_query(i),
+                format!(
+                    "input dataset '{}' is provably empty; the query reads ⊥",
+                    query.base
+                ),
+            ));
+            if let Some(store) = &query.store_as {
+                env.insert(
+                    store.clone(),
+                    AbsState::Opaque {
+                        card: Interval::point(0.0),
+                    },
+                );
+            }
+            if let Some(&node) = created_by.get(&i) {
+                node_counts.insert(node.0, Interval::point(0.0));
+            }
+            continue;
+        }
+
+        let analysis = root_analysis.get(query.base.as_str()).copied();
+        let (c_out, sel, out_facts) = match (&state, analysis, &query.filter) {
+            // Analyzable input with a filter: the real transfer function.
+            (AbsState::Known { facts, .. }, Some(analysis), Some(filter)) => {
+                let n = analysis.doc_count as f64;
+                let pa = analyze_predicate(filter, analysis);
+                for arm in &pa.dead_arms {
+                    report.push(Diagnostic::new(
+                        Rule::DeadPredicateSubtree,
+                        Span::at(i, arm.locator.clone()),
+                        format!(
+                            "{}-leaf subtree is {} against dataset '{}'; it \
+                             never affects the result",
+                            arm.leaves, arm.why, analysis.dataset
+                        ),
+                    ));
+                }
+                let c_f = clamp_counts(&pa.count, n);
+                let mut c_out = clamp_counts(&and_counts(&c_in, &c_f, n), n);
+                // Merge chain facts with the filter's mandatory facts; a
+                // conflict proves the result empty.
+                let mut merged = facts.clone();
+                for (path, refinement) in &pa.facts {
+                    match merged.get(path) {
+                        None => {
+                            merged.insert(path.clone(), refinement.clone());
+                        }
+                        Some(existing) => match existing.meet(refinement) {
+                            Ok(met) => {
+                                merged.insert(path.clone(), met);
+                            }
+                            Err(conflict) => {
+                                report.push(Diagnostic::new(
+                                    conflict.rule,
+                                    Span::at(i, "filter"),
+                                    format!(
+                                        "at path '{path}', the chain leading to \
+                                         '{}' contradicts this filter: {}",
+                                        query.base, conflict.detail
+                                    ),
+                                ));
+                                c_out = Interval::point(0.0);
+                            }
+                        },
+                    }
+                }
+                let sel = c_out.ratio_of_subset(&c_in);
+                if c_out.hi <= 0.0 {
+                    report.push(Diagnostic::new(
+                        Rule::ProvablyEmptyResult,
+                        Span::at(i, "filter"),
+                        format!(
+                            "filter provably matches no document of '{}' \
+                             (count bounds {c_out})",
+                            query.base
+                        ),
+                    ));
+                } else {
+                    if sel.lo >= 1.0 {
+                        report.push(Diagnostic::new(
+                            Rule::ProvablyFullScan,
+                            Span::at(i, "filter"),
+                            format!(
+                                "filter provably keeps every document of '{}' \
+                                 (selectivity {sel})",
+                                query.base
+                            ),
+                        ));
+                    }
+                    if c_out.is_point() {
+                        report.push(Diagnostic::new(
+                            Rule::StaticallyKnownCount,
+                            Span::at(i, "filter"),
+                            format!(
+                                "result size is statically known: exactly {} \
+                                 documents",
+                                c_out.lo
+                            ),
+                        ));
+                    }
+                    if sel == Interval::UNIT {
+                        report.push(Diagnostic::new(
+                            Rule::SelectivityIndeterminate,
+                            Span::at(i, "filter"),
+                            "the analysis cannot bound this filter's \
+                             selectivity at all ([0, 1])",
+                        ));
+                    }
+                    check_window(
+                        session,
+                        i,
+                        &c_out,
+                        &node_counts,
+                        &created_by,
+                        &sel,
+                        config,
+                        report,
+                    );
+                }
+                (c_out, sel, Some(merged))
+            }
+            // Analyzable input, no filter: identity.
+            (AbsState::Known { facts, .. }, _, None) => {
+                (c_in, Interval::point(1.0), Some(facts.clone()))
+            }
+            // Opaque input (or missing root analysis): only cardinality
+            // arithmetic survives.
+            (_, _, filter) => {
+                let c_out = match filter {
+                    Some(_) => Interval::new(0.0, c_in.hi),
+                    None => c_in,
+                };
+                let sel = match filter {
+                    Some(_) => Interval::UNIT,
+                    None => Interval::point(1.0),
+                };
+                (c_out, sel, None)
+            }
+        };
+
+        if query.aggregation.is_some() && c_out.hi <= 0.0 {
+            report.push(Diagnostic::new(
+                Rule::AggregationOverEmpty,
+                Span::at(i, "aggregation"),
+                "aggregation runs over a provably empty result".to_owned(),
+            ));
+        }
+
+        predictions.push(QueryPrediction {
+            query: i,
+            base: query.base.clone(),
+            input_card: c_in,
+            result_card: c_out,
+            selectivity: sel,
+        });
+
+        // The graph node this query created (with or without store_as —
+        // composed-predicate exports record the node but store nothing)
+        // holds exactly the filtered result.
+        if let Some(&node) = created_by.get(&i) {
+            node_counts.insert(node.0, c_out);
+        }
+
+        if let Some(store) = &query.store_as {
+            if c_out.hi <= 0.0 {
+                report.push(Diagnostic::new(
+                    Rule::StoredEmptyDataset,
+                    Span::in_query(i),
+                    format!("'{store}' is stored but provably empty"),
+                ));
+            }
+            // Transforms are 1:1 (count-preserving) but invalidate facts.
+            let new_state = match out_facts {
+                Some(facts) if query.transforms.is_empty() => {
+                    if let Some(analysis) = analysis {
+                        root_analysis.insert(store.clone(), analysis);
+                    }
+                    AbsState::Known { facts, card: c_out }
+                }
+                _ => AbsState::Opaque { card: c_out },
+            };
+            env.insert(store.clone(), new_state);
+        }
+    }
+
+    trail_fixpoint(session, &node_counts, config, report);
+    predictions
+}
+
+/// Fires L035/L036 when the *step* selectivity — the created dataset
+/// relative to its parent in the session graph, falling back to the
+/// query-level selectivity when the query creates no node — is provably
+/// outside the generator's window.
+#[allow(clippy::too_many_arguments)]
+fn check_window(
+    session: &Session,
+    query: usize,
+    c_out: &Interval,
+    node_counts: &BTreeMap<usize, Interval>,
+    created_by: &BTreeMap<usize, DatasetId>,
+    query_sel: &Interval,
+    config: &AbsintConfig,
+    report: &mut LintReport,
+) {
+    let SelWindow { min, max } = config.window;
+    // The generator targets *per-step* selectivity: the created dataset
+    // relative to its parent. Recover it when the graph records both.
+    let step_sel = created_by
+        .get(&query)
+        .and_then(|&node| session.graph.node(node))
+        .and_then(|node| node.parent)
+        .and_then(|parent| node_counts.get(&parent.0))
+        .map(|parent_count| c_out.ratio_of_subset(parent_count))
+        .unwrap_or(*query_sel);
+    if step_sel.is_empty() {
+        return;
+    }
+    if step_sel.hi < min {
+        report.push(Diagnostic::new(
+            Rule::SelectivityBelowWindow,
+            Span::at(query, "filter"),
+            format!(
+                "selectivity is provably below the generator window \
+                 [{min}, {max}]: bounds {step_sel}"
+            ),
+        ));
+    } else if step_sel.lo > max && step_sel.lo < 1.0 {
+        report.push(Diagnostic::new(
+            Rule::SelectivityAboveWindow,
+            Span::at(query, "filter"),
+            format!(
+                "selectivity is provably above the generator window \
+                 [{min}, {max}]: bounds {step_sel}"
+            ),
+        ));
+    }
+}
+
+/// Per-node state of the trail fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TrailState {
+    /// Hull of the cardinality bounds of every dataset seen on some path
+    /// to this node.
+    card: Interval,
+    /// Bounds on the number of moves taken to reach this node.
+    steps: Interval,
+}
+
+impl TrailState {
+    fn join(&self, other: &TrailState) -> TrailState {
+        TrailState {
+            card: self.card.join(&other.card),
+            steps: self.steps.join(&other.steps),
+        }
+    }
+
+    fn widen(&self, next: &TrailState) -> TrailState {
+        TrailState {
+            card: self.card.widen(&next.card),
+            steps: self.steps.widen(&next.steps),
+        }
+    }
+}
+
+/// Worklist fixpoint over the move-trail edges. Return/jump edges form
+/// cycles, so step counts diverge and are widened (L045); graph nodes the
+/// trail never visits are reported (L047).
+fn trail_fixpoint(
+    session: &Session,
+    node_counts: &BTreeMap<usize, Interval>,
+    config: &AbsintConfig,
+    report: &mut LintReport,
+) {
+    if session.moves.is_empty() {
+        return;
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut start: Option<usize> = None;
+    for m in &session.moves {
+        let edge = match *m {
+            Move::Explore { on, created } => Some((on.0, created.0)),
+            Move::Return { from, to } | Move::Jump { from, to } => Some((from.0, to.0)),
+            Move::Stop => None,
+        };
+        if let Some((from, to)) = edge {
+            if start.is_none() {
+                start = Some(from);
+            }
+            if !edges.contains(&(from, to)) {
+                edges.push((from, to));
+            }
+        }
+    }
+    let Some(start) = start else { return };
+
+    let card_of = |id: usize| {
+        node_counts
+            .get(&id)
+            .copied()
+            .unwrap_or(Interval::new(0.0, f64::INFINITY))
+    };
+
+    let mut states: BTreeMap<usize, TrailState> = BTreeMap::new();
+    let mut visits: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut worklist: VecDeque<usize> = VecDeque::new();
+    states.insert(
+        start,
+        TrailState {
+            card: card_of(start),
+            steps: Interval::point(0.0),
+        },
+    );
+    worklist.push_back(start);
+
+    while let Some(u) = worklist.pop_front() {
+        let su = states[&u];
+        for &(from, to) in &edges {
+            if from != u {
+                continue;
+            }
+            let incoming = TrailState {
+                card: su.card.join(&card_of(to)),
+                steps: su.steps.add(&Interval::point(1.0)),
+            };
+            match states.get(&to).copied() {
+                None => {
+                    states.insert(to, incoming);
+                    visits.insert(to, 1);
+                    worklist.push_back(to);
+                }
+                Some(old) => {
+                    let joined = old.join(&incoming);
+                    if joined == old {
+                        continue;
+                    }
+                    let n = visits.entry(to).or_insert(0);
+                    *n += 1;
+                    let next = if *n > config.widen_after {
+                        old.widen(&joined)
+                    } else {
+                        joined
+                    };
+                    if next != old {
+                        states.insert(to, next);
+                        worklist.push_back(to);
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some((&id, _)) = states.iter().find(|(_, s)| s.steps.hi == f64::INFINITY) {
+        let name = session
+            .graph
+            .node(DatasetId(id))
+            .map_or("?", |n| n.name.as_str());
+        report.push(Diagnostic::new(
+            Rule::WideningApplied,
+            Span::session(),
+            format!(
+                "the move trail contains a cycle through dataset '{name}'; \
+                 step-count bounds were widened to ∞"
+            ),
+        ));
+    }
+    for node in session.graph.nodes() {
+        if !states.contains_key(&node.id.0) {
+            report.push(Diagnostic::new(
+                Rule::UnreachableDataset,
+                Span::session(),
+                format!("dataset '{}' is never visited by the move trail", node.name),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::LintReport;
+    use betze_model::{DatasetGraph, Query};
+
+    fn session_with(queries: Vec<Query>, graph: DatasetGraph, moves: Vec<Move>) -> Session {
+        Session {
+            queries,
+            graph,
+            moves,
+            seed: 0,
+            config_label: "absint-test".into(),
+        }
+    }
+
+    /// An empty base dataset is ⊥: L048 on the base, L038 on every query
+    /// over it, and the emptiness propagates through a store to the next
+    /// query in the chain.
+    #[test]
+    fn empty_dataset_bottom_propagates_through_the_chain() {
+        let analysis = betze_stats::analyze("empty", &[]);
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("empty", 0.0);
+        graph.add_derived(base, "step1", 0, 0.0);
+        let queries = vec![Query::scan("empty").store_as("step1"), Query::scan("step1")];
+        let session = session_with(queries, graph, Vec::new());
+        let mut report = LintReport::new();
+        let predictions = run(
+            &session,
+            &[&analysis],
+            &AbsintConfig::default(),
+            &mut report,
+        );
+        let ids: Vec<&str> = report.diagnostics().iter().map(|d| d.rule.id()).collect();
+        assert!(ids.contains(&"L048"), "{ids:?}");
+        assert!(ids.contains(&"L038"), "{ids:?}");
+        for p in &predictions {
+            assert_eq!(p.result_card, Interval::point(0.0), "query {}", p.query);
+        }
+    }
+
+    /// A jump cycle in the move trail must terminate via widening and
+    /// surface as L045 (unbounded session growth), not hang the fixpoint.
+    #[test]
+    fn widening_terminates_jump_cycles() {
+        let docs = vec![betze_json::Value::Null; 4];
+        let analysis = betze_stats::analyze("d", &docs);
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("d", 4.0);
+        let step = graph.add_derived(base, "s1", 0, 4.0);
+        let queries = vec![Query::scan("d").store_as("s1")];
+        let moves = vec![
+            Move::Explore {
+                on: base,
+                created: step,
+            },
+            Move::Jump {
+                from: step,
+                to: base,
+            },
+            Move::Stop,
+        ];
+        let session = session_with(queries, graph, moves);
+        let mut report = LintReport::new();
+        run(
+            &session,
+            &[&analysis],
+            &AbsintConfig::default(),
+            &mut report,
+        );
+        let ids: Vec<&str> = report.diagnostics().iter().map(|d| d.rule.id()).collect();
+        assert!(ids.contains(&"L045"), "{ids:?}");
+    }
+}

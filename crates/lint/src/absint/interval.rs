@@ -1,0 +1,258 @@
+//! The interval domain: closed intervals over the extended reals.
+//!
+//! This is the workhorse lattice of the abstract interpreter — it
+//! represents numeric value ranges, cardinality bounds, and selectivity
+//! bounds alike. The ordering is inclusion; `join` is the interval hull,
+//! `meet` the intersection, `⊥` the empty interval and `⊤` all of ℝ.
+//!
+//! Endpoints are always comparable: a NaN endpoint coming in from outside
+//! (e.g. a corrupted `DatasetAnalysis`) is sanitized to the conservative
+//! infinite side by [`Interval::new`], so no lattice operation ever has
+//! to reason about NaN.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over the extended reals. `lo > hi`
+/// encodes ⊥ (the empty interval); the canonical empty value is
+/// [`Interval::EMPTY`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive; `-∞` for unbounded).
+    pub lo: f64,
+    /// Upper bound (inclusive; `+∞` for unbounded).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// ⊥ — contains nothing.
+    pub const EMPTY: Interval = Interval {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+    };
+
+    /// ⊤ — all of ℝ.
+    pub const TOP: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// The unit interval `[0, 1]`, ⊤ of the selectivity lattice.
+    pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
+
+    /// `[lo, hi]`, sanitizing NaN endpoints to the conservative infinite
+    /// side (a NaN bound means "unknown", not "empty"). A genuinely
+    /// inverted pair collapses to [`Interval::EMPTY`].
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
+        let hi = if hi.is_nan() { f64::INFINITY } else { hi };
+        if lo > hi {
+            Interval::EMPTY
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// The single-value interval `[v, v]`; NaN collapses to ⊥ (no real
+    /// number is NaN).
+    pub fn point(v: f64) -> Interval {
+        if v.is_nan() {
+            Interval::EMPTY
+        } else {
+            Interval { lo: v, hi: v }
+        }
+    }
+
+    /// True for ⊥.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// True if the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True if `v` lies inside (NaN is inside nothing).
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Lattice join: the interval hull.
+    pub fn join(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Lattice meet: the intersection.
+    pub fn meet(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Standard interval widening: any bound that moved since `self`
+    /// jumps straight to its infinity, guaranteeing termination on
+    /// ascending chains.
+    pub fn widen(&self, next: &Interval) -> Interval {
+        if self.is_empty() {
+            return *next;
+        }
+        if next.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: if next.lo < self.lo {
+                f64::NEG_INFINITY
+            } else {
+                self.lo
+            },
+            hi: if next.hi > self.hi {
+                f64::INFINITY
+            } else {
+                self.hi
+            },
+        }
+    }
+
+    /// Pointwise sum (for step counters; empty is absorbing).
+    pub fn add(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+
+    /// Intersects with `[0, 1]` — normalizes a fraction interval.
+    pub fn clamp_unit(&self) -> Interval {
+        self.meet(&Interval::UNIT)
+    }
+
+    /// Sound bounds on the ratio `a / b` for `0 ≤ a ≤ b` with `a ∈ self`
+    /// and `b ∈ denom` (cardinality ratios: the numerator set is always a
+    /// subset of the denominator set). Returns [`Interval::UNIT`]-clamped
+    /// bounds; a denominator that may be zero forces the respective bound
+    /// to the trivial side.
+    pub fn ratio_of_subset(&self, denom: &Interval) -> Interval {
+        if self.is_empty() || denom.is_empty() {
+            return Interval::EMPTY;
+        }
+        let lo = if denom.hi > 0.0 {
+            (self.lo / denom.hi).max(0.0)
+        } else {
+            0.0
+        };
+        let hi = if denom.lo > 0.0 {
+            (self.hi / denom.lo).min(1.0)
+        } else {
+            1.0
+        };
+        Interval::new(lo, hi).clamp_unit()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            f.write_str("⊥")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_endpoints_sanitize_to_infinity() {
+        let i = Interval::new(f64::NAN, 5.0);
+        assert_eq!(i, Interval::new(f64::NEG_INFINITY, 5.0));
+        let i = Interval::new(0.0, f64::NAN);
+        assert_eq!(i, Interval::new(0.0, f64::INFINITY));
+        let i = Interval::new(f64::NAN, f64::NAN);
+        assert_eq!(i, Interval::TOP);
+        assert!(Interval::point(f64::NAN).is_empty());
+        assert!(!Interval::TOP.contains(f64::NAN));
+    }
+
+    #[test]
+    fn infinite_endpoints_behave() {
+        let all = Interval::TOP;
+        assert!(all.contains(f64::MAX) && all.contains(f64::MIN));
+        assert!(all.contains(f64::INFINITY));
+        let lower = Interval::new(f64::NEG_INFINITY, 0.0);
+        let upper = Interval::new(0.0, f64::INFINITY);
+        assert_eq!(lower.meet(&upper), Interval::point(0.0));
+        assert_eq!(lower.join(&upper), Interval::TOP);
+    }
+
+    #[test]
+    fn single_value_intervals() {
+        let p = Interval::point(3.5);
+        assert!(p.is_point() && !p.is_empty());
+        assert!(p.contains(3.5) && !p.contains(3.5000001));
+        assert_eq!(p.meet(&Interval::point(3.5)), p);
+        assert!(p.meet(&Interval::point(4.0)).is_empty());
+        assert_eq!(p.join(&Interval::point(4.0)), Interval::new(3.5, 4.0));
+    }
+
+    #[test]
+    fn empty_propagates_bottom() {
+        let e = Interval::EMPTY;
+        assert!(e.is_empty());
+        assert!(e.meet(&Interval::TOP).is_empty());
+        assert!(e.add(&Interval::point(1.0)).is_empty());
+        assert_eq!(e.join(&Interval::point(2.0)), Interval::point(2.0));
+        assert!(!e.contains(0.0));
+        assert_eq!(Interval::new(5.0, 3.0), Interval::EMPTY);
+    }
+
+    #[test]
+    fn widening_terminates_ascending_chains() {
+        // Simulate a loop that grows the bound every round: widening must
+        // reach a fixpoint in finitely many steps.
+        let mut state = Interval::point(0.0);
+        let mut rounds = 0;
+        loop {
+            let grown = Interval::new(state.lo, state.hi + 1.0);
+            let widened = state.widen(&grown);
+            rounds += 1;
+            if widened == state {
+                break;
+            }
+            state = widened;
+            assert!(rounds < 4, "widening must converge immediately");
+        }
+        assert_eq!(state.hi, f64::INFINITY);
+        assert_eq!(state.lo, 0.0);
+        // A stable bound is left untouched.
+        assert_eq!(state.widen(&Interval::new(0.5, 10.0)), state);
+    }
+
+    #[test]
+    fn subset_ratio_bounds() {
+        // 30–40 of 100 docs: selectivity in [0.3, 0.4].
+        let sel = Interval::new(30.0, 40.0).ratio_of_subset(&Interval::point(100.0));
+        assert_eq!(sel, Interval::new(0.3, 0.4));
+        // Denominator possibly zero: trivial upper bound.
+        let sel = Interval::new(10.0, 20.0).ratio_of_subset(&Interval::new(0.0, 50.0));
+        assert_eq!(sel.hi, 1.0);
+        assert_eq!(sel.lo, 10.0 / 50.0);
+        // Denominator certainly zero: [0, 1] (undefined concrete ratio).
+        let sel = Interval::point(0.0).ratio_of_subset(&Interval::point(0.0));
+        assert_eq!(sel, Interval::UNIT);
+    }
+}

@@ -1,0 +1,51 @@
+//! Abstract interpretation of session graphs (rules L033–L048).
+//!
+//! A sound selectivity/type dataflow engine: every query's input size,
+//! result size, and selectivity are bounded by intervals derived from the
+//! base dataset's exact [`betze_stats::DatasetAnalysis`], combined with
+//! Fréchet bounds through predicate trees and propagated along dataset
+//! chains. *Sound* means the concrete value always lies inside the
+//! predicted interval — the execution oracle (`betze lint --oracle`,
+//! `tests/tests/absint.rs`) enforces exactly that on real runs.
+//!
+//! Module map:
+//!
+//! * [`interval`] — closed intervals over the extended reals (the
+//!   workhorse lattice: values, cardinalities, selectivities).
+//! * [`typeset`] — JSON type sets as a bitset lattice.
+//! * [`strdom`] — string prefix/equality constraints and sound counts
+//!   from the analyzer's truncated prefix/value tables.
+//! * [`card`] — Fréchet match-count combination and the selectivity
+//!   window.
+//! * [`transfer`] — per-leaf and per-tree transfer functions, mandatory
+//!   fact refinement.
+//! * [`engine`] — the dataflow walk and the trail fixpoint.
+
+pub mod card;
+pub mod engine;
+pub mod interval;
+pub mod strdom;
+pub mod transfer;
+pub mod typeset;
+
+pub use card::SelWindow;
+pub use engine::QueryPrediction;
+pub use interval::Interval;
+
+/// Configuration of the abstract interpreter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsintConfig {
+    /// The generator's selectivity window for L035/L036.
+    pub window: SelWindow,
+    /// Joins at a trail node before widening kicks in.
+    pub widen_after: usize,
+}
+
+impl Default for AbsintConfig {
+    fn default() -> Self {
+        AbsintConfig {
+            window: SelWindow::default(),
+            widen_after: 3,
+        }
+    }
+}

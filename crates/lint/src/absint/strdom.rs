@@ -1,0 +1,182 @@
+//! The string domain: prefix/equality constraints and **sound** match
+//! counts derived from the analyzer's bounded prefix and value tables.
+//!
+//! The analyzer's `prefixes` and `string_values` lists are top-k
+//! truncated, so *absence* of an entry proves nothing — but every entry
+//! that *is* recorded carries an exact count (one bump per document).
+//! All bounds below use only recorded entries:
+//!
+//! * an exact hit (the queried value/prefix is recorded) pins the count;
+//! * a recorded *shorter* prefix of the constant upper-bounds the count
+//!   (matching documents are a subset of that prefix's documents);
+//! * recorded values/longer prefixes that themselves match lower-bound
+//!   the count (their documents are a subset of the matches).
+
+use crate::absint::interval::Interval;
+use betze_stats::PathStats;
+use std::fmt;
+
+/// An abstract constraint on the string value at a path: ⊤ (anything),
+/// a known prefix, or an exact value. The meet detects incompatible
+/// constraints along a dataset chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrConstraint {
+    /// Any string.
+    Any,
+    /// Starts with the given prefix.
+    Prefix(String),
+    /// Equals the given value.
+    Exact(String),
+}
+
+impl StrConstraint {
+    /// Lattice meet; `None` encodes ⊥ (no string satisfies both).
+    pub fn meet(&self, other: &StrConstraint) -> Option<StrConstraint> {
+        use StrConstraint::{Any, Exact, Prefix};
+        match (self, other) {
+            (Any, c) | (c, Any) => Some(c.clone()),
+            (Exact(a), Exact(b)) => (a == b).then(|| Exact(a.clone())),
+            (Exact(v), Prefix(p)) | (Prefix(p), Exact(v)) => {
+                v.starts_with(p.as_str()).then(|| Exact(v.clone()))
+            }
+            (Prefix(a), Prefix(b)) => {
+                if a.starts_with(b.as_str()) {
+                    Some(Prefix(a.clone()))
+                } else if b.starts_with(a.as_str()) {
+                    Some(Prefix(b.clone()))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for StrConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrConstraint::Any => f.write_str("any string"),
+            StrConstraint::Prefix(p) => write!(f, "prefix \"{p}\""),
+            StrConstraint::Exact(v) => write!(f, "value \"{v}\""),
+        }
+    }
+}
+
+/// Sound bounds on the number of documents whose value at the path is a
+/// string equal to `value`.
+pub fn str_eq_count_bounds(stats: &PathStats, value: &str) -> Interval {
+    if let Some(&(_, count)) = stats.string_values.iter().find(|(v, _)| v == value) {
+        return Interval::point(count as f64);
+    }
+    let mut hi = stats.string_count;
+    for (prefix, count) in &stats.prefixes {
+        if value.starts_with(prefix.as_str()) {
+            hi = hi.min(*count);
+        }
+    }
+    Interval::new(0.0, hi as f64)
+}
+
+/// Sound bounds on the number of documents whose value at the path is a
+/// string starting with `prefix`.
+pub fn has_prefix_count_bounds(stats: &PathStats, prefix: &str) -> Interval {
+    if prefix.is_empty() {
+        // Every string starts with "" — exactly the string-typed documents.
+        return Interval::point(stats.string_count as f64);
+    }
+    if let Some(&(_, count)) = stats.prefixes.iter().find(|(p, _)| p == prefix) {
+        // Recorded at its own length: exact (shorter strings record no
+        // entry at this length and cannot start with the prefix either).
+        return Interval::point(count as f64);
+    }
+    let mut hi = stats.string_count;
+    let mut lo: u64 = 0;
+    for (p, count) in &stats.prefixes {
+        if prefix.starts_with(p.as_str()) && p.len() < prefix.len() {
+            // Matches are a subset of this shorter recorded prefix.
+            hi = hi.min(*count);
+        }
+        if p.starts_with(prefix) && p.len() > prefix.len() {
+            // This longer recorded prefix's documents all match.
+            lo = lo.max(*count);
+        }
+    }
+    // Recorded exact values that match are disjoint sets of documents.
+    let value_lo: u64 = stats
+        .string_values
+        .iter()
+        .filter(|(v, _)| v.starts_with(prefix))
+        .map(|(_, c)| *c)
+        .sum();
+    lo = lo.max(value_lo);
+    Interval::new(lo as f64, hi as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> PathStats {
+        PathStats {
+            doc_count: 100,
+            string_count: 90,
+            // Prefix lengths 1 and 2 recorded; exact per-entry counts.
+            prefixes: vec![("h".into(), 60), ("ht".into(), 40), ("a".into(), 30)],
+            string_values: vec![("http".into(), 25), ("abc".into(), 10)],
+            ..PathStats::default()
+        }
+    }
+
+    #[test]
+    fn constraint_meet() {
+        use StrConstraint::{Any, Exact, Prefix};
+        assert_eq!(Any.meet(&Prefix("h".into())), Some(Prefix("h".into())));
+        assert_eq!(
+            Prefix("h".into()).meet(&Prefix("ht".into())),
+            Some(Prefix("ht".into()))
+        );
+        assert_eq!(Prefix("h".into()).meet(&Prefix("x".into())), None);
+        assert_eq!(
+            Exact("http".into()).meet(&Prefix("ht".into())),
+            Some(Exact("http".into()))
+        );
+        assert_eq!(Exact("http".into()).meet(&Prefix("x".into())), None);
+        assert_eq!(Exact("a".into()).meet(&Exact("b".into())), None);
+    }
+
+    #[test]
+    fn eq_bounds() {
+        let s = stats();
+        // Recorded value: exact.
+        assert_eq!(str_eq_count_bounds(&s, "http"), Interval::point(25.0));
+        // Unrecorded value capped by its recorded prefixes.
+        let b = str_eq_count_bounds(&s, "hxyz");
+        assert_eq!((b.lo, b.hi), (0.0, 60.0));
+        let b = str_eq_count_bounds(&s, "htol");
+        assert_eq!((b.lo, b.hi), (0.0, 40.0));
+        // No recorded prefix applies: only the string count caps it.
+        let b = str_eq_count_bounds(&s, "zzz");
+        assert_eq!((b.lo, b.hi), (0.0, 90.0));
+    }
+
+    #[test]
+    fn prefix_bounds() {
+        let s = stats();
+        // Empty prefix matches every string.
+        assert_eq!(has_prefix_count_bounds(&s, ""), Interval::point(90.0));
+        // Recorded prefix: exact.
+        assert_eq!(has_prefix_count_bounds(&s, "ht"), Interval::point(40.0));
+        // Unrecorded longer prefix: upper bound from "ht", lower bound
+        // from the recorded exact value "http".
+        let b = has_prefix_count_bounds(&s, "htt");
+        assert_eq!((b.lo, b.hi), (25.0, 40.0));
+        // Unrecorded prefix with a matching longer recorded prefix.
+        let s2 = PathStats {
+            string_count: 50,
+            prefixes: vec![("abcd".into(), 12)],
+            ..PathStats::default()
+        };
+        let b = has_prefix_count_bounds(&s2, "ab");
+        assert_eq!((b.lo, b.hi), (12.0, 50.0));
+    }
+}

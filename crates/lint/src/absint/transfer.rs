@@ -1,0 +1,676 @@
+//! Transfer functions: one per IR predicate leaf and per tree node.
+//!
+//! Every leaf maps to a **sound** match-count interval over the base
+//! analysis (`stats` are exact per-path marginals, histograms provide
+//! bucket-sum bounds, the string tables exact entry counts). Tree nodes
+//! combine child counts with the Fréchet bounds from [`crate::absint::card`].
+//! The AND-spine of a filter additionally yields *mandatory facts* — type
+//! sets, numeric intervals, string constraints every surviving document
+//! must satisfy — which downstream queries in a dataset chain are checked
+//! against.
+
+use crate::absint::card::{and_counts, or_counts};
+use crate::absint::interval::Interval;
+use crate::absint::strdom::{has_prefix_count_bounds, str_eq_count_bounds, StrConstraint};
+use crate::absint::typeset::TypeSet;
+use crate::diagnostics::Rule;
+use betze_json::{JsonPointer, JsonType};
+use betze_model::{Comparison, FilterFn, Predicate};
+use betze_stats::{DatasetAnalysis, PathStats};
+use std::collections::BTreeMap;
+
+/// Everything the abstract interpreter knows about the value at one path
+/// for every document in a derived dataset. The ⊤ element constrains
+/// nothing; facts accumulate by [`Refinement::meet`] along AND-spines and
+/// dataset chains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Refinement {
+    /// Allowed JSON types of the value.
+    pub types: TypeSet,
+    /// Closed over-approximation of the numeric value (when numeric).
+    pub num: Interval,
+    /// String constraint (when a string).
+    pub str_c: StrConstraint,
+    /// Required boolean value (when a boolean).
+    pub bool_v: Option<bool>,
+    /// Array-size bounds (when an array).
+    pub arr: Interval,
+    /// Object-size bounds (when an object).
+    pub obj: Interval,
+}
+
+impl Default for Refinement {
+    fn default() -> Self {
+        Refinement {
+            types: TypeSet::ANY,
+            num: Interval::TOP,
+            str_c: StrConstraint::Any,
+            bool_v: None,
+            arr: Interval::TOP,
+            obj: Interval::TOP,
+        }
+    }
+}
+
+/// Why two refinements cannot hold simultaneously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conflict {
+    /// The rule that reports this conflict kind.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl Refinement {
+    /// Lattice meet. `Err` encodes ⊥: no document value satisfies both,
+    /// with the rule classifying the conflict.
+    pub fn meet(&self, other: &Refinement) -> Result<Refinement, Conflict> {
+        let types = self.types.meet(other.types);
+        if types.is_empty() {
+            return Err(Conflict {
+                rule: Rule::DerivedTypeConflict,
+                detail: format!(
+                    "required types {} and {} are disjoint",
+                    self.types, other.types
+                ),
+            });
+        }
+        let num = self.num.meet(&other.num);
+        if num.is_empty() {
+            return Err(Conflict {
+                rule: Rule::DerivedRangeConflict,
+                detail: format!(
+                    "numeric constraints {} and {} do not overlap",
+                    self.num, other.num
+                ),
+            });
+        }
+        let Some(str_c) = self.str_c.meet(&other.str_c) else {
+            return Err(Conflict {
+                rule: Rule::DerivedPrefixConflict,
+                detail: format!(
+                    "string constraints ({} vs {}) are incompatible",
+                    self.str_c, other.str_c
+                ),
+            });
+        };
+        let bool_v = match (self.bool_v, other.bool_v) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(Conflict {
+                    rule: Rule::DerivedRangeConflict,
+                    detail: "the value would have to be both true and false".to_owned(),
+                })
+            }
+            (a, b) => a.or(b),
+        };
+        let arr = self.arr.meet(&other.arr);
+        if arr.is_empty() {
+            return Err(Conflict {
+                rule: Rule::DerivedRangeConflict,
+                detail: "array-size constraints do not overlap".to_owned(),
+            });
+        }
+        let obj = self.obj.meet(&other.obj);
+        if obj.is_empty() {
+            return Err(Conflict {
+                rule: Rule::DerivedRangeConflict,
+                detail: "object-size constraints do not overlap".to_owned(),
+            });
+        }
+        Ok(Refinement {
+            types,
+            num,
+            str_c,
+            bool_v,
+            arr,
+            obj,
+        })
+    }
+
+    /// The refinement a matching document must satisfy for one leaf.
+    pub fn of_leaf(leaf: &FilterFn) -> Refinement {
+        let mut r = Refinement::default();
+        match leaf {
+            FilterFn::Exists { .. } => {}
+            FilterFn::IsString { .. } => r.types = TypeSet::of(JsonType::String),
+            FilterFn::IntEq { value, .. } => {
+                r.types = TypeSet::numeric();
+                r.num = Interval::point(*value as f64);
+            }
+            FilterFn::FloatCmp { op, value, .. } => {
+                r.types = TypeSet::numeric();
+                r.num = closed_cmp_interval(*op, *value);
+            }
+            FilterFn::StrEq { value, .. } => {
+                r.types = TypeSet::of(JsonType::String);
+                r.str_c = StrConstraint::Exact(value.clone());
+            }
+            FilterFn::HasPrefix { prefix, .. } => {
+                r.types = TypeSet::of(JsonType::String);
+                r.str_c = StrConstraint::Prefix(prefix.clone());
+            }
+            FilterFn::BoolEq { value, .. } => {
+                r.types = TypeSet::of(JsonType::Bool);
+                r.bool_v = Some(*value);
+            }
+            FilterFn::ArrSize { op, value, .. } => {
+                r.types = TypeSet::of(JsonType::Array);
+                r.arr = closed_cmp_interval(*op, *value as f64);
+            }
+            FilterFn::ObjSize { op, value, .. } => {
+                r.types = TypeSet::of(JsonType::Object);
+                r.obj = closed_cmp_interval(*op, *value as f64);
+            }
+        }
+        r
+    }
+}
+
+/// The closed interval over-approximating `x <op> v` (closedness only
+/// loses precision, never soundness: a meet that is empty on the
+/// over-approximations is empty on the exact sets too).
+fn closed_cmp_interval(op: Comparison, v: f64) -> Interval {
+    match op {
+        Comparison::Lt | Comparison::Le => Interval::new(f64::NEG_INFINITY, v),
+        Comparison::Gt | Comparison::Ge => Interval::new(v, f64::INFINITY),
+        Comparison::Eq => Interval::point(v),
+    }
+}
+
+/// Sound bounds on how many documents of the analyzed dataset match one
+/// leaf. `None` stats (the path never occurs) yield `[0, 0]` — every
+/// leaf, including `EXISTS`, requires the path to be present.
+pub fn leaf_count_bounds(leaf: &FilterFn, stats: Option<&PathStats>) -> Interval {
+    let Some(stats) = stats.filter(|s| s.doc_count > 0) else {
+        return Interval::point(0.0);
+    };
+    match leaf {
+        FilterFn::Exists { .. } => Interval::point(stats.doc_count as f64),
+        FilterFn::IsString { .. } => Interval::point(stats.string_count as f64),
+        FilterFn::BoolEq { value, .. } => {
+            let count = if *value {
+                stats.true_count
+            } else {
+                stats.bool_count - stats.true_count
+            };
+            Interval::point(count as f64)
+        }
+        FilterFn::StrEq { value, .. } => str_eq_count_bounds(stats, value),
+        FilterFn::HasPrefix { prefix, .. } => has_prefix_count_bounds(stats, prefix),
+        FilterFn::IntEq { value, .. } => numeric_eq_bounds(stats, *value as f64),
+        FilterFn::FloatCmp { op, value, .. } => numeric_cmp_bounds(stats, *op, *value),
+        FilterFn::ArrSize { op, value, .. } => size_cmp_bounds(
+            stats.array_count,
+            stats.array_min_size,
+            stats.array_max_size,
+            *op,
+            *value,
+        ),
+        FilterFn::ObjSize { op, value, .. } => size_cmp_bounds(
+            stats.object_count,
+            stats.object_min_children,
+            stats.object_max_children,
+            *op,
+            *value,
+        ),
+    }
+}
+
+/// The histogram, but only if it demonstrably covers every numeric value
+/// at the path (its total must equal the numeric count — anything else
+/// means the histogram describes a different population and bounds from
+/// it would be unsound).
+fn covering_histogram(stats: &PathStats) -> Option<&betze_stats::Histogram> {
+    stats
+        .numeric_histogram
+        .as_ref()
+        .filter(|h| h.total() == stats.numeric_count())
+}
+
+fn numeric_cmp_bounds(stats: &PathStats, op: Comparison, v: f64) -> Interval {
+    let n = stats.numeric_count();
+    if n == 0 || v.is_nan() {
+        // No numeric values, or a constant nothing compares to.
+        return Interval::point(0.0);
+    }
+    if op == Comparison::Eq {
+        return numeric_eq_bounds(stats, v);
+    }
+    if let Some(h) = covering_histogram(stats) {
+        let (lo, hi) = match op {
+            Comparison::Lt => h.count_lt_bounds(v),
+            Comparison::Le => h.count_le_bounds(v),
+            // Complements: every numeric value is in the histogram.
+            Comparison::Gt => flip(h.count_le_bounds(v), n),
+            Comparison::Ge => flip(h.count_lt_bounds(v), n),
+            Comparison::Eq => unreachable!("handled above"),
+        };
+        return Interval::new(lo as f64, hi as f64);
+    }
+    // Hull-only fallback: min/max of the observed values.
+    let Some((min, max)) = stats.numeric_range() else {
+        return Interval::new(0.0, n as f64);
+    };
+    let none = match op {
+        Comparison::Lt => v <= min,
+        Comparison::Le => v < min,
+        Comparison::Gt => v >= max,
+        Comparison::Ge => v > max,
+        Comparison::Eq => unreachable!(),
+    };
+    let all = match op {
+        Comparison::Lt => v > max,
+        Comparison::Le => v >= max,
+        Comparison::Gt => v < min,
+        Comparison::Ge => v <= min,
+        Comparison::Eq => unreachable!(),
+    };
+    if none {
+        Interval::point(0.0)
+    } else if all {
+        Interval::point(n as f64)
+    } else {
+        Interval::new(0.0, n as f64)
+    }
+}
+
+/// `IntEq`/`FloatCmp(Eq)` both match *any* numeric value equal to the
+/// constant (integers and floats alike), so equality bounds use the full
+/// numeric hull, not just the integer range.
+fn numeric_eq_bounds(stats: &PathStats, v: f64) -> Interval {
+    let n = stats.numeric_count();
+    if n == 0 || v.is_nan() {
+        return Interval::point(0.0);
+    }
+    let Some((min, max)) = stats.numeric_range() else {
+        return Interval::new(0.0, n as f64);
+    };
+    if v < min || v > max {
+        return Interval::point(0.0);
+    }
+    if min == max {
+        // Every numeric value is the constant.
+        return Interval::point(n as f64);
+    }
+    if let Some(h) = covering_histogram(stats) {
+        // All matches live in the constant's bucket.
+        return Interval::new(0.0, h.counts[h.bucket_of(v)] as f64);
+    }
+    Interval::new(0.0, n as f64)
+}
+
+fn flip((lo, hi): (u64, u64), n: u64) -> (u64, u64) {
+    (n.saturating_sub(hi), n.saturating_sub(lo))
+}
+
+fn size_cmp_bounds(
+    count: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+    op: Comparison,
+    v: i64,
+) -> Interval {
+    if count == 0 {
+        return Interval::point(0.0);
+    }
+    let (Some(min), Some(max)) = (min, max) else {
+        return Interval::new(0.0, count as f64);
+    };
+    let (min, max) = (min as i64, max as i64);
+    let none = match op {
+        Comparison::Lt => v <= min,
+        Comparison::Le => v < min,
+        Comparison::Gt => v >= max,
+        Comparison::Ge => v > max,
+        Comparison::Eq => v < min || v > max,
+    };
+    let all = match op {
+        Comparison::Lt => v > max,
+        Comparison::Le => v >= max,
+        Comparison::Gt => v < min,
+        Comparison::Ge => v <= min,
+        Comparison::Eq => min == max && v == min,
+    };
+    if none {
+        Interval::point(0.0)
+    } else if all {
+        Interval::point(count as f64)
+    } else {
+        Interval::new(0.0, count as f64)
+    }
+}
+
+/// A provably irrelevant arm of an inner predicate node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadArm {
+    /// Locator of the dead subtree.
+    pub locator: String,
+    /// `"provably false"` (OR arm) or `"provably true"` (AND arm).
+    pub why: &'static str,
+    /// Number of leaves under the dead arm.
+    pub leaves: usize,
+}
+
+/// The abstract result of pushing a whole predicate tree through the
+/// transfer functions.
+#[derive(Debug, Clone)]
+pub struct PredAnalysis {
+    /// Sound bounds on the match count over the base analysis.
+    pub count: Interval,
+    /// Mandatory per-path facts (from the AND-spine) every matching
+    /// document satisfies.
+    pub facts: BTreeMap<JsonPointer, Refinement>,
+    /// Dead inner-node arms (for L037).
+    pub dead_arms: Vec<DeadArm>,
+}
+
+/// Analyzes `predicate` against the base `analysis` (the exact statistics
+/// of the dataset every chain document is drawn from).
+pub fn analyze_predicate(predicate: &Predicate, analysis: &DatasetAnalysis) -> PredAnalysis {
+    let n = analysis.doc_count as f64;
+    let mut dead_arms = Vec::new();
+    let (count, facts) = walk(predicate, "filter", analysis, n, &mut dead_arms);
+    PredAnalysis {
+        count,
+        facts: facts.unwrap_or_default(),
+        dead_arms,
+    }
+}
+
+/// Returns the subtree's count bounds plus its mandatory facts (`None`
+/// after an internal contradiction made them moot — the count is already
+/// pinned to zero then).
+#[allow(clippy::type_complexity)]
+fn walk(
+    predicate: &Predicate,
+    locator: &str,
+    analysis: &DatasetAnalysis,
+    n: f64,
+    dead_arms: &mut Vec<DeadArm>,
+) -> (Interval, Option<BTreeMap<JsonPointer, Refinement>>) {
+    match predicate {
+        Predicate::Leaf(leaf) => {
+            let count = leaf_count_bounds(leaf, analysis.get(leaf.path()));
+            let mut facts = BTreeMap::new();
+            facts.insert(leaf.path().clone(), Refinement::of_leaf(leaf));
+            (count, Some(facts))
+        }
+        Predicate::And(l, r) => {
+            let (lc, lf) = walk(l, &format!("{locator}:L"), analysis, n, dead_arms);
+            let (rc, rf) = walk(r, &format!("{locator}:R"), analysis, n, dead_arms);
+            for (child, count) in [(("L", l), lc), (("R", r), rc)] {
+                let (tag, sub) = child;
+                if count.lo >= n && n > 0.0 && sub.leaf_count() >= 2 {
+                    dead_arms.push(DeadArm {
+                        locator: format!("{locator}:{tag}"),
+                        why: "provably true",
+                        leaves: sub.leaf_count(),
+                    });
+                }
+            }
+            let mut count = and_counts(&lc, &rc, n);
+            // Merge the two fact sets; a contradiction proves emptiness.
+            let facts = match (lf, rf) {
+                (Some(lf), Some(rf)) => {
+                    let mut merged = lf;
+                    let mut bottom = false;
+                    for (path, refinement) in rf {
+                        match merged.get(&path) {
+                            None => {
+                                merged.insert(path, refinement);
+                            }
+                            Some(existing) => match existing.meet(&refinement) {
+                                Ok(met) => {
+                                    merged.insert(path, met);
+                                }
+                                Err(_) => bottom = true,
+                            },
+                        }
+                    }
+                    if bottom {
+                        count = Interval::point(0.0);
+                    }
+                    Some(merged)
+                }
+                (f, None) | (None, f) => f,
+            };
+            (count, facts)
+        }
+        Predicate::Or(l, r) => {
+            let (lc, _) = walk(l, &format!("{locator}:L"), analysis, n, dead_arms);
+            let (rc, _) = walk(r, &format!("{locator}:R"), analysis, n, dead_arms);
+            for (child, count) in [(("L", l), lc), (("R", r), rc)] {
+                let (tag, sub) = child;
+                if count.hi <= 0.0 && sub.leaf_count() >= 2 {
+                    dead_arms.push(DeadArm {
+                        locator: format!("{locator}:{tag}"),
+                        why: "provably false",
+                        leaves: sub.leaf_count(),
+                    });
+                }
+            }
+            // OR arms impose no mandatory facts.
+            (or_counts(&lc, &rc, n), Some(BTreeMap::new()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_stats::Histogram;
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn analysis() -> DatasetAnalysis {
+        let mut hist = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..80 {
+            hist.add((i % 11) as f64);
+        }
+        let mut paths = BTreeMap::new();
+        paths.insert(
+            ptr("/score"),
+            PathStats {
+                doc_count: 80,
+                int_count: 80,
+                int_min: Some(0),
+                int_max: Some(10),
+                numeric_histogram: Some(hist),
+                ..PathStats::default()
+            },
+        );
+        paths.insert(
+            ptr("/lang"),
+            PathStats {
+                doc_count: 60,
+                string_count: 60,
+                string_values: vec![("de".into(), 35), ("en".into(), 25)],
+                ..PathStats::default()
+            },
+        );
+        paths.insert(
+            ptr("/flag"),
+            PathStats {
+                doc_count: 50,
+                bool_count: 50,
+                true_count: 20,
+                ..PathStats::default()
+            },
+        );
+        DatasetAnalysis {
+            dataset: "tw".into(),
+            doc_count: 100,
+            paths,
+        }
+    }
+
+    #[test]
+    fn leaf_bounds_exact_marginals() {
+        let a = analysis();
+        let exists = FilterFn::Exists { path: ptr("/lang") };
+        assert_eq!(
+            leaf_count_bounds(&exists, a.get(&ptr("/lang"))),
+            Interval::point(60.0)
+        );
+        let t = FilterFn::BoolEq {
+            path: ptr("/flag"),
+            value: true,
+        };
+        assert_eq!(
+            leaf_count_bounds(&t, a.get(&ptr("/flag"))),
+            Interval::point(20.0)
+        );
+        let f = FilterFn::BoolEq {
+            path: ptr("/flag"),
+            value: false,
+        };
+        assert_eq!(
+            leaf_count_bounds(&f, a.get(&ptr("/flag"))),
+            Interval::point(30.0)
+        );
+        let missing = FilterFn::Exists { path: ptr("/nope") };
+        assert_eq!(
+            leaf_count_bounds(&missing, a.get(&ptr("/nope"))),
+            Interval::point(0.0)
+        );
+    }
+
+    #[test]
+    fn numeric_bounds_from_histogram() {
+        let a = analysis();
+        let stats = a.get(&ptr("/score"));
+        let lt = |v| {
+            leaf_count_bounds(
+                &FilterFn::FloatCmp {
+                    path: ptr("/score"),
+                    op: Comparison::Lt,
+                    value: v,
+                },
+                stats,
+            )
+        };
+        // Below the range: nothing; above: everything.
+        assert_eq!(lt(-1.0), Interval::point(0.0));
+        assert_eq!(lt(99.0), Interval::point(80.0));
+        // Mid-range: non-trivial sound bounds.
+        let mid = lt(5.0);
+        assert!(mid.lo > 0.0 && mid.hi < 80.0, "{mid}");
+        // NaN constant matches nothing.
+        assert_eq!(lt(f64::NAN), Interval::point(0.0));
+        // Equality out of range.
+        let eq = leaf_count_bounds(
+            &FilterFn::IntEq {
+                path: ptr("/score"),
+                value: 999,
+            },
+            stats,
+        );
+        assert_eq!(eq, Interval::point(0.0));
+    }
+
+    #[test]
+    fn and_or_combination_and_contradiction() {
+        let a = analysis();
+        // de (35) AND true-flag (20) over 100 docs: [0, 20].
+        let p = Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "de".into(),
+        })
+        .and(Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/flag"),
+            value: true,
+        }));
+        let r = analyze_predicate(&p, &a);
+        assert_eq!(r.count, Interval::new(0.0, 20.0));
+        assert_eq!(r.facts.len(), 2);
+        // de OR en: [35, 60].
+        let p = Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "de".into(),
+        })
+        .or(Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "en".into(),
+        }));
+        let r = analyze_predicate(&p, &a);
+        assert_eq!(r.count, Interval::new(35.0, 60.0));
+        assert!(r.facts.is_empty());
+        // de AND en on the same path: contradiction pins zero.
+        let p = Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "de".into(),
+        })
+        .and(Predicate::leaf(FilterFn::StrEq {
+            path: ptr("/lang"),
+            value: "en".into(),
+        }));
+        let r = analyze_predicate(&p, &a);
+        assert_eq!(r.count, Interval::point(0.0));
+    }
+
+    #[test]
+    fn dead_arms_detected_for_inner_nodes_only() {
+        let a = analysis();
+        // OR with a provably-false two-leaf arm.
+        let dead = Predicate::leaf(FilterFn::IntEq {
+            path: ptr("/score"),
+            value: 999,
+        })
+        .and(Predicate::leaf(FilterFn::Exists { path: ptr("/lang") }));
+        let p = dead.or(Predicate::leaf(FilterFn::Exists { path: ptr("/lang") }));
+        let r = analyze_predicate(&p, &a);
+        assert_eq!(r.dead_arms.len(), 1);
+        assert_eq!(r.dead_arms[0].locator, "filter:L");
+        assert_eq!(r.dead_arms[0].why, "provably false");
+        // A single dead leaf is left to the IR pass (L005).
+        let p = Predicate::leaf(FilterFn::IntEq {
+            path: ptr("/score"),
+            value: 999,
+        })
+        .or(Predicate::leaf(FilterFn::Exists { path: ptr("/lang") }));
+        assert!(analyze_predicate(&p, &a).dead_arms.is_empty());
+    }
+
+    #[test]
+    fn refinement_meet_conflicts_classify() {
+        let num = Refinement {
+            types: TypeSet::numeric(),
+            num: Interval::new(0.0, 3.0),
+            ..Refinement::default()
+        };
+        let s = Refinement {
+            types: TypeSet::of(JsonType::String),
+            ..Refinement::default()
+        };
+        assert_eq!(num.meet(&s).unwrap_err().rule, Rule::DerivedTypeConflict);
+        let high = Refinement {
+            types: TypeSet::numeric(),
+            num: Interval::new(5.0, f64::INFINITY),
+            ..Refinement::default()
+        };
+        assert_eq!(
+            num.meet(&high).unwrap_err().rule,
+            Rule::DerivedRangeConflict
+        );
+        let pa = Refinement {
+            types: TypeSet::of(JsonType::String),
+            str_c: StrConstraint::Prefix("ab".into()),
+            ..Refinement::default()
+        };
+        let pb = Refinement {
+            types: TypeSet::of(JsonType::String),
+            str_c: StrConstraint::Prefix("xy".into()),
+            ..Refinement::default()
+        };
+        assert_eq!(pa.meet(&pb).unwrap_err().rule, Rule::DerivedPrefixConflict);
+        assert!(num
+            .meet(&Refinement {
+                types: TypeSet::numeric(),
+                num: Interval::new(2.0, 9.0),
+                ..Refinement::default()
+            })
+            .is_ok());
+    }
+}

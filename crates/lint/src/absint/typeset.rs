@@ -1,0 +1,129 @@
+//! The JSON type-set domain: a bitset lattice over the seven
+//! [`JsonType`]s. `join` is union, `meet` intersection, ⊥ the empty set
+//! and ⊤ all types. Seeded from a path's per-type counts in the
+//! [`betze_stats::PathStats`]; narrowed by the type each predicate leaf
+//! demands.
+
+use betze_json::JsonType;
+use betze_stats::PathStats;
+use std::fmt;
+
+/// A set of JSON types, one bit per [`JsonType::ALL`] entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeSet(u8);
+
+impl TypeSet {
+    /// ⊥ — no type.
+    pub const EMPTY: TypeSet = TypeSet(0);
+
+    /// ⊤ — any type.
+    pub const ANY: TypeSet = TypeSet((1 << JsonType::ALL.len()) - 1);
+
+    /// The numeric family `{Int, Float}` (numeric predicates match both).
+    pub fn numeric() -> TypeSet {
+        TypeSet::of(JsonType::Int).union(TypeSet::of(JsonType::Float))
+    }
+
+    /// The singleton set.
+    pub fn of(t: JsonType) -> TypeSet {
+        TypeSet(1 << type_bit(t))
+    }
+
+    /// The types a path was actually observed with (count > 0).
+    pub fn observed(stats: &PathStats) -> TypeSet {
+        let mut set = TypeSet::EMPTY;
+        for t in JsonType::ALL {
+            if stats.count_of(t) > 0 {
+                set = set.union(TypeSet::of(t));
+            }
+        }
+        set
+    }
+
+    /// Set union (lattice join).
+    pub fn union(self, other: TypeSet) -> TypeSet {
+        TypeSet(self.0 | other.0)
+    }
+
+    /// Set intersection (lattice meet).
+    pub fn meet(self, other: TypeSet) -> TypeSet {
+        TypeSet(self.0 & other.0)
+    }
+
+    /// True for ⊥.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, t: JsonType) -> bool {
+        self.0 & (1 << type_bit(t)) != 0
+    }
+}
+
+fn type_bit(t: JsonType) -> u8 {
+    match t {
+        JsonType::Null => 0,
+        JsonType::Bool => 1,
+        JsonType::Int => 2,
+        JsonType::Float => 3,
+        JsonType::String => 4,
+        JsonType::Array => 5,
+        JsonType::Object => 6,
+    }
+}
+
+impl fmt::Display for TypeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("∅");
+        }
+        let mut first = true;
+        f.write_str("{")?;
+        for t in JsonType::ALL {
+            if self.contains(t) {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{t:?}")?;
+                first = false;
+            }
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_operations() {
+        let num = TypeSet::numeric();
+        assert!(num.contains(JsonType::Int) && num.contains(JsonType::Float));
+        assert!(!num.contains(JsonType::String));
+        assert!(num.meet(TypeSet::of(JsonType::String)).is_empty());
+        assert_eq!(num.meet(TypeSet::ANY), num);
+        assert_eq!(num.union(TypeSet::EMPTY), num);
+        assert_eq!(TypeSet::ANY.meet(TypeSet::ANY), TypeSet::ANY);
+        for t in JsonType::ALL {
+            assert!(TypeSet::ANY.contains(t));
+            assert!(!TypeSet::EMPTY.contains(t));
+        }
+    }
+
+    #[test]
+    fn observed_reflects_counts() {
+        let stats = PathStats {
+            doc_count: 10,
+            int_count: 4,
+            string_count: 6,
+            ..PathStats::default()
+        };
+        let set = TypeSet::observed(&stats);
+        assert!(set.contains(JsonType::Int) && set.contains(JsonType::String));
+        assert!(!set.contains(JsonType::Float) && !set.contains(JsonType::Bool));
+        assert!(TypeSet::observed(&PathStats::default()).is_empty());
+        assert_eq!(format!("{set}"), "{Int, String}");
+    }
+}

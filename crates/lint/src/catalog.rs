@@ -1,0 +1,274 @@
+//! The rule catalog: one documentation entry per lint rule, shared by
+//! `betze lint --explain <RULE>` and DESIGN.md §10. The entry count is
+//! pinned to [`Rule::ALL`] so a new rule without documentation fails the
+//! build's tests, not a user's `--explain` call.
+
+use crate::diagnostics::Rule;
+
+/// Documentation for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    /// The documented rule (id, name, severity come from it).
+    pub rule: Rule,
+    /// Why the rule exists — what property of a BETZE workload it guards.
+    pub rationale: &'static str,
+    /// A minimal example of a violating construct.
+    pub example: &'static str,
+}
+
+/// The full catalog, in rule-id order (mirrors [`Rule::ALL`]).
+pub const DOCS: [RuleDoc; 30] = [
+    RuleDoc {
+        rule: Rule::UnknownPath,
+        rationale: "A predicate references an attribute path that never occurs in the \
+                    analyzed dataset; the filter can only select nothing and the \
+                    session does not exercise real data.",
+        example: "FILTER EXISTS /typo_field  -- path absent from the analysis",
+    },
+    RuleDoc {
+        rule: Rule::TypeMismatch,
+        rationale: "A predicate tests a type the path provably never has (per-type \
+                    counts are exact), so the leaf matches zero documents.",
+        example: "IS_STRING /score  -- /score holds only integers",
+    },
+    RuleDoc {
+        rule: Rule::ContradictoryConjunction,
+        rationale: "An AND combines constraints on one path that no value satisfies; \
+                    the query is unsatisfiable and wastes an execution step.",
+        example: "/x < 3 AND /x > 9",
+    },
+    RuleDoc {
+        rule: Rule::TautologicalSubtree,
+        rationale: "An OR is always true (or both operands are identical); the \
+                    subtree does not constrain the result.",
+        example: "/x < 9 OR /x >= 1",
+    },
+    RuleDoc {
+        rule: Rule::OutOfRangeConstant,
+        rationale: "A constant lies provably outside the analyzed value range, \
+                    giving the leaf statically-zero selectivity.",
+        example: "/score == 999  -- analysis says /score ∈ [0, 10]",
+    },
+    RuleDoc {
+        rule: Rule::VacuousBound,
+        rationale: "Every analyzed value satisfies the bound, giving the leaf \
+                    statically-one selectivity — it filters nothing.",
+        example: "/score <= 10  -- analysis says /score ∈ [0, 10]",
+    },
+    RuleDoc {
+        rule: Rule::AggregationUnknownPath,
+        rationale: "An aggregation or group-by references a path the dataset never \
+                    contains; the result is degenerate.",
+        example: "SUM(/typo_field)",
+    },
+    RuleDoc {
+        rule: Rule::AggregationTypeMismatch,
+        rationale: "A SUM over a path that provably holds no numeric values cannot \
+                    produce a meaningful total.",
+        example: "SUM(/name)  -- /name holds only strings",
+    },
+    RuleDoc {
+        rule: Rule::TranslationDivergence,
+        rationale: "A backend rendering lost part of the query structure (predicate \
+                    atoms or paths), so backends would not run the same workload.",
+        example: "a translator that drops the filter and emits a bare scan",
+    },
+    RuleDoc {
+        rule: Rule::TranslationEscaping,
+        rationale: "A backend rendering has unbalanced string quoting — typically a \
+                    constant or path containing the backend's quote character.",
+        example: "JODA: CHOOSE '/it's' == 1  -- unescaped quote inside a path",
+    },
+    RuleDoc {
+        rule: Rule::TranslationAmbiguity,
+        rationale: "A path cannot be expressed unambiguously in a backend (escaping \
+                    rules collide), so its semantics differ across engines.",
+        example: "a path containing the backend's own path separator",
+    },
+    RuleDoc {
+        rule: Rule::DanglingDatasetRef,
+        rationale: "A query reads a dataset name that does not exist at that point \
+                    in the session; execution would fail outright.",
+        example: "SCAN never_stored",
+    },
+    RuleDoc {
+        rule: Rule::StoreAsShadowing,
+        rationale: "A store target reuses an existing dataset name, silently \
+                    redirecting later reads.",
+        example: "q1 STORE AS tw_1; q4 STORE AS tw_1",
+    },
+    RuleDoc {
+        rule: Rule::DatasetNeverRead,
+        rationale: "A stored dataset is never queried afterwards; the store is dead \
+                    weight (the session's final dataset is exempt).",
+        example: "STORE AS scratch  -- and no later query reads scratch",
+    },
+    RuleDoc {
+        rule: Rule::ProvablyEmptyResult,
+        rationale: "Abstract interpretation proves the filter matches no document: \
+                    the result-count interval is [0, 0]. Executing the query (and \
+                    everything downstream) is pointless, so the harness pre-flight \
+                    skips such sessions.",
+        example: "/lang == \"de\" AND /lang == \"en\"",
+    },
+    RuleDoc {
+        rule: Rule::ProvablyFullScan,
+        rationale: "The filter provably keeps every document (selectivity lower \
+                    bound is 1); the step is a full scan in disguise and measures \
+                    nothing about predicate evaluation.",
+        example: "HAS_PREFIX /lang \"\"  -- every string starts with \"\"",
+    },
+    RuleDoc {
+        rule: Rule::SelectivityBelowWindow,
+        rationale: "The sound selectivity interval lies entirely below the \
+                    generator's target window, so the step is provably more \
+                    selective than any window-compliant workload should be.",
+        example: "bounds [0.00, 0.12] against window [0.2, 0.9]",
+    },
+    RuleDoc {
+        rule: Rule::SelectivityAboveWindow,
+        rationale: "The sound selectivity interval lies entirely above the \
+                    generator's target window; the step barely filters.",
+        example: "bounds [0.93, 0.99] against window [0.2, 0.9]",
+    },
+    RuleDoc {
+        rule: Rule::DeadPredicateSubtree,
+        rationale: "A multi-leaf subtree is provably false under an OR (or provably \
+                    true under an AND) and never affects the result; the predicate \
+                    complexity statistics overstate the workload.",
+        example: "(/score == 999 AND EXISTS /lang) OR EXISTS /lang",
+    },
+    RuleDoc {
+        rule: Rule::BottomInputDataset,
+        rationale: "The query's input dataset is already proven empty (⊥) upstream; \
+                    every downstream step reads nothing.",
+        example: "q2 reads tw_1 after q1 stored a contradiction into tw_1",
+    },
+    RuleDoc {
+        rule: Rule::DerivedTypeConflict,
+        rationale: "A leaf tests a type the dataset chain has already ruled out for \
+                    the path (e.g. an earlier step kept only strings).",
+        example: "chain: IS_STRING /v … then /v < 3.0",
+    },
+    RuleDoc {
+        rule: Rule::DerivedRangeConflict,
+        rationale: "A numeric constant falls outside the value interval the chain \
+                    has already established for the path.",
+        example: "chain: /x < 3 … then /x > 9",
+    },
+    RuleDoc {
+        rule: Rule::DerivedPrefixConflict,
+        rationale: "A string constraint is incompatible with a prefix/equality fact \
+                    the chain has already established for the path.",
+        example: "chain: HAS_PREFIX /url \"http\" … then /url == \"ftp://x\"",
+    },
+    RuleDoc {
+        rule: Rule::StoredEmptyDataset,
+        rationale: "A store_as materializes a provably empty dataset; every later \
+                    read of it is ⊥.",
+        example: "(/x < 3 AND /x > 9) STORE AS tw_1",
+    },
+    RuleDoc {
+        rule: Rule::AggregationOverEmpty,
+        rationale: "An aggregation runs over a provably empty input; its output is \
+                    a degenerate constant.",
+        example: "SUM(/score) after an unsatisfiable filter",
+    },
+    RuleDoc {
+        rule: Rule::StaticallyKnownCount,
+        rationale: "The result cardinality is statically known exactly (the \
+                    interval is a point); the query's outcome carries no \
+                    information the analysis did not already have.",
+        example: "EXISTS /lang as the only filter on a base dataset",
+    },
+    RuleDoc {
+        rule: Rule::WideningApplied,
+        rationale: "The trail fixpoint met a cycle (return/jump moves) and widened \
+                    step-count bounds to ∞ to terminate; bounds stay sound but are \
+                    deliberately loose.",
+        example: "explore a → b, return b → a, explore a → c …",
+    },
+    RuleDoc {
+        rule: Rule::SelectivityIndeterminate,
+        rationale: "The analysis learned nothing about the filter — the selectivity \
+                    interval is exactly [0, 1]; the prediction is vacuous.",
+        example: "an OR whose Fréchet bounds span the whole population",
+    },
+    RuleDoc {
+        rule: Rule::UnreachableDataset,
+        rationale: "A graph dataset node is never visited by the move trail; graph \
+                    and trail disagree about the session's shape.",
+        example: "a derived node with no explore/jump edge reaching it",
+    },
+    RuleDoc {
+        rule: Rule::EmptyBaseAnalysis,
+        rationale: "A base dataset's analysis holds zero documents; every query \
+                    over it returns nothing and the whole session is vacuous.",
+        example: "betze analyze empty.ndjson && betze lint --dataset empty.ndjson",
+    },
+];
+
+/// Looks up a rule doc by id (`L033`), kebab-case name
+/// (`provably-empty-result`), or either case-insensitively.
+pub fn explain(key: &str) -> Option<&'static RuleDoc> {
+    let key = key.trim();
+    DOCS.iter().find(|doc| {
+        doc.rule.id().eq_ignore_ascii_case(key) || doc.rule.name().eq_ignore_ascii_case(key)
+    })
+}
+
+/// Renders one doc as the `--explain` output.
+pub fn render(doc: &RuleDoc) -> String {
+    format!(
+        "{} ({}) — severity: {}\n\n{}\n\nExample:\n  {}\n",
+        doc.rule.id(),
+        doc.rule.name(),
+        doc.rule.severity().label(),
+        doc.rationale,
+        doc.example
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_is_documented_in_order() {
+        assert_eq!(DOCS.len(), Rule::ALL.len());
+        for (doc, rule) in DOCS.iter().zip(Rule::ALL) {
+            assert_eq!(doc.rule, rule, "catalog order must mirror Rule::ALL");
+            assert!(!doc.rationale.is_empty() && !doc.example.is_empty());
+        }
+    }
+
+    #[test]
+    fn explain_resolves_ids_and_names() {
+        for rule in Rule::ALL {
+            assert_eq!(explain(rule.id()).unwrap().rule, rule);
+            assert_eq!(explain(rule.name()).unwrap().rule, rule);
+            assert_eq!(explain(&rule.id().to_lowercase()).unwrap().rule, rule);
+        }
+        assert!(explain("L999").is_none());
+        let text = render(explain("provably-empty-result").unwrap());
+        assert!(text.starts_with("L033 (provably-empty-result)"));
+        assert!(text.contains("severity: error"));
+    }
+
+    /// DESIGN.md §10's rule tables are the human half of this catalog;
+    /// the two must not drift apart.
+    #[test]
+    fn design_doc_names_every_rule() {
+        let design =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+                .expect("read DESIGN.md");
+        for rule in Rule::ALL {
+            assert!(
+                design.contains(rule.id()),
+                "DESIGN.md never mentions {} ({})",
+                rule.id(),
+                rule.name()
+            );
+        }
+    }
+}

@@ -86,11 +86,53 @@ pub enum Rule {
     StoreAsShadowing,
     /// L032: a stored dataset is never queried afterwards.
     DatasetNeverRead,
+    /// L033: abstract interpretation proves the query selects nothing.
+    ProvablyEmptyResult,
+    /// L034: abstract interpretation proves the filter keeps every
+    /// document — the step is a full scan in disguise.
+    ProvablyFullScan,
+    /// L035: the predicted selectivity interval lies entirely below the
+    /// configured window.
+    SelectivityBelowWindow,
+    /// L036: the predicted selectivity interval lies entirely above the
+    /// configured window.
+    SelectivityAboveWindow,
+    /// L037: a predicate subtree contributes nothing to the result
+    /// (provably-false OR arm or provably-true AND arm).
+    DeadPredicateSubtree,
+    /// L038: the query's abstract input dataset is already ⊥ (empty).
+    BottomInputDataset,
+    /// L039: a leaf tests a type the derived dataset's abstract state has
+    /// already ruled out along the chain.
+    DerivedTypeConflict,
+    /// L040: a numeric constant falls outside the abstract value interval
+    /// the chain has already established for the path.
+    DerivedRangeConflict,
+    /// L041: a string constraint is incompatible with a prefix/equality
+    /// fact the chain has already established for the path.
+    DerivedPrefixConflict,
+    /// L042: a store_as materializes a provably empty dataset.
+    StoredEmptyDataset,
+    /// L043: an aggregation runs over a provably empty input.
+    AggregationOverEmpty,
+    /// L044: the result cardinality is statically known exactly.
+    StaticallyKnownCount,
+    /// L045: the fixpoint applied widening on a jump cycle (bounds are
+    /// sound but deliberately loosened to terminate).
+    WideningApplied,
+    /// L046: the analysis learned nothing — the selectivity interval is
+    /// exactly [0, 1].
+    SelectivityIndeterminate,
+    /// L047: a graph dataset node is never visited by the move trail.
+    UnreachableDataset,
+    /// L048: a query reads a base dataset whose analysis holds zero
+    /// documents.
+    EmptyBaseAnalysis,
 }
 
 impl Rule {
     /// The full catalog, in rule-id order.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 30] = [
         Rule::UnknownPath,
         Rule::TypeMismatch,
         Rule::ContradictoryConjunction,
@@ -105,6 +147,22 @@ impl Rule {
         Rule::DanglingDatasetRef,
         Rule::StoreAsShadowing,
         Rule::DatasetNeverRead,
+        Rule::ProvablyEmptyResult,
+        Rule::ProvablyFullScan,
+        Rule::SelectivityBelowWindow,
+        Rule::SelectivityAboveWindow,
+        Rule::DeadPredicateSubtree,
+        Rule::BottomInputDataset,
+        Rule::DerivedTypeConflict,
+        Rule::DerivedRangeConflict,
+        Rule::DerivedPrefixConflict,
+        Rule::StoredEmptyDataset,
+        Rule::AggregationOverEmpty,
+        Rule::StaticallyKnownCount,
+        Rule::WideningApplied,
+        Rule::SelectivityIndeterminate,
+        Rule::UnreachableDataset,
+        Rule::EmptyBaseAnalysis,
     ];
 
     /// Stable identifier (`L001` …).
@@ -124,6 +182,22 @@ impl Rule {
             Rule::DanglingDatasetRef => "L030",
             Rule::StoreAsShadowing => "L031",
             Rule::DatasetNeverRead => "L032",
+            Rule::ProvablyEmptyResult => "L033",
+            Rule::ProvablyFullScan => "L034",
+            Rule::SelectivityBelowWindow => "L035",
+            Rule::SelectivityAboveWindow => "L036",
+            Rule::DeadPredicateSubtree => "L037",
+            Rule::BottomInputDataset => "L038",
+            Rule::DerivedTypeConflict => "L039",
+            Rule::DerivedRangeConflict => "L040",
+            Rule::DerivedPrefixConflict => "L041",
+            Rule::StoredEmptyDataset => "L042",
+            Rule::AggregationOverEmpty => "L043",
+            Rule::StaticallyKnownCount => "L044",
+            Rule::WideningApplied => "L045",
+            Rule::SelectivityIndeterminate => "L046",
+            Rule::UnreachableDataset => "L047",
+            Rule::EmptyBaseAnalysis => "L048",
         }
     }
 
@@ -144,6 +218,22 @@ impl Rule {
             Rule::DanglingDatasetRef => "dangling-dataset-ref",
             Rule::StoreAsShadowing => "store-as-shadowing",
             Rule::DatasetNeverRead => "dataset-never-read",
+            Rule::ProvablyEmptyResult => "provably-empty-result",
+            Rule::ProvablyFullScan => "provably-full-scan",
+            Rule::SelectivityBelowWindow => "selectivity-below-window",
+            Rule::SelectivityAboveWindow => "selectivity-above-window",
+            Rule::DeadPredicateSubtree => "dead-predicate-subtree",
+            Rule::BottomInputDataset => "bottom-input-dataset",
+            Rule::DerivedTypeConflict => "derived-type-conflict",
+            Rule::DerivedRangeConflict => "derived-range-conflict",
+            Rule::DerivedPrefixConflict => "derived-prefix-conflict",
+            Rule::StoredEmptyDataset => "stored-empty-dataset",
+            Rule::AggregationOverEmpty => "aggregation-over-empty",
+            Rule::StaticallyKnownCount => "statically-known-count",
+            Rule::WideningApplied => "widening-applied",
+            Rule::SelectivityIndeterminate => "selectivity-indeterminate",
+            Rule::UnreachableDataset => "unreachable-dataset",
+            Rule::EmptyBaseAnalysis => "empty-base-analysis",
         }
     }
 
@@ -157,13 +247,29 @@ impl Rule {
             | Rule::AggregationUnknownPath
             | Rule::TranslationDivergence
             | Rule::TranslationEscaping
-            | Rule::DanglingDatasetRef => Severity::Error,
+            | Rule::DanglingDatasetRef
+            | Rule::ProvablyEmptyResult
+            | Rule::BottomInputDataset
+            | Rule::EmptyBaseAnalysis => Severity::Error,
             Rule::TautologicalSubtree
             | Rule::VacuousBound
             | Rule::AggregationTypeMismatch
             | Rule::TranslationAmbiguity
-            | Rule::StoreAsShadowing => Severity::Warn,
-            Rule::DatasetNeverRead => Severity::Info,
+            | Rule::StoreAsShadowing
+            | Rule::ProvablyFullScan
+            | Rule::SelectivityBelowWindow
+            | Rule::SelectivityAboveWindow
+            | Rule::DeadPredicateSubtree
+            | Rule::DerivedTypeConflict
+            | Rule::DerivedRangeConflict
+            | Rule::DerivedPrefixConflict
+            | Rule::StoredEmptyDataset
+            | Rule::AggregationOverEmpty => Severity::Warn,
+            Rule::DatasetNeverRead
+            | Rule::StaticallyKnownCount
+            | Rule::WideningApplied
+            | Rule::SelectivityIndeterminate
+            | Rule::UnreachableDataset => Severity::Info,
         }
     }
 }

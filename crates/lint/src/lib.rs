@@ -35,11 +35,15 @@
 //! assert_eq!(report.count(Severity::Error), 1); // L030 dangling ref
 //! ```
 
+pub mod absint;
+pub mod catalog;
 mod diagnostics;
 mod graph_pass;
 mod ir_pass;
 mod translation_pass;
 
+pub use absint::{AbsintConfig, Interval, QueryPrediction, SelWindow};
+pub use catalog::{explain, RuleDoc};
 pub use diagnostics::{Diagnostic, LintReport, Rule, Severity, Span};
 pub use translation_pass::audit_rendering;
 
@@ -52,6 +56,7 @@ use betze_stats::DatasetAnalysis;
 pub struct Linter<'a> {
     analyses: Vec<&'a DatasetAnalysis>,
     languages: Vec<Box<dyn Language>>,
+    absint: AbsintConfig,
 }
 
 impl<'a> Linter<'a> {
@@ -62,6 +67,7 @@ impl<'a> Linter<'a> {
         Linter {
             analyses: Vec::new(),
             languages: all_languages(),
+            absint: AbsintConfig::default(),
         }
     }
 
@@ -84,18 +90,34 @@ impl<'a> Linter<'a> {
         self
     }
 
+    /// Overrides the selectivity window the abstract interpreter checks
+    /// against (L035/L036). Defaults to the generator's `[0.2, 0.9]`.
+    pub fn with_window(mut self, min: f64, max: f64) -> Self {
+        self.absint.window = SelWindow { min, max };
+        self
+    }
+
     /// Runs all configured passes over a session.
     pub fn lint(&self, session: &Session) -> LintReport {
+        self.lint_with_predictions(session).0
+    }
+
+    /// Like [`Linter::lint`], additionally returning the abstract
+    /// interpreter's sound per-query interval predictions (empty when no
+    /// analysis is registered — the engine needs exact base statistics).
+    pub fn lint_with_predictions(&self, session: &Session) -> (LintReport, Vec<QueryPrediction>) {
         let mut report = LintReport::new();
+        let mut predictions = Vec::new();
         graph_pass::run(session, &mut report);
         if !self.analyses.is_empty() {
             ir_pass::run(session, &self.analyses, &mut report);
+            predictions = absint::engine::run(session, &self.analyses, &self.absint, &mut report);
         }
         if !self.languages.is_empty() {
             translation_pass::run(session, &self.languages, &mut report);
         }
         report.sort();
-        report
+        (report, predictions)
     }
 }
 
@@ -184,8 +206,8 @@ mod tests {
             })),
             // q4: dangling dataset reference.
             Query::scan("never_stored"),
-            // q5: JODA cannot quote a path containing a single quote —
-            // translation escaping.
+            // q5: unknown path containing a single quote (JODA now escapes
+            // it, so only the analysis rules fire, not L021).
             Query::scan("tw").with_filter(Predicate::leaf(FilterFn::Exists {
                 path: JsonPointer::from_tokens(["it's"]),
             })),
@@ -204,7 +226,7 @@ mod tests {
         ids.dedup();
         assert_eq!(
             ids,
-            vec!["L001", "L002", "L003", "L004", "L005", "L021", "L030"],
+            vec!["L001", "L002", "L003", "L004", "L005", "L030", "L033", "L042", "L046"],
             "{}",
             report.render_human()
         );

@@ -125,6 +125,15 @@ fn json_escaped(token: &str) -> String {
     quoted[1..quoted.len() - 1].to_owned()
 }
 
+/// JODA single-quoted path literal with backslash escapes (mirrors the
+/// translator).
+fn joda_quoted(path: &JsonPointer) -> String {
+    format!(
+        "'{}'",
+        path.to_string().replace('\\', "\\\\").replace('\'', "\\'")
+    )
+}
+
 /// MongoDB dotted form of a path, with per-token JSON escaping (mirrors
 /// the translator).
 fn mongo_dotted(path: &JsonPointer) -> String {
@@ -175,7 +184,7 @@ fn path_evidence(short: &str, path: &JsonPointer, text: &str) -> bool {
         return true;
     }
     match short {
-        "joda" => text.contains(&format!("'{path}'")),
+        "joda" => text.contains(&joda_quoted(path)),
         "jq" => path.tokens().iter().all(|t| {
             let quoted = shell_respelled(&escape_string(t));
             text.contains(&format!("[{quoted}]")) || text.contains(&format!("has({quoted})"))
@@ -255,21 +264,19 @@ fn balanced(short: &str, text: &str) -> bool {
     }
 }
 
-/// JODA: double-quoted strings with backslash escapes; raw single-quoted
-/// path literals (no escapes — the documented JODA limitation).
+/// JODA: double-quoted strings and single-quoted path literals, both
+/// with backslash escapes.
 fn balanced_joda(text: &str) -> bool {
     let (mut in_dq, mut in_sq, mut escaped) = (false, false, false);
     for c in text.chars() {
-        if in_dq {
+        if in_dq || in_sq {
             if escaped {
                 escaped = false;
             } else if c == '\\' {
                 escaped = true;
-            } else if c == '"' {
+            } else if in_dq && c == '"' {
                 in_dq = false;
-            }
-        } else if in_sq {
-            if c == '\'' {
+            } else if in_sq && c == '\'' {
                 in_sq = false;
             }
         } else if c == '"' {
@@ -385,10 +392,10 @@ mod tests {
         report
     }
 
-    /// A query exercising every leaf kind and hostile string content; the
-    /// shipped translators must agree on it without diagnostics — except
-    /// JODA's raw single-quoted paths, which cannot carry a quote and are
-    /// exactly what L021 exists to catch.
+    /// A query exercising every leaf kind and hostile string content —
+    /// including a single quote *inside a path*, which JODA's raw path
+    /// literals could not carry before backslash escaping. All shipped
+    /// translators must now agree on it without diagnostics.
     #[test]
     fn shipped_translators_agree_on_hostile_strings() {
         let q = Query::scan("tw")
@@ -400,19 +407,14 @@ mod tests {
                 .and(Predicate::leaf(FilterFn::HasPrefix {
                     path: ptr("/url"),
                     prefix: "https://t.co/?q='x'".into(),
+                }))
+                .and(Predicate::leaf(FilterFn::Exists {
+                    path: JsonPointer::from_tokens(["it's"]),
                 })),
             )
             .store_as("out");
         let report = lint(q);
-        assert!(
-            report
-                .diagnostics()
-                .iter()
-                .all(|d| d.span.node.as_deref() == Some("translation:joda")
-                    && d.rule == Rule::TranslationEscaping),
-            "{}",
-            report.render_human()
-        );
+        assert!(report.is_empty(), "{}", report.render_human());
     }
 
     #[test]
@@ -496,6 +498,8 @@ mod tests {
     fn balance_scanners() {
         assert!(balanced_joda("LOAD tw CHOOSE '/a' == \"x\\\"y\""));
         assert!(!balanced_joda("LOAD tw CHOOSE '/it's' == 1"));
+        assert!(balanced_joda("LOAD tw CHOOSE '/it\\'s' == 1"));
+        assert!(balanced_joda("LOAD tw CHOOSE '/a\\\\' == 1"));
         assert!(balanced_double_quotes(r#"db.tw.find({ "a.b": "x\"y" })"#));
         assert!(!balanced_double_quotes(r#"db.tw.find({ "a"b": 1 })"#));
         assert!(balanced_jq(

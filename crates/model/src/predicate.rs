@@ -325,6 +325,28 @@ impl Predicate {
             Predicate::Leaf(_) => 1,
         }
     }
+
+    /// Visits every node (inner and leaf) in pre-order, passing each node
+    /// together with its locator: `root` for the tree itself, then `:L`/`:R`
+    /// segments appended per descent (e.g. `filter:L:R`). Static-analysis
+    /// passes use the locator as a stable diagnostic span for subtrees.
+    pub fn for_each_node<'a>(&'a self, root: &str, f: &mut impl FnMut(&'a Predicate, &str)) {
+        f(self, root);
+        if let Predicate::And(l, r) | Predicate::Or(l, r) = self {
+            l.for_each_node(&format!("{root}:L"), f);
+            r.for_each_node(&format!("{root}:R"), f);
+        }
+    }
+
+    /// Visits every leaf together with its locator (see
+    /// [`Predicate::for_each_node`] for the locator grammar).
+    pub fn for_each_leaf_located<'a>(&'a self, root: &str, f: &mut impl FnMut(&'a FilterFn, &str)) {
+        self.for_each_node(root, &mut |node, locator| {
+            if let Predicate::Leaf(leaf) = node {
+                f(leaf, locator);
+            }
+        });
+    }
 }
 
 impl From<FilterFn> for Predicate {
@@ -599,6 +621,35 @@ mod tests {
         ];
         let kinds: Vec<PredicateKind> = fns.iter().map(FilterFn::kind).collect();
         assert_eq!(kinds, PredicateKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn node_visitor_reports_stable_locators() {
+        let p = Predicate::leaf(FilterFn::Exists { path: ptr("/a") })
+            .and(Predicate::leaf(FilterFn::Exists { path: ptr("/b") }))
+            .or(Predicate::leaf(FilterFn::Exists { path: ptr("/c") }));
+        let mut nodes = Vec::new();
+        p.for_each_node("filter", &mut |node, locator| {
+            nodes.push((locator.to_string(), matches!(node, Predicate::Leaf(_))));
+        });
+        assert_eq!(
+            nodes,
+            vec![
+                ("filter".into(), false),
+                ("filter:L".into(), false),
+                ("filter:L:L".into(), true),
+                ("filter:L:R".into(), true),
+                ("filter:R".into(), true),
+            ]
+        );
+        let mut leaves = Vec::new();
+        p.for_each_leaf_located("filter", &mut |leaf, locator| {
+            leaves.push(format!("{locator}={}", leaf.path()));
+        });
+        assert_eq!(
+            leaves,
+            vec!["filter:L:L=/a", "filter:L:R=/b", "filter:R=/c"]
+        );
     }
 
     #[test]

@@ -104,6 +104,50 @@ impl Histogram {
         (below as f64 + within * self.counts[idx] as f64) / total as f64
     }
 
+    /// **Sound** bounds on the number of recorded values `≤ t`: the true
+    /// count is guaranteed to lie in the returned `(lo, hi)` interval.
+    ///
+    /// Unlike [`Histogram::fraction_le`], which interpolates linearly
+    /// inside the boundary bucket (an *estimate* that skewed data can
+    /// violate in either direction), these bounds rely only on the
+    /// monotonicity of [`Histogram::bucket_of`]: with `b = bucket_of(t)`,
+    /// every value in a bucket `< b` is `< t` and every value `≤ t` lives
+    /// in a bucket `≤ b`, so `Σ counts[..b] ≤ |{v ≤ t}| ≤ Σ counts[..=b]`.
+    /// A NaN threshold compares false against everything and yields
+    /// `(0, 0)`.
+    pub fn count_le_bounds(&self, t: f64) -> (u64, u64) {
+        if t.is_nan() || t < self.min {
+            return (0, 0);
+        }
+        if t >= self.max {
+            let total = self.total();
+            return (total, total);
+        }
+        self.boundary_bucket_bounds(t)
+    }
+
+    /// **Sound** bounds on the number of recorded values `< t`; see
+    /// [`Histogram::count_le_bounds`]. The same bucket sums bound the
+    /// strict count (a value equal to `t` shares `t`'s bucket, so it is
+    /// never counted in `lo`, and everything `< t` still sits in a bucket
+    /// `≤ bucket_of(t)`).
+    pub fn count_lt_bounds(&self, t: f64) -> (u64, u64) {
+        if t.is_nan() || t < self.min {
+            return (0, 0);
+        }
+        if t > self.max {
+            let total = self.total();
+            return (total, total);
+        }
+        self.boundary_bucket_bounds(t)
+    }
+
+    fn boundary_bucket_bounds(&self, t: f64) -> (u64, u64) {
+        let b = self.bucket_of(t);
+        let lo: u64 = self.counts[..b].iter().sum();
+        (lo, lo + self.counts[b])
+    }
+
     /// A threshold `t` such that approximately `fraction` of the values
     /// are `≥ t` (interpolated within the boundary bucket).
     pub fn threshold_for_top_fraction(&self, fraction: f64) -> f64 {
@@ -211,6 +255,51 @@ mod tests {
         let t = h.threshold_for_top_fraction(0.3);
         let frac_ge = 1.0 - h.fraction_le(t);
         assert!((frac_ge - 0.3).abs() < 0.05, "got {frac_ge}");
+    }
+
+    #[test]
+    fn count_bounds_are_sound_on_skewed_data() {
+        // Re-create the skewed value stream so exact counts are known.
+        let h = skewed_histogram();
+        let mut values = Vec::new();
+        for i in 0..900 {
+            values.push((i % 100) as f64 / 10.0);
+        }
+        for i in 0..100 {
+            values.push(10.0 + (i as f64 / 100.0) * 90.0);
+        }
+        for t in [-5.0, 0.0, 3.3, 9.9, 10.0, 47.2, 99.9, 100.0, 250.0] {
+            let exact_le = values.iter().filter(|&&v| v <= t).count() as u64;
+            let exact_lt = values.iter().filter(|&&v| v < t).count() as u64;
+            let (lo, hi) = h.count_le_bounds(t);
+            assert!(
+                lo <= exact_le && exact_le <= hi,
+                "≤{t}: {exact_le} ∉ [{lo}, {hi}]"
+            );
+            let (lo, hi) = h.count_lt_bounds(t);
+            assert!(
+                lo <= exact_lt && exact_lt <= hi,
+                "<{t}: {exact_lt} ∉ [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn count_bounds_edge_cases() {
+        let h = uniform_histogram();
+        assert_eq!(h.count_le_bounds(f64::NAN), (0, 0));
+        assert_eq!(h.count_lt_bounds(f64::NAN), (0, 0));
+        assert_eq!(h.count_le_bounds(f64::NEG_INFINITY), (0, 0));
+        assert_eq!(h.count_le_bounds(f64::INFINITY), (1000, 1000));
+        assert_eq!(h.count_le_bounds(100.0), (1000, 1000));
+        // Strict comparison at max keeps the last bucket uncertain.
+        let (lo, hi) = h.count_lt_bounds(100.0);
+        assert!(lo < 1000 && hi == 1000, "[{lo}, {hi}]");
+        // A degenerate single-point histogram resolves both ways.
+        let mut d = Histogram::new(3.0, 3.0, 4).unwrap();
+        d.add(3.0);
+        assert_eq!(d.count_le_bounds(3.0), (1, 1));
+        assert_eq!(d.count_lt_bounds(2.9), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Soundness oracle for the abstract-interpretation engine (DESIGN.md
+//! §12): every concrete cardinality and selectivity observed when a
+//! session is actually executed must fall inside the interval the
+//! static analysis predicted. Run across 100 seeds × all three explorer
+//! presets, an unsound transfer function has nowhere to hide.
+
+use std::collections::BTreeMap;
+
+use betze::datagen::{DocGenerator, NoBench, TwitterLike};
+use betze::explorer::Preset;
+use betze::generator::{generate_session, GeneratorConfig, InMemoryBackend};
+use betze::json::{JsonPointer, Value};
+use betze::lint::{Linter, QueryPrediction, Severity};
+use betze::model::{DatasetId, FilterFn, Predicate, Query, Session};
+
+/// Executes `session` concretely (reference semantics: filter, then
+/// transforms, pre-aggregation — mirroring the engines) and asserts
+/// every prediction interval contains the observed value.
+fn assert_predictions_sound(
+    session: &Session,
+    base_name: &str,
+    docs: &[Value],
+    predictions: &[QueryPrediction],
+    label: &str,
+) {
+    let by_query: BTreeMap<usize, &QueryPrediction> =
+        predictions.iter().map(|p| (p.query, p)).collect();
+    let mut env: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    env.insert(base_name.to_owned(), docs.to_vec());
+    for (i, query) in session.queries.iter().enumerate() {
+        let Some(input) = env.get(query.base.as_str()) else {
+            continue;
+        };
+        let input_len = input.len();
+        let matching = query.matching_count(input);
+        let p = by_query.get(&i).unwrap_or_else(|| {
+            panic!("{label}: query {i} reads a live base but has no prediction")
+        });
+        assert!(
+            p.input_card.contains(input_len as f64),
+            "{label}: query {i} input {input_len} ∉ {}",
+            p.input_card
+        );
+        assert!(
+            p.result_card.contains(matching as f64),
+            "{label}: query {i} result {matching} ∉ {}",
+            p.result_card
+        );
+        if input_len > 0 {
+            let sel = matching as f64 / input_len as f64;
+            assert!(
+                p.selectivity.contains(sel),
+                "{label}: query {i} selectivity {sel} ∉ {}",
+                p.selectivity
+            );
+        }
+        if let Some(store) = &query.store_as {
+            let mut selected: Vec<Value> = match &query.filter {
+                Some(f) => input.iter().filter(|d| f.matches(d)).cloned().collect(),
+                None => input.clone(),
+            };
+            betze::model::apply_all(&query.transforms, &mut selected);
+            env.insert(store.clone(), selected);
+        }
+    }
+}
+
+/// The oracle: 100 seeds × {novice, intermediate, expert}. Every
+/// generated session gets a prediction per query, and execution never
+/// escapes the predicted intervals.
+#[test]
+fn predicted_intervals_contain_concrete_execution() {
+    let docs = NoBench::default().generate(11, 300);
+    let analysis = betze::stats::analyze("nb", &docs);
+    let mut checked = 0usize;
+    for preset in [Preset::Novice, Preset::Intermediate, Preset::Expert] {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        for seed in 0..100u64 {
+            let mut backend = InMemoryBackend::new();
+            backend.register_base(DatasetId(0), docs.clone());
+            let outcome = generate_session(&analysis, &config, seed, Some(&mut backend))
+                .unwrap_or_else(|e| panic!("{preset:?}/{seed}: {e}"));
+            let (_, predictions) = Linter::new()
+                .with_analysis(&analysis)
+                .lint_with_predictions(&outcome.session);
+            assert!(
+                !predictions.is_empty(),
+                "{preset:?}/{seed}: no predictions for a generated session"
+            );
+            assert_predictions_sound(
+                &outcome.session,
+                "nb",
+                &docs,
+                &predictions,
+                &format!("{preset:?}/{seed}"),
+            );
+            checked += predictions.len();
+        }
+    }
+    // Sanity: the sweep exercised a substantial number of queries.
+    assert!(checked >= 300, "only {checked} predictions checked");
+}
+
+/// Same oracle on the nested Twitter-like corpus, whose histograms and
+/// string tables drive the sharper (histogram/prefix) transfer paths.
+#[test]
+fn predicted_intervals_hold_on_nested_corpus() {
+    let docs = TwitterLike::default().generate(5, 400);
+    let analysis = betze::stats::analyze("tw", &docs);
+    let config = GeneratorConfig::default();
+    for seed in 0..25u64 {
+        let mut backend = InMemoryBackend::new();
+        backend.register_base(DatasetId(0), docs.clone());
+        let outcome = generate_session(&analysis, &config, seed, Some(&mut backend))
+            .unwrap_or_else(|e| panic!("tw/{seed}: {e}"));
+        let (_, predictions) = Linter::new()
+            .with_analysis(&analysis)
+            .lint_with_predictions(&outcome.session);
+        assert_predictions_sound(
+            &outcome.session,
+            "tw",
+            &docs,
+            &predictions,
+            &format!("tw/{seed}"),
+        );
+    }
+}
+
+/// A session whose first filter is provably empty (EXISTS on a path the
+/// dataset analysis has never seen) is flagged with an Error-severity
+/// diagnostic and rejected by the harness pre-flight before any engine
+/// runs — the `--deny` path the CLI exposes.
+#[test]
+fn provably_empty_session_is_rejected_before_execution() {
+    use betze::engines::JodaSim;
+    use betze::harness::workload::{prepare, Corpus};
+    use betze::harness::{provably_empty, run_session_with_options, RunOptions};
+
+    let w = prepare(Corpus::NoBench, 200, 1, &GeneratorConfig::default(), 3).expect("prepare");
+    let mut session = w.generation.session.clone();
+    let base = session.queries[0].base.clone();
+    session.queries[0] = Query {
+        base,
+        store_as: None,
+        filter: Some(Predicate::leaf(FilterFn::Exists {
+            path: JsonPointer::from_tokens(["no_such_attribute_anywhere"]),
+        })),
+        transforms: Vec::new(),
+        aggregation: None,
+    };
+
+    // The static analysis proves the result empty: L033 at Error severity.
+    let report = Linter::new().with_analysis(&w.analysis).lint(&session);
+    assert!(
+        report.diagnostics().iter().any(|d| d.rule.id() == "L033"),
+        "expected L033, got:\n{}",
+        report.render_human()
+    );
+    assert!(report.count(Severity::Error) > 0);
+
+    // The harness pre-flight agrees…
+    assert!(provably_empty(&session, &w.analysis));
+
+    // …and a denying run never reaches the engine.
+    let options = RunOptions::reference()
+        .lint(Some(Severity::Error))
+        .analysis(std::sync::Arc::new(w.analysis.clone()));
+    let mut engine = JodaSim::new(1);
+    let err = run_session_with_options(&mut engine, &w.dataset, &session, &options)
+        .expect_err("pre-flight must reject a provably-empty session");
+    assert!(err.to_string().contains("lint pre-flight"), "{err}");
+
+    // An untampered generated session sails through the same pre-flight.
+    assert!(!provably_empty(&w.generation.session, &w.analysis));
+}
