@@ -14,8 +14,8 @@
 
 use betze::datagen::{Dataset, DocGenerator, NoBench, RedditLike, TwitterLike};
 use betze::engines::{
-    install_sigint_handler, BreakerEngine, BreakerPolicy, CancelToken, ChaosEngine, Engine,
-    FaultPlan,
+    install_shutdown_handler, install_sigint_handler, BreakerEngine, BreakerPolicy, CancelToken,
+    ChaosEngine, Engine, FaultPlan,
 };
 use betze::explorer::Preset;
 use betze::generator::GenerationOutcome;
@@ -109,6 +109,44 @@ COMMANDS:
         --retries <n>       attempts per operation incl. the first
                             (default 3); backoff is charged to the
                             modeled clock
+    serve                                    run the fault-tolerant benchmark daemon
+        --addr <host:port>  bind address (default 127.0.0.1:4480; port 0
+                            picks a free port, printed on stdout)
+        --workers <n>       request worker threads (default 4)
+        --queue <n>         admission-queue depth; beyond it requests are
+                            shed with 'overloaded' (default 64)
+        --journal <file>    write-ahead result journal: every result is
+                            journaled before it is sent, so a restarted
+                            server replays retried ids instead of
+                            re-executing them (exactly-once)
+        --deadline-ms <ms>  default per-request deadline
+        --threads <n>       JODA thread count inside requests (default 1)
+        --no-breaker        disable the shared per-engine circuit breakers
+        --breaker-threshold/--breaker-cooldown  as for benchmark
+        --chaos-seed/--fault-rate/--latency-rate/--latency-factor/
+        --eviction-rate     deterministic fault injection; each request's
+                            fault schedule is derived from the chaos
+                            seed, its id, and the engine, so retries and
+                            restarts see identical faults
+        SIGINT/SIGTERM drain gracefully: stop admitting, finish or
+        cancel in-flight work, journal everything, exit 0.
+    loadgen                                  drive a running daemon
+        --addr <host:port>  server address (default 127.0.0.1:4480)
+        --sessions <n>      total simulated sessions (default 100)
+        --concurrency <n>   concurrent client threads (default 16)
+        --seed <u64>        derives every request id + session seed
+                            (default 7); fixed seed → bit-identical
+                            result set, reported as a fingerprint
+        --corpus <name>     twitter | nobench | reddit (default twitter)
+        --docs <n>          corpus documents (default 200)
+        --data-seed <u64>   corpus seed (default 1)
+        --engine <name>     joda | mongo | pg | jq | all | mix (default mix)
+        --bench-only        all sessions benchmark (default: cycle
+                            generate/lint/bench)
+        --retries <n>       backoff schedule length (default 4)
+        --max-attempts <n>  per-session attempt cap (default 10000)
+        reports throughput, retry/replay/shed counts, and exact
+        nearest-rank p50/p95/p99 latency
     experiment <name>                        regenerate a paper artifact
         names: table1 fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 table4
                skew gen-cost all
@@ -155,6 +193,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => generate(&rest),
         "benchmark" | "run" => benchmark(&rest),
         "lint" => lint(&rest),
+        "serve" => serve(&rest),
+        "loadgen" => loadgen(&rest),
         "experiment" => experiment(&rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -786,6 +826,118 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         );
     }
     println!("{}", table.render());
+    Ok(())
+}
+
+/// `betze serve`: the fault-tolerant benchmark daemon (DESIGN.md §13).
+/// Blocks until a drain signal (SIGINT/SIGTERM) completes, then exits 0.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let addr = take_option(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:4480".to_owned());
+    let workers: usize = match take_option(&mut args, "--workers")? {
+        Some(s) => parse(&s, "workers")?,
+        None => 4,
+    };
+    let queue_depth: usize = match take_option(&mut args, "--queue")? {
+        Some(s) => parse(&s, "queue depth")?,
+        None => 64,
+    };
+    let journal = take_option(&mut args, "--journal")?.map(std::path::PathBuf::from);
+    let default_deadline = match take_option(&mut args, "--deadline-ms")? {
+        Some(s) => Some(Duration::from_millis(parse(&s, "deadline")?)),
+        None => None,
+    };
+    let joda_threads: usize = match take_option(&mut args, "--threads")? {
+        Some(s) => parse(&s, "threads")?,
+        None => 1,
+    };
+    let no_breaker = take_flag(&mut args, "--no-breaker");
+    let breaker = match breaker_policy(&mut args)? {
+        _ if no_breaker => None,
+        Some(policy) => Some(policy),
+        None => Some(BreakerPolicy::default()),
+    };
+    let chaos = chaos_plan(&mut args)?;
+    if !args.is_empty() {
+        return Err(format!("serve does not take '{}'", args[0]));
+    }
+    let config = betze::serve::ServeConfig {
+        addr,
+        workers,
+        queue_depth,
+        journal,
+        chaos,
+        breaker,
+        joda_threads,
+        default_deadline,
+    };
+    // SIGINT and SIGTERM trip the abort token; the daemon drains and
+    // this function returns (exit 0). A second signal force-exits.
+    install_shutdown_handler();
+    let abort = CancelToken::sigint_aware(None);
+    let handle = betze::serve::Server::start(config, abort).map_err(|e| format!("serve: {e}"))?;
+    // The port line is the startup handshake scripts wait for; flush so
+    // a pipe sees it immediately.
+    println!("betze-serve listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = handle.join();
+    eprint!("{}", report.render());
+    Ok(())
+}
+
+/// `betze loadgen`: a closed-loop load generator against `betze serve`.
+fn loadgen(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let mut config = betze::serve::LoadgenConfig::default();
+    if let Some(addr) = take_option(&mut args, "--addr")? {
+        config.addr = addr
+            .parse()
+            .map_err(|_| format!("invalid address '{addr}'"))?;
+    } else {
+        config.addr = "127.0.0.1:4480".parse().expect("static address");
+    }
+    if let Some(s) = take_option(&mut args, "--sessions")? {
+        config.sessions = parse(&s, "sessions")?;
+    }
+    if let Some(s) = take_option(&mut args, "--concurrency")? {
+        config.concurrency = parse(&s, "concurrency")?;
+    }
+    if let Some(s) = take_option(&mut args, "--seed")? {
+        config.seed = parse(&s, "seed")?;
+    }
+    if let Some(s) = take_option(&mut args, "--corpus")? {
+        config.corpus = s;
+    }
+    if let Some(s) = take_option(&mut args, "--docs")? {
+        config.docs = parse(&s, "docs")?;
+    }
+    if let Some(s) = take_option(&mut args, "--data-seed")? {
+        config.data_seed = parse(&s, "data seed")?;
+    }
+    if let Some(s) = take_option(&mut args, "--engine")? {
+        config.engine = s;
+    }
+    if take_flag(&mut args, "--bench-only") {
+        config.mixed_kinds = false;
+    }
+    if let Some(s) = take_option(&mut args, "--retries")? {
+        config.retry = RetryPolicy::attempts(parse(&s, "retries")?);
+    }
+    if let Some(s) = take_option(&mut args, "--max-attempts")? {
+        config.max_attempts = parse(&s, "max attempts")?;
+    }
+    if !args.is_empty() {
+        return Err(format!("loadgen does not take '{}'", args[0]));
+    }
+    let report = betze::serve::run_loadgen(&config);
+    print!("{}", report.render());
+    if report.exhausted > 0 {
+        return Err(format!(
+            "{} session(s) exhausted their attempts (server unreachable or overloaded beyond recovery)",
+            report.exhausted
+        ));
+    }
     Ok(())
 }
 

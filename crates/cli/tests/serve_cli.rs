@@ -1,0 +1,139 @@
+//! `betze serve` / `betze loadgen` CLI tests: the real binary, a real
+//! SIGTERM, exit code 0, and journal-backed resume across the restart.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn tmpfile(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("betze-serve-cli-{}-{name}", std::process::id()))
+}
+
+/// Starts `betze serve` and waits for its "listening on" line.
+fn spawn_serve(journal: &str) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_betze"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--journal",
+            journal,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn betze serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .rsplit(' ')
+        .next()
+        .expect("listen line has an address")
+        .trim()
+        .to_owned();
+    assert!(
+        line.contains("listening on"),
+        "unexpected startup line: {line}"
+    );
+    (child, addr)
+}
+
+fn loadgen(addr: &str, sessions: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_betze"))
+        .args([
+            "loadgen",
+            "--addr",
+            addr,
+            "--sessions",
+            sessions,
+            "--seed",
+            "5",
+            "--docs",
+            "60",
+            "--concurrency",
+            "8",
+        ])
+        .output()
+        .expect("run betze loadgen")
+}
+
+/// SIGTERM drains the daemon gracefully (exit 0), and a restarted daemon
+/// on the same journal replays every completed result instead of
+/// re-executing it.
+#[test]
+fn sigterm_drains_with_exit_zero_and_journal_resumes() {
+    let journal = tmpfile("drain.journal");
+    let _ = std::fs::remove_file(&journal);
+    let journal_s = journal.to_str().expect("utf8 path");
+
+    let (mut child, addr) = spawn_serve(journal_s);
+    let out = loadgen(&addr, "12");
+    assert!(
+        out.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let first = String::from_utf8_lossy(&out.stdout).into_owned();
+    let fingerprint = |report: &str| {
+        report
+            .lines()
+            .next()
+            .and_then(|l| l.rsplit(' ').next())
+            .expect("report has a fingerprint")
+            .to_owned()
+    };
+    let first_fp = fingerprint(&first);
+
+    // A real SIGTERM, as init/CI would send it.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0), "drain must exit 0");
+
+    // Restart on the journal: the same 12 ids all replay, byte-identical.
+    let (mut child, addr) = spawn_serve(journal_s);
+    let out = loadgen(&addr, "12");
+    assert!(
+        out.status.success(),
+        "loadgen after restart failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let second = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        second.contains("replays 12"),
+        "restart must replay from the journal: {second}"
+    );
+    assert_eq!(first_fp, fingerprint(&second), "fingerprints diverged");
+
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+    let status = wait_with_deadline(&mut child, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0));
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// Polls the child with a deadline so a drain that hangs fails the test
+/// instead of wedging the suite.
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let started = std::time::Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if started.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("serve did not exit within {deadline:?} after SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

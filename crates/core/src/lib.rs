@@ -51,6 +51,7 @@
 //! | [`lint`] | `betze-lint` | static analysis of sessions: IR, translation, and graph passes |
 //! | [`engines`] | `betze-engines` | simulated systems under test + cost model |
 //! | [`harness`] | `betze-harness` | benchmark runner + per-figure/table experiment drivers |
+//! | [`serve`] | `betze-serve` | fault-tolerant benchmark daemon + load generator |
 
 pub use betze_datagen as datagen;
 pub use betze_engines as engines;
@@ -61,4 +62,5 @@ pub use betze_json as json;
 pub use betze_langs as langs;
 pub use betze_lint as lint;
 pub use betze_model as model;
+pub use betze_serve as serve;
 pub use betze_stats as stats;

@@ -83,11 +83,13 @@ pub enum BreakerState {
     HalfOpen,
 }
 
-/// A circuit-breaker wrapper around any engine. See the module docs for
-/// the state machine.
-#[derive(Debug)]
-pub struct BreakerEngine<E> {
-    inner: E,
+/// The breaker's state machine, separated from any particular engine so
+/// it can be **shared**: [`BreakerEngine`] owns one per wrapped engine,
+/// and `betze-serve` keeps one per backend behind a mutex so every
+/// concurrent request observes (and is gated by) the same circuit — a
+/// backend that melts down under one request fails fast for all of them.
+#[derive(Debug, Clone)]
+pub struct BreakerCore {
     policy: BreakerPolicy,
     state: BreakerState,
     /// Consecutive transient failures while closed.
@@ -98,15 +100,14 @@ pub struct BreakerEngine<E> {
     trips: u64,
 }
 
-impl<E: Engine> BreakerEngine<E> {
-    /// Wraps `inner` under the given policy. Panics on an invalid policy
-    /// (zero threshold).
-    pub fn new(inner: E, policy: BreakerPolicy) -> Self {
+impl BreakerCore {
+    /// A closed circuit under the given policy. Panics on an invalid
+    /// policy (zero threshold).
+    pub fn new(policy: BreakerPolicy) -> Self {
         if let Err(msg) = policy.validate() {
             panic!("invalid breaker policy: {msg}");
         }
-        BreakerEngine {
-            inner,
+        BreakerCore {
             policy,
             state: BreakerState::Closed,
             consecutive_failures: 0,
@@ -130,19 +131,10 @@ impl<E: Engine> BreakerEngine<E> {
         self.trips
     }
 
-    /// The wrapped engine.
-    pub fn inner(&self) -> &E {
-        &self.inner
-    }
-
-    /// Unwraps the inner engine.
-    pub fn into_inner(self) -> E {
-        self.inner
-    }
-
     /// Gate called before each operation. `Err` = fail fast (breaker
     /// open and still cooling down); `Ok` = the operation may proceed.
-    fn admit(&mut self, what: &str) -> Result<(), EngineError> {
+    /// `what` names the guarded backend in the error.
+    pub fn admit(&mut self, what: &str) -> Result<(), EngineError> {
         if self.state == BreakerState::Open {
             if self.open_ops >= self.policy.cooldown_ops {
                 self.state = BreakerState::HalfOpen;
@@ -158,7 +150,7 @@ impl<E: Engine> BreakerEngine<E> {
     }
 
     /// Records an operation result, driving the state machine.
-    fn observe<T>(&mut self, result: &Result<T, EngineError>) {
+    pub fn observe<T>(&mut self, result: &Result<T, EngineError>) {
         match result {
             Ok(_) => {
                 self.consecutive_failures = 0;
@@ -185,6 +177,58 @@ impl<E: Engine> BreakerEngine<E> {
             Err(_) => {}
         }
     }
+
+    /// Closes the circuit and zeroes all counters.
+    pub fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.open_ops = 0;
+        self.trips = 0;
+    }
+}
+
+/// A circuit-breaker wrapper around any engine. See the module docs for
+/// the state machine.
+#[derive(Debug)]
+pub struct BreakerEngine<E> {
+    inner: E,
+    core: BreakerCore,
+}
+
+impl<E: Engine> BreakerEngine<E> {
+    /// Wraps `inner` under the given policy. Panics on an invalid policy
+    /// (zero threshold).
+    pub fn new(inner: E, policy: BreakerPolicy) -> Self {
+        BreakerEngine {
+            inner,
+            core: BreakerCore::new(policy),
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &BreakerPolicy {
+        self.core.policy()
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.core.state()
+    }
+
+    /// How many times the circuit opened since the last reset.
+    pub fn trips(&self) -> u64 {
+        self.core.trips()
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps the inner engine.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
 }
 
 impl<E: Engine> Engine for BreakerEngine<E> {
@@ -197,16 +241,16 @@ impl<E: Engine> Engine for BreakerEngine<E> {
     }
 
     fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError> {
-        self.admit(self.inner.name())?;
+        self.core.admit(self.inner.name())?;
         let result = self.inner.import(name, docs);
-        self.observe(&result);
+        self.core.observe(&result);
         result
     }
 
     fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
-        self.admit(self.inner.name())?;
+        self.core.admit(self.inner.name())?;
         let result = self.inner.execute(query);
-        self.observe(&result);
+        self.core.observe(&result);
         result
     }
 
@@ -218,10 +262,7 @@ impl<E: Engine> Engine for BreakerEngine<E> {
     /// counters — independent session runs start from the same state.
     fn reset(&mut self) {
         self.inner.reset();
-        self.state = BreakerState::Closed;
-        self.consecutive_failures = 0;
-        self.open_ops = 0;
-        self.trips = 0;
+        self.core.reset();
     }
 
     fn threads(&self) -> usize {

@@ -38,6 +38,37 @@ struct Inner {
     flag: AtomicBool,
     deadline: Option<Instant>,
     watch_sigint: bool,
+    /// A parent token whose cancellation propagates to this one (but not
+    /// the reverse): request-scoped tokens in `betze-serve` chain to the
+    /// server's abort token, so one server-wide trip cancels every
+    /// in-flight request while a single request's deadline stays local.
+    parent: Option<Arc<Inner>>,
+}
+
+/// Whether `inner` (or anything it observes: its flag, the SIGINT/SIGTERM
+/// flag, its deadline, its parent chain) has tripped. Any trip latches
+/// into the local flag so later polls are one atomic load.
+fn tripped(inner: &Inner) -> bool {
+    if inner.flag.load(Ordering::Relaxed) {
+        return true;
+    }
+    if inner.watch_sigint && SIGINT_FLAG.load(Ordering::Relaxed) {
+        inner.flag.store(true, Ordering::SeqCst);
+        return true;
+    }
+    if let Some(deadline) = inner.deadline {
+        if Instant::now() >= deadline {
+            inner.flag.store(true, Ordering::SeqCst);
+            return true;
+        }
+    }
+    if let Some(parent) = &inner.parent {
+        if tripped(parent) {
+            inner.flag.store(true, Ordering::SeqCst);
+            return true;
+        }
+    }
+    false
 }
 
 /// A cloneable cancellation token. All clones share one flag; `Default`
@@ -62,18 +93,39 @@ impl CancelToken {
                 flag: AtomicBool::new(false),
                 deadline: Some(Instant::now() + budget),
                 watch_sigint: false,
+                parent: None,
             }),
         }
     }
 
-    /// A token that also observes the process-global SIGINT flag set by
-    /// [`install_sigint_handler`]. `budget` optionally adds a deadline.
+    /// A token that also observes the process-global SIGINT/SIGTERM flag
+    /// set by [`install_sigint_handler`] / [`install_shutdown_handler`].
+    /// `budget` optionally adds a deadline.
     pub fn sigint_aware(budget: Option<Duration>) -> Self {
         CancelToken {
             inner: Arc::new(Inner {
                 flag: AtomicBool::new(false),
                 deadline: budget.map(|b| Instant::now() + b),
                 watch_sigint: true,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token: it trips when this token trips, when its own
+    /// optional `budget` elapses, or when [`cancel`](Self::cancel)ed
+    /// directly — but canceling the child never trips the parent. This
+    /// is the per-request composition `betze-serve` uses: every request
+    /// gets `abort_token.child(request_deadline)`, so a server-wide
+    /// abort cancels all requests while one request's deadline stays
+    /// scoped to it.
+    pub fn child(&self, budget: Option<Duration>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: budget.map(|b| Instant::now() + b),
+                watch_sigint: false,
+                parent: Some(Arc::clone(&self.inner)),
             }),
         }
     }
@@ -83,24 +135,12 @@ impl CancelToken {
         self.inner.flag.store(true, Ordering::SeqCst);
     }
 
-    /// True once the token has tripped — explicitly, by deadline, or (for
-    /// sigint-aware tokens) by Ctrl-C. A tripped deadline latches into the
-    /// flag so later polls don't re-read the clock.
+    /// True once the token has tripped — explicitly, by deadline, via a
+    /// parent token, or (for sigint-aware tokens) by Ctrl-C/SIGTERM. A
+    /// trip latches into the flag so later polls don't re-read the clock
+    /// or re-walk the parent chain.
     pub fn is_canceled(&self) -> bool {
-        if self.inner.flag.load(Ordering::Relaxed) {
-            return true;
-        }
-        if self.inner.watch_sigint && SIGINT_FLAG.load(Ordering::Relaxed) {
-            self.inner.flag.store(true, Ordering::SeqCst);
-            return true;
-        }
-        if let Some(deadline) = self.inner.deadline {
-            if Instant::now() >= deadline {
-                self.inner.flag.store(true, Ordering::SeqCst);
-                return true;
-            }
-        }
-        false
+        tripped(&self.inner)
     }
 
     /// `Err(EngineError::Canceled)` if the token has tripped; engines and
@@ -128,6 +168,7 @@ mod sigint {
     use std::sync::atomic::Ordering;
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
     // Direct libc declarations: the workspace builds fully offline with no
     // external crates, so we bind the two primitives we need ourselves.
@@ -137,7 +178,7 @@ mod sigint {
     }
 
     /// Async-signal-safe: only atomics and (on the second hit) `_exit`.
-    extern "C" fn on_sigint(_signum: i32) {
+    extern "C" fn on_signal(_signum: i32) {
         SIGINT_FLAG.store(true, Ordering::SeqCst);
         if SIGINT_COUNT.fetch_add(1, Ordering::SeqCst) >= 1 {
             unsafe { _exit(130) };
@@ -146,7 +187,13 @@ mod sigint {
 
     pub fn install() {
         unsafe {
-            signal(SIGINT, on_sigint as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn install_term() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
         }
     }
 }
@@ -159,6 +206,19 @@ mod sigint {
 pub fn install_sigint_handler() {
     #[cfg(unix)]
     sigint::install();
+}
+
+/// [`install_sigint_handler`] plus SIGTERM: both signals request a
+/// graceful drain through the same process-global flag, and a second
+/// signal of either kind exits immediately with status 130. `betze
+/// serve` installs this so `kill -TERM` (the supervisor's default stop
+/// signal) drains exactly like Ctrl-C. No-op on non-Unix platforms.
+pub fn install_shutdown_handler() {
+    #[cfg(unix)]
+    {
+        sigint::install();
+        sigint::install_term();
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +252,37 @@ mod tests {
         assert!(t.is_canceled());
         let far = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!far.is_canceled());
+    }
+
+    #[test]
+    fn parent_cancellation_propagates_to_children() {
+        let parent = CancelToken::new();
+        let child = parent.child(None);
+        let grandchild = child.child(None);
+        assert!(!grandchild.is_canceled());
+        parent.cancel();
+        assert!(child.is_canceled());
+        assert!(grandchild.is_canceled());
+    }
+
+    #[test]
+    fn child_cancellation_stays_scoped() {
+        let parent = CancelToken::new();
+        let sibling = parent.child(None);
+        let child = parent.child(None);
+        child.cancel();
+        assert!(child.is_canceled());
+        assert!(!parent.is_canceled(), "a child trip must not escape");
+        assert!(!sibling.is_canceled());
+    }
+
+    #[test]
+    fn child_deadline_trips_independently() {
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Duration::ZERO));
+        assert!(child.is_canceled());
+        assert!(!parent.is_canceled());
+        let patient = parent.child(Some(Duration::from_secs(3600)));
+        assert!(!patient.is_canceled());
     }
 }

@@ -34,8 +34,8 @@ mod mongo;
 mod pg;
 pub mod storage;
 
-pub use breaker::{BreakerEngine, BreakerPolicy, BreakerState};
-pub use cancel::{install_sigint_handler, CancelToken};
+pub use breaker::{BreakerCore, BreakerEngine, BreakerPolicy, BreakerState};
+pub use cancel::{install_shutdown_handler, install_sigint_handler, CancelToken};
 pub use chaos::{ChaosEngine, FaultEvent, FaultKind, FaultPlan};
 pub use cost::{CostModel, CostProfile};
 pub use counters::WorkCounters;

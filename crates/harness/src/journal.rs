@@ -17,6 +17,10 @@
 //! record  [u32 LE payload length][u64 LE FNV-1a of payload][payload]
 //! ```
 //!
+//! The record framing is [`betze_json::frame`] — the same codec the
+//! `betze-serve` wire protocol speaks, so one tested implementation
+//! covers both the durable and the network byte stream.
+//!
 //! The payload is compact JSON: a `meta` record first (experiment name +
 //! scale parameters, validated on resume so a journal cannot be replayed
 //! into a different sweep), then one `task` record per completed task,
@@ -30,7 +34,7 @@
 //! reports and all CLI artifacts are written via temp file + fsync +
 //! rename, so readers see the old file or the new one, never a torn mix.
 
-use betze_json::{json, Object, Value};
+use betze_json::{frame, json, Object, Value};
 use betze_model::TaskRecord;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -43,21 +47,6 @@ use betze_engines::CancelToken;
 /// First bytes of every journal file (the trailing version digit bumps on
 /// format changes).
 pub const JOURNAL_MAGIC: &[u8] = b"BETZEJRNL1\n";
-
-/// Bytes of frame overhead per record (length + checksum).
-const FRAME_HEADER: usize = 4 + 8;
-
-/// FNV-1a over a byte slice (the same hash the analysis cache uses for
-/// dataset fingerprints; re-stated here so the journal's on-disk format
-/// does not depend on another crate's internals).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// Builds the `meta` payload: experiment name plus the scale parameters
 /// that must match for a resume to be sound.
@@ -130,8 +119,8 @@ impl Journal {
         let mut offset = JOURNAL_MAGIC.len();
         // A frame that is short, fails its checksum, or carries an
         // unparseable payload is a torn tail: keep everything before it.
-        while let Some(record_end) = frame_end(&bytes, offset) {
-            let payload = &bytes[offset + FRAME_HEADER..record_end];
+        while let Some(record_end) = frame::scan(&bytes, offset) {
+            let payload = frame::payload(&bytes, offset, record_end);
             let Ok(value) = betze_json::parse(&String::from_utf8_lossy(payload)) else {
                 break;
             };
@@ -159,14 +148,13 @@ impl Journal {
     /// survives a crash.
     pub fn append(&mut self, payload: &Value) -> io::Result<()> {
         let text = payload.to_json();
-        let bytes = text.as_bytes();
-        let len = u32::try_from(bytes.len())
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "journal record too large"))?;
-        let mut frame = Vec::with_capacity(FRAME_HEADER + bytes.len());
-        frame.extend_from_slice(&len.to_le_bytes());
-        frame.extend_from_slice(&fnv1a(bytes).to_le_bytes());
-        frame.extend_from_slice(bytes);
-        self.file.write_all(&frame)?;
+        if text.len() > u32::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal record too large",
+            ));
+        }
+        self.file.write_all(&frame::encode(text.as_bytes()))?;
         self.file.sync_all()
     }
 }
@@ -182,16 +170,6 @@ impl SeekToEnd for File {
         use std::io::{Seek, SeekFrom};
         self.seek(SeekFrom::End(0))
     }
-}
-
-/// Validates the frame starting at `offset`; returns its end offset, or
-/// `None` if the frame is short or its checksum does not match.
-fn frame_end(bytes: &[u8], offset: usize) -> Option<usize> {
-    let header = bytes.get(offset..offset + FRAME_HEADER)?;
-    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-    let checksum = u64::from_le_bytes(header[4..].try_into().unwrap());
-    let payload = bytes.get(offset + FRAME_HEADER..offset + FRAME_HEADER + len)?;
-    (fnv1a(payload) == checksum).then_some(offset + FRAME_HEADER + len)
 }
 
 /// Files a valid record payload into the recovery state.
@@ -527,6 +505,138 @@ mod tests {
         let (_, recovered) = Journal::recover(&path).unwrap();
         assert_eq!(recovered.task_count(), 2);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Property test for satellite hardening: arbitrary mid-file
+    /// corruption (random bit flips, random truncations, both) must
+    /// never panic recovery, must salvage exactly the longest valid
+    /// record prefix, and every salvaged record must be byte-identical
+    /// to what was appended (the checksum rejects any frame whose bytes
+    /// changed, so a "recovered but silently wrong" record is
+    /// impossible).
+    #[test]
+    fn recovery_survives_arbitrary_corruption() {
+        use betze_json::frame;
+        use betze_rng::{Rng, SeedableRng, StdRng};
+
+        const TASKS: usize = 30;
+        let path = temp_path("fuzz");
+        let mut journal = Journal::create(&path).unwrap();
+        journal.append(&meta_record("fuzz", json!({}))).unwrap();
+        for i in 0..TASKS {
+            journal
+                .append(&task_record("s", i, (i as f64 * 0.5).to_record()))
+                .unwrap();
+        }
+        drop(journal);
+        let pristine = std::fs::read(&path).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(0xBE72E);
+        for round in 0..90u32 {
+            let mut bytes = pristine.clone();
+            if round % 3 != 1 {
+                // Flip one random bit anywhere in the file (header,
+                // checksum, payload, or magic — all fair game).
+                let pos = rng.gen_range(0..bytes.len());
+                bytes[pos] ^= 1 << rng.gen_range(0..8u32);
+            }
+            if round % 3 != 0 {
+                // Truncate at a random offset (possibly mid-frame,
+                // possibly into the magic).
+                let keep = rng.gen_range(0..=bytes.len());
+                bytes.truncate(keep);
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            match Journal::recover(&path) {
+                Ok((_, recovered)) => {
+                    // Longest-valid-prefix oracle: frames are trusted up
+                    // to the first invalid or unparseable one.
+                    let mut expect = 0usize;
+                    let mut offset = JOURNAL_MAGIC.len();
+                    while let Some(end) = frame::scan(&bytes, offset) {
+                        let payload = frame::payload(&bytes, offset, end);
+                        if betze_json::parse(&String::from_utf8_lossy(payload)).is_err() {
+                            break;
+                        }
+                        expect += 1;
+                        offset = end;
+                    }
+                    assert_eq!(recovered.records, expect, "round {round}");
+                    assert!(recovered.records <= TASKS + 1);
+                    // Fidelity: a salvaged record is the record that was
+                    // written — never a corrupted look-alike.
+                    for (stage, tasks) in &recovered.tasks {
+                        assert_eq!(stage, "s", "round {round}");
+                        for (&i, value) in tasks {
+                            assert_eq!(
+                                f64::from_record(value),
+                                Some(i as f64 * 0.5),
+                                "round {round}"
+                            );
+                        }
+                    }
+                    // The file was physically truncated to the valid
+                    // prefix, so a second recovery is clean.
+                    assert_eq!(std::fs::metadata(&path).unwrap().len(), offset as u64);
+                    let (_, again) = Journal::recover(&path).unwrap();
+                    assert_eq!(again.records, expect);
+                    assert_eq!(again.truncated_bytes, 0);
+                }
+                Err(_) => {
+                    // Recovery may only refuse when the magic itself was
+                    // damaged — a corrupt *tail* is never fatal.
+                    assert!(
+                        bytes.len() < JOURNAL_MAGIC.len()
+                            || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC,
+                        "round {round}: recovery failed with an intact magic"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A journal corrupted mid-file and resumed completes bit-identically
+    /// to an uninterrupted run: the salvaged prefix is replayed, the rest
+    /// re-runs.
+    #[test]
+    fn corrupted_journal_resume_stays_bit_identical() {
+        use crate::pool::SessionPool;
+
+        let items: Vec<u64> = (0..24).collect();
+        let task = |_: usize, &x: &u64| Ok(x.wrapping_mul(0x9E37_79B9).rotate_left(9) as f64);
+        let uninterrupted = SessionPool::new(1)
+            .try_map("fuzz/resume", &items, task)
+            .unwrap();
+
+        let path = temp_path("fuzz-resume");
+        let journal = Journal::create(&path).unwrap();
+        let mut ctx = RunCtx::new();
+        ctx.attach_journal(journal, Recovered::default());
+        SessionPool::new(1)
+            .with_ctx(ctx)
+            .checkpointed_map("fuzz/resume", &items, task)
+            .unwrap();
+
+        // Corrupt one byte mid-file (about halfway through the records).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (journal, recovered) = Journal::recover(&path).unwrap();
+        assert!(
+            recovered.task_count() < items.len(),
+            "mid-file corruption must cost at least one record"
+        );
+        let mut ctx = RunCtx::new();
+        ctx.attach_journal(journal, recovered);
+        let resumed = SessionPool::new(2)
+            .with_ctx(ctx)
+            .checkpointed_map("fuzz/resume", &items, task)
+            .expect("resume completes");
+        assert_eq!(resumed, uninterrupted);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

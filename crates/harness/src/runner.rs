@@ -68,6 +68,34 @@ impl RetryPolicy {
     }
 }
 
+/// A per-query progress callback: invoked after each query of a session
+/// completes (successfully or not) with the 0-based query index, the
+/// session's total query count, and the status just recorded.
+/// `betze-serve` uses it to stream progress frames to the client while a
+/// session is still running. Cloning shares the same callback.
+#[derive(Clone)]
+pub struct ProgressHook(std::sync::Arc<ProgressFn>);
+
+type ProgressFn = dyn Fn(usize, usize, &QueryStatus) + Send + Sync;
+
+impl ProgressHook {
+    /// Wraps a callback.
+    pub fn new(hook: impl Fn(usize, usize, &QueryStatus) + Send + Sync + 'static) -> Self {
+        ProgressHook(std::sync::Arc::new(hook))
+    }
+
+    /// Invokes the callback.
+    pub fn notify(&self, index: usize, total: usize, status: &QueryStatus) {
+        (self.0)(index, total, status);
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// Options controlling one session run.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -107,6 +135,10 @@ pub struct RunOptions {
     /// timeout that a single runaway query can trip on its own.
     /// Deterministic, because the modeled clock is.
     pub query_timeout: Option<Duration>,
+    /// Optional per-query progress callback (see [`ProgressHook`]).
+    /// Purely observational: it cannot alter the run, so runs with and
+    /// without a hook are bit-identical.
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for RunOptions {
@@ -120,6 +152,7 @@ impl Default for RunOptions {
             analysis: None,
             cancel: CancelToken::new(),
             query_timeout: None,
+            progress: None,
         }
     }
 }
@@ -181,6 +214,15 @@ impl RunOptions {
     /// Sets the per-query modeled-time budget.
     pub fn query_timeout(mut self, t: Option<Duration>) -> Self {
         self.query_timeout = t;
+        self
+    }
+
+    /// Installs a per-query progress callback.
+    pub fn progress(
+        mut self,
+        hook: impl Fn(usize, usize, &QueryStatus) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(ProgressHook::new(hook));
         self
     }
 }
@@ -505,6 +547,9 @@ pub fn run_session_with_options(
             .is_some_and(|limit| report.modeled > limit);
         run.queries.push(report);
         run.statuses.push(status);
+        if let Some(hook) = &options.progress {
+            hook.notify(i, session.queries.len(), &run.statuses[i]);
+        }
         let session_over_budget = timeout.is_some_and(|limit| modeled > limit);
         if query_over_budget || session_over_budget {
             return Ok(SessionOutcome::TimedOut {

@@ -1,0 +1,236 @@
+//! The `[u32 len][u64 fnv][payload]` frame codec shared by the harness's
+//! write-ahead result journal and the `betze-serve` wire protocol.
+//!
+//! Both consumers need the same property: a byte stream (a journal file,
+//! a TCP connection) carved into self-validating records, where a torn or
+//! corrupted frame is *detected* rather than silently mis-parsed. One
+//! frame is
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a of payload][payload bytes]
+//! ```
+//!
+//! The checksum is FNV-1a — not cryptographic, but it reliably catches
+//! the failure modes that matter here: torn tails after a crash
+//! mid-append, bit rot, and framing desynchronization. Payloads are
+//! opaque bytes to this module; both consumers put compact JSON in them.
+//!
+//! Three access patterns are provided:
+//!
+//! * [`encode`] / [`write_frame`] — producing frames (journal appends,
+//!   wire sends);
+//! * [`read_frame`] — consuming frames from an [`io::Read`] stream (the
+//!   wire protocol), distinguishing clean EOF from a torn/corrupt frame;
+//! * [`scan`] — validating frames in an in-memory buffer offset by
+//!   offset (journal recovery, which must find the longest valid prefix
+//!   of a possibly-torn file).
+
+use std::io::{self, Read, Write};
+
+/// Bytes of frame overhead per record (u32 length + u64 checksum).
+pub const HEADER_LEN: usize = 4 + 8;
+
+/// Frames larger than this are rejected by [`read_frame`] — a desynced or
+/// hostile stream must not make the reader allocate gigabytes from a
+/// garbage length word. (Journal recovery is bounded by the file size and
+/// does not need the cap.)
+pub const MAX_FRAME_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// FNV-1a over a byte slice — the workspace's standard non-cryptographic
+/// fingerprint (the analysis cache uses the same function for dataset
+/// fingerprints).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes one frame: header (length + checksum) followed by the payload.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Writes one frame to `w` (no flush — callers decide between fsync for
+/// journals and `flush` for sockets).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode(payload))
+}
+
+/// Reads one frame from `r`.
+///
+/// * `Ok(Some(payload))` — a complete, checksum-valid frame.
+/// * `Ok(None)` — clean EOF *at a frame boundary* (the peer closed the
+///   stream between frames).
+/// * `Err(UnexpectedEof)` — the stream ended mid-frame (a torn frame).
+/// * `Err(InvalidData)` — checksum mismatch or an implausible length.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; HEADER_LEN];
+    // Distinguish "no more frames" (0 bytes read) from "torn header".
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame-header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let checksum = u64::from_le_bytes(header[4..].try_into().expect("8-byte slice"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    if fnv1a(&payload) != checksum {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Validates the frame starting at `offset` in an in-memory buffer;
+/// returns the frame's end offset (= the next frame's start), or `None`
+/// if the frame is short or its checksum does not match. Journal recovery
+/// walks a file with this to find the longest valid prefix.
+pub fn scan(bytes: &[u8], offset: usize) -> Option<usize> {
+    let header = bytes.get(offset..offset.checked_add(HEADER_LEN)?)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let checksum = u64::from_le_bytes(header[4..].try_into().expect("8-byte slice"));
+    let start = offset + HEADER_LEN;
+    let payload = bytes.get(start..start.checked_add(len)?)?;
+    (fnv1a(payload) == checksum).then_some(start + len)
+}
+
+/// The payload of a frame previously validated by [`scan`].
+pub fn payload(bytes: &[u8], offset: usize, end: usize) -> &[u8] {
+    &bytes[offset + HEADER_LEN..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn encode_then_read_round_trips() {
+        for payload in [&b""[..], b"x", b"{\"kind\":\"task\"}", &[0u8; 1000]] {
+            let frame = encode(payload);
+            assert_eq!(frame.len(), HEADER_LEN + payload.len());
+            let mut cursor = Cursor::new(frame);
+            assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(payload));
+            // Clean EOF after the single frame.
+            assert_eq!(read_frame(&mut cursor).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn multiple_frames_stream_in_order() {
+        let mut stream = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut stream, &[i; 3]).unwrap();
+        }
+        let mut cursor = Cursor::new(stream);
+        for i in 0..10u8 {
+            assert_eq!(read_frame(&mut cursor).unwrap(), Some(vec![i; 3]));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_header_is_unexpected_eof() {
+        let frame = encode(b"payload");
+        let mut cursor = Cursor::new(frame[..HEADER_LEN - 2].to_vec());
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn torn_payload_is_unexpected_eof() {
+        let frame = encode(b"payload");
+        let mut cursor = Cursor::new(frame[..frame.len() - 3].to_vec());
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut frame = encode(b"payload");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(frame)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn implausible_length_is_rejected_without_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(frame)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn scan_walks_valid_frames_and_stops_at_corruption() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, b"first").unwrap();
+        write_frame(&mut bytes, b"second").unwrap();
+        let second_start = HEADER_LEN + 5;
+        let end1 = scan(&bytes, 0).expect("first frame valid");
+        assert_eq!(end1, second_start);
+        assert_eq!(payload(&bytes, 0, end1), b"first");
+        let end2 = scan(&bytes, end1).expect("second frame valid");
+        assert_eq!(end2, bytes.len());
+        assert_eq!(payload(&bytes, end1, end2), b"second");
+        assert_eq!(scan(&bytes, end2), None, "no frame past the end");
+
+        // Flip one bit of the second payload: scan at its offset fails,
+        // scan of the first frame still succeeds.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x80;
+        assert_eq!(scan(&bytes, 0), Some(second_start));
+        assert_eq!(scan(&bytes, second_start), None);
+    }
+
+    #[test]
+    fn scan_handles_short_and_overflowing_headers() {
+        assert_eq!(scan(&[], 0), None);
+        assert_eq!(scan(&[1, 2, 3], 0), None);
+        // A header promising more bytes than exist.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(b"short");
+        assert_eq!(scan(&bytes, 0), None);
+        // Offsets near usize::MAX must not overflow.
+        assert_eq!(scan(&bytes, usize::MAX - 2), None);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -21,8 +21,12 @@
 //! * [`JsonPointer`] — `/user/name`-style paths as used throughout the paper
 //!   (Listing 1, Listing 2) to address nested attributes.
 //! * The [`json!`] macro for terse literals in tests and examples.
+//! * [`frame`] — the checksummed `[u32 len][u64 fnv][payload]` frame
+//!   codec shared by the harness's crash-safe result journal and the
+//!   `betze-serve` wire protocol.
 
 mod error;
+pub mod frame;
 mod number;
 mod parse;
 mod pointer;

@@ -82,6 +82,21 @@ impl TaskRecord for String {
     }
 }
 
+impl TaskRecord for std::time::Duration {
+    /// Nanosecond encoding as a JSON integer: lossless for any duration
+    /// the drivers measure (i64 nanoseconds cover ~292 years), so a
+    /// journaled timing replays bit-identically on resume.
+    fn to_record(&self) -> Value {
+        let nanos = i64::try_from(self.as_nanos()).expect("duration exceeds i64 nanoseconds");
+        Value::Number(Number::Int(nanos))
+    }
+
+    fn from_record(value: &Value) -> Option<Self> {
+        let nanos = value.as_i64().and_then(|n| u64::try_from(n).ok())?;
+        Some(std::time::Duration::from_nanos(nanos))
+    }
+}
+
 impl TaskRecord for Value {
     fn to_record(&self) -> Value {
         self.clone()
@@ -190,6 +205,8 @@ mod tests {
         roundtrip(42u64);
         roundtrip(7usize);
         roundtrip(true);
+        roundtrip(std::time::Duration::from_nanos(1_234_567_891_011));
+        roundtrip(std::time::Duration::ZERO);
         roundtrip("hello".to_owned());
         roundtrip(Some(2.5f64));
         roundtrip(None::<f64>);

@@ -1,0 +1,48 @@
+//! # betze-serve
+//!
+//! A **fault-tolerant benchmark daemon** for the BETZE pipeline: a
+//! long-running process that accepts generation, lint, and
+//! benchmark-execution requests over a length-framed wire protocol and
+//! dispatches them onto the harness's session pool — with the
+//! robustness machinery a daemon needs and a one-shot CLI does not:
+//!
+//! - **Admission control** ([`server`]): a bounded queue; when it is
+//!   full, requests are rejected with an explicit `overloaded` error
+//!   instead of being buffered without bound.
+//! - **Exactly-once results**: every result is appended to a
+//!   write-ahead journal *before* the response is sent, keyed by the
+//!   client-chosen request id. A retried id replays the journaled
+//!   result; a restarted server seeds its replay cache from the
+//!   recovered journal. Zero lost, zero duplicated — even across a
+//!   kill-and-restart.
+//! - **Deadlines and cancellation**: per-request deadlines compose
+//!   with the server-wide shutdown token via child [`betze_engines::CancelToken`]s.
+//! - **Per-engine circuit breakers** shared across requests
+//!   ([`betze_engines::BreakerCore`]): a misbehaving engine is fenced
+//!   off at admission with `circuit_open` while other engines keep
+//!   serving.
+//! - **Graceful drain**: on SIGINT/SIGTERM the daemon stops admitting,
+//!   finishes (or deadline-cancels) in-flight work, journals
+//!   everything, and exits 0.
+//! - **Deterministic chaos**: `--chaos-*` fault injection derives each
+//!   request's fault schedule from the chaos seed, the request id, and
+//!   the engine name, so a fixed-seed run is bit-identical — faults
+//!   included.
+//!
+//! [`loadgen`] is the matching closed-loop client: hundreds of
+//! concurrent simulated sessions with retry/backoff on transient
+//! rejections, reporting throughput and exact nearest-rank p50/p95/p99
+//! latency.
+//!
+//! The wire format ([`protocol`]) reuses the journal's checksummed
+//! `[u32 len][u64 fnv][json]` frame codec ([`betze_json::frame`]), so
+//! a torn or corrupted frame is detected the same way on a socket as
+//! in a journal file.
+
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, SessionResult};
+pub use protocol::{CallOutcome, ErrorCode, Request, RequestKind, Response};
+pub use server::{ServeConfig, ServeReport, Server, ServerHandle, StatsSnapshot};

@@ -1,0 +1,394 @@
+//! `betze loadgen`: a closed-loop load generator for `betze-serve`.
+//!
+//! Simulates many concurrent exploration sessions against a daemon. Each
+//! session is one deterministic request (id, seeds, engine, and kind all
+//! derived from the loadgen seed and the session index), retried with
+//! the harness's [`RetryPolicy`] backoff on `overloaded` and other
+//! transient rejections until its result arrives. Because retries reuse
+//! the request id and the server journals before responding, a loadgen
+//! run **cannot** lose or duplicate a result — not even when the server
+//! is killed and restarted mid-run — and a fixed seed yields a
+//! bit-identical result set every time, which [`LoadgenReport::fingerprint`]
+//! condenses into one comparable number.
+//!
+//! Latency is reported as exact nearest-rank p50/p95/p99
+//! ([`betze_stats::LatencySummary`]); throughput as completed requests
+//! per wall-clock second.
+
+use crate::protocol::{call, CallOutcome, ErrorCode, Request, RequestKind};
+use betze_harness::RetryPolicy;
+use betze_json::frame;
+use betze_stats::LatencySummary;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Sessions (requests) to run in total.
+    pub sessions: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Seed deriving every request's id, session seed, engine, and kind.
+    pub seed: u64,
+    /// Corpus every request targets.
+    pub corpus: String,
+    /// Documents per corpus.
+    pub docs: usize,
+    /// Corpus data seed.
+    pub data_seed: u64,
+    /// Engine for bench requests: a name, `all`, or `mix` to cycle
+    /// through the four engines.
+    pub engine: String,
+    /// When true, sessions cycle generate/lint/bench instead of all
+    /// being bench.
+    pub mixed_kinds: bool,
+    /// Backoff policy for transient rejections and transport errors.
+    pub retry: RetryPolicy,
+    /// Upper bound on retries per request (loadgen must terminate even
+    /// if the server never comes back).
+    pub max_attempts: u32,
+    /// Per-call socket timeout.
+    pub call_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            sessions: 100,
+            concurrency: 16,
+            seed: 7,
+            corpus: "twitter".to_owned(),
+            docs: 200,
+            data_seed: 1,
+            engine: "mix".to_owned(),
+            mixed_kinds: true,
+            retry: RetryPolicy::attempts(4),
+            max_attempts: 10_000,
+            call_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The deterministic request for session `index` under this config.
+    pub fn request(&self, index: usize) -> Request {
+        let kind = if self.mixed_kinds {
+            match index % 4 {
+                0 => RequestKind::Generate,
+                1 => RequestKind::Lint,
+                _ => RequestKind::Bench,
+            }
+        } else {
+            RequestKind::Bench
+        };
+        let engine = match self.engine.as_str() {
+            "mix" => ["joda", "mongo", "pg", "jq"][index % 4].to_owned(),
+            other => other.to_owned(),
+        };
+        Request {
+            id: format!("lg-{:016x}-{index:06}", self.seed),
+            kind,
+            corpus: self.corpus.clone(),
+            docs: self.docs,
+            data_seed: self.data_seed,
+            session_seed: self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (index as u64),
+            engine,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// One completed session's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The request id.
+    pub id: String,
+    /// The result document, rendered to its canonical JSON.
+    pub result_json: String,
+    /// Whether the server replayed it from its journal.
+    pub replayed: bool,
+    /// Attempts this session needed (1 = first try).
+    pub attempts: u32,
+}
+
+/// The loadgen run's summary.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Per-session results, sorted by id (deterministic order).
+    pub results: Vec<SessionResult>,
+    /// Sessions that exhausted `max_attempts` (0 in any healthy run).
+    pub exhausted: usize,
+    /// Total retries across sessions.
+    pub retries: u64,
+    /// Results served from the server's journal.
+    pub replays: u64,
+    /// Rejections observed, by code name.
+    pub overloaded: u64,
+    /// `circuit_open` rejections observed.
+    pub circuit_open: u64,
+    /// Transport-level errors observed (connection refused/reset).
+    pub transport_errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-request latency summary (successful calls only).
+    pub latency: Option<LatencySummary>,
+}
+
+impl LoadgenReport {
+    /// A single fingerprint over the entire result set: FNV-1a of every
+    /// `(id, result)` pair in id order. Two runs with the same seed and
+    /// server config produce the same fingerprint — by construction,
+    /// even across a server kill-and-restart.
+    pub fn fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        for r in &self.results {
+            text.push_str(&r.id);
+            text.push('\t');
+            text.push_str(&r.result_json);
+            text.push('\n');
+        }
+        frame::fnv1a(text.as_bytes())
+    }
+
+    /// Completed sessions per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.results.len() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "betze-loadgen: {} sessions in {:.2}s ({:.1} req/s), fingerprint {:016x}\n\
+             retries {} | replays {} | overloaded {} | circuit-open {} | transport errors {} | exhausted {}\n",
+            self.results.len(),
+            self.elapsed.as_secs_f64(),
+            self.throughput(),
+            self.fingerprint(),
+            self.retries,
+            self.replays,
+            self.overloaded,
+            self.circuit_open,
+            self.transport_errors,
+            self.exhausted,
+        );
+        if let Some(latency) = &self.latency {
+            out.push_str(&format!(
+                "latency p50 {:.1}ms | p95 {:.1}ms | p99 {:.1}ms | max {:.1}ms ({} samples)\n",
+                latency.p50.as_secs_f64() * 1e3,
+                latency.p95.as_secs_f64() * 1e3,
+                latency.p99.as_secs_f64() * 1e3,
+                latency.max.as_secs_f64() * 1e3,
+                latency.count,
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    retries: AtomicU64,
+    replays: AtomicU64,
+    overloaded: AtomicU64,
+    circuit_open: AtomicU64,
+    transport_errors: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+/// Runs the load: `concurrency` worker threads claim session indices
+/// from a shared cursor and drive each to completion (or attempt
+/// exhaustion). Blocks until every session resolves.
+pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let counters = Counters::default();
+    let results: Mutex<Vec<SessionResult>> = Mutex::new(Vec::with_capacity(config.sessions));
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(config.sessions));
+    let workers = config.concurrency.clamp(1, config.sessions.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= config.sessions {
+                    return;
+                }
+                drive_session(config, index, &counters, &results, &latencies);
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("results poisoned");
+    results.sort_by(|a, b| a.id.cmp(&b.id));
+    let latencies = latencies.into_inner().expect("latencies poisoned");
+    LoadgenReport {
+        exhausted: counters.exhausted.load(Ordering::Relaxed) as usize,
+        retries: counters.retries.load(Ordering::Relaxed),
+        replays: counters.replays.load(Ordering::Relaxed),
+        overloaded: counters.overloaded.load(Ordering::Relaxed),
+        circuit_open: counters.circuit_open.load(Ordering::Relaxed),
+        transport_errors: counters.transport_errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        latency: LatencySummary::of(&latencies),
+        results,
+    }
+}
+
+/// Drives one session to its terminal state, backing off between
+/// attempts. Backoff is the retry policy's modeled schedule capped at
+/// 250ms of real sleep — enough to shed pressure, small enough for
+/// tests.
+fn drive_session(
+    config: &LoadgenConfig,
+    index: usize,
+    counters: &Counters,
+    results: &Mutex<Vec<SessionResult>>,
+    latencies: &Mutex<Vec<Duration>>,
+) {
+    let request = config.request(index);
+    let mut attempt = 1u32;
+    loop {
+        let call_started = Instant::now();
+        let outcome = call(config.addr, &request, Some(config.call_timeout));
+        match outcome {
+            Ok(CallOutcome::Result {
+                result, replayed, ..
+            }) => {
+                latencies
+                    .lock()
+                    .expect("latencies poisoned")
+                    .push(call_started.elapsed());
+                if replayed {
+                    counters.replays.fetch_add(1, Ordering::Relaxed);
+                }
+                results
+                    .lock()
+                    .expect("results poisoned")
+                    .push(SessionResult {
+                        id: request.id,
+                        result_json: result.to_json(),
+                        replayed,
+                        attempts: attempt,
+                    });
+                return;
+            }
+            Ok(CallOutcome::Rejected { code, message }) => {
+                match code {
+                    ErrorCode::Overloaded => {
+                        counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ErrorCode::CircuitOpen => {
+                        counters.circuit_open.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                if !code.is_transient() {
+                    // Permanent: record the failure *as* the result so
+                    // the run terminates deterministically.
+                    results
+                        .lock()
+                        .expect("results poisoned")
+                        .push(SessionResult {
+                            id: request.id,
+                            result_json: format!("error:{}:{message}", code.name()),
+                            replayed: false,
+                            attempts: attempt,
+                        });
+                    return;
+                }
+            }
+            Err(_) => {
+                counters.transport_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if attempt >= config.max_attempts {
+            counters.exhausted.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        counters.retries.fetch_add(1, Ordering::Relaxed);
+        let backoff = config
+            .retry
+            .backoff(attempt.min(8))
+            .min(Duration::from_millis(250));
+        std::thread::sleep(backoff.max(Duration::from_millis(5)));
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_deterministic_in_seed_and_index() {
+        let config = LoadgenConfig::default();
+        let a = config.request(17);
+        let b = config.request(17);
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.session_seed, b.session_seed);
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.kind, b.kind);
+        let c = config.request(18);
+        assert_ne!(a.id, c.id);
+        let other_seed = LoadgenConfig {
+            seed: 8,
+            ..LoadgenConfig::default()
+        };
+        assert_ne!(a.id, other_seed.request(17).id);
+    }
+
+    #[test]
+    fn mixed_kinds_cycle_and_pure_bench_does_not() {
+        let mixed = LoadgenConfig::default();
+        assert_eq!(mixed.request(0).kind, RequestKind::Generate);
+        assert_eq!(mixed.request(1).kind, RequestKind::Lint);
+        assert_eq!(mixed.request(2).kind, RequestKind::Bench);
+        assert_eq!(mixed.request(3).kind, RequestKind::Bench);
+        let bench = LoadgenConfig {
+            mixed_kinds: false,
+            engine: "joda".to_owned(),
+            ..LoadgenConfig::default()
+        };
+        for i in 0..8 {
+            assert_eq!(bench.request(i).kind, RequestKind::Bench);
+            assert_eq!(bench.request(i).engine, "joda");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive_by_construction() {
+        let result = |id: &str, json: &str| SessionResult {
+            id: id.to_owned(),
+            result_json: json.to_owned(),
+            replayed: false,
+            attempts: 1,
+        };
+        let report = |results: Vec<SessionResult>| LoadgenReport {
+            results,
+            exhausted: 0,
+            retries: 0,
+            replays: 0,
+            overloaded: 0,
+            circuit_open: 0,
+            transport_errors: 0,
+            elapsed: Duration::from_secs(1),
+            latency: None,
+        };
+        let mut a = vec![result("a", "{}"), result("b", "[1]")];
+        a.sort_by(|x, y| x.id.cmp(&y.id));
+        let fp_a = report(a).fingerprint();
+        let mut b = vec![result("b", "[1]"), result("a", "{}")];
+        b.sort_by(|x, y| x.id.cmp(&y.id));
+        let fp_b = report(b).fingerprint();
+        assert_eq!(fp_a, fp_b);
+        let fp_c = report(vec![result("a", "{}"), result("b", "[2]")]).fingerprint();
+        assert_ne!(fp_a, fp_c);
+    }
+}

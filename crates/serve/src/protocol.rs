@@ -1,0 +1,546 @@
+//! The `betze-serve` wire protocol: length-framed, checksummed JSON
+//! messages over TCP, one request per connection.
+//!
+//! Frames reuse the journal's `[u32 len][u64 fnv][payload]` codec
+//! ([`betze_json::frame`]) — the same torn/corrupt-frame detection that
+//! protects the write-ahead journal protects the wire. A connection
+//! carries exactly one request frame client→server, then a stream of
+//! response frames server→client: zero or more `progress` frames while a
+//! benchmark session runs, terminated by exactly one `result`, `replay`,
+//! or `error` frame.
+//!
+//! Requests carry a **client-chosen id**. The id is the unit of
+//! exactly-once delivery: the server journals a result under its id
+//! before responding, and a retried id whose result is already journaled
+//! is *replayed*, never re-executed. Ids also seed per-request chaos, so
+//! a replayed request would have produced the identical result anyway —
+//! the journal just makes that a guarantee instead of a probability.
+
+use betze_json::{frame, json, Value};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Generate one session over the corpus (analysis + generator).
+    Generate,
+    /// Generate and lint one session, returning diagnostic counts.
+    Lint,
+    /// Generate one session and execute it on an engine, streaming
+    /// per-query progress.
+    Bench,
+}
+
+impl RequestKind {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Generate => "generate",
+            RequestKind::Lint => "lint",
+            RequestKind::Bench => "bench",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "generate" => Some(RequestKind::Generate),
+            "lint" => Some(RequestKind::Lint),
+            "bench" => Some(RequestKind::Bench),
+            _ => None,
+        }
+    }
+}
+
+/// One request to the daemon.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen id: the unit of deduplication, journaling, and
+    /// per-request chaos seeding. Retries MUST reuse the id.
+    pub id: String,
+    /// What to do.
+    pub kind: RequestKind,
+    /// Corpus name (`twitter` / `nobench` / `reddit`).
+    pub corpus: String,
+    /// Documents to generate for the corpus.
+    pub docs: usize,
+    /// Corpus generation seed.
+    pub data_seed: u64,
+    /// Session generation seed.
+    pub session_seed: u64,
+    /// Engine to execute on (`joda` / `mongo` / `pg` / `jq`, or `all`
+    /// to fan the session across all four). Ignored unless `kind` is
+    /// [`RequestKind::Bench`].
+    pub engine: String,
+    /// Optional wall-clock deadline for this request, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// Encodes the request as its wire JSON.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "id": (self.id.clone()),
+            "kind": (self.kind.name()),
+            "corpus": (self.corpus.clone()),
+            "docs": (self.docs as i64),
+            "data_seed": (self.data_seed as i64),
+            "session_seed": (self.session_seed as i64),
+            "engine": (self.engine.clone()),
+            "deadline_ms": (match self.deadline_ms {
+                Some(ms) => Value::from(ms as i64),
+                None => Value::Null,
+            }),
+        })
+    }
+
+    /// Decodes a request; `Err` describes what is malformed (the server
+    /// reports it back as a `bad_request` error).
+    pub fn from_value(value: &Value) -> Result<Request, String> {
+        let id = value
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("missing 'id'")?;
+        if id.is_empty() || id.len() > 200 {
+            return Err("'id' must be 1..=200 bytes".to_owned());
+        }
+        let kind = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .and_then(RequestKind::parse)
+            .ok_or("missing or unknown 'kind'")?;
+        let corpus = value
+            .get("corpus")
+            .and_then(Value::as_str)
+            .ok_or("missing 'corpus'")?;
+        let docs = value
+            .get("docs")
+            .and_then(Value::as_i64)
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or("missing or negative 'docs'")?;
+        let data_seed = value
+            .get("data_seed")
+            .and_then(Value::as_i64)
+            .map(|n| n as u64)
+            .ok_or("missing 'data_seed'")?;
+        let session_seed = value
+            .get("session_seed")
+            .and_then(Value::as_i64)
+            .map(|n| n as u64)
+            .ok_or("missing 'session_seed'")?;
+        let engine = value
+            .get("engine")
+            .and_then(Value::as_str)
+            .unwrap_or("joda");
+        let deadline_ms = match value.get("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_i64()
+                    .and_then(|n| u64::try_from(n).ok())
+                    .ok_or("'deadline_ms' must be a non-negative integer")?,
+            ),
+        };
+        Ok(Request {
+            id: id.to_owned(),
+            kind,
+            corpus: corpus.to_owned(),
+            docs,
+            data_seed,
+            session_seed,
+            engine: engine.to_owned(),
+            deadline_ms,
+        })
+    }
+}
+
+/// Error codes a request can fail with. The `transient` flag tells
+/// clients whether backing off and retrying (with the **same id**) can
+/// succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The admission queue is full — the server is shedding load.
+    Overloaded,
+    /// The server is draining and no longer admits work.
+    Draining,
+    /// The request id is already executing on another connection.
+    InFlight,
+    /// The target engine's shared circuit breaker is open.
+    CircuitOpen,
+    /// The request was canceled (deadline or server drain mid-run).
+    Canceled,
+    /// Execution hit a transient fault it could not absorb (e.g. chaos
+    /// exhausted the import retry budget). Retryable.
+    Transient,
+    /// The request is malformed. Not retryable.
+    BadRequest,
+    /// Execution failed permanently. Not retryable.
+    Failed,
+}
+
+impl ErrorCode {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
+            ErrorCode::InFlight => "in_flight",
+            ErrorCode::CircuitOpen => "circuit_open",
+            ErrorCode::Canceled => "canceled",
+            ErrorCode::Transient => "transient",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "overloaded" => Some(ErrorCode::Overloaded),
+            "draining" => Some(ErrorCode::Draining),
+            "in_flight" => Some(ErrorCode::InFlight),
+            "circuit_open" => Some(ErrorCode::CircuitOpen),
+            "canceled" => Some(ErrorCode::Canceled),
+            "transient" => Some(ErrorCode::Transient),
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "failed" => Some(ErrorCode::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether a retry (same id, after backoff) can succeed.
+    pub fn is_transient(self) -> bool {
+        !matches!(self, ErrorCode::BadRequest | ErrorCode::Failed)
+    }
+}
+
+/// One server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A benchmark query finished (`query` of `total`, 0-based).
+    Progress {
+        /// Request id.
+        id: String,
+        /// 0-based index of the finished query.
+        query: usize,
+        /// Queries in the session.
+        total: usize,
+        /// Short status label (`ok`, `retried:2`, `failed`, …).
+        status: String,
+    },
+    /// The terminal success frame: the request's result, freshly
+    /// executed (`replayed == false`) or served from the journal.
+    Result {
+        /// Request id.
+        id: String,
+        /// The result document (deterministic for a given request).
+        result: Value,
+        /// True when served from the journal without re-execution.
+        replayed: bool,
+    },
+    /// The terminal failure frame.
+    Error {
+        /// Request id (empty when the request could not be parsed).
+        id: String,
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response as its wire JSON.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Progress {
+                id,
+                query,
+                total,
+                status,
+            } => json!({
+                "type": "progress",
+                "id": (id.clone()),
+                "query": (*query as i64),
+                "total": (*total as i64),
+                "status": (status.clone()),
+            }),
+            Response::Result {
+                id,
+                result,
+                replayed,
+            } => json!({
+                "type": "result",
+                "id": (id.clone()),
+                "result": (result.clone()),
+                "replayed": (*replayed),
+            }),
+            Response::Error { id, code, message } => json!({
+                "type": "error",
+                "id": (id.clone()),
+                "code": (code.name()),
+                "message": (message.clone()),
+            }),
+        }
+    }
+
+    /// Decodes a response frame.
+    pub fn from_value(value: &Value) -> Result<Response, String> {
+        let id = value
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        match value.get("type").and_then(Value::as_str) {
+            Some("progress") => Ok(Response::Progress {
+                id,
+                query: value
+                    .get("query")
+                    .and_then(Value::as_i64)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or("progress without 'query'")?,
+                total: value
+                    .get("total")
+                    .and_then(Value::as_i64)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or("progress without 'total'")?,
+                status: value
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            }),
+            Some("result") => Ok(Response::Result {
+                id,
+                result: value.get("result").cloned().ok_or("result without body")?,
+                replayed: value
+                    .get("replayed")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+            }),
+            Some("error") => Ok(Response::Error {
+                id,
+                code: value
+                    .get("code")
+                    .and_then(Value::as_str)
+                    .and_then(ErrorCode::parse)
+                    .ok_or("error without 'code'")?,
+                message: value
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            }),
+            _ => Err("unknown response type".to_owned()),
+        }
+    }
+}
+
+/// Writes one JSON message as a frame and flushes.
+pub fn write_message(w: &mut impl Write, value: &Value) -> io::Result<()> {
+    frame::write_frame(w, value.to_json().as_bytes())?;
+    w.flush()
+}
+
+/// Reads one JSON message; `Ok(None)` means the peer closed cleanly at a
+/// frame boundary.
+pub fn read_message(r: &mut impl Read) -> io::Result<Option<Value>> {
+    let Some(payload) = frame::read_frame(r)? else {
+        return Ok(None);
+    };
+    let text = String::from_utf8(payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    betze_json::parse(&text).map(Some).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame is not JSON: {e}"),
+        )
+    })
+}
+
+/// How one client call ended.
+#[derive(Debug, Clone)]
+pub enum CallOutcome {
+    /// Terminal result (possibly replayed from the server's journal).
+    Result {
+        /// The result document.
+        result: Value,
+        /// Served from the journal without re-execution.
+        replayed: bool,
+        /// Progress frames observed before the result.
+        progress: usize,
+    },
+    /// Terminal protocol-level error from the server.
+    Rejected {
+        /// Failure class (drives the client's retry decision).
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Performs one request against `addr`, blocking until the terminal
+/// frame. Transport failures (connect refused, connection reset
+/// mid-stream) surface as `Err` — clients treat them like transient
+/// rejections and retry, because the server journals results *before*
+/// responding: a request whose response was lost is replayed, not
+/// re-executed, on retry.
+pub fn call(
+    addr: SocketAddr,
+    request: &Request,
+    timeout: Option<Duration>,
+) -> io::Result<CallOutcome> {
+    let stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    write_message(&mut writer, &request.to_value())?;
+    let mut reader = BufReader::new(stream);
+    let mut progress = 0usize;
+    loop {
+        let Some(value) = read_message(&mut reader)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before a terminal frame",
+            ));
+        };
+        match Response::from_value(&value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        {
+            Response::Progress { .. } => progress += 1,
+            Response::Result {
+                result, replayed, ..
+            } => {
+                return Ok(CallOutcome::Result {
+                    result,
+                    replayed,
+                    progress,
+                })
+            }
+            Response::Error { code, message, .. } => {
+                return Ok(CallOutcome::Rejected { code, message })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request {
+            id: "lg-7-0042".to_owned(),
+            kind: RequestKind::Bench,
+            corpus: "twitter".to_owned(),
+            docs: 300,
+            data_seed: 1,
+            session_seed: 42,
+            engine: "joda".to_owned(),
+            deadline_ms: Some(5_000),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_through_wire_json() {
+        let req = sample_request();
+        let decoded = Request::from_value(&req.to_value()).expect("round trip");
+        assert_eq!(decoded.id, req.id);
+        assert_eq!(decoded.kind, req.kind);
+        assert_eq!(decoded.corpus, req.corpus);
+        assert_eq!(decoded.docs, req.docs);
+        assert_eq!(decoded.data_seed, req.data_seed);
+        assert_eq!(decoded.session_seed, req.session_seed);
+        assert_eq!(decoded.engine, req.engine);
+        assert_eq!(decoded.deadline_ms, req.deadline_ms);
+
+        let mut no_deadline = sample_request();
+        no_deadline.deadline_ms = None;
+        let decoded = Request::from_value(&no_deadline.to_value()).expect("round trip");
+        assert_eq!(decoded.deadline_ms, None);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_a_reason() {
+        assert!(Request::from_value(&json!({})).is_err());
+        let mut v = sample_request().to_value();
+        v.as_object_mut().unwrap().insert("kind", "explode");
+        assert!(Request::from_value(&v).unwrap_err().contains("kind"));
+        let mut v = sample_request().to_value();
+        v.as_object_mut().unwrap().insert("docs", -3i64);
+        assert!(Request::from_value(&v).unwrap_err().contains("docs"));
+    }
+
+    #[test]
+    fn responses_round_trip_through_wire_json() {
+        let frames = [
+            Response::Progress {
+                id: "r1".to_owned(),
+                query: 3,
+                total: 10,
+                status: "retried:2".to_owned(),
+            },
+            Response::Result {
+                id: "r1".to_owned(),
+                result: json!({"ok_queries": 10i64}),
+                replayed: true,
+            },
+            Response::Error {
+                id: "r1".to_owned(),
+                code: ErrorCode::Overloaded,
+                message: "queue full".to_owned(),
+            },
+        ];
+        for frame in frames {
+            let decoded = Response::from_value(&frame.to_value()).expect("round trip");
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn transience_drives_retry_decisions() {
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::Draining,
+            ErrorCode::InFlight,
+            ErrorCode::CircuitOpen,
+            ErrorCode::Canceled,
+            ErrorCode::Transient,
+        ] {
+            assert!(code.is_transient(), "{} must be retryable", code.name());
+            assert_eq!(ErrorCode::parse(code.name()), Some(code));
+        }
+        for code in [ErrorCode::BadRequest, ErrorCode::Failed] {
+            assert!(!code.is_transient());
+            assert_eq!(ErrorCode::parse(code.name()), Some(code));
+        }
+    }
+
+    #[test]
+    fn messages_round_trip_through_the_frame_codec() {
+        let req = sample_request().to_value();
+        let mut buf = Vec::new();
+        write_message(&mut buf, &req).expect("write");
+        write_message(&mut buf, &req).expect("write");
+        let mut cursor = io::Cursor::new(buf);
+        let a = read_message(&mut cursor).expect("read").expect("frame");
+        let b = read_message(&mut cursor).expect("read").expect("frame");
+        assert_eq!(a.to_json(), req.to_json());
+        assert_eq!(b.to_json(), req.to_json());
+        assert!(read_message(&mut cursor).expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn corrupt_frames_surface_as_errors_not_panics() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &json!({"x": 1i64})).expect("write");
+        let mid = buf.len() / 2 + frame::HEADER_LEN / 2;
+        buf[mid] ^= 0x40;
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_message(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,1106 @@
+//! The `betze-serve` daemon: a fault-tolerant benchmark server.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! accept → handshake (parse, dedupe, admission) → bounded queue → worker
+//!        → breaker gate → execute on SessionPool → journal → respond
+//! ```
+//!
+//! * **Admission control / load shedding**: the queue between handshake
+//!   threads and workers is bounded. A request arriving at a full queue
+//!   is rejected immediately with `overloaded` — an explicit, cheap
+//!   signal the client backs off on — instead of buffering without bound
+//!   until every request times out (DESIGN.md §13).
+//! * **Exactly-once**: results are journaled under the request id
+//!   *before* the response is written (write-ahead). A retried id whose
+//!   result is journaled — in this process's lifetime or a previous
+//!   one — is replayed byte-identically, never re-executed.
+//! * **Shared circuit breakers**: one [`BreakerCore`] per engine, shared
+//!   across all requests. The breaker gates *admission to the engine*
+//!   (before the run) and is fed by run outcomes, so a melting backend
+//!   fails fast for every client. It deliberately does not wrap the
+//!   engine inside the run: per-query breaker state would make a
+//!   request's result depend on what other requests were scheduled
+//!   around it, breaking per-request determinism.
+//! * **Deterministic chaos**: `--chaos-*` faults are seeded per request
+//!   as `base_seed ^ fnv(id) ^ fnv(engine)`, so a given request id sees
+//!   the same fault schedule on every execution attempt, on every
+//!   server instance — a retried or resumed request cannot produce a
+//!   different result.
+//! * **Graceful drain**: when the abort token trips (SIGINT/SIGTERM via
+//!   the CLI, or [`ServerHandle::drain`]), the server stops accepting
+//!   and admitting, cancels in-flight runs through child tokens, flushes
+//!   queued requests with `draining` rejections, and joins every thread.
+//!   Journaled state is complete at exit; a restarted server resumes
+//!   from it.
+
+use crate::protocol::{self, ErrorCode, Request, RequestKind, Response};
+use betze_engines::{
+    BreakerCore, BreakerPolicy, CancelToken, ChaosEngine, Engine, EngineError, FaultPlan, JodaSim,
+    JqSim, MongoSim, PgSim,
+};
+use betze_harness::workload::{Corpus, SharedCorpus};
+use betze_harness::{
+    run_session_with_options, Journal, Recovered, RunCtx, RunOptions, SessionOutcome, SessionPool,
+};
+use betze_json::{frame, json, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Engines a request may name (besides `all`).
+pub const ENGINE_NAMES: [&str; 4] = ["joda", "mongo", "pg", "jq"];
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Bounded admission-queue depth; beyond it, requests are shed.
+    pub queue_depth: usize,
+    /// Write-ahead result journal (None = exactly-once only within this
+    /// process's lifetime).
+    pub journal: Option<PathBuf>,
+    /// Base chaos plan; faults are re-seeded per (request, engine).
+    pub chaos: Option<FaultPlan>,
+    /// Per-engine shared circuit breakers (None = no breakers).
+    pub breaker: Option<BreakerPolicy>,
+    /// Threads for the JODA engine inside each request.
+    pub joda_threads: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            journal: None,
+            chaos: None,
+            breaker: Some(BreakerPolicy::default()),
+            joda_threads: 1,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Counters the daemon keeps (all monotonically increasing).
+#[derive(Debug, Default)]
+struct Stats {
+    admitted: AtomicU64,
+    executed: AtomicU64,
+    replayed: AtomicU64,
+    shed: AtomicU64,
+    rejected_draining: AtomicU64,
+    rejected_in_flight: AtomicU64,
+    rejected_breaker: AtomicU64,
+    canceled: AtomicU64,
+    failed: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+/// A point-in-time snapshot of the daemon's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests executed to completion (result journaled + sent).
+    pub executed: u64,
+    /// Requests answered from the journal without execution.
+    pub replayed: u64,
+    /// Requests shed with `overloaded` (queue full).
+    pub shed: u64,
+    /// Requests rejected because the server was draining.
+    pub rejected_draining: u64,
+    /// Requests rejected because their id was already executing.
+    pub rejected_in_flight: u64,
+    /// Requests rejected by an open circuit breaker.
+    pub rejected_breaker: u64,
+    /// Requests canceled (deadline or drain) mid-run.
+    pub canceled: u64,
+    /// Requests that failed (transiently or permanently).
+    pub failed: u64,
+    /// Unparseable requests.
+    pub bad_requests: u64,
+}
+
+impl StatsSnapshot {
+    /// Requests that received a terminal success frame.
+    pub fn completed(&self) -> u64 {
+        self.executed + self.replayed
+    }
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
+            rejected_in_flight: self.rejected_in_flight.load(Ordering::Relaxed),
+            rejected_breaker: self.rejected_breaker.load(Ordering::Relaxed),
+            canceled: self.canceled.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An admitted request waiting for a worker: the parsed request plus the
+/// connection its responses go to.
+struct Job {
+    request: Request,
+    stream: TcpStream,
+}
+
+/// State shared by the accept loop, handshake threads, and workers.
+struct Daemon {
+    config: ServeConfig,
+    abort: CancelToken,
+    queue: Mutex<VecDeque<Job>>,
+    queue_signal: Condvar,
+    /// Results by request id: journal-backed exactly-once state, seeded
+    /// from recovery at startup.
+    completed: Mutex<HashMap<String, Value>>,
+    /// Ids currently executing (guards against concurrent duplicates).
+    in_flight: Mutex<HashSet<String>>,
+    journal: Mutex<Option<Journal>>,
+    /// One shared circuit per engine name.
+    breakers: Mutex<HashMap<&'static str, BreakerCore>>,
+    /// `(corpus, docs, data_seed)` → prepared corpus + analysis, so N
+    /// requests over one corpus pay for one analysis.
+    corpora: Mutex<HashMap<(String, usize, u64), Arc<SharedCorpus>>>,
+    stats: Stats,
+    /// Handshake threads, joined during drain.
+    handshakes: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Removes the id from the in-flight set when the worker is done with it,
+/// whatever the exit path.
+struct InFlightGuard<'a> {
+    daemon: &'a Daemon,
+    id: String,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.daemon
+            .in_flight
+            .lock()
+            .expect("in-flight poisoned")
+            .remove(&self.id);
+    }
+}
+
+/// A running daemon. Obtained from [`Server::start`]; dropped handles do
+/// not stop the server — call [`drain`](ServerHandle::drain) then
+/// [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    daemon: Arc<Daemon>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Final report returned by [`ServerHandle::join`] after a drain.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Counter snapshot at exit.
+    pub stats: StatsSnapshot,
+    /// Total circuit-breaker trips across engines.
+    pub breaker_trips: u64,
+}
+
+impl ServeReport {
+    /// Renders the drain report.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "betze-serve drained cleanly\n\
+             admitted {} | executed {} | replayed {} | shed {} | draining {}\n\
+             in-flight dup {} | breaker-rejected {} (trips {}) | canceled {} | failed {} | bad {}\n",
+            s.admitted,
+            s.executed,
+            s.replayed,
+            s.shed,
+            s.rejected_draining,
+            s.rejected_in_flight,
+            s.rejected_breaker,
+            self.breaker_trips,
+            s.canceled,
+            s.failed,
+            s.bad_requests,
+        )
+    }
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, recovers the journal (if any), and spawns the accept loop
+    /// and worker pool. `abort` governs the server's lifetime: when it
+    /// trips (signal handler, [`ServerHandle::drain`], a deadline), the
+    /// server drains gracefully.
+    pub fn start(config: ServeConfig, abort: CancelToken) -> io::Result<ServerHandle> {
+        let mut completed = HashMap::new();
+        let journal = match &config.journal {
+            Some(path) => Some(if path.exists() {
+                let (journal, recovered) = Journal::recover(path)?;
+                seed_completed(&mut completed, &recovered);
+                journal
+            } else {
+                Journal::create(path)?
+            }),
+            None => None,
+        };
+        let listener = bind_reuseaddr(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let mut breakers = HashMap::new();
+        if let Some(policy) = config.breaker {
+            for name in ENGINE_NAMES {
+                breakers.insert(name, BreakerCore::new(policy));
+            }
+        }
+        let workers = config.workers.max(1);
+        let daemon = Arc::new(Daemon {
+            abort,
+            queue: Mutex::new(VecDeque::new()),
+            queue_signal: Condvar::new(),
+            completed: Mutex::new(completed),
+            in_flight: Mutex::new(HashSet::new()),
+            journal: Mutex::new(journal),
+            breakers: Mutex::new(breakers),
+            corpora: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+            handshakes: Mutex::new(Vec::new()),
+            config,
+        });
+
+        let accept = {
+            let daemon = Arc::clone(&daemon);
+            std::thread::spawn(move || accept_loop(&listener, &daemon))
+        };
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let daemon = Arc::clone(&daemon);
+                std::thread::spawn(move || worker_loop(&daemon))
+            })
+            .collect();
+        Ok(ServerHandle {
+            addr,
+            daemon,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.daemon.stats.snapshot()
+    }
+
+    /// Requests a graceful drain (idempotent): stop accepting and
+    /// admitting, cancel in-flight work, flush the queue with `draining`
+    /// rejections. Call [`join`](Self::join) to wait for completion.
+    pub fn drain(&self) {
+        self.daemon.abort.cancel();
+        self.daemon.queue_signal.notify_all();
+    }
+
+    /// Waits for the drain to finish and returns the final report. The
+    /// journal is complete (every result either journaled or never
+    /// promised) when this returns.
+    pub fn join(mut self) -> ServeReport {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        // Handshake threads may still be parsing or enqueueing; join them
+        // before the final queue sweep so no job is left behind.
+        let handshakes = std::mem::take(
+            &mut *self
+                .daemon
+                .handshakes
+                .lock()
+                .expect("handshake list poisoned"),
+        );
+        for handle in handshakes {
+            handle.join().expect("handshake thread panicked");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+        // Anything admitted after the workers exited gets a clean
+        // `draining` rejection rather than a hung connection.
+        let mut queue = self.daemon.queue.lock().expect("queue poisoned");
+        while let Some(job) = queue.pop_front() {
+            self.daemon
+                .stats
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            self.daemon
+                .in_flight
+                .lock()
+                .expect("in-flight poisoned")
+                .remove(&job.request.id);
+            reject(job, ErrorCode::Draining, "server drained");
+        }
+        drop(queue);
+        let breaker_trips = self
+            .daemon
+            .breakers
+            .lock()
+            .expect("breakers poisoned")
+            .values()
+            .map(BreakerCore::trips)
+            .sum();
+        ServeReport {
+            stats: self.daemon.stats.snapshot(),
+            breaker_trips,
+        }
+    }
+}
+
+/// Binds the listener with `SO_REUSEADDR`, so a restarted daemon can
+/// rebind the port its drained predecessor just released even while old
+/// connections linger in `TIME_WAIT` — the kill-and-restart recovery
+/// path depends on this. The std listener cannot set socket options
+/// before binding, so the Linux path builds the socket over raw
+/// syscalls (libc-free, like the signal handling in `betze-engines`);
+/// elsewhere, and for non-IPv4 addresses, it falls back to a plain
+/// bind.
+fn bind_reuseaddr(addr: &str) -> io::Result<TcpListener> {
+    let parsed: SocketAddr = addr.parse().map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr {addr}: {e}"))
+    })?;
+    #[cfg(target_os = "linux")]
+    if let SocketAddr::V4(v4) = parsed {
+        return bind_reuseaddr_v4(v4);
+    }
+    TcpListener::bind(parsed)
+}
+
+/// The raw-syscall IPv4 bind path (Linux only).
+#[cfg(target_os = "linux")]
+fn bind_reuseaddr_v4(addr: std::net::SocketAddrV4) -> io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    /// `struct sockaddr_in` (Linux layout; port and address big-endian).
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    // SAFETY: plain syscalls on a freshly created fd; the fd is closed on
+    // every error path and otherwise handed to `TcpListener::from_raw_fd`,
+    // which owns it from then on.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        if setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one,
+            std::mem::size_of::<i32>() as u32,
+        ) < 0
+        {
+            let e = io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        let sockaddr = SockaddrIn {
+            family: AF_INET as u16,
+            port: addr.port().to_be(),
+            addr: u32::from_ne_bytes(addr.ip().octets()),
+            zero: [0; 8],
+        };
+        if bind(fd, &sockaddr, std::mem::size_of::<SockaddrIn>() as u32) < 0 {
+            let e = io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        if listen(fd, 1024) < 0 {
+            let e = io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// Seeds the completed-results map from a recovered journal: every stage
+/// is a request id whose index-0 record is the journaled result.
+fn seed_completed(completed: &mut HashMap<String, Value>, recovered: &Recovered) {
+    for (id, tasks) in &recovered.tasks {
+        if let Some(result) = tasks.get(&0) {
+            completed.insert(id.clone(), result.clone());
+        }
+    }
+}
+
+/// Polls for connections until the abort token trips. Each connection's
+/// handshake runs on its own thread so a slow client cannot stall
+/// accepting.
+fn accept_loop(listener: &TcpListener, daemon: &Arc<Daemon>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon2 = Arc::clone(daemon);
+                let handle = std::thread::spawn(move || handshake(&daemon2, stream));
+                daemon
+                    .handshakes
+                    .lock()
+                    .expect("handshake list poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if daemon.abort.is_canceled() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                if daemon.abort.is_canceled() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Reads and triages one request: parse → replay → drain check → dedupe
+/// → admission. Only admitted jobs reach a worker.
+fn handshake(daemon: &Arc<Daemon>, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    // Nothing sent, or a torn frame: drop the connection silently.
+    let Ok(Some(value)) = protocol::read_message(&mut reader) else {
+        return;
+    };
+    let request = match Request::from_value(&value) {
+        Ok(request) => request,
+        Err(reason) => {
+            daemon.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            respond(
+                &stream,
+                &Response::Error {
+                    id: String::new(),
+                    code: ErrorCode::BadRequest,
+                    message: reason,
+                },
+            );
+            return;
+        }
+    };
+    // Exactly-once replay: if the id already has a journaled result —
+    // from this process or a previous one — serve it without executing.
+    let replay = daemon
+        .completed
+        .lock()
+        .expect("completed poisoned")
+        .get(&request.id)
+        .cloned();
+    if let Some(result) = replay {
+        daemon.stats.replayed.fetch_add(1, Ordering::Relaxed);
+        respond(
+            &stream,
+            &Response::Result {
+                id: request.id,
+                result,
+                replayed: true,
+            },
+        );
+        return;
+    }
+    if daemon.abort.is_canceled() {
+        daemon
+            .stats
+            .rejected_draining
+            .fetch_add(1, Ordering::Relaxed);
+        respond(
+            &stream,
+            &Response::Error {
+                id: request.id,
+                code: ErrorCode::Draining,
+                message: "server is draining".to_owned(),
+            },
+        );
+        return;
+    }
+    if !daemon
+        .in_flight
+        .lock()
+        .expect("in-flight poisoned")
+        .insert(request.id.clone())
+    {
+        daemon
+            .stats
+            .rejected_in_flight
+            .fetch_add(1, Ordering::Relaxed);
+        respond(
+            &stream,
+            &Response::Error {
+                id: request.id,
+                code: ErrorCode::InFlight,
+                message: "request id is already executing".to_owned(),
+            },
+        );
+        return;
+    }
+    // Admission control: bounded queue, explicit rejection beyond it.
+    let mut queue = daemon.queue.lock().expect("queue poisoned");
+    if queue.len() >= daemon.config.queue_depth {
+        drop(queue);
+        daemon
+            .in_flight
+            .lock()
+            .expect("in-flight poisoned")
+            .remove(&request.id);
+        daemon.stats.shed.fetch_add(1, Ordering::Relaxed);
+        respond(
+            &stream,
+            &Response::Error {
+                id: request.id,
+                code: ErrorCode::Overloaded,
+                message: "admission queue is full".to_owned(),
+            },
+        );
+        return;
+    }
+    daemon.stats.admitted.fetch_add(1, Ordering::Relaxed);
+    queue.push_back(Job { request, stream });
+    drop(queue);
+    daemon.queue_signal.notify_one();
+}
+
+/// Worker: pops admitted jobs until the server drains and the queue is
+/// flushed.
+fn worker_loop(daemon: &Arc<Daemon>) {
+    loop {
+        let job = {
+            let mut queue = daemon.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if daemon.abort.is_canceled() {
+                    break None;
+                }
+                // Timed wait: the abort token can trip from a signal
+                // handler, which cannot notify a condvar.
+                let (guard, _) = daemon
+                    .queue_signal
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                queue = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        // During drain, queued-but-unstarted jobs are rejected (their
+        // clients retry against the restarted server) instead of racing
+        // the shutdown.
+        if daemon.abort.is_canceled() {
+            daemon
+                .stats
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            let id = job.request.id.clone();
+            daemon
+                .in_flight
+                .lock()
+                .expect("in-flight poisoned")
+                .remove(&id);
+            reject(job, ErrorCode::Draining, "server is draining");
+            continue;
+        }
+        serve_request(daemon, job);
+    }
+}
+
+/// Sends a terminal error for a queued job (drain path).
+fn reject(job: Job, code: ErrorCode, message: &str) {
+    respond(
+        &job.stream,
+        &Response::Error {
+            id: job.request.id,
+            code,
+            message: message.to_owned(),
+        },
+    );
+}
+
+/// Writes one response frame, ignoring transport errors (a vanished
+/// client does not hurt the server; its retry hits the replay path).
+fn respond(stream: &TcpStream, response: &Response) {
+    if let Ok(clone) = stream.try_clone() {
+        let mut writer = BufWriter::new(clone);
+        let _ = protocol::write_message(&mut writer, &response.to_value());
+    }
+}
+
+/// Executes one admitted request end to end: breaker gate → run →
+/// journal (write-ahead) → respond.
+fn serve_request(daemon: &Arc<Daemon>, job: Job) {
+    let Job { request, stream } = job;
+    let _guard = InFlightGuard {
+        daemon,
+        id: request.id.clone(),
+    };
+    // Shared breaker gate: fail fast before paying for the run.
+    if request.kind == RequestKind::Bench {
+        if let Err(e) = breaker_admit(daemon, &request.engine) {
+            daemon
+                .stats
+                .rejected_breaker
+                .fetch_add(1, Ordering::Relaxed);
+            respond(
+                &stream,
+                &Response::Error {
+                    id: request.id.clone(),
+                    code: ErrorCode::CircuitOpen,
+                    message: e,
+                },
+            );
+            return;
+        }
+    }
+    let deadline = request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(daemon.config.default_deadline);
+    let cancel = daemon.abort.child(deadline);
+    let outcome = execute(daemon, &request, &cancel, &stream);
+    if request.kind == RequestKind::Bench {
+        breaker_observe(daemon, &request.engine, &outcome);
+    }
+    match outcome {
+        Ok(result) => {
+            // Write-ahead: journal before responding, so a crash between
+            // the two loses the *response*, never the result — the
+            // client's retry replays it.
+            if let Some(journal) = daemon.journal.lock().expect("journal poisoned").as_mut() {
+                let payload = betze_harness::journal::task_record(&request.id, 0, result.clone());
+                if let Err(e) = journal.append(&payload) {
+                    panic!("journal append failed for request {}: {e}", request.id);
+                }
+            }
+            daemon
+                .completed
+                .lock()
+                .expect("completed poisoned")
+                .insert(request.id.clone(), result.clone());
+            daemon.stats.executed.fetch_add(1, Ordering::Relaxed);
+            respond(
+                &stream,
+                &Response::Result {
+                    id: request.id.clone(),
+                    result,
+                    replayed: false,
+                },
+            );
+        }
+        Err(error) => {
+            let (code, counter) = classify(&error);
+            counter_for(daemon, counter).fetch_add(1, Ordering::Relaxed);
+            respond(
+                &stream,
+                &Response::Error {
+                    id: request.id.clone(),
+                    code,
+                    message: error.to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// Which counter an execution error bumps.
+enum FailureCounter {
+    Canceled,
+    Failed,
+}
+
+fn counter_for(daemon: &Daemon, which: FailureCounter) -> &AtomicU64 {
+    match which {
+        FailureCounter::Canceled => &daemon.stats.canceled,
+        FailureCounter::Failed => &daemon.stats.failed,
+    }
+}
+
+/// Maps an execution error to its wire code.
+fn classify(error: &EngineError) -> (ErrorCode, FailureCounter) {
+    match error {
+        EngineError::Canceled { .. } => (ErrorCode::Canceled, FailureCounter::Canceled),
+        EngineError::Transient { .. } => (ErrorCode::Transient, FailureCounter::Failed),
+        _ => (ErrorCode::Failed, FailureCounter::Failed),
+    }
+}
+
+/// Engines a request targets: the named one, or all four for `all`.
+fn target_engines(engine: &str) -> Vec<&'static str> {
+    if engine == "all" {
+        ENGINE_NAMES.to_vec()
+    } else {
+        ENGINE_NAMES
+            .iter()
+            .copied()
+            .filter(|name| *name == engine)
+            .collect()
+    }
+}
+
+/// Admits the request through every targeted engine's shared breaker.
+fn breaker_admit(daemon: &Daemon, engine: &str) -> Result<(), String> {
+    let mut breakers = daemon.breakers.lock().expect("breakers poisoned");
+    if breakers.is_empty() {
+        return Ok(());
+    }
+    for name in target_engines(engine) {
+        if let Some(core) = breakers.get_mut(name) {
+            core.admit(name).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Feeds the run outcome into the targeted engines' shared breakers.
+/// Cancellation says nothing about backend health and is not recorded.
+fn breaker_observe(daemon: &Daemon, engine: &str, outcome: &Result<Value, EngineError>) {
+    if matches!(outcome, Err(EngineError::Canceled { .. })) {
+        return;
+    }
+    let mut breakers = daemon.breakers.lock().expect("breakers poisoned");
+    for name in target_engines(engine) {
+        if let Some(core) = breakers.get_mut(name) {
+            match outcome {
+                Ok(_) => core.observe::<()>(&Ok(())),
+                Err(e) => core.observe::<()>(&Err(clone_error(e))),
+            }
+        }
+    }
+}
+
+/// EngineError is not `Clone`; rebuild the cases the breaker inspects.
+fn clone_error(e: &EngineError) -> EngineError {
+    match e {
+        EngineError::Transient {
+            message,
+            attempt_hint,
+        } => EngineError::Transient {
+            message: message.clone(),
+            attempt_hint: *attempt_hint,
+        },
+        other => EngineError::Internal {
+            message: other.to_string(),
+        },
+    }
+}
+
+/// The corpus cache: prepares (generate + analyze) once per key.
+fn shared_corpus(daemon: &Daemon, request: &Request) -> Result<Arc<SharedCorpus>, EngineError> {
+    let corpus = match request.corpus.as_str() {
+        "twitter" => Corpus::Twitter,
+        "nobench" => Corpus::NoBench,
+        "reddit" => Corpus::Reddit,
+        other => {
+            return Err(EngineError::Internal {
+                message: format!("unknown corpus '{other}'"),
+            })
+        }
+    };
+    if request.docs == 0 || request.docs > 1_000_000 {
+        return Err(EngineError::Internal {
+            message: format!("docs must be 1..=1000000, got {}", request.docs),
+        });
+    }
+    let key = (request.corpus.clone(), request.docs, request.data_seed);
+    let mut corpora = daemon.corpora.lock().expect("corpora poisoned");
+    if let Some(shared) = corpora.get(&key) {
+        return Ok(Arc::clone(shared));
+    }
+    let shared = Arc::new(SharedCorpus::prepare(
+        corpus,
+        request.docs,
+        request.data_seed,
+        1,
+    ));
+    corpora.insert(key, Arc::clone(&shared));
+    Ok(shared)
+}
+
+/// Per-(request, engine) chaos seed: deterministic across retries,
+/// restarts, and server instances.
+fn chaos_seed(base: u64, id: &str, engine: &str) -> u64 {
+    base ^ frame::fnv1a(id.as_bytes()) ^ frame::fnv1a(engine.as_bytes())
+}
+
+/// Builds the engine a request names, chaos-wrapped when configured.
+fn build_engine(daemon: &Daemon, request: &Request, name: &str) -> Box<dyn Engine> {
+    let inner: Box<dyn Engine> = match name {
+        "joda" => Box::new(JodaSim::new(daemon.config.joda_threads)),
+        "mongo" => Box::new(MongoSim::new()),
+        "pg" => Box::new(PgSim::new()),
+        _ => Box::new(JqSim::new()),
+    };
+    match &daemon.config.chaos {
+        Some(plan) => Box::new(ChaosEngine::new(
+            inner,
+            plan.clone().with_seed(chaos_seed_base(plan, request, name)),
+        )),
+        None => inner,
+    }
+}
+
+fn chaos_seed_base(plan: &FaultPlan, request: &Request, engine: &str) -> u64 {
+    chaos_seed(plan.seed, &request.id, engine)
+}
+
+/// Executes the request body. Every path is a deterministic function of
+/// the request (given the server's chaos/config), so re-execution after
+/// a crash produces the identical result the journal would have held.
+fn execute(
+    daemon: &Arc<Daemon>,
+    request: &Request,
+    cancel: &CancelToken,
+    stream: &TcpStream,
+) -> Result<Value, EngineError> {
+    cancel.check("request admitted")?;
+    match request.kind {
+        RequestKind::Generate => {
+            let (corpus, outcome) = generate(daemon, request)?;
+            let session = &outcome.session;
+            drop(corpus);
+            Ok(json!({
+                "kind": "generate",
+                "corpus": (request.corpus.clone()),
+                "queries": (session.queries.len() as i64),
+                "fingerprint": (format!("{:016x}", frame::fnv1a(format!("{session:?}").as_bytes()))),
+            }))
+        }
+        RequestKind::Lint => {
+            let (corpus, outcome) = generate(daemon, request)?;
+            let session = &outcome.session;
+            let report = betze_lint::Linter::new()
+                .with_analysis(&corpus.analysis)
+                .lint(session);
+            Ok(json!({
+                "kind": "lint",
+                "corpus": (request.corpus.clone()),
+                "queries": (session.queries.len() as i64),
+                "diagnostics": (report.len() as i64),
+                "errors": (report.count_at_least(betze_lint::Severity::Error) as i64),
+                "warnings": (report.count_at_least(betze_lint::Severity::Warn) as i64),
+            }))
+        }
+        RequestKind::Bench => {
+            let engines = target_engines(&request.engine);
+            if engines.is_empty() {
+                return Err(EngineError::Internal {
+                    message: format!("unknown engine '{}'", request.engine),
+                });
+            }
+            // Dispatch onto the SessionPool: one task per engine, governed
+            // by the request's cancel token. A single engine runs inline
+            // (pool short-circuits to the calling thread); `all` fans out.
+            let pool =
+                SessionPool::new(engines.len()).with_ctx(RunCtx::with_cancel(cancel.clone()));
+            let single = engines.len() == 1;
+            let results: Mutex<Vec<Result<Value, EngineError>>> =
+                Mutex::new(Vec::with_capacity(engines.len()));
+            let run = pool.try_map("serve/bench", &engines, |_, name| {
+                let value = bench_engine(daemon, request, name, cancel, stream, single);
+                // Errors are data here: the pool must not unwind on an
+                // engine failure (only cancellation stops the request).
+                if let Err(EngineError::Canceled { message }) = &value {
+                    return Err(EngineError::Canceled {
+                        message: message.clone(),
+                    });
+                }
+                results.lock().expect("results poisoned").push(value);
+                Ok(())
+            });
+            if run.is_err() {
+                return Err(EngineError::Canceled {
+                    message: "request canceled".to_owned(),
+                });
+            }
+            let collected = results.into_inner().expect("results poisoned");
+            // Any engine failure fails the whole request (transient wins
+            // so the client retries): results must be all-or-nothing for
+            // exactly-once to be meaningful.
+            let mut values = Vec::new();
+            let mut failure: Option<EngineError> = None;
+            for result in collected {
+                match result {
+                    Ok(value) => values.push(value),
+                    Err(e) => {
+                        let prefer = failure
+                            .as_ref()
+                            .is_none_or(|held| !held.is_transient() && e.is_transient());
+                        if prefer {
+                            failure = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(error) = failure {
+                return Err(error);
+            }
+            if single {
+                Ok(values.pop().expect("one engine, one result"))
+            } else {
+                // `all`: deterministic engine order, not completion order.
+                values.sort_by_key(|v| {
+                    let name = v.get("engine").and_then(Value::as_str).unwrap_or("");
+                    ENGINE_NAMES.iter().position(|e| *e == name).unwrap_or(4)
+                });
+                Ok(json!({
+                    "kind": "bench",
+                    "engine": "all",
+                    "engines": (Value::Array(values)),
+                }))
+            }
+        }
+    }
+}
+
+/// Prepares the request's corpus and generates its session.
+fn generate(
+    daemon: &Daemon,
+    request: &Request,
+) -> Result<(Arc<SharedCorpus>, betze_generator::GenerationOutcome), EngineError> {
+    let corpus = shared_corpus(daemon, request)?;
+    let outcome = corpus
+        .generate_session(&Default::default(), request.session_seed)
+        .map_err(|e| EngineError::Internal {
+            message: format!("session generation failed: {e}"),
+        })?;
+    Ok((corpus, outcome))
+}
+
+/// Runs the session on one engine, streaming per-query progress frames
+/// when this is the request's only engine.
+fn bench_engine(
+    daemon: &Arc<Daemon>,
+    request: &Request,
+    engine_name: &'static str,
+    cancel: &CancelToken,
+    stream: &TcpStream,
+    stream_progress: bool,
+) -> Result<Value, EngineError> {
+    let (corpus, outcome) = generate(daemon, request)?;
+    let mut engine = build_engine(daemon, request, engine_name);
+    let mut options = RunOptions::reference().cancel(cancel.clone());
+    if stream_progress {
+        if let Ok(progress_stream) = stream.try_clone() {
+            let id = request.id.clone();
+            let writer = Mutex::new(BufWriter::new(progress_stream));
+            options = options.progress(move |query, total, status| {
+                let response = Response::Progress {
+                    id: id.clone(),
+                    query,
+                    total,
+                    status: status_label(status),
+                };
+                // A vanished client must not fail the run: the result
+                // still gets journaled for the retry to replay.
+                if let Ok(mut w) = writer.lock() {
+                    let _ = protocol::write_message(&mut *w, &response.to_value());
+                }
+            });
+        }
+    }
+    let run =
+        run_session_with_options(engine.as_mut(), &corpus.dataset, &outcome.session, &options)?;
+    Ok(render_run(engine_name, &run))
+}
+
+/// A short, deterministic wire label for a query status.
+fn status_label(status: &betze_harness::QueryStatus) -> String {
+    use betze_harness::QueryStatus;
+    match status {
+        QueryStatus::Ok => "ok".to_owned(),
+        QueryStatus::Retried(n) => format!("retried:{n}"),
+        QueryStatus::Failed { .. } => "failed".to_owned(),
+        QueryStatus::SkippedDependencyLost { dataset } => format!("skipped:{dataset}"),
+    }
+}
+
+/// Renders a session outcome as the deterministic result document. Only
+/// modeled time appears — wall-clock numbers would make a replayed
+/// result differ from a re-executed one.
+fn render_run(engine_name: &str, outcome: &SessionOutcome) -> Value {
+    let (label, run, completed) = match outcome {
+        SessionOutcome::Completed(run) => ("completed", run, run.statuses.len()),
+        SessionOutcome::CompletedWithErrors(run) => {
+            ("completed_with_errors", run, run.statuses.len())
+        }
+        SessionOutcome::TimedOut {
+            partial,
+            completed_queries,
+        } => ("timed_out", partial, *completed_queries),
+    };
+    let statuses: Vec<Value> = run
+        .statuses
+        .iter()
+        .map(|s| Value::String(status_label(s)))
+        .collect();
+    json!({
+        "kind": "bench",
+        "engine": (engine_name.to_owned()),
+        "outcome": label,
+        "queries": (run.statuses.len() as i64),
+        "completed_queries": (completed as i64),
+        "ok_queries": (run.ok_queries() as i64),
+        "retries": (i64::from(run.total_retries())),
+        "lineage_replays": (run.lineage_replays as i64),
+        "modeled_ns": (run.session_modeled().as_nanos() as i64),
+        "statuses": (Value::Array(statuses)),
+    })
+}

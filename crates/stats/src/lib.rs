@@ -19,11 +19,17 @@
 //! [`betze_json::Value`] documents (the engines crate exposes the same
 //! analysis through its JODA-like engine for the full pipeline).
 
+//!
+//! The crate also hosts the workspace's small shared statistics toolbox:
+//! [`Histogram`] and the exact nearest-rank [`percentile`] helpers that
+//! `betze loadgen` uses for its p50/p95/p99 latency report.
+
 mod analysis;
 mod analyzer;
 mod cache;
 mod file;
 mod histogram;
+mod percentile;
 
 pub use analysis::{DatasetAnalysis, PathStats};
 pub use analyzer::{
@@ -32,3 +38,4 @@ pub use analyzer::{
 pub use cache::{fingerprint_docs, AnalysisCache};
 pub use file::AnalysisFileError;
 pub use histogram::Histogram;
+pub use percentile::{percentile, percentile_duration, LatencySummary};

@@ -1,0 +1,148 @@
+//! Exact nearest-rank percentiles for latency reporting.
+//!
+//! `betze loadgen` summarizes thousands of per-request latencies as
+//! p50/p95/p99. These helpers use the **nearest-rank** definition
+//! (⌈p/100 · n⌉-th smallest sample, 1-indexed): every reported
+//! percentile is an *actual observed sample*, never an interpolation —
+//! the right choice for latency tails, where interpolating between a
+//! 120 ms and a 4 s outlier invents a latency nobody experienced.
+//! Deterministic: the same samples yield the same percentiles regardless
+//! of input order.
+
+use std::time::Duration;
+
+/// The nearest-rank `p`-th percentile of `samples` (`0.0 < p <= 100.0`):
+/// the smallest sample such that at least `p`% of samples are ≤ it.
+/// `None` for an empty slice. Input order does not matter.
+///
+/// NaN samples are rejected by debug assertion; under release builds
+/// they sort last and can only inflate the extreme tail.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    debug_assert!(samples.iter().all(|x| !x.is_nan()), "NaN latency sample");
+    if samples.is_empty() {
+        return None;
+    }
+    debug_assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    Some(sorted[nearest_rank_index(p, sorted.len())])
+}
+
+/// [`percentile`] over durations (loadgen's latency samples).
+pub fn percentile_duration(samples: &[Duration], p: f64) -> Option<Duration> {
+    if samples.is_empty() {
+        return None;
+    }
+    debug_assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(sorted[nearest_rank_index(p, sorted.len())])
+}
+
+/// 0-based index of the nearest-rank percentile in a sorted slice of
+/// length `n >= 1`: ⌈p/100 · n⌉, clamped to the valid range.
+fn nearest_rank_index(p: f64, n: usize) -> usize {
+    let rank = (p / 100.0 * n as f64).ceil() as usize;
+    rank.clamp(1, n) - 1
+}
+
+/// p50/p95/p99 of a latency sample set, as loadgen reports them.
+/// `None` for an empty sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median (nearest-rank p50).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// The largest sample.
+    pub max: Duration,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples`; `None` if empty.
+    pub fn of(samples: &[Duration]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        Some(LatencySummary {
+            p50: sorted[nearest_rank_index(50.0, n)],
+            p95: sorted[nearest_rank_index(95.0, n)],
+            p99: sorted[nearest_rank_index(99.0, n)],
+            max: sorted[n - 1],
+            count: n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_have_no_percentile() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile_duration(&[], 99.0), None);
+        assert_eq!(LatencySummary::of(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = [7.5];
+        for p in [0.5, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&s, p), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_values() {
+        // The canonical nearest-rank example: 5 samples.
+        let s = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&s, 5.0), Some(15.0)); // ⌈0.25⌉ = 1st
+        assert_eq!(percentile(&s, 30.0), Some(20.0)); // ⌈1.5⌉ = 2nd
+        assert_eq!(percentile(&s, 40.0), Some(20.0)); // ⌈2.0⌉ = 2nd
+        assert_eq!(percentile(&s, 50.0), Some(35.0)); // ⌈2.5⌉ = 3rd
+        assert_eq!(percentile(&s, 100.0), Some(50.0)); // 5th
+    }
+
+    #[test]
+    fn percentiles_are_order_independent_and_always_samples() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        let mut shuffled = sorted.clone();
+        shuffled.reverse();
+        shuffled.swap(3, 77);
+        for p in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            let a = percentile(&sorted, p).unwrap();
+            let b = percentile(&shuffled, p).unwrap();
+            assert_eq!(a, b);
+            assert!(sorted.contains(&a), "nearest-rank must be a real sample");
+        }
+        // 100 samples of 1..=100: pP is exactly P.
+        assert_eq!(percentile(&sorted, 50.0), Some(50.0));
+        assert_eq!(percentile(&sorted, 95.0), Some(95.0));
+        assert_eq!(percentile(&sorted, 99.0), Some(99.0));
+    }
+
+    #[test]
+    fn duration_summary_reports_the_tail() {
+        let ms = Duration::from_millis;
+        // 99 fast requests and one slow outlier.
+        let mut samples: Vec<Duration> = (1..=99).map(ms).collect();
+        samples.push(ms(5_000));
+        let summary = LatencySummary::of(&samples).unwrap();
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50, ms(50));
+        assert_eq!(summary.p95, ms(95));
+        assert_eq!(summary.p99, ms(99));
+        assert_eq!(summary.max, ms(5_000));
+        // The outlier shows up only at p100/max — no interpolation has
+        // smeared it into p99.
+        assert_eq!(percentile_duration(&samples, 100.0), Some(ms(5_000)));
+    }
+}

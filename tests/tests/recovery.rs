@@ -7,7 +7,7 @@ use betze::engines::{
     BreakerEngine, BreakerPolicy, BreakerState, CancelToken, ChaosEngine, FaultPlan, JodaSim,
 };
 use betze::generator::GeneratorConfig;
-use betze::harness::experiments::{fig6, Scale};
+use betze::harness::experiments::{fig6, gen_cost, Scale};
 use betze::harness::workload::{Corpus, SharedCorpus};
 use betze::harness::{
     run_session_with_options, Journal, Recovered, RetryPolicy, RunCtx, RunOptions, SessionOutcome,
@@ -86,6 +86,59 @@ fn complete_journal_replays_without_rerunning() {
     let replayed = fig6(&Scale::quick().with_jobs(1).with_ctx(ctx))
         .expect("fully-journaled sweep must not need to run tasks");
     assert_eq!(replayed.summaries, first.summaries);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The gen-cost driver is in the recovery matrix too: its wall-clock
+/// measurements cannot be *re-measured* identically, but journaled ones
+/// **replay** exactly. A complete journal replays the whole report
+/// bit-identically without running a single task, and a torn journal
+/// resumes by re-measuring only the missing tail.
+#[test]
+fn gencost_journal_replays_and_resumes() {
+    let mut scale = Scale::quick();
+    scale.sessions = 2;
+    let measure_tasks = 3 * scale.sessions; // 3 presets × seeds
+    let total_tasks = measure_tasks + 1; // + the cached pass
+
+    let path = temp_journal("gencost-resume");
+    let journal = Journal::create(&path).expect("create journal");
+    let mut ctx = RunCtx::new();
+    ctx.attach_journal(journal, Recovered::default());
+    let first = gen_cost(&scale.clone().with_jobs(2).with_ctx(ctx)).expect("journaled gen-cost");
+
+    // Complete journal + pre-tripped token: every value is served from
+    // the journal, so the identical report emerges with zero re-runs —
+    // timings included, bit for bit.
+    let (journal, recovered) = Journal::recover(&path).expect("recover complete journal");
+    assert_eq!(recovered.task_count(), total_tasks);
+    assert_eq!(recovered.truncated_bytes, 0);
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let mut ctx = RunCtx::with_cancel(cancel);
+    ctx.attach_journal(journal, recovered);
+    let replayed = gen_cost(&scale.clone().with_jobs(1).with_ctx(ctx))
+        .expect("fully-journaled gen-cost must not need to run tasks");
+    assert_eq!(replayed.analysis_time, first.analysis_time);
+    assert_eq!(replayed.generation_time, first.generation_time);
+    assert_eq!(replayed.total_queries, first.total_queries);
+    assert_eq!(replayed.cached_analysis_time, first.cached_analysis_time);
+    assert_eq!(replayed.cache_hits, first.cache_hits);
+
+    // Crash simulation: tear into the final frame; the resumed run
+    // re-measures only the lost tail and keeps every surviving timing.
+    let mut bytes = std::fs::read(&path).expect("read journal");
+    let intact = bytes.len();
+    bytes.truncate(intact - 5);
+    std::fs::write(&path, &bytes).expect("tear journal");
+    let (journal, recovered) = Journal::recover(&path).expect("recover torn journal");
+    assert!(recovered.task_count() < total_tasks);
+    let mut ctx = RunCtx::new();
+    ctx.attach_journal(journal, recovered);
+    let resumed = gen_cost(&scale.clone().with_jobs(4).with_ctx(ctx)).expect("resumed gen-cost");
+    // Query counts are seed-deterministic, so they survive re-measurement.
+    assert_eq!(resumed.total_queries, first.total_queries);
+    assert_eq!(resumed.sessions, first.sessions);
     std::fs::remove_file(&path).ok();
 }
 
