@@ -1,0 +1,241 @@
+//! Tree-walk vs bytecode predicate evaluation on the Fig. 7 hot path:
+//! generator-shaped sessions over the Twitter-like corpus, the workload
+//! whose scans dominate every paper-shape experiment.
+//!
+//! Unlike the other benches this one is useful without criterion: the
+//! fallback `main` does a best-of-N wall-clock comparison and writes a
+//! machine-readable `BENCH_vm.json` (path via `--out <file>`), which CI
+//! uploads next to `BENCH_harness.json` for trend tracking.
+
+// **Feature-gated:** criterion is not available in the offline build.
+// Restore the `criterion` workspace dependency (network required) and run
+// `cargo bench --features criterion-benches` to enable the statistical
+// version of this bench; the fallback below always works.
+#![cfg_attr(not(feature = "criterion-benches"), allow(unused))]
+
+use betze::datagen::{DocGenerator, TwitterLike};
+use betze::generator::GeneratorConfig;
+use betze::json::Value;
+use betze::model::Predicate;
+use betze::vm::{compile, Program, Projection, VmScratch};
+use std::time::Instant;
+
+const DOCS: usize = 6_000;
+const DATA_SEED: u64 = 2022;
+const SESSION_SEEDS: [u64; 32] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
+    27, 28, 29, 30, 31, 32,
+];
+const BATCH: usize = 1024;
+const RUNS: usize = 9;
+
+/// The Fig. 7 predicate mix: every filter of a few generated
+/// intermediate-preset sessions over the Twitter-like corpus.
+fn workload() -> (Vec<Value>, Vec<Predicate>) {
+    let docs = TwitterLike::default().generate(DATA_SEED, DOCS);
+    let analysis = betze::stats::analyze("twitter", &docs);
+    let config = GeneratorConfig::with_explorer(betze::explorer::Preset::Intermediate.config());
+    let mut predicates = Vec::new();
+    for seed in SESSION_SEEDS {
+        let outcome = betze::generator::generate_session(&analysis, &config, seed, None)
+            .expect("generate bench session");
+        predicates.extend(outcome.session.queries.into_iter().filter_map(|q| q.filter));
+    }
+    (docs, predicates)
+}
+
+fn tree_walk(docs: &[Value], predicates: &[Predicate]) -> usize {
+    predicates
+        .iter()
+        .map(|p| docs.iter().filter(|d| p.matches(d)).count())
+        .sum()
+}
+
+fn vm_run(docs: &[Value], programs: &[Program], scratch: &mut VmScratch) -> usize {
+    let mut matched = Vec::new();
+    let mut total = 0;
+    for program in programs {
+        for batch in docs.chunks(BATCH) {
+            program.run(batch, scratch, &mut matched);
+            total += matched.len();
+        }
+    }
+    total
+}
+
+/// The projected path: shred the corpus once, then every predicate is a
+/// set of column scans — how `VmEngine` serves a whole session from one
+/// imported dataset. The build is included in the measured time.
+fn vm_run_projected(docs: &[Value], programs: &[Program], scratch: &mut VmScratch) -> usize {
+    let proj = Projection::build(docs).expect("bench corpus fits the projection cell budget");
+    let mut matched = Vec::new();
+    let mut total = 0;
+    for program in programs {
+        program.run_projected(&proj, scratch, &mut matched);
+        total += matched.len();
+    }
+    total
+}
+
+/// Best-of-N wall time of one closure, in seconds.
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = f();
+    for _ in 0..n {
+        let t = Instant::now();
+        result = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+#[cfg(not(feature = "criterion-benches"))]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    // `cargo bench` passes --bench; a bare run takes no args.
+    let (docs, predicates) = workload();
+    let programs: Vec<Program> = predicates
+        .iter()
+        .map(|p| compile(p).expect("generator predicates fit the register budget"))
+        .collect();
+    let mut scratch = VmScratch::new();
+    if std::env::var_os("VM_BENCH_PROFILE").is_some() {
+        // Component timing: how much of a scan is raw path resolution?
+        let (resolve_secs, resolved) = best_of(15, || {
+            let mut n = 0usize;
+            for program in &programs {
+                for path in &program.pool().paths {
+                    n += docs.iter().filter_map(|d| path.resolve(d)).count();
+                }
+            }
+            n
+        });
+        let mut hint_buf = [0u32; 8];
+        let (hinted_secs, hinted) = best_of(15, || {
+            let mut n = 0usize;
+            for program in &programs {
+                for path in &program.pool().paths {
+                    let hints = &mut hint_buf[..path.steps_len()];
+                    n += docs
+                        .iter()
+                        .filter_map(|d| path.resolve_hinted(d, hints))
+                        .count();
+                }
+            }
+            n
+        });
+        let leaves: usize = programs.iter().map(|p| p.leaves().len()).sum();
+        let unique_paths: usize = programs.iter().map(|p| p.pool().paths.len()).sum();
+        let top_keys = docs[0].as_object().map(|o| o.len()).unwrap_or(0);
+        let nodes: usize = docs.iter().map(Value::node_count).sum();
+        eprintln!(
+            "resolved {resolved} plain {resolve_secs:.6}s / hinted {hinted} {hinted_secs:.6}s; \
+             leaves {leaves}, unique paths {unique_paths}, top-level keys {top_keys}, \
+             doc nodes {nodes} (avg {:.1})",
+            nodes as f64 / docs.len() as f64
+        );
+        let proj = Projection::build(&docs).expect("projection");
+        let (walk_secs, _) = best_of(9, || docs.iter().map(Value::node_count).sum::<usize>());
+        eprintln!(
+            "projection (nodes, lanes, arena) {:?}; pure-traversal floor {walk_secs:.6}s",
+            proj.stats()
+        );
+    }
+    // Interleave the contenders round-robin and keep each one's best
+    // round: wall-clock noise (shared machine) then hits all three
+    // equally instead of biasing whichever ran during a quiet spell.
+    let mut tree_secs = f64::INFINITY;
+    let mut batched_secs = f64::INFINITY;
+    let mut vm_secs = f64::INFINITY;
+    let (mut tree_count, mut batched_count, mut vm_count) = (0, 0, 0);
+    for round in 0..RUNS {
+        let t = Instant::now();
+        tree_count = tree_walk(&docs, &predicates);
+        tree_secs = tree_secs.min(t.elapsed().as_secs_f64());
+        if round < 3 {
+            // The unprojected batch path is a secondary data point; three
+            // rounds bound its noise well enough.
+            let t = Instant::now();
+            batched_count = vm_run(&docs, &programs, &mut scratch);
+            batched_secs = batched_secs.min(t.elapsed().as_secs_f64());
+        }
+        let t = Instant::now();
+        vm_count = vm_run_projected(&docs, &programs, &mut scratch);
+        vm_secs = vm_secs.min(t.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        tree_count, vm_count,
+        "projected bytecode and tree-walk disagree on match counts"
+    );
+    assert_eq!(
+        tree_count, batched_count,
+        "batched bytecode and tree-walk disagree on match counts"
+    );
+    let (shred_secs, _) = best_of(RUNS, || Projection::build(&docs).map(|p| p.lanes()));
+    let speedup = tree_secs / vm_secs;
+    let record = format!(
+        "{{\"bench\": \"vm\", \"docs\": {}, \"predicates\": {}, \"matches\": {}, \
+         \"tree_walk_secs\": {:.6}, \"vm_secs\": {:.6}, \"vm_batched_secs\": {:.6}, \
+         \"shred_secs\": {:.6}, \"speedup\": {:.2}}}\n",
+        docs.len(),
+        predicates.len(),
+        tree_count,
+        tree_secs,
+        vm_secs,
+        batched_secs,
+        shred_secs,
+        speedup
+    );
+    print!("{record}");
+    if let Some(path) = out {
+        std::fs::write(&path, &record).expect("write bench record");
+        eprintln!("wrote {path}");
+    }
+}
+
+#[cfg(feature = "criterion-benches")]
+mod gated {
+    use super::*;
+    use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+    use std::time::Duration;
+
+    fn bench_vm(c: &mut Criterion) {
+        let (docs, predicates) = workload();
+        let programs: Vec<Program> = predicates
+            .iter()
+            .map(|p| compile(p).expect("fits budget"))
+            .collect();
+        let mut scratch = VmScratch::new();
+        let mut group = c.benchmark_group("predicate_eval");
+        group
+            .sample_size(20)
+            .measurement_time(Duration::from_secs(5))
+            .throughput(Throughput::Elements((docs.len() * predicates.len()) as u64));
+        group.bench_function("tree_walk", |b| b.iter(|| tree_walk(&docs, &predicates)));
+        group.bench_function("bytecode_vm", |b| {
+            b.iter(|| vm_run(&docs, &programs, &mut scratch))
+        });
+        group.bench_function("bytecode_vm_projected", |b| {
+            b.iter(|| vm_run_projected(&docs, &programs, &mut scratch))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_vm);
+    pub fn main() {
+        benches();
+        criterion::Criterion::default()
+            .configure_from_args()
+            .final_summary();
+    }
+}
+
+#[cfg(feature = "criterion-benches")]
+fn main() {
+    gated::main();
+}

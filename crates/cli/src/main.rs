@@ -20,7 +20,7 @@ use betze::engines::{
 use betze::explorer::Preset;
 use betze::generator::GenerationOutcome;
 use betze::generator::{AggregateMode, ExportMode, GeneratorConfig};
-use betze::harness::experiments::{self, Scale};
+use betze::harness::experiments::{self, Scale, SessionEngine};
 use betze::harness::journal::{atomic_write, Journal, Recovered, RunCtx};
 use betze::harness::workload::prepare_dataset;
 use betze::harness::{Interrupted, RetryPolicy, RunOptions};
@@ -87,6 +87,12 @@ COMMANDS:
         --lint <level>      pre-flight deny level: error | warn | info | off
                             (default error; off restores unchecked runs)
         --threads <n>       JODA thread count (default 16)
+        --engine <name>     joda | mongo | pg | jq | vm | all — run one
+                            engine instead of the full comparison
+                            (default all: the four paper engines plus
+                            the JODA eviction row; vm is JODA with
+                            predicates compiled to register bytecode,
+                            bit-identical results)
         --output            charge full result output (Table III mode)
         --query-timeout <secs>  per-query modeled-time budget: a query
                             exceeding it ends the session as timed out
@@ -155,6 +161,9 @@ COMMANDS:
         --jobs <n>          parallel session workers (0 = one per core,
                             1 = sequential; results are bit-identical
                             for every value)
+        --engine <name>     joda | vm for the JODA-only drivers
+                            (figs 5-7): vm executes compiled bytecode,
+                            results are bit-identical (default joda)
         --bench-out <file>  also write a JSON wall-time record
         --out <file>        atomically write the rendered report(s) to a
                             file as well as stdout
@@ -679,6 +688,22 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         None => 16,
     };
     let full_output = take_flag(&mut args, "--output");
+    // `--engine` narrows the comparison to one system; `vm` is the
+    // bytecode JODA (bit-identical to `joda`, so it is opt-in and not
+    // part of the default five-row table).
+    let single: Option<Box<dyn Engine>> = match take_option(&mut args, "--engine")?.as_deref() {
+        None | Some("all") => None,
+        Some("joda") => Some(Box::new(betze::engines::JodaSim::new(threads))),
+        Some("mongo") => Some(Box::new(betze::engines::MongoSim::new())),
+        Some("pg") => Some(Box::new(betze::engines::PgSim::new())),
+        Some("jq") => Some(Box::new(betze::engines::JqSim::new())),
+        Some("vm") => Some(Box::new(betze::engines::VmEngine::new(threads))),
+        Some(other) => {
+            return Err(format!(
+                "unknown engine '{other}' (expected joda | mongo | pg | jq | vm | all)"
+            ))
+        }
+    };
     let plan = chaos_plan(&mut args)?;
     let retry = match take_option(&mut args, "--retries")? {
         Some(n) => RetryPolicy::attempts(parse(&n, "retries")?),
@@ -809,16 +834,25 @@ fn benchmark(args: &[String]) -> Result<(), String> {
             }
         }
     };
-    for engine in betze::engines::all_engines(threads) {
-        let label = engine.name().to_owned();
-        run_engine(engine, label, &mut table)?;
+    match single {
+        Some(engine) => {
+            let label = engine.name().to_owned();
+            run_engine(engine, label, &mut table)?;
+        }
+        None => {
+            for engine in betze::engines::all_engines(threads) {
+                let label = engine.name().to_owned();
+                run_engine(engine, label, &mut table)?;
+            }
+            // Also a JODA eviction-mode row (Table II's extra
+            // configuration).
+            run_engine(
+                Box::new(betze::engines::JodaSim::with_eviction(threads)),
+                "JODA memory evicted".to_owned(),
+                &mut table,
+            )?;
+        }
     }
-    // Also a JODA eviction-mode row (Table II's extra configuration).
-    run_engine(
-        Box::new(betze::engines::JodaSim::with_eviction(threads)),
-        "JODA memory evicted".to_owned(),
-        &mut table,
-    )?;
     if chaotic {
         eprintln!(
             "# chaos: {:?} (same --chaos-seed reproduces the identical fault schedule)",
@@ -945,7 +979,10 @@ fn loadgen(args: &[String]) -> Result<(), String> {
 /// with different corpora, seeds, or session counts would splice
 /// incompatible results together. `jobs` is deliberately excluded —
 /// results are bit-identical for every worker count (DESIGN.md §9), so
-/// resuming with a different `--jobs` is sound.
+/// resuming with a different `--jobs` is sound. `engine` is excluded
+/// for the same reason: the tree-walking and bytecode engines produce
+/// bit-identical results (DESIGN.md §14), so a sweep may resume on the
+/// other engine.
 fn scale_params(scale: &Scale) -> Value {
     json!({
         "twitter_docs": (scale.twitter_docs as i64),
@@ -978,6 +1015,10 @@ fn experiment(args: &[String]) -> Result<(), String> {
     }
     if let Some(jobs) = take_option(&mut args, "--jobs")? {
         scale.jobs = parse(&jobs, "jobs")?;
+    }
+    if let Some(engine) = take_option(&mut args, "--engine")? {
+        scale.engine = SessionEngine::parse(&engine)
+            .ok_or_else(|| format!("unknown session engine '{engine}' (expected joda | vm)"))?;
     }
     let bench_out = take_option(&mut args, "--bench-out")?;
     let out = take_option(&mut args, "--out")?;
@@ -1139,6 +1180,9 @@ fn experiment_flags(quick: bool, scale: &Scale) -> String {
     };
     if scale.sessions != default_sessions {
         flags.push_str(&format!(" --sessions {}", scale.sessions));
+    }
+    if scale.engine != SessionEngine::default() {
+        flags.push_str(&format!(" --engine {}", scale.engine.label()));
     }
     flags
 }

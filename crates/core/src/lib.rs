@@ -49,6 +49,7 @@
 //! | [`generator`] | `betze-generator` | predicate factories + session generator (paper §IV) |
 //! | [`langs`] | `betze-langs` | the `Language` trait and the four translators (Listing 1/3) |
 //! | [`lint`] | `betze-lint` | static analysis of sessions: IR, translation, and graph passes |
+//! | [`vm`] | `betze-vm` | predicate/aggregation bytecode compiler + vectorized interpreter |
 //! | [`engines`] | `betze-engines` | simulated systems under test + cost model |
 //! | [`harness`] | `betze-harness` | benchmark runner + per-figure/table experiment drivers |
 //! | [`serve`] | `betze-serve` | fault-tolerant benchmark daemon + load generator |
@@ -64,3 +65,4 @@ pub use betze_lint as lint;
 pub use betze_model as model;
 pub use betze_serve as serve;
 pub use betze_stats as stats;
+pub use betze_vm as vm;

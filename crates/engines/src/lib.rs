@@ -13,6 +13,12 @@
 //! | [`PgSim`]    | from-scratch JSONB-like binary format (sorted keys, offset tables) | single-threaded; expensive import, cheap binary-search lookups |
 //! | [`JqSim`]    | none — the raw JSON-lines file on disk | re-reads and re-parses the file for every query |
 //!
+//! [`VmEngine`] is a fifth, opt-in engine: JODA's architecture with
+//! predicate scans compiled to betze-vm register bytecode and executed
+//! vectorized over batches — bit-identical results, measurably faster
+//! harness (DESIGN.md §14). It is not part of [`all_engines`] because its
+//! results duplicate [`JodaSim`]'s by construction.
+//!
 //! Every execution is instrumented with [`WorkCounters`], and a
 //! deterministic [`CostModel`] maps counters to a **modeled time** whose
 //! per-engine constants are calibrated against the paper's Table II
@@ -33,6 +39,7 @@ mod jqsim;
 mod mongo;
 mod pg;
 pub mod storage;
+mod vm;
 
 pub use breaker::{BreakerCore, BreakerEngine, BreakerPolicy, BreakerState};
 pub use cancel::{install_shutdown_handler, install_sigint_handler, CancelToken};
@@ -44,6 +51,7 @@ pub use joda::JodaSim;
 pub use jqsim::JqSim;
 pub use mongo::MongoSim;
 pub use pg::PgSim;
+pub use vm::VmEngine;
 
 /// All four engines with default configurations (JODA at the given thread
 /// count). The order matches the paper's tables.

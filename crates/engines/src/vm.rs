@@ -1,0 +1,620 @@
+//! The bytecode-VM engine: JODA's architecture with vectorized predicate
+//! execution.
+//!
+//! [`VmEngine`] is a drop-in replacement for [`JodaSim`](crate::JodaSim)
+//! whose scans run compiled betze-vm programs over document batches
+//! instead of tree-walking the predicate per document. Corpora that get
+//! scanned repeatedly (base datasets, hot cached prefixes) are
+//! additionally shredded into a columnar [`Projection`] on their second
+//! scan, after which predicate evaluation never touches the document
+//! trees at all. Everything that
+//! determines *results* — the Delta-Tree-style `(base, predicate)`
+//! cache, the `And`-left prefix decomposition, every [`WorkCounters`]
+//! charge (including the leaf-count × docs upper bound for
+//! `predicate_evals`), the JODA cost profile, the ≥1024-docs threading
+//! threshold, cancel polling — is kept structurally identical, so
+//! cardinalities, stored datasets, report cells, modeled times, and
+//! chaos fault schedules are bit-identical to the tree-walker. The
+//! differential oracle in `tests/tests/vm.rs` proves it across the
+//! 100-seed × 3-preset sweep.
+//!
+//! Predicates whose register pressure exceeds
+//! [`betze_vm::REGISTER_BUDGET`] cannot be compiled; the engine falls
+//! back to tree-walking those scans (lint rule L049 warns up front).
+//! Compiled programs and aggregations are cached by their canonical
+//! display form, which the session generator also uses as cache keys.
+
+use crate::{
+    CancelToken, CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome,
+    WorkCounters,
+};
+use betze_json::Value;
+use betze_model::{Predicate, Query};
+use betze_vm::{CompiledAggregation, Program, Projection, VmScratch};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Documents per executor batch: large enough to amortize the dispatch
+/// loop, small enough that register columns stay cache-resident.
+const BATCH: usize = 4096;
+
+/// Corpora smaller than this are never worth shredding: the projection
+/// build is itself about one scan's worth of work.
+const MIN_PROJECTED_DOCS: usize = 64;
+
+/// Upper bound on total shredded cells (16 bytes each) cached across all
+/// corpora; past it, projections are built, used once, and dropped.
+const MAX_PROJECTED_CELLS: usize = 32 << 20;
+
+/// JODA's architecture with predicate scans compiled to register
+/// bytecode and executed vectorized (DESIGN.md §14).
+#[derive(Debug)]
+pub struct VmEngine {
+    threads: usize,
+    output_enabled: bool,
+    cancel: CancelToken,
+    datasets: HashMap<String, Arc<Vec<Value>>>,
+    /// Delta-Tree-style cache: canonical `(base | predicate)` key → result.
+    cache: HashMap<String, Arc<Vec<Value>>>,
+    /// Compiled programs by predicate display form; `None` marks a tree
+    /// that exceeded the register budget (tree-walk fallback).
+    programs: HashMap<String, Arc<Option<Program>>>,
+    /// Compiled aggregations by display form.
+    aggs: HashMap<String, Arc<CompiledAggregation>>,
+    /// Reused single-thread execution state (allocation-free steady state).
+    scratch: VmScratch,
+    matched: Vec<u32>,
+    /// Shredded-corpus cache keyed by the scanned `Arc`'s address. The
+    /// entry holds the `Arc`, so an address cannot be recycled while its
+    /// projection is cached.
+    projections: HashMap<usize, (Arc<Vec<Value>>, Arc<Projection>)>,
+    /// Scans observed per corpus address; a projection is built on the
+    /// second scan (a corpus scanned once gains nothing from shredding).
+    scan_seen: HashMap<usize, u32>,
+    /// Cells currently held by `projections`, bounded by
+    /// [`MAX_PROJECTED_CELLS`].
+    projected_cells: usize,
+}
+
+impl VmEngine {
+    /// A VM engine with the given scan thread count.
+    pub fn new(threads: usize) -> Self {
+        VmEngine {
+            threads: threads.max(1),
+            output_enabled: true,
+            cancel: CancelToken::new(),
+            datasets: HashMap::new(),
+            cache: HashMap::new(),
+            programs: HashMap::new(),
+            aggs: HashMap::new(),
+            scratch: VmScratch::new(),
+            matched: Vec::new(),
+            projections: HashMap::new(),
+            scan_seen: HashMap::new(),
+            projected_cells: 0,
+        }
+    }
+
+    fn model(&self) -> CostModel {
+        // Same profile and thread count as JodaSim — identical counters
+        // therefore yield identical modeled times.
+        CostModel::new(CostProfile::joda(), self.threads)
+    }
+
+    fn cache_key(base: &str, predicate: &Predicate) -> String {
+        format!("{base}|{predicate}")
+    }
+
+    /// Compiles (or recalls) the program for a predicate. `None` means
+    /// the register budget was exceeded and scans tree-walk instead.
+    fn program_for(&mut self, predicate: &Predicate) -> Arc<Option<Program>> {
+        let key = predicate.to_string();
+        if let Some(hit) = self.programs.get(&key) {
+            return Arc::clone(hit);
+        }
+        let compiled = Arc::new(betze_vm::compile(predicate).ok());
+        self.programs.insert(key, Arc::clone(&compiled));
+        compiled
+    }
+
+    fn agg_for(&mut self, agg: &betze_model::Aggregation) -> Arc<CompiledAggregation> {
+        let key = agg.to_string();
+        if let Some(hit) = self.aggs.get(&key) {
+            return Arc::clone(hit);
+        }
+        let compiled = Arc::new(CompiledAggregation::compile(agg));
+        self.aggs.insert(key, Arc::clone(&compiled));
+        compiled
+    }
+
+    /// Returns a projection of the corpus if it has earned one: the
+    /// build costs about one tree-walk scan, so it happens on the
+    /// *second* scan of the same `Arc` — exactly the repeated-scan
+    /// shape of session workloads (base datasets and hot cached
+    /// prefixes). The cache keys on the `Arc` address and keeps the
+    /// `Arc` alive, so a key can never dangle or be recycled while
+    /// cached. Purely an execution strategy: results and counters are
+    /// unchanged.
+    fn projection_for(&mut self, docs: &Arc<Vec<Value>>) -> Option<Arc<Projection>> {
+        if docs.len() < MIN_PROJECTED_DOCS {
+            return None;
+        }
+        let key = Arc::as_ptr(docs) as usize;
+        if let Some((_, proj)) = self.projections.get(&key) {
+            return Some(Arc::clone(proj));
+        }
+        let seen = self.scan_seen.entry(key).or_insert(0);
+        *seen += 1;
+        if *seen < 2 {
+            return None;
+        }
+        // `build` is None for corpora too structurally diverse to shred
+        // densely; those keep tree-order execution forever.
+        let proj = Arc::new(Projection::build(docs)?);
+        self.scan_seen.remove(&key);
+        let (nodes, lanes, _) = proj.stats();
+        let cells = nodes * lanes;
+        if self.projected_cells + cells <= MAX_PROJECTED_CELLS {
+            self.projected_cells += cells;
+            self.projections
+                .insert(key, (Arc::clone(docs), Arc::clone(&proj)));
+        }
+        Some(proj)
+    }
+
+    /// Batched filter scan. Counter charges mirror `JodaSim::scan`
+    /// exactly: `predicate_evals` stays the leaf-count × docs upper
+    /// bound, not the (smaller) number of lanes the VM actually touched,
+    /// because the cost model prices the scan, not the execution
+    /// strategy.
+    fn scan(
+        &mut self,
+        docs: &Arc<Vec<Value>>,
+        predicate: &Predicate,
+        counters: &mut WorkCounters,
+    ) -> Result<Vec<Value>, EngineError> {
+        self.cancel.check("VM scan")?;
+        counters.docs_scanned += docs.len() as u64;
+        let leaves = predicate.leaf_count() as u64;
+        counters.predicate_evals += leaves * docs.len() as u64;
+        let program = self.program_for(predicate);
+        if let Some(prog) = program.as_ref() {
+            if prog.is_projectable() {
+                if let Some(proj) = self.projection_for(docs) {
+                    prog.run_projected(&proj, &mut self.scratch, &mut self.matched);
+                    let out: Vec<Value> = self
+                        .matched
+                        .iter()
+                        .map(|&lane| docs[lane as usize].clone())
+                        .collect();
+                    counters.docs_materialized += out.len() as u64;
+                    return Ok(out);
+                }
+            }
+        }
+        let docs: &[Value] = docs;
+        if self.threads <= 1 || docs.len() < 1024 {
+            let out = match program.as_ref() {
+                Some(prog) => {
+                    let mut out = Vec::new();
+                    for (i, chunk) in docs.chunks(BATCH).enumerate() {
+                        let base = i * BATCH;
+                        prog.run(chunk, &mut self.scratch, &mut self.matched);
+                        out.extend(
+                            self.matched
+                                .iter()
+                                .map(|&lane| docs[base + lane as usize].clone()),
+                        );
+                    }
+                    out
+                }
+                // Register budget exceeded: tree-walk this scan.
+                None => docs
+                    .iter()
+                    .filter(|d| predicate.matches(d))
+                    .cloned()
+                    .collect(),
+            };
+            counters.docs_materialized += out.len() as u64;
+            return Ok(out);
+        }
+        let chunk = docs.len().div_ceil(self.threads);
+        let program = &program;
+        Ok(std::thread::scope(|scope| {
+            let handles: Vec<_> = docs
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || match program.as_ref() {
+                        Some(prog) => {
+                            let mut scratch = VmScratch::new();
+                            let mut matched = Vec::new();
+                            let mut out = Vec::new();
+                            for (i, batch) in part.chunks(BATCH).enumerate() {
+                                let base = i * BATCH;
+                                prog.run(batch, &mut scratch, &mut matched);
+                                out.extend(
+                                    matched
+                                        .iter()
+                                        .map(|&lane| part[base + lane as usize].clone()),
+                                );
+                            }
+                            out
+                        }
+                        None => part
+                            .iter()
+                            .filter(|d| predicate.matches(d))
+                            .cloned()
+                            .collect::<Vec<Value>>(),
+                    })
+                })
+                .collect();
+            let mut out = Vec::new();
+            for handle in handles {
+                out.extend(handle.join().expect("scan worker panicked"));
+            }
+            counters.docs_materialized += out.len() as u64;
+            out
+        }))
+    }
+
+    /// Resolves the filtered document set for `(base, predicate)` with
+    /// the same cache structure and `And`-left decomposition as
+    /// `JodaSim::filtered`.
+    fn filtered(
+        &mut self,
+        base: &str,
+        base_docs: &Arc<Vec<Value>>,
+        predicate: &Predicate,
+        counters: &mut WorkCounters,
+    ) -> Result<Arc<Vec<Value>>, EngineError> {
+        let key = Self::cache_key(base, predicate);
+        if let Some(hit) = self.cache.get(&key) {
+            counters.cache_hits += 1;
+            return Ok(Arc::clone(hit));
+        }
+        let result: Arc<Vec<Value>> = if let Predicate::And(left, right) = predicate {
+            let parent = self.filtered(base, base_docs, left, counters)?;
+            Arc::new(self.scan(&parent, right, counters)?)
+        } else {
+            Arc::new(self.scan(base_docs, predicate, counters)?)
+        };
+        self.cache.insert(key, Arc::clone(&result));
+        Ok(result)
+    }
+}
+
+impl Engine for VmEngine {
+    fn name(&self) -> &'static str {
+        "JODA-VM"
+    }
+
+    fn short_name(&self) -> &'static str {
+        "vm"
+    }
+
+    fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError> {
+        self.cancel.check("VM import")?;
+        let started = Instant::now();
+        let mut counters = WorkCounters::default();
+        let text = betze_json::to_json_lines(docs);
+        counters.import_docs = docs.len() as u64;
+        counters.import_bytes = text.len() as u64;
+        let parsed = betze_json::parse_many(&text).map_err(|e| EngineError::ImportFailed {
+            name: name.to_owned(),
+            message: format!("parse failed: {e}"),
+        })?;
+        self.datasets.insert(name.to_owned(), Arc::new(parsed));
+        Ok(ExecutionReport::from_counters(
+            started.elapsed(),
+            counters,
+            &self.model(),
+        ))
+    }
+
+    fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        self.cancel.check("VM execute")?;
+        let started = Instant::now();
+        let mut counters = WorkCounters {
+            queries: 1,
+            ..Default::default()
+        };
+        let base_docs =
+            self.datasets
+                .get(&query.base)
+                .cloned()
+                .ok_or_else(|| EngineError::UnknownDataset {
+                    name: query.base.clone(),
+                })?;
+
+        let filtered = match &query.filter {
+            Some(predicate) => self.filtered(&query.base, &base_docs, predicate, &mut counters)?,
+            None => {
+                counters.docs_scanned += base_docs.len() as u64;
+                Arc::clone(&base_docs)
+            }
+        };
+
+        let result: Arc<Vec<Value>> = if query.transforms.is_empty() {
+            filtered
+        } else {
+            let mut transformed = filtered.as_ref().clone();
+            counters.transform_ops += (transformed.len() * query.transforms.len()) as u64;
+            betze_model::apply_all(&query.transforms, &mut transformed);
+            Arc::new(transformed)
+        };
+
+        if let Some(store) = &query.store_as {
+            self.datasets.insert(store.clone(), Arc::clone(&result));
+        }
+
+        let docs: Vec<Value> = match &query.aggregation {
+            Some(agg) => self.agg_for(agg).eval(&result),
+            None => result.as_ref().clone(),
+        };
+        if self.output_enabled {
+            counters.docs_output += docs.len() as u64;
+            counters.bytes_output += docs.iter().map(|d| d.approx_size() as u64).sum::<u64>();
+        }
+
+        Ok(QueryOutcome {
+            docs,
+            report: ExecutionReport::from_counters(started.elapsed(), counters, &self.model()),
+        })
+    }
+
+    fn forget(&mut self, name: &str) -> bool {
+        self.cache
+            .retain(|key, _| !key.starts_with(&format!("{name}|")));
+        // Conservative: dropped corpora would otherwise be pinned by
+        // their cached projections. Survivors re-shred on their next
+        // repeat scan.
+        self.projections.clear();
+        self.scan_seen.clear();
+        self.projected_cells = 0;
+        self.datasets.remove(name).is_some()
+    }
+
+    fn reset(&mut self) {
+        self.datasets.clear();
+        self.cache.clear();
+        self.projections.clear();
+        self.scan_seen.clear();
+        self.projected_cells = 0;
+        // Program/aggregation caches are pure functions of the IR and
+        // survive resets; they never influence results or counters.
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    fn set_cancel(&mut self, token: Option<CancelToken>) {
+        self.cancel = token.unwrap_or_default();
+    }
+
+    fn set_output_enabled(&mut self, on: bool) {
+        self.output_enabled = on;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JodaSim;
+    use betze_json::{json, JsonPointer};
+    use betze_model::{Comparison, FilterFn};
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn docs() -> Vec<Value> {
+        (0..100)
+            .map(|i| json!({ "n": (i as i64), "even": (i % 2 == 0) }))
+            .collect()
+    }
+
+    fn even() -> Predicate {
+        Predicate::leaf(FilterFn::BoolEq {
+            path: ptr("/even"),
+            value: true,
+        })
+    }
+
+    fn small() -> Predicate {
+        Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr("/n"),
+            op: Comparison::Lt,
+            value: 10.0,
+        })
+    }
+
+    /// Runs the same query sequence on both engines and asserts equal
+    /// docs, counters, and modeled times (wall time necessarily differs).
+    fn assert_identical(queries: &[Query], docs: &[Value]) {
+        let mut joda = JodaSim::new(1);
+        let mut vm = VmEngine::new(1);
+        let ji = joda.import("t", docs).unwrap();
+        let vi = vm.import("t", docs).unwrap();
+        assert_eq!(ji.counters, vi.counters);
+        assert_eq!(ji.modeled, vi.modeled);
+        for q in queries {
+            let a = joda.execute(q).unwrap();
+            let b = vm.execute(q).unwrap();
+            assert_eq!(a.docs, b.docs, "docs for {q:?}");
+            assert_eq!(a.report.counters, b.report.counters, "counters for {q:?}");
+            assert_eq!(a.report.modeled, b.report.modeled, "modeled for {q:?}");
+        }
+    }
+
+    #[test]
+    fn executes_filters_correctly() {
+        let mut vm = VmEngine::new(1);
+        vm.import("t", &docs()).unwrap();
+        let q = Query::scan("t").with_filter(even());
+        let out = vm.execute(&q).unwrap();
+        assert_eq!(out.docs.len(), 50);
+        assert_eq!(out.docs, q.eval(&docs()));
+        assert_eq!(out.report.counters.docs_scanned, 100);
+    }
+
+    #[test]
+    fn composed_predicates_reuse_cached_prefixes_like_joda() {
+        let mut vm = VmEngine::new(1);
+        vm.import("t", &docs()).unwrap();
+        let q1 = Query::scan("t").with_filter(even());
+        let r1 = vm.execute(&q1).unwrap();
+        assert_eq!(r1.report.counters.docs_scanned, 100);
+        let q2 = Query::scan("t").with_filter(even().and(small()));
+        let r2 = vm.execute(&q2).unwrap();
+        assert_eq!(r2.docs.len(), 5);
+        assert_eq!(
+            r2.report.counters.docs_scanned, 50,
+            "extension must scan the cached subset only"
+        );
+        assert_eq!(r2.report.counters.cache_hits, 1);
+        let r3 = vm.execute(&q2).unwrap();
+        assert_eq!(r3.report.counters.docs_scanned, 0);
+        assert_eq!(r3.docs, r2.docs);
+    }
+
+    #[test]
+    fn query_sequence_is_bit_identical_to_joda() {
+        use betze_model::{AggFunc, Aggregation};
+        let queries = vec![
+            Query::scan("t").with_filter(even()),
+            Query::scan("t")
+                .with_filter(even().and(small()))
+                .store_as("es"),
+            Query::scan("es").with_aggregation(Aggregation::new(
+                AggFunc::Count {
+                    path: JsonPointer::root(),
+                },
+                "count",
+            )),
+            Query::scan("t"),
+            Query::scan("t")
+                .with_filter(even().or(small()))
+                .with_aggregation(Aggregation::grouped(
+                    AggFunc::Sum { path: ptr("/n") },
+                    ptr("/even"),
+                    "total",
+                )),
+        ];
+        assert_identical(&queries, &docs());
+    }
+
+    #[test]
+    fn multithreaded_scan_is_bit_identical_to_joda() {
+        let many: Vec<Value> = (0..5000)
+            .map(|i| json!({ "n": (i as i64), "even": (i % 2 == 0) }))
+            .collect();
+        let mut joda = JodaSim::new(4);
+        let mut vm = VmEngine::new(4);
+        joda.import("t", &many).unwrap();
+        vm.import("t", &many).unwrap();
+        let q = Query::scan("t").with_filter(even());
+        let a = joda.execute(&q).unwrap();
+        let b = vm.execute(&q).unwrap();
+        assert_eq!(a.docs, b.docs);
+        assert_eq!(a.report.counters, b.report.counters);
+        assert_eq!(a.report.modeled, b.report.modeled);
+    }
+
+    #[test]
+    fn repeat_scans_cross_the_projection_threshold_bit_identically() {
+        // Scans 1–2 of the base corpus run unprojected, the second scan
+        // triggers the shred, and every later scan serves from the
+        // cached projection — all three regimes must match JodaSim.
+        let preds = [
+            even(),
+            small(),
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/n"),
+                op: Comparison::Ge,
+                value: 50.0,
+            }),
+            Predicate::leaf(FilterFn::BoolEq {
+                path: ptr("/even"),
+                value: false,
+            }),
+            Predicate::leaf(FilterFn::IntEq {
+                path: ptr("/n"),
+                value: 7,
+            }),
+        ];
+        let queries: Vec<Query> = preds
+            .iter()
+            .map(|p| Query::scan("t").with_filter(p.clone()))
+            .collect();
+        assert_identical(&queries, &docs());
+    }
+
+    #[test]
+    fn projection_cache_is_keyed_by_corpus_identity() {
+        // Two datasets with different contents must not share shredded
+        // columns, and forgetting one must not corrupt the other.
+        let a: Vec<Value> = (0..100).map(|i| json!({ "n": (i as i64) })).collect();
+        let b: Vec<Value> = (0..100).map(|i| json!({ "n": (i as i64 + 50) })).collect();
+        let mut vm = VmEngine::new(1);
+        vm.import("a", &a).unwrap();
+        vm.import("b", &b).unwrap();
+        let q = |base: &str, lt: f64| {
+            Query::scan(base).with_filter(Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/n"),
+                op: Comparison::Lt,
+                value: lt,
+            }))
+        };
+        for lt in [10.0, 20.0, 30.0] {
+            assert_eq!(vm.execute(&q("a", lt)).unwrap().docs.len(), lt as usize);
+            assert_eq!(
+                vm.execute(&q("b", lt)).unwrap().docs.len(),
+                (lt as usize).saturating_sub(50)
+            );
+        }
+        assert!(vm.forget("a"));
+        assert_eq!(vm.execute(&q("b", 60.0)).unwrap().docs.len(), 10);
+    }
+
+    #[test]
+    fn register_budget_fallback_still_executes_correctly() {
+        // A right-deep 17-leaf chain exceeds the budget; the engine must
+        // fall back to tree-walking with identical results and counters.
+        let mut deep = Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr("/n"),
+            op: Comparison::Ge,
+            value: 0.0,
+        });
+        for i in 0..16 {
+            deep = Predicate::leaf(FilterFn::FloatCmp {
+                path: ptr("/n"),
+                op: Comparison::Lt,
+                value: (100 - i) as f64,
+            })
+            .and(deep);
+        }
+        assert!(betze_vm::register_pressure(&deep) > betze_vm::REGISTER_BUDGET);
+        assert_identical(&[Query::scan("t").with_filter(deep)], &docs());
+    }
+
+    #[test]
+    fn forget_and_reset_mirror_joda() {
+        let mut vm = VmEngine::new(1);
+        vm.import("t", &docs()).unwrap();
+        let q = Query::scan("t").with_filter(even()).store_as("evens");
+        vm.execute(&q).unwrap();
+        assert!(vm.forget("evens"));
+        assert!(!vm.forget("evens"));
+        vm.reset();
+        assert!(matches!(
+            vm.execute(&Query::scan("t")),
+            Err(EngineError::UnknownDataset { .. })
+        ));
+    }
+}

@@ -6,7 +6,6 @@ use crate::fmt::TextTable;
 use crate::journal::Interrupted;
 use crate::runner::run_session_governed;
 use crate::workload::{Corpus, SharedCorpus};
-use betze_engines::JodaSim;
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
 
@@ -49,9 +48,9 @@ pub fn fig5(scale: &Scale) -> Result<Fig5Result, Interrupted> {
                 let outcome = corpus
                     .generate_session(&config, seed)
                     .expect("fig5 generation");
-                let mut joda = JodaSim::new(scale.joda_threads);
+                let mut engine = scale.engine.build(scale.joda_threads);
                 let run = run_session_governed(
-                    &mut joda,
+                    &mut *engine,
                     &corpus.dataset,
                     &outcome.session,
                     scale.ctx.cancel.clone(),

@@ -6,7 +6,6 @@ use crate::fmt::{human_duration, TextTable};
 use crate::journal::Interrupted;
 use crate::runner::run_session_governed;
 use crate::workload::{Corpus, SharedCorpus};
-use betze_engines::JodaSim;
 use betze_explorer::Preset;
 use betze_generator::GeneratorConfig;
 use std::time::Duration;
@@ -77,9 +76,9 @@ pub fn fig6(scale: &Scale) -> Result<Fig6Result, Interrupted> {
             let outcome = corpus
                 .generate_session(&config, seed)
                 .expect("fig6 generation");
-            let mut joda = JodaSim::new(scale.joda_threads);
+            let mut engine = scale.engine.build(scale.joda_threads);
             Ok(run_session_governed(
-                &mut joda,
+                &mut *engine,
                 &corpus.dataset,
                 &outcome.session,
                 scale.ctx.cancel.clone(),

@@ -6,7 +6,7 @@ use crate::fmt::heatmap;
 use crate::journal::Interrupted;
 use crate::runner::{provably_empty, run_session_governed};
 use crate::workload::{Corpus, SharedCorpus};
-use betze_engines::JodaSim;
+use betze_engines::EngineError;
 use betze_explorer::ExplorerConfig;
 use betze_generator::GeneratorConfig;
 
@@ -73,16 +73,21 @@ pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
                 .expect("validated combination")
                 .with_label(format!("a{alpha}b{beta}"));
             let config = GeneratorConfig::with_explorer(explorer);
-            let outcome = corpus.generate_session(&config, seed).expect("fig7 gen");
+            let outcome =
+                corpus
+                    .generate_session(&config, seed)
+                    .map_err(|e| EngineError::Internal {
+                        message: format!("fig7 generation (cell {cell}, seed {seed}): {e}"),
+                    })?;
             // Pre-flight: a session the abstract interpreter proves empty
             // would measure nothing; skip it without touching an engine.
             if provably_empty(&outcome.session, &corpus.analysis) {
                 return Ok((0.0, true));
             }
-            let mut joda = JodaSim::new(scale.joda_threads);
+            let mut engine = scale.engine.build(scale.joda_threads);
             Ok((
                 run_session_governed(
-                    &mut joda,
+                    &mut *engine,
                     &corpus.dataset,
                     &outcome.session,
                     scale.ctx.cancel.clone(),
@@ -167,5 +172,24 @@ mod tests {
             "α should dominate: {high_alpha} vs {high_beta}"
         );
         assert!(r.render().contains("α"));
+    }
+
+    #[test]
+    fn vm_engine_reproduces_every_cell_bit_identically() {
+        let mut scale = Scale::quick();
+        scale.sessions = 1;
+        scale.twitter_docs = 250;
+        let joda = fig7(&scale).expect("ungoverned fig7 cannot be interrupted");
+        let vm = fig7(
+            &scale
+                .clone()
+                .with_engine(crate::experiments::SessionEngine::Vm),
+        )
+        .expect("ungoverned fig7 cannot be interrupted");
+        // Modeled times derive from counters alone, so bit-identical
+        // counters mean bit-identical report cells — not approximately
+        // equal ones.
+        assert_eq!(joda.mean_secs, vm.mean_secs);
+        assert_eq!(joda.lint_skipped, vm.lint_skipped);
     }
 }

@@ -36,6 +36,54 @@ pub use table2::{table2, Table2Result};
 pub use table3::{table3, table3_with_timeout, Table3Cell, Table3Result};
 pub use table4::{table4, Table4Result};
 
+/// Which engine executes the JODA-only experiments (Figs. 5–7).
+///
+/// Both variants implement the same architecture, charge the same
+/// [`betze_engines::WorkCounters`], and produce bit-identical documents
+/// and modeled times (DESIGN.md §14) — so the choice never changes a
+/// report cell, only how fast the harness itself runs. [`Vm`] is the
+/// opt-in fast path (`--engine vm`); because results are identical it is
+/// deliberately excluded from the journal's scale parameters, like
+/// `jobs`, so a `--resume` may switch engines mid-sweep.
+///
+/// [`Vm`]: SessionEngine::Vm
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionEngine {
+    /// The tree-walking [`betze_engines::JodaSim`] (default).
+    #[default]
+    Joda,
+    /// [`betze_engines::VmEngine`]: JODA's architecture with predicates
+    /// compiled to betze-vm register bytecode, executed vectorized.
+    Vm,
+}
+
+impl SessionEngine {
+    /// Parses a `--engine` argument (`joda` or `vm`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "joda" => Some(SessionEngine::Joda),
+            "vm" => Some(SessionEngine::Vm),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling that selects this engine.
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionEngine::Joda => "joda",
+            SessionEngine::Vm => "vm",
+        }
+    }
+
+    /// Builds the engine at the given JODA thread count.
+    pub fn build(self, threads: usize) -> Box<dyn betze_engines::Engine> {
+        match self {
+            SessionEngine::Joda => Box::new(betze_engines::JodaSim::new(threads)),
+            SessionEngine::Vm => Box::new(betze_engines::VmEngine::new(threads)),
+        }
+    }
+}
+
 /// Experiment scale: corpus sizes and session counts.
 #[derive(Debug, Clone)]
 pub struct Scale {
@@ -64,6 +112,9 @@ pub struct Scale {
     /// inert (no deadline, no journal) so ungoverned runs are
     /// unchanged. See DESIGN.md §11.
     pub ctx: crate::journal::RunCtx,
+    /// Engine used by the JODA-only drivers (Figs. 5–7). Results are
+    /// bit-identical for every variant — see [`SessionEngine`].
+    pub engine: SessionEngine,
 }
 
 impl Scale {
@@ -79,6 +130,7 @@ impl Scale {
             joda_threads: 16,
             jobs: 0,
             ctx: crate::journal::RunCtx::new(),
+            engine: SessionEngine::Joda,
         }
     }
 
@@ -93,12 +145,19 @@ impl Scale {
             joda_threads: 16,
             jobs: 0,
             ctx: crate::journal::RunCtx::new(),
+            engine: SessionEngine::Joda,
         }
     }
 
     /// This scale with an explicit worker count.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// This scale with an explicit session engine.
+    pub fn with_engine(mut self, engine: SessionEngine) -> Self {
+        self.engine = engine;
         self
     }
 

@@ -117,6 +117,29 @@ impl Object {
             .find_map(|(k, v)| (k == key).then_some(v))
     }
 
+    /// Looks up a member by key with a positional hint (inline cache).
+    ///
+    /// Documents of a homogeneous corpus carry their keys at the same
+    /// member position, so callers resolving the same key across many
+    /// documents (the bytecode VM's batch scans) check `members[*hint]`
+    /// first — one comparison instead of a scan — and fall back to the
+    /// scan, updating the hint, when the shape prediction misses. The
+    /// result equals [`Object::get`] for every input and any hint value.
+    pub fn get_hinted(&self, key: &str, hint: &mut u32) -> Option<&Value> {
+        if let Some((k, v)) = self.members.get(*hint as usize) {
+            if k == key {
+                return Some(v);
+            }
+        }
+        let (i, (_, v)) = self
+            .members
+            .iter()
+            .enumerate()
+            .find(|(_, (k, _))| k == key)?;
+        *hint = i as u32;
+        Some(v)
+    }
+
     /// Mutable lookup by key.
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
         self.members

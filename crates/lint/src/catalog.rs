@@ -17,7 +17,7 @@ pub struct RuleDoc {
 }
 
 /// The full catalog, in rule-id order (mirrors [`Rule::ALL`]).
-pub const DOCS: [RuleDoc; 30] = [
+pub const DOCS: [RuleDoc; 31] = [
     RuleDoc {
         rule: Rule::UnknownPath,
         rationale: "A predicate references an attribute path that never occurs in the \
@@ -205,6 +205,17 @@ pub const DOCS: [RuleDoc; 30] = [
         rationale: "A base dataset's analysis holds zero documents; every query \
                     over it returns nothing and the whole session is vacuous.",
         example: "betze analyze empty.ndjson && betze lint --dataset empty.ndjson",
+    },
+    RuleDoc {
+        rule: Rule::VmRegisterBudget,
+        rationale: "The predicate tree's register pressure exceeds the bytecode \
+                    VM's budget, so VM-backed engines silently fall back to \
+                    tree-walking this query — it still runs correctly, but off \
+                    the fast path. Left-deep predicate chains (what the \
+                    generator emits) need only two registers regardless of \
+                    length; only deeply right-nested hand-written trees hit \
+                    the budget.",
+        example: "a right-nested chain of 17 comparisons (pressure 17 > budget 16)",
     },
 ];
 

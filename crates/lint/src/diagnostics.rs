@@ -128,11 +128,14 @@ pub enum Rule {
     /// L048: a query reads a base dataset whose analysis holds zero
     /// documents.
     EmptyBaseAnalysis,
+    /// L049: a predicate's register pressure exceeds the bytecode VM's
+    /// budget, so VM-backed engines fall back to tree-walking it.
+    VmRegisterBudget,
 }
 
 impl Rule {
     /// The full catalog, in rule-id order.
-    pub const ALL: [Rule; 30] = [
+    pub const ALL: [Rule; 31] = [
         Rule::UnknownPath,
         Rule::TypeMismatch,
         Rule::ContradictoryConjunction,
@@ -163,6 +166,7 @@ impl Rule {
         Rule::SelectivityIndeterminate,
         Rule::UnreachableDataset,
         Rule::EmptyBaseAnalysis,
+        Rule::VmRegisterBudget,
     ];
 
     /// Stable identifier (`L001` …).
@@ -198,6 +202,7 @@ impl Rule {
             Rule::SelectivityIndeterminate => "L046",
             Rule::UnreachableDataset => "L047",
             Rule::EmptyBaseAnalysis => "L048",
+            Rule::VmRegisterBudget => "L049",
         }
     }
 
@@ -234,6 +239,7 @@ impl Rule {
             Rule::SelectivityIndeterminate => "selectivity-indeterminate",
             Rule::UnreachableDataset => "unreachable-dataset",
             Rule::EmptyBaseAnalysis => "empty-base-analysis",
+            Rule::VmRegisterBudget => "vm-register-budget",
         }
     }
 
@@ -264,7 +270,8 @@ impl Rule {
             | Rule::DerivedRangeConflict
             | Rule::DerivedPrefixConflict
             | Rule::StoredEmptyDataset
-            | Rule::AggregationOverEmpty => Severity::Warn,
+            | Rule::AggregationOverEmpty
+            | Rule::VmRegisterBudget => Severity::Warn,
             Rule::DatasetNeverRead
             | Rule::StaticallyKnownCount
             | Rule::WideningApplied

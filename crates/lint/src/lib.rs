@@ -17,6 +17,8 @@
 //!   predicate atoms, same paths, balanced string quoting per backend.
 //! * **Session-graph pass** (`L030`–`L032`): dangling dataset references,
 //!   `store_as` shadowing, and datasets stored but never queried.
+//! * **VM pass** (`L049`): predicates whose register pressure exceeds the
+//!   bytecode VM's budget (such queries fall back to tree-walking).
 //!
 //! ```
 //! use betze_lint::{Linter, Severity};
@@ -41,6 +43,7 @@ mod diagnostics;
 mod graph_pass;
 mod ir_pass;
 mod translation_pass;
+mod vm_pass;
 
 pub use absint::{AbsintConfig, Interval, QueryPrediction, SelWindow};
 pub use catalog::{explain, RuleDoc};
@@ -109,6 +112,7 @@ impl<'a> Linter<'a> {
         let mut report = LintReport::new();
         let mut predictions = Vec::new();
         graph_pass::run(session, &mut report);
+        vm_pass::run(session, &mut report);
         if !self.analyses.is_empty() {
             ir_pass::run(session, &self.analyses, &mut report);
             predictions = absint::engine::run(session, &self.analyses, &self.absint, &mut report);

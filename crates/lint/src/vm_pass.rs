@@ -1,0 +1,88 @@
+//! The VM pass (`L049`): flags predicates whose register pressure
+//! exceeds the bytecode VM's budget.
+//!
+//! [`betze_vm::compile`] refuses such trees, and every VM-backed engine
+//! then tree-walks the query instead — correct, but off the fast path.
+//! The check is purely structural (no analysis needed), so it runs
+//! unconditionally, like the session-graph pass.
+
+use crate::diagnostics::{Diagnostic, LintReport, Rule, Span};
+use betze_model::Session;
+use betze_vm::{register_pressure, REGISTER_BUDGET};
+
+pub fn run(session: &Session, report: &mut LintReport) {
+    for (i, query) in session.queries.iter().enumerate() {
+        let Some(filter) = &query.filter else {
+            continue;
+        };
+        let needed = register_pressure(filter);
+        if needed > REGISTER_BUDGET {
+            report.push(Diagnostic::new(
+                Rule::VmRegisterBudget,
+                Span::at(i, "filter"),
+                format!(
+                    "predicate needs {needed} registers but the bytecode VM has \
+                     {REGISTER_BUDGET}; VM-backed engines tree-walk this query \
+                     (rebalance the tree left-deep to compile it)"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::JsonPointer;
+    use betze_model::{Comparison, DatasetGraph, FilterFn, Predicate, Query};
+
+    fn leaf(i: usize) -> Predicate {
+        Predicate::leaf(FilterFn::FloatCmp {
+            path: JsonPointer::from_tokens([format!("f{i}")]),
+            op: Comparison::Gt,
+            value: i as f64,
+        })
+    }
+
+    fn session_with(filter: Predicate) -> Session {
+        let mut graph = DatasetGraph::new();
+        graph.add_base("tw", 100.0);
+        Session {
+            queries: vec![Query::scan("tw").with_filter(filter)],
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "t".into(),
+        }
+    }
+
+    #[test]
+    fn left_deep_chains_never_fire() {
+        // The generator's shape: AND-chains growing leftward. Pressure
+        // stays at 2 no matter the length.
+        let mut p = leaf(0);
+        for i in 1..40 {
+            p = p.and(leaf(i));
+        }
+        let mut report = LintReport::new();
+        run(&session_with(p), &mut report);
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn right_deep_chain_past_the_budget_fires_l049() {
+        let mut p = leaf(REGISTER_BUDGET);
+        for i in (0..REGISTER_BUDGET).rev() {
+            p = leaf(i).and(p);
+        }
+        let mut report = LintReport::new();
+        run(&session_with(p), &mut report);
+        assert_eq!(report.rule_ids(), vec!["L049"]);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.span, Span::at(0, "filter"));
+        assert!(d.message.contains("17 registers"), "{}", d.message);
+        assert!(
+            betze_vm::compile(&session_with(leaf(0)).queries[0].filter.clone().unwrap()).is_ok()
+        );
+    }
+}

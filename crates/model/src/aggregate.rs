@@ -131,7 +131,14 @@ impl Ord for OrderedF64 {
 impl GroupKey {
     /// Extracts the grouping key for a document.
     pub fn of(doc: &Value, path: &JsonPointer) -> GroupKey {
-        match path.resolve(doc) {
+        GroupKey::from_resolved(path.resolve(doc))
+    }
+
+    /// Classifies an already-resolved grouping attribute. Compiled
+    /// engines that resolve paths themselves (betze-vm) use this so key
+    /// extraction stays byte-identical to [`GroupKey::of`].
+    pub fn from_resolved(value: Option<&Value>) -> GroupKey {
+        match value {
             Some(Value::Bool(b)) => GroupKey::Bool(*b),
             Some(Value::Number(n)) => GroupKey::Num(OrderedF64(n.as_f64())),
             Some(Value::String(s)) => GroupKey::Str(s.clone()),

@@ -27,7 +27,7 @@ mod record;
 mod session;
 mod transform;
 
-pub use aggregate::{AggFunc, Aggregation, GroupKey};
+pub use aggregate::{AggFunc, Aggregation, GroupKey, OrderedF64};
 pub use file::SessionFileError;
 pub use graph::{DatasetGraph, DatasetId, DatasetNode, EdgeKind};
 pub use predicate::{Comparison, FilterFn, Predicate, PredicateKind};

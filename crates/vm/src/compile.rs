@@ -1,0 +1,219 @@
+//! Predicate-tree → bytecode compiler.
+//!
+//! The compile-expression/patch-jump scheme: each binary connective emits
+//! its left arm in place, pushes a narrowed selection for the right arm,
+//! emits a `JumpIfEmpty` with a placeholder target, emits the right arm,
+//! then patches the jump to land on the matching `PopSel`. Register
+//! allocation keeps left arms at `dst` and right arms at `dst + 1`, so
+//! pressure equals the longest right-descending spine plus one and the
+//! generator's left-deep composed chains always fit in 2 registers.
+
+use crate::program::{
+    CompiledLeaf, CompiledPath, ConstPool, LeafTest, Op, Program, REGISTER_BUDGET,
+};
+use betze_json::JsonPointer;
+use betze_model::{FilterFn, Predicate};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a predicate tree could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The tree needs more simultaneous registers than the VM provides.
+    /// Engines fall back to tree-walking; lint rule L049 warns about the
+    /// session up front.
+    RegisterBudget {
+        /// Registers the tree needs ([`register_pressure`]).
+        needed: usize,
+        /// The VM's budget ([`REGISTER_BUDGET`]).
+        budget: usize,
+    },
+    /// A pool, leaf, or instruction index overflowed its 16-bit encoding.
+    TooLarge {
+        /// Which table overflowed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::RegisterBudget { needed, budget } => write!(
+                f,
+                "predicate needs {needed} registers, exceeding the VM budget of {budget}"
+            ),
+            CompileError::TooLarge { what } => {
+                write!(f, "{what} table exceeds the 16-bit index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Number of simultaneous boolean registers [`compile`] needs for a tree:
+/// 1 per leaf, and for a binary node the maximum of the left arm in place
+/// and the right arm one register higher.
+pub fn register_pressure(predicate: &Predicate) -> usize {
+    match predicate {
+        Predicate::And(l, r) | Predicate::Or(l, r) => {
+            register_pressure(l).max(register_pressure(r) + 1)
+        }
+        Predicate::Leaf(_) => 1,
+    }
+}
+
+/// Compiles a predicate tree into a [`Program`].
+pub fn compile(predicate: &Predicate) -> Result<Program, CompileError> {
+    let needed = register_pressure(predicate);
+    if needed > REGISTER_BUDGET {
+        return Err(CompileError::RegisterBudget {
+            needed,
+            budget: REGISTER_BUDGET,
+        });
+    }
+    let mut c = Compiler::default();
+    c.node(predicate, 0)?;
+    let (hint_bases, hint_slots) = Program::hint_layout(&c.pool);
+    let projectable = c.pool.paths.iter().all(|p| {
+        p.steps
+            .iter()
+            .all(|s| s.index.is_none_or(|i| i.to_string() == s.key))
+    });
+    Ok(Program {
+        ops: c.ops,
+        leaves: c.leaves,
+        pool: c.pool,
+        registers: needed as u8,
+        hint_bases,
+        hint_slots,
+        projectable,
+    })
+}
+
+#[derive(Default)]
+struct Compiler {
+    ops: Vec<Op>,
+    leaves: Vec<CompiledLeaf>,
+    pool: ConstPool,
+    ints: HashMap<i64, u16>,
+    floats: HashMap<u64, u16>,
+    strings: HashMap<String, u16>,
+    paths: HashMap<JsonPointer, u16>,
+}
+
+impl Compiler {
+    fn node(&mut self, predicate: &Predicate, dst: u8) -> Result<(), CompileError> {
+        match predicate {
+            Predicate::Leaf(f) => {
+                let leaf = self.leaf(f)?;
+                self.ops.push(Op::Eval { leaf, dst });
+                Ok(())
+            }
+            Predicate::And(l, r) => self.binary(l, r, dst, true),
+            Predicate::Or(l, r) => self.binary(l, r, dst, false),
+        }
+    }
+
+    fn binary(
+        &mut self,
+        left: &Predicate,
+        right: &Predicate,
+        dst: u8,
+        is_and: bool,
+    ) -> Result<(), CompileError> {
+        self.node(left, dst)?;
+        self.ops.push(if is_and {
+            Op::PushAndSel { src: dst }
+        } else {
+            Op::PushOrSel { src: dst }
+        });
+        let jump_at = self.ops.len();
+        self.ops.push(Op::JumpIfEmpty { target: 0 });
+        self.node(right, dst + 1)?;
+        self.ops.push(Op::Merge { dst, src: dst + 1 });
+        let pop_at = index_u16(self.ops.len(), "instruction")?;
+        self.ops[jump_at] = Op::JumpIfEmpty { target: pop_at };
+        self.ops.push(Op::PopSel);
+        Ok(())
+    }
+
+    fn leaf(&mut self, f: &FilterFn) -> Result<u16, CompileError> {
+        let path = self.path(f.path())?;
+        let test = match f {
+            FilterFn::Exists { .. } => LeafTest::Exists,
+            FilterFn::IsString { .. } => LeafTest::IsString,
+            FilterFn::IntEq { value, .. } => LeafTest::IntEq {
+                value: self.int(*value)?,
+            },
+            FilterFn::FloatCmp { op, value, .. } => LeafTest::FloatCmp {
+                op: *op,
+                value: self.float(*value)?,
+            },
+            FilterFn::StrEq { value, .. } => LeafTest::StrEq {
+                value: self.string(value)?,
+            },
+            FilterFn::HasPrefix { prefix, .. } => LeafTest::HasPrefix {
+                prefix: self.string(prefix)?,
+            },
+            FilterFn::BoolEq { value, .. } => LeafTest::BoolEq { value: *value },
+            FilterFn::ArrSize { op, value, .. } => LeafTest::ArrSize {
+                op: *op,
+                value: self.int(*value)?,
+            },
+            FilterFn::ObjSize { op, value, .. } => LeafTest::ObjSize {
+                op: *op,
+                value: self.int(*value)?,
+            },
+        };
+        let id = index_u16(self.leaves.len(), "leaf")?;
+        self.leaves.push(CompiledLeaf { path, test });
+        Ok(id)
+    }
+
+    fn int(&mut self, v: i64) -> Result<u16, CompileError> {
+        if let Some(&id) = self.ints.get(&v) {
+            return Ok(id);
+        }
+        let id = index_u16(self.pool.ints.len(), "int constant")?;
+        self.pool.ints.push(v);
+        self.ints.insert(v, id);
+        Ok(id)
+    }
+
+    fn float(&mut self, v: f64) -> Result<u16, CompileError> {
+        // Dedup by bit pattern so -0.0/0.0 and NaN payloads stay distinct
+        // constants and re-evaluation is bit-faithful.
+        if let Some(&id) = self.floats.get(&v.to_bits()) {
+            return Ok(id);
+        }
+        let id = index_u16(self.pool.floats.len(), "float constant")?;
+        self.pool.floats.push(v);
+        self.floats.insert(v.to_bits(), id);
+        Ok(id)
+    }
+
+    fn string(&mut self, v: &str) -> Result<u16, CompileError> {
+        if let Some(&id) = self.strings.get(v) {
+            return Ok(id);
+        }
+        let id = index_u16(self.pool.strings.len(), "string constant")?;
+        self.pool.strings.push(v.to_owned());
+        self.strings.insert(v.to_owned(), id);
+        Ok(id)
+    }
+
+    fn path(&mut self, p: &JsonPointer) -> Result<u16, CompileError> {
+        if let Some(&id) = self.paths.get(p) {
+            return Ok(id);
+        }
+        let id = index_u16(self.pool.paths.len(), "path")?;
+        self.pool.paths.push(CompiledPath::new(p));
+        self.paths.insert(p.clone(), id);
+        Ok(id)
+    }
+}
+
+fn index_u16(i: usize, what: &'static str) -> Result<u16, CompileError> {
+    u16::try_from(i).map_err(|_| CompileError::TooLarge { what })
+}

@@ -1,0 +1,377 @@
+//! The compiled program representation: constant pools, interned paths,
+//! compiled leaf tests, and the flat instruction list.
+//!
+//! A [`Program`] is what [`compile`](crate::compile) produces from a
+//! [`Predicate`](betze_model::Predicate) tree and what the batch executor
+//! (`Program::run`, in `exec.rs`) interprets. The encoding follows the
+//! classic constant-pool bytecode layout: every literal a leaf test needs
+//! lives in a deduplicated pool and instructions carry 16-bit indices, so
+//! a program is a flat, cache-friendly array with no owned data in the
+//! instruction stream itself.
+
+use betze_json::{JsonPointer, Value};
+use betze_model::Comparison;
+use std::fmt::Write as _;
+
+/// Maximum number of simultaneous boolean batch registers a compiled
+/// program may use. The compiler keeps left arms in place and evaluates
+/// right arms one register higher, so pressure equals the longest
+/// right-descending spine plus one — the generator's left-deep composed
+/// chains need only 2. Trees that exceed the budget fail to compile and
+/// engines fall back to tree-walking (lint rule L049 flags them).
+pub const REGISTER_BUDGET: usize = 16;
+
+/// One pre-resolved step of an attribute path.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PathStep {
+    /// Object member key (the unescaped token).
+    pub key: String,
+    /// The token parsed as an array index, if numeric.
+    pub index: Option<usize>,
+}
+
+/// An interned attribute path with array indices parsed at compile time,
+/// so the execution loop never re-parses tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPath {
+    pub(crate) steps: Vec<PathStep>,
+    source: JsonPointer,
+}
+
+impl CompiledPath {
+    /// Pre-resolves a pointer's tokens.
+    pub fn new(path: &JsonPointer) -> Self {
+        CompiledPath {
+            steps: path
+                .tokens()
+                .iter()
+                .map(|t| PathStep {
+                    key: t.clone(),
+                    index: t.parse().ok(),
+                })
+                .collect(),
+            source: path.clone(),
+        }
+    }
+
+    /// The pointer this path was compiled from.
+    pub fn source(&self) -> &JsonPointer {
+        &self.source
+    }
+
+    /// True for the root pointer.
+    pub fn is_root(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of steps — the hint-slot count [`Self::resolve_hinted`]
+    /// expects.
+    pub fn steps_len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Resolves the path against a value, step for step identical to
+    /// [`JsonPointer::resolve`] (index parsing already done).
+    #[inline]
+    pub fn resolve<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        let mut cur = value;
+        for step in &self.steps {
+            cur = match cur {
+                Value::Object(o) => o.get(&step.key)?,
+                Value::Array(a) => a.get(step.index?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// [`resolve`](Self::resolve) with one positional hint per step (the
+    /// VM's inline cache, see [`betze_json::Object::get_hinted`]).
+    /// `hints` must hold `steps.len()` slots; any hint values are valid
+    /// (they are predictions, not invariants) and the result is identical
+    /// to `resolve` for every input.
+    #[inline]
+    pub fn resolve_hinted<'v>(&self, value: &'v Value, hints: &mut [u32]) -> Option<&'v Value> {
+        let mut cur = value;
+        for (step, hint) in self.steps.iter().zip(hints) {
+            cur = match cur {
+                Value::Object(o) => o.get_hinted(&step.key, hint)?,
+                Value::Array(a) => a.get(step.index?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+}
+
+/// The test half of a compiled leaf. Constants are pool indices; the
+/// variants mirror [`betze_model::FilterFn`] one to one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LeafTest {
+    /// `EXISTS(<path>)`.
+    Exists,
+    /// `ISSTRING(<path>)`.
+    IsString,
+    /// `<path> == ints[value]` (numeric equality).
+    IntEq {
+        /// Int-pool index.
+        value: u16,
+    },
+    /// `<path> <op> floats[value]`.
+    FloatCmp {
+        /// Comparison operator.
+        op: Comparison,
+        /// Float-pool index.
+        value: u16,
+    },
+    /// `<path> == strings[value]`.
+    StrEq {
+        /// String-pool index.
+        value: u16,
+    },
+    /// `HASPREFIX(<path>, strings[prefix])`.
+    HasPrefix {
+        /// String-pool index.
+        prefix: u16,
+    },
+    /// `<path> == value` (booleans are immediate, no pool).
+    BoolEq {
+        /// The boolean literal.
+        value: bool,
+    },
+    /// `ARRSIZE(<path>) <op> ints[value]`.
+    ArrSize {
+        /// Comparison operator.
+        op: Comparison,
+        /// Int-pool index.
+        value: u16,
+    },
+    /// `OBJSIZE(<path>) <op> ints[value]`.
+    ObjSize {
+        /// Comparison operator.
+        op: Comparison,
+        /// Int-pool index.
+        value: u16,
+    },
+}
+
+/// A compiled leaf: an interned path id plus a test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledLeaf {
+    /// Path-pool index.
+    pub path: u16,
+    /// The test applied to the resolved value.
+    pub test: LeafTest,
+}
+
+/// One bytecode instruction.
+///
+/// The executor maintains a stack of *selection vectors* (lane index
+/// lists) per batch; `Eval` writes a boolean column for every lane of the
+/// current selection, and the `Push*Sel`/`PopSel` pair brackets the right
+/// arm of a binary connective so it only runs over the lanes that still
+/// need it — per-lane short-circuiting without per-document branches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Evaluate leaf `leaf` into register `dst` for every lane of the
+    /// current selection.
+    Eval {
+        /// Leaf-table index.
+        leaf: u16,
+        /// Destination register.
+        dst: u8,
+    },
+    /// Push the narrowed selection of lanes where `src` is **true**
+    /// (entering an `AND`'s right arm).
+    PushAndSel {
+        /// Register holding the left arm's result.
+        src: u8,
+    },
+    /// Push the narrowed selection of lanes where `src` is **false**
+    /// (entering an `OR`'s right arm).
+    PushOrSel {
+        /// Register holding the left arm's result.
+        src: u8,
+    },
+    /// Batch-level short-circuit: if the selection on top of the stack is
+    /// empty, jump to `target` (always the matching `PopSel`).
+    JumpIfEmpty {
+        /// Absolute instruction index to jump to.
+        target: u16,
+    },
+    /// Copy `src` into `dst` over the current (narrowed) selection. Lanes
+    /// outside it keep the left arm's value, which is already the
+    /// connective's result there (`false && _ = false`, `true || _ =
+    /// true`).
+    Merge {
+        /// Destination register (the left arm's).
+        dst: u8,
+        /// Source register (the right arm's).
+        src: u8,
+    },
+    /// Pop the top selection.
+    PopSel,
+}
+
+/// Deduplicated literal pools shared by all leaves of a program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstPool {
+    /// Integer literals (`IntEq`, `ArrSize`, `ObjSize`).
+    pub ints: Vec<i64>,
+    /// Float literals (`FloatCmp`), deduplicated by bit pattern.
+    pub floats: Vec<f64>,
+    /// String literals (`StrEq`, `HasPrefix`).
+    pub strings: Vec<String>,
+    /// Interned attribute paths.
+    pub paths: Vec<CompiledPath>,
+}
+
+/// A compiled predicate program: flat ops + leaf table + constant pools.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) ops: Vec<Op>,
+    pub(crate) leaves: Vec<CompiledLeaf>,
+    pub(crate) pool: ConstPool,
+    pub(crate) registers: u8,
+    /// Per-interned-path offsets into the scratch hint table (parallel to
+    /// `pool.paths`); path `p` owns slots `hint_bases[p] ..
+    /// hint_bases[p] + pool.paths[p].steps.len()`.
+    pub(crate) hint_bases: Vec<u32>,
+    /// Total hint slots (one per path step across the pool).
+    pub(crate) hint_slots: usize,
+    /// Whether every pool path maps soundly onto a shredded
+    /// [`Projection`](crate::Projection) node (see
+    /// [`is_projectable`](Self::is_projectable)).
+    pub(crate) projectable: bool,
+}
+
+impl Program {
+    /// The trivial program matching every document (a query without a
+    /// filter). Uses no registers and no instructions.
+    pub fn match_all() -> Program {
+        Program {
+            ops: Vec::new(),
+            leaves: Vec::new(),
+            pool: ConstPool::default(),
+            registers: 0,
+            hint_bases: Vec::new(),
+            hint_slots: 0,
+            projectable: true,
+        }
+    }
+
+    /// Lays out the inline-cache hint table: one slot per step of every
+    /// interned path.
+    pub(crate) fn hint_layout(pool: &ConstPool) -> (Vec<u32>, usize) {
+        let mut bases = Vec::with_capacity(pool.paths.len());
+        let mut total = 0u32;
+        for path in &pool.paths {
+            bases.push(total);
+            total += path.steps.len() as u32;
+        }
+        (bases, total as usize)
+    }
+
+    /// Number of boolean registers the program uses (≤
+    /// [`REGISTER_BUDGET`]).
+    pub fn registers(&self) -> usize {
+        usize::from(self.registers)
+    }
+
+    /// True when every pool path can be answered from a shredded
+    /// [`Projection`](crate::Projection): projection nodes are keyed by
+    /// canonical member keys (array elements under `"0"`, `"1"`, …), so a
+    /// non-canonical numeric token like `"00"` — which
+    /// [`JsonPointer::resolve`] accepts as array index 0 but which names a
+    /// *different* object member — has no sound node. Such programs must
+    /// use [`run`](Self::run); generator-produced paths are always
+    /// canonical.
+    pub fn is_projectable(&self) -> bool {
+        self.projectable
+    }
+
+    /// The instruction stream (exposed for tests and the disassembler).
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The leaf table.
+    pub fn leaves(&self) -> &[CompiledLeaf] {
+        &self.leaves
+    }
+
+    /// The constant pools.
+    pub fn pool(&self) -> &ConstPool {
+        &self.pool
+    }
+
+    /// Renders the program in a stable, human-readable form. The format
+    /// is pinned by a golden test; change it deliberately.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "registers: {}", self.registers);
+        if !self.pool.paths.is_empty() {
+            out.push_str("paths:\n");
+            for (i, p) in self.pool.paths.iter().enumerate() {
+                let _ = writeln!(out, "  p{i} = '{}'", p.source());
+            }
+        }
+        if !self.pool.ints.is_empty() {
+            out.push_str("ints:\n");
+            for (i, v) in self.pool.ints.iter().enumerate() {
+                let _ = writeln!(out, "  i{i} = {v}");
+            }
+        }
+        if !self.pool.floats.is_empty() {
+            out.push_str("floats:\n");
+            for (i, v) in self.pool.floats.iter().enumerate() {
+                let _ = writeln!(out, "  f{i} = {v}");
+            }
+        }
+        if !self.pool.strings.is_empty() {
+            out.push_str("strings:\n");
+            for (i, v) in self.pool.strings.iter().enumerate() {
+                let _ = writeln!(out, "  s{i} = \"{v}\"");
+            }
+        }
+        if !self.leaves.is_empty() {
+            out.push_str("leaves:\n");
+            for (i, leaf) in self.leaves.iter().enumerate() {
+                let p = leaf.path;
+                let _ = match leaf.test {
+                    LeafTest::Exists => writeln!(out, "  l{i} = EXISTS p{p}"),
+                    LeafTest::IsString => writeln!(out, "  l{i} = ISSTRING p{p}"),
+                    LeafTest::IntEq { value } => writeln!(out, "  l{i} = p{p} == i{value}"),
+                    LeafTest::FloatCmp { op, value } => {
+                        writeln!(out, "  l{i} = p{p} {op} f{value}")
+                    }
+                    LeafTest::StrEq { value } => writeln!(out, "  l{i} = p{p} == s{value}"),
+                    LeafTest::HasPrefix { prefix } => {
+                        writeln!(out, "  l{i} = HASPREFIX(p{p}, s{prefix})")
+                    }
+                    LeafTest::BoolEq { value } => writeln!(out, "  l{i} = p{p} == {value}"),
+                    LeafTest::ArrSize { op, value } => {
+                        writeln!(out, "  l{i} = ARRSIZE(p{p}) {op} i{value}")
+                    }
+                    LeafTest::ObjSize { op, value } => {
+                        writeln!(out, "  l{i} = OBJSIZE(p{p}) {op} i{value}")
+                    }
+                };
+            }
+        }
+        out.push_str("ops:\n");
+        for (i, op) in self.ops.iter().enumerate() {
+            let _ = match op {
+                Op::Eval { leaf, dst } => writeln!(out, "  {i:04} eval l{leaf} -> r{dst}"),
+                Op::PushAndSel { src } => writeln!(out, "  {i:04} push.and r{src}"),
+                Op::PushOrSel { src } => writeln!(out, "  {i:04} push.or r{src}"),
+                Op::JumpIfEmpty { target } => {
+                    writeln!(out, "  {i:04} jump.empty -> {target:04}")
+                }
+                Op::Merge { dst, src } => writeln!(out, "  {i:04} merge r{dst} <- r{src}"),
+                Op::PopSel => writeln!(out, "  {i:04} pop"),
+            };
+        }
+        out
+    }
+}

@@ -1,0 +1,285 @@
+//! Differential oracle for the bytecode VM (DESIGN.md §14): the
+//! compiled register programs — batched and projected alike — must be
+//! *bit-identical* to the tree-walking reference on everything a paper
+//! experiment can observe: result documents, work counters, modeled
+//! time, fault schedules, and the abstract interpreter's predicted
+//! intervals.
+//!
+//! Three layers of evidence:
+//!
+//! * **engine-level replay** — whole generated sessions executed on
+//!   [`VmEngine`] and [`JodaSim`], query by query (the default smoke is
+//!   10 seeds × 3 presets; `--features slow-tests` widens it to 100
+//!   seeds × 3 presets × 2 corpora);
+//! * **chaos composition** — the same deterministic [`FaultPlan`]
+//!   wrapped around both engines must produce the same fault log,
+//!   retry statuses and degraded outcome, proving the VM changes no
+//!   observable operation sequence;
+//! * **soundness oracle** — the abstract interpreter's predictions
+//!   (tests/absint.rs) must also contain *VM-computed* concrete
+//!   cardinalities, so static analysis and bytecode execution agree on
+//!   the same semantics the tree-walk defines.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use betze::engines::{ChaosEngine, Engine, FaultPlan, JodaSim, VmEngine};
+use betze::explorer::Preset;
+use betze::generator::{ExportMode, GeneratorConfig};
+use betze::harness::workload::{prepare, prepare_with_analysis, Corpus, PreparedWorkload};
+use betze::harness::{run_session_with_options, RetryPolicy, RunOptions};
+use betze::json::Value;
+use betze::lint::{Linter, QueryPrediction};
+use betze::vm::{compile, Projection, VmScratch};
+
+/// Replays one workload on the tree-walking reference and the bytecode
+/// VM, asserting bit-identical import and per-query outcomes. Corpora
+/// here are ≥ 64 docs and sessions re-scan their base, so the engine
+/// crosses its projection threshold mid-session — the smoke covers the
+/// unprojected, freshly-shredded and cached regimes in one replay.
+fn assert_vm_matches_reference(w: &PreparedWorkload, label: &str) {
+    let mut reference = JodaSim::new(1);
+    let mut vm = VmEngine::new(1);
+    let ri = reference
+        .import(&w.dataset.name, &w.dataset.docs)
+        .unwrap_or_else(|e| panic!("{label}: reference import: {e}"));
+    let vi = vm
+        .import(&w.dataset.name, &w.dataset.docs)
+        .unwrap_or_else(|e| panic!("{label}: vm import: {e}"));
+    assert_eq!(ri.counters, vi.counters, "{label}: import counters");
+    assert_eq!(ri.modeled, vi.modeled, "{label}: import modeled time");
+    for (i, query) in w.generation.session.queries.iter().enumerate() {
+        let a = reference
+            .execute(query)
+            .unwrap_or_else(|e| panic!("{label}: query {i} on reference: {e}"));
+        let b = vm
+            .execute(query)
+            .unwrap_or_else(|e| panic!("{label}: query {i} on vm: {e}"));
+        assert_eq!(a.docs, b.docs, "{label}: query {i} result documents");
+        assert_eq!(
+            a.report.counters, b.report.counters,
+            "{label}: query {i} work counters"
+        );
+        assert_eq!(
+            a.report.modeled, b.report.modeled,
+            "{label}: query {i} modeled time"
+        );
+    }
+}
+
+/// One corpus, many sessions: analyze once, generate per (preset, seed),
+/// replay differentially.
+fn sweep(corpus: Corpus, doc_count: usize, data_seed: u64, seeds: std::ops::Range<u64>) {
+    let dataset = corpus.generate(data_seed, doc_count);
+    let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
+    for preset in [Preset::Novice, Preset::Intermediate, Preset::Expert] {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        for seed in seeds.clone() {
+            let w = prepare_with_analysis(
+                dataset.clone(),
+                analysis.clone(),
+                Duration::ZERO,
+                &config,
+                seed,
+            )
+            .unwrap_or_else(|e| panic!("{corpus}/{preset:?}/{seed}: generate: {e}"));
+            assert_vm_matches_reference(&w, &format!("{corpus}/{preset:?}/{seed}"));
+        }
+    }
+}
+
+/// Default smoke: 10 seeds × 3 presets on NoBench. Fast enough for every
+/// `cargo test`; the slow-gated sweep below is the 100-seed version.
+#[test]
+fn vm_engine_is_bit_identical_to_reference_smoke() {
+    sweep(Corpus::NoBench, 300, 11, 0..10);
+}
+
+/// The projection cache must not leak across datasets inside a real
+/// session: a workload that materializes intermediates makes the VM
+/// engine juggle base + derived datasets (different sizes, some under
+/// the projection threshold) in one run.
+#[test]
+fn vm_engine_matches_reference_with_materialized_intermediates() {
+    let config = GeneratorConfig::default().export(ExportMode::MaterializedIntermediates);
+    for seed in 0..5u64 {
+        let w = prepare(Corpus::NoBench, 300, 7, &config, seed)
+            .unwrap_or_else(|e| panic!("materialized/{seed}: {e}"));
+        assert_vm_matches_reference(&w, &format!("materialized/{seed}"));
+    }
+}
+
+/// Chaos composition: the same deterministic fault plan wrapped around
+/// the VM and the reference must yield the same fault schedule, the same
+/// retry/skip statuses, the same lineage replays and the same modeled
+/// session time — the VM engine changes no operation the fault stream
+/// can observe.
+#[test]
+fn chaos_wrapped_vm_matches_chaos_wrapped_reference() {
+    let config = GeneratorConfig::default().export(ExportMode::MaterializedIntermediates);
+    let plan = FaultPlan::none(4242)
+        .storage_faults(0.25)
+        .import_faults(0.25)
+        .latency_spikes(0.2, 3.0)
+        .evictions(0.4);
+    let options = RunOptions::reference().retry(RetryPolicy::attempts(6));
+    for seed in 0..5u64 {
+        let w = prepare(Corpus::NoBench, 250, 1, &config, seed)
+            .unwrap_or_else(|e| panic!("chaos/{seed}: {e}"));
+        let mut reference = ChaosEngine::new(JodaSim::new(1), plan.clone());
+        let mut vm = ChaosEngine::new(VmEngine::new(1), plan.clone());
+        let ra =
+            run_session_with_options(&mut reference, &w.dataset, &w.generation.session, &options)
+                .unwrap_or_else(|e| panic!("chaos/{seed} on reference: {e}"));
+        let rb = run_session_with_options(&mut vm, &w.dataset, &w.generation.session, &options)
+            .unwrap_or_else(|e| panic!("chaos/{seed} on vm: {e}"));
+        assert_eq!(
+            reference.fault_log(),
+            vm.fault_log(),
+            "chaos/{seed}: fault schedules diverged"
+        );
+        assert_eq!(
+            ra.run().statuses,
+            rb.run().statuses,
+            "chaos/{seed}: statuses"
+        );
+        assert_eq!(
+            ra.run().lineage_replays,
+            rb.run().lineage_replays,
+            "chaos/{seed}: lineage replays"
+        );
+        assert_eq!(
+            ra.run().session_modeled(),
+            rb.run().session_modeled(),
+            "chaos/{seed}: modeled session time"
+        );
+        assert_eq!(ra.cell(), rb.cell(), "chaos/{seed}: rendered cell");
+    }
+}
+
+/// The soundness oracle of tests/absint.rs, with the concrete leg
+/// computed by the bytecode VM instead of the tree-walk: every filter is
+/// compiled and run (and, where projectable, also run against a shredded
+/// [`Projection`] and checked lane-for-lane), and the observed
+/// cardinalities must fall inside the abstract interpreter's predicted
+/// intervals. Statics and bytecode must describe the same semantics.
+#[test]
+fn predicted_intervals_contain_vm_execution() {
+    use betze::datagen::DocGenerator;
+    let docs = betze::datagen::NoBench::default().generate(11, 300);
+    let analysis = betze::stats::analyze("nb", &docs);
+    let mut scratch = VmScratch::new();
+    let mut checked = 0usize;
+    for preset in [Preset::Novice, Preset::Intermediate, Preset::Expert] {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        for seed in 0..15u64 {
+            let mut backend = betze::generator::InMemoryBackend::new();
+            backend.register_base(betze::model::DatasetId(0), docs.clone());
+            let outcome =
+                betze::generator::generate_session(&analysis, &config, seed, Some(&mut backend))
+                    .unwrap_or_else(|e| panic!("{preset:?}/{seed}: {e}"));
+            let (_, predictions) = Linter::new()
+                .with_analysis(&analysis)
+                .lint_with_predictions(&outcome.session);
+            checked += assert_predictions_contain_vm(
+                &outcome.session,
+                "nb",
+                &docs,
+                &predictions,
+                &mut scratch,
+                &format!("{preset:?}/{seed}"),
+            );
+        }
+    }
+    assert!(checked >= 100, "only {checked} predictions checked");
+}
+
+/// Executes `session` with the VM as the filter evaluator (reference
+/// semantics otherwise: filter, then transforms, pre-aggregation) and
+/// asserts every prediction interval contains the observed value.
+/// Returns the number of predictions checked.
+fn assert_predictions_contain_vm(
+    session: &betze::model::Session,
+    base_name: &str,
+    docs: &[Value],
+    predictions: &[QueryPrediction],
+    scratch: &mut VmScratch,
+    label: &str,
+) -> usize {
+    let by_query: BTreeMap<usize, &QueryPrediction> =
+        predictions.iter().map(|p| (p.query, p)).collect();
+    let mut env: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+    env.insert(base_name.to_owned(), docs.to_vec());
+    let mut checked = 0usize;
+    let mut matched = Vec::new();
+    for (i, query) in session.queries.iter().enumerate() {
+        let Some(input) = env.get(query.base.as_str()) else {
+            continue;
+        };
+        let input_len = input.len();
+        // The VM leg: matching lanes come from the compiled program, not
+        // Predicate::matches.
+        let selected: Vec<Value> = match &query.filter {
+            Some(filter) => {
+                let program = compile(filter)
+                    .unwrap_or_else(|e| panic!("{label}: query {i} does not compile: {e:?}"));
+                program.run(input, scratch, &mut matched);
+                if program.is_projectable() {
+                    if let Some(proj) = Projection::build(input) {
+                        let mut projected = Vec::new();
+                        program.run_projected(&proj, scratch, &mut projected);
+                        assert_eq!(
+                            matched, projected,
+                            "{label}: query {i} projected lanes diverge from batched"
+                        );
+                    }
+                }
+                matched.iter().map(|&l| input[l as usize].clone()).collect()
+            }
+            None => input.clone(),
+        };
+        let matching = selected.len();
+        let p = by_query.get(&i).unwrap_or_else(|| {
+            panic!("{label}: query {i} reads a live base but has no prediction")
+        });
+        assert!(
+            p.input_card.contains(input_len as f64),
+            "{label}: query {i} input {input_len} ∉ {}",
+            p.input_card
+        );
+        assert!(
+            p.result_card.contains(matching as f64),
+            "{label}: query {i} VM result {matching} ∉ {}",
+            p.result_card
+        );
+        if input_len > 0 {
+            let sel = matching as f64 / input_len as f64;
+            assert!(
+                p.selectivity.contains(sel),
+                "{label}: query {i} VM selectivity {sel} ∉ {}",
+                p.selectivity
+            );
+        }
+        checked += 1;
+        if let Some(store) = &query.store_as {
+            let mut stored = selected;
+            betze::model::apply_all(&query.transforms, &mut stored);
+            env.insert(store.clone(), stored);
+        }
+    }
+    checked
+}
+
+/// The wide sweep: 100 seeds × 3 presets × {NoBench, Twitter}. Gated
+/// behind `--features slow-tests` (several minutes), like the paper-
+/// property suite.
+#[cfg(feature = "slow-tests")]
+mod slow {
+    use super::*;
+
+    #[test]
+    fn vm_engine_is_bit_identical_to_reference_sweep() {
+        sweep(Corpus::NoBench, 300, 11, 0..100);
+        sweep(Corpus::Twitter, 250, 5, 0..100);
+    }
+}
