@@ -16,8 +16,10 @@
 use betze::datagen::{DocGenerator, TwitterLike};
 use betze::generator::GeneratorConfig;
 use betze::json::Value;
+use betze::lint::vm_arm_facts;
 use betze::model::Predicate;
-use betze::vm::{compile, Program, Projection, VmScratch};
+use betze::stats::DatasetAnalysis;
+use betze::vm::{compile, optimize, Program, Projection, VmScratch};
 use std::time::Instant;
 
 const DOCS: usize = 6_000;
@@ -31,7 +33,7 @@ const RUNS: usize = 9;
 
 /// The Fig. 7 predicate mix: every filter of a few generated
 /// intermediate-preset sessions over the Twitter-like corpus.
-fn workload() -> (Vec<Value>, Vec<Predicate>) {
+fn workload() -> (Vec<Value>, Vec<Predicate>, DatasetAnalysis) {
     let docs = TwitterLike::default().generate(DATA_SEED, DOCS);
     let analysis = betze::stats::analyze("twitter", &docs);
     let config = GeneratorConfig::with_explorer(betze::explorer::Preset::Intermediate.config());
@@ -41,7 +43,7 @@ fn workload() -> (Vec<Value>, Vec<Predicate>) {
             .expect("generate bench session");
         predicates.extend(outcome.session.queries.into_iter().filter_map(|q| q.filter));
     }
-    (docs, predicates)
+    (docs, predicates, analysis)
 }
 
 fn tree_walk(docs: &[Value], predicates: &[Predicate]) -> usize {
@@ -98,10 +100,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     // `cargo bench` passes --bench; a bare run takes no args.
-    let (docs, predicates) = workload();
+    let (docs, predicates, analysis) = workload();
     let programs: Vec<Program> = predicates
         .iter()
         .map(|p| compile(p).expect("generator predicates fit the register budget"))
+        .collect();
+    // The optimized contenders: same predicates through the verified
+    // optimizer with real selectivity facts over this corpus — exactly
+    // what `VmEngine` executes by default.
+    let optimized: Vec<Program> = predicates
+        .iter()
+        .map(|p| {
+            optimize(p, &vm_arm_facts(p, &analysis))
+                .expect("generator predicates optimize")
+                .program
+        })
         .collect();
     let mut scratch = VmScratch::new();
     if std::env::var_os("VM_BENCH_PROFILE").is_some() {
@@ -151,18 +164,22 @@ fn main() {
     // equally instead of biasing whichever ran during a quiet spell.
     let mut tree_secs = f64::INFINITY;
     let mut batched_secs = f64::INFINITY;
+    let mut opt_secs = f64::INFINITY;
     let mut vm_secs = f64::INFINITY;
-    let (mut tree_count, mut batched_count, mut vm_count) = (0, 0, 0);
+    let (mut tree_count, mut batched_count, mut opt_count, mut vm_count) = (0, 0, 0, 0);
     for round in 0..RUNS {
         let t = Instant::now();
         tree_count = tree_walk(&docs, &predicates);
         tree_secs = tree_secs.min(t.elapsed().as_secs_f64());
         if round < 3 {
-            // The unprojected batch path is a secondary data point; three
-            // rounds bound its noise well enough.
+            // The unprojected batch paths are secondary data points;
+            // three rounds bound their noise well enough.
             let t = Instant::now();
             batched_count = vm_run(&docs, &programs, &mut scratch);
             batched_secs = batched_secs.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            opt_count = vm_run(&docs, &optimized, &mut scratch);
+            opt_secs = opt_secs.min(t.elapsed().as_secs_f64());
         }
         let t = Instant::now();
         vm_count = vm_run_projected(&docs, &programs, &mut scratch);
@@ -176,20 +193,48 @@ fn main() {
         tree_count, batched_count,
         "batched bytecode and tree-walk disagree on match counts"
     );
+    assert_eq!(
+        tree_count, opt_count,
+        "optimized bytecode and tree-walk disagree on match counts"
+    );
+    // Per-predicate contest over the programs the optimizer actually
+    // changed (most fig7-mix filters are single leaves it leaves
+    // untouched, so the aggregate round dilutes its wins): the best
+    // single-predicate improvement is the headline optimizer number.
+    let mut programs_changed = 0usize;
+    let mut opt_best_speedup = 1.0f64;
+    for (baseline, opt) in programs.iter().zip(&optimized) {
+        if baseline == opt {
+            continue;
+        }
+        programs_changed += 1;
+        let one = std::slice::from_ref;
+        let (base_secs, base_n) = best_of(5, || vm_run(&docs, one(baseline), &mut scratch));
+        let (opt_secs, opt_n) = best_of(5, || vm_run(&docs, one(opt), &mut scratch));
+        assert_eq!(base_n, opt_n, "changed program disagrees on match count");
+        opt_best_speedup = opt_best_speedup.max(base_secs / opt_secs);
+    }
     let (shred_secs, _) = best_of(RUNS, || Projection::build(&docs).map(|p| p.lanes()));
     let speedup = tree_secs / vm_secs;
+    let opt_speedup = batched_secs / opt_secs;
     let record = format!(
         "{{\"bench\": \"vm\", \"docs\": {}, \"predicates\": {}, \"matches\": {}, \
          \"tree_walk_secs\": {:.6}, \"vm_secs\": {:.6}, \"vm_batched_secs\": {:.6}, \
-         \"shred_secs\": {:.6}, \"speedup\": {:.2}}}\n",
+         \"vm_opt_secs\": {:.6}, \"shred_secs\": {:.6}, \"speedup\": {:.2}, \
+         \"opt_speedup\": {:.2}, \"programs_changed\": {}, \
+         \"opt_best_speedup\": {:.2}}}\n",
         docs.len(),
         predicates.len(),
         tree_count,
         tree_secs,
         vm_secs,
         batched_secs,
+        opt_secs,
         shred_secs,
-        speedup
+        speedup,
+        opt_speedup,
+        programs_changed,
+        opt_best_speedup
     );
     print!("{record}");
     if let Some(path) = out {
@@ -205,10 +250,18 @@ mod gated {
     use std::time::Duration;
 
     fn bench_vm(c: &mut Criterion) {
-        let (docs, predicates) = workload();
+        let (docs, predicates, analysis) = workload();
         let programs: Vec<Program> = predicates
             .iter()
             .map(|p| compile(p).expect("fits budget"))
+            .collect();
+        let optimized: Vec<Program> = predicates
+            .iter()
+            .map(|p| {
+                optimize(p, &vm_arm_facts(p, &analysis))
+                    .expect("optimizes")
+                    .program
+            })
             .collect();
         let mut scratch = VmScratch::new();
         let mut group = c.benchmark_group("predicate_eval");
@@ -219,6 +272,9 @@ mod gated {
         group.bench_function("tree_walk", |b| b.iter(|| tree_walk(&docs, &predicates)));
         group.bench_function("bytecode_vm", |b| {
             b.iter(|| vm_run(&docs, &programs, &mut scratch))
+        });
+        group.bench_function("bytecode_vm_optimized", |b| {
+            b.iter(|| vm_run(&docs, &optimized, &mut scratch))
         });
         group.bench_function("bytecode_vm_projected", |b| {
             b.iter(|| vm_run_projected(&docs, &programs, &mut scratch))

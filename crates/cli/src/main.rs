@@ -115,6 +115,16 @@ COMMANDS:
         --retries <n>       attempts per operation incl. the first
                             (default 3); backoff is charged to the
                             modeled clock
+        --no-vm-opt         disable the verified bytecode optimizer for
+                            the vm engine (plain compilation; --vm-opt
+                            spells the default)
+    vm-verify                                toolchain smoke sweep: generate
+                        sessions (seeds x presets over a NoBench corpus) and
+                        push every filter through compile -> verify ->
+                        optimize -> re-verify; any verifier rejection is a
+                        toolchain bug and exits 1
+        --seeds <n>         session seeds per preset (default 10)
+        --docs <n>          corpus documents (default 300)
     serve                                    run the fault-tolerant benchmark daemon
         --addr <host:port>  bind address (default 127.0.0.1:4480; port 0
                             picks a free port, printed on stdout)
@@ -201,6 +211,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => analyze(&rest),
         "generate" => generate(&rest),
         "benchmark" | "run" => benchmark(&rest),
+        "vm-verify" => vm_verify(&rest),
         "lint" => lint(&rest),
         "serve" => serve(&rest),
         "loadgen" => loadgen(&rest),
@@ -688,6 +699,11 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         None => 16,
     };
     let full_output = take_flag(&mut args, "--output");
+    // The verified optimizer is on by default for the vm engine;
+    // `--no-vm-opt` restores plain compilation (`--vm-opt` is accepted
+    // as the affirmative spelling of the default).
+    let no_vm_opt = take_flag(&mut args, "--no-vm-opt");
+    take_flag(&mut args, "--vm-opt");
     // `--engine` narrows the comparison to one system; `vm` is the
     // bytecode JODA (bit-identical to `joda`, so it is opt-in and not
     // part of the default five-row table).
@@ -697,7 +713,11 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         Some("mongo") => Some(Box::new(betze::engines::MongoSim::new())),
         Some("pg") => Some(Box::new(betze::engines::PgSim::new())),
         Some("jq") => Some(Box::new(betze::engines::JqSim::new())),
-        Some("vm") => Some(Box::new(betze::engines::VmEngine::new(threads))),
+        Some("vm") => {
+            let mut vm = betze::engines::VmEngine::new(threads);
+            vm.set_optimize(!no_vm_opt);
+            Some(Box::new(vm))
+        }
         Some(other) => {
             return Err(format!(
                 "unknown engine '{other}' (expected joda | mongo | pg | jq | vm | all)"
@@ -860,6 +880,106 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         );
     }
     println!("{}", table.render());
+    Ok(())
+}
+
+/// `betze vm-verify`: the bytecode-toolchain smoke sweep (CI gate).
+///
+/// Generates sessions across seeds × presets over a NoBench corpus and
+/// pushes every filter through the full toolchain — compile, verify,
+/// optimize (with real selectivity facts, propagated through
+/// untransformed `store_as` chains exactly as the engine does), and
+/// re-verify the optimized program. Register-budget fallbacks are fine
+/// (counted, not failed); a [`betze::vm::VerifyError`] anywhere means a
+/// miscompile escaped the unit suites and fails the run.
+fn vm_verify(args: &[String]) -> Result<(), String> {
+    use betze::harness::workload::{prepare, Corpus};
+    let mut args = args.to_vec();
+    let seeds: u64 = match take_option(&mut args, "--seeds")? {
+        Some(s) => parse(&s, "seeds")?,
+        None => 10,
+    };
+    let docs: usize = match take_option(&mut args, "--docs")? {
+        Some(s) => parse(&s, "docs")?,
+        None => 300,
+    };
+    if !args.is_empty() {
+        return Err(format!("vm-verify does not take '{}'", args[0]));
+    }
+    let mut programs = 0u64;
+    let mut optimized = 0u64;
+    let mut fallbacks = 0u64;
+    let mut failures = 0u64;
+    for preset in Preset::ALL {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        for seed in 1..=seeds {
+            let w = prepare(Corpus::NoBench, docs, 1, &config, seed)
+                .map_err(|e| format!("session generation failed (seed {seed}, {preset}): {e}"))?;
+            let analysis = std::sync::Arc::new(w.analysis);
+            // Mirror the engine's analysis propagation: untransformed
+            // stores keep their base's facts, transforms drop them.
+            let mut by_dataset = std::collections::HashMap::new();
+            by_dataset.insert(
+                w.dataset.name.clone(),
+                Some(std::sync::Arc::clone(&analysis)),
+            );
+            for (i, query) in w.generation.session.queries.iter().enumerate() {
+                let current = by_dataset.get(&query.base).cloned().flatten();
+                if let Some(store) = &query.store_as {
+                    let propagated = if query.transforms.is_empty() {
+                        current.clone()
+                    } else {
+                        None
+                    };
+                    by_dataset.insert(store.clone(), propagated);
+                }
+                let Some(filter) = &query.filter else {
+                    continue;
+                };
+                let mut fail = |stage: &str, error: String| {
+                    eprintln!(
+                        "FAIL seed {seed} preset {preset} query {i} [{stage}]: \
+                         {error}\n  predicate: {filter}"
+                    );
+                    failures += 1;
+                };
+                match betze::vm::compile(filter) {
+                    Ok(program) => {
+                        programs += 1;
+                        if let Err(e) = program.verify() {
+                            fail("compile", e.to_string());
+                        }
+                    }
+                    Err(_) => fallbacks += 1,
+                }
+                let facts = match &current {
+                    Some(a) => betze::lint::vm_arm_facts(filter, a),
+                    None => betze::vm::ArmFacts::none(),
+                };
+                match betze::vm::optimize(filter, &facts) {
+                    Ok(o) => {
+                        optimized += 1;
+                        if let Err(e) = o.program.verify() {
+                            fail("optimize", e.to_string());
+                        }
+                    }
+                    Err(betze::vm::OptError::Compile(_)) => fallbacks += 1,
+                    Err(e @ betze::vm::OptError::Verify { .. }) => {
+                        fail("optimizer-internal", e.to_string());
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "vm-verify: {programs} compiled + {optimized} optimized programs verified \
+         ({} presets x {seeds} seeds, {docs}-doc nobench corpus, {fallbacks} \
+         register-budget fallbacks, {failures} failures)",
+        Preset::ALL.len()
+    );
+    if failures > 0 {
+        return Err(format!("{failures} verifier rejection(s) — toolchain bug"));
+    }
     Ok(())
 }
 

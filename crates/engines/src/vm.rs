@@ -18,19 +18,35 @@
 //! differential oracle in `tests/tests/vm.rs` proves it across the
 //! 100-seed × 3-preset sweep.
 //!
+//! Programs are built by the verified optimizer (DESIGN.md §15) by
+//! default: each import is analyzed once (`betze_stats::analyze`), the
+//! analysis is bridged to per-arm selectivity facts
+//! (`betze_lint::vm_arm_facts`) and propagated through untransformed
+//! `store_as` chains (a stored filter result is a *subset* of its base
+//! corpus, so matches-none/matches-all facts remain sound; any
+//! transform drops the analysis and optimization falls back to
+//! structural rewrites only). Whether the columnar fast path applies
+//! (`is_projectable`) is decided on the *optimized* program — dead-arm
+//! elimination can remove the one non-canonical-token leaf that
+//! disqualified the query. [`VmEngine::set_optimize`] (CLI
+//! `--no-vm-opt`) restores plain compilation.
+//!
 //! Predicates whose register pressure exceeds
-//! [`betze_vm::REGISTER_BUDGET`] cannot be compiled; the engine falls
-//! back to tree-walking those scans (lint rule L049 warns up front).
-//! Compiled programs and aggregations are cached by their canonical
-//! display form, which the session generator also uses as cache keys.
+//! [`betze_vm::REGISTER_BUDGET`] even after optimization cannot be
+//! compiled; the engine falls back to tree-walking those scans (lint
+//! rule L049 warns up front, and L052 reports the rescued ones).
+//! Compiled programs are cached per `(base, predicate)` with the
+//! analysis they were optimized under; aggregations by display form.
 
 use crate::{
     CancelToken, CostModel, CostProfile, Engine, EngineError, ExecutionReport, QueryOutcome,
     WorkCounters,
 };
 use betze_json::Value;
+use betze_lint::vm_arm_facts;
 use betze_model::{Predicate, Query};
-use betze_vm::{CompiledAggregation, Program, Projection, VmScratch};
+use betze_stats::DatasetAnalysis;
+use betze_vm::{ArmFacts, CompiledAggregation, Program, Projection, VmScratch};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,19 +63,34 @@ const MIN_PROJECTED_DOCS: usize = 64;
 /// corpora; past it, projections are built, used once, and dropped.
 const MAX_PROJECTED_CELLS: usize = 32 << 20;
 
+/// A cached program entry: the analysis it was optimized under (for the
+/// `Arc::ptr_eq` staleness check) and the program itself — `None` marks
+/// a register-budget fallback.
+type CachedProgram = (Option<Arc<DatasetAnalysis>>, Arc<Option<Program>>);
+
 /// JODA's architecture with predicate scans compiled to register
 /// bytecode and executed vectorized (DESIGN.md §14).
 #[derive(Debug)]
 pub struct VmEngine {
     threads: usize,
     output_enabled: bool,
+    /// Run predicates through the verified optimizer (default); plain
+    /// compilation when off.
+    optimize: bool,
     cancel: CancelToken,
     datasets: HashMap<String, Arc<Vec<Value>>>,
+    /// Base-corpus analyses by dataset name: computed at import,
+    /// propagated through untransformed `store_as`, dropped on
+    /// transforms (facts would no longer be sound).
+    analyses: HashMap<String, Arc<DatasetAnalysis>>,
     /// Delta-Tree-style cache: canonical `(base | predicate)` key → result.
     cache: HashMap<String, Arc<Vec<Value>>>,
-    /// Compiled programs by predicate display form; `None` marks a tree
-    /// that exceeded the register budget (tree-walk fallback).
-    programs: HashMap<String, Arc<Option<Program>>>,
+    /// Compiled programs per `(base | predicate)` key, tagged with the
+    /// analysis they were optimized under (`Arc::ptr_eq` staleness
+    /// check — re-importing a dataset invalidates its entries). `None`
+    /// programs mark trees that exceeded the register budget even after
+    /// optimization (tree-walk fallback).
+    programs: HashMap<String, CachedProgram>,
     /// Compiled aggregations by display form.
     aggs: HashMap<String, Arc<CompiledAggregation>>,
     /// Reused single-thread execution state (allocation-free steady state).
@@ -83,8 +114,10 @@ impl VmEngine {
         VmEngine {
             threads: threads.max(1),
             output_enabled: true,
+            optimize: true,
             cancel: CancelToken::new(),
             datasets: HashMap::new(),
+            analyses: HashMap::new(),
             cache: HashMap::new(),
             programs: HashMap::new(),
             aggs: HashMap::new(),
@@ -106,16 +139,54 @@ impl VmEngine {
         format!("{base}|{predicate}")
     }
 
-    /// Compiles (or recalls) the program for a predicate. `None` means
-    /// the register budget was exceeded and scans tree-walk instead.
-    fn program_for(&mut self, predicate: &Predicate) -> Arc<Option<Program>> {
-        let key = predicate.to_string();
-        if let Some(hit) = self.programs.get(&key) {
-            return Arc::clone(hit);
+    /// Enables or disables the verified optimizer (CLI `--no-vm-opt`).
+    /// Clears the program cache: cached entries were built under the
+    /// other setting.
+    pub fn set_optimize(&mut self, on: bool) {
+        if self.optimize != on {
+            self.optimize = on;
+            self.programs.clear();
         }
-        let compiled = Arc::new(betze_vm::compile(predicate).ok());
-        self.programs.insert(key, Arc::clone(&compiled));
-        compiled
+    }
+
+    /// Whether the optimizer is enabled.
+    pub fn optimize_enabled(&self) -> bool {
+        self.optimize
+    }
+
+    /// Builds (or recalls) the program for a predicate scanned over
+    /// `base`'s corpus. `None` means the register budget was exceeded —
+    /// even after optimization, when enabled — and scans tree-walk
+    /// instead. Optimization errors degrade to plain compilation, never
+    /// to a miscompiled program (every optimizer output is verified).
+    fn program_for(&mut self, base: &str, predicate: &Predicate) -> Arc<Option<Program>> {
+        let key = Self::cache_key(base, predicate);
+        let analysis = self.analyses.get(base).cloned();
+        if let Some((under, hit)) = self.programs.get(&key) {
+            let fresh = match (under, &analysis) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            };
+            if fresh {
+                return Arc::clone(hit);
+            }
+        }
+        let program = if self.optimize {
+            let facts = analysis
+                .as_deref()
+                .map(|a| vm_arm_facts(predicate, a))
+                .unwrap_or_else(ArmFacts::none);
+            match betze_vm::optimize(predicate, &facts) {
+                Ok(optimized) => Some(optimized.program),
+                Err(_) => betze_vm::compile(predicate).ok(),
+            }
+        } else {
+            betze_vm::compile(predicate).ok()
+        };
+        let program = Arc::new(program);
+        self.programs.insert(key, (analysis, Arc::clone(&program)));
+        program
     }
 
     fn agg_for(&mut self, agg: &betze_model::Aggregation) -> Arc<CompiledAggregation> {
@@ -170,15 +241,19 @@ impl VmEngine {
     /// strategy.
     fn scan(
         &mut self,
+        base: &str,
         docs: &Arc<Vec<Value>>,
         predicate: &Predicate,
         counters: &mut WorkCounters,
     ) -> Result<Vec<Value>, EngineError> {
         self.cancel.check("VM scan")?;
         counters.docs_scanned += docs.len() as u64;
+        // Charged from the ORIGINAL predicate, not the optimized program:
+        // the cost model prices the workload's stated work, and dropping
+        // a provably-dead arm must not perturb modeled times.
         let leaves = predicate.leaf_count() as u64;
         counters.predicate_evals += leaves * docs.len() as u64;
-        let program = self.program_for(predicate);
+        let program = self.program_for(base, predicate);
         if let Some(prog) = program.as_ref() {
             if prog.is_projectable() {
                 if let Some(proj) = self.projection_for(docs) {
@@ -273,11 +348,14 @@ impl VmEngine {
             counters.cache_hits += 1;
             return Ok(Arc::clone(hit));
         }
+        // The right-arm scan runs over a cached *subset* of `base`'s
+        // corpus, so optimizing it under `base`'s analysis stays sound
+        // (matches-none/matches-all facts survive taking subsets).
         let result: Arc<Vec<Value>> = if let Predicate::And(left, right) = predicate {
             let parent = self.filtered(base, base_docs, left, counters)?;
-            Arc::new(self.scan(&parent, right, counters)?)
+            Arc::new(self.scan(base, &parent, right, counters)?)
         } else {
-            Arc::new(self.scan(base_docs, predicate, counters)?)
+            Arc::new(self.scan(base, base_docs, predicate, counters)?)
         };
         self.cache.insert(key, Arc::clone(&result));
         Ok(result)
@@ -304,6 +382,13 @@ impl Engine for VmEngine {
             name: name.to_owned(),
             message: format!("parse failed: {e}"),
         })?;
+        // Analyze once per import; the optimizer derives selectivity
+        // facts from this. A re-import mints a fresh `Arc`, which the
+        // `ptr_eq` check in `program_for` treats as invalidation.
+        self.analyses.insert(
+            name.to_owned(),
+            Arc::new(betze_stats::analyze(name, &parsed)),
+        );
         self.datasets.insert(name.to_owned(), Arc::new(parsed));
         Ok(ExecutionReport::from_counters(
             started.elapsed(),
@@ -345,6 +430,18 @@ impl Engine for VmEngine {
         };
 
         if let Some(store) = &query.store_as {
+            // An untransformed store is a subset of its base corpus, so
+            // the base analysis stays sound for it; any transform could
+            // move values outside the proven bounds, so drop it.
+            if query.transforms.is_empty() {
+                if let Some(analysis) = self.analyses.get(&query.base).cloned() {
+                    self.analyses.insert(store.clone(), analysis);
+                } else {
+                    self.analyses.remove(store.as_str());
+                }
+            } else {
+                self.analyses.remove(store.as_str());
+            }
             self.datasets.insert(store.clone(), Arc::clone(&result));
         }
 
@@ -364,8 +461,10 @@ impl Engine for VmEngine {
     }
 
     fn forget(&mut self, name: &str) -> bool {
-        self.cache
-            .retain(|key, _| !key.starts_with(&format!("{name}|")));
+        let prefix = format!("{name}|");
+        self.cache.retain(|key, _| !key.starts_with(&prefix));
+        self.programs.retain(|key, _| !key.starts_with(&prefix));
+        self.analyses.remove(name);
         // Conservative: dropped corpora would otherwise be pinned by
         // their cached projections. Survivors re-shred on their next
         // repeat scan.
@@ -381,8 +480,12 @@ impl Engine for VmEngine {
         self.projections.clear();
         self.scan_seen.clear();
         self.projected_cells = 0;
-        // Program/aggregation caches are pure functions of the IR and
-        // survive resets; they never influence results or counters.
+        self.analyses.clear();
+        // Program/aggregation caches survive resets: aggregations are
+        // pure functions of the IR, and program entries carry the
+        // analysis they were built under, so a post-reset re-import
+        // (fresh `Arc`) makes stale entries fail the `ptr_eq` check and
+        // rebuild. They never influence results or counters.
     }
 
     fn threads(&self) -> usize {
@@ -584,8 +687,11 @@ mod tests {
 
     #[test]
     fn register_budget_fallback_still_executes_correctly() {
-        // A right-deep 17-leaf chain exceeds the budget; the engine must
-        // fall back to tree-walking with identical results and counters.
+        // A right-deep 17-leaf chain exceeds the budget as written. With
+        // the optimizer on (the default), reassociation rebuilds it
+        // left-deep and the engine compiles it; with the optimizer off,
+        // the engine falls back to tree-walking. Both regimes must be
+        // bit-identical to JodaSim.
         let mut deep = Predicate::leaf(FilterFn::FloatCmp {
             path: ptr("/n"),
             op: Comparison::Ge,
@@ -600,7 +706,62 @@ mod tests {
             .and(deep);
         }
         assert!(betze_vm::register_pressure(&deep) > betze_vm::REGISTER_BUDGET);
-        assert_identical(&[Query::scan("t").with_filter(deep)], &docs());
+        let q = Query::scan("t").with_filter(deep);
+        assert_identical(std::slice::from_ref(&q), &docs());
+
+        let mut joda = JodaSim::new(1);
+        let mut vm = VmEngine::new(1);
+        vm.set_optimize(false);
+        joda.import("t", &docs()).unwrap();
+        vm.import("t", &docs()).unwrap();
+        let a = joda.execute(&q).unwrap();
+        let b = vm.execute(&q).unwrap();
+        assert_eq!(a.docs, b.docs);
+        assert_eq!(a.report.counters, b.report.counters);
+        assert_eq!(a.report.modeled, b.report.modeled);
+    }
+
+    #[test]
+    fn dead_arm_elimination_preserves_results_and_counters() {
+        // /n ∈ [0, 99] on the imported corpus, so `n > 1000` is provably
+        // false: the optimizer drops that OR arm. Results, counters
+        // (charged from the original predicate), and modeled times must
+        // not move — and the propagated analysis must stay sound on an
+        // untransformed store.
+        let impossible = Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr("/n"),
+            op: Comparison::Gt,
+            value: 1000.0,
+        });
+        let queries = vec![
+            Query::scan("t")
+                .with_filter(small().or(impossible.clone()))
+                .store_as("sub"),
+            Query::scan("sub").with_filter(even().or(impossible)),
+        ];
+        assert_identical(&queries, &docs());
+    }
+
+    #[test]
+    fn optimizer_toggle_invalidates_cached_programs() {
+        // The same predicate executed under both settings from one
+        // engine instance: toggling must rebuild, not serve the cached
+        // program from the other regime, and results must not change.
+        let mut vm = VmEngine::new(1);
+        vm.import("t", &docs()).unwrap();
+        let q = Query::scan("t").with_filter(even().or(Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr("/n"),
+            op: Comparison::Gt,
+            value: 1000.0,
+        })));
+        let on = vm.execute(&q).unwrap();
+        vm.set_optimize(false);
+        assert!(!vm.optimize_enabled());
+        let off = vm.execute(&q).unwrap();
+        assert_eq!(on.docs, off.docs);
+        assert_eq!(on.report.counters.docs_scanned, 100);
+        // The second run hits the result cache, not the scan path.
+        assert_eq!(off.report.counters.cache_hits, 1);
     }
 
     #[test]

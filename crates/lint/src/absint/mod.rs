@@ -20,6 +20,8 @@
 //! * [`transfer`] — per-leaf and per-tree transfer functions, mandatory
 //!   fact refinement.
 //! * [`engine`] — the dataflow walk and the trail fixpoint.
+//! * [`vmfacts`] — bridge to the VM optimizer: per-subtree selectivity
+//!   facts packaged as [`betze_vm::ArmFacts`].
 
 pub mod card;
 pub mod engine;
@@ -27,10 +29,12 @@ pub mod interval;
 pub mod strdom;
 pub mod transfer;
 pub mod typeset;
+pub mod vmfacts;
 
 pub use card::SelWindow;
 pub use engine::QueryPrediction;
 pub use interval::Interval;
+pub use vmfacts::vm_arm_facts;
 
 /// Configuration of the abstract interpreter.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,103 @@
+//! Bridge from the abstract interpreter to the bytecode optimizer:
+//! per-subtree selectivity bounds packaged as [`betze_vm::ArmFacts`].
+//!
+//! The optimizer only acts on the two *subset-stable* extremes of a
+//! fact — matches-none (`sel_hi ≤ 0`) and matches-all (`sel_lo ≥ 1`).
+//! Both are proven here over the exact base-corpus statistics, and both
+//! survive taking subsets: a subtree matching no document of the corpus
+//! matches none of any filtered subset, and one matching every document
+//! matches all of any subset. That is what makes dead-arm elimination
+//! *exact* (bit-identical results) on every scan the engine runs with
+//! these facts, not merely statistically likely. Intermediate bounds
+//! are shipped too — they only influence arm *ordering*, which never
+//! changes semantics.
+//!
+//! Each subtree is pushed through [`analyze_predicate`] independently
+//! (O(n²) in the leaf count, but generated trees are small), reusing
+//! the full transfer-function machinery — contradiction pinning,
+//! Fréchet combination, mandatory-fact refinement — rather than a
+//! weaker leaf-only approximation.
+
+use crate::absint::transfer::analyze_predicate;
+use betze_model::Predicate;
+use betze_stats::DatasetAnalysis;
+use betze_vm::ArmFacts;
+
+/// Derives sound per-subtree selectivity facts for `predicate` over the
+/// corpus described by `analysis`, keyed by `filter`-rooted locators
+/// (the same grammar diagnostics use).
+///
+/// Returns no facts for an empty corpus: with zero documents every
+/// bound degenerates and the optimizer should fall back to structural
+/// rewrites only.
+pub fn vm_arm_facts(predicate: &Predicate, analysis: &DatasetAnalysis) -> ArmFacts {
+    let mut facts = ArmFacts::none();
+    let n = analysis.doc_count as f64;
+    if n <= 0.0 {
+        return facts;
+    }
+    predicate.for_each_node("filter", &mut |node, locator| {
+        let bounds = analyze_predicate(node, analysis).count;
+        facts.insert(locator, bounds.lo / n, bounds.hi / n);
+    });
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::parse_many;
+    use betze_model::{Comparison, FilterFn};
+    use betze_stats::analyze;
+
+    fn corpus() -> DatasetAnalysis {
+        let lines: String = (0..50)
+            .map(|i| format!("{{\"score\": {i}, \"lang\": \"de\"}}\n"))
+            .collect();
+        let docs = parse_many(&lines).unwrap();
+        analyze("corpus", &docs)
+    }
+
+    fn leaf(f: FilterFn) -> Predicate {
+        Predicate::leaf(f)
+    }
+
+    fn score(op: Comparison, value: f64) -> Predicate {
+        leaf(FilterFn::FloatCmp {
+            path: "/score".parse().unwrap(),
+            op,
+            value,
+        })
+    }
+
+    #[test]
+    fn extremes_are_proven_per_subtree() {
+        let analysis = corpus();
+        // score < 1000 is vacuous (matches all); /missing exists never.
+        let p = score(Comparison::Lt, 1000.0).and(leaf(FilterFn::Exists {
+            path: "/missing".parse().unwrap(),
+        }));
+        let facts = vm_arm_facts(&p, &analysis);
+        assert!(facts.get("filter:L").unwrap().matches_all());
+        assert!(facts.get("filter:R").unwrap().matches_none());
+        // The conjunction inherits the contradiction.
+        assert!(facts.get("filter").unwrap().matches_none());
+        assert_eq!(facts.len(), 3, "one fact per node");
+    }
+
+    #[test]
+    fn indeterminate_bounds_are_not_extremes() {
+        let analysis = corpus();
+        let facts = vm_arm_facts(&score(Comparison::Lt, 25.0), &analysis);
+        let fact = facts.get("filter").unwrap();
+        assert!(!fact.matches_all() && !fact.matches_none());
+        assert!(fact.sel_lo >= 0.0 && fact.sel_hi <= 1.0);
+    }
+
+    #[test]
+    fn empty_corpus_yields_no_facts() {
+        let analysis = analyze("empty", &[]);
+        let facts = vm_arm_facts(&score(Comparison::Lt, 25.0), &analysis);
+        assert!(facts.is_empty());
+    }
+}

@@ -17,7 +17,7 @@ pub struct RuleDoc {
 }
 
 /// The full catalog, in rule-id order (mirrors [`Rule::ALL`]).
-pub const DOCS: [RuleDoc; 31] = [
+pub const DOCS: [RuleDoc; 34] = [
     RuleDoc {
         rule: Rule::UnknownPath,
         rationale: "A predicate references an attribute path that never occurs in the \
@@ -216,6 +216,38 @@ pub const DOCS: [RuleDoc; 31] = [
                     length; only deeply right-nested hand-written trees hit \
                     the budget.",
         example: "a right-nested chain of 17 comparisons (pressure 17 > budget 16)",
+    },
+    RuleDoc {
+        rule: Rule::VmVerifierViolation,
+        rationale: "The bytecode verifier rejected a program the compiler or \
+                    optimizer emitted — use-before-def on a register, an \
+                    unbalanced selection stack, a jump that misses its PopSel, \
+                    or an out-of-range pool index. This is a toolchain bug, \
+                    never a workload problem: the engine falls back to \
+                    tree-walking (correct results), and the diagnostic carries \
+                    the violated invariant so the miscompilation is debuggable \
+                    instead of silently executed.",
+        example: "verifier: register r1 read at 0003 before any definition",
+    },
+    RuleDoc {
+        rule: Rule::VmDeadArmEliminated,
+        rationale: "The optimizer dropped a connective arm the abstract \
+                    interpreter proved dead over the analyzed corpus — a \
+                    provably-false OR arm or provably-true AND arm. Execution \
+                    is unchanged (the arm could never affect the result) and \
+                    faster, but the session author probably meant the arm to \
+                    do something; this is L037's insight applied, not just \
+                    reported.",
+        example: "FILTER /score > 99 OR /lang == 'de'  -- /score ∈ [0, 10]",
+    },
+    RuleDoc {
+        rule: Rule::VmPressureReduced,
+        rationale: "Optimizer reassociation rebuilt the predicate's connective \
+                    runs left-deep, bringing a register pressure that exceeded \
+                    the VM budget back under it: a query that would have \
+                    tree-walked (L049) now runs compiled. Informational — the \
+                    workload benefits with no action needed.",
+        example: "a right-nested 17-leaf AND chain: pressure 17 -> 2 after rewrite",
     },
 ];
 

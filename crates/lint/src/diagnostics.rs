@@ -131,11 +131,21 @@ pub enum Rule {
     /// L049: a predicate's register pressure exceeds the bytecode VM's
     /// budget, so VM-backed engines fall back to tree-walking it.
     VmRegisterBudget,
+    /// L050: the bytecode verifier rejected a program the compiler or
+    /// optimizer produced — a toolchain bug, caught before execution.
+    VmVerifierViolation,
+    /// L051: the optimizer dropped a connective arm the abstract
+    /// interpreter proved dead, so the engine never evaluates it.
+    VmDeadArmEliminated,
+    /// L052: optimizer reassociation brought an over-budget predicate
+    /// under the VM register budget — a former tree-walk fallback now
+    /// runs compiled.
+    VmPressureReduced,
 }
 
 impl Rule {
     /// The full catalog, in rule-id order.
-    pub const ALL: [Rule; 31] = [
+    pub const ALL: [Rule; 34] = [
         Rule::UnknownPath,
         Rule::TypeMismatch,
         Rule::ContradictoryConjunction,
@@ -167,6 +177,9 @@ impl Rule {
         Rule::UnreachableDataset,
         Rule::EmptyBaseAnalysis,
         Rule::VmRegisterBudget,
+        Rule::VmVerifierViolation,
+        Rule::VmDeadArmEliminated,
+        Rule::VmPressureReduced,
     ];
 
     /// Stable identifier (`L001` …).
@@ -203,6 +216,9 @@ impl Rule {
             Rule::UnreachableDataset => "L047",
             Rule::EmptyBaseAnalysis => "L048",
             Rule::VmRegisterBudget => "L049",
+            Rule::VmVerifierViolation => "L050",
+            Rule::VmDeadArmEliminated => "L051",
+            Rule::VmPressureReduced => "L052",
         }
     }
 
@@ -240,6 +256,9 @@ impl Rule {
             Rule::UnreachableDataset => "unreachable-dataset",
             Rule::EmptyBaseAnalysis => "empty-base-analysis",
             Rule::VmRegisterBudget => "vm-register-budget",
+            Rule::VmVerifierViolation => "vm-verifier-violation",
+            Rule::VmDeadArmEliminated => "vm-dead-arm-eliminated",
+            Rule::VmPressureReduced => "vm-pressure-reduced",
         }
     }
 
@@ -256,7 +275,8 @@ impl Rule {
             | Rule::DanglingDatasetRef
             | Rule::ProvablyEmptyResult
             | Rule::BottomInputDataset
-            | Rule::EmptyBaseAnalysis => Severity::Error,
+            | Rule::EmptyBaseAnalysis
+            | Rule::VmVerifierViolation => Severity::Error,
             Rule::TautologicalSubtree
             | Rule::VacuousBound
             | Rule::AggregationTypeMismatch
@@ -271,12 +291,14 @@ impl Rule {
             | Rule::DerivedPrefixConflict
             | Rule::StoredEmptyDataset
             | Rule::AggregationOverEmpty
-            | Rule::VmRegisterBudget => Severity::Warn,
+            | Rule::VmRegisterBudget
+            | Rule::VmDeadArmEliminated => Severity::Warn,
             Rule::DatasetNeverRead
             | Rule::StaticallyKnownCount
             | Rule::WideningApplied
             | Rule::SelectivityIndeterminate
-            | Rule::UnreachableDataset => Severity::Info,
+            | Rule::UnreachableDataset
+            | Rule::VmPressureReduced => Severity::Info,
         }
     }
 }

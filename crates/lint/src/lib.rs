@@ -17,8 +17,11 @@
 //!   predicate atoms, same paths, balanced string quoting per backend.
 //! * **Session-graph pass** (`L030`–`L032`): dangling dataset references,
 //!   `store_as` shadowing, and datasets stored but never queried.
-//! * **VM pass** (`L049`): predicates whose register pressure exceeds the
-//!   bytecode VM's budget (such queries fall back to tree-walking).
+//! * **VM pass** (`L049`–`L052`): each filter is run through the bytecode
+//!   optimizer exactly as a VM-backed engine will — L049 fires only when
+//!   the *optimized* tree still exceeds the register budget, L050 when
+//!   the verifier rejects a produced program, L051 per arm dropped as
+//!   provably dead, L052 when reassociation rescued a former fallback.
 //!
 //! ```
 //! use betze_lint::{Linter, Severity};
@@ -45,7 +48,7 @@ mod ir_pass;
 mod translation_pass;
 mod vm_pass;
 
-pub use absint::{AbsintConfig, Interval, QueryPrediction, SelWindow};
+pub use absint::{vm_arm_facts, AbsintConfig, Interval, QueryPrediction, SelWindow};
 pub use catalog::{explain, RuleDoc};
 pub use diagnostics::{Diagnostic, LintReport, Rule, Severity, Span};
 pub use translation_pass::audit_rendering;
@@ -112,7 +115,7 @@ impl<'a> Linter<'a> {
         let mut report = LintReport::new();
         let mut predictions = Vec::new();
         graph_pass::run(session, &mut report);
-        vm_pass::run(session, &mut report);
+        vm_pass::run(session, &self.analyses, &mut report);
         if !self.analyses.is_empty() {
             ir_pass::run(session, &self.analyses, &mut report);
             predictions = absint::engine::run(session, &self.analyses, &self.absint, &mut report);

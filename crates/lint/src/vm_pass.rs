@@ -1,31 +1,121 @@
-//! The VM pass (`L049`): flags predicates whose register pressure
-//! exceeds the bytecode VM's budget.
+//! The VM pass (`L049`–`L052`): runs each filter through the bytecode
+//! optimizer exactly as a VM-backed engine will, and reports what the
+//! engine will actually do.
 //!
-//! [`betze_vm::compile`] refuses such trees, and every VM-backed engine
-//! then tree-walks the query instead — correct, but off the fast path.
-//! The check is purely structural (no analysis needed), so it runs
-//! unconditionally, like the session-graph pass.
+//! Before the optimizer existed this pass flagged raw register pressure
+//! (`L049`) structurally. That over-warned: reassociation rescues most
+//! over-budget trees, so lint said "tree-walk" about queries the engine
+//! compiles. The pass now mirrors the engine end to end — same facts
+//! derivation ([`vm_arm_facts`]), same analysis propagation through
+//! untransformed `store_as` chains, same [`betze_vm::optimize`] call —
+//! and fires:
+//!
+//! * `L049` only when the *optimized* tree still exceeds the budget
+//!   (the engine genuinely falls back to tree-walking);
+//! * `L050` (error) when the verifier rejects a compiled or rewritten
+//!   program — a toolchain bug surfaced statically;
+//! * `L051` per connective arm the optimizer drops as provably dead;
+//! * `L052` when reassociation brought an over-budget tree back under
+//!   the budget (a former L049 now compiled).
 
+use crate::absint::vmfacts::vm_arm_facts;
 use crate::diagnostics::{Diagnostic, LintReport, Rule, Span};
 use betze_model::Session;
-use betze_vm::{register_pressure, REGISTER_BUDGET};
+use betze_stats::DatasetAnalysis;
+use betze_vm::{optimize, ArmFacts, CompileError, OptError, OptNote, REGISTER_BUDGET};
+use std::collections::HashMap;
 
-pub fn run(session: &Session, report: &mut LintReport) {
+pub fn run(session: &Session, analyses: &[&DatasetAnalysis], report: &mut LintReport) {
+    // Mirror the engine's analysis propagation: a store with no
+    // transforms materializes a *subset* of its base corpus, so the base
+    // facts stay sound for it (matches-none/matches-all survive taking
+    // subsets); any transform invalidates them.
+    let mut by_dataset: HashMap<&str, Option<&DatasetAnalysis>> = analyses
+        .iter()
+        .map(|a| (a.dataset.as_str(), Some(*a)))
+        .collect();
     for (i, query) in session.queries.iter().enumerate() {
+        let analysis = by_dataset.get(query.base.as_str()).copied().flatten();
+        if let Some(store) = &query.store_as {
+            let propagated = if query.transforms.is_empty() {
+                analysis
+            } else {
+                None
+            };
+            by_dataset.insert(store.as_str(), propagated);
+        }
         let Some(filter) = &query.filter else {
             continue;
         };
-        let needed = register_pressure(filter);
-        if needed > REGISTER_BUDGET {
-            report.push(Diagnostic::new(
-                Rule::VmRegisterBudget,
-                Span::at(i, "filter"),
-                format!(
-                    "predicate needs {needed} registers but the bytecode VM has \
-                     {REGISTER_BUDGET}; VM-backed engines tree-walk this query \
-                     (rebalance the tree left-deep to compile it)"
-                ),
-            ));
+        let facts = analysis
+            .map(|a| vm_arm_facts(filter, a))
+            .unwrap_or_else(ArmFacts::none);
+        match optimize(filter, &facts) {
+            Ok(optimized) => {
+                for note in &optimized.notes {
+                    if let OptNote::DeadArm {
+                        locator,
+                        why,
+                        leaves,
+                    } = note
+                    {
+                        report.push(Diagnostic::new(
+                            Rule::VmDeadArmEliminated,
+                            Span::at(i, locator.clone()),
+                            format!(
+                                "optimizer drops this {why} arm ({leaves} \
+                                 leaf{}) — it cannot affect the result",
+                                if *leaves == 1 { "" } else { "ves" }
+                            ),
+                        ));
+                    }
+                }
+                if optimized.pressure_before > REGISTER_BUDGET {
+                    report.push(Diagnostic::new(
+                        Rule::VmPressureReduced,
+                        Span::at(i, "filter"),
+                        format!(
+                            "reassociation reduced register pressure {} -> {} \
+                             (budget {REGISTER_BUDGET}); this query now runs \
+                             compiled instead of tree-walking",
+                            optimized.pressure_before, optimized.pressure_after
+                        ),
+                    ));
+                }
+            }
+            Err(OptError::Compile(CompileError::RegisterBudget { needed, budget })) => {
+                report.push(Diagnostic::new(
+                    Rule::VmRegisterBudget,
+                    Span::at(i, "filter"),
+                    format!(
+                        "predicate needs {needed} registers even after \
+                         optimization but the bytecode VM has {budget}; \
+                         VM-backed engines tree-walk this query"
+                    ),
+                ));
+            }
+            Err(OptError::Compile(CompileError::TooLarge { what })) => {
+                report.push(Diagnostic::new(
+                    Rule::VmRegisterBudget,
+                    Span::at(i, "filter"),
+                    format!(
+                        "predicate's {what} table exceeds the VM's 16-bit \
+                         index space even after optimization; VM-backed \
+                         engines tree-walk this query"
+                    ),
+                ));
+            }
+            Err(OptError::Verify { stage, error }) => {
+                report.push(Diagnostic::new(
+                    Rule::VmVerifierViolation,
+                    Span::at(i, "filter"),
+                    format!(
+                        "bytecode verifier rejected the {stage} output: \
+                         {error} — toolchain bug; the engine falls back to \
+                         tree-walking"
+                    ),
+                ));
+            }
         }
     }
 }
@@ -35,6 +125,8 @@ mod tests {
     use super::*;
     use betze_json::JsonPointer;
     use betze_model::{Comparison, DatasetGraph, FilterFn, Predicate, Query};
+    use betze_stats::PathStats;
+    use std::collections::BTreeMap;
 
     fn leaf(i: usize) -> Predicate {
         Predicate::leaf(FilterFn::FloatCmp {
@@ -56,6 +148,12 @@ mod tests {
         }
     }
 
+    fn lint(session: &Session, analyses: &[&DatasetAnalysis]) -> LintReport {
+        let mut report = LintReport::new();
+        run(session, analyses, &mut report);
+        report
+    }
+
     #[test]
     fn left_deep_chains_never_fire() {
         // The generator's shape: AND-chains growing leftward. Pressure
@@ -64,25 +162,147 @@ mod tests {
         for i in 1..40 {
             p = p.and(leaf(i));
         }
-        let mut report = LintReport::new();
-        run(&session_with(p), &mut report);
+        let report = lint(&session_with(p), &[]);
         assert!(report.is_empty(), "{}", report.render_human());
     }
 
     #[test]
-    fn right_deep_chain_past_the_budget_fires_l049() {
+    fn rescued_right_deep_chain_fires_l052_not_l049() {
+        // Pressure 17 as written — but a single AND run, so the
+        // optimizer rebuilds it left-deep at pressure 2 and the engine
+        // compiles it. Lint now reports the rescue, not a fallback.
         let mut p = leaf(REGISTER_BUDGET);
         for i in (0..REGISTER_BUDGET).rev() {
             p = leaf(i).and(p);
         }
-        let mut report = LintReport::new();
-        run(&session_with(p), &mut report);
-        assert_eq!(report.rule_ids(), vec!["L049"]);
+        let report = lint(&session_with(p), &[]);
+        assert_eq!(report.rule_ids(), vec!["L052"]);
         let d = &report.diagnostics()[0];
         assert_eq!(d.span, Span::at(0, "filter"));
-        assert!(d.message.contains("17 registers"), "{}", d.message);
+        assert!(d.message.contains("17 -> 2"), "{}", d.message);
+    }
+
+    #[test]
+    fn unfixable_pressure_still_fires_l049() {
+        // A balanced tree with strictly alternating connectives has no
+        // same-op run longer than two arms, so reassociation cannot
+        // help: every level adds one register, and reaching pressure 17
+        // takes 2^16 leaves (the Strahler bound). The optimizer must
+        // report the genuine fallback.
+        fn balanced(depth: usize, next: &mut usize) -> Predicate {
+            if depth == 0 {
+                *next += 1;
+                return leaf(*next);
+            }
+            let l = balanced(depth - 1, next);
+            let r = balanced(depth - 1, next);
+            if depth.is_multiple_of(2) {
+                l.and(r)
+            } else {
+                l.or(r)
+            }
+        }
+        let mut next = 0;
+        let p = balanced(REGISTER_BUDGET, &mut next);
+        assert_eq!(betze_vm::register_pressure(&p), REGISTER_BUDGET + 1);
+        let report = lint(&session_with(p), &[]);
+        assert_eq!(report.rule_ids(), vec!["L049"]);
         assert!(
-            betze_vm::compile(&session_with(leaf(0)).queries[0].filter.clone().unwrap()).is_ok()
+            report.diagnostics()[0].message.contains("17 registers"),
+            "{}",
+            report.diagnostics()[0].message
+        );
+    }
+
+    fn analysis() -> DatasetAnalysis {
+        let mut paths = BTreeMap::new();
+        paths.insert(
+            JsonPointer::parse("/score").unwrap(),
+            PathStats {
+                doc_count: 100,
+                int_count: 100,
+                int_min: Some(0),
+                int_max: Some(10),
+                ..PathStats::default()
+            },
+        );
+        DatasetAnalysis {
+            dataset: "tw".into(),
+            doc_count: 100,
+            paths,
+        }
+    }
+
+    #[test]
+    fn dead_or_arm_fires_l051_with_analysis() {
+        // /score ∈ [0, 10] on every document, so the right OR arm is
+        // provably false — the optimizer drops it and lint says so.
+        let p = Predicate::leaf(FilterFn::FloatCmp {
+            path: JsonPointer::parse("/score").unwrap(),
+            op: Comparison::Lt,
+            value: 5.0,
+        })
+        .or(Predicate::leaf(FilterFn::FloatCmp {
+            path: JsonPointer::parse("/score").unwrap(),
+            op: Comparison::Gt,
+            value: 99.0,
+        }));
+        let a = analysis();
+        let report = lint(&session_with(p.clone()), &[&a]);
+        assert_eq!(report.rule_ids(), vec!["L051"]);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.span, Span::at(0, "filter:R"));
+        assert!(d.message.contains("provably false"), "{}", d.message);
+        // Without the analysis the arm cannot be proven dead.
+        assert!(lint(&session_with(p), &[]).is_empty());
+    }
+
+    #[test]
+    fn transforms_invalidate_propagated_analysis() {
+        // q0 stores a filtered (untransformed) subset: facts propagate,
+        // so q1's dead arm is caught. q2 stores with a transform: facts
+        // are dropped, so q3's identical dead arm is NOT reported.
+        let score_lt = |v: f64| {
+            Predicate::leaf(FilterFn::FloatCmp {
+                path: JsonPointer::parse("/score").unwrap(),
+                op: Comparison::Lt,
+                value: v,
+            })
+        };
+        let dead_or = |v: f64| score_lt(v).or(score_lt(-1.0));
+        let mut graph = DatasetGraph::new();
+        let base = graph.add_base("tw", 100.0);
+        graph.add_derived(base, "sub", 0, 50.0);
+        graph.add_derived(base, "mapped", 2, 50.0);
+        let mut q2 = Query::scan("tw").with_filter(score_lt(7.0));
+        q2.transforms.push(betze_model::Transform::Remove {
+            path: JsonPointer::parse("/score").unwrap(),
+        });
+        let session = Session {
+            queries: vec![
+                Query::scan("tw").with_filter(score_lt(5.0)).store_as("sub"),
+                Query::scan("sub").with_filter(dead_or(3.0)),
+                q2.store_as("mapped"),
+                Query::scan("mapped").with_filter(dead_or(3.0)),
+            ],
+            graph,
+            moves: Vec::new(),
+            seed: 0,
+            config_label: "t".into(),
+        };
+        let a = analysis();
+        let report = lint(&session, &[&a]);
+        let spans: Vec<String> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.rule == Rule::VmDeadArmEliminated)
+            .map(|d| d.span.to_string())
+            .collect();
+        assert_eq!(
+            spans,
+            vec!["query 1 @ filter:R"],
+            "{}",
+            report.render_human()
         );
     }
 }

@@ -75,11 +75,7 @@ pub fn compile(predicate: &Predicate) -> Result<Program, CompileError> {
     let mut c = Compiler::default();
     c.node(predicate, 0)?;
     let (hint_bases, hint_slots) = Program::hint_layout(&c.pool);
-    let projectable = c.pool.paths.iter().all(|p| {
-        p.steps
-            .iter()
-            .all(|s| s.index.is_none_or(|i| i.to_string() == s.key))
-    });
+    let projectable = crate::program::pool_is_projectable(&c.pool);
     Ok(Program {
         ops: c.ops,
         leaves: c.leaves,

@@ -34,19 +34,28 @@
 //!
 //! Trees whose right-descending spine exceeds [`REGISTER_BUDGET`] fail
 //! compilation with [`CompileError::RegisterBudget`]; callers fall back
-//! to tree-walking (lint rule L049 warns about such sessions).
+//! to tree-walking (lint rule L049 warns about such sessions). The
+//! [`optimize`] entry point usually avoids that fate: it reassociates
+//! runs left-deep, folds constants, drops arms the abstract interpreter
+//! proves dead ([`ArmFacts`]), and deduplicates leaves — with every
+//! rewrite re-checked by the bytecode verifier ([`Program::verify`],
+//! DESIGN.md §15) before it can execute.
 
 mod agg;
 mod compile;
 mod exec;
+mod opt;
 mod program;
 mod project;
+mod verify;
 
 pub use agg::CompiledAggregation;
 pub use compile::{compile, register_pressure, CompileError};
 pub use exec::VmScratch;
+pub use opt::{optimize, ArmFact, ArmFacts, OptError, OptNote, Optimized};
 pub use program::{CompiledLeaf, CompiledPath, ConstPool, LeafTest, Op, Program, REGISTER_BUDGET};
 pub use project::Projection;
+pub use verify::VerifyError;
 
 #[cfg(test)]
 mod tests {
@@ -331,6 +340,57 @@ ops:
         );
         let msg = compile(&right_deep).unwrap_err().to_string();
         assert!(msg.contains("17"), "error names the pressure: {msg}");
+    }
+
+    #[test]
+    fn right_spines_at_the_register_budget_boundary() {
+        // Exactly 15 and 16 registers compile (and verify, and run);
+        // 17 is the first pressure over the budget.
+        let spine = |n: usize| {
+            let mut p = exists(&format!("/s{}", n - 1));
+            for i in (0..n - 1).rev() {
+                p = exists(&format!("/s{i}")).and(p);
+            }
+            p
+        };
+        for n in [REGISTER_BUDGET - 1, REGISTER_BUDGET] {
+            let p = spine(n);
+            assert_eq!(register_pressure(&p), n);
+            let program = compile(&p).unwrap();
+            assert_eq!(program.registers(), n);
+            program.verify().expect("boundary spine verifies");
+            assert_eq!(program.count_matches(&docs()), 0, "no /sN in the corpus");
+        }
+        assert_eq!(
+            compile(&spine(REGISTER_BUDGET + 1)),
+            Err(CompileError::RegisterBudget {
+                needed: REGISTER_BUDGET + 1,
+                budget: REGISTER_BUDGET
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_constants_across_connective_arms_share_pool_entries() {
+        // The same string/int constants and paths in both arms of an OR
+        // are interned once; the leaf table keeps all four tests.
+        let arm = |path: &str| {
+            Predicate::leaf(FilterFn::StrEq {
+                path: ptr(path),
+                value: "dup".into(),
+            })
+            .and(Predicate::leaf(FilterFn::IntEq {
+                path: ptr("/shared"),
+                value: 42,
+            }))
+        };
+        let p = arm("/x").or(arm("/y"));
+        let program = compile(&p).unwrap();
+        assert_eq!(program.pool().strings, vec!["dup"]);
+        assert_eq!(program.pool().ints, vec![42]);
+        assert_eq!(program.pool().paths.len(), 3, "/x, /y, /shared");
+        assert_eq!(program.leaves().len(), 4);
+        assert_equivalent(&p, &docs());
     }
 
     #[test]

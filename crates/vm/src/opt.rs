@@ -1,0 +1,1023 @@
+//! The verified bytecode optimizer: semantics-preserving rewrites over
+//! predicate trees and their compiled programs, each re-checked by the
+//! verifier (`verify.rs`) before anything executes.
+//!
+//! The pipeline (DESIGN.md §15):
+//!
+//! 1. **Constant folding** — leaves that are constant by construction
+//!    (`FloatCmp` against NaN, `ARRSIZE/OBJSIZE` compared below zero,
+//!    `EXISTS` on the root pointer) become `true`/`false` and propagate
+//!    through connectives.
+//! 2. **Dead-arm elimination** — driven by [`ArmFacts`], sound per-arm
+//!    selectivity bounds derived from the abstract interpreter
+//!    (`betze-lint`'s L033–L048 machinery): an arm with selectivity
+//!    `[1, 1]` over the analyzed corpus matches every document of every
+//!    subset, so it is dropped from an `AND`; an arm with `[0, 0]`
+//!    matches none and is dropped from an `OR`. Soundness note: facts
+//!    are proven over the *base corpus*, and engines only ever scan
+//!    subsets of the corpus the analysis describes — matches-all and
+//!    matches-none both survive taking subsets, so the rewrite is exact
+//!    (not just approximate) on every scan.
+//! 3. **Flatten + CSE** — maximal same-connective runs are flattened
+//!    and syntactically duplicate arms deduplicated (`x ∧ x = x`); this
+//!    is the tree-level half of common-subexpression elimination.
+//! 4. **Selectivity-ordered reordering** — `AND` arms most-selective
+//!    first, `OR` arms least-selective first, so the cheapest test
+//!    narrows the selection vector before expensive arms run. Purely an
+//!    execution-order change (connectives are commutative).
+//! 5. **Reassociation** — runs are rebuilt left-deep with the
+//!    highest-pressure arm first (the Sethi–Ullman-optimal order for
+//!    this register allocator), turning register-budget failures (lint
+//!    L049) into compiled programs: a right spine of n leaves drops
+//!    from pressure n to pressure 2.
+//! 6. **Bytecode passes** — after compilation, duplicate leaf-table
+//!    entries are merged (the bytecode half of CSE: one `CompiledPath`
+//!    load feeds every identical `Eval`) and `JumpIfEmpty` guards
+//!    around single-leaf right arms are elided (the jump costs more
+//!    than the two ops it can skip).
+//!
+//! Every stage that produces a program runs [`Program::verify`]; a
+//! rewrite bug surfaces as [`OptError::Verify`], never as a miscompiled
+//! scan.
+
+use crate::compile::{compile, register_pressure, CompileError};
+use crate::program::{CompiledLeaf, CompiledPath, ConstPool, LeafTest, Op, Program};
+use crate::verify::VerifyError;
+use betze_json::JsonPointer;
+use betze_model::{Comparison, FilterFn, Predicate};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Sound selectivity bounds for one predicate subtree over the analyzed
+/// corpus, keyed by the subtree's locator (see
+/// [`Predicate::for_each_node`]: `filter`, `filter:L`, `filter:L:R`, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArmFact {
+    /// Lower bound on the matching fraction (≥ 1.0 ⇒ matches all).
+    pub sel_lo: f64,
+    /// Upper bound on the matching fraction (≤ 0.0 ⇒ matches none).
+    pub sel_hi: f64,
+}
+
+impl ArmFact {
+    /// The subtree provably matches no document of the corpus (and
+    /// therefore none of any subset).
+    pub fn matches_none(&self) -> bool {
+        self.sel_hi <= 0.0
+    }
+
+    /// The subtree provably matches every document of the corpus (and
+    /// therefore all of any subset).
+    pub fn matches_all(&self) -> bool {
+        self.sel_lo >= 1.0
+    }
+}
+
+/// Per-locator [`ArmFact`]s for one predicate, as produced by
+/// `betze_lint::vm_arm_facts` from a dataset analysis. An empty map is
+/// always sound: the optimizer then only applies structural rewrites.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArmFacts {
+    entries: BTreeMap<String, ArmFact>,
+}
+
+impl ArmFacts {
+    /// No facts: structural rewrites only.
+    pub fn none() -> ArmFacts {
+        ArmFacts::default()
+    }
+
+    /// Records sound selectivity bounds for the subtree at `locator`.
+    pub fn insert(&mut self, locator: impl Into<String>, sel_lo: f64, sel_hi: f64) {
+        self.entries
+            .insert(locator.into(), ArmFact { sel_lo, sel_hi });
+    }
+
+    /// The fact for a locator, if any.
+    pub fn get(&self, locator: &str) -> Option<ArmFact> {
+        self.entries.get(locator).copied()
+    }
+
+    /// Number of recorded facts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no facts are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One rewrite the optimizer applied, for diagnostics (lint L051/L052)
+/// and logs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptNote {
+    /// A connective arm was dropped: provably true under an `AND` or
+    /// provably false under an `OR`.
+    DeadArm {
+        /// Locator of the dropped subtree (original tree coordinates).
+        locator: String,
+        /// `"provably true"` or `"provably false"`.
+        why: &'static str,
+        /// Leaves under the dropped arm.
+        leaves: usize,
+    },
+    /// The whole filter folded to a constant.
+    FoldedConstant {
+        /// Locator of the folded subtree (always `filter`).
+        locator: String,
+        /// The constant it folded to.
+        to: bool,
+    },
+    /// A syntactically duplicate arm of a connective run was removed.
+    DuplicateArm {
+        /// Locator of the removed duplicate (original coordinates).
+        locator: String,
+    },
+    /// A connective run's arms were reordered by predicted selectivity.
+    ArmsReordered {
+        /// Locator of the run's root node.
+        locator: String,
+    },
+    /// Reassociation reduced the register pressure.
+    PressureReduced {
+        /// Pressure of the tree as written.
+        before: usize,
+        /// Pressure after rebuilding runs left-deep.
+        after: usize,
+    },
+    /// Identical leaf-table entries were merged (bytecode CSE).
+    LeavesDeduped {
+        /// Entries removed.
+        removed: usize,
+    },
+    /// `JumpIfEmpty` guards around trivial right arms were removed.
+    JumpsElided {
+        /// Jumps removed.
+        removed: usize,
+    },
+}
+
+impl fmt::Display for OptNote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptNote::DeadArm {
+                locator,
+                why,
+                leaves,
+            } => write!(f, "dropped {why} arm {locator} ({leaves} leaves)"),
+            OptNote::FoldedConstant { locator, to } => {
+                write!(f, "folded {locator} to constant {to}")
+            }
+            OptNote::DuplicateArm { locator } => write!(f, "removed duplicate arm {locator}"),
+            OptNote::ArmsReordered { locator } => {
+                write!(f, "reordered arms of {locator} by selectivity")
+            }
+            OptNote::PressureReduced { before, after } => {
+                write!(f, "register pressure {before} -> {after}")
+            }
+            OptNote::LeavesDeduped { removed } => write!(f, "merged {removed} duplicate leaves"),
+            OptNote::JumpsElided { removed } => write!(f, "elided {removed} trivial jumps"),
+        }
+    }
+}
+
+/// A successfully optimized (and verified) program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Optimized {
+    /// The verified program.
+    pub program: Program,
+    /// Every rewrite applied, in pipeline order.
+    pub notes: Vec<OptNote>,
+    /// Register pressure of the predicate as written.
+    pub pressure_before: usize,
+    /// Registers the optimized program actually uses.
+    pub pressure_after: usize,
+}
+
+/// Why optimization failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// The tree exceeds VM limits even after rewriting. Because the
+    /// rewritten tree's pressure never exceeds the original's, this
+    /// implies plain [`compile`] fails too.
+    Compile(CompileError),
+    /// A rewrite produced a program the verifier rejects — an optimizer
+    /// bug, caught before execution (lint L050).
+    Verify {
+        /// Which pipeline stage produced the bad program.
+        stage: &'static str,
+        /// The violated invariant.
+        error: VerifyError,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Compile(e) => write!(f, "optimized tree does not compile: {e}"),
+            OptError::Verify { stage, error } => {
+                write!(f, "{stage} output failed verification: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// A predicate subtree annotated with its locator in the *original*
+/// tree, so facts (keyed by original locators) survive restructuring.
+enum ATree {
+    Leaf(FilterFn, String),
+    Node(bool, Box<ATree>, Box<ATree>, String),
+}
+
+impl ATree {
+    fn of(p: &Predicate, loc: &str) -> ATree {
+        match p {
+            Predicate::Leaf(f) => ATree::Leaf(f.clone(), loc.to_owned()),
+            Predicate::And(l, r) => ATree::Node(
+                true,
+                Box::new(ATree::of(l, &format!("{loc}:L"))),
+                Box::new(ATree::of(r, &format!("{loc}:R"))),
+                loc.to_owned(),
+            ),
+            Predicate::Or(l, r) => ATree::Node(
+                false,
+                Box::new(ATree::of(l, &format!("{loc}:L"))),
+                Box::new(ATree::of(r, &format!("{loc}:R"))),
+                loc.to_owned(),
+            ),
+        }
+    }
+
+    fn loc(&self) -> &str {
+        match self {
+            ATree::Leaf(_, loc) | ATree::Node(_, _, _, loc) => loc,
+        }
+    }
+
+    fn leaf_count(&self) -> usize {
+        match self {
+            ATree::Leaf(..) => 1,
+            ATree::Node(_, l, r, _) => l.leaf_count() + r.leaf_count(),
+        }
+    }
+}
+
+/// Result of folding a subtree: a constant, or a (possibly rewritten)
+/// residual tree.
+enum Simp {
+    True,
+    False,
+    Tree(ATree),
+}
+
+/// Optimizes a predicate into a verified program.
+///
+/// `facts` may be empty ([`ArmFacts::none`]); fact-driven rewrites then
+/// simply do not fire. When facts are present they must be *sound* for
+/// the corpus being scanned (the caller's contract — `betze-lint`
+/// derives them from the dataset analysis): every rewrite here
+/// preserves exact per-document semantics under that assumption, which
+/// the differential oracle in `tests/tests/vm.rs` enforces end to end.
+///
+/// Succeeds in strictly more cases than [`compile`]: reassociation can
+/// bring an over-budget tree under [`crate::REGISTER_BUDGET`], and
+/// [`OptError::Compile`] is only returned when the *rewritten* tree
+/// still exceeds a VM limit (rewrites never increase pressure, so plain
+/// compilation of the original would fail too).
+pub fn optimize(predicate: &Predicate, facts: &ArmFacts) -> Result<Optimized, OptError> {
+    let pressure_before = register_pressure(predicate);
+    let mut notes = Vec::new();
+    let done = |program: Program, notes: Vec<OptNote>| {
+        let pressure_after = program.registers();
+        Ok(Optimized {
+            program,
+            notes,
+            pressure_before,
+            pressure_after,
+        })
+    };
+
+    // Tree passes: fold constants and eliminate dead arms …
+    let tree = match simplify(ATree::of(predicate, "filter"), facts, &mut notes) {
+        Simp::True => {
+            notes.push(OptNote::FoldedConstant {
+                locator: "filter".to_owned(),
+                to: true,
+            });
+            let program = Program::match_all();
+            verified(&program, "constant-fold")?;
+            return done(program, notes);
+        }
+        Simp::False => {
+            notes.push(OptNote::FoldedConstant {
+                locator: "filter".to_owned(),
+                to: false,
+            });
+            let program = const_false_program();
+            verified(&program, "constant-fold")?;
+            return done(program, notes);
+        }
+        Simp::Tree(t) => t,
+    };
+    // … then flatten, dedup, reorder, and reassociate.
+    let tree = normalize(&tree, facts, &mut notes);
+    let rebuilt = register_pressure(&tree);
+    if rebuilt < pressure_before {
+        notes.push(OptNote::PressureReduced {
+            before: pressure_before,
+            after: rebuilt,
+        });
+    }
+
+    // Bytecode passes over the compiled rewrite.
+    let mut program = compile(&tree).map_err(OptError::Compile)?;
+    verified(&program, "compile")?;
+    let removed = dedup_leaves(&mut program);
+    if removed > 0 {
+        notes.push(OptNote::LeavesDeduped { removed });
+        verified(&program, "leaf-dedup")?;
+    }
+    let elided = elide_trivial_jumps(&mut program);
+    if elided > 0 {
+        notes.push(OptNote::JumpsElided { removed: elided });
+        verified(&program, "jump-elision")?;
+    }
+    done(program, notes)
+}
+
+fn verified(program: &Program, stage: &'static str) -> Result<(), OptError> {
+    program
+        .verify()
+        .map_err(|error| OptError::Verify { stage, error })
+}
+
+/// The canonical always-false program: `ARRSIZE('' /* root */) < 0`.
+/// The root value is never an array of negative length (or of any
+/// length below zero), so every lane evaluates false — one cheap leaf,
+/// no tree-walk. Marked non-projectable so the engine never asks the
+/// columnar path to answer a root-pointer test.
+fn const_false_program() -> Program {
+    let pool = ConstPool {
+        ints: vec![0],
+        paths: vec![CompiledPath::new(&JsonPointer::root())],
+        ..ConstPool::default()
+    };
+    let leaves = vec![CompiledLeaf {
+        path: 0,
+        test: LeafTest::ArrSize {
+            op: Comparison::Lt,
+            value: 0,
+        },
+    }];
+    let mut program = Program::from_raw_parts(vec![Op::Eval { leaf: 0, dst: 0 }], leaves, pool, 1);
+    program.projectable = false;
+    program
+}
+
+/// Folds constants and eliminates dead arms, bottom-up. Returns the
+/// residual tree with original locators preserved on every surviving
+/// node (rebuilt connectives keep their own original locator; a
+/// connective that loses an arm is replaced by the surviving arm).
+fn simplify(tree: ATree, facts: &ArmFacts, notes: &mut Vec<OptNote>) -> Simp {
+    // A sound fact can settle a whole subtree without descending.
+    if let Some(fact) = facts.get(tree.loc()) {
+        if fact.matches_none() {
+            return Simp::False;
+        }
+        if fact.matches_all() {
+            return Simp::True;
+        }
+    }
+    match tree {
+        ATree::Leaf(f, loc) => match fold_leaf(&f) {
+            Some(true) => Simp::True,
+            Some(false) => Simp::False,
+            None => Simp::Tree(ATree::Leaf(f, loc)),
+        },
+        ATree::Node(is_and, l, r, loc) => {
+            let (l_loc, r_loc) = (l.loc().to_owned(), r.loc().to_owned());
+            let (l_leaves, r_leaves) = (l.leaf_count(), r.leaf_count());
+            let ls = simplify(*l, facts, notes);
+            let rs = simplify(*r, facts, notes);
+            let mut dead = |locator: String, why: &'static str, leaves: usize| {
+                notes.push(OptNote::DeadArm {
+                    locator,
+                    why,
+                    leaves,
+                });
+            };
+            if is_and {
+                match (ls, rs) {
+                    (Simp::False, _) | (_, Simp::False) => Simp::False,
+                    (Simp::True, Simp::True) => Simp::True,
+                    (Simp::True, Simp::Tree(t)) => {
+                        dead(l_loc, "provably true", l_leaves);
+                        Simp::Tree(t)
+                    }
+                    (Simp::Tree(t), Simp::True) => {
+                        dead(r_loc, "provably true", r_leaves);
+                        Simp::Tree(t)
+                    }
+                    (Simp::Tree(lt), Simp::Tree(rt)) => {
+                        Simp::Tree(ATree::Node(true, Box::new(lt), Box::new(rt), loc))
+                    }
+                }
+            } else {
+                match (ls, rs) {
+                    (Simp::True, _) | (_, Simp::True) => Simp::True,
+                    (Simp::False, Simp::False) => Simp::False,
+                    (Simp::False, Simp::Tree(t)) => {
+                        dead(l_loc, "provably false", l_leaves);
+                        Simp::Tree(t)
+                    }
+                    (Simp::Tree(t), Simp::False) => {
+                        dead(r_loc, "provably false", r_leaves);
+                        Simp::Tree(t)
+                    }
+                    (Simp::Tree(lt), Simp::Tree(rt)) => {
+                        Simp::Tree(ATree::Node(false, Box::new(lt), Box::new(rt), loc))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Structural constant folding for a single leaf: `Some(b)` when the
+/// test is `b` for *every* JSON value, `None` otherwise. Exactness
+/// matters more than coverage here — each arm mirrors
+/// `FilterFn::matches` on the corresponding case.
+fn fold_leaf(f: &FilterFn) -> Option<bool> {
+    match f {
+        // Every comparison against NaN is false, for every operand.
+        FilterFn::FloatCmp { value, .. } if value.is_nan() => Some(false),
+        // Sizes are never negative.
+        FilterFn::ArrSize { op, value, .. } | FilterFn::ObjSize { op, value, .. } => match op {
+            Comparison::Lt if *value <= 0 => Some(false),
+            Comparison::Le | Comparison::Eq if *value < 0 => Some(false),
+            _ => None,
+        },
+        // The root pointer resolves on every document.
+        FilterFn::Exists { path } if path.tokens().is_empty() => Some(true),
+        _ => None,
+    }
+}
+
+/// One arm of a flattened connective run.
+struct Arm {
+    pred: Predicate,
+    locator: String,
+    /// Selectivity midpoint from the facts, if known.
+    sel: Option<f64>,
+    pressure: usize,
+}
+
+/// Flattens same-connective runs, removes duplicate arms, orders by
+/// selectivity, and rebuilds left-deep with the highest-pressure arm
+/// first. Recursion normalizes nested runs of the other connective.
+fn normalize(tree: &ATree, facts: &ArmFacts, notes: &mut Vec<OptNote>) -> Predicate {
+    let ATree::Node(is_and, _, _, loc) = tree else {
+        let ATree::Leaf(f, _) = tree else {
+            unreachable!()
+        };
+        return Predicate::leaf(f.clone());
+    };
+    let mut arms: Vec<Arm> = Vec::new();
+    collect_run(tree, *is_and, facts, notes, &mut arms);
+
+    // CSE at the tree level: `x ∧ x = x`, `x ∨ x = x`.
+    let mut unique: Vec<Arm> = Vec::new();
+    for arm in arms {
+        if unique.iter().any(|u| u.pred == arm.pred) {
+            notes.push(OptNote::DuplicateArm {
+                locator: arm.locator,
+            });
+        } else {
+            unique.push(arm);
+        }
+    }
+    let mut arms = unique;
+
+    if arms.len() > 1 {
+        // Most-selective first under AND (smallest match fraction),
+        // least-selective first under OR — either way the first arm
+        // drains the selection fastest. Unknown selectivity sorts as
+        // 0.5; ties break toward fewer leaves, then original order
+        // (stable sort), keeping the rewrite deterministic.
+        let keyed: Vec<(f64, usize)> = arms
+            .iter()
+            .map(|a| {
+                let mid = a.sel.unwrap_or(0.5);
+                (if *is_and { mid } else { -mid }, a.pred.leaf_count())
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..arms.len()).collect();
+        order.sort_by(|&a, &b| {
+            keyed[a]
+                .0
+                .total_cmp(&keyed[b].0)
+                .then(keyed[a].1.cmp(&keyed[b].1))
+        });
+        if order.windows(2).any(|w| w[0] > w[1]) {
+            notes.push(OptNote::ArmsReordered {
+                locator: loc.clone(),
+            });
+        }
+        let mut slots: Vec<Option<Arm>> = arms.into_iter().map(Some).collect();
+        arms = order
+            .iter()
+            .map(|&i| slots[i].take().expect("permutation visits each arm once"))
+            .collect();
+
+        // A left-deep chain needs max(p₀, maxᵢ≥₁(pᵢ + 1)) registers;
+        // leading with the highest-pressure arm achieves the
+        // Sethi–Ullman minimum for the run. Only deviate from the
+        // selectivity order when it strictly reduces pressure.
+        let chain = |arms: &[Arm]| {
+            arms.iter()
+                .enumerate()
+                .map(|(i, a)| if i == 0 { a.pressure } else { a.pressure + 1 })
+                .max()
+                .unwrap_or(1)
+        };
+        let heaviest = arms
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, a)| (a.pressure, std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if heaviest != 0 {
+            let unmoved = chain(&arms);
+            let front = arms.remove(heaviest);
+            arms.insert(0, front);
+            if chain(&arms) >= unmoved {
+                // No strict win: restore the selectivity order.
+                let front = arms.remove(0);
+                arms.insert(heaviest, front);
+            }
+        }
+    }
+
+    let mut it = arms.into_iter();
+    let first = it.next().expect("a run has at least one arm");
+    let mut out = first.pred;
+    for arm in it {
+        out = if *is_and {
+            out.and(arm.pred)
+        } else {
+            out.or(arm.pred)
+        };
+    }
+    out
+}
+
+/// Collects the maximal same-connective run rooted at `tree`,
+/// normalizing each (other-connective or leaf) arm recursively and
+/// capturing its fact by original locator.
+fn collect_run(
+    tree: &ATree,
+    is_and: bool,
+    facts: &ArmFacts,
+    notes: &mut Vec<OptNote>,
+    arms: &mut Vec<Arm>,
+) {
+    match tree {
+        ATree::Node(op, l, r, _) if *op == is_and => {
+            collect_run(l, is_and, facts, notes, arms);
+            collect_run(r, is_and, facts, notes, arms);
+        }
+        other => {
+            let pred = normalize(other, facts, notes);
+            let sel = facts
+                .get(other.loc())
+                .map(|f| (f.sel_lo.max(0.0) + f.sel_hi.min(1.0)) / 2.0);
+            let pressure = register_pressure(&pred);
+            arms.push(Arm {
+                pred,
+                locator: other.loc().to_owned(),
+                sel,
+                pressure,
+            });
+        }
+    }
+}
+
+/// Merges identical leaf-table entries and rewrites `Eval` indices —
+/// the bytecode half of CSE. Returns the number of entries removed.
+/// (Constant pools are already deduplicated by the compiler, so equal
+/// leaves literally share one `CompiledPath` load.)
+fn dedup_leaves(program: &mut Program) -> usize {
+    let mut kept: Vec<CompiledLeaf> = Vec::with_capacity(program.leaves.len());
+    let mut remap: Vec<u16> = Vec::with_capacity(program.leaves.len());
+    for leaf in &program.leaves {
+        match kept.iter().position(|k| k == leaf) {
+            Some(at) => remap.push(at as u16),
+            None => {
+                remap.push(kept.len() as u16);
+                kept.push(*leaf);
+            }
+        }
+    }
+    let removed = program.leaves.len() - kept.len();
+    if removed > 0 {
+        for op in &mut program.ops {
+            if let Op::Eval { leaf, .. } = op {
+                *leaf = remap[usize::from(*leaf)];
+            }
+        }
+        program.leaves = kept;
+    }
+    removed
+}
+
+/// Removes `JumpIfEmpty` guards whose skippable region is a single
+/// `Eval` + `Merge` (the compiled shape of a one-leaf right arm):
+/// executing two ops over an empty selection is cheaper than a
+/// conditional branch per batch. All later jump targets shift left
+/// accordingly. Returns the number of jumps removed.
+fn elide_trivial_jumps(program: &mut Program) -> usize {
+    let ops = &program.ops;
+    let drop: Vec<bool> = ops
+        .iter()
+        .enumerate()
+        .map(|(pc, op)| {
+            matches!(op, Op::JumpIfEmpty { target }
+                if usize::from(*target) == pc + 3
+                    && matches!(ops[pc + 1], Op::Eval { .. })
+                    && matches!(ops[pc + 2], Op::Merge { .. }))
+        })
+        .collect();
+    let removed = drop.iter().filter(|&&d| d).count();
+    if removed == 0 {
+        return 0;
+    }
+    let mut new_index = vec![0u16; ops.len()];
+    let mut next = 0u16;
+    for (i, dropped) in drop.iter().enumerate() {
+        new_index[i] = next;
+        if !dropped {
+            next += 1;
+        }
+    }
+    program.ops = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !drop[*i])
+        .map(|(_, op)| match op {
+            Op::JumpIfEmpty { target } => Op::JumpIfEmpty {
+                target: new_index[usize::from(*target)],
+            },
+            other => *other,
+        })
+        .collect();
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::VmScratch;
+    use crate::REGISTER_BUDGET;
+    use betze_json::{json, JsonPointer, Value};
+
+    fn ptr(s: &str) -> JsonPointer {
+        JsonPointer::parse(s).unwrap()
+    }
+
+    fn float_cmp(path: &str, op: Comparison, value: f64) -> Predicate {
+        Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr(path),
+            op,
+            value,
+        })
+    }
+
+    fn exists(path: &str) -> Predicate {
+        Predicate::leaf(FilterFn::Exists { path: ptr(path) })
+    }
+
+    fn docs() -> Vec<Value> {
+        (0..64)
+            .map(|i| {
+                json!({
+                    "n": (i as i64),
+                    "f": (i as f64 * 0.5),
+                    "name": (format!("user{i}")),
+                    "tags": [1, 2, 3],
+                })
+            })
+            .collect()
+    }
+
+    /// Optimized and baseline programs must match the same lanes in the
+    /// same order; the optimized program must verify.
+    fn assert_equivalent(predicate: &Predicate, facts: &ArmFacts) -> Optimized {
+        let docs = docs();
+        let opt = optimize(predicate, facts).expect("optimize");
+        opt.program.verify().expect("optimized program verifies");
+        let expect: Vec<u32> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| predicate.matches(d))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut scratch = VmScratch::new();
+        let mut matched = Vec::new();
+        opt.program.run(&docs, &mut scratch, &mut matched);
+        assert_eq!(matched, expect, "optimized lanes differ for {predicate}");
+        opt
+    }
+
+    /// A right-descending spine of `n` distinct float leaves: pressure n.
+    fn right_spine(n: usize) -> Predicate {
+        let mut p = float_cmp(&format!("/f{}", n - 1), Comparison::Ge, 0.0);
+        for i in (0..n - 1).rev() {
+            p = float_cmp(&format!("/f{i}"), Comparison::Ge, 0.0).and(p);
+        }
+        // Re-nest to the right: a && (b && (c && …)).
+        fn renest(p: Predicate) -> Predicate {
+            match p {
+                Predicate::And(l, r) => match *l {
+                    Predicate::And(ll, lr) => {
+                        renest(Predicate::And(ll, Box::new(Predicate::And(lr, r))))
+                    }
+                    other => Predicate::And(Box::new(other), Box::new(renest(*r))),
+                },
+                other => other,
+            }
+        }
+        renest(p)
+    }
+
+    #[test]
+    fn structural_passes_preserve_semantics() {
+        let p = float_cmp("/f", Comparison::Lt, 10.0)
+            .and(exists("/name"))
+            .or(float_cmp("/f", Comparison::Ge, 28.0).and(exists("/tags")));
+        assert_equivalent(&p, &ArmFacts::none());
+    }
+
+    #[test]
+    fn nan_comparison_folds_false() {
+        // OR arm comparing against NaN is provably false: dropped.
+        let p = exists("/name").or(float_cmp("/f", Comparison::Eq, f64::NAN));
+        let opt = assert_equivalent(&p, &ArmFacts::none());
+        assert!(opt.notes.iter().any(|n| matches!(
+            n,
+            OptNote::DeadArm {
+                why: "provably false",
+                ..
+            }
+        )));
+        // The residual program is the single surviving leaf.
+        assert_eq!(opt.program.registers(), 1);
+    }
+
+    #[test]
+    fn negative_size_comparisons_fold() {
+        assert_eq!(
+            fold_leaf(&FilterFn::ArrSize {
+                path: ptr("/tags"),
+                op: Comparison::Lt,
+                value: 0,
+            }),
+            Some(false)
+        );
+        assert_eq!(
+            fold_leaf(&FilterFn::ObjSize {
+                path: ptr("/tags"),
+                op: Comparison::Eq,
+                value: -1,
+            }),
+            Some(false)
+        );
+        // `ARRSIZE >= -1` is "is an array": not constant.
+        assert_eq!(
+            fold_leaf(&FilterFn::ArrSize {
+                path: ptr("/tags"),
+                op: Comparison::Ge,
+                value: -1,
+            }),
+            None
+        );
+        assert_eq!(fold_leaf(&FilterFn::Exists { path: ptr("") }), Some(true));
+    }
+
+    #[test]
+    fn fact_driven_dead_arm_elimination() {
+        // Every doc has /name, so the AND arm is provably true; no doc
+        // matches f < 0, so the OR arm is provably false. Facts mirror
+        // the corpus exactly → rewrites are semantics-preserving.
+        let p = exists("/name")
+            .and(float_cmp("/f", Comparison::Lt, 10.0))
+            .or(float_cmp("/f", Comparison::Lt, 0.0));
+        let mut facts = ArmFacts::none();
+        facts.insert("filter:L:L", 1.0, 1.0); // EXISTS(/name)
+        facts.insert("filter:R", 0.0, 0.0); // f < 0
+        let opt = assert_equivalent(&p, &facts);
+        let dead: Vec<&str> = opt
+            .notes
+            .iter()
+            .filter_map(|n| match n {
+                OptNote::DeadArm { locator, .. } => Some(locator.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dead, vec!["filter:L:L", "filter:R"]);
+        assert_eq!(opt.program.registers(), 1);
+    }
+
+    #[test]
+    fn whole_tree_true_becomes_match_all() {
+        let p = exists("/name").or(float_cmp("/f", Comparison::Lt, 10.0));
+        let mut facts = ArmFacts::none();
+        facts.insert("filter", 1.0, 1.0);
+        let opt = assert_equivalent(&p, &facts);
+        assert_eq!(opt.program.registers(), 0);
+        assert!(opt
+            .notes
+            .iter()
+            .any(|n| matches!(n, OptNote::FoldedConstant { to: true, .. })));
+        assert_eq!(opt.program.count_matches(&docs()), docs().len());
+    }
+
+    #[test]
+    fn whole_tree_false_matches_nothing() {
+        let p = float_cmp("/f", Comparison::Eq, f64::NAN);
+        let opt = optimize(&p, &ArmFacts::none()).expect("optimize");
+        opt.program.verify().expect("false program verifies");
+        assert!(!opt.program.is_projectable());
+        assert_eq!(opt.program.count_matches(&docs()), 0);
+        assert!(opt
+            .notes
+            .iter()
+            .any(|n| matches!(n, OptNote::FoldedConstant { to: false, .. })));
+    }
+
+    #[test]
+    fn over_budget_spine_reassociates_and_compiles() {
+        // 17 distinct leaves right-nested: pressure 17, a guaranteed
+        // L049 fallback for plain compile — but the run is one big AND,
+        // so the left-deep rebuild needs only 2 registers.
+        let p = right_spine(REGISTER_BUDGET + 1);
+        assert!(compile(&p).is_err());
+        let opt = optimize(&p, &ArmFacts::none()).expect("optimize");
+        opt.program.verify().expect("verifies");
+        assert_eq!(opt.pressure_before, REGISTER_BUDGET + 1);
+        assert_eq!(opt.pressure_after, 2);
+        assert!(opt.notes.iter().any(|n| matches!(
+            n,
+            OptNote::PressureReduced {
+                before: 17,
+                after: 2
+            }
+        )));
+        // None of the /fN paths exist in the docs, so nothing matches —
+        // but the program exists, where plain compile had none.
+        assert_eq!(opt.program.count_matches(&docs()), 0);
+    }
+
+    #[test]
+    fn heavy_arm_moves_to_front_only_when_it_helps() {
+        // OR of a cheap leaf and a heavy (pressure-3) arm: left-deep
+        // order [leaf, heavy] costs max(1, 3+1) = 4; leading with the
+        // heavy arm costs max(3, 1+1) = 3.
+        let heavy =
+            exists("/a").and(exists("/b").or(exists("/c").and(exists("/d")).and(exists("/e"))));
+        let p = exists("/name").or(heavy.clone());
+        let opt = assert_equivalent(&p, &ArmFacts::none());
+        assert!(opt.pressure_after <= 3);
+        // Two equal-pressure arms: no move, order stays put.
+        let q = exists("/name").or(exists("/tags"));
+        let opt = assert_equivalent(&q, &ArmFacts::none());
+        assert_eq!(opt.pressure_after, 2);
+    }
+
+    #[test]
+    fn duplicate_arms_are_deduplicated() {
+        let arm = exists("/name").and(float_cmp("/f", Comparison::Lt, 9.0));
+        let p = arm.clone().or(arm.clone()).or(arm);
+        let opt = assert_equivalent(&p, &ArmFacts::none());
+        let dups = opt
+            .notes
+            .iter()
+            .filter(|n| matches!(n, OptNote::DuplicateArm { .. }))
+            .count();
+        assert_eq!(dups, 2);
+        // x ∨ x ∨ x = x: the single surviving arm compiles alone.
+        assert_eq!(opt.pressure_after, 2);
+    }
+
+    #[test]
+    fn duplicate_leaves_share_table_entries() {
+        // The same leaf under two different OR arms cannot be deduped at
+        // the tree level (the arms differ), but the leaf table merges
+        // them: one CompiledPath load for both Evals.
+        let a = exists("/name");
+        let p = a
+            .clone()
+            .and(exists("/tags"))
+            .or(a.and(float_cmp("/f", Comparison::Lt, 5.0)));
+        let baseline = compile(&p).unwrap();
+        assert_eq!(baseline.leaves.len(), 4);
+        let opt = assert_equivalent(&p, &ArmFacts::none());
+        assert_eq!(opt.program.leaves.len(), 3);
+        assert!(opt
+            .notes
+            .iter()
+            .any(|n| matches!(n, OptNote::LeavesDeduped { removed: 1 })));
+    }
+
+    #[test]
+    fn trivial_jumps_are_elided() {
+        // a && b: the right arm is a single Eval+Merge, so the guard
+        // jump costs more than the region it skips.
+        let p = exists("/name").and(exists("/tags"));
+        let baseline = compile(&p).unwrap();
+        let jumps = |prog: &Program| {
+            prog.ops
+                .iter()
+                .filter(|op| matches!(op, Op::JumpIfEmpty { .. }))
+                .count()
+        };
+        assert_eq!(jumps(&baseline), 1);
+        let opt = assert_equivalent(&p, &ArmFacts::none());
+        assert_eq!(jumps(&opt.program), 0);
+        assert!(opt
+            .notes
+            .iter()
+            .any(|n| matches!(n, OptNote::JumpsElided { removed: 1 })));
+    }
+
+    #[test]
+    fn selectivity_reorders_and_arms() {
+        // Under AND, the most selective arm should run first. `f < 1`
+        // matches ~3% of docs, EXISTS matches all: with facts present
+        // the cheap narrowing test moves to the front.
+        let p = exists("/name").and(float_cmp("/f", Comparison::Lt, 1.0));
+        let mut facts = ArmFacts::none();
+        facts.insert("filter:L", 0.9, 1.0);
+        facts.insert("filter:R", 0.0, 0.1);
+        let opt = assert_equivalent(&p, &facts);
+        assert!(opt
+            .notes
+            .iter()
+            .any(|n| matches!(n, OptNote::ArmsReordered { .. })));
+        // First Eval now tests the float comparison.
+        let first = opt.program.ops.iter().find_map(|op| match op {
+            Op::Eval { leaf, .. } => Some(opt.program.leaves[usize::from(*leaf)].test),
+            _ => None,
+        });
+        assert!(matches!(first, Some(LeafTest::FloatCmp { .. })));
+    }
+
+    #[test]
+    fn optimizer_failure_implies_baseline_failure() {
+        // A balanced alternating AND/OR tree gains one register per
+        // level no matter how runs are rebuilt; depth 5 (32 leaves) is
+        // fine, but the claim under test is the error contract: when
+        // optimize says Compile, plain compile agrees.
+        fn balanced(depth: usize, next: &mut usize) -> Predicate {
+            if depth == 0 {
+                *next += 1;
+                return float_cmp(&format!("/p{next}"), Comparison::Ge, 0.0);
+            }
+            let l = balanced(depth - 1, next);
+            let r = balanced(depth - 1, next);
+            if depth.is_multiple_of(2) {
+                l.and(r)
+            } else {
+                l.or(r)
+            }
+        }
+        let mut next = 0;
+        let p = balanced(5, &mut next);
+        let opt = optimize(&p, &ArmFacts::none()).expect("depth-5 balanced tree fits");
+        assert!(opt.pressure_after <= 6);
+        assert_equivalent(&p, &ArmFacts::none());
+    }
+
+    #[test]
+    fn notes_render() {
+        let notes = [
+            OptNote::DeadArm {
+                locator: "filter:L".into(),
+                why: "provably true",
+                leaves: 2,
+            },
+            OptNote::PressureReduced {
+                before: 17,
+                after: 2,
+            },
+        ];
+        assert_eq!(
+            notes[0].to_string(),
+            "dropped provably true arm filter:L (2 leaves)"
+        );
+        assert_eq!(notes[1].to_string(), "register pressure 17 -> 2");
+    }
+}

@@ -245,6 +245,16 @@ pub struct Program {
     pub(crate) projectable: bool,
 }
 
+/// Whether every pool path maps soundly onto a shredded projection node
+/// (see [`Program::is_projectable`]): no non-canonical numeric tokens.
+pub(crate) fn pool_is_projectable(pool: &ConstPool) -> bool {
+    pool.paths.iter().all(|p| {
+        p.steps
+            .iter()
+            .all(|s| s.index.is_none_or(|i| i.to_string() == s.key))
+    })
+}
+
 impl Program {
     /// The trivial program matching every document (a query without a
     /// filter). Uses no registers and no instructions.
@@ -257,6 +267,31 @@ impl Program {
             hint_bases: Vec::new(),
             hint_slots: 0,
             projectable: true,
+        }
+    }
+
+    /// Assembles a program from explicit parts, deriving the hint-table
+    /// layout and projectability from the pool exactly like
+    /// [`compile`](crate::compile) does. Performs **no validation** —
+    /// pair it with [`Program::verify`](Self::verify). This is how
+    /// tests (and the verifier's own corpus sweep) hand-build
+    /// deliberately malformed programs.
+    pub fn from_raw_parts(
+        ops: Vec<Op>,
+        leaves: Vec<CompiledLeaf>,
+        pool: ConstPool,
+        registers: u8,
+    ) -> Program {
+        let (hint_bases, hint_slots) = Program::hint_layout(&pool);
+        let projectable = pool_is_projectable(&pool);
+        Program {
+            ops,
+            leaves,
+            pool,
+            registers,
+            hint_bases,
+            hint_slots,
+            projectable,
         }
     }
 

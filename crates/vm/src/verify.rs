@@ -1,0 +1,625 @@
+//! The bytecode verifier: a linear abstract interpretation over the op
+//! list that proves a [`Program`] safe to execute *before* it runs.
+//!
+//! The executor (`exec.rs`) is deliberately trusting — registers are
+//! never cleared, `Merge` slices the register file with `split_at_mut`,
+//! jumps are taken verbatim — because the compiler only emits programs
+//! with the invariants those shortcuts rely on. The optimizer
+//! (`opt.rs`) rewrites programs, so every rewrite output is pushed back
+//! through this verifier; a bug in a rewrite becomes a structured
+//! [`VerifyError`] instead of stale-scratch garbage or a panic.
+//!
+//! ## The abstract domain
+//!
+//! The verifier tracks, per boolean register, the *selection depth at
+//! which it was last fully defined* (`Option<usize>`), and a frame
+//! stack mirroring the executor's selection stack. The rules encode the
+//! executor's load-bearing comment ("every lane that is read was
+//! written by an Eval over a selection containing it first"):
+//!
+//! * `Eval` defines its destination at the current depth. Any earlier,
+//!   shallower definition is superseded — the register now only holds
+//!   meaningful lanes for the *current* (narrower) selection.
+//! * `Push*Sel` reads its source, which must be defined (selections
+//!   only ever narrow, so any live definition covers the current one).
+//! * `Merge` requires `src > dst` (the executor's `split_at_mut`
+//!   contract), both registers in range, and both defined. Merging
+//!   writes only the narrowed lanes, so it does not deepen (or shallow)
+//!   `dst`'s definition depth.
+//! * `JumpIfEmpty` must sit inside a frame and target that frame's
+//!   `PopSel` — the only target for which "skip the right arm" and
+//!   "fall through it over zero lanes" are equivalent.
+//! * `PopSel` widens the selection, which *invalidates* every register
+//!   defined strictly deeper: its lanes outside the popped selection
+//!   were never written. This also makes jump-skipped definitions
+//!   sound: anything a skipped region would have defined is dead after
+//!   the pop either way.
+//! * At exit the stack must be balanced and `r0` defined at depth 0
+//!   (the executor reads `r0` for every lane of the batch). A
+//!   zero-register program must be the empty `match_all` program — the
+//!   executor returns all lanes without looking at the ops.
+//!
+//! The verifier is conservative: it rejects some programs a cleverer
+//! analysis could prove safe (e.g. merging into a register only
+//! defined under the current selection). Every compiler- and
+//! optimizer-emitted program passes; that is pinned by tests and by the
+//! `betze vm-verify` corpus sweep in CI.
+
+use crate::program::{LeafTest, Op, Program, REGISTER_BUDGET};
+use std::fmt;
+
+/// Why a program failed verification. Each variant names the first
+/// violated invariant, with enough position info to find it in
+/// [`Program::disassemble`] output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The register count exceeds [`REGISTER_BUDGET`].
+    RegisterBudget {
+        /// Registers the program declares.
+        registers: usize,
+    },
+    /// An instruction names a register ≥ the declared register count.
+    RegisterOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+        /// The out-of-range register.
+        register: u8,
+    },
+    /// An `Eval` names a leaf beyond the leaf table.
+    LeafOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+        /// The out-of-range leaf index.
+        leaf: u16,
+    },
+    /// A leaf's constant index points beyond its pool.
+    PoolIndexOutOfRange {
+        /// Index of the offending leaf in the leaf table.
+        leaf: usize,
+        /// Which pool (`"path"`, `"int"`, `"float"`, `"string"`).
+        pool: &'static str,
+        /// The out-of-range pool index.
+        index: u16,
+        /// The pool's actual length.
+        len: usize,
+    },
+    /// An instruction reads a register no `Eval` has defined over a
+    /// selection covering the current one.
+    UseBeforeDef {
+        /// Offending instruction index.
+        pc: usize,
+        /// The undefined register.
+        register: u8,
+    },
+    /// A `PopSel` with no matching push.
+    StackUnderflow {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A `JumpIfEmpty` outside any selection frame.
+    JumpWithoutFrame {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A jump target beyond the instruction stream.
+    JumpTargetOutOfRange {
+        /// Offending instruction index.
+        pc: usize,
+        /// The out-of-range target.
+        target: u16,
+    },
+    /// A jump that does not land on its own frame's `PopSel`.
+    JumpTargetMismatch {
+        /// The jump's instruction index.
+        pc: usize,
+        /// Where it points.
+        target: u16,
+        /// The frame's actual `PopSel` index.
+        pop: usize,
+    },
+    /// A `Merge` whose source register is not strictly above its
+    /// destination (the executor's `split_at_mut` contract).
+    MergeOrder {
+        /// Offending instruction index.
+        pc: usize,
+        /// Destination register.
+        dst: u8,
+        /// Source register.
+        src: u8,
+    },
+    /// A `Merge` at selection depth 0 — there is no narrowed selection
+    /// to merge over.
+    MergeOutsideFrame {
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// Frames still open when the program ends.
+    UnbalancedStack {
+        /// How many frames were left open.
+        depth: usize,
+    },
+    /// Execution can finish without `r0` being defined for every batch
+    /// lane — the executor would read stale scratch memory.
+    ResultUndefined,
+    /// `hint_bases`/`hint_slots` disagree with the pool's path layout;
+    /// leaf evaluation would slice the hint table wrong.
+    HintLayoutMismatch,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::RegisterBudget { registers } => write!(
+                f,
+                "program declares {registers} registers, over the budget of {REGISTER_BUDGET}"
+            ),
+            VerifyError::RegisterOutOfRange { pc, register } => {
+                write!(f, "op {pc:04}: register r{register} out of range")
+            }
+            VerifyError::LeafOutOfRange { pc, leaf } => {
+                write!(f, "op {pc:04}: leaf l{leaf} beyond the leaf table")
+            }
+            VerifyError::PoolIndexOutOfRange {
+                leaf,
+                pool,
+                index,
+                len,
+            } => write!(
+                f,
+                "leaf l{leaf}: {pool}-pool index {index} out of range (pool has {len})"
+            ),
+            VerifyError::UseBeforeDef { pc, register } => write!(
+                f,
+                "op {pc:04}: r{register} read before any Eval defined it over the current selection"
+            ),
+            VerifyError::StackUnderflow { pc } => {
+                write!(f, "op {pc:04}: PopSel on an empty selection stack")
+            }
+            VerifyError::JumpWithoutFrame { pc } => {
+                write!(f, "op {pc:04}: JumpIfEmpty outside any selection frame")
+            }
+            VerifyError::JumpTargetOutOfRange { pc, target } => {
+                write!(f, "op {pc:04}: jump target {target:04} beyond the program")
+            }
+            VerifyError::JumpTargetMismatch { pc, target, pop } => write!(
+                f,
+                "op {pc:04}: jump target {target:04} is not the frame's PopSel at {pop:04}"
+            ),
+            VerifyError::MergeOrder { pc, dst, src } => write!(
+                f,
+                "op {pc:04}: merge source r{src} must be strictly above destination r{dst}"
+            ),
+            VerifyError::MergeOutsideFrame { pc } => {
+                write!(f, "op {pc:04}: Merge at selection depth 0")
+            }
+            VerifyError::UnbalancedStack { depth } => {
+                write!(f, "program ends with {depth} selection frame(s) still open")
+            }
+            VerifyError::ResultUndefined => {
+                write!(f, "r0 is not defined for every batch lane at program exit")
+            }
+            VerifyError::HintLayoutMismatch => {
+                write!(f, "hint table layout disagrees with the path pool")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// One open selection frame: the `PopSel` index is unknown until it is
+/// reached, so jumps recorded here are checked when the frame closes.
+#[derive(Default)]
+struct Frame {
+    /// `(jump pc, target)` of every `JumpIfEmpty` opened in this frame.
+    jumps: Vec<(usize, u16)>,
+}
+
+impl Program {
+    /// Verifies every executor invariant the interpreter itself does
+    /// not check: register/leaf/pool index bounds, hint-table layout,
+    /// defined-before-use register dataflow, selection-stack balance,
+    /// and `JumpIfEmpty` target validity. `Ok(())` means `run` /
+    /// `run_projected` cannot read stale scratch, slice out of bounds,
+    /// or jump anywhere but past a right arm.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        let nregs = usize::from(self.registers);
+        if nregs > REGISTER_BUDGET {
+            return Err(VerifyError::RegisterBudget { registers: nregs });
+        }
+        self.verify_leaves()?;
+        let (bases, slots) = Program::hint_layout(&self.pool);
+        if bases != self.hint_bases || slots != self.hint_slots {
+            return Err(VerifyError::HintLayoutMismatch);
+        }
+        if nregs == 0 {
+            // match_all: the executor returns every lane without
+            // touching the ops, so a non-empty stream is dead weight at
+            // best and a desync with `registers` at worst.
+            return if self.ops.is_empty() {
+                Ok(())
+            } else {
+                Err(VerifyError::ResultUndefined)
+            };
+        }
+
+        // Depth (selection-stack height) at which each register was
+        // last fully defined; None = dead.
+        let mut def: Vec<Option<usize>> = vec![None; nregs];
+        let mut frames: Vec<Frame> = Vec::new();
+        let in_range = |pc: usize, r: u8| {
+            if usize::from(r) < nregs {
+                Ok(())
+            } else {
+                Err(VerifyError::RegisterOutOfRange { pc, register: r })
+            }
+        };
+        for (pc, op) in self.ops.iter().enumerate() {
+            let depth = frames.len();
+            match *op {
+                Op::Eval { leaf, dst } => {
+                    if usize::from(leaf) >= self.leaves.len() {
+                        return Err(VerifyError::LeafOutOfRange { pc, leaf });
+                    }
+                    in_range(pc, dst)?;
+                    def[usize::from(dst)] = Some(depth);
+                }
+                Op::PushAndSel { src } | Op::PushOrSel { src } => {
+                    in_range(pc, src)?;
+                    if def[usize::from(src)].is_none() {
+                        return Err(VerifyError::UseBeforeDef { pc, register: src });
+                    }
+                    frames.push(Frame::default());
+                }
+                Op::JumpIfEmpty { target } => {
+                    let Some(frame) = frames.last_mut() else {
+                        return Err(VerifyError::JumpWithoutFrame { pc });
+                    };
+                    if usize::from(target) >= self.ops.len() {
+                        return Err(VerifyError::JumpTargetOutOfRange { pc, target });
+                    }
+                    frame.jumps.push((pc, target));
+                }
+                Op::Merge { dst, src } => {
+                    if depth == 0 {
+                        return Err(VerifyError::MergeOutsideFrame { pc });
+                    }
+                    in_range(pc, dst)?;
+                    in_range(pc, src)?;
+                    if src <= dst {
+                        return Err(VerifyError::MergeOrder { pc, dst, src });
+                    }
+                    for r in [src, dst] {
+                        if def[usize::from(r)].is_none() {
+                            return Err(VerifyError::UseBeforeDef { pc, register: r });
+                        }
+                    }
+                    // Merge writes only the narrowed lanes; dst's
+                    // definition depth is unchanged.
+                }
+                Op::PopSel => {
+                    let Some(frame) = frames.pop() else {
+                        return Err(VerifyError::StackUnderflow { pc });
+                    };
+                    for (jump_pc, target) in frame.jumps {
+                        if usize::from(target) != pc {
+                            return Err(VerifyError::JumpTargetMismatch {
+                                pc: jump_pc,
+                                target,
+                                pop: pc,
+                            });
+                        }
+                    }
+                    // Widening the selection kills every definition
+                    // made under the narrower one: its outside lanes
+                    // were never written. This also covers the lanes a
+                    // taken JumpIfEmpty skipped — whatever the skipped
+                    // region defines dies here too, so the straight-line
+                    // analysis is sound for both paths.
+                    let new_depth = frames.len();
+                    for d in &mut def {
+                        if d.is_some_and(|at| at > new_depth) {
+                            *d = None;
+                        }
+                    }
+                }
+            }
+        }
+        if !frames.is_empty() {
+            return Err(VerifyError::UnbalancedStack {
+                depth: frames.len(),
+            });
+        }
+        if def[0] != Some(0) {
+            return Err(VerifyError::ResultUndefined);
+        }
+        Ok(())
+    }
+
+    /// Bounds-checks every leaf's pool indices.
+    fn verify_leaves(&self) -> Result<(), VerifyError> {
+        let check = |leaf: usize, pool: &'static str, index: u16, len: usize| {
+            if usize::from(index) < len {
+                Ok(())
+            } else {
+                Err(VerifyError::PoolIndexOutOfRange {
+                    leaf,
+                    pool,
+                    index,
+                    len,
+                })
+            }
+        };
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            check(i, "path", leaf.path, self.pool.paths.len())?;
+            match leaf.test {
+                LeafTest::Exists | LeafTest::IsString | LeafTest::BoolEq { .. } => {}
+                LeafTest::IntEq { value }
+                | LeafTest::ArrSize { value, .. }
+                | LeafTest::ObjSize { value, .. } => {
+                    check(i, "int", value, self.pool.ints.len())?;
+                }
+                LeafTest::FloatCmp { value, .. } => {
+                    check(i, "float", value, self.pool.floats.len())?;
+                }
+                LeafTest::StrEq { value } | LeafTest::HasPrefix { prefix: value } => {
+                    check(i, "string", value, self.pool.strings.len())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CompiledLeaf, ConstPool};
+    use crate::{compile, register_pressure};
+    use betze_json::JsonPointer;
+    use betze_model::{Comparison, FilterFn, Predicate};
+
+    fn leaf(name: &str) -> Predicate {
+        Predicate::leaf(FilterFn::FloatCmp {
+            path: JsonPointer::from_tokens([name]),
+            op: Comparison::Gt,
+            value: 1.0,
+        })
+    }
+
+    fn one_leaf_program() -> Program {
+        compile(&leaf("a")).unwrap()
+    }
+
+    #[test]
+    fn compiler_output_verifies() {
+        let shapes = [
+            leaf("a"),
+            leaf("a").and(leaf("b")),
+            leaf("a").or(leaf("b")).and(leaf("c").and(leaf("d"))),
+            (leaf("a").and(leaf("b"))).or(leaf("c").and(leaf("d"))),
+        ];
+        for p in shapes {
+            let prog = compile(&p).unwrap();
+            prog.verify()
+                .unwrap_or_else(|e| panic!("{p} failed to verify: {e}\n{}", prog.disassemble()));
+        }
+        Program::match_all().verify().unwrap();
+    }
+
+    #[test]
+    fn deep_compiler_spines_verify() {
+        // The deepest compilable right spine exercises every depth the
+        // frame stack can reach.
+        let mut p = leaf("z");
+        for i in (0..REGISTER_BUDGET - 1).rev() {
+            p = leaf(&format!("f{i}")).and(p);
+        }
+        assert_eq!(register_pressure(&p), REGISTER_BUDGET);
+        compile(&p).unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn from_raw_parts_matches_compile() {
+        let prog = compile(&leaf("a").and(leaf("b"))).unwrap();
+        let rebuilt = Program::from_raw_parts(
+            prog.ops.clone(),
+            prog.leaves.clone(),
+            prog.pool.clone(),
+            prog.registers,
+        );
+        assert_eq!(prog, rebuilt);
+        rebuilt.verify().unwrap();
+    }
+
+    #[test]
+    fn unbalanced_stack_is_rejected() {
+        let mut prog = one_leaf_program();
+        prog.ops.push(Op::PushAndSel { src: 0 });
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::UnbalancedStack { depth: 1 })
+        );
+        let mut prog = one_leaf_program();
+        prog.ops.push(Op::PopSel);
+        assert_eq!(prog.verify(), Err(VerifyError::StackUnderflow { pc: 1 }));
+    }
+
+    #[test]
+    fn use_before_def_is_rejected() {
+        // Push on a register no Eval has written.
+        let mut prog = one_leaf_program();
+        prog.registers = 2;
+        prog.ops = vec![
+            Op::PushAndSel { src: 1 },
+            Op::Eval { leaf: 0, dst: 0 },
+            Op::PopSel,
+        ];
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::UseBeforeDef { pc: 0, register: 1 })
+        );
+    }
+
+    #[test]
+    fn definition_under_a_popped_selection_is_dead() {
+        // r0 is only defined inside the narrowed frame; after the pop
+        // the executor would read unwritten lanes of r0.
+        let mut prog = one_leaf_program();
+        prog.registers = 2;
+        prog.ops = vec![
+            Op::Eval { leaf: 0, dst: 1 },
+            Op::PushAndSel { src: 1 },
+            Op::Eval { leaf: 0, dst: 0 },
+            Op::PopSel,
+        ];
+        assert_eq!(prog.verify(), Err(VerifyError::ResultUndefined));
+    }
+
+    #[test]
+    fn out_of_range_pool_index_is_rejected() {
+        let mut prog = one_leaf_program();
+        prog.leaves[0] = CompiledLeaf {
+            path: 0,
+            test: LeafTest::FloatCmp {
+                op: Comparison::Gt,
+                value: 7,
+            },
+        };
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::PoolIndexOutOfRange {
+                leaf: 0,
+                pool: "float",
+                index: 7,
+                len: 1,
+            })
+        );
+        let mut prog = one_leaf_program();
+        prog.leaves[0].path = 9;
+        assert!(matches!(
+            prog.verify(),
+            Err(VerifyError::PoolIndexOutOfRange { pool: "path", .. })
+        ));
+    }
+
+    #[test]
+    fn register_and_leaf_bounds_are_checked() {
+        let mut prog = one_leaf_program();
+        prog.ops[0] = Op::Eval { leaf: 3, dst: 0 };
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::LeafOutOfRange { pc: 0, leaf: 3 })
+        );
+        let mut prog = one_leaf_program();
+        prog.ops[0] = Op::Eval { leaf: 0, dst: 5 };
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::RegisterOutOfRange { pc: 0, register: 5 })
+        );
+        let mut prog = one_leaf_program();
+        prog.registers = (REGISTER_BUDGET + 1) as u8;
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::RegisterBudget {
+                registers: REGISTER_BUDGET + 1
+            })
+        );
+    }
+
+    #[test]
+    fn bad_jump_targets_are_rejected() {
+        let and = compile(&leaf("a").and(leaf("b"))).unwrap();
+        // The compiled shape: eval, push, jump, eval, merge, pop.
+        let jump_at = 2;
+        assert!(matches!(and.ops[jump_at], Op::JumpIfEmpty { .. }));
+        let mut prog = and.clone();
+        prog.ops[jump_at] = Op::JumpIfEmpty { target: 99 };
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::JumpTargetOutOfRange { pc: 2, target: 99 })
+        );
+        let mut prog = and.clone();
+        prog.ops[jump_at] = Op::JumpIfEmpty { target: 3 };
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::JumpTargetMismatch {
+                pc: 2,
+                target: 3,
+                pop: 5,
+            })
+        );
+        let mut prog = and.clone();
+        prog.ops.insert(0, Op::JumpIfEmpty { target: 6 });
+        assert_eq!(prog.verify(), Err(VerifyError::JumpWithoutFrame { pc: 0 }));
+    }
+
+    #[test]
+    fn merge_contract_is_enforced() {
+        let and = compile(&leaf("a").and(leaf("b"))).unwrap();
+        let merge_at = 4;
+        assert!(matches!(and.ops[merge_at], Op::Merge { .. }));
+        let mut prog = and.clone();
+        prog.ops[merge_at] = Op::Merge { dst: 1, src: 0 };
+        assert_eq!(
+            prog.verify(),
+            Err(VerifyError::MergeOrder {
+                pc: 4,
+                dst: 1,
+                src: 0,
+            })
+        );
+        let mut prog = and.clone();
+        prog.ops = vec![
+            Op::Eval { leaf: 0, dst: 0 },
+            Op::Eval { leaf: 1, dst: 1 },
+            Op::Merge { dst: 0, src: 1 },
+        ];
+        assert_eq!(prog.verify(), Err(VerifyError::MergeOutsideFrame { pc: 2 }));
+    }
+
+    #[test]
+    fn zero_register_programs_must_be_empty() {
+        let mut prog = Program::match_all();
+        prog.ops.push(Op::PopSel);
+        assert_eq!(prog.verify(), Err(VerifyError::ResultUndefined));
+    }
+
+    #[test]
+    fn hint_layout_mismatch_is_rejected() {
+        let mut prog = one_leaf_program();
+        prog.hint_slots += 1;
+        assert_eq!(prog.verify(), Err(VerifyError::HintLayoutMismatch));
+    }
+
+    #[test]
+    fn errors_render_with_positions() {
+        let e = VerifyError::UseBeforeDef { pc: 7, register: 3 };
+        assert!(e.to_string().contains("0007"));
+        assert!(e.to_string().contains("r3"));
+    }
+
+    /// `from_raw_parts` lets integration tests hand-build malformed
+    /// programs, and must compute the same derived fields as `compile`.
+    #[test]
+    fn from_raw_parts_derives_hints_and_projectability() {
+        let pool = ConstPool {
+            paths: vec![crate::CompiledPath::new(&JsonPointer::from_tokens([
+                "arr", "00",
+            ]))],
+            ..ConstPool::default()
+        };
+        let prog = Program::from_raw_parts(
+            vec![Op::Eval { leaf: 0, dst: 0 }],
+            vec![CompiledLeaf {
+                path: 0,
+                test: LeafTest::Exists,
+            }],
+            pool,
+            1,
+        );
+        assert!(!prog.is_projectable(), "'00' is a non-canonical token");
+        assert_eq!(prog.hint_slots, 2);
+        prog.verify().unwrap();
+    }
+}

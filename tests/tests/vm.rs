@@ -29,41 +29,49 @@ use betze::generator::{ExportMode, GeneratorConfig};
 use betze::harness::workload::{prepare, prepare_with_analysis, Corpus, PreparedWorkload};
 use betze::harness::{run_session_with_options, RetryPolicy, RunOptions};
 use betze::json::Value;
-use betze::lint::{Linter, QueryPrediction};
-use betze::vm::{compile, Projection, VmScratch};
+use betze::lint::{vm_arm_facts, Linter, QueryPrediction};
+use betze::vm::{compile, optimize, ArmFacts, Projection, VmScratch};
 
 /// Replays one workload on the tree-walking reference and the bytecode
-/// VM, asserting bit-identical import and per-query outcomes. Corpora
-/// here are ≥ 64 docs and sessions re-scan their base, so the engine
-/// crosses its projection threshold mid-session — the smoke covers the
-/// unprojected, freshly-shredded and cached regimes in one replay.
+/// VM — **both** with the verified optimizer on (the default) and with
+/// it off — asserting bit-identical import and per-query outcomes for
+/// all three engines. Corpora here are ≥ 64 docs and sessions re-scan
+/// their base, so the engine crosses its projection threshold
+/// mid-session — the smoke covers the unprojected, freshly-shredded and
+/// cached regimes in one replay.
 fn assert_vm_matches_reference(w: &PreparedWorkload, label: &str) {
     let mut reference = JodaSim::new(1);
     let mut vm = VmEngine::new(1);
+    let mut vm_raw = VmEngine::new(1);
+    vm_raw.set_optimize(false);
     let ri = reference
         .import(&w.dataset.name, &w.dataset.docs)
         .unwrap_or_else(|e| panic!("{label}: reference import: {e}"));
-    let vi = vm
-        .import(&w.dataset.name, &w.dataset.docs)
-        .unwrap_or_else(|e| panic!("{label}: vm import: {e}"));
-    assert_eq!(ri.counters, vi.counters, "{label}: import counters");
-    assert_eq!(ri.modeled, vi.modeled, "{label}: import modeled time");
+    for (leg, engine) in [("vm", &mut vm), ("vm-noopt", &mut vm_raw)] {
+        let vi = engine
+            .import(&w.dataset.name, &w.dataset.docs)
+            .unwrap_or_else(|e| panic!("{label}: {leg} import: {e}"));
+        assert_eq!(ri.counters, vi.counters, "{label}: {leg} import counters");
+        assert_eq!(ri.modeled, vi.modeled, "{label}: {leg} import modeled time");
+    }
     for (i, query) in w.generation.session.queries.iter().enumerate() {
         let a = reference
             .execute(query)
             .unwrap_or_else(|e| panic!("{label}: query {i} on reference: {e}"));
-        let b = vm
-            .execute(query)
-            .unwrap_or_else(|e| panic!("{label}: query {i} on vm: {e}"));
-        assert_eq!(a.docs, b.docs, "{label}: query {i} result documents");
-        assert_eq!(
-            a.report.counters, b.report.counters,
-            "{label}: query {i} work counters"
-        );
-        assert_eq!(
-            a.report.modeled, b.report.modeled,
-            "{label}: query {i} modeled time"
-        );
+        for (leg, engine) in [("vm", &mut vm), ("vm-noopt", &mut vm_raw)] {
+            let b = engine
+                .execute(query)
+                .unwrap_or_else(|e| panic!("{label}: query {i} on {leg}: {e}"));
+            assert_eq!(a.docs, b.docs, "{label}: query {i} {leg} result documents");
+            assert_eq!(
+                a.report.counters, b.report.counters,
+                "{label}: query {i} {leg} work counters"
+            );
+            assert_eq!(
+                a.report.modeled, b.report.modeled,
+                "{label}: query {i} {leg} modeled time"
+            );
+        }
     }
 }
 
@@ -185,6 +193,7 @@ fn predicted_intervals_contain_vm_execution() {
                 &outcome.session,
                 "nb",
                 &docs,
+                &analysis,
                 &predictions,
                 &mut scratch,
                 &format!("{preset:?}/{seed}"),
@@ -196,12 +205,18 @@ fn predicted_intervals_contain_vm_execution() {
 
 /// Executes `session` with the VM as the filter evaluator (reference
 /// semantics otherwise: filter, then transforms, pre-aggregation) and
-/// asserts every prediction interval contains the observed value.
+/// asserts every prediction interval contains the observed value. Each
+/// filter additionally runs through the verified optimizer — with real
+/// selectivity facts wherever the scanned dataset is an untransformed
+/// subset of the analyzed base, exactly the engine's propagation rule —
+/// and the optimized program must verify and select the same lanes.
 /// Returns the number of predictions checked.
+#[allow(clippy::too_many_arguments)]
 fn assert_predictions_contain_vm(
     session: &betze::model::Session,
     base_name: &str,
     docs: &[Value],
+    analysis: &betze::stats::DatasetAnalysis,
     predictions: &[QueryPrediction],
     scratch: &mut VmScratch,
     label: &str,
@@ -210,9 +225,19 @@ fn assert_predictions_contain_vm(
         predictions.iter().map(|p| (p.query, p)).collect();
     let mut env: BTreeMap<String, Vec<Value>> = BTreeMap::new();
     env.insert(base_name.to_owned(), docs.to_vec());
+    // Datasets over which the base analysis (and thus the per-arm
+    // facts) is still sound: untransformed subsets of the base.
+    let mut sound: std::collections::BTreeSet<String> = [base_name.to_owned()].into();
     let mut checked = 0usize;
     let mut matched = Vec::new();
     for (i, query) in session.queries.iter().enumerate() {
+        if let Some(store) = &query.store_as {
+            if query.transforms.is_empty() && sound.contains(query.base.as_str()) {
+                sound.insert(store.clone());
+            } else {
+                sound.remove(store.as_str());
+            }
+        }
         let Some(input) = env.get(query.base.as_str()) else {
             continue;
         };
@@ -234,6 +259,23 @@ fn assert_predictions_contain_vm(
                         );
                     }
                 }
+                let facts = if sound.contains(query.base.as_str()) {
+                    vm_arm_facts(filter, analysis)
+                } else {
+                    ArmFacts::none()
+                };
+                let optimized = optimize(filter, &facts)
+                    .unwrap_or_else(|e| panic!("{label}: query {i} does not optimize: {e}"));
+                optimized
+                    .program
+                    .verify()
+                    .unwrap_or_else(|e| panic!("{label}: query {i} optimized program: {e}"));
+                let mut opt_matched = Vec::new();
+                optimized.program.run(input, scratch, &mut opt_matched);
+                assert_eq!(
+                    matched, opt_matched,
+                    "{label}: query {i} optimized lanes diverge from unoptimized"
+                );
                 matched.iter().map(|&l| input[l as usize].clone()).collect()
             }
             None => input.clone(),
@@ -268,6 +310,132 @@ fn assert_predictions_contain_vm(
         }
     }
     checked
+}
+
+/// The verifier is the toolchain's last line of defense: it must reject
+/// hand-built malformed programs a buggy rewrite could plausibly emit —
+/// while accepting every compiler-emitted program (the sweeps above and
+/// `betze vm-verify` prove the second half).
+#[test]
+fn verifier_rejects_hand_built_malformed_programs() {
+    use betze::vm::{CompiledLeaf, CompiledPath, ConstPool, LeafTest, Op, Program};
+    let pool = || ConstPool {
+        ints: Vec::new(),
+        floats: Vec::new(),
+        strings: Vec::new(),
+        paths: vec![CompiledPath::new(
+            &betze::json::JsonPointer::parse("/a").unwrap(),
+        )],
+    };
+    let leaf = || CompiledLeaf {
+        path: 0,
+        test: LeafTest::Exists,
+    };
+    let cases: Vec<(&str, Program)> = vec![
+        (
+            "read of an undefined register",
+            Program::from_raw_parts(
+                vec![Op::Eval { leaf: 0, dst: 1 }, Op::Merge { dst: 0, src: 2 }],
+                vec![leaf()],
+                pool(),
+                3,
+            ),
+        ),
+        (
+            "unbalanced selection stack at exit",
+            Program::from_raw_parts(
+                vec![Op::Eval { leaf: 0, dst: 0 }, Op::PushAndSel { src: 0 }],
+                vec![leaf()],
+                pool(),
+                1,
+            ),
+        ),
+        (
+            "jump target outside the op list",
+            Program::from_raw_parts(
+                vec![
+                    Op::Eval { leaf: 0, dst: 0 },
+                    Op::PushAndSel { src: 0 },
+                    Op::JumpIfEmpty { target: 99 },
+                    Op::Eval { leaf: 0, dst: 1 },
+                    Op::Merge { dst: 0, src: 1 },
+                    Op::PopSel,
+                ],
+                vec![leaf()],
+                pool(),
+                2,
+            ),
+        ),
+        (
+            "leaf path index out of pool bounds",
+            Program::from_raw_parts(
+                vec![Op::Eval { leaf: 0, dst: 0 }],
+                vec![CompiledLeaf {
+                    path: 7,
+                    test: LeafTest::Exists,
+                }],
+                pool(),
+                1,
+            ),
+        ),
+        (
+            "register index past the declared count",
+            Program::from_raw_parts(vec![Op::Eval { leaf: 0, dst: 5 }], vec![leaf()], pool(), 1),
+        ),
+    ];
+    for (what, program) in cases {
+        assert!(
+            program.verify().is_err(),
+            "verifier accepted a program with {what}"
+        );
+    }
+}
+
+/// A right-deep 17-leaf chain was the canonical L049 fallback: its
+/// register pressure exceeds the budget as written, so the engine used
+/// to tree-walk it. Reassociation rebuilds the run left-deep; the
+/// rescued program must verify, compile under the budget, and select
+/// exactly the documents the tree-walk selects.
+#[test]
+fn former_register_budget_fallback_now_compiles() {
+    use betze::model::{Comparison, FilterFn, Predicate};
+    use betze::vm::{register_pressure, CompileError, REGISTER_BUDGET};
+    let leaf = |i: usize| {
+        Predicate::leaf(FilterFn::FloatCmp {
+            path: betze::json::JsonPointer::parse("/n").unwrap(),
+            op: Comparison::Ge,
+            value: i as f64,
+        })
+    };
+    let mut deep = leaf(REGISTER_BUDGET);
+    for i in (0..REGISTER_BUDGET).rev() {
+        deep = leaf(i).and(deep);
+    }
+    assert!(register_pressure(&deep) > REGISTER_BUDGET);
+    assert!(matches!(
+        compile(&deep),
+        Err(CompileError::RegisterBudget { .. })
+    ));
+    let optimized = optimize(&deep, &ArmFacts::none()).expect("reassociation rescues the chain");
+    assert!(optimized.pressure_before > REGISTER_BUDGET);
+    assert!(optimized.pressure_after <= REGISTER_BUDGET);
+    optimized
+        .program
+        .verify()
+        .expect("rescued program verifies");
+    let docs: Vec<Value> = (0..200)
+        .map(|i| betze::json::json!({ "n": (i as i64) }))
+        .collect();
+    let mut scratch = VmScratch::new();
+    let mut matched = Vec::new();
+    optimized.program.run(&docs, &mut scratch, &mut matched);
+    let reference: Vec<u32> = docs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| deep.matches(d))
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(matched, reference);
 }
 
 /// The wide sweep: 100 seeds × 3 presets × {NoBench, Twitter}. Gated
