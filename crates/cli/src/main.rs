@@ -39,7 +39,13 @@ USAGE:
 COMMANDS:
     synth <twitter|nobench|reddit> <count>   generate a synthetic corpus (JSON lines)
         --seed <u64>        corpus seed (default 1)
-        --out <file>        write to a file instead of stdout
+        --out <file>        write to a file instead of stdout; a .bcorp
+                            destination streams a durable paged corpus
+                            straight to disk (checksummed pages, sealed
+                            footer, generator provenance for repair) —
+                            memory stays bounded by one page, so the
+                            corpus may far exceed RAM
+        --page-size <n>     .bcorp page size in bytes (default 65536)
     analyze <dataset.json>                   analyze a JSON-lines dataset (paper §IV-A)
         --name <name>       dataset name (default: file stem)
         --out <file>        write the analysis file instead of stdout
@@ -80,8 +86,11 @@ COMMANDS:
     lint --explain <RULE>                    print one rule's documentation
                             (id, name, severity, rationale, example);
                             accepts L0xx ids or kebab-case names
-    benchmark <dataset.json>                 generate + run on all engines
-                        (alias: run)
+    benchmark <dataset.json|corpus.bcorp>    generate + run on all engines
+                        (alias: run; a .bcorp corpus runs out-of-core:
+                        the session is generated from the analysis
+                        embedded in its footer and JODA/vm stream pages
+                        from disk, never materializing the corpus)
         --seed/--preset/... as for generate
         --session <file>    run this session file instead of generating one
         --lint <level>      pre-flight deny level: error | warn | info | off
@@ -118,6 +127,15 @@ COMMANDS:
         --no-vm-opt         disable the verified bytecode optimizer for
                             the vm engine (plain compilation; --vm-opt
                             spells the default)
+    scrub <corpus.bcorp>                     verify every page checksum of a
+                        sealed corpus; damaged pages are listed by index
+                        and the exit code is nonzero until the file
+                        scrubs clean
+        --repair            rebuild damaged pages (donor file or footer
+                            provenance), preserving the damaged bytes in
+                            <corpus>.bcorp.quarantine first
+        --donor <file>      sibling emit of the same corpus to splice
+                            verified pages from
     vm-verify                                toolchain smoke sweep: generate
                         sessions (seeds x presets over a NoBench corpus) and
                         push every filter through compile -> verify ->
@@ -211,6 +229,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => analyze(&rest),
         "generate" => generate(&rest),
         "benchmark" | "run" => benchmark(&rest),
+        "scrub" => scrub(&rest),
         "vm-verify" => vm_verify(&rest),
         "lint" => lint(&rest),
         "serve" => serve(&rest),
@@ -284,11 +303,18 @@ fn synth(args: &[String]) -> Result<(), String> {
         Some(s) => parse(&s, "seed")?,
         None => 1,
     };
+    let page_size: usize = match take_option(&mut args, "--page-size")? {
+        Some(s) => parse(&s, "page size")?,
+        None => betze::store::DEFAULT_PAGE_SIZE,
+    };
     let out = take_option(&mut args, "--out")?;
     let [corpus, count]: [String; 2] = args
         .try_into()
         .map_err(|_| "synth needs <corpus> <count>".to_owned())?;
     let count: usize = parse(&count, "count")?;
+    if let Some(path) = out.as_deref().filter(|p| p.ends_with(".bcorp")) {
+        return synth_paged(&corpus, count, seed, page_size, path);
+    }
     let docs = match corpus.as_str() {
         "twitter" => TwitterLike::default().generate(seed, count),
         "nobench" => NoBench::default().generate(seed, count),
@@ -296,6 +322,121 @@ fn synth(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown corpus '{other}'")),
     };
     write_or_print(out, betze::json::to_json_lines(&docs).trim_end())
+}
+
+/// Out-of-core emit: documents stream straight into a paged `.bcorp`
+/// file one page at a time — the corpus never materializes in RAM, so
+/// the emit size is bounded by the disk, not the heap. Footer
+/// provenance `(corpus, seed)` is recorded so `scrub --repair` can
+/// regenerate any damaged page bit-identically.
+fn synth_paged(
+    corpus: &str,
+    count: usize,
+    seed: u64,
+    page_size: usize,
+    path: &str,
+) -> Result<(), String> {
+    let generator: Box<dyn DocGenerator> = match corpus {
+        "twitter" => Box::new(TwitterLike::default()),
+        "nobench" => Box::new(NoBench::default()),
+        "reddit" => Box::new(RedditLike),
+        other => return Err(format!("unknown corpus '{other}'")),
+    };
+    let mut writer = betze::store::CorpusWriter::create(path, corpus, page_size)
+        .map_err(|e| format!("creating {path}: {e}"))?
+        .with_provenance(corpus, seed);
+    for index in 0..count {
+        writer
+            .append(generator.generate_doc(seed, index))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let report = writer.seal().map_err(|e| format!("sealing {path}: {e}"))?;
+    let rss = peak_rss_bytes()
+        .map(|b| format!(", peak RSS {b} bytes"))
+        .unwrap_or_default();
+    println!(
+        "sealed {}: {} docs in {} pages of {} bytes, {} JSON bytes{rss}",
+        report.path.display(),
+        report.doc_count,
+        report.page_count,
+        page_size,
+        report.json_bytes,
+    );
+    Ok(())
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` where procfs is unavailable. Used by the
+/// CI streaming smoke to prove `synth --out *.bcorp` stays out-of-core.
+fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// `betze scrub <file.bcorp> [--repair] [--donor <file>]`: verify every
+/// page checksum; with `--repair`, rebuild damaged pages from the donor
+/// or from footer provenance (quarantining the damaged bytes first).
+/// Exits nonzero while the file has damage that was not repaired.
+fn scrub(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let repair = take_flag(&mut args, "--repair");
+    let donor = take_option(&mut args, "--donor")?;
+    let [path]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "scrub needs exactly one <corpus.bcorp>".to_owned())?;
+    // A refused open (torn seal, bad header/footer) is an expected
+    // verdict about the file, not a usage error: report and exit 1
+    // without the USAGE dump.
+    let report = match betze::store::scrub(&path) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: scrub {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{}: {} pages, {} docs, {} damaged",
+        path,
+        report.page_count,
+        report.doc_count,
+        report.bad_pages.len()
+    );
+    for fault in &report.bad_pages {
+        println!("  page {}: {}", fault.page, fault.detail);
+    }
+    if report.is_clean() {
+        return Ok(());
+    }
+    if !repair {
+        eprintln!(
+            "error: {} damaged page(s); re-run with --repair to rebuild them",
+            report.bad_pages.len()
+        );
+        std::process::exit(1);
+    }
+    let repaired = betze::store::repair(&path, donor.as_deref().map(Path::new))
+        .map_err(|e| format!("repair {path}: {e}"))?;
+    for (page, source) in &repaired.repaired {
+        let via = match source {
+            betze::store::RepairSource::Donor => "donor",
+            betze::store::RepairSource::Provenance => "provenance",
+        };
+        println!("  rebuilt page {page} from {via}");
+    }
+    if let Some(quarantine) = &repaired.quarantine {
+        println!("  damaged bytes preserved in {}", quarantine.display());
+    }
+    println!("{path}: repaired, scrubs clean");
+    Ok(())
 }
 
 fn load_dataset(path: &str, name: Option<String>) -> Result<Dataset, String> {
@@ -742,21 +883,58 @@ fn benchmark(args: &[String]) -> Result<(), String> {
     let config = generator_config(&mut args)?;
     let [path]: [String; 1] = args
         .try_into()
-        .map_err(|_| "benchmark needs exactly one <dataset.json>".to_owned())?;
-    let dataset = load_dataset(&path, None)?;
-    let (dataset, analysis, session) = match session_path {
-        Some(spath) => {
-            let text =
-                std::fs::read_to_string(&spath).map_err(|e| format!("cannot read {spath}: {e}"))?;
-            let session =
-                betze::model::Session::parse(&text).map_err(|e| format!("parsing {spath}: {e}"))?;
-            let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
-            (dataset, analysis, session)
+        .map_err(|_| "benchmark needs exactly one <dataset.json|corpus.bcorp>".to_owned())?;
+    /// Where the root corpus lives for this run (owns what
+    /// [`CorpusSource`] borrows).
+    enum Loaded {
+        Ram(Dataset),
+        Paged(std::sync::Arc<betze::store::PagedCorpus>),
+    }
+    let (loaded, analysis, session) = if path.ends_with(".bcorp") {
+        // Out-of-core: the footer carries the exact corpus analysis, so
+        // the session is generated without ever materializing the
+        // documents; JODA/vm then stream pages from disk.
+        let corpus = std::sync::Arc::new(
+            betze::store::PagedCorpus::open(Path::new(&path))
+                .map_err(|e| format!("opening {path}: {e}"))?,
+        );
+        let analysis = corpus.analysis().clone();
+        let session = match session_path {
+            Some(spath) => {
+                let text = std::fs::read_to_string(&spath)
+                    .map_err(|e| format!("cannot read {spath}: {e}"))?;
+                betze::model::Session::parse(&text).map_err(|e| format!("parsing {spath}: {e}"))?
+            }
+            // No backend: a paged corpus is exactly the case where the
+            // documents should not be pulled into RAM for verification,
+            // so estimated selectivities are trusted (paper §IV-D).
+            None => {
+                betze::generator::generate_session(&analysis, &config, seed, None)
+                    .map_err(|e| e.to_string())?
+                    .session
+            }
+        };
+        (Loaded::Paged(corpus), analysis, session)
+    } else {
+        let dataset = load_dataset(&path, None)?;
+        match session_path {
+            Some(spath) => {
+                let text = std::fs::read_to_string(&spath)
+                    .map_err(|e| format!("cannot read {spath}: {e}"))?;
+                let session = betze::model::Session::parse(&text)
+                    .map_err(|e| format!("parsing {spath}: {e}"))?;
+                let analysis = betze::stats::analyze(dataset.name.clone(), &dataset.docs);
+                (Loaded::Ram(dataset), analysis, session)
+            }
+            None => {
+                let w = prepare_dataset(dataset, &config, seed).map_err(|e| e.to_string())?;
+                (Loaded::Ram(w.dataset), w.analysis, w.generation.session)
+            }
         }
-        None => {
-            let w = prepare_dataset(dataset, &config, seed).map_err(|e| e.to_string())?;
-            (w.dataset, w.analysis, w.generation.session)
-        }
+    };
+    let source = match &loaded {
+        Loaded::Ram(dataset) => betze::harness::CorpusSource::Ram(dataset),
+        Loaded::Paged(corpus) => betze::harness::CorpusSource::Paged(std::sync::Arc::clone(corpus)),
     };
     // Pre-flight: the full three-pass lint (the harness repeats the
     // structural passes right before each engine run).
@@ -799,9 +977,8 @@ fn benchmark(args: &[String]) -> Result<(), String> {
                      label: String,
                      table: &mut betze::harness::fmt::TextTable|
      -> Result<(), String> {
-        let outcome =
-            betze::harness::run_session_with_options(engine, &dataset, &session, &options)
-                .map_err(|e| e.to_string())?;
+        let outcome = betze::harness::run_session_from_source(engine, &source, &session, &options)
+            .map_err(|e| e.to_string())?;
         if let betze::harness::SessionOutcome::TimedOut {
             completed_queries, ..
         } = &outcome
@@ -880,6 +1057,14 @@ fn benchmark(args: &[String]) -> Result<(), String> {
         );
     }
     println!("{}", table.render());
+    // Out-of-core proof: a paged corpus is streamed, never resident, so
+    // the harness's peak RSS stays far below the file size. Printed in
+    // the same parseable shape as `synth --paged` for the CI smoke.
+    if matches!(loaded, Loaded::Paged(_)) {
+        if let Some(rss) = peak_rss_bytes() {
+            println!("# peak RSS {rss} bytes");
+        }
+    }
     Ok(())
 }
 

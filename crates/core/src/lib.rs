@@ -51,6 +51,7 @@
 //! | [`lint`] | `betze-lint` | static analysis of sessions: IR, translation, and graph passes |
 //! | [`vm`] | `betze-vm` | predicate/aggregation bytecode compiler + vectorized interpreter |
 //! | [`engines`] | `betze-engines` | simulated systems under test + cost model |
+//! | [`store`] | `betze-store` | durable paged `.bcorp` corpus store: checksummed pages, disk-fault injection, scrub/repair |
 //! | [`harness`] | `betze-harness` | benchmark runner + per-figure/table experiment drivers |
 //! | [`serve`] | `betze-serve` | fault-tolerant benchmark daemon + load generator |
 
@@ -65,4 +66,5 @@ pub use betze_lint as lint;
 pub use betze_model as model;
 pub use betze_serve as serve;
 pub use betze_stats as stats;
+pub use betze_store as store;
 pub use betze_vm as vm;

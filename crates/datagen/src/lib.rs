@@ -92,6 +92,13 @@ pub trait DocGenerator {
     /// index).
     fn generate(&self, seed: u64, count: usize) -> Vec<Value>;
 
+    /// Generates the single document at `index` of the `seed` stream —
+    /// identical to `generate(seed, n)[index]` for any `n > index`.
+    /// Prefix stability makes this exact, which is what lets the corpus
+    /// store regenerate one damaged page from `(corpus, seed)`
+    /// provenance without materializing the corpus.
+    fn generate_doc(&self, seed: u64, index: usize) -> Value;
+
     /// Convenience: generates a named [`Dataset`].
     fn dataset(&self, seed: u64, count: usize) -> Dataset {
         Dataset::new(self.corpus_name(), self.generate(seed, count))

@@ -92,6 +92,10 @@ impl DocGenerator for NoBench {
     fn generate(&self, seed: u64, count: usize) -> Vec<Value> {
         (0..count).map(|i| self.doc(seed, i)).collect()
     }
+
+    fn generate_doc(&self, seed: u64, index: usize) -> Value {
+        self.doc(seed, index)
+    }
 }
 
 #[cfg(test)]

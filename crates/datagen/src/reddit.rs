@@ -111,6 +111,10 @@ impl DocGenerator for RedditLike {
     fn generate(&self, seed: u64, count: usize) -> Vec<Value> {
         (0..count).map(|i| self.doc(seed, i)).collect()
     }
+
+    fn generate_doc(&self, seed: u64, index: usize) -> Value {
+        self.doc(seed, index)
+    }
 }
 
 #[cfg(test)]

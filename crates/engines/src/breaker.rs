@@ -247,6 +247,16 @@ impl<E: Engine> Engine for BreakerEngine<E> {
         result
     }
 
+    fn import_paged(
+        &mut self,
+        corpus: &std::sync::Arc<betze_store::PagedCorpus>,
+    ) -> Result<ExecutionReport, EngineError> {
+        self.core.admit(self.inner.name())?;
+        let result = self.inner.import_paged(corpus);
+        self.core.observe(&result);
+        result
+    }
+
     fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
         self.core.admit(self.inner.name())?;
         let result = self.inner.execute(query);

@@ -255,6 +255,33 @@ impl<E: Engine> Engine for ChaosEngine<E> {
         Ok(report)
     }
 
+    /// A paged import is an import: it draws from the same fault stream
+    /// in the same order, so swapping a session's corpus residency does
+    /// not perturb the chaos schedule.
+    fn import_paged(
+        &mut self,
+        corpus: &std::sync::Arc<betze_store::PagedCorpus>,
+    ) -> Result<ExecutionReport, EngineError> {
+        let op = self.op;
+        self.op += 1;
+        if self.draw(self.plan.import_fault_rate) {
+            let name = corpus.name().to_owned();
+            self.log.push(FaultEvent {
+                op,
+                kind: FaultKind::ImportFault {
+                    dataset: name.clone(),
+                },
+            });
+            return Err(EngineError::Transient {
+                message: format!("injected import fault for '{name}' (op {op})"),
+                attempt_hint: 1,
+            });
+        }
+        let mut report = self.inner.import_paged(corpus)?;
+        self.maybe_spike(&mut report);
+        Ok(report)
+    }
+
     fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {
         let op = self.op;
         self.op += 1;

@@ -90,6 +90,24 @@ impl EngineError {
             },
         }
     }
+
+    /// Classifies a paged-store error under the same taxonomy as
+    /// [`from_io`](Self::from_io): transient disk faults (short reads and
+    /// injected hiccups) are worth one retry, everything else — torn
+    /// pages, checksum mismatches, ENOSPC — is a permanent storage
+    /// failure that degrades the query instead of the whole run.
+    pub fn from_store(e: &betze_store::StoreError, what: &str) -> EngineError {
+        if e.is_transient() {
+            EngineError::Transient {
+                message: format!("{what}: {e}"),
+                attempt_hint: 1,
+            }
+        } else {
+            EngineError::Storage {
+                message: format!("{what}: {e}"),
+            }
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -187,6 +205,24 @@ pub trait Engine {
     /// without-import distinction needs it separately).
     fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError>;
 
+    /// Imports a sealed on-disk corpus under its footer name. Engines
+    /// with a streaming path ([`JodaSim`](crate::JodaSim),
+    /// [`VmEngine`](crate::VmEngine)) keep the corpus on disk and scan
+    /// it page-at-a-time with counters — and therefore modeled times —
+    /// bit-identical to the in-RAM path. The default implementation
+    /// materializes every page and delegates to [`import`](Self::import),
+    /// so engines without a streaming path still accept disk corpora
+    /// (at in-RAM memory cost).
+    fn import_paged(
+        &mut self,
+        corpus: &std::sync::Arc<betze_store::PagedCorpus>,
+    ) -> Result<ExecutionReport, EngineError> {
+        let docs = corpus
+            .materialize()
+            .map_err(|e| EngineError::from_store(&e, "materialize corpus"))?;
+        self.import(corpus.name(), &docs)
+    }
+
     /// Executes one IR query. `query.base` must name an imported dataset
     /// or a stored intermediate; `query.store_as` stores the (pre-
     /// aggregation) filtered result as a new dataset.
@@ -239,6 +275,13 @@ impl<E: Engine + ?Sized> Engine for Box<E> {
 
     fn import(&mut self, name: &str, docs: &[Value]) -> Result<ExecutionReport, EngineError> {
         (**self).import(name, docs)
+    }
+
+    fn import_paged(
+        &mut self,
+        corpus: &std::sync::Arc<betze_store::PagedCorpus>,
+    ) -> Result<ExecutionReport, EngineError> {
+        (**self).import_paged(corpus)
     }
 
     fn execute(&mut self, query: &Query) -> Result<QueryOutcome, EngineError> {

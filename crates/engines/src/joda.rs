@@ -7,6 +7,7 @@ use crate::{
 };
 use betze_json::Value;
 use betze_model::{Predicate, Query};
+use betze_store::PagedCorpus;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,6 +31,13 @@ use std::time::Instant;
 /// * **Eviction mode** (`JodaSim::with_eviction`) — drops parsed data
 ///   after every query and re-parses from the stored raw text, modeling a
 ///   memory-constrained deployment (Table II's "JODA memory evicted").
+/// * **Out-of-core bases** (`import_paged`) — a sealed `.bcorp` corpus
+///   stays on disk and base scans stream it page-at-a-time, so memory is
+///   bounded by pages-in-flight instead of corpus size. Every counter
+///   charge is identical to the in-RAM path (the work is the same, only
+///   its residence differs), so results, counters and modeled times are
+///   bit-identical; a corrupt page surfaces as a typed
+///   [`EngineError::Storage`] degrading that query, never a wrong answer.
 #[derive(Debug)]
 pub struct JodaSim {
     threads: usize,
@@ -37,6 +45,8 @@ pub struct JodaSim {
     output_enabled: bool,
     cancel: CancelToken,
     datasets: HashMap<String, Arc<Vec<Value>>>,
+    /// Disk-resident base corpora, scanned page-at-a-time.
+    paged: HashMap<String, Arc<PagedCorpus>>,
     /// Raw JSON-lines text kept for eviction-mode re-imports.
     raw: HashMap<String, String>,
     /// Delta-Tree-style cache: canonical `(base | predicate)` key → result.
@@ -52,6 +62,7 @@ impl JodaSim {
             output_enabled: true,
             cancel: CancelToken::new(),
             datasets: HashMap::new(),
+            paged: HashMap::new(),
             raw: HashMap::new(),
             cache: HashMap::new(),
         }
@@ -159,6 +170,63 @@ impl JodaSim {
             Ok(Arc::new(self.scan(base_docs, predicate, counters)?))
         }
     }
+
+    /// Streaming filter scan over a disk-resident corpus: one page's
+    /// documents in memory at a time. Per-page charges sum to exactly
+    /// what [`scan`](Self::scan) charges for the whole corpus, so the
+    /// modeled clock cannot tell the paths apart; only the residence of
+    /// the data differs. A damaged page aborts the scan with a typed
+    /// storage error instead of returning a partial result.
+    fn scan_paged(
+        &self,
+        corpus: &PagedCorpus,
+        predicate: &Predicate,
+        counters: &mut WorkCounters,
+    ) -> Result<Vec<Value>, EngineError> {
+        let leaves = predicate.leaf_count() as u64;
+        let mut out = Vec::new();
+        for index in 0..corpus.page_count() {
+            self.cancel.check("JODA scan")?;
+            let page = corpus
+                .read_page(index)
+                .map_err(|e| EngineError::from_store(&e, "scan page"))?;
+            counters.docs_scanned += page.docs.len() as u64;
+            counters.predicate_evals += leaves * page.docs.len() as u64;
+            out.extend(page.docs.iter().filter(|d| predicate.matches(d)).cloned());
+        }
+        counters.docs_materialized += out.len() as u64;
+        Ok(out)
+    }
+
+    /// [`filtered`](Self::filtered) for a disk-resident base: identical
+    /// cache structure and `And`-left decomposition — only the innermost
+    /// (whole-corpus) scan streams pages; every extension scan runs over
+    /// the cached in-memory subset exactly as in the RAM path.
+    fn filtered_paged(
+        &mut self,
+        base: &str,
+        corpus: &Arc<PagedCorpus>,
+        predicate: &Predicate,
+        counters: &mut WorkCounters,
+    ) -> Result<Arc<Vec<Value>>, EngineError> {
+        if !self.eviction {
+            let key = Self::cache_key(base, predicate);
+            if let Some(hit) = self.cache.get(&key) {
+                counters.cache_hits += 1;
+                return Ok(Arc::clone(hit));
+            }
+            let result: Arc<Vec<Value>> = if let Predicate::And(left, right) = predicate {
+                let parent = self.filtered_paged(base, corpus, left, counters)?;
+                Arc::new(self.scan(&parent, right, counters)?)
+            } else {
+                Arc::new(self.scan_paged(corpus, predicate, counters)?)
+            };
+            self.cache.insert(key, Arc::clone(&result));
+            Ok(result)
+        } else {
+            Ok(Arc::new(self.scan_paged(corpus, predicate, counters)?))
+        }
+    }
 }
 
 impl Engine for JodaSim {
@@ -183,10 +251,33 @@ impl Engine for JodaSim {
             name: name.to_owned(),
             message: format!("parse failed: {e}"),
         })?;
+        self.paged.remove(name);
         self.datasets.insert(name.to_owned(), Arc::new(parsed));
         if self.eviction {
             self.raw.insert(name.to_owned(), text);
         }
+        Ok(ExecutionReport::from_counters(
+            started.elapsed(),
+            counters,
+            &self.model(),
+        ))
+    }
+
+    fn import_paged(&mut self, corpus: &Arc<PagedCorpus>) -> Result<ExecutionReport, EngineError> {
+        self.cancel.check("JODA import")?;
+        let started = Instant::now();
+        // The footer records document and JSON-lines byte counts computed
+        // with the same serializer the in-RAM import runs, so the import
+        // charge — and hence its modeled time — is bit-identical.
+        let counters = WorkCounters {
+            import_docs: corpus.doc_count(),
+            import_bytes: corpus.json_bytes(),
+            ..Default::default()
+        };
+        let name = corpus.name().to_owned();
+        self.datasets.remove(&name);
+        self.raw.remove(&name);
+        self.paged.insert(name, Arc::clone(corpus));
         Ok(ExecutionReport::from_counters(
             started.elapsed(),
             counters,
@@ -201,7 +292,10 @@ impl Engine for JodaSim {
             queries: 1,
             ..Default::default()
         };
-        // Eviction mode re-reads the raw data before every query.
+        // Eviction mode re-reads the raw data before every query. A
+        // disk-resident base is re-read from its pages during the scan
+        // itself; the re-parse work is byte-for-byte the same, so the
+        // charge is the same.
         if self.eviction {
             if let Some(text) = self.raw.get(&query.base) {
                 counters.bytes_parsed += text.len() as u64;
@@ -209,22 +303,42 @@ impl Engine for JodaSim {
                     message: format!("re-import parse failed: {e}"),
                 })?;
                 self.datasets.insert(query.base.clone(), Arc::new(parsed));
+            } else if let Some(corpus) = self.paged.get(&query.base) {
+                counters.bytes_parsed += corpus.json_bytes();
             }
         }
-        let base_docs =
-            self.datasets
-                .get(&query.base)
-                .cloned()
-                .ok_or_else(|| EngineError::UnknownDataset {
-                    name: query.base.clone(),
-                })?;
 
-        let filtered = match &query.filter {
-            Some(predicate) => self.filtered(&query.base, &base_docs, predicate, &mut counters)?,
-            None => {
-                counters.docs_scanned += base_docs.len() as u64;
-                Arc::clone(&base_docs)
+        let filtered = if let Some(base_docs) = self.datasets.get(&query.base).cloned() {
+            match &query.filter {
+                Some(predicate) => {
+                    self.filtered(&query.base, &base_docs, predicate, &mut counters)?
+                }
+                None => {
+                    counters.docs_scanned += base_docs.len() as u64;
+                    base_docs
+                }
             }
+        } else if let Some(corpus) = self.paged.get(&query.base).cloned() {
+            match &query.filter {
+                Some(predicate) => {
+                    self.filtered_paged(&query.base, &corpus, predicate, &mut counters)?
+                }
+                // An unfiltered query's result *is* the whole corpus —
+                // materializing it is inherent to the query, not to the
+                // storage path, and the charge matches the RAM path.
+                None => {
+                    counters.docs_scanned += corpus.doc_count();
+                    Arc::new(
+                        corpus
+                            .materialize()
+                            .map_err(|e| EngineError::from_store(&e, "materialize corpus"))?,
+                    )
+                }
+            }
+        } else {
+            return Err(EngineError::UnknownDataset {
+                name: query.base.clone(),
+            });
         };
 
         // Transformations (§VII) change the result documents — and hence
@@ -269,11 +383,13 @@ impl Engine for JodaSim {
         self.raw.remove(name);
         self.cache
             .retain(|key, _| !key.starts_with(&format!("{name}|")));
-        self.datasets.remove(name).is_some()
+        let paged = self.paged.remove(name).is_some();
+        self.datasets.remove(name).is_some() || paged
     }
 
     fn reset(&mut self) {
         self.datasets.clear();
+        self.paged.clear();
         self.raw.clear();
         self.cache.clear();
     }
@@ -461,5 +577,113 @@ mod tests {
             joda.execute(&Query::scan("t")),
             Err(EngineError::UnknownDataset { .. })
         ));
+    }
+
+    /// Emits `docs` as a sealed `.bcorp` named "t" and opens it.
+    fn emit_corpus(tag: &str, docs: &[Value]) -> (std::path::PathBuf, Arc<PagedCorpus>) {
+        let dir = std::env::temp_dir().join(format!("betze-joda-paged-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.bcorp"));
+        let mut writer = betze_store::CorpusWriter::create(&path, "t", 4096).unwrap();
+        for doc in docs {
+            writer.append(doc.clone()).unwrap();
+        }
+        writer.seal().unwrap();
+        let corpus = Arc::new(PagedCorpus::open(&path).unwrap());
+        (path, corpus)
+    }
+
+    #[test]
+    fn paged_base_is_bit_identical_to_ram() {
+        use betze_model::{AggFunc, Aggregation};
+        let data = docs();
+        let (path, corpus) = emit_corpus("identical", &data);
+        assert!(corpus.page_count() > 1, "corpus must actually be paged");
+        let mut ram = JodaSim::new(1);
+        let mut disk = JodaSim::new(1);
+        let ri = ram.import("t", &data).unwrap();
+        let di = disk.import_paged(&corpus).unwrap();
+        assert_eq!(ri.counters, di.counters);
+        assert_eq!(ri.modeled, di.modeled);
+        let queries = vec![
+            Query::scan("t").with_filter(even()),
+            Query::scan("t")
+                .with_filter(even().and(small()))
+                .store_as("es"),
+            Query::scan("es").with_aggregation(Aggregation::new(
+                AggFunc::Count {
+                    path: JsonPointer::root(),
+                },
+                "count",
+            )),
+            Query::scan("t"),
+        ];
+        for q in &queries {
+            let a = ram.execute(q).unwrap();
+            let b = disk.execute(q).unwrap();
+            assert_eq!(a.docs, b.docs, "docs for {q:?}");
+            assert_eq!(a.report.counters, b.report.counters, "counters for {q:?}");
+            assert_eq!(a.report.modeled, b.report.modeled, "modeled for {q:?}");
+        }
+        assert!(disk.forget("t"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn paged_eviction_mode_charges_the_same_reparse() {
+        let data = docs();
+        let (path, corpus) = emit_corpus("evict", &data);
+        let mut ram = JodaSim::with_eviction(1);
+        let mut disk = JodaSim::with_eviction(1);
+        ram.import("t", &data).unwrap();
+        disk.import_paged(&corpus).unwrap();
+        let q = Query::scan("t").with_filter(even());
+        for _ in 0..2 {
+            let a = ram.execute(&q).unwrap();
+            let b = disk.execute(&q).unwrap();
+            assert!(b.report.counters.bytes_parsed > 0, "must charge re-read");
+            assert_eq!(a.docs, b.docs);
+            assert_eq!(a.report.counters, b.report.counters);
+            assert_eq!(a.report.modeled, b.report.modeled);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupt_page_degrades_the_query_to_typed_storage() {
+        use betze_store::{DiskChaos, DiskFaultPlan};
+        let (path, _) = emit_corpus("flip", &docs());
+        let corpus = PagedCorpus::open(&path)
+            .unwrap()
+            .with_chaos(DiskChaos::new(DiskFaultPlan::none(7).bit_flips(1.0)));
+        let mut joda = JodaSim::new(1);
+        joda.import_paged(&Arc::new(corpus)).unwrap();
+        let err = joda
+            .execute(&Query::scan("t").with_filter(even()))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Storage { .. }), "got {err:?}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn short_read_is_transient_and_worth_a_retry() {
+        use betze_store::{DiskChaos, DiskFaultPlan};
+        let (path, _) = emit_corpus("short", &docs());
+        // Every read hiccups: the query fails with a retryable fault.
+        let corpus = PagedCorpus::open(&path)
+            .unwrap()
+            .with_chaos(DiskChaos::new(DiskFaultPlan::none(3).short_reads(1.0)));
+        let mut joda = JodaSim::new(1);
+        joda.import_paged(&Arc::new(corpus)).unwrap();
+        let q = Query::scan("t").with_filter(even());
+        let err = joda.execute(&q).unwrap_err();
+        assert!(err.is_transient(), "got {err:?}");
+        assert!(err.attempt_hint() >= 1);
+        // The disk recovers (chaos-free reopen): the retried query
+        // succeeds — transient really did mean "worth retrying".
+        let healthy = Arc::new(PagedCorpus::open(&path).unwrap());
+        joda.import_paged(&healthy).unwrap();
+        assert_eq!(joda.execute(&q).unwrap().docs.len(), 50);
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -101,7 +101,10 @@ impl Engine for JqSim {
         self.write_buf.clear();
         betze_json::write_json_lines(&mut self.write_buf, docs);
         let path = self.file_for(name);
-        std::fs::write(&path, &self.write_buf)
+        // Atomic (temp + fsync + rename): a crash or ENOSPC mid-import
+        // leaves either the previous dataset file or the new one — never
+        // a torn file a later query would half-parse.
+        betze_store::atomic_write(&path, &self.write_buf)
             .map_err(|e| Self::storage_err(e, "writing dataset"))?;
         self.files.insert(name.to_owned(), path);
         let counters = WorkCounters {
@@ -174,7 +177,7 @@ impl Engine for JqSim {
             let store_path = self.file_for(store);
             self.write_buf.clear();
             betze_json::write_json_lines(&mut self.write_buf, &matching);
-            std::fs::write(&store_path, &self.write_buf)
+            betze_store::atomic_write(&store_path, &self.write_buf)
                 .map_err(|e| Self::storage_err(e, "writing store file"))?;
             self.files.insert(store.clone(), store_path);
         }

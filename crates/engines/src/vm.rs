@@ -46,6 +46,7 @@ use betze_json::Value;
 use betze_lint::vm_arm_facts;
 use betze_model::{Predicate, Query};
 use betze_stats::DatasetAnalysis;
+use betze_store::PagedCorpus;
 use betze_vm::{ArmFacts, CompiledAggregation, Program, Projection, VmScratch};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -79,6 +80,9 @@ pub struct VmEngine {
     optimize: bool,
     cancel: CancelToken,
     datasets: HashMap<String, Arc<Vec<Value>>>,
+    /// Disk-resident base corpora, scanned page-at-a-time (one page's
+    /// documents per VM batch, reusing the engine's scratch).
+    paged: HashMap<String, Arc<PagedCorpus>>,
     /// Base-corpus analyses by dataset name: computed at import,
     /// propagated through untransformed `store_as`, dropped on
     /// transforms (facts would no longer be sound).
@@ -117,6 +121,7 @@ impl VmEngine {
             optimize: true,
             cancel: CancelToken::new(),
             datasets: HashMap::new(),
+            paged: HashMap::new(),
             analyses: HashMap::new(),
             cache: HashMap::new(),
             programs: HashMap::new(),
@@ -360,6 +365,77 @@ impl VmEngine {
         self.cache.insert(key, Arc::clone(&result));
         Ok(result)
     }
+
+    /// Streaming batched scan over a disk-resident corpus: the VM
+    /// executor consumes one page's documents per batch, reusing the
+    /// engine's scratch, so memory stays O(pages-in-flight). Charges sum
+    /// to exactly what [`scan`](Self::scan) charges for the whole corpus.
+    /// Pages never earn a projection (each page's `Arc` lives for one
+    /// batch — there is no repeated scan of the same allocation to
+    /// amortize a shred against), which is purely an execution strategy
+    /// and moves no counter.
+    fn scan_paged(
+        &mut self,
+        base: &str,
+        corpus: &PagedCorpus,
+        predicate: &Predicate,
+        counters: &mut WorkCounters,
+    ) -> Result<Vec<Value>, EngineError> {
+        let leaves = predicate.leaf_count() as u64;
+        let program = self.program_for(base, predicate);
+        let mut out = Vec::new();
+        for index in 0..corpus.page_count() {
+            self.cancel.check("VM scan")?;
+            let page = corpus
+                .read_page(index)
+                .map_err(|e| EngineError::from_store(&e, "scan page"))?;
+            counters.docs_scanned += page.docs.len() as u64;
+            counters.predicate_evals += leaves * page.docs.len() as u64;
+            match program.as_ref() {
+                Some(prog) => {
+                    for (i, chunk) in page.docs.chunks(BATCH).enumerate() {
+                        let batch_base = i * BATCH;
+                        prog.run(chunk, &mut self.scratch, &mut self.matched);
+                        out.extend(
+                            self.matched
+                                .iter()
+                                .map(|&lane| page.docs[batch_base + lane as usize].clone()),
+                        );
+                    }
+                }
+                // Register budget exceeded: tree-walk this scan.
+                None => out.extend(page.docs.iter().filter(|d| predicate.matches(d)).cloned()),
+            }
+        }
+        counters.docs_materialized += out.len() as u64;
+        Ok(out)
+    }
+
+    /// [`filtered`](Self::filtered) for a disk-resident base: identical
+    /// cache structure and `And`-left decomposition — only the innermost
+    /// (whole-corpus) scan streams pages; extension scans run over the
+    /// cached in-memory subset and keep the projection fast path.
+    fn filtered_paged(
+        &mut self,
+        base: &str,
+        corpus: &Arc<PagedCorpus>,
+        predicate: &Predicate,
+        counters: &mut WorkCounters,
+    ) -> Result<Arc<Vec<Value>>, EngineError> {
+        let key = Self::cache_key(base, predicate);
+        if let Some(hit) = self.cache.get(&key) {
+            counters.cache_hits += 1;
+            return Ok(Arc::clone(hit));
+        }
+        let result: Arc<Vec<Value>> = if let Predicate::And(left, right) = predicate {
+            let parent = self.filtered_paged(base, corpus, left, counters)?;
+            Arc::new(self.scan(base, &parent, right, counters)?)
+        } else {
+            Arc::new(self.scan_paged(base, corpus, predicate, counters)?)
+        };
+        self.cache.insert(key, Arc::clone(&result));
+        Ok(result)
+    }
 }
 
 impl Engine for VmEngine {
@@ -389,7 +465,34 @@ impl Engine for VmEngine {
             name.to_owned(),
             Arc::new(betze_stats::analyze(name, &parsed)),
         );
+        self.paged.remove(name);
         self.datasets.insert(name.to_owned(), Arc::new(parsed));
+        Ok(ExecutionReport::from_counters(
+            started.elapsed(),
+            counters,
+            &self.model(),
+        ))
+    }
+
+    fn import_paged(&mut self, corpus: &Arc<PagedCorpus>) -> Result<ExecutionReport, EngineError> {
+        self.cancel.check("VM import")?;
+        let started = Instant::now();
+        // Footer doc/byte counts use the in-RAM serializer's exact
+        // semantics, so the import charge is bit-identical; the footer's
+        // embedded analysis is proven bit-identical to analyzing the
+        // materialized documents (it was built incrementally at emit time
+        // and verified against the written pages), so the optimizer sees
+        // the same facts it would have derived in RAM.
+        let counters = WorkCounters {
+            import_docs: corpus.doc_count(),
+            import_bytes: corpus.json_bytes(),
+            ..Default::default()
+        };
+        let name = corpus.name().to_owned();
+        self.analyses
+            .insert(name.clone(), Arc::new(corpus.analysis().clone()));
+        self.datasets.remove(&name);
+        self.paged.insert(name, Arc::clone(corpus));
         Ok(ExecutionReport::from_counters(
             started.elapsed(),
             counters,
@@ -404,20 +507,34 @@ impl Engine for VmEngine {
             queries: 1,
             ..Default::default()
         };
-        let base_docs =
-            self.datasets
-                .get(&query.base)
-                .cloned()
-                .ok_or_else(|| EngineError::UnknownDataset {
-                    name: query.base.clone(),
-                })?;
-
-        let filtered = match &query.filter {
-            Some(predicate) => self.filtered(&query.base, &base_docs, predicate, &mut counters)?,
-            None => {
-                counters.docs_scanned += base_docs.len() as u64;
-                Arc::clone(&base_docs)
+        let filtered = if let Some(base_docs) = self.datasets.get(&query.base).cloned() {
+            match &query.filter {
+                Some(predicate) => {
+                    self.filtered(&query.base, &base_docs, predicate, &mut counters)?
+                }
+                None => {
+                    counters.docs_scanned += base_docs.len() as u64;
+                    base_docs
+                }
             }
+        } else if let Some(corpus) = self.paged.get(&query.base).cloned() {
+            match &query.filter {
+                Some(predicate) => {
+                    self.filtered_paged(&query.base, &corpus, predicate, &mut counters)?
+                }
+                None => {
+                    counters.docs_scanned += corpus.doc_count();
+                    Arc::new(
+                        corpus
+                            .materialize()
+                            .map_err(|e| EngineError::from_store(&e, "materialize corpus"))?,
+                    )
+                }
+            }
+        } else {
+            return Err(EngineError::UnknownDataset {
+                name: query.base.clone(),
+            });
         };
 
         let result: Arc<Vec<Value>> = if query.transforms.is_empty() {
@@ -471,11 +588,13 @@ impl Engine for VmEngine {
         self.projections.clear();
         self.scan_seen.clear();
         self.projected_cells = 0;
-        self.datasets.remove(name).is_some()
+        let paged = self.paged.remove(name).is_some();
+        self.datasets.remove(name).is_some() || paged
     }
 
     fn reset(&mut self) {
         self.datasets.clear();
+        self.paged.clear();
         self.cache.clear();
         self.projections.clear();
         self.scan_seen.clear();
@@ -777,5 +896,113 @@ mod tests {
             vm.execute(&Query::scan("t")),
             Err(EngineError::UnknownDataset { .. })
         ));
+    }
+
+    /// Emits `docs` as a sealed `.bcorp` named "t" and opens it.
+    fn emit_corpus(tag: &str, docs: &[Value]) -> (std::path::PathBuf, Arc<PagedCorpus>) {
+        let dir = std::env::temp_dir().join(format!("betze-vm-paged-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.bcorp"));
+        let mut writer = betze_store::CorpusWriter::create(&path, "t", 4096).unwrap();
+        for doc in docs {
+            writer.append(doc.clone()).unwrap();
+        }
+        writer.seal().unwrap();
+        let corpus = Arc::new(PagedCorpus::open(&path).unwrap());
+        (path, corpus)
+    }
+
+    #[test]
+    fn paged_base_is_bit_identical_to_ram_in_both_optimizer_regimes() {
+        use betze_model::{AggFunc, Aggregation};
+        let data = docs();
+        let (path, corpus) = emit_corpus("identical", &data);
+        assert!(corpus.page_count() > 1, "corpus must actually be paged");
+        // The impossible arm exercises the footer analysis: dead-arm
+        // elimination must fire from the deserialized facts exactly as it
+        // does from a fresh in-RAM `analyze`.
+        let impossible = Predicate::leaf(FilterFn::FloatCmp {
+            path: ptr("/n"),
+            op: Comparison::Gt,
+            value: 1000.0,
+        });
+        let queries = vec![
+            Query::scan("t").with_filter(even()),
+            Query::scan("t")
+                .with_filter(even().and(small()))
+                .store_as("es"),
+            Query::scan("es").with_aggregation(Aggregation::new(
+                AggFunc::Count {
+                    path: JsonPointer::root(),
+                },
+                "count",
+            )),
+            Query::scan("t").with_filter(small().or(impossible)),
+            Query::scan("t"),
+        ];
+        for optimize in [true, false] {
+            let mut ram = VmEngine::new(1);
+            let mut disk = VmEngine::new(1);
+            ram.set_optimize(optimize);
+            disk.set_optimize(optimize);
+            let ri = ram.import("t", &data).unwrap();
+            let di = disk.import_paged(&corpus).unwrap();
+            assert_eq!(ri.counters, di.counters);
+            assert_eq!(ri.modeled, di.modeled);
+            for q in &queries {
+                let a = ram.execute(q).unwrap();
+                let b = disk.execute(q).unwrap();
+                assert_eq!(a.docs, b.docs, "docs for {q:?} (optimize={optimize})");
+                assert_eq!(
+                    a.report.counters, b.report.counters,
+                    "counters for {q:?} (optimize={optimize})"
+                );
+                assert_eq!(
+                    a.report.modeled, b.report.modeled,
+                    "modeled for {q:?} (optimize={optimize})"
+                );
+            }
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn paged_base_matches_joda_paged() {
+        let data = docs();
+        let (path, corpus) = emit_corpus("joda", &data);
+        let mut joda = JodaSim::new(1);
+        let mut vm = VmEngine::new(1);
+        let ji = joda.import_paged(&corpus).unwrap();
+        let vi = vm.import_paged(&corpus).unwrap();
+        assert_eq!(ji.counters, vi.counters);
+        assert_eq!(ji.modeled, vi.modeled);
+        for q in [
+            Query::scan("t").with_filter(even()),
+            Query::scan("t").with_filter(even().and(small())),
+            Query::scan("t"),
+        ] {
+            let a = joda.execute(&q).unwrap();
+            let b = vm.execute(&q).unwrap();
+            assert_eq!(a.docs, b.docs, "docs for {q:?}");
+            assert_eq!(a.report.counters, b.report.counters, "counters for {q:?}");
+            assert_eq!(a.report.modeled, b.report.modeled, "modeled for {q:?}");
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupt_page_degrades_the_query_to_typed_storage() {
+        use betze_store::{DiskChaos, DiskFaultPlan};
+        let (path, _) = emit_corpus("flip", &docs());
+        let corpus = PagedCorpus::open(&path)
+            .unwrap()
+            .with_chaos(DiskChaos::new(DiskFaultPlan::none(11).bit_flips(1.0)));
+        let mut vm = VmEngine::new(1);
+        vm.import_paged(&Arc::new(corpus)).unwrap();
+        let err = vm
+            .execute(&Query::scan("t").with_filter(even()))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Storage { .. }), "got {err:?}");
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -25,14 +25,25 @@
 //! scale parameters, validated on resume so a journal cannot be replayed
 //! into a different sweep), then one `task` record per completed task,
 //! keyed by `(stage, index)`. Appends are fsynced, so a record is either
-//! durable or absent. Recovery walks the frames and **truncates a torn
-//! tail** (short frame, checksum mismatch, or unparseable payload)
-//! instead of failing: everything before the tear is trusted, everything
-//! after is re-run.
+//! durable or absent. Recovery walks the frames and **truncates the
+//! invalid tail** instead of failing: everything before it is trusted,
+//! everything after is re-run. The tail is classified
+//! ([`betze_json::frame::classify`]) and reported typed on
+//! [`Recovered::tail`]: an *incomplete* final frame is [`Torn`] — the
+//! expected residue of a crash mid-append — and is silently dropped,
+//! while a *complete* frame that fails its checksum mid-file is
+//! [`Corrupt`] — evidence of storage damage, not of a crash — so the
+//! dropped bytes are preserved in `<journal>.quarantine` before
+//! truncation (never destroy evidence).
 //!
 //! [`atomic_write`] is the complementary output-side guarantee: final
 //! reports and all CLI artifacts are written via temp file + fsync +
 //! rename, so readers see the old file or the new one, never a torn mix.
+//! It lives in `betze-store` now (every persisting layer shares one
+//! discipline) and is re-exported here under its historical path.
+//!
+//! [`Torn`]: JournalTail::Torn
+//! [`Corrupt`]: JournalTail::Corrupt
 
 use betze_json::{frame, json, Object, Value};
 use betze_model::TaskRecord;
@@ -59,6 +70,21 @@ pub fn task_record(stage: &str, index: usize, value: Value) -> Value {
     json!({ "kind": "task", "stage": stage, "index": (index as i64), "value": value })
 }
 
+/// How a recovered journal ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JournalTail {
+    /// Every byte belonged to a valid record: a clean shutdown.
+    #[default]
+    Clean,
+    /// The final record is incomplete — the footprint of a crash
+    /// mid-append. Dropped silently; nothing durable was lost.
+    Torn,
+    /// A complete record mid-file fails its checksum (or carries a
+    /// checksum-valid but unparseable payload): storage damage. The
+    /// dropped bytes are preserved in [`Recovered::quarantine`].
+    Corrupt,
+}
+
 /// Everything a recovery scan salvaged from an existing journal.
 #[derive(Debug, Default)]
 pub struct Recovered {
@@ -68,8 +94,13 @@ pub struct Recovered {
     pub tasks: HashMap<String, HashMap<usize, Value>>,
     /// Valid records recovered.
     pub records: usize,
-    /// Torn-tail bytes dropped by truncation (0 for a clean shutdown).
+    /// Invalid-tail bytes dropped by truncation (0 for a clean shutdown).
     pub truncated_bytes: u64,
+    /// How the journal ended (what the truncation dropped, if anything).
+    pub tail: JournalTail,
+    /// Where a corrupt tail's bytes were preserved (only for
+    /// [`JournalTail::Corrupt`]).
+    pub quarantine: Option<PathBuf>,
 }
 
 impl Recovered {
@@ -118,7 +149,8 @@ impl Journal {
         let mut recovered = Recovered::default();
         let mut offset = JOURNAL_MAGIC.len();
         // A frame that is short, fails its checksum, or carries an
-        // unparseable payload is a torn tail: keep everything before it.
+        // unparseable payload ends the trusted prefix: keep everything
+        // before it.
         while let Some(record_end) = frame::scan(&bytes, offset) {
             let payload = frame::payload(&bytes, offset, record_end);
             let Ok(value) = betze_json::parse(&String::from_utf8_lossy(payload)) else {
@@ -129,6 +161,24 @@ impl Journal {
             offset = record_end;
         }
         recovered.truncated_bytes = (bytes.len() - offset) as u64;
+        if offset < bytes.len() {
+            // Classify what the truncation is about to drop. An
+            // incomplete final frame is the footprint of a crash
+            // mid-append (`Torn`); anything else — a complete frame
+            // failing its checksum, an implausible length, or a
+            // checksum-valid frame whose payload no longer parses — is
+            // storage damage (`Corrupt`), so preserve the dropped bytes
+            // before destroying them.
+            recovered.tail = match frame::classify(&bytes, offset) {
+                frame::StreamIntegrity::Torn { frames: 0, .. } => JournalTail::Torn,
+                _ => JournalTail::Corrupt,
+            };
+            if recovered.tail == JournalTail::Corrupt {
+                let quarantine = betze_store::quarantine_path_for(path);
+                atomic_write_bytes(&quarantine, &bytes[offset..])?;
+                recovered.quarantine = Some(quarantine);
+            }
+        }
         let file = OpenOptions::new().write(true).open(path)?;
         file.set_len(offset as u64)?;
         let mut journal = Journal {
@@ -196,41 +246,11 @@ fn absorb(recovered: &mut Recovered, value: &Value) {
     }
 }
 
-/// Writes `contents` to `path` atomically: temp file in the same
-/// directory, fsync, rename over the target, fsync the directory. A
-/// crash at any point leaves either the old file or the new one — never
-/// a torn mix. Used for the journal's sibling artifacts (final reports,
-/// generated scripts, session files, benchmark records).
-pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
-    let dir = match path.parent() {
-        Some(parent) if !parent.as_os_str().is_empty() => parent.to_owned(),
-        _ => PathBuf::from("."),
-    };
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
-    let tmp = dir.join(format!(
-        ".{}.tmp.{}",
-        file_name.to_string_lossy(),
-        std::process::id()
-    ));
-    let result = (|| {
-        let mut file = File::create(&tmp)?;
-        file.write_all(contents.as_bytes())?;
-        file.sync_all()?;
-        std::fs::rename(&tmp, path)?;
-        // Persist the rename itself (the directory entry). Directories
-        // cannot be fsynced on all platforms; best-effort there.
-        if let Ok(dir_file) = File::open(&dir) {
-            let _ = dir_file.sync_all();
-        }
-        Ok(())
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
-}
+// Atomic file output (temp + fsync + rename) moved to `betze-store` so
+// every persisting layer shares one discipline; re-exported under the
+// historical path for the harness's sibling artifacts (final reports,
+// generated scripts, session files, benchmark records).
+pub use betze_store::{atomic_write, atomic_write_bytes};
 
 /// Shared journal state behind a [`RunCtx`]: the serialized writer plus
 /// the results recovered at startup.
@@ -389,6 +409,8 @@ mod tests {
         let (_journal, recovered) = Journal::recover(&path).unwrap();
         assert_eq!(recovered.records, 3);
         assert_eq!(recovered.truncated_bytes, 0);
+        assert_eq!(recovered.tail, JournalTail::Clean);
+        assert_eq!(recovered.quarantine, None);
         assert_eq!(recovered.task_count(), 2);
         let meta = recovered.meta.unwrap();
         assert_eq!(meta.get("experiment").and_then(Value::as_str), Some("fig7"));
@@ -428,6 +450,10 @@ mod tests {
         assert_eq!(recovered.records, 2);
         assert!(recovered.truncated_bytes > 0);
         assert_eq!(recovered.task_count(), 2);
+        // Crash residue, not storage damage: dropped silently.
+        assert_eq!(recovered.tail, JournalTail::Torn);
+        assert_eq!(recovered.quarantine, None);
+        assert!(!betze_store::quarantine_path_for(&path).exists());
         // The file was physically truncated back to the valid prefix.
         assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
         std::fs::remove_file(&path).unwrap();
@@ -451,11 +477,19 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
+        let dropped = bytes[valid_len as usize..].to_vec();
 
         let (_journal, recovered) = Journal::recover(&path).unwrap();
         assert_eq!(recovered.records, 1);
         assert_eq!(recovered.task_count(), 1);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), valid_len);
+        // A complete record failing its checksum is storage damage: the
+        // dropped bytes are preserved, byte-exactly, before truncation.
+        assert_eq!(recovered.tail, JournalTail::Corrupt);
+        let quarantine = recovered.quarantine.expect("corrupt tail quarantined");
+        assert_eq!(quarantine, betze_store::quarantine_path_for(&path));
+        assert_eq!(std::fs::read(&quarantine).unwrap(), dropped);
+        std::fs::remove_file(&quarantine).unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -563,6 +597,23 @@ mod tests {
                     }
                     assert_eq!(recovered.records, expect, "round {round}");
                     assert!(recovered.records <= TASKS + 1);
+                    // Tail-classification oracle: a clean end reports
+                    // Clean; a quarantine, when produced, holds exactly
+                    // the dropped bytes.
+                    if recovered.truncated_bytes == 0 {
+                        assert_eq!(recovered.tail, JournalTail::Clean, "round {round}");
+                        assert_eq!(recovered.quarantine, None, "round {round}");
+                    } else {
+                        assert_ne!(recovered.tail, JournalTail::Clean, "round {round}");
+                    }
+                    if let Some(quarantine) = &recovered.quarantine {
+                        assert_eq!(recovered.tail, JournalTail::Corrupt, "round {round}");
+                        assert_eq!(
+                            std::fs::read(quarantine).unwrap(),
+                            &bytes[offset..],
+                            "round {round}: quarantine must hold the dropped bytes"
+                        );
+                    }
                     // Fidelity: a salvaged record is the record that was
                     // written — never a corrupted look-alike.
                     for (stage, tasks) in &recovered.tasks {
@@ -581,6 +632,7 @@ mod tests {
                     let (_, again) = Journal::recover(&path).unwrap();
                     assert_eq!(again.records, expect);
                     assert_eq!(again.truncated_bytes, 0);
+                    assert_eq!(again.tail, JournalTail::Clean);
                 }
                 Err(_) => {
                     // Recovery may only refuse when the magic itself was
@@ -593,6 +645,7 @@ mod tests {
                 }
             }
         }
+        std::fs::remove_file(betze_store::quarantine_path_for(&path)).ok();
         std::fs::remove_file(&path).ok();
     }
 
@@ -636,6 +689,7 @@ mod tests {
             .checkpointed_map("fuzz/resume", &items, task)
             .expect("resume completes");
         assert_eq!(resumed, uninterrupted);
+        std::fs::remove_file(betze_store::quarantine_path_for(&path)).ok();
         std::fs::remove_file(&path).ok();
     }
 

@@ -25,11 +25,11 @@ pub mod runner;
 pub mod workload;
 
 pub use backend_adapter::EngineBackend;
-pub use journal::{atomic_write, Interrupted, Journal, Recovered, RunCtx};
+pub use journal::{atomic_write, Interrupted, Journal, JournalTail, Recovered, RunCtx};
 pub use pool::SessionPool;
 pub use runner::{
-    provably_empty, run_session, run_session_governed, run_session_with_options,
-    run_session_with_timeout, ProgressHook, QueryStatus, RetryPolicy, RunOptions, SessionOutcome,
-    SessionRun,
+    provably_empty, run_session, run_session_from_source, run_session_governed,
+    run_session_with_options, run_session_with_timeout, CorpusSource, ProgressHook, QueryStatus,
+    RetryPolicy, RunOptions, SessionOutcome, SessionRun,
 };
 pub use workload::{prepare, prepare_with_analysis, Corpus, PreparedWorkload, SharedCorpus};

@@ -8,7 +8,41 @@
 use betze_datagen::Dataset;
 use betze_engines::{CancelToken, Engine, EngineError, ExecutionReport};
 use betze_model::{Query, Session};
+use betze_store::PagedCorpus;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Where a session's root corpus lives: resident in RAM (the classic
+/// path) or paged on disk in a `.bcorp` file (out-of-core, DESIGN.md
+/// §16). Every fault-handling path of the runner — import retry,
+/// lineage replay of the root — works off this, so a paged root gets
+/// the same resilience the in-RAM one does.
+#[derive(Debug, Clone)]
+pub enum CorpusSource<'a> {
+    /// Docs resident in RAM.
+    Ram(&'a Dataset),
+    /// A durable paged corpus streamed from disk page-at-a-time.
+    Paged(Arc<PagedCorpus>),
+}
+
+impl CorpusSource<'_> {
+    /// The root dataset's name (what queries reference as their base).
+    pub fn name(&self) -> &str {
+        match self {
+            CorpusSource::Ram(dataset) => &dataset.name,
+            CorpusSource::Paged(corpus) => corpus.name(),
+        }
+    }
+
+    /// Imports (or re-imports, for lineage replay) the root onto the
+    /// engine.
+    fn import_into(&self, engine: &mut dyn Engine) -> Result<ExecutionReport, EngineError> {
+        match self {
+            CorpusSource::Ram(dataset) => engine.import(&dataset.name, &dataset.docs),
+            CorpusSource::Paged(corpus) => engine.import_paged(corpus),
+        }
+    }
+}
 
 /// Retry policy for transient engine errors. Backoff is charged to the
 /// **modeled** session clock (not slept on the host), so resilient runs
@@ -476,6 +510,20 @@ pub fn run_session_with_options(
     session: &Session,
     options: &RunOptions,
 ) -> Result<SessionOutcome, EngineError> {
+    run_session_from_source(engine, &CorpusSource::Ram(dataset), session, options)
+}
+
+/// [`run_session_with_options`] generalized over where the root corpus
+/// lives ([`CorpusSource`]): pass `CorpusSource::Paged` to run the same
+/// session out-of-core against a `.bcorp` file, with identical fault
+/// handling (a corrupt page surfaces as a typed `Storage` failure and
+/// degrades the query; a short read is transient and retried).
+pub fn run_session_from_source(
+    engine: &mut dyn Engine,
+    source: &CorpusSource<'_>,
+    session: &Session,
+    options: &RunOptions,
+) -> Result<SessionOutcome, EngineError> {
     let timeout = options.timeout;
     if let Some(deny) = options.lint {
         let mut linter = betze_lint::Linter::new();
@@ -497,7 +545,7 @@ pub fn run_session_with_options(
     engine.set_cancel(Some(options.cancel.clone()));
     engine.reset();
     engine.set_output_enabled(options.count_output);
-    let import = import_with_retry(engine, dataset, &options.retry)?;
+    let import = import_with_retry(engine, source, &options.retry)?;
     let mut run = SessionRun {
         engine: engine.name().to_owned(),
         import,
@@ -512,7 +560,7 @@ pub fn run_session_with_options(
         let mut retries = 0u32;
         let status = match execute_resilient(
             engine,
-            dataset,
+            source,
             session,
             i,
             options,
@@ -565,17 +613,17 @@ pub fn run_session_with_options(
     })
 }
 
-/// Imports the root dataset, retrying transient faults with modeled
+/// Imports the root corpus, retrying transient faults with modeled
 /// backoff charged into the returned report.
 fn import_with_retry(
     engine: &mut dyn Engine,
-    dataset: &Dataset,
+    source: &CorpusSource<'_>,
     policy: &RetryPolicy,
 ) -> Result<ExecutionReport, EngineError> {
     let mut charged = Duration::ZERO;
     let mut attempt = 1u32;
     loop {
-        match engine.import(&dataset.name, &dataset.docs) {
+        match source.import_into(engine) {
             Ok(mut report) => {
                 report.modeled += charged;
                 return Ok(report);
@@ -595,7 +643,7 @@ fn import_with_retry(
 #[allow(clippy::too_many_arguments)]
 fn execute_resilient(
     engine: &mut dyn Engine,
-    dataset: &Dataset,
+    source: &CorpusSource<'_>,
     session: &Session,
     index: usize,
     options: &RunOptions,
@@ -626,7 +674,7 @@ fn execute_resilient(
                 // Lineage replay: re-materialize the lost dataset from
                 // its producer chain, then retry this query once.
                 replayed = true;
-                ensure_dataset(engine, dataset, session, index, &lost, policy, report, 0)?;
+                ensure_dataset(engine, source, session, index, &lost, policy, report, 0)?;
                 *lineage_replays += 1;
                 *retries += 1;
             }
@@ -642,7 +690,7 @@ fn execute_resilient(
 #[allow(clippy::too_many_arguments)]
 fn ensure_dataset(
     engine: &mut dyn Engine,
-    dataset: &Dataset,
+    source: &CorpusSource<'_>,
     session: &Session,
     upto: usize,
     name: &str,
@@ -657,8 +705,8 @@ fn ensure_dataset(
             message: format!("lineage replay cycle while rebuilding '{name}'"),
         });
     }
-    if name == dataset.name {
-        let imported = import_with_retry(engine, dataset, policy)?;
+    if name == source.name() {
+        let imported = import_with_retry(engine, source, policy)?;
         report.merge(&imported);
         return Ok(());
     }
@@ -690,7 +738,7 @@ fn ensure_dataset(
                 ensured_base = true;
                 ensure_dataset(
                     engine,
-                    dataset,
+                    source,
                     session,
                     producer,
                     &lost,
@@ -848,6 +896,95 @@ mod tests {
             assert_eq!(x.counters, y.counters);
             assert_eq!(x.modeled, y.modeled);
         }
+    }
+
+    /// Emits the workload's dataset into a sealed `.bcorp` and opens it.
+    fn emit_paged(w: &crate::workload::PreparedWorkload, tag: &str) -> Arc<PagedCorpus> {
+        let dir = std::env::temp_dir().join(format!("betze-runner-paged-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.bcorp"));
+        let mut writer =
+            betze_store::CorpusWriter::create(&path, &w.dataset.name, 16 * 1024).unwrap();
+        for doc in w.dataset.docs.iter() {
+            writer.append(doc.clone()).unwrap();
+        }
+        writer.seal().unwrap();
+        Arc::new(PagedCorpus::open(&path).unwrap())
+    }
+
+    #[test]
+    fn paged_source_runs_bit_identically_to_ram() {
+        let w = workload();
+        let options = RunOptions::reference();
+        let mut joda = JodaSim::new(1);
+        let ram = expect_ok(
+            run_session_from_source(
+                &mut joda,
+                &CorpusSource::Ram(&w.dataset),
+                &w.generation.session,
+                &options,
+            ),
+            "RAM run",
+        );
+        let corpus = emit_paged(&w, "identity");
+        let mut joda = JodaSim::new(1);
+        let paged = expect_ok(
+            run_session_from_source(
+                &mut joda,
+                &CorpusSource::Paged(corpus),
+                &w.generation.session,
+                &options,
+            ),
+            "paged run",
+        );
+        let (ram, paged) = (ram.completed().unwrap(), paged.completed().unwrap());
+        assert_eq!(ram.import.counters, paged.import.counters);
+        assert_eq!(ram.import.modeled, paged.import.modeled);
+        assert_eq!(ram.statuses, paged.statuses);
+        for (x, y) in ram.queries.iter().zip(&paged.queries) {
+            assert_eq!(x.counters, y.counters);
+            assert_eq!(x.modeled, y.modeled);
+        }
+    }
+
+    #[test]
+    fn chaotic_paged_run_matches_chaotic_ram_run() {
+        // Swapping the root's residency (RAM → paged) must not perturb
+        // the chaos schedule: a paged import draws from the same fault
+        // stream in the same order, and lineage replay of an evicted
+        // root re-imports through the same path. The two runs must be
+        // indistinguishable down to statuses and the modeled clock.
+        let w = workload();
+        let plan = FaultPlan::none(11)
+            .storage_faults(0.4)
+            .latency_spikes(0.2, 3.0)
+            .evictions(0.5);
+        let options = RunOptions::reference().retry(RetryPolicy::attempts(4));
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), plan.clone());
+        let ram = expect_ok(
+            run_session_from_source(
+                &mut chaos,
+                &CorpusSource::Ram(&w.dataset),
+                &w.generation.session,
+                &options,
+            ),
+            "chaotic RAM run",
+        );
+        let corpus = emit_paged(&w, "chaos");
+        let mut chaos = ChaosEngine::new(JodaSim::new(1), plan);
+        let paged = expect_ok(
+            run_session_from_source(
+                &mut chaos,
+                &CorpusSource::Paged(corpus),
+                &w.generation.session,
+                &options,
+            ),
+            "chaotic paged run",
+        );
+        assert_eq!(ram.run().statuses, paged.run().statuses);
+        assert_eq!(ram.run().lineage_replays, paged.run().lineage_replays);
+        assert_eq!(ram.run().session_modeled(), paged.run().session_modeled());
+        assert_eq!(ram.cell(), paged.cell());
     }
 
     #[test]

@@ -24,10 +24,13 @@
 //! * [`frame`] — the checksummed `[u32 len][u64 fnv][payload]` frame
 //!   codec shared by the harness's crash-safe result journal and the
 //!   `betze-serve` wire protocol.
+//! * [`page`] — the fixed-size checksummed page codec underlying the
+//!   `.bcorp` out-of-core corpus format (`betze-store`).
 
 mod error;
 pub mod frame;
 mod number;
+pub mod page;
 mod parse;
 mod pointer;
 mod ser;

@@ -1,0 +1,346 @@
+//! The fixed-size page codec of the `.bcorp` on-disk corpus format.
+//!
+//! Sibling of [`frame`](crate::frame): where a frame stream is a
+//! variable-length append log (journals, sockets), a page file is a
+//! randomly-addressable array of **fixed-size, self-validating pages** —
+//! the unit of I/O, checksumming, and repair for out-of-core corpora.
+//! One page is
+//!
+//! ```text
+//! [4  magic "BPG1"        ]
+//! [4  u32 LE page index   ]
+//! [8  u64 LE doc start    ]   ─ header, 32 bytes; the checksum
+//! [4  u32 LE doc count    ]     covers bytes 0..24 plus the payload
+//! [4  u32 LE payload len  ]
+//! [8  u64 LE FNV-1a       ]
+//! [4  u32 LE summary len  ]
+//! [summary bytes          ]   ─ payload: an opaque per-page statistics
+//! [document bytes         ]     summary, then JSON-lines documents
+//! [zero padding to size   ]
+//! ```
+//!
+//! `doc start`/`doc count` give the page's document index range, so a
+//! reader can find the page holding document *i* without decoding
+//! anything else, and a repair tool can regenerate exactly the documents
+//! a damaged page held. The checksum covering both header fields and
+//! payload means a single flipped bit anywhere in the meaningful bytes
+//! fails decoding; [`decode_page`] additionally rejects non-zero padding,
+//! so *every* byte of a page is covered by some check. This module owns
+//! the byte layout only — file-level concerns (the sealed footer, the
+//! scrub/repair protocol, fault injection) live in `betze-store`.
+
+use std::fmt;
+
+/// Magic bytes opening every page.
+pub const PAGE_MAGIC: [u8; 4] = *b"BPG1";
+
+/// Bytes of page header: magic, index, doc range, payload length, checksum.
+pub const PAGE_HEADER_LEN: usize = 32;
+
+/// Bytes of payload overhead (the summary length word).
+pub const PAGE_PAYLOAD_OVERHEAD: usize = 4;
+
+/// Smallest supported page size — below this nothing useful fits.
+pub const MIN_PAGE_SIZE: usize = 256;
+
+/// The decoded header of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageHeader {
+    /// Position of this page in the file (0-based).
+    pub index: u32,
+    /// Index of the first document stored in this page.
+    pub doc_start: u64,
+    /// Number of documents stored in this page.
+    pub doc_count: u32,
+    /// Bytes of payload (summary length word + summary + documents).
+    pub payload_len: u32,
+    /// FNV-1a over header bytes 0..24 and the payload.
+    pub checksum: u64,
+}
+
+/// A page decoded (and checksum-verified) in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedPage<'a> {
+    /// The verified header.
+    pub header: PageHeader,
+    /// The opaque per-page summary bytes.
+    pub summary: &'a [u8],
+    /// The JSON-lines document bytes.
+    pub docs: &'a [u8],
+}
+
+/// Why a page failed to encode or decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// The page size is below [`MIN_PAGE_SIZE`].
+    PageSizeTooSmall { page_size: usize },
+    /// The summary + documents do not fit the page's capacity.
+    Oversized { needed: usize, page_size: usize },
+    /// Fewer bytes than a page header (a short read or a truncated file).
+    Truncated { have: usize, need: usize },
+    /// The magic bytes are wrong — not a page, or a torn write.
+    BadMagic { found: [u8; 4] },
+    /// The checksum over header + payload does not match.
+    ChecksumMismatch { expected: u64, actual: u64 },
+    /// The payload length or summary length word is inconsistent with
+    /// the buffer.
+    BadLayout { detail: &'static str },
+    /// Padding bytes past the payload are not zero.
+    DirtyPadding { offset: usize },
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::PageSizeTooSmall { page_size } => {
+                write!(f, "page size {page_size} below the {MIN_PAGE_SIZE}-byte minimum")
+            }
+            PageError::Oversized { needed, page_size } => write!(
+                f,
+                "page content needs {needed} bytes but the page size is {page_size}"
+            ),
+            PageError::Truncated { have, need } => {
+                write!(f, "page truncated: {have} bytes where {need} are needed")
+            }
+            PageError::BadMagic { found } => {
+                write!(f, "bad page magic {found:?} (expected {PAGE_MAGIC:?})")
+            }
+            PageError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "page checksum mismatch: header says {expected:#018x}, content hashes to {actual:#018x}"
+            ),
+            PageError::BadLayout { detail } => write!(f, "inconsistent page layout: {detail}"),
+            PageError::DirtyPadding { offset } => {
+                write!(f, "non-zero padding byte at page offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// Payload capacity of a page of `page_size` bytes (summary + documents
+/// must fit this together).
+pub fn page_capacity(page_size: usize) -> usize {
+    page_size.saturating_sub(PAGE_HEADER_LEN + PAGE_PAYLOAD_OVERHEAD)
+}
+
+/// Encodes one page of exactly `page_size` bytes: header, summary,
+/// documents, zero padding.
+pub fn encode_page(
+    index: u32,
+    doc_start: u64,
+    doc_count: u32,
+    summary: &[u8],
+    docs: &[u8],
+    page_size: usize,
+) -> Result<Vec<u8>, PageError> {
+    if page_size < MIN_PAGE_SIZE {
+        return Err(PageError::PageSizeTooSmall { page_size });
+    }
+    let needed = PAGE_HEADER_LEN + PAGE_PAYLOAD_OVERHEAD + summary.len() + docs.len();
+    if needed > page_size {
+        return Err(PageError::Oversized { needed, page_size });
+    }
+    let payload_len = (PAGE_PAYLOAD_OVERHEAD + summary.len() + docs.len()) as u32;
+    let mut page = Vec::with_capacity(page_size);
+    page.extend_from_slice(&PAGE_MAGIC);
+    page.extend_from_slice(&index.to_le_bytes());
+    page.extend_from_slice(&doc_start.to_le_bytes());
+    page.extend_from_slice(&doc_count.to_le_bytes());
+    page.extend_from_slice(&payload_len.to_le_bytes());
+    // Checksum placeholder; filled below once the payload is in place.
+    page.extend_from_slice(&[0u8; 8]);
+    page.extend_from_slice(&(summary.len() as u32).to_le_bytes());
+    page.extend_from_slice(summary);
+    page.extend_from_slice(docs);
+    let checksum = checksum_of(&page);
+    page[24..32].copy_from_slice(&checksum.to_le_bytes());
+    page.resize(page_size, 0);
+    Ok(page)
+}
+
+/// The page checksum: FNV-1a over header bytes 0..24 followed by the
+/// payload (the buffer must hold header + payload; the checksum field
+/// itself and any padding are excluded).
+fn checksum_of(page: &[u8]) -> u64 {
+    // One pass over a contiguous region would skip the checksum hole at
+    // 24..32; chain the two regions instead.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in page[..24].iter().chain(&page[PAGE_HEADER_LEN..]) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Decodes and verifies one page.
+///
+/// `bytes` must be the full fixed-size page as stored (header, payload,
+/// padding). Every failure mode is typed: short buffers are
+/// [`Truncated`](PageError::Truncated) (the short-read shape), checksum
+/// failures carry both sums, and non-zero padding is rejected so no byte
+/// of the page can change without detection.
+pub fn decode_page(bytes: &[u8]) -> Result<DecodedPage<'_>, PageError> {
+    if bytes.len() < PAGE_HEADER_LEN {
+        return Err(PageError::Truncated {
+            have: bytes.len(),
+            need: PAGE_HEADER_LEN,
+        });
+    }
+    if bytes[..4] != PAGE_MAGIC {
+        return Err(PageError::BadMagic {
+            found: bytes[..4].try_into().expect("4-byte slice"),
+        });
+    }
+    let index = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    let doc_start = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    let doc_count = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice"));
+    let payload_len = u32::from_le_bytes(bytes[20..24].try_into().expect("4-byte slice"));
+    let checksum = u64::from_le_bytes(bytes[24..32].try_into().expect("8-byte slice"));
+    let payload_end = PAGE_HEADER_LEN + payload_len as usize;
+    if payload_len < PAGE_PAYLOAD_OVERHEAD as u32 {
+        return Err(PageError::BadLayout {
+            detail: "payload length below the summary length word",
+        });
+    }
+    if bytes.len() < payload_end {
+        return Err(PageError::Truncated {
+            have: bytes.len(),
+            need: payload_end,
+        });
+    }
+    let actual = checksum_of(&bytes[..payload_end]);
+    if actual != checksum {
+        return Err(PageError::ChecksumMismatch {
+            expected: checksum,
+            actual,
+        });
+    }
+    let summary_len = u32::from_le_bytes(bytes[32..36].try_into().expect("4-byte slice")) as usize;
+    let payload = &bytes[PAGE_HEADER_LEN + PAGE_PAYLOAD_OVERHEAD..payload_end];
+    if summary_len > payload.len() {
+        return Err(PageError::BadLayout {
+            detail: "summary length exceeds the payload",
+        });
+    }
+    if let Some(dirty) = bytes[payload_end..].iter().position(|&b| b != 0) {
+        return Err(PageError::DirtyPadding {
+            offset: payload_end + dirty,
+        });
+    }
+    Ok(DecodedPage {
+        header: PageHeader {
+            index,
+            doc_start,
+            doc_count,
+            payload_len,
+            checksum,
+        },
+        summary: &payload[..summary_len],
+        docs: &payload[summary_len..],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_then_decode_round_trips() {
+        let summary = b"{\"docs\":2}";
+        let docs = b"{\"a\":1}\n{\"a\":2}\n";
+        let page = encode_page(3, 100, 2, summary, docs, 512).unwrap();
+        assert_eq!(page.len(), 512);
+        let decoded = decode_page(&page).unwrap();
+        assert_eq!(decoded.header.index, 3);
+        assert_eq!(decoded.header.doc_start, 100);
+        assert_eq!(decoded.header.doc_count, 2);
+        assert_eq!(decoded.summary, summary);
+        assert_eq!(decoded.docs, docs);
+    }
+
+    #[test]
+    fn empty_summary_and_docs_round_trip() {
+        let page = encode_page(0, 0, 0, b"", b"", MIN_PAGE_SIZE).unwrap();
+        let decoded = decode_page(&page).unwrap();
+        assert_eq!(decoded.summary, b"");
+        assert_eq!(decoded.docs, b"");
+    }
+
+    #[test]
+    fn oversized_content_is_rejected() {
+        let docs = vec![b'x'; 300];
+        match encode_page(0, 0, 1, b"", &docs, MIN_PAGE_SIZE) {
+            Err(PageError::Oversized { needed, page_size }) => {
+                assert_eq!(page_size, MIN_PAGE_SIZE);
+                assert!(needed > MIN_PAGE_SIZE);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert!(encode_page(0, 0, 0, b"", b"", 64).is_err());
+        // Exactly at capacity fits.
+        let fit = vec![b'y'; page_capacity(MIN_PAGE_SIZE)];
+        assert!(encode_page(0, 0, 1, b"", &fit, MIN_PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn every_meaningful_byte_is_covered() {
+        // Flipping any single bit of the page — header, payload, or
+        // padding — must fail decoding with a typed error.
+        let page = encode_page(7, 42, 3, b"summary", b"docs docs docs\n", 384).unwrap();
+        assert!(decode_page(&page).is_ok());
+        for byte in 0..page.len() {
+            let mut mutated = page.clone();
+            mutated[byte] ^= 0x10;
+            assert!(
+                decode_page(&mutated).is_err(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn short_reads_are_truncated_not_corrupt() {
+        let page = encode_page(0, 0, 1, b"", b"{}\n", MIN_PAGE_SIZE).unwrap();
+        match decode_page(&page[..10]) {
+            Err(PageError::Truncated { have: 10, need }) => assert_eq!(need, PAGE_HEADER_LEN),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        match decode_page(&page[..PAGE_HEADER_LEN + 2]) {
+            Err(PageError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_dirty_padding_are_typed() {
+        let page = encode_page(0, 0, 1, b"", b"{}\n", MIN_PAGE_SIZE).unwrap();
+        let mut wrong = page.clone();
+        wrong[0] = b'X';
+        assert!(matches!(
+            decode_page(&wrong),
+            Err(PageError::BadMagic { .. })
+        ));
+        let mut dirty = page.clone();
+        let last = dirty.len() - 1;
+        dirty[last] = 0xff;
+        assert!(matches!(
+            decode_page(&dirty),
+            Err(PageError::DirtyPadding { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let msg = PageError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .to_string();
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+        assert!(PageError::BadMagic { found: *b"ABCD" }
+            .to_string()
+            .contains("magic"));
+    }
+}

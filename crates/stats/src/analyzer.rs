@@ -17,6 +17,7 @@
 //! bucket adds), so the merged result is **bit-identical** to the
 //! sequential pass regardless of worker count or chunk boundaries.
 
+use crate::counts::CountTable;
 use crate::{DatasetAnalysis, Histogram, PathStats};
 use betze_json::{JsonPointer, Number, Value};
 use std::collections::{BTreeMap, HashMap};
@@ -137,18 +138,18 @@ pub(crate) fn effective_jobs(jobs: usize) -> usize {
 /// untouched — the root path exists in every document by definition and
 /// is not recorded, as before).
 #[derive(Default)]
-struct TrieNode {
-    children: HashMap<String, usize>,
-    builder: StatsBuilder,
+pub(crate) struct TrieNode {
+    pub(crate) children: HashMap<String, usize>,
+    pub(crate) builder: StatsBuilder,
 }
 
 /// The per-chunk accumulation structure (see the module docs).
-struct PathTrie {
-    nodes: Vec<TrieNode>,
+pub(crate) struct PathTrie {
+    pub(crate) nodes: Vec<TrieNode>,
 }
 
 impl PathTrie {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         PathTrie {
             nodes: vec![TrieNode::default()],
         }
@@ -157,7 +158,7 @@ impl PathTrie {
     /// The child of `parent` along `key`, interning the edge on first
     /// sight. Existing edges are found with a borrowed `&str` lookup —
     /// no allocation on the hot path.
-    fn child_of(&mut self, parent: usize, key: &str) -> usize {
+    pub(crate) fn child_of(&mut self, parent: usize, key: &str) -> usize {
         if let Some(&existing) = self.nodes[parent].children.get(key) {
             return existing;
         }
@@ -169,7 +170,7 @@ impl PathTrie {
 
     /// Records `value` under `parent`'s child `key`, recursing through
     /// object members.
-    fn record(
+    pub(crate) fn record(
         &mut self,
         parent: usize,
         key: &str,
@@ -192,7 +193,7 @@ impl PathTrie {
     /// Merges `other`'s subtree rooted at `other_node` into `self_node`.
     /// Builders are moved out of `other`; child iteration order does not
     /// matter because every merge operation is commutative.
-    fn absorb(&mut self, other: &mut PathTrie, self_node: usize, other_node: usize) {
+    pub(crate) fn absorb(&mut self, other: &mut PathTrie, self_node: usize, other_node: usize) {
         let other_children = std::mem::take(&mut other.nodes[other_node].children);
         let other_builder = std::mem::take(&mut other.nodes[other_node].builder);
         self.nodes[self_node].builder.merge(other_builder);
@@ -212,7 +213,7 @@ impl PathTrie {
 
     /// Finalizes every builder into [`PathStats`], keeping the trie
     /// structure (needed by the histogram pass).
-    fn finish(self, config: &AnalyzerConfig) -> Vec<FinishedNode> {
+    pub(crate) fn finish(self, config: &AnalyzerConfig) -> Vec<FinishedNode> {
         self.nodes
             .into_iter()
             .map(|node| FinishedNode {
@@ -224,12 +225,12 @@ impl PathTrie {
 }
 
 /// A trie node after the statistics pass.
-struct FinishedNode {
-    children: HashMap<String, usize>,
-    stats: PathStats,
+pub(crate) struct FinishedNode {
+    pub(crate) children: HashMap<String, usize>,
+    pub(crate) stats: PathStats,
 }
 
-fn build_trie(docs: &[Value], config: &AnalyzerConfig) -> PathTrie {
+pub(crate) fn build_trie(docs: &[Value], config: &AnalyzerConfig) -> PathTrie {
     let mut trie = PathTrie::new();
     for doc in docs {
         // The root path itself is not recorded (it exists in every document
@@ -307,7 +308,7 @@ fn collect_histograms(
 
 /// Walks `docs` through the (immutable) trie, adding numeric values into
 /// the node-indexed `sink`.
-fn fill_histograms(
+pub(crate) fn fill_histograms(
     nodes: &[FinishedNode],
     docs: &[Value],
     config: &AnalyzerConfig,
@@ -352,7 +353,7 @@ fn fill_histograms(
 
 /// Folds the finished trie into the pointer-keyed map, materializing one
 /// [`JsonPointer`] per distinct path (the only place pointers are built).
-fn assemble(nodes: Vec<FinishedNode>) -> BTreeMap<JsonPointer, PathStats> {
+pub(crate) fn assemble(nodes: Vec<FinishedNode>) -> BTreeMap<JsonPointer, PathStats> {
     let mut slots: Vec<Option<FinishedNode>> = nodes.into_iter().map(Some).collect();
     let mut out = BTreeMap::new();
     fn dfs(
@@ -377,10 +378,10 @@ fn assemble(nodes: Vec<FinishedNode>) -> BTreeMap<JsonPointer, PathStats> {
 
 /// Accumulates statistics for one path during the pass.
 #[derive(Default)]
-struct StatsBuilder {
-    stats: PathStats,
-    prefix_counts: HashMap<String, u64>,
-    value_counts: HashMap<String, u64>,
+pub(crate) struct StatsBuilder {
+    pub(crate) stats: PathStats,
+    pub(crate) prefix_counts: CountTable,
+    pub(crate) value_counts: CountTable,
 }
 
 /// Byte offset just past the `chars`-th character of `s`, or `None` if
@@ -395,17 +396,8 @@ fn char_prefix_end(s: &str, chars: usize) -> Option<usize> {
         .map(|(i, c)| i + c.len_utf8())
 }
 
-/// Bumps `key`'s counter, allocating the owned key only on first sight.
-fn bump(map: &mut HashMap<String, u64>, key: &str) {
-    if let Some(count) = map.get_mut(key) {
-        *count += 1;
-    } else {
-        map.insert(key.to_owned(), 1);
-    }
-}
-
 impl StatsBuilder {
-    fn record(&mut self, value: &Value, config: &AnalyzerConfig) {
+    pub(crate) fn record(&mut self, value: &Value, config: &AnalyzerConfig) {
         let s = &mut self.stats;
         s.doc_count += 1;
         match value {
@@ -429,7 +421,7 @@ impl StatsBuilder {
             Value::String(text) => {
                 s.string_count += 1;
                 if config.max_values_per_path > 0 {
-                    bump(&mut self.value_counts, text);
+                    self.value_counts.bump(text);
                 }
                 for &len in &config.prefix_lengths {
                     if len == 0 {
@@ -441,7 +433,7 @@ impl StatsBuilder {
                     let Some(end) = char_prefix_end(text, len) else {
                         continue;
                     };
-                    bump(&mut self.prefix_counts, &text[..end]);
+                    self.prefix_counts.bump(&text[..end]);
                 }
             }
             Value::Array(a) => {
@@ -462,7 +454,7 @@ impl StatsBuilder {
     /// Merges another builder for the same path: counts add, ranges
     /// widen, counter maps sum — all commutative and associative, so
     /// chunked accumulation equals sequential accumulation exactly.
-    fn merge(&mut self, other: StatsBuilder) {
+    pub(crate) fn merge(&mut self, other: StatsBuilder) {
         let a = &mut self.stats;
         let b = other.stats;
         a.doc_count += b.doc_count;
@@ -482,21 +474,17 @@ impl StatsBuilder {
         a.object_count += b.object_count;
         a.object_min_children = opt_fold(a.object_min_children, b.object_min_children, u64::min);
         a.object_max_children = opt_fold(a.object_max_children, b.object_max_children, u64::max);
-        for (prefix, count) in other.prefix_counts {
-            *self.prefix_counts.entry(prefix).or_insert(0) += count;
-        }
-        for (value, count) in other.value_counts {
-            *self.value_counts.entry(value).or_insert(0) += count;
-        }
+        self.prefix_counts.merge_from(other.prefix_counts);
+        self.value_counts.merge_from(other.value_counts);
     }
 
-    fn finish(mut self, config: &AnalyzerConfig) -> PathStats {
-        let mut prefixes: Vec<(String, u64)> = self.prefix_counts.into_iter().collect();
+    pub(crate) fn finish(mut self, config: &AnalyzerConfig) -> PathStats {
+        let mut prefixes = self.prefix_counts.into_pairs();
         // Top-k by descending count, ascending prefix for determinism.
         prefixes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         prefixes.truncate(config.max_prefixes_per_path);
         self.stats.prefixes = prefixes;
-        let mut values: Vec<(String, u64)> = self.value_counts.into_iter().collect();
+        let mut values = self.value_counts.into_pairs();
         values.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         values.truncate(config.max_values_per_path);
         self.stats.string_values = values;

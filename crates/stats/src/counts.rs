@@ -1,0 +1,188 @@
+//! Compact exact string-count tables for the analyzer.
+//!
+//! The analyzer's prefix/value statistics need *exact* distinct-string
+//! counts (top-k is taken only at `finish`, so every distinct string
+//! must stay resident until then). A `HashMap<String, u64>` pays ~100
+//! bytes of allocator and table overhead per entry — for corpora whose
+//! string fields are unique per document (every built-in generator),
+//! that made the streaming `.bcorp` writer retain more memory than the
+//! documents it was streaming. [`CountTable`] stores the same multiset
+//! exactly in about a third of the space: keys live back-to-back in one
+//! byte arena, entries are `(offset, len, count)` triples, and lookup
+//! is FNV-1a open addressing over a `u32` slot array.
+//!
+//! Semantics are identical to the map it replaces: same counts, and all
+//! consumers order entries themselves (`finish` sorts by count/key, the
+//! summary codec sorts by key), so the in-memory layout is unobservable.
+
+/// One counted key: `arena[off..off + len]` occurred `count` times.
+#[derive(Clone, Copy)]
+struct CountEntry {
+    off: u32,
+    len: u32,
+    count: u64,
+}
+
+/// An exact `string → count` multiset with arena-backed keys.
+#[derive(Default, Clone)]
+pub(crate) struct CountTable {
+    arena: Vec<u8>,
+    entries: Vec<CountEntry>,
+    /// Open-addressing slots: 0 = empty, otherwise entry index + 1.
+    /// Capacity is a power of two; load is kept at or under 7/8.
+    slots: Vec<u32>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+impl CountTable {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn key(&self, entry: &CountEntry) -> &str {
+        let bytes = &self.arena[entry.off as usize..(entry.off + entry.len) as usize];
+        // SAFETY-free invariant: only whole `&str`s are appended.
+        std::str::from_utf8(bytes).expect("arena holds only UTF-8 keys")
+    }
+
+    /// Adds `n` to `key`'s count, inserting it on first sight.
+    pub(crate) fn bump_by(&mut self, key: &str, n: u64) {
+        if self.entries.len() * 8 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut at = (fnv1a(key.as_bytes()) as usize) & mask;
+        loop {
+            match self.slots[at] {
+                0 => break,
+                slot => {
+                    let entry = &mut self.entries[slot as usize - 1];
+                    let range = entry.off as usize..(entry.off + entry.len) as usize;
+                    if &self.arena[range] == key.as_bytes() {
+                        entry.count += n;
+                        return;
+                    }
+                    at = (at + 1) & mask;
+                }
+            }
+        }
+        let off = u32::try_from(self.arena.len()).expect("count-table arena above 4 GiB");
+        self.arena.extend_from_slice(key.as_bytes());
+        self.entries.push(CountEntry {
+            off,
+            len: key.len() as u32,
+            count: n,
+        });
+        self.slots[at] = self.entries.len() as u32;
+    }
+
+    /// Adds 1 to `key`'s count.
+    pub(crate) fn bump(&mut self, key: &str) {
+        self.bump_by(key, 1);
+    }
+
+    fn grow(&mut self) {
+        let capacity = (self.slots.len() * 2).max(16);
+        self.slots = vec![0u32; capacity];
+        let mask = capacity - 1;
+        for (index, entry) in self.entries.iter().enumerate() {
+            let range = entry.off as usize..(entry.off + entry.len) as usize;
+            let mut at = (fnv1a(&self.arena[range]) as usize) & mask;
+            while self.slots[at] != 0 {
+                at = (at + 1) & mask;
+            }
+            self.slots[at] = index as u32 + 1;
+        }
+    }
+
+    /// Entries in insertion order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|e| (self.key(e), e.count))
+    }
+
+    /// Folds another table's counts into this one.
+    pub(crate) fn merge_from(&mut self, other: CountTable) {
+        for entry in &other.entries {
+            self.bump_by(other.key(entry), entry.count);
+        }
+    }
+
+    /// Drains into owned pairs, insertion order.
+    pub(crate) fn into_pairs(self) -> Vec<(String, u64)> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let bytes = &self.arena[e.off as usize..(e.off + e.len) as usize];
+                (
+                    std::str::from_utf8(bytes)
+                        .expect("arena holds only UTF-8 keys")
+                        .to_owned(),
+                    e.count,
+                )
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for CountTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn counts_match_a_hash_map_oracle() {
+        let mut table = CountTable::default();
+        let mut oracle: HashMap<String, u64> = HashMap::new();
+        // Deterministic pseudo-stream with repeats, empties, multibyte.
+        let mut x = 9u64;
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = match x % 5 {
+                0 => String::new(),
+                1 => format!("k{}", x % 97),
+                2 => format!("é✓{}", x % 13),
+                3 => "shared".to_owned(),
+                _ => format!("unique-{i}"),
+            };
+            table.bump(&key);
+            *oracle.entry(key).or_insert(0) += 1;
+        }
+        assert_eq!(table.iter().count(), oracle.len());
+        for (key, count) in table.iter() {
+            assert_eq!(oracle.get(key), Some(&count), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn bump_by_merges_counts() {
+        let mut a = CountTable::default();
+        a.bump("x");
+        a.bump("y");
+        let mut b = CountTable::default();
+        b.bump("y");
+        b.bump("z");
+        for (key, count) in b.iter().collect::<Vec<_>>() {
+            a.bump_by(key, count);
+        }
+        let pairs: HashMap<String, u64> = a.into_pairs().into_iter().collect();
+        assert_eq!(pairs["x"], 1);
+        assert_eq!(pairs["y"], 2);
+        assert_eq!(pairs["z"], 1);
+    }
+}

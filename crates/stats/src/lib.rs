@@ -27,9 +27,11 @@
 mod analysis;
 mod analyzer;
 mod cache;
+mod counts;
 mod file;
 mod histogram;
 mod percentile;
+mod summary;
 
 pub use analysis::{DatasetAnalysis, PathStats};
 pub use analyzer::{
@@ -39,3 +41,4 @@ pub use cache::{fingerprint_docs, AnalysisCache};
 pub use file::AnalysisFileError;
 pub use histogram::Histogram;
 pub use percentile::{percentile, percentile_duration, LatencySummary};
+pub use summary::{summarize, AnalysisBuilder, HistogramPass, SummaryError};

@@ -1,0 +1,627 @@
+//! Incremental, mergeable, serializable analysis building — the
+//! out-of-core counterpart of [`analyze`](crate::analyze).
+//!
+//! The batch analyzer needs the whole document slice in memory. The
+//! paged corpus store (`betze-store`) cannot afford that: it streams
+//! documents to disk page by page and needs (a) a **per-page path-trie
+//! summary** embedded in each page, and (b) an **exact corpus-level
+//! analysis** assembled without ever holding the corpus. Both come from
+//! [`AnalysisBuilder`]:
+//!
+//! * `add_doc` accumulates one document into the trie (same hot path as
+//!   the batch analyzer — they share the internals);
+//! * `merge` combines two builders; every statistic is a commutative
+//!   monoid, so merging per-page builders in any order is bit-identical
+//!   to one sequential pass over all documents;
+//! * `to_value` / `from_value` serialize the un-truncated trie (page
+//!   summaries survive on disk and merge exactly after reloading);
+//! * [`into_histogram_pass`](AnalysisBuilder::into_histogram_pass)
+//!   finalizes the trie and opens the second pass that fills numeric
+//!   histograms — bucket boundaries need global ranges, so histograms
+//!   need one more look at the documents (a streaming re-read for the
+//!   store; [`HistogramPass::needs_docs`] says when it can be skipped).
+//!
+//! The contract, locked by tests: `AnalysisBuilder` fed the same
+//! documents (in any chunking, through any number of serialize/merge
+//! round trips) produces a [`DatasetAnalysis`] **bit-identical** to
+//! [`analyze`](crate::analyze) over the materialized slice.
+
+use crate::analyzer::{build_trie, fill_histograms, FinishedNode, PathTrie, StatsBuilder};
+use crate::counts::CountTable;
+use crate::{AnalyzerConfig, DatasetAnalysis, Histogram, PathStats};
+use betze_json::{Object, Value};
+use std::fmt;
+
+/// Why a serialized summary could not be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SummaryError {
+    /// The value does not follow the summary schema.
+    Schema(String),
+    /// Two builders with different analyzer configurations were merged.
+    ConfigMismatch,
+}
+
+impl fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryError::Schema(msg) => write!(f, "summary schema error: {msg}"),
+            SummaryError::ConfigMismatch => {
+                write!(
+                    f,
+                    "cannot merge summaries built with different analyzer configs"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+/// Streaming analysis accumulator (see the module docs).
+pub struct AnalysisBuilder {
+    trie: PathTrie,
+    config: AnalyzerConfig,
+    doc_count: u64,
+}
+
+impl AnalysisBuilder {
+    /// An empty builder with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Self {
+        AnalysisBuilder {
+            trie: PathTrie::new(),
+            config,
+            doc_count: 0,
+        }
+    }
+
+    /// An empty builder with the default configuration.
+    pub fn with_defaults() -> Self {
+        AnalysisBuilder::new(AnalyzerConfig::default())
+    }
+
+    /// The analyzer configuration this builder runs under.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Documents accumulated so far.
+    pub fn doc_count(&self) -> u64 {
+        self.doc_count
+    }
+
+    /// Accumulates one document (the same walk as the batch analyzer).
+    pub fn add_doc(&mut self, doc: &Value) {
+        self.doc_count += 1;
+        if let Value::Object(obj) = doc {
+            for (key, value) in obj.iter() {
+                self.trie.record(0, key, value, &self.config, 1);
+            }
+        }
+    }
+
+    /// Merges another builder into this one. Commutative and
+    /// associative: any merge tree over the same documents yields the
+    /// same final analysis.
+    pub fn merge(&mut self, mut other: AnalysisBuilder) -> Result<(), SummaryError> {
+        if self.config != other.config {
+            return Err(SummaryError::ConfigMismatch);
+        }
+        self.trie.absorb(&mut other.trie, 0, 0);
+        self.doc_count += other.doc_count;
+        Ok(())
+    }
+
+    /// Finalizes the trie and opens the histogram pass. With
+    /// `histogram_buckets = 0`, or when no path has numeric values, the
+    /// pass [needs no documents](HistogramPass::needs_docs) and
+    /// [`HistogramPass::finish`] completes immediately.
+    pub fn into_histogram_pass(self, name: impl Into<String>) -> HistogramPass {
+        let nodes = self.trie.finish(&self.config);
+        let sink: Vec<Option<Histogram>> = if self.config.histogram_buckets > 0 {
+            nodes
+                .iter()
+                .map(|node| {
+                    node.stats.numeric_range().and_then(|(min, max)| {
+                        Histogram::new(min, max, self.config.histogram_buckets)
+                    })
+                })
+                .collect()
+        } else {
+            vec![None; nodes.len()]
+        };
+        HistogramPass {
+            name: name.into(),
+            doc_count: self.doc_count,
+            needs_docs: sink.iter().any(Option::is_some),
+            nodes,
+            sink,
+            config: self.config,
+        }
+    }
+
+    /// Serializes the builder (configuration + un-truncated trie) to a
+    /// JSON value with deterministic key order: the same builder state
+    /// always produces byte-identical JSON, which the corpus store
+    /// relies on to rebuild damaged pages bit-exactly.
+    pub fn to_value(&self) -> Value {
+        let mut root = Object::with_capacity(4);
+        root.insert("version", 1i64);
+        root.insert("doc_count", self.doc_count as i64);
+        let mut config = Object::with_capacity(5);
+        config.insert(
+            "prefix_lengths",
+            Value::Array(
+                self.config
+                    .prefix_lengths
+                    .iter()
+                    .map(|&n| Value::from(n as i64))
+                    .collect(),
+            ),
+        );
+        config.insert(
+            "max_prefixes_per_path",
+            self.config.max_prefixes_per_path as i64,
+        );
+        config.insert(
+            "max_values_per_path",
+            self.config.max_values_per_path as i64,
+        );
+        config.insert("max_depth", self.config.max_depth as i64);
+        config.insert("histogram_buckets", self.config.histogram_buckets as i64);
+        root.insert("config", config);
+        root.insert("root", node_to_value(&self.trie, 0));
+        Value::Object(root)
+    }
+
+    /// Reads a builder back from its serialized form.
+    pub fn from_value(value: &Value) -> Result<Self, SummaryError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| schema("summary must be an object"))?;
+        match obj.get("version").and_then(Value::as_i64) {
+            Some(1) => {}
+            other => return Err(schema(&format!("unsupported summary version {other:?}"))),
+        }
+        let doc_count = get_u64(obj.get("doc_count"), "doc_count")?;
+        let config_obj = obj
+            .get("config")
+            .and_then(Value::as_object)
+            .ok_or_else(|| schema("missing object field 'config'"))?;
+        let prefix_lengths = config_obj
+            .get("prefix_lengths")
+            .and_then(Value::as_array)
+            .ok_or_else(|| schema("missing array field 'config.prefix_lengths'"))?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| schema("prefix_lengths entries must be non-negative integers"))
+            })
+            .collect::<Result<Vec<usize>, SummaryError>>()?;
+        let config = AnalyzerConfig {
+            prefix_lengths,
+            max_prefixes_per_path: get_usize(
+                config_obj.get("max_prefixes_per_path"),
+                "max_prefixes_per_path",
+            )?,
+            max_values_per_path: get_usize(
+                config_obj.get("max_values_per_path"),
+                "max_values_per_path",
+            )?,
+            max_depth: get_usize(config_obj.get("max_depth"), "max_depth")?,
+            histogram_buckets: get_usize(config_obj.get("histogram_buckets"), "histogram_buckets")?,
+        };
+        let mut trie = PathTrie::new();
+        let root = obj
+            .get("root")
+            .ok_or_else(|| schema("missing field 'root'"))?;
+        node_from_value(&mut trie, 0, root)?;
+        Ok(AnalysisBuilder {
+            trie,
+            config,
+            doc_count,
+        })
+    }
+}
+
+impl fmt::Debug for AnalysisBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisBuilder")
+            .field("doc_count", &self.doc_count)
+            .field("paths", &(self.trie.nodes.len().saturating_sub(1)))
+            .finish()
+    }
+}
+
+/// Builds a builder over a document slice (convenience used by tests and
+/// the corpus writer's per-page summaries).
+pub fn summarize(docs: &[Value], config: &AnalyzerConfig) -> AnalysisBuilder {
+    AnalysisBuilder {
+        trie: build_trie(docs, config),
+        config: config.clone(),
+        doc_count: docs.len() as u64,
+    }
+}
+
+/// The histogram (second) pass opened by
+/// [`AnalysisBuilder::into_histogram_pass`].
+pub struct HistogramPass {
+    name: String,
+    doc_count: u64,
+    needs_docs: bool,
+    nodes: Vec<FinishedNode>,
+    sink: Vec<Option<Histogram>>,
+    config: AnalyzerConfig,
+}
+
+impl HistogramPass {
+    /// True when at least one path needs histogram filling — callers
+    /// streaming from disk can skip the re-read otherwise.
+    pub fn needs_docs(&self) -> bool {
+        self.needs_docs
+    }
+
+    /// Adds one document's numeric values into the histograms. The
+    /// documents must be exactly those the builder saw (any order).
+    pub fn add_doc(&mut self, doc: &Value) {
+        if !self.needs_docs {
+            return;
+        }
+        fill_histograms(
+            &self.nodes,
+            std::slice::from_ref(doc),
+            &self.config,
+            &mut self.sink,
+        );
+    }
+
+    /// Assembles the final analysis.
+    pub fn finish(mut self) -> DatasetAnalysis {
+        if self.needs_docs {
+            for (node, hist) in self.nodes.iter_mut().zip(self.sink) {
+                node.stats.numeric_histogram = hist;
+            }
+        }
+        DatasetAnalysis {
+            dataset: self.name,
+            doc_count: self.doc_count,
+            paths: crate::analyzer::assemble(self.nodes),
+        }
+    }
+}
+
+impl fmt::Debug for HistogramPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HistogramPass")
+            .field("dataset", &self.name)
+            .field("needs_docs", &self.needs_docs)
+            .finish()
+    }
+}
+
+fn schema(msg: &str) -> SummaryError {
+    SummaryError::Schema(msg.to_owned())
+}
+
+fn get_u64(value: Option<&Value>, field: &str) -> Result<u64, SummaryError> {
+    value
+        .and_then(Value::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| schema(&format!("missing non-negative integer field '{field}'")))
+}
+
+fn get_usize(value: Option<&Value>, field: &str) -> Result<usize, SummaryError> {
+    get_u64(value, field).map(|n| n as usize)
+}
+
+/// Serializes one trie node: statistics (only non-default fields, keys
+/// in fixed order) plus children sorted by edge name.
+fn node_to_value(trie: &PathTrie, id: usize) -> Value {
+    let node = &trie.nodes[id];
+    let mut out = Object::with_capacity(2);
+    let stats = stats_to_value(&node.builder);
+    if !stats.as_object().map(Object::is_empty).unwrap_or(true) {
+        out.insert("stats", stats);
+    }
+    if !node.children.is_empty() {
+        let mut keys: Vec<&String> = node.children.keys().collect();
+        keys.sort();
+        let mut children = Object::with_capacity(keys.len());
+        for key in keys {
+            children.insert(key.clone(), node_to_value(trie, node.children[key]));
+        }
+        out.insert("children", children);
+    }
+    Value::Object(out)
+}
+
+fn node_from_value(trie: &mut PathTrie, id: usize, value: &Value) -> Result<(), SummaryError> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| schema("trie node must be an object"))?;
+    if let Some(stats) = obj.get("stats") {
+        trie.nodes[id].builder = stats_from_value(stats)?;
+    }
+    if let Some(children) = obj.get("children") {
+        let children = children
+            .as_object()
+            .ok_or_else(|| schema("'children' must be an object"))?;
+        for (key, child_value) in children.iter() {
+            let child_id = trie.child_of(id, key);
+            node_from_value(trie, child_id, child_value)?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a stats accumulator: non-zero counts and present extrema
+/// only, plus the un-truncated prefix/value count maps sorted by key.
+fn stats_to_value(builder: &StatsBuilder) -> Value {
+    let s = &builder.stats;
+    let mut out = Object::with_capacity(8);
+    let count = |obj: &mut Object, key: &str, v: u64| {
+        if v > 0 {
+            obj.insert(key.to_owned(), v as i64);
+        }
+    };
+    count(&mut out, "doc_count", s.doc_count);
+    count(&mut out, "null_count", s.null_count);
+    count(&mut out, "bool_count", s.bool_count);
+    count(&mut out, "true_count", s.true_count);
+    count(&mut out, "int_count", s.int_count);
+    if let Some(v) = s.int_min {
+        out.insert("int_min", v);
+    }
+    if let Some(v) = s.int_max {
+        out.insert("int_max", v);
+    }
+    count(&mut out, "float_count", s.float_count);
+    if let Some(v) = s.float_min {
+        out.insert("float_min", v);
+    }
+    if let Some(v) = s.float_max {
+        out.insert("float_max", v);
+    }
+    count(&mut out, "string_count", s.string_count);
+    count(&mut out, "array_count", s.array_count);
+    if let Some(v) = s.array_min_size {
+        out.insert("array_min_size", v as i64);
+    }
+    if let Some(v) = s.array_max_size {
+        out.insert("array_max_size", v as i64);
+    }
+    count(&mut out, "object_count", s.object_count);
+    if let Some(v) = s.object_min_children {
+        out.insert("object_min_children", v as i64);
+    }
+    if let Some(v) = s.object_max_children {
+        out.insert("object_max_children", v as i64);
+    }
+    if !builder.prefix_counts.is_empty() {
+        out.insert("prefixes", counts_to_value(&builder.prefix_counts));
+    }
+    if !builder.value_counts.is_empty() {
+        out.insert("values", counts_to_value(&builder.value_counts));
+    }
+    Value::Object(out)
+}
+
+fn counts_to_value(table: &CountTable) -> Value {
+    let mut pairs: Vec<(&str, u64)> = table.iter().collect();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = Object::with_capacity(pairs.len());
+    for (key, count) in pairs {
+        out.insert(key.to_owned(), count as i64);
+    }
+    Value::Object(out)
+}
+
+fn stats_from_value(value: &Value) -> Result<StatsBuilder, SummaryError> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| schema("'stats' must be an object"))?;
+    let count = |key: &str| -> Result<u64, SummaryError> {
+        match obj.get(key) {
+            None => Ok(0),
+            some => get_u64(some, key),
+        }
+    };
+    let opt_i64 = |key: &str| -> Result<Option<i64>, SummaryError> {
+        match obj.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_i64()
+                .map(Some)
+                .ok_or_else(|| schema(&format!("'{key}' must be an integer"))),
+        }
+    };
+    let opt_u64 = |key: &str| -> Result<Option<u64>, SummaryError> {
+        opt_i64(key)?
+            .map(|v| u64::try_from(v).map_err(|_| schema(&format!("'{key}' must be non-negative"))))
+            .transpose()
+    };
+    let opt_f64 = |key: &str| -> Result<Option<f64>, SummaryError> {
+        match obj.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| schema(&format!("'{key}' must be a number"))),
+        }
+    };
+    let stats = PathStats {
+        doc_count: count("doc_count")?,
+        null_count: count("null_count")?,
+        bool_count: count("bool_count")?,
+        true_count: count("true_count")?,
+        int_count: count("int_count")?,
+        int_min: opt_i64("int_min")?,
+        int_max: opt_i64("int_max")?,
+        numeric_histogram: None,
+        float_count: count("float_count")?,
+        float_min: opt_f64("float_min")?,
+        float_max: opt_f64("float_max")?,
+        string_count: count("string_count")?,
+        prefixes: Vec::new(),
+        string_values: Vec::new(),
+        array_count: count("array_count")?,
+        array_min_size: opt_u64("array_min_size")?,
+        array_max_size: opt_u64("array_max_size")?,
+        object_count: count("object_count")?,
+        object_min_children: opt_u64("object_min_children")?,
+        object_max_children: opt_u64("object_max_children")?,
+    };
+    let counts_field = |key: &str| -> Result<CountTable, SummaryError> {
+        match obj.get(key) {
+            None => Ok(CountTable::default()),
+            Some(v) => {
+                let map = v
+                    .as_object()
+                    .ok_or_else(|| schema(&format!("'{key}' must be an object")))?;
+                let mut out = CountTable::default();
+                for (k, count) in map.iter() {
+                    let n = count
+                        .as_i64()
+                        .and_then(|n| u64::try_from(n).ok())
+                        .ok_or_else(|| schema(&format!("'{key}' counts must be non-negative")))?;
+                    out.bump_by(k, n);
+                }
+                Ok(out)
+            }
+        }
+    };
+    Ok(StatsBuilder {
+        stats,
+        prefix_counts: counts_field("prefixes")?,
+        value_counts: counts_field("values")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_with_config;
+    use betze_json::json;
+
+    fn corpus() -> Vec<Value> {
+        (0..157)
+            .map(|i| {
+                json!({
+                    "id": (i as i64),
+                    "name": (format!("user{:03}", i % 23)),
+                    "score": (i as f64 * 0.73 - 11.0),
+                    "nested": { "deep": { "flag": (i % 3 == 0), "n": (i as i64 % 7) } },
+                    "tags": ["a", "b", "c"],
+                    "note": (if i % 5 == 0 { Value::Null } else { Value::from(i as i64) }),
+                })
+            })
+            .collect()
+    }
+
+    fn finish_with_docs(builder: AnalysisBuilder, name: &str, docs: &[Value]) -> DatasetAnalysis {
+        let mut pass = builder.into_histogram_pass(name);
+        if pass.needs_docs() {
+            for doc in docs {
+                pass.add_doc(doc);
+            }
+        }
+        pass.finish()
+    }
+
+    #[test]
+    fn incremental_matches_batch_analyzer_bit_exactly() {
+        let docs = corpus();
+        let config = AnalyzerConfig::default();
+        let batch = analyze_with_config("t", &docs, &config);
+        // One-shot streaming.
+        let mut builder = AnalysisBuilder::new(config.clone());
+        for doc in &docs {
+            builder.add_doc(doc);
+        }
+        assert_eq!(finish_with_docs(builder, "t", &docs), batch);
+        // Chunked + merged, several chunk shapes.
+        for chunk in [1usize, 7, 64, 200] {
+            let mut merged = AnalysisBuilder::new(config.clone());
+            for part in docs.chunks(chunk) {
+                merged.merge(summarize(part, &config)).unwrap();
+            }
+            assert_eq!(finish_with_docs(merged, "t", &docs), batch, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips_and_still_merges_exactly() {
+        let docs = corpus();
+        let config = AnalyzerConfig::default();
+        let batch = analyze_with_config("t", &docs, &config);
+        // Serialize every per-chunk summary (as the page store does),
+        // parse back, merge, finish: still bit-identical.
+        let mut merged = AnalysisBuilder::new(config.clone());
+        for part in docs.chunks(31) {
+            let summary = summarize(part, &config);
+            let text = summary.to_value().to_json();
+            let parsed = betze_json::parse(&text).unwrap();
+            let back = AnalysisBuilder::from_value(&parsed).unwrap();
+            assert_eq!(back.doc_count(), part.len() as u64);
+            merged.merge(back).unwrap();
+        }
+        assert_eq!(finish_with_docs(merged, "t", &docs), batch);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let docs = corpus();
+        let a = summarize(&docs, &AnalyzerConfig::default())
+            .to_value()
+            .to_json();
+        let b = summarize(&docs, &AnalyzerConfig::default())
+            .to_value()
+            .to_json();
+        assert_eq!(a, b);
+        // Round-tripping re-serializes identically (key order is fixed).
+        let parsed = betze_json::parse(&a).unwrap();
+        let back = AnalysisBuilder::from_value(&parsed).unwrap();
+        assert_eq!(back.to_value().to_json(), a);
+    }
+
+    #[test]
+    fn merge_rejects_config_mismatch() {
+        let mut a = AnalysisBuilder::with_defaults();
+        let b = AnalysisBuilder::new(AnalyzerConfig {
+            max_depth: 2,
+            ..AnalyzerConfig::default()
+        });
+        assert_eq!(a.merge(b), Err(SummaryError::ConfigMismatch));
+    }
+
+    #[test]
+    fn histogram_pass_skippable_without_numerics() {
+        let docs = vec![json!({"s": "only strings"}), json!({"s": "here"})];
+        let builder = summarize(&docs, &AnalyzerConfig::default());
+        let pass = builder.into_histogram_pass("t");
+        assert!(!pass.needs_docs());
+        let analysis = pass.finish();
+        assert_eq!(analysis, crate::analyze("t", &docs));
+    }
+
+    #[test]
+    fn malformed_summaries_are_rejected_not_panicking() {
+        for bad in [
+            json!("not an object"),
+            json!({}),
+            json!({"version": 99, "doc_count": 0, "config": {}, "root": {}}),
+            json!({"version": 1, "doc_count": (-3i64), "config": {}, "root": {}}),
+            json!({"version": 1, "doc_count": 1, "config": {"prefix_lengths": "x"}, "root": {}}),
+        ] {
+            assert!(AnalysisBuilder::from_value(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_empty_analysis() {
+        let analysis = finish_with_docs(AnalysisBuilder::with_defaults(), "empty", &[]);
+        assert_eq!(analysis, crate::analyze("empty", &[]));
+        assert_eq!(analysis.doc_count, 0);
+        assert_eq!(analysis.path_count(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Atomic file replacement — the output-side durability primitive.
+//!
+//! Moved here from the harness journal so every layer that persists
+//! artifacts (journal reports, jq raw files, repaired corpora, CLI
+//! outputs) shares one discipline: temp file in the same directory,
+//! fsync, rename over the target, fsync the directory. A crash at any
+//! point leaves either the old file or the new one — never a torn mix.
+//! The harness re-exports these under their historical paths.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `contents` to `path` atomically (see the module docs).
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    atomic_write_bytes(path, contents.as_bytes())
+}
+
+/// Byte-level [`atomic_write`]: same rename discipline, binary payload.
+pub fn atomic_write_bytes(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_owned(),
+        _ => PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself (the directory entry). Directories
+        // cannot be fsynced on all platforms; best-effort there.
+        if let Ok(dir_file) = File::open(&dir) {
+            let _ = dir_file.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = std::env::temp_dir().join(format!("betze-store-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        atomic_write(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write_bytes(&path, b"second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,336 @@
+//! Deterministic disk-fault injection — `ChaosEngine`'s discipline,
+//! one layer down.
+//!
+//! [`DiskChaos`] sits between the corpus reader/writer and the OS and
+//! injects the storage failures real machines produce: short reads,
+//! torn pages, single-bit flips, and a full disk. Like the engine-level
+//! [`FaultPlan`], the schedule is **seed-driven and fully
+//! deterministic**: one Bernoulli draw per decision, in a fixed order,
+//! so the same plan yields the same faults on every run and every host;
+//! `reset` rewinds the schedule; the inspectable [fault
+//! log](DiskChaos::fault_log) lets tests account for every injection.
+//!
+//! Fault semantics map onto the store's error taxonomy:
+//!
+//! * **short read** — the read fails with an `Interrupted` I/O error
+//!   before the buffer is filled; [transient](crate::StoreError::is_transient),
+//!   a retry re-draws and usually succeeds (the bytes on disk are fine);
+//! * **torn page** — the tail half of the read buffer is replaced with
+//!   zeros (new header, stale remainder — what a crashed partial write
+//!   looks like); the page checksum catches it ⇒
+//!   [`PageCorrupt`](crate::StoreError::PageCorrupt), permanent;
+//! * **bit flip** — one bit of the read buffer is inverted; the
+//!   checksum catches it the same way;
+//! * **`ENOSPC` on append** — the write fails with the typed
+//!   [`NoSpace`](crate::StoreError::NoSpace) error.
+//!
+//! Torn pages and bit flips corrupt only the in-memory buffer, never
+//! the file: injections are repeatable and the fault log — not the disk
+//! — is the ground truth for what was damaged.
+//!
+//! [`FaultPlan`]: https://docs.rs/betze-engines
+
+use crate::StoreError;
+use betze_rng::{Rng, SeedableRng, StdRng};
+use std::io;
+
+/// The recipe for a deterministic disk-fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskFaultPlan {
+    /// Seed of the fault stream, independent of data/session seeds.
+    pub seed: u64,
+    /// Probability that one page read fails short (transient).
+    pub short_read_rate: f64,
+    /// Probability that one page read observes a torn page.
+    pub torn_page_rate: f64,
+    /// Probability that one page read observes a single flipped bit.
+    pub bit_flip_rate: f64,
+    /// Probability that one page append fails with `ENOSPC`.
+    pub enospc_rate: f64,
+}
+
+impl DiskFaultPlan {
+    /// A plan that injects nothing (rates all zero).
+    pub fn none(seed: u64) -> Self {
+        DiskFaultPlan {
+            seed,
+            short_read_rate: 0.0,
+            torn_page_rate: 0.0,
+            bit_flip_rate: 0.0,
+            enospc_rate: 0.0,
+        }
+    }
+
+    /// Rebinds the fault-stream seed, keeping every rate.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the short-read rate.
+    pub fn short_reads(mut self, rate: f64) -> Self {
+        self.short_read_rate = rate;
+        self
+    }
+
+    /// Sets the torn-page rate.
+    pub fn torn_pages(mut self, rate: f64) -> Self {
+        self.torn_page_rate = rate;
+        self
+    }
+
+    /// Sets the bit-flip rate.
+    pub fn bit_flips(mut self, rate: f64) -> Self {
+        self.bit_flip_rate = rate;
+        self
+    }
+
+    /// Sets the `ENOSPC`-on-append rate.
+    pub fn enospc(mut self, rate: f64) -> Self {
+        self.enospc_rate = rate;
+        self
+    }
+
+    /// True if every fault rate is zero (the layer is a no-op).
+    pub fn is_noop(&self) -> bool {
+        self.short_read_rate == 0.0
+            && self.torn_page_rate == 0.0
+            && self.bit_flip_rate == 0.0
+            && self.enospc_rate == 0.0
+    }
+
+    /// Validates rates (each in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("short_read_rate", self.short_read_rate),
+            ("torn_page_rate", self.torn_page_rate),
+            ("bit_flip_rate", self.bit_flip_rate),
+            ("enospc_rate", self.enospc_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What kind of disk fault was injected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// A page read failed short (transient).
+    ShortRead { page: usize },
+    /// A page read observed a torn page (tail zeroed).
+    TornPage { page: usize },
+    /// A page read observed one flipped bit at `byte`/`bit`.
+    BitFlip { page: usize, byte: usize, bit: u8 },
+    /// A page append failed with `ENOSPC`.
+    NoSpace,
+}
+
+/// One entry of the disk-fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskFaultEvent {
+    /// Sequence number of the I/O operation (read or append, counted
+    /// from 0 since the last reset) the fault hit.
+    pub op: u64,
+    /// The injected fault.
+    pub kind: DiskFaultKind,
+}
+
+/// The deterministic disk-fault layer. See the module docs.
+#[derive(Debug)]
+pub struct DiskChaos {
+    plan: DiskFaultPlan,
+    rng: StdRng,
+    op: u64,
+    log: Vec<DiskFaultEvent>,
+}
+
+impl DiskChaos {
+    /// Builds the layer from a plan. Panics on an invalid plan (rates
+    /// outside `[0, 1]`), mirroring `ChaosEngine::new`.
+    pub fn new(plan: DiskFaultPlan) -> Self {
+        if let Err(msg) = plan.validate() {
+            panic!("invalid disk-fault plan: {msg}");
+        }
+        let rng = StdRng::seed_from_u64(plan.seed);
+        DiskChaos {
+            plan,
+            rng,
+            op: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &DiskFaultPlan {
+        &self.plan
+    }
+
+    /// The faults injected since the last reset, in schedule order.
+    pub fn fault_log(&self) -> &[DiskFaultEvent] {
+        &self.log
+    }
+
+    /// Rewinds the fault schedule to the beginning and clears the log.
+    pub fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.plan.seed);
+        self.op = 0;
+        self.log.clear();
+    }
+
+    /// Applies read-side faults to the freshly read page buffer. Exactly
+    /// three Bernoulli draws per call (short read, torn page, bit flip),
+    /// in that order, whether or not each fires — the schedule is a pure
+    /// function of the operation sequence. A short read aborts before
+    /// the buffer is touched; torn/flip faults damage only `buf`.
+    pub fn on_read(&mut self, page: usize, buf: &mut [u8]) -> Result<(), StoreError> {
+        let op = self.op;
+        self.op += 1;
+        let short = self.rng.gen_bool(self.plan.short_read_rate);
+        let torn = self.rng.gen_bool(self.plan.torn_page_rate);
+        let flip = self.rng.gen_bool(self.plan.bit_flip_rate);
+        if short {
+            self.log.push(DiskFaultEvent {
+                op,
+                kind: DiskFaultKind::ShortRead { page },
+            });
+            return Err(StoreError::from_io(
+                io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("injected short read of page {page} (op {op})"),
+                ),
+                "read page",
+            ));
+        }
+        if torn && !buf.is_empty() {
+            let split = buf.len() / 2;
+            for b in &mut buf[split..] {
+                *b = 0;
+            }
+            self.log.push(DiskFaultEvent {
+                op,
+                kind: DiskFaultKind::TornPage { page },
+            });
+        }
+        if flip && !buf.is_empty() {
+            let byte = self.rng.gen_range(0..buf.len());
+            let bit = self.rng.gen_range(0u32..8) as u8;
+            buf[byte] ^= 1 << bit;
+            self.log.push(DiskFaultEvent {
+                op,
+                kind: DiskFaultKind::BitFlip { page, byte, bit },
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies append-side faults before a page write. One Bernoulli
+    /// draw per call.
+    pub fn on_append(&mut self) -> Result<(), StoreError> {
+        let op = self.op;
+        self.op += 1;
+        if self.rng.gen_bool(self.plan.enospc_rate) {
+            self.log.push(DiskFaultEvent {
+                op,
+                kind: DiskFaultKind::NoSpace,
+            });
+            return Err(StoreError::NoSpace {
+                context: format!("injected ENOSPC on append (op {op})"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_schedule(plan: &DiskFaultPlan, reads: usize) -> Vec<DiskFaultEvent> {
+        let mut chaos = DiskChaos::new(plan.clone());
+        let mut buf = vec![0xAAu8; 512];
+        for page in 0..reads {
+            let _ = chaos.on_read(page, &mut buf);
+            buf.fill(0xAA);
+        }
+        chaos.fault_log().to_vec()
+    }
+
+    #[test]
+    fn same_seed_same_schedule_reset_rewinds() {
+        let plan = DiskFaultPlan::none(7)
+            .short_reads(0.2)
+            .torn_pages(0.2)
+            .bit_flips(0.2);
+        let a = run_schedule(&plan, 50);
+        let b = run_schedule(&plan, 50);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "rates 0.2 over 50 reads should fire");
+        let mut chaos = DiskChaos::new(plan);
+        let mut buf = vec![0u8; 64];
+        for page in 0..50 {
+            let _ = chaos.on_read(page, &mut buf);
+        }
+        let first = chaos.fault_log().to_vec();
+        chaos.reset();
+        for page in 0..50 {
+            let _ = chaos.on_read(page, &mut buf);
+        }
+        assert_eq!(chaos.fault_log(), &first[..]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = DiskFaultPlan::none(0).torn_pages(0.3).bit_flips(0.3);
+        assert_ne!(
+            run_schedule(&base.clone().with_seed(1), 100),
+            run_schedule(&base.with_seed(2), 100)
+        );
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing_and_leave_buffer_alone() {
+        let mut chaos = DiskChaos::new(DiskFaultPlan::none(42));
+        let mut buf = vec![0x5Cu8; 256];
+        for page in 0..200 {
+            chaos.on_read(page, &mut buf).unwrap();
+        }
+        chaos.on_append().unwrap();
+        assert!(chaos.fault_log().is_empty());
+        assert!(buf.iter().all(|&b| b == 0x5C));
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let mut chaos = DiskChaos::new(DiskFaultPlan::none(3).bit_flips(1.0));
+        let clean = vec![0u8; 128];
+        let mut buf = clean.clone();
+        chaos.on_read(0, &mut buf).unwrap();
+        let flipped_bits: u32 = clean
+            .iter()
+            .zip(&buf)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped_bits, 1);
+        match &chaos.fault_log()[0].kind {
+            DiskFaultKind::BitFlip { byte, bit, .. } => {
+                assert_eq!(buf[*byte], clean[*byte] ^ (1 << bit));
+            }
+            other => panic!("expected BitFlip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enospc_is_typed() {
+        let mut chaos = DiskChaos::new(DiskFaultPlan::none(5).enospc(1.0));
+        assert!(matches!(chaos.on_append(), Err(StoreError::NoSpace { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid disk-fault plan")]
+    fn invalid_rate_panics() {
+        DiskChaos::new(DiskFaultPlan::none(0).bit_flips(1.5));
+    }
+}

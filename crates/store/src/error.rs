@@ -1,0 +1,179 @@
+//! The typed failure taxonomy of the corpus store.
+//!
+//! Every way a `.bcorp` file can disappoint is a distinct variant, so
+//! callers can route each one correctly: the harness retries
+//! [transient](StoreError::is_transient) hiccups, the engines degrade a
+//! query to `CompletedWithErrors` on [corruption](StoreError::is_corruption),
+//! and `betze scrub` names the exact damaged page.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// A failure of the paged corpus store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O operation failed. Interrupted/timed-out kinds
+    /// are transient (retry may succeed); the rest are permanent.
+    Io { context: String, source: io::Error },
+    /// The device ran out of space (real `ENOSPC` or an injected one).
+    /// Permanent for this write, but the corpus written so far is
+    /// intact: nothing after the last sealed byte is trusted anyway.
+    NoSpace { context: String },
+    /// The file does not start with a valid `.bcorp` header.
+    BadHeader { detail: String },
+    /// The header is valid but the seal trailer is missing or wrong:
+    /// the writer died before `seal()`. The file is *detectably* torn —
+    /// by design this is the one and only state a crash mid-emit can
+    /// leave behind.
+    TornSeal { path: PathBuf },
+    /// The seal is present but the footer does not verify (frame
+    /// checksum, JSON schema, or cross-field consistency). Unlike
+    /// [`TornSeal`](StoreError::TornSeal) this is damage, not a crash.
+    BadFooter { detail: String },
+    /// A page failed verification (checksum mismatch, bad magic, dirty
+    /// padding, wrong index — anything the page codec rejects).
+    PageCorrupt { page: usize, detail: String },
+    /// A page index past the end of the corpus was requested.
+    PageRange { page: usize, pages: usize },
+    /// A single document (plus its one-doc summary) cannot fit in a
+    /// page of the configured size.
+    DocTooLarge { bytes: usize, page_size: usize },
+    /// The writer was asked to continue after `seal()`.
+    Sealed,
+    /// Repair could not rebuild every damaged page; the listed pages
+    /// remain corrupt (quarantined bytes are preserved).
+    Unrepairable { pages: Vec<usize> },
+}
+
+impl StoreError {
+    /// Wraps an I/O error, separating out `ENOSPC`.
+    pub fn from_io(source: io::Error, context: impl Into<String>) -> StoreError {
+        let context = context.into();
+        if is_enospc(&source) {
+            StoreError::NoSpace { context }
+        } else {
+            StoreError::Io { context, source }
+        }
+    }
+
+    /// True if retrying the same operation may succeed (scheduling and
+    /// timing hiccups — the shape a chaos short read takes).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Io { source, .. } if matches!(
+                source.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            )
+        )
+    }
+
+    /// True if the error means on-disk bytes are damaged (as opposed to
+    /// an environment failure): these are what `scrub` exists to find.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::BadHeader { .. }
+                | StoreError::TornSeal { .. }
+                | StoreError::BadFooter { .. }
+                | StoreError::PageCorrupt { .. }
+        )
+    }
+}
+
+/// `ENOSPC` detection without unstable `ErrorKind` variants: the raw OS
+/// errno on Unix (28), false elsewhere.
+fn is_enospc(e: &io::Error) -> bool {
+    #[cfg(unix)]
+    {
+        e.raw_os_error() == Some(28)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = e;
+        false
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::NoSpace { context } => {
+                write!(f, "{context}: no space left on device")
+            }
+            StoreError::BadHeader { detail } => {
+                write!(f, "not a .bcorp corpus: {detail}")
+            }
+            StoreError::TornSeal { path } => write!(
+                f,
+                "corpus '{}' is torn: header present but no seal (writer died mid-emit)",
+                path.display()
+            ),
+            StoreError::BadFooter { detail } => write!(f, "corpus footer corrupt: {detail}"),
+            StoreError::PageCorrupt { page, detail } => {
+                write!(f, "page {page} corrupt: {detail}")
+            }
+            StoreError::PageRange { page, pages } => {
+                write!(f, "page {page} out of range (corpus has {pages} pages)")
+            }
+            StoreError::DocTooLarge { bytes, page_size } => write!(
+                f,
+                "document needs {bytes} bytes but pages hold {page_size}; raise --page-size"
+            ),
+            StoreError::Sealed => write!(f, "corpus writer already sealed"),
+            StoreError::Unrepairable { pages } => {
+                write!(
+                    f,
+                    "could not rebuild page(s) {pages:?}; originals quarantined"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification_follows_io_kind() {
+        let e = StoreError::from_io(io::Error::new(io::ErrorKind::Interrupted, "x"), "read");
+        assert!(e.is_transient());
+        assert!(!e.is_corruption());
+        let e = StoreError::from_io(io::Error::new(io::ErrorKind::PermissionDenied, "x"), "read");
+        assert!(!e.is_transient());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn enospc_becomes_typed_no_space() {
+        let e = StoreError::from_io(io::Error::from_raw_os_error(28), "append");
+        assert!(matches!(e, StoreError::NoSpace { .. }));
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn corruption_classification() {
+        assert!(StoreError::PageCorrupt {
+            page: 3,
+            detail: "checksum".into()
+        }
+        .is_corruption());
+        assert!(StoreError::TornSeal {
+            path: PathBuf::from("x.bcorp")
+        }
+        .is_corruption());
+        assert!(!StoreError::Sealed.is_corruption());
+    }
+}

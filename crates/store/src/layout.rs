@@ -1,0 +1,331 @@
+//! The `.bcorp` on-disk layout: header, page region, sealed footer.
+//!
+//! ```text
+//! offset 0    [ b"BCORP1\n\0" | u32 LE page_size | 4 reserved ]   16 bytes
+//! offset 16   [ page 0 ][ page 1 ] … [ page N-1 ]       N × page_size
+//! footer_off  [ frame-encoded footer JSON ]                  variable
+//! EOF-16      [ u64 LE footer_off | b"BCRPSEAL" ]             16 bytes
+//! ```
+//!
+//! The trailing 16 bytes are the **seal**: the writer emits them last,
+//! after `sync`ing everything before them, so their presence certifies
+//! that header, pages and footer were all written completely. A crash
+//! at any earlier point leaves a file without a seal — detectably torn
+//! ([`StoreError::TornSeal`]), never silently wrong. The footer rides
+//! inside a checksummed [`frame`](betze_json::frame) (the same codec as
+//! the harness journal), so a damaged footer is equally detectable.
+//!
+//! The footer is the corpus's self-description: document and page
+//! counts, the per-page checksums and document ranges (which let
+//! `scrub` name and rebuild an exact page even when that page's own
+//! header is unreadable), optional generator provenance, and the full
+//! [`DatasetAnalysis`] — **bit-identical** to analyzing the
+//! materialized documents — so engines and the query generator seed
+//! from the footer without ever scanning the corpus.
+
+use crate::StoreError;
+use betze_json::{Object, Value};
+use betze_stats::DatasetAnalysis;
+
+/// Magic bytes opening every `.bcorp` file.
+pub const FILE_MAGIC: [u8; 8] = *b"BCORP1\n\0";
+
+/// Bytes before the first page.
+pub const FILE_HEADER_LEN: usize = 16;
+
+/// Magic bytes closing every *sealed* `.bcorp` file.
+pub const SEAL_MAGIC: [u8; 8] = *b"BCRPSEAL";
+
+/// Length of the seal trailer.
+pub const TRAILER_LEN: usize = 16;
+
+/// Default page size (64 KiB).
+pub const DEFAULT_PAGE_SIZE: usize = 64 * 1024;
+
+/// Builds the 16-byte file header.
+pub fn file_header(page_size: usize) -> [u8; FILE_HEADER_LEN] {
+    let mut header = [0u8; FILE_HEADER_LEN];
+    header[..8].copy_from_slice(&FILE_MAGIC);
+    header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+    header
+}
+
+/// Builds the 16-byte seal trailer.
+pub fn trailer(footer_offset: u64) -> [u8; TRAILER_LEN] {
+    let mut t = [0u8; TRAILER_LEN];
+    t[..8].copy_from_slice(&footer_offset.to_le_bytes());
+    t[8..].copy_from_slice(&SEAL_MAGIC);
+    t
+}
+
+/// Byte offset of page `index`.
+pub fn page_offset(index: usize, page_size: usize) -> u64 {
+    FILE_HEADER_LEN as u64 + (index as u64) * (page_size as u64)
+}
+
+/// Where a corpus came from, when it came from a deterministic
+/// generator: enough to regenerate any single document by index
+/// (`DocGenerator::generate_doc`), which is what page repair uses when
+/// no donor file is at hand. Only recorded for generators at their
+/// default parameters — a customized generator is not reconstructible
+/// from a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Generator corpus name (`"nobench"`, `"twitter"`, `"reddit"`).
+    pub corpus: String,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// The parsed footer of a sealed corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Footer {
+    /// Dataset name (what engines import the corpus as).
+    pub name: String,
+    /// Fixed page size (must match the file header).
+    pub page_size: usize,
+    /// Number of pages.
+    pub page_count: usize,
+    /// Total documents.
+    pub doc_count: u64,
+    /// Total JSON-Lines bytes of all documents — exactly
+    /// `to_json_lines(docs).len()`, so engine import byte counters are
+    /// identical to the in-RAM path.
+    pub json_bytes: u64,
+    /// `(doc_start, doc_count)` per page.
+    pub page_docs: Vec<(u64, u32)>,
+    /// FNV-1a checksum per page (as stored in each page header).
+    pub page_checksums: Vec<u64>,
+    /// Generator provenance, when the corpus is regenerable.
+    pub provenance: Option<Provenance>,
+    /// Exact dataset analysis (bit-identical to `analyze` over the
+    /// materialized documents).
+    pub analysis: DatasetAnalysis,
+}
+
+impl Footer {
+    /// Serializes the footer to its JSON form (deterministic key order).
+    pub fn to_value(&self) -> Value {
+        let mut out = Object::with_capacity(10);
+        out.insert("version", 1i64);
+        out.insert("name", self.name.clone());
+        out.insert("page_size", self.page_size as i64);
+        out.insert("page_count", self.page_count as i64);
+        out.insert("doc_count", self.doc_count as i64);
+        out.insert("json_bytes", self.json_bytes as i64);
+        out.insert(
+            "page_docs",
+            Value::Array(
+                self.page_docs
+                    .iter()
+                    .map(|&(start, count)| {
+                        Value::Array(vec![
+                            Value::from(start as i64),
+                            Value::from(i64::from(count)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        // Checksums are full u64s; hex strings keep them lossless in a
+        // JSON integer world capped at i64.
+        out.insert(
+            "page_checksums",
+            Value::Array(
+                self.page_checksums
+                    .iter()
+                    .map(|c| Value::from(format!("{c:016x}")))
+                    .collect(),
+            ),
+        );
+        if let Some(prov) = &self.provenance {
+            let mut p = Object::with_capacity(2);
+            p.insert("corpus", prov.corpus.clone());
+            p.insert("seed", prov.seed as i64);
+            out.insert("provenance", p);
+        }
+        out.insert("analysis", self.analysis.to_value());
+        Value::Object(out)
+    }
+
+    /// Parses a footer, validating schema and cross-field consistency.
+    pub fn from_value(value: &Value) -> Result<Self, StoreError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| bad("footer must be an object"))?;
+        match obj.get("version").and_then(Value::as_i64) {
+            Some(1) => {}
+            other => return Err(bad(&format!("unsupported footer version {other:?}"))),
+        }
+        let name = obj
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing string field 'name'"))?
+            .to_owned();
+        let page_size = get_u64(obj.get("page_size"), "page_size")? as usize;
+        let page_count = get_u64(obj.get("page_count"), "page_count")? as usize;
+        let doc_count = get_u64(obj.get("doc_count"), "doc_count")?;
+        let json_bytes = get_u64(obj.get("json_bytes"), "json_bytes")?;
+        let page_docs = obj
+            .get("page_docs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing array field 'page_docs'"))?
+            .iter()
+            .map(|entry| {
+                let pair = entry.as_array().filter(|a| a.len() == 2);
+                let start = pair.and_then(|a| a[0].as_i64());
+                let count = pair.and_then(|a| a[1].as_i64());
+                match (start, count) {
+                    (Some(s), Some(c)) if s >= 0 && (0..=i64::from(u32::MAX)).contains(&c) => {
+                        Ok((s as u64, c as u32))
+                    }
+                    _ => Err(bad("'page_docs' entries must be [start, count] pairs")),
+                }
+            })
+            .collect::<Result<Vec<_>, StoreError>>()?;
+        let page_checksums = obj
+            .get("page_checksums")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad("missing array field 'page_checksums'"))?
+            .iter()
+            .map(|entry| {
+                entry
+                    .as_str()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| bad("'page_checksums' entries must be hex strings"))
+            })
+            .collect::<Result<Vec<_>, StoreError>>()?;
+        let provenance = match obj.get("provenance") {
+            None => None,
+            Some(p) => {
+                let p = p
+                    .as_object()
+                    .ok_or_else(|| bad("'provenance' must be an object"))?;
+                let corpus = p
+                    .get("corpus")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("missing string field 'provenance.corpus'"))?
+                    .to_owned();
+                let seed = get_u64(p.get("seed"), "provenance.seed")?;
+                Some(Provenance { corpus, seed })
+            }
+        };
+        let analysis = DatasetAnalysis::from_value(
+            obj.get("analysis")
+                .ok_or_else(|| bad("missing field 'analysis'"))?,
+        )
+        .map_err(|e| bad(&format!("bad analysis: {e}")))?;
+        let footer = Footer {
+            name,
+            page_size,
+            page_count,
+            doc_count,
+            json_bytes,
+            page_docs,
+            page_checksums,
+            provenance,
+            analysis,
+        };
+        footer.check_consistency()?;
+        Ok(footer)
+    }
+
+    /// Cross-field invariants every valid footer satisfies.
+    fn check_consistency(&self) -> Result<(), StoreError> {
+        if self.page_docs.len() != self.page_count {
+            return Err(bad(&format!(
+                "page_docs has {} entries for {} pages",
+                self.page_docs.len(),
+                self.page_count
+            )));
+        }
+        if self.page_checksums.len() != self.page_count {
+            return Err(bad(&format!(
+                "page_checksums has {} entries for {} pages",
+                self.page_checksums.len(),
+                self.page_count
+            )));
+        }
+        let mut expected_start = 0u64;
+        for (page, &(start, count)) in self.page_docs.iter().enumerate() {
+            if start != expected_start {
+                return Err(bad(&format!(
+                    "page {page} starts at doc {start}, expected {expected_start}"
+                )));
+            }
+            expected_start += u64::from(count);
+        }
+        if expected_start != self.doc_count {
+            return Err(bad(&format!(
+                "pages cover {expected_start} docs, footer claims {}",
+                self.doc_count
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn bad(detail: &str) -> StoreError {
+    StoreError::BadFooter {
+        detail: detail.to_owned(),
+    }
+}
+
+fn get_u64(value: Option<&Value>, field: &str) -> Result<u64, StoreError> {
+    value
+        .and_then(Value::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| bad(&format!("missing non-negative integer field '{field}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_stats::analyze;
+
+    fn sample_footer() -> Footer {
+        let docs = vec![betze_json::json!({"a": 1}), betze_json::json!({"a": 2})];
+        Footer {
+            name: "t".into(),
+            page_size: 4096,
+            page_count: 2,
+            doc_count: 2,
+            json_bytes: 18,
+            page_docs: vec![(0, 1), (1, 1)],
+            page_checksums: vec![0xdead_beef_dead_beef, 7],
+            provenance: Some(Provenance {
+                corpus: "nobench".into(),
+                seed: 42,
+            }),
+            analysis: analyze("t", &docs),
+        }
+    }
+
+    #[test]
+    fn footer_round_trips_exactly() {
+        let footer = sample_footer();
+        let value = footer.to_value();
+        let text = value.to_json();
+        let parsed = betze_json::parse(&text).unwrap();
+        assert_eq!(Footer::from_value(&parsed).unwrap(), footer);
+    }
+
+    #[test]
+    fn footer_rejects_inconsistent_page_docs() {
+        let mut footer = sample_footer();
+        footer.page_docs = vec![(0, 1), (5, 1)];
+        let value = footer.to_value();
+        assert!(matches!(
+            Footer::from_value(&value),
+            Err(StoreError::BadFooter { .. })
+        ));
+    }
+
+    #[test]
+    fn checksums_survive_the_full_u64_range() {
+        let mut footer = sample_footer();
+        footer.page_checksums = vec![u64::MAX, 0];
+        let back = Footer::from_value(&footer.to_value()).unwrap();
+        assert_eq!(back.page_checksums, vec![u64::MAX, 0]);
+    }
+}

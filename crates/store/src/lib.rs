@@ -1,0 +1,409 @@
+//! # betze-store
+//!
+//! The durable paged corpus store: BETZE's out-of-core answer to
+//! corpora that do not fit in RAM (paper §V scales NoBench past memory;
+//! ROADMAP item 3).
+//!
+//! A `.bcorp` file is a sequence of fixed-size pages between a magic
+//! header and a **sealed footer** (see [`layout`]). Every page carries
+//! `[magic | page_index | doc_range | u64 FNV-1a checksum]` plus a
+//! serialized path-trie summary of its own documents; the footer embeds
+//! per-page checksums, document ranges, optional generator provenance,
+//! and the full corpus [`DatasetAnalysis`] — *bit-identical* to
+//! analyzing the materialized documents — assembled by merging the page
+//! summaries (an exact monoid) plus one histogram re-read pass. Engines
+//! and the query generator therefore seed from the footer without
+//! scanning a byte of data.
+//!
+//! The integrity story, end to end:
+//!
+//! * **Torn writes are detectable.** The writer streams into the
+//!   destination and commits by writing the seal *last*, after an
+//!   fsync. `SIGKILL` at any instant leaves a file whose missing seal
+//!   reads as [`StoreError::TornSeal`] — never a silently-wrong corpus.
+//! * **Corruption is detectable.** Every page read re-verifies the page
+//!   checksum and cross-checks it against the footer's copy; every
+//!   meaningful byte (and the enforced zero padding) is covered, so a
+//!   single flipped bit anywhere is caught. A damaged page surfaces as
+//!   typed [`StoreError::PageCorrupt`], which the engines degrade to a
+//!   per-query `Storage` error instead of poisoning the run.
+//! * **Faults are injectable.** [`DiskChaos`] mirrors the engine-level
+//!   `ChaosEngine`: a seed-deterministic schedule of short reads, torn
+//!   pages, single-bit flips, and `ENOSPC`, with an inspectable fault
+//!   log so tests account for every injection.
+//! * **Damage is repairable.** [`scrub`] names each bad page;
+//!   [`repair`] quarantines the damaged bytes and rebuilds pages from a
+//!   verified donor sibling or from generator provenance, restoring the
+//!   file bit-identically (checksum-proven).
+//!
+//! [`DatasetAnalysis`]: betze_stats::DatasetAnalysis
+
+mod atomic;
+pub mod chaos;
+mod error;
+pub mod layout;
+mod provenance;
+mod reader;
+mod scrub;
+mod writer;
+
+pub use atomic::{atomic_write, atomic_write_bytes};
+pub use chaos::{DiskChaos, DiskFaultEvent, DiskFaultKind, DiskFaultPlan};
+pub use error::StoreError;
+pub use layout::{Footer, Provenance, DEFAULT_PAGE_SIZE};
+pub use provenance::generator_for;
+pub use reader::{CorpusPage, PagedCorpus};
+pub use scrub::{
+    quarantine_path_for, repair, scrub, PageFault, RepairReport, RepairSource, ScrubReport,
+};
+pub use writer::{CorpusWriter, SealReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_datagen::{DocGenerator, NoBench, TwitterLike};
+    use betze_stats::analyze;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "betze-store-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn emit(path: &PathBuf, seed: u64, count: usize, page_size: usize) -> SealReport {
+        let gen = NoBench::default();
+        let mut writer = CorpusWriter::create(path, "nobench", page_size)
+            .unwrap()
+            .with_provenance("nobench", seed);
+        for i in 0..count {
+            writer.append(gen.generate_doc(seed, i)).unwrap();
+        }
+        writer.seal().unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip_preserves_documents_exactly() {
+        let dir = TempDir::new("roundtrip");
+        let path = dir.path("corpus.bcorp");
+        let gen = TwitterLike::default();
+        let docs = gen.generate(11, 300);
+        let mut writer = CorpusWriter::create(&path, "twitter", 64 * 1024).unwrap();
+        for doc in &docs {
+            writer.append(doc.clone()).unwrap();
+        }
+        let report = writer.seal().unwrap();
+        assert_eq!(report.doc_count, 300);
+        assert_eq!(
+            report.json_bytes as usize,
+            betze_json::to_json_lines(docs.iter()).len()
+        );
+
+        let corpus = PagedCorpus::open(&path).unwrap();
+        assert_eq!(corpus.name(), "twitter");
+        assert_eq!(corpus.doc_count(), 300);
+        assert!(corpus.page_count() > 1, "300 tweets should span pages");
+        assert_eq!(corpus.materialize().unwrap(), docs);
+        // Doc ranges tile the corpus in order.
+        let mut next = 0u64;
+        for i in 0..corpus.page_count() {
+            let page = corpus.read_page(i).unwrap();
+            assert_eq!(page.doc_start, next);
+            next += page.docs.len() as u64;
+        }
+        assert_eq!(next, 300);
+    }
+
+    #[test]
+    fn footer_analysis_is_bit_identical_to_batch_analyze() {
+        let dir = TempDir::new("analysis");
+        // Twitter docs (heterogeneous, deep) need real-sized pages; a
+        // single tweet's untruncated summary outweighs the tweet.
+        for (name, page_size, docs) in [
+            (
+                "twitter",
+                64 * 1024,
+                TwitterLike::default().generate(5, 250),
+            ),
+            ("nobench", 8 * 1024, NoBench::default().generate(5, 400)),
+        ] {
+            let path = dir.path(&format!("{name}.bcorp"));
+            let mut writer = CorpusWriter::create(&path, name, page_size).unwrap();
+            for doc in &docs {
+                writer.append(doc.clone()).unwrap();
+            }
+            let report = writer.seal().unwrap();
+            let expected = analyze(name, &docs);
+            assert_eq!(report.analysis, expected, "{name} (seal report)");
+            let corpus = PagedCorpus::open(&path).unwrap();
+            assert_eq!(corpus.analysis(), &expected, "{name} (footer)");
+        }
+    }
+
+    #[test]
+    fn page_summaries_merge_to_the_corpus_trie() {
+        let dir = TempDir::new("summaries");
+        let path = dir.path("corpus.bcorp");
+        let docs = NoBench::default().generate(3, 200);
+        let mut writer = CorpusWriter::create(&path, "nobench", 8 * 1024).unwrap();
+        for doc in &docs {
+            writer.append(doc.clone()).unwrap();
+        }
+        writer.seal().unwrap();
+        let corpus = PagedCorpus::open(&path).unwrap();
+        let mut merged = betze_stats::AnalysisBuilder::with_defaults();
+        for i in 0..corpus.page_count() {
+            merged
+                .merge(corpus.read_page(i).unwrap().summary_builder().unwrap())
+                .unwrap();
+        }
+        assert_eq!(merged.doc_count(), 200);
+        // Seeding from page summaries (plus the histogram pass) equals
+        // the batch analyzer exactly.
+        let mut pass = merged.into_histogram_pass("nobench");
+        if pass.needs_docs() {
+            for doc in &docs {
+                pass.add_doc(doc);
+            }
+        }
+        assert_eq!(pass.finish(), analyze("nobench", &docs));
+    }
+
+    #[test]
+    fn unsealed_file_reads_as_torn() {
+        let dir = TempDir::new("torn");
+        let path = dir.path("torn.bcorp");
+        let gen = NoBench::default();
+        let mut writer = CorpusWriter::create(&path, "nobench", 4096).unwrap();
+        for i in 0..100 {
+            writer.append(gen.generate_doc(1, i)).unwrap();
+        }
+        drop(writer); // killed before seal()
+        assert!(matches!(
+            PagedCorpus::open(&path),
+            Err(StoreError::TornSeal { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_sealed_file_reads_as_torn_not_wrong() {
+        let dir = TempDir::new("truncated");
+        let path = dir.path("corpus.bcorp");
+        emit(&path, 2, 120, 4096);
+        let full = std::fs::read(&path).unwrap();
+        // Any truncation that still holds a header must read as torn or
+        // corrupt — never open cleanly.
+        for keep in [
+            layout::FILE_HEADER_LEN,
+            layout::FILE_HEADER_LEN + 100,
+            full.len() / 2,
+            full.len() - 1,
+        ] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            match PagedCorpus::open(&path) {
+                Err(StoreError::TornSeal { .. } | StoreError::BadFooter { .. }) => {}
+                other => panic!("truncation to {keep} bytes: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let dir = TempDir::new("flips");
+        let path = dir.path("corpus.bcorp");
+        emit(&path, 3, 8, 4096);
+        let clean = std::fs::read(&path).unwrap();
+        // Strided over the file (a full sweep is minutes in debug
+        // builds; the page codec's own tests flip every byte of a
+        // page). The stride is odd so every bit position class is hit.
+        let mut checked = 0;
+        for offset in (0..clean.len()).step_by(101) {
+            let mut damaged = clean.clone();
+            damaged[offset] ^= 1 << (offset % 8);
+            std::fs::write(&path, &damaged).unwrap();
+            let detected = match PagedCorpus::open(&path) {
+                Err(_) => true,
+                Ok(corpus) => (0..corpus.page_count()).any(|i| corpus.read_page(i).is_err()),
+            };
+            assert!(detected, "flip at byte {offset} went unnoticed");
+            checked += 1;
+        }
+        assert!(checked > 100);
+        std::fs::write(&path, &clean).unwrap();
+        assert!(scrub(&path).unwrap().is_clean());
+    }
+
+    #[test]
+    fn scrub_names_the_exact_page_and_repair_restores_bit_identically() {
+        let dir = TempDir::new("repair");
+        let path = dir.path("corpus.bcorp");
+        emit(&path, 7, 200, 4096);
+        let clean = std::fs::read(&path).unwrap();
+        let corpus = PagedCorpus::open(&path).unwrap();
+        let pages = corpus.page_count();
+        assert!(pages >= 3);
+        drop(corpus);
+        // Flip one byte in the middle of page 2's payload.
+        let victim = 2usize;
+        let offset = layout::page_offset(victim, 4096) as usize + 200;
+        let mut damaged = clean.clone();
+        damaged[offset] ^= 0x10;
+        std::fs::write(&path, &damaged).unwrap();
+
+        let report = scrub(&path).unwrap();
+        assert_eq!(report.bad_pages.len(), 1);
+        assert_eq!(report.bad_pages[0].page, victim);
+
+        // Repair from provenance (no donor).
+        let repaired = repair(&path, None).unwrap();
+        assert_eq!(repaired.repaired, vec![(victim, RepairSource::Provenance)]);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            clean,
+            "bit-identical restore"
+        );
+        // Quarantine preserved the damaged bytes.
+        let q = repaired.quarantine.unwrap();
+        let q_bytes = std::fs::read(&q).unwrap();
+        let damaged_page = &damaged[layout::page_offset(victim, 4096) as usize..][..4096];
+        assert!(q_bytes
+            .windows(damaged_page.len())
+            .any(|w| w == damaged_page));
+    }
+
+    #[test]
+    fn repair_from_donor_sibling() {
+        let dir = TempDir::new("donor");
+        let path = dir.path("corpus.bcorp");
+        let donor_path = dir.path("sibling.bcorp");
+        emit(&path, 9, 150, 4096);
+        emit(&donor_path, 9, 150, 4096);
+        let clean = std::fs::read(&path).unwrap();
+        let mut damaged = clean.clone();
+        let offset = layout::page_offset(1, 4096) as usize + 77;
+        damaged[offset] ^= 0x01;
+        std::fs::write(&path, &damaged).unwrap();
+
+        let repaired = repair(&path, Some(&donor_path)).unwrap();
+        assert_eq!(repaired.repaired, vec![(1, RepairSource::Donor)]);
+        assert_eq!(std::fs::read(&path).unwrap(), clean);
+    }
+
+    #[test]
+    fn repair_without_any_source_is_typed_unrepairable() {
+        let dir = TempDir::new("unrepairable");
+        let path = dir.path("corpus.bcorp");
+        // No provenance recorded, no donor given.
+        let gen = NoBench::default();
+        let mut writer = CorpusWriter::create(&path, "nobench", 4096).unwrap();
+        for i in 0..80 {
+            writer.append(gen.generate_doc(4, i)).unwrap();
+        }
+        writer.seal().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = layout::page_offset(0, 4096) as usize + 50;
+        bytes[offset] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match repair(&path, None) {
+            Err(StoreError::Unrepairable { pages }) => assert_eq!(pages, vec![0]),
+            other => panic!("expected Unrepairable, got {other:?}"),
+        }
+        // Original damaged file untouched; quarantine still written.
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        assert!(quarantine_path_for(&path).exists());
+    }
+
+    #[test]
+    fn chaos_faults_surface_typed_and_logged() {
+        let dir = TempDir::new("chaos");
+        let path = dir.path("corpus.bcorp");
+        emit(&path, 5, 200, 4096);
+        let corpus = PagedCorpus::open(&path).unwrap().with_chaos(DiskChaos::new(
+            DiskFaultPlan::none(77)
+                .short_reads(0.1)
+                .torn_pages(0.1)
+                .bit_flips(0.1),
+        ));
+        let pages = corpus.page_count();
+        let mut typed_failures = 0;
+        for round in 0..10 {
+            for i in 0..pages {
+                match corpus.read_page(i) {
+                    Ok(_) => {}
+                    Err(e @ StoreError::Io { .. }) => {
+                        assert!(e.is_transient(), "short read must be transient: {e}");
+                        typed_failures += 1;
+                    }
+                    Err(StoreError::PageCorrupt { page, .. }) => {
+                        assert_eq!(page, i, "round {round}");
+                        typed_failures += 1;
+                    }
+                    Err(other) => panic!("unexpected error shape: {other}"),
+                }
+            }
+        }
+        // Every failure is accounted for by the fault log (torn+flip can
+        // co-fire on one read, so log length >= failures).
+        let log = corpus.fault_log();
+        assert!(typed_failures > 0, "rates 0.1 over {} reads", pages * 10);
+        assert!(log.len() >= typed_failures);
+        // The disk itself was never touched: chaos off, all clean.
+        corpus.reset_chaos();
+        assert!(scrub(&path).unwrap().is_clean());
+    }
+
+    #[test]
+    fn enospc_on_append_is_typed_and_leaves_a_torn_file() {
+        let dir = TempDir::new("enospc");
+        let path = dir.path("corpus.bcorp");
+        let gen = NoBench::default();
+        let mut writer = CorpusWriter::create(&path, "nobench", 4096)
+            .unwrap()
+            .with_chaos(DiskChaos::new(DiskFaultPlan::none(1).enospc(1.0)));
+        let mut hit = None;
+        for i in 0..500 {
+            if let Err(e) = writer.append(gen.generate_doc(0, i)) {
+                hit = Some(e);
+                break;
+            }
+        }
+        match hit {
+            Some(StoreError::NoSpace { .. }) => {}
+            other => panic!("expected NoSpace, got {other:?}"),
+        }
+        drop(writer);
+        // Whatever made it to disk is detectably torn, not silently wrong.
+        assert!(matches!(
+            PagedCorpus::open(&path),
+            Err(StoreError::TornSeal { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_emit_same_seed_same_bytes() {
+        let dir = TempDir::new("determinism");
+        let a = dir.path("a.bcorp");
+        let b = dir.path("b.bcorp");
+        emit(&a, 21, 130, 4096);
+        emit(&b, 21, 130, 4096);
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    }
+}

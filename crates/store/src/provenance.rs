@@ -1,0 +1,35 @@
+//! Mapping footer provenance back to a document generator.
+
+use betze_datagen::{DocGenerator, NoBench, RedditLike, TwitterLike};
+
+/// Resolves a provenance corpus name to its generator **at default
+/// parameters**. Returns `None` for unknown names; writers must only
+/// record provenance for default-parameter generators (a customized
+/// generator is not reconstructible from its name).
+pub fn generator_for(corpus: &str) -> Option<Box<dyn DocGenerator>> {
+    match corpus {
+        "nobench" => Some(Box::new(NoBench::default())),
+        "twitter" => Some(Box::new(TwitterLike::default())),
+        "reddit" => Some(Box::new(RedditLike)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_corpora_resolve_and_match_generate() {
+        for name in ["nobench", "twitter", "reddit"] {
+            let gen = generator_for(name).expect(name);
+            assert_eq!(gen.corpus_name(), name);
+            // generate_doc agrees with generate (prefix stability).
+            let batch = gen.generate(99, 5);
+            for (i, doc) in batch.iter().enumerate() {
+                assert_eq!(&gen.generate_doc(99, i), doc, "{name} doc {i}");
+            }
+        }
+        assert!(generator_for("mystery").is_none());
+    }
+}

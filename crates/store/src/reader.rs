@@ -1,0 +1,366 @@
+//! The paged corpus reader.
+//!
+//! [`PagedCorpus::open`] validates header, seal and footer up front —
+//! after which the corpus's name, document count, byte size and full
+//! [`DatasetAnalysis`] are available without touching a single page.
+//! Pages are then streamed on demand with [`read_page`]; every read
+//! re-verifies the page checksum (and cross-checks it against the
+//! footer's copy), so a damaged page is *reported*, never returned.
+//!
+//! The reader is `Sync` — the file handle and the optional
+//! [`DiskChaos`] layer live behind one mutex — so engines can share a
+//! corpus across query threads while reads stay serialized (one page in
+//! flight per corpus; memory stays O(pages-in-flight)).
+//!
+//! [`read_page`]: PagedCorpus::read_page
+//! [`DatasetAnalysis`]: betze_stats::DatasetAnalysis
+
+use crate::chaos::{DiskChaos, DiskFaultEvent};
+use crate::layout::{self, Footer, Provenance, FILE_HEADER_LEN, SEAL_MAGIC, TRAILER_LEN};
+use crate::StoreError;
+use betze_json::page::{decode_page, MIN_PAGE_SIZE};
+use betze_json::{frame, Value};
+use betze_stats::{AnalysisBuilder, DatasetAnalysis};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One page, decoded and parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusPage {
+    /// Page index.
+    pub index: usize,
+    /// Corpus-wide index of the first document in this page.
+    pub doc_start: u64,
+    /// The page's documents.
+    pub docs: Vec<Value>,
+    /// The raw (serialized) per-page path-trie summary.
+    summary: Vec<u8>,
+}
+
+impl CorpusPage {
+    /// Parses the page's path-trie summary into a mergeable builder —
+    /// what lets the analyzer seed from page summaries without a scan.
+    pub fn summary_builder(&self) -> Result<AnalysisBuilder, StoreError> {
+        let text = std::str::from_utf8(&self.summary).map_err(|e| StoreError::PageCorrupt {
+            page: self.index,
+            detail: format!("summary not UTF-8: {e}"),
+        })?;
+        let value = betze_json::parse(text).map_err(|e| StoreError::PageCorrupt {
+            page: self.index,
+            detail: format!("summary not JSON: {e}"),
+        })?;
+        AnalysisBuilder::from_value(&value).map_err(|e| StoreError::PageCorrupt {
+            page: self.index,
+            detail: format!("summary schema: {e}"),
+        })
+    }
+}
+
+struct Inner {
+    file: File,
+    chaos: Option<DiskChaos>,
+}
+
+/// A sealed, verified-on-read `.bcorp` corpus. See the module docs.
+pub struct PagedCorpus {
+    path: PathBuf,
+    footer: Footer,
+    inner: Mutex<Inner>,
+}
+
+impl PagedCorpus {
+    /// Opens and validates a sealed corpus (header, seal, footer). Page
+    /// payloads are verified lazily, on each read.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_owned();
+        let mut file = File::open(&path)
+            .map_err(|e| StoreError::from_io(e, format!("open '{}'", path.display())))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StoreError::from_io(e, "stat corpus"))?
+            .len();
+        // Header.
+        if len < FILE_HEADER_LEN as u64 {
+            return Err(StoreError::BadHeader {
+                detail: format!("{len}-byte file is too short for a header"),
+            });
+        }
+        let mut header = [0u8; FILE_HEADER_LEN];
+        file.read_exact(&mut header)
+            .map_err(|e| StoreError::from_io(e, "read header"))?;
+        if header[..8] != layout::FILE_MAGIC {
+            return Err(StoreError::BadHeader {
+                detail: format!("bad magic {:?}", &header[..8]),
+            });
+        }
+        if header[12..].iter().any(|&b| b != 0) {
+            return Err(StoreError::BadHeader {
+                detail: "reserved header bytes not zero".to_owned(),
+            });
+        }
+        let page_size = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        if page_size < MIN_PAGE_SIZE {
+            return Err(StoreError::BadHeader {
+                detail: format!("header page size {page_size} below minimum {MIN_PAGE_SIZE}"),
+            });
+        }
+        // Seal: a valid header without a valid trailer is the torn
+        // state every mid-emit crash leaves behind.
+        let torn = StoreError::TornSeal { path: path.clone() };
+        if len < (FILE_HEADER_LEN + TRAILER_LEN) as u64 {
+            return Err(torn);
+        }
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))
+            .map_err(|e| StoreError::from_io(e, "seek seal"))?;
+        file.read_exact(&mut trailer)
+            .map_err(|e| StoreError::from_io(e, "read seal"))?;
+        if trailer[8..] != SEAL_MAGIC {
+            return Err(torn);
+        }
+        let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        // Footer (frame-checksummed JSON between the pages and the seal).
+        let footer_end = len - TRAILER_LEN as u64;
+        if footer_offset < FILE_HEADER_LEN as u64 || footer_offset > footer_end {
+            return Err(StoreError::BadFooter {
+                detail: format!("footer offset {footer_offset} outside file"),
+            });
+        }
+        if !(footer_offset - FILE_HEADER_LEN as u64).is_multiple_of(page_size as u64) {
+            return Err(StoreError::BadFooter {
+                detail: format!("footer offset {footer_offset} not page-aligned"),
+            });
+        }
+        let mut footer_bytes = vec![0u8; (footer_end - footer_offset) as usize];
+        file.seek(SeekFrom::Start(footer_offset))
+            .map_err(|e| StoreError::from_io(e, "seek footer"))?;
+        file.read_exact(&mut footer_bytes)
+            .map_err(|e| StoreError::from_io(e, "read footer"))?;
+        let frame_end = match frame::scan(&footer_bytes, 0) {
+            Some(end) if end == footer_bytes.len() => end,
+            _ => {
+                return Err(StoreError::BadFooter {
+                    detail: "footer frame does not verify".to_owned(),
+                })
+            }
+        };
+        let payload = frame::payload(&footer_bytes, 0, frame_end);
+        let text = std::str::from_utf8(payload).map_err(|e| StoreError::BadFooter {
+            detail: format!("footer not UTF-8: {e}"),
+        })?;
+        let value = betze_json::parse(text).map_err(|e| StoreError::BadFooter {
+            detail: format!("footer not JSON: {e}"),
+        })?;
+        let footer = Footer::from_value(&value)?;
+        if footer.page_size != page_size {
+            return Err(StoreError::BadFooter {
+                detail: format!(
+                    "footer page size {} disagrees with header {page_size}",
+                    footer.page_size
+                ),
+            });
+        }
+        let expected_pages = (footer_offset - FILE_HEADER_LEN as u64) / page_size as u64;
+        if footer.page_count as u64 != expected_pages {
+            return Err(StoreError::BadFooter {
+                detail: format!(
+                    "footer claims {} pages, page region holds {expected_pages}",
+                    footer.page_count
+                ),
+            });
+        }
+        Ok(PagedCorpus {
+            path,
+            footer,
+            inner: Mutex::new(Inner { file, chaos: None }),
+        })
+    }
+
+    /// Installs a disk-fault layer on the read path.
+    pub fn with_chaos(self, chaos: DiskChaos) -> Self {
+        self.inner.lock().expect("corpus lock").chaos = Some(chaos);
+        self
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The dataset name engines import this corpus as.
+    pub fn name(&self) -> &str {
+        &self.footer.name
+    }
+
+    /// Total documents.
+    pub fn doc_count(&self) -> u64 {
+        self.footer.doc_count
+    }
+
+    /// Total JSON-Lines bytes (`to_json_lines(docs).len()` exactly).
+    pub fn json_bytes(&self) -> u64 {
+        self.footer.json_bytes
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.footer.page_count
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.footer.page_size
+    }
+
+    /// Generator provenance, when recorded.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.footer.provenance.as_ref()
+    }
+
+    /// The exact corpus analysis from the footer (bit-identical to
+    /// analyzing the materialized documents).
+    pub fn analysis(&self) -> &DatasetAnalysis {
+        &self.footer.analysis
+    }
+
+    /// The parsed footer.
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    /// Reads, verifies and parses one page.
+    pub fn read_page(&self, index: usize) -> Result<CorpusPage, StoreError> {
+        let (start, count) = *self
+            .footer
+            .page_docs
+            .get(index)
+            .ok_or(StoreError::PageRange {
+                page: index,
+                pages: self.footer.page_count,
+            })?;
+        let buf = self.read_page_bytes(index, true)?;
+        let corrupt = |detail: String| StoreError::PageCorrupt {
+            page: index,
+            detail,
+        };
+        let decoded = decode_page(&buf).map_err(|e| corrupt(e.to_string()))?;
+        if decoded.header.index as usize != index {
+            return Err(corrupt(format!(
+                "page claims index {}, read at {index}",
+                decoded.header.index
+            )));
+        }
+        if decoded.header.checksum != self.footer.page_checksums[index] {
+            return Err(corrupt(format!(
+                "page checksum {:016x} disagrees with footer {:016x}",
+                decoded.header.checksum, self.footer.page_checksums[index]
+            )));
+        }
+        if (decoded.header.doc_start, decoded.header.doc_count) != (start, count) {
+            return Err(corrupt(format!(
+                "page claims docs {}+{}, footer says {start}+{count}",
+                decoded.header.doc_start, decoded.header.doc_count
+            )));
+        }
+        let docs = parse_doc_lines(decoded.docs, index)?;
+        if docs.len() as u32 != count {
+            return Err(corrupt(format!(
+                "page holds {} documents, header claims {count}",
+                docs.len()
+            )));
+        }
+        Ok(CorpusPage {
+            index,
+            doc_start: start,
+            docs,
+            summary: decoded.summary.to_vec(),
+        })
+    }
+
+    /// Reads one page's raw fixed-size bytes. With `chaos` true the
+    /// fault layer applies (normal reads); scrub/repair read with it
+    /// off to see the disk as it is.
+    pub(crate) fn read_page_bytes(&self, index: usize, chaos: bool) -> Result<Vec<u8>, StoreError> {
+        if index >= self.footer.page_count {
+            return Err(StoreError::PageRange {
+                page: index,
+                pages: self.footer.page_count,
+            });
+        }
+        let mut inner = self.inner.lock().expect("corpus lock");
+        let mut buf = vec![0u8; self.footer.page_size];
+        inner
+            .file
+            .seek(SeekFrom::Start(layout::page_offset(
+                index,
+                self.footer.page_size,
+            )))
+            .map_err(|e| StoreError::from_io(e, "seek page"))?;
+        inner
+            .file
+            .read_exact(&mut buf)
+            .map_err(|e| StoreError::from_io(e, format!("read page {index}")))?;
+        if chaos {
+            if let Some(layer) = &mut inner.chaos {
+                layer.on_read(index, &mut buf)?;
+            }
+        }
+        Ok(buf)
+    }
+
+    /// The read-side fault log (empty without chaos).
+    pub fn fault_log(&self) -> Vec<DiskFaultEvent> {
+        self.inner
+            .lock()
+            .expect("corpus lock")
+            .chaos
+            .as_ref()
+            .map(|c| c.fault_log().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Rewinds the fault schedule (no-op without chaos).
+    pub fn reset_chaos(&self) {
+        if let Some(chaos) = &mut self.inner.lock().expect("corpus lock").chaos {
+            chaos.reset();
+        }
+    }
+
+    /// Materializes the whole corpus in document order — the bridge
+    /// back to the in-RAM path (and the differential oracle's baseline).
+    pub fn materialize(&self) -> Result<Vec<Value>, StoreError> {
+        let mut docs = Vec::with_capacity(self.footer.doc_count as usize);
+        for index in 0..self.footer.page_count {
+            docs.extend(self.read_page(index)?.docs);
+        }
+        Ok(docs)
+    }
+}
+
+impl std::fmt::Debug for PagedCorpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedCorpus")
+            .field("path", &self.path)
+            .field("name", &self.footer.name)
+            .field("pages", &self.footer.page_count)
+            .field("docs", &self.footer.doc_count)
+            .finish()
+    }
+}
+
+/// Parses a page's document region (JSON lines, each newline-terminated).
+pub(crate) fn parse_doc_lines(region: &[u8], page: usize) -> Result<Vec<Value>, StoreError> {
+    let corrupt = |detail: String| StoreError::PageCorrupt { page, detail };
+    let text =
+        std::str::from_utf8(region).map_err(|e| corrupt(format!("documents not UTF-8: {e}")))?;
+    let mut docs = Vec::new();
+    for line in text.split('\n') {
+        if line.is_empty() {
+            continue;
+        }
+        docs.push(betze_json::parse(line).map_err(|e| corrupt(format!("document not JSON: {e}")))?);
+    }
+    Ok(docs)
+}

@@ -1,0 +1,294 @@
+//! Scrub and repair: offline integrity checking for `.bcorp` files.
+//!
+//! [`scrub`] verifies every page checksum (chaos off — it inspects the
+//! disk as it is) and reports each damaged page by index with the exact
+//! failure. [`repair`] then rebuilds damaged pages from either of two
+//! sources, in order of preference:
+//!
+//! 1. a **donor** — a sibling emit of the same corpus (same name, page
+//!    size, and footer checksums): the donor's page bytes are verified
+//!    against *this* file's footer checksum before splicing, so a wrong
+//!    or diverged donor can never inject data;
+//! 2. **provenance** — when the footer records `(corpus, seed)` for a
+//!    default-parameter generator, the page's documents are regenerated
+//!    by index and re-encoded; page encoding is deterministic (sorted
+//!    summary keys, fixed serialization), so the rebuilt page must be
+//!    bit-identical, and its checksum is required to prove it.
+//!
+//! Before anything is rewritten the damaged pages' original bytes are
+//! preserved in `<file>.quarantine` (never destroy evidence), and the
+//! repaired file replaces the original atomically (temp + fsync +
+//! rename) — a crash mid-repair leaves the damaged original intact, not
+//! a half-repaired hybrid.
+
+use crate::atomic::atomic_write_bytes;
+use crate::layout;
+use crate::provenance::generator_for;
+use crate::reader::PagedCorpus;
+use crate::StoreError;
+use betze_json::page::encode_page;
+use betze_json::Object;
+use betze_stats::AnalysisBuilder;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One damaged page found by [`scrub`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageFault {
+    /// Page index.
+    pub page: usize,
+    /// What failed (checksum, magic, padding, parse, …).
+    pub detail: String,
+}
+
+/// The result of a [`scrub`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrubReport {
+    /// The scrubbed file.
+    pub path: PathBuf,
+    /// Pages checked.
+    pub page_count: usize,
+    /// Documents the footer claims.
+    pub doc_count: u64,
+    /// Damaged pages, in index order.
+    pub bad_pages: Vec<PageFault>,
+}
+
+impl ScrubReport {
+    /// True when every page verified.
+    pub fn is_clean(&self) -> bool {
+        self.bad_pages.is_empty()
+    }
+}
+
+/// How a page was rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairSource {
+    /// Spliced from a verified donor sibling.
+    Donor,
+    /// Regenerated from footer provenance.
+    Provenance,
+}
+
+/// The result of a [`repair`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// The repaired file.
+    pub path: PathBuf,
+    /// Rebuilt pages with their rebuild source, in index order.
+    pub repaired: Vec<(usize, RepairSource)>,
+    /// Where the damaged pages' original bytes were preserved (absent
+    /// when nothing was damaged).
+    pub quarantine: Option<PathBuf>,
+}
+
+/// Verifies every page of a sealed corpus. Open-level damage (bad
+/// header, torn seal, corrupt footer) is returned as `Err`; per-page
+/// damage is collected in the report.
+pub fn scrub(path: impl AsRef<Path>) -> Result<ScrubReport, StoreError> {
+    let corpus = PagedCorpus::open(&path)?;
+    let mut bad_pages = Vec::new();
+    for index in 0..corpus.page_count() {
+        match corpus.read_page(index) {
+            Ok(_) => {}
+            Err(StoreError::PageCorrupt { page, detail }) => {
+                bad_pages.push(PageFault { page, detail });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(ScrubReport {
+        path: path.as_ref().to_owned(),
+        page_count: corpus.page_count(),
+        doc_count: corpus.doc_count(),
+        bad_pages,
+    })
+}
+
+/// Rebuilds every damaged page (see the module docs for sources and
+/// guarantees). Fails with [`StoreError::Unrepairable`] — after writing
+/// the quarantine — if any page cannot be rebuilt; the original file is
+/// then left untouched.
+pub fn repair(path: impl AsRef<Path>, donor: Option<&Path>) -> Result<RepairReport, StoreError> {
+    let path = path.as_ref();
+    let report = scrub(path)?;
+    if report.is_clean() {
+        return Ok(RepairReport {
+            path: path.to_owned(),
+            repaired: Vec::new(),
+            quarantine: None,
+        });
+    }
+    let corpus = PagedCorpus::open(path)?;
+    // Quarantine first: preserve the damaged bytes before any rebuild.
+    let quarantine_path = quarantine(path, &corpus, &report)?;
+    // Rebuild each damaged page.
+    let donor_corpus = donor.map(PagedCorpus::open).transpose()?;
+    let mut rebuilt: Vec<(usize, RepairSource, Vec<u8>)> = Vec::new();
+    let mut unrepairable = Vec::new();
+    for fault in &report.bad_pages {
+        if let Some(bytes) = try_donor(&corpus, donor_corpus.as_ref(), fault.page) {
+            rebuilt.push((fault.page, RepairSource::Donor, bytes));
+        } else if let Some(bytes) = try_provenance(&corpus, fault.page) {
+            rebuilt.push((fault.page, RepairSource::Provenance, bytes));
+        } else {
+            unrepairable.push(fault.page);
+        }
+    }
+    if !unrepairable.is_empty() {
+        return Err(StoreError::Unrepairable {
+            pages: unrepairable,
+        });
+    }
+    // Splice into a temp copy, then atomically replace the original.
+    splice(path, &corpus, &rebuilt)?;
+    // Prove it: the repaired file must scrub clean.
+    let after = scrub(path)?;
+    if !after.is_clean() {
+        return Err(StoreError::Unrepairable {
+            pages: after.bad_pages.iter().map(|f| f.page).collect(),
+        });
+    }
+    Ok(RepairReport {
+        path: path.to_owned(),
+        repaired: rebuilt.iter().map(|(p, s, _)| (*p, *s)).collect(),
+        quarantine: Some(quarantine_path),
+    })
+}
+
+/// Writes `<file>.quarantine`: a JSON header line naming the damaged
+/// pages, followed by their raw fixed-size bytes in index order.
+fn quarantine(
+    path: &Path,
+    corpus: &PagedCorpus,
+    report: &ScrubReport,
+) -> Result<PathBuf, StoreError> {
+    let mut header = Object::with_capacity(4);
+    header.insert("file", path.display().to_string());
+    header.insert("page_size", corpus.page_size() as i64);
+    header.insert(
+        "pages",
+        betze_json::Value::Array(
+            report
+                .bad_pages
+                .iter()
+                .map(|f| betze_json::Value::from(f.page as i64))
+                .collect(),
+        ),
+    );
+    let mut bytes = betze_json::Value::Object(header).to_json().into_bytes();
+    bytes.push(b'\n');
+    for fault in &report.bad_pages {
+        bytes.extend_from_slice(&corpus.read_page_bytes(fault.page, false)?);
+    }
+    let quarantine_path = quarantine_path_for(path);
+    atomic_write_bytes(&quarantine_path, &bytes)
+        .map_err(|e| StoreError::from_io(e, "write quarantine"))?;
+    Ok(quarantine_path)
+}
+
+/// `<file>.quarantine` next to the corpus.
+pub fn quarantine_path_for(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
+    name.push(".quarantine");
+    path.with_file_name(name)
+}
+
+/// A donor page is accepted only if it decodes cleanly AND its checksum
+/// equals the damaged file's own footer entry — matching checksum over
+/// every meaningful byte plus enforced zero padding means the bytes are
+/// identical to what this file originally held.
+fn try_donor(corpus: &PagedCorpus, donor: Option<&PagedCorpus>, page: usize) -> Option<Vec<u8>> {
+    let donor = donor?;
+    if donor.name() != corpus.name()
+        || donor.page_size() != corpus.page_size()
+        || page >= donor.page_count()
+    {
+        return None;
+    }
+    let bytes = donor.read_page_bytes(page, false).ok()?;
+    let decoded = betze_json::page::decode_page(&bytes).ok()?;
+    if decoded.header.checksum != corpus.footer().page_checksums[page] {
+        return None;
+    }
+    Some(bytes)
+}
+
+/// Regenerates a page from `(corpus, seed)` provenance: documents by
+/// index, one-page summary, deterministic encode. The rebuilt page's
+/// checksum must equal the footer's — that equality *is* the proof of a
+/// bit-identical rebuild.
+fn try_provenance(corpus: &PagedCorpus, page: usize) -> Option<Vec<u8>> {
+    let prov = corpus.provenance()?;
+    let generator = generator_for(&prov.corpus)?;
+    let (doc_start, doc_count) = *corpus.footer().page_docs.get(page)?;
+    let mut builder = AnalysisBuilder::with_defaults();
+    let mut docs_region = String::new();
+    for i in doc_start..doc_start + u64::from(doc_count) {
+        let doc = generator.generate_doc(prov.seed, i as usize);
+        builder.add_doc(&doc);
+        docs_region.push_str(&doc.to_json());
+        docs_region.push('\n');
+    }
+    let summary = builder.to_value().to_json();
+    let bytes = encode_page(
+        page as u32,
+        doc_start,
+        doc_count,
+        summary.as_bytes(),
+        docs_region.as_bytes(),
+        corpus.page_size(),
+    )
+    .ok()?;
+    let decoded = betze_json::page::decode_page(&bytes).ok()?;
+    if decoded.header.checksum != corpus.footer().page_checksums[page] {
+        return None;
+    }
+    Some(bytes)
+}
+
+/// Copies the corpus to a temp file, overwrites the rebuilt page
+/// regions, fsyncs, and renames over the original.
+fn splice(
+    path: &Path,
+    corpus: &PagedCorpus,
+    rebuilt: &[(usize, RepairSource, Vec<u8>)],
+) -> Result<(), StoreError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = dir.unwrap_or(Path::new(".")).join(format!(
+        ".{}.repair.{}",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+        std::process::id()
+    ));
+    let result = (|| -> Result<(), StoreError> {
+        std::fs::copy(path, &tmp).map_err(|e| StoreError::from_io(e, "copy for repair"))?;
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&tmp)
+            .map_err(|e| StoreError::from_io(e, "open repair copy"))?;
+        for (page, _, bytes) in rebuilt {
+            file.seek(SeekFrom::Start(layout::page_offset(
+                *page,
+                corpus.page_size(),
+            )))
+            .map_err(|e| StoreError::from_io(e, "seek repair page"))?;
+            file.write_all(bytes)
+                .map_err(|e| StoreError::from_io(e, "write repair page"))?;
+        }
+        file.sync_all()
+            .map_err(|e| StoreError::from_io(e, "sync repair"))?;
+        std::fs::rename(&tmp, path).map_err(|e| StoreError::from_io(e, "commit repair"))?;
+        if let Some(dir) = dir {
+            if let Ok(dir_file) = std::fs::File::open(dir) {
+                let _ = dir_file.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}

@@ -1,0 +1,364 @@
+//! The streaming corpus writer.
+//!
+//! [`CorpusWriter`] turns a document stream into a sealed `.bcorp` file
+//! without ever holding the corpus: documents are buffered one page at
+//! a time, each page is flushed with its own path-trie summary, and the
+//! corpus-level analysis that lands in the footer accumulates
+//! incrementally (`betze_stats::AnalysisBuilder`, proven bit-identical
+//! to batch analysis). Peak memory is O(one page) plus the analyzer's
+//! own trie — the documents themselves never accumulate.
+//!
+//! ## Crash discipline
+//!
+//! The writer streams straight into the destination file; the **seal is
+//! the commit marker**. [`seal`](CorpusWriter::seal) syncs the data,
+//! then writes footer + trailer, then syncs again — so a `SIGKILL` at
+//! any instant before the final sync leaves a file without a valid
+//! seal, which every reader reports as [`StoreError::TornSeal`]. There
+//! is no window in which a half-written corpus looks sealed.
+//!
+//! Sealing re-reads every page it just wrote (the histogram fill pass
+//! needs a second look at the documents anyway): each page's checksum
+//! is verified on the way back in, so a corpus that seals successfully
+//! has had 100% of its pages round-tripped through the page codec —
+//! write verification for free.
+//!
+//! ## Page packing
+//!
+//! A page holds `[summary][doc JSON lines]` in `page_capacity` bytes.
+//! The summary's size depends on the documents (untruncated path tries
+//! of heterogeneous corpora can outweigh the documents they summarize),
+//! so packing adapts: documents accumulate until their bytes pass the
+//! share predicted by the last page's summary-to-docs ratio, then the
+//! flush probes with the exact summary, shrinking the prefix until the
+//! pair fits. The result is a deterministic function of the document
+//! stream alone, which is what lets `scrub --repair` rebuild a damaged
+//! page bit-identically from provenance.
+
+use crate::chaos::DiskChaos;
+use crate::layout::{self, Footer, Provenance, DEFAULT_PAGE_SIZE};
+use crate::StoreError;
+use betze_json::page::{encode_page, page_capacity, MIN_PAGE_SIZE};
+use betze_json::{frame, Value};
+use betze_stats::{AnalysisBuilder, AnalyzerConfig, DatasetAnalysis};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// What [`CorpusWriter::seal`] hands back: the sealed corpus's vitals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealReport {
+    /// Destination file.
+    pub path: PathBuf,
+    /// Pages written.
+    pub page_count: usize,
+    /// Documents written.
+    pub doc_count: u64,
+    /// Total JSON-Lines bytes of the documents.
+    pub json_bytes: u64,
+    /// The exact corpus analysis embedded in the footer.
+    pub analysis: DatasetAnalysis,
+}
+
+/// Streaming `.bcorp` writer. See the module docs.
+pub struct CorpusWriter {
+    file: File,
+    path: PathBuf,
+    name: String,
+    page_size: usize,
+    config: AnalyzerConfig,
+    /// Documents not yet flushed to a page, with their serialized lines.
+    pending: Vec<(Value, String)>,
+    /// JSON-Lines bytes of `pending` (each line plus its newline).
+    pending_bytes: usize,
+    /// Corpus-level analysis, built incrementally as documents arrive
+    /// (bit-identical to batch analysis — the page summaries are a
+    /// seeding artifact, not what the footer analysis depends on).
+    merged: AnalysisBuilder,
+    /// Running estimate of summary-bytes per document-byte, from the
+    /// last flushed page. Summaries of heterogeneous corpora can exceed
+    /// the documents they summarize (every path pays fixed stats
+    /// overhead), so page packing adapts instead of assuming a split.
+    summary_ratio: f64,
+    docs_written: u64,
+    json_bytes: u64,
+    page_docs: Vec<(u64, u32)>,
+    page_checksums: Vec<u64>,
+    provenance: Option<Provenance>,
+    chaos: Option<DiskChaos>,
+    sealed: bool,
+}
+
+impl CorpusWriter {
+    /// Creates (truncating) the destination file and writes the header.
+    pub fn create(
+        path: impl AsRef<Path>,
+        name: impl Into<String>,
+        page_size: usize,
+    ) -> Result<Self, StoreError> {
+        if page_size < MIN_PAGE_SIZE {
+            return Err(StoreError::BadHeader {
+                detail: format!("page size {page_size} below minimum {MIN_PAGE_SIZE}"),
+            });
+        }
+        let path = path.as_ref().to_owned();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| StoreError::from_io(e, format!("create '{}'", path.display())))?;
+        file.write_all(&layout::file_header(page_size))
+            .map_err(|e| StoreError::from_io(e, "write header"))?;
+        let config = AnalyzerConfig::default();
+        Ok(CorpusWriter {
+            file,
+            path,
+            name: name.into(),
+            page_size,
+            merged: AnalysisBuilder::new(config.clone()),
+            config,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            summary_ratio: 1.0,
+            docs_written: 0,
+            json_bytes: 0,
+            page_docs: Vec::new(),
+            page_checksums: Vec::new(),
+            provenance: None,
+            chaos: None,
+            sealed: false,
+        })
+    }
+
+    /// [`create`](CorpusWriter::create) with the default 64 KiB pages.
+    pub fn create_default(
+        path: impl AsRef<Path>,
+        name: impl Into<String>,
+    ) -> Result<Self, StoreError> {
+        CorpusWriter::create(path, name, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Records generator provenance in the footer (enables page repair
+    /// by regeneration).
+    pub fn with_provenance(mut self, corpus: impl Into<String>, seed: u64) -> Self {
+        self.provenance = Some(Provenance {
+            corpus: corpus.into(),
+            seed,
+        });
+        self
+    }
+
+    /// Installs a disk-fault layer on the append path (injected
+    /// `ENOSPC`).
+    pub fn with_chaos(mut self, chaos: DiskChaos) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Documents appended so far (flushed or pending).
+    pub fn doc_count(&self) -> u64 {
+        self.docs_written + self.pending.len() as u64
+    }
+
+    /// Appends one document. Pages are flushed to disk as they fill, so
+    /// memory stays O(one page).
+    pub fn append(&mut self, doc: Value) -> Result<(), StoreError> {
+        if self.sealed {
+            return Err(StoreError::Sealed);
+        }
+        self.merged.add_doc(&doc);
+        let line = doc.to_json();
+        self.json_bytes += line.len() as u64 + 1;
+        self.pending_bytes += line.len() + 1;
+        self.pending.push((doc, line));
+        while self.pending_bytes > self.docs_budget() {
+            self.flush_page()?;
+        }
+        Ok(())
+    }
+
+    /// The document-byte budget that triggers a flush: the documents'
+    /// share of the payload under the running summary-ratio estimate.
+    fn docs_budget(&self) -> usize {
+        let capacity = page_capacity(self.page_size) as f64;
+        (capacity / (1.0 + self.summary_ratio.max(0.0))) as usize
+    }
+
+    /// Flushes a prefix of `pending` that fits in one page together
+    /// with its exact summary; the remainder stays pending. Packing is
+    /// a deterministic function of the document stream alone.
+    fn flush_page(&mut self) -> Result<(), StoreError> {
+        debug_assert!(!self.pending.is_empty());
+        let capacity = page_capacity(self.page_size);
+        // Initial guess from the ratio estimate (at least one doc).
+        let budget = self.docs_budget();
+        let mut n = 0;
+        let mut docs_bytes = 0;
+        for (_, line) in &self.pending {
+            if n > 0 && docs_bytes + line.len() + 1 > budget {
+                break;
+            }
+            docs_bytes += line.len() + 1;
+            n += 1;
+        }
+        // Probe with the exact summary; on overflow shrink towards the
+        // fit proportionally (a couple of probes per page in practice).
+        let summary_text = loop {
+            let mut builder = AnalysisBuilder::new(self.config.clone());
+            for (doc, _) in &self.pending[..n] {
+                builder.add_doc(doc);
+            }
+            let summary_text = builder.to_value().to_json();
+            let needed = summary_text.len() + docs_bytes;
+            if needed <= capacity {
+                break summary_text;
+            }
+            if n == 1 {
+                return Err(StoreError::DocTooLarge {
+                    bytes: needed,
+                    page_size: self.page_size,
+                });
+            }
+            let target = (n * capacity / needed).clamp(1, n - 1);
+            while n > target {
+                n -= 1;
+                docs_bytes -= self.pending[n].1.len() + 1;
+            }
+        };
+        self.summary_ratio = summary_text.len() as f64 / docs_bytes.max(1) as f64;
+        let mut docs_region = String::with_capacity(docs_bytes);
+        for (_, line) in &self.pending[..n] {
+            docs_region.push_str(line);
+            docs_region.push('\n');
+        }
+        let index = self.page_docs.len() as u32;
+        let doc_start = self.docs_written;
+        let page = encode_page(
+            index,
+            doc_start,
+            n as u32,
+            summary_text.as_bytes(),
+            docs_region.as_bytes(),
+            self.page_size,
+        )
+        .map_err(|e| StoreError::PageCorrupt {
+            page: index as usize,
+            detail: format!("encode: {e}"),
+        })?;
+        if let Some(chaos) = &mut self.chaos {
+            chaos.on_append()?;
+        }
+        self.file
+            .write_all(&page)
+            .map_err(|e| StoreError::from_io(e, format!("append page {index}")))?;
+        let checksum = u64::from_le_bytes(page[24..32].try_into().expect("8-byte checksum field"));
+        self.page_checksums.push(checksum);
+        self.page_docs.push((doc_start, n as u32));
+        self.docs_written += n as u64;
+        self.pending.drain(..n);
+        self.pending_bytes -= docs_bytes;
+        Ok(())
+    }
+
+    /// Flushes the tail, re-reads every page (verifying checksums and
+    /// filling histograms), writes the footer, and seals the file.
+    pub fn seal(mut self) -> Result<SealReport, StoreError> {
+        if self.sealed {
+            return Err(StoreError::Sealed);
+        }
+        while !self.pending.is_empty() {
+            self.flush_page()?;
+        }
+        self.sealed = true;
+        let page_count = self.page_docs.len();
+        // Everything before the footer must be durable before the seal
+        // can claim it is.
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::from_io(e, "sync pages"))?;
+        // Histogram fill pass: stream the pages we just wrote back in.
+        // Checksums are verified on the way — a corpus only seals if
+        // every page round-trips.
+        let merged = std::mem::replace(&mut self.merged, AnalysisBuilder::new(self.config.clone()));
+        let mut pass = merged.into_histogram_pass(self.name.clone());
+        let mut buf = vec![0u8; self.page_size];
+        for index in 0..page_count {
+            self.file
+                .seek(SeekFrom::Start(layout::page_offset(index, self.page_size)))
+                .map_err(|e| StoreError::from_io(e, "seek page"))?;
+            self.file
+                .read_exact(&mut buf)
+                .map_err(|e| StoreError::from_io(e, format!("re-read page {index}")))?;
+            let decoded =
+                betze_json::page::decode_page(&buf).map_err(|e| StoreError::PageCorrupt {
+                    page: index,
+                    detail: format!("write verification: {e}"),
+                })?;
+            if pass.needs_docs() {
+                for doc in crate::reader::parse_doc_lines(decoded.docs, index)? {
+                    pass.add_doc(&doc);
+                }
+            }
+        }
+        let analysis = pass.finish();
+        let footer = Footer {
+            name: self.name.clone(),
+            page_size: self.page_size,
+            page_count,
+            doc_count: self.docs_written,
+            json_bytes: self.json_bytes,
+            page_docs: std::mem::take(&mut self.page_docs),
+            page_checksums: std::mem::take(&mut self.page_checksums),
+            provenance: self.provenance.clone(),
+            analysis: analysis.clone(),
+        };
+        let footer_offset = layout::page_offset(page_count, self.page_size);
+        self.file
+            .seek(SeekFrom::Start(footer_offset))
+            .map_err(|e| StoreError::from_io(e, "seek footer"))?;
+        let frame = frame::encode(footer.to_value().to_json().as_bytes());
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StoreError::from_io(e, "write footer"))?;
+        self.file
+            .write_all(&layout::trailer(footer_offset))
+            .map_err(|e| StoreError::from_io(e, "write seal"))?;
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::from_io(e, "sync seal"))?;
+        Ok(SealReport {
+            path: self.path.clone(),
+            page_count,
+            doc_count: self.docs_written,
+            json_bytes: self.json_bytes,
+            analysis,
+        })
+    }
+
+    /// The writer-side fault log (empty without chaos).
+    pub fn fault_log(&self) -> Vec<crate::chaos::DiskFaultEvent> {
+        self.chaos
+            .as_ref()
+            .map(|c| c.fault_log().to_vec())
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for CorpusWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorpusWriter")
+            .field("path", &self.path)
+            .field("page_size", &self.page_size)
+            .field("docs_written", &self.docs_written)
+            .field("pending", &self.pending.len())
+            .field("sealed", &self.sealed)
+            .finish()
+    }
+}
