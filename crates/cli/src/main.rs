@@ -79,9 +79,21 @@ COMMANDS:
                             (default error)
         --window <lo,hi>    selectivity window checked by L035/L036
                             (default 0.2,0.9)
+        --slo <ms>          modeled-time SLO in milliseconds: the cost pass
+                            predicts per-engine [lo, hi] modeled times and
+                            gates them (L053–L055; needs --dataset)
+        --engine <e>        engine leg the SLO gate checks (repeatable):
+                            joda | vm | vm-noopt | jq | mongodb | psql
+                            (default: all; needs --dataset)
+        --threads <n>       thread count the joda/vm cost legs are priced
+                            with (default 16)
         --oracle            execute the session on the dataset and assert
                             every concrete input size, result size, and
-                            selectivity lies inside the predicted interval
+                            selectivity lies inside the predicted interval;
+                            with --slo/--engine, also run the checked
+                            engine legs and assert every observed counter
+                            vector and modeled time lies inside its
+                            predicted interval
                             (needs --dataset; exits 1 on any violation)
     lint --explain <RULE>                    print one rule's documentation
                             (id, name, severity, rationale, example);
@@ -192,6 +204,9 @@ COMMANDS:
         --engine <name>     joda | vm for the JODA-only drivers
                             (figs 5-7): vm executes compiled bytecode,
                             results are bit-identical (default joda)
+        --slo <ms>          per-query modeled-time budget: fig7 skips
+                            sessions the cost abstraction proves over
+                            it (rule L053), reported as lint_slow
         --bench-out <file>  also write a JSON wall-time record
         --out <file>        atomically write the rendered report(s) to a
                             file as well as stdout
@@ -625,6 +640,28 @@ fn lint(args: &[String]) -> Result<(), String> {
         None => None,
     };
     let oracle = take_flag(&mut args, "--oracle");
+    let slo = match take_option(&mut args, "--slo")? {
+        Some(ms) => {
+            let ms: f64 = parse(&ms, "SLO milliseconds")?;
+            if !(ms > 0.0 && ms.is_finite()) {
+                return Err(format!("--slo must be a positive duration, got '{ms}'"));
+            }
+            Some(std::time::Duration::from_secs_f64(ms / 1e3))
+        }
+        None => None,
+    };
+    let mut cost_engines = Vec::new();
+    while let Some(name) = take_option(&mut args, "--engine")? {
+        let engine = betze::lint::CostEngine::parse(&name).ok_or_else(|| {
+            format!("unknown engine '{name}' (joda, vm, vm-noopt, jq, mongodb, psql)")
+        })?;
+        cost_engines.push(engine);
+    }
+    let cost_threads = match take_option(&mut args, "--threads")? {
+        Some(n) => parse::<usize>(&n, "thread count")?,
+        None => 16,
+    };
+    let cost_active = slo.is_some() || !cost_engines.is_empty();
     let analysis_path = take_option(&mut args, "--analysis")?;
     let dataset_path = take_option(&mut args, "--dataset")?;
     let [path]: [String; 1] = args
@@ -634,7 +671,10 @@ fn lint(args: &[String]) -> Result<(), String> {
     let session =
         betze::model::Session::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     let mut dataset = None;
-    let analysis = match (analysis_path, dataset_path) {
+    if let Some(dpath) = dataset_path {
+        dataset = Some(load_dataset(&dpath, None)?);
+    }
+    let analysis = match (analysis_path, &dataset) {
         (Some(apath), _) => {
             let text =
                 std::fs::read_to_string(&apath).map_err(|e| format!("cannot read {apath}: {e}"))?;
@@ -643,17 +683,20 @@ fn lint(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("parsing {apath}: {e}"))?,
             )
         }
-        (None, Some(dpath)) => {
-            let loaded = load_dataset(&dpath, None)?;
-            let analysis = betze::stats::analyze(loaded.name.clone(), &loaded.docs);
-            dataset = Some(loaded);
-            Some(analysis)
-        }
+        (None, Some(loaded)) => Some(betze::stats::analyze(loaded.name.clone(), &loaded.docs)),
         (None, None) => None,
     };
     if oracle && dataset.is_none() {
         return Err("--oracle needs --dataset (the documents are executed)".to_owned());
     }
+    if cost_active && dataset.is_none() {
+        return Err(
+            "--slo/--engine need --dataset (byte statistics come from the documents)".to_owned(),
+        );
+    }
+    let corpus_stats = dataset
+        .as_ref()
+        .map(|d| betze::engines::corpus_cost_stats(&d.name, &d.docs));
     let mut linter = betze::lint::Linter::new();
     if let Some(a) = &analysis {
         linter = linter.with_analysis(a);
@@ -661,13 +704,28 @@ fn lint(args: &[String]) -> Result<(), String> {
     if let Some((lo, hi)) = window {
         linter = linter.with_window(lo, hi);
     }
-    let (report, predictions) = linter.lint_with_predictions(&session);
+    if cost_active {
+        linter = linter.with_joda_threads(cost_threads);
+        if let Some(stats) = &corpus_stats {
+            linter = linter.with_corpus_stats(stats);
+        }
+        if let Some(slo) = slo {
+            linter = linter.with_slo(slo);
+        }
+        for &engine in &cost_engines {
+            linter = linter.with_cost_engine(engine);
+        }
+    }
+    let (report, predictions, cost) = linter.lint_with_cost(&session);
     match format.as_str() {
         "json" => {
             let mut value = report.to_value();
-            if !predictions.is_empty() {
-                if let Value::Object(obj) = &mut value {
+            if let Value::Object(obj) = &mut value {
+                if !predictions.is_empty() {
                     obj.insert("predictions", predictions_json(&predictions));
+                }
+                if let Some(cost) = &cost {
+                    obj.insert("modeled_time", modeled_time_json(cost));
                 }
             }
             println!("{}", value.to_json_pretty());
@@ -677,9 +735,21 @@ fn lint(args: &[String]) -> Result<(), String> {
     }
     if oracle {
         let dataset = dataset.expect("checked above");
-        let violations = oracle_check(&session, &dataset, &predictions);
-        if violations > 0 {
-            eprintln!("error: oracle found {violations} interval violation(s)");
+        let mut violations = oracle_check(&session, &dataset, &predictions);
+        if let Some(cost) = &cost {
+            let checked = if cost_engines.is_empty() {
+                betze::lint::CostEngine::ALL.to_vec()
+            } else {
+                cost_engines.clone()
+            };
+            violations.extend(cost_oracle_check(&session, &dataset, cost, &checked));
+        }
+        if !violations.is_empty() {
+            eprintln!(
+                "error: oracle found {} interval violation(s): {}",
+                violations.len(),
+                violations.join("; ")
+            );
             std::process::exit(1);
         }
     }
@@ -715,18 +785,20 @@ fn predictions_json(predictions: &[betze::lint::QueryPrediction]) -> Value {
 }
 
 /// Executes the session concretely and checks every prediction interval.
-/// Prints one row per checked query; returns the violation count.
+/// Prints one row per checked query; returns one message per violation,
+/// naming the offending query and the lint rule whose soundness the
+/// violated interval underwrites.
 fn oracle_check(
     session: &betze::model::Session,
     dataset: &Dataset,
     predictions: &[betze::lint::QueryPrediction],
-) -> usize {
+) -> Vec<String> {
     use std::collections::BTreeMap;
     let by_query: BTreeMap<usize, &betze::lint::QueryPrediction> =
         predictions.iter().map(|p| (p.query, p)).collect();
     let mut env: BTreeMap<String, Vec<Value>> = BTreeMap::new();
     env.insert(dataset.name.clone(), dataset.docs.as_ref().clone());
-    let mut violations = 0;
+    let mut violations = Vec::new();
     println!(
         "{:>5}  {:>8}  {:>8}  {:>12}  {:<22}  verdict",
         "query", "in", "out", "selectivity", "predicted sel"
@@ -738,18 +810,34 @@ fn oracle_check(
         let input_len = docs.len();
         let matching = query.matching_count(docs);
         if let Some(p) = by_query.get(&i) {
-            let mut ok =
-                p.input_card.contains(input_len as f64) && p.result_card.contains(matching as f64);
+            let mut ok = true;
+            if !p.input_card.contains(input_len as f64) {
+                violations.push(format!(
+                    "query {i}: input_card {input_len} outside {} (rule L033)",
+                    p.input_card
+                ));
+                ok = false;
+            }
+            if !p.result_card.contains(matching as f64) {
+                violations.push(format!(
+                    "query {i}: result_card {matching} outside {} (rule L033)",
+                    p.result_card
+                ));
+                ok = false;
+            }
             let sel_text = if input_len > 0 {
                 let sel = matching as f64 / input_len as f64;
-                ok &= p.selectivity.contains(sel);
+                if !p.selectivity.contains(sel) {
+                    violations.push(format!(
+                        "query {i}: selectivity {sel:.6} outside {} (rule L035)",
+                        p.selectivity
+                    ));
+                    ok = false;
+                }
                 format!("{sel:.6}")
             } else {
                 "-".to_owned()
             };
-            if !ok {
-                violations += 1;
-            }
             println!(
                 "{i:>5}  {input_len:>8}  {matching:>8}  {sel_text:>12}  {:<22}  {}",
                 p.selectivity.to_string(),
@@ -768,6 +856,114 @@ fn oracle_check(
         }
     }
     violations
+}
+
+/// Builds a fresh engine instance for one cost leg.
+fn cost_leg_engine(
+    engine: betze::lint::CostEngine,
+    threads: usize,
+) -> Box<dyn betze::engines::Engine> {
+    use betze::lint::CostEngine;
+    match engine {
+        CostEngine::Joda => Box::new(betze::engines::JodaSim::new(threads)),
+        CostEngine::Vm => Box::new(betze::engines::VmEngine::new(threads)),
+        CostEngine::VmNoOpt => {
+            let mut vm = betze::engines::VmEngine::new(threads);
+            vm.set_optimize(false);
+            Box::new(vm)
+        }
+        CostEngine::Jq => Box::new(betze::engines::JqSim::new()),
+        CostEngine::Mongo => Box::new(betze::engines::MongoSim::new()),
+        CostEngine::Pg => Box::new(betze::engines::PgSim::new()),
+    }
+}
+
+/// Runs the checked engine legs concretely and asserts every observed
+/// per-query counter vector and modeled time lies inside the cost
+/// abstraction's predicted interval. Returns one message per violation.
+fn cost_oracle_check(
+    session: &betze::model::Session,
+    dataset: &Dataset,
+    cost: &betze::lint::CostReport,
+    checked: &[betze::lint::CostEngine],
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for &engine in checked {
+        let Some(leg) = cost.engine(engine) else {
+            continue;
+        };
+        let label = engine.label();
+        let mut instance = cost_leg_engine(engine, leg.threads);
+        instance.set_output_enabled(false);
+        if let Err(e) = instance.import(&dataset.name, &dataset.docs) {
+            violations.push(format!("{label}: import failed: {e}"));
+            continue;
+        }
+        let mut by_query = std::collections::BTreeMap::new();
+        for q in &leg.queries {
+            by_query.insert(q.query, q);
+        }
+        for (i, query) in session.queries.iter().enumerate() {
+            let outcome = match instance.execute(query) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    violations.push(format!("query {i}: {label} execution failed: {e}"));
+                    break;
+                }
+            };
+            let Some(predicted) = by_query.get(&i) else {
+                continue;
+            };
+            if let Some(bad) = predicted.counter_violation(&outcome.report.counters) {
+                violations.push(format!("query {i}: {label} {bad} (rule L054)"));
+            }
+            if !predicted.contains_modeled(outcome.report.modeled) {
+                violations.push(format!(
+                    "query {i}: {label} modeled time {:?} outside [{}, {}] s (rule L053)",
+                    outcome.report.modeled, predicted.modeled.lo, predicted.modeled.hi
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// The cost pass's per-leg modeled-time intervals as JSON: seconds as
+/// `[lo, hi]` pairs, `null` for an upper bound widened to ⊤ (+∞).
+fn modeled_time_json(cost: &betze::lint::CostReport) -> Value {
+    let secs = |s: f64| -> Value {
+        if s.is_finite() {
+            s.into()
+        } else {
+            Value::Null
+        }
+    };
+    let interval = |i: &betze::lint::Interval| Value::Array(vec![secs(i.lo), secs(i.hi)]);
+    Value::Array(
+        cost.engines
+            .iter()
+            .map(|leg| {
+                json!({
+                    "engine": (leg.engine.label()),
+                    "threads": (leg.threads as f64),
+                    "import_seconds": (secs(leg.import_seconds)),
+                    "queries_total": (interval(&leg.queries_total)),
+                    "total": (interval(&leg.total)),
+                    "queries": (Value::Array(
+                        leg.queries
+                            .iter()
+                            .map(|q| {
+                                json!({
+                                    "query": (q.query as f64),
+                                    "modeled": (interval(&q.modeled)),
+                                })
+                            })
+                            .collect(),
+                    )),
+                })
+            })
+            .collect(),
+    )
 }
 
 /// Parses the `--chaos-*` flags into a fault plan (None when chaos is
@@ -1289,14 +1485,22 @@ fn loadgen(args: &[String]) -> Result<(), String> {
 /// bit-identical results (DESIGN.md §14), so a sweep may resume on the
 /// other engine.
 fn scale_params(scale: &Scale) -> Value {
-    json!({
+    let mut params = json!({
         "twitter_docs": (scale.twitter_docs as i64),
         "nobench_docs": (scale.nobench_docs as i64),
         "reddit_docs": (scale.reddit_docs as i64),
         "sessions": (scale.sessions as i64),
         "data_seed": (scale.data_seed as i64),
         "joda_threads": (scale.joda_threads as i64),
-    })
+    });
+    // The SLO is a scale parameter, unlike jobs/engine: it changes
+    // which sessions the pre-flight skips, so resuming under a
+    // different budget would mix incompatible task results. Absent
+    // when unset, keeping old journals resumable.
+    if let (Some(slo), Value::Object(obj)) = (scale.slo, &mut params) {
+        obj.insert("slo_secs", Value::from(slo.as_secs_f64()));
+    }
+    params
 }
 
 /// Why an experiment run stopped before producing its report.
@@ -1324,6 +1528,13 @@ fn experiment(args: &[String]) -> Result<(), String> {
     if let Some(engine) = take_option(&mut args, "--engine")? {
         scale.engine = SessionEngine::parse(&engine)
             .ok_or_else(|| format!("unknown session engine '{engine}' (expected joda | vm)"))?;
+    }
+    if let Some(ms) = take_option(&mut args, "--slo")? {
+        let ms: f64 = parse(&ms, "SLO milliseconds")?;
+        if !(ms > 0.0 && ms.is_finite()) {
+            return Err(format!("--slo must be a positive duration, got '{ms}'"));
+        }
+        scale.slo = Some(Duration::from_secs_f64(ms / 1e3));
     }
     let bench_out = take_option(&mut args, "--bench-out")?;
     let out = take_option(&mut args, "--out")?;
@@ -1488,6 +1699,9 @@ fn experiment_flags(quick: bool, scale: &Scale) -> String {
     }
     if scale.engine != SessionEngine::default() {
         flags.push_str(&format!(" --engine {}", scale.engine.label()));
+    }
+    if let Some(slo) = scale.slo {
+        flags.push_str(&format!(" --slo {}", slo.as_secs_f64() * 1e3));
     }
     flags
 }

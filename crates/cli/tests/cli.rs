@@ -290,6 +290,176 @@ fn lint_json_output_is_stable() {
     let _ = std::fs::remove_file(&session);
 }
 
+/// Golden file for `betze lint --slo --engine --format json`: the
+/// `modeled_time` section (per-leg intervals, totals, import time) must
+/// stay byte-stable alongside the diagnostics — same contract as
+/// `lint_json_output_is_stable`, same `*.actual` dump on drift.
+#[test]
+fn lint_cost_json_output_is_stable() {
+    let dir = tmpfile("cost-golden");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    // The dataset name is the file stem and appears in the JSON, so it
+    // must not embed the test process id: keep it inside the temp dir.
+    let data = dir.join("nb.json");
+    let data_s = data.to_str().unwrap();
+    assert!(
+        betze(&["synth", "nobench", "120", "--seed", "9", "--out", data_s])
+            .status
+            .success()
+    );
+    let out_dir = dir.join("sessions");
+    assert!(betze(&[
+        "generate",
+        data_s,
+        "--seed",
+        "4",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let session = out_dir.join("session_4.json");
+    let out = betze(&[
+        "lint",
+        session.to_str().unwrap(),
+        "--dataset",
+        data_s,
+        "--slo",
+        "200",
+        "--engine",
+        "jq",
+        "--engine",
+        "joda",
+        "--format",
+        "json",
+        "--deny",
+        "off",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let golden =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/lint_cost_report.json");
+    let expected = std::fs::read_to_string(&golden).expect("read golden");
+    let actual = String::from_utf8_lossy(&out.stdout);
+    if actual != expected {
+        let scratch = golden.with_extension("json.actual");
+        std::fs::write(&scratch, actual.as_bytes()).expect("write scratch");
+        panic!(
+            "lint cost JSON drifted from {}; actual output written to {}",
+            golden.display(),
+            scratch.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `--oracle` exit-1 message names the violated rule id and the
+/// offending query index. The mismatch is forced by linting against one
+/// corpus's analysis while executing a same-named corpus of a different
+/// size: every exact input-cardinality prediction is then wrong.
+#[test]
+fn lint_oracle_failure_names_rule_and_query() {
+    let dir_a = tmpfile("oracle-a");
+    let dir_b = tmpfile("oracle-b");
+    let sessions = tmpfile("oracle-sessions");
+    for d in [&dir_a, &dir_b, &sessions] {
+        std::fs::create_dir_all(d).expect("mkdir");
+    }
+    // Both corpora are named `nb` (the file stem), so the session's base
+    // resolves against either — but B has twice the documents.
+    let data_a = dir_a.join("nb.json");
+    let data_b = dir_b.join("nb.json");
+    let analysis = dir_a.join("nb-analysis.json");
+    let a_s = data_a.to_str().unwrap();
+    let b_s = data_b.to_str().unwrap();
+    assert!(
+        betze(&["synth", "nobench", "120", "--seed", "9", "--out", a_s])
+            .status
+            .success()
+    );
+    assert!(
+        betze(&["synth", "nobench", "240", "--seed", "10", "--out", b_s])
+            .status
+            .success()
+    );
+    assert!(
+        betze(&["analyze", a_s, "--out", analysis.to_str().unwrap()])
+            .status
+            .success()
+    );
+    assert!(betze(&[
+        "generate",
+        a_s,
+        "--seed",
+        "4",
+        "--out-dir",
+        sessions.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let session = sessions.join("session_4.json");
+    let out = betze(&[
+        "lint",
+        session.to_str().unwrap(),
+        "--analysis",
+        analysis.to_str().unwrap(),
+        "--dataset",
+        b_s,
+        "--engine",
+        "joda",
+        "--oracle",
+        "--deny",
+        "off",
+    ]);
+    assert!(
+        !out.status.success(),
+        "mismatched corpus must fail --oracle"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: oracle found") && stderr.contains("interval violation(s)"),
+        "missing violation count in:\n{stderr}"
+    );
+    // The message names the offending query and the violated rule.
+    assert!(
+        stderr.contains("query 0:"),
+        "missing query index:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("(rule L033)"),
+        "missing cardinality rule id:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("(rule L054)") && stderr.contains("joda"),
+        "missing cost-leg counter violation:\n{stderr}"
+    );
+    // The same invocation against the matching corpus passes.
+    let out = betze(&[
+        "lint",
+        session.to_str().unwrap(),
+        "--analysis",
+        analysis.to_str().unwrap(),
+        "--dataset",
+        a_s,
+        "--engine",
+        "joda",
+        "--oracle",
+        "--deny",
+        "off",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for d in [&dir_a, &dir_b, &sessions] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
 #[test]
 fn lint_deny_level_controls_the_exit_code() {
     let session = tmpfile("lint-deny.json");

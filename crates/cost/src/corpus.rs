@@ -1,0 +1,130 @@
+//! Per-corpus byte/structure statistics for the static cost abstraction.
+//!
+//! The lint cost pass (DESIGN.md §17) predicts byte-denominated counters
+//! (`bytes_scanned`, `bytes_parsed`, `import_bytes`, …) without running an
+//! engine, so it needs the exact byte footprint each storage format gives
+//! the corpus. [`CorpusCostStats`] records, per base dataset:
+//!
+//! * the JSON-lines footprint — `betze_json::write_json_lines` is the
+//!   *single* serializer used by JODA/VM import accounting and by JqSim's
+//!   real files, so these totals are exact, not estimates;
+//! * per-document length hulls ([`PerDocHull`]) for each format, from
+//!   which sound byte bounds for *derived* (stored) datasets of a known
+//!   cardinality interval follow: `[card.lo × min, card.hi × max]`;
+//! * per-document navigation upper bounds for the binary formats (BSON
+//!   linear key probes, JSONB binary-search steps), bounding
+//!   `key_comparisons` per predicate-leaf navigation.
+//!
+//! The JSON-text side is computed here; the binary-format side needs the
+//! encoders and is filled in by `betze_engines::corpus_cost_stats`.
+
+use betze_json::Value;
+
+/// The [min, max] hull of a per-document quantity over a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PerDocHull {
+    /// Smallest observed per-document value (0 for an empty corpus).
+    pub min: u64,
+    /// Largest observed per-document value (0 for an empty corpus).
+    pub max: u64,
+}
+
+impl PerDocHull {
+    /// The hull of `values`; `{0, 0}` when the iterator is empty.
+    pub fn of(values: impl IntoIterator<Item = u64>) -> Self {
+        let mut iter = values.into_iter();
+        let Some(first) = iter.next() else {
+            return PerDocHull::default();
+        };
+        let mut hull = PerDocHull {
+            min: first,
+            max: first,
+        };
+        for v in iter {
+            hull.min = hull.min.min(v);
+            hull.max = hull.max.max(v);
+        }
+        hull
+    }
+}
+
+/// Exact per-corpus statistics for one base dataset, in every storage
+/// format the six engine legs use.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CorpusCostStats {
+    /// Dataset name (the session's base name).
+    pub dataset: String,
+    /// Number of documents.
+    pub doc_count: u64,
+    /// Total JSON-lines bytes (compact serialization, one `\n` per doc) —
+    /// JODA/VM/jq `import_bytes`, and JqSim's per-query file reparse size.
+    pub json_lines_bytes: u64,
+    /// Per-document JSON-line length (including the trailing newline).
+    pub json_line_len: PerDocHull,
+    /// Total BSON-encoded bytes (MongoSim `import_bytes`/`bytes_scanned`).
+    pub bson_total_bytes: u64,
+    /// Per-document BSON-encoded length.
+    pub bson_len: PerDocHull,
+    /// Upper bound on BSON key comparisons for one full-document
+    /// navigation (sum over all objects of their key count — the linear
+    /// probe worst case), maximized over documents.
+    pub bson_nav_upper: u64,
+    /// Total JSONB-encoded bytes (PgSim `import_bytes`/`bytes_scanned`).
+    pub jsonb_total_bytes: u64,
+    /// Per-document JSONB-encoded length.
+    pub jsonb_len: PerDocHull,
+    /// Upper bound on JSONB key comparisons for one full-document
+    /// navigation (sum over all objects of `⌊log₂(keys)⌋ + 1` — the
+    /// binary-search worst case), maximized over documents.
+    pub jsonb_nav_upper: u64,
+}
+
+impl CorpusCostStats {
+    /// The JSON-text side of the statistics for `docs`; the binary-format
+    /// fields start at zero and are filled in by
+    /// `betze_engines::corpus_cost_stats`.
+    pub fn from_json_docs(dataset: &str, docs: &[Value]) -> Self {
+        let mut total = 0u64;
+        let hull = PerDocHull::of(docs.iter().map(|doc| {
+            let len = doc.to_json().len() as u64 + 1;
+            total += len;
+            len
+        }));
+        CorpusCostStats {
+            dataset: dataset.to_string(),
+            doc_count: docs.len() as u64,
+            json_lines_bytes: total,
+            json_line_len: hull,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use betze_json::Value;
+
+    #[test]
+    fn hull_of_values() {
+        assert_eq!(PerDocHull::of([]), PerDocHull { min: 0, max: 0 });
+        assert_eq!(PerDocHull::of([7]), PerDocHull { min: 7, max: 7 });
+        assert_eq!(PerDocHull::of([5, 2, 9]), PerDocHull { min: 2, max: 9 });
+    }
+
+    #[test]
+    fn json_lines_total_matches_serializer() {
+        let docs: Vec<Value> = vec![
+            betze_json::parse(r#"{"a": 1}"#).unwrap(),
+            betze_json::parse(r#"{"bb": [1, 2, 3]}"#).unwrap(),
+        ];
+        let stats = CorpusCostStats::from_json_docs("d", &docs);
+        assert_eq!(stats.doc_count, 2);
+        assert_eq!(
+            stats.json_lines_bytes,
+            betze_json::to_json_lines(&docs).len() as u64
+        );
+        assert_eq!(stats.json_line_len.min, docs[0].to_json().len() as u64 + 1);
+        assert_eq!(stats.json_line_len.max, docs[1].to_json().len() as u64 + 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Work counters: the instrumentation layer beneath the cost model.
+
+use std::ops::{Add, AddAssign};
+
+/// Counts of the primitive work an engine performed. Every counter is a
+/// *real measurement* of executed work (documents actually scanned, bytes
+/// actually parsed, …), not an estimate — the cost model then weighs them
+/// with per-engine constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkCounters {
+    /// Documents visited by scans.
+    pub docs_scanned: u64,
+    /// Storage bytes touched while scanning (binary doc sizes, file bytes).
+    pub bytes_scanned: u64,
+    /// Raw JSON text bytes parsed (jq re-parsing, JODA import / eviction
+    /// re-import).
+    pub bytes_parsed: u64,
+    /// Leaf predicate evaluations.
+    pub predicate_evals: u64,
+    /// Key comparisons performed by binary navigation (BSON linear probes,
+    /// JSONB binary-search steps).
+    pub key_comparisons: u64,
+    /// Scalar values decoded out of binary storage.
+    pub values_decoded: u64,
+    /// Documents fully materialized into the value model.
+    pub docs_materialized: u64,
+    /// Documents emitted as query results.
+    pub docs_output: u64,
+    /// Bytes emitted as query results (the expensive step Table III's
+    /// aggregation configurations avoid).
+    pub bytes_output: u64,
+    /// Documents imported.
+    pub import_docs: u64,
+    /// Bytes processed during import (parse + encode).
+    pub import_bytes: u64,
+    /// Transformation applications attempted (documents × transforms of
+    /// the §VII extension).
+    pub transform_ops: u64,
+    /// Queries answered from a cached intermediate result (JODA's
+    /// Delta-Tree-style reuse).
+    pub cache_hits: u64,
+    /// Queries executed.
+    pub queries: u64,
+}
+
+impl WorkCounters {
+    /// The counter field names, in declaration order — the shared
+    /// vocabulary of [`crate::Work`], [`crate::CostProfile::table`], and
+    /// the cost-oracle containment reports.
+    pub const FIELD_NAMES: [&'static str; 14] = [
+        "docs_scanned",
+        "bytes_scanned",
+        "bytes_parsed",
+        "predicate_evals",
+        "key_comparisons",
+        "values_decoded",
+        "docs_materialized",
+        "docs_output",
+        "bytes_output",
+        "import_docs",
+        "import_bytes",
+        "transform_ops",
+        "cache_hits",
+        "queries",
+    ];
+
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        WorkCounters::default()
+    }
+
+    /// True if nothing was counted.
+    pub fn is_zero(&self) -> bool {
+        *self == WorkCounters::default()
+    }
+
+    /// The counter values as an array, in [`FIELD_NAMES`] order.
+    ///
+    /// [`FIELD_NAMES`]: Self::FIELD_NAMES
+    pub fn to_array(&self) -> [u64; 14] {
+        [
+            self.docs_scanned,
+            self.bytes_scanned,
+            self.bytes_parsed,
+            self.predicate_evals,
+            self.key_comparisons,
+            self.values_decoded,
+            self.docs_materialized,
+            self.docs_output,
+            self.bytes_output,
+            self.import_docs,
+            self.import_bytes,
+            self.transform_ops,
+            self.cache_hits,
+            self.queries,
+        ]
+    }
+}
+
+impl Add for WorkCounters {
+    type Output = WorkCounters;
+
+    /// Fieldwise **saturating** addition: session totals accumulated from
+    /// counters near `u64::MAX` (e.g. an interval bound widened to the
+    /// numeric top) clamp instead of wrapping or panicking in debug
+    /// builds — an over-approximation, which is the sound direction for
+    /// everything the totals feed.
+    fn add(self, rhs: WorkCounters) -> WorkCounters {
+        WorkCounters {
+            docs_scanned: self.docs_scanned.saturating_add(rhs.docs_scanned),
+            bytes_scanned: self.bytes_scanned.saturating_add(rhs.bytes_scanned),
+            bytes_parsed: self.bytes_parsed.saturating_add(rhs.bytes_parsed),
+            predicate_evals: self.predicate_evals.saturating_add(rhs.predicate_evals),
+            key_comparisons: self.key_comparisons.saturating_add(rhs.key_comparisons),
+            values_decoded: self.values_decoded.saturating_add(rhs.values_decoded),
+            docs_materialized: self.docs_materialized.saturating_add(rhs.docs_materialized),
+            docs_output: self.docs_output.saturating_add(rhs.docs_output),
+            bytes_output: self.bytes_output.saturating_add(rhs.bytes_output),
+            import_docs: self.import_docs.saturating_add(rhs.import_docs),
+            import_bytes: self.import_bytes.saturating_add(rhs.import_bytes),
+            transform_ops: self.transform_ops.saturating_add(rhs.transform_ops),
+            cache_hits: self.cache_hits.saturating_add(rhs.cache_hits),
+            queries: self.queries.saturating_add(rhs.queries),
+        }
+    }
+}
+
+impl AddAssign for WorkCounters {
+    fn add_assign(&mut self, rhs: WorkCounters) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = WorkCounters {
+            docs_scanned: 3,
+            bytes_parsed: 10,
+            queries: 1,
+            ..Default::default()
+        };
+        let b = WorkCounters {
+            docs_scanned: 4,
+            cache_hits: 2,
+            ..Default::default()
+        };
+        let sum = a + b;
+        assert_eq!(sum.docs_scanned, 7);
+        assert_eq!(sum.bytes_parsed, 10);
+        assert_eq!(sum.cache_hits, 2);
+        assert_eq!(sum.queries, 1);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, sum);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(WorkCounters::new().is_zero());
+        assert!(!WorkCounters {
+            queries: 1,
+            ..Default::default()
+        }
+        .is_zero());
+    }
+
+    #[test]
+    fn addition_saturates_near_u64_max() {
+        let top = WorkCounters {
+            docs_scanned: u64::MAX - 1,
+            bytes_scanned: u64::MAX,
+            ..Default::default()
+        };
+        let more = WorkCounters {
+            docs_scanned: 5,
+            bytes_scanned: 5,
+            queries: 1,
+            ..Default::default()
+        };
+        // Would wrap (release) or panic (debug) under plain `+`.
+        let sum = top + more;
+        assert_eq!(sum.docs_scanned, u64::MAX);
+        assert_eq!(sum.bytes_scanned, u64::MAX);
+        assert_eq!(sum.queries, 1);
+        let mut acc = top;
+        acc += more;
+        acc += more;
+        assert_eq!(acc.docs_scanned, u64::MAX);
+    }
+
+    #[test]
+    fn field_names_match_array_arity() {
+        let c = WorkCounters {
+            queries: 7,
+            ..Default::default()
+        };
+        let arr = c.to_array();
+        assert_eq!(arr.len(), WorkCounters::FIELD_NAMES.len());
+        assert_eq!(arr[13], 7);
+        assert_eq!(WorkCounters::FIELD_NAMES[13], "queries");
+    }
+}

@@ -1,0 +1,23 @@
+//! # betze-cost
+//!
+//! The shared cost substrate: [`WorkCounters`] (what an engine did), the
+//! deterministic per-engine [`CostModel`]/[`CostProfile`] (what it would
+//! have cost on the paper's hardware), and [`CorpusCostStats`] (the exact
+//! per-corpus byte/structure statistics the static cost abstraction needs).
+//!
+//! This crate sits *below* both `betze-engines` and `betze-lint`:
+//! the engines charge counters and price them, while the lint cost pass
+//! (DESIGN.md §17) lifts cardinality intervals into counter intervals and
+//! prices those through the **same** [`CostModel`] — one shared cost
+//! table, so the static abstraction cannot drift from the engines. The
+//! [`Work`] mirror of [`WorkCounters`] is the f64 vector the interval
+//! bounds live in; [`CostModel::work_seconds`] is the single pricing
+//! formula both sides call.
+
+mod corpus;
+mod counters;
+mod model;
+
+pub use corpus::{CorpusCostStats, PerDocHull};
+pub use counters::WorkCounters;
+pub use model::{CostModel, CostProfile, Work};

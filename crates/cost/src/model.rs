@@ -147,6 +147,127 @@ impl CostProfile {
             serial_fraction: 1.0,
         }
     }
+
+    /// The full weight table as `(name, seconds-per-unit)` pairs, in
+    /// declaration order. This is the single introspectable source the
+    /// lint cost pass, `--explain` output, and DESIGN.md §3/§17 all read —
+    /// engine files must not restate these constants.
+    pub fn table(&self) -> [(&'static str, f64); 12] {
+        [
+            ("per_doc_scanned", self.per_doc_scanned),
+            ("per_byte_scanned", self.per_byte_scanned),
+            ("per_byte_parsed", self.per_byte_parsed),
+            ("per_predicate_eval", self.per_predicate_eval),
+            ("per_key_comparison", self.per_key_comparison),
+            ("per_value_decoded", self.per_value_decoded),
+            ("per_doc_materialized", self.per_doc_materialized),
+            ("per_byte_output", self.per_byte_output),
+            ("per_transform_op", self.per_transform_op),
+            ("per_import_byte", self.per_import_byte),
+            ("per_query", self.per_query),
+            ("serial_fraction", self.serial_fraction),
+        ]
+    }
+}
+
+/// A work vector in ℝ¹⁴: the f64 mirror of [`WorkCounters`], in the same
+/// field order. Concrete counters embed exactly (every `u64` counter an
+/// engine can realistically accumulate is far below 2⁵³); the lint cost
+/// abstraction uses `Work` directly as the lower/upper corner of a
+/// counter-interval box, where a bound may be `f64::INFINITY` (widened to
+/// top). Pricing a `Work` through [`CostModel::work_seconds`] /
+/// [`CostModel::import_seconds`] is *the same arithmetic, in the same
+/// order*, as pricing the counters it mirrors — which is what makes the
+/// static [lo, hi] modeled-time intervals sound bounds on the engines'
+/// reported modeled times (every weight is ≥ 0 and f64 rounding is
+/// monotone, so f(lo) ≤ f(observed) ≤ f(hi) holds exactly in f64).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Work {
+    /// Documents visited by scans.
+    pub docs_scanned: f64,
+    /// Storage bytes touched while scanning.
+    pub bytes_scanned: f64,
+    /// Raw JSON text bytes parsed at query time.
+    pub bytes_parsed: f64,
+    /// Leaf predicate evaluations.
+    pub predicate_evals: f64,
+    /// Navigation key comparisons.
+    pub key_comparisons: f64,
+    /// Scalar values decoded from binary storage.
+    pub values_decoded: f64,
+    /// Documents fully materialized.
+    pub docs_materialized: f64,
+    /// Documents emitted as query results.
+    pub docs_output: f64,
+    /// Bytes emitted as query results.
+    pub bytes_output: f64,
+    /// Documents imported.
+    pub import_docs: f64,
+    /// Bytes processed during import.
+    pub import_bytes: f64,
+    /// Transformation applications.
+    pub transform_ops: f64,
+    /// Cache-answered queries.
+    pub cache_hits: f64,
+    /// Queries executed.
+    pub queries: f64,
+}
+
+impl Work {
+    /// The field values as an array, in [`WorkCounters::FIELD_NAMES`]
+    /// order.
+    pub fn to_array(&self) -> [f64; 14] {
+        [
+            self.docs_scanned,
+            self.bytes_scanned,
+            self.bytes_parsed,
+            self.predicate_evals,
+            self.key_comparisons,
+            self.values_decoded,
+            self.docs_materialized,
+            self.docs_output,
+            self.bytes_output,
+            self.import_docs,
+            self.import_bytes,
+            self.transform_ops,
+            self.cache_hits,
+            self.queries,
+        ]
+    }
+
+    /// Fieldwise `self ≤ rhs`.
+    pub fn le(&self, rhs: &Work) -> bool {
+        self.to_array()
+            .iter()
+            .zip(rhs.to_array().iter())
+            .all(|(a, b)| a <= b)
+    }
+
+    /// True if any field is non-finite (widened to top).
+    pub fn is_unbounded(&self) -> bool {
+        self.to_array().iter().any(|v| !v.is_finite())
+    }
+}
+
+impl From<&WorkCounters> for Work {
+    fn from(c: &WorkCounters) -> Work {
+        Work {
+            docs_scanned: c.docs_scanned as f64,
+            bytes_scanned: c.bytes_scanned as f64,
+            bytes_parsed: c.bytes_parsed as f64,
+            predicate_evals: c.predicate_evals as f64,
+            key_comparisons: c.key_comparisons as f64,
+            values_decoded: c.values_decoded as f64,
+            docs_materialized: c.docs_materialized as f64,
+            docs_output: c.docs_output as f64,
+            bytes_output: c.bytes_output as f64,
+            import_docs: c.import_docs as f64,
+            import_bytes: c.import_bytes as f64,
+            transform_ops: c.transform_ops as f64,
+            cache_hits: c.cache_hits as f64,
+            queries: c.queries as f64,
+        }
+    }
 }
 
 /// Converts counters to modeled durations for one engine.
@@ -167,26 +288,46 @@ impl CostModel {
         }
     }
 
+    /// The engine's weight table — see [`CostProfile::table`].
+    pub fn table(&self) -> [(&'static str, f64); 12] {
+        self.profile.table()
+    }
+
+    /// Query-side modeled seconds for a work vector: the single pricing
+    /// formula shared by [`query_time`] and the lint cost abstraction.
+    /// May be negative only through a negative input (the concrete path
+    /// clamps at zero in [`query_time`]); may be `+∞` for unbounded work.
+    ///
+    /// [`query_time`]: Self::query_time
+    pub fn work_seconds(&self, w: &Work) -> f64 {
+        let p = &self.profile;
+        let scan_work = p.per_doc_scanned * w.docs_scanned
+            + p.per_byte_scanned * w.bytes_scanned
+            + p.per_byte_parsed * w.bytes_parsed
+            + p.per_predicate_eval * w.predicate_evals
+            + p.per_key_comparison * w.key_comparisons
+            + p.per_value_decoded * w.values_decoded
+            + p.per_doc_materialized * w.docs_materialized
+            + p.per_byte_output * w.bytes_output
+            + p.per_transform_op * w.transform_ops;
+        let amdahl = p.serial_fraction + (1.0 - p.serial_fraction) / self.threads as f64;
+        scan_work * amdahl + p.per_query * w.queries
+    }
+
+    /// Import-side modeled seconds for a work vector.
+    pub fn import_seconds(&self, w: &Work) -> f64 {
+        self.profile.per_import_byte * w.import_bytes
+    }
+
     /// Modeled time for query-side work (everything but import).
     pub fn query_time(&self, c: &WorkCounters) -> Duration {
-        let p = &self.profile;
-        let scan_work = p.per_doc_scanned * c.docs_scanned as f64
-            + p.per_byte_scanned * c.bytes_scanned as f64
-            + p.per_byte_parsed * c.bytes_parsed as f64
-            + p.per_predicate_eval * c.predicate_evals as f64
-            + p.per_key_comparison * c.key_comparisons as f64
-            + p.per_value_decoded * c.values_decoded as f64
-            + p.per_doc_materialized * c.docs_materialized as f64
-            + p.per_byte_output * c.bytes_output as f64
-            + p.per_transform_op * c.transform_ops as f64;
-        let amdahl = p.serial_fraction + (1.0 - p.serial_fraction) / self.threads as f64;
-        let seconds = scan_work * amdahl + p.per_query * c.queries as f64;
+        let seconds = self.work_seconds(&Work::from(c));
         Duration::from_secs_f64(seconds.max(0.0))
     }
 
     /// Modeled time for import work.
     pub fn import_time(&self, c: &WorkCounters) -> Duration {
-        Duration::from_secs_f64(self.profile.per_import_byte * c.import_bytes as f64)
+        Duration::from_secs_f64(self.import_seconds(&Work::from(c)))
     }
 
     /// Query plus import time.
@@ -270,5 +411,79 @@ mod tests {
     fn threads_clamped_to_one() {
         let model = CostModel::new(CostProfile::joda(), 0);
         assert_eq!(model.threads, 1);
+    }
+
+    #[test]
+    fn work_seconds_agrees_with_query_time() {
+        // The abstraction prices Work vectors through the exact formula
+        // query_time uses — a concrete counter set must round-trip
+        // bit-identically.
+        let c = WorkCounters {
+            docs_scanned: 12_345,
+            bytes_scanned: 678_901,
+            bytes_parsed: 2_345,
+            predicate_evals: 98_765,
+            key_comparisons: 4_321,
+            values_decoded: 1_234,
+            docs_materialized: 777,
+            bytes_output: 88,
+            transform_ops: 9,
+            queries: 3,
+            ..Default::default()
+        };
+        for (profile, threads) in [
+            (CostProfile::joda(), 16),
+            (CostProfile::mongodb(), 1),
+            (CostProfile::postgres(), 1),
+            (CostProfile::jq(), 1),
+        ] {
+            let model = CostModel::new(profile, threads);
+            let via_work = Duration::from_secs_f64(model.work_seconds(&Work::from(&c)).max(0.0));
+            assert_eq!(via_work, model.query_time(&c));
+            let via_import = Duration::from_secs_f64(model.import_seconds(&Work::from(&c)));
+            assert_eq!(via_import, model.import_time(&c));
+        }
+    }
+
+    #[test]
+    fn table_matches_profile_fields() {
+        let p = CostProfile::postgres();
+        let table = p.table();
+        assert_eq!(table.len(), 12);
+        let lookup = |name: &str| {
+            table
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, w)| *w)
+                .unwrap()
+        };
+        assert_eq!(lookup("per_byte_scanned"), p.per_byte_scanned);
+        assert_eq!(lookup("per_import_byte"), p.per_import_byte);
+        assert_eq!(lookup("serial_fraction"), p.serial_fraction);
+        let model = CostModel::new(p, 4);
+        assert_eq!(model.table(), table);
+    }
+
+    #[test]
+    fn work_ordering_and_unboundedness() {
+        let lo = Work {
+            docs_scanned: 1.0,
+            ..Default::default()
+        };
+        let hi = Work {
+            docs_scanned: 5.0,
+            queries: 1.0,
+            ..Default::default()
+        };
+        assert!(lo.le(&hi));
+        assert!(!hi.le(&lo));
+        assert!(!hi.is_unbounded());
+        let top = Work {
+            docs_scanned: f64::INFINITY,
+            ..Default::default()
+        };
+        assert!(top.is_unbounded());
+        assert!(lo.le(&top));
+        assert!(!hi.le(&top), "infinity only dominates fieldwise");
     }
 }

@@ -1,0 +1,117 @@
+//! Corpus statistics for the static cost abstraction (DESIGN.md §17).
+//!
+//! Fills in the binary-format side of [`CorpusCostStats`] using the *real*
+//! storage encoders, so the lint cost pass predicts exactly the bytes the
+//! engines charge: `MongoSim` and `PgSim` charge `F::encode(doc).len()`
+//! per document on import and on every scan, and their navigation cost is
+//! bounded by the formats' actual lookup structure (BSON linear key
+//! probes, JSONB binary search over sorted keys).
+
+use crate::storage::bson::BsonLike;
+use crate::storage::jsonb::JsonbLike;
+use crate::storage::BinaryFormat;
+use crate::{CorpusCostStats, PerDocHull};
+use betze_json::Value;
+
+/// Upper bound on key comparisons for navigating one leaf path anywhere
+/// in `value`: a navigation descends a single chain of objects, so the
+/// sum of every object's worst-case lookup cost dominates any path.
+fn nav_upper(value: &Value, per_object: &impl Fn(u64) -> u64) -> u64 {
+    match value {
+        Value::Object(o) => {
+            let own = per_object(o.len() as u64);
+            own + o.values().map(|v| nav_upper(v, per_object)).sum::<u64>()
+        }
+        Value::Array(a) => a.iter().map(|v| nav_upper(v, per_object)).sum(),
+        _ => 0,
+    }
+}
+
+/// Exact per-corpus cost statistics for `docs` under every storage format
+/// the six engine legs use. The JSON-lines numbers come from the same
+/// serializer JODA/VM import accounting and JqSim's files use; the binary
+/// numbers from the same encoders `MongoSim`/`PgSim` store with.
+pub fn corpus_cost_stats(dataset: &str, docs: &[Value]) -> CorpusCostStats {
+    let mut stats = CorpusCostStats::from_json_docs(dataset, docs);
+
+    let mut bson_total = 0u64;
+    let bson_len = PerDocHull::of(docs.iter().map(|doc| {
+        let len = BsonLike::encode(doc).len() as u64;
+        bson_total += len;
+        len
+    }));
+    stats.bson_total_bytes = bson_total;
+    stats.bson_len = bson_len;
+    // BSON object lookup is a linear probe: ≤ key-count comparisons.
+    stats.bson_nav_upper = docs
+        .iter()
+        .map(|doc| nav_upper(doc, &|keys| keys))
+        .max()
+        .unwrap_or(0);
+
+    let mut jsonb_total = 0u64;
+    let jsonb_len = PerDocHull::of(docs.iter().map(|doc| {
+        let len = JsonbLike::encode(doc).len() as u64;
+        jsonb_total += len;
+        len
+    }));
+    stats.jsonb_total_bytes = jsonb_total;
+    stats.jsonb_len = jsonb_len;
+    // JSONB object lookup is a binary search: ≤ ⌊log₂(keys)⌋ + 1 steps.
+    stats.jsonb_nav_upper = docs
+        .iter()
+        .map(|doc| {
+            nav_upper(doc, &|keys| {
+                if keys == 0 {
+                    0
+                } else {
+                    keys.ilog2() as u64 + 1
+                }
+            })
+        })
+        .max()
+        .unwrap_or(0);
+
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Value> {
+        vec![
+            betze_json::parse(r#"{"a": 1, "b": {"c": "x", "d": 2, "e": 3}}"#).unwrap(),
+            betze_json::parse(r#"{"a": [{"k": 1}], "z": null}"#).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn byte_totals_match_the_real_encoders() {
+        let docs = docs();
+        let stats = corpus_cost_stats("d", &docs);
+        assert_eq!(stats.doc_count, 2);
+        let bson: u64 = docs.iter().map(|d| BsonLike::encode(d).len() as u64).sum();
+        let jsonb: u64 = docs.iter().map(|d| JsonbLike::encode(d).len() as u64).sum();
+        assert_eq!(stats.bson_total_bytes, bson);
+        assert_eq!(stats.jsonb_total_bytes, jsonb);
+        assert!(stats.bson_len.min <= stats.bson_len.max);
+        assert!(stats.bson_len.min > 0);
+        assert_eq!(
+            stats.json_lines_bytes,
+            betze_json::to_json_lines(&docs).len() as u64
+        );
+    }
+
+    #[test]
+    fn nav_upper_sums_object_lookup_costs() {
+        let docs = docs();
+        let stats = corpus_cost_stats("d", &docs);
+        // Doc 0: root has 2 keys, nested object 3 keys → linear 2+3 = 5;
+        // binary ⌊log₂2⌋+1 + ⌊log₂3⌋+1 = 2+2 = 4.
+        // Doc 1: root 2 keys + array-nested object 1 key → linear 3,
+        // binary 2+1 = 3.
+        assert_eq!(stats.bson_nav_upper, 5);
+        assert_eq!(stats.jsonb_nav_upper, 4);
+    }
+}

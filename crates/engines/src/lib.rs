@@ -22,7 +22,9 @@
 //! Every execution is instrumented with [`WorkCounters`], and a
 //! deterministic [`CostModel`] maps counters to a **modeled time** whose
 //! per-engine constants are calibrated against the paper's Table II
-//! (`cost.rs` documents the calibration). Wall-clock time is measured too;
+//! (the `betze-cost` crate documents the calibration and is the single
+//! source of the weight table, shared with the lint cost abstraction).
+//! Wall-clock time is measured too;
 //! the paper-shape experiments use the modeled clock so results are
 //! host-independent and the 4–60-thread sweep of Fig. 9 is reproducible on
 //! any machine.
@@ -31,8 +33,7 @@ mod binary_engine;
 pub mod breaker;
 pub mod cancel;
 pub mod chaos;
-mod cost;
-mod counters;
+mod coststats;
 mod engine;
 mod joda;
 mod jqsim;
@@ -41,11 +42,11 @@ mod pg;
 pub mod storage;
 mod vm;
 
+pub use betze_cost::{CorpusCostStats, CostModel, CostProfile, PerDocHull, Work, WorkCounters};
 pub use breaker::{BreakerCore, BreakerEngine, BreakerPolicy, BreakerState};
 pub use cancel::{install_shutdown_handler, install_sigint_handler, CancelToken};
 pub use chaos::{ChaosEngine, FaultEvent, FaultKind, FaultPlan};
-pub use cost::{CostModel, CostProfile};
-pub use counters::WorkCounters;
+pub use coststats::corpus_cost_stats;
 pub use engine::{Engine, EngineError, ExecutionReport, QueryOutcome};
 pub use joda::JodaSim;
 pub use jqsim::JqSim;

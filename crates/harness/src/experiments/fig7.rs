@@ -4,7 +4,7 @@
 use crate::experiments::Scale;
 use crate::fmt::heatmap;
 use crate::journal::Interrupted;
-use crate::runner::{provably_empty, run_session_governed};
+use crate::runner::{provably_empty, provably_slow, run_session_governed};
 use crate::workload::{Corpus, SharedCorpus};
 use betze_engines::EngineError;
 use betze_explorer::ExplorerConfig;
@@ -23,13 +23,24 @@ pub struct Fig7Result {
     /// Sessions skipped by the abstract-interpretation pre-flight
     /// (provably empty — never executed; excluded from the cell means).
     pub lint_skipped: usize,
+    /// Sessions skipped by the SLO pre-flight (some query provably over
+    /// `scale.slo` in modeled time, rule L053 — never executed; excluded
+    /// from the cell means). Always 0 when no SLO is set.
+    pub lint_slow: usize,
 }
+
+/// Per-task verdict codes (journaled, so they are stable numbers rather
+/// than an enum): the session ran, was provably empty, or was provably
+/// over the SLO.
+const RAN: u64 = 0;
+const SKIPPED_EMPTY: u64 = 1;
+const SKIPPED_SLOW: u64 = 2;
 
 /// Runs the Fig. 7 sweep. Probabilities run 0.0–0.9 in 0.1 steps (as in
 /// the paper's figure); cells with α + β > 1 are impossible and left
 /// empty.
 ///
-/// The 66 valid cells × `sessions_per_cell` seeds form independent
+/// The 64 valid cells × `sessions_per_cell` seeds form independent
 /// tasks fanned across `scale.jobs` workers. Each task generates its
 /// session from its own seed and runs it on its own engine instance;
 /// per-cell sums accumulate in task-index (cell-major, seed-ascending)
@@ -41,7 +52,7 @@ pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
     let steps: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
     // Fewer sessions per cell than Figs. 5/6 (paper: 20 vs 30).
     let sessions_per_cell = (scale.sessions * 2 / 3).max(1);
-    // Generate and analyze once; the 66 (α, β) cells share the corpus.
+    // Generate and analyze once; the 64 (α, β) cells share the corpus.
     let corpus = SharedCorpus::prepare(
         Corpus::Twitter,
         scale.twitter_docs,
@@ -64,6 +75,16 @@ pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
         .enumerate()
         .flat_map(|(cell, _)| (0..sessions_per_cell as u64).map(move |seed| (cell, seed)))
         .collect();
+    // Byte statistics for the SLO pre-flight, computed once per sweep —
+    // only the SLO path prices bytes, so stay lazy without it.
+    let slo_gate = scale.slo.map(|slo| {
+        (
+            slo,
+            betze_engines::corpus_cost_stats(&corpus.dataset.name, &corpus.dataset.docs),
+            betze_lint::CostEngine::parse(scale.engine.label())
+                .expect("every SessionEngine has a cost-abstraction leg"),
+        )
+    });
     let results = scale
         .pool()
         .checkpointed_map("fig7/run", &tasks, |_, &(cell, seed)| {
@@ -82,7 +103,21 @@ pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
             // Pre-flight: a session the abstract interpreter proves empty
             // would measure nothing; skip it without touching an engine.
             if provably_empty(&outcome.session, &corpus.analysis) {
-                return Ok((0.0, true));
+                return Ok((0.0, SKIPPED_EMPTY));
+            }
+            // SLO pre-flight: a session with a query provably over the
+            // modeled-time budget (L053) is equally hopeless to measure.
+            if let Some((slo, stats, leg)) = &slo_gate {
+                if provably_slow(
+                    &outcome.session,
+                    &corpus.analysis,
+                    stats,
+                    *slo,
+                    *leg,
+                    scale.joda_threads,
+                ) {
+                    return Ok((0.0, SKIPPED_SLOW));
+                }
             }
             let mut engine = scale.engine.build(scale.joda_threads);
             Ok((
@@ -94,18 +129,21 @@ pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
                 )?
                 .session_modeled()
                 .as_secs_f64(),
-                false,
+                RAN,
             ))
         })?;
     let mut totals = vec![0.0f64; cells.len()];
     let mut ran = vec![0usize; cells.len()];
     let mut lint_skipped = 0usize;
-    for (&(cell, _), &(t, skipped)) in tasks.iter().zip(&results) {
-        if skipped {
-            lint_skipped += 1;
-        } else {
-            totals[cell] += t;
-            ran[cell] += 1;
+    let mut lint_slow = 0usize;
+    for (&(cell, _), &(t, verdict)) in tasks.iter().zip(&results) {
+        match verdict {
+            SKIPPED_EMPTY => lint_skipped += 1,
+            SKIPPED_SLOW => lint_slow += 1,
+            _ => {
+                totals[cell] += t;
+                ran[cell] += 1;
+            }
         }
     }
     let mut mean_secs = vec![vec![None; steps.len()]; steps.len()];
@@ -119,6 +157,7 @@ pub fn fig7(scale: &Scale) -> Result<Fig7Result, Interrupted> {
         mean_secs,
         sessions_per_cell,
         lint_skipped,
+        lint_slow,
     })
 }
 
@@ -131,7 +170,7 @@ impl Fig7Result {
     /// Renders the heatmap.
     pub fn render(&self) -> String {
         let labels: Vec<String> = self.steps.iter().map(|s| format!("{s:.1}")).collect();
-        let skipped = if self.lint_skipped > 0 {
+        let mut skipped = if self.lint_skipped > 0 {
             format!(
                 "\n{} session(s) skipped by the lint pre-flight (provably empty)",
                 self.lint_skipped
@@ -139,6 +178,12 @@ impl Fig7Result {
         } else {
             String::new()
         };
+        if self.lint_slow > 0 {
+            skipped.push_str(&format!(
+                "\n{} session(s) skipped by the SLO pre-flight (provably slow)",
+                self.lint_slow
+            ));
+        }
         format!(
             "Fig. 7: mean session time (s) by backtrack α (rows) and jump β (columns), \
              n = 10, {} sessions/cell{skipped}\n{}",
@@ -191,5 +236,36 @@ mod tests {
         // equal ones.
         assert_eq!(joda.mean_secs, vm.mean_secs);
         assert_eq!(joda.lint_skipped, vm.lint_skipped);
+        assert_eq!(joda.lint_slow, vm.lint_slow);
+    }
+
+    #[test]
+    fn impossible_slo_skips_every_session_as_provably_slow() {
+        let mut scale = Scale::quick();
+        scale.sessions = 2;
+        scale.twitter_docs = 250;
+        // 1 ns is below the per-query floor of every cost profile, so
+        // L053 is provable for every query and no session executes.
+        let r = fig7(&scale.clone().with_slo(std::time::Duration::from_nanos(1)))
+            .expect("ungoverned fig7 cannot be interrupted");
+        assert!(
+            r.mean_secs.iter().flatten().all(|c| c.is_none()),
+            "no cell should have a measured mean"
+        );
+        let baseline = fig7(&scale).expect("ungoverned fig7 cannot be interrupted");
+        // Everything the empty pre-flight doesn't catch is provably slow.
+        assert_eq!(r.lint_skipped, baseline.lint_skipped);
+        assert!(r.lint_slow > 0);
+        let valid_cells = r
+            .steps
+            .iter()
+            .flat_map(|a| r.steps.iter().map(move |b| a + b))
+            .filter(|sum| *sum <= 1.0 + 1e-9)
+            .count();
+        assert_eq!(
+            r.lint_skipped + r.lint_slow,
+            valid_cells * r.sessions_per_cell
+        );
+        assert!(r.render().contains("provably slow"));
     }
 }

@@ -115,6 +115,11 @@ pub struct Scale {
     /// Engine used by the JODA-only drivers (Figs. 5–7). Results are
     /// bit-identical for every variant — see [`SessionEngine`].
     pub engine: SessionEngine,
+    /// Optional interactivity SLO: when set, drivers that pre-flight
+    /// sessions (Fig. 7) skip sessions the lint cost abstraction proves
+    /// exceed this per-query modeled-time budget (rule L053), reported
+    /// in a `lint_slow` column next to `lint_skipped`.
+    pub slo: Option<std::time::Duration>,
 }
 
 impl Scale {
@@ -131,6 +136,7 @@ impl Scale {
             jobs: 0,
             ctx: crate::journal::RunCtx::new(),
             engine: SessionEngine::Joda,
+            slo: None,
         }
     }
 
@@ -146,6 +152,7 @@ impl Scale {
             jobs: 0,
             ctx: crate::journal::RunCtx::new(),
             engine: SessionEngine::Joda,
+            slo: None,
         }
     }
 
@@ -158,6 +165,13 @@ impl Scale {
     /// This scale with an explicit session engine.
     pub fn with_engine(mut self, engine: SessionEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// This scale with an interactivity SLO for the pre-flighting
+    /// drivers.
+    pub fn with_slo(mut self, slo: std::time::Duration) -> Self {
+        self.slo = Some(slo);
         self
     }
 

@@ -169,6 +169,22 @@ pub struct RunOptions {
     /// timeout that a single runaway query can trip on its own.
     /// Deterministic, because the modeled clock is.
     pub query_timeout: Option<Duration>,
+    /// Optional interactivity SLO pre-flight: when set — together with
+    /// `analysis` and `corpus_stats` — the lint cost abstraction predicts
+    /// this engine's per-query modeled-time intervals **before** the
+    /// engine is touched, and a query provably over the SLO (L053)
+    /// aborts the run with an `Internal` error. Sound: it never rejects
+    /// a session whose concrete run would have met the SLO.
+    pub slo: Option<Duration>,
+    /// Byte-level corpus statistics for the SLO pre-flight (see
+    /// [`betze_engines::corpus_cost_stats`]). Required for `slo` to
+    /// have any effect.
+    pub corpus_stats: Option<std::sync::Arc<betze_engines::CorpusCostStats>>,
+    /// Thread count the SLO pre-flight prices joda-family legs with.
+    /// Must match the engine's configuration — a smaller value inflates
+    /// the predicted lower bounds and can reject sessions the threaded
+    /// engine would have completed in time. Default 1.
+    pub slo_threads: usize,
     /// Optional per-query progress callback (see [`ProgressHook`]).
     /// Purely observational: it cannot alter the run, so runs with and
     /// without a hook are bit-identical.
@@ -186,6 +202,9 @@ impl Default for RunOptions {
             analysis: None,
             cancel: CancelToken::new(),
             query_timeout: None,
+            slo: None,
+            corpus_stats: None,
+            slo_threads: 1,
             progress: None,
         }
     }
@@ -248,6 +267,20 @@ impl RunOptions {
     /// Sets the per-query modeled-time budget.
     pub fn query_timeout(mut self, t: Option<Duration>) -> Self {
         self.query_timeout = t;
+        self
+    }
+
+    /// Enables the SLO pre-flight: `stats` must describe the corpus the
+    /// run imports, `threads` the engine's scan thread count.
+    pub fn slo(
+        mut self,
+        slo: Duration,
+        stats: std::sync::Arc<betze_engines::CorpusCostStats>,
+        threads: usize,
+    ) -> Self {
+        self.slo = Some(slo);
+        self.corpus_stats = Some(stats);
+        self.slo_threads = threads.max(1);
         self
     }
 
@@ -416,6 +449,38 @@ pub fn provably_empty(session: &Session, analysis: &betze_stats::DatasetAnalysis
     })
 }
 
+/// Cost-abstraction pre-flight: true when the linter *proves* some query
+/// of the session exceeds `slo` in modeled time on this engine (L053) —
+/// i.e. even the interval's lower bound is over budget, for every input
+/// consistent with the analysis. Sound like [`provably_empty`]: a
+/// rejected session could not have met the SLO, so skipping it never
+/// discards a run the concrete engine would have completed in time.
+/// `threads` must match the engine's scan thread count (pricing with
+/// fewer threads inflates the lower bound and loses soundness of the
+/// skip decision).
+pub fn provably_slow(
+    session: &Session,
+    analysis: &betze_stats::DatasetAnalysis,
+    stats: &betze_engines::CorpusCostStats,
+    slo: Duration,
+    engine: betze_lint::CostEngine,
+    threads: usize,
+) -> bool {
+    use betze_lint::Rule;
+    let report = betze_lint::Linter::new()
+        .without_translations()
+        .with_analysis(analysis)
+        .with_corpus_stats(stats)
+        .with_slo(slo)
+        .with_cost_engine(engine)
+        .with_joda_threads(threads.max(1))
+        .lint(session);
+    report
+        .diagnostics()
+        .iter()
+        .any(|d| matches!(d.rule, Rule::SloProvablyViolated))
+}
+
 /// Imports the dataset and executes every session query on the engine.
 /// The engine is reset first, so runs are independent. Degradation is
 /// disabled: the first permanent failure is returned as `Err` (transient
@@ -539,6 +604,26 @@ pub fn run_session_from_source(
                     report.render_human()
                 ),
             });
+        }
+    }
+    if let (Some(slo), Some(analysis), Some(stats)) = (
+        options.slo,
+        options.analysis.as_deref(),
+        options.corpus_stats.as_deref(),
+    ) {
+        // The SLO pre-flight only prices engines the cost abstraction
+        // models; an unrecognized engine name runs un-gated.
+        if let Some(leg) = betze_lint::CostEngine::parse(engine.short_name()) {
+            if provably_slow(session, analysis, stats, slo, leg, options.slo_threads) {
+                return Err(EngineError::Internal {
+                    message: format!(
+                        "SLO pre-flight rejected session: some query provably exceeds \
+                         {:?} modeled time on {} (rule L053)",
+                        slo,
+                        leg.label()
+                    ),
+                });
+            }
         }
     }
     options.cancel.check("session start")?;

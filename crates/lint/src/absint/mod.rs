@@ -20,10 +20,14 @@
 //! * [`transfer`] — per-leaf and per-tree transfer functions, mandatory
 //!   fact refinement.
 //! * [`engine`] — the dataflow walk and the trail fixpoint.
+//! * [`cost`] — the cost abstraction: cardinality intervals lifted to
+//!   per-engine work-counter and modeled-time intervals, and the SLO
+//!   gate (rules L053–L057).
 //! * [`vmfacts`] — bridge to the VM optimizer: per-subtree selectivity
 //!   facts packaged as [`betze_vm::ArmFacts`].
 
 pub mod card;
+pub mod cost;
 pub mod engine;
 pub mod interval;
 pub mod strdom;
@@ -32,6 +36,7 @@ pub mod typeset;
 pub mod vmfacts;
 
 pub use card::SelWindow;
+pub use cost::{CostConfig, CostEngine, CostReport, EngineCost, QueryCost};
 pub use engine::QueryPrediction;
 pub use interval::Interval;
 pub use vmfacts::vm_arm_facts;

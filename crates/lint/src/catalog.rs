@@ -17,7 +17,7 @@ pub struct RuleDoc {
 }
 
 /// The full catalog, in rule-id order (mirrors [`Rule::ALL`]).
-pub const DOCS: [RuleDoc; 34] = [
+pub const DOCS: [RuleDoc; 39] = [
     RuleDoc {
         rule: Rule::UnknownPath,
         rationale: "A predicate references an attribute path that never occurs in the \
@@ -248,6 +248,50 @@ pub const DOCS: [RuleDoc; 34] = [
                     tree-walked (L049) now runs compiled. Informational — the \
                     workload benefits with no action needed.",
         example: "a right-nested 17-leaf AND chain: pressure 17 -> 2 after rewrite",
+    },
+    RuleDoc {
+        rule: Rule::SloProvablyViolated,
+        rationale: "The cost abstraction's modeled-time *lower* bound for the query \
+                    already exceeds the configured SLO on the checked engine, so no \
+                    concrete execution can be interactive: the interval is sound, \
+                    hence the observed modeled time is at least the lower bound. \
+                    The session fails an interactivity pre-flight before any engine \
+                    runs (IDEBench's latency-budget argument).",
+        example: "betze lint --slo 200 --engine jq: modeled >= 3.1 s on query 4",
+    },
+    RuleDoc {
+        rule: Rule::SloPossiblyViolated,
+        rationale: "The SLO falls strictly inside the query's modeled-time interval: \
+                    the static bounds cannot decide interactivity either way. Often \
+                    a wide result-cardinality interval upstream; tightening the \
+                    dataset analysis or the predicate narrows it.",
+        example: "SLO 200 ms inside modeled [120 ms, 480 ms]",
+    },
+    RuleDoc {
+        rule: Rule::SessionBudgetExceeded,
+        rationale: "Summing the per-query modeled-time lower bounds (imports \
+                    excluded) already exceeds the SLO times the number of executed \
+                    queries, so the session as a whole provably blows its latency \
+                    budget even if individual queries stay under the per-query SLO.",
+        example: "10 queries, SLO 200 ms, session lower bound 2.7 s > 2.0 s",
+    },
+    RuleDoc {
+        rule: Rule::EngineDominated,
+        rationale: "Another engine's session-total modeled-time *upper* bound is \
+                    below this engine's *lower* bound: for this workload the engine \
+                    is strictly dominated and benchmarking it adds wall-clock \
+                    without adding information. Informational — dominance is a \
+                    property of the session, not a defect in it.",
+        example: "jq total >= 41 s while joda total <= 0.9 s: jq is dominated",
+    },
+    RuleDoc {
+        rule: Rule::CostUnbounded,
+        rationale: "A predicted counter interval was widened to top (infinity), \
+                    e.g. a stored dataset rewritten by transformations whose byte \
+                    footprint the abstraction does not bound, so the modeled-time \
+                    upper bound is infinite and SLO checks against it are vacuous. \
+                    Lower-bound checks (L053/L055) remain sound.",
+        example: "store_as after rename/add transforms, then a jq re-scan of it",
     },
 ];
 

@@ -141,11 +141,27 @@ pub enum Rule {
     /// under the VM register budget — a former tree-walk fallback now
     /// runs compiled.
     VmPressureReduced,
+    /// L053: the query's modeled-time lower bound already exceeds the
+    /// configured SLO — it provably cannot be interactive on this engine.
+    SloProvablyViolated,
+    /// L054: the SLO lies inside the query's modeled-time interval — the
+    /// query may or may not be interactive on this engine.
+    SloPossiblyViolated,
+    /// L055: the session's summed modeled-time lower bound exceeds the
+    /// per-query SLO times the query count — the session as a whole blows
+    /// its latency budget even if individual queries squeak through.
+    SessionBudgetExceeded,
+    /// L056: another engine's modeled-time upper bound for this session is
+    /// below this engine's lower bound — this engine is strictly dominated.
+    EngineDominated,
+    /// L057: a predicted counter or modeled-time bound was widened to top
+    /// (∞), so SLO comparisons against the upper bound are vacuous.
+    CostUnbounded,
 }
 
 impl Rule {
     /// The full catalog, in rule-id order.
-    pub const ALL: [Rule; 34] = [
+    pub const ALL: [Rule; 39] = [
         Rule::UnknownPath,
         Rule::TypeMismatch,
         Rule::ContradictoryConjunction,
@@ -180,6 +196,11 @@ impl Rule {
         Rule::VmVerifierViolation,
         Rule::VmDeadArmEliminated,
         Rule::VmPressureReduced,
+        Rule::SloProvablyViolated,
+        Rule::SloPossiblyViolated,
+        Rule::SessionBudgetExceeded,
+        Rule::EngineDominated,
+        Rule::CostUnbounded,
     ];
 
     /// Stable identifier (`L001` …).
@@ -219,6 +240,11 @@ impl Rule {
             Rule::VmVerifierViolation => "L050",
             Rule::VmDeadArmEliminated => "L051",
             Rule::VmPressureReduced => "L052",
+            Rule::SloProvablyViolated => "L053",
+            Rule::SloPossiblyViolated => "L054",
+            Rule::SessionBudgetExceeded => "L055",
+            Rule::EngineDominated => "L056",
+            Rule::CostUnbounded => "L057",
         }
     }
 
@@ -259,6 +285,11 @@ impl Rule {
             Rule::VmVerifierViolation => "vm-verifier-violation",
             Rule::VmDeadArmEliminated => "vm-dead-arm-eliminated",
             Rule::VmPressureReduced => "vm-pressure-reduced",
+            Rule::SloProvablyViolated => "slo-provably-violated",
+            Rule::SloPossiblyViolated => "slo-possibly-violated",
+            Rule::SessionBudgetExceeded => "session-budget-exceeded",
+            Rule::EngineDominated => "engine-dominated",
+            Rule::CostUnbounded => "cost-unbounded",
         }
     }
 
@@ -276,7 +307,8 @@ impl Rule {
             | Rule::ProvablyEmptyResult
             | Rule::BottomInputDataset
             | Rule::EmptyBaseAnalysis
-            | Rule::VmVerifierViolation => Severity::Error,
+            | Rule::VmVerifierViolation
+            | Rule::SloProvablyViolated => Severity::Error,
             Rule::TautologicalSubtree
             | Rule::VacuousBound
             | Rule::AggregationTypeMismatch
@@ -292,13 +324,17 @@ impl Rule {
             | Rule::StoredEmptyDataset
             | Rule::AggregationOverEmpty
             | Rule::VmRegisterBudget
-            | Rule::VmDeadArmEliminated => Severity::Warn,
+            | Rule::VmDeadArmEliminated
+            | Rule::SloPossiblyViolated
+            | Rule::SessionBudgetExceeded => Severity::Warn,
             Rule::DatasetNeverRead
             | Rule::StaticallyKnownCount
             | Rule::WideningApplied
             | Rule::SelectivityIndeterminate
             | Rule::UnreachableDataset
-            | Rule::VmPressureReduced => Severity::Info,
+            | Rule::VmPressureReduced
+            | Rule::EngineDominated
+            | Rule::CostUnbounded => Severity::Info,
         }
     }
 }

@@ -22,6 +22,11 @@
 //!   the *optimized* tree still exceeds the register budget, L050 when
 //!   the verifier rejects a produced program, L051 per arm dropped as
 //!   provably dead, L052 when reassociation rescued a former fallback.
+//! * **Cost pass** (`L053`–`L057`, opt-in via [`Linter::with_slo`] /
+//!   [`Linter::with_cost_engine`]): the cardinality intervals are lifted
+//!   into per-engine work-counter intervals and priced through the real
+//!   [`betze_cost::CostModel`], gating queries against an interactivity
+//!   SLO before anything executes (see [`absint::cost`]).
 //!
 //! ```
 //! use betze_lint::{Linter, Severity};
@@ -48,11 +53,15 @@ mod ir_pass;
 mod translation_pass;
 mod vm_pass;
 
-pub use absint::{vm_arm_facts, AbsintConfig, Interval, QueryPrediction, SelWindow};
+pub use absint::{
+    vm_arm_facts, AbsintConfig, CostConfig, CostEngine, CostReport, EngineCost, Interval,
+    QueryCost, QueryPrediction, SelWindow,
+};
 pub use catalog::{explain, RuleDoc};
 pub use diagnostics::{Diagnostic, LintReport, Rule, Severity, Span};
 pub use translation_pass::audit_rendering;
 
+use betze_cost::CorpusCostStats;
 use betze_langs::{all_languages, Language};
 use betze_model::Session;
 use betze_stats::DatasetAnalysis;
@@ -61,8 +70,10 @@ use betze_stats::DatasetAnalysis;
 /// then produces a sorted [`LintReport`] per session.
 pub struct Linter<'a> {
     analyses: Vec<&'a DatasetAnalysis>,
+    corpus_stats: Vec<&'a CorpusCostStats>,
     languages: Vec<Box<dyn Language>>,
     absint: AbsintConfig,
+    cost: CostConfig,
 }
 
 impl<'a> Linter<'a> {
@@ -72,8 +83,10 @@ impl<'a> Linter<'a> {
     pub fn new() -> Self {
         Linter {
             analyses: Vec::new(),
+            corpus_stats: Vec::new(),
             languages: all_languages(),
             absint: AbsintConfig::default(),
+            cost: CostConfig::new(),
         }
     }
 
@@ -81,6 +94,36 @@ impl<'a> Linter<'a> {
     /// name. Enables the IR pass for sessions over that dataset.
     pub fn with_analysis(mut self, analysis: &'a DatasetAnalysis) -> Self {
         self.analyses.push(analysis);
+        self
+    }
+
+    /// Registers a base corpus's byte-level statistics (sizes, encoded
+    /// lengths, navigation depths), keyed by dataset name. Required —
+    /// together with the matching analysis — for the cost pass to model
+    /// queries over that corpus.
+    pub fn with_corpus_stats(mut self, stats: &'a CorpusCostStats) -> Self {
+        self.corpus_stats.push(stats);
+        self
+    }
+
+    /// Sets the per-query interactivity SLO the cost pass gates against
+    /// (rules L053–L055) and activates the cost pass.
+    pub fn with_slo(mut self, slo: std::time::Duration) -> Self {
+        self.cost.slo = Some(slo);
+        self
+    }
+
+    /// Restricts the SLO gate to one engine leg (repeatable) and
+    /// activates the cost pass. Without this every leg is checked.
+    pub fn with_cost_engine(mut self, engine: CostEngine) -> Self {
+        self.cost.engines.push(engine);
+        self
+    }
+
+    /// Worker threads the joda-family cost legs are priced with
+    /// (default 16, the harness benchmark default).
+    pub fn with_joda_threads(mut self, threads: usize) -> Self {
+        self.cost.joda_threads = threads;
         self
     }
 
@@ -105,13 +148,26 @@ impl<'a> Linter<'a> {
 
     /// Runs all configured passes over a session.
     pub fn lint(&self, session: &Session) -> LintReport {
-        self.lint_with_predictions(session).0
+        self.lint_with_cost(session).0
     }
 
     /// Like [`Linter::lint`], additionally returning the abstract
     /// interpreter's sound per-query interval predictions (empty when no
     /// analysis is registered — the engine needs exact base statistics).
     pub fn lint_with_predictions(&self, session: &Session) -> (LintReport, Vec<QueryPrediction>) {
+        let (report, predictions, _) = self.lint_with_cost(session);
+        (report, predictions)
+    }
+
+    /// Like [`Linter::lint_with_predictions`], additionally returning the
+    /// cost abstraction's per-engine modeled-time intervals. The cost
+    /// pass runs only when activated ([`Linter::with_slo`] or
+    /// [`Linter::with_cost_engine`]); otherwise the third element is
+    /// `None` and the report is unchanged from earlier versions.
+    pub fn lint_with_cost(
+        &self,
+        session: &Session,
+    ) -> (LintReport, Vec<QueryPrediction>, Option<CostReport>) {
         let mut report = LintReport::new();
         let mut predictions = Vec::new();
         graph_pass::run(session, &mut report);
@@ -123,8 +179,20 @@ impl<'a> Linter<'a> {
         if !self.languages.is_empty() {
             translation_pass::run(session, &self.languages, &mut report);
         }
+        let cost = if self.cost.is_active() {
+            Some(absint::cost::run(
+                session,
+                &self.analyses,
+                &self.corpus_stats,
+                &predictions,
+                &self.cost,
+                &mut report,
+            ))
+        } else {
+            None
+        };
         report.sort();
-        (report, predictions)
+        (report, predictions, cost)
     }
 }
 

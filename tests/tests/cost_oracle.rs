@@ -1,0 +1,195 @@
+//! Soundness oracle for the **cost abstraction** (DESIGN.md §17): every
+//! work counter and modeled time an engine actually reports must fall
+//! inside the interval the static cost analysis predicted for that
+//! engine. The sweep runs 100 seeds × all three explorer presets ×
+//! every modeled leg (joda, vm, vm-noopt, jq, mongodb, psql) on both a
+//! flat (NoBench) and a nested (Twitter-like) corpus — an unsound
+//! transfer function or cost-table mismatch has nowhere to hide.
+
+use std::collections::BTreeMap;
+
+use betze::datagen::{DocGenerator, NoBench, TwitterLike};
+use betze::engines::{
+    corpus_cost_stats, CorpusCostStats, Engine, JodaSim, JqSim, MongoSim, PgSim, VmEngine, Work,
+};
+use betze::explorer::Preset;
+use betze::generator::{generate_session, GeneratorConfig, InMemoryBackend};
+use betze::json::Value;
+use betze::lint::{CostEngine, CostReport, Linter, Rule};
+use betze::model::{DatasetId, Session};
+use betze::stats::DatasetAnalysis;
+use std::time::Duration;
+
+/// JODA-family scan threads for the sweep: > 1, so the Amdahl split of
+/// the cost model is exercised, not just the sequential path.
+const THREADS: usize = 3;
+
+/// An SLO in the gap between the in-memory legs (µs per query at this
+/// scale) and the file- and byte-priced ones (ms per query): L053 fires
+/// on real sessions for the slow legs, stays silent for the fast ones —
+/// so the "L053 never fires on a within-SLO query" cross-check is
+/// exercised in both directions rather than vacuously.
+const SLO: Duration = Duration::from_millis(1);
+
+/// Builds the concrete engine a cost leg models, at the thread count
+/// the leg was priced with.
+fn leg_engine(engine: CostEngine) -> Box<dyn Engine> {
+    match engine {
+        CostEngine::Joda => Box::new(JodaSim::new(THREADS)),
+        CostEngine::Vm => Box::new(VmEngine::new(THREADS)),
+        CostEngine::VmNoOpt => {
+            let mut vm = VmEngine::new(THREADS);
+            vm.set_optimize(false);
+            Box::new(vm)
+        }
+        CostEngine::Jq => Box::new(JqSim::new()),
+        CostEngine::Mongo => Box::new(MongoSim::new()),
+        CostEngine::Pg => Box::new(PgSim::new()),
+    }
+}
+
+/// Runs `session` concretely on every modeled leg and asserts the
+/// soundness contract: import counters are predicted exactly, query
+/// counters lie fieldwise inside `[lo, hi]`, and modeled times lie
+/// inside the predicted interval. Also cross-checks L053: a query the
+/// concrete run completes within the SLO never carries a provable
+/// violation.
+fn assert_cost_sound(
+    session: &Session,
+    base_name: &str,
+    docs: &[Value],
+    cost: &CostReport,
+    label: &str,
+) {
+    let slo_secs = cost.slo_seconds.expect("sweep lints with an SLO");
+    for leg in &cost.engines {
+        let tag = format!("{label}/{}", leg.engine.label());
+        let mut engine = leg_engine(leg.engine);
+        engine.set_output_enabled(false);
+        let import = engine
+            .import(base_name, docs)
+            .unwrap_or_else(|e| panic!("{tag}: import failed: {e}"));
+        // Imports are points, not intervals: predicted exactly.
+        assert_eq!(
+            Work::from(&import.counters).to_array(),
+            leg.import.to_array(),
+            "{tag}: import counters diverge from the modeled point"
+        );
+        assert_eq!(
+            import.modeled,
+            Duration::from_secs_f64(leg.import_seconds),
+            "{tag}: modeled import time diverges"
+        );
+        let by_query: BTreeMap<usize, _> = leg.queries.iter().map(|q| (q.query, q)).collect();
+        for (i, query) in session.queries.iter().enumerate() {
+            let outcome = engine
+                .execute(query)
+                .unwrap_or_else(|e| panic!("{tag}: query {i} failed: {e}"));
+            let Some(predicted) = by_query.get(&i) else {
+                continue;
+            };
+            if let Some(bad) = predicted.counter_violation(&outcome.report.counters) {
+                panic!("{tag}: query {i}: {bad}");
+            }
+            assert!(
+                predicted.contains_modeled(outcome.report.modeled),
+                "{tag}: query {i} modeled {:?} outside [{}, {}] s",
+                outcome.report.modeled,
+                predicted.modeled.lo,
+                predicted.modeled.hi
+            );
+            // The L053 contract: a provable violation means the concrete
+            // run could not have met the SLO.
+            if predicted.modeled.lo > slo_secs {
+                assert!(
+                    outcome.report.modeled.as_secs_f64() > slo_secs,
+                    "{tag}: query {i} carries L053 (lo {} > SLO {slo_secs}) yet ran \
+                     within the SLO ({:?})",
+                    predicted.modeled.lo,
+                    outcome.report.modeled
+                );
+            }
+        }
+    }
+}
+
+/// Lints `session` with the cost pass active on every leg and returns
+/// the cost report plus whether any L053 fired.
+fn cost_report(
+    session: &Session,
+    analysis: &DatasetAnalysis,
+    stats: &CorpusCostStats,
+    label: &str,
+) -> (CostReport, bool) {
+    let mut linter = Linter::new()
+        .without_translations()
+        .with_analysis(analysis)
+        .with_corpus_stats(stats)
+        .with_slo(SLO)
+        .with_joda_threads(THREADS);
+    for engine in CostEngine::ALL {
+        linter = linter.with_cost_engine(engine);
+    }
+    let (report, _, cost) = linter.lint_with_cost(session);
+    let cost = cost.unwrap_or_else(|| panic!("{label}: cost pass inactive despite SLO"));
+    assert_eq!(
+        cost.engines.len(),
+        CostEngine::ALL.len(),
+        "{label}: some leg was not modeled"
+    );
+    let provable = report
+        .diagnostics()
+        .iter()
+        .any(|d| d.rule == Rule::SloProvablyViolated);
+    (cost, provable)
+}
+
+/// Runs the full sweep over one corpus: `seeds` × three presets, every
+/// leg checked per session. Returns (queries checked, sessions where
+/// L053 fired).
+fn sweep(base_name: &str, docs: &[Value], seeds: u64) -> (usize, usize) {
+    let analysis = betze::stats::analyze(base_name, docs);
+    let stats = corpus_cost_stats(base_name, docs);
+    let mut checked = 0usize;
+    let mut provable = 0usize;
+    for preset in [Preset::Novice, Preset::Intermediate, Preset::Expert] {
+        let config = GeneratorConfig::with_explorer(preset.config());
+        for seed in 0..seeds {
+            let mut backend = InMemoryBackend::new();
+            backend.register_base(DatasetId(0), docs.to_vec());
+            let outcome = generate_session(&analysis, &config, seed, Some(&mut backend))
+                .unwrap_or_else(|e| panic!("{base_name}/{preset:?}/{seed}: {e}"));
+            let label = format!("{base_name}/{preset:?}/{seed}");
+            let (cost, fired) = cost_report(&outcome.session, &analysis, &stats, &label);
+            if fired {
+                provable += 1;
+            }
+            assert_cost_sound(&outcome.session, base_name, docs, &cost, &label);
+            checked += outcome.session.queries.len();
+        }
+    }
+    (checked, provable)
+}
+
+/// The oracle on the flat NoBench corpus: 100 seeds × three presets ×
+/// six legs, zero containment violations allowed.
+#[test]
+fn cost_intervals_contain_concrete_execution_on_nobench() {
+    let docs = NoBench::default().generate(11, 200);
+    let (checked, provable) = sweep("nb", &docs, 100);
+    assert!(checked >= 300, "only {checked} queries checked");
+    // The SLO sits below the jq/binary per-query cost at this corpus
+    // size, so the cross-check must have seen real L053 fire.
+    assert!(provable > 0, "no session ever tripped L053 — SLO too lax");
+}
+
+/// The same oracle on the nested Twitter-like corpus, whose deeper
+/// pointers drive the binary navigation bounds (BSON linear vs JSONB
+/// binary search) much harder than NoBench does.
+#[test]
+fn cost_intervals_contain_concrete_execution_on_twitter() {
+    let docs = TwitterLike::default().generate(5, 160);
+    let (checked, provable) = sweep("tw", &docs, 100);
+    assert!(checked >= 300, "only {checked} queries checked");
+    assert!(provable > 0, "no session ever tripped L053 — SLO too lax");
+}
